@@ -1,0 +1,347 @@
+//! The CRFsuite stand-in (§6.1): a first-order Markov sequence model
+//! trained with the **averaged perceptron** — exactly the estimator the
+//! paper describes — over BIO tags, decoded with Viterbi.
+//!
+//! Features follow the paper: the token plus its preceding and following
+//! tokens, prefixes and suffixes up to 3 characters, and binary shape
+//! features (has-digit, all-digit, capitalized, all-caps).
+
+use koko_embed::hash64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// BIO labels.
+pub const O: u8 = 0;
+pub const B: u8 = 1;
+pub const I: u8 = 2;
+const NLABELS: usize = 3;
+
+/// Averaged-perceptron weights with the lazy-averaging timestamp trick.
+#[derive(Debug, Default)]
+struct AvgWeights {
+    w: HashMap<u64, [f64; NLABELS]>,
+    totals: HashMap<u64, [f64; NLABELS]>,
+    stamp: HashMap<u64, u64>,
+    t: u64,
+}
+
+impl AvgWeights {
+    fn update(&mut self, f: u64, label: usize, delta: f64) {
+        let stamp = self.stamp.entry(f).or_insert(0);
+        let w = self.w.entry(f).or_insert([0.0; NLABELS]);
+        let totals = self.totals.entry(f).or_insert([0.0; NLABELS]);
+        let dt = (self.t - *stamp) as f64;
+        for l in 0..NLABELS {
+            totals[l] += dt * w[l];
+        }
+        *stamp = self.t;
+        w[label] += delta;
+    }
+
+    fn averaged(mut self) -> HashMap<u64, [f64; NLABELS]> {
+        let t = self.t.max(1) as f64;
+        for (f, w) in &self.w {
+            let stamp = self.stamp[f];
+            let totals = self.totals.entry(*f).or_insert([0.0; NLABELS]);
+            let dt = (self.t - stamp) as f64;
+            for l in 0..NLABELS {
+                totals[l] += dt * w[l];
+            }
+        }
+        self.totals
+            .into_iter()
+            .map(|(f, tot)| {
+                let mut avg = [0.0; NLABELS];
+                for l in 0..NLABELS {
+                    avg[l] = tot[l] / t;
+                }
+                (f, avg)
+            })
+            .collect()
+    }
+}
+
+/// A trained model.
+#[derive(Debug, Clone)]
+pub struct Crf {
+    emission: HashMap<u64, [f64; NLABELS]>,
+    /// `transition[prev][cur]`.
+    transition: [[f64; NLABELS]; NLABELS],
+}
+
+/// Feature extraction for one position.
+fn features(tokens: &[String], i: usize, out: &mut Vec<u64>) {
+    out.clear();
+    let tok = &tokens[i];
+    let lower = tok.to_lowercase();
+    out.push(hash64(&format!("w={lower}")));
+    out.push(hash64(&format!(
+        "prev={}",
+        if i > 0 { tokens[i - 1].to_lowercase() } else { "<s>".into() }
+    )));
+    out.push(hash64(&format!(
+        "next={}",
+        tokens.get(i + 1).map(|t| t.to_lowercase()).unwrap_or("</s>".into())
+    )));
+    let chars: Vec<char> = lower.chars().collect();
+    for k in 1..=3usize.min(chars.len()) {
+        let prefix: String = chars[..k].iter().collect();
+        let suffix: String = chars[chars.len() - k..].iter().collect();
+        out.push(hash64(&format!("pre{k}={prefix}")));
+        out.push(hash64(&format!("suf{k}={suffix}")));
+    }
+    if tok.chars().any(|c| c.is_ascii_digit()) {
+        out.push(hash64("has_digit"));
+    }
+    if !tok.is_empty() && tok.chars().all(|c| c.is_ascii_digit()) {
+        out.push(hash64("all_digit"));
+    }
+    if tok.chars().next().is_some_and(|c| c.is_uppercase()) {
+        out.push(hash64("cap"));
+        if i == 0 {
+            out.push(hash64("cap_first"));
+        }
+    }
+    if tok.len() > 1 && tok.chars().all(|c| c.is_uppercase()) {
+        out.push(hash64("all_caps"));
+    }
+}
+
+impl Crf {
+    /// Train on `(tokens, bio tags)` sequences with the averaged perceptron.
+    pub fn train(data: &[(Vec<String>, Vec<u8>)], epochs: usize, seed: u64) -> Crf {
+        let mut emission = AvgWeights::default();
+        let mut trans = [[0.0f64; NLABELS]; NLABELS];
+        let mut trans_tot = [[0.0f64; NLABELS]; NLABELS];
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut feats = Vec::with_capacity(16);
+        let mut steps: u64 = 0;
+        for _epoch in 0..epochs {
+            // Seeded shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &di in &order {
+                let (tokens, gold) = &data[di];
+                if tokens.is_empty() {
+                    continue;
+                }
+                steps += 1;
+                emission.t = steps;
+                let current = Crf {
+                    emission: emission.w.clone(),
+                    transition: trans,
+                };
+                let pred = current.viterbi(tokens);
+                if pred != *gold {
+                    // Perceptron update along both paths.
+                    let mut prev_gold = O as usize;
+                    let mut prev_pred = O as usize;
+                    for i in 0..tokens.len() {
+                        let g = gold[i] as usize;
+                        let p = pred[i] as usize;
+                        if g != p {
+                            features(tokens, i, &mut feats);
+                            for &f in &feats {
+                                emission.update(f, g, 1.0);
+                                emission.update(f, p, -1.0);
+                            }
+                        }
+                        if (prev_gold, g) != (prev_pred, p) {
+                            trans[prev_gold][g] += 1.0;
+                            trans[prev_pred][p] -= 1.0;
+                        }
+                        prev_gold = g;
+                        prev_pred = p;
+                    }
+                }
+                for a in 0..NLABELS {
+                    for b in 0..NLABELS {
+                        trans_tot[a][b] += trans[a][b];
+                    }
+                }
+            }
+        }
+        let mut avg_trans = [[0.0f64; NLABELS]; NLABELS];
+        let denom = steps.max(1) as f64;
+        for a in 0..NLABELS {
+            for b in 0..NLABELS {
+                avg_trans[a][b] = trans_tot[a][b] / denom;
+            }
+        }
+        Crf {
+            emission: emission.averaged(),
+            transition: avg_trans,
+        }
+    }
+
+    /// Viterbi decoding over the three BIO states.
+    pub fn viterbi(&self, tokens: &[String]) -> Vec<u8> {
+        let n = tokens.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut feats = Vec::with_capacity(16);
+        let mut score = vec![[f64::NEG_INFINITY; NLABELS]; n];
+        let mut back = vec![[0usize; NLABELS]; n];
+        for i in 0..n {
+            features(tokens, i, &mut feats);
+            let mut em = [0.0f64; NLABELS];
+            for &f in &feats {
+                let w = self.emission.get(&f).copied().unwrap_or([0.0; NLABELS]);
+                for l in 0..NLABELS {
+                    em[l] += w[l];
+                }
+            }
+            for cur in 0..NLABELS {
+                // I may not start a sequence or follow O.
+                if i == 0 {
+                    if cur == I as usize {
+                        continue;
+                    }
+                    score[0][cur] = em[cur] + self.transition[O as usize][cur];
+                    continue;
+                }
+                for prev in 0..NLABELS {
+                    if cur == I as usize && prev == O as usize {
+                        continue; // O → I is structurally invalid
+                    }
+                    let s = score[i - 1][prev] + self.transition[prev][cur] + em[cur];
+                    if s > score[i][cur] {
+                        score[i][cur] = s;
+                        back[i][cur] = prev;
+                    }
+                }
+            }
+        }
+        let mut best = 0usize;
+        for l in 1..NLABELS {
+            if score[n - 1][l] > score[n - 1][best] {
+                best = l;
+            }
+        }
+        let mut tags = vec![0u8; n];
+        let mut cur = best;
+        for i in (0..n).rev() {
+            tags[i] = cur as u8;
+            cur = back[i][cur];
+        }
+        tags
+    }
+
+    /// Predicted entity spans `(start, end)` (half-open token ranges).
+    pub fn extract(&self, tokens: &[String]) -> Vec<(usize, usize)> {
+        let tags = self.viterbi(tokens);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tags.len() {
+            if tags[i] == B {
+                let start = i;
+                i += 1;
+                while i < tags.len() && tags[i] == I {
+                    i += 1;
+                }
+                out.push((start, i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Encode gold names as BIO tags over a token sequence (case-insensitive
+/// subsequence matching — the annotation-projection step real NER training
+/// sets go through).
+pub fn bio_encode(tokens: &[String], gold: &[String]) -> Vec<u8> {
+    let lowers: Vec<String> = tokens.iter().map(|t| t.to_lowercase()).collect();
+    let mut tags = vec![O; tokens.len()];
+    for name in gold {
+        let words: Vec<String> = name.split_whitespace().map(|w| w.to_lowercase()).collect();
+        if words.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        while i + words.len() <= tokens.len() {
+            if lowers[i..i + words.len()] == words[..] {
+                tags[i] = B;
+                for t in tags.iter_mut().take(i + words.len()).skip(i + 1) {
+                    *t = I;
+                }
+                i += words.len();
+            } else {
+                i += 1;
+            }
+        }
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn bio_encoding() {
+        let t = toks("We love Copper Kettle Cafe downtown");
+        let tags = bio_encode(&t, &["Copper Kettle Cafe".to_string()]);
+        assert_eq!(tags, vec![O, O, B, I, I, O]);
+    }
+
+    #[test]
+    fn learns_a_simple_pattern() {
+        // Names always follow "visit"; the model must pick that up.
+        let names = ["Copper Kettle", "Quiet Owl", "Blue Heron", "Iron Anchor"];
+        let mut data = Vec::new();
+        for (i, n) in names.iter().enumerate() {
+            let text = format!("we will visit {n} soon");
+            let t = toks(&text);
+            let tags = bio_encode(&t, &[n.to_string()]);
+            data.push((t, tags));
+            let filler = format!("nothing special happened today number {i}");
+            let tf = toks(&filler);
+            let len = tf.len();
+            data.push((tf, vec![O; len]));
+        }
+        let crf = Crf::train(&data, 8, 42);
+        // Held-out name in the same context.
+        let test = toks("we will visit Velvet Moon soon");
+        let spans = crf.extract(&test);
+        assert_eq!(spans, vec![(3, 5)], "tags: {:?}", crf.viterbi(&test));
+        // Negative sentence stays O.
+        let neg = toks("nothing special happened again");
+        assert!(crf.extract(&neg).is_empty());
+    }
+
+    #[test]
+    fn viterbi_never_emits_dangling_i() {
+        let data = vec![(toks("a b c"), vec![O, B, I])];
+        let crf = Crf::train(&data, 3, 1);
+        for text in ["x y z", "a b c", "b b b b"] {
+            let tags = crf.viterbi(&toks(text));
+            for (i, &t) in tags.iter().enumerate() {
+                if t == I {
+                    assert!(i > 0 && tags[i - 1] != O, "O→I at {i} in {tags:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = vec![
+            (toks("visit Copper Kettle now"), vec![O, B, I, O]),
+            (toks("plain words here"), vec![O, O, O]),
+        ];
+        let a = Crf::train(&data, 4, 7);
+        let b = Crf::train(&data, 4, 7);
+        assert_eq!(a.viterbi(&toks("visit Blue Heron now")), b.viterbi(&toks("visit Blue Heron now")));
+    }
+}

@@ -1,0 +1,315 @@
+//! IKE (Dalvi et al. [18], §5/§6.1): per-sentence pattern matching with
+//! distributional-similarity expansion (`"phrase" ~ k`) and noun-phrase
+//! captures — but *no* cross-sentence evidence aggregation, which is why it
+//! trails KOKO on the blog corpora and nearly matches it on tweets.
+
+use koko_embed::Embeddings;
+use koko_nlp::{Corpus, PosTag, Sentence};
+
+/// One pattern element.
+#[derive(Debug, Clone)]
+pub enum Elem {
+    /// Literal token sequence, e.g. `"cafe called"`.
+    Lit(Vec<String>),
+    /// `(NP)` — capture a noun phrase.
+    Capture,
+    /// `("serves coffee" ~ k)` — the phrase or any of its `k` nearest
+    /// paraphrases.
+    Expand { phrase: String, k: usize },
+}
+
+/// An IKE query: a sequence of adjacent elements.
+#[derive(Debug, Clone)]
+pub struct IkePattern {
+    pub elems: Vec<Elem>,
+}
+
+impl IkePattern {
+    pub fn new(elems: Vec<Elem>) -> IkePattern {
+        IkePattern { elems }
+    }
+}
+
+fn lit(s: &str) -> Elem {
+    Elem::Lit(s.split_whitespace().map(|w| w.to_lowercase()).collect())
+}
+
+fn expand(s: &str, k: usize) -> Elem {
+    Elem::Expand {
+        phrase: s.to_string(),
+        k,
+    }
+}
+
+/// The Appendix A.1 IKE translation of the cafe query (every line the paper
+/// lists; the inexpressible clauses are omitted, as the paper notes).
+pub fn cafe_patterns() -> Vec<IkePattern> {
+    use Elem::Capture;
+    vec![
+        IkePattern::new(vec![lit("cafe called"), Capture]),
+        IkePattern::new(vec![lit("cafes such as"), Capture]),
+        IkePattern::new(vec![Capture, expand("sells coffee", 10)]),
+        IkePattern::new(vec![Capture, expand("serves coffee", 10)]),
+        IkePattern::new(vec![expand("coffee from", 10), Capture]),
+        IkePattern::new(vec![expand("baristas of", 10), Capture]),
+        IkePattern::new(vec![Capture, expand("baristas", 10)]),
+        IkePattern::new(vec![Capture, expand("barista champion", 10)]),
+        IkePattern::new(vec![expand("barista champion", 10), Capture]),
+        IkePattern::new(vec![Capture, expand("pour-over", 10)]),
+        IkePattern::new(vec![Capture, expand("french press", 10)]),
+        IkePattern::new(vec![Capture, expand("coffee menu", 10)]),
+        IkePattern::new(vec![expand("coffee menu", 10), Capture]),
+    ]
+}
+
+/// Figure 10 as IKE patterns (facilities).
+pub fn facility_patterns() -> Vec<IkePattern> {
+    use Elem::Capture;
+    vec![
+        IkePattern::new(vec![lit("at"), Capture]),
+        IkePattern::new(vec![expand("went to", 10), Capture]),
+        IkePattern::new(vec![expand("go to", 10), Capture]),
+    ]
+}
+
+/// Figure 11 as IKE patterns (sports teams).
+pub fn team_patterns() -> Vec<IkePattern> {
+    use Elem::Capture;
+    vec![
+        IkePattern::new(vec![Capture, expand("to host", 10)]),
+        IkePattern::new(vec![Capture, lit("vs")]),
+        IkePattern::new(vec![lit("vs"), Capture]),
+        IkePattern::new(vec![Capture, lit("versus")]),
+        IkePattern::new(vec![Capture, expand("soccer", 10)]),
+        IkePattern::new(vec![lit("go"), Capture]),
+    ]
+}
+
+/// The IKE matcher.
+pub struct Ike<'e> {
+    embed: &'e Embeddings,
+}
+
+impl<'e> Ike<'e> {
+    pub fn new(embed: &'e Embeddings) -> Ike<'e> {
+        Ike { embed }
+    }
+
+    /// Run patterns over a corpus; returns `(doc, captured NP)` pairs.
+    pub fn run(&self, corpus: &Corpus, patterns: &[IkePattern]) -> Vec<(u32, String)> {
+        // Pre-expand Expand elements once.
+        let compiled: Vec<Vec<CompiledElem>> = patterns
+            .iter()
+            .map(|p| p.elems.iter().map(|e| self.compile(e)).collect())
+            .collect();
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (sid, sentence) in corpus.sentences() {
+            let doc = corpus.doc_of(sid);
+            for elems in &compiled {
+                for cap in match_pattern(sentence, elems) {
+                    if seen.insert((doc, cap.to_lowercase())) {
+                        out.push((doc, cap));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn compile(&self, e: &Elem) -> CompiledElem {
+        match e {
+            Elem::Lit(words) => CompiledElem::Phrases(vec![words.clone()]),
+            Elem::Capture => CompiledElem::Capture,
+            Elem::Expand { phrase, k } => {
+                // IKE's `~ k` is word-level: each word may be replaced by
+                // any of its k nearest neighbours ("dog ~ 20" in the paper).
+                let alts: Vec<Vec<String>> = phrase
+                    .split_whitespace()
+                    .map(|w| {
+                        let mut v = vec![w.to_lowercase()];
+                        v.extend(self.embed.neighbors(w, *k, 0.55).into_iter().map(|(n, _)| n));
+                        v
+                    })
+                    .collect();
+                let mut phrases: Vec<Vec<String>> = vec![Vec::new()];
+                for a in &alts {
+                    let mut next = Vec::with_capacity(phrases.len() * a.len());
+                    for p in &phrases {
+                        for w in a {
+                            let mut q = p.clone();
+                            q.push(w.clone());
+                            next.push(q);
+                            if next.len() >= 500 {
+                                break;
+                            }
+                        }
+                        if next.len() >= 500 {
+                            break;
+                        }
+                    }
+                    phrases = next;
+                }
+                CompiledElem::Phrases(phrases)
+            }
+        }
+    }
+}
+
+enum CompiledElem {
+    Phrases(Vec<Vec<String>>),
+    Capture,
+}
+
+/// Noun-phrase span starting at `pos` (maximal DET/ADJ/NOUN/PROPN run that
+/// contains a nominal); returns `(end, text-without-leading-determiner)`.
+fn np_at(sentence: &Sentence, pos: usize) -> Option<(usize, String)> {
+    let n = sentence.len();
+    let mut end = pos;
+    while end < n
+        && matches!(
+            sentence.tokens[end].pos,
+            PosTag::Det | PosTag::Adj | PosTag::Noun | PosTag::Propn
+        )
+    {
+        end += 1;
+    }
+    if end == pos {
+        return None;
+    }
+    // Must contain a nominal and end at one.
+    let last = &sentence.tokens[end - 1];
+    if !matches!(last.pos, PosTag::Noun | PosTag::Propn) {
+        return None;
+    }
+    let mut start = pos;
+    while start < end && sentence.tokens[start].pos == PosTag::Det {
+        start += 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some((end, sentence.span_text(start as u32, (end - 1) as u32)))
+}
+
+/// All captures of one pattern in one sentence (adjacent elements).
+fn match_pattern(sentence: &Sentence, elems: &[CompiledElem]) -> Vec<String> {
+    let n = sentence.len();
+    let lowers: Vec<&str> = sentence.tokens.iter().map(|t| t.lower.as_str()).collect();
+    let mut captures = Vec::new();
+    for start in 0..n {
+        let mut cap: Option<String> = None;
+        if try_match(sentence, &lowers, elems, 0, start, &mut cap) {
+            if let Some(c) = cap {
+                captures.push(c);
+            }
+        }
+    }
+    captures
+}
+
+fn try_match(
+    sentence: &Sentence,
+    lowers: &[&str],
+    elems: &[CompiledElem],
+    ei: usize,
+    pos: usize,
+    cap: &mut Option<String>,
+) -> bool {
+    if ei == elems.len() {
+        return true;
+    }
+    match &elems[ei] {
+        CompiledElem::Phrases(phrases) => {
+            for p in phrases {
+                if pos + p.len() <= lowers.len()
+                    && p.iter().enumerate().all(|(i, w)| lowers[pos + i] == w)
+                    && try_match(sentence, lowers, elems, ei + 1, pos + p.len(), cap)
+                {
+                    return true;
+                }
+            }
+            false
+        }
+        CompiledElem::Capture => match np_at(sentence, pos) {
+            Some((end, text)) => {
+                if try_match(sentence, lowers, elems, ei + 1, end, cap) {
+                    *cap = Some(text);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::Pipeline;
+
+    fn corpus(texts: &[&str]) -> Corpus {
+        Pipeline::new().parse_corpus(texts)
+    }
+
+    #[test]
+    fn literal_then_capture() {
+        let c = corpus(&["It is a new cafe called Velvet Moon ."]);
+        let ike = Ike::new(Embeddings::shared());
+        let hits = ike.run(&c, &[IkePattern::new(vec![lit("cafe called"), Elem::Capture])]);
+        assert_eq!(hits, vec![(0, "Velvet Moon".to_string())]);
+    }
+
+    #[test]
+    fn capture_then_expansion() {
+        let c = corpus(&[
+            "Copper Kettle pours espresso daily.",
+            "Quiet Owl hates tea.",
+        ]);
+        let ike = Ike::new(Embeddings::shared());
+        let hits = ike.run(
+            &c,
+            &[IkePattern::new(vec![Elem::Capture, expand("serves coffee", 15)])],
+        );
+        assert!(
+            hits.contains(&(0, "Copper Kettle".to_string())),
+            "paraphrase adjacency: {hits:?}"
+        );
+        assert!(!hits.iter().any(|(d, _)| *d == 1));
+    }
+
+    #[test]
+    fn no_aggregation_across_sentences() {
+        // Each hit stands alone; a cafe with only *split* weak evidence is
+        // found by KOKO's aggregation but IKE still reports it only when a
+        // single sentence matches a pattern.
+        let c = corpus(&["Quiet Owl is nice. The shop serves coffee."]);
+        let ike = Ike::new(Embeddings::shared());
+        let hits = ike.run(
+            &c,
+            &[IkePattern::new(vec![Elem::Capture, expand("serves coffee", 10)])],
+        );
+        assert!(
+            !hits.iter().any(|(_, h)| h.contains("Owl")),
+            "evidence in another sentence must not credit the name: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn team_pattern_go() {
+        let c = corpus(&["go Falcons !"]);
+        let ike = Ike::new(Embeddings::shared());
+        let hits = ike.run(&c, &team_patterns());
+        assert!(hits.contains(&(0, "Falcons".to_string())), "{hits:?}");
+    }
+
+    #[test]
+    fn determinate_and_deduped() {
+        let c = corpus(&["go Falcons ! go Falcons !"]);
+        let ike = Ike::new(Embeddings::shared());
+        let hits = ike.run(&c, &team_patterns());
+        assert_eq!(hits.iter().filter(|(_, h)| h == "Falcons").count(), 1);
+    }
+}

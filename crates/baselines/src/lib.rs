@@ -1,0 +1,20 @@
+//! `koko-baselines` — from-scratch implementations of the systems KOKO is
+//! evaluated against in §6:
+//!
+//! * [`crf`] — the CRFsuite stand-in: a first-order Markov model trained
+//!   with the averaged perceptron over BIO tags (Figures 3, 4);
+//! * [`ike`] — IKE's per-sentence pattern language with `~ k`
+//!   distributional expansion (Figures 3, 4);
+//! * [`nell`] — a NELL-style conservative bootstrapper (§6.1's P/R note);
+//! * [`odin`] — an Odin-style cascaded, index-free rule matcher (§6.3's
+//!   runtime comparison).
+
+pub mod crf;
+pub mod ike;
+pub mod nell;
+pub mod odin;
+
+pub use crf::{bio_encode, Crf};
+pub use ike::{Ike, IkePattern};
+pub use nell::{bootstrap, NellConfig};
+pub use odin::{OdinMatch, OdinSystem};

@@ -1,0 +1,283 @@
+//! An Odin-style cascaded rule matcher (Valenzuela-Escárcega et al. [44],
+//! §6.3): rules with priorities, evaluated **without any index** by
+//! scanning every sentence, iterating the cascade until no new matches
+//! appear — which is exactly why the paper measures it 1.3–40× slower than
+//! KOKO depending on query selectivity.
+
+use koko_nlp::{match_sentence, Corpus, EntityType, TreePattern};
+
+/// What a rule extracts once its pattern matches.
+#[derive(Debug, Clone)]
+pub enum Capture {
+    /// The subtree text of the pattern node at this index.
+    NodeSubtree(usize),
+    /// All (Person, Date) mention pairs of the sentence.
+    PersonDatePairs,
+    /// All mentions of a type in the sentence.
+    Mentions(EntityType),
+}
+
+/// One Odin rule.
+#[derive(Debug, Clone)]
+pub struct OdinRule {
+    pub name: String,
+    /// Cascade priority (lower runs earlier).
+    pub priority: u8,
+    /// Structural trigger; `None` means a surface trigger word.
+    pub pattern: Option<TreePattern>,
+    /// Surface trigger: the sentence must contain this word.
+    pub trigger_word: Option<String>,
+    pub capture: Capture,
+}
+
+/// A rule cascade.
+#[derive(Debug, Clone, Default)]
+pub struct OdinSystem {
+    pub rules: Vec<OdinRule>,
+}
+
+/// One extraction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OdinMatch {
+    pub rule: String,
+    pub doc: u32,
+    pub text: String,
+}
+
+impl OdinSystem {
+    /// Evaluate the cascade: for each priority level, scan **every**
+    /// sentence with every rule of that level; repeat the whole cascade
+    /// until a full pass adds no new matches (Odin's fixpoint semantics).
+    pub fn run(&self, corpus: &Corpus) -> Vec<OdinMatch> {
+        let mut priorities: Vec<u8> = self.rules.iter().map(|r| r.priority).collect();
+        priorities.sort_unstable();
+        priorities.dedup();
+        let mut results: std::collections::HashSet<OdinMatch> = std::collections::HashSet::new();
+        loop {
+            let before = results.len();
+            for &p in &priorities {
+                for rule in self.rules.iter().filter(|r| r.priority == p) {
+                    for (sid, sentence) in corpus.sentences() {
+                        let doc = corpus.doc_of(sid);
+                        // Full pattern evaluation on every sentence — Odin
+                        // has no index to prune with (§5: "Semgrex/Odin …
+                        // does not exploit any indexing techniques"); the
+                        // trigger word is part of the rule semantics, not a
+                        // shortcut.
+                        let assignments = match &rule.pattern {
+                            Some(pat) => match_sentence(pat, sentence),
+                            None => vec![vec![]],
+                        };
+                        let trigger_ok = rule.trigger_word.as_ref().map_or(true, |w| {
+                            sentence.tokens.iter().any(|t| &t.lower == w)
+                        });
+                        if assignments.is_empty() || !trigger_ok {
+                            continue;
+                        }
+                        match &rule.capture {
+                            Capture::NodeSubtree(idx) => {
+                                let stats = koko_nlp::tree_stats(sentence);
+                                for a in &assignments {
+                                    let t = a[*idx] as usize;
+                                    let text =
+                                        sentence.span_text(stats[t].left, stats[t].right);
+                                    results.insert(OdinMatch {
+                                        rule: rule.name.clone(),
+                                        doc,
+                                        text,
+                                    });
+                                }
+                            }
+                            Capture::PersonDatePairs => {
+                                let persons: Vec<String> = sentence
+                                    .entities
+                                    .iter()
+                                    .filter(|m| m.etype == EntityType::Person)
+                                    .map(|m| sentence.mention_text(m))
+                                    .collect();
+                                let dates: Vec<String> = sentence
+                                    .entities
+                                    .iter()
+                                    .filter(|m| m.etype == EntityType::Date)
+                                    .map(|m| sentence.mention_text(m))
+                                    .collect();
+                                for p in &persons {
+                                    for d in &dates {
+                                        results.insert(OdinMatch {
+                                            rule: rule.name.clone(),
+                                            doc,
+                                            text: format!("{p} | {d}"),
+                                        });
+                                    }
+                                }
+                            }
+                            Capture::Mentions(et) => {
+                                for m in sentence.entities.iter().filter(|m| m.etype == *et) {
+                                    results.insert(OdinMatch {
+                                        rule: rule.name.clone(),
+                                        doc,
+                                        text: sentence.mention_text(m),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if results.len() == before {
+                break;
+            }
+        }
+        let mut out: Vec<OdinMatch> = results.into_iter().collect();
+        out.sort_by(|a, b| (a.doc, &a.rule, &a.text).cmp(&(b.doc, &b.rule, &b.text)));
+        out
+    }
+}
+
+/// The §6.3 queries translated to Odin cascades "to the extent possible"
+/// (extract clauses only — Odin cannot aggregate evidence).
+pub mod translations {
+    use super::*;
+    use koko_nlp::{Axis, NodeLabel, PNode, ParseLabel, PosTag};
+
+    /// Chocolate: a verb with a `pobj` descendant "chocolate" and an
+    /// `nsubj` child; capture the subject subtree.
+    pub fn chocolate() -> OdinSystem {
+        let pattern = TreePattern {
+            nodes: vec![
+                PNode {
+                    parent: None,
+                    axis: Axis::Child,
+                    label: NodeLabel::Pos(PosTag::Verb),
+                },
+                PNode {
+                    parent: Some(0),
+                    axis: Axis::Descendant,
+                    label: NodeLabel::Word("chocolate".into()),
+                },
+                PNode {
+                    parent: Some(0),
+                    axis: Axis::Child,
+                    label: NodeLabel::Pl(ParseLabel::Nsubj),
+                },
+            ],
+            root_anchored: false,
+        };
+        OdinSystem {
+            rules: vec![
+                OdinRule {
+                    name: "chocolate-trigger".into(),
+                    priority: 1,
+                    pattern: None,
+                    trigger_word: Some("chocolate".into()),
+                    capture: Capture::Mentions(EntityType::Other),
+                },
+                OdinRule {
+                    name: "chocolate-subject".into(),
+                    priority: 2,
+                    pattern: Some(pattern),
+                    trigger_word: Some("chocolate".into()),
+                    capture: Capture::NodeSubtree(2),
+                },
+            ],
+        }
+    }
+
+    /// Title: `//"called"/propn`, capture the name subtree.
+    pub fn title() -> OdinSystem {
+        let pattern = TreePattern::path(
+            false,
+            vec![
+                (Axis::Descendant, NodeLabel::Word("called".into())),
+                (Axis::Child, NodeLabel::Pos(PosTag::Propn)),
+            ],
+        );
+        OdinSystem {
+            rules: vec![
+                OdinRule {
+                    name: "called-trigger".into(),
+                    priority: 1,
+                    pattern: None,
+                    trigger_word: Some("called".into()),
+                    capture: Capture::Mentions(EntityType::Person),
+                },
+                OdinRule {
+                    name: "called-name".into(),
+                    priority: 2,
+                    pattern: Some(pattern),
+                    trigger_word: Some("called".into()),
+                    capture: Capture::NodeSubtree(1),
+                },
+            ],
+        }
+    }
+
+    /// DateOfBirth: Odin has no similarity operator, so the paper-style
+    /// translation triggers on the literal "born" and pairs persons with
+    /// dates.
+    pub fn date_of_birth() -> OdinSystem {
+        OdinSystem {
+            rules: vec![OdinRule {
+                name: "born-pairs".into(),
+                priority: 1,
+                pattern: Some(TreePattern::path(
+                    false,
+                    vec![(Axis::Descendant, NodeLabel::Word("born".into()))],
+                )),
+                trigger_word: Some("born".into()),
+                capture: Capture::PersonDatePairs,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::Pipeline;
+
+    fn corpus() -> Corpus {
+        Pipeline::new().parse_corpus(&[
+            "Baking chocolate is a type of chocolate that is prepared for baking.",
+            "Cyd Charisse had been called Sid for years.",
+            "Vera Alys was born in 1911.",
+            "The cafe was busy today.",
+        ])
+    }
+
+    #[test]
+    fn chocolate_translation_extracts_subject() {
+        let hits = translations::chocolate().run(&corpus());
+        assert!(
+            hits.iter()
+                .any(|m| m.rule == "chocolate-subject" && m.text == "Baking chocolate"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn title_translation_extracts_name() {
+        let hits = translations::title().run(&corpus());
+        assert!(
+            hits.iter().any(|m| m.rule == "called-name" && m.text == "Sid"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn dob_translation_pairs() {
+        let hits = translations::date_of_birth().run(&corpus());
+        assert!(
+            hits.iter().any(|m| m.text == "Vera Alys | 1911"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn fixpoint_terminates_and_is_deterministic() {
+        let c = corpus();
+        let a = translations::chocolate().run(&c);
+        let b = translations::chocolate().run(&c);
+        assert_eq!(a, b);
+    }
+}

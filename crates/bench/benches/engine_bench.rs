@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks for the engine: end-to-end query latency,
+//! skip-plan generation, and descriptor scoring.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use koko_core::{EngineOpts, Koko};
+use koko_lang::queries;
+
+fn bench_engine(c: &mut Criterion) {
+    let texts = koko_corpus::wiki::generate(120, 777);
+    let koko = Koko::from_texts(&texts);
+    let mut nogsp_opts = EngineOpts::default();
+    nogsp_opts.use_gsp = false;
+
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("example21_end_to_end", |b| {
+        b.iter(|| koko.query(black_box(queries::EXAMPLE_2_1)).unwrap())
+    });
+    g.bench_function("title_query", |b| {
+        b.iter(|| koko.query(black_box(queries::TITLE)).unwrap())
+    });
+    g.bench_function("date_of_birth_query", |b| {
+        b.iter(|| koko.query(black_box(queries::DATE_OF_BIRTH)).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("descriptor");
+    let e = koko_embed::Embeddings::shared();
+    g.bench_function("expand_serves_coffee", |b| {
+        b.iter(|| e.expand(black_box("serves coffee"), 40, 0.55))
+    });
+    g.bench_function("phrase_similarity", |b| {
+        b.iter(|| e.phrase_similarity(black_box("serves coffee"), black_box("sells espresso")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

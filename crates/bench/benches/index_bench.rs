@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks comparing the four indexing schemes on a
+//! fixed corpus — the per-lookup view behind Figures 7/8.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use koko_index::{AdvInvertedIndex, CandidateIndex, InvertedIndex, KokoIndex, SubtreeIndex};
+use koko_nlp::{Axis, NodeLabel, ParseLabel, Pipeline, PosTag, TreePattern};
+
+fn corpus() -> koko_nlp::Corpus {
+    let texts = koko_corpus::wiki::generate(150, 4242);
+    Pipeline::new().parse_corpus(&texts)
+}
+
+fn patterns() -> Vec<TreePattern> {
+    vec![
+        TreePattern::path(
+            true,
+            vec![
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Dobj)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Nn)),
+            ],
+        ),
+        TreePattern::path(
+            false,
+            vec![
+                (Axis::Descendant, NodeLabel::Pos(PosTag::Verb)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Prep)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Pobj)),
+            ],
+        ),
+        TreePattern::path(
+            false,
+            vec![
+                (Axis::Descendant, NodeLabel::Word("born".into())),
+            ],
+        ),
+    ]
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let corpus = corpus();
+    let koko = KokoIndex::build(&corpus);
+    let inv = InvertedIndex::build(&corpus);
+    let adv = AdvInvertedIndex::build(&corpus);
+    let sub = SubtreeIndex::build(&corpus);
+    let pats = patterns();
+
+    let mut g = c.benchmark_group("index_lookup");
+    g.bench_function("koko", |b| {
+        b.iter(|| {
+            for p in &pats {
+                black_box(koko.lookup(black_box(p)));
+            }
+        })
+    });
+    g.bench_function("inverted", |b| {
+        b.iter(|| {
+            for p in &pats {
+                black_box(inv.lookup(black_box(p)));
+            }
+        })
+    });
+    g.bench_function("advinverted", |b| {
+        b.iter(|| {
+            for p in &pats {
+                black_box(adv.lookup(black_box(p)));
+            }
+        })
+    });
+    g.bench_function("subtree", |b| {
+        b.iter(|| {
+            for p in &pats {
+                black_box(sub.lookup(black_box(p)));
+            }
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    g.bench_function("koko_build", |b| b.iter(|| KokoIndex::build(black_box(&corpus))));
+    g.bench_function("subtree_build", |b| {
+        b.iter(|| SubtreeIndex::build(black_box(&corpus)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

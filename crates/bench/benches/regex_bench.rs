@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks for the regex engine: the query conditions of
+//! Appendix A compile once and match per candidate value, so match
+//! throughput is what matters.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use koko_regex::Regex;
+
+fn bench_regex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regex");
+    g.bench_function("compile_address_pattern", |b| {
+        b.iter(|| Regex::new(black_box("[0-9]+ [0-9A-Z a-z]+ [Ss]t.?")).unwrap())
+    });
+    let re = Regex::new("[0-9]+ [0-9A-Z a-z]+ [Ss]t.?").unwrap();
+    g.bench_function("full_match_hit", |b| {
+        b.iter(|| re.is_full_match(black_box("123 Mission St.")))
+    });
+    g.bench_function("full_match_miss", |b| {
+        b.iter(|| re.is_full_match(black_box("Copper Kettle Roasters")))
+    });
+    let alt = Regex::new("[Cc]offee|[Cc]afe|[Cc]afé").unwrap();
+    g.bench_function("alternation", |b| {
+        b.iter(|| alt.is_full_match(black_box("Cafe")))
+    });
+    let star = Regex::new("(a|b)*abb").unwrap();
+    let text = "ab".repeat(40) + "abb";
+    g.bench_function("nfa_simulation_long", |b| {
+        b.iter(|| star.is_full_match(black_box(&text)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_regex);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 6: index construction time (a) and index size (b) as the
+//! Wikipedia-like corpus grows, for INVERTED, ADVINVERTED, SUBTREE and
+//! KOKO. Expected shape: KOKO builds slower than the two inverted schemes
+//! (it also builds hierarchy indices) but ≥2× faster than SUBTREE, and
+//! KOKO's footprint is the smallest while SUBTREE's is the largest.
+//!
+//! ```text
+//! cargo run --release -p koko-bench --bin fig6_index_build [-- --scale=1]
+//! ```
+
+use koko_bench::{arg_usize, header, row, secs};
+use koko_index::{AdvInvertedIndex, CandidateIndex, InvertedIndex, KokoIndex, SubtreeIndex};
+use koko_nlp::Pipeline;
+use std::time::Instant;
+
+fn main() {
+    let scale = arg_usize("scale", 1);
+    let sizes: Vec<usize> = [50, 100, 250, 500].iter().map(|s| s * scale).collect();
+    println!("\n## Figure 6(a): index build time (seconds) vs #articles\n");
+    header(&["articles", "sentences", "tokens", "INVERTED", "ADVINVERTED", "SUBTREE", "KOKO"]);
+    let mut size_rows = Vec::new();
+    for &n in &sizes {
+        let texts = koko_corpus::wiki::generate(n, 4242);
+        let corpus = Pipeline::new().parse_corpus(&texts);
+
+        let t = Instant::now();
+        let inv = InvertedIndex::build(&corpus);
+        let t_inv = t.elapsed();
+        let t = Instant::now();
+        let adv = AdvInvertedIndex::build(&corpus);
+        let t_adv = t.elapsed();
+        let t = Instant::now();
+        let sub = SubtreeIndex::build(&corpus);
+        let t_sub = t.elapsed();
+        let t = Instant::now();
+        let koko = KokoIndex::build(&corpus);
+        let t_koko = t.elapsed();
+
+        row(&[
+            n.to_string(),
+            corpus.num_sentences().to_string(),
+            corpus.num_tokens().to_string(),
+            secs(t_inv),
+            secs(t_adv),
+            secs(t_sub),
+            secs(t_koko),
+        ]);
+        size_rows.push((
+            n,
+            inv.approx_bytes(),
+            adv.approx_bytes(),
+            sub.approx_bytes(),
+            CandidateIndex::approx_bytes(&koko),
+            koko.pl_index().compression_ratio(),
+        ));
+    }
+    println!("\n## Figure 6(b): index size (KiB) vs #articles\n");
+    header(&["articles", "INVERTED", "ADVINVERTED", "SUBTREE", "KOKO", "PL-merge"]);
+    for (n, inv, adv, sub, koko, merge) in size_rows {
+        row(&[
+            n.to_string(),
+            (inv / 1024).to_string(),
+            (adv / 1024).to_string(),
+            (sub / 1024).to_string(),
+            (koko / 1024).to_string(),
+            format!("{:.2}%", 100.0 * merge),
+        ]);
+    }
+    println!("\n(paper: KOKO smallest, SUBTREE largest and ≥2× slower to build; hierarchy merging removes >99% of nodes at scale)");
+}

@@ -1,0 +1,24 @@
+//! Figure 7: index performance on the HappyDB-like corpus — lookup time and
+//! effectiveness vs corpus size and vs number of extractions, for all four
+//! indexing schemes over the 350-query SyntheticTree benchmark.
+//!
+//! ```text
+//! cargo run --release -p koko-bench --bin fig7_happydb [-- --scale=1]
+//! ```
+
+use koko_bench::{arg_usize, run_index_experiment};
+use koko_nlp::Pipeline;
+
+fn main() {
+    let scale = arg_usize("scale", 1);
+    let sizes: Vec<usize> = [500, 1000, 2500, 5000].iter().map(|s| s * scale).collect();
+    let pipeline = Pipeline::new();
+    let corpora: Vec<(String, koko_nlp::Corpus)> = sizes
+        .iter()
+        .map(|&n| {
+            let texts = koko_corpus::happydb::generate(n, 99);
+            (format!("{n} moments"), pipeline.parse_corpus(&texts))
+        })
+        .collect();
+    run_index_experiment("Figure 7 (HappyDB)", &corpora, 31);
+}

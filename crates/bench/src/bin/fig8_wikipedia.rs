@@ -1,0 +1,24 @@
+//! Figure 8: index performance on the Wikipedia-like corpus — the same
+//! four-scheme comparison as Figure 7 on longer, deeper articles, where
+//! INVERTED's unfiltered intermediate results blow up fastest.
+//!
+//! ```text
+//! cargo run --release -p koko-bench --bin fig8_wikipedia [-- --scale=1]
+//! ```
+
+use koko_bench::{arg_usize, run_index_experiment};
+use koko_nlp::Pipeline;
+
+fn main() {
+    let scale = arg_usize("scale", 1);
+    let sizes: Vec<usize> = [50, 100, 250, 500].iter().map(|s| s * scale).collect();
+    let pipeline = Pipeline::new();
+    let corpora: Vec<(String, koko_nlp::Corpus)> = sizes
+        .iter()
+        .map(|&n| {
+            let texts = koko_corpus::wiki::generate(n, 1234);
+            (format!("{n} articles"), pipeline.parse_corpus(&texts))
+        })
+        .collect();
+    run_index_experiment("Figure 8 (Wikipedia)", &corpora, 32);
+}

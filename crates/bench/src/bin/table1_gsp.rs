@@ -1,0 +1,70 @@
+//! Table 1: average extract-clause evaluation time (ms per sentence) for
+//! `KOKO&GSP` vs `KOKO&NOGSP` on the SyntheticSpan benchmark (span
+//! variables with 1 / 3 / 5 atoms), over the HappyDB-like and
+//! Wikipedia-like corpora.
+//!
+//! Expected shape (paper): NOGSP is slightly *faster* at 1 atom (plan
+//! generation costs more than it saves) and ≥3 orders of magnitude slower
+//! at 5 atoms (each skipped `∧` otherwise enumerates `t(t+1)/2` spans).
+//!
+//! ```text
+//! cargo run --release -p koko-bench --bin table1_gsp [-- --happy=400 --wiki=60 --queries=20]
+//! ```
+
+use koko_bench::{arg_usize, header, row};
+use koko_core::{EngineOpts, Koko};
+use koko_nlp::{Corpus, Pipeline};
+use std::time::Instant;
+
+fn main() {
+    let n_happy = arg_usize("happy", 400);
+    let n_wiki = arg_usize("wiki", 60);
+    // NOGSP at 5 atoms is deliberately catastrophic; cap queries per cell.
+    let per_cell = arg_usize("queries", 20);
+
+    let pipeline = Pipeline::new();
+    let happy = pipeline.parse_corpus(&koko_corpus::happydb::generate(n_happy, 55));
+    let wiki = pipeline.parse_corpus(&koko_corpus::wiki::generate(n_wiki, 56));
+
+    println!("\n## Table 1: avg evaluation time (ms per candidate sentence) over the extract clause\n");
+    header(&["corpus", "atoms", "KOKO&GSP", "KOKO&NOGSP", "slowdown"]);
+    for (name, corpus) in [("HappyDB", &happy), ("Wikipedia", &wiki)] {
+        let queries = koko_corpus::synthetic_span::generate(corpus, 77);
+        for atoms in [1usize, 3, 5] {
+            let subset: Vec<&str> = queries
+                .iter()
+                .filter(|q| q.atoms == atoms)
+                .take(per_cell)
+                .map(|q| q.text.as_str())
+                .collect();
+            let gsp = run_mode(corpus, &subset, true);
+            let nogsp = run_mode(corpus, &subset, false);
+            row(&[
+                name.to_string(),
+                atoms.to_string(),
+                format!("{gsp:.3}"),
+                format!("{nogsp:.3}"),
+                format!("{:.1}x", nogsp / gsp.max(1e-9)),
+            ]);
+        }
+    }
+    println!("\n(paper: 0.28→0.37 ms/sentence with GSP; NOGSP reaches 290–607 ms/sentence at 5 atoms)");
+}
+
+/// Mean per-candidate-sentence time of the GSP+extract stages.
+fn run_mode(corpus: &Corpus, queries: &[&str], use_gsp: bool) -> f64 {
+    let mut opts = EngineOpts::default();
+    opts.use_gsp = use_gsp;
+    opts.store_backed = false; // isolate the evaluation stages
+    let koko = Koko::from_corpus(corpus.clone()).with_opts(opts);
+    let mut total = 0.0f64;
+    let mut sentences = 0usize;
+    for q in queries {
+        let t = Instant::now();
+        let out = koko.query(q).expect("benchmark query runs");
+        let _ = t.elapsed();
+        total += (out.profile.gsp + out.profile.extract).as_secs_f64() * 1000.0;
+        sentences += out.profile.candidate_sentences.max(1);
+    }
+    total / sentences.max(1) as f64
+}

@@ -1,0 +1,60 @@
+//! Table 2: KOKO execution time for the three §6.3 extraction queries
+//! (Chocolate — low selectivity, Title — medium, DateOfBirth — high) with
+//! growing Wikipedia-like corpora, broken down by stage: Normalize, DPLI,
+//! LoadArticle, GSP, extract, satisfying.
+//!
+//! Expected shape (paper): total time linear in the number of articles;
+//! LoadArticle dominates (>50%); Normalize/GSP negligible (<2%); the DPLI
+//! share falls as query selectivity rises.
+//!
+//! ```text
+//! cargo run --release -p koko-bench --bin table2_scaleup [-- --scale=1]
+//! ```
+
+use koko_bench::{arg_usize, header, row, secs};
+use koko_core::Koko;
+use koko_lang::queries;
+use koko_nlp::Pipeline;
+
+fn main() {
+    let scale = arg_usize("scale", 1);
+    let sizes: Vec<usize> = [100, 200, 400, 800].iter().map(|s| s * scale).collect();
+    let pipeline = Pipeline::new();
+
+    println!("\n## Table 2: KOKO execution time (seconds) by stage\n");
+    header(&[
+        "query", "articles", "candidates", "Normalize", "DPLI", "LoadArticle", "GSP", "extract",
+        "satisfying", "total", "selectivity",
+    ]);
+    for (qname, qtext) in [
+        ("Chocolate (C)", queries::CHOCOLATE),
+        ("Title (T)", queries::TITLE),
+        ("DateOfBirth (D)", queries::DATE_OF_BIRTH),
+    ] {
+        for &n in &sizes {
+            let texts = koko_corpus::wiki::generate(n, 4242);
+            let koko = Koko::from_corpus(pipeline.parse_corpus(&texts));
+            let out = koko.query(qtext).expect("scaleup query runs");
+            let p = out.profile;
+            // Selectivity: articles with ≥1 extraction / articles.
+            let mut docs: Vec<u32> = out.rows.iter().map(|r| r.doc).collect();
+            docs.sort_unstable();
+            docs.dedup();
+            row(&[
+                qname.to_string(),
+                n.to_string(),
+                p.candidate_sentences.to_string(),
+                secs(p.normalize),
+                secs(p.dpli),
+                secs(p.load_article),
+                secs(p.gsp),
+                secs(p.extract),
+                secs(p.satisfying),
+                secs(p.total()),
+                format!("{:.1}%", 100.0 * docs.len() as f64 / n as f64),
+            ]);
+        }
+        println!("|  |  |  |  |  |  |  |  |  |  |  |");
+    }
+    println!("(paper: linear scale-up; LoadArticle >50% of time; Normalize + GSP <2%)");
+}

@@ -1,0 +1,278 @@
+//! Shared plumbing for the experiment harnesses (`src/bin/*`): argument
+//! parsing, corpus preparation, the CRF train/test protocol, and table
+//! printing.
+//!
+//! Every binary regenerates one table or figure of the paper; run e.g.
+//!
+//! ```text
+//! cargo run --release -p koko-bench --bin fig3_cafe
+//! cargo run --release -p koko-bench --bin table2_scaleup -- --scale=2
+//! ```
+
+use koko_baselines::crf::{bio_encode, Crf};
+use koko_corpus::LabeledCorpus;
+use koko_nlp::{Corpus, Pipeline};
+
+/// Parse `--name=value` style integer arguments (with default).
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Parse a `--name=value` float argument.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// The threshold sweep of Figures 3–5.
+pub fn thresholds() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 * 0.05).collect()
+}
+
+/// Print a markdown-ish table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+pub fn header(cells: &[&str]) {
+    row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Train/test split over a labelled corpus: the first `train_frac` of the
+/// documents train the CRF; *all systems are scored on the test half only*
+/// (the paper trains CRFsuite on 50% of the data).
+pub struct Split {
+    pub corpus: Corpus,
+    pub labeled: LabeledCorpus,
+    pub train_docs: usize,
+}
+
+impl Split {
+    pub fn new(labeled: LabeledCorpus, train_frac: f64) -> Split {
+        let pipeline = Pipeline::new();
+        let corpus = pipeline.parse_corpus(&labeled.texts);
+        let train_docs = ((labeled.len() as f64) * train_frac) as usize;
+        Split {
+            corpus,
+            labeled,
+            train_docs,
+        }
+    }
+
+    /// Gold labels of the test half, re-indexed from zero.
+    pub fn test_truth(&self) -> Vec<Vec<String>> {
+        self.labeled.truth[self.train_docs..].to_vec()
+    }
+
+    /// Filter and re-index predictions onto the test half.
+    pub fn test_predictions(&self, preds: &[(u32, String)]) -> Vec<(u32, String)> {
+        preds
+            .iter()
+            .filter(|(d, _)| (*d as usize) >= self.train_docs)
+            .map(|(d, s)| ((*d as usize - self.train_docs) as u32, s.clone()))
+            .collect()
+    }
+
+    /// Train the averaged-perceptron CRF on the train half and predict
+    /// entity mentions on the test half.
+    pub fn crf_predictions(&self, epochs: usize, seed: u64) -> Vec<(u32, String)> {
+        let mut data: Vec<(Vec<String>, Vec<u8>)> = Vec::new();
+        for di in 0..self.train_docs {
+            let doc = &self.corpus.documents()[di];
+            let gold = &self.labeled.truth[di];
+            for s in &doc.sentences {
+                let tokens: Vec<String> = s.tokens.iter().map(|t| t.text.clone()).collect();
+                let tags = bio_encode(&tokens, gold);
+                data.push((tokens, tags));
+            }
+        }
+        let crf = Crf::train(&data, epochs, seed);
+        let mut preds = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for di in self.train_docs..self.corpus.num_documents() {
+            let doc = &self.corpus.documents()[di];
+            for s in &doc.sentences {
+                let tokens: Vec<String> = s.tokens.iter().map(|t| t.text.clone()).collect();
+                for (a, b) in crf.extract(&tokens) {
+                    let text = tokens[a..b].join(" ");
+                    let key = ((di - self.train_docs) as u32, text.to_lowercase());
+                    if seen.insert(key.clone()) {
+                        preds.push((key.0, text));
+                    }
+                }
+            }
+        }
+        preds
+    }
+}
+
+/// Seconds with 4 decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_corpus::cafe::{self, Style};
+
+    #[test]
+    fn split_protocol() {
+        let labeled = cafe::generate(Style::Barista, 20, 1);
+        let split = Split::new(labeled, 0.5);
+        assert_eq!(split.train_docs, 10);
+        assert_eq!(split.test_truth().len(), 10);
+        let preds = vec![(3u32, "X".to_string()), (15u32, "Y".to_string())];
+        let test = split.test_predictions(&preds);
+        assert_eq!(test, vec![(5, "Y".to_string())]);
+    }
+
+    #[test]
+    fn crf_protocol_runs() {
+        let labeled = cafe::generate(Style::Barista, 16, 2);
+        let split = Split::new(labeled, 0.5);
+        let preds = split.crf_predictions(3, 7);
+        // Predictions index into the test half.
+        for (d, _) in &preds {
+            assert!((*d as usize) < split.corpus.num_documents() - split.train_docs);
+        }
+    }
+
+    #[test]
+    fn arg_defaults() {
+        assert_eq!(arg_usize("definitely-not-set", 7), 7);
+        assert_eq!(arg_f64("definitely-not-set", 0.5), 0.5);
+    }
+}
+
+/// Shared driver for the Figure 7/8 index experiments: lookup time and
+/// effectiveness of the four schemes over the SyntheticTree benchmark,
+/// swept over corpus sizes, plus a breakdown by result-set size
+/// (#extractions) on the largest corpus.
+#[allow(unused_assignments)]
+pub fn run_index_experiment(title: &str, corpora: &[(String, Corpus)], seed: u64) {
+    use koko_corpus::synthetic_tree;
+    use koko_index::{
+        effectiveness, ground_truth_sids, AdvInvertedIndex, CandidateIndex, InvertedIndex,
+        KokoIndex, SubtreeIndex,
+    };
+    use std::time::Instant;
+
+    println!("\n# {title}: SyntheticTree benchmark (350 queries)\n");
+    println!("## (a) lookup time (ms, total over benchmark) and (b) mean effectiveness vs corpus size\n");
+    header(&[
+        "corpus", "sentences", "t(INV)", "t(ADV)", "t(SUB)", "t(KOKO)", "e(INV)", "e(ADV)",
+        "e(SUB)", "e(KOKO)", "SUB supported",
+    ]);
+
+    let mut largest: Option<(&Corpus, Vec<synthetic_tree::TreeQuery>)> = None;
+    for (label, corpus) in corpora {
+        let queries = synthetic_tree::generate(corpus, seed);
+        let truth: Vec<Vec<koko_nlp::Sid>> = queries
+            .iter()
+            .map(|q| ground_truth_sids(corpus, &q.pattern))
+            .collect();
+        let inv = InvertedIndex::build(corpus);
+        let adv = AdvInvertedIndex::build(corpus);
+        let sub = SubtreeIndex::build(corpus);
+        let koko = KokoIndex::build(corpus);
+
+        let mut cells = vec![label.clone(), corpus.num_sentences().to_string()];
+        let mut effs = Vec::new();
+        let mut supported = 0usize;
+        macro_rules! scheme {
+            ($idx:expr) => {{
+                let t = Instant::now();
+                let mut eff_sum = 0.0;
+                let mut eff_n = 0usize;
+                for (q, tr) in queries.iter().zip(&truth) {
+                    if let Some(cands) = $idx.lookup(&q.pattern) {
+                        eff_sum += effectiveness(&cands, tr);
+                        eff_n += 1;
+                    }
+                }
+                let elapsed = t.elapsed();
+                effs.push(if eff_n == 0 { 0.0 } else { eff_sum / eff_n as f64 });
+                supported = eff_n;
+                format!("{:.1}", elapsed.as_secs_f64() * 1000.0)
+            }};
+        }
+        let t_inv = scheme!(inv);
+        let t_adv = scheme!(adv);
+        let t_sub = scheme!(sub);
+        let sub_supported = supported;
+        let t_koko = scheme!(koko);
+        cells.extend([t_inv, t_adv, t_sub, t_koko]);
+        cells.extend(effs.iter().map(|e| format!("{e:.3}")));
+        cells.push(format!("{sub_supported}/350"));
+        row(&cells);
+
+        if corpora
+            .last()
+            .is_some_and(|(last_label, _)| last_label == label)
+        {
+            largest = Some((corpus, queries));
+        }
+    }
+
+    // (c)/(d): by number of extractions on the largest corpus.
+    let (corpus, queries) = largest.expect("at least one corpus");
+    let truth: Vec<Vec<koko_nlp::Sid>> = queries
+        .iter()
+        .map(|q| ground_truth_sids(corpus, &q.pattern))
+        .collect();
+    let buckets: [(usize, usize); 4] = [(0, 1), (1, 10), (10, 100), (100, usize::MAX)];
+    println!("\n## (c)/(d) lookup time (ms/query) and effectiveness vs #extractions (largest corpus)\n");
+    header(&["extractions", "queries", "INV", "ADV", "SUB", "KOKO", "e(INV)", "e(ADV)", "e(SUB)", "e(KOKO)"]);
+    let inv = InvertedIndex::build(corpus);
+    let adv = AdvInvertedIndex::build(corpus);
+    let sub = SubtreeIndex::build(corpus);
+    let koko = KokoIndex::build(corpus);
+    for (lo, hi) in buckets {
+        let idxs: Vec<usize> = (0..queries.len())
+            .filter(|&i| truth[i].len() >= lo && truth[i].len() < hi)
+            .collect();
+        if idxs.is_empty() {
+            continue;
+        }
+        let mut cells = vec![
+            if hi == usize::MAX {
+                format!("≥{lo}")
+            } else {
+                format!("{lo}–{}", hi - 1)
+            },
+            idxs.len().to_string(),
+        ];
+        let mut effs = Vec::new();
+        macro_rules! scheme {
+            ($idx:expr) => {{
+                let t = std::time::Instant::now();
+                let mut eff_sum = 0.0;
+                let mut eff_n = 0usize;
+                for &i in &idxs {
+                    if let Some(cands) = $idx.lookup(&queries[i].pattern) {
+                        eff_sum += effectiveness(&cands, &truth[i]);
+                        eff_n += 1;
+                    }
+                }
+                let per_query = t.elapsed().as_secs_f64() * 1000.0 / idxs.len() as f64;
+                effs.push(if eff_n == 0 { f64::NAN } else { eff_sum / eff_n as f64 });
+                format!("{per_query:.2}")
+            }};
+        }
+        let a = scheme!(inv);
+        let b = scheme!(adv);
+        let c = scheme!(sub);
+        let d = scheme!(koko);
+        cells.extend([a, b, c, d]);
+        cells.extend(effs.iter().map(|e| format!("{e:.3}")));
+        row(&cells);
+    }
+    println!("\n(paper: KOKO and SUBTREE are fastest; KOKO ≈ ADVINVERTED near-perfect effectiveness; INVERTED <0.5 and slowest)");
+}

@@ -1,0 +1,482 @@
+//! Aggregation of evidence (§4.4): evaluating `satisfying` and `excluding`
+//! clauses over whole documents.
+//!
+//! For every candidate value `e` of a clause's variable the engine computes
+//! `score(e) = Σ wᵢ·mᵢ(e)` where each `mᵢ` aggregates the condition across
+//! the document: booleans OR, `near` takes the best proximity, descriptors
+//! sum per-sentence confidences (§4.4.1(c)). Every `mᵢ` is capped at 1.0,
+//! matching Appendix A's footnote that the total score never exceeds 1.
+
+use crate::binder::{token_occurrences, CompiledQuery};
+use koko_embed::Embeddings;
+use koko_lang::{Cond, Pred};
+use koko_nlp::{decompose, gazetteer, Document, Sentence};
+use std::collections::HashMap;
+
+/// Aggregation options (a slice of the engine options).
+#[derive(Debug, Clone, Copy)]
+pub struct AggOpts {
+    /// Disable descriptor expansion + matching (the Figure 5 ablation).
+    pub use_descriptors: bool,
+    /// Threshold when a satisfying clause omits `with threshold`.
+    pub default_threshold: f64,
+    /// Maximum descriptor expansions (`E(d)` cap).
+    pub expansion_k: usize,
+    /// Minimum per-word similarity during expansion.
+    pub expansion_min_sim: f64,
+}
+
+impl Default for AggOpts {
+    fn default() -> Self {
+        AggOpts {
+            use_descriptors: true,
+            default_threshold: 0.5,
+            expansion_k: 120,
+            expansion_min_sim: 0.55,
+        }
+    }
+}
+
+/// Cached evaluation state for one query: descriptor expansions and clause
+/// decompositions are computed once.
+pub struct Aggregator<'a> {
+    cq: &'a CompiledQuery,
+    embed: &'a Embeddings,
+    opts: AggOpts,
+    /// descriptor → expansions (each a lower-cased word sequence + score).
+    expansions: HashMap<String, Vec<(Vec<String>, f64)>>,
+}
+
+impl<'a> Aggregator<'a> {
+    pub fn new(cq: &'a CompiledQuery, embed: &'a Embeddings, opts: AggOpts) -> Aggregator<'a> {
+        let mut expansions = HashMap::new();
+        for cond in cq
+            .norm
+            .satisfying
+            .iter()
+            .flat_map(|s| s.conds.iter().map(|w| &w.cond))
+            .chain(cq.norm.excluding.iter())
+        {
+            if let Pred::DescRight(d) | Pred::DescLeft(d) = &cond.pred {
+                if !expansions.contains_key(d) {
+                    let exps = if opts.use_descriptors {
+                        embed.expand(d, opts.expansion_k, opts.expansion_min_sim)
+                    } else {
+                        // Ablation: only the literal descriptor, no
+                        // paraphrases (Figure 5's "Without descriptors").
+                        vec![(d.to_lowercase(), 1.0)]
+                    };
+                    let word_seqs = exps
+                        .into_iter()
+                        .map(|(p, s)| {
+                            (
+                                p.split_whitespace().map(str::to_string).collect::<Vec<_>>(),
+                                s,
+                            )
+                        })
+                        .collect();
+                    expansions.insert(d.clone(), word_seqs);
+                }
+            }
+        }
+        Aggregator {
+            cq,
+            embed,
+            opts,
+            expansions,
+        }
+    }
+
+    /// The effective threshold of a satisfying clause.
+    pub fn threshold(&self, clause_threshold: Option<f64>) -> f64 {
+        clause_threshold.unwrap_or(self.opts.default_threshold)
+    }
+
+    /// `score(e)` for a candidate value across one document (§4.4.1).
+    pub fn score(
+        &self,
+        doc: &Document,
+        value: &str,
+        conds: &[koko_lang::WeightedCond],
+    ) -> f64 {
+        conds
+            .iter()
+            .map(|wc| wc.weight * self.confidence(doc, value, &wc.cond))
+            .sum()
+    }
+
+    /// Whether an excluding condition holds for the value (boolean reading;
+    /// scored conditions count when they reach 0.5).
+    pub fn excluded(&self, doc: &Document, value: &str) -> bool {
+        self.cq
+            .norm
+            .excluding
+            .iter()
+            .any(|c| self.confidence(doc, value, c) >= 0.5)
+    }
+
+    /// `mᵢ(e)`: the per-condition confidence, capped at 1.
+    pub fn confidence(&self, doc: &Document, value: &str, cond: &Cond) -> f64 {
+        let m = match &cond.pred {
+            // ---- value-only conditions (no corpus access) ---------------
+            Pred::Contains(s) => bool_score(token_seq_contains(value, s)),
+            Pred::Mentions(s) => bool_score(value.contains(s.as_str())),
+            Pred::Matches(p) => bool_score(self.cq.regex(p).is_full_match(value)),
+            Pred::SimilarTo(d) => self.embed.phrase_similarity(value, d).max(0.0),
+            Pred::InDict(name) => bool_score(
+                gazetteer::dictionary(name)
+                    .map(|words| {
+                        words
+                            .iter()
+                            .any(|w| w.eq_ignore_ascii_case(value))
+                    })
+                    .unwrap_or(false),
+            ),
+            // ---- evidence gathered across the document ------------------
+            Pred::FollowedBy(s) => bool_score(self.followed_by(doc, value, s, true)),
+            Pred::PrecededBy(s) => bool_score(self.followed_by(doc, value, s, false)),
+            Pred::Near(s) => self.near(doc, value, s),
+            Pred::DescRight(d) => self.descriptor(doc, value, d, true),
+            Pred::DescLeft(d) => self.descriptor(doc, value, d, false),
+        };
+        m.min(1.0)
+    }
+
+    /// Any occurrence of `value` immediately followed (or preceded) by the
+    /// token sequence of `s`.
+    fn followed_by(&self, doc: &Document, value: &str, s: &str, right: bool) -> bool {
+        let vwords = lower_words(value);
+        let swords = lower_words(s);
+        if vwords.is_empty() || swords.is_empty() {
+            return false;
+        }
+        for sentence in &doc.sentences {
+            for (start, end) in token_occurrences(sentence, &vwords) {
+                let ok = if right {
+                    matches_at(sentence, end as usize, &swords)
+                } else {
+                    (start as usize)
+                        .checked_sub(swords.len())
+                        .is_some_and(|p| matches_at(sentence, p, &swords))
+                };
+                if ok {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Best proximity score `1/(1+distance)` across the document (§4.4.1).
+    fn near(&self, doc: &Document, value: &str, s: &str) -> f64 {
+        let vwords = lower_words(value);
+        let swords = lower_words(s);
+        if vwords.is_empty() || swords.is_empty() {
+            return 0.0;
+        }
+        let mut best: f64 = 0.0;
+        for sentence in &doc.sentences {
+            let v_occ = token_occurrences(sentence, &vwords);
+            if v_occ.is_empty() {
+                continue;
+            }
+            let s_occ = token_occurrences(sentence, &swords);
+            for (vs, ve) in &v_occ {
+                for (ss, se) in &s_occ {
+                    // Tokens separating the two occurrences.
+                    let distance = if se <= vs {
+                        (vs - se) as f64
+                    } else if ve <= ss {
+                        (ss - ve) as f64
+                    } else {
+                        0.0 // overlapping
+                    };
+                    best = best.max(1.0 / (1.0 + distance));
+                }
+            }
+        }
+        best
+    }
+
+    /// Descriptor confidence (§4.4.1(c)): per sentence containing the
+    /// value, decompose into canonical clauses, match each expansion
+    /// against clauses on the stated side of the value (damped by the
+    /// `near` proximity formula), take the best expansion, and sum over
+    /// sentences.
+    fn descriptor(&self, doc: &Document, value: &str, d: &str, right: bool) -> f64 {
+        let Some(exps) = self.expansions.get(d) else {
+            return 0.0;
+        };
+        let vwords = lower_words(value);
+        if vwords.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for sentence in &doc.sentences {
+            let occurrences = token_occurrences(sentence, &vwords);
+            if occurrences.is_empty() {
+                continue;
+            }
+            let clauses = decompose(sentence);
+            let lowers: Vec<&str> = sentence.tokens.iter().map(|t| t.lower.as_str()).collect();
+            // max over expansions of (sum over clauses).
+            let mut sentence_conf: f64 = 0.0;
+            for (di, ki) in exps {
+                let mut sum = 0.0;
+                for clause in &clauses {
+                    // Clause tokens on the correct side of the closest
+                    // occurrence.
+                    let mut best_clause: f64 = 0.0;
+                    for &(vs, ve) in &occurrences {
+                        let side_tokens: Vec<usize> = clause
+                            .tokens
+                            .iter()
+                            .map(|&t| t as usize)
+                            .filter(|&t| if right { t >= ve as usize } else { t < vs as usize })
+                            .collect();
+                        if side_tokens.is_empty() {
+                            continue;
+                        }
+                        if let Some(first_match) = seq_occurs(&lowers, &side_tokens, di) {
+                            let distance = if right {
+                                (first_match as f64 - ve as f64).max(0.0)
+                            } else {
+                                (vs as f64 - first_match as f64 - 1.0).max(0.0)
+                            };
+                            let prox = 1.0 / (1.0 + distance);
+                            best_clause = best_clause.max(ki * clause.score * prox);
+                        }
+                    }
+                    sum += best_clause;
+                }
+                sentence_conf = sentence_conf.max(sum);
+            }
+            total += sentence_conf;
+        }
+        total
+    }
+}
+
+fn bool_score(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn lower_words(s: &str) -> Vec<String> {
+    s.split_whitespace().map(|w| w.to_lowercase()).collect()
+}
+
+/// Token-level containment: the token sequence of `needle` appears in the
+/// token sequence of `hay` (the paper's `contains`; "chocolate ice cream"
+/// contains "ice" but not "choc").
+fn token_seq_contains(hay: &str, needle: &str) -> bool {
+    let h: Vec<&str> = hay.split_whitespace().collect();
+    let n: Vec<&str> = needle.split_whitespace().collect();
+    if n.is_empty() || h.len() < n.len() {
+        return false;
+    }
+    (0..=h.len() - n.len()).any(|i| n.iter().enumerate().all(|(j, w)| h[i + j] == *w))
+}
+
+/// Whether `words` matches the sentence tokens starting at `pos`.
+fn matches_at(sentence: &Sentence, pos: usize, words: &[String]) -> bool {
+    if pos + words.len() > sentence.len() {
+        return false;
+    }
+    words
+        .iter()
+        .enumerate()
+        .all(|(i, w)| sentence.tokens[pos + i].lower == *w)
+}
+
+/// Whether the word sequence `seq` occurs within the (sorted) token
+/// positions `positions` of the sentence, in order with gaps allowed
+/// (§4.4.1(c)'s occurrence definition); returns the position of the first
+/// matched word.
+fn seq_occurs(lowers: &[&str], positions: &[usize], seq: &[String]) -> Option<usize> {
+    if seq.is_empty() {
+        return None;
+    }
+    let mut si = 0usize;
+    let mut first = None;
+    for &p in positions {
+        if lowers[p] == seq[si] {
+            if si == 0 {
+                first = Some(p);
+            }
+            si += 1;
+            if si == seq.len() {
+                return first;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::CompiledQuery;
+    use koko_lang::{normalize, parse_query, WeightedCond};
+    use koko_nlp::Pipeline;
+
+    fn setup(q: &str) -> (CompiledQuery, &'static Embeddings) {
+        let cq = CompiledQuery::compile(normalize(&parse_query(q).unwrap()).unwrap()).unwrap();
+        (cq, Embeddings::shared())
+    }
+
+    fn doc(text: &str) -> Document {
+        Pipeline::new().parse_document(0, text)
+    }
+
+    #[test]
+    fn boolean_conditions() {
+        let (cq, embed) = setup(koko_lang::queries::EXAMPLE_2_3);
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        let d = doc("Copper Kettle Cafe opened. It serves espresso.");
+        let conds = &cq.norm.satisfying[0].conds;
+        // str(x) contains "Cafe" → weight 1 condition fires.
+        let score = agg.score(&d, "Copper Kettle Cafe", conds);
+        assert!(score >= 1.0, "{score}");
+        // Token-level contains: "Cafemath" does not contain token "Cafe".
+        let score2 = agg.score(&d, "Cafemath", conds);
+        assert!(score2 < 1.0, "{score2}");
+    }
+
+    #[test]
+    fn followed_by_evidence() {
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (x ", a cafe" {1}) with threshold 0.8"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        let d = doc("We visited Copper Kettle , a cafe in Portland.");
+        let conds = &cq.norm.satisfying[0].conds;
+        assert_eq!(agg.score(&d, "Copper Kettle", conds), 1.0);
+        assert_eq!(agg.score(&d, "Portland", conds), 0.0);
+    }
+
+    #[test]
+    fn near_scoring() {
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (x near "coffee" {1}) with threshold 0.1"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        let d = doc("Cafe Benz serves great coffee.");
+        let conds = &cq.norm.satisfying[0].conds;
+        // "Cafe Benz" … distance 2 (serves, great) → 1/3.
+        let s = agg.score(&d, "Cafe Benz", conds);
+        assert!((s - 1.0 / 3.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn descriptor_matches_paraphrase() {
+        // The paper's motivating case: "serves up delicious cappuccinos"
+        // should count as evidence for [["serves coffee"]].
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (x [["serves coffee"]] {1}) with threshold 0.1"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        let d = doc("Copper Kettle serves delicious cappuccinos every morning.");
+        let conds = &cq.norm.satisfying[0].conds;
+        let s = agg.score(&d, "Copper Kettle", conds);
+        assert!(s > 0.2, "paraphrase evidence should score: {s}");
+        // No evidence on the left side.
+        let (cq2, _) = setup(
+            r#"extract x:Entity from "t" if () satisfying x ([["serves coffee"]] x {1}) with threshold 0.1"#,
+        );
+        let agg2 = Aggregator::new(&cq2, embed, AggOpts::default());
+        let s2 = agg2.score(&d, "Copper Kettle", &cq2.norm.satisfying[0].conds);
+        assert_eq!(s2, 0.0, "evidence is to the right of the mention");
+    }
+
+    #[test]
+    fn descriptor_ablation_reduces_score() {
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (x [["serves coffee"]] {1}) with threshold 0.1"#,
+        );
+        let with = Aggregator::new(&cq, embed, AggOpts::default());
+        let without = Aggregator::new(
+            &cq,
+            embed,
+            AggOpts {
+                use_descriptors: false,
+                ..AggOpts::default()
+            },
+        );
+        let d = doc("Copper Kettle sells coffee downtown.");
+        let conds = &cq.norm.satisfying[0].conds;
+        let s_with = with.score(&d, "Copper Kettle", conds);
+        let s_without = without.score(&d, "Copper Kettle", conds);
+        assert!(s_with > 0.0, "{s_with}");
+        assert_eq!(s_without, 0.0, "the literal phrase never occurs");
+    }
+
+    #[test]
+    fn evidence_accumulates_across_sentences() {
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (x [["serves coffee"]] {0.5}) or (x [["employs baristas"]] {0.5}) with threshold 0.5"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        let conds = &cq.norm.satisfying[0].conds;
+        let weak = doc("Copper Kettle serves espresso.");
+        let strong = doc(
+            "Copper Kettle serves espresso. Copper Kettle recently hired a star barista. Copper Kettle employs three baristas.",
+        );
+        let s_weak = agg.score(&weak, "Copper Kettle", conds);
+        let s_strong = agg.score(&strong, "Copper Kettle", conds);
+        assert!(
+            s_strong > s_weak,
+            "more mentions → more evidence ({s_strong} vs {s_weak})"
+        );
+    }
+
+    #[test]
+    fn excluding_conditions() {
+        let (cq, embed) = setup(koko_lang::queries::EXAMPLE_2_3);
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        let d = doc("They installed a La Marzocco at the bar.");
+        assert!(agg.excluded(&d, "La Marzocco"));
+        assert!(agg.excluded(&d, "la Marzocco"));
+        assert!(!agg.excluded(&d, "Copper Kettle"));
+    }
+
+    #[test]
+    fn scores_capped_at_one_per_condition() {
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (x [["serves coffee"]] {1}) with threshold 0.1"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        // Many evidence sentences: sum would exceed 1 without the cap.
+        let text = "Copper Kettle serves coffee. ".repeat(10);
+        let d = doc(&text);
+        let conds = &cq.norm.satisfying[0].conds;
+        let s = agg.score(&d, "Copper Kettle", conds);
+        assert!(s <= 1.0 + 1e-9, "{s}");
+    }
+
+    #[test]
+    fn similar_to_condition() {
+        let (cq, embed) = setup(koko_lang::queries::EXAMPLE_2_2_Q1);
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        let d = doc("cities in asian countries such as Beijing and Tokyo.");
+        let conds = &cq.norm.satisfying[0].conds;
+        let tokyo = agg.score(&d, "Tokyo", conds);
+        let china = agg.score(&d, "China", conds);
+        assert!(tokyo > 0.25, "{tokyo}");
+        assert!(tokyo > china, "{tokyo} vs {china}");
+    }
+
+    #[test]
+    fn in_dict_condition() {
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (x near "x" {1}) with threshold 0.9 excluding (str(x) in dict("Location"))"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        let d = doc("Portland is nice.");
+        assert!(agg.excluded(&d, "Portland"));
+        assert!(!agg.excluded(&d, "Copper Kettle"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Per-sentence variable binding: evaluating normalized node paths directly
+//! against a dependency tree, and enumerating the domains of entity / token
+//! variables. This is the validation layer that removes the false positives
+//! the decomposed index lookups may admit (§4.2.2's discussion, Example 4.7).
+
+use crate::error::Error;
+use koko_lang::{ElasticCond, NVarKind, NodeCond, NormQuery, Step, StepLabel};
+use koko_nlp::{tree_stats, Axis, NodeStat, Sentence, Tid};
+use koko_regex::Regex;
+use std::collections::HashMap;
+
+/// A half-open token span `[start, end)` within one sentence.
+pub type Span = (u32, u32);
+
+/// Compiled per-query state: regexes compiled once, paths pre-extracted.
+pub struct CompiledQuery {
+    pub norm: NormQuery,
+    pub regexes: HashMap<String, Regex>,
+}
+
+impl CompiledQuery {
+    pub fn compile(norm: NormQuery) -> Result<CompiledQuery, Error> {
+        let mut regexes = HashMap::new();
+        let mut add = |pat: &str| -> Result<(), Error> {
+            if !regexes.contains_key(pat) {
+                regexes.insert(pat.to_string(), Regex::new(pat)?);
+            }
+            Ok(())
+        };
+        for v in &norm.vars {
+            match &v.kind {
+                NVarKind::Node { abs } => {
+                    for step in abs {
+                        for c in &step.conds {
+                            if let NodeCond::Regex(p) = c {
+                                add(p)?;
+                            }
+                        }
+                    }
+                }
+                NVarKind::Elastic { conds } => {
+                    for c in conds {
+                        if let ElasticCond::Regex(p) = c {
+                            add(p)?;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for cond in norm
+            .satisfying
+            .iter()
+            .flat_map(|s| s.conds.iter().map(|w| &w.cond))
+            .chain(norm.excluding.iter())
+        {
+            if let koko_lang::Pred::Matches(p) = &cond.pred {
+                add(p)?;
+            }
+        }
+        Ok(CompiledQuery { norm, regexes })
+    }
+
+    pub fn regex(&self, pat: &str) -> &Regex {
+        self.regexes.get(pat).expect("regex compiled at query time")
+    }
+}
+
+/// The per-sentence evaluation context.
+pub struct SentCtx<'a> {
+    pub sentence: &'a Sentence,
+    pub stats: Vec<NodeStat>,
+}
+
+impl<'a> SentCtx<'a> {
+    pub fn new(sentence: &'a Sentence) -> SentCtx<'a> {
+        SentCtx {
+            sentence,
+            stats: tree_stats(sentence),
+        }
+    }
+
+    pub fn len(&self) -> u32 {
+        self.sentence.len() as u32
+    }
+
+    /// Subtree span of a token as a half-open range.
+    pub fn subtree_span(&self, tid: Tid) -> Span {
+        let st = self.stats[tid as usize];
+        (st.left, st.right + 1)
+    }
+}
+
+/// The enumerable domain of one variable within a sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// Node variable: candidate token ids.
+    Nodes(Vec<Tid>),
+    /// Entity / token-sequence variable: candidate spans.
+    Spans(Vec<Span>),
+    /// Derived variables (elastic spans, span targets): not enumerated here.
+    Derived,
+}
+
+impl Domain {
+    /// Number of candidate bindings (the GSP cost for non-∧ variables).
+    pub fn size(&self) -> usize {
+        match self {
+            Domain::Nodes(v) => v.len(),
+            Domain::Spans(v) => v.len(),
+            Domain::Derived => 0,
+        }
+    }
+}
+
+/// Compute the domain of every variable for one sentence.
+///
+/// Subtree variables enumerate the subtree spans of their base variable's
+/// bindings (the base is always declared earlier); consistency with the
+/// chosen base binding is enforced at tuple-assembly time.
+pub fn bind_domains(cq: &CompiledQuery, ctx: &SentCtx<'_>) -> Vec<Domain> {
+    let mut domains: Vec<Domain> = Vec::with_capacity(cq.norm.vars.len());
+    for v in &cq.norm.vars {
+        let d = match &v.kind {
+            NVarKind::Node { abs } => Domain::Nodes(eval_path(cq, ctx, abs)),
+            NVarKind::Entity { etype } => Domain::Spans(
+                ctx.sentence
+                    .entities
+                    .iter()
+                    .filter(|m| etype.map_or(true, |t| m.etype == t))
+                    .map(|m| (m.start, m.end + 1))
+                    .collect(),
+            ),
+            NVarKind::Tokens { words } => Domain::Spans(token_occurrences(ctx.sentence, words)),
+            NVarKind::Subtree { base } => {
+                let base_idx = cq.norm.var(base).expect("base declared earlier");
+                match &domains[base_idx] {
+                    Domain::Nodes(tids) => {
+                        Domain::Spans(tids.iter().map(|&t| ctx.subtree_span(t)).collect())
+                    }
+                    _ => Domain::Spans(Vec::new()),
+                }
+            }
+            NVarKind::Elastic { .. } | NVarKind::Span { .. } => Domain::Derived,
+        };
+        domains.push(d);
+    }
+    domains
+}
+
+/// All matches of an absolute path against the sentence tree.
+pub fn eval_path(cq: &CompiledQuery, ctx: &SentCtx<'_>, steps: &[Step]) -> Vec<Tid> {
+    let Some(root) = ctx.sentence.root() else {
+        return Vec::new();
+    };
+    // Paths written inside /ROOT:{…} are absolute: the first step is matched
+    // against nodes reachable from the root *including* the root itself for
+    // `//` (Example 2.1 binds a = //verb to the root verb "ate").
+    let mut frontier: Vec<Tid> = Vec::new();
+    let first = &steps[0];
+    match first.axis {
+        Axis::Child => {
+            if step_matches(cq, ctx, first, root) {
+                frontier.push(root);
+            }
+        }
+        Axis::Descendant => {
+            for t in 0..ctx.len() {
+                if step_matches(cq, ctx, first, t) {
+                    frontier.push(t);
+                }
+            }
+        }
+    }
+    for step in &steps[1..] {
+        let mut next = Vec::new();
+        for &f in &frontier {
+            match step.axis {
+                Axis::Child => {
+                    for c in ctx.sentence.children(f) {
+                        if step_matches(cq, ctx, step, c) {
+                            next.push(c);
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    let span = ctx.subtree_span(f);
+                    for t in span.0..span.1 {
+                        if t != f && is_descendant(ctx.sentence, t, f) && step_matches(cq, ctx, step, t)
+                        {
+                            next.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+fn is_descendant(sentence: &Sentence, mut t: Tid, anc: Tid) -> bool {
+    while let Some(h) = sentence.tokens[t as usize].head {
+        if h == anc {
+            return true;
+        }
+        t = h;
+    }
+    false
+}
+
+/// Whether one token satisfies a step's label and all its conditions.
+fn step_matches(cq: &CompiledQuery, ctx: &SentCtx<'_>, step: &Step, tid: Tid) -> bool {
+    let token = &ctx.sentence.tokens[tid as usize];
+    let label_ok = match &step.label {
+        StepLabel::Pl(l) => token.label == *l,
+        StepLabel::Pos(p) => token.pos == *p,
+        StepLabel::Word(w) => token.lower == *w,
+        StepLabel::Wildcard => true,
+    };
+    if !label_ok {
+        return false;
+    }
+    step.conds.iter().all(|c| match c {
+        NodeCond::Text(w) => token.lower == *w,
+        NodeCond::Pos(p) => token.pos == *p,
+        NodeCond::Etype(et) => ctx
+            .sentence
+            .entities
+            .iter()
+            .any(|m| m.etype == *et && m.start <= tid && tid <= m.end),
+        NodeCond::Regex(p) => cq.regex(p).is_full_match(&token.text),
+    })
+}
+
+/// All occurrences of a lower-cased word sequence, as half-open spans.
+pub fn token_occurrences(sentence: &Sentence, words: &[String]) -> Vec<Span> {
+    if words.is_empty() {
+        return Vec::new();
+    }
+    let n = sentence.len();
+    let mut out = Vec::new();
+    for start in 0..n.saturating_sub(words.len() - 1) {
+        if words
+            .iter()
+            .enumerate()
+            .all(|(i, w)| sentence.tokens[start + i].lower == *w)
+        {
+            out.push((start as u32, (start + words.len()) as u32));
+        }
+    }
+    out
+}
+
+/// Whether a span satisfies an elastic atom's conditions.
+pub fn elastic_span_ok(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    conds: &[ElasticCond],
+    span: Span,
+) -> bool {
+    let len = span.1 - span.0;
+    conds.iter().all(|c| match c {
+        ElasticCond::MinTok(m) => len >= *m,
+        ElasticCond::MaxTok(m) => len <= *m,
+        ElasticCond::Etype(et) => ctx.sentence.entities.iter().any(|m| {
+            m.start == span.0
+                && m.end + 1 == span.1
+                && et.map_or(true, |t| m.etype == t)
+        }),
+        ElasticCond::Regex(p) => {
+            let text = if len == 0 {
+                String::new()
+            } else {
+                ctx.sentence.span_text(span.0, span.1 - 1)
+            };
+            cq.regex(p).is_full_match(&text)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_lang::{normalize, parse_query};
+    use koko_nlp::Pipeline;
+
+    fn compiled(q: &str) -> CompiledQuery {
+        CompiledQuery::compile(normalize(&parse_query(q).unwrap()).unwrap()).unwrap()
+    }
+
+    fn fig1() -> Sentence {
+        Pipeline::new()
+            .parse_document(
+                0,
+                "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            )
+            .sentences
+            .remove(0)
+    }
+
+    #[test]
+    fn example_21_bindings() {
+        // Paper: a = "ate", b = "cream", c = "delicious" (unique bindings
+        // for the Figure 1 sentence).
+        let cq = compiled(koko_lang::queries::EXAMPLE_2_1);
+        let s = fig1();
+        let ctx = SentCtx::new(&s);
+        let domains = bind_domains(&cq, &ctx);
+        let dom = |name: &str| domains[cq.norm.var(name).unwrap()].clone();
+        match dom("a") {
+            Domain::Nodes(tids) => {
+                let words: Vec<&str> = tids.iter().map(|&t| s.tokens[t as usize].text.as_str()).collect();
+                assert_eq!(words, vec!["ate", "was", "ate"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match dom("b") {
+            Domain::Nodes(tids) => {
+                assert_eq!(tids.len(), 2); // cream (under ate1), pie (under ate2)
+                assert_eq!(s.tokens[tids[0] as usize].text, "cream");
+                assert_eq!(s.tokens[tids[1] as usize].text, "pie");
+            }
+            other => panic!("{other:?}"),
+        }
+        match dom("c") {
+            Domain::Nodes(tids) => {
+                assert_eq!(tids.len(), 1);
+                assert_eq!(s.tokens[tids[0] as usize].text, "delicious");
+            }
+            other => panic!("{other:?}"),
+        }
+        // e:Entity binds all mentions.
+        match dom("e") {
+            Domain::Spans(spans) => assert!(!spans.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_with_text_condition() {
+        let cq = compiled(
+            "extract x:Str from t if (/ROOT:{ x = //verb[text=\"was\"] })",
+        );
+        let s = fig1();
+        let ctx = SentCtx::new(&s);
+        let domains = bind_domains(&cq, &ctx);
+        match &domains[cq.norm.var("x").unwrap()] {
+            Domain::Nodes(tids) => {
+                assert_eq!(tids.len(), 1);
+                assert_eq!(s.tokens[tids[0] as usize].text, "was");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_with_regex_condition() {
+        let cq = compiled(
+            "extract x:Str from t if (/ROOT:{ x = //*[@regex=\"[a-z]+ous\"] })",
+        );
+        let s = fig1();
+        let ctx = SentCtx::new(&s);
+        let domains = bind_domains(&cq, &ctx);
+        match &domains[cq.norm.var("x").unwrap()] {
+            Domain::Nodes(tids) => {
+                assert_eq!(tids.len(), 1);
+                assert_eq!(s.tokens[tids[0] as usize].text, "delicious");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn token_occurrences_found() {
+        let s = fig1();
+        let occ = token_occurrences(&s, &["ate".into(), "a".into()]);
+        assert_eq!(occ, vec![(1, 3), (13, 15)]);
+        assert!(token_occurrences(&s, &["zzz".into()]).is_empty());
+    }
+
+    #[test]
+    fn elastic_conditions() {
+        let cq = compiled("extract x:Str from t if (/ROOT:{ x = //verb + ^[mintok=1, maxtok=2] })");
+        let s = fig1();
+        let ctx = SentCtx::new(&s);
+        let conds = match &cq
+            .norm
+            .vars
+            .iter()
+            .find(|v| matches!(v.kind, NVarKind::Elastic { .. }))
+            .unwrap()
+            .kind
+        {
+            NVarKind::Elastic { conds } => conds.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert!(elastic_span_ok(&cq, &ctx, &conds, (2, 3)));
+        assert!(elastic_span_ok(&cq, &ctx, &conds, (2, 4)));
+        assert!(!elastic_span_ok(&cq, &ctx, &conds, (2, 2)));
+        assert!(!elastic_span_ok(&cq, &ctx, &conds, (2, 5)));
+    }
+
+    #[test]
+    fn elastic_entity_condition() {
+        let cq = compiled(
+            "extract x:Str from t if (/ROOT:{ x = //verb + ^[etype=\"Entity\"] })",
+        );
+        let s = fig1();
+        let ctx = SentCtx::new(&s);
+        let conds = match &cq
+            .norm
+            .vars
+            .iter()
+            .find(|v| matches!(v.kind, NVarKind::Elastic { .. }))
+            .unwrap()
+            .kind
+        {
+            NVarKind::Elastic { conds } => conds.clone(),
+            other => panic!("{other:?}"),
+        };
+        // "chocolate ice cream" is tokens 3..=5 → span (3,6).
+        assert!(elastic_span_ok(&cq, &ctx, &conds, (3, 6)));
+        assert!(!elastic_span_ok(&cq, &ctx, &conds, (3, 5)));
+    }
+
+    #[test]
+    fn subtree_spans() {
+        let s = fig1();
+        let ctx = SentCtx::new(&s);
+        // cream(5) subtree covers tokens 2..=9 → half-open (2, 10).
+        assert_eq!(ctx.subtree_span(5), (2, 10));
+    }
+
+    #[test]
+    fn bad_regex_fails_at_compile() {
+        let norm = normalize(
+            &parse_query("extract x:Str from t if (/ROOT:{ x = //*[@regex=\"(\"] })").unwrap(),
+        )
+        .unwrap();
+        assert!(CompiledQuery::compile(norm).is_err());
+    }
+}

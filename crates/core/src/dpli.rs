@@ -1,0 +1,271 @@
+//! DPLI — "Decompose Paths and Lookup Indices" (Algorithm 1, §4.2).
+//!
+//! Finds the *dominant* paths among the query's node variables (§4.2.1),
+//! turns each into a lookup pattern for the multi-index, fetches candidate
+//! postings, and intersects everything (including entity-variable and
+//! token-sequence sentence sets) into the candidate sentence list the rest
+//! of the engine iterates over.
+
+use crate::binder::CompiledQuery;
+use koko_lang::{NVarKind, NodeCond, Step, StepLabel};
+use koko_nlp::{NodeLabel, PNode, Sid, TreePattern};
+use koko_index::koko::intersect_sorted;
+use koko_index::KokoIndex;
+
+/// Outcome of the DPLI stage.
+#[derive(Debug, Clone)]
+pub struct DpliResult {
+    /// Candidate sentence ids, sorted.
+    pub candidate_sids: Vec<Sid>,
+    /// Number of index lookups performed (dominant paths only).
+    pub lookups: usize,
+}
+
+/// Build the index-lookup pattern for an absolute path. Each step
+/// contributes its most selective constraint: an exact word (from the label
+/// or a `text=` condition) beats a parse label beats a POS tag beats `*`;
+/// the dropped conditions are re-checked by the binder, so candidates stay
+/// complete.
+pub fn lookup_pattern(steps: &[Step]) -> TreePattern {
+    let nodes = steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let text_cond = s.conds.iter().find_map(|c| match c {
+                NodeCond::Text(w) => Some(w.clone()),
+                _ => None,
+            });
+            let label = if let Some(w) = text_cond {
+                NodeLabel::Word(w)
+            } else {
+                match &s.label {
+                    StepLabel::Word(w) => NodeLabel::Word(w.clone()),
+                    StepLabel::Pl(l) => NodeLabel::Pl(*l),
+                    StepLabel::Pos(p) => NodeLabel::Pos(*p),
+                    StepLabel::Wildcard => {
+                        // A wildcard with a pos= condition is still usable.
+                        s.conds
+                            .iter()
+                            .find_map(|c| match c {
+                                NodeCond::Pos(p) => Some(NodeLabel::Pos(*p)),
+                                _ => None,
+                            })
+                            .unwrap_or(NodeLabel::Wildcard)
+                    }
+                }
+            };
+            PNode {
+                parent: if i == 0 { None } else { Some((i - 1) as u32) },
+                axis: s.axis,
+                label,
+            }
+        })
+        .collect();
+    TreePattern {
+        nodes,
+        // Normalized paths are absolute but their first step may use `//`;
+        // TreePattern's `root_anchored` means "node 0 must be the sentence
+        // root", which only holds when the first axis is `/`.
+        root_anchored: steps
+            .first()
+            .is_some_and(|s| s.axis == koko_nlp::Axis::Child),
+    }
+}
+
+/// Signature used for the domination test: steps compare equal when axis,
+/// label and conditions agree (conditions order-insensitively — "modulo
+/// order of conjunction", §4.2.1).
+fn step_sig(s: &Step) -> (u8, String, Vec<String>) {
+    let axis = match s.axis {
+        koko_nlp::Axis::Child => 0,
+        koko_nlp::Axis::Descendant => 1,
+    };
+    let label = match &s.label {
+        StepLabel::Pl(l) => format!("l:{}", l.name()),
+        StepLabel::Pos(p) => format!("p:{}", p.name()),
+        StepLabel::Word(w) => format!("w:{w}"),
+        StepLabel::Wildcard => "*".to_string(),
+    };
+    let mut conds: Vec<String> = s.conds.iter().map(|c| format!("{c:?}")).collect();
+    conds.sort();
+    (axis, label, conds)
+}
+
+/// Whether path `p` is dominated by path `q` (§4.2.1): `p` is a prefix of
+/// `q` with identical per-step conditions.
+pub fn dominated_by(p: &[Step], q: &[Step]) -> bool {
+    if p.len() > q.len() {
+        return false;
+    }
+    p.iter().zip(q.iter()).all(|(a, b)| step_sig(a) == step_sig(b))
+}
+
+/// Indices (into the query's node-path list) of the dominant paths.
+pub fn dominant_paths(paths: &[&[Step]]) -> Vec<usize> {
+    (0..paths.len())
+        .filter(|&i| {
+            !(0..paths.len()).any(|j| {
+                j != i
+                    && dominated_by(paths[i], paths[j])
+                    // Equal paths: keep the first as dominant.
+                    && !(dominated_by(paths[j], paths[i]) && j > i)
+            })
+        })
+        .collect()
+}
+
+/// Run the DPLI stage.
+pub fn run(cq: &CompiledQuery, index: &KokoIndex) -> DpliResult {
+    let mut sets: Vec<Vec<Sid>> = Vec::new();
+    let mut lookups = 0usize;
+
+    // Node variables: lookup dominant paths only.
+    let paths: Vec<&[Step]> = cq.norm.node_vars().map(|(_, _, steps)| steps).collect();
+    for di in dominant_paths(&paths) {
+        let pattern = lookup_pattern(paths[di]);
+        lookups += 1;
+        if let Some(refs) = index.lookup_path(&pattern) {
+            let mut sids: Vec<Sid> = refs.iter().map(|&r| index.posting(r).sid).collect();
+            sids.dedup();
+            sets.push(sids);
+        }
+    }
+
+    // Entity variables: sentences containing a mention of the right type.
+    for v in &cq.norm.vars {
+        match &v.kind {
+            NVarKind::Entity { etype } => {
+                let mut sids: Vec<Sid> = index
+                    .entities_of_type(*etype)
+                    .iter()
+                    .map(|e| e.sid)
+                    .collect();
+                sids.sort_unstable();
+                sids.dedup();
+                sets.push(sids);
+            }
+            NVarKind::Tokens { words } => {
+                // Sentences containing every word of the literal sequence.
+                let mut acc: Option<Vec<Sid>> = None;
+                for w in words {
+                    let mut sids: Vec<Sid> = index
+                        .word_refs(w)
+                        .iter()
+                        .map(|&r| index.posting(r).sid)
+                        .collect();
+                    sids.dedup();
+                    acc = Some(match acc {
+                        None => sids,
+                        Some(prev) => intersect_sorted(&prev, &sids),
+                    });
+                }
+                if let Some(sids) = acc {
+                    sets.push(sids);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let candidate_sids = match sets.into_iter().reduce(|a, b| intersect_sorted(&a, &b)) {
+        Some(s) => s,
+        None => (0..index.num_sentences()).collect(),
+    };
+    DpliResult {
+        candidate_sids,
+        lookups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::CompiledQuery;
+    use koko_lang::{normalize, parse_query, queries};
+    use koko_nlp::Pipeline;
+
+    fn compiled(q: &str) -> CompiledQuery {
+        CompiledQuery::compile(normalize(&parse_query(q).unwrap()).unwrap()).unwrap()
+    }
+
+    fn index() -> (koko_nlp::Corpus, KokoIndex) {
+        let corpus = Pipeline::new().parse_corpus(&[
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            "The cafe was busy today.",
+            "Cyd Charisse had been called Sid for years.",
+        ]);
+        let idx = KokoIndex::build(&corpus);
+        (corpus, idx)
+    }
+
+    #[test]
+    fn domination_example_41() {
+        // In Example 4.1, d = //verb[text=ate]/dobj//"delicious" dominates
+        // b = //verb[text=ate] and c = //verb[text=ate]/dobj.
+        let cq = compiled(queries::EXAMPLE_4_1);
+        let paths: Vec<&[Step]> = cq.norm.node_vars().map(|(_, _, s)| s).collect();
+        assert_eq!(paths.len(), 3);
+        let dom = dominant_paths(&paths);
+        assert_eq!(dom.len(), 1, "only d is dominant");
+        assert_eq!(paths[dom[0]].len(), 3);
+    }
+
+    #[test]
+    fn equal_paths_keep_one_dominant() {
+        let cq = compiled(
+            "extract x:Str from t if (/ROOT:{ a = //verb, b = //verb, x = a + b })",
+        );
+        let paths: Vec<&[Step]> = cq.norm.node_vars().map(|(_, _, s)| s).collect();
+        let dom = dominant_paths(&paths);
+        assert_eq!(dom.len(), 1);
+    }
+
+    #[test]
+    fn candidates_for_example_21() {
+        let (corpus, idx) = index();
+        let cq = compiled(queries::EXAMPLE_2_1);
+        let r = run(&cq, &idx);
+        // Sentences 0 and 1 have verb→dobj→…→"delicious"; 2 and 3 do not.
+        assert!(r.candidate_sids.contains(&0));
+        assert!(r.candidate_sids.contains(&1));
+        assert!(!r.candidate_sids.contains(&2));
+        assert!(!r.candidate_sids.contains(&3));
+        assert_eq!(r.lookups, 1, "one dominant path");
+        let _ = corpus;
+    }
+
+    #[test]
+    fn empty_extract_keeps_all_sentences() {
+        let (_, idx) = index();
+        let cq = compiled(queries::EXAMPLE_2_3);
+        let r = run(&cq, &idx);
+        // x:Entity requires a mention; "The cafe was busy today." has no
+        // entity mention, the other three sentences do.
+        assert_eq!(r.candidate_sids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn tokens_and_entities_prune() {
+        let (_, idx) = index();
+        let cq = compiled(queries::TITLE);
+        let r = run(&cq, &idx);
+        // Only the Cyd Charisse sentence has "called" + Person.
+        assert_eq!(r.candidate_sids, vec![3]);
+    }
+
+    #[test]
+    fn lookup_pattern_priorities() {
+        let cq = compiled(queries::EXAMPLE_4_1);
+        let d_steps = cq
+            .norm
+            .node_vars()
+            .find(|(_, v, _)| v.name == "d")
+            .map(|(_, _, s)| s)
+            .unwrap();
+        let pat = lookup_pattern(d_steps);
+        // //verb[text=ate] → word "ate" wins over pos verb.
+        assert_eq!(pat.nodes[0].label, NodeLabel::Word("ate".into()));
+        assert!(!pat.root_anchored);
+    }
+}

@@ -1,0 +1,424 @@
+//! The KOKO engine: Figure 2's full workflow — preprocessing (parse text &
+//! build indices), then per query: Normalize → DPLI → LoadArticle →
+//! GSP/extract → Aggregate.
+
+use crate::aggregate::{AggOpts, Aggregator};
+use crate::binder::{bind_domains, CompiledQuery, SentCtx};
+use crate::error::Error;
+use crate::profile::Profile;
+use crate::{dpli, gsp};
+use koko_embed::Embeddings;
+use koko_index::KokoIndex;
+use koko_lang::{normalize, parse_query, NVarKind, Query};
+use koko_nlp::{Corpus, Document, Pipeline, Sid};
+use koko_storage::{Db, DocStore};
+use std::collections::BTreeMap;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOpts {
+    /// Use the Generate-Skip-Plan evaluator (§4.3). `false` selects the
+    /// naive nested-loop evaluator (`KOKO&NOGSP`, Table 1).
+    pub use_gsp: bool,
+    /// Load candidate articles from the document store (paying the real
+    /// `LoadArticle` decode cost of Table 2) instead of borrowing the
+    /// in-memory corpus.
+    pub store_backed: bool,
+    /// Expand descriptors with paraphrase embeddings (Figure 5 ablation).
+    pub use_descriptors: bool,
+    /// Threshold for satisfying clauses that omit `with threshold`.
+    pub default_threshold: f64,
+    /// Descriptor expansion cap and per-word similarity floor.
+    pub expansion_k: usize,
+    pub expansion_min_sim: f64,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        EngineOpts {
+            use_gsp: true,
+            store_backed: true,
+            use_descriptors: true,
+            default_threshold: 0.5,
+            expansion_k: 120,
+            expansion_min_sim: 0.55,
+        }
+    }
+}
+
+/// One output value in a result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutValue {
+    pub name: String,
+    pub text: String,
+    pub sid: Sid,
+    /// Half-open token span within the sentence.
+    pub start: u32,
+    pub end: u32,
+}
+
+/// One result tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Document index in the corpus.
+    pub doc: u32,
+    pub values: Vec<OutValue>,
+    /// Aggregated satisfying-clause score of the row's first scored
+    /// variable (1.0 when the query has no satisfying clause).
+    pub score: f64,
+}
+
+/// Query result: rows plus the per-stage profile.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    pub rows: Vec<Row>,
+    pub profile: Profile,
+}
+
+impl QueryOutput {
+    /// Distinct values of one output variable (case-preserving, first
+    /// occurrence wins), e.g. the extracted cafe names.
+    pub fn distinct(&self, var: &str) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for v in &row.values {
+                if v.name == var && seen.insert(v.text.to_lowercase()) {
+                    out.push(v.text.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct `(doc, value)` pairs for one variable — the unit the
+    /// extraction experiments score against ground truth.
+    pub fn doc_values(&self, var: &str) -> Vec<(u32, String)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for v in &row.values {
+                if v.name == var {
+                    let key = (row.doc, v.text.to_lowercase());
+                    if seen.insert(key.clone()) {
+                        out.push((row.doc, v.text.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The KOKO system: a parsed corpus, its indices, and the backing store.
+pub struct Koko {
+    corpus: Corpus,
+    index: KokoIndex,
+    store: Db,
+    embed: Embeddings,
+    pub opts: EngineOpts,
+}
+
+impl Koko {
+    /// Parse raw documents and build every index (Figure 2's preprocessing
+    /// box).
+    pub fn from_texts<S: AsRef<str>>(texts: &[S]) -> Koko {
+        let pipeline = Pipeline::new();
+        Koko::from_corpus(pipeline.parse_corpus(texts))
+    }
+
+    /// Build from an already parsed corpus.
+    pub fn from_corpus(corpus: Corpus) -> Koko {
+        let index = KokoIndex::build(&corpus);
+        let store = Db::new();
+        let mut docs = DocStore::new();
+        for d in corpus.documents() {
+            docs.put(d);
+        }
+        store.set_docs(docs);
+        Koko {
+            corpus,
+            index,
+            store,
+            embed: Embeddings::shared().clone(),
+            opts: EngineOpts::default(),
+        }
+    }
+
+    /// Replace the embedding model (e.g. with a domain ontology merged in).
+    pub fn with_embeddings(mut self, embed: Embeddings) -> Koko {
+        self.embed = embed;
+        self
+    }
+
+    pub fn with_opts(mut self, opts: EngineOpts) -> Koko {
+        self.opts = opts;
+        self
+    }
+
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    pub fn index(&self) -> &KokoIndex {
+        &self.index
+    }
+
+    pub fn store(&self) -> &Db {
+        &self.store
+    }
+
+    /// Parse, normalize and evaluate a KOKO query.
+    pub fn query(&self, text: &str) -> Result<QueryOutput, Error> {
+        let t0 = std::time::Instant::now();
+        let parsed = parse_query(text)?;
+        self.query_ast(&parsed, t0)
+    }
+
+    /// Evaluate an already parsed query (`t0` anchors the Normalize timer).
+    pub fn query_ast(&self, parsed: &Query, t0: std::time::Instant) -> Result<QueryOutput, Error> {
+        let mut profile = Profile::default();
+
+        // ---- Normalize ---------------------------------------------------
+        let norm = normalize(parsed)?;
+        let cq = CompiledQuery::compile(norm)?;
+        profile.normalize = t0.elapsed();
+
+        // ---- DPLI ---------------------------------------------------------
+        let t = std::time::Instant::now();
+        let dpli_result = dpli::run(&cq, &self.index);
+        profile.dpli = t.elapsed();
+        profile.candidate_sentences = dpli_result.candidate_sids.len();
+
+        // ---- LoadArticle ---------------------------------------------------
+        let t = std::time::Instant::now();
+        let mut by_doc: BTreeMap<u32, Vec<Sid>> = BTreeMap::new();
+        for &sid in &dpli_result.candidate_sids {
+            by_doc.entry(self.corpus.doc_of(sid)).or_default().push(sid);
+        }
+        let mut loaded: BTreeMap<u32, Document> = BTreeMap::new();
+        for &doc_id in by_doc.keys() {
+            let doc = if self.opts.store_backed {
+                self.store
+                    .load_document(doc_id)
+                    .map_err(|e| Error::Storage(e.to_string()))?
+            } else {
+                self.corpus.documents()[doc_id as usize].clone()
+            };
+            loaded.insert(doc_id, doc);
+        }
+        profile.load_article = t.elapsed();
+
+        // ---- GSP + extract --------------------------------------------------
+        let needed = self.needed_vars(&cq);
+        let mut tuples: Vec<RawTuple> = Vec::new();
+        for (&doc_id, sids) in &by_doc {
+            let doc = &loaded[&doc_id];
+            let first_sid = self.corpus.doc_sids(doc_id).start;
+            for &sid in sids {
+                let local = (sid - first_sid) as usize;
+                let sentence = &doc.sentences[local];
+                let ctx = SentCtx::new(sentence);
+
+                let te = std::time::Instant::now();
+                let domains = bind_domains(&cq, &ctx);
+                profile.extract += te.elapsed();
+
+                let tg = std::time::Instant::now();
+                let plans = gsp::plan(&cq, &domains, ctx.len());
+                profile.gsp += tg.elapsed();
+
+                let te = std::time::Instant::now();
+                let assignments = gsp::evaluate(&cq, &ctx, &domains, &plans, self.opts.use_gsp);
+                for a in assignments {
+                    let mut values = Vec::with_capacity(needed.len());
+                    let mut complete = true;
+                    for &(vi, ref name) in &needed {
+                        match a[vi] {
+                            Some(span) => values.push(TupleValue {
+                                var: name.clone(),
+                                sid,
+                                span,
+                                text: span_text(sentence, span),
+                            }),
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        }
+                    }
+                    if complete {
+                        tuples.push(RawTuple {
+                            doc: doc_id,
+                            values,
+                        });
+                    }
+                }
+                profile.extract += te.elapsed();
+            }
+        }
+        // Bag semantics with per-sentence duplicates removed.
+        tuples.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        tuples.dedup();
+        profile.raw_tuples = tuples.len();
+
+        // ---- Aggregate (satisfying + excluding) ----------------------------
+        let t = std::time::Instant::now();
+        let rows = self.aggregate(&cq, &loaded, tuples);
+        profile.satisfying = t.elapsed();
+
+        Ok(QueryOutput { rows, profile })
+    }
+
+    /// Variables whose values must survive into tuples: outputs plus every
+    /// satisfying / excluding variable.
+    fn needed_vars(&self, cq: &CompiledQuery) -> Vec<(usize, String)> {
+        let mut names: Vec<String> = cq.norm.outputs.iter().map(|o| o.name.clone()).collect();
+        for s in &cq.norm.satisfying {
+            names.push(s.var.clone());
+        }
+        for e in &cq.norm.excluding {
+            names.push(e.var.clone());
+        }
+        names.sort();
+        names.dedup();
+        names
+            .into_iter()
+            .filter_map(|n| cq.norm.var(&n).map(|i| (i, n)))
+            .collect()
+    }
+
+    fn aggregate(
+        &self,
+        cq: &CompiledQuery,
+        loaded: &BTreeMap<u32, Document>,
+        tuples: Vec<RawTuple>,
+    ) -> Vec<Row> {
+        let agg = Aggregator::new(
+            cq,
+            &self.embed,
+            AggOpts {
+                use_descriptors: self.opts.use_descriptors,
+                default_threshold: self.opts.default_threshold,
+                expansion_k: self.opts.expansion_k,
+                expansion_min_sim: self.opts.expansion_min_sim,
+            },
+        );
+        // Score cache: (doc, clause#, lowercased value) → score. Clauses
+        // whose conditions never consult the corpus (similarTo / contains /
+        // matches / in dict) are cached once for all documents.
+        let doc_independent: Vec<bool> = cq
+            .norm
+            .satisfying
+            .iter()
+            .map(|clause| {
+                clause.conds.iter().all(|wc| {
+                    matches!(
+                        wc.cond.pred,
+                        koko_lang::Pred::Contains(_)
+                            | koko_lang::Pred::Mentions(_)
+                            | koko_lang::Pred::Matches(_)
+                            | koko_lang::Pred::SimilarTo(_)
+                            | koko_lang::Pred::InDict(_)
+                    )
+                })
+            })
+            .collect();
+        let mut scores: std::collections::HashMap<(u32, usize, String), f64> =
+            std::collections::HashMap::new();
+        let mut excl_cache: std::collections::HashMap<(u32, String), bool> =
+            std::collections::HashMap::new();
+
+        let mut rows = Vec::new();
+        'tuple: for t in tuples {
+            let doc = &loaded[&t.doc];
+            let mut row_score = 1.0f64;
+            // Satisfying clauses filter by their variable's value.
+            for (ci, clause) in cq.norm.satisfying.iter().enumerate() {
+                let Some(v) = t.values.iter().find(|v| v.var == clause.var) else {
+                    continue;
+                };
+                let cache_doc = if doc_independent[ci] { u32::MAX } else { t.doc };
+                let key = (cache_doc, ci, v.text.to_lowercase());
+                let score = *scores
+                    .entry(key)
+                    .or_insert_with(|| agg.score(doc, &v.text, &clause.conds));
+                if score < agg.threshold(clause.threshold) {
+                    continue 'tuple;
+                }
+                row_score = score;
+            }
+            // Excluding conditions drop tuples by any referenced value.
+            for v in &t.values {
+                if cq.norm.excluding.iter().any(|c| c.var == v.var) {
+                    let key = (t.doc, v.text.to_lowercase());
+                    let out = *excl_cache
+                        .entry(key)
+                        .or_insert_with(|| agg.excluded(doc, &v.text));
+                    if out {
+                        continue 'tuple;
+                    }
+                }
+            }
+            // Project outputs.
+            let values: Vec<OutValue> = cq
+                .norm
+                .outputs
+                .iter()
+                .filter_map(|o| {
+                    t.values.iter().find(|v| v.var == o.name).map(|v| OutValue {
+                        name: o.name.clone(),
+                        text: v.text.clone(),
+                        sid: v.sid,
+                        start: v.span.0,
+                        end: v.span.1,
+                    })
+                })
+                .collect();
+            if values.len() == cq.norm.outputs.len() {
+                rows.push(Row {
+                    doc: t.doc,
+                    values,
+                    score: row_score,
+                });
+            }
+        }
+        rows
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+struct TupleValue {
+    var: String,
+    sid: Sid,
+    span: (u32, u32),
+    text: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct RawTuple {
+    doc: u32,
+    values: Vec<TupleValue>,
+}
+
+fn span_text(sentence: &koko_nlp::Sentence, span: (u32, u32)) -> String {
+    if span.0 >= span.1 {
+        return String::new();
+    }
+    sentence.span_text(span.0, span.1 - 1)
+}
+
+/// Convenience: variables used by the engine internals.
+pub use koko_lang::NormQuery;
+
+#[allow(unused)]
+fn var_kind_name(kind: &NVarKind) -> &'static str {
+    match kind {
+        NVarKind::Node { .. } => "node",
+        NVarKind::Entity { .. } => "entity",
+        NVarKind::Span { .. } => "span",
+        NVarKind::Subtree { .. } => "subtree",
+        NVarKind::Tokens { .. } => "tokens",
+        NVarKind::Elastic { .. } => "elastic",
+    }
+}

@@ -1,0 +1,42 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Anything that can go wrong while evaluating a KOKO query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Query text failed to parse or normalize.
+    Parse(String),
+    /// A regular expression inside the query is malformed.
+    Regex(String),
+    /// The query references something the engine cannot evaluate
+    /// (e.g. `.subtree` of a non-node variable).
+    Semantic(String),
+    /// Storage-layer failure while loading articles.
+    Storage(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Regex(m) => write!(f, "regex error: {m}"),
+            Error::Semantic(m) => write!(f, "semantic error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<koko_lang::ParseError> for Error {
+    fn from(e: koko_lang::ParseError) -> Self {
+        Error::Parse(e.message)
+    }
+}
+
+impl From<koko_regex::Error> for Error {
+    fn from(e: koko_regex::Error) -> Self {
+        Error::Regex(e.to_string())
+    }
+}

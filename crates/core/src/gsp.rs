@@ -1,0 +1,730 @@
+//! GSP — "Generate Skip Plan" (Algorithm 2, §4.3) and tuple enumeration.
+//!
+//! For every horizontal condition (`e = a + ∧ + b + ∧ + c`) the planner
+//! estimates each atom's cost (`t(t+1)/2` for `∧`, domain size otherwise)
+//! and greedily skips the costliest atoms whose neighbours remain
+//! unskipped. Skipped atoms are never iterated: their spans are *derived*
+//! from the bindings of their neighbours and validated (Example 4.7).
+//!
+//! The module also implements the naive `KOKO&NOGSP` evaluator of Table 1 —
+//! nested loops over every variable including the `O(t²)` elastic spans —
+//! used by the `table1_gsp` benchmark.
+
+use crate::binder::{elastic_span_ok, CompiledQuery, Domain, SentCtx, Span};
+use koko_lang::{NConstraint, NVarKind};
+
+/// A complete per-sentence assignment: one optional span per variable.
+pub type Assignment = Vec<Option<Span>>;
+
+/// The skip plan for one horizontal condition.
+#[derive(Debug, Clone)]
+pub struct SkipPlan {
+    /// Index of the span-target variable.
+    pub target: usize,
+    /// Atom variable indices, in surface order.
+    pub atoms: Vec<usize>,
+    /// Parallel to `atoms`: whether the atom is skipped.
+    pub skip: Vec<bool>,
+}
+
+/// Build skip plans for every horizontal condition (Algorithm 2).
+pub fn plan(cq: &CompiledQuery, domains: &[Domain], sentence_len: u32) -> Vec<SkipPlan> {
+    let t = sentence_len as usize;
+    let elastic_cost = t * (t + 1) / 2;
+    let mut plans = Vec::new();
+    for (target, var) in cq.norm.vars.iter().enumerate() {
+        let NVarKind::Span { atoms } = &var.kind else {
+            continue;
+        };
+        let atom_idx: Vec<usize> = atoms
+            .iter()
+            .map(|name| cq.norm.var(name).expect("atoms resolve"))
+            .collect();
+        // cost[v] per Algorithm 2.
+        let cost: Vec<usize> = atom_idx
+            .iter()
+            .map(|&v| match &cq.norm.vars[v].kind {
+                NVarKind::Elastic { .. } => elastic_cost,
+                _ => domains[v].size(),
+            })
+            .collect();
+        // Greedy: highest cost first; skip if neither neighbour is skipped.
+        let mut order: Vec<usize> = (0..atom_idx.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(cost[i]));
+        let mut skip = vec![false; atom_idx.len()];
+        for i in order {
+            let left_ok = i == 0 || !skip[i - 1];
+            let right_ok = i + 1 == atom_idx.len() || !skip[i + 1];
+            if left_ok && right_ok {
+                skip[i] = true;
+            }
+        }
+        // Alignment derives skipped atoms from unskipped anchors, so at
+        // least one non-∧ atom must stay unskipped (`d = (b.subtree)` is a
+        // one-atom condition Algorithm 2 would otherwise skip entirely).
+        let has_anchor = (0..atom_idx.len()).any(|i| {
+            !skip[i] && !matches!(cq.norm.vars[atom_idx[i]].kind, NVarKind::Elastic { .. })
+        });
+        if !has_anchor {
+            if let Some(cheapest) = (0..atom_idx.len())
+                .filter(|&i| !matches!(cq.norm.vars[atom_idx[i]].kind, NVarKind::Elastic { .. }))
+                .min_by_key(|&i| cost[i])
+            {
+                skip[cheapest] = false;
+            }
+        }
+        plans.push(SkipPlan {
+            target,
+            atoms: atom_idx,
+            skip,
+        });
+    }
+    plans
+}
+
+/// Enumerate all valid assignments for one sentence.
+///
+/// `use_gsp = false` selects the naive nested-loop evaluator (`KOKO&NOGSP`).
+pub fn evaluate(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    domains: &[Domain],
+    plans: &[SkipPlan],
+    use_gsp: bool,
+) -> Vec<Assignment> {
+    let nvars = cq.norm.vars.len();
+    let skipped: Vec<bool> = {
+        let mut s = vec![false; nvars];
+        if use_gsp {
+            for p in plans {
+                for (i, &a) in p.atoms.iter().enumerate() {
+                    if p.skip[i] {
+                        s[a] = true;
+                    }
+                }
+            }
+        }
+        s
+    };
+    // Variables iterated by nested loops, in declaration order (§4.3).
+    let mut enum_vars: Vec<usize> = Vec::new();
+    for (i, v) in cq.norm.vars.iter().enumerate() {
+        let enumerable = match &v.kind {
+            NVarKind::Span { .. } => false, // targets always derived
+            NVarKind::Elastic { .. } => !use_gsp,
+            _ => !skipped[i],
+        };
+        if enumerable {
+            enum_vars.push(i);
+        }
+    }
+    // Constraints checkable as soon as their last variable is assigned.
+    let con_ready: Vec<(usize, &NConstraint)> = cq
+        .norm
+        .constraints
+        .iter()
+        .map(|c| {
+            let (a, b) = constraint_vars(c);
+            let ia = cq.norm.var(a).expect("constraint var");
+            let ib = cq.norm.var(b).expect("constraint var");
+            // Ready once both are assigned during enumeration; targets and
+            // skipped vars are assigned at the end (position = usize::MAX).
+            let pos = |v: usize| enum_vars.iter().position(|&e| e == v).unwrap_or(usize::MAX);
+            (pos(ia).max(pos(ib)), c)
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    let mut assignment: Assignment = vec![None; nvars];
+    recurse(
+        cq,
+        ctx,
+        domains,
+        plans,
+        use_gsp,
+        &enum_vars,
+        &con_ready,
+        0,
+        &mut assignment,
+        &mut out,
+    );
+    out
+}
+
+fn constraint_vars(c: &NConstraint) -> (&str, &str) {
+    match c {
+        NConstraint::ParentOf(a, b)
+        | NConstraint::AncestorOf(a, b)
+        | NConstraint::In(a, b)
+        | NConstraint::Eq(a, b) => (a, b),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    domains: &[Domain],
+    plans: &[SkipPlan],
+    use_gsp: bool,
+    enum_vars: &[usize],
+    con_ready: &[(usize, &NConstraint)],
+    depth: usize,
+    assignment: &mut Assignment,
+    out: &mut Vec<Assignment>,
+) {
+    if depth == enum_vars.len() {
+        finish(cq, ctx, domains, plans, use_gsp, con_ready, assignment, out);
+        return;
+    }
+    let v = enum_vars[depth];
+    let options: Vec<Span> = match (&cq.norm.vars[v].kind, &domains[v]) {
+        (NVarKind::Elastic { conds }, _) => {
+            // Naive mode only: every span including empty ones.
+            let t = ctx.len();
+            let mut spans = Vec::new();
+            for i in 0..=t {
+                for j in i..=t {
+                    if elastic_span_ok(cq, ctx, conds, (i, j)) {
+                        spans.push((i, j));
+                    }
+                }
+            }
+            spans
+        }
+        (_, Domain::Nodes(tids)) => tids.iter().map(|&t| (t, t + 1)).collect(),
+        (_, Domain::Spans(spans)) => spans.clone(),
+        (_, Domain::Derived) => vec![],
+    };
+    for span in options {
+        assignment[v] = Some(span);
+        if check_ready_constraints(cq, ctx, con_ready, depth, assignment) {
+            recurse(
+                cq,
+                ctx,
+                domains,
+                plans,
+                use_gsp,
+                enum_vars,
+                con_ready,
+                depth + 1,
+                assignment,
+                out,
+            );
+        }
+    }
+    assignment[v] = None;
+}
+
+/// In GSP mode constraints at `depth` have both endpoints assigned; naive
+/// mode checks everything at the leaf (depth = usize::MAX sentinel rows are
+/// re-checked in `finish`).
+fn check_ready_constraints(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    con_ready: &[(usize, &NConstraint)],
+    depth: usize,
+    assignment: &Assignment,
+) -> bool {
+    con_ready
+        .iter()
+        .filter(|(ready, _)| *ready == depth)
+        .all(|(_, c)| constraint_holds(cq, ctx, c, assignment))
+}
+
+/// Evaluate one constraint over (possibly partial) assignments; unassigned
+/// endpoints make the constraint vacuously true (re-checked at the leaf).
+pub fn constraint_holds(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    c: &NConstraint,
+    assignment: &Assignment,
+) -> bool {
+    let (an, bn) = constraint_vars(c);
+    let (Some(ia), Some(ib)) = (cq.norm.var(an), cq.norm.var(bn)) else {
+        return false;
+    };
+    let (Some(a), Some(b)) = (assignment[ia], assignment[ib]) else {
+        return true;
+    };
+    match c {
+        NConstraint::ParentOf(_, _) => {
+            // Both must be node variables (width-1 spans).
+            ctx.sentence.tokens[b.0 as usize].head == Some(a.0)
+        }
+        NConstraint::AncestorOf(_, _) => {
+            let mut cur = b.0;
+            while let Some(h) = ctx.sentence.tokens[cur as usize].head {
+                if h == a.0 {
+                    return true;
+                }
+                cur = h;
+            }
+            false
+        }
+        NConstraint::In(_, _) => b.0 <= a.0 && a.1 <= b.1,
+        NConstraint::Eq(_, _) => a == b,
+    }
+}
+
+/// Leaf handling: derive skipped atoms and span targets, validate
+/// everything, and emit completed assignments.
+///
+/// Plans are processed **sequentially** so a span variable derived by an
+/// earlier plan (`b = p.subtree`) is visible as an anchor to a later plan
+/// that uses it as an atom (`c = a + ∧ + v + ∧ + b` in the Title query).
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    domains: &[Domain],
+    plans: &[SkipPlan],
+    use_gsp: bool,
+    con_ready: &[(usize, &NConstraint)],
+    assignment: &mut Assignment,
+    out: &mut Vec<Assignment>,
+) {
+    fn step(
+        cq: &CompiledQuery,
+        ctx: &SentCtx<'_>,
+        domains: &[Domain],
+        plans: &[SkipPlan],
+        use_gsp: bool,
+        con_ready: &[(usize, &NConstraint)],
+        scratch: &Assignment,
+        pi: usize,
+        out: &mut Vec<Assignment>,
+    ) {
+        if pi == plans.len() {
+            let all_ok = con_ready
+                .iter()
+                .all(|(_, c)| constraint_holds(cq, ctx, c, scratch))
+                && subtree_consistent(cq, ctx, scratch);
+            if all_ok {
+                out.push(scratch.clone());
+            }
+            return;
+        }
+        let plan = &plans[pi];
+        let options = if use_gsp {
+            align_gsp(cq, ctx, domains, plan, scratch)
+        } else {
+            align_naive(cq, plan, scratch)
+        };
+        'option: for opt in options {
+            let mut next = scratch.clone();
+            for &(v, span) in &opt {
+                match next[v] {
+                    None => next[v] = Some(span),
+                    Some(prev) if prev == span => {}
+                    Some(_) => continue 'option,
+                }
+            }
+            step(cq, ctx, domains, plans, use_gsp, con_ready, &next, pi + 1, out);
+        }
+    }
+    step(
+        cq, ctx, domains, plans, use_gsp, con_ready, assignment, 0, out,
+    );
+}
+
+/// Whether every assigned subtree variable matches the subtree of its
+/// assigned base binding.
+fn subtree_consistent(cq: &CompiledQuery, ctx: &SentCtx<'_>, assignment: &Assignment) -> bool {
+    cq.norm.vars.iter().enumerate().all(|(i, v)| {
+        let NVarKind::Subtree { base } = &v.kind else {
+            return true;
+        };
+        let base_idx = cq.norm.var(base).expect("base exists");
+        match (assignment[i], assignment[base_idx]) {
+            (Some(span), Some(bspan)) => ctx.subtree_span(bspan.0) == span,
+            _ => true,
+        }
+    })
+}
+
+/// Cap on derived-atom possibilities per horizontal condition — gaps are
+/// short in practice, this only guards adversarial inputs.
+const MAX_ALIGN_OPTIONS: usize = 64;
+
+/// GSP alignment: skipped atoms derived from the gaps between anchors
+/// (Example 4.7). Returns the possible `(var, span)` assignments for the
+/// derived variables plus the target span.
+fn align_gsp(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    domains: &[Domain],
+    plan: &SkipPlan,
+    assignment: &Assignment,
+) -> Vec<Vec<(usize, Span)>> {
+    let n = plan.atoms.len();
+    // Anchor spans (unskipped atoms must already be assigned).
+    let mut anchors: Vec<(usize, Span)> = Vec::new();
+    for (i, &a) in plan.atoms.iter().enumerate() {
+        if !plan.skip[i] {
+            match assignment[a] {
+                Some(s) => anchors.push((i, s)),
+                None => return Vec::new(),
+            }
+        }
+    }
+    if anchors.is_empty() {
+        // Degenerate: a span of only skipped (∧) atoms; unused in practice.
+        return Vec::new();
+    }
+    // Anchor order must respect surface order.
+    for w in anchors.windows(2) {
+        if w[0].1 .1 > w[1].1 .0 {
+            return Vec::new();
+        }
+    }
+
+    let mut options: Vec<Vec<(usize, Span)>> = vec![Vec::new()];
+    let extend = |options: &mut Vec<Vec<(usize, Span)>>, fills: Vec<Vec<(usize, Span)>>| {
+        let mut next = Vec::new();
+        for base in options.iter() {
+            for fill in &fills {
+                let mut merged = base.clone();
+                merged.extend(fill.iter().copied());
+                next.push(merged);
+                if next.len() >= MAX_ALIGN_OPTIONS {
+                    break;
+                }
+            }
+        }
+        *options = next;
+    };
+
+    // Leading group: skipped atoms before the first anchor, anchored on
+    // their right end.
+    let (first_anchor_pos, first_span) = anchors[0];
+    if first_anchor_pos > 0 {
+        let group: Vec<usize> = plan.atoms[..first_anchor_pos].to_vec();
+        let fills = fill_anchored_end(cq, ctx, domains, &group, first_span.0);
+        if fills.is_empty() {
+            return Vec::new();
+        }
+        extend(&mut options, fills);
+    }
+    // Middle groups.
+    for w in anchors.windows(2) {
+        let (ia, sa) = w[0];
+        let (ib, sb) = w[1];
+        if ib == ia + 1 {
+            if sa.1 != sb.0 {
+                return Vec::new(); // adjacent atoms must touch
+            }
+            continue;
+        }
+        let group: Vec<usize> = plan.atoms[ia + 1..ib].to_vec();
+        let fills = fill_gap(cq, ctx, domains, &group, sa.1, sb.0);
+        if fills.is_empty() {
+            return Vec::new();
+        }
+        extend(&mut options, fills);
+    }
+    // Trailing group, anchored on its left end.
+    let (last_anchor_pos, last_span) = *anchors.last().expect("nonempty");
+    if last_anchor_pos + 1 < n {
+        let group: Vec<usize> = plan.atoms[last_anchor_pos + 1..].to_vec();
+        let fills = fill_anchored_start(cq, ctx, domains, &group, last_span.1);
+        if fills.is_empty() {
+            return Vec::new();
+        }
+        extend(&mut options, fills);
+    }
+
+    // Attach the target span to every option.
+    finalize_target(plan, assignment, options)
+}
+
+/// Naive alignment: all atoms (including elastics) are already assigned —
+/// just validate adjacency and derive the target.
+fn align_naive(
+    cq: &CompiledQuery,
+    plan: &SkipPlan,
+    assignment: &Assignment,
+) -> Vec<Vec<(usize, Span)>> {
+    let _ = cq;
+    let mut prev_end: Option<u32> = None;
+    for &a in &plan.atoms {
+        let Some(s) = assignment[a] else {
+            return Vec::new();
+        };
+        if let Some(pe) = prev_end {
+            if s.0 != pe {
+                return Vec::new();
+            }
+        }
+        prev_end = Some(s.1);
+    }
+    finalize_target(plan, assignment, vec![Vec::new()])
+}
+
+/// Compute the target span (first atom start → last atom end) for each
+/// option and append it.
+fn finalize_target(
+    plan: &SkipPlan,
+    assignment: &Assignment,
+    options: Vec<Vec<(usize, Span)>>,
+) -> Vec<Vec<(usize, Span)>> {
+    let span_of = |v: usize, opt: &Vec<(usize, Span)>| -> Option<Span> {
+        opt.iter()
+            .find(|(ov, _)| *ov == v)
+            .map(|(_, s)| *s)
+            .or(assignment[v])
+    };
+    options
+        .into_iter()
+        .filter_map(|mut opt| {
+            let first = span_of(plan.atoms[0], &opt)?;
+            let last = span_of(*plan.atoms.last().expect("atoms nonempty"), &opt)?;
+            opt.push((plan.target, (first.0, last.1)));
+            Some(opt)
+        })
+        .collect()
+}
+
+/// All ways to place `group` atoms exactly covering `[lo, hi)`.
+fn fill_gap(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    domains: &[Domain],
+    group: &[usize],
+    lo: u32,
+    hi: u32,
+) -> Vec<Vec<(usize, Span)>> {
+    if group.is_empty() {
+        return if lo == hi { vec![Vec::new()] } else { Vec::new() };
+    }
+    let v = group[0];
+    let mut out = Vec::new();
+    for end in candidate_ends(cq, ctx, domains, v, lo, hi) {
+        for mut rest in fill_gap(cq, ctx, domains, &group[1..], end, hi) {
+            rest.insert(0, (v, (lo, end)));
+            out.push(rest);
+            if out.len() >= MAX_ALIGN_OPTIONS {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Feasible end positions for atom `v` starting at `lo`, bounded by `hi`.
+fn candidate_ends(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    domains: &[Domain],
+    v: usize,
+    lo: u32,
+    hi: u32,
+) -> Vec<u32> {
+    match (&cq.norm.vars[v].kind, &domains[v]) {
+        (NVarKind::Elastic { conds }, _) => (lo..=hi)
+            .filter(|&end| elastic_span_ok(cq, ctx, conds, (lo, end)))
+            .collect(),
+        (_, Domain::Nodes(tids)) => {
+            if lo < hi && tids.contains(&lo) {
+                vec![lo + 1]
+            } else {
+                vec![]
+            }
+        }
+        (_, Domain::Spans(spans)) => spans
+            .iter()
+            .filter(|s| s.0 == lo && s.1 <= hi)
+            .map(|s| s.1)
+            .collect(),
+        (_, Domain::Derived) => vec![],
+    }
+}
+
+/// Place `group` atoms so the last one ends exactly at `end` (leading
+/// skipped group). Unconstrained elastics collapse to empty spans.
+fn fill_anchored_end(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    domains: &[Domain],
+    group: &[usize],
+    end: u32,
+) -> Vec<Vec<(usize, Span)>> {
+    // Work right-to-left: enumerate start positions for the whole group.
+    // Implementation: try every group start `s ≤ end` and keep exact fills;
+    // bounded because sentences are short.
+    let mut out = Vec::new();
+    for start in (0..=end).rev() {
+        for fill in fill_gap(cq, ctx, domains, group, start, end) {
+            out.push(fill);
+            if out.len() >= MAX_ALIGN_OPTIONS {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Place `group` atoms starting exactly at `start` (trailing skipped
+/// group).
+fn fill_anchored_start(
+    cq: &CompiledQuery,
+    ctx: &SentCtx<'_>,
+    domains: &[Domain],
+    group: &[usize],
+    start: u32,
+) -> Vec<Vec<(usize, Span)>> {
+    let t = ctx.len();
+    let mut out = Vec::new();
+    for end in start..=t {
+        for fill in fill_gap(cq, ctx, domains, group, start, end) {
+            out.push(fill);
+            if out.len() >= MAX_ALIGN_OPTIONS {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::{bind_domains, CompiledQuery};
+    use koko_lang::{normalize, parse_query, queries};
+    use koko_nlp::Pipeline;
+
+    fn compiled(q: &str) -> CompiledQuery {
+        CompiledQuery::compile(normalize(&parse_query(q).unwrap()).unwrap()).unwrap()
+    }
+
+    fn eval_on(cq: &CompiledQuery, text: &str, use_gsp: bool) -> Vec<Assignment> {
+        let s = Pipeline::new().parse_document(0, text).sentences.remove(0);
+        let ctx = SentCtx::new(&s);
+        let domains = bind_domains(cq, &ctx);
+        let plans = plan(cq, &domains, ctx.len());
+        evaluate(cq, &ctx, &domains, &plans, use_gsp)
+    }
+
+    const FIG1: &str = "I ate a chocolate ice cream, which was delicious, and also ate a pie.";
+
+    #[test]
+    fn skip_plan_skips_elastics() {
+        let cq = compiled(queries::EXAMPLE_4_1);
+        let s = Pipeline::new().parse_document(0, FIG1).sentences.remove(0);
+        let ctx = SentCtx::new(&s);
+        let domains = bind_domains(&cq, &ctx);
+        let plans = plan(&cq, &domains, ctx.len());
+        assert_eq!(plans.len(), 1);
+        let p = &plans[0];
+        assert_eq!(p.atoms.len(), 5);
+        // Example 4.6: v1 and v2 (positions 1, 3) are skipped; a, b, c are
+        // iterated (4 loops instead of 6).
+        assert_eq!(p.skip, vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn example_21_tuple() {
+        // Paper: the unique binding a="ate", b="cream", c="delicious",
+        // d = "a chocolate ice cream , which was delicious", e="chocolate
+        // ice cream".
+        let cq = compiled(queries::EXAMPLE_2_1);
+        let tuples = eval_on(&cq, FIG1, true);
+        assert_eq!(tuples.len(), 1, "exactly one binding combination");
+        let t = &tuples[0];
+        let get = |name: &str| t[cq.norm.var(name).unwrap()].unwrap();
+        assert_eq!(get("a"), (1, 2)); // ate
+        assert_eq!(get("b"), (5, 6)); // cream
+        assert_eq!(get("c"), (9, 10)); // delicious
+        assert_eq!(get("d"), (2, 10)); // b.subtree
+        assert_eq!(get("e"), (3, 6)); // chocolate ice cream
+    }
+
+    #[test]
+    fn gsp_and_nogsp_agree() {
+        // Table 1's two systems must produce identical result bags.
+        for q in [
+            queries::EXAMPLE_2_1,
+            queries::EXAMPLE_4_1,
+            "extract x:Str from t if (/ROOT:{ x = //verb + ^ + //noun })",
+        ] {
+            let cq = compiled(q);
+            for text in [
+                FIG1,
+                "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            ] {
+                let mut a = eval_on(&cq, text, true);
+                let mut b = eval_on(&cq, text, false);
+                a.sort();
+                b.sort();
+                a.dedup();
+                b.dedup();
+                assert_eq!(a, b, "query {q:?} on {text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn example_41_span_alignment() {
+        // On the Figure 1 sentence the query has no answer: the constraint
+        // chain forces c = "cream" (the only dobj dominating "delicious"),
+        // but no entity precedes "ate"(1), so e = a + ∧ + b + ∧ + c cannot
+        // align. (The second "ate"/"pie" pair fails c ancestorOf d.)
+        let cq = compiled(queries::EXAMPLE_4_1);
+        let tuples = eval_on(&cq, FIG1, true);
+        assert!(tuples.is_empty(), "{tuples:?}");
+        // A sentence where everything lines up: Anna + gap + ate + gap +
+        // cheesecake, with "delicious" below the dobj.
+        let tuples = eval_on(&cq, "Anna quickly ate some delicious cheesecake.", true);
+        assert_eq!(tuples.len(), 1, "{tuples:?}");
+        let t = &tuples[0];
+        let get = |name: &str| t[cq.norm.var(name).unwrap()].unwrap();
+        assert_eq!(get("a"), (0, 1)); // Anna
+        assert_eq!(get("b"), (2, 3)); // ate
+        assert_eq!(get("c"), (5, 6)); // cheesecake
+        assert_eq!(get("e"), (0, 6)); // the whole aligned span
+    }
+
+    #[test]
+    fn adjacency_is_enforced() {
+        // x = //verb + //noun with no elastic between: only adjacent
+        // verb-noun pairs qualify.
+        let cq = compiled("extract x:Str from t if (/ROOT:{ x = //verb + //noun })");
+        let tuples = eval_on(&cq, "The barista poured a latte.", true);
+        // "poured"(2) followed by "a"(3)? a is DET not NOUN; no adjacent
+        // verb+noun pair exists.
+        assert!(tuples.is_empty());
+        let tuples = eval_on(&cq, "She poured latte art.", true);
+        // poured(1)+latte(2): adjacent pair exists.
+        assert!(!tuples.is_empty());
+    }
+
+    #[test]
+    fn derived_node_atom_is_validated() {
+        // x = //verb + //det + //noun: det is cheap but let's force a skip
+        // by making it the costliest… instead verify correctness: every
+        // returned det really is a det between verb and noun.
+        let cq = compiled("extract x:Str from t if (/ROOT:{ x = //verb + //det + //noun })");
+        let tuples = eval_on(&cq, "The barista poured a latte.", true);
+        assert_eq!(tuples.len(), 1);
+        let t = &tuples[0];
+        let x = t[cq.norm.var("x").unwrap()].unwrap();
+        assert_eq!(x, (2, 5)); // "poured a latte"
+    }
+
+    #[test]
+    fn elastic_with_entity_condition_aligns() {
+        let cq = compiled(
+            "extract x:Str from t if (/ROOT:{ x = //verb + ^[etype=\"Entity\"] })",
+        );
+        let tuples = eval_on(&cq, FIG1, true);
+        // ate(1) followed by… tokens 2.. is "a chocolate…" not an entity at
+        // position 2. But ate(13) followed by (14,15)="a pie"? The entity is
+        // "pie" (15,16) only. No adjacency → check what aligns:
+        // Actually "ate a pie": entity pie starts at 15, verb ends at 14 →
+        // no. Expect empty.
+        assert!(tuples.is_empty());
+        let tuples2 = eval_on(&cq, "She poured cortado.", true);
+        // poured(1) ends at 2; entity "cortado" spans (2,3) → adjacency ok.
+        assert!(!tuples2.is_empty());
+    }
+}

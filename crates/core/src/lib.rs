@@ -1,0 +1,212 @@
+//! `koko-core` — the KOKO query-evaluation engine (§4 of *Scalable Semantic
+//! Querying of Text*, Wang et al., VLDB 2018).
+//!
+//! The engine follows Figure 2's workflow exactly:
+//!
+//! 1. **Normalize** ([`koko_lang::normalize`]) — absolute paths, derived
+//!    constraints, synthesized `∧` variables;
+//! 2. **DPLI** ([`dpli`]) — dominant-path decomposition and multi-index
+//!    lookups producing candidate sentences;
+//! 3. **LoadArticle** — candidate articles decoded from the document store;
+//! 4. **GSP / extract** ([`gsp`], [`binder`]) — skip plans, nested-loop
+//!    binding, alignment of skipped variables, constraint validation;
+//! 5. **Aggregate** ([`aggregate`]) — satisfying/excluding clause scoring
+//!    with document-level evidence aggregation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use koko_core::Koko;
+//!
+//! let koko = Koko::from_texts(&[
+//!     "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+//! ]);
+//! let out = koko.query(koko_lang::queries::EXAMPLE_2_1).unwrap();
+//! assert_eq!(out.rows.len(), 1);
+//! let e = &out.rows[0].values[0];
+//! assert_eq!(e.text, "chocolate ice cream");
+//! ```
+
+pub mod aggregate;
+pub mod binder;
+pub mod dpli;
+pub mod engine;
+pub mod error;
+pub mod gsp;
+pub mod profile;
+
+pub use engine::{EngineOpts, Koko, OutValue, QueryOutput, Row};
+pub use error::Error;
+pub use profile::Profile;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_lang::queries;
+
+    fn fig1_koko() -> Koko {
+        Koko::from_texts(&[
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            "The cafe was busy today.",
+        ])
+    }
+
+    #[test]
+    fn example_21_end_to_end() {
+        // Paper: on the Figure 1 sentence "the query returns the pair
+        // (e, d)" with e = "chocolate ice cream" and d = "a chocolate ice
+        // cream , which was delicious". Our test corpus adds the Example
+        // 3.1 sentence, which legitimately matches too (cheesecake).
+        let koko = fig1_koko();
+        let out = koko.query(queries::EXAMPLE_2_1).unwrap();
+        assert_eq!(out.rows.len(), 2, "{:?}", out.rows);
+        let fig1_row = out.rows.iter().find(|r| r.doc == 0).expect("fig1 row");
+        assert_eq!(fig1_row.values[0].text, "chocolate ice cream");
+        assert_eq!(
+            fig1_row.values[1].text,
+            "a chocolate ice cream , which was delicious"
+        );
+        let anna_row = out.rows.iter().find(|r| r.doc == 1).expect("anna row");
+        assert_eq!(anna_row.values[0].text, "cheesecake");
+        assert!(out.profile.candidate_sentences <= 2);
+    }
+
+    #[test]
+    fn example_22_similarity_queries() {
+        // Paper: Q1 returns Tokyo/Beijing on S2 and nothing on S1; Q2
+        // returns China/Japan on S1 and nothing on S2.
+        let koko = Koko::from_texts(&[
+            "cities in asian countries such as China and Japan.",
+            "cities in asian countries such as Beijing and Tokyo.",
+        ]);
+        let q1 = koko.query(queries::EXAMPLE_2_2_Q1).unwrap();
+        let cities = q1.doc_values("a");
+        assert!(cities.contains(&(1, "Beijing".into())), "{cities:?}");
+        assert!(cities.contains(&(1, "Tokyo".into())), "{cities:?}");
+        assert!(!cities.iter().any(|(d, _)| *d == 0), "{cities:?}");
+        let q2 = koko.query(queries::EXAMPLE_2_2_Q2).unwrap();
+        let countries = q2.doc_values("a");
+        assert!(countries.contains(&(0, "China".into())), "{countries:?}");
+        assert!(countries.contains(&(0, "Japan".into())), "{countries:?}");
+        assert!(!countries.iter().any(|(d, _)| *d == 1), "{countries:?}");
+    }
+
+    #[test]
+    fn example_23_cafe_aggregation() {
+        let koko = Koko::from_texts(&[
+            // Strong boolean evidence (name contains Cafe).
+            "Velvet Moon Cafe opened downtown. The owner was proud.",
+            // Aggregated weak evidence: two descriptor hits.
+            "Quiet Owl serves delicious cappuccinos. Quiet Owl employs excellent baristas. Quiet Owl serves espresso.",
+            // Excluded brand.
+            "They bought a La Marzocco for the bar, a cafe needs one.",
+            // No evidence at all.
+            "Anna visited London in May 1999.",
+        ]);
+        let out = koko.query(queries::EXAMPLE_2_3).unwrap();
+        let names = out.distinct("x");
+        assert!(names.iter().any(|n| n == "Velvet Moon Cafe"), "{names:?}");
+        assert!(names.iter().any(|n| n == "Quiet Owl"), "{names:?}");
+        assert!(!names.iter().any(|n| n == "La Marzocco"), "{names:?}");
+        assert!(!names.iter().any(|n| n == "London"), "{names:?}");
+    }
+
+    #[test]
+    fn title_query_end_to_end() {
+        let koko = Koko::from_texts(&[
+            "Cyd Charisse had been called Sid for years.",
+            "The cafe was busy.",
+        ]);
+        let out = koko.query(queries::TITLE).unwrap();
+        assert_eq!(out.rows.len(), 1, "{:?}", out.rows);
+        let row = &out.rows[0];
+        assert_eq!(row.values[0].text, "Cyd Charisse"); // a:Person
+        assert_eq!(row.values[1].text, "Sid"); // b = p.subtree
+    }
+
+    #[test]
+    fn date_of_birth_query() {
+        let koko = Koko::from_texts(&[
+            "Vera Alys was born in 1911.",
+            "Anna visited London today.",
+        ]);
+        let out = koko.query(queries::DATE_OF_BIRTH).unwrap();
+        let pairs: Vec<(String, String)> = out
+            .rows
+            .iter()
+            .map(|r| (r.values[0].text.clone(), r.values[1].text.clone()))
+            .collect();
+        assert!(
+            pairs.contains(&("Vera Alys".into(), "1911".into())),
+            "{pairs:?}"
+        );
+        // Second document has no verb similar to "born" + no Date.
+        assert!(out.rows.iter().all(|r| r.doc == 0), "{:?}", out.rows);
+    }
+
+    #[test]
+    fn chocolate_query() {
+        let koko = Koko::from_texts(&[
+            "Baking chocolate is a type of chocolate that is prepared for baking.",
+            "Anna ate some cheesecake.",
+        ]);
+        let out = koko.query(queries::CHOCOLATE).unwrap();
+        assert_eq!(out.rows.len(), 1, "{:?}", out.rows);
+        assert_eq!(out.rows[0].values[0].text, "Baking chocolate");
+    }
+
+    #[test]
+    fn gsp_vs_nogsp_same_results() {
+        let texts = [
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Cyd Charisse had been called Sid for years.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+        ];
+        for q in [queries::EXAMPLE_2_1, queries::TITLE, queries::EXAMPLE_4_1] {
+            let gsp = Koko::from_texts(&texts);
+            let mut nogsp = Koko::from_texts(&texts);
+            nogsp.opts.use_gsp = false;
+            let mut a = gsp.query(q).unwrap().rows;
+            let mut b = nogsp.query(q).unwrap().rows;
+            let key = |r: &Row| format!("{:?}", r.values);
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn profile_stages_are_populated() {
+        let koko = fig1_koko();
+        let out = koko.query(queries::EXAMPLE_2_1).unwrap();
+        let p = out.profile;
+        assert!(p.total().as_nanos() > 0);
+        assert!(p.normalize.as_nanos() > 0);
+    }
+
+    #[test]
+    fn store_backed_vs_in_memory_agree() {
+        let mut koko = fig1_koko();
+        let a = koko.query(queries::EXAMPLE_2_1).unwrap().rows;
+        koko.opts.store_backed = false;
+        let b = koko.query(queries::EXAMPLE_2_1).unwrap().rows;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        let koko = fig1_koko();
+        assert!(matches!(
+            koko.query("this is not a query"),
+            Err(Error::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let koko = Koko::from_texts::<&str>(&[]);
+        let out = koko.query(queries::EXAMPLE_2_1).unwrap();
+        assert!(out.rows.is_empty());
+    }
+}

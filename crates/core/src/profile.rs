@@ -1,0 +1,74 @@
+//! Per-stage wall-clock profiling: the six columns of Table 2
+//! (Normalize, DPLI, LoadArticle, GSP, extract, satisfying).
+
+use std::time::Duration;
+
+/// Accumulated stage timings for one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Profile {
+    pub normalize: Duration,
+    pub dpli: Duration,
+    pub load_article: Duration,
+    pub gsp: Duration,
+    pub extract: Duration,
+    pub satisfying: Duration,
+    /// Number of candidate sentences DPLI produced.
+    pub candidate_sentences: usize,
+    /// Number of result rows before aggregation filtering.
+    pub raw_tuples: usize,
+}
+
+impl Profile {
+    /// Total across all stages.
+    pub fn total(&self) -> Duration {
+        self.normalize + self.dpli + self.load_article + self.gsp + self.extract + self.satisfying
+    }
+
+    /// One formatted row matching the Table 2 layout (seconds).
+    pub fn table_row(&self) -> String {
+        fn s(d: Duration) -> f64 {
+            d.as_secs_f64()
+        }
+        format!(
+            "{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+            s(self.normalize),
+            s(self.dpli),
+            s(self.load_article),
+            s(self.gsp),
+            s(self.extract),
+            s(self.satisfying)
+        )
+    }
+
+    /// Merge another profile into this one (for averaging over runs).
+    pub fn add(&mut self, other: &Profile) {
+        self.normalize += other.normalize;
+        self.dpli += other.dpli;
+        self.load_article += other.load_article;
+        self.gsp += other.gsp;
+        self.extract += other.extract;
+        self.satisfying += other.satisfying;
+        self.candidate_sentences += other.candidate_sentences;
+        self.raw_tuples += other.raw_tuples;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rows() {
+        let mut p = Profile::default();
+        p.normalize = Duration::from_millis(1);
+        p.dpli = Duration::from_millis(2);
+        p.extract = Duration::from_millis(3);
+        assert_eq!(p.total(), Duration::from_millis(6));
+        let row = p.table_row();
+        assert_eq!(row.split('\t').count(), 6);
+        let mut q = Profile::default();
+        q.add(&p);
+        q.add(&p);
+        assert_eq!(q.total(), Duration::from_millis(12));
+    }
+}

@@ -1,0 +1,175 @@
+//! Edge-case engine behaviour not covered by the paper's worked examples:
+//! multiple satisfying clauses, `eq` constraints, constrained elastic spans,
+//! regex node conditions end-to-end, and degenerate inputs.
+
+use koko_core::Koko;
+
+#[test]
+fn multiple_satisfying_clauses_filter_independently() {
+    // One clause per output variable (§2.2: "up to one satisfying clause
+    // for each output variable").
+    let koko = Koko::from_texts(&[
+        "cities in asian countries such as Beijing and China.",
+    ]);
+    let out = koko
+        .query(
+            r#"extract a:GPE, b:GPE from "t" if ()
+               satisfying a (a SimilarTo "city" {1.0}) with threshold 0.3
+               satisfying b (b SimilarTo "country" {1.0}) with threshold 0.3"#,
+        )
+        .unwrap();
+    // Only (Beijing, China) survives both filters.
+    let pairs: Vec<(String, String)> = out
+        .rows
+        .iter()
+        .map(|r| (r.values[0].text.clone(), r.values[1].text.clone()))
+        .collect();
+    assert!(pairs.contains(&("Beijing".into(), "China".into())), "{pairs:?}");
+    assert!(
+        !pairs.iter().any(|(a, _)| a == "China"),
+        "China is not city-like: {pairs:?}"
+    );
+    assert!(
+        !pairs.iter().any(|(_, b)| b == "Beijing"),
+        "Beijing is not country-like: {pairs:?}"
+    );
+}
+
+#[test]
+fn eq_constraint() {
+    let koko = Koko::from_texts(&["Anna ate some delicious cheesecake."]);
+    // x eq y with y = the dobj subtree and x a declared span over it.
+    let out = koko
+        .query(
+            r#"extract x:Str from "t" if (/ROOT:{
+                v = //verb, o = v/dobj,
+                x = (o.subtree),
+                y = (o.subtree)
+               } (x) eq (y))"#,
+        )
+        .unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0].values[0].text, "some delicious cheesecake");
+}
+
+#[test]
+fn elastic_with_token_bounds() {
+    let koko = Koko::from_texts(&["Anna quickly ate some delicious cheesecake."]);
+    // Gap of exactly one token between the subject and the verb.
+    let hit = koko
+        .query(
+            r#"extract x:Str from "t" if (/ROOT:{
+                x = //nsubj + ^[mintok=1, maxtok=1] + //verb })"#,
+        )
+        .unwrap();
+    assert_eq!(hit.rows.len(), 1);
+    assert_eq!(hit.rows[0].values[0].text, "Anna quickly ate");
+    // maxtok=0 forbids the gap → no rows.
+    let miss = koko
+        .query(
+            r#"extract x:Str from "t" if (/ROOT:{
+                x = //nsubj + ^[maxtok=0] + //verb })"#,
+        )
+        .unwrap();
+    assert!(miss.rows.is_empty());
+}
+
+#[test]
+fn regex_node_condition_end_to_end() {
+    let koko = Koko::from_texts(&[
+        "Anna visited London in 1999.",
+        "Anna visited London in May.",
+    ]);
+    // Year-shaped pobj via @regex.
+    let out = koko
+        .query(
+            r#"extract y:Str from "t" if (/ROOT:{
+                y = //*[@regex="[0-9]{4}"] })"#,
+        )
+        .unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0].values[0].text, "1999");
+}
+
+#[test]
+fn near_condition_in_satisfying() {
+    let koko = Koko::from_texts(&[
+        "Velvet Moon serves great coffee.",   // distance 2 → 1/3
+        "Iron Anchor was far far far far away from any coffee.", // distance 7 → 1/8
+    ]);
+    let q = |t: f64| {
+        format!(
+            r#"extract x:Entity from "t" if ()
+               satisfying x (x near "coffee" {{1}}) with threshold {t}"#
+        )
+    };
+    let strict = koko.query(&q(0.3)).unwrap();
+    let names = strict.distinct("x");
+    assert!(names.iter().any(|n| n == "Velvet Moon"), "{names:?}");
+    assert!(!names.iter().any(|n| n == "Iron Anchor"), "{names:?}");
+    let lax = koko.query(&q(0.05)).unwrap();
+    assert!(lax.distinct("x").iter().any(|n| n == "Iron Anchor"));
+}
+
+#[test]
+fn mentions_vs_contains_semantics() {
+    // §4.4.1: "chocolate ice cream" contains "ice" (a token), mentions
+    // "choc" (a substring) but does not contain "choc".
+    let koko = Koko::from_texts(&["I ate a chocolate ice cream."]);
+    let run = |cond: &str| {
+        koko.query(&format!(
+            r#"extract x:Entity from "t" if ()
+               satisfying x ({cond} {{1}}) with threshold 0.9"#
+        ))
+        .unwrap()
+        .distinct("x")
+    };
+    assert!(!run(r#"str(x) contains "choc""#).iter().any(|n| n.contains("chocolate")));
+    assert!(run(r#"str(x) mentions "choc""#).iter().any(|n| n.contains("chocolate")));
+    assert!(run(r#"str(x) contains "ice""#).iter().any(|n| n.contains("chocolate")));
+}
+
+#[test]
+fn document_scoped_aggregation_does_not_leak_across_documents() {
+    // Evidence in doc 0 must not credit the same name in doc 1.
+    let koko = Koko::from_texts(&[
+        "Velvet Moon serves espresso. Velvet Moon employs baristas.",
+        "Velvet Moon was mentioned once.",
+    ]);
+    let out = koko
+        .query(
+            r#"extract x:Entity from "t" if ()
+               satisfying x (x [["serves coffee"]] {1}) with threshold 0.3"#,
+        )
+        .unwrap();
+    let docs: Vec<u32> = out
+        .doc_values("x")
+        .into_iter()
+        .filter(|(_, n)| n == "Velvet Moon")
+        .map(|(d, _)| d)
+        .collect();
+    assert_eq!(docs, vec![0], "evidence must stay within its document");
+}
+
+#[test]
+fn whitespace_and_empty_queries() {
+    let koko = Koko::from_texts(&["Anna ate cake."]);
+    assert!(koko.query("").is_err());
+    assert!(koko.query("   \n ").is_err());
+    // Query over an entity type absent from the corpus.
+    let out = koko
+        .query(r#"extract f:Facility from "t" if ()"#)
+        .unwrap();
+    assert!(out.rows.is_empty());
+}
+
+#[test]
+fn wildcard_only_extract_returns_every_sentence_root_binding() {
+    let koko = Koko::from_texts(&["Anna ate cake. She was happy."]);
+    let out = koko
+        .query(r#"extract v:Str from "t" if (/ROOT:{ v = //verb })"#)
+        .unwrap();
+    let texts: Vec<&str> = out.rows.iter().map(|r| r.values[0].text.as_str()).collect();
+    assert!(texts.contains(&"ate"));
+    assert!(texts.contains(&"was"));
+}

@@ -1,0 +1,262 @@
+//! Cafe-blog generator: the stand-in for the BaristaMag and Sprudge corpora
+//! of §6.1 (Figures 3 and 5).
+//!
+//! Articles introduce new cafes the way coffee blogs do: a mix of strong
+//! surface evidence (the name contains "Cafe"/"Roasters", or is followed by
+//! ", a cafe"), weaker *linguistically varied* evidence ("pours excellent
+//! cortados", "hired the star barista") that only descriptor expansion can
+//! credit, and systematic distractors — street addresses, festivals,
+//! espresso-machine brands, people — that exercise the Figure 9 exclude
+//! clauses. Some cafes get only weak evidence (recall pressure at high
+//! thresholds); some non-cafes get partial evidence (precision pressure at
+//! low thresholds), which is what produces the paper's threshold-sweep
+//! shape.
+
+use crate::{pick, rng, LabeledCorpus};
+use koko_nlp::gazetteer as gaz;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which blog the generator imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Shorter articles (the paper: ≈480 words vs. Sprudge's 760), less
+    /// evidence per cafe — descriptors matter more (Figure 5).
+    Barista,
+    /// Longer articles with more (and more literal) evidence.
+    Sprudge,
+}
+
+/// Deterministically generate `n_articles` labelled cafe blog posts.
+pub fn generate(style: Style, n_articles: usize, seed: u64) -> LabeledCorpus {
+    let mut r = rng(seed ^ 0xCAFE);
+    let mut out = LabeledCorpus::default();
+    for _ in 0..n_articles {
+        let (text, gold) = article(style, &mut r);
+        out.texts.push(text);
+        out.truth.push(gold);
+    }
+    out
+}
+
+/// A cafe name plus whether its surface form alone triggers the boolean
+/// name conditions of Figure 9.
+fn cafe_name(r: &mut StdRng) -> (String, bool) {
+    // Combinatorial names (~900 pairs): any split of the corpus leaves most
+    // test names unseen in training, like real newly-opened cafes.
+    let core = format!("{} {}", pick(r, gaz::CAFE_ADJS), pick(r, gaz::CAFE_NOUNS));
+    if r.gen_bool(0.55) {
+        let suffix = pick(r, gaz::CAFE_SUFFIXES);
+        let boolean = matches!(*suffix, "Cafe" | "Coffee" | "Roasters");
+        (format!("{core} {suffix}"), boolean)
+    } else {
+        (core, false)
+    }
+}
+
+/// Weak (descriptor-style) evidence sentences; linguistic variation is the
+/// point — most verbs are paraphrases of "serves", most drinks paraphrases
+/// of "coffee".
+fn weak_evidence(r: &mut StdRng, name: &str) -> String {
+    let serve = ["serves", "sells", "pours", "offers", "serves up"];
+    let drink = [
+        "espresso",
+        "cappuccinos",
+        "macchiatos",
+        "lattes",
+        "cortado",
+        "mocha",
+        "coffee",
+    ];
+    let adj = ["delicious", "excellent", "smooth", "bold", "fresh"];
+    match r.gen_range(0..6) {
+        0 => format!(
+            "{name} {} {} {} daily .",
+            pick(r, &serve),
+            pick(r, &adj),
+            pick(r, &drink)
+        ),
+        1 => format!("{name} recently hired the star barista ."),
+        2 => format!("{name} employs {} baristas .", r.gen_range(2..6)),
+        3 => format!("The baristas of {name} craft {} .", pick(r, &drink)),
+        4 => format!("{name} added a new coffee menu this season ."),
+        5 => format!(
+            "{name} {} a seasonal {} blend .",
+            pick(r, &["brews", "roasts", "crafts"]),
+            pick(r, &["single", "local", "fresh"])
+        ),
+        _ => unreachable!(),
+    }
+}
+
+/// Strong surface evidence (weight-1.0 conditions in Figure 9).
+fn strong_evidence(r: &mut StdRng, name: &str) -> String {
+    let city = pick(r, gaz::CITIES);
+    match r.gen_range(0..3) {
+        0 => format!("{name} , a cafe in {city} , opened this weekend ."),
+        1 => format!("It is a new cafe called {name} ."),
+        2 => format!("Locals love cafes such as {name} ."),
+        _ => unreachable!(),
+    }
+}
+
+/// Distractor sentences exercising the Figure 9 exclude clauses plus
+/// precision pressure. Several distractors reuse the *same sentence frames*
+/// as cafes (a festival that "opened", a person who "pours espresso"), so a
+/// sequence model cannot extract cafes from local context alone.
+fn distractor(r: &mut StdRng, gold_person_evidence: &mut bool) -> String {
+    let city = pick(r, gaz::CITIES);
+    match r.gen_range(0..8) {
+        0 => {
+            let street = pick(r, gaz::STREET_SUFFIXES);
+            format!(
+                "The shop at {} Harbor {street} was busy .",
+                r.gen_range(5..900)
+            )
+        }
+        1 => format!("The {city} Coffee Festival opened in {city} this month ."),
+        2 => {
+            let brand = pick(r, gaz::ESPRESSO_BRANDS);
+            format!("They installed a {brand} behind the bar .")
+        }
+        3 => {
+            // A person with coffee evidence: an honest false-positive trap.
+            *gold_person_evidence = true;
+            let first = pick(r, gaz::FIRST_NAMES);
+            let last = pick(r, gaz::LAST_NAMES);
+            format!("{first} {last} pours excellent espresso at home .")
+        }
+        4 => format!("The neighborhood in {city} felt warm and friendly ."),
+        5 => format!("We visited {city} in {} .", r.gen_range(2005..2018)),
+        6 => {
+            // Organization in a cafe-like frame.
+            let org = pick(r, gaz::ORGS);
+            format!("{org} opened a new office in {city} this month .")
+        }
+        7 => {
+            let first = pick(r, gaz::FIRST_NAMES);
+            let last = pick(r, gaz::LAST_NAMES);
+            format!("{first} {last} serves on the city board in {city} .")
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Varied introduction frames — shared vocabulary with the distractor
+/// frames so local context alone does not identify cafes.
+fn intro(r: &mut StdRng, name: &str) -> String {
+    let city = pick(r, gaz::CITIES);
+    match r.gen_range(0..5) {
+        0 => format!("{name} opened in {city} this month ."),
+        1 => format!("We stopped by {name} on a bright morning ."),
+        2 => format!("{name} sits on a quiet corner of {city} ."),
+        3 => format!("The owner of {name} moved here from {city} ."),
+        4 => format!("Everyone in {city} talks about {name} lately ."),
+        _ => unreachable!(),
+    }
+}
+
+fn article(style: Style, r: &mut StdRng) -> (String, Vec<String>) {
+    let (n_cafes, weak_range, strong_prob, n_distractors) = match style {
+        Style::Barista => (1, 1..=2, 0.45, 2),
+        Style::Sprudge => (if r.gen_bool(0.35) { 2 } else { 1 }, 2..=4, 0.7, 4),
+    };
+    let mut sentences: Vec<String> = Vec::new();
+    let mut gold = Vec::new();
+    for _ in 0..n_cafes {
+        let (name, boolean_name) = cafe_name(r);
+        gold.push(name.clone());
+        // Strong evidence: boolean names already carry it in the name
+        // itself; bare names get a strong sentence with probability
+        // `strong_prob`, otherwise they depend on weak evidence only.
+        if !boolean_name && r.gen_bool(strong_prob) {
+            sentences.push(strong_evidence(r, &name));
+        } else {
+            sentences.push(intro(r, &name));
+        }
+        let n_weak = r.gen_range(weak_range.clone());
+        for _ in 0..n_weak {
+            sentences.push(weak_evidence(r, &name));
+        }
+    }
+    let mut person_evidence = false;
+    for _ in 0..n_distractors {
+        sentences.push(distractor(r, &mut person_evidence));
+    }
+    // Shuffle deterministically (Fisher–Yates with the seeded rng), keeping
+    // the first sentence first so the article opens with its subject.
+    for i in (2..sentences.len()).rev() {
+        let j = r.gen_range(1..=i);
+        sentences.swap(i, j);
+    }
+    (sentences.join(" "), gold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::Pipeline;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(Style::Barista, 10, 1);
+        let b = generate(Style::Barista, 10, 1);
+        assert_eq!(a.texts, b.texts);
+        assert_eq!(a.truth, b.truth);
+        let c = generate(Style::Barista, 10, 2);
+        assert_ne!(a.texts, c.texts);
+    }
+
+    #[test]
+    fn sizes_match_style() {
+        let barista = generate(Style::Barista, 40, 3);
+        let sprudge = generate(Style::Sprudge, 40, 3);
+        let avg = |c: &LabeledCorpus| {
+            c.texts.iter().map(|t| t.split_whitespace().count()).sum::<usize>() as f64
+                / c.len() as f64
+        };
+        assert!(
+            avg(&sprudge) > avg(&barista),
+            "Sprudge articles are longer ({} vs {})",
+            avg(&sprudge),
+            avg(&barista)
+        );
+        assert!(sprudge.num_labels() >= barista.num_labels());
+    }
+
+    #[test]
+    fn gold_names_are_recognizable_entities() {
+        // NER must surface the gold cafes as Other-entities, otherwise the
+        // extraction experiments are unwinnable.
+        let c = generate(Style::Sprudge, 20, 5);
+        let p = Pipeline::new();
+        let mut found = 0usize;
+        let mut total = 0usize;
+        for (text, gold) in c.texts.iter().zip(&c.truth) {
+            let doc = p.parse_document(0, text);
+            let mentions: Vec<String> = doc
+                .sentences
+                .iter()
+                .flat_map(|s| s.entities.iter().map(|m| s.mention_text(m).to_lowercase()))
+                .collect();
+            for g in gold {
+                total += 1;
+                let gl = g.to_lowercase();
+                if mentions.iter().any(|m| *m == gl || gl.starts_with(m.as_str())) {
+                    found += 1;
+                }
+            }
+        }
+        assert!(
+            found as f64 >= 0.9 * total as f64,
+            "only {found}/{total} gold cafes surfaced as entities"
+        );
+    }
+
+    #[test]
+    fn contains_distractor_material() {
+        let c = generate(Style::Sprudge, 60, 7);
+        let all = c.texts.join(" ");
+        assert!(all.contains("Festival") || all.contains("Marzocco") || all.contains("St."));
+    }
+}

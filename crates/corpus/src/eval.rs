@@ -1,0 +1,153 @@
+//! Extraction scoring: precision, recall, F1 against per-document gold
+//! labels (the metric of Figures 3–5).
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// Score predicted `(doc, value)` pairs against per-document gold labels.
+/// Matching is case-insensitive and whitespace-normalized; a prediction is
+/// also accepted when it matches a gold name up to a trailing type word
+/// (crowd workers annotate both "Copper Kettle" and "Copper Kettle Cafe";
+/// we accept either direction on the last token).
+pub fn score(predicted: &[(u32, String)], truth: &[Vec<String>]) -> Prf {
+    let norm = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase();
+    let gold: Vec<Vec<String>> = truth
+        .iter()
+        .map(|doc| doc.iter().map(|g| norm(g)).collect())
+        .collect();
+    let total_gold: usize = gold.iter().map(Vec::len).sum();
+
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    // Track which gold labels were found (per doc, per index).
+    let mut found: Vec<Vec<bool>> = gold.iter().map(|d| vec![false; d.len()]).collect();
+    for (doc, value) in predicted {
+        let v = norm(value);
+        let Some(doc_gold) = gold.get(*doc as usize) else {
+            fp += 1;
+            continue;
+        };
+        match doc_gold.iter().position(|g| name_matches(g, &v)) {
+            Some(i) => {
+                if !found[*doc as usize][i] {
+                    found[*doc as usize][i] = true;
+                    tp += 1;
+                } // duplicate hits of the same gold name are not penalized
+            }
+            None => fp += 1,
+        }
+    }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if total_gold == 0 {
+        0.0
+    } else {
+        tp as f64 / total_gold as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Prf {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Name equivalence: exact, or equal after dropping one trailing word from
+/// either side ("copper kettle cafe" ≈ "copper kettle").
+fn name_matches(gold: &str, pred: &str) -> bool {
+    if gold == pred {
+        return true;
+    }
+    let drop_last = |s: &str| {
+        let mut w: Vec<&str> = s.split_whitespace().collect();
+        if w.len() > 1 {
+            w.pop();
+        }
+        w.join(" ")
+    };
+    drop_last(gold) == pred || gold == drop_last(pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_score() {
+        let truth = vec![vec!["Copper Kettle".to_string()], vec!["Quiet Owl".to_string()]];
+        let pred = vec![(0, "copper kettle".to_string()), (1, "Quiet Owl".to_string())];
+        let s = score(&pred, &truth);
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn false_positives_hit_precision() {
+        let truth = vec![vec!["Copper Kettle".to_string()]];
+        let pred = vec![
+            (0, "Copper Kettle".to_string()),
+            (0, "La Marzocco".to_string()),
+        ];
+        let s = score(&pred, &truth);
+        assert_eq!(s.precision, 0.5);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn misses_hit_recall() {
+        let truth = vec![vec!["Copper Kettle".to_string(), "Quiet Owl".to_string()]];
+        let pred = vec![(0, "Copper Kettle".to_string())];
+        let s = score(&pred, &truth);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+    }
+
+    #[test]
+    fn doc_scoping_matters() {
+        let truth = vec![vec!["Copper Kettle".to_string()], vec![]];
+        let pred = vec![(1, "Copper Kettle".to_string())];
+        let s = score(&pred, &truth);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn trailing_type_word_is_tolerated() {
+        let truth = vec![vec!["Copper Kettle Cafe".to_string()]];
+        let pred = vec![(0, "Copper Kettle".to_string())];
+        assert_eq!(score(&pred, &truth).f1, 1.0);
+        let truth = vec![vec!["Copper Kettle".to_string()]];
+        let pred = vec![(0, "Copper Kettle Cafe".to_string())];
+        assert_eq!(score(&pred, &truth).f1, 1.0);
+    }
+
+    #[test]
+    fn duplicates_not_double_counted() {
+        let truth = vec![vec!["Copper Kettle".to_string()]];
+        let pred = vec![
+            (0, "Copper Kettle".to_string()),
+            (0, "copper kettle".to_string()),
+        ];
+        let s = score(&pred, &truth);
+        assert_eq!((s.precision, s.recall), (1.0, 1.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(score(&[], &[]).f1, 0.0);
+        let truth = vec![vec!["X".to_string()]];
+        assert_eq!(score(&[], &truth).recall, 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! HappyDB-like generator (§6.2): short crowd-sourced "happy moment"
+//! sentences, used for the Figure 7 index benchmarks and Table 1.
+
+use crate::{pick, rng};
+use koko_nlp::gazetteer as gaz;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generate `n` happy moments (each its own document of 1–2 sentences).
+pub fn generate(n: usize, seed: u64) -> Vec<String> {
+    let mut r = rng(seed ^ 0x4A99);
+    (0..n).map(|_| moment(&mut r)).collect()
+}
+
+fn moment(r: &mut StdRng) -> String {
+    let food = pick(r, gaz::FOOD_NOUNS);
+    let city = pick(r, gaz::CITIES);
+    let relation = pick(r, &["friend", "daughter", "son", "family", "dog", "cat"]);
+    let first = match r.gen_range(0..10) {
+        0 => format!("I was happy when I found my old book in the morning ."),
+        1 => format!("I ate a delicious {food} with my {relation} ."),
+        2 => format!("My {relation} bought me a new book today ."),
+        3 => format!("We went to the park and played games together ."),
+        4 => format!("I finally finished my work and felt proud ."),
+        5 => format!("I visited {city} with my {relation} last weekend ."),
+        6 => format!("The barista made a wonderful {food} for me ."),
+        7 => format!("I was glad because my team won the game ."),
+        8 => format!("My {relation} cooked {food} and it was tasty ."),
+        9 => format!("I got a new job in {city} and celebrated tonight ."),
+        _ => unreachable!(),
+    };
+    if r.gen_bool(0.3) {
+        let second = match r.gen_range(0..4) {
+            0 => "It made my whole day bright .".to_string(),
+            1 => format!("We also ate {} together .", pick(r, gaz::FOOD_NOUNS)),
+            2 => "I felt really happy and thankful .".to_string(),
+            3 => "My friends were happy for me too .".to_string(),
+            _ => unreachable!(),
+        };
+        format!("{first} {second}")
+    } else {
+        first
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::Pipeline;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(30, 9), generate(30, 9));
+    }
+
+    #[test]
+    fn moments_are_short_and_parse() {
+        let moments = generate(50, 4);
+        let p = Pipeline::new();
+        for m in &moments {
+            let words = m.split_whitespace().count();
+            assert!(words <= 25, "moment too long: {m}");
+            let doc = p.parse_document(0, m);
+            assert!(!doc.sentences.is_empty());
+            for s in &doc.sentences {
+                assert!(s.root().is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The SyntheticSpan benchmark (§6.2.3): 300 queries with span variables of
+//! 1, 3 and 5 atoms (100 each), rendered as KOKO query text for the
+//! `KOKO&GSP` vs `KOKO&NOGSP` comparison of Table 1.
+//!
+//! Atoms are sampled from real sentences — e.g. the paper's example
+//! `v = //verb + ∧ + /root/xcomp + ∧ + "happy"` — so a controlled fraction
+//! of queries actually match.
+
+use crate::rng;
+use koko_nlp::{Corpus, PosTag, Sentence, Tid};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One benchmark query.
+#[derive(Debug, Clone)]
+pub struct SpanQuery {
+    /// Full KOKO query text (`extract x:Str from …`).
+    pub text: String,
+    /// Number of atoms in the span variable (1, 3, or 5).
+    pub atoms: usize,
+}
+
+/// Generate 100 queries per atom count.
+pub fn generate(corpus: &Corpus, seed: u64) -> Vec<SpanQuery> {
+    let mut r = rng(seed ^ 0x59A9);
+    let mut out = Vec::with_capacity(300);
+    for atoms in [1usize, 3, 5] {
+        for _ in 0..100 {
+            out.push(SpanQuery {
+                text: sample_query(corpus, &mut r, atoms),
+                atoms,
+            });
+        }
+    }
+    out
+}
+
+/// Render one atom for the token at `t` — either its word (quoted) or a
+/// one-step path on its POS tag / parse label.
+fn atom_for(r: &mut StdRng, s: &Sentence, t: Tid) -> String {
+    let tok = &s.tokens[t as usize];
+    match r.gen_range(0..3) {
+        0 => format!("\"{}\"", tok.lower),
+        1 => format!("//{}", tok.pos.name()),
+        _ => format!("//{}", tok.label.name()),
+    }
+}
+
+fn sample_query(corpus: &Corpus, r: &mut StdRng, atoms: usize) -> String {
+    let n = corpus.num_sentences() as u32;
+    let anchors = atoms.div_ceil(2); // 1 → 1, 3 → 2, 5 → 3 concrete atoms
+    for _attempt in 0..200 {
+        let sid = r.gen_range(0..n);
+        let s = corpus.sentence(sid);
+        if s.len() < anchors + 2 {
+            continue;
+        }
+        // Pick `anchors` distinct ascending non-punct token positions.
+        let mut positions: Vec<Tid> = (0..s.len() as Tid)
+            .filter(|&t| s.tokens[t as usize].pos != PosTag::Punct)
+            .collect();
+        if positions.len() < anchors {
+            continue;
+        }
+        // Deterministic sample without replacement, then sort.
+        for i in (1..positions.len()).rev() {
+            let j = r.gen_range(0..=i);
+            positions.swap(i, j);
+        }
+        positions.truncate(anchors);
+        positions.sort_unstable();
+        let rendered: Vec<String> = positions.iter().map(|&t| atom_for(r, s, t)).collect();
+        let expr = rendered.join(" + ^ + ");
+        return format!(
+            "extract x:Str from corpus if (/ROOT:{{ x = {expr} }})"
+        );
+    }
+    // Tiny-corpus fallback.
+    "extract x:Str from corpus if (/ROOT:{ x = //verb })".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_lang::parse_query;
+    use koko_nlp::Pipeline;
+
+    fn corpus() -> Corpus {
+        let texts = crate::happydb::generate(80, 21);
+        Pipeline::new().parse_corpus(&texts)
+    }
+
+    #[test]
+    fn three_hundred_queries() {
+        let c = corpus();
+        let qs = generate(&c, 1);
+        assert_eq!(qs.len(), 300);
+        for want in [1usize, 3, 5] {
+            assert_eq!(qs.iter().filter(|q| q.atoms == want).count(), 100);
+        }
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        let c = corpus();
+        for q in generate(&c, 2) {
+            parse_query(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.text));
+        }
+    }
+
+    #[test]
+    fn atom_counts_match_rendering() {
+        let c = corpus();
+        for q in generate(&c, 3).iter().take(50) {
+            let plus_count = q.text.matches(" + ").count();
+            // atoms=1 → 0 pluses; atoms=3 → 2; atoms=5 → 4.
+            assert_eq!(plus_count + 1, q.atoms.max(1), "{}", q.text);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = corpus();
+        let a = generate(&c, 9);
+        let b = generate(&c, 9);
+        assert_eq!(
+            a.iter().map(|q| &q.text).collect::<Vec<_>>(),
+            b.iter().map(|q| &q.text).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! The SyntheticTree benchmark (§6.2.2): 350 node-variable queries over a
+//! parsed corpus, organized exactly along the paper's axes —
+//!
+//! * **paths** of length 2–5 × attribute types (parse labels; parse labels +
+//!   POS tags; parse labels + POS tags + words) × wildcard (with/without) ×
+//!   anchoring (from the root / not) — 48 settings × 5 queries = 240;
+//! * **trees** with 3–10 labels × attribute types (PL; PL+POS) — 16
+//!   settings × 5 = 80;
+//! * **trees with wildcards** — 6 settings × 5 = 30.
+//!
+//! Queries are *sampled from real corpus structure* (a random sentence's
+//! actual path or subtree), so every query has nonzero selectivity and the
+//! selectivities vary naturally, as in the paper.
+
+use crate::rng;
+use koko_nlp::{tree_stats, Axis, Corpus, NodeLabel, PNode, Sentence, Tid, TreePattern};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One benchmark query.
+#[derive(Debug, Clone)]
+pub struct TreeQuery {
+    pub pattern: TreePattern,
+    /// Human-readable setting id, e.g. `path len=3 attrs=pl+pos wc anchor`.
+    pub setting: String,
+    pub is_path: bool,
+}
+
+/// Attribute mixes of §6.2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Attrs {
+    Pl,
+    PlPos,
+    PlPosWord,
+}
+
+impl Attrs {
+    fn name(self) -> &'static str {
+        match self {
+            Attrs::Pl => "pl",
+            Attrs::PlPos => "pl+pos",
+            Attrs::PlPosWord => "pl+pos+word",
+        }
+    }
+
+    /// Label for pattern node `i` matching corpus token `t`.
+    fn label(self, s: &Sentence, t: Tid, i: usize) -> NodeLabel {
+        let tok = &s.tokens[t as usize];
+        match (self, i % 3) {
+            (Attrs::Pl, _) => NodeLabel::Pl(tok.label),
+            (Attrs::PlPos, _) => {
+                if i % 2 == 0 {
+                    NodeLabel::Pl(tok.label)
+                } else {
+                    NodeLabel::Pos(tok.pos)
+                }
+            }
+            (Attrs::PlPosWord, 0) => NodeLabel::Pl(tok.label),
+            (Attrs::PlPosWord, 1) => NodeLabel::Pos(tok.pos),
+            (Attrs::PlPosWord, _) => NodeLabel::Word(tok.lower.clone()),
+        }
+    }
+}
+
+/// Generate the full 350-query benchmark from a parsed corpus.
+pub fn generate(corpus: &Corpus, seed: u64) -> Vec<TreeQuery> {
+    let mut r = rng(seed ^ 0x7233);
+    let mut out = Vec::with_capacity(350);
+    // 240 path queries.
+    for len in 2..=5usize {
+        for attrs in [Attrs::Pl, Attrs::PlPos, Attrs::PlPosWord] {
+            for wildcard in [false, true] {
+                for anchored in [true, false] {
+                    for qi in 0..5 {
+                        let pattern = sample_path(corpus, &mut r, len, attrs, wildcard, anchored);
+                        out.push(TreeQuery {
+                            pattern,
+                            setting: format!(
+                                "path len={len} attrs={} {} {} q{qi}",
+                                attrs.name(),
+                                if wildcard { "wc" } else { "nowc" },
+                                if anchored { "anchor" } else { "free" }
+                            ),
+                            is_path: true,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // 80 tree queries.
+    for labels in 3..=10usize {
+        for attrs in [Attrs::Pl, Attrs::PlPos] {
+            for qi in 0..5 {
+                let pattern = sample_tree(corpus, &mut r, labels, attrs, false);
+                out.push(TreeQuery {
+                    pattern,
+                    setting: format!("tree n={labels} attrs={} nowc q{qi}", attrs.name()),
+                    is_path: false,
+                });
+            }
+        }
+    }
+    // 30 wildcard tree queries.
+    for labels in [4usize, 6, 8] {
+        for attrs in [Attrs::Pl, Attrs::PlPos] {
+            for qi in 0..5 {
+                let pattern = sample_tree(corpus, &mut r, labels, attrs, true);
+                out.push(TreeQuery {
+                    pattern,
+                    setting: format!("tree n={labels} attrs={} wc q{qi}", attrs.name()),
+                    is_path: false,
+                });
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), 350);
+    out
+}
+
+/// Sample a root-to-node (or mid-tree) path of `len` nodes from a random
+/// sentence.
+fn sample_path(
+    corpus: &Corpus,
+    r: &mut StdRng,
+    len: usize,
+    attrs: Attrs,
+    wildcard: bool,
+    anchored: bool,
+) -> TreePattern {
+    let n = corpus.num_sentences() as u32;
+    for _attempt in 0..200 {
+        let sid = r.gen_range(0..n);
+        let s = corpus.sentence(sid);
+        if s.is_empty() {
+            continue;
+        }
+        let stats = tree_stats(s);
+        // Token whose root-chain is long enough.
+        let min_depth = if anchored { len - 1 } else { len };
+        let candidates: Vec<Tid> = (0..s.len() as Tid)
+            .filter(|&t| (stats[t as usize].depth as usize) >= min_depth)
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let leaf = candidates[r.gen_range(0..candidates.len())];
+        // Walk up to collect the chain, deepest last.
+        let mut chain: Vec<Tid> = vec![leaf];
+        let mut cur = leaf;
+        while let Some(h) = s.tokens[cur as usize].head {
+            chain.push(h);
+            cur = h;
+        }
+        chain.reverse(); // root … leaf
+        let slice: Vec<Tid> = if anchored {
+            chain[..len].to_vec()
+        } else {
+            // A mid-tree segment ending at the leaf.
+            chain[chain.len() - len..].to_vec()
+        };
+        let mut steps: Vec<(Axis, NodeLabel)> = slice
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let axis = if i == 0 && !anchored {
+                    Axis::Descendant
+                } else {
+                    Axis::Child
+                };
+                (axis, attrs.label(s, t, i))
+            })
+            .collect();
+        if wildcard && steps.len() >= 2 {
+            let mid = steps.len() / 2;
+            steps[mid].1 = NodeLabel::Wildcard;
+        }
+        return TreePattern::path(anchored, steps);
+    }
+    // Corpus too shallow for this length: fall back to a trivial path that
+    // still parses (rare; only tiny test corpora hit this).
+    TreePattern::path(
+        false,
+        vec![(Axis::Descendant, NodeLabel::Pl(koko_nlp::ParseLabel::Root))],
+    )
+}
+
+/// Sample a connected `labels`-node subtree (with branching when available).
+fn sample_tree(
+    corpus: &Corpus,
+    r: &mut StdRng,
+    labels: usize,
+    attrs: Attrs,
+    wildcard: bool,
+) -> TreePattern {
+    let n = corpus.num_sentences() as u32;
+    for _attempt in 0..200 {
+        let sid = r.gen_range(0..n);
+        let s = corpus.sentence(sid);
+        if s.len() < labels {
+            continue;
+        }
+        let Some(root) = s.root() else { continue };
+        // BFS from the sentence root, collecting up to `labels` tokens.
+        let mut collected: Vec<(Tid, Option<usize>)> = vec![(root, None)];
+        let mut frontier = vec![(root, 0usize)];
+        while let Some((t, pi)) = frontier.pop() {
+            if collected.len() >= labels {
+                break;
+            }
+            let mut kids: Vec<Tid> = s.children(t).collect();
+            // Deterministic shuffle for variety.
+            for i in (1..kids.len()).rev() {
+                let j = r.gen_range(0..=i);
+                kids.swap(i, j);
+            }
+            for k in kids {
+                if collected.len() >= labels {
+                    break;
+                }
+                collected.push((k, Some(pi)));
+                frontier.insert(0, (k, collected.len() - 1));
+            }
+        }
+        if collected.len() < labels {
+            continue;
+        }
+        let nodes: Vec<PNode> = collected
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, parent))| PNode {
+                parent: parent.map(|p| p as u32),
+                axis: Axis::Child,
+                label: if wildcard && i == labels / 2 && i > 0 {
+                    NodeLabel::Wildcard
+                } else {
+                    attrs.label(s, t, i)
+                },
+            })
+            .collect();
+        return TreePattern {
+            nodes,
+            root_anchored: true,
+        };
+    }
+    sample_path(corpus, r, labels.min(3), attrs, wildcard, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::Pipeline;
+
+    fn corpus() -> Corpus {
+        let texts = crate::wiki::generate(60, 77);
+        Pipeline::new().parse_corpus(&texts)
+    }
+
+    #[test]
+    fn benchmark_has_350_queries() {
+        let c = corpus();
+        let qs = generate(&c, 1);
+        assert_eq!(qs.len(), 350);
+        assert_eq!(qs.iter().filter(|q| q.is_path).count(), 240);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = corpus();
+        let a = generate(&c, 1);
+        let b = generate(&c, 1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pattern, y.pattern);
+        }
+    }
+
+    #[test]
+    fn sampled_queries_match_their_source() {
+        // Every sampled query must match at least one corpus sentence (it
+        // was built from real structure).
+        let c = corpus();
+        let qs = generate(&c, 3);
+        let mut nonzero = 0usize;
+        for q in qs.iter().take(80) {
+            let hits = c
+                .sentences()
+                .filter(|(_, s)| koko_nlp::pattern::matches(&q.pattern, s))
+                .count();
+            if hits > 0 {
+                nonzero += 1;
+            }
+        }
+        assert!(
+            nonzero >= 76,
+            "sampled queries should match the corpus: {nonzero}/80"
+        );
+    }
+
+    #[test]
+    fn settings_cover_all_axes() {
+        let c = corpus();
+        let qs = generate(&c, 1);
+        assert!(qs.iter().any(|q| q.setting.contains("len=5")));
+        assert!(qs.iter().any(|q| q.setting.contains("attrs=pl+pos+word")));
+        assert!(qs.iter().any(|q| q.setting.contains(" wc ")));
+        assert!(qs.iter().any(|q| q.setting.contains("free")));
+        assert!(qs.iter().any(|q| q.setting.contains("tree n=10")));
+        // SUBTREE-supported subset (no words, no wildcards) is large but
+        // partial, as in the paper.
+        let supported = qs
+            .iter()
+            .filter(|q| !q.pattern.has_word() && !q.pattern.has_wildcard())
+            .count();
+        assert!(supported > 100 && supported < 350, "{supported}");
+    }
+}

@@ -1,0 +1,135 @@
+//! WNUT-style tweet generator (§6.1, Figure 4): very short stand-alone
+//! documents mentioning sports teams and facilities — the setting where
+//! KOKO's cross-sentence aggregation cannot help much, so baselines close
+//! the gap (the paper's observation).
+
+use crate::{pick, rng, LabeledCorpus};
+use koko_nlp::gazetteer as gaz;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Tweets plus two gold label sets over the *same* documents.
+#[derive(Debug, Clone, Default)]
+pub struct TweetCorpus {
+    pub texts: Vec<String>,
+    pub teams: Vec<Vec<String>>,
+    pub facilities: Vec<Vec<String>>,
+}
+
+impl TweetCorpus {
+    /// View as a [`LabeledCorpus`] for one entity type.
+    pub fn labeled_teams(&self) -> LabeledCorpus {
+        LabeledCorpus {
+            texts: self.texts.clone(),
+            truth: self.teams.clone(),
+        }
+    }
+
+    pub fn labeled_facilities(&self) -> LabeledCorpus {
+        LabeledCorpus {
+            texts: self.texts.clone(),
+            truth: self.facilities.clone(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+}
+
+/// Generate `n` tweets.
+pub fn generate(n: usize, seed: u64) -> TweetCorpus {
+    let mut r = rng(seed ^ 0x7EE7);
+    let mut out = TweetCorpus::default();
+    for _ in 0..n {
+        let (text, teams, facilities) = tweet(&mut r);
+        out.texts.push(text);
+        out.teams.push(teams);
+        out.facilities.push(facilities);
+    }
+    out
+}
+
+fn tweet(r: &mut StdRng) -> (String, Vec<String>, Vec<String>) {
+    let team_a = pick(r, gaz::TEAMS).to_string();
+    let team_b = pick(r, gaz::TEAMS).to_string();
+    let fac = pick(r, gaz::FACILITY_NAMES).to_string();
+    match r.gen_range(0..10) {
+        0 => (format!("go {team_a} !"), vec![team_a], vec![]),
+        1 => (
+            format!("{team_a} vs {team_b} tonight !"),
+            vec![team_a, team_b],
+            vec![],
+        ),
+        2 => (
+            format!("{team_a} to host {team_b} at {fac} ."),
+            vec![team_a, team_b],
+            vec![fac],
+        ),
+        3 => (
+            format!("watch {team_a} play soccer today ."),
+            vec![team_a],
+            vec![],
+        ),
+        4 => (format!("at {fac} tonight !"), vec![], vec![fac]),
+        5 => (format!("we went to {fac} yesterday ."), vec![], vec![fac]),
+        6 => (
+            format!("go to {fac} for the game ."),
+            vec![],
+            vec![fac],
+        ),
+        7 => {
+            // Distractor: time expression after "at" — the Figure 10
+            // exclude clauses drop these.
+            let hour = r.gen_range(1..12);
+            (format!("see you at {hour} pm today ."), vec![], vec![])
+        }
+        8 => {
+            let first = pick(r, gaz::FIRST_NAMES);
+            (
+                format!("{first} was so happy about the win !"),
+                vec![],
+                vec![],
+            )
+        }
+        9 => {
+            let city = pick(r, gaz::CITIES);
+            (format!("beautiful morning in {city} ."), vec![], vec![])
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate(50, 3);
+        let b = generate(50, 3);
+        assert_eq!(a.texts, b.texts);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn tweets_are_short() {
+        let c = generate(200, 5);
+        let avg = c.texts.iter().map(|t| t.split_whitespace().count()).sum::<usize>() as f64
+            / c.len() as f64;
+        assert!(avg < 10.0, "tweets should be short, got {avg}");
+    }
+
+    #[test]
+    fn both_label_kinds_present() {
+        let c = generate(300, 9);
+        assert!(c.teams.iter().any(|t| !t.is_empty()));
+        assert!(c.facilities.iter().any(|f| !f.is_empty()));
+        let lt = c.labeled_teams();
+        assert_eq!(lt.texts.len(), lt.truth.len());
+    }
+}

@@ -1,0 +1,170 @@
+//! Wikipedia-like article generator (§6.2–6.3).
+//!
+//! Controls the three selectivity classes of Table 2's queries:
+//! * **Chocolate** (low, <1% of articles): `"<Type> chocolate is a type of
+//!   chocolate …"` sentences appear in a small fraction of articles;
+//! * **Title** (medium, ≈10%): `"<Person> had been called <Nick> for
+//!   years."`;
+//! * **DateOfBirth** (high, >70%): biography articles with born/married
+//!   sentences mentioning persons and dates.
+
+use crate::{pick, rng};
+use koko_nlp::gazetteer as gaz;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Selectivity knobs (fractions of articles containing each pattern).
+#[derive(Debug, Clone, Copy)]
+pub struct WikiSpec {
+    pub chocolate_frac: f64,
+    pub title_frac: f64,
+    pub bio_frac: f64,
+    pub min_sentences: usize,
+    pub max_sentences: usize,
+}
+
+impl Default for WikiSpec {
+    fn default() -> Self {
+        WikiSpec {
+            chocolate_frac: 0.008,
+            title_frac: 0.10,
+            bio_frac: 0.75,
+            min_sentences: 6,
+            max_sentences: 14,
+        }
+    }
+}
+
+/// Generate `n_articles` raw article texts.
+pub fn generate(n_articles: usize, seed: u64) -> Vec<String> {
+    generate_with(n_articles, seed, WikiSpec::default())
+}
+
+/// Generate with explicit selectivity knobs.
+pub fn generate_with(n_articles: usize, seed: u64, spec: WikiSpec) -> Vec<String> {
+    let mut r = rng(seed ^ 0x3134);
+    (0..n_articles).map(|_| article(&mut r, spec)).collect()
+}
+
+fn person(r: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        pick(r, gaz::FIRST_NAMES),
+        pick(r, gaz::LAST_NAMES)
+    )
+}
+
+fn year(r: &mut StdRng) -> u32 {
+    r.gen_range(1850..2015)
+}
+
+fn article(r: &mut StdRng, spec: WikiSpec) -> String {
+    let mut sentences: Vec<String> = Vec::new();
+    let subject = person(r);
+    let city = pick(r, gaz::CITIES).to_string();
+    let country = pick(r, gaz::COUNTRIES).to_string();
+
+    if r.gen_bool(spec.bio_frac) {
+        sentences.push(format!("{subject} was born in {} .", year(r)));
+        if r.gen_bool(0.6) {
+            let spouse = person(r);
+            sentences.push(format!(
+                "He was married to {spouse} on {} {} {} in {city} .",
+                r.gen_range(1..28),
+                pick(r, gaz::MONTHS),
+                year(r)
+            ));
+        }
+        if r.gen_bool(0.4) {
+            let child = pick(r, gaz::FIRST_NAMES);
+            sentences.push(format!(
+                "The couple had a daughter {child} born in {} .",
+                year(r)
+            ));
+        }
+    }
+    if r.gen_bool(spec.title_frac) {
+        let nick = pick(r, gaz::FIRST_NAMES);
+        sentences.push(format!("{subject} had been called {nick} for years ."));
+    }
+    if r.gen_bool(spec.chocolate_frac) {
+        let ty = pick(r, gaz::CHOCOLATE_TYPES);
+        sentences.push(format!(
+            "{ty} chocolate is a type of chocolate that is prepared for baking ."
+        ));
+    }
+
+    // Filler facts until the article reaches its size.
+    let target = r.gen_range(spec.min_sentences..=spec.max_sentences);
+    while sentences.len() < target {
+        sentences.push(filler(r, &subject, &city, &country));
+    }
+    // Deterministic shuffle of everything after the opening sentence.
+    for i in (2..sentences.len()).rev() {
+        let j = r.gen_range(1..=i);
+        sentences.swap(i, j);
+    }
+    sentences.join(" ")
+}
+
+fn filler(r: &mut StdRng, subject: &str, city: &str, country: &str) -> String {
+    match r.gen_range(0..8) {
+        0 => format!("The city of {city} is in {country} ."),
+        1 => format!("{subject} visited {city} in {} .", year(r)),
+        2 => format!("{subject} wrote a book about {country} ."),
+        3 => {
+            let team = pick(r, gaz::TEAMS);
+            format!("The {team} won the championship in {} .", year(r))
+        }
+        4 => format!("{subject} studied in {city} and worked in {country} ."),
+        5 => {
+            let food = pick(r, gaz::FOOD_NOUNS);
+            format!("The region is famous for delicious {food} .")
+        }
+        6 => {
+            let other = person(r);
+            format!("{other} described the city as warm and friendly .")
+        }
+        7 => format!("Many people travel to {city} every year ."),
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(20, 5), generate(20, 5));
+        assert_ne!(generate(20, 5), generate(20, 6));
+    }
+
+    #[test]
+    fn selectivities_track_spec() {
+        let n = 600;
+        let arts = generate(n, 11);
+        let frac = |needle: &str| {
+            arts.iter().filter(|a| a.contains(needle)).count() as f64 / n as f64
+        };
+        let born = frac("born in");
+        let called = frac("had been called");
+        let choc = frac("is a type of chocolate");
+        assert!(born > 0.6, "DateOfBirth selectivity high, got {born}");
+        assert!(
+            (0.04..0.2).contains(&called),
+            "Title selectivity medium, got {called}"
+        );
+        assert!(choc < 0.05, "Chocolate selectivity low, got {choc}");
+        assert!(choc > 0.0 || n < 200, "chocolate articles exist at scale");
+    }
+
+    #[test]
+    fn articles_have_size() {
+        let arts = generate(50, 2);
+        for a in &arts {
+            let sents = a.matches(" .").count();
+            assert!(sents >= 5, "article too short: {a}");
+        }
+    }
+}

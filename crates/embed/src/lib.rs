@@ -1,0 +1,428 @@
+//! `koko-embed` — paraphrase-based word embeddings and descriptor expansion.
+//!
+//! The paper (§2.2, §4.4.1(a)) expands descriptors like `"serves coffee"`
+//! into semantically close phrases (`"sells espresso"`) using
+//! *counter-fitted* paraphrase embeddings plus an optional domain ontology.
+//! We cannot ship those trained vectors, so this crate constructs
+//! deterministic vectors from a hand-built paraphrase graph with the same
+//! *relative similarity structure* (see DESIGN.md §2):
+//!
+//! * words in the same synset ≈ 0.85–0.95 cosine,
+//! * instances vs. their type word (Beijing vs. "city") ≈ 0.3–0.6,
+//! * unrelated words ≈ |0.15| noise.
+//!
+//! This is exactly what descriptor expansion and the `similarTo` operator
+//! (Example 2.2) consume.
+
+mod vectors;
+
+pub use vectors::{hash64, DetRng};
+
+use koko_nlp::gazetteer;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+const DIM: usize = 48;
+/// Weight of a word's private noise component within a synset.
+const MEMBER_NOISE: f32 = 0.35;
+/// Weight of an instance's private component relative to its type vector.
+const INSTANCE_NOISE: f32 = 1.0;
+
+/// Hand-built paraphrase synsets (the stand-in for the paraphrase database
+/// that trains counter-fitting embeddings).
+const SYNSETS: &[(&str, &[&str])] = &[
+    (
+        "serve",
+        &[
+            "serve", "serves", "served", "serving", "sell", "sells", "sold", "selling",
+            "offer", "offers", "offered", "pour", "pours", "poured", "pouring",
+        ],
+    ),
+    (
+        "hire",
+        &[
+            "hire", "hires", "hired", "hiring", "employ", "employs", "employed", "recruit",
+            "recruits", "recruited",
+        ],
+    ),
+    (
+        "make",
+        &[
+            "make", "makes", "made", "brew", "brews", "brewed", "craft", "crafts", "crafted",
+            "bake", "bakes", "baked", "roast", "roasts", "roasted",
+        ],
+    ),
+    (
+        "coffee",
+        &[
+            "coffee", "espresso", "cappuccino", "cappuccinos", "macchiato", "macchiatos",
+            "latte", "lattes", "mocha", "cortado",
+        ],
+    ),
+    ("barista", &["barista", "baristas"]),
+    (
+        "delicious",
+        &["delicious", "tasty", "yummy", "flavorful", "scrumptious"],
+    ),
+    ("city", &["city", "cities", "town", "towns"]),
+    ("country", &["country", "countries", "nation", "nations"]),
+    ("born", &["born", "birth"]),
+    (
+        "call",
+        &["called", "named", "nicknamed", "known", "dubbed"],
+    ),
+    ("is", &["is", "was", "are", "were", "be", "being"]),
+    ("team", &["team", "teams", "squad", "club"]),
+    (
+        "venue",
+        &["stadium", "arena", "hall", "venue", "ballpark", "gym"],
+    ),
+    (
+        "happy",
+        &["happy", "glad", "joyful", "delighted", "thrilled"],
+    ),
+    (
+        "visit",
+        &["go", "went", "visit", "visits", "visited", "stop", "stopped"],
+    ),
+    ("host", &["host", "hosts", "hosted", "hosting", "welcome", "welcomes"]),
+    ("menu", &["menu", "list", "lineup", "selection"]),
+    ("soccer", &["soccer", "football", "futbol"]),
+    ("versus", &["vs", "versus", "against"]),
+    ("cafe", &["cafe", "cafes", "coffeehouse", "coffeeshop"]),
+];
+
+/// Type–instance links: `(type synset name, members, base weight)`.
+/// The per-instance weight is jittered deterministically so similarity
+/// values spread out like real embeddings (Example 2.2 shows 0.36–0.51).
+fn instance_links() -> Vec<(&'static str, Vec<&'static str>, f32)> {
+    vec![
+        ("city", gazetteer::CITIES.to_vec(), 0.55),
+        ("country", gazetteer::COUNTRIES.to_vec(), 0.62),
+        ("coffee", vec!["drip", "pourover"], 0.8),
+        ("team", gazetteer::TEAMS.to_vec(), 0.6),
+        ("venue", gazetteer::FACILITY_NAMES.to_vec(), 0.55),
+    ]
+}
+
+/// Deterministic paraphrase embeddings over the KOKO vocabulary.
+#[derive(Debug, Clone)]
+pub struct Embeddings {
+    vecs: HashMap<String, [f32; DIM]>,
+}
+
+impl Default for Embeddings {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Embeddings {
+    /// Build the embedding table (≈1 ms; hash-derived, no I/O).
+    pub fn new() -> Embeddings {
+        let mut vecs: HashMap<String, [f32; DIM]> = HashMap::new();
+        let mut bases: HashMap<&str, [f32; DIM]> = HashMap::new();
+        for (name, _) in SYNSETS {
+            bases.insert(name, vectors::unit_vector::<DIM>(&format!("synset:{name}")));
+        }
+        for (name, members) in SYNSETS {
+            let base = bases[name];
+            for m in *members {
+                let noise: [f32; DIM] = vectors::unit_vector(&format!("word:{m}"));
+                let mut v = [0.0f32; DIM];
+                for i in 0..DIM {
+                    v[i] = base[i] + MEMBER_NOISE * noise[i];
+                }
+                // Words in several synsets blend their bases.
+                if let Some(prev) = vecs.get(&m.to_lowercase()) {
+                    for i in 0..DIM {
+                        v[i] += prev[i];
+                    }
+                }
+                vecs.insert(m.to_lowercase(), vectors::normalize(v));
+            }
+        }
+        for (type_name, members, weight) in instance_links() {
+            let base = bases[type_name];
+            for m in members {
+                let lower = m.to_lowercase();
+                // Deterministic jitter in [0.85, 1.15] of the base weight.
+                let jitter = 0.85 + 0.3 * vectors::unit_fraction(&format!("jitter:{lower}"));
+                let w = weight * jitter as f32;
+                let noise: [f32; DIM] = vectors::unit_vector(&format!("word:{lower}"));
+                let mut v = [0.0f32; DIM];
+                for i in 0..DIM {
+                    v[i] = w * base[i] + INSTANCE_NOISE * noise[i];
+                }
+                vecs.insert(lower, vectors::normalize(v));
+            }
+        }
+        Embeddings { vecs }
+    }
+
+    /// A process-wide shared instance.
+    pub fn shared() -> &'static Embeddings {
+        static SHARED: OnceLock<Embeddings> = OnceLock::new();
+        SHARED.get_or_init(Embeddings::new)
+    }
+
+    /// Merge a user-supplied domain ontology: each set becomes an extra
+    /// synset (the paper's "dictionary of different types of coffee",
+    /// footnote 1).
+    pub fn with_ontology(mut self, sets: &[(&str, &[&str])]) -> Embeddings {
+        for (name, members) in sets {
+            let base: [f32; DIM] = vectors::unit_vector(&format!("ontology:{name}"));
+            for m in *members {
+                let noise: [f32; DIM] = vectors::unit_vector(&format!("word:{m}"));
+                let mut v = [0.0f32; DIM];
+                for i in 0..DIM {
+                    v[i] = base[i] + MEMBER_NOISE * noise[i];
+                }
+                if let Some(prev) = self.vecs.get(&m.to_lowercase()) {
+                    for i in 0..DIM {
+                        v[i] += prev[i];
+                    }
+                }
+                self.vecs.insert(m.to_lowercase(), vectors::normalize(v));
+            }
+        }
+        self
+    }
+
+    /// Vector for a word; unknown words get a deterministic noise vector
+    /// (≈ orthogonal to everything).
+    fn vec_of(&self, word: &str) -> [f32; DIM] {
+        let lower = word.to_lowercase();
+        if let Some(v) = self.vecs.get(&lower) {
+            return *v;
+        }
+        vectors::unit_vector::<DIM>(&format!("word:{lower}"))
+    }
+
+    /// Cosine similarity between two words in `[-1, 1]`.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a.eq_ignore_ascii_case(b) {
+            return 1.0;
+        }
+        let (va, vb) = (self.vec_of(a), self.vec_of(b));
+        vectors::dot(&va, &vb) as f64
+    }
+
+    /// Phrase similarity: cosine of mean word vectors. Multi-token entity
+    /// names ("Blue Heron Cafe") and descriptors ("serves coffee") both go
+    /// through here.
+    pub fn phrase_similarity(&self, a: &str, b: &str) -> f64 {
+        let va = self.phrase_vec(a);
+        let vb = self.phrase_vec(b);
+        vectors::dot(&va, &vb) as f64
+    }
+
+    fn phrase_vec(&self, phrase: &str) -> [f32; DIM] {
+        let mut acc = [0.0f32; DIM];
+        let mut n = 0;
+        for w in phrase.split_whitespace() {
+            let v = self.vec_of(w);
+            for i in 0..DIM {
+                acc[i] += v[i];
+            }
+            n += 1;
+        }
+        if n == 0 {
+            return acc;
+        }
+        vectors::normalize(acc)
+    }
+
+    /// Whether the vocabulary contains the word (known to some synset or
+    /// instance link).
+    pub fn knows(&self, word: &str) -> bool {
+        self.vecs.contains_key(&word.to_lowercase())
+    }
+
+    /// Top-`k` vocabulary neighbours of `word` with similarity ≥ `min_sim`,
+    /// most similar first. This is IKE's `"word" ~ k` operator and the
+    /// per-word step of descriptor expansion.
+    pub fn neighbors(&self, word: &str, k: usize, min_sim: f64) -> Vec<(String, f64)> {
+        let v = self.vec_of(word);
+        let lower = word.to_lowercase();
+        let mut out: Vec<(String, f64)> = self
+            .vecs
+            .iter()
+            .filter(|(w, _)| **w != lower)
+            .map(|(w, wv)| (w.clone(), vectors::dot(&v, wv) as f64))
+            .filter(|(_, s)| *s >= min_sim)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    /// Expand a (possibly multi-word) descriptor into `E(d) = {(d_i, k_i)}`
+    /// (§4.4.1(a)): every combination of per-word paraphrases, scored by the
+    /// product of word similarities, capped at `max_expansions` (KOKO
+    /// "defaults to a fixed number of expanded terms", §5).
+    pub fn expand(&self, descriptor: &str, max_expansions: usize, min_sim: f64) -> Vec<(String, f64)> {
+        let words: Vec<&str> = descriptor.split_whitespace().collect();
+        if words.is_empty() {
+            return Vec::new();
+        }
+        // Per-word alternatives: the word itself (score 1) + neighbours.
+        let mut alts: Vec<Vec<(String, f64)>> = Vec::with_capacity(words.len());
+        for w in &words {
+            let mut a = vec![(w.to_lowercase(), 1.0)];
+            // Expand only content words we know; function words stay fixed.
+            if self.knows(w) {
+                a.extend(self.neighbors(w, 24, min_sim));
+            }
+            alts.push(a);
+        }
+        // Cartesian product, scored by product of similarities.
+        let mut expansions: Vec<(String, f64)> = vec![(String::new(), 1.0)];
+        for a in &alts {
+            let mut next = Vec::with_capacity(expansions.len() * a.len());
+            for (prefix, score) in &expansions {
+                for (w, s) in a {
+                    let phrase = if prefix.is_empty() {
+                        w.clone()
+                    } else {
+                        format!("{prefix} {w}")
+                    };
+                    next.push((phrase, score * s));
+                }
+            }
+            // Keep the beam bounded.
+            next.sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+            next.truncate(max_expansions.max(1) * 4);
+            expansions = next;
+        }
+        expansions.sort_by(|x, y| y.1.total_cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+        expansions.truncate(max_expansions.max(1));
+        expansions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e() -> &'static Embeddings {
+        Embeddings::shared()
+    }
+
+    #[test]
+    fn synset_members_are_close() {
+        assert!(e().similarity("serves", "sells") > 0.7);
+        assert!(e().similarity("hired", "employs") > 0.7);
+        assert!(e().similarity("espresso", "cappuccino") > 0.7);
+        assert!(e().similarity("delicious", "tasty") > 0.7);
+    }
+
+    #[test]
+    fn unrelated_words_are_far() {
+        assert!(e().similarity("espresso", "stadium").abs() < 0.45);
+        assert!(e().similarity("barista", "country").abs() < 0.45);
+        assert!(e().similarity("xyzzy", "coffee").abs() < 0.45);
+    }
+
+    #[test]
+    fn example22_similarity_structure() {
+        // Paper Example 2.2: cities score against "city", countries against
+        // "country", with values in the 0.3–0.6 band and correct ranking.
+        for city in ["Tokyo", "Beijing"] {
+            let to_city = e().similarity(city, "city");
+            let to_country = e().similarity(city, "country");
+            assert!(to_city > 0.25 && to_city < 0.75, "{city}: {to_city}");
+            assert!(to_city > to_country + 0.1, "{city}: {to_city} vs {to_country}");
+        }
+        for country in ["China", "Japan"] {
+            let to_country = e().similarity(country, "country");
+            let to_city = e().similarity(country, "city");
+            assert!(to_country > 0.25 && to_country < 0.8, "{country}: {to_country}");
+            assert!(to_country > to_city + 0.1, "{country}: {to_country} vs {to_city}");
+        }
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_reflexive() {
+        let s1 = e().similarity("serves", "coffee");
+        let s2 = e().similarity("coffee", "serves");
+        assert!((s1 - s2).abs() < 1e-6);
+        assert_eq!(e().similarity("coffee", "coffee"), 1.0);
+        assert_eq!(e().similarity("Coffee", "coffee"), 1.0);
+    }
+
+    #[test]
+    fn expansion_contains_paraphrases() {
+        // 40 expansions is the engine default (EngineOpts::expansion_k).
+        let exps = e().expand("serves coffee", 40, 0.55);
+        assert_eq!(exps[0].0, "serves coffee");
+        assert!((exps[0].1 - 1.0).abs() < 1e-9);
+        let phrases: Vec<&str> = exps.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(
+            phrases.iter().any(|p| p.contains("sells") || p.contains("sell")),
+            "{phrases:?}"
+        );
+        assert!(
+            phrases.iter().any(|p| p.contains("espresso")),
+            "{phrases:?}"
+        );
+        // Scores are sorted and within (0, 1].
+        for w in exps.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(exps.iter().all(|(_, s)| *s > 0.0 && *s <= 1.0));
+    }
+
+    #[test]
+    fn expansion_is_capped() {
+        let exps = e().expand("serves coffee", 5, 0.5);
+        assert!(exps.len() <= 5);
+        let exps = e().expand("employs baristas", 20, 0.55);
+        assert!(exps.len() <= 20);
+        assert!(!exps.is_empty());
+    }
+
+    #[test]
+    fn unknown_words_do_not_expand() {
+        let exps = e().expand("zorbulates quuxify", 20, 0.55);
+        assert_eq!(exps.len(), 1, "{exps:?}");
+    }
+
+    #[test]
+    fn neighbors_ranked_and_bounded() {
+        let ns = e().neighbors("coffee", 5, 0.5);
+        assert!(ns.len() <= 5);
+        assert!(!ns.is_empty());
+        for w in ns.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(ns.iter().all(|(w, _)| w != "coffee"));
+    }
+
+    #[test]
+    fn ontology_extends_vocabulary() {
+        let custom = Embeddings::new().with_ontology(&[("tea", &["sencha", "matcha", "oolong"])]);
+        assert!(custom.similarity("sencha", "matcha") > 0.7);
+        assert!(custom.similarity("sencha", "espresso").abs() < 0.45);
+    }
+
+    #[test]
+    fn phrase_similarity_blends_words() {
+        let s = e().phrase_similarity("serves coffee", "sells espresso");
+        assert!(s > 0.7, "{s}");
+        let far = e().phrase_similarity("serves coffee", "won the championship");
+        assert!(far < 0.5, "{far}");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = Embeddings::new();
+        let b = Embeddings::new();
+        assert_eq!(
+            a.similarity("serves", "sells"),
+            b.similarity("serves", "sells")
+        );
+        assert_eq!(a.expand("serves coffee", 10, 0.5), b.expand("serves coffee", 10, 0.5));
+    }
+}
+

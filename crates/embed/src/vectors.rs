@@ -1,0 +1,114 @@
+//! Deterministic vector primitives: a seedable SplitMix64 generator, hashed
+//! unit vectors, and dense-vector math. No external RNG so embeddings are
+//! bit-identical across builds and platforms.
+
+/// FNV-1a 64-bit hash.
+pub fn hash64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// SplitMix64: tiny, high-quality deterministic generator.
+#[derive(Debug, Clone)]
+pub struct DetRng(u64);
+
+impl DetRng {
+    pub fn new(seed: u64) -> DetRng {
+        DetRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in [-1, 1).
+    pub fn next_signed(&mut self) -> f32 {
+        (self.next_f64() * 2.0 - 1.0) as f32
+    }
+}
+
+/// A unit vector derived deterministically from a string key.
+pub fn unit_vector<const N: usize>(key: &str) -> [f32; N] {
+    let mut rng = DetRng::new(hash64(key));
+    let mut v = [0.0f32; N];
+    for x in v.iter_mut() {
+        *x = rng.next_signed();
+    }
+    normalize(v)
+}
+
+/// A deterministic fraction in [0, 1) derived from a string key.
+pub fn unit_fraction(key: &str) -> f64 {
+    DetRng::new(hash64(key)).next_f64()
+}
+
+/// Normalize to unit length (zero vectors stay zero).
+pub fn normalize<const N: usize>(mut v: [f32; N]) -> [f32; N] {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Dot product.
+pub fn dot<const N: usize>(a: &[f32; N], b: &[f32; N]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable() {
+        assert_eq!(hash64("koko"), hash64("koko"));
+        assert_ne!(hash64("koko"), hash64("kokp"));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_vectors_are_unit() {
+        let v: [f32; 48] = unit_vector("hello");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn distinct_keys_near_orthogonal() {
+        let a: [f32; 48] = unit_vector("alpha");
+        let b: [f32; 48] = unit_vector("beta");
+        assert!(dot(&a, &b).abs() < 0.4);
+    }
+
+    #[test]
+    fn fractions_in_range() {
+        for k in ["a", "b", "c", "d"] {
+            let f = unit_fraction(k);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

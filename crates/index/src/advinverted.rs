@@ -1,0 +1,324 @@
+//! The `ADVINVERTED` baseline (Bird et al. [7, 20], §6.2.1):
+//! `P(label, sid, tid, left, right, depth, pid)`.
+//!
+//! Structure-aware — parent/descendant predicates are expressible as
+//! relational joins — so its effectiveness is near-perfect, but every path
+//! step is a join over full per-label posting lists, which is what makes it
+//! markedly slower than KOKO's hierarchy lookups in Figures 7/8.
+
+use crate::api::CandidateIndex;
+use crate::koko::ROW_OVERHEAD;
+use koko_nlp::{tree_stats, Axis, Corpus, NodeLabel, Sid, Tid, TreePattern};
+use koko_storage::MultiMap;
+
+/// One table row: the quintuple plus the parent pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdvPosting {
+    pub sid: Sid,
+    pub tid: Tid,
+    pub left: Tid,
+    pub right: Tid,
+    pub depth: u16,
+    pub pid: Option<Tid>,
+}
+
+#[derive(Debug, Clone)]
+pub struct AdvInvertedIndex {
+    map: MultiMap<String, AdvPosting>,
+    /// Full token table, for wildcard steps (a sequential scan in SQL).
+    all: Vec<AdvPosting>,
+    num_sentences: u32,
+}
+
+fn word_key(w: &str) -> String {
+    format!("w:{w}")
+}
+fn pl_key(name: &str) -> String {
+    format!("l:{name}")
+}
+fn pos_key(name: &str) -> String {
+    format!("p:{name}")
+}
+
+impl AdvInvertedIndex {
+    pub fn build(corpus: &Corpus) -> AdvInvertedIndex {
+        let mut map: MultiMap<String, AdvPosting> = MultiMap::new();
+        let mut all = Vec::with_capacity(corpus.num_tokens());
+        for (sid, sentence) in corpus.sentences() {
+            let stats = tree_stats(sentence);
+            for (tid, token) in sentence.tokens.iter().enumerate() {
+                let row = AdvPosting {
+                    sid,
+                    tid: tid as Tid,
+                    left: stats[tid].left,
+                    right: stats[tid].right,
+                    depth: stats[tid].depth,
+                    pid: token.head,
+                };
+                all.push(row);
+                // 26-byte payload per row, three rows per token.
+                map.push(word_key(&token.lower), row, 26 + ROW_OVERHEAD);
+                map.push(pl_key(token.label.name()), row, 26 + ROW_OVERHEAD);
+                map.push(pos_key(token.pos.name()), row, 26 + ROW_OVERHEAD);
+            }
+        }
+        AdvInvertedIndex {
+            map,
+            all,
+            num_sentences: corpus.num_sentences() as u32,
+        }
+    }
+
+    /// Candidate rows for one pattern node.
+    fn rows_for(&self, label: &NodeLabel) -> Vec<AdvPosting> {
+        match label {
+            NodeLabel::Word(w) => self.map.get(&word_key(w)).to_vec(),
+            NodeLabel::Pl(l) => self.map.get(&pl_key(l.name())).to_vec(),
+            NodeLabel::Pos(p) => self.map.get(&pos_key(p.name())).to_vec(),
+            NodeLabel::Wildcard => self.all.clone(),
+        }
+    }
+
+    /// Semi-join reduction over the pattern tree (a full reducer pass down
+    /// and up — Yannakakis on an acyclic query), then report the sentences
+    /// of the surviving root rows.
+    fn eval(&self, pattern: &TreePattern) -> Vec<Sid> {
+        let n = pattern.nodes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut cand: Vec<Vec<AdvPosting>> =
+            pattern.nodes.iter().map(|p| self.rows_for(&p.label)).collect();
+        if pattern.root_anchored {
+            cand[0].retain(|r| r.pid.is_none());
+        }
+        // Downward pass: children keep rows with a qualifying parent.
+        for i in 1..n {
+            let parent = pattern.nodes[i].parent.expect("non-root") as usize;
+            let axis = pattern.nodes[i].axis;
+            cand[i] = semi_join(&cand[parent], &cand[i], axis, JoinSide::KeepChild);
+        }
+        // Upward pass: parents keep rows with a qualifying child per edge.
+        for i in (1..n).rev() {
+            let parent = pattern.nodes[i].parent.expect("non-root") as usize;
+            let axis = pattern.nodes[i].axis;
+            cand[parent] = semi_join(&cand[i], &cand[parent], axis, JoinSide::KeepParent);
+        }
+        let mut sids: Vec<Sid> = cand[0].iter().map(|r| r.sid).collect();
+        sids.sort_unstable();
+        sids.dedup();
+        sids
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum JoinSide {
+    KeepChild,
+    KeepParent,
+}
+
+/// Keep rows of `keep_from` that have a partner in `other` satisfying the
+/// axis relation. `other` plays parent when keeping children and child when
+/// keeping parents. Merge join on `sid` with per-sentence nested loops.
+fn semi_join(
+    other: &[AdvPosting],
+    keep_from: &[AdvPosting],
+    axis: Axis,
+    side: JoinSide,
+) -> Vec<AdvPosting> {
+    let mut out = Vec::new();
+    let (mut oi, mut ki) = (0usize, 0usize);
+    while oi < other.len() && ki < keep_from.len() {
+        let osid = other[oi].sid;
+        let ksid = keep_from[ki].sid;
+        if osid < ksid {
+            oi += 1;
+        } else if ksid < osid {
+            ki += 1;
+        } else {
+            let o_end = other[oi..].partition_point(|r| r.sid == osid) + oi;
+            let k_end = keep_from[ki..].partition_point(|r| r.sid == ksid) + ki;
+            for k in &keep_from[ki..k_end] {
+                let ok = other[oi..o_end].iter().any(|o| {
+                    let (parent, child) = match side {
+                        JoinSide::KeepChild => (o, k),
+                        JoinSide::KeepParent => (k, o),
+                    };
+                    match axis {
+                        Axis::Child => child.pid == Some(parent.tid),
+                        Axis::Descendant => {
+                            parent.left <= child.left
+                                && parent.right >= child.right
+                                && child.depth > parent.depth
+                        }
+                    }
+                });
+                if ok {
+                    out.push(*k);
+                }
+            }
+            oi = o_end;
+            ki = k_end;
+        }
+    }
+    out
+}
+
+impl CandidateIndex for AdvInvertedIndex {
+    fn name(&self) -> &'static str {
+        "ADVINVERTED"
+    }
+
+    fn build_from(corpus: &Corpus) -> Self {
+        AdvInvertedIndex::build(corpus)
+    }
+
+    fn lookup(&self, pattern: &TreePattern) -> Option<Vec<Sid>> {
+        if pattern.is_empty() {
+            return Some((0..self.num_sentences).collect());
+        }
+        // Fully-unconstrained patterns match everything.
+        if pattern.nodes.iter().all(|n| n.label == NodeLabel::Wildcard) && !pattern.root_anchored
+        {
+            return Some((0..self.num_sentences).collect());
+        }
+        Some(self.eval(pattern))
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.map.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{effectiveness, ground_truth_sids};
+    use koko_nlp::{ParseLabel, Pipeline, PosTag};
+
+    fn corpus() -> Corpus {
+        Pipeline::new().parse_corpus(&[
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            "The delicious latte was popular.",
+        ])
+    }
+
+    #[test]
+    fn near_perfect_effectiveness() {
+        let c = corpus();
+        let idx = AdvInvertedIndex::build(&c);
+        let patterns = vec![
+            TreePattern::path(
+                true,
+                vec![
+                    (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                    (Axis::Child, NodeLabel::Pl(ParseLabel::Dobj)),
+                    (Axis::Descendant, NodeLabel::Word("delicious".into())),
+                ],
+            ),
+            TreePattern::path(
+                false,
+                vec![
+                    (Axis::Descendant, NodeLabel::Pos(PosTag::Verb)),
+                    (Axis::Child, NodeLabel::Pl(ParseLabel::Dobj)),
+                ],
+            ),
+            TreePattern::path(
+                false,
+                vec![
+                    (Axis::Descendant, NodeLabel::Word("delicious".into())),
+                    (Axis::Descendant, NodeLabel::Word("ate".into())),
+                ],
+            ),
+        ];
+        for p in &patterns {
+            let truth = ground_truth_sids(&c, p);
+            let cands = idx.lookup(p).unwrap();
+            for t in &truth {
+                assert!(cands.contains(t), "missing {t} for {}", p.render());
+            }
+            assert_eq!(
+                effectiveness(&cands, &truth),
+                1.0,
+                "semi-join reduction is exact on tree queries: {}",
+                p.render()
+            );
+        }
+    }
+
+    #[test]
+    fn wildcard_scan() {
+        let c = corpus();
+        let idx = AdvInvertedIndex::build(&c);
+        // //*/nn: any token with an nn child… expressed as parent wildcard.
+        let p = TreePattern::path(
+            false,
+            vec![
+                (Axis::Descendant, NodeLabel::Wildcard),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Nn)),
+            ],
+        );
+        let truth = ground_truth_sids(&c, &p);
+        let cands = idx.lookup(&p).unwrap();
+        assert_eq!(cands, truth);
+    }
+
+    #[test]
+    fn branching_pattern() {
+        let c = corpus();
+        let idx = AdvInvertedIndex::build(&c);
+        let pattern = TreePattern {
+            nodes: vec![
+                koko_nlp::PNode {
+                    parent: None,
+                    axis: Axis::Child,
+                    label: NodeLabel::Pl(ParseLabel::Root),
+                },
+                koko_nlp::PNode {
+                    parent: Some(0),
+                    axis: Axis::Child,
+                    label: NodeLabel::Pl(ParseLabel::Nsubj),
+                },
+                koko_nlp::PNode {
+                    parent: Some(0),
+                    axis: Axis::Descendant,
+                    label: NodeLabel::Word("delicious".into()),
+                },
+            ],
+            root_anchored: true,
+        };
+        let truth = ground_truth_sids(&c, &pattern);
+        let cands = idx.lookup(&pattern).unwrap();
+        assert_eq!(cands, truth);
+    }
+
+    #[test]
+    fn bigger_footprint_than_koko() {
+        // Figure 6(b)'s ordering (KOKO < INVERTED < ADVINVERTED) relies on
+        // hierarchy-node merging, which needs more than a couple of
+        // sentences to amortize — build a few hundred.
+        let templates = [
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            "The delicious latte was popular. The barista poured a cortado.",
+            "The cafe serves espresso in Portland. Maria hired a star barista.",
+            "He was born in London, and the couple had a daughter born in 1911.",
+        ];
+        let texts: Vec<&str> = (0..100).map(|i| templates[i % templates.len()]).collect();
+        let c = Pipeline::new().parse_corpus(&texts);
+        let adv = AdvInvertedIndex::build(&c);
+        let koko = crate::KokoIndex::build(&c);
+        let inv = crate::InvertedIndex::build(&c);
+        assert!(
+            adv.approx_bytes() > inv.approx_bytes(),
+            "ADVINVERTED stores wider rows than INVERTED"
+        );
+        assert!(
+            koko.approx_bytes() < inv.approx_bytes(),
+            "KOKO ({}) should be smaller than INVERTED ({}) — Figure 6(b)",
+            koko.approx_bytes(),
+            inv.approx_bytes()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! The common benchmark interface for all four indexing schemes (§6.2.2)
+//! plus the effectiveness metric.
+
+use koko_nlp::{Corpus, Sid, TreePattern};
+
+/// An indexing scheme that can produce candidate sentences for a tree
+/// pattern.
+pub trait CandidateIndex {
+    /// Scheme name as printed in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Build the index from a parsed corpus.
+    fn build_from(corpus: &Corpus) -> Self
+    where
+        Self: Sized;
+
+    /// Candidate sentence ids (sorted, deduplicated). Must be *complete*
+    /// (a superset of all truly matching sentences). `None` means the
+    /// scheme does not support this query (§6.2.1: SUBTREE supports only a
+    /// subset of the benchmark).
+    fn lookup(&self, pattern: &TreePattern) -> Option<Vec<Sid>>;
+
+    /// Approximate index footprint in bytes (Figure 6(b)).
+    fn approx_bytes(&self) -> usize;
+}
+
+/// Sentences that truly match `pattern`, by direct tree matching — the
+/// denominator-free ground truth of the effectiveness metric.
+pub fn ground_truth_sids(corpus: &Corpus, pattern: &TreePattern) -> Vec<Sid> {
+    corpus
+        .sentences()
+        .filter(|(_, s)| koko_nlp::pattern::matches(pattern, s))
+        .map(|(sid, _)| sid)
+        .collect()
+}
+
+/// Index effectiveness (§6.2.2): the ratio of truly matching sentences to
+/// sentences returned by the index. 1.0 when the index returns only true
+/// matches; defined as 1.0 for an empty candidate set (nothing wrong was
+/// returned).
+pub fn effectiveness(candidates: &[Sid], truth: &[Sid]) -> f64 {
+    if candidates.is_empty() {
+        return 1.0;
+    }
+    let truth_hits = candidates.iter().filter(|c| truth.contains(c)).count();
+    truth_hits as f64 / candidates.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::{Axis, NodeLabel, ParseLabel, Pipeline};
+
+    #[test]
+    fn effectiveness_bounds() {
+        assert_eq!(effectiveness(&[], &[1, 2]), 1.0);
+        assert_eq!(effectiveness(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(effectiveness(&[1, 2, 3, 4], &[1, 2]), 0.5);
+        assert_eq!(effectiveness(&[3, 4], &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn ground_truth_matches_direct_evaluation() {
+        let p = Pipeline::new();
+        let corpus = p.parse_corpus(&[
+            "Anna ate some delicious cheesecake.",
+            "The cafe was busy.",
+        ]);
+        let pattern = TreePattern::path(
+            true,
+            vec![
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Dobj)),
+            ],
+        );
+        assert_eq!(ground_truth_sids(&corpus, &pattern), vec![0]);
+    }
+}

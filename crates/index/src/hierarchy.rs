@@ -1,0 +1,424 @@
+//! The hierarchy index (§3.2): a compact merged representation of all
+//! dependency trees for one label kind (parse labels or POS tags).
+//!
+//! Children with identical labels are merged recursively, so every index
+//! node is identified by a unique label path from the root, and carries the
+//! posting list of all tokens reachable via that path. Merging removes
+//! >99% of nodes (the paper reports >99.7% on Wikipedia) —
+//! [`HierarchyIndex::compression_ratio`] reports the measured figure.
+//!
+//! Postings are stored as `u32` references into the corpus-wide token heap
+//! (the `W` table), mirroring the paper's storage layout where hierarchy
+//! posting lists are obtained by joining the closure table with `W` on
+//! `plid`/`posid` (§6.2.1).
+
+use koko_nlp::{Axis, Corpus, ParseLabel, PosTag, Sentence, Tid, Token};
+use std::collections::BTreeMap;
+
+/// A label kind that can key a hierarchy index.
+pub trait HierLabel: Copy + Ord + std::fmt::Debug {
+    /// Label of a token under this kind.
+    fn of(token: &Token) -> Self;
+    /// Dense code (for closure-table export).
+    fn code(self) -> u16;
+    /// Human-readable name.
+    fn name(self) -> &'static str;
+}
+
+impl HierLabel for ParseLabel {
+    fn of(token: &Token) -> Self {
+        token.label
+    }
+    fn code(self) -> u16 {
+        self as u16
+    }
+    fn name(self) -> &'static str {
+        ParseLabel::name(self)
+    }
+}
+
+impl HierLabel for PosTag {
+    fn of(token: &Token) -> Self {
+        token.pos
+    }
+    fn code(self) -> u16 {
+        self as u16
+    }
+    fn name(self) -> &'static str {
+        PosTag::name(self)
+    }
+}
+
+/// One merged node.
+#[derive(Debug, Clone)]
+struct HNode<L: HierLabel> {
+    label: Option<L>,
+    parent: Option<u32>,
+    depth: u16,
+    children: BTreeMap<L, u32>,
+    /// Token-heap references (resolve through [`super::koko::KokoIndex`]).
+    postings: Vec<u32>,
+}
+
+/// A hierarchy index over one label kind.
+#[derive(Debug, Clone)]
+pub struct HierarchyIndex<L: HierLabel> {
+    /// `nodes[0]` is the synthetic super-root (the paper's "dummy node"
+    /// above every dependency root, §3.2).
+    nodes: Vec<HNode<L>>,
+    total_tokens: usize,
+}
+
+impl<L: HierLabel> Default for HierarchyIndex<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: HierLabel> HierarchyIndex<L> {
+    pub fn new() -> Self {
+        HierarchyIndex {
+            nodes: vec![HNode {
+                label: None,
+                parent: None,
+                depth: 0,
+                children: BTreeMap::new(),
+                postings: Vec::new(),
+            }],
+            total_tokens: 0,
+        }
+    }
+
+    /// Build from a whole corpus, also returning each token's node id
+    /// (the `plid`/`posid` column of the `W` table). `heap_base[sid]` gives
+    /// the token-heap base offset of sentence `sid`.
+    pub fn build(corpus: &Corpus, heap_base: &[u32]) -> (Self, Vec<u32>) {
+        let mut index = HierarchyIndex::new();
+        let mut token_nodes = vec![0u32; corpus.num_tokens()];
+        for (sid, sentence) in corpus.sentences() {
+            index.insert_sentence(
+                sentence,
+                heap_base[sid as usize],
+                &mut token_nodes,
+            );
+        }
+        (index, token_nodes)
+    }
+
+    fn insert_sentence(&mut self, sentence: &Sentence, base: u32, token_nodes: &mut [u32]) {
+        let Some(root) = sentence.root() else {
+            return;
+        };
+        // Depth-first walk mirroring the dependency tree.
+        let mut stack: Vec<(Tid, u32)> = vec![(root, 0)];
+        while let Some((tid, parent_node)) = stack.pop() {
+            let label = L::of(&sentence.tokens[tid as usize]);
+            let node = self.child_or_insert(parent_node, label);
+            self.nodes[node as usize].postings.push(base + tid);
+            token_nodes[(base + tid) as usize] = node;
+            self.total_tokens += 1;
+            for c in sentence.children(tid) {
+                stack.push((c, node));
+            }
+        }
+    }
+
+    fn child_or_insert(&mut self, parent: u32, label: L) -> u32 {
+        if let Some(&c) = self.nodes[parent as usize].children.get(&label) {
+            return c;
+        }
+        let id = self.nodes.len() as u32;
+        let depth = self.nodes[parent as usize].depth + 1;
+        self.nodes.push(HNode {
+            label: Some(label),
+            parent: Some(parent),
+            depth,
+            children: BTreeMap::new(),
+            postings: Vec::new(),
+        });
+        self.nodes[parent as usize].children.insert(label, id);
+        id
+    }
+
+    /// Number of merged nodes (excluding the super-root).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Fraction of nodes eliminated by merging: `1 - nodes/tokens`.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.total_tokens == 0 {
+            return 0.0;
+        }
+        1.0 - self.num_nodes() as f64 / self.total_tokens as f64
+    }
+
+    /// Evaluate a label path. `anchored` paths start at the dependency root
+    /// (the super-root's children); unanchored paths may start anywhere.
+    /// Returns the union of posting references at every matching node.
+    pub fn lookup(&self, steps: &[(Axis, Option<L>)], anchored: bool) -> Vec<u32> {
+        let node_ids = self.lookup_nodes(steps, anchored);
+        let mut out = Vec::new();
+        for id in node_ids {
+            out.extend_from_slice(&self.nodes[id as usize].postings);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The matching index nodes for a path (the paper's "unique path"
+    /// addressing, Example 3.3).
+    pub fn lookup_nodes(&self, steps: &[(Axis, Option<L>)], anchored: bool) -> Vec<u32> {
+        if steps.is_empty() {
+            return Vec::new();
+        }
+        // Frontier of node ids matched for the current prefix.
+        let mut frontier: Vec<u32> = Vec::new();
+        let (first_axis, first_label) = &steps[0];
+        let effective_axis = if anchored { *first_axis } else { Axis::Descendant };
+        self.step_from(0, effective_axis, first_label, &mut frontier);
+        for (axis, label) in &steps[1..] {
+            let mut next = Vec::new();
+            for &n in &frontier {
+                self.step_from(n, *axis, label, &mut next);
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        frontier
+    }
+
+    /// Collect nodes reachable from `from` via one axis step matching
+    /// `label` (`None` = wildcard).
+    fn step_from(&self, from: u32, axis: Axis, label: &Option<L>, out: &mut Vec<u32>) {
+        match axis {
+            Axis::Child => {
+                let node = &self.nodes[from as usize];
+                match label {
+                    Some(l) => {
+                        if let Some(&c) = node.children.get(l) {
+                            out.push(c);
+                        }
+                    }
+                    None => out.extend(node.children.values().copied()),
+                }
+            }
+            Axis::Descendant => {
+                // BFS over the merged trie (tiny: <0.3% of token count).
+                let mut stack: Vec<u32> = self.nodes[from as usize]
+                    .children
+                    .values()
+                    .copied()
+                    .collect();
+                while let Some(n) = stack.pop() {
+                    let node = &self.nodes[n as usize];
+                    if match label {
+                        Some(l) => node.label == Some(*l),
+                        None => true,
+                    } {
+                        out.push(n);
+                    }
+                    stack.extend(node.children.values().copied());
+                }
+            }
+        }
+    }
+
+    /// Posting references of one node id.
+    pub fn postings_of(&self, node: u32) -> &[u32] {
+        &self.nodes[node as usize].postings
+    }
+
+    /// Approximate footprint: node structures + packed posting references
+    /// (4 bytes per token per hierarchy; see module docs).
+    pub fn approx_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| 16 + n.children.len() * 8)
+            .sum();
+        node_bytes + self.total_tokens * 4
+    }
+
+    /// Export as a closure table (§6.2.1's `PL`/`POS` schema): one row per
+    /// (node, ancestor-or-self) pair.
+    pub fn to_closure_table(&self) -> koko_storage::ClosureTable {
+        let mut ct = koko_storage::ClosureTable::new();
+        for (id, node) in self.nodes.iter().enumerate().skip(1) {
+            let label = node.label.expect("non-root node has a label");
+            // Walk ancestors including self.
+            let mut cur = Some(id as u32);
+            while let Some(a) = cur {
+                let anode = &self.nodes[a as usize];
+                if let Some(alabel) = anode.label {
+                    ct.insert(koko_storage::ClosureRow {
+                        id: id as u32,
+                        label: label.code(),
+                        depth: node.depth,
+                        aid: a,
+                        alabel: alabel.code(),
+                        adepth: anode.depth,
+                    });
+                }
+                cur = anode.parent;
+            }
+        }
+        ct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::Pipeline;
+
+    fn corpus() -> Corpus {
+        let p = Pipeline::new();
+        p.parse_corpus(&[
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+        ])
+    }
+
+    fn heap_base(c: &Corpus) -> Vec<u32> {
+        let mut base = Vec::new();
+        let mut acc = 0u32;
+        for (_, s) in c.sentences() {
+            base.push(acc);
+            acc += s.len() as u32;
+        }
+        base
+    }
+
+    #[test]
+    fn merging_produces_unique_child_labels() {
+        let c = corpus();
+        let (idx, _) = HierarchyIndex::<ParseLabel>::build(&c, &heap_base(&c));
+        for node in &idx.nodes {
+            // BTreeMap keys are unique by construction; verify counts add up.
+            assert!(node.children.len() <= ParseLabel::ALL.len());
+        }
+        // Both sentences share /root, /root/nsubj, /root/dobj… so the node
+        // count is far below the token count.
+        assert!(idx.num_nodes() < c.num_tokens());
+        assert!(idx.compression_ratio() > 0.3);
+    }
+
+    #[test]
+    fn postings_partition_tokens() {
+        // Every token lands in exactly one node's posting list (§3.2).
+        let c = corpus();
+        let (idx, token_nodes) = HierarchyIndex::<ParseLabel>::build(&c, &heap_base(&c));
+        let total: usize = idx.nodes.iter().map(|n| n.postings.len()).sum();
+        assert_eq!(total, c.num_tokens());
+        for (i, &node) in token_nodes.iter().enumerate() {
+            assert!(idx.postings_of(node).contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn example33_paths() {
+        // The PL-index rows of Example 3.3: /root/dobj/nn holds both
+        // "chocolate" and "ice" (merged); /root/dobj/amod holds "delicious"
+        // of sentence 1.
+        let c = corpus();
+        let base = heap_base(&c);
+        let (idx, _) = HierarchyIndex::<ParseLabel>::build(&c, &base);
+        let steps = |labels: &[ParseLabel]| {
+            labels
+                .iter()
+                .map(|l| (Axis::Child, Some(*l)))
+                .collect::<Vec<_>>()
+        };
+        let nn = idx.lookup(
+            &steps(&[ParseLabel::Root, ParseLabel::Dobj, ParseLabel::Nn]),
+            true,
+        );
+        // Sentence 0: chocolate(3) and ice(4) merged under one node.
+        // (Sentence 1's "grocery" is deeper: /root/dobj/rcmod/prep/pobj/nn.)
+        assert_eq!(nn, vec![3, 4]);
+        let amod = idx.lookup(
+            &steps(&[ParseLabel::Root, ParseLabel::Dobj, ParseLabel::Amod]),
+            true,
+        );
+        assert_eq!(amod, vec![base[1] + 3]); // "delicious" in sentence 1
+        let root = idx.lookup(&steps(&[ParseLabel::Root]), true);
+        assert_eq!(root, vec![1, base[1] + 1]); // both "ate"s
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let c = corpus();
+        let base = heap_base(&c);
+        let (idx, _) = HierarchyIndex::<ParseLabel>::build(&c, &base);
+        // /root//amod: any amod below the root.
+        let hits = idx.lookup(
+            &[
+                (Axis::Child, Some(ParseLabel::Root)),
+                (Axis::Descendant, Some(ParseLabel::Amod)),
+            ],
+            true,
+        );
+        assert!(hits.contains(&(base[1] + 3)));
+    }
+
+    #[test]
+    fn unanchored_lookup() {
+        let c = corpus();
+        let base = heap_base(&c);
+        let (idx, _) = HierarchyIndex::<ParseLabel>::build(&c, &base);
+        // //nn anywhere.
+        let hits = idx.lookup(&[(Axis::Child, Some(ParseLabel::Nn))], false);
+        assert!(hits.contains(&3) && hits.contains(&4) && hits.contains(&(base[1] + 10)));
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let c = corpus();
+        let (idx, _) = HierarchyIndex::<ParseLabel>::build(&c, &heap_base(&c));
+        // /root/*: all children of the root across the corpus.
+        let kids = idx.lookup(&[(Axis::Child, Some(ParseLabel::Root)), (Axis::Child, None)], true);
+        assert!(!kids.is_empty());
+    }
+
+    #[test]
+    fn pos_hierarchy_builds_too() {
+        let c = corpus();
+        let (idx, _) = HierarchyIndex::<PosTag>::build(&c, &heap_base(&c));
+        let verbs = idx.lookup(&[(Axis::Child, Some(PosTag::Verb))], false);
+        assert!(verbs.len() >= 3); // ate, ate, was, bought…
+    }
+
+    #[test]
+    fn closure_table_export() {
+        let c = corpus();
+        let (idx, _) = HierarchyIndex::<ParseLabel>::build(&c, &heap_base(&c));
+        let ct = idx.to_closure_table();
+        // Row count = sum over nodes of (depth) — every node × each
+        // ancestor-or-self with a label.
+        assert!(ct.len() >= idx.num_nodes());
+        // nn nodes with a dobj parent exist (Example 3.3).
+        let hits = ct.nodes_with_ancestor(ParseLabel::Nn.code(), ParseLabel::Dobj.code(), Some(1));
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn missing_path_returns_empty() {
+        let c = corpus();
+        let (idx, _) = HierarchyIndex::<ParseLabel>::build(&c, &heap_base(&c));
+        let hits = idx.lookup(
+            &[
+                (Axis::Child, Some(ParseLabel::Root)),
+                (Axis::Child, Some(ParseLabel::Pobj)),
+                (Axis::Child, Some(ParseLabel::Pobj)),
+            ],
+            true,
+        );
+        assert!(hits.is_empty());
+    }
+}

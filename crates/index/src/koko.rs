@@ -1,0 +1,643 @@
+//! The KOKO multi-index (§3): word + entity inverted indices and the two
+//! hierarchy indices, plus the §4.2 path-decomposition lookup (the heart of
+//! the DPLI module).
+//!
+//! Storage layout mirrors the paper's `W`/`E`/`PL`/`POS` schemas (§6.2.1):
+//! one token heap holds the posting quintuples (the `W` table); the word
+//! index and the hierarchy posting lists are `u32` references into that
+//! heap, which is why KOKO's footprint is the smallest of the four schemes
+//! in Figure 6(b).
+
+use crate::api::CandidateIndex;
+use crate::hierarchy::HierarchyIndex;
+use koko_nlp::{
+    tree_stats, Axis, Corpus, EntityPosting, EntityType, NodeLabel, ParseLabel, PosTag, Posting,
+    Sid, TreePattern,
+};
+use koko_storage::MultiMap;
+
+/// Relational row overhead charged uniformly across all schemes (B-tree
+/// entry per row); keeps the Figure 6(b) comparison fair.
+pub const ROW_OVERHEAD: usize = 16;
+
+/// The assembled multi-index over a parsed corpus.
+#[derive(Debug, Clone)]
+pub struct KokoIndex {
+    /// Token heap: global token index → posting quintuple (the `W` rows).
+    heap: Vec<Posting>,
+    /// sid → heap base offset.
+    token_base: Vec<u32>,
+    num_sentences: u32,
+    /// Per-token hierarchy node ids (the `plid`/`posid` columns of `W`).
+    plid: Vec<u32>,
+    posid: Vec<u32>,
+    /// Word inverted index: lower-cased word → heap references.
+    word: MultiMap<String, u32>,
+    /// Entity inverted index: lower-cased mention text → triples (§3.1).
+    entity: MultiMap<String, EntityPosting>,
+    /// Per-type entity lists (`Person` index, `GPE` index, …).
+    entity_by_type: Vec<Vec<EntityPosting>>,
+    pl: HierarchyIndex<ParseLabel>,
+    pos: HierarchyIndex<PosTag>,
+}
+
+impl KokoIndex {
+    /// Build all indices from a parsed corpus (the "Parse text & build
+    /// indices" preprocessing box of Figure 2).
+    pub fn build(corpus: &Corpus) -> KokoIndex {
+        let mut heap = Vec::with_capacity(corpus.num_tokens());
+        let mut token_base = Vec::with_capacity(corpus.num_sentences());
+        let mut word: MultiMap<String, u32> = MultiMap::new();
+        let mut entity: MultiMap<String, EntityPosting> = MultiMap::new();
+        let mut entity_by_type: Vec<Vec<EntityPosting>> =
+            vec![Vec::new(); EntityType::ALL.len()];
+
+        for (sid, sentence) in corpus.sentences() {
+            let base = heap.len() as u32;
+            token_base.push(base);
+            let stats = tree_stats(sentence);
+            for (tid, token) in sentence.tokens.iter().enumerate() {
+                let st = stats[tid];
+                heap.push(Posting {
+                    sid,
+                    tid: tid as u32,
+                    left: st.left,
+                    right: st.right,
+                    depth: st.depth,
+                });
+                // W row: quintuple (18) + plid/posid (8) + row overhead.
+                word.push(token.lower.clone(), base + tid as u32, 26 + ROW_OVERHEAD);
+            }
+            for m in &sentence.entities {
+                let text = sentence.mention_text(m).to_lowercase();
+                let ep = EntityPosting {
+                    sid,
+                    left: m.start,
+                    right: m.end,
+                    etype: m.etype,
+                };
+                entity.push(text, ep, 13 + ROW_OVERHEAD);
+                entity_by_type[m.etype as usize].push(ep);
+            }
+        }
+
+        let (pl, plid) = HierarchyIndex::<ParseLabel>::build(corpus, &token_base);
+        let (pos, posid) = HierarchyIndex::<PosTag>::build(corpus, &token_base);
+
+        KokoIndex {
+            heap,
+            token_base,
+            num_sentences: corpus.num_sentences() as u32,
+            plid,
+            posid,
+            word,
+            entity,
+            entity_by_type,
+            pl,
+            pos,
+        }
+    }
+
+    /// Resolve a heap reference to its posting quintuple.
+    pub fn posting(&self, heap_ref: u32) -> Posting {
+        self.heap[heap_ref as usize]
+    }
+
+    /// Heap base offset of sentence `sid`.
+    pub fn heap_base(&self, sid: Sid) -> u32 {
+        self.token_base[sid as usize]
+    }
+
+    /// Word-index posting references for a (lower-cased) word.
+    pub fn word_refs(&self, word: &str) -> &[u32] {
+        self.word.get(&word.to_lowercase())
+    }
+
+    /// Entity-index triples for a mention string.
+    pub fn entity_postings(&self, text: &str) -> &[EntityPosting] {
+        self.entity.get(&text.to_lowercase())
+    }
+
+    /// All entities of a type (or every entity for `None`).
+    pub fn entities_of_type(&self, etype: Option<EntityType>) -> Vec<EntityPosting> {
+        match etype {
+            Some(t) => self.entity_by_type[t as usize].clone(),
+            None => {
+                let mut all: Vec<EntityPosting> = self
+                    .entity_by_type
+                    .iter()
+                    .flat_map(|v| v.iter().copied())
+                    .collect();
+                all.sort_unstable();
+                all
+            }
+        }
+    }
+
+    /// Iterate distinct entity strings with their postings.
+    pub fn entities(&self) -> impl Iterator<Item = (&String, &Vec<EntityPosting>)> {
+        self.entity.iter()
+    }
+
+    /// The parse-label hierarchy index.
+    pub fn pl_index(&self) -> &HierarchyIndex<ParseLabel> {
+        &self.pl
+    }
+
+    /// The POS hierarchy index.
+    pub fn pos_index(&self) -> &HierarchyIndex<PosTag> {
+        &self.pos
+    }
+
+    /// `plid` of a token (its node in the PL hierarchy).
+    pub fn plid_of(&self, heap_ref: u32) -> u32 {
+        self.plid[heap_ref as usize]
+    }
+
+    /// `posid` of a token (its node in the POS hierarchy).
+    pub fn posid_of(&self, heap_ref: u32) -> u32 {
+        self.posid[heap_ref as usize]
+    }
+
+    pub fn num_sentences(&self) -> u32 {
+        self.num_sentences
+    }
+
+    /// §4.2 lookup: decompose a *path* pattern into PL / POS / word paths,
+    /// query each index, and join. Returns heap references whose sentences
+    /// form a complete candidate set; `None` when the pattern puts no
+    /// constraint on the corpus (all sentences are candidates).
+    pub fn lookup_path(&self, pattern: &TreePattern) -> Option<Vec<u32>> {
+        debug_assert!(pattern.is_path(), "lookup_path requires a path pattern");
+        let anchored = pattern.root_anchored;
+        let m = pattern.nodes.len();
+
+        // --- Decompose (Example 4.2) -----------------------------------
+        let mut pl_steps: Vec<(Axis, Option<ParseLabel>)> = Vec::with_capacity(m);
+        let mut pos_steps: Vec<(Axis, Option<PosTag>)> = Vec::with_capacity(m);
+        let mut word_positions: Vec<(usize, &str)> = Vec::new();
+        let mut has_pl = false;
+        let mut has_pos = false;
+        for (i, node) in pattern.nodes.iter().enumerate() {
+            let axis = node.axis;
+            match &node.label {
+                NodeLabel::Pl(l) => {
+                    has_pl = true;
+                    pl_steps.push((axis, Some(*l)));
+                    pos_steps.push((axis, None));
+                }
+                NodeLabel::Pos(p) => {
+                    has_pos = true;
+                    pl_steps.push((axis, None));
+                    pos_steps.push((axis, Some(*p)));
+                }
+                NodeLabel::Word(w) => {
+                    word_positions.push((i, w.as_str()));
+                    pl_steps.push((axis, None));
+                    pos_steps.push((axis, None));
+                }
+                NodeLabel::Wildcard => {
+                    pl_steps.push((axis, None));
+                    pos_steps.push((axis, None));
+                }
+            }
+        }
+
+        // --- Lookup PL / POS indices, union posting lists (§4.2.2) ------
+        let p1: Option<Vec<u32>> = has_pl.then(|| self.pl.lookup(&pl_steps, anchored));
+        let p2: Option<Vec<u32>> = has_pos.then(|| self.pos.lookup(&pos_steps, anchored));
+
+        // --- Lookup word index and join along the word path -------------
+        let q: Option<(Vec<u32>, usize)> = if word_positions.is_empty() {
+            None
+        } else {
+            Some(self.word_path_join(pattern, &word_positions, anchored))
+        };
+
+        // --- Join P1 ⋈ P2 on the same token ------------------------------
+        let p: Option<Vec<u32>> = match (p1, p2) {
+            (Some(a), Some(b)) => Some(intersect_sorted(&a, &b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+
+        // --- Join P ⋈ Q ---------------------------------------------------
+        match (p, q) {
+            (Some(p), None) => Some(p),
+            (None, Some((q, _))) => Some(q),
+            (None, None) => None,
+            (Some(p), Some((q, last_word_pos))) => {
+                if last_word_pos == m - 1 {
+                    // Last path element is a word: same-token join.
+                    Some(intersect_sorted(&p, &q))
+                } else {
+                    // Word is an ancestor of the final node: containment +
+                    // depth-gap join, returning the P quintuples (§4.2.2).
+                    let (gap, exact) = self.gap_between(pattern, last_word_pos, m - 1);
+                    Some(self.ancestor_join(&q, &p, gap, exact))
+                }
+            }
+        }
+    }
+
+    /// Join the posting lists of consecutive words along the word path
+    /// (Example 4.4); returns the surviving postings of the *last* word and
+    /// its path position.
+    fn word_path_join(
+        &self,
+        pattern: &TreePattern,
+        word_positions: &[(usize, &str)],
+        anchored: bool,
+    ) -> (Vec<u32>, usize) {
+        let (first_pos, first_word) = word_positions[0];
+        let mut cur: Vec<u32> = self.word_refs(first_word).to_vec();
+        // Depth prefilter: a node at path position i sits at depth ≥ i
+        // below the (super-)root; exactly i when anchored via child axes.
+        let prefix_exact = anchored
+            && pattern.nodes[..=first_pos]
+                .iter()
+                .all(|n| n.axis == Axis::Child);
+        // Even unanchored, a node at path position i has ≥ i pattern
+        // ancestors above it, so its absolute depth is ≥ i.
+        cur.retain(|&r| {
+            let d = self.heap[r as usize].depth as usize;
+            if prefix_exact {
+                d == first_pos
+            } else {
+                d >= first_pos
+            }
+        });
+        let mut last_pos = first_pos;
+        for &(pos, wordt) in &word_positions[1..] {
+            let next = self.word_refs(wordt);
+            let (gap, exact) = self.gap_between(pattern, last_pos, pos);
+            cur = self.ancestor_join(&cur, next, gap, exact);
+            last_pos = pos;
+            if cur.is_empty() {
+                break;
+            }
+        }
+        (cur, last_pos)
+    }
+
+    /// Depth-gap requirement between path positions `from` < `to`:
+    /// `(gap, exact)` — descendant depth must be ≥ gap, or == gap when every
+    /// axis between them is `/` (Example 4.4's `l2 ≥ l1 + 2`).
+    fn gap_between(&self, pattern: &TreePattern, from: usize, to: usize) -> (u16, bool) {
+        let gap = (to - from) as u16;
+        let exact = pattern.nodes[from + 1..=to]
+            .iter()
+            .all(|n| n.axis == Axis::Child);
+        (gap, exact)
+    }
+
+    /// Keep descendants (from `desc`) that have a qualifying ancestor in
+    /// `anc` under the §4.2.2 join condition; both ref lists are
+    /// sid-sorted, so this is a merge join with small per-sentence nested
+    /// loops.
+    fn ancestor_join(&self, anc: &[u32], desc: &[u32], gap: u16, exact: bool) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut ai = 0usize;
+        let mut di = 0usize;
+        while ai < anc.len() && di < desc.len() {
+            let asid = self.heap[anc[ai] as usize].sid;
+            let dsid = self.heap[desc[di] as usize].sid;
+            if asid < dsid {
+                ai += 1;
+            } else if dsid < asid {
+                di += 1;
+            } else {
+                let a_end = anc[ai..].partition_point(|&r| self.heap[r as usize].sid == asid) + ai;
+                let d_end =
+                    desc[di..].partition_point(|&r| self.heap[r as usize].sid == dsid) + di;
+                for &d in &desc[di..d_end] {
+                    let dp = self.heap[d as usize];
+                    let ok = anc[ai..a_end].iter().any(|&a| {
+                        let ap = self.heap[a as usize];
+                        ap.left <= dp.left
+                            && ap.right >= dp.right
+                            && if exact {
+                                dp.depth == ap.depth + gap
+                            } else {
+                                dp.depth >= ap.depth + gap
+                            }
+                    });
+                    if ok {
+                        out.push(d);
+                    }
+                }
+                ai = a_end;
+                di = d_end;
+            }
+        }
+        out
+    }
+
+    /// Candidate sentences for an arbitrary tree pattern: evaluate every
+    /// root-to-leaf path and intersect the sentence sets.
+    pub fn candidate_sids(&self, pattern: &TreePattern) -> Vec<Sid> {
+        let paths = root_to_leaf_paths(pattern);
+        let mut result: Option<Vec<Sid>> = None;
+        for path in paths {
+            match self.lookup_path(&path) {
+                None => continue, // unconstrained path
+                Some(refs) => {
+                    let mut sids: Vec<Sid> =
+                        refs.iter().map(|&r| self.heap[r as usize].sid).collect();
+                    sids.dedup();
+                    result = Some(match result {
+                        None => sids,
+                        Some(prev) => intersect_sorted(&prev, &sids),
+                    });
+                }
+            }
+        }
+        result.unwrap_or_else(|| (0..self.num_sentences).collect())
+    }
+
+    /// Approximate footprint: `W` rows (+plid/posid), `E` rows, hierarchy
+    /// nodes + packed posting references.
+    pub fn approx_bytes(&self) -> usize {
+        self.word.approx_bytes()
+            + self.entity.approx_bytes()
+            + self.pl.approx_bytes()
+            + self.pos.approx_bytes()
+    }
+}
+
+/// Split a tree pattern into its root-to-leaf paths, preserving axes.
+pub fn root_to_leaf_paths(pattern: &TreePattern) -> Vec<TreePattern> {
+    if pattern.is_empty() {
+        return Vec::new();
+    }
+    let n = pattern.nodes.len();
+    let mut has_child = vec![false; n];
+    for node in &pattern.nodes {
+        if let Some(p) = node.parent {
+            has_child[p as usize] = true;
+        }
+    }
+    let mut paths = Vec::new();
+    for leaf in 0..n {
+        if has_child[leaf] {
+            continue;
+        }
+        let mut chain = Vec::new();
+        let mut cur = Some(leaf as u32);
+        while let Some(c) = cur {
+            let node = &pattern.nodes[c as usize];
+            chain.push((node.axis, node.label.clone()));
+            cur = node.parent;
+        }
+        chain.reverse();
+        paths.push(TreePattern::path(pattern.root_anchored, chain));
+    }
+    paths
+}
+
+/// Intersection of two sorted, deduplicated vectors.
+pub fn intersect_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+impl CandidateIndex for KokoIndex {
+    fn name(&self) -> &'static str {
+        "KOKO"
+    }
+
+    fn build_from(corpus: &Corpus) -> Self {
+        KokoIndex::build(corpus)
+    }
+
+    fn lookup(&self, pattern: &TreePattern) -> Option<Vec<Sid>> {
+        Some(self.candidate_sids(pattern))
+    }
+
+    fn approx_bytes(&self) -> usize {
+        KokoIndex::approx_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::{Pipeline, PosTag};
+
+    fn corpus() -> Corpus {
+        let p = Pipeline::new();
+        p.parse_corpus(&[
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            "The barista poured a latte. The cafe was busy.",
+        ])
+    }
+
+    fn pat(root_anchored: bool, steps: Vec<(Axis, NodeLabel)>) -> TreePattern {
+        TreePattern::path(root_anchored, steps)
+    }
+
+    #[test]
+    fn word_index_example_32() {
+        // Example 3.2: "ate" appears at (0,1) and (1,1); "delicious" at
+        // (0,9) and (1,3).
+        let idx = KokoIndex::build(&corpus());
+        let ate: Vec<Posting> = idx.word_refs("ate").iter().map(|&r| idx.posting(r)).collect();
+        assert_eq!(ate.len(), 3); // two in sentence 0 ("ate", "ate"), one in 1
+        assert!(ate.contains(&Posting { sid: 0, tid: 1, left: 0, right: 16, depth: 0 }));
+        assert!(ate.contains(&Posting { sid: 1, tid: 1, left: 0, right: 12, depth: 0 }));
+        let delicious: Vec<Posting> = idx
+            .word_refs("delicious")
+            .iter()
+            .map(|&r| idx.posting(r))
+            .collect();
+        assert!(delicious.contains(&Posting { sid: 0, tid: 9, left: 9, right: 9, depth: 3 }));
+        assert!(delicious.contains(&Posting { sid: 1, tid: 3, left: 3, right: 3, depth: 2 }));
+    }
+
+    #[test]
+    fn entity_index_example_32() {
+        let idx = KokoIndex::build(&corpus());
+        let cheesecake = idx.entity_postings("cheesecake");
+        assert_eq!(cheesecake.len(), 1);
+        assert_eq!((cheesecake[0].sid, cheesecake[0].left, cheesecake[0].right), (1, 4, 4));
+        let gs = idx.entity_postings("grocery store");
+        assert_eq!((gs[0].sid, gs[0].left, gs[0].right), (1, 10, 11));
+        let cream = idx.entity_postings("chocolate ice cream");
+        assert_eq!((cream[0].sid, cream[0].left, cream[0].right), (0, 3, 5));
+    }
+
+    #[test]
+    fn example_44_word_path_join() {
+        // //verb[text="ate"]/dobj//"delicious" — word path //"ate"/*//"delicious"
+        // should produce delicious postings {(1,3),(0,9)} (Example 4.4).
+        let idx = KokoIndex::build(&corpus());
+        let pattern = pat(
+            false,
+            vec![
+                (Axis::Descendant, NodeLabel::Word("ate".into())),
+                (Axis::Child, NodeLabel::Wildcard),
+                (Axis::Descendant, NodeLabel::Word("delicious".into())),
+            ],
+        );
+        let refs = idx.lookup_path(&pattern).expect("word-constrained");
+        let got: Vec<(Sid, u32)> = refs
+            .iter()
+            .map(|&r| {
+                let p = idx.posting(r);
+                (p.sid, p.tid)
+            })
+            .collect();
+        assert!(got.contains(&(0, 9)), "{got:?}");
+        assert!(got.contains(&(1, 3)), "{got:?}");
+        assert_eq!(got.len(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn full_decomposed_lookup() {
+        // //verb/dobj//"delicious": PL path //*/dobj//*, POS path //verb/*//*,
+        // word path //*/*//"delicious" — join should keep both sentences.
+        let idx = KokoIndex::build(&corpus());
+        let pattern = pat(
+            false,
+            vec![
+                (Axis::Descendant, NodeLabel::Pos(PosTag::Verb)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Dobj)),
+                (Axis::Descendant, NodeLabel::Word("delicious".into())),
+            ],
+        );
+        let refs = idx.lookup_path(&pattern).expect("constrained");
+        let sids: Vec<Sid> = refs.iter().map(|&r| idx.posting(r).sid).collect();
+        assert!(sids.contains(&0));
+        assert!(sids.contains(&1));
+        assert!(!sids.contains(&2));
+    }
+
+    #[test]
+    fn candidates_are_complete() {
+        // Candidate set ⊇ true matches, for a mix of patterns (§4.2.2).
+        let c = corpus();
+        let idx = KokoIndex::build(&c);
+        let patterns = vec![
+            pat(
+                true,
+                vec![
+                    (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                    (Axis::Child, NodeLabel::Pl(ParseLabel::Dobj)),
+                    (Axis::Child, NodeLabel::Pl(ParseLabel::Nn)),
+                ],
+            ),
+            pat(
+                false,
+                vec![
+                    (Axis::Descendant, NodeLabel::Pos(PosTag::Verb)),
+                    (Axis::Descendant, NodeLabel::Word("latte".into())),
+                ],
+            ),
+            pat(
+                false,
+                vec![
+                    (Axis::Descendant, NodeLabel::Wildcard),
+                    (Axis::Child, NodeLabel::Pos(PosTag::Noun)),
+                ],
+            ),
+        ];
+        for p in &patterns {
+            let truth = crate::api::ground_truth_sids(&c, p);
+            let cands = idx.candidate_sids(p);
+            for t in &truth {
+                assert!(cands.contains(t), "missing sid {t} for {}", p.render());
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_pattern_returns_all_sentences() {
+        let c = corpus();
+        let idx = KokoIndex::build(&c);
+        let p = pat(
+            false,
+            vec![
+                (Axis::Descendant, NodeLabel::Wildcard),
+                (Axis::Child, NodeLabel::Wildcard),
+            ],
+        );
+        let sids = idx.candidate_sids(&p);
+        assert_eq!(sids.len(), c.num_sentences());
+    }
+
+    #[test]
+    fn missing_word_gives_empty() {
+        let idx = KokoIndex::build(&corpus());
+        let p = pat(
+            false,
+            vec![(Axis::Descendant, NodeLabel::Word("zeppelin".into()))],
+        );
+        assert_eq!(idx.lookup_path(&p), Some(vec![]));
+        assert!(idx.candidate_sids(&p).is_empty());
+    }
+
+    #[test]
+    fn entities_by_type() {
+        let idx = KokoIndex::build(&corpus());
+        let persons = idx.entities_of_type(Some(EntityType::Person));
+        assert_eq!(persons.len(), 1); // Anna
+        let all = idx.entities_of_type(None);
+        assert!(all.len() >= 4);
+    }
+
+    #[test]
+    fn tree_pattern_candidates() {
+        let c = corpus();
+        let idx = KokoIndex::build(&c);
+        // root with nsubj and dobj//"delicious" branches.
+        let pattern = TreePattern {
+            nodes: vec![
+                koko_nlp::PNode {
+                    parent: None,
+                    axis: Axis::Child,
+                    label: NodeLabel::Pl(ParseLabel::Root),
+                },
+                koko_nlp::PNode {
+                    parent: Some(0),
+                    axis: Axis::Child,
+                    label: NodeLabel::Pl(ParseLabel::Nsubj),
+                },
+                koko_nlp::PNode {
+                    parent: Some(0),
+                    axis: Axis::Descendant,
+                    label: NodeLabel::Word("delicious".into()),
+                },
+            ],
+            root_anchored: true,
+        };
+        let truth = crate::api::ground_truth_sids(&c, &pattern);
+        let cands = idx.candidate_sids(&pattern);
+        for t in &truth {
+            assert!(cands.contains(t));
+        }
+        assert!(!cands.contains(&2));
+    }
+
+    #[test]
+    fn compression_matches_paper_claim_direction() {
+        // On a larger synthetic corpus merging removes the vast majority of
+        // nodes; here just assert meaningful compression on 3 sentences.
+        let idx = KokoIndex::build(&corpus());
+        assert!(idx.pl_index().compression_ratio() > 0.2);
+        assert!(idx.pos_index().compression_ratio() > 0.2);
+    }
+}

@@ -1,0 +1,29 @@
+//! `koko-index` — KOKO's multi-indexing scheme (§3) and the three prior
+//! indexing techniques it is evaluated against (§6.2.1).
+//!
+//! | Scheme | Module | Paper |
+//! |---|---|---|
+//! | KOKO multi-index (word + entity inverted indices, PL/POS hierarchy indices) | [`koko`], [`hierarchy`] | §3 |
+//! | `INVERTED` — label → (sid, tid) | [`inverted`] | baseline |
+//! | `ADVINVERTED` — label → (sid, tid, left, right, depth, pid) | [`advinverted`] | Bird et al. [7, 20] |
+//! | `SUBTREE` — every subtree up to size 3, root-split coding | [`subtree`] | Chubak & Rafiei [14] |
+//!
+//! All four implement [`CandidateIndex`]: given a [`koko_nlp::TreePattern`]
+//! they return a *complete* candidate set of sentence ids (a superset of the
+//! truly matching sentences — §4.2.2's completeness discussion). The
+//! benchmark harness measures lookup time and *effectiveness* =
+//! |true matches| / |candidates returned| (§6.2.2).
+
+pub mod advinverted;
+pub mod api;
+pub mod hierarchy;
+pub mod inverted;
+pub mod koko;
+pub mod subtree;
+
+pub use advinverted::AdvInvertedIndex;
+pub use api::{effectiveness, ground_truth_sids, CandidateIndex};
+pub use hierarchy::{HierLabel, HierarchyIndex};
+pub use inverted::InvertedIndex;
+pub use koko::KokoIndex;
+pub use subtree::SubtreeIndex;

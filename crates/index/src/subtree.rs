@@ -1,0 +1,356 @@
+//! The `SUBTREE` baseline (Chubak & Rafiei [14], §6.2.1): every unique
+//! subtree up to `mss = 3` nodes is an index key, with root-split coding
+//! (postings keyed by the subtree's root occurrence).
+//!
+//! Faithful to the constraints the paper reports:
+//! * designed for single-label trees, so we build **two** indices (parse
+//!   labels, POS tags) and join root nodes across them when a query mixes
+//!   kinds — the join is sentence-level only, which "may hurt the index
+//!   effectiveness" (§6.2.1);
+//! * no word attributes and no wildcards — [`CandidateIndex::lookup`]
+//!   returns `None` for such queries (the paper: 125 of 350 benchmark
+//!   queries supported);
+//! * enumerating every ≤3-node subtree makes construction markedly slower
+//!   and the footprint several times the corpus size (Figure 6).
+
+use crate::api::CandidateIndex;
+use crate::koko::ROW_OVERHEAD;
+use koko_nlp::{Axis, Corpus, NodeLabel, Sentence, Sid, Tid, TreePattern};
+use koko_storage::MultiMap;
+
+/// Posting: sentence, subtree-root token, and the "tail" token (deepest node
+/// of a chain key) used for chain joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SubPosting {
+    sid: Sid,
+    root: Tid,
+    tail: Tid,
+}
+
+/// Label kind marker used in keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Pl,
+    Pos,
+}
+
+#[derive(Debug, Clone)]
+pub struct SubtreeIndex {
+    map: MultiMap<String, SubPosting>,
+    num_sentences: u32,
+}
+
+fn label_of(kind: Kind, s: &Sentence, t: Tid) -> &'static str {
+    match kind {
+        Kind::Pl => s.tokens[t as usize].label.name(),
+        Kind::Pos => s.tokens[t as usize].pos.name(),
+    }
+}
+
+fn kind_tag(kind: Kind) -> &'static str {
+    match kind {
+        Kind::Pl => "l",
+        Kind::Pos => "p",
+    }
+}
+
+impl SubtreeIndex {
+    pub fn build(corpus: &Corpus) -> SubtreeIndex {
+        let mut map: MultiMap<String, SubPosting> = MultiMap::new();
+        for (sid, sentence) in corpus.sentences() {
+            let n = sentence.len();
+            let mut children: Vec<Vec<Tid>> = vec![Vec::new(); n];
+            for (i, tok) in sentence.tokens.iter().enumerate() {
+                if let Some(h) = tok.head {
+                    children[h as usize].push(i as Tid);
+                }
+            }
+            for kind in [Kind::Pl, Kind::Pos] {
+                for t in 0..n as Tid {
+                    let lt = label_of(kind, sentence, t);
+                    // Size 1.
+                    push(&mut map, format!("1|{}|{lt}", kind_tag(kind)), sid, t, t);
+                    for &c in &children[t as usize] {
+                        let lc = label_of(kind, sentence, c);
+                        // Size 2: edge.
+                        push(
+                            &mut map,
+                            format!("2|{}|{lt}>{lc}", kind_tag(kind)),
+                            sid,
+                            t,
+                            c,
+                        );
+                        // Size 3: chains t→c→g.
+                        for &g in &children[c as usize] {
+                            let lg = label_of(kind, sentence, g);
+                            push(
+                                &mut map,
+                                format!("3c|{}|{lt}>{lc}>{lg}", kind_tag(kind)),
+                                sid,
+                                t,
+                                g,
+                            );
+                        }
+                    }
+                    // Size 3: stars t→(c1,c2) with sorted child labels.
+                    let kids = &children[t as usize];
+                    for i in 0..kids.len() {
+                        for j in (i + 1)..kids.len() {
+                            let (mut a, mut b) = (
+                                label_of(kind, sentence, kids[i]),
+                                label_of(kind, sentence, kids[j]),
+                            );
+                            if a > b {
+                                std::mem::swap(&mut a, &mut b);
+                            }
+                            push(
+                                &mut map,
+                                format!("3s|{}|{a},{b}<{lt}", kind_tag(kind)),
+                                sid,
+                                t,
+                                t,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        SubtreeIndex {
+            map,
+            num_sentences: corpus.num_sentences() as u32,
+        }
+    }
+
+    /// Evaluate a same-kind label chain (consecutive `/`-connected labels)
+    /// by triple decomposition with stride-2 chain joins.
+    fn chain_lookup(&self, kind: Kind, labels: &[&str]) -> Vec<SubPosting> {
+        debug_assert!(!labels.is_empty());
+        let key = |ls: &[&str]| match ls.len() {
+            1 => format!("1|{}|{}", kind_tag(kind), ls[0]),
+            2 => format!("2|{}|{}>{}", kind_tag(kind), ls[0], ls[1]),
+            _ => format!("3c|{}|{}>{}>{}", kind_tag(kind), ls[0], ls[1], ls[2]),
+        };
+        let mut start = 0usize;
+        let mut frontier: Option<Vec<SubPosting>> = None;
+        while start < labels.len() {
+            let end = (start + 3).min(labels.len());
+            let seg = &labels[start..end];
+            let postings = self.map.get(&key(seg));
+            frontier = Some(match frontier {
+                None => postings.to_vec(),
+                Some(prev) => {
+                    // Chain join: previous tail must be this segment's root.
+                    let mut out = Vec::new();
+                    for p in &prev {
+                        for q in postings {
+                            if p.sid == q.sid && p.tail == q.root {
+                                out.push(SubPosting {
+                                    sid: p.sid,
+                                    root: p.root,
+                                    tail: q.tail,
+                                });
+                            }
+                        }
+                    }
+                    out.sort_by_key(|p| (p.sid, p.root, p.tail));
+                    out.dedup();
+                    out
+                }
+            });
+            if end == labels.len() {
+                break;
+            }
+            start = end - 1; // overlap one node so the chain join links up
+        }
+        frontier.unwrap_or_default()
+    }
+}
+
+fn push(map: &mut MultiMap<String, SubPosting>, key: String, sid: Sid, root: Tid, tail: Tid) {
+    map.push(key, SubPosting { sid, root, tail }, 12 + ROW_OVERHEAD);
+}
+
+impl CandidateIndex for SubtreeIndex {
+    fn name(&self) -> &'static str {
+        "SUBTREE"
+    }
+
+    fn build_from(corpus: &Corpus) -> Self {
+        SubtreeIndex::build(corpus)
+    }
+
+    fn lookup(&self, pattern: &TreePattern) -> Option<Vec<Sid>> {
+        // Restrictions reported in §6.2.1.
+        if pattern.has_word() || pattern.has_wildcard() || pattern.is_empty() {
+            return None;
+        }
+        // Evaluate each root-to-leaf path: split at `//` edges and at label-
+        // kind changes into same-kind `/`-chains; chains constrain tids,
+        // everything else joins at sentence level.
+        let mut result: Option<Vec<Sid>> = None;
+        for path in crate::koko::root_to_leaf_paths(pattern) {
+            let mut chain: Vec<(Kind, &str)> = Vec::new();
+            let flush = |chain: &mut Vec<(Kind, &str)>, result: &mut Option<Vec<Sid>>| {
+                if chain.is_empty() {
+                    return;
+                }
+                let kind = chain[0].0;
+                let labels: Vec<&str> = chain.iter().map(|(_, l)| *l).collect();
+                let postings = self.chain_lookup(kind, &labels);
+                let mut sids: Vec<Sid> = postings.iter().map(|p| p.sid).collect();
+                sids.sort_unstable();
+                sids.dedup();
+                *result = Some(match result.take() {
+                    None => sids,
+                    Some(prev) => crate::koko::intersect_sorted(&prev, &sids),
+                });
+                chain.clear();
+            };
+            for (i, node) in path.nodes.iter().enumerate() {
+                let (kind, label) = match &node.label {
+                    NodeLabel::Pl(l) => (Kind::Pl, l.name()),
+                    NodeLabel::Pos(p) => (Kind::Pos, p.name()),
+                    _ => unreachable!("filtered above"),
+                };
+                let breaks = i > 0
+                    && (node.axis == Axis::Descendant
+                        || chain.last().map(|(k, _)| *k) != Some(kind));
+                if breaks {
+                    flush(&mut chain, &mut result);
+                }
+                chain.push((kind, label));
+            }
+            flush(&mut chain, &mut result);
+        }
+        Some(result.unwrap_or_else(|| (0..self.num_sentences).collect()))
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.map.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{effectiveness, ground_truth_sids};
+    use koko_nlp::{ParseLabel, Pipeline, PosTag};
+
+    fn corpus() -> Corpus {
+        Pipeline::new().parse_corpus(&[
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            "The delicious latte was popular. The barista poured a cortado.",
+        ])
+    }
+
+    #[test]
+    fn rejects_words_and_wildcards() {
+        let idx = SubtreeIndex::build(&corpus());
+        let with_word = TreePattern::path(
+            false,
+            vec![(Axis::Descendant, NodeLabel::Word("ate".into()))],
+        );
+        assert!(idx.lookup(&with_word).is_none());
+        let with_wild = TreePattern::path(
+            true,
+            vec![
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                (Axis::Child, NodeLabel::Wildcard),
+            ],
+        );
+        assert!(idx.lookup(&with_wild).is_none());
+    }
+
+    #[test]
+    fn chain_queries_are_complete() {
+        let c = corpus();
+        let idx = SubtreeIndex::build(&c);
+        for len in 2..=5 {
+            // /root/dobj, /root/dobj/nn, … built from real structure.
+            let labels = [
+                ParseLabel::Root,
+                ParseLabel::Dobj,
+                ParseLabel::Nn,
+                ParseLabel::Det,
+                ParseLabel::Amod,
+            ];
+            let steps: Vec<(Axis, NodeLabel)> = labels[..len]
+                .iter()
+                .map(|l| (Axis::Child, NodeLabel::Pl(*l)))
+                .collect();
+            let p = TreePattern::path(true, steps);
+            let truth = ground_truth_sids(&c, &p);
+            let cands = idx.lookup(&p).expect("supported");
+            for t in &truth {
+                assert!(cands.contains(t), "len {len}: missing {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_short_single_kind_chains() {
+        let c = corpus();
+        let idx = SubtreeIndex::build(&c);
+        let p = TreePattern::path(
+            true,
+            vec![
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Dobj)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Nn)),
+            ],
+        );
+        let truth = ground_truth_sids(&c, &p);
+        let cands = idx.lookup(&p).unwrap();
+        assert_eq!(cands, truth, "a single ≤3 chain is answered exactly");
+    }
+
+    #[test]
+    fn mixed_kind_queries_lose_precision_but_stay_complete() {
+        let c = corpus();
+        let idx = SubtreeIndex::build(&c);
+        // //verb/dobj — POS label then PL label: cross-index sentence join.
+        let p = TreePattern::path(
+            false,
+            vec![
+                (Axis::Descendant, NodeLabel::Pos(PosTag::Verb)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Dobj)),
+            ],
+        );
+        let truth = ground_truth_sids(&c, &p);
+        let cands = idx.lookup(&p).unwrap();
+        for t in &truth {
+            assert!(cands.contains(t));
+        }
+        let eff = effectiveness(&cands, &truth);
+        assert!(eff > 0.0, "not useless");
+    }
+
+    #[test]
+    fn footprint_is_largest() {
+        let c = corpus();
+        let sub = SubtreeIndex::build(&c);
+        let koko = crate::KokoIndex::build(&c);
+        let adv = crate::AdvInvertedIndex::build(&c);
+        assert!(sub.approx_bytes() > adv.approx_bytes());
+        assert!(sub.approx_bytes() > 3 * koko.approx_bytes() / 2);
+    }
+
+    #[test]
+    fn descendant_edges_split_chains() {
+        let c = corpus();
+        let idx = SubtreeIndex::build(&c);
+        let p = TreePattern::path(
+            true,
+            vec![
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                (Axis::Descendant, NodeLabel::Pl(ParseLabel::Amod)),
+            ],
+        );
+        let truth = ground_truth_sids(&c, &p);
+        let cands = idx.lookup(&p).unwrap();
+        for t in &truth {
+            assert!(cands.contains(t));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the index layer: the decomposed KOKO lookup is
+//! *exact* (not merely complete) for pure parse-label paths, and the
+//! closure-table export answers the same ancestor queries as the in-memory
+//! hierarchy index.
+
+use koko_index::{ground_truth_sids, HierLabel, KokoIndex};
+use koko_nlp::{Axis, Corpus, NodeLabel, ParseLabel, Pipeline, TreePattern};
+use proptest::prelude::*;
+
+fn corpus() -> Corpus {
+    // Deterministic, parsed once per process.
+    use std::sync::OnceLock;
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS
+        .get_or_init(|| {
+            let texts = koko_corpus::happydb::generate(80, 4711);
+            Pipeline::new().parse_corpus(&texts)
+        })
+        .clone()
+}
+
+/// Random short parse-label paths.
+fn arb_pl_path() -> impl Strategy<Value = (bool, Vec<(Axis, NodeLabel)>)> {
+    let label = prop::sample::select(vec![
+        ParseLabel::Root,
+        ParseLabel::Nsubj,
+        ParseLabel::Dobj,
+        ParseLabel::Det,
+        ParseLabel::Amod,
+        ParseLabel::Prep,
+        ParseLabel::Pobj,
+        ParseLabel::Conj,
+        ParseLabel::Advmod,
+    ]);
+    let axis = prop::sample::select(vec![Axis::Child, Axis::Descendant]);
+    (
+        any::<bool>(),
+        prop::collection::vec((axis, label.prop_map(NodeLabel::Pl)), 1..4),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pure-PL paths lose nothing in decomposition: the candidate sentence
+    /// set equals the ground truth exactly.
+    #[test]
+    fn pure_pl_paths_are_answered_exactly((anchored, steps) in arb_pl_path()) {
+        let c = corpus();
+        let index = KokoIndex::build(&c);
+        let mut steps = steps;
+        if anchored {
+            // Anchored paths must start at the root label to be satisfiable;
+            // force it so the test exercises non-empty answers too.
+            steps[0] = (Axis::Child, NodeLabel::Pl(ParseLabel::Root));
+        }
+        let pattern = TreePattern::path(anchored, steps);
+        let truth = ground_truth_sids(&c, &pattern);
+        let cands = index.candidate_sids(&pattern);
+        prop_assert_eq!(cands, truth, "pattern {}", pattern.render());
+    }
+
+    /// The closure table agrees with the hierarchy index on parent queries:
+    /// a label pair (child, parent-at-gap-1) has closure rows iff the
+    /// two-step path has postings.
+    #[test]
+    fn closure_table_matches_hierarchy(parent_i in 0usize..8, child_i in 0usize..8) {
+        let labels = [
+            ParseLabel::Root,
+            ParseLabel::Nsubj,
+            ParseLabel::Dobj,
+            ParseLabel::Det,
+            ParseLabel::Amod,
+            ParseLabel::Prep,
+            ParseLabel::Pobj,
+            ParseLabel::Conj,
+        ];
+        let (parent, child) = (labels[parent_i], labels[child_i]);
+        let c = corpus();
+        let index = KokoIndex::build(&c);
+        let ct = index.pl_index().to_closure_table();
+        let via_closure = ct.nodes_with_ancestor(child.code(), parent.code(), Some(1));
+        let via_index = index
+            .pl_index()
+            .lookup_nodes(
+                &[
+                    (Axis::Descendant, Some(parent)),
+                    (Axis::Child, Some(child)),
+                ],
+                false,
+            );
+        let mut a = via_closure;
+        let mut b = via_index;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "{} under {}", child.name(), parent.name());
+    }
+}

@@ -1,0 +1,221 @@
+//! Abstract syntax of the KOKO language (§2).
+//!
+//! A query has the shape
+//!
+//! ```text
+//! extract <outputs> from <source> if ( [/ROOT:{ decls }] [constraints] )
+//! [satisfying <var> (cond {w}) or … with threshold t]…
+//! [excluding (cond) or …]
+//! ```
+
+use koko_nlp::{EntityType, ParseLabel, PosTag};
+
+/// A full KOKO query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub outputs: Vec<OutputVar>,
+    pub source: String,
+    pub decls: Vec<Decl>,
+    pub constraints: Vec<VarConstraint>,
+    pub satisfying: Vec<SatClause>,
+    pub excluding: Vec<Cond>,
+}
+
+/// `e:Entity`, `d:Str`, `a:Person` … in the extract clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputVar {
+    pub name: String,
+    pub ty: OutType,
+}
+
+/// Output types: `Str` (span), `Entity` (any mention) or a typed mention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutType {
+    Str,
+    Entity,
+    Typed(EntityType),
+}
+
+impl OutType {
+    /// The entity-type filter this output type implies (`None` for `Str`;
+    /// `Some(None)` for any entity).
+    pub fn entity_filter(&self) -> Option<Option<EntityType>> {
+        match self {
+            OutType::Str => None,
+            OutType::Entity => Some(None),
+            OutType::Typed(t) => Some(Some(*t)),
+        }
+    }
+}
+
+/// `a = //verb` — one variable declaration inside the `/ROOT:{…}` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    pub name: String,
+    pub expr: Expr,
+}
+
+/// Right-hand side of a declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A path expression (node term).
+    Path(PathExpr),
+    /// A span term: concatenation of atoms.
+    Span(Vec<SpanAtom>),
+    /// A bare identifier, resolved during normalization (another variable,
+    /// an entity type like `Entity`, or a bare label like `verb`).
+    Ident(String),
+}
+
+/// `//verb[text="ate"]/dobj` — XPath-like path (§2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    pub start: PathStart,
+    pub steps: Vec<Step>,
+}
+
+/// Where a path is rooted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathStart {
+    /// Absolute (`/…` inside the `/ROOT:` block).
+    Root,
+    /// Relative to a previously declared node variable (`b = a/dobj`).
+    Var(String),
+}
+
+/// One path step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    pub axis: Axis,
+    pub label: StepLabel,
+    pub conds: Vec<NodeCond>,
+}
+
+/// `/` vs `//`.
+pub use koko_nlp::Axis;
+
+/// What a step matches: a parse label, a POS tag, a quoted word, a wildcard,
+/// or (before normalization) an ambiguous identifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepLabel {
+    Pl(ParseLabel),
+    Pos(PosTag),
+    Word(String),
+    Wildcard,
+}
+
+impl StepLabel {
+    /// Resolve an identifier: parse labels win ties, then POS tags; the
+    /// paper's label vocabulary makes the two disjoint except `det`, `num`,
+    /// `conj` — resolved as parse labels, matching the paper's examples
+    /// (`c2 = x/det` is a parse-label step).
+    pub fn from_ident(name: &str) -> Option<StepLabel> {
+        if let Some(l) = ParseLabel::from_name(name) {
+            return Some(StepLabel::Pl(l));
+        }
+        if let Some(p) = PosTag::from_name(name) {
+            return Some(StepLabel::Pos(p));
+        }
+        None
+    }
+}
+
+/// Conditions attached to a step in `[...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeCond {
+    /// `@regex = "…"` on the token text.
+    Regex(String),
+    /// `@pos = "noun"`.
+    Pos(PosTag),
+    /// `etype = "Person"`.
+    Etype(EntityType),
+    /// `text = "ate"`.
+    Text(String),
+}
+
+/// One atom of a span term (§2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanAtom {
+    /// An inline path.
+    Path(PathExpr),
+    /// A variable reference (or bare label/entity ident, resolved later).
+    Ident(String),
+    /// `x.subtree`.
+    Subtree(String),
+    /// A quoted token sequence.
+    Tokens(Vec<String>),
+    /// `∧` (written `^`): zero or more tokens, with optional conditions.
+    Elastic(Vec<ElasticCond>),
+}
+
+/// Conditions on an elastic span: `∧[etype="Entity"]`, `∧[mintok=1]`, ….
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElasticCond {
+    Etype(Option<EntityType>),
+    Regex(String),
+    MinTok(u32),
+    MaxTok(u32),
+}
+
+/// `(b) in (e)` / `(x) eq (y)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarConstraint {
+    pub left: String,
+    pub op: ConstraintOp,
+    pub right: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    In,
+    Eq,
+}
+
+/// A `satisfying <var> … with threshold t` clause (§2.2): a disjunction of
+/// weighted conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SatClause {
+    pub var: String,
+    pub conds: Vec<WeightedCond>,
+    /// Threshold; `None` means the engine default (0.5 — the Chocolate and
+    /// DateOfBirth queries of §6.3 omit it).
+    pub threshold: Option<f64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedCond {
+    pub cond: Cond,
+    pub weight: f64,
+}
+
+/// A boolean / descriptor condition (§4.4.1) with the variable it tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cond {
+    pub var: String,
+    pub pred: Pred,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `str(x) contains "Cafe"` — substring of the value.
+    Contains(String),
+    /// `str(x) mentions "choc"` — the paper's mentions (value is substring
+    /// of… see §4.4.1; the engine implements the paper's definition).
+    Mentions(String),
+    /// `str(x) matches "<regex>"` — full-string regular expression.
+    Matches(String),
+    /// `x "suffix"` — x immediately followed by the token string.
+    FollowedBy(String),
+    /// `"prefix" x`.
+    PrecededBy(String),
+    /// `x near "coffee"` — proximity score 1/(1+distance).
+    Near(String),
+    /// `x similarTo "city"` / `str(x) ~ "is"` — embedding similarity.
+    SimilarTo(String),
+    /// `x [[descriptor]]` — descriptor evidence to the right of x.
+    DescRight(String),
+    /// `[[descriptor]] x`.
+    DescLeft(String),
+    /// `str(x) in dict("Location")`.
+    InDict(String),
+}

@@ -1,0 +1,283 @@
+//! Tokenizer for the KOKO language.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (may contain `.` as in `input.txt` / `b.subtree`).
+    Ident(String),
+    /// Quoted string literal.
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    DoubleLBracket,
+    DoubleRBracket,
+    Comma,
+    Colon,
+    Eq,
+    Plus,
+    Slash,
+    DoubleSlash,
+    Star,
+    Caret,
+    Tilde,
+    At,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::DoubleLBracket => write!(f, "[["),
+            Tok::DoubleRBracket => write!(f, "]]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::Eq => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Slash => write!(f, "/"),
+            Tok::DoubleSlash => write!(f, "//"),
+            Tok::Star => write!(f, "*"),
+            Tok::Caret => write!(f, "^"),
+            Tok::Tilde => write!(f, "~"),
+            Tok::At => write!(f, "@"),
+        }
+    }
+}
+
+/// Lexing error with character position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub position: usize,
+}
+
+/// Tokenize KOKO query text. Accepts the unicode `∧` as [`Tok::Caret`].
+pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                if chars.get(i + 1) == Some(&'[') {
+                    out.push(Tok::DoubleLBracket);
+                    i += 2;
+                } else {
+                    out.push(Tok::LBracket);
+                    i += 1;
+                }
+            }
+            ']' => {
+                if chars.get(i + 1) == Some(&']') {
+                    out.push(Tok::DoubleRBracket);
+                    i += 2;
+                } else {
+                    out.push(Tok::RBracket);
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                out.push(Tok::Colon);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '^' | '\u{2227}' => {
+                out.push(Tok::Caret);
+                i += 1;
+            }
+            '~' | '\u{223c}' => {
+                out.push(Tok::Tilde);
+                i += 1;
+            }
+            '@' => {
+                out.push(Tok::At);
+                i += 1;
+            }
+            '/' => {
+                if chars.get(i + 1) == Some(&'/') {
+                    out.push(Tok::DoubleSlash);
+                    i += 2;
+                } else {
+                    out.push(Tok::Slash);
+                    i += 1;
+                }
+            }
+            '"' | '\u{201c}' | '\u{201d}' => {
+                let close = |ch: char| ch == '"' || ch == '\u{201c}' || ch == '\u{201d}';
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                while j < chars.len() && !close(chars[j]) {
+                    if chars[j] == '\\' && j + 1 < chars.len() {
+                        s.push(chars[j + 1]);
+                        j += 2;
+                    } else {
+                        s.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                if j >= chars.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        position: i,
+                    });
+                }
+                out.push(Tok::Str(s));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    message: format!("bad number {text:?}"),
+                    position: start,
+                })?;
+                out.push(Tok::Num(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric()
+                        || chars[i] == '_'
+                        || chars[i] == '-'
+                        // Idents may contain interior dots ("input.txt",
+                        // "b.subtree") but never end with one.
+                        || (chars[i] == '.'
+                            && chars
+                                .get(i + 1)
+                                .is_some_and(|c| c.is_alphanumeric() || *c == '_')))
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(Tok::Ident(text));
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    position: i,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_paths_and_strings() {
+        let toks = lex("a = //verb[text=\"ate\"]/dobj").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::DoubleSlash,
+                Tok::Ident("verb".into()),
+                Tok::LBracket,
+                Tok::Ident("text".into()),
+                Tok::Eq,
+                Tok::Str("ate".into()),
+                Tok::RBracket,
+                Tok::Slash,
+                Tok::Ident("dobj".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn double_brackets_and_weights() {
+        let toks = lex("(x [[\"serves coffee\"]] {0.5})").unwrap();
+        assert!(toks.contains(&Tok::DoubleLBracket));
+        assert!(toks.contains(&Tok::DoubleRBracket));
+        assert!(toks.contains(&Tok::Num(0.5)));
+    }
+
+    #[test]
+    fn dotted_idents() {
+        let toks = lex("from input.txt if").unwrap();
+        assert_eq!(toks[1], Tok::Ident("input.txt".into()));
+        let toks = lex("d = (b.subtree)").unwrap();
+        assert!(toks.contains(&Tok::Ident("b.subtree".into())));
+    }
+
+    #[test]
+    fn unicode_operators() {
+        let toks = lex("e = a + \u{2227} + b").unwrap();
+        assert!(toks.contains(&Tok::Caret));
+        let toks = lex("str(v) \u{223c} \"is\"").unwrap();
+        assert!(toks.contains(&Tok::Tilde));
+    }
+
+    #[test]
+    fn smart_quotes() {
+        let toks = lex("c = b//\u{201c}delicious\u{201d}").unwrap();
+        assert!(toks.contains(&Tok::Str("delicious".into())));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("§").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("0.8").unwrap(), vec![Tok::Num(0.8)]);
+        assert_eq!(lex("1").unwrap(), vec![Tok::Num(1.0)]);
+    }
+}

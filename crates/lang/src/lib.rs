@@ -1,0 +1,32 @@
+//! `koko-lang` — the KOKO query/extraction language (§2) and its normalizer
+//! (§4.1).
+//!
+//! The language combines three families of conditions in one declarative
+//! query:
+//!
+//! 1. **surface conditions** — token sequences, regular expressions, elastic
+//!    spans (`∧`) over the sentence text;
+//! 2. **hierarchy conditions** — XPath-like paths over the dependency tree
+//!    (`a = //verb`, `b = a/dobj`, `c = b//"delicious"`);
+//! 3. **similarity & aggregation** — `satisfying` clauses whose weighted
+//!    boolean / descriptor conditions aggregate evidence across a document.
+//!
+//! ```
+//! use koko_lang::{parse_query, normalize};
+//!
+//! let q = parse_query(koko_lang::queries::EXAMPLE_2_1).unwrap();
+//! assert_eq!(q.outputs.len(), 2);
+//! let n = normalize(&q).unwrap();
+//! assert!(n.var("d").is_some());
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+pub mod queries;
+
+pub use ast::*;
+pub use lexer::{lex, Tok};
+pub use normalize::{normalize, NConstraint, NVar, NVarKind, NormQuery};
+pub use parser::{parse_query, ParseError};

@@ -1,0 +1,507 @@
+//! Query normalization (§4.1).
+//!
+//! Path expressions are expanded into their absolute form (`b = a/dobj` with
+//! `a = //verb` becomes `b = //verb/dobj`), constraints among variables are
+//! made explicit (`a parentOf b`, `b ancestorOf c`), span declarations are
+//! flattened into per-atom variables with synthesized names for inline
+//! atoms (`v1 = ∧` in Example 4.1), and ambiguous identifiers are resolved
+//! against the declaration environment.
+
+use crate::ast::*;
+use crate::parser::ParseError;
+use koko_nlp::EntityType;
+use std::collections::HashMap;
+
+/// A fully normalized query, ready for the evaluation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormQuery {
+    pub outputs: Vec<OutputVar>,
+    pub source: String,
+    pub vars: Vec<NVar>,
+    pub constraints: Vec<NConstraint>,
+    pub satisfying: Vec<SatClause>,
+    pub excluding: Vec<Cond>,
+}
+
+impl NormQuery {
+    /// Index of a variable by name.
+    pub fn var(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v.name == name)
+    }
+
+    /// All node variables with their absolute paths.
+    pub fn node_vars(&self) -> impl Iterator<Item = (usize, &NVar, &[Step])> {
+        self.vars.iter().enumerate().filter_map(|(i, v)| match &v.kind {
+            NVarKind::Node { abs } => Some((i, v, abs.as_slice())),
+            _ => None,
+        })
+    }
+
+    /// Whether the extract clause declares anything (an empty `if ()` means
+    /// every sentence is a candidate — Example 2.3).
+    pub fn has_extract_constraints(&self) -> bool {
+        self.vars.iter().any(|v| {
+            matches!(
+                v.kind,
+                NVarKind::Node { .. } | NVarKind::Span { .. } | NVarKind::Tokens { .. }
+            )
+        })
+    }
+}
+
+/// A normalized variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NVar {
+    pub name: String,
+    pub kind: NVarKind,
+    /// Declared by the user (false for synthesized `∧` variables etc.).
+    pub user_defined: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum NVarKind {
+    /// A node term with an absolute path from the dependency root.
+    Node { abs: Vec<Step> },
+    /// An entity-typed variable (`a = Entity`, or an undeclared typed
+    /// output); `None` means any entity type.
+    Entity { etype: Option<EntityType> },
+    /// A span variable: the ordered atoms (by variable name) it
+    /// concatenates.
+    Span { atoms: Vec<String> },
+    /// The subtree span of a node variable.
+    Subtree { base: String },
+    /// A literal token sequence.
+    Tokens { words: Vec<String> },
+    /// An elastic span (`∧`).
+    Elastic { conds: Vec<ElasticCond> },
+}
+
+/// Normalized constraints: the derived structural constraints of §4.1 plus
+/// the user's `in`/`eq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NConstraint {
+    ParentOf(String, String),
+    AncestorOf(String, String),
+    In(String, String),
+    Eq(String, String),
+}
+
+/// Normalize a parsed query (§4.1's "Normalize query" module).
+pub fn normalize(q: &Query) -> Result<NormQuery, ParseError> {
+    let mut n = Normalizer {
+        vars: Vec::new(),
+        by_name: HashMap::new(),
+        constraints: Vec::new(),
+        synth: 0,
+    };
+
+    for decl in &q.decls {
+        n.declare(decl)?;
+    }
+
+    // Undeclared output variables bind by entity type (Title's `a:Person`,
+    // DateOfBirth's `a:Person, b:Date`, the cafe query's `x:Entity`).
+    for out in &q.outputs {
+        if n.by_name.contains_key(&out.name) {
+            continue;
+        }
+        match out.ty.entity_filter() {
+            Some(etype) => {
+                n.push(
+                    out.name.clone(),
+                    NVarKind::Entity { etype },
+                    true,
+                )?;
+            }
+            None => {
+                return Err(ParseError {
+                    message: format!(
+                        "output variable {:?} of type Str must be declared in the extract block",
+                        out.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // User constraints: validate both sides exist.
+    for c in &q.constraints {
+        for side in [&c.left, &c.right] {
+            if !n.by_name.contains_key(side) {
+                return Err(ParseError {
+                    message: format!("constraint references unknown variable {side:?}"),
+                });
+            }
+        }
+        n.constraints.push(match c.op {
+            ConstraintOp::In => NConstraint::In(c.left.clone(), c.right.clone()),
+            ConstraintOp::Eq => NConstraint::Eq(c.left.clone(), c.right.clone()),
+        });
+    }
+
+    // Satisfying / excluding clauses: the variable must exist.
+    for sat in &q.satisfying {
+        if !n.by_name.contains_key(&sat.var) {
+            return Err(ParseError {
+                message: format!("satisfying clause for unknown variable {:?}", sat.var),
+            });
+        }
+    }
+    for cond in &q.excluding {
+        if !n.by_name.contains_key(&cond.var) {
+            return Err(ParseError {
+                message: format!("excluding condition on unknown variable {:?}", cond.var),
+            });
+        }
+    }
+
+    Ok(NormQuery {
+        outputs: q.outputs.clone(),
+        source: q.source.clone(),
+        vars: n.vars,
+        constraints: n.constraints,
+        satisfying: q.satisfying.clone(),
+        excluding: q.excluding.clone(),
+    })
+}
+
+struct Normalizer {
+    vars: Vec<NVar>,
+    by_name: HashMap<String, usize>,
+    constraints: Vec<NConstraint>,
+    synth: u32,
+}
+
+impl Normalizer {
+    fn push(&mut self, name: String, kind: NVarKind, user: bool) -> Result<usize, ParseError> {
+        if self.by_name.contains_key(&name) {
+            return Err(ParseError {
+                message: format!("duplicate variable {name:?}"),
+            });
+        }
+        let idx = self.vars.len();
+        self.by_name.insert(name.clone(), idx);
+        self.vars.push(NVar {
+            name,
+            kind,
+            user_defined: user,
+        });
+        Ok(idx)
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.synth += 1;
+        format!("${prefix}{}", self.synth)
+    }
+
+    fn declare(&mut self, decl: &Decl) -> Result<(), ParseError> {
+        let kind = match &decl.expr {
+            Expr::Path(p) => self.resolve_path(&decl.name, p)?,
+            Expr::Ident(name) => self.resolve_ident(name)?,
+            Expr::Span(atoms) => {
+                let mut names = Vec::with_capacity(atoms.len());
+                for atom in atoms {
+                    names.push(self.atom_var(&decl.name, atom)?);
+                }
+                NVarKind::Span { atoms: names }
+            }
+        };
+        self.push(decl.name.clone(), kind, true)?;
+        Ok(())
+    }
+
+    /// Expand a path into absolute form, deriving the §4.1 structural
+    /// constraint against the base variable.
+    fn resolve_path(&mut self, name: &str, p: &PathExpr) -> Result<NVarKind, ParseError> {
+        let mut abs: Vec<Step> = Vec::new();
+        if let PathStart::Var(base) = &p.start {
+            let idx = *self.by_name.get(base).ok_or_else(|| ParseError {
+                message: format!("path references unknown variable {base:?}"),
+            })?;
+            match &self.vars[idx].kind {
+                NVarKind::Node { abs: base_abs } => abs.extend(base_abs.iter().cloned()),
+                other => {
+                    return Err(ParseError {
+                        message: format!(
+                            "path base {base:?} must be a node variable, found {other:?}"
+                        ),
+                    })
+                }
+            }
+            // Derived constraint (Example 4.1): one child step → parentOf;
+            // anything else → ancestorOf.
+            let c = if p.steps.len() == 1 && p.steps[0].axis == Axis::Child {
+                NConstraint::ParentOf(base.clone(), name.to_string())
+            } else {
+                NConstraint::AncestorOf(base.clone(), name.to_string())
+            };
+            self.constraints.push(c);
+        }
+        abs.extend(p.steps.iter().cloned());
+        Ok(NVarKind::Node { abs })
+    }
+
+    /// Resolve a bare identifier on a declaration's right-hand side.
+    fn resolve_ident(&mut self, ident: &str) -> Result<NVarKind, ParseError> {
+        if ident.eq_ignore_ascii_case("entity") {
+            return Ok(NVarKind::Entity { etype: None });
+        }
+        if let Some(et) = EntityType::from_name(ident) {
+            return Ok(NVarKind::Entity { etype: Some(et) });
+        }
+        if let Some(label) = StepLabel::from_ident(ident) {
+            // Bare label: the DateOfBirth query's `v = verb` ≡ `//verb`.
+            return Ok(NVarKind::Node {
+                abs: vec![Step {
+                    axis: Axis::Descendant,
+                    label,
+                    conds: vec![],
+                }],
+            });
+        }
+        Err(ParseError {
+            message: format!("cannot resolve identifier {ident:?} in declaration"),
+        })
+    }
+
+    /// Lift a span atom to a variable name, synthesizing variables for
+    /// inline atoms (Example 4.1's `v1 = ∧`, `v2 = ∧`).
+    fn atom_var(&mut self, owner: &str, atom: &SpanAtom) -> Result<String, ParseError> {
+        match atom {
+            SpanAtom::Ident(name) => {
+                if self.by_name.contains_key(name) {
+                    return Ok(name.clone());
+                }
+                // An identifier that is not (yet) declared: an output
+                // variable used positionally (Title's `c = a + ∧ + v + …`)
+                // stays a forward reference by name; entity/labels resolve.
+                match self.resolve_ident(name) {
+                    Ok(kind) => {
+                        let fresh = self.fresh(&format!("{owner}_"));
+                        self.push(fresh.clone(), kind, false)?;
+                        Ok(fresh)
+                    }
+                    Err(_) => Ok(name.clone()), // forward reference
+                }
+            }
+            SpanAtom::Path(p) => {
+                let fresh = self.fresh(&format!("{owner}_p"));
+                let kind = self.resolve_path(&fresh, p)?;
+                self.push(fresh.clone(), kind, false)?;
+                Ok(fresh)
+            }
+            SpanAtom::Subtree(base) => {
+                if !self.by_name.contains_key(base) {
+                    return Err(ParseError {
+                        message: format!(".subtree of unknown variable {base:?}"),
+                    });
+                }
+                let fresh = self.fresh(&format!("{owner}_st"));
+                self.push(
+                    fresh.clone(),
+                    NVarKind::Subtree { base: base.clone() },
+                    false,
+                )?;
+                Ok(fresh)
+            }
+            SpanAtom::Tokens(words) => {
+                let fresh = self.fresh(&format!("{owner}_t"));
+                self.push(
+                    fresh.clone(),
+                    NVarKind::Tokens {
+                        words: words.iter().map(|w| w.to_lowercase()).collect(),
+                    },
+                    false,
+                )?;
+                Ok(fresh)
+            }
+            SpanAtom::Elastic(conds) => {
+                let fresh = self.fresh(&format!("{owner}_e"));
+                self.push(
+                    fresh.clone(),
+                    NVarKind::Elastic {
+                        conds: conds.clone(),
+                    },
+                    false,
+                )?;
+                Ok(fresh)
+            }
+        }
+    }
+}
+
+/// `d = (b.subtree)` single-atom span declarations produce a Span var with
+/// one subtree atom; the engine treats both identically.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::queries;
+    use koko_nlp::ParseLabel;
+
+    fn norm(text: &str) -> NormQuery {
+        normalize(&parse_query(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn example_41_normalization() {
+        // The paper's walkthrough: c = //verb[text="ate"]/dobj,
+        // d = //verb[text="ate"]/dobj//"delicious", plus derived constraints
+        // b parentOf c, c ancestorOf d.
+        let n = norm(queries::EXAMPLE_4_1);
+        let c = n.var("c").unwrap();
+        match &n.vars[c].kind {
+            NVarKind::Node { abs } => {
+                assert_eq!(abs.len(), 2);
+                assert_eq!(abs[0].conds, vec![NodeCond::Text("ate".into())]);
+                assert_eq!(abs[1].label, StepLabel::Pl(ParseLabel::Dobj));
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+        let d = n.var("d").unwrap();
+        match &n.vars[d].kind {
+            NVarKind::Node { abs } => {
+                assert_eq!(abs.len(), 3);
+                assert_eq!(abs[2].label, StepLabel::Word("delicious".into()));
+                assert_eq!(abs[2].axis, Axis::Descendant);
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+        assert!(n
+            .constraints
+            .contains(&NConstraint::ParentOf("b".into(), "c".into())));
+        assert!(n
+            .constraints
+            .contains(&NConstraint::AncestorOf("c".into(), "d".into())));
+        // e = a + ∧ + b + ∧ + c: two synthesized elastic variables.
+        let e = n.var("e").unwrap();
+        match &n.vars[e].kind {
+            NVarKind::Span { atoms } => {
+                assert_eq!(atoms.len(), 5);
+                assert_eq!(atoms[0], "a");
+                assert_eq!(atoms[2], "b");
+                assert_eq!(atoms[4], "c");
+                assert!(atoms[1].starts_with('$'));
+                assert!(atoms[3].starts_with('$'));
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        // a = Entity.
+        let a = n.var("a").unwrap();
+        assert_eq!(n.vars[a].kind, NVarKind::Entity { etype: None });
+    }
+
+    #[test]
+    fn example_21_normalization() {
+        let n = norm(queries::EXAMPLE_2_1);
+        // e is an undeclared Entity output.
+        let e = n.var("e").unwrap();
+        assert_eq!(n.vars[e].kind, NVarKind::Entity { etype: None });
+        // d = (b.subtree) is a one-atom span over a synthesized subtree var.
+        let d = n.var("d").unwrap();
+        match &n.vars[d].kind {
+            NVarKind::Span { atoms } => {
+                assert_eq!(atoms.len(), 1);
+                let st = n.var(&atoms[0]).unwrap();
+                assert_eq!(n.vars[st].kind, NVarKind::Subtree { base: "b".into() });
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        assert!(n
+            .constraints
+            .contains(&NConstraint::In("b".into(), "e".into())));
+        assert!(n.has_extract_constraints());
+    }
+
+    #[test]
+    fn empty_extract_clause() {
+        let n = norm(queries::EXAMPLE_2_3);
+        assert!(!n.has_extract_constraints());
+        let x = n.var("x").unwrap();
+        assert_eq!(n.vars[x].kind, NVarKind::Entity { etype: None });
+    }
+
+    #[test]
+    fn date_of_birth_bare_label() {
+        let n = norm(queries::DATE_OF_BIRTH);
+        let v = n.var("v").unwrap();
+        match &n.vars[v].kind {
+            NVarKind::Node { abs } => {
+                assert_eq!(abs.len(), 1);
+                assert_eq!(abs[0].axis, Axis::Descendant);
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+        // a:Person, b:Date became typed entity variables.
+        let a = n.var("a").unwrap();
+        assert_eq!(
+            n.vars[a].kind,
+            NVarKind::Entity {
+                etype: Some(EntityType::Person)
+            }
+        );
+    }
+
+    #[test]
+    fn title_forward_reference() {
+        // c = a + ∧ + v + ∧ + b references a (output var, declared later)
+        // and b (declared before c).
+        let n = norm(queries::TITLE);
+        let c = n.var("c").unwrap();
+        match &n.vars[c].kind {
+            NVarKind::Span { atoms } => {
+                assert_eq!(atoms[0], "a");
+                assert_eq!(atoms[2], "v");
+                assert_eq!(atoms[4], "b");
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        // a resolves to a Person entity var.
+        let a = n.var("a").unwrap();
+        assert_eq!(
+            n.vars[a].kind,
+            NVarKind::Entity {
+                etype: Some(EntityType::Person)
+            }
+        );
+    }
+
+    #[test]
+    fn errors() {
+        // Str output never declared.
+        assert!(normalize(&parse_query("extract d:Str from x if ()").unwrap()).is_err());
+        // Constraint over unknown var.
+        assert!(normalize(
+            &parse_query("extract a:Entity from x if ( (a) in (zz) )").unwrap()
+        )
+        .is_err());
+        // Duplicate declaration.
+        assert!(normalize(
+            &parse_query("extract a:Entity from x if (/ROOT:{ v = //verb, v = //noun })").unwrap()
+        )
+        .is_err());
+        // Satisfying unknown var.
+        assert!(normalize(
+            &parse_query("extract a:Entity from x if () satisfying qq (qq near \"z\" {1})")
+                .unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn chocolate_normalizes() {
+        let n = norm(queries::CHOCOLATE);
+        let o = n.var("o").unwrap();
+        match &n.vars[o].kind {
+            NVarKind::Node { abs } => {
+                assert_eq!(abs.len(), 2);
+                assert_eq!(abs[1].axis, Axis::Descendant);
+                assert_eq!(abs[1].conds, vec![NodeCond::Text("chocolate".into())]);
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+        assert!(n
+            .constraints
+            .contains(&NConstraint::AncestorOf("v".into(), "o".into())));
+    }
+}

@@ -1,0 +1,688 @@
+//! Recursive-descent parser for the KOKO language.
+//!
+//! Every query in the paper (Examples 2.1–2.3, 4.1, the §6.3 Chocolate /
+//! Title / DateOfBirth queries, and the Appendix A Figures 9–11) parses with
+//! this grammar; see the tests.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Tok};
+use koko_nlp::{Axis, EntityType, PosTag};
+use std::fmt;
+
+/// Parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: format!("lex error at {}: {}", e.position, e.message),
+        }
+    }
+}
+
+/// Parse a KOKO query.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing tokens after query"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> ParseError {
+        let ctx: Vec<String> = self.toks[self.pos.min(self.toks.len())..]
+            .iter()
+            .take(5)
+            .map(|t| t.to_string())
+            .collect();
+        ParseError {
+            message: format!("{msg} (at: {} …)", ctx.join(" ")),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {t}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(&format!("expected keyword '{kw}'"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Str(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected string literal"))
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(n),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected number"))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.keyword("extract")?;
+        let outputs = self.outputs()?;
+        self.keyword("from")?;
+        let source = match self.bump() {
+            Some(Tok::Str(s)) => s,
+            Some(Tok::Ident(s)) => s,
+            _ => return Err(self.err("expected source after 'from'")),
+        };
+        self.keyword("if")?;
+        self.expect(&Tok::LParen)?;
+        let (decls, constraints) = self.body()?;
+        self.expect(&Tok::RParen)?;
+
+        let mut satisfying = Vec::new();
+        while self.at_keyword("satisfying") {
+            satisfying.push(self.sat_clause()?);
+        }
+        let mut excluding = Vec::new();
+        if self.at_keyword("excluding") {
+            self.bump();
+            loop {
+                self.expect(&Tok::LParen)?;
+                let cond = self.condition()?;
+                // Tolerate (and ignore) a weight inside excluding conditions.
+                if self.peek() == Some(&Tok::LBrace) {
+                    self.bump();
+                    self.number()?;
+                    self.expect(&Tok::RBrace)?;
+                }
+                self.expect(&Tok::RParen)?;
+                excluding.push(cond);
+                if self.at_keyword("or") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(Query {
+            outputs,
+            source,
+            decls,
+            constraints,
+            satisfying,
+            excluding,
+        })
+    }
+
+    fn outputs(&mut self) -> Result<Vec<OutputVar>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let name = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            let ty_name = self.ident()?;
+            let ty = if ty_name.eq_ignore_ascii_case("str") {
+                OutType::Str
+            } else if ty_name.eq_ignore_ascii_case("entity") {
+                OutType::Entity
+            } else if let Some(et) = EntityType::from_name(&ty_name) {
+                OutType::Typed(et)
+            } else {
+                return Err(self.err(&format!("unknown output type {ty_name:?}")));
+            };
+            out.push(OutputVar { name, ty });
+            if self.peek() == Some(&Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `if ( … )` body: optional `/ROOT:{ decls }` block plus
+    /// constraints.
+    fn body(&mut self) -> Result<(Vec<Decl>, Vec<VarConstraint>), ParseError> {
+        let mut decls = Vec::new();
+        let mut constraints = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            return Ok((decls, constraints)); // empty extract clause: if ()
+        }
+        if self.peek() == Some(&Tok::Slash) {
+            self.bump();
+            let anchor = self.ident()?;
+            if !anchor.eq_ignore_ascii_case("root") {
+                return Err(self.err("expected /ROOT: block"));
+            }
+            self.expect(&Tok::Colon)?;
+            self.expect(&Tok::LBrace)?;
+            loop {
+                let name = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                let expr = self.expr()?;
+                decls.push(Decl { name, expr });
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Tok::RBrace)?;
+        }
+        while self.peek() == Some(&Tok::LParen) {
+            self.expect(&Tok::LParen)?;
+            let left = self.ident()?;
+            self.expect(&Tok::RParen)?;
+            let op = if self.at_keyword("in") {
+                self.bump();
+                ConstraintOp::In
+            } else if self.at_keyword("eq") {
+                self.bump();
+                ConstraintOp::Eq
+            } else {
+                return Err(self.err("expected 'in' or 'eq'"));
+            };
+            self.expect(&Tok::LParen)?;
+            let right = self.ident()?;
+            self.expect(&Tok::RParen)?;
+            constraints.push(VarConstraint { left, op, right });
+        }
+        Ok((decls, constraints))
+    }
+
+    /// Declaration right-hand side: atoms joined by `+`.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut atoms = vec![self.atom()?];
+        while self.peek() == Some(&Tok::Plus) {
+            self.bump();
+            atoms.push(self.atom()?);
+        }
+        if atoms.len() == 1 {
+            Ok(match atoms.pop().expect("one atom") {
+                SpanAtom::Path(p) => Expr::Path(p),
+                SpanAtom::Ident(name) => Expr::Ident(name),
+                other => Expr::Span(vec![other]),
+            })
+        } else {
+            Ok(Expr::Span(atoms))
+        }
+    }
+
+    fn atom(&mut self) -> Result<SpanAtom, ParseError> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let inner = self.atom()?;
+                self.expect(&Tok::RParen)?;
+                Ok(inner)
+            }
+            Some(Tok::Slash) | Some(Tok::DoubleSlash) => {
+                Ok(SpanAtom::Path(self.path(PathStart::Root)?))
+            }
+            Some(Tok::Caret) => {
+                self.bump();
+                let mut conds = Vec::new();
+                if self.peek() == Some(&Tok::LBracket) {
+                    self.bump();
+                    loop {
+                        conds.push(self.elastic_cond()?);
+                        if self.peek() == Some(&Tok::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RBracket)?;
+                }
+                Ok(SpanAtom::Elastic(conds))
+            }
+            Some(Tok::Str(_)) => {
+                let s = self.string()?;
+                let words: Vec<String> = s.split_whitespace().map(str::to_string).collect();
+                Ok(SpanAtom::Tokens(words))
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.ident()?;
+                if let Some(base) = name.strip_suffix(".subtree") {
+                    return Ok(SpanAtom::Subtree(base.to_string()));
+                }
+                // Variable-rooted path: `a/dobj`, `b//"delicious"`.
+                if matches!(self.peek(), Some(Tok::Slash) | Some(Tok::DoubleSlash)) {
+                    return Ok(SpanAtom::Path(self.path(PathStart::Var(name))?));
+                }
+                Ok(SpanAtom::Ident(name))
+            }
+            _ => Err(self.err("expected span atom")),
+        }
+    }
+
+    /// Path steps starting at the current `/` or `//` token.
+    fn path(&mut self, start: PathStart) -> Result<PathExpr, ParseError> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = match self.peek() {
+                Some(Tok::Slash) => Axis::Child,
+                Some(Tok::DoubleSlash) => Axis::Descendant,
+                _ => break,
+            };
+            self.bump();
+            let label = match self.bump() {
+                Some(Tok::Ident(name)) => StepLabel::from_ident(&name)
+                    .ok_or_else(|| self.err(&format!("unknown step label {name:?}")))?,
+                Some(Tok::Str(w)) => StepLabel::Word(w.to_lowercase()),
+                Some(Tok::Star) => StepLabel::Wildcard,
+                _ => return Err(self.err("expected step label")),
+            };
+            let mut conds = Vec::new();
+            if self.peek() == Some(&Tok::LBracket) {
+                self.bump();
+                loop {
+                    conds.push(self.node_cond()?);
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBracket)?;
+            }
+            steps.push(Step { axis, label, conds });
+        }
+        if steps.is_empty() {
+            return Err(self.err("empty path"));
+        }
+        Ok(PathExpr { start, steps })
+    }
+
+    /// `[@regex="…"]`, `[@pos="noun"]`, `[text="ate"]`, `[etype="Person"]`.
+    fn node_cond(&mut self) -> Result<NodeCond, ParseError> {
+        let at = self.peek() == Some(&Tok::At);
+        if at {
+            self.bump();
+        }
+        let key = self.ident()?;
+        self.expect(&Tok::Eq)?;
+        let value = self.string()?;
+        match key.to_ascii_lowercase().as_str() {
+            "regex" => Ok(NodeCond::Regex(value)),
+            "pos" => PosTag::from_name(&value)
+                .map(NodeCond::Pos)
+                .ok_or_else(|| self.err(&format!("unknown POS tag {value:?}"))),
+            "etype" => EntityType::from_name(&value)
+                .map(NodeCond::Etype)
+                .ok_or_else(|| self.err(&format!("unknown entity type {value:?}"))),
+            "text" => Ok(NodeCond::Text(value.to_lowercase())),
+            other => Err(self.err(&format!("unknown node condition {other:?}"))),
+        }
+    }
+
+    /// `etype="Entity"`, `@regex="…"`, `mintok=1`, `maxtok=4`.
+    fn elastic_cond(&mut self) -> Result<ElasticCond, ParseError> {
+        let at = self.peek() == Some(&Tok::At);
+        if at {
+            self.bump();
+        }
+        let key = self.ident()?;
+        self.expect(&Tok::Eq)?;
+        match key.to_ascii_lowercase().as_str() {
+            "etype" => {
+                let value = self.string()?;
+                if value.eq_ignore_ascii_case("entity") {
+                    Ok(ElasticCond::Etype(None))
+                } else {
+                    EntityType::from_name(&value)
+                        .map(|t| ElasticCond::Etype(Some(t)))
+                        .ok_or_else(|| self.err(&format!("unknown entity type {value:?}")))
+                }
+            }
+            "regex" => Ok(ElasticCond::Regex(self.string()?)),
+            "mintok" => Ok(ElasticCond::MinTok(self.number()? as u32)),
+            "maxtok" => Ok(ElasticCond::MaxTok(self.number()? as u32)),
+            other => Err(self.err(&format!("unknown elastic condition {other:?}"))),
+        }
+    }
+
+    fn sat_clause(&mut self) -> Result<SatClause, ParseError> {
+        self.keyword("satisfying")?;
+        let var = self.ident()?;
+        let mut conds = Vec::new();
+        loop {
+            self.expect(&Tok::LParen)?;
+            let cond = self.condition()?;
+            let weight = if self.peek() == Some(&Tok::LBrace) {
+                self.bump();
+                let w = self.number()?;
+                self.expect(&Tok::RBrace)?;
+                w
+            } else {
+                1.0
+            };
+            self.expect(&Tok::RParen)?;
+            conds.push(WeightedCond { cond, weight });
+            if self.at_keyword("or") {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let threshold = if self.at_keyword("with") {
+            self.bump();
+            self.keyword("threshold")?;
+            Some(self.number()?)
+        } else {
+            None
+        };
+        Ok(SatClause {
+            var,
+            conds,
+            threshold,
+        })
+    }
+
+    /// One boolean/descriptor condition (§4.4.1).
+    fn condition(&mut self) -> Result<Cond, ParseError> {
+        match self.peek() {
+            // str(x) …
+            Some(Tok::Ident(s)) if s == "str" && self.peek2() == Some(&Tok::LParen) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let var = self.ident()?;
+                self.expect(&Tok::RParen)?;
+                let pred = if self.at_keyword("contains") {
+                    self.bump();
+                    Pred::Contains(self.string()?)
+                } else if self.at_keyword("mentions") {
+                    self.bump();
+                    Pred::Mentions(self.string()?)
+                } else if self.at_keyword("matches") {
+                    self.bump();
+                    Pred::Matches(self.string()?)
+                } else if self.peek() == Some(&Tok::Tilde) {
+                    self.bump();
+                    Pred::SimilarTo(self.string()?)
+                } else if self.at_keyword("similarto") {
+                    self.bump();
+                    Pred::SimilarTo(self.string()?)
+                } else if self.at_keyword("in") {
+                    self.bump();
+                    self.keyword("dict")?;
+                    self.expect(&Tok::LParen)?;
+                    let d = self.string()?;
+                    self.expect(&Tok::RParen)?;
+                    Pred::InDict(d)
+                } else {
+                    return Err(self.err("expected contains/mentions/matches/~/in dict"));
+                };
+                Ok(Cond { var, pred })
+            }
+            // "prefix" x
+            Some(Tok::Str(_)) => {
+                let s = self.string()?;
+                let var = self.ident()?;
+                Ok(Cond {
+                    var,
+                    pred: Pred::PrecededBy(s),
+                })
+            }
+            // [[descriptor]] x
+            Some(Tok::DoubleLBracket) => {
+                self.bump();
+                let d = self.string()?;
+                self.expect(&Tok::DoubleRBracket)?;
+                let var = self.ident()?;
+                Ok(Cond {
+                    var,
+                    pred: Pred::DescLeft(d),
+                })
+            }
+            // x …
+            Some(Tok::Ident(_)) => {
+                let var = self.ident()?;
+                let pred = match self.peek() {
+                    Some(Tok::Str(_)) => Pred::FollowedBy(self.string()?),
+                    Some(Tok::DoubleLBracket) => {
+                        self.bump();
+                        let d = self.string()?;
+                        self.expect(&Tok::DoubleRBracket)?;
+                        Pred::DescRight(d)
+                    }
+                    Some(Tok::Tilde) => {
+                        self.bump();
+                        Pred::SimilarTo(self.string()?)
+                    }
+                    Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("near") => {
+                        self.bump();
+                        Pred::Near(self.string()?)
+                    }
+                    Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("similarto") => {
+                        self.bump();
+                        Pred::SimilarTo(self.string()?)
+                    }
+                    _ => return Err(self.err("expected condition operator")),
+                };
+                Ok(Cond { var, pred })
+            }
+            _ => Err(self.err("expected condition")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries;
+
+    #[test]
+    fn example_21_parses() {
+        let q = parse_query(queries::EXAMPLE_2_1).unwrap();
+        assert_eq!(q.outputs.len(), 2);
+        assert_eq!(q.outputs[0].ty, OutType::Entity);
+        assert_eq!(q.outputs[1].ty, OutType::Str);
+        assert_eq!(q.decls.len(), 4);
+        assert_eq!(q.constraints.len(), 1);
+        assert_eq!(q.constraints[0].op, ConstraintOp::In);
+        // b = a/dobj is a var-rooted path.
+        match &q.decls[1].expr {
+            Expr::Path(p) => assert_eq!(p.start, PathStart::Var("a".into())),
+            other => panic!("expected path, got {other:?}"),
+        }
+        // d = (b.subtree)
+        match &q.decls[3].expr {
+            Expr::Span(atoms) => assert_eq!(atoms[0], SpanAtom::Subtree("b".into())),
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example_22_parses() {
+        let q = parse_query(queries::EXAMPLE_2_2_Q1).unwrap();
+        assert_eq!(q.outputs[0].ty, OutType::Typed(koko_nlp::EntityType::Gpe));
+        assert!(q.decls.is_empty());
+        assert_eq!(q.satisfying.len(), 1);
+        let sat = &q.satisfying[0];
+        assert_eq!(sat.var, "a");
+        assert_eq!(sat.conds.len(), 1);
+        assert_eq!(sat.conds[0].cond.pred, Pred::SimilarTo("city".into()));
+    }
+
+    #[test]
+    fn example_23_parses() {
+        let q = parse_query(queries::EXAMPLE_2_3).unwrap();
+        assert_eq!(q.satisfying.len(), 1);
+        let sat = &q.satisfying[0];
+        assert_eq!(sat.conds.len(), 5);
+        assert_eq!(sat.threshold, Some(0.8));
+        assert_eq!(sat.conds[0].weight, 1.0);
+        assert_eq!(sat.conds[3].weight, 0.5);
+        assert_eq!(sat.conds[3].cond.pred, Pred::DescRight("serves coffee".into()));
+        assert_eq!(q.excluding.len(), 1);
+        assert_eq!(
+            q.excluding[0].pred,
+            Pred::Matches("[Ll]a Marzocco".into())
+        );
+    }
+
+    #[test]
+    fn example_41_parses() {
+        let q = parse_query(queries::EXAMPLE_4_1).unwrap();
+        assert_eq!(q.decls.len(), 5);
+        // e = a + ^ + b + ^ + c
+        match &q.decls[4].expr {
+            Expr::Span(atoms) => {
+                assert_eq!(atoms.len(), 5);
+                assert_eq!(atoms[1], SpanAtom::Elastic(vec![]));
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        // b = //verb[text="ate"]
+        match &q.decls[1].expr {
+            Expr::Path(p) => {
+                assert_eq!(p.steps[0].conds, vec![NodeCond::Text("ate".into())]);
+            }
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scaleup_queries_parse() {
+        let q = parse_query(queries::CHOCOLATE).unwrap();
+        assert_eq!(q.satisfying.len(), 1);
+        assert_eq!(q.satisfying[0].conds[0].cond.pred, Pred::SimilarTo("is".into()));
+        let q = parse_query(queries::TITLE).unwrap();
+        assert_eq!(q.decls.len(), 4);
+        let q = parse_query(queries::DATE_OF_BIRTH).unwrap();
+        assert_eq!(q.decls.len(), 1);
+        match &q.decls[0].expr {
+            Expr::Ident(name) => assert_eq!(name, "verb"),
+            other => panic!("expected bare ident, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure9_cafe_query_parses() {
+        let q = parse_query(&queries::cafe_query(0.8)).unwrap();
+        assert_eq!(q.satisfying.len(), 1);
+        assert_eq!(q.satisfying[0].conds.len(), 17);
+        assert!(q.excluding.len() >= 15);
+        assert!(q
+            .excluding
+            .iter()
+            .any(|c| c.pred == Pred::InDict("Location".into())));
+    }
+
+    #[test]
+    fn figure10_11_parse() {
+        let q = parse_query(&queries::facility_query(0.8)).unwrap();
+        assert_eq!(q.satisfying[0].conds.len(), 3);
+        assert_eq!(q.excluding.len(), 8);
+        let q = parse_query(&queries::sports_team_query(0.8)).unwrap();
+        assert_eq!(q.satisfying[0].conds.len(), 6);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_query("extract from x if ()").is_err());
+        assert!(parse_query("extract a:Entity from x").is_err());
+        assert!(parse_query("extract a:Nope from x if ()").is_err());
+        assert!(parse_query("extract a:Entity from x if ( /ROOT:{ a = } )").is_err());
+        assert!(parse_query("extract a:Entity from x if () satisfying a (a zzz \"x\")").is_err());
+    }
+
+    #[test]
+    fn elastic_with_conditions() {
+        let q = parse_query(
+            "extract x:Str from t if (/ROOT:{ x = //verb + ^[etype=\"Entity\", mintok=1] })",
+        )
+        .unwrap();
+        match &q.decls[0].expr {
+            Expr::Span(atoms) => match &atoms[1] {
+                SpanAtom::Elastic(conds) => {
+                    assert_eq!(conds.len(), 2);
+                    assert_eq!(conds[0], ElasticCond::Etype(None));
+                    assert_eq!(conds[1], ElasticCond::MinTok(1));
+                }
+                other => panic!("expected elastic, got {other:?}"),
+            },
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn regex_node_condition() {
+        let q = parse_query(
+            "extract x:Str from t if (/ROOT:{ x = //*[@regex=\"[A-Z].*\", @pos=\"noun\"] })",
+        )
+        .unwrap();
+        match &q.decls[0].expr {
+            Expr::Path(p) => {
+                assert_eq!(p.steps[0].label, StepLabel::Wildcard);
+                assert_eq!(p.steps[0].conds.len(), 2);
+            }
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The paper's queries, verbatim (modulo ASCII operators): Examples 2.1–2.3
+//! and 4.1, the three §6.3 scale-up queries, and the Appendix A extraction
+//! queries (Figures 9, 10, 11).
+//!
+//! One documented deviation: the paper's Chocolate query binds
+//! `o = v/pobj[text="chocolate"]` (direct child). Our parser attaches
+//! prepositional objects under the preposition (`prep → pobj`, exactly as
+//! the paper's own Example 3.1 parse does), so the reproduction uses the
+//! descendant axis `v//pobj[...]` — same selectivity class, same evaluation
+//! path (see DESIGN.md §6).
+
+/// Example 2.1: `(e, d)` pairs from the Figure 1 sentence.
+pub const EXAMPLE_2_1: &str = r#"
+extract e:Entity, d:Str from input.txt if
+(/ROOT:{
+  a = //verb,
+  b = a/dobj,
+  c = b//"delicious",
+  d = (b.subtree)
+} (b) in (e))
+"#;
+
+/// Example 2.2, Q1: cities by similarity.
+pub const EXAMPLE_2_2_Q1: &str = r#"
+extract a:GPE from "input.txt" if ()
+satisfying a
+(a SimilarTo "city" {1.0})
+with threshold 0.3
+"#;
+
+/// Example 2.2, Q2: countries by similarity.
+pub const EXAMPLE_2_2_Q2: &str = r#"
+extract a:GPE from "input.txt" if ()
+satisfying a
+(a SimilarTo "country" {1.0})
+with threshold 0.3
+"#;
+
+/// Example 2.3: cafe names with aggregated evidence.
+pub const EXAMPLE_2_3: &str = r#"
+extract x:Entity from "input.txt" if ()
+satisfying x
+(str(x) contains "Cafe" {1}) or
+(str(x) contains "Roasters" {1}) or
+(x ", a cafe" {1}) or
+(x [["serves coffee"]] {0.5}) or
+(x [["employs baristas"]] {0.5})
+with threshold 0.8
+excluding (str(x) matches "[Ll]a Marzocco")
+"#;
+
+/// Example 4.1: the normalization walkthrough query.
+pub const EXAMPLE_4_1: &str = r#"
+extract a:Str, b:Str, c:Str from input.txt if (
+/ROOT:{
+  a = Entity, b = //verb[text="ate"],
+  c = b/dobj, d = c//"delicious",
+  e = a + ^ + b + ^ + c })
+"#;
+
+/// §6.3 "Chocolate" (low selectivity) — see module docs for the `//pobj`
+/// adaptation.
+pub const CHOCOLATE: &str = r#"
+extract c:Entity from wiki.article if (
+/ROOT:{
+  v = //verb, o = v//pobj[text="chocolate"],
+  s = v/nsubj } (s) in (c))
+satisfying v
+(str(v) ~ "is" {1})
+with threshold 0.5
+"#;
+
+/// §6.3 "Title" (medium selectivity).
+pub const TITLE: &str = r#"
+extract a:Person, b:Str from wiki.article if (
+/ROOT:{
+  v = //"called", p = v/propn, b = p.subtree,
+  c = a + ^ + v + ^ + b})
+"#;
+
+/// §6.3 "DateOfBirth" (high selectivity).
+pub const DATE_OF_BIRTH: &str = r#"
+extract a:Person, b:Date from wiki.article if (
+/ROOT:{ v = verb })
+satisfying v
+(str(v) ~ "born" {1})
+with threshold 0.5
+"#;
+
+/// Figure 9: the full cafe-name extraction query. The paper sweeps the
+/// threshold τ. Weights use the high/medium/low tiers of §6.1 (0.8 / 0.5 /
+/// 0.2) — the Appendix A variant scales them down uniformly, which only
+/// rescales the threshold axis.
+pub fn cafe_query(threshold: f64) -> String {
+    format!(
+        r#"
+extract x:Entity from "input.txt" if ()
+satisfying x
+(str(x) contains "Cafe" {{0.8}}) or
+(str(x) contains "Café" {{0.8}}) or
+(str(x) contains "Coffee" {{0.8}}) or
+("cafe called" x {{0.8}}) or
+("cafes such as" x {{0.8}}) or
+(x near ", a cafe" {{0.8}}) or
+(x [["sells coffee"]] {{0.5}}) or
+(x [["serves coffee"]] {{0.5}}) or
+([["coffee from"]] x {{0.5}}) or
+([["baristas of"]] x {{0.5}}) or
+(x [["baristas"]] {{0.5}}) or
+(x [["barista champion"]] {{0.2}}) or
+([["barista champion"]] x {{0.2}}) or
+(x [["pour-over"]] {{0.2}}) or
+(x [["french press"]] {{0.2}}) or
+(x [["coffee menu"]] {{0.2}}) or
+([["coffee menu"]] x {{0.2}})
+with threshold {threshold}
+excluding
+(str(x) matches "[a-z 0-9.]+") or
+(str(x) matches "@[A-Za-z 0-9.]+") or
+(str(x) matches "[Cc]offee|[Cc]afe|[Cc]afé") or
+(str(x) matches "[A-Za-z 0-9.]*[Bb]arista [Cc]hampionship") or
+(str(x) matches "[A-Za-z 0-9.]*[Bb]rewers [Cc]up") or
+(str(x) matches "[A-Za-z 0-9.]*[Ff]est(ival)?") or
+(str(x) matches "Coffee News") or
+(str(x) matches "[Ll]a Marzocco") or
+(str(x) matches "[Ss]ynesso") or
+(str(x) matches "[Aa]eropress") or
+(str(x) matches "[Vv]60") or
+(str(x) matches "CEO") or
+(str(x) matches "[0-9]+ [0-9A-Z a-z]+ [Ss]t.?") or
+(str(x) matches "[0-9]+ [0-9A-Z a-z]+ [Ss]treet") or
+(str(x) matches "[0-9]+ [0-9A-Z a-z]+ [Aa]ve.?") or
+(str(x) matches "[0-9]+ [0-9A-Z a-z]+ [Aa]v.?") or
+(str(x) matches "[0-9]+ [0-9A-Z a-z]+ [Aa]venue") or
+(str(x) in dict("Location"))
+"#
+    )
+}
+
+/// Figure 10: facilities from tweets.
+pub fn facility_query(threshold: f64) -> String {
+    format!(
+        r#"
+extract x:Entity from "input.txt" if ()
+satisfying x
+("at" x {{1}}) or
+([["went to"]] x {{0.8}}) or
+([["go to"]] x {{0.8}})
+with threshold {threshold}
+excluding
+(str(x) contains "p.m.") or
+(str(x) contains "a.m.") or
+(str(x) contains "pm") or
+(str(x) contains "am") or
+(str(x) mentions "@") or
+(str(x) contains "today") or
+(str(x) contains "tomorrow") or
+(str(x) contains "tonight")
+"#
+    )
+}
+
+/// Figure 11: sports teams from tweets.
+pub fn sports_team_query(threshold: f64) -> String {
+    format!(
+        r#"
+extract x:Entity from "input.txt" if ()
+satisfying x
+(x [["to host"]] {{0.9}}) or
+(x "vs" {{0.9}}) or
+("vs" x {{0.9}}) or
+(x "versus" {{0.9}}) or
+(x [["soccer"]] {{0.9}}) or
+("go" x {{0.9}})
+with threshold {threshold}
+"#
+    )
+}

@@ -1,0 +1,57 @@
+//! Robustness properties for the query front-end: arbitrary input must
+//! never panic the lexer/parser/normalizer — malformed queries fail with
+//! `Err`, never with a crash (a user-facing query engine's first duty).
+
+use koko_lang::{lex, normalize, parse_query};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totally arbitrary strings: the front-end is total.
+    #[test]
+    fn frontend_never_panics_on_garbage(input in ".{0,200}") {
+        let _ = lex(&input);
+        if let Ok(q) = parse_query(&input) {
+            let _ = normalize(&q);
+        }
+    }
+
+    /// Query-shaped strings assembled from real grammar fragments: higher
+    /// parse success rate, still must be total, and anything that parses
+    /// and normalizes must round through the engine-compile step too.
+    #[test]
+    fn frontend_never_panics_on_query_shaped_input(
+        pieces in prop::collection::vec(
+            prop::sample::select(vec![
+                "extract", "x:Entity", "a:Str,", "from", "\"t\"", "if", "(", ")",
+                "/ROOT:{", "}", "x", "=", "//verb", "/dobj", "+", "^", "\"ate\"",
+                "[text=\"ate\"]", "[@regex=\"[a-z]+\"]", "(x) in (y)", "satisfying",
+                "(x near \"z\" {0.5})", "or", "with threshold 0.5", "excluding",
+                "(str(x) matches \"a+\")", ",", "b.subtree",
+            ]),
+            1..24,
+        )
+    ) {
+        let input = pieces.join(" ");
+        if let Ok(q) = parse_query(&input) {
+            let _ = normalize(&q);
+        }
+    }
+
+    /// The lexer round-trips displayable tokens: rendering then re-lexing
+    /// yields the same token stream.
+    #[test]
+    fn lexer_round_trips_rendered_tokens(input in "[a-z ()=+/*{}\\[\\],:0-9\"^~@.]{0,80}") {
+        if let Ok(tokens) = lex(&input) {
+            let rendered = tokens
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            if let Ok(again) = lex(&rendered) {
+                prop_assert_eq!(tokens, again, "render: {}", rendered);
+            }
+        }
+    }
+}

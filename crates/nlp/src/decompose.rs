@@ -1,0 +1,175 @@
+//! Sentence decomposition into canonical clauses (§4.4.1(b)).
+//!
+//! The paper uses the clause-segmentation stage of an OpenIE system [2, 42]:
+//! a long sentence is split into shorter canonical clauses so a descriptor
+//! can match one aspect of the sentence without being diluted by the rest.
+//! We derive clauses from the dependency tree: every clause-heading verb
+//! (the root verb plus `conj`/`rcmod`/`ccomp`-attached verbs) yields one
+//! clause whose tokens are its subtree minus any nested clause subtrees.
+//!
+//! Clause scores `l_j`: 1.0 for the root clause, 0.8 for embedded clauses
+//! (the paper does not specify the decomposer's scores; see DESIGN.md §6).
+
+use crate::types::{ParseLabel, PosTag, Sentence, Tid};
+
+/// One canonical clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// The verb (or nominal root) heading the clause.
+    pub head: Tid,
+    /// Token ids belonging to the clause, in surface order.
+    pub tokens: Vec<Tid>,
+    /// Clause weight `l_j` used by descriptor aggregation.
+    pub score: f64,
+}
+
+impl Clause {
+    /// Lower-cased clause text (for matching descriptor expansions).
+    pub fn lower_words<'s>(&self, sentence: &'s Sentence) -> Vec<&'s str> {
+        self.tokens
+            .iter()
+            .map(|&t| sentence.tokens[t as usize].lower.as_str())
+            .collect()
+    }
+
+    /// First and last token ids covered by the clause.
+    pub fn span(&self) -> (Tid, Tid) {
+        (
+            *self.tokens.first().expect("clause never empty"),
+            *self.tokens.last().expect("clause never empty"),
+        )
+    }
+}
+
+/// Whether this token heads its own canonical clause.
+fn is_clause_head(sentence: &Sentence, tid: Tid) -> bool {
+    let t = &sentence.tokens[tid as usize];
+    match t.label {
+        ParseLabel::Root => true,
+        ParseLabel::Conj | ParseLabel::Rcmod | ParseLabel::Ccomp => t.pos == PosTag::Verb,
+        _ => false,
+    }
+}
+
+/// Decompose a parsed sentence into canonical clauses.
+pub fn decompose(sentence: &Sentence) -> Vec<Clause> {
+    let n = sentence.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Assign every token to its nearest clause-heading ancestor.
+    let mut owner = vec![0 as Tid; n];
+    for i in 0..n {
+        let mut cur = i as Tid;
+        loop {
+            if is_clause_head(sentence, cur) {
+                owner[i] = cur;
+                break;
+            }
+            match sentence.tokens[cur as usize].head {
+                Some(h) => cur = h,
+                None => {
+                    owner[i] = cur;
+                    break;
+                }
+            }
+        }
+    }
+    let root = sentence.root().unwrap_or(0);
+    let mut heads: Vec<Tid> = owner.clone();
+    heads.sort_unstable();
+    heads.dedup();
+    let mut clauses = Vec::with_capacity(heads.len());
+    for h in heads {
+        let tokens: Vec<Tid> = (0..n as Tid).filter(|&i| owner[i as usize] == h).collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        let score = if h == root { 1.0 } else { 0.8 };
+        clauses.push(Clause {
+            head: h,
+            tokens,
+            score,
+        });
+    }
+    clauses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+
+    fn clauses_of(text: &str) -> (Sentence, Vec<Clause>) {
+        let p = Pipeline::new();
+        let doc = p.parse_document(0, text);
+        let s = doc.sentences.into_iter().next().expect("one sentence");
+        let cs = decompose(&s);
+        (s, cs)
+    }
+
+    fn clause_texts(s: &Sentence, cs: &[Clause]) -> Vec<String> {
+        cs.iter()
+            .map(|c| {
+                c.tokens
+                    .iter()
+                    .map(|&t| s.tokens[t as usize].text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_sentence_is_one_clause() {
+        let (s, cs) = clauses_of("Anna ate some cheesecake .");
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].score, 1.0);
+        assert_eq!(clause_texts(&s, &cs)[0], "Anna ate some cheesecake .");
+    }
+
+    #[test]
+    fn relative_clause_is_separated() {
+        let (s, cs) = clauses_of("Anna ate some delicious cheesecake that she bought at a grocery store .");
+        assert_eq!(cs.len(), 2, "{:?}", clause_texts(&s, &cs));
+        let texts = clause_texts(&s, &cs);
+        assert!(texts[0].starts_with("Anna ate some delicious cheesecake"));
+        assert!(texts[1].contains("she bought at a grocery store"));
+        assert_eq!(cs[0].score, 1.0);
+        assert_eq!(cs[1].score, 0.8);
+    }
+
+    #[test]
+    fn figure1_three_clauses() {
+        let (s, cs) = clauses_of(
+            "I ate a chocolate ice cream , which was delicious , and also ate a pie .",
+        );
+        let texts = clause_texts(&s, &cs);
+        assert_eq!(cs.len(), 3, "{texts:?}");
+        assert!(texts.iter().any(|t| t.contains("which was delicious")));
+        assert!(texts.iter().any(|t| t.contains("also ate a pie")));
+        // Exactly one root clause with weight 1.0.
+        assert_eq!(cs.iter().filter(|c| c.score == 1.0).count(), 1);
+    }
+
+    #[test]
+    fn clause_tokens_partition_sentence() {
+        let (s, cs) = clauses_of(
+            "The cafe serves espresso , and the barista pours latte art when the shop opens .",
+        );
+        let mut all: Vec<Tid> = cs.iter().flat_map(|c| c.tokens.iter().copied()).collect();
+        all.sort_unstable();
+        let expect: Vec<Tid> = (0..s.len() as Tid).collect();
+        assert_eq!(all, expect, "clauses must partition the sentence");
+    }
+
+    #[test]
+    fn clause_spans_nonempty() {
+        let (_, cs) = clauses_of("go Falcons !");
+        assert!(!cs.is_empty());
+        for c in &cs {
+            let (a, b) = c.span();
+            assert!(a <= b);
+        }
+    }
+}

@@ -1,0 +1,831 @@
+//! Deterministic rule-based dependency parsing.
+//!
+//! A two-phase parser: (1) noun-phrase chunking with head finding and
+//! NP-internal attachment (`det`, `amod`, `nn`, `num`, `poss`), then (2) a
+//! left-to-right clause pass with a relative-clause stack that attaches
+//! subjects, objects, prepositional phrases, coordination, and punctuation.
+//!
+//! Output trees are **projective** — every subtree covers a contiguous token
+//! range — which the hierarchy/word indices rely on (their `u–v` posting
+//! components assume contiguous subtree spans). A property test checks this
+//! invariant over randomized inputs.
+//!
+//! The attachment conventions are validated token-by-token against the
+//! paper's two worked examples (Figure 1 and Example 3.1) in the tests below.
+
+use crate::types::{ParseLabel, PosTag, Sentence, Tid};
+
+const WH_WORDS: [&str; 4] = ["which", "who", "whom", "that"];
+
+/// Assign `head` and `label` to every token of a tagged sentence.
+pub fn parse(sentence: &mut Sentence) {
+    let n = sentence.tokens.len();
+    if n == 0 {
+        return;
+    }
+    let chunks = chunk(sentence);
+    let mut p = ParseState {
+        heads: vec![None; n],
+        labels: vec![ParseLabel::Dep; n],
+        root: None,
+        frames: vec![Frame::default()],
+        pending_cc: None,
+        cc_after_np: false,
+        pending_comma: None,
+        deferred_punct: Vec::new(),
+        last_was_np: false,
+    };
+
+    // NP-internal attachments first.
+    for c in &chunks {
+        if let Chunk::Np { start, end, head } = *c {
+            for i in start..=end {
+                if i == head {
+                    continue;
+                }
+                let (h, l) = (head, np_internal_label(sentence.tokens[i].pos, i, head));
+                p.attach(i, h, l);
+            }
+        }
+    }
+
+    // Clause pass.
+    for ci in 0..chunks.len() {
+        let next_is_verb = matches!(chunks.get(ci + 1), Some(Chunk::Verb(_)));
+        let next_is_np = matches!(chunks.get(ci + 1), Some(Chunk::Np { .. }));
+        let was_np = p.last_was_np;
+        p.last_was_np = false;
+        match chunks[ci] {
+            Chunk::Np { head, .. } => {
+                p.resolve_comma(false);
+                p.on_np(head, next_is_verb);
+                p.last_was_np = true;
+            }
+            Chunk::Verb(v) => {
+                p.resolve_comma(false);
+                p.on_verb(v);
+            }
+            Chunk::Adp(a) => {
+                p.resolve_comma(false);
+                p.on_adp(a, &sentence.tokens[a].lower, next_is_verb, was_np);
+            }
+            Chunk::Adv(x) => {
+                p.resolve_comma(false);
+                p.on_adv(x);
+            }
+            Chunk::Adj(x) => {
+                p.resolve_comma(false);
+                p.on_adj(x, next_is_np);
+            }
+            Chunk::Conj(c) => {
+                p.resolve_comma(false);
+                p.pending_cc = Some(c);
+                p.cc_after_np = was_np;
+            }
+            Chunk::Wh(w) => {
+                p.resolve_comma(true);
+                p.on_wh(w);
+            }
+            Chunk::Punct(t) => p.on_punct(t, &sentence.tokens[t].text),
+            Chunk::Other(x) => {
+                p.resolve_comma(false);
+                p.deferred_punct.push(x); // attach to root at finalize
+            }
+        }
+    }
+
+    p.finalize(n);
+
+    for i in 0..n {
+        sentence.tokens[i].head = p.heads[i].map(|h| h as Tid);
+        sentence.tokens[i].label = p.labels[i];
+    }
+}
+
+/// Label for a non-head token inside an NP chunk.
+fn np_internal_label(pos: PosTag, idx: usize, head: usize) -> ParseLabel {
+    match pos {
+        PosTag::Det => ParseLabel::Det,
+        PosTag::Adj => ParseLabel::Amod,
+        PosTag::Num => ParseLabel::Num,
+        PosTag::Pron => ParseLabel::Poss,
+        PosTag::Noun | PosTag::Propn if idx < head => ParseLabel::Nn,
+        _ => ParseLabel::Dep,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Chunk {
+    /// Noun phrase `start..=end` with `head` (all token indices).
+    Np { start: usize, end: usize, head: usize },
+    Verb(usize),
+    Adp(usize),
+    Adv(usize),
+    Adj(usize),
+    Conj(usize),
+    Punct(usize),
+    /// Relative pronoun starting a relative clause.
+    Wh(usize),
+    Other(usize),
+}
+
+/// Group tokens into chunks; NP material is DET/ADJ/NOUN/PROPN/NUM/PRON.
+fn chunk(sentence: &Sentence) -> Vec<Chunk> {
+    let toks = &sentence.tokens;
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let t = &toks[i];
+        let is_wh = t.pos == PosTag::Pron && WH_WORDS.contains(&t.lower.as_str());
+        if is_wh {
+            out.push(Chunk::Wh(i));
+            i += 1;
+            continue;
+        }
+        if is_np_material(t.pos) {
+            let start = i;
+            let mut nominal: Option<usize> = None;
+            while i < n && is_np_material(toks[i].pos) {
+                let is_whx = toks[i].pos == PosTag::Pron && WH_WORDS.contains(&toks[i].lower.as_str());
+                if is_whx {
+                    break;
+                }
+                if matches!(toks[i].pos, PosTag::Noun | PosTag::Propn) {
+                    nominal = Some(i);
+                } else if nominal.is_none()
+                    && matches!(toks[i].pos, PosTag::Pron | PosTag::Num)
+                {
+                    nominal = Some(i);
+                }
+                i += 1;
+            }
+            let end = i - 1;
+            // Prefer the last NOUN/PROPN; else the last PRON/NUM seen.
+            let head = (start..=end)
+                .rev()
+                .find(|&j| matches!(toks[j].pos, PosTag::Noun | PosTag::Propn))
+                .or(nominal);
+            match head {
+                Some(h) => out.push(Chunk::Np { start, end, head: h }),
+                None => {
+                    // Run of DET/ADJ with no nominal: emit individually.
+                    for j in start..=end {
+                        out.push(match toks[j].pos {
+                            PosTag::Adj => Chunk::Adj(j),
+                            _ => Chunk::Other(j),
+                        });
+                    }
+                }
+            }
+            continue;
+        }
+        out.push(match t.pos {
+            PosTag::Verb => Chunk::Verb(i),
+            PosTag::Adp => Chunk::Adp(i),
+            PosTag::Adv => Chunk::Adv(i),
+            PosTag::Adj => Chunk::Adj(i),
+            PosTag::Conj => Chunk::Conj(i),
+            PosTag::Punct => Chunk::Punct(i),
+            _ => Chunk::Other(i),
+        });
+        i += 1;
+    }
+    out
+}
+
+fn is_np_material(pos: PosTag) -> bool {
+    matches!(
+        pos,
+        PosTag::Det | PosTag::Adj | PosTag::Noun | PosTag::Propn | PosTag::Num | PosTag::Pron
+    )
+}
+
+/// One clause on the stack (main clause at the bottom, relative clauses
+/// above it).
+#[derive(Debug, Default)]
+struct Frame {
+    /// Current verb for attachments (moves along xcomp/conj chains).
+    verb: Option<usize>,
+    /// Noun a relative clause modifies.
+    attach_noun: Option<usize>,
+    /// Unconsumed relative pronoun.
+    wh: Option<usize>,
+    pending_subj: Vec<usize>,
+    pending_advs: Vec<usize>,
+    pending_adjs: Vec<usize>,
+    /// Infinitival/complementizer adpositions awaiting the next verb.
+    pending_marks: Vec<usize>,
+    /// Clause-initial prepositions awaiting the clause verb.
+    pending_preps: Vec<usize>,
+    /// Preposition awaiting its object.
+    open_prep: Option<usize>,
+    last_np: Option<usize>,
+    has_obj: bool,
+    is_rel: bool,
+}
+
+struct ParseState {
+    heads: Vec<Option<usize>>,
+    labels: Vec<ParseLabel>,
+    root: Option<usize>,
+    frames: Vec<Frame>,
+    pending_cc: Option<usize>,
+    /// Whether the pending conjunction directly followed an NP — required
+    /// for noun coordination ("china *and* japan"), and what keeps
+    /// adjective coordination ("delicious *and* salty pie") from producing
+    /// a non-projective noun conjunct.
+    cc_after_np: bool,
+    pending_comma: Option<usize>,
+    deferred_punct: Vec<usize>,
+    /// Kind of the previously processed chunk.
+    last_was_np: bool,
+}
+
+impl ParseState {
+    fn top(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("frame stack never empty")
+    }
+
+    fn attach(&mut self, child: usize, head: usize, label: ParseLabel) {
+        debug_assert_ne!(child, head, "self-loop attachment");
+        self.heads[child] = Some(head);
+        self.labels[child] = label;
+    }
+
+    /// A pending comma is attached once the following chunk is known: a
+    /// comma introducing a relative clause hangs off the modified noun (this
+    /// keeps the noun's subtree span contiguous through the clause —
+    /// Example 3.2's `cream(0,5,2-9,1)` posting depends on it); any other
+    /// comma hangs off the current clause verb.
+    fn resolve_comma(&mut self, next_is_wh: bool) {
+        let Some(c) = self.pending_comma.take() else {
+            return;
+        };
+        let target = if next_is_wh {
+            self.top().last_np
+        } else {
+            self.top().verb.or(self.root)
+        };
+        match target {
+            Some(t) if t != c => self.attach(c, t, ParseLabel::P),
+            _ => self.deferred_punct.push(c),
+        }
+    }
+
+    fn on_np(&mut self, head: usize, next_is_verb: bool) {
+        // Attach buffered pre-nominal adjectives that directly precede us.
+        let adjs = std::mem::take(&mut self.top().pending_adjs);
+        for a in adjs {
+            self.attach(a, head, ParseLabel::Amod);
+        }
+        // Verbless clauses: buffered adverbs ("in very pie") modify this
+        // NP — deferring them to the root would break the covering
+        // preposition's subtree span.
+        if self.top().verb.is_none() && self.pending_cc.is_none() {
+            let advs = std::mem::take(&mut self.top().pending_advs);
+            for a in advs {
+                self.attach(a, head, ParseLabel::Advmod);
+            }
+        }
+        if let Some(prep) = self.top().open_prep.take() {
+            self.attach(head, prep, ParseLabel::Pobj);
+        } else if self.pending_cc.is_some() && next_is_verb {
+            // "and the couple had…": subject of a coordinated clause.
+            self.top().pending_subj.push(head);
+        } else if self.pending_cc.is_some() && self.cc_after_np && self.top().last_np.is_some() {
+            // Noun coordination: "china and japan".
+            let cc = self.pending_cc.take().expect("checked");
+            let np = self.top().last_np.expect("checked");
+            self.attach(cc, np, ParseLabel::Cc);
+            self.attach(head, np, ParseLabel::Conj);
+        } else {
+            if let Some(cc) = self.pending_cc.take() {
+                // Conjunction joining modifiers ("delicious and salty pie"):
+                // hang the cc off the NP head to preserve projectivity.
+                self.attach(cc, head, ParseLabel::Cc);
+            }
+            if self.top().verb.is_none() {
+                self.top().pending_subj.push(head);
+            } else {
+                let v = self.top().verb.expect("checked above");
+                if !self.top().has_obj {
+                    self.attach(head, v, ParseLabel::Dobj);
+                    self.top().has_obj = true;
+                } else {
+                    self.attach(head, v, ParseLabel::Dep);
+                }
+            }
+        }
+        self.top().last_np = Some(head);
+    }
+
+    fn on_verb(&mut self, v: usize) {
+        if let (Some(cc), Some(cur)) = (self.pending_cc, self.top().verb) {
+            // Verb coordination: "ate …, and also ate a pie".
+            self.pending_cc = None;
+            self.attach(cc, cur, ParseLabel::Cc);
+            self.attach(v, cur, ParseLabel::Conj);
+            self.start_verb(v);
+            return;
+        }
+        self.pending_cc = None;
+        if self.top().verb.is_none() {
+            let (is_rel, attach_noun) = {
+                let f = self.top();
+                (f.is_rel, f.attach_noun)
+            };
+            if is_rel {
+                match attach_noun {
+                    Some(noun) => self.attach(v, noun, ParseLabel::Rcmod),
+                    None => {
+                        if let Some(r) = self.root {
+                            self.attach(v, r, ParseLabel::Dep);
+                        }
+                    }
+                }
+            } else if self.root.is_none() {
+                self.root = Some(v);
+                self.labels[v] = ParseLabel::Root;
+            } else {
+                let r = self.root.expect("checked");
+                self.attach(v, r, ParseLabel::Dep);
+            }
+            self.start_verb(v);
+        } else {
+            // Verb chain: "had been called", "is prepared".
+            let cur = self.top().verb.expect("checked");
+            self.attach(v, cur, ParseLabel::Xcomp);
+            self.top().verb = Some(v);
+            self.top().has_obj = false;
+            // A dangling preposition before a verb has no object; the next
+            // NP belongs to the new verb.
+            self.top().open_prep = None;
+            // Buffered marks/adverbs ("to", "also") belong to the new verb;
+            // leaving them pending would strand them outside the chain's
+            // subtree span.
+            let marks = std::mem::take(&mut self.top().pending_marks);
+            for m in marks {
+                self.attach(m, v, ParseLabel::Mark);
+            }
+            let advs = std::mem::take(&mut self.top().pending_advs);
+            for a in advs {
+                self.attach(a, v, ParseLabel::Advmod);
+            }
+        }
+    }
+
+    /// Bookkeeping when a clause gains its (possibly new) current verb.
+    fn start_verb(&mut self, v: usize) {
+        let subj = std::mem::take(&mut self.top().pending_subj);
+        let had_subj = !subj.is_empty();
+        if let Some((&last, earlier)) = subj.split_last() {
+            self.attach(last, v, ParseLabel::Nsubj);
+            for &e in earlier {
+                self.attach(e, v, ParseLabel::Dep);
+            }
+        }
+        if let Some(w) = self.top().wh.take() {
+            // "which was delicious" → wh is the subject; "that she bought" →
+            // the overt subject fills nsubj, the wh is the fronted object.
+            let label = if had_subj {
+                ParseLabel::Dobj
+            } else {
+                ParseLabel::Nsubj
+            };
+            self.attach(w, v, label);
+        }
+        let advs = std::mem::take(&mut self.top().pending_advs);
+        for a in advs {
+            self.attach(a, v, ParseLabel::Advmod);
+        }
+        let marks = std::mem::take(&mut self.top().pending_marks);
+        for m in marks {
+            self.attach(m, v, ParseLabel::Mark);
+        }
+        let preps = std::mem::take(&mut self.top().pending_preps);
+        for pp in preps {
+            self.attach(pp, v, ParseLabel::Prep);
+        }
+        self.top().verb = Some(v);
+        self.top().has_obj = false;
+        self.top().open_prep = None;
+    }
+
+    fn on_adp(&mut self, a: usize, lower: &str, next_is_verb: bool, after_np: bool) {
+        if next_is_verb {
+            // Infinitival / complementizer "to eat": mark on the next verb.
+            self.top().pending_marks.push(a);
+            return;
+        }
+        // Buffered adverbs modify the preposition itself ("right after" in
+        // real text) — any later target would cross this arc.
+        let advs = std::mem::take(&mut self.top().pending_advs);
+        for x in advs {
+            self.attach(x, a, ParseLabel::Advmod);
+        }
+        // "of" modifies the noun it directly follows ("type of chocolate");
+        // anywhere else it behaves like an ordinary preposition, otherwise
+        // its arc would cross an intervening verb.
+        let target = if lower == "of" && after_np {
+            self.top().last_np.or(self.top().verb)
+        } else {
+            self.top().verb.or(self.top().last_np)
+        };
+        match target {
+            Some(t) => self.attach(a, t, ParseLabel::Prep),
+            None => self.top().pending_preps.push(a),
+        }
+        self.top().open_prep = Some(a);
+    }
+
+    fn on_adv(&mut self, x: usize) {
+        if self.pending_cc.is_some() || self.top().verb.is_none() {
+            self.top().pending_advs.push(x);
+        } else {
+            let v = self.top().verb.expect("checked");
+            self.attach(x, v, ParseLabel::Advmod);
+        }
+    }
+
+    fn on_adj(&mut self, x: usize, next_is_np: bool) {
+        if next_is_np {
+            self.top().pending_adjs.push(x);
+        } else if let Some(v) = self.top().verb {
+            self.attach(x, v, ParseLabel::Acomp);
+        } else if let Some(np) = self.top().last_np {
+            self.attach(x, np, ParseLabel::Amod);
+        } else {
+            self.top().pending_adjs.push(x);
+        }
+    }
+
+    fn on_wh(&mut self, w: usize) {
+        let noun = self.top().last_np;
+        self.frames.push(Frame {
+            is_rel: true,
+            attach_noun: noun,
+            wh: Some(w),
+            ..Frame::default()
+        });
+    }
+
+    fn on_punct(&mut self, t: usize, text: &str) {
+        match text {
+            "," => {
+                if self.frames.len() > 1 && self.top().is_rel {
+                    self.pop_frame();
+                }
+                // Attachment deferred until the next chunk is known.
+                self.resolve_comma(false); // flush an older pending comma
+                self.pending_comma = Some(t);
+            }
+            "." | "!" | "?" => {
+                self.resolve_comma(false);
+                while self.frames.len() > 1 {
+                    self.pop_frame();
+                }
+                self.deferred_punct.push(t);
+            }
+            _ => {
+                self.resolve_comma(false);
+                self.deferred_punct.push(t);
+            }
+        }
+    }
+
+    /// Close a relative-clause frame, attaching any leftovers. Fallback
+    /// targets are ordered to preserve subtree contiguity: the clause's own
+    /// verb, then the enclosing clause verb, then the root — never the
+    /// modified noun, whose span would otherwise skip over the verb
+    /// ("Anna called which .").
+    fn pop_frame(&mut self) {
+        let frame = self.frames.pop().expect("pop with >1 frames");
+        let fallback = frame
+            .verb
+            .or_else(|| self.top().verb)
+            .or(self.root)
+            .or(frame.attach_noun);
+        let mut leftovers = Vec::new();
+        leftovers.extend(frame.wh);
+        leftovers.extend(frame.pending_subj);
+        leftovers.extend(frame.pending_advs);
+        leftovers.extend(frame.pending_adjs);
+        leftovers.extend(frame.pending_marks);
+        leftovers.extend(frame.pending_preps);
+        if let Some(f) = fallback {
+            for t in leftovers {
+                if t != f && self.heads[t].is_none() {
+                    self.attach(t, f, ParseLabel::Dep);
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self, n: usize) {
+        self.resolve_comma(false);
+        while self.frames.len() > 1 {
+            self.pop_frame();
+        }
+        // Root fallback: first verb was handled already; otherwise the first
+        // pending subject / NP head; otherwise token 0.
+        if self.root.is_none() {
+            let frame = self.frames.last().expect("main frame");
+            let candidate = frame
+                .pending_subj
+                .first()
+                .copied()
+                .or(frame.last_np)
+                .unwrap_or(0);
+            self.root = Some(candidate);
+            self.labels[candidate] = ParseLabel::Root;
+            self.heads[candidate] = None;
+        }
+        let root = self.root.expect("set above");
+        for t in std::mem::take(&mut self.deferred_punct) {
+            if t != root && self.heads[t].is_none() {
+                self.attach(t, root, ParseLabel::P);
+            }
+        }
+        for i in 0..n {
+            if i != root && self.heads[i].is_none() {
+                let label = match self.labels[i] {
+                    ParseLabel::Mark => ParseLabel::Mark,
+                    _ => ParseLabel::Dep,
+                };
+                // Avoid creating a cycle: attach to root only if root is not
+                // a descendant of i (can't happen: i had no head, so i's
+                // subtree can't contain the root which has its own chain).
+                self.attach(i, root, label);
+            }
+        }
+        self.heads[root] = None;
+        self.labels[root] = ParseLabel::Root;
+        self.projectivize(n);
+    }
+
+    /// Safety net for degenerate inputs: repeatedly *lift* non-projective
+    /// edges (re-attach the child to its grandparent) until every subtree
+    /// covers a contiguous token range. Natural-language parses from the
+    /// rules above are already projective, so this is a no-op for them;
+    /// word-salad stress inputs converge because every lift reduces the
+    /// child's depth. The hierarchy/word indices rely on this invariant.
+    fn projectivize(&mut self, n: usize) {
+        fn descends(heads: &[Option<usize>], mut j: usize, anc: usize) -> bool {
+            let mut steps = 0;
+            while let Some(p) = heads[j] {
+                if p == anc {
+                    return true;
+                }
+                j = p;
+                steps += 1;
+                if steps > heads.len() {
+                    return false;
+                }
+            }
+            false
+        }
+        loop {
+            let mut lifted = false;
+            'scan: for c in 0..n {
+                let Some(h) = self.heads[c] else { continue };
+                let (lo, hi) = (h.min(c), h.max(c));
+                for j in lo + 1..hi {
+                    if !descends(&self.heads, j, h) {
+                        // h cannot be the root (everything descends from
+                        // it), so it has a grandparent to lift to.
+                        let g = self.heads[h].expect("non-root head");
+                        self.heads[c] = Some(g);
+                        self.labels[c] = ParseLabel::Dep;
+                        lifted = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if !lifted {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+    use crate::ner::Ner;
+    use crate::tagger;
+    use crate::types::{tree_stats, Token};
+
+    fn parse_str(text: &str) -> Sentence {
+        let lex = Lexicon::new();
+        let toks: Vec<String> = text.split_whitespace().map(str::to_string).collect();
+        let tags = tagger::tag(&toks, &lex);
+        let mut s = Sentence::default();
+        for (t, tag) in toks.iter().zip(tags) {
+            let mut token = Token::new(t.clone());
+            token.pos = tag;
+            s.tokens.push(token);
+        }
+        Ner::new().annotate(&mut s);
+        parse(&mut s);
+        s
+    }
+
+    fn dep(s: &Sentence, child: usize) -> (Option<usize>, ParseLabel) {
+        (
+            s.tokens[child].head.map(|h| h as usize),
+            s.tokens[child].label,
+        )
+    }
+
+    fn assert_projective(s: &Sentence) {
+        let stats = tree_stats(s);
+        for (i, st) in stats.iter().enumerate() {
+            // Count of nodes whose span lies inside [left, right] must equal
+            // the subtree size; with contiguous spans, the subtree covers
+            // exactly right-left+1 tokens.
+            let mut size = 0;
+            for j in 0..stats.len() {
+                let mut k = Some(j);
+                while let Some(cur) = k {
+                    if cur == i {
+                        size += 1;
+                        break;
+                    }
+                    k = s.tokens[cur].head.map(|h| h as usize);
+                }
+            }
+            assert_eq!(
+                size,
+                (st.right - st.left + 1) as usize,
+                "subtree of token {i} ({}) not contiguous in {:?}",
+                s.tokens[i].text,
+                s.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_parse() {
+        // "I ate a chocolate ice cream , which was delicious , and also ate a pie ."
+        //  0 1   2 3         4   5     6 7     8   9         10 11  12   13  14 15 16
+        let s = parse_str("I ate a chocolate ice cream , which was delicious , and also ate a pie .");
+        assert_eq!(dep(&s, 0), (Some(1), ParseLabel::Nsubj));
+        assert_eq!(dep(&s, 1), (None, ParseLabel::Root));
+        assert_eq!(dep(&s, 2), (Some(5), ParseLabel::Det));
+        assert_eq!(dep(&s, 3), (Some(5), ParseLabel::Nn));
+        assert_eq!(dep(&s, 4), (Some(5), ParseLabel::Nn));
+        assert_eq!(dep(&s, 5), (Some(1), ParseLabel::Dobj));
+        assert_eq!(dep(&s, 7), (Some(8), ParseLabel::Nsubj));
+        assert_eq!(dep(&s, 8), (Some(5), ParseLabel::Rcmod));
+        assert_eq!(dep(&s, 9), (Some(8), ParseLabel::Acomp));
+        assert_eq!(dep(&s, 11), (Some(1), ParseLabel::Cc));
+        assert_eq!(dep(&s, 12), (Some(13), ParseLabel::Advmod));
+        assert_eq!(dep(&s, 13), (Some(1), ParseLabel::Conj));
+        assert_eq!(dep(&s, 14), (Some(15), ParseLabel::Det));
+        assert_eq!(dep(&s, 15), (Some(13), ParseLabel::Dobj));
+        assert_eq!(dep(&s, 16), (Some(1), ParseLabel::P));
+        assert_projective(&s);
+
+        // Example 3.2's posting quintuples depend on these subtree spans.
+        let st = tree_stats(&s);
+        assert_eq!((st[1].left, st[1].right, st[1].depth), (0, 16, 0)); // ate(0,1,0-16,0)
+        assert_eq!((st[5].left, st[5].right, st[5].depth), (2, 9, 1)); // cream(0,5,2-9,1)
+        assert_eq!((st[9].left, st[9].right, st[9].depth), (9, 9, 3)); // delicious(0,9,9-9,3)
+        assert_eq!((st[0].left, st[0].right, st[0].depth), (0, 0, 1)); // I(0,0,0-0,1)
+    }
+
+    #[test]
+    fn example31_parse() {
+        // "Anna ate some delicious cheesecake that she bought at a grocery store ."
+        //  0    1   2    3         4          5    6   7      8  9 10      11    12
+        let s = parse_str("Anna ate some delicious cheesecake that she bought at a grocery store .");
+        assert_eq!(dep(&s, 0), (Some(1), ParseLabel::Nsubj));
+        assert_eq!(dep(&s, 1), (None, ParseLabel::Root));
+        assert_eq!(dep(&s, 2), (Some(4), ParseLabel::Det));
+        assert_eq!(dep(&s, 3), (Some(4), ParseLabel::Amod));
+        assert_eq!(dep(&s, 4), (Some(1), ParseLabel::Dobj));
+        assert_eq!(dep(&s, 5), (Some(7), ParseLabel::Dobj)); // fronted object "that"
+        assert_eq!(dep(&s, 6), (Some(7), ParseLabel::Nsubj));
+        assert_eq!(dep(&s, 7), (Some(4), ParseLabel::Rcmod));
+        assert_eq!(dep(&s, 8), (Some(7), ParseLabel::Prep));
+        assert_eq!(dep(&s, 9), (Some(11), ParseLabel::Det));
+        assert_eq!(dep(&s, 10), (Some(11), ParseLabel::Nn));
+        assert_eq!(dep(&s, 11), (Some(8), ParseLabel::Pobj));
+        assert_projective(&s);
+
+        // Example 3.2: ate(1,1,0-12,0), delicious(1,3,3-3,2), "ate" root.
+        let st = tree_stats(&s);
+        assert_eq!((st[1].left, st[1].right, st[1].depth), (0, 12, 0));
+        assert_eq!((st[3].left, st[3].right, st[3].depth), (3, 3, 2));
+        assert_eq!((st[4].left, st[4].right, st[4].depth), (2, 11, 1));
+    }
+
+    #[test]
+    fn verbless_sentence_gets_np_root() {
+        let s = parse_str("cities in asian countries such as China and Japan .");
+        assert_eq!(dep(&s, 0), (None, ParseLabel::Root));
+        assert_eq!(dep(&s, 1), (Some(0), ParseLabel::Prep));
+        assert_eq!(dep(&s, 3), (Some(1), ParseLabel::Pobj));
+        assert_projective(&s);
+    }
+
+    #[test]
+    fn verb_chain_and_title_example() {
+        // "Cyd Charisse had been called Sid for years ."
+        let s = parse_str("Cyd Charisse had been called Sid for years .");
+        assert_eq!(dep(&s, 2), (None, ParseLabel::Root)); // had
+        assert_eq!(dep(&s, 3), (Some(2), ParseLabel::Xcomp)); // been
+        assert_eq!(dep(&s, 4), (Some(3), ParseLabel::Xcomp)); // called
+        assert_eq!(dep(&s, 5), (Some(4), ParseLabel::Dobj)); // Sid under called
+        assert_eq!(dep(&s, 6), (Some(4), ParseLabel::Prep)); // for under called
+        assert_projective(&s);
+        // The Title query binds p = called/propn and b = p.subtree; the
+        // subtree of "Sid" must be just "Sid".
+        let st = tree_stats(&s);
+        assert_eq!((st[5].left, st[5].right), (5, 5));
+    }
+
+    #[test]
+    fn coordinated_clause() {
+        // "He was married in London , and the couple had a daughter ."
+        //  0  1   2       3  4      5 6   7   8      9   10 11      12
+        let s = parse_str("He was married in London , and the couple had a daughter .");
+        let had = 9;
+        assert_eq!(dep(&s, 5).1, ParseLabel::P);
+        assert_eq!(dep(&s, 6), (Some(2), ParseLabel::Cc)); // and → married (current verb)
+        assert_eq!(dep(&s, had), (Some(2), ParseLabel::Conj));
+        assert_eq!(dep(&s, 8), (Some(had), ParseLabel::Nsubj)); // couple
+        assert_projective(&s);
+    }
+
+    #[test]
+    fn chocolate_query_shape() {
+        let s = parse_str("Baking chocolate is a type of chocolate that is prepared for baking .");
+        // v = is(2); s = v/nsubj = chocolate(1); o = v//pobj chocolate(6).
+        assert_eq!(dep(&s, 1), (Some(2), ParseLabel::Nsubj));
+        assert_eq!(dep(&s, 2), (None, ParseLabel::Root));
+        assert_eq!(dep(&s, 4), (Some(2), ParseLabel::Dobj)); // type
+        assert_eq!(dep(&s, 5), (Some(4), ParseLabel::Prep)); // of → type
+        assert_eq!(dep(&s, 6), (Some(5), ParseLabel::Pobj)); // chocolate
+        assert_eq!(dep(&s, 8), (Some(6), ParseLabel::Rcmod)); // is (rel)
+        assert_projective(&s);
+    }
+
+    #[test]
+    fn born_date_shape() {
+        let s = parse_str("The couple had a daughter Vera born in 1911 .");
+        let born = 6;
+        assert_eq!(s.tokens[born].text, "born");
+        assert_eq!(dep(&s, born).1, ParseLabel::Xcomp);
+        assert_eq!(dep(&s, 7), (Some(born), ParseLabel::Prep));
+        assert_eq!(dep(&s, 8), (Some(7), ParseLabel::Pobj));
+        assert_projective(&s);
+    }
+
+    #[test]
+    fn subordinate_clause_via_conj() {
+        // "I was happy when I found my old book ."
+        //  0 1   2     3    4 5     6  7   8    9
+        let s = parse_str("I was happy when I found my old book .");
+        let found = 5;
+        assert_eq!(dep(&s, 2), (Some(1), ParseLabel::Acomp)); // happy
+        assert_eq!(dep(&s, 3), (Some(1), ParseLabel::Cc)); // when → was
+        assert_eq!(dep(&s, found), (Some(1), ParseLabel::Conj));
+        assert_eq!(dep(&s, 4), (Some(found), ParseLabel::Nsubj));
+        assert_eq!(dep(&s, 8), (Some(found), ParseLabel::Dobj)); // book
+        assert_projective(&s);
+    }
+
+    #[test]
+    fn single_token_sentence() {
+        let s = parse_str("Yes");
+        assert_eq!(dep(&s, 0), (None, ParseLabel::Root));
+    }
+
+    #[test]
+    fn every_token_reaches_root() {
+        for text in [
+            "The new cafe on Mission St. has the best cup of espresso .",
+            "Portland produces and sells the best coffee .",
+            "go Falcons !",
+            "at Riverside Arena tonight",
+            "I ate a delicious and salty pie with peanuts .",
+        ] {
+            let s = parse_str(text);
+            let root = s.root().expect("root exists");
+            for i in 0..s.len() {
+                let mut cur = i as Tid;
+                let mut steps = 0;
+                while let Some(h) = s.tokens[cur as usize].head {
+                    cur = h;
+                    steps += 1;
+                    assert!(steps <= s.len(), "cycle at token {i} in {text:?}");
+                }
+                assert_eq!(cur, root, "token {i} does not reach root in {text:?}");
+            }
+            assert_projective(&s);
+        }
+    }
+}

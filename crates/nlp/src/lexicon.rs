@@ -1,0 +1,283 @@
+//! POS lexicon: closed-class word lists plus open-class exception lists used
+//! by the tagger. The corpus generators draw from the same lists, so the
+//! deterministic tagger is accurate by construction on generated text while
+//! still degrading gracefully (suffix heuristics, capitalization) on novel
+//! words.
+
+use crate::types::PosTag;
+use std::collections::HashMap;
+
+/// Determiners (including possessive determiners, which the parser attaches
+/// with the `poss` label).
+pub const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "some", "this", "these", "those", "any", "every", "each", "no", "another",
+    "my", "your", "its", "our", "their", "his",
+];
+
+/// Personal / relative pronouns. (`which`, `who`, `that` double as relative
+/// pronouns; the parser decides.)
+pub const PRONOUNS: &[&str] = &[
+    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "which",
+    "who", "whom", "what", "that", "someone", "everyone", "itself", "himself", "herself",
+];
+
+/// Adpositions.
+pub const ADPOSITIONS: &[&str] = &[
+    "in", "on", "at", "of", "to", "from", "with", "by", "for", "about", "over", "under",
+    "near", "during", "after", "before", "between", "into", "through", "as", "since",
+    "without", "inside", "behind", "along",
+];
+
+/// Conjunctions. Subordinators (`when`, `because` …) are folded in: the
+/// parser treats a conjunction followed by a clause as clause coordination,
+/// which keeps trees projective without a full subordinate-clause grammar.
+pub const CONJUNCTIONS: &[&str] = &[
+    "and", "or", "but", "nor", "yet", "so", "when", "while", "because", "if", "though",
+    "until",
+];
+
+/// Adverbs.
+pub const ADVERBS: &[&str] = &[
+    "also", "very", "really", "quite", "always", "never", "often", "soon", "recently", "now",
+    "today", "yesterday", "tomorrow", "here", "there", "not", "just", "already", "still",
+    "finally", "again", "together", "nearby", "downtown", "tonight",
+];
+
+/// Auxiliary and copular verb forms.
+pub const AUX_VERBS: &[&str] = &[
+    "is", "was", "are", "were", "be", "been", "being", "am", "has", "have", "had", "do",
+    "does", "did", "will", "would", "can", "could", "may", "might", "should", "must",
+];
+
+/// Base forms of common verbs. Inflections (`-s`, `-ed`, `-ing`) are derived
+/// by the tagger via stemming.
+pub const VERBS: &[&str] = &[
+    "eat", "serve", "sell", "buy", "make", "open", "hire", "employ", "visit", "go", "call",
+    "name", "prepare", "manufacture", "drink", "enjoy", "love", "roast", "brew", "pour",
+    "host", "play", "win", "feel", "get", "see", "watch", "cheer", "move", "offer", "pull",
+    "bake", "taste", "marry", "bear", "write", "found", "launch", "start", "finish", "meet",
+    "travel", "arrive", "describe", "review", "recommend", "order", "try", "craft", "source",
+    "feature", "announce", "celebrate", "graduate", "retire", "live", "work", "study",
+];
+
+/// Irregular verb forms → their base form.
+pub const IRREGULAR_VERBS: &[(&str, &str)] = &[
+    ("ate", "eat"),
+    ("eaten", "eat"),
+    ("bought", "buy"),
+    ("made", "make"),
+    ("went", "go"),
+    ("gone", "go"),
+    ("drank", "drink"),
+    ("drunk", "drink"),
+    ("won", "win"),
+    ("felt", "feel"),
+    ("got", "get"),
+    ("saw", "see"),
+    ("seen", "see"),
+    ("met", "meet"),
+    ("wrote", "write"),
+    ("written", "write"),
+    ("born", "bear"),
+    ("bore", "bear"),
+    ("married", "marry"),
+    ("tried", "try"),
+];
+
+/// Adjectives (including nationality adjectives used by Example 2.2).
+pub const ADJECTIVES: &[&str] = &[
+    "delicious", "tasty", "salty", "sweet", "happy", "new", "great", "good", "best", "famous",
+    "local", "fresh", "small", "large", "star", "upcoming", "friendly", "cozy", "excellent",
+    "amazing", "wonderful", "proud", "glad", "bright", "quiet", "busy", "warm", "old", "young",
+    "crisp", "rich", "smooth", "bold", "asian", "french", "italian", "japanese", "chinese",
+    "ethiopian", "colombian", "such", "single", "seasonal", "daily", "annual", "grand",
+];
+
+/// Nouns that would otherwise be mis-tagged by suffix rules (e.g. `-ing`
+/// nouns) plus high-frequency corpus nouns.
+pub const NOUNS: &[&str] = &[
+    "morning", "evening", "building", "wedding", "baking", "brewing", "ceiling", "cafe",
+    "cafes", "coffee", "barista", "baristas", "cup", "cups", "menu", "team", "teams", "game",
+    "games", "city", "cities", "country", "countries", "type", "types", "place", "places",
+    "blog", "roaster", "roasters", "espresso", "machine", "bar", "shop", "owner", "daughter",
+    "son", "couple", "years", "year", "month", "week", "day", "moment", "friend", "friends",
+    "family", "dog", "cat", "book", "books", "job", "time", "people", "fans", "crowd",
+    "season", "match", "championship", "festival", "fest", "neighborhood", "corner", "door",
+    "kettle", "beans", "bean", "blend", "pour-over", "press", "victory", "weekend", "title",
+    "champion",
+];
+
+/// Words spelled with `.` that must not terminate a sentence.
+pub const ABBREVIATIONS: &[&str] = &[
+    "St.", "Ave.", "Av.", "Mr.", "Mrs.", "Dr.", "a.m.", "p.m.", "U.S.", "No.",
+];
+
+/// A compiled lexicon: one hash lookup per token at tagging time.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    exact: HashMap<&'static str, PosTag>,
+    verb_bases: HashMap<&'static str, ()>,
+    irregular: HashMap<&'static str, &'static str>,
+}
+
+impl Default for Lexicon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lexicon {
+    pub fn new() -> Lexicon {
+        let mut exact = HashMap::new();
+        for (list, tag) in [
+            (DETERMINERS, PosTag::Det),
+            (PRONOUNS, PosTag::Pron),
+            (ADPOSITIONS, PosTag::Adp),
+            (CONJUNCTIONS, PosTag::Conj),
+            (ADVERBS, PosTag::Adv),
+            (AUX_VERBS, PosTag::Verb),
+            (ADJECTIVES, PosTag::Adj),
+            (NOUNS, PosTag::Noun),
+        ] {
+            for w in list {
+                exact.insert(*w, tag);
+            }
+        }
+        // Base verbs and their regular inflections resolve through
+        // `verb_bases`; only the base is stored.
+        let mut verb_bases = HashMap::new();
+        for v in VERBS {
+            verb_bases.insert(*v, ());
+        }
+        let mut irregular = HashMap::new();
+        for (form, base) in IRREGULAR_VERBS {
+            irregular.insert(*form, *base);
+        }
+        Lexicon {
+            exact,
+            verb_bases,
+            irregular,
+        }
+    }
+
+    /// Closed-class / exception-list lookup on a lower-cased word.
+    pub fn lookup(&self, lower: &str) -> Option<PosTag> {
+        self.exact.get(lower).copied()
+    }
+
+    /// Whether `lower` is a known verb form (base, irregular, or a regular
+    /// `-s` / `-ed` / `-ing` inflection of a known base).
+    pub fn is_verb_form(&self, lower: &str) -> bool {
+        if self.verb_bases.contains_key(lower) || self.irregular.contains_key(lower) {
+            return true;
+        }
+        self.strip_inflection(lower)
+            .is_some_and(|stem| self.verb_bases.contains_key(stem.as_str()))
+    }
+
+    /// Lemma of a verb form, if recognized.
+    pub fn verb_lemma(&self, lower: &str) -> Option<String> {
+        if self.verb_bases.contains_key(lower) {
+            return Some(lower.to_string());
+        }
+        if let Some(base) = self.irregular.get(lower) {
+            return Some((*base).to_string());
+        }
+        self.strip_inflection(lower)
+            .filter(|stem| self.verb_bases.contains_key(stem.as_str()))
+    }
+
+    /// Try the standard English inflection strippings.
+    fn strip_inflection(&self, lower: &str) -> Option<String> {
+        let candidates = |w: &str| -> Vec<String> {
+            let mut out = Vec::new();
+            if let Some(stem) = w.strip_suffix("ies") {
+                out.push(format!("{stem}y"));
+            }
+            if let Some(stem) = w.strip_suffix("es") {
+                out.push(stem.to_string());
+            }
+            if let Some(stem) = w.strip_suffix('s') {
+                out.push(stem.to_string());
+            }
+            if let Some(stem) = w.strip_suffix("ed") {
+                out.push(stem.to_string());
+                out.push(format!("{stem}e"));
+                // doubled final consonant: "planned" → "plan"
+                if stem.len() >= 2 {
+                    let b = stem.as_bytes();
+                    if b[b.len() - 1] == b[b.len() - 2] {
+                        out.push(stem[..stem.len() - 1].to_string());
+                    }
+                }
+            }
+            if let Some(stem) = w.strip_suffix("ing") {
+                out.push(stem.to_string());
+                out.push(format!("{stem}e"));
+                if stem.len() >= 2 {
+                    let b = stem.as_bytes();
+                    if b[b.len() - 1] == b[b.len() - 2] {
+                        out.push(stem[..stem.len() - 1].to_string());
+                    }
+                }
+            }
+            out
+        };
+        candidates(lower)
+            .into_iter()
+            .find(|c| self.verb_bases.contains_key(c.as_str()))
+    }
+
+    /// Whether `word` (with original casing) is a known abbreviation.
+    pub fn is_abbreviation(&self, word: &str) -> bool {
+        ABBREVIATIONS.iter().any(|a| *a == word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_class_lookup() {
+        let lex = Lexicon::new();
+        assert_eq!(lex.lookup("the"), Some(PosTag::Det));
+        assert_eq!(lex.lookup("she"), Some(PosTag::Pron));
+        assert_eq!(lex.lookup("of"), Some(PosTag::Adp));
+        assert_eq!(lex.lookup("and"), Some(PosTag::Conj));
+        assert_eq!(lex.lookup("was"), Some(PosTag::Verb));
+        assert_eq!(lex.lookup("delicious"), Some(PosTag::Adj));
+        assert_eq!(lex.lookup("morning"), Some(PosTag::Noun));
+        assert_eq!(lex.lookup("zzzz"), None);
+    }
+
+    #[test]
+    fn verb_inflections() {
+        let lex = Lexicon::new();
+        for form in ["serve", "serves", "served", "serving", "ate", "bought", "hiring"] {
+            assert!(lex.is_verb_form(form), "{form}");
+        }
+        assert!(!lex.is_verb_form("table"));
+        assert_eq!(lex.verb_lemma("serves").as_deref(), Some("serve"));
+        assert_eq!(lex.verb_lemma("ate").as_deref(), Some("eat"));
+        assert_eq!(lex.verb_lemma("hiring").as_deref(), Some("hire"));
+        assert_eq!(lex.verb_lemma("married").as_deref(), Some("marry"));
+        assert_eq!(lex.verb_lemma("chair"), None);
+    }
+
+    #[test]
+    fn ing_nouns_stay_nouns() {
+        // "baking" is in the noun exception list, so lexicon lookup wins over
+        // the -ing verb heuristic (tagger consults lookup first).
+        let lex = Lexicon::new();
+        assert_eq!(lex.lookup("baking"), Some(PosTag::Noun));
+        assert_eq!(lex.lookup("morning"), Some(PosTag::Noun));
+    }
+
+    #[test]
+    fn abbreviations() {
+        let lex = Lexicon::new();
+        assert!(lex.is_abbreviation("St."));
+        assert!(!lex.is_abbreviation("Stop."));
+    }
+}

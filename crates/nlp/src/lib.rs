@@ -1,0 +1,50 @@
+//! `koko-nlp` — the NLP preprocessing substrate for the KOKO reproduction.
+//!
+//! The KOKO paper (Wang et al., VLDB 2018) preprocesses every document with a
+//! dependency parser (spaCy or Google Cloud NL) producing, per token: a POS
+//! tag, a dependency parse label, a head reference, and per-sentence entity
+//! mentions (Figure 1). This crate provides a deterministic, from-scratch
+//! equivalent plus the shared data model used by every other crate:
+//!
+//! * [`types`] — [`Token`], [`Sentence`], [`Document`], [`Corpus`], the
+//!   posting quintuple [`Posting`], and subtree statistics [`tree_stats`].
+//! * [`tokenize`] / [`tagger`] / [`ner`] / [`depparse`] — the pipeline
+//!   stages, composed by [`Pipeline`].
+//! * [`decompose`] — canonical-clause segmentation (§4.4.1(b)).
+//! * [`pattern`] — tree patterns and the direct (index-free) matcher that
+//!   defines ground truth for the §6.2 index benchmarks.
+//! * [`gazetteer`] / [`lexicon`] — the closed word lists shared with the
+//!   corpus generators and the embedding builder.
+//!
+//! # Quick example
+//!
+//! ```
+//! use koko_nlp::Pipeline;
+//!
+//! let pipeline = Pipeline::new();
+//! let doc = pipeline.parse_document(0, "Anna ate some delicious cheesecake.");
+//! let sentence = &doc.sentences[0];
+//! assert_eq!(sentence.tokens[1].text, "ate");
+//! assert_eq!(sentence.root(), Some(1)); // "ate" heads the tree
+//! ```
+
+pub mod decompose;
+pub mod depparse;
+pub mod gazetteer;
+pub mod lexicon;
+pub mod ner;
+pub mod pattern;
+pub mod pipeline;
+pub mod tagger;
+pub mod tokenize;
+pub mod types;
+
+pub use decompose::{decompose, Clause};
+pub use lexicon::Lexicon;
+pub use ner::Ner;
+pub use pattern::{match_sentence, Axis, NodeLabel, PNode, TreePattern};
+pub use pipeline::Pipeline;
+pub use types::{
+    tree_stats, Corpus, Document, EntityMention, EntityPosting, EntityType, NodeStat,
+    ParseLabel, PosTag, Posting, Sentence, Sid, Tid, Token,
+};

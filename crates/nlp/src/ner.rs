@@ -1,0 +1,377 @@
+//! Named-entity recognition: gazetteer phrase matching, person-name and date
+//! patterns, proper-noun runs, and common-noun compounds (food/location/
+//! facility heads), producing the typed mentions of Figure 1.
+//!
+//! Mentions never overlap; earlier (and longer) matches win.
+
+use crate::gazetteer as gaz;
+use crate::types::{EntityMention, EntityType, PosTag, Sentence, Tid};
+use std::collections::HashMap;
+
+/// Compiled matcher tables; build once, reuse per corpus.
+#[derive(Debug, Clone)]
+pub struct Ner {
+    /// first lower word → list of (full lower phrase tokens, type).
+    phrases: HashMap<String, Vec<(Vec<String>, EntityType)>>,
+    first_names: HashMap<String, ()>,
+    last_names: HashMap<String, ()>,
+    months: HashMap<String, ()>,
+    food: HashMap<String, ()>,
+    location_nouns: HashMap<String, ()>,
+    facility_nouns: HashMap<String, ()>,
+}
+
+impl Default for Ner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn word_set(list: &[&str]) -> HashMap<String, ()> {
+    list.iter().map(|w| (w.to_lowercase(), ())).collect()
+}
+
+impl Ner {
+    pub fn new() -> Ner {
+        let mut phrases: HashMap<String, Vec<(Vec<String>, EntityType)>> = HashMap::new();
+        let mut add = |name: &str, etype: EntityType| {
+            let toks: Vec<String> = name.split_whitespace().map(|w| w.to_lowercase()).collect();
+            let first = toks[0].clone();
+            phrases.entry(first).or_default().push((toks, etype));
+        };
+        for f in gaz::FACILITY_NAMES {
+            add(f, EntityType::Facility);
+        }
+        for o in gaz::ORGS {
+            add(o, EntityType::Org);
+        }
+        for t in gaz::TEAMS {
+            add(t, EntityType::Org);
+        }
+        for c in gaz::CITIES {
+            add(c, EntityType::Gpe);
+        }
+        for c in gaz::COUNTRIES {
+            add(c, EntityType::Gpe);
+        }
+        // Espresso brands are distractor `Other` entities the cafe query must
+        // exclude by pattern, so NER must surface them as candidates.
+        for b in gaz::ESPRESSO_BRANDS {
+            add(b, EntityType::Other);
+        }
+        // Longest phrase first within a bucket.
+        for v in phrases.values_mut() {
+            v.sort_by_key(|(toks, _)| std::cmp::Reverse(toks.len()));
+        }
+        Ner {
+            phrases,
+            first_names: word_set(gaz::FIRST_NAMES),
+            last_names: word_set(gaz::LAST_NAMES),
+            months: word_set(gaz::MONTHS),
+            food: word_set(gaz::FOOD_NOUNS),
+            location_nouns: word_set(gaz::LOCATION_NOUNS),
+            facility_nouns: word_set(gaz::FACILITY_NOUNS),
+        }
+    }
+
+    /// Detect mentions in a tagged sentence and store them in
+    /// `sentence.entities` (sorted by start, non-overlapping).
+    pub fn annotate(&self, sentence: &mut Sentence) {
+        let n = sentence.tokens.len();
+        let mut taken = vec![false; n];
+        let mut mentions: Vec<EntityMention> = Vec::new();
+        let claim = |mentions: &mut Vec<EntityMention>,
+                         taken: &mut Vec<bool>,
+                         start: usize,
+                         end: usize,
+                         etype: EntityType| {
+            if taken[start..=end].iter().any(|&t| t) {
+                return false;
+            }
+            for t in &mut taken[start..=end] {
+                *t = true;
+            }
+            mentions.push(EntityMention {
+                start: start as Tid,
+                end: end as Tid,
+                etype,
+            });
+            true
+        };
+
+        // 1. Dates: "1 December 1900", "December 1900", "in 1911", "1911".
+        let mut i = 0;
+        while i < n {
+            if let Some(end) = self.date_at(sentence, i) {
+                claim(&mut mentions, &mut taken, i, end, EntityType::Date);
+                i = end + 1;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Gazetteer phrases (longest-first).
+        let lowers: Vec<&str> = sentence.tokens.iter().map(|t| t.lower.as_str()).collect();
+        let mut i = 0;
+        while i < n {
+            let mut advanced = false;
+            if let Some(cands) = self.phrases.get(lowers[i]) {
+                for (toks, etype) in cands {
+                    let end = i + toks.len() - 1;
+                    if end < n
+                        && toks
+                            .iter()
+                            .zip(&lowers[i..=end])
+                            .all(|(a, b)| a == b)
+                        && claim(&mut mentions, &mut taken, i, end, *etype)
+                    {
+                        i = end + 1;
+                        advanced = true;
+                        break;
+                    }
+                }
+            }
+            if !advanced {
+                i += 1;
+            }
+        }
+
+        // 3. Person names: FIRST [LAST] over capitalized tokens.
+        let mut i = 0;
+        while i < n {
+            let t = &sentence.tokens[i];
+            let capitalized = t.text.chars().next().is_some_and(|c| c.is_uppercase());
+            if capitalized && self.first_names.contains_key(t.lower.as_str()) && !taken[i] {
+                let mut end = i;
+                // Extend over middle/last capitalized name parts.
+                while end + 1 < n && !taken[end + 1] {
+                    let nx = &sentence.tokens[end + 1];
+                    let nx_cap = nx.text.chars().next().is_some_and(|c| c.is_uppercase());
+                    if nx_cap
+                        && (self.last_names.contains_key(nx.lower.as_str())
+                            || self.first_names.contains_key(nx.lower.as_str()))
+                    {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                claim(&mut mentions, &mut taken, i, end, EntityType::Person);
+                i = end + 1;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 4. Remaining maximal PROPN runs → Other (this is where novel names
+        //    such as cafes land).
+        let mut i = 0;
+        while i < n {
+            if sentence.tokens[i].pos == PosTag::Propn && !taken[i] {
+                let start = i;
+                while i + 1 < n && sentence.tokens[i + 1].pos == PosTag::Propn && !taken[i + 1] {
+                    i += 1;
+                }
+                claim(&mut mentions, &mut taken, start, i, EntityType::Other);
+            }
+            i += 1;
+        }
+
+        // 5. Common-noun compounds classified by their head noun. The span is
+        //    the contiguous NOUN run ending at the head ("chocolate ice
+        //    cream"), excluding adjectives (Example 3.1: "delicious" is not
+        //    part of the "cheesecake" entity).
+        let mut i = 0;
+        while i < n {
+            if sentence.tokens[i].pos == PosTag::Noun && !taken[i] {
+                let start = i;
+                while i + 1 < n && sentence.tokens[i + 1].pos == PosTag::Noun && !taken[i + 1] {
+                    i += 1;
+                }
+                let head = &sentence.tokens[i].lower;
+                let etype = if self.food.contains_key(head.as_str()) {
+                    Some(EntityType::Other)
+                } else if self.location_nouns.contains_key(head.as_str()) {
+                    Some(EntityType::Location)
+                } else if self.facility_nouns.contains_key(head.as_str()) {
+                    Some(EntityType::Facility)
+                } else {
+                    None
+                };
+                if let Some(etype) = etype {
+                    claim(&mut mentions, &mut taken, start, i, etype);
+                }
+            }
+            i += 1;
+        }
+
+        mentions.sort_by_key(|m| (m.start, m.end));
+        sentence.entities = mentions;
+    }
+
+    /// Date pattern starting at `i`; returns the inclusive end index.
+    fn date_at(&self, sentence: &Sentence, i: usize) -> Option<usize> {
+        let toks = &sentence.tokens;
+        let n = toks.len();
+        let is_year = |j: usize| {
+            j < n
+                && toks[j].pos == PosTag::Num
+                && toks[j].text.len() == 4
+                && toks[j]
+                    .text
+                    .parse::<u32>()
+                    .is_ok_and(|y| (1500..2200).contains(&y))
+        };
+        let is_day = |j: usize| {
+            j < n
+                && toks[j].pos == PosTag::Num
+                && toks[j].text.parse::<u32>().is_ok_and(|d| (1..=31).contains(&d))
+        };
+        let is_month = |j: usize| j < n && self.months.contains_key(toks[j].lower.as_str());
+
+        // "1 December 1900"
+        if is_day(i) && is_month(i + 1) && is_year(i + 2) {
+            return Some(i + 2);
+        }
+        // "December 1900"
+        if is_month(i) && is_year(i + 1) {
+            return Some(i + 1);
+        }
+        // bare year "1911"
+        if is_year(i) {
+            return Some(i);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+    use crate::tagger;
+    use crate::types::Token;
+
+    fn annotated(text: &str) -> Sentence {
+        let lex = Lexicon::new();
+        let toks: Vec<String> = text.split_whitespace().map(str::to_string).collect();
+        let tags = tagger::tag(&toks, &lex);
+        let mut s = Sentence::default();
+        for (t, tag) in toks.iter().zip(tags) {
+            let mut token = Token::new(t.clone());
+            token.pos = tag;
+            s.tokens.push(token);
+        }
+        Ner::new().annotate(&mut s);
+        s
+    }
+
+    fn mention_strs(s: &Sentence) -> Vec<(String, EntityType)> {
+        s.entities
+            .iter()
+            .map(|m| (s.mention_text(m), m.etype))
+            .collect()
+    }
+
+    #[test]
+    fn example31_entities() {
+        // Paper Example 3.1: cheesecake OTHER, grocery store LOCATION, Anna
+        // PERSON.
+        let s = annotated("Anna ate some delicious cheesecake that she bought at a grocery store .");
+        let ms = mention_strs(&s);
+        assert!(ms.contains(&("Anna".into(), EntityType::Person)), "{ms:?}");
+        assert!(ms.contains(&("cheesecake".into(), EntityType::Other)), "{ms:?}");
+        assert!(
+            ms.contains(&("grocery store".into(), EntityType::Location)),
+            "{ms:?}"
+        );
+    }
+
+    #[test]
+    fn figure1_food_compound() {
+        let s = annotated("I ate a chocolate ice cream , which was delicious , and also ate a pie .");
+        let ms = mention_strs(&s);
+        assert!(
+            ms.contains(&("chocolate ice cream".into(), EntityType::Other)),
+            "{ms:?}"
+        );
+        assert!(ms.contains(&("pie".into(), EntityType::Other)), "{ms:?}");
+    }
+
+    #[test]
+    fn gpe_phrases() {
+        let s = annotated("cities in asian countries such as China and Japan .");
+        let ms = mention_strs(&s);
+        assert!(ms.contains(&("China".into(), EntityType::Gpe)), "{ms:?}");
+        assert!(ms.contains(&("Japan".into(), EntityType::Gpe)), "{ms:?}");
+    }
+
+    #[test]
+    fn person_full_name_and_date() {
+        let s = annotated("He was married to Alys Thomas on 1 December 1900 in London .");
+        let ms = mention_strs(&s);
+        assert!(
+            ms.contains(&("Alys Thomas".into(), EntityType::Person)),
+            "{ms:?}"
+        );
+        assert!(
+            ms.contains(&("1 December 1900".into(), EntityType::Date)),
+            "{ms:?}"
+        );
+        assert!(ms.contains(&("London".into(), EntityType::Gpe)), "{ms:?}");
+    }
+
+    #[test]
+    fn propn_run_becomes_other() {
+        let s = annotated("We visited Copper Kettle Roasters yesterday .");
+        let ms = mention_strs(&s);
+        assert!(
+            ms.contains(&("Copper Kettle Roasters".into(), EntityType::Other)),
+            "{ms:?}"
+        );
+    }
+
+    #[test]
+    fn brands_are_entities() {
+        let s = annotated("They bought a La Marzocco for the bar .");
+        let ms = mention_strs(&s);
+        assert!(
+            ms.contains(&("La Marzocco".into(), EntityType::Other)),
+            "{ms:?}"
+        );
+    }
+
+    #[test]
+    fn facility_names() {
+        let s = annotated("The match at Riverside Arena starts soon .");
+        let ms = mention_strs(&s);
+        assert!(
+            ms.contains(&("Riverside Arena".into(), EntityType::Facility)),
+            "{ms:?}"
+        );
+    }
+
+    #[test]
+    fn teams_are_orgs() {
+        let s = annotated("go Falcons !");
+        let ms = mention_strs(&s);
+        assert!(ms.contains(&("Falcons".into(), EntityType::Org)), "{ms:?}");
+    }
+
+    #[test]
+    fn bare_year_is_date() {
+        let s = annotated("a daughter born in 1911 .");
+        let ms = mention_strs(&s);
+        assert!(ms.contains(&("1911".into(), EntityType::Date)), "{ms:?}");
+    }
+
+    #[test]
+    fn mentions_do_not_overlap() {
+        let s = annotated("Anna Charisse visited Copper Kettle Cafe in Tokyo in May 1999 .");
+        let mut last_end: i64 = -1;
+        for m in &s.entities {
+            assert!(m.start as i64 > last_end, "overlap: {:?}", s.entities);
+            last_end = m.end as i64;
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Tree patterns: the shared query representation for the index benchmarks
+//! (§6.2.2's SyntheticTree workload) and the ground-truth matcher used to
+//! compute index *effectiveness*.
+//!
+//! A pattern is a small tree of labelled nodes connected by `/` (child) or
+//! `//` (descendant) axes, exactly the shape of a KOKO path/tree condition.
+//! [`match_sentence`] evaluates a pattern directly against a parsed sentence
+//! — no index — which defines the correct answer set every indexing scheme
+//! is measured against.
+
+use crate::types::{tree_stats, ParseLabel, PosTag, Sentence, Tid};
+
+/// Axis connecting a pattern node to its parent pattern node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/` — immediate child.
+    Child,
+    /// `//` — proper descendant at any depth.
+    Descendant,
+}
+
+/// What a pattern node matches on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeLabel {
+    Pl(ParseLabel),
+    Pos(PosTag),
+    Word(String),
+    Wildcard,
+}
+
+impl NodeLabel {
+    pub fn matches(&self, sentence: &Sentence, tid: Tid) -> bool {
+        let t = &sentence.tokens[tid as usize];
+        match self {
+            NodeLabel::Pl(l) => t.label == *l,
+            NodeLabel::Pos(p) => t.pos == *p,
+            NodeLabel::Word(w) => t.lower == *w,
+            NodeLabel::Wildcard => true,
+        }
+    }
+
+    /// Render as it appears in a query path.
+    pub fn render(&self) -> String {
+        match self {
+            NodeLabel::Pl(l) => l.name().to_string(),
+            NodeLabel::Pos(p) => p.name().to_string(),
+            NodeLabel::Word(w) => format!("\"{w}\""),
+            NodeLabel::Wildcard => "*".to_string(),
+        }
+    }
+}
+
+/// One node of a tree pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PNode {
+    /// Index of the parent pattern node; `None` for the pattern root.
+    pub parent: Option<u32>,
+    /// Axis from the parent (for the pattern root: from the sentence root /
+    /// anywhere, controlled by [`TreePattern::root_anchored`]).
+    pub axis: Axis,
+    pub label: NodeLabel,
+}
+
+/// A tree-shaped structural pattern over dependency trees.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TreePattern {
+    /// Nodes in topological order: `nodes[0]` is the pattern root and every
+    /// node's parent precedes it.
+    pub nodes: Vec<PNode>,
+    /// When true, `nodes[0]` must match the sentence root itself.
+    pub root_anchored: bool,
+}
+
+impl TreePattern {
+    /// Build a linear path pattern from `(axis, label)` steps.
+    pub fn path(root_anchored: bool, steps: Vec<(Axis, NodeLabel)>) -> TreePattern {
+        let nodes = steps
+            .into_iter()
+            .enumerate()
+            .map(|(i, (axis, label))| PNode {
+                parent: if i == 0 { None } else { Some((i - 1) as u32) },
+                axis,
+                label,
+            })
+            .collect();
+        TreePattern {
+            nodes,
+            root_anchored,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether the pattern is a simple path (each node has at most one
+    /// child).
+    pub fn is_path(&self) -> bool {
+        let mut child_count = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            if let Some(p) = n.parent {
+                child_count[p as usize] += 1;
+            }
+        }
+        child_count.iter().all(|&c| c <= 1)
+    }
+
+    /// Whether any node is a wildcard.
+    pub fn has_wildcard(&self) -> bool {
+        self.nodes.iter().any(|n| n.label == NodeLabel::Wildcard)
+    }
+
+    /// Whether any node matches on a word.
+    pub fn has_word(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(n.label, NodeLabel::Word(_)))
+    }
+
+    /// Render a human-readable form, e.g. `/root/dobj//"delicious"`.
+    pub fn render(&self) -> String {
+        // For path patterns render the chain; for trees render node list.
+        if self.is_path() {
+            let mut out = String::new();
+            for (i, n) in self.nodes.iter().enumerate() {
+                let axis = if i == 0 && !self.root_anchored {
+                    "//"
+                } else {
+                    match n.axis {
+                        Axis::Child => "/",
+                        Axis::Descendant => "//",
+                    }
+                };
+                out.push_str(axis);
+                out.push_str(&n.label.render());
+            }
+            out
+        } else {
+            let parts: Vec<String> = self
+                .nodes
+                .iter()
+                .map(|n| {
+                    format!(
+                        "{}{}{}",
+                        n.parent.map(|p| format!("{p}")).unwrap_or_default(),
+                        match n.axis {
+                            Axis::Child => "/",
+                            Axis::Descendant => "//",
+                        },
+                        n.label.render()
+                    )
+                })
+                .collect();
+            format!("tree({})", parts.join(", "))
+        }
+    }
+}
+
+/// All token assignments of the full pattern in one sentence; each result
+/// maps pattern-node index → token id. Used to define ground truth for the
+/// index benchmarks.
+pub fn match_sentence(pattern: &TreePattern, sentence: &Sentence) -> Vec<Vec<Tid>> {
+    if pattern.is_empty() || sentence.is_empty() {
+        return Vec::new();
+    }
+    let stats = tree_stats(sentence);
+    let n = sentence.len() as Tid;
+    let root = sentence.root().expect("parsed sentence has a root");
+
+    // Candidates for the pattern root.
+    let root_cands: Vec<Tid> = if pattern.root_anchored {
+        if pattern.nodes[0].label.matches(sentence, root) {
+            vec![root]
+        } else {
+            Vec::new()
+        }
+    } else {
+        (0..n)
+            .filter(|&t| pattern.nodes[0].label.matches(sentence, t))
+            .collect()
+    };
+
+    let mut results = Vec::new();
+    let mut assignment: Vec<Tid> = vec![0; pattern.len()];
+    for rc in root_cands {
+        assignment[0] = rc;
+        assign(pattern, sentence, &stats, 1, &mut assignment, &mut results);
+    }
+    results
+}
+
+fn assign(
+    pattern: &TreePattern,
+    sentence: &Sentence,
+    stats: &[crate::types::NodeStat],
+    idx: usize,
+    assignment: &mut Vec<Tid>,
+    results: &mut Vec<Vec<Tid>>,
+) {
+    if idx == pattern.len() {
+        results.push(assignment.clone());
+        return;
+    }
+    let node = &pattern.nodes[idx];
+    let parent_tok = assignment[node.parent.expect("non-root has parent") as usize];
+    let p_stat = stats[parent_tok as usize];
+    for t in p_stat.left..=p_stat.right {
+        if t == parent_tok {
+            continue;
+        }
+        let t_stat = stats[t as usize];
+        // Containment check: t in parent's subtree.
+        if t_stat.left < p_stat.left || t_stat.right > p_stat.right {
+            continue;
+        }
+        let depth_ok = match node.axis {
+            Axis::Child => {
+                sentence.tokens[t as usize].head == Some(parent_tok)
+            }
+            Axis::Descendant => t_stat.depth > p_stat.depth && is_descendant(sentence, t, parent_tok),
+        };
+        if depth_ok && node.label.matches(sentence, t) {
+            assignment[idx] = t;
+            assign(pattern, sentence, stats, idx + 1, assignment, results);
+        }
+    }
+}
+
+fn is_descendant(sentence: &Sentence, mut t: Tid, anc: Tid) -> bool {
+    while let Some(h) = sentence.tokens[t as usize].head {
+        if h == anc {
+            return true;
+        }
+        t = h;
+    }
+    false
+}
+
+/// Whether the pattern matches anywhere in the sentence.
+pub fn matches(pattern: &TreePattern, sentence: &Sentence) -> bool {
+    !match_sentence(pattern, sentence).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+
+    fn fig1() -> Sentence {
+        let p = Pipeline::new();
+        p.parse_document(
+            0,
+            "I ate a chocolate ice cream , which was delicious , and also ate a pie .",
+        )
+        .sentences
+        .remove(0)
+    }
+
+    #[test]
+    fn path_root_dobj() {
+        let s = fig1();
+        let pat = TreePattern::path(
+            true,
+            vec![
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Dobj)),
+            ],
+        );
+        let m = match_sentence(&pat, &s);
+        assert_eq!(m.len(), 1);
+        assert_eq!(s.tokens[m[0][1] as usize].text, "cream");
+    }
+
+    #[test]
+    fn descendant_word() {
+        let s = fig1();
+        // //verb//"delicious"
+        let pat = TreePattern::path(
+            false,
+            vec![
+                (Axis::Descendant, NodeLabel::Pos(PosTag::Verb)),
+                (Axis::Descendant, NodeLabel::Word("delicious".into())),
+            ],
+        );
+        let m = match_sentence(&pat, &s);
+        // Both "ate"(1) and "was"(8) dominate "delicious".
+        let verbs: Vec<&str> = m.iter().map(|a| s.tokens[a[0] as usize].text.as_str()).collect();
+        assert!(verbs.contains(&"ate"));
+        assert!(verbs.contains(&"was"));
+        assert_eq!(m.len(), 2, "{verbs:?}");
+    }
+
+    #[test]
+    fn child_axis_is_strict() {
+        let s = fig1();
+        // /root/"delicious" must NOT match (delicious is 3 levels down).
+        let pat = TreePattern::path(
+            true,
+            vec![
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                (Axis::Child, NodeLabel::Word("delicious".into())),
+            ],
+        );
+        assert!(!matches(&pat, &s));
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let s = fig1();
+        // /root/*/nn — nn under any child of root.
+        let pat = TreePattern::path(
+            true,
+            vec![
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                (Axis::Child, NodeLabel::Wildcard),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Nn)),
+            ],
+        );
+        let m = match_sentence(&pat, &s);
+        let words: Vec<&str> = m.iter().map(|a| s.tokens[a[2] as usize].text.as_str()).collect();
+        assert!(words.contains(&"chocolate"), "{words:?}");
+        assert!(words.contains(&"ice"), "{words:?}");
+    }
+
+    #[test]
+    fn branching_tree_pattern() {
+        let s = fig1();
+        // root with both an nsubj child and a dobj child.
+        let pat = TreePattern {
+            nodes: vec![
+                PNode {
+                    parent: None,
+                    axis: Axis::Child,
+                    label: NodeLabel::Pl(ParseLabel::Root),
+                },
+                PNode {
+                    parent: Some(0),
+                    axis: Axis::Child,
+                    label: NodeLabel::Pl(ParseLabel::Nsubj),
+                },
+                PNode {
+                    parent: Some(0),
+                    axis: Axis::Child,
+                    label: NodeLabel::Pl(ParseLabel::Dobj),
+                },
+            ],
+            root_anchored: true,
+        };
+        assert!(pat.is_path() == false);
+        let m = match_sentence(&pat, &s);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn render_paths() {
+        let pat = TreePattern::path(
+            true,
+            vec![
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Root)),
+                (Axis::Child, NodeLabel::Pl(ParseLabel::Dobj)),
+                (Axis::Descendant, NodeLabel::Word("delicious".into())),
+            ],
+        );
+        assert_eq!(pat.render(), "/root/dobj//\"delicious\"");
+    }
+
+    #[test]
+    fn empty_cases() {
+        let s = fig1();
+        let empty = TreePattern {
+            nodes: vec![],
+            root_anchored: false,
+        };
+        assert!(match_sentence(&empty, &s).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! The end-to-end NLP pipeline: text → tokenized, tagged, NER-annotated,
+//! dependency-parsed [`Document`]s. This is KOKO's preprocessing step (§2,
+//! "Preprocessing the input"), standing in for spaCy / Google Cloud NL API.
+
+use crate::lexicon::Lexicon;
+use crate::ner::Ner;
+use crate::types::{Corpus, Document, Sentence, Token};
+use crate::{depparse, tagger, tokenize};
+
+/// A reusable parsing pipeline. Construction compiles the lexicon and NER
+/// tables; `parse_*` methods are then pure and `&self` (safe to share across
+/// threads).
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    lexicon: Lexicon,
+    ner: Ner,
+}
+
+impl Pipeline {
+    pub fn new() -> Pipeline {
+        Pipeline {
+            lexicon: Lexicon::new(),
+            ner: Ner::new(),
+        }
+    }
+
+    /// Parse one document's raw text.
+    pub fn parse_document(&self, id: u32, text: &str) -> Document {
+        let mut doc = Document {
+            id,
+            sentences: Vec::new(),
+        };
+        for sent_tokens in tokenize::tokenize(text, &self.lexicon) {
+            doc.sentences.push(self.parse_tokens(sent_tokens));
+        }
+        doc
+    }
+
+    /// Parse a pre-tokenized sentence.
+    pub fn parse_tokens(&self, tokens: Vec<String>) -> Sentence {
+        let tags = tagger::tag(&tokens, &self.lexicon);
+        let mut sentence = Sentence {
+            tokens: tokens
+                .into_iter()
+                .zip(tags)
+                .map(|(text, pos)| {
+                    let mut t = Token::new(text);
+                    t.pos = pos;
+                    t
+                })
+                .collect(),
+            entities: Vec::new(),
+        };
+        self.ner.annotate(&mut sentence);
+        depparse::parse(&mut sentence);
+        sentence
+    }
+
+    /// Parse a collection of raw documents into a corpus with a global
+    /// sentence-id space.
+    pub fn parse_corpus<S: AsRef<str>>(&self, texts: &[S]) -> Corpus {
+        let docs: Vec<Document> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| self.parse_document(i as u32, t.as_ref()))
+            .collect();
+        Corpus::new(docs)
+    }
+
+    /// Access the lexicon (the CRF baseline reuses its word lists).
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{tree_stats, EntityType, PosTag};
+
+    #[test]
+    fn full_pipeline_figure1() {
+        let p = Pipeline::new();
+        let doc = p.parse_document(
+            42,
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+        );
+        assert_eq!(doc.id, 42);
+        assert_eq!(doc.sentences.len(), 1);
+        let s = &doc.sentences[0];
+        assert_eq!(s.len(), 17);
+        assert_eq!(s.tokens[1].text, "ate");
+        assert_eq!(s.tokens[1].pos, PosTag::Verb);
+        assert_eq!(s.root(), Some(1));
+        // Entity: "chocolate ice cream" typed OTHER (Figure 1).
+        assert!(s
+            .entities
+            .iter()
+            .any(|m| s.mention_text(m) == "chocolate ice cream" && m.etype == EntityType::Other));
+    }
+
+    #[test]
+    fn multi_sentence_document() {
+        let p = Pipeline::new();
+        let doc = p.parse_document(0, "Anna ate cake. She bought pie. The cafe opened.");
+        assert_eq!(doc.sentences.len(), 3);
+        for s in &doc.sentences {
+            assert!(s.root().is_some());
+        }
+    }
+
+    #[test]
+    fn corpus_construction() {
+        let p = Pipeline::new();
+        let corpus = p.parse_corpus(&["Anna ate cake. She was happy.", "go Falcons!"]);
+        assert_eq!(corpus.num_documents(), 2);
+        assert_eq!(corpus.num_sentences(), 3);
+        assert_eq!(corpus.doc_of(2), 1);
+    }
+
+    #[test]
+    fn tree_stats_are_consistent_for_pipeline_output() {
+        let p = Pipeline::new();
+        let corpus = p.parse_corpus(&[
+            "The new cafe on Mission St. has the best cup of espresso in Portland.",
+            "He was married to Alys Thomas on 1 December 1900 in London, and the couple had a daughter Vera born in 1911.",
+            "Copper Kettle Roasters serves delicious cappuccinos and employs three baristas.",
+        ]);
+        for (_, s) in corpus.sentences() {
+            let st = tree_stats(s);
+            let root = s.root().expect("root") as usize;
+            assert_eq!(st[root].left, 0);
+            assert_eq!(st[root].right, (s.len() - 1) as u32);
+            for (i, stat) in st.iter().enumerate() {
+                assert!(stat.left <= i as u32 && i as u32 <= stat.right);
+            }
+        }
+    }
+}

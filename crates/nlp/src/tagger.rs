@@ -1,0 +1,198 @@
+//! POS tagging: lexicon lookup → gazetteer/capitalization → suffix
+//! heuristics → default NOUN.
+//!
+//! The priority order matters and is tested against the paper's Figure 1
+//! annotations (see `pipeline::tests`).
+
+use crate::gazetteer;
+use crate::lexicon::Lexicon;
+use crate::types::PosTag;
+
+/// Tag one sentence of surface tokens.
+pub fn tag(tokens: &[String], lex: &Lexicon) -> Vec<PosTag> {
+    let lowers: Vec<String> = tokens.iter().map(|t| t.to_lowercase()).collect();
+    let mut tags = Vec::with_capacity(tokens.len());
+    for (i, tok) in tokens.iter().enumerate() {
+        tags.push(tag_one(tok, &lowers[i], i, tokens, lex));
+    }
+    // Contextual repair: "that" heading a noun phrase is a determiner, not a
+    // relative pronoun ("that cake" vs "cake that she bought").
+    for i in 0..tokens.len() {
+        if lowers[i] == "that"
+            && tags[i] == PosTag::Pron
+            && matches!(
+                tags.get(i + 1),
+                Some(PosTag::Noun) | Some(PosTag::Adj) | Some(PosTag::Propn)
+            )
+        {
+            tags[i] = PosTag::Det;
+        }
+    }
+    tags
+}
+
+fn tag_one(token: &str, lower: &str, idx: usize, tokens: &[String], lex: &Lexicon) -> PosTag {
+    // 1. Punctuation.
+    if token.chars().all(|c| c.is_ascii_punctuation()) && !token.starts_with('@') {
+        return PosTag::Punct;
+    }
+    // 2. Numbers (1900, 4.2, 3rd).
+    if token.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return PosTag::Num;
+    }
+    // 3. Capitalized month names ("May") outrank the aux-verb lexicon entry.
+    if token.chars().next().is_some_and(|c| c.is_uppercase())
+        && gazetteer::contains_ci(gazetteer::MONTHS, token)
+    {
+        return PosTag::Propn;
+    }
+    // 4. Mid-sentence capitalization signals a proper noun and outranks the
+    //    open-class lexicon ("Copper *Kettle* Roasters"). Closed classes that
+    //    are routinely capitalized ("I", "She") keep their lexicon tag.
+    let lex_tag = lex.lookup(lower);
+    let capitalized = token.chars().next().is_some_and(|c| c.is_uppercase());
+    if idx > 0 && capitalized {
+        match lex_tag {
+            Some(t @ (PosTag::Pron | PosTag::Det)) => return t,
+            _ => return PosTag::Propn,
+        }
+    }
+    // 5. Sentence-initial capitalized words corroborated by a gazetteer hit
+    //    or a following capitalized word are proper nouns even when the
+    //    open-class lexicon knows them ("Quiet Owl serves…"); closed
+    //    classes and auxiliaries keep their tags ("The Golden Fox…").
+    if idx == 0 && capitalized {
+        let in_gazetteer = gazetteer::contains_ci(gazetteer::FIRST_NAMES, token)
+            || gazetteer::contains_ci(gazetteer::LAST_NAMES, token)
+            || gazetteer::contains_ci(gazetteer::CITIES, token)
+            || gazetteer::contains_ci(gazetteer::COUNTRIES, token)
+            || gazetteer::contains_ci(gazetteer::TEAMS, token);
+        let next_cap = tokens
+            .get(idx + 1)
+            .and_then(|t| t.chars().next())
+            .is_some_and(|c| c.is_uppercase());
+        if in_gazetteer || next_cap {
+            match lex_tag {
+                Some(
+                    t @ (PosTag::Pron | PosTag::Det | PosTag::Adp | PosTag::Conj | PosTag::Adv),
+                ) => return t,
+                Some(PosTag::Verb) => return PosTag::Verb,
+                _ => return PosTag::Propn,
+            }
+        }
+    }
+    // 6. Closed classes and exception lists.
+    if let Some(tag) = lex_tag {
+        return tag;
+    }
+    // 4. Verb forms (base + inflections + irregulars).
+    if lex.is_verb_form(lower) {
+        return PosTag::Verb;
+    }
+    // 6. Handles (@bluebottle) are treated as proper nouns.
+    if token.starts_with('@') {
+        return PosTag::Propn;
+    }
+    // 7. Suffix heuristics.
+    if lower.ends_with("ly") {
+        return PosTag::Adv;
+    }
+    if lower.ends_with("ing") || lower.ends_with("ed") {
+        return PosTag::Verb;
+    }
+    if lower.ends_with("ous")
+        || lower.ends_with("ful")
+        || lower.ends_with("ive")
+        || lower.ends_with("less")
+        || lower.ends_with("able")
+    {
+        return PosTag::Adj;
+    }
+    // 8. Default.
+    PosTag::Noun
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag_str(s: &str) -> Vec<PosTag> {
+        let toks: Vec<String> = s.split_whitespace().map(str::to_string).collect();
+        tag(&toks, &Lexicon::new())
+    }
+
+    #[test]
+    fn figure1_tags() {
+        // Paper Figure 1: PRON VERB DET NOUN NOUN NOUN PUNCT DET* VERB ADJ
+        // PUNCT CONJ ADV VERB DET NOUN PUNCT.  (* the paper tags "which" DET;
+        // we tag it PRON — the parser treats both as relativizers.)
+        let tags = tag_str("I ate a chocolate ice cream , which was delicious , and also ate a pie .");
+        use PosTag::*;
+        assert_eq!(
+            tags,
+            vec![
+                Pron, Verb, Det, Noun, Noun, Noun, Punct, Pron, Verb, Adj, Punct, Conj, Adv,
+                Verb, Det, Noun, Punct
+            ]
+        );
+    }
+
+    #[test]
+    fn example31_tags() {
+        let tags = tag_str("Anna ate some delicious cheesecake that she bought at a grocery store .");
+        use PosTag::*;
+        assert_eq!(
+            tags,
+            vec![
+                Propn, Verb, Det, Adj, Noun, Pron, Pron, Verb, Adp, Det, Noun, Noun, Punct
+            ]
+        );
+    }
+
+    #[test]
+    fn that_as_determiner() {
+        let tags = tag_str("she bought that cake .");
+        assert_eq!(tags[2], PosTag::Det);
+    }
+
+    #[test]
+    fn numbers_and_dates() {
+        let tags = tag_str("He was born on 1 December 1900 .");
+        assert_eq!(tags[4], PosTag::Num);
+        assert_eq!(tags[5], PosTag::Propn);
+        assert_eq!(tags[6], PosTag::Num);
+    }
+
+    #[test]
+    fn sentence_initial_common_noun_not_propn() {
+        let tags = tag_str("Cities in asian countries grow .");
+        assert_eq!(tags[0], PosTag::Noun);
+        assert_eq!(tags[2], PosTag::Adj);
+    }
+
+    #[test]
+    fn sentence_initial_name_is_propn() {
+        let tags = tag_str("Anna sells coffee .");
+        assert_eq!(tags[0], PosTag::Propn);
+    }
+
+    #[test]
+    fn multiword_proper_names() {
+        let tags = tag_str("Copper Kettle Roasters opened downtown .");
+        assert_eq!(&tags[0..3], &[PosTag::Propn, PosTag::Propn, PosTag::Propn]);
+    }
+
+    #[test]
+    fn suffix_fallbacks() {
+        let tags = tag_str("the dancer moved gracefully .");
+        assert_eq!(tags[3], PosTag::Adv);
+        let tags = tag_str("a fabulous thing .");
+        assert_eq!(tags[1], PosTag::Adj);
+    }
+
+    #[test]
+    fn ing_exception_list() {
+        let tags = tag_str("Baking chocolate is sweet .");
+        assert_eq!(tags[0], PosTag::Noun, "baking is in the noun list");
+    }
+}

@@ -1,0 +1,167 @@
+//! Tokenization and sentence splitting.
+//!
+//! Deterministic rules adequate for the synthetic corpora and the paper's
+//! running examples: whitespace splitting, punctuation detachment with an
+//! abbreviation list (`St.`, `a.m.` …), and sentence boundaries on `.`, `!`,
+//! `?` tokens.
+
+use crate::lexicon::Lexicon;
+
+/// Split raw text into sentences of surface tokens.
+pub fn tokenize(text: &str, lex: &Lexicon) -> Vec<Vec<String>> {
+    let mut sentences: Vec<Vec<String>> = Vec::new();
+    let mut current: Vec<String> = Vec::new();
+    for raw in text.split_whitespace() {
+        for tok in split_punct(raw, lex) {
+            let is_terminal = matches!(tok.as_str(), "." | "!" | "?");
+            current.push(tok);
+            if is_terminal {
+                sentences.push(std::mem::take(&mut current));
+            }
+        }
+    }
+    if !current.is_empty() {
+        sentences.push(current);
+    }
+    sentences
+}
+
+/// Detach leading/trailing punctuation from a whitespace-delimited word.
+///
+/// Keeps abbreviations (`St.`), decimal numbers (`4.2`), internal hyphens
+/// (`pour-over`) and apostrophes intact. `@handles` keep their sigil (the
+/// WNUT tweet corpus needs them).
+fn split_punct(raw: &str, lex: &Lexicon) -> Vec<String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = raw.chars().collect();
+    let mut start = 0;
+    let mut end = chars.len();
+
+    // Leading punctuation (quotes, brackets, commas).
+    while start < end && is_detachable(chars[start]) && chars[start] != '@' {
+        out.push(chars[start].to_string());
+        start += 1;
+    }
+
+    // Trailing punctuation, collected in reverse.
+    let mut trailing: Vec<String> = Vec::new();
+    while end > start {
+        let c = chars[end - 1];
+        if !is_detachable_trailing(c) {
+            break;
+        }
+        if c == '.' {
+            let word: String = chars[start..end].iter().collect();
+            // Keep abbreviation periods and decimal points attached.
+            if lex.is_abbreviation(&word) || is_decimal(&chars[start..end]) {
+                break;
+            }
+        }
+        trailing.push(c.to_string());
+        end -= 1;
+    }
+
+    if start < end {
+        out.push(chars[start..end].iter().collect());
+    }
+    trailing.reverse();
+    out.extend(trailing);
+    out
+}
+
+fn is_detachable(c: char) -> bool {
+    matches!(
+        c,
+        '.' | ',' | '!' | '?' | ';' | ':' | '(' | ')' | '"' | '\'' | '[' | ']' | '@'
+    )
+}
+
+fn is_detachable_trailing(c: char) -> bool {
+    matches!(
+        c,
+        '.' | ',' | '!' | '?' | ';' | ':' | '(' | ')' | '"' | '\'' | '[' | ']'
+    )
+}
+
+/// `4.2`, `1.5` — digits around a single dot.
+fn is_decimal(chars: &[char]) -> bool {
+    let s: String = chars.iter().collect();
+    let mut parts = s.split('.');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some(a), Some(b), None) => {
+            !a.is_empty()
+                && !b.is_empty()
+                && a.chars().all(|c| c.is_ascii_digit())
+                && b.chars().all(|c| c.is_ascii_digit())
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<Vec<String>> {
+        tokenize(text, &Lexicon::new())
+    }
+
+    #[test]
+    fn splits_sentences_on_terminals() {
+        let s = toks("I ate cake. She bought pie!");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], vec!["I", "ate", "cake", "."]);
+        assert_eq!(s[1], vec!["She", "bought", "pie", "!"]);
+    }
+
+    #[test]
+    fn detaches_commas_and_quotes() {
+        let s = toks("\"Hello,\" she said.");
+        assert_eq!(s[0], vec!["\"", "Hello", ",", "\"", "she", "said", "."]);
+    }
+
+    #[test]
+    fn keeps_abbreviations() {
+        let s = toks("The cafe on Mission St. has espresso.");
+        assert_eq!(s.len(), 1, "St. must not end the sentence: {s:?}");
+        assert!(s[0].contains(&"St.".to_string()));
+    }
+
+    #[test]
+    fn keeps_decimals_and_hyphens() {
+        let s = toks("A 4.2 star pour-over.");
+        assert_eq!(s[0], vec!["A", "4.2", "star", "pour-over", "."]);
+    }
+
+    #[test]
+    fn keeps_at_handles() {
+        let s = toks("ask @bluebottle now.");
+        assert_eq!(s[0], vec!["ask", "@bluebottle", "now", "."]);
+    }
+
+    #[test]
+    fn unterminated_text_forms_a_sentence() {
+        let s = toks("no final period here");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].len(), 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(toks("").is_empty());
+        assert!(toks("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn paper_figure1_sentence() {
+        let s = toks("I ate a chocolate ice cream, which was delicious, and also ate a pie.");
+        assert_eq!(s.len(), 1);
+        assert_eq!(
+            s[0],
+            vec![
+                "I", "ate", "a", "chocolate", "ice", "cream", ",", "which", "was", "delicious",
+                ",", "and", "also", "ate", "a", "pie", "."
+            ]
+        );
+    }
+}

@@ -1,0 +1,645 @@
+//! The annotation data model shared by every KOKO crate.
+//!
+//! Mirrors the paper's preprocessing output (§2, Figure 1): a document is a
+//! sequence of sentences; each token carries a POS tag (universal tagset), a
+//! dependency parse label, a reference to its head, and entity mentions are
+//! recorded as typed spans. The posting quintuple `(x, y, u–v, d)` of §3.1 is
+//! [`Posting`].
+
+use std::fmt;
+
+/// Sentence identifier, global across a [`Corpus`].
+pub type Sid = u32;
+/// Token identifier, local to a sentence.
+pub type Tid = u32;
+
+/// Universal POS tags (Petrov et al. [33], the tagset used in Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum PosTag {
+    Adj,
+    Adp,
+    Adv,
+    Conj,
+    Det,
+    Noun,
+    Num,
+    Pron,
+    Propn,
+    Prt,
+    Punct,
+    Verb,
+    X,
+}
+
+impl PosTag {
+    /// All tags, for enumeration in benchmarks and property tests.
+    pub const ALL: [PosTag; 13] = [
+        PosTag::Adj,
+        PosTag::Adp,
+        PosTag::Adv,
+        PosTag::Conj,
+        PosTag::Det,
+        PosTag::Noun,
+        PosTag::Num,
+        PosTag::Pron,
+        PosTag::Propn,
+        PosTag::Prt,
+        PosTag::Punct,
+        PosTag::Verb,
+        PosTag::X,
+    ];
+
+    /// Lower-case name as written in KOKO queries (`//verb`, `@pos="noun"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PosTag::Adj => "adj",
+            PosTag::Adp => "adp",
+            PosTag::Adv => "adv",
+            PosTag::Conj => "conj",
+            PosTag::Det => "det",
+            PosTag::Noun => "noun",
+            PosTag::Num => "num",
+            PosTag::Pron => "pron",
+            PosTag::Propn => "propn",
+            PosTag::Prt => "prt",
+            PosTag::Punct => "punct",
+            PosTag::Verb => "verb",
+            PosTag::X => "x",
+        }
+    }
+
+    /// Parse a tag name (case-insensitive). `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<PosTag> {
+        let lower = name.to_ascii_lowercase();
+        PosTag::ALL.iter().copied().find(|t| t.name() == lower)
+    }
+
+    /// Content words carry lexical meaning; used by descriptor expansion.
+    pub fn is_content(self) -> bool {
+        matches!(
+            self,
+            PosTag::Adj | PosTag::Adv | PosTag::Noun | PosTag::Propn | PosTag::Verb
+        )
+    }
+}
+
+impl fmt::Display for PosTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dependency parse labels (the Stanford-style label set of Figure 1 /
+/// McDonald et al. [28]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ParseLabel {
+    Root,
+    Nsubj,
+    Dobj,
+    Iobj,
+    Det,
+    Nn,
+    Amod,
+    Advmod,
+    Acomp,
+    Rcmod,
+    Cc,
+    Conj,
+    Prep,
+    Pobj,
+    P,
+    Xcomp,
+    Ccomp,
+    Aux,
+    Neg,
+    Num,
+    Poss,
+    Appos,
+    Mark,
+    Dep,
+}
+
+impl ParseLabel {
+    /// All labels, for enumeration.
+    pub const ALL: [ParseLabel; 24] = [
+        ParseLabel::Root,
+        ParseLabel::Nsubj,
+        ParseLabel::Dobj,
+        ParseLabel::Iobj,
+        ParseLabel::Det,
+        ParseLabel::Nn,
+        ParseLabel::Amod,
+        ParseLabel::Advmod,
+        ParseLabel::Acomp,
+        ParseLabel::Rcmod,
+        ParseLabel::Cc,
+        ParseLabel::Conj,
+        ParseLabel::Prep,
+        ParseLabel::Pobj,
+        ParseLabel::P,
+        ParseLabel::Xcomp,
+        ParseLabel::Ccomp,
+        ParseLabel::Aux,
+        ParseLabel::Neg,
+        ParseLabel::Num,
+        ParseLabel::Poss,
+        ParseLabel::Appos,
+        ParseLabel::Mark,
+        ParseLabel::Dep,
+    ];
+
+    /// Lower-case name as written in KOKO queries (`a/dobj`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ParseLabel::Root => "root",
+            ParseLabel::Nsubj => "nsubj",
+            ParseLabel::Dobj => "dobj",
+            ParseLabel::Iobj => "iobj",
+            ParseLabel::Det => "det",
+            ParseLabel::Nn => "nn",
+            ParseLabel::Amod => "amod",
+            ParseLabel::Advmod => "advmod",
+            ParseLabel::Acomp => "acomp",
+            ParseLabel::Rcmod => "rcmod",
+            ParseLabel::Cc => "cc",
+            ParseLabel::Conj => "conj",
+            ParseLabel::Prep => "prep",
+            ParseLabel::Pobj => "pobj",
+            ParseLabel::P => "p",
+            ParseLabel::Xcomp => "xcomp",
+            ParseLabel::Ccomp => "ccomp",
+            ParseLabel::Aux => "aux",
+            ParseLabel::Neg => "neg",
+            ParseLabel::Num => "num",
+            ParseLabel::Poss => "poss",
+            ParseLabel::Appos => "appos",
+            ParseLabel::Mark => "mark",
+            ParseLabel::Dep => "dep",
+        }
+    }
+
+    /// Parse a label name (case-insensitive). `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<ParseLabel> {
+        let lower = name.to_ascii_lowercase();
+        ParseLabel::ALL.iter().copied().find(|l| l.name() == lower)
+    }
+}
+
+impl fmt::Display for ParseLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Entity types produced by the NER stage. `Other` is the catch-all the paper
+/// displays as `OTHER` in Figure 1; `Entity` in a KOKO query matches *any*
+/// mention regardless of type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EntityType {
+    Person,
+    Location,
+    Gpe,
+    Org,
+    Date,
+    Facility,
+    Other,
+}
+
+impl EntityType {
+    pub const ALL: [EntityType; 7] = [
+        EntityType::Person,
+        EntityType::Location,
+        EntityType::Gpe,
+        EntityType::Org,
+        EntityType::Date,
+        EntityType::Facility,
+        EntityType::Other,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EntityType::Person => "Person",
+            EntityType::Location => "Location",
+            EntityType::Gpe => "GPE",
+            EntityType::Org => "Org",
+            EntityType::Date => "Date",
+            EntityType::Facility => "Facility",
+            EntityType::Other => "Other",
+        }
+    }
+
+    /// Parse a type name as written in queries (case-insensitive).
+    pub fn from_name(name: &str) -> Option<EntityType> {
+        let lower = name.to_ascii_lowercase();
+        EntityType::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name().to_ascii_lowercase() == lower)
+    }
+}
+
+impl fmt::Display for EntityType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One token with its annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Surface form as it appeared in the text.
+    pub text: String,
+    /// Lower-cased form, precomputed because every index keys on it.
+    pub lower: String,
+    pub pos: PosTag,
+    pub label: ParseLabel,
+    /// Head token id; `None` for the root of the dependency tree.
+    pub head: Option<Tid>,
+}
+
+impl Token {
+    /// A token with default (pre-parse) annotations.
+    pub fn new(text: impl Into<String>) -> Token {
+        let text = text.into();
+        let lower = text.to_lowercase();
+        Token {
+            text,
+            lower,
+            pos: PosTag::X,
+            label: ParseLabel::Dep,
+            head: None,
+        }
+    }
+}
+
+/// A typed entity mention covering tokens `start..=end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntityMention {
+    pub start: Tid,
+    /// Inclusive end token id (matching the paper's `u–v` convention).
+    pub end: Tid,
+    pub etype: EntityType,
+}
+
+/// A parsed sentence: tokens plus entity mentions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sentence {
+    pub tokens: Vec<Token>,
+    pub entities: Vec<EntityMention>,
+}
+
+impl Sentence {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The root token id (the token with no head), if the sentence is parsed.
+    pub fn root(&self) -> Option<Tid> {
+        self.tokens
+            .iter()
+            .position(|t| t.head.is_none())
+            .map(|i| i as Tid)
+    }
+
+    /// Children of `tid` in the dependency tree, in surface order.
+    pub fn children(&self, tid: Tid) -> impl Iterator<Item = Tid> + '_ {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| t.head == Some(tid))
+            .map(|(i, _)| i as Tid)
+    }
+
+    /// Text of the span `start..=end` (inclusive), joined by single spaces.
+    pub fn span_text(&self, start: Tid, end: Tid) -> String {
+        let mut out = String::new();
+        for tid in start..=end.min(self.len().saturating_sub(1) as Tid) {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&self.tokens[tid as usize].text);
+        }
+        out
+    }
+
+    /// The mention's surface text.
+    pub fn mention_text(&self, m: &EntityMention) -> String {
+        self.span_text(m.start, m.end)
+    }
+
+    /// Full sentence text.
+    pub fn text(&self) -> String {
+        if self.tokens.is_empty() {
+            return String::new();
+        }
+        self.span_text(0, (self.len() - 1) as Tid)
+    }
+}
+
+/// A parsed document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Document {
+    pub id: u32,
+    pub sentences: Vec<Sentence>,
+}
+
+impl Document {
+    pub fn num_tokens(&self) -> usize {
+        self.sentences.iter().map(Sentence::len).sum()
+    }
+}
+
+/// A parsed corpus with a global sentence-id space.
+///
+/// Sentence ids run over documents in order, matching the `sid` component of
+/// every index posting.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    docs: Vec<Document>,
+    /// sid → (doc index, sentence index within the doc).
+    sent_map: Vec<(u32, u32)>,
+    /// doc index → first sid of the doc.
+    doc_first_sid: Vec<Sid>,
+}
+
+impl Corpus {
+    pub fn new(docs: Vec<Document>) -> Corpus {
+        let mut sent_map = Vec::new();
+        let mut doc_first_sid = Vec::with_capacity(docs.len());
+        for (di, d) in docs.iter().enumerate() {
+            doc_first_sid.push(sent_map.len() as Sid);
+            for si in 0..d.sentences.len() {
+                sent_map.push((di as u32, si as u32));
+            }
+        }
+        Corpus {
+            docs,
+            sent_map,
+            doc_first_sid,
+        }
+    }
+
+    pub fn documents(&self) -> &[Document] {
+        &self.docs
+    }
+
+    pub fn num_documents(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn num_sentences(&self) -> usize {
+        self.sent_map.len()
+    }
+
+    pub fn num_tokens(&self) -> usize {
+        self.docs.iter().map(Document::num_tokens).sum()
+    }
+
+    /// The sentence with global id `sid`. Panics on out-of-range ids.
+    pub fn sentence(&self, sid: Sid) -> &Sentence {
+        let (di, si) = self.sent_map[sid as usize];
+        &self.docs[di as usize].sentences[si as usize]
+    }
+
+    /// Document index containing sentence `sid`.
+    pub fn doc_of(&self, sid: Sid) -> u32 {
+        self.sent_map[sid as usize].0
+    }
+
+    /// Global sid of sentence `si` of document `di`.
+    pub fn sid_of(&self, di: u32, si: u32) -> Sid {
+        self.doc_first_sid[di as usize] + si
+    }
+
+    /// Global sid range `[start, end)` of document `di`.
+    pub fn doc_sids(&self, di: u32) -> std::ops::Range<Sid> {
+        let start = self.doc_first_sid[di as usize];
+        let end = if (di as usize) + 1 < self.doc_first_sid.len() {
+            self.doc_first_sid[di as usize + 1]
+        } else {
+            self.sent_map.len() as Sid
+        };
+        start..end
+    }
+
+    /// Iterate `(sid, &sentence)` over the whole corpus.
+    pub fn sentences(&self) -> impl Iterator<Item = (Sid, &Sentence)> + '_ {
+        self.sent_map.iter().enumerate().map(move |(sid, &(di, si))| {
+            (
+                sid as Sid,
+                &self.docs[di as usize].sentences[si as usize],
+            )
+        })
+    }
+}
+
+/// Per-token dependency-tree statistics: the `u`, `v`, `d` of the paper's
+/// posting quintuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStat {
+    /// First token id of the subtree rooted at this token.
+    pub left: Tid,
+    /// Last token id (inclusive) of the subtree rooted at this token.
+    pub right: Tid,
+    /// Depth in the dependency tree; the root has depth 0.
+    pub depth: u16,
+}
+
+/// Compute subtree spans and depths for every token of a parsed sentence.
+///
+/// Requires a well-formed projective tree: each token's subtree must cover a
+/// contiguous token range (our parser guarantees this; see
+/// `depparse::tests::projectivity`).
+pub fn tree_stats(sentence: &Sentence) -> Vec<NodeStat> {
+    let n = sentence.len();
+    let mut stats = vec![NodeStat::default(); n];
+    if n == 0 {
+        return stats;
+    }
+    // children adjacency
+    let mut children: Vec<Vec<Tid>> = vec![Vec::new(); n];
+    let mut root = 0 as Tid;
+    for (i, t) in sentence.tokens.iter().enumerate() {
+        match t.head {
+            Some(h) => children[h as usize].push(i as Tid),
+            None => root = i as Tid,
+        }
+    }
+    // Iterative DFS computing depth on the way down and spans on the way up.
+    #[derive(Clone, Copy)]
+    enum Step {
+        Enter(Tid, u16),
+        Exit(Tid),
+    }
+    let mut stack = vec![Step::Enter(root, 0)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Enter(tid, depth) => {
+                stats[tid as usize] = NodeStat {
+                    left: tid,
+                    right: tid,
+                    depth,
+                };
+                stack.push(Step::Exit(tid));
+                for &c in &children[tid as usize] {
+                    stack.push(Step::Enter(c, depth + 1));
+                }
+            }
+            Step::Exit(tid) => {
+                let mut left = stats[tid as usize].left;
+                let mut right = stats[tid as usize].right;
+                for &c in &children[tid as usize] {
+                    left = left.min(stats[c as usize].left);
+                    right = right.max(stats[c as usize].right);
+                }
+                stats[tid as usize].left = left;
+                stats[tid as usize].right = right;
+            }
+        }
+    }
+    stats
+}
+
+/// The paper's posting quintuple `(x, y, u–v, d)` (§3.1): sentence id, token
+/// id, subtree span, and depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Posting {
+    pub sid: Sid,
+    pub tid: Tid,
+    pub left: Tid,
+    pub right: Tid,
+    pub depth: u16,
+}
+
+impl Posting {
+    /// Whether `self` is the parent of `c` per the §3.1 containment test:
+    /// same sentence, span containment, depth difference exactly one.
+    pub fn is_parent_of(&self, c: &Posting) -> bool {
+        self.sid == c.sid
+            && self.left <= c.left
+            && self.right >= c.right
+            && c.depth == self.depth + 1
+    }
+
+    /// Whether `self` is a (proper) ancestor of `c`.
+    pub fn is_ancestor_of(&self, c: &Posting) -> bool {
+        self.sid == c.sid && self.left <= c.left && self.right >= c.right && c.depth > self.depth
+    }
+}
+
+/// The paper's entity-index triple `(x, u–v)` (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityPosting {
+    pub sid: Sid,
+    pub left: Tid,
+    pub right: Tid,
+    pub etype: EntityType,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_sentence() -> Sentence {
+        // "Anna ate cake ." with ate as root.
+        let mut s = Sentence::default();
+        for (text, pos, label, head) in [
+            ("Anna", PosTag::Propn, ParseLabel::Nsubj, Some(1)),
+            ("ate", PosTag::Verb, ParseLabel::Root, None),
+            ("cake", PosTag::Noun, ParseLabel::Dobj, Some(1)),
+            (".", PosTag::Punct, ParseLabel::P, Some(1)),
+        ] {
+            let mut t = Token::new(text);
+            t.pos = pos;
+            t.label = label;
+            t.head = head;
+            s.tokens.push(t);
+        }
+        s.entities.push(EntityMention {
+            start: 0,
+            end: 0,
+            etype: EntityType::Person,
+        });
+        s
+    }
+
+    #[test]
+    fn tree_stats_basic() {
+        let s = toy_sentence();
+        let st = tree_stats(&s);
+        assert_eq!(st[1], NodeStat { left: 0, right: 3, depth: 0 });
+        assert_eq!(st[0], NodeStat { left: 0, right: 0, depth: 1 });
+        assert_eq!(st[2], NodeStat { left: 2, right: 2, depth: 1 });
+    }
+
+    #[test]
+    fn posting_parenthood() {
+        let s = toy_sentence();
+        let st = tree_stats(&s);
+        let p = |tid: usize| Posting {
+            sid: 7,
+            tid: tid as Tid,
+            left: st[tid].left,
+            right: st[tid].right,
+            depth: st[tid].depth,
+        };
+        assert!(p(1).is_parent_of(&p(0)));
+        assert!(p(1).is_parent_of(&p(2)));
+        assert!(!p(0).is_parent_of(&p(2)));
+        assert!(p(1).is_ancestor_of(&p(2)));
+        assert!(!p(2).is_ancestor_of(&p(1)));
+        let other_sentence = Posting { sid: 8, ..p(0) };
+        assert!(!p(1).is_parent_of(&other_sentence));
+    }
+
+    #[test]
+    fn corpus_sid_mapping() {
+        let d1 = Document {
+            id: 0,
+            sentences: vec![toy_sentence(), toy_sentence()],
+        };
+        let d2 = Document {
+            id: 1,
+            sentences: vec![toy_sentence()],
+        };
+        let c = Corpus::new(vec![d1, d2]);
+        assert_eq!(c.num_sentences(), 3);
+        assert_eq!(c.doc_of(0), 0);
+        assert_eq!(c.doc_of(2), 1);
+        assert_eq!(c.sid_of(1, 0), 2);
+        assert_eq!(c.doc_sids(0), 0..2);
+        assert_eq!(c.doc_sids(1), 2..3);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for t in PosTag::ALL {
+            assert_eq!(PosTag::from_name(t.name()), Some(t));
+        }
+        for l in ParseLabel::ALL {
+            assert_eq!(ParseLabel::from_name(l.name()), Some(l));
+        }
+        for e in EntityType::ALL {
+            assert_eq!(EntityType::from_name(e.name()), Some(e));
+        }
+        assert_eq!(PosTag::from_name("VERB"), Some(PosTag::Verb));
+        assert_eq!(EntityType::from_name("gpe"), Some(EntityType::Gpe));
+        assert_eq!(PosTag::from_name("nope"), None);
+    }
+
+    #[test]
+    fn span_text_joins() {
+        let s = toy_sentence();
+        assert_eq!(s.span_text(0, 2), "Anna ate cake");
+        assert_eq!(s.text(), "Anna ate cake .");
+        assert_eq!(s.root(), Some(1));
+    }
+}

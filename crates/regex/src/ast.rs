@@ -1,0 +1,449 @@
+//! Pattern parser: regex text → [`Ast`].
+//!
+//! A hand-written recursive-descent parser over the grammar
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := repeat*
+//! repeat := atom ('*' | '+' | '?' | '{' m (',' n?)? '}')*
+//! atom   := literal | '.' | class | '(' alt ')' | '^' | '$' | escape
+//! class  := '[' '^'? item+ ']'       item := ch | ch '-' ch | escape-class
+//! ```
+
+/// A parsed regular-expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any single character.
+    AnyChar,
+    /// A character class; `negated` flips membership.
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Alternation (`|`) of sub-expressions.
+    Alternate(Vec<Ast>),
+    /// `e*` (min=0, max=None), `e+` (1, None), `e?` (0, Some(1)),
+    /// `e{m,n}` (m, Some(n)), `e{m,}` (m, None).
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
+    /// `^` — start-of-text assertion.
+    StartAnchor,
+    /// `$` — end-of-text assertion.
+    EndAnchor,
+}
+
+/// One member of a character class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character.
+    Char(char),
+    /// An inclusive range `lo-hi`.
+    Range(char, char),
+    /// `\d` / `\w` / `\s` (and their negations) inside a class.
+    Digit,
+    Word,
+    Space,
+    NotDigit,
+    NotWord,
+    NotSpace,
+}
+
+impl ClassItem {
+    /// Whether `c` is a member of this item.
+    pub fn contains(&self, c: char) -> bool {
+        match *self {
+            ClassItem::Char(x) => c == x,
+            ClassItem::Range(lo, hi) => lo <= c && c <= hi,
+            ClassItem::Digit => c.is_ascii_digit(),
+            ClassItem::Word => c.is_alphanumeric() || c == '_',
+            ClassItem::Space => c.is_whitespace(),
+            ClassItem::NotDigit => !c.is_ascii_digit(),
+            ClassItem::NotWord => !(c.is_alphanumeric() || c == '_'),
+            ClassItem::NotSpace => !c.is_whitespace(),
+        }
+    }
+}
+
+/// Parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub position: usize,
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+/// Parse a pattern into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let ast = p.parse_alt()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unexpected character (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            message: msg.to_string(),
+            position: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat('|') {
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseError> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            seq.push(self.parse_repeat()?);
+        }
+        Ok(match seq.len() {
+            0 => Ast::Empty,
+            1 => seq.pop().expect("one node"),
+            _ => Ast::Concat(seq),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, ParseError> {
+        let mut node = self.parse_atom()?;
+        loop {
+            let (min, max) = match self.peek() {
+                Some('*') => (0, None),
+                Some('+') => (1, None),
+                Some('?') => (0, Some(1)),
+                Some('{') if self.looks_like_bound() => {
+                    self.bump();
+                    let r = self.parse_bounds()?;
+                    node = Ast::Repeat {
+                        node: Box::new(node),
+                        min: r.0,
+                        max: r.1,
+                    };
+                    continue;
+                }
+                _ => break,
+            };
+            self.bump();
+            node = Ast::Repeat {
+                node: Box::new(node),
+                min,
+                max,
+            };
+        }
+        Ok(node)
+    }
+
+    /// Parses the inside of `{m}`, `{m,}`, `{m,n}`; the `{` is consumed.
+    fn parse_bounds(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+        let min = self.parse_number()?;
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') {
+                None
+            } else {
+                Some(self.parse_number()?)
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            return Err(self.err("expected '}' in repetition"));
+        }
+        if let Some(m) = max {
+            if m < min {
+                return Err(self.err("repetition max below min"));
+            }
+        }
+        Ok((min, max))
+    }
+
+    fn parse_number(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse()
+            .map_err(|_| self.err("repetition count too large"))
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseError> {
+        match self.peek() {
+            None => Err(self.err("expected atom, found end of pattern")),
+            Some('(') => {
+                self.bump();
+                let inner = self.parse_alt()?;
+                if !self.eat(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some('[') => {
+                self.bump();
+                self.parse_class()
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Ast::AnyChar)
+            }
+            Some('^') => {
+                self.bump();
+                Ok(Ast::StartAnchor)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::EndAnchor)
+            }
+            Some('\\') => {
+                self.bump();
+                self.parse_escape()
+            }
+            Some(c @ ('*' | '+' | '?' | '{')) if c != '{' || self.looks_like_bound() => {
+                Err(self.err("quantifier with nothing to repeat"))
+            }
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Literal(c))
+            }
+        }
+    }
+
+    /// Distinguish `a{2}` (bound) from a literal `{` such as in `f{oo`.
+    /// A `{` is only a quantifier when followed by digits and a closing form.
+    fn looks_like_bound(&self) -> bool {
+        let mut i = self.pos + 1;
+        let mut saw_digit = false;
+        while let Some(&c) = self.chars.get(i) {
+            match c {
+                '0'..='9' => {
+                    saw_digit = true;
+                    i += 1;
+                }
+                ',' => {
+                    i += 1;
+                }
+                '}' => return saw_digit,
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, ParseError> {
+        let Some(c) = self.bump() else {
+            return Err(self.err("dangling escape"));
+        };
+        let class = |item| Ast::Class {
+            negated: false,
+            items: vec![item],
+        };
+        Ok(match c {
+            'd' => class(ClassItem::Digit),
+            'D' => class(ClassItem::NotDigit),
+            'w' => class(ClassItem::Word),
+            'W' => class(ClassItem::NotWord),
+            's' => class(ClassItem::Space),
+            'S' => class(ClassItem::NotSpace),
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            other => Ast::Literal(other),
+        })
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, ParseError> {
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated character class")),
+                Some(']') if !items.is_empty() => {
+                    self.bump();
+                    break;
+                }
+                Some('\\') => {
+                    self.bump();
+                    let Some(c) = self.bump() else {
+                        return Err(self.err("dangling escape in class"));
+                    };
+                    items.push(match c {
+                        'd' => ClassItem::Digit,
+                        'D' => ClassItem::NotDigit,
+                        'w' => ClassItem::Word,
+                        'W' => ClassItem::NotWord,
+                        's' => ClassItem::Space,
+                        'S' => ClassItem::NotSpace,
+                        'n' => ClassItem::Char('\n'),
+                        't' => ClassItem::Char('\t'),
+                        other => ClassItem::Char(other),
+                    });
+                }
+                Some(lo) => {
+                    self.bump();
+                    // A `-` is a range only when a plain char follows and the
+                    // class isn't ending (`[a-]` keeps `-` literal).
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']')
+                    {
+                        self.bump(); // consume '-'
+                        let Some(hi) = self.bump() else {
+                            return Err(self.err("unterminated range"));
+                        };
+                        if hi == '\\' {
+                            return Err(self.err("escape not allowed as range end"));
+                        }
+                        if hi < lo {
+                            return Err(self.err("invalid range (end < start)"));
+                        }
+                        items.push(ClassItem::Range(lo, hi));
+                    } else {
+                        items.push(ClassItem::Char(lo));
+                    }
+                }
+            }
+        }
+        Ok(Ast::Class { negated, items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn precedence_alt_over_concat() {
+        let ast = parse("ab|c").unwrap();
+        match ast {
+            Ast::Alternate(branches) => assert_eq!(branches.len(), 2),
+            other => panic!("expected alternate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_items() {
+        let ast = parse("[a-z9 .]").unwrap();
+        match ast {
+            Ast::Class { negated, items } => {
+                assert!(!negated);
+                assert_eq!(
+                    items,
+                    vec![
+                        ClassItem::Range('a', 'z'),
+                        ClassItem::Char('9'),
+                        ClassItem::Char(' '),
+                        ClassItem::Char('.'),
+                    ]
+                );
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_close_bracket_is_literal() {
+        // `[]a]` — the first `]` is a literal member because the class may not
+        // be empty.
+        let ast = parse("[]a]").unwrap();
+        match ast {
+            Ast::Class { items, .. } => {
+                assert_eq!(items, vec![ClassItem::Char(']'), ClassItem::Char('a')]);
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let ast = parse("[a-]").unwrap();
+        match ast {
+            Ast::Class { items, .. } => {
+                assert_eq!(items, vec![ClassItem::Char('a'), ClassItem::Char('-')]);
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_brace_when_not_a_bound() {
+        assert!(parse("a{b}").is_ok());
+        assert!(parse("{x").is_ok());
+    }
+
+    #[test]
+    fn nested_repeat() {
+        let ast = parse("a**").unwrap();
+        match ast {
+            Ast::Repeat { node, .. } => match *node {
+                Ast::Repeat { .. } => {}
+                other => panic!("expected nested repeat, got {other:?}"),
+            },
+            other => panic!("expected repeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse("ab(").unwrap_err();
+        assert_eq!(e.position, 3);
+    }
+}

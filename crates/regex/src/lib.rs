@@ -1,0 +1,321 @@
+//! `koko-regex` — a small regular-expression engine used by the KOKO query
+//! language (`matches`, `@regex = …` conditions) and by the CRF feature
+//! extractor.
+//!
+//! The engine is a classic three-stage pipeline:
+//!
+//! 1. [`ast`] — recursive-descent parser producing an expression tree,
+//! 2. [`nfa`] — Thompson construction into an ε-NFA,
+//! 3. simulation — breadth-first state-set stepping (Pike-style, no
+//!    backtracking), so matching is `O(len(text) · len(pattern))` in the worst
+//!    case and immune to catastrophic backtracking.
+//!
+//! Supported syntax (the subset exercised by the paper's queries, Appendix A):
+//! literals, `.`, character classes `[a-z 0-9.]` with ranges and negation
+//! (`[^…]`), alternation `|`, grouping `(…)`, quantifiers `*`, `+`, `?`,
+//! bounded repetition `{m}`, `{m,}`, `{m,n}`, escapes (`\d`, `\w`, `\s`,
+//! `\D`, `\W`, `\S`, and escaped metacharacters), and anchors `^` / `$`.
+//!
+//! # Example
+//!
+//! ```
+//! use koko_regex::Regex;
+//! let re = Regex::new("[Ll]a Marzocco").unwrap();
+//! assert!(re.is_full_match("La Marzocco"));
+//! assert!(re.is_full_match("la Marzocco"));
+//! assert!(!re.is_full_match("a La Marzocco machine"));
+//! assert!(re.search("a La Marzocco machine").is_some());
+//! ```
+
+mod ast;
+mod nfa;
+
+pub use ast::{parse, Ast, ClassItem, ParseError};
+pub use nfa::Nfa;
+
+use std::fmt;
+
+/// A compiled regular expression.
+///
+/// Construction validates and compiles the pattern once; matching never
+/// fails. `Regex` is cheap to clone (`Nfa` is a flat `Vec` of states) and is
+/// `Send + Sync`.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    nfa: Nfa,
+}
+
+/// Error returned by [`Regex::new`] for malformed patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset in the pattern where the problem was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Regex {
+    /// Compile `pattern` into an NFA.
+    pub fn new(pattern: &str) -> Result<Self, Error> {
+        let ast = ast::parse(pattern).map_err(|e| Error {
+            message: e.message,
+            position: e.position,
+        })?;
+        let nfa = Nfa::compile(&ast);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            nfa,
+        })
+    }
+
+    /// The original pattern string.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Whether the *entire* `text` matches the pattern.
+    ///
+    /// This is the semantics of KOKO's `str(x) matches <pattern>` condition:
+    /// the pattern must describe the whole candidate string.
+    pub fn is_full_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        self.nfa.longest_match_at(&chars, 0) == Some(chars.len())
+    }
+
+    /// Find the leftmost-longest match. Returns `(start, end)` **character**
+    /// offsets (half-open) or `None`.
+    pub fn search(&self, text: &str) -> Option<(usize, usize)> {
+        let chars: Vec<char> = text.chars().collect();
+        self.search_chars(&chars)
+    }
+
+    /// Like [`Regex::search`] but over a pre-split character slice.
+    pub fn search_chars(&self, chars: &[char]) -> Option<(usize, usize)> {
+        for start in 0..=chars.len() {
+            if let Some(end) = self.nfa.longest_match_at(chars, start) {
+                return Some((start, end));
+            }
+            // `^`-anchored patterns can only match at offset 0.
+            if self.nfa.anchored_start() {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Whether the pattern matches anywhere in `text`.
+    pub fn is_search_match(&self, text: &str) -> bool {
+        self.search(text).is_some()
+    }
+
+    /// Iterate over all non-overlapping leftmost-longest matches.
+    pub fn find_iter<'r>(&'r self, text: &str) -> FindIter<'r> {
+        FindIter {
+            re: self,
+            chars: text.chars().collect(),
+            at: 0,
+        }
+    }
+}
+
+/// Iterator over non-overlapping matches; yields `(start, end)` char offsets.
+pub struct FindIter<'r> {
+    re: &'r Regex,
+    chars: Vec<char>,
+    at: usize,
+}
+
+impl Iterator for FindIter<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        while self.at <= self.chars.len() {
+            if let Some(end) = self.re.nfa.longest_match_at(&self.chars, self.at) {
+                let start = self.at;
+                // Zero-width matches must still advance the cursor.
+                self.at = if end == start { start + 1 } else { end };
+                return Some((start, end));
+            }
+            if self.re.nfa.anchored_start() {
+                return None;
+            }
+            self.at += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap_or_else(|e| panic!("pattern {p:?} failed: {e}"))
+    }
+
+    #[test]
+    fn literal_full_match() {
+        assert!(re("abc").is_full_match("abc"));
+        assert!(!re("abc").is_full_match("abcd"));
+        assert!(!re("abc").is_full_match("ab"));
+    }
+
+    #[test]
+    fn dot_matches_any_but_needs_a_char() {
+        assert!(re("a.c").is_full_match("abc"));
+        assert!(re("a.c").is_full_match("a c"));
+        assert!(!re("a.c").is_full_match("ac"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        assert!(re("ab*c").is_full_match("ac"));
+        assert!(re("ab*c").is_full_match("abbbc"));
+        assert!(!re("ab+c").is_full_match("ac"));
+        assert!(re("ab+c").is_full_match("abc"));
+        assert!(re("ab?c").is_full_match("ac"));
+        assert!(re("ab?c").is_full_match("abc"));
+        assert!(!re("ab?c").is_full_match("abbc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let r = re("cat|dog");
+        assert!(r.is_full_match("cat"));
+        assert!(r.is_full_match("dog"));
+        assert!(!r.is_full_match("catdog"));
+        let r = re("gr(a|e)y");
+        assert!(r.is_full_match("gray"));
+        assert!(r.is_full_match("grey"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        let r = re("[a-c]+");
+        assert!(r.is_full_match("abccba"));
+        assert!(!r.is_full_match("abd"));
+        let r = re("[^0-9]+");
+        assert!(r.is_full_match("hello"));
+        assert!(!r.is_full_match("h3llo"));
+    }
+
+    #[test]
+    fn class_with_literal_space_and_dot() {
+        // The paper's exclude clauses use classes like "[a-z 0-9.]+".
+        let r = re("[a-z 0-9.]+");
+        assert!(r.is_full_match("blue bottle 4.2"));
+        assert!(!r.is_full_match("Blue"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(re(r"\d+").is_full_match("12345"));
+        assert!(!re(r"\d+").is_full_match("12a45"));
+        assert!(re(r"\w+").is_full_match("abc_123"));
+        assert!(re(r"\s").is_full_match(" "));
+        assert!(re(r"\.").is_full_match("."));
+        assert!(!re(r"\.").is_full_match("a"));
+        assert!(re(r"\D+").is_full_match("abc"));
+        assert!(!re(r"\D+").is_full_match("a1c"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert!(re("a{3}").is_full_match("aaa"));
+        assert!(!re("a{3}").is_full_match("aa"));
+        assert!(re("a{2,}").is_full_match("aaaa"));
+        assert!(!re("a{2,}").is_full_match("a"));
+        assert!(re("a{1,3}").is_full_match("aa"));
+        assert!(!re("a{1,3}").is_full_match("aaaa"));
+    }
+
+    #[test]
+    fn paper_exclude_patterns() {
+        // Patterns lifted verbatim from Appendix A (Figure 9).
+        let cases = [
+            ("[Ll]a Marzocco", "la Marzocco", true),
+            ("[Ll]a Marzocco", "La Marzocco", true),
+            ("[Ll]a Marzocco", "Le Marzocco", false),
+            ("[Cc]offee|[Cc]afe|[Cc]af\u{e9}", "Coffee", true),
+            ("[Cc]offee|[Cc]afe|[Cc]af\u{e9}", "cafe", true),
+            ("[Cc]offee|[Cc]afe|[Cc]af\u{e9}", "Cafemath", false),
+            ("[0-9]+ [0-9A-Z a-z]+ [Ss]t.?", "123 Mission St", true),
+            ("[0-9]+ [0-9A-Z a-z]+ [Ss]t.?", "9 Grand Ave", false),
+            ("[A-Za-z 0-9.]*[Ff]est(ival)?", "Portland Coffee Festival", true),
+            ("[A-Za-z 0-9.]*[Ff]est(ival)?", "Brew Fest", true),
+            ("@[A-Za-z 0-9.]+", "@bluebottle", true),
+        ];
+        for (pat, text, want) in cases {
+            assert_eq!(
+                re(pat).is_full_match(text),
+                want,
+                "pattern {pat:?} on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_finds_leftmost_longest() {
+        let r = re("a+");
+        assert_eq!(r.search("xxaaayaa"), Some((2, 5)));
+        assert_eq!(r.search("bbb"), None);
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(re("^abc$").is_full_match("abc"));
+        assert_eq!(re("^a").search("ba"), None);
+        assert_eq!(re("a$").search("ab"), None);
+        assert_eq!(re("a$").search("ba"), Some((1, 2)));
+    }
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let r = re("ab");
+        let hits: Vec<_> = r.find_iter("ababab").collect();
+        assert_eq!(hits, vec![(0, 2), (2, 4), (4, 6)]);
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        assert!(re("").is_full_match(""));
+        assert!(!re("").is_full_match("a"));
+        assert_eq!(re("").search("ab"), Some((0, 0)));
+    }
+
+    #[test]
+    fn malformed_patterns_error() {
+        assert!(Regex::new("a(").is_err());
+        assert!(Regex::new("a)").is_err());
+        assert!(Regex::new("[a-").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a{2,1}").is_err());
+        // A `{` that cannot start a bound is a literal, like in mainstream
+        // engines.
+        assert!(Regex::new("a{").is_ok());
+    }
+
+    #[test]
+    fn unicode_chars() {
+        assert!(re("caf\u{e9}").is_full_match("caf\u{e9}"));
+        assert_eq!(re("\u{e9}").search("caf\u{e9}s"), Some((3, 4)));
+    }
+
+    #[test]
+    fn pathological_pattern_is_fast() {
+        // Classic backtracking killer: (a*)*b against "aaaa…a".
+        let r = re("(a*)*b");
+        let text = "a".repeat(2000);
+        assert!(!r.is_full_match(&text));
+        assert!(r.is_full_match(&format!("{text}b")));
+    }
+}

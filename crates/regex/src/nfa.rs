@@ -1,0 +1,437 @@
+//! Thompson construction and NFA simulation.
+//!
+//! States are stored in a flat `Vec`; transitions reference states by index.
+//! Simulation advances a deduplicated set of live states one input character
+//! at a time, which bounds matching to `O(text · states)` regardless of the
+//! pattern (no backtracking).
+
+use crate::ast::{Ast, ClassItem};
+
+/// One NFA state.
+#[derive(Debug, Clone)]
+enum State {
+    /// Consume one character matching the predicate, then go to `next`.
+    Char { pred: Pred, next: u32 },
+    /// Fork into two ε-successors.
+    Split(u32, u32),
+    /// ε-transition gated on an anchor assertion.
+    Assert { kind: Assert, next: u32 },
+    /// Accepting state.
+    Match,
+}
+
+#[derive(Debug, Clone)]
+enum Pred {
+    Literal(char),
+    Any,
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
+}
+
+impl Pred {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            Pred::Literal(x) => c == *x,
+            Pred::Any => true,
+            Pred::Class { negated, items } => {
+                let inside = items.iter().any(|it| it.contains(c));
+                inside != *negated
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assert {
+    Start,
+    End,
+}
+
+/// A compiled ε-NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<State>,
+    start: u32,
+    /// True when every path from the start begins with a `^` assertion, which
+    /// lets searches skip all non-zero starting offsets.
+    anchored_start: bool,
+}
+
+/// A compilation fragment: entry state plus the dangling exits that must be
+/// patched to point at whatever follows the fragment.
+struct Frag {
+    start: u32,
+    /// (state index, which output of a Split: 0 = first, 1 = second).
+    outs: Vec<(u32, u8)>,
+}
+
+impl Nfa {
+    /// Compile an AST into an NFA (Thompson construction).
+    pub fn compile(ast: &Ast) -> Nfa {
+        let mut b = Builder { states: Vec::new() };
+        let frag = b.build(ast);
+        let m = b.push(State::Match);
+        b.patch(&frag.outs, m);
+        let anchored_start = starts_with_anchor(ast);
+        Nfa {
+            states: b.states,
+            start: frag.start,
+            anchored_start,
+        }
+    }
+
+    /// Whether the pattern can only ever match at the start of the text.
+    pub fn anchored_start(&self) -> bool {
+        self.anchored_start
+    }
+
+    /// Longest match beginning exactly at `start`; returns the end offset
+    /// (half-open) of the longest accepting prefix, or `None`.
+    pub fn longest_match_at(&self, chars: &[char], start: usize) -> Option<usize> {
+        let mut current: Vec<u32> = Vec::with_capacity(16);
+        let mut next: Vec<u32> = Vec::with_capacity(16);
+        let mut on_list = vec![u32::MAX; self.states.len()];
+        let mut generation: u32 = 0;
+
+        let mut best: Option<usize> = None;
+        self.add_state(
+            self.start,
+            start,
+            chars.len(),
+            &mut current,
+            &mut on_list,
+            generation,
+        );
+        if current.iter().any(|&s| matches!(self.states[s as usize], State::Match)) {
+            best = Some(start);
+        }
+
+        for (offset, &c) in chars[start..].iter().enumerate() {
+            let at = start + offset;
+            if current.is_empty() {
+                break;
+            }
+            generation += 1;
+            next.clear();
+            for &s in &current {
+                if let State::Char { pred, next: n } = &self.states[s as usize] {
+                    if pred.matches(c) {
+                        self.add_state(*n, at + 1, chars.len(), &mut next, &mut on_list, generation);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            if current.iter().any(|&s| matches!(self.states[s as usize], State::Match)) {
+                best = Some(at + 1);
+            }
+        }
+        best
+    }
+
+    /// ε-closure insertion with duplicate suppression via a generation array.
+    fn add_state(
+        &self,
+        s: u32,
+        pos: usize,
+        len: usize,
+        list: &mut Vec<u32>,
+        on_list: &mut [u32],
+        generation: u32,
+    ) {
+        if on_list[s as usize] == generation {
+            return;
+        }
+        on_list[s as usize] = generation;
+        match &self.states[s as usize] {
+            State::Split(a, b) => {
+                self.add_state(*a, pos, len, list, on_list, generation);
+                self.add_state(*b, pos, len, list, on_list, generation);
+            }
+            State::Assert { kind, next } => {
+                let ok = match kind {
+                    Assert::Start => pos == 0,
+                    Assert::End => pos == len,
+                };
+                if ok {
+                    self.add_state(*next, pos, len, list, on_list, generation);
+                }
+            }
+            State::Char { .. } | State::Match => list.push(s),
+        }
+    }
+
+    /// Number of states (used by benches to report pattern complexity).
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+}
+
+struct Builder {
+    states: Vec<State>,
+}
+
+impl Builder {
+    fn push(&mut self, s: State) -> u32 {
+        self.states.push(s);
+        (self.states.len() - 1) as u32
+    }
+
+    fn patch(&mut self, outs: &[(u32, u8)], target: u32) {
+        for &(idx, which) in outs {
+            match &mut self.states[idx as usize] {
+                State::Char { next, .. } | State::Assert { next, .. } => *next = target,
+                State::Split(a, b) => {
+                    if which == 0 {
+                        *a = target;
+                    } else {
+                        *b = target;
+                    }
+                }
+                State::Match => unreachable!("match states have no exits"),
+            }
+        }
+    }
+
+    fn build(&mut self, ast: &Ast) -> Frag {
+        match ast {
+            Ast::Empty => {
+                // A Split with both branches dangling to the same exit acts
+                // as a pure forward ε-edge.
+                let s = self.push(State::Split(u32::MAX, u32::MAX));
+                Frag {
+                    start: s,
+                    outs: vec![(s, 0), (s, 1)],
+                }
+            }
+            Ast::Literal(c) => {
+                let s = self.push(State::Char {
+                    pred: Pred::Literal(*c),
+                    next: u32::MAX,
+                });
+                Frag {
+                    start: s,
+                    outs: vec![(s, 0)],
+                }
+            }
+            Ast::AnyChar => {
+                let s = self.push(State::Char {
+                    pred: Pred::Any,
+                    next: u32::MAX,
+                });
+                Frag {
+                    start: s,
+                    outs: vec![(s, 0)],
+                }
+            }
+            Ast::Class { negated, items } => {
+                let s = self.push(State::Char {
+                    pred: Pred::Class {
+                        negated: *negated,
+                        items: items.clone(),
+                    },
+                    next: u32::MAX,
+                });
+                Frag {
+                    start: s,
+                    outs: vec![(s, 0)],
+                }
+            }
+            Ast::StartAnchor => {
+                let s = self.push(State::Assert {
+                    kind: Assert::Start,
+                    next: u32::MAX,
+                });
+                Frag {
+                    start: s,
+                    outs: vec![(s, 0)],
+                }
+            }
+            Ast::EndAnchor => {
+                let s = self.push(State::Assert {
+                    kind: Assert::End,
+                    next: u32::MAX,
+                });
+                Frag {
+                    start: s,
+                    outs: vec![(s, 0)],
+                }
+            }
+            Ast::Concat(seq) => {
+                let mut start: Option<u32> = None;
+                let mut outs: Vec<(u32, u8)> = Vec::new();
+                for a in seq {
+                    let frag = self.build(a);
+                    if start.is_none() {
+                        start = Some(frag.start);
+                    } else {
+                        self.patch(&outs, frag.start);
+                    }
+                    outs = frag.outs;
+                }
+                Frag {
+                    start: start.expect("concat is non-empty"),
+                    outs,
+                }
+            }
+            Ast::Alternate(branches) => {
+                let mut iter = branches.iter();
+                let first = self.build(iter.next().expect("alt is non-empty"));
+                let mut start = first.start;
+                let mut outs = first.outs;
+                for br in iter {
+                    let frag = self.build(br);
+                    let split = self.push(State::Split(start, frag.start));
+                    start = split;
+                    outs.extend(frag.outs);
+                }
+                Frag { start, outs }
+            }
+            Ast::Repeat { node, min, max } => self.build_repeat(node, *min, *max),
+        }
+    }
+
+    fn build_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) -> Frag {
+        match (min, max) {
+            (0, None) => {
+                // e* : split -> (e -> split) | out
+                let split = self.push(State::Split(u32::MAX, u32::MAX));
+                let inner = self.build(node);
+                self.patch(&[(split, 0)], inner.start);
+                self.patch(&inner.outs, split);
+                Frag {
+                    start: split,
+                    outs: vec![(split, 1)],
+                }
+            }
+            (1, None) => {
+                // e+ : e -> split -> (back to e) | out
+                let inner = self.build(node);
+                let split = self.push(State::Split(inner.start, u32::MAX));
+                self.patch(&inner.outs, split);
+                Frag {
+                    start: inner.start,
+                    outs: vec![(split, 1)],
+                }
+            }
+            (0, Some(1)) => {
+                // e? : split -> e | out
+                let inner = self.build(node);
+                let split = self.push(State::Split(inner.start, u32::MAX));
+                let mut outs = inner.outs;
+                outs.push((split, 1));
+                Frag {
+                    start: split,
+                    outs,
+                }
+            }
+            (m, opt_n) => {
+                // General {m,n}: m mandatory copies, then either (n-m)
+                // optional copies or a trailing star. Pattern sizes in KOKO
+                // queries are tiny, so copy-expansion is fine.
+                let mut outs: Vec<(u32, u8)> = Vec::new();
+                let mut start: Option<u32> = None;
+                fn attach(
+                    builder: &mut Builder,
+                    frag: Frag,
+                    start: &mut Option<u32>,
+                    outs: &mut Vec<(u32, u8)>,
+                ) {
+                    if start.is_some() {
+                        builder.patch(outs, frag.start);
+                    } else {
+                        *start = Some(frag.start);
+                    }
+                    *outs = frag.outs;
+                }
+                for _ in 0..m {
+                    let frag = self.build(node);
+                    attach(self, frag, &mut start, &mut outs);
+                }
+                match opt_n {
+                    Some(n) => {
+                        let mut optional_exits: Vec<(u32, u8)> = Vec::new();
+                        for _ in m..n {
+                            let inner = self.build(node);
+                            let split = self.push(State::Split(inner.start, u32::MAX));
+                            let frag = Frag {
+                                start: split,
+                                outs: inner.outs,
+                            };
+                            optional_exits.push((split, 1));
+                            attach(self, frag, &mut start, &mut outs);
+                        }
+                        outs.extend(optional_exits);
+                    }
+                    None => {
+                        let star = self.build_repeat(node, 0, None);
+                        attach(self, star, &mut start, &mut outs);
+                    }
+                }
+                match start {
+                    Some(s) => Frag { start: s, outs },
+                    None => {
+                        // {0,0}: matches the empty string.
+                        let s = self.push(State::Split(u32::MAX, u32::MAX));
+                        Frag {
+                            start: s,
+                            outs: vec![(s, 0), (s, 1)],
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Conservatively detect patterns that must match at text start.
+fn starts_with_anchor(ast: &Ast) -> bool {
+    match ast {
+        Ast::StartAnchor => true,
+        Ast::Concat(seq) => seq.first().is_some_and(starts_with_anchor),
+        Ast::Alternate(branches) => branches.iter().all(starts_with_anchor),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+
+    fn longest(pattern: &str, text: &str) -> Option<usize> {
+        let nfa = Nfa::compile(&parse(pattern).unwrap());
+        let chars: Vec<char> = text.chars().collect();
+        nfa.longest_match_at(&chars, 0)
+    }
+
+    #[test]
+    fn longest_prefix_semantics() {
+        assert_eq!(longest("a*", "aaab"), Some(3));
+        assert_eq!(longest("a*", "b"), Some(0));
+        assert_eq!(longest("ab|abc", "abcd"), Some(3), "longest wins over order");
+    }
+
+    #[test]
+    fn anchored_detection() {
+        assert!(Nfa::compile(&parse("^ab").unwrap()).anchored_start());
+        assert!(Nfa::compile(&parse("^a|^b").unwrap()).anchored_start());
+        assert!(!Nfa::compile(&parse("a^b|^c").unwrap()).anchored_start());
+        assert!(!Nfa::compile(&parse("ab").unwrap()).anchored_start());
+    }
+
+    #[test]
+    fn bounded_copies() {
+        assert_eq!(longest("a{2,4}", "aaaaa"), Some(4));
+        assert_eq!(longest("a{2,4}", "a"), None);
+        assert_eq!(longest("a{0,2}b", "b"), Some(1));
+        assert_eq!(longest("a{2,}", "aaaa"), Some(4));
+    }
+
+    #[test]
+    fn state_count_is_linear() {
+        let nfa = Nfa::compile(&parse("(a|b)*c{2,3}[x-z]+").unwrap());
+        assert!(nfa.num_states() < 32, "got {}", nfa.num_states());
+    }
+}

@@ -1,0 +1,158 @@
+//! Differential property tests: the NFA engine must agree with a naive
+//! backtracking reference matcher on randomly generated small patterns.
+
+use koko_regex::{parse, Ast, ClassItem, Regex};
+use proptest::prelude::*;
+
+/// Naive exponential-time reference semantics over the parsed AST.
+fn reference_match(ast: &Ast, text: &[char]) -> bool {
+    fn go(ast: &Ast, text: &[char], pos: usize, len: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+        match ast {
+            Ast::Empty => k(pos),
+            Ast::Literal(c) => pos < text.len() && text[pos] == *c && k(pos + 1),
+            Ast::AnyChar => pos < text.len() && k(pos + 1),
+            Ast::Class { negated, items } => {
+                pos < text.len() && {
+                    let inside = items.iter().any(|i| i.contains(text[pos]));
+                    inside != *negated && k(pos + 1)
+                }
+            }
+            Ast::StartAnchor => pos == 0 && k(pos),
+            Ast::EndAnchor => pos == len && k(pos),
+            Ast::Concat(seq) => {
+                fn chain(
+                    seq: &[Ast],
+                    text: &[char],
+                    pos: usize,
+                    len: usize,
+                    k: &mut dyn FnMut(usize) -> bool,
+                ) -> bool {
+                    match seq.split_first() {
+                        None => k(pos),
+                        Some((head, rest)) => go(head, text, pos, len, &mut |p| {
+                            chain(rest, text, p, len, k)
+                        }),
+                    }
+                }
+                chain(seq, text, pos, len, k)
+            }
+            Ast::Alternate(branches) => branches.iter().any(|b| go(b, text, pos, len, k)),
+            Ast::Repeat { node, min, max } => {
+                fn rep(
+                    node: &Ast,
+                    text: &[char],
+                    pos: usize,
+                    len: usize,
+                    remaining_min: u32,
+                    budget: Option<u32>,
+                    k: &mut dyn FnMut(usize) -> bool,
+                ) -> bool {
+                    if remaining_min == 0 && k(pos) {
+                        return true;
+                    }
+                    if budget == Some(0) {
+                        return false;
+                    }
+                    go(node, text, pos, len, &mut |p| {
+                        // Zero-width repetition guard.
+                        if p == pos && remaining_min == 0 {
+                            return false;
+                        }
+                        rep(
+                            node,
+                            text,
+                            p,
+                            len,
+                            remaining_min.saturating_sub(1),
+                            budget.map(|b| b - 1),
+                            k,
+                        )
+                    })
+                }
+                rep(node, text, pos, len, *min, *max, k)
+            }
+        }
+    }
+    go(ast, text, 0, text.len(), &mut |p| p == text.len())
+}
+
+/// Random small patterns over the alphabet {a, b, c}.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just(".".to_string()),
+        Just("[ab]".to_string()),
+        Just("[^a]".to_string()),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
+            inner.clone().prop_map(|a| format!("({a})*")),
+            inner.clone().prop_map(|a| format!("({a})+")),
+            inner.clone().prop_map(|a| format!("({a})?")),
+            inner.prop_map(|a| format!("({a}){{1,2}}")),
+        ]
+    })
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c'), Just('d')], 0..8)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nfa_agrees_with_reference(pattern in arb_pattern(), text in arb_text()) {
+        let ast = parse(&pattern).expect("generated patterns are valid");
+        let re = Regex::new(&pattern).expect("compiles");
+        let chars: Vec<char> = text.chars().collect();
+        let expected = reference_match(&ast, &chars);
+        prop_assert_eq!(
+            re.is_full_match(&text),
+            expected,
+            "pattern {:?} on {:?}",
+            pattern,
+            text
+        );
+    }
+
+    #[test]
+    fn search_is_consistent_with_full_match(pattern in arb_pattern(), text in arb_text()) {
+        let re = Regex::new(&pattern).expect("compiles");
+        // If the whole text matches, search must find something at 0.
+        if re.is_full_match(&text) {
+            let hit = re.search(&text);
+            prop_assert!(hit.is_some());
+            prop_assert_eq!(hit.expect("checked").0, 0);
+        }
+        // Every reported match must re-verify as a full match of its slice.
+        if let Some((s, e)) = re.search(&text) {
+            let chars: Vec<char> = text.chars().collect();
+            let slice: String = chars[s..e].iter().collect();
+            prop_assert!(re.is_full_match(&slice), "slice {:?}", slice);
+        }
+    }
+
+    #[test]
+    fn find_iter_matches_are_disjoint_and_ordered(pattern in arb_pattern(), text in arb_text()) {
+        let re = Regex::new(&pattern).expect("compiles");
+        let hits: Vec<(usize, usize)> = re.find_iter(&text).collect();
+        for w in hits.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0 || (w[0].0 == w[0].1 && w[0].0 < w[1].0),
+                "overlap: {:?}", hits);
+        }
+    }
+
+    #[test]
+    fn class_items_contain_what_they_say(c in any::<char>()) {
+        prop_assert_eq!(ClassItem::Digit.contains(c), c.is_ascii_digit());
+        prop_assert_eq!(ClassItem::NotDigit.contains(c), !c.is_ascii_digit());
+        prop_assert_eq!(ClassItem::Space.contains(c), c.is_whitespace());
+        prop_assert_eq!(ClassItem::Range('a', 'z').contains(c), ('a'..='z').contains(&c));
+    }
+}

@@ -1,0 +1,167 @@
+//! `Db` — a named collection of storage objects with directory persistence,
+//! playing the role of the PostgreSQL database in Figure 2's "On disk
+//! version".
+
+use crate::closure::ClosureTable;
+use crate::codec;
+use crate::docstore::DocStore;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A tiny embedded database: one document store plus named closure tables
+/// and named raw blobs (the inverted tables serialize themselves into
+/// blobs). Concurrent readers are allowed during query evaluation; builds
+/// take the write lock.
+#[derive(Debug, Default)]
+pub struct Db {
+    inner: RwLock<DbInner>,
+}
+
+#[derive(Debug, Default)]
+struct DbInner {
+    docs: DocStore,
+    closures: BTreeMap<String, ClosureTable>,
+    blobs: BTreeMap<String, Vec<u8>>,
+}
+
+impl Db {
+    pub fn new() -> Db {
+        Db::default()
+    }
+
+    /// Replace the document store.
+    pub fn set_docs(&self, docs: DocStore) {
+        self.inner.write().docs = docs;
+    }
+
+    /// Run `f` with read access to the document store.
+    pub fn with_docs<R>(&self, f: impl FnOnce(&DocStore) -> R) -> R {
+        f(&self.inner.read().docs)
+    }
+
+    /// Decode one document (the `LoadArticle` path).
+    pub fn load_document(&self, idx: u32) -> Result<koko_nlp::Document, crate::DecodeError> {
+        self.inner.read().docs.load(idx)
+    }
+
+    pub fn put_closure(&self, name: &str, table: ClosureTable) {
+        self.inner.write().closures.insert(name.to_string(), table);
+    }
+
+    pub fn with_closure<R>(&self, name: &str, f: impl FnOnce(Option<&ClosureTable>) -> R) -> R {
+        f(self.inner.read().closures.get(name))
+    }
+
+    pub fn put_blob(&self, name: &str, bytes: Vec<u8>) {
+        self.inner.write().blobs.insert(name.to_string(), bytes);
+    }
+
+    pub fn get_blob(&self, name: &str) -> Option<Vec<u8>> {
+        self.inner.read().blobs.get(name).cloned()
+    }
+
+    /// Total approximate footprint of everything stored.
+    pub fn approx_bytes(&self) -> usize {
+        let g = self.inner.read();
+        g.docs.approx_bytes()
+            + g.closures.values().map(|c| c.approx_bytes()).sum::<usize>()
+            + g.blobs.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Persist everything under `dir` (one file per object).
+    pub fn save_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let g = self.inner.read();
+        g.docs.save(&dir.join("docs.koko"))?;
+        for (name, table) in &g.closures {
+            codec::save_to_file(&dir.join(format!("closure_{name}.koko")), table)?;
+        }
+        for (name, blob) in &g.blobs {
+            std::fs::write(dir.join(format!("blob_{name}.bin")), blob)?;
+        }
+        Ok(())
+    }
+
+    /// Open a database persisted by [`Db::save_dir`].
+    pub fn open_dir(dir: &Path) -> std::io::Result<Db> {
+        let mut inner = DbInner {
+            docs: DocStore::open(&dir.join("docs.koko"))?,
+            ..DbInner::default()
+        };
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path: PathBuf = entry.path();
+            let Some(fname) = path.file_name().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if let Some(name) = fname
+                .strip_prefix("closure_")
+                .and_then(|s| s.strip_suffix(".koko"))
+            {
+                inner
+                    .closures
+                    .insert(name.to_string(), codec::load_from_file(&path)?);
+            } else if let Some(name) = fname
+                .strip_prefix("blob_")
+                .and_then(|s| s.strip_suffix(".bin"))
+            {
+                inner.blobs.insert(name.to_string(), std::fs::read(&path)?);
+            }
+        }
+        Ok(Db {
+            inner: RwLock::new(inner),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::ClosureRow;
+    use koko_nlp::Pipeline;
+
+    #[test]
+    fn db_round_trip_through_directory() {
+        let p = Pipeline::new();
+        let db = Db::new();
+        let mut docs = DocStore::new();
+        docs.put(&p.parse_document(0, "Anna ate cake."));
+        docs.put(&p.parse_document(1, "The cafe serves espresso."));
+        db.set_docs(docs);
+
+        let mut ct = ClosureTable::new();
+        ct.insert(ClosureRow {
+            id: 1,
+            label: 2,
+            depth: 1,
+            aid: 0,
+            alabel: 0,
+            adepth: 0,
+        });
+        db.put_closure("pl", ct);
+        db.put_blob("word_index", vec![1, 2, 3, 4]);
+
+        let dir = std::env::temp_dir().join("koko_db_test");
+        std::fs::remove_dir_all(&dir).ok();
+        db.save_dir(&dir).unwrap();
+
+        let back = Db::open_dir(&dir).unwrap();
+        assert_eq!(back.with_docs(|d| d.len()), 2);
+        assert_eq!(
+            back.load_document(1).unwrap().sentences[0].tokens[1].text,
+            "cafe"
+        );
+        back.with_closure("pl", |c| assert_eq!(c.unwrap().len(), 1));
+        assert_eq!(back.get_blob("word_index"), Some(vec![1, 2, 3, 4]));
+        assert!(back.approx_bytes() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_closure_is_none() {
+        let db = Db::new();
+        db.with_closure("nope", |c| assert!(c.is_none()));
+        assert!(db.get_blob("nope").is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! The parsed-article store.
+//!
+//! Articles live *encoded*; [`DocStore::load`] pays a real decode cost, which
+//! is what the paper's `LoadArticle` stage (Table 2 — more than 50% of query
+//! time) measures when KOKO pulls candidate articles out of PostgreSQL.
+
+use crate::codec::{self, Codec, DecodeError};
+use bytes::BytesMut;
+use koko_nlp::Document;
+
+/// An encoded document; a newtype so the codec can copy whole byte slices
+/// instead of going element-by-element through the generic `Vec<u8>` path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Blob(pub Vec<u8>);
+
+impl Codec for Blob {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.0.len() as u32).encode(buf);
+        buf.extend_from_slice(&self.0);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = u32::decode(input)? as usize;
+        if input.len() < len {
+            return Err(DecodeError("truncated blob".into()));
+        }
+        let (head, tail) = input.split_at(len);
+        *input = tail;
+        Ok(Blob(head.to_vec()))
+    }
+}
+
+/// Append-only store of encoded documents, addressed by document index.
+#[derive(Debug, Clone, Default)]
+pub struct DocStore {
+    blobs: Vec<Blob>,
+}
+
+impl DocStore {
+    pub fn new() -> DocStore {
+        DocStore::default()
+    }
+
+    /// Encode and append a document; returns its store index.
+    pub fn put(&mut self, doc: &Document) -> u32 {
+        self.blobs.push(Blob(doc.to_bytes()));
+        (self.blobs.len() - 1) as u32
+    }
+
+    /// Decode document `idx`. This is the `LoadArticle` cost.
+    pub fn load(&self, idx: u32) -> Result<Document, DecodeError> {
+        let blob = self
+            .blobs
+            .get(idx as usize)
+            .ok_or_else(|| DecodeError(format!("no document {idx}")))?;
+        Document::from_bytes(&blob.0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Total encoded bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.blobs.iter().map(|b| b.0.len()).sum()
+    }
+
+    /// Persist to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        codec::save_to_file(path, &self.blobs)
+    }
+
+    /// Load a store persisted by [`DocStore::save`].
+    pub fn open(path: &std::path::Path) -> std::io::Result<DocStore> {
+        let blobs: Vec<Blob> = codec::load_from_file(path)?;
+        Ok(DocStore { blobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::Pipeline;
+
+    #[test]
+    fn put_load_round_trip() {
+        let p = Pipeline::new();
+        let mut store = DocStore::new();
+        let d0 = p.parse_document(0, "Anna ate cake.");
+        let d1 = p.parse_document(1, "go Falcons! at Riverside Arena tonight.");
+        assert_eq!(store.put(&d0), 0);
+        assert_eq!(store.put(&d1), 1);
+        assert_eq!(store.load(0).unwrap(), d0);
+        assert_eq!(store.load(1).unwrap(), d1);
+        assert!(store.load(2).is_err());
+        assert!(store.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn file_persistence() {
+        let p = Pipeline::new();
+        let mut store = DocStore::new();
+        for i in 0..5 {
+            store.put(&p.parse_document(i, "The cafe serves espresso. The barista was happy."));
+        }
+        let dir = std::env::temp_dir().join("koko_docstore_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("docs.koko");
+        store.save(&path).unwrap();
+        let back = DocStore::open(&path).unwrap();
+        assert_eq!(back.len(), 5);
+        assert_eq!(back.load(3).unwrap(), store.load(3).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

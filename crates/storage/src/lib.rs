@@ -1,0 +1,30 @@
+//! `koko-storage` — the embedded storage substrate standing in for the
+//! paper's PostgreSQL backend (§4, §6.2.1).
+//!
+//! KOKO stores four things in its DBMS: the inverted word/entity tables
+//! (`W`, `E`), the closure-table form of the two hierarchy indices
+//! (`PL`, `POS`), and the parsed articles themselves (loaded back during
+//! query evaluation — the `LoadArticle` stage of Table 2). This crate
+//! provides the same capabilities as an embedded library:
+//!
+//! * [`codec`] — a compact, versioned binary serialization format (built on
+//!   `bytes`) for the whole data model, so article loads pay a real
+//!   deserialization cost like the paper's DBMS reads;
+//! * [`table`] — ordered tables with range scans and byte accounting (the
+//!   B-tree indexes every scheme in Figure 6 is charged for);
+//! * [`closure`] — the Closure Table representation of hierarchy indices
+//!   (Karwin [25]);
+//! * [`docstore`] — the parsed-article store with per-document lazy decode;
+//! * [`db`] — a named collection of the above with directory persistence.
+
+pub mod closure;
+pub mod codec;
+pub mod db;
+pub mod docstore;
+pub mod table;
+
+pub use closure::{ClosureRow, ClosureTable};
+pub use codec::{Codec, DecodeError};
+pub use db::Db;
+pub use docstore::DocStore;
+pub use table::{MultiMap, OrderedTable};

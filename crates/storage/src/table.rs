@@ -1,0 +1,176 @@
+//! Ordered tables: the B-tree-indexed relations every indexing scheme in
+//! §6.2.1 stores its postings in, with byte accounting for the Figure 6(b)
+//! index-size comparison.
+
+use std::collections::BTreeMap;
+use std::ops::RangeBounds;
+
+/// An ordered single-value table (unique key → value), modelling a relation
+/// with a B-tree primary index.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedTable<K: Ord + Clone, V> {
+    map: BTreeMap<K, V>,
+    approx_bytes: usize,
+}
+
+impl<K: Ord + Clone, V> OrderedTable<K, V> {
+    pub fn new() -> Self {
+        OrderedTable {
+            map: BTreeMap::new(),
+            approx_bytes: 0,
+        }
+    }
+
+    /// Insert, accounting `entry_bytes` toward the table footprint (callers
+    /// know their row encoding width; see `koko-index`).
+    pub fn insert_sized(&mut self, key: K, value: V, entry_bytes: usize) -> Option<V> {
+        let old = self.map.insert(key, value);
+        if old.is_none() {
+            self.approx_bytes += entry_bytes;
+        }
+        old
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.map.get_mut(key)
+    }
+
+    pub fn range<R: RangeBounds<K>>(&self, range: R) -> impl Iterator<Item = (&K, &V)> {
+        self.map.range(range)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate on-disk footprint in bytes (payload + per-entry B-tree
+    /// overhead).
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes + self.map.len() * BTREE_ENTRY_OVERHEAD
+    }
+}
+
+/// Charged per B-tree entry: key slot + child pointers amortized, the same
+/// constant for every indexing scheme so comparisons stay fair.
+pub const BTREE_ENTRY_OVERHEAD: usize = 16;
+
+/// An ordered multi-map (key → list of rows): the posting-list tables
+/// (`W`, `E`, `P`) of §6.2.1.
+#[derive(Debug, Clone, Default)]
+pub struct MultiMap<K: Ord + Clone, V> {
+    map: BTreeMap<K, Vec<V>>,
+    rows: usize,
+    approx_bytes: usize,
+}
+
+impl<K: Ord + Clone, V> MultiMap<K, V> {
+    pub fn new() -> Self {
+        MultiMap {
+            map: BTreeMap::new(),
+            rows: 0,
+            approx_bytes: 0,
+        }
+    }
+
+    /// Append a row under `key`, accounting `row_bytes`.
+    pub fn push(&mut self, key: K, value: V, row_bytes: usize) {
+        self.map.entry(key).or_default().push(value);
+        self.rows += 1;
+        self.approx_bytes += row_bytes;
+    }
+
+    /// The posting list for `key` (empty slice when absent).
+    pub fn get(&self, key: &K) -> &[V] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Vec<V>)> {
+        self.map.iter()
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of rows across all keys.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes + self.map.len() * BTREE_ENTRY_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_table_basics() {
+        let mut t: OrderedTable<u32, String> = OrderedTable::new();
+        assert!(t.is_empty());
+        t.insert_sized(2, "b".into(), 10);
+        t.insert_sized(1, "a".into(), 10);
+        t.insert_sized(3, "c".into(), 10);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&2), Some(&"b".to_string()));
+        let keys: Vec<u32> = t.range(1..3).map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2]);
+        assert!(t.approx_bytes() >= 30);
+    }
+
+    #[test]
+    fn overwrite_does_not_double_count() {
+        let mut t: OrderedTable<u32, u32> = OrderedTable::new();
+        t.insert_sized(1, 10, 100);
+        let before = t.approx_bytes();
+        t.insert_sized(1, 20, 100);
+        assert_eq!(t.approx_bytes(), before);
+        assert_eq!(t.get(&1), Some(&20));
+    }
+
+    #[test]
+    fn multimap_posting_lists() {
+        let mut m: MultiMap<String, u32> = MultiMap::new();
+        m.push("ate".into(), 1, 8);
+        m.push("ate".into(), 2, 8);
+        m.push("pie".into(), 3, 8);
+        assert_eq!(m.get(&"ate".to_string()), &[1, 2]);
+        assert_eq!(m.get(&"nope".to_string()), &[] as &[u32]);
+        assert_eq!(m.num_keys(), 2);
+        assert_eq!(m.num_rows(), 3);
+        assert!(m.approx_bytes() >= 24);
+    }
+
+    #[test]
+    fn multimap_iteration_is_ordered() {
+        let mut m: MultiMap<u32, u32> = MultiMap::new();
+        for k in [5, 1, 3] {
+            m.push(k, k * 10, 4);
+        }
+        let keys: Vec<u32> = m.keys().copied().collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+}

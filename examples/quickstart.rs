@@ -1,0 +1,46 @@
+//! Quickstart: parse a document, run the paper's Example 2.1 query, print
+//! the extracted tuples.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use koko::Koko;
+
+fn main() {
+    // The Figure 1 sentence from the paper.
+    let koko = Koko::from_texts(&[
+        "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+        "Anna ate some delicious cheesecake that she bought at a grocery store.",
+        "The cafe was busy today.",
+    ]);
+
+    // Example 2.1: pairs (e, d) where the dobj subtree contains "delicious"
+    // and the dobj token lies inside entity e.
+    let query = r#"
+        extract e:Entity, d:Str from input.txt if
+        (/ROOT:{
+          a = //verb,
+          b = a/dobj,
+          c = b//"delicious",
+          d = (b.subtree)
+        } (b) in (e))
+    "#;
+
+    let out = koko.query(query).expect("query evaluates");
+    println!("Example 2.1 over {} documents:", koko.corpus().num_documents());
+    for row in &out.rows {
+        let e = &row.values[0];
+        let d = &row.values[1];
+        println!("  doc {} | e = {:?} | d = {:?}", row.doc, e.text, d.text);
+    }
+    println!(
+        "\nstages: normalize {:?}, dpli {:?}, load {:?}, gsp {:?}, extract {:?}, satisfying {:?}",
+        out.profile.normalize,
+        out.profile.dpli,
+        out.profile.load_article,
+        out.profile.gsp,
+        out.profile.extract,
+        out.profile.satisfying,
+    );
+}

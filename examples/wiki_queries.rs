@@ -1,0 +1,51 @@
+//! The three §6.3 scale-up queries (Chocolate / Title / DateOfBirth) over a
+//! synthetic Wikipedia-like corpus, with the Table 2 stage breakdown.
+//!
+//! ```text
+//! cargo run --release --example wiki_queries
+//! ```
+
+use koko::lang::queries;
+use koko::Koko;
+
+fn main() {
+    let texts = koko::corpus::wiki::generate(200, 4242);
+    let koko = Koko::from_texts(&texts);
+    println!(
+        "corpus: {} articles, {} sentences, {} tokens\n",
+        koko.corpus().num_documents(),
+        koko.corpus().num_sentences(),
+        koko.corpus().num_tokens()
+    );
+
+    for (name, q) in [
+        ("Chocolate (low selectivity)", queries::CHOCOLATE),
+        ("Title (medium selectivity)", queries::TITLE),
+        ("DateOfBirth (high selectivity)", queries::DATE_OF_BIRTH),
+    ] {
+        let out = koko.query(q).expect("query runs");
+        let mut docs: Vec<u32> = out.rows.iter().map(|r| r.doc).collect();
+        docs.sort_unstable();
+        docs.dedup();
+        println!("== {name}");
+        println!(
+            "   {} rows over {} documents ({:.1}% of articles), {} candidate sentences",
+            out.rows.len(),
+            docs.len(),
+            100.0 * docs.len() as f64 / koko.corpus().num_documents() as f64,
+            out.profile.candidate_sentences,
+        );
+        for row in out.rows.iter().take(4) {
+            let vals: Vec<String> = row
+                .values
+                .iter()
+                .map(|v| format!("{}={:?}", v.name, v.text))
+                .collect();
+            println!("   doc {} | {}", row.doc, vals.join(" | "));
+        }
+        println!(
+            "   stages: DPLI {:?} | LoadArticle {:?} | extract {:?} | satisfying {:?}\n",
+            out.profile.dpli, out.profile.load_article, out.profile.extract, out.profile.satisfying
+        );
+    }
+}

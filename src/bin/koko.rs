@@ -1,0 +1,200 @@
+//! `koko` — command-line interface to the KOKO engine.
+//!
+//! ```text
+//! koko query  <corpus.txt> '<query>'     run a KOKO query over a text file
+//!                                        (one document per line, or --doc=para
+//!                                        for blank-line-separated paragraphs)
+//! koko parse  <corpus.txt>               show the annotation pipeline output
+//! koko stats  <corpus.txt>               corpus + index statistics
+//! koko demo                              the paper's Figure 1 walkthrough
+//! ```
+
+use koko::nlp::tree_stats;
+use koko::{Koko, Pipeline};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("query") => cmd_query(&args[1..]),
+        Some("parse") => cmd_parse(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!("usage: koko <query|parse|stats|demo> [args]  (see `src/bin/koko.rs`)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Load documents from a file: one document per line by default, or
+/// blank-line-separated paragraphs with `--doc=para`.
+fn load_docs(path: &str, args: &[String]) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let para_mode = args.iter().any(|a| a == "--doc=para");
+    let docs: Vec<String> = if para_mode {
+        text.split("\n\n")
+            .map(|p| p.split_whitespace().collect::<Vec<_>>().join(" "))
+            .filter(|p| !p.is_empty())
+            .collect()
+    } else {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect()
+    };
+    if docs.is_empty() {
+        return Err("no documents found".into());
+    }
+    Ok(docs)
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    let (Some(path), Some(query)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: koko query <corpus.txt> '<query>' [--doc=para]");
+        return 2;
+    };
+    let docs = match load_docs(path, args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let koko = Koko::from_texts(&docs);
+    match koko.query(query) {
+        Ok(out) => {
+            for row in &out.rows {
+                let vals: Vec<String> = row
+                    .values
+                    .iter()
+                    .map(|v| format!("{}={:?}", v.name, v.text))
+                    .collect();
+                println!("doc {}\tscore {:.3}\t{}", row.doc, row.score, vals.join("\t"));
+            }
+            eprintln!(
+                "{} rows | {} candidate sentences | total {:?} (normalize {:?}, dpli {:?}, load {:?}, gsp {:?}, extract {:?}, satisfying {:?})",
+                out.rows.len(),
+                out.profile.candidate_sentences,
+                out.profile.total(),
+                out.profile.normalize,
+                out.profile.dpli,
+                out.profile.load_article,
+                out.profile.gsp,
+                out.profile.extract,
+                out.profile.satisfying,
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_parse(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: koko parse <corpus.txt> [--doc=para]");
+        return 2;
+    };
+    let docs = match load_docs(path, args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let pipeline = Pipeline::new();
+    for (di, text) in docs.iter().enumerate() {
+        let doc = pipeline.parse_document(di as u32, text);
+        for (si, s) in doc.sentences.iter().enumerate() {
+            println!("# doc {di} sentence {si}");
+            print_sentence(s);
+        }
+    }
+    0
+}
+
+fn print_sentence(s: &koko::Sentence) {
+    let stats = tree_stats(s);
+    for (i, t) in s.tokens.iter().enumerate() {
+        let head = t
+            .head
+            .map(|h| format!("{h}:{}", s.tokens[h as usize].text))
+            .unwrap_or("-".into());
+        println!(
+            "{i:>3}  {:<16} {:<6} {:<8} head={:<14} span={}..{} depth={}",
+            t.text,
+            t.pos.name(),
+            t.label.name(),
+            head,
+            stats[i].left,
+            stats[i].right,
+            stats[i].depth
+        );
+    }
+    for m in &s.entities {
+        println!("     entity [{}..{}] {:?} {}", m.start, m.end, s.mention_text(m), m.etype);
+    }
+}
+
+fn cmd_stats(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: koko stats <corpus.txt> [--doc=para]");
+        return 2;
+    };
+    let docs = match load_docs(path, args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let koko = Koko::from_texts(&docs);
+    let c = koko.corpus();
+    println!("documents:        {}", c.num_documents());
+    println!("sentences:        {}", c.num_sentences());
+    println!("tokens:           {}", c.num_tokens());
+    let idx = koko.index();
+    println!("index footprint:  {} KiB", idx.approx_bytes() / 1024);
+    println!(
+        "PL hierarchy:     {} nodes ({:.2}% merged)",
+        idx.pl_index().num_nodes(),
+        100.0 * idx.pl_index().compression_ratio()
+    );
+    println!(
+        "POS hierarchy:    {} nodes ({:.2}% merged)",
+        idx.pos_index().num_nodes(),
+        100.0 * idx.pos_index().compression_ratio()
+    );
+    let entities = idx.entities().count();
+    println!("distinct entities: {entities}");
+    0
+}
+
+fn cmd_demo() -> i32 {
+    let text = "I ate a chocolate ice cream, which was delicious, and also ate a pie.";
+    println!("## Figure 1 sentence\n{text}\n");
+    let pipeline = Pipeline::new();
+    let doc = pipeline.parse_document(0, text);
+    print_sentence(&doc.sentences[0]);
+    println!("\n## Example 2.1 query");
+    let koko = Koko::from_texts(&[text]);
+    match koko.query(koko::queries::EXAMPLE_2_1) {
+        Ok(out) => {
+            for row in &out.rows {
+                for v in &row.values {
+                    println!("  {} = {:?}", v.name, v.text);
+                }
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # KOKO — Scalable Semantic Querying of Text
+//!
+//! A from-scratch Rust reproduction of *Scalable Semantic Querying of Text*
+//! (Wang, Feng, Golshan, Halevy, Mihaila, Oiwa, Tan — VLDB 2018,
+//! arXiv:1805.01083): a declarative information-extraction engine whose
+//! query language combines surface-text conditions, XPath-like conditions
+//! over dependency parse trees, and a semantic-similarity operator with
+//! document-level evidence aggregation — scaled by a multi-index (inverted
+//! word/entity indices + compressed hierarchy indices) and a skip-plan
+//! heuristic.
+//!
+//! This facade crate re-exports the public API; see the workspace crates
+//! for internals:
+//!
+//! * [`nlp`] — the NLP preprocessing substrate (tokenizer, tagger,
+//!   dependency parser, NER, clause decomposition);
+//! * [`regex`] — the regular-expression engine used by query conditions;
+//! * [`embed`] — paraphrase embeddings + descriptor expansion;
+//! * [`storage`] — the embedded store (codec, tables, closure tables,
+//!   document store);
+//! * [`index`] — the KOKO multi-index and the three §6.2 baselines;
+//! * [`lang`] — the query language (lexer/parser/AST/normalizer);
+//! * [`core`] — the evaluation engine (DPLI, GSP, aggregation);
+//! * [`corpus`] — synthetic corpora + the SyntheticTree/SyntheticSpan
+//!   benchmarks;
+//! * [`baselines`] — CRF, IKE, NELL and Odin re-implementations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use koko::Koko;
+//!
+//! let koko = Koko::from_texts(&[
+//!     "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+//! ]);
+//! let out = koko
+//!     .query(
+//!         r#"extract e:Entity, d:Str from input.txt if
+//!            (/ROOT:{ a = //verb, b = a/dobj, c = b//"delicious",
+//!                     d = (b.subtree) } (b) in (e))"#,
+//!     )
+//!     .unwrap();
+//! assert_eq!(out.rows[0].values[0].text, "chocolate ice cream");
+//! ```
+
+pub use koko_baselines as baselines;
+pub use koko_core as core;
+pub use koko_corpus as corpus;
+pub use koko_embed as embed;
+pub use koko_index as index;
+pub use koko_lang as lang;
+pub use koko_nlp as nlp;
+pub use koko_regex as regex;
+pub use koko_storage as storage;
+
+pub use koko_core::{EngineOpts, Error, Koko, OutValue, Profile, QueryOutput, Row};
+pub use koko_lang::{normalize, parse_query, queries};
+pub use koko_nlp::{Corpus, Document, Pipeline, Sentence};

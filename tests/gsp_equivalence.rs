@@ -1,0 +1,78 @@
+//! Table 1's correctness precondition: the GSP evaluator and the naive
+//! nested-loop evaluator must return identical result bags on the
+//! SyntheticSpan benchmark — they differ only in time.
+
+use koko::core::{EngineOpts, Koko};
+use koko::nlp::Pipeline;
+
+#[test]
+fn gsp_and_nogsp_agree_on_synthetic_span_queries() {
+    let texts = koko::corpus::happydb::generate(60, 13);
+    let corpus = Pipeline::new().parse_corpus(&texts);
+    let queries = koko::corpus::synthetic_span::generate(&corpus, 3);
+
+    let gsp = Koko::from_corpus(corpus.clone());
+    let mut nogsp_opts = EngineOpts::default();
+    nogsp_opts.use_gsp = false;
+    let nogsp = Koko::from_corpus(corpus).with_opts(nogsp_opts);
+
+    // A slice across all three atom counts (5-atom NOGSP queries are slow
+    // by design; keep the test snappy).
+    let sample: Vec<&str> = queries
+        .iter()
+        .filter(|q| q.atoms <= 3)
+        .step_by(7)
+        .map(|q| q.text.as_str())
+        .chain(
+            queries
+                .iter()
+                .filter(|q| q.atoms == 5)
+                .take(4)
+                .map(|q| q.text.as_str()),
+        )
+        .collect();
+    assert!(sample.len() >= 20);
+
+    for q in sample {
+        let mut a: Vec<String> = gsp
+            .query(q)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| format!("{}:{:?}", r.doc, r.values))
+            .collect();
+        let mut b: Vec<String> = nogsp
+            .query(q)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| format!("{}:{:?}", r.doc, r.values))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "result bags differ for {q}");
+    }
+}
+
+#[test]
+fn gsp_skips_make_five_atom_queries_cheap() {
+    let texts = koko::corpus::happydb::generate(120, 14);
+    let corpus = Pipeline::new().parse_corpus(&texts);
+    let queries = koko::corpus::synthetic_span::generate(&corpus, 4);
+    let five: Vec<&str> = queries
+        .iter()
+        .filter(|q| q.atoms == 5)
+        .take(10)
+        .map(|q| q.text.as_str())
+        .collect();
+    let koko = Koko::from_corpus(corpus);
+    for q in five {
+        let out = koko.query(q).unwrap();
+        let per_sentence = (out.profile.gsp + out.profile.extract).as_secs_f64()
+            / out.profile.candidate_sentences.max(1) as f64;
+        assert!(
+            per_sentence < 0.01,
+            "GSP keeps 5-atom evaluation under 10ms/sentence, got {per_sentence}s for {q}"
+        );
+    }
+}

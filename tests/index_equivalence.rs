@@ -1,0 +1,111 @@
+//! Cross-crate index invariants over generated corpora: every scheme's
+//! candidate set is complete (§4.2.2), and the effectiveness ordering of
+//! Figures 7/8 holds (KOKO ≈ ADVINVERTED ≥ SUBTREE > INVERTED).
+
+use koko::corpus::synthetic_tree;
+use koko::index::{
+    effectiveness, ground_truth_sids, AdvInvertedIndex, CandidateIndex, InvertedIndex, KokoIndex,
+    SubtreeIndex,
+};
+use koko::nlp::Pipeline;
+
+fn corpus() -> koko::nlp::Corpus {
+    let texts = koko::corpus::wiki::generate(40, 2024);
+    Pipeline::new().parse_corpus(&texts)
+}
+
+#[test]
+fn all_schemes_are_complete_on_the_benchmark() {
+    let c = corpus();
+    let queries = synthetic_tree::generate(&c, 7);
+    let koko = KokoIndex::build(&c);
+    let inv = InvertedIndex::build(&c);
+    let adv = AdvInvertedIndex::build(&c);
+    let sub = SubtreeIndex::build(&c);
+    for q in queries.iter().step_by(3) {
+        let truth = ground_truth_sids(&c, &q.pattern);
+        for (name, cands) in [
+            ("KOKO", koko.lookup(&q.pattern)),
+            ("INVERTED", inv.lookup(&q.pattern)),
+            ("ADVINVERTED", adv.lookup(&q.pattern)),
+            ("SUBTREE", sub.lookup(&q.pattern)),
+        ] {
+            let Some(cands) = cands else { continue };
+            for t in &truth {
+                assert!(
+                    cands.contains(t),
+                    "{name} dropped true match sid {t} for {} ({})",
+                    q.pattern.render(),
+                    q.setting
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn effectiveness_ordering_matches_figures_7_and_8() {
+    let c = corpus();
+    let queries = synthetic_tree::generate(&c, 8);
+    let koko = KokoIndex::build(&c);
+    let inv = InvertedIndex::build(&c);
+    let adv = AdvInvertedIndex::build(&c);
+    let mut eff = |name: &str| -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for q in &queries {
+            let truth = ground_truth_sids(&c, &q.pattern);
+            let cands = match name {
+                "koko" => koko.lookup(&q.pattern),
+                "inv" => inv.lookup(&q.pattern),
+                _ => adv.lookup(&q.pattern),
+            };
+            if let Some(cands) = cands {
+                sum += effectiveness(&cands, &truth);
+                n += 1;
+            }
+        }
+        sum / n as f64
+    };
+    let e_koko = eff("koko");
+    let e_adv = eff("adv");
+    let e_inv = eff("inv");
+    assert!(e_adv > 0.95, "ADVINVERTED near-perfect: {e_adv}");
+    assert!(e_koko > 0.8, "KOKO highly effective: {e_koko}");
+    assert!(
+        e_inv < e_koko - 0.1,
+        "INVERTED clearly worse: {e_inv} vs {e_koko}"
+    );
+}
+
+#[test]
+fn size_ordering_matches_figure_6b() {
+    let c = corpus();
+    let koko = KokoIndex::build(&c);
+    let inv = InvertedIndex::build(&c);
+    let adv = AdvInvertedIndex::build(&c);
+    let sub = SubtreeIndex::build(&c);
+    let k = CandidateIndex::approx_bytes(&koko);
+    assert!(k < inv.approx_bytes(), "KOKO smallest");
+    assert!(inv.approx_bytes() < adv.approx_bytes(), "INVERTED < ADVINVERTED");
+    assert!(adv.approx_bytes() < sub.approx_bytes(), "SUBTREE largest");
+}
+
+#[test]
+fn hierarchy_compression_is_dramatic_at_scale() {
+    let texts = koko::corpus::wiki::generate(120, 9);
+    let c = Pipeline::new().parse_corpus(&texts);
+    let koko = KokoIndex::build(&c);
+    // The paper reports >99.7% on 5M articles; at a few thousand sentences
+    // the merge rate is already far past 90%.
+    assert!(
+        koko.pl_index().compression_ratio() > 0.9,
+        "PL compression {}",
+        koko.pl_index().compression_ratio()
+    );
+    assert!(
+        koko.pos_index().compression_ratio() > 0.9,
+        "POS compression {}",
+        koko.pos_index().compression_ratio()
+    );
+}

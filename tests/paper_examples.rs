@@ -1,0 +1,108 @@
+//! End-to-end integration tests: every worked example in the paper runs
+//! through the public facade and produces the published answers.
+
+use koko::lang::queries;
+use koko::Koko;
+
+#[test]
+fn example_21_returns_the_published_pair() {
+    let koko = Koko::from_texts(&[
+        "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+    ]);
+    let out = koko.query(queries::EXAMPLE_2_1).unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0].values[0].text, "chocolate ice cream");
+    assert_eq!(
+        out.rows[0].values[1].text,
+        "a chocolate ice cream , which was delicious"
+    );
+}
+
+#[test]
+fn example_22_distinguishes_syntactically_identical_sentences() {
+    let koko = Koko::from_texts(&[
+        "cities in asian countries such as China and Japan.",
+        "cities in asian countries such as Beijing and Tokyo.",
+    ]);
+    let q1 = koko.query(queries::EXAMPLE_2_2_Q1).unwrap();
+    let q2 = koko.query(queries::EXAMPLE_2_2_Q2).unwrap();
+    // Q1 (cities) fires only on S2; Q2 (countries) only on S1, with graded
+    // scores in the paper's 0.3–0.6 band.
+    assert!(q1.rows.iter().all(|r| r.doc == 1));
+    assert!(q2.rows.iter().all(|r| r.doc == 0));
+    assert_eq!(q1.doc_values("a").len(), 2);
+    assert_eq!(q2.doc_values("a").len(), 2);
+    for r in q1.rows.iter().chain(q2.rows.iter()) {
+        assert!(r.score > 0.3 && r.score < 0.75, "{:?}", r);
+    }
+}
+
+#[test]
+fn example_23_aggregates_and_excludes() {
+    let koko = Koko::from_texts(&[
+        "Velvet Moon Cafe opened downtown.",
+        "Quiet Owl serves delicious cappuccinos. Quiet Owl employs excellent baristas. Quiet Owl serves espresso.",
+        "They bought a La Marzocco for the bar.",
+    ]);
+    let out = koko.query(queries::EXAMPLE_2_3).unwrap();
+    let names = out.distinct("x");
+    assert!(names.iter().any(|n| n == "Velvet Moon Cafe"));
+    assert!(names.iter().any(|n| n == "Quiet Owl"));
+    assert!(!names.iter().any(|n| n == "La Marzocco"));
+}
+
+#[test]
+fn scaleup_queries_have_the_right_selectivity_ordering() {
+    // Chocolate (low) < Title (medium) < DateOfBirth (high) — §6.3.
+    let texts = koko::corpus::wiki::generate(250, 4242);
+    let koko = Koko::from_texts(&texts);
+    let frac = |q: &str| {
+        let out = koko.query(q).unwrap();
+        let mut docs: Vec<u32> = out.rows.iter().map(|r| r.doc).collect();
+        docs.sort_unstable();
+        docs.dedup();
+        docs.len() as f64 / 250.0
+    };
+    let choc = frac(queries::CHOCOLATE);
+    let title = frac(queries::TITLE);
+    let dob = frac(queries::DATE_OF_BIRTH);
+    assert!(choc < 0.05, "chocolate selectivity {choc}");
+    assert!(title > choc && title < 0.35, "title selectivity {title}");
+    assert!(dob > 0.4, "date-of-birth selectivity {dob}");
+    assert!(dob > title && title > choc);
+}
+
+#[test]
+fn title_query_extracts_person_and_nickname() {
+    let koko = Koko::from_texts(&["Cyd Charisse had been called Sid for years."]);
+    let out = koko.query(queries::TITLE).unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0].values[0].text, "Cyd Charisse");
+    assert_eq!(out.rows[0].values[1].text, "Sid");
+}
+
+#[test]
+fn figure9_cafe_query_runs_fully() {
+    let labeled = koko::corpus::cafe::generate(koko::corpus::cafe::Style::Barista, 25, 3);
+    let koko = Koko::from_texts(&labeled.texts);
+    let out = koko.query(&queries::cafe_query(0.5)).unwrap();
+    let s = koko::corpus::eval::score(&out.doc_values("x"), &labeled.truth);
+    assert!(s.f1 > 0.4, "end-to-end cafe extraction works: F1 {}", s.f1);
+    // Distractors are excluded.
+    for (_, name) in out.doc_values("x") {
+        assert!(!name.to_lowercase().contains("marzocco"), "{name}");
+        assert!(!name.to_lowercase().contains("festival"), "{name}");
+    }
+}
+
+#[test]
+fn tweet_queries_run_fully() {
+    let tw = koko::corpus::tweets::generate(120, 5);
+    let koko = Koko::from_texts(&tw.texts);
+    let teams = koko.query(&queries::sports_team_query(0.4)).unwrap();
+    let s = koko::corpus::eval::score(&teams.doc_values("x"), &tw.teams);
+    assert!(s.f1 > 0.3, "team extraction F1 {}", s.f1);
+    let fac = koko.query(&queries::facility_query(0.4)).unwrap();
+    let s = koko::corpus::eval::score(&fac.doc_values("x"), &tw.facilities);
+    assert!(s.f1 > 0.3, "facility extraction F1 {}", s.f1);
+}

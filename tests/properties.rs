@@ -1,0 +1,121 @@
+//! Property-based tests (proptest) over the core invariants listed in
+//! DESIGN.md §3: parser projectivity, posting-quintuple structure, codec
+//! round-trips, and index completeness under randomized inputs.
+
+use koko::nlp::{tree_stats, Pipeline};
+use koko::storage::Codec;
+use proptest::prelude::*;
+
+/// Random sentences assembled from the generator vocabulary (not random
+/// bytes: the pipeline's contract covers natural-language-ish input).
+fn word_pool() -> Vec<&'static str> {
+    vec![
+        "the", "a", "delicious", "happy", "Anna", "Tokyo", "cafe", "barista", "espresso",
+        "cheesecake", "ate", "serves", "bought", "was", "and", "which", "she", "in", "at",
+        "of", "very", "pie", "London", "Falcons", "coffee", "Copper", "Kettle", "store",
+        "grocery", "morning", "1911", "called", "born", "to", "went", "team",
+    ]
+}
+
+fn arb_sentence() -> impl Strategy<Value = String> {
+    prop::collection::vec(0..word_pool().len(), 1..18).prop_map(|idxs| {
+        let pool = word_pool();
+        let mut words: Vec<&str> = idxs.into_iter().map(|i| pool[i]).collect();
+        words.push(".");
+        words.join(" ")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every parse is a projective tree: single root, no cycles, and each
+    /// subtree covers a contiguous token range (the hierarchy index's
+    /// posting layout depends on this).
+    #[test]
+    fn parser_produces_projective_trees(text in arb_sentence()) {
+        let pipeline = Pipeline::new();
+        let doc = pipeline.parse_document(0, &text);
+        for s in &doc.sentences {
+            if s.is_empty() { continue; }
+            let root = s.root().expect("exactly one root");
+            // No cycles: every token reaches the root.
+            for i in 0..s.len() {
+                let mut cur = i as u32;
+                let mut steps = 0;
+                while let Some(h) = s.tokens[cur as usize].head {
+                    cur = h;
+                    steps += 1;
+                    prop_assert!(steps <= s.len(), "cycle at {i} in {text:?}");
+                }
+                prop_assert_eq!(cur, root);
+            }
+            // Contiguity: subtree size equals span width.
+            let stats = tree_stats(s);
+            for i in 0..s.len() {
+                let mut size = 0;
+                for j in 0..s.len() {
+                    let mut cur = Some(j as u32);
+                    while let Some(c) = cur {
+                        if c == i as u32 { size += 1; break; }
+                        cur = s.tokens[c as usize].head;
+                    }
+                }
+                let width = (stats[i].right - stats[i].left + 1) as usize;
+                prop_assert_eq!(size, width, "non-contiguous subtree at {} in {:?}", i, text);
+            }
+        }
+    }
+
+    /// Documents survive the storage codec byte-for-byte.
+    #[test]
+    fn codec_round_trips_random_documents(texts in prop::collection::vec(arb_sentence(), 1..4)) {
+        let pipeline = Pipeline::new();
+        let doc = pipeline.parse_document(7, &texts.join(" "));
+        let bytes = doc.to_bytes();
+        let back = koko::Document::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    /// Posting quintuples satisfy the §3.1 parent test exactly when the
+    /// dependency tree says so.
+    #[test]
+    fn posting_parent_test_matches_tree(text in arb_sentence()) {
+        let pipeline = Pipeline::new();
+        let doc = pipeline.parse_document(0, &text);
+        let Some(s) = doc.sentences.first() else { return Ok(()); };
+        let stats = tree_stats(s);
+        let posting = |i: usize| koko::nlp::Posting {
+            sid: 0,
+            tid: i as u32,
+            left: stats[i].left,
+            right: stats[i].right,
+            depth: stats[i].depth,
+        };
+        for c in 0..s.len() {
+            for p in 0..s.len() {
+                if p == c { continue; }
+                let tree_says = s.tokens[c].head == Some(p as u32);
+                let posting_says = posting(p).is_parent_of(&posting(c));
+                prop_assert_eq!(tree_says, posting_says,
+                    "parent test mismatch p={} c={} in {:?}", p, c, text);
+            }
+        }
+    }
+
+    /// KOKO's decomposed index lookup never drops a true match.
+    #[test]
+    fn koko_index_candidates_are_complete(texts in prop::collection::vec(arb_sentence(), 2..6)) {
+        let pipeline = Pipeline::new();
+        let corpus = pipeline.parse_corpus(&texts);
+        let index = koko::index::KokoIndex::build(&corpus);
+        let queries = koko::corpus::synthetic_tree::generate(&corpus, 1);
+        for q in queries.iter().step_by(23) {
+            let truth = koko::index::ground_truth_sids(&corpus, &q.pattern);
+            let cands = index.candidate_sids(&q.pattern);
+            for t in &truth {
+                prop_assert!(cands.contains(t), "dropped sid {} for {}", t, q.pattern.render());
+            }
+        }
+    }
+}
