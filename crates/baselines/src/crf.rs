@@ -78,11 +78,18 @@ fn features(tokens: &[String], i: usize, out: &mut Vec<u64>) {
     out.push(hash64(&format!("w={lower}")));
     out.push(hash64(&format!(
         "prev={}",
-        if i > 0 { tokens[i - 1].to_lowercase() } else { "<s>".into() }
+        if i > 0 {
+            tokens[i - 1].to_lowercase()
+        } else {
+            "<s>".into()
+        }
     )));
     out.push(hash64(&format!(
         "next={}",
-        tokens.get(i + 1).map(|t| t.to_lowercase()).unwrap_or("</s>".into())
+        tokens
+            .get(i + 1)
+            .map(|t| t.to_lowercase())
+            .unwrap_or("</s>".into())
     )));
     let chars: Vec<char> = lower.chars().collect();
     for k in 1..=3usize.min(chars.len()) {
@@ -342,6 +349,9 @@ mod tests {
         ];
         let a = Crf::train(&data, 4, 7);
         let b = Crf::train(&data, 4, 7);
-        assert_eq!(a.viterbi(&toks("visit Blue Heron now")), b.viterbi(&toks("visit Blue Heron now")));
+        assert_eq!(
+            a.viterbi(&toks("visit Blue Heron now")),
+            b.viterbi(&toks("visit Blue Heron now"))
+        );
     }
 }

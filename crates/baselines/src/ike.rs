@@ -128,7 +128,12 @@ impl<'e> Ike<'e> {
                     .split_whitespace()
                     .map(|w| {
                         let mut v = vec![w.to_lowercase()];
-                        v.extend(self.embed.neighbors(w, *k, 0.55).into_iter().map(|(n, _)| n));
+                        v.extend(
+                            self.embed
+                                .neighbors(w, *k, 0.55)
+                                .into_iter()
+                                .map(|(n, _)| n),
+                        );
                         v
                     })
                     .collect();
@@ -232,15 +237,11 @@ fn try_match(
             false
         }
         CompiledElem::Capture => match np_at(sentence, pos) {
-            Some((end, text)) => {
-                if try_match(sentence, lowers, elems, ei + 1, end, cap) {
-                    *cap = Some(text);
-                    true
-                } else {
-                    false
-                }
+            Some((end, text)) if try_match(sentence, lowers, elems, ei + 1, end, cap) => {
+                *cap = Some(text);
+                true
             }
-            None => false,
+            _ => false,
         },
     }
 }
@@ -258,7 +259,10 @@ mod tests {
     fn literal_then_capture() {
         let c = corpus(&["It is a new cafe called Velvet Moon ."]);
         let ike = Ike::new(Embeddings::shared());
-        let hits = ike.run(&c, &[IkePattern::new(vec![lit("cafe called"), Elem::Capture])]);
+        let hits = ike.run(
+            &c,
+            &[IkePattern::new(vec![lit("cafe called"), Elem::Capture])],
+        );
         assert_eq!(hits, vec![(0, "Velvet Moon".to_string())]);
     }
 
@@ -271,7 +275,10 @@ mod tests {
         let ike = Ike::new(Embeddings::shared());
         let hits = ike.run(
             &c,
-            &[IkePattern::new(vec![Elem::Capture, expand("serves coffee", 15)])],
+            &[IkePattern::new(vec![
+                Elem::Capture,
+                expand("serves coffee", 15),
+            ])],
         );
         assert!(
             hits.contains(&(0, "Copper Kettle".to_string())),
@@ -289,7 +296,10 @@ mod tests {
         let ike = Ike::new(Embeddings::shared());
         let hits = ike.run(
             &c,
-            &[IkePattern::new(vec![Elem::Capture, expand("serves coffee", 10)])],
+            &[IkePattern::new(vec![
+                Elem::Capture,
+                expand("serves coffee", 10),
+            ])],
         );
         assert!(
             !hits.iter().any(|(_, h)| h.contains("Owl")),

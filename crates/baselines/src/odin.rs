@@ -68,9 +68,10 @@ impl OdinSystem {
                             Some(pat) => match_sentence(pat, sentence),
                             None => vec![vec![]],
                         };
-                        let trigger_ok = rule.trigger_word.as_ref().map_or(true, |w| {
-                            sentence.tokens.iter().any(|t| &t.lower == w)
-                        });
+                        let trigger_ok = rule
+                            .trigger_word
+                            .as_ref()
+                            .is_none_or(|w| sentence.tokens.iter().any(|t| &t.lower == w));
                         if assignments.is_empty() || !trigger_ok {
                             continue;
                         }
@@ -79,8 +80,7 @@ impl OdinSystem {
                                 let stats = koko_nlp::tree_stats(sentence);
                                 for a in &assignments {
                                     let t = a[*idx] as usize;
-                                    let text =
-                                        sentence.span_text(stats[t].left, stats[t].right);
+                                    let text = sentence.span_text(stats[t].left, stats[t].right);
                                     results.insert(OdinMatch {
                                         rule: rule.name.clone(),
                                         doc,
@@ -259,7 +259,8 @@ mod tests {
     fn title_translation_extracts_name() {
         let hits = translations::title().run(&corpus());
         assert!(
-            hits.iter().any(|m| m.rule == "called-name" && m.text == "Sid"),
+            hits.iter()
+                .any(|m| m.rule == "called-name" && m.text == "Sid"),
             "{hits:?}"
         );
     }

@@ -2,14 +2,12 @@
 //! skip-plan generation, and descriptor scoring.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use koko_core::{EngineOpts, Koko};
+use koko_core::Koko;
 use koko_lang::queries;
 
 fn bench_engine(c: &mut Criterion) {
     let texts = koko_corpus::wiki::generate(120, 777);
     let koko = Koko::from_texts(&texts);
-    let mut nogsp_opts = EngineOpts::default();
-    nogsp_opts.use_gsp = false;
 
     let mut g = c.benchmark_group("engine");
     g.bench_function("example21_end_to_end", |b| {

@@ -30,9 +30,7 @@ fn patterns() -> Vec<TreePattern> {
         ),
         TreePattern::path(
             false,
-            vec![
-                (Axis::Descendant, NodeLabel::Word("born".into())),
-            ],
+            vec![(Axis::Descendant, NodeLabel::Word("born".into()))],
         ),
     ]
 }
@@ -78,7 +76,9 @@ fn bench_lookup(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("index_build");
     g.sample_size(10);
-    g.bench_function("koko_build", |b| b.iter(|| KokoIndex::build(black_box(&corpus))));
+    g.bench_function("koko_build", |b| {
+        b.iter(|| KokoIndex::build(black_box(&corpus)))
+    });
     g.bench_function("subtree_build", |b| {
         b.iter(|| SubtreeIndex::build(black_box(&corpus)))
     });

@@ -47,7 +47,18 @@ fn run_dataset(name: &str, style: Style, n: usize, seed: u64) {
 
     // KOKO: the Figure 9 query swept over thresholds.
     let koko = Koko::from_corpus(split.corpus.clone());
-    header(&["threshold", "P(KOKO)", "R(KOKO)", "F1(KOKO)", "P(IKE)", "R(IKE)", "F1(IKE)", "P(CRF)", "R(CRF)", "F1(CRF)"]);
+    header(&[
+        "threshold",
+        "P(KOKO)",
+        "R(KOKO)",
+        "F1(KOKO)",
+        "P(IKE)",
+        "R(IKE)",
+        "F1(IKE)",
+        "P(CRF)",
+        "R(CRF)",
+        "F1(CRF)",
+    ]);
     let mut best = (0.0f64, 0.0f64);
     for t in thresholds() {
         let out = koko

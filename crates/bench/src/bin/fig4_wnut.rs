@@ -21,13 +21,13 @@ fn main() {
     run_task(
         "Sports Team",
         Split::new(corpus.labeled_teams(), 0.5),
-        |t| queries::sports_team_query(t),
+        queries::sports_team_query,
         &team_patterns(),
     );
     run_task(
         "Facilities",
         Split::new(corpus.labeled_facilities(), 0.5),
-        |t| queries::facility_query(t),
+        queries::facility_query,
         &facility_patterns(),
     );
 }
@@ -53,7 +53,14 @@ fn run_task(
     let ike_score = eval::score(&ike_preds, &truth);
 
     let koko = Koko::from_corpus(split.corpus.clone());
-    header(&["threshold", "P(KOKO)", "R(KOKO)", "F1(KOKO)", "F1(IKE)", "F1(CRF)"]);
+    header(&[
+        "threshold",
+        "P(KOKO)",
+        "R(KOKO)",
+        "F1(KOKO)",
+        "F1(IKE)",
+        "F1(CRF)",
+    ]);
     let mut best = (0.0f64, 0.0f64);
     for t in thresholds() {
         let out = koko.query(&koko_query(t)).expect("query runs");

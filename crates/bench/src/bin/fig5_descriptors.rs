@@ -25,8 +25,10 @@ fn main() {
         println!("\n## {name} ({n} articles)\n");
 
         let with = Koko::from_corpus(corpus.clone());
-        let mut without_opts = EngineOpts::default();
-        without_opts.use_descriptors = false;
+        let without_opts = EngineOpts {
+            use_descriptors: false,
+            ..EngineOpts::default()
+        };
         let without = Koko::from_corpus(corpus).with_opts(without_opts);
 
         header(&["threshold", "F1 with descriptors", "F1 without"]);

@@ -17,7 +17,15 @@ fn main() {
     let scale = arg_usize("scale", 1);
     let sizes: Vec<usize> = [50, 100, 250, 500].iter().map(|s| s * scale).collect();
     println!("\n## Figure 6(a): index build time (seconds) vs #articles\n");
-    header(&["articles", "sentences", "tokens", "INVERTED", "ADVINVERTED", "SUBTREE", "KOKO"]);
+    header(&[
+        "articles",
+        "sentences",
+        "tokens",
+        "INVERTED",
+        "ADVINVERTED",
+        "SUBTREE",
+        "KOKO",
+    ]);
     let mut size_rows = Vec::new();
     for &n in &sizes {
         let texts = koko_corpus::wiki::generate(n, 4242);
@@ -55,7 +63,14 @@ fn main() {
         ));
     }
     println!("\n## Figure 6(b): index size (KiB) vs #articles\n");
-    header(&["articles", "INVERTED", "ADVINVERTED", "SUBTREE", "KOKO", "PL-merge"]);
+    header(&[
+        "articles",
+        "INVERTED",
+        "ADVINVERTED",
+        "SUBTREE",
+        "KOKO",
+        "PL-merge",
+    ]);
     for (n, inv, adv, sub, koko, merge) in size_rows {
         row(&[
             n.to_string(),

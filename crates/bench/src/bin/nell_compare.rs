@@ -70,5 +70,7 @@ fn main() {
             format!("{:.2}", s.f1),
         ]);
     }
-    println!("\n(paper: high precision, recall ≤ 0.05 — rare entities defeat web-scale bootstrapping)");
+    println!(
+        "\n(paper: high precision, recall ≤ 0.05 — rare entities defeat web-scale bootstrapping)"
+    );
 }

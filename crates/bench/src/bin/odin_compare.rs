@@ -24,11 +24,22 @@ fn main() {
     let koko = Koko::from_corpus(corpus.clone());
 
     println!("\n## Odin vs KOKO ({n} articles)\n");
-    header(&["query", "KOKO (s)", "Odin (s)", "Odin slowdown", "KOKO rows", "Odin matches"]);
+    header(&[
+        "query",
+        "KOKO (s)",
+        "Odin (s)",
+        "Odin slowdown",
+        "KOKO rows",
+        "Odin matches",
+    ]);
     for (name, qtext, odin) in [
         ("Chocolate", queries::CHOCOLATE, translations::chocolate()),
         ("Title", queries::TITLE, translations::title()),
-        ("DateOfBirth", queries::DATE_OF_BIRTH, translations::date_of_birth()),
+        (
+            "DateOfBirth",
+            queries::DATE_OF_BIRTH,
+            translations::date_of_birth(),
+        ),
     ] {
         let t = Instant::now();
         let out = koko.query(qtext).expect("query runs");

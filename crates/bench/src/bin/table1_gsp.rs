@@ -26,7 +26,9 @@ fn main() {
     let happy = pipeline.parse_corpus(&koko_corpus::happydb::generate(n_happy, 55));
     let wiki = pipeline.parse_corpus(&koko_corpus::wiki::generate(n_wiki, 56));
 
-    println!("\n## Table 1: avg evaluation time (ms per candidate sentence) over the extract clause\n");
+    println!(
+        "\n## Table 1: avg evaluation time (ms per candidate sentence) over the extract clause\n"
+    );
     header(&["corpus", "atoms", "KOKO&GSP", "KOKO&NOGSP", "slowdown"]);
     for (name, corpus) in [("HappyDB", &happy), ("Wikipedia", &wiki)] {
         let queries = koko_corpus::synthetic_span::generate(corpus, 77);
@@ -48,14 +50,18 @@ fn main() {
             ]);
         }
     }
-    println!("\n(paper: 0.28→0.37 ms/sentence with GSP; NOGSP reaches 290–607 ms/sentence at 5 atoms)");
+    println!(
+        "\n(paper: 0.28→0.37 ms/sentence with GSP; NOGSP reaches 290–607 ms/sentence at 5 atoms)"
+    );
 }
 
 /// Mean per-candidate-sentence time of the GSP+extract stages.
 fn run_mode(corpus: &Corpus, queries: &[&str], use_gsp: bool) -> f64 {
-    let mut opts = EngineOpts::default();
-    opts.use_gsp = use_gsp;
-    opts.store_backed = false; // isolate the evaluation stages
+    let opts = EngineOpts {
+        use_gsp,
+        store_backed: false, // isolate the evaluation stages
+        ..EngineOpts::default()
+    };
     let koko = Koko::from_corpus(corpus.clone()).with_opts(opts);
     let mut total = 0.0f64;
     let mut sentences = 0usize;

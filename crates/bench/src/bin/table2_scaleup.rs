@@ -7,24 +7,90 @@
 //! LoadArticle dominates (>50%); Normalize/GSP negligible (<2%); the DPLI
 //! share falls as query selectivity rises.
 //!
+//! On top of the paper's table, this harness measures the sharded parallel
+//! engine against the sequential single-shard evaluator — end-to-end
+//! ingest (parse + index build) and query wall-clock — and emits a JSON
+//! record per corpus size so the perf trajectory can be tracked across
+//! commits.
+//!
 //! ```text
-//! cargo run --release -p koko-bench --bin table2_scaleup [-- --scale=1]
+//! cargo run --release -p koko-bench --bin table2_scaleup \
+//!     [-- --scale=1 --shards=0 --json=table2.json]
 //! ```
+//!
+//! `--shards=0` (default) uses one shard per available core.
 
 use koko_bench::{arg_usize, header, row, secs};
-use koko_core::Koko;
+use koko_core::{EngineOpts, Koko};
 use koko_lang::queries;
 use koko_nlp::Pipeline;
+use std::time::{Duration, Instant};
+
+struct ScalePoint {
+    articles: usize,
+    shards: usize,
+    ingest_seq: Duration,
+    ingest_par: Duration,
+    query_seq: Duration,
+    query_par: Duration,
+}
+
+impl ScalePoint {
+    fn json(&self) -> String {
+        format!(
+            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3}}}",
+            self.articles,
+            self.shards,
+            self.ingest_seq.as_secs_f64(),
+            self.ingest_par.as_secs_f64(),
+            self.query_seq.as_secs_f64(),
+            self.query_par.as_secs_f64(),
+            ratio(self.ingest_seq, self.ingest_par),
+            ratio(self.query_seq, self.query_par),
+            ratio(
+                self.ingest_seq + self.query_seq,
+                self.ingest_par + self.query_par
+            ),
+        )
+    }
+}
+
+fn ratio(a: Duration, b: Duration) -> f64 {
+    a.as_secs_f64() / b.as_secs_f64().max(1e-9)
+}
 
 fn main() {
     let scale = arg_usize("scale", 1);
+    let shards = arg_usize("shards", 0);
+    let json_path = std::env::args().find_map(|a| a.strip_prefix("--json=").map(str::to_string));
     let sizes: Vec<usize> = [100, 200, 400, 800].iter().map(|s| s * scale).collect();
     let pipeline = Pipeline::new();
 
+    let seq_opts = EngineOpts {
+        num_shards: 1,
+        parallel: false,
+        ..EngineOpts::default()
+    };
+    let par_opts = EngineOpts {
+        num_shards: shards,
+        parallel: true,
+        ..EngineOpts::default()
+    };
+
+    // ---- The paper's Table 2, per-stage breakdown (sequential engine) ----
     println!("\n## Table 2: KOKO execution time (seconds) by stage\n");
     header(&[
-        "query", "articles", "candidates", "Normalize", "DPLI", "LoadArticle", "GSP", "extract",
-        "satisfying", "total", "selectivity",
+        "query",
+        "articles",
+        "candidates",
+        "Normalize",
+        "DPLI",
+        "LoadArticle",
+        "GSP",
+        "extract",
+        "satisfying",
+        "total",
+        "selectivity",
     ]);
     for (qname, qtext) in [
         ("Chocolate (C)", queries::CHOCOLATE),
@@ -33,7 +99,7 @@ fn main() {
     ] {
         for &n in &sizes {
             let texts = koko_corpus::wiki::generate(n, 4242);
-            let koko = Koko::from_corpus(pipeline.parse_corpus(&texts));
+            let koko = Koko::from_corpus_with_opts(pipeline.parse_corpus(&texts), seq_opts);
             let out = koko.query(qtext).expect("scaleup query runs");
             let p = out.profile;
             // Selectivity: articles with ≥1 extraction / articles.
@@ -57,4 +123,94 @@ fn main() {
         println!("|  |  |  |  |  |  |  |  |  |  |  |");
     }
     println!("(paper: linear scale-up; LoadArticle >50% of time; Normalize + GSP <2%)");
+
+    // ---- Sequential vs sharded wall-clock (ingest + all three queries) ---
+    let cores = koko_par::available_threads();
+    println!(
+        "\n## Sequential vs sharded wall-clock ({} cores, shards={})\n",
+        cores,
+        if shards == 0 {
+            format!("auto={cores}")
+        } else {
+            shards.to_string()
+        }
+    );
+    header(&[
+        "articles",
+        "ingest seq",
+        "ingest shard",
+        "speedup",
+        "3-query seq",
+        "3-query shard",
+        "speedup",
+        "e2e speedup",
+    ]);
+    let bench_queries = [queries::CHOCOLATE, queries::TITLE, queries::DATE_OF_BIRTH];
+    let mut points = Vec::new();
+    for &n in &sizes {
+        let texts = koko_corpus::wiki::generate(n, 4242);
+
+        // Ingest: raw text → snapshot (parse + shard index/store builds).
+        let t = Instant::now();
+        let seq = Koko::from_texts_with_opts(&texts, seq_opts);
+        let ingest_seq = t.elapsed();
+        let t = Instant::now();
+        let par = Koko::from_texts_with_opts(&texts, par_opts);
+        let ingest_par = t.elapsed();
+
+        // Queries: the three Table 2 extractions as one batch.
+        let t = Instant::now();
+        for q in bench_queries {
+            seq.query(q).expect("sequential query");
+        }
+        let query_seq = t.elapsed();
+        let t = Instant::now();
+        for out in par.query_batch(&bench_queries) {
+            out.expect("sharded query");
+        }
+        let query_par = t.elapsed();
+
+        let point = ScalePoint {
+            articles: n,
+            shards: par.shards().len(),
+            ingest_seq,
+            ingest_par,
+            query_seq,
+            query_par,
+        };
+        row(&[
+            n.to_string(),
+            secs(ingest_seq),
+            secs(ingest_par),
+            format!("{:.2}x", ratio(ingest_seq, ingest_par)),
+            secs(query_seq),
+            secs(query_par),
+            format!("{:.2}x", ratio(query_seq, query_par)),
+            format!(
+                "{:.2}x",
+                ratio(ingest_seq + query_seq, ingest_par + query_par)
+            ),
+        ]);
+        points.push(point);
+    }
+    println!("(expected: ≥1.5x end-to-end on ≥4 cores; ~1.0x on a single core)");
+
+    // ---- JSON perf trajectory -------------------------------------------
+    let json = format!(
+        "{{\"bench\":\"table2_scaleup\",\"cores\":{},\"points\":[{}]}}",
+        cores,
+        points
+            .iter()
+            .map(ScalePoint::json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    println!("\n```json\n{json}\n```");
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
 }

@@ -41,7 +41,10 @@ pub fn row(cells: &[String]) {
 
 pub fn header(cells: &[&str]) {
     row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Train/test split over a labelled corpus: the first `train_frac` of the
@@ -117,40 +120,6 @@ pub fn secs(d: std::time::Duration) -> String {
     format!("{:.4}", d.as_secs_f64())
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use koko_corpus::cafe::{self, Style};
-
-    #[test]
-    fn split_protocol() {
-        let labeled = cafe::generate(Style::Barista, 20, 1);
-        let split = Split::new(labeled, 0.5);
-        assert_eq!(split.train_docs, 10);
-        assert_eq!(split.test_truth().len(), 10);
-        let preds = vec![(3u32, "X".to_string()), (15u32, "Y".to_string())];
-        let test = split.test_predictions(&preds);
-        assert_eq!(test, vec![(5, "Y".to_string())]);
-    }
-
-    #[test]
-    fn crf_protocol_runs() {
-        let labeled = cafe::generate(Style::Barista, 16, 2);
-        let split = Split::new(labeled, 0.5);
-        let preds = split.crf_predictions(3, 7);
-        // Predictions index into the test half.
-        for (d, _) in &preds {
-            assert!((*d as usize) < split.corpus.num_documents() - split.train_docs);
-        }
-    }
-
-    #[test]
-    fn arg_defaults() {
-        assert_eq!(arg_usize("definitely-not-set", 7), 7);
-        assert_eq!(arg_f64("definitely-not-set", 0.5), 0.5);
-    }
-}
-
 /// Shared driver for the Figure 7/8 index experiments: lookup time and
 /// effectiveness of the four schemes over the SyntheticTree benchmark,
 /// swept over corpus sizes, plus a breakdown by result-set size
@@ -165,10 +134,21 @@ pub fn run_index_experiment(title: &str, corpora: &[(String, Corpus)], seed: u64
     use std::time::Instant;
 
     println!("\n# {title}: SyntheticTree benchmark (350 queries)\n");
-    println!("## (a) lookup time (ms, total over benchmark) and (b) mean effectiveness vs corpus size\n");
+    println!(
+        "## (a) lookup time (ms, total over benchmark) and (b) mean effectiveness vs corpus size\n"
+    );
     header(&[
-        "corpus", "sentences", "t(INV)", "t(ADV)", "t(SUB)", "t(KOKO)", "e(INV)", "e(ADV)",
-        "e(SUB)", "e(KOKO)", "SUB supported",
+        "corpus",
+        "sentences",
+        "t(INV)",
+        "t(ADV)",
+        "t(SUB)",
+        "t(KOKO)",
+        "e(INV)",
+        "e(ADV)",
+        "e(SUB)",
+        "e(KOKO)",
+        "SUB supported",
     ]);
 
     let mut largest: Option<(&Corpus, Vec<synthetic_tree::TreeQuery>)> = None;
@@ -198,7 +178,11 @@ pub fn run_index_experiment(title: &str, corpora: &[(String, Corpus)], seed: u64
                     }
                 }
                 let elapsed = t.elapsed();
-                effs.push(if eff_n == 0 { 0.0 } else { eff_sum / eff_n as f64 });
+                effs.push(if eff_n == 0 {
+                    0.0
+                } else {
+                    eff_sum / eff_n as f64
+                });
                 supported = eff_n;
                 format!("{:.1}", elapsed.as_secs_f64() * 1000.0)
             }};
@@ -228,8 +212,21 @@ pub fn run_index_experiment(title: &str, corpora: &[(String, Corpus)], seed: u64
         .map(|q| ground_truth_sids(corpus, &q.pattern))
         .collect();
     let buckets: [(usize, usize); 4] = [(0, 1), (1, 10), (10, 100), (100, usize::MAX)];
-    println!("\n## (c)/(d) lookup time (ms/query) and effectiveness vs #extractions (largest corpus)\n");
-    header(&["extractions", "queries", "INV", "ADV", "SUB", "KOKO", "e(INV)", "e(ADV)", "e(SUB)", "e(KOKO)"]);
+    println!(
+        "\n## (c)/(d) lookup time (ms/query) and effectiveness vs #extractions (largest corpus)\n"
+    );
+    header(&[
+        "extractions",
+        "queries",
+        "INV",
+        "ADV",
+        "SUB",
+        "KOKO",
+        "e(INV)",
+        "e(ADV)",
+        "e(SUB)",
+        "e(KOKO)",
+    ]);
     let inv = InvertedIndex::build(corpus);
     let adv = AdvInvertedIndex::build(corpus);
     let sub = SubtreeIndex::build(corpus);
@@ -262,7 +259,11 @@ pub fn run_index_experiment(title: &str, corpora: &[(String, Corpus)], seed: u64
                     }
                 }
                 let per_query = t.elapsed().as_secs_f64() * 1000.0 / idxs.len() as f64;
-                effs.push(if eff_n == 0 { f64::NAN } else { eff_sum / eff_n as f64 });
+                effs.push(if eff_n == 0 {
+                    f64::NAN
+                } else {
+                    eff_sum / eff_n as f64
+                });
                 format!("{per_query:.2}")
             }};
         }
@@ -275,4 +276,38 @@ pub fn run_index_experiment(title: &str, corpora: &[(String, Corpus)], seed: u64
         row(&cells);
     }
     println!("\n(paper: KOKO and SUBTREE are fastest; KOKO ≈ ADVINVERTED near-perfect effectiveness; INVERTED <0.5 and slowest)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_corpus::cafe::{self, Style};
+
+    #[test]
+    fn split_protocol() {
+        let labeled = cafe::generate(Style::Barista, 20, 1);
+        let split = Split::new(labeled, 0.5);
+        assert_eq!(split.train_docs, 10);
+        assert_eq!(split.test_truth().len(), 10);
+        let preds = vec![(3u32, "X".to_string()), (15u32, "Y".to_string())];
+        let test = split.test_predictions(&preds);
+        assert_eq!(test, vec![(5, "Y".to_string())]);
+    }
+
+    #[test]
+    fn crf_protocol_runs() {
+        let labeled = cafe::generate(Style::Barista, 16, 2);
+        let split = Split::new(labeled, 0.5);
+        let preds = split.crf_predictions(3, 7);
+        // Predictions index into the test half.
+        for (d, _) in &preds {
+            assert!((*d as usize) < split.corpus.num_documents() - split.train_docs);
+        }
+    }
+
+    #[test]
+    fn arg_defaults() {
+        assert_eq!(arg_usize("definitely-not-set", 7), 7);
+        assert_eq!(arg_f64("definitely-not-set", 0.5), 0.5);
+    }
 }

@@ -93,12 +93,7 @@ impl<'a> Aggregator<'a> {
     }
 
     /// `score(e)` for a candidate value across one document (§4.4.1).
-    pub fn score(
-        &self,
-        doc: &Document,
-        value: &str,
-        conds: &[koko_lang::WeightedCond],
-    ) -> f64 {
+    pub fn score(&self, doc: &Document, value: &str, conds: &[koko_lang::WeightedCond]) -> f64 {
         conds
             .iter()
             .map(|wc| wc.weight * self.confidence(doc, value, &wc.cond))
@@ -125,11 +120,7 @@ impl<'a> Aggregator<'a> {
             Pred::SimilarTo(d) => self.embed.phrase_similarity(value, d).max(0.0),
             Pred::InDict(name) => bool_score(
                 gazetteer::dictionary(name)
-                    .map(|words| {
-                        words
-                            .iter()
-                            .any(|w| w.eq_ignore_ascii_case(value))
-                    })
+                    .map(|words| words.iter().any(|w| w.eq_ignore_ascii_case(value)))
                     .unwrap_or(false),
             ),
             // ---- evidence gathered across the document ------------------
@@ -232,7 +223,13 @@ impl<'a> Aggregator<'a> {
                             .tokens
                             .iter()
                             .map(|&t| t as usize)
-                            .filter(|&t| if right { t >= ve as usize } else { t < vs as usize })
+                            .filter(|&t| {
+                                if right {
+                                    t >= ve as usize
+                                } else {
+                                    t < vs as usize
+                                }
+                            })
                             .collect();
                         if side_tokens.is_empty() {
                             continue;
@@ -320,7 +317,7 @@ fn seq_occurs(lowers: &[&str], positions: &[usize], seq: &[String]) -> Option<us
 mod tests {
     use super::*;
     use crate::binder::CompiledQuery;
-    use koko_lang::{normalize, parse_query, WeightedCond};
+    use koko_lang::{normalize, parse_query};
     use koko_nlp::Pipeline;
 
     fn setup(q: &str) -> (CompiledQuery, &'static Embeddings) {

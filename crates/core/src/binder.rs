@@ -84,6 +84,10 @@ impl<'a> SentCtx<'a> {
         self.sentence.len() as u32
     }
 
+    pub fn is_empty(&self) -> bool {
+        self.sentence.is_empty()
+    }
+
     /// Subtree span of a token as a half-open range.
     pub fn subtree_span(&self, tid: Tid) -> Span {
         let st = self.stats[tid as usize];
@@ -127,7 +131,7 @@ pub fn bind_domains(cq: &CompiledQuery, ctx: &SentCtx<'_>) -> Vec<Domain> {
                 ctx.sentence
                     .entities
                     .iter()
-                    .filter(|m| etype.map_or(true, |t| m.etype == t))
+                    .filter(|m| etype.is_none_or(|t| m.etype == t))
                     .map(|m| (m.start, m.end + 1))
                     .collect(),
             ),
@@ -186,7 +190,9 @@ pub fn eval_path(cq: &CompiledQuery, ctx: &SentCtx<'_>, steps: &[Step]) -> Vec<T
                 Axis::Descendant => {
                     let span = ctx.subtree_span(f);
                     for t in span.0..span.1 {
-                        if t != f && is_descendant(ctx.sentence, t, f) && step_matches(cq, ctx, step, t)
+                        if t != f
+                            && is_descendant(ctx.sentence, t, f)
+                            && step_matches(cq, ctx, step, t)
                         {
                             next.push(t);
                         }
@@ -268,11 +274,11 @@ pub fn elastic_span_ok(
     conds.iter().all(|c| match c {
         ElasticCond::MinTok(m) => len >= *m,
         ElasticCond::MaxTok(m) => len <= *m,
-        ElasticCond::Etype(et) => ctx.sentence.entities.iter().any(|m| {
-            m.start == span.0
-                && m.end + 1 == span.1
-                && et.map_or(true, |t| m.etype == t)
-        }),
+        ElasticCond::Etype(et) => {
+            ctx.sentence.entities.iter().any(|m| {
+                m.start == span.0 && m.end + 1 == span.1 && et.is_none_or(|t| m.etype == t)
+            })
+        }
         ElasticCond::Regex(p) => {
             let text = if len == 0 {
                 String::new()
@@ -315,7 +321,10 @@ mod tests {
         let dom = |name: &str| domains[cq.norm.var(name).unwrap()].clone();
         match dom("a") {
             Domain::Nodes(tids) => {
-                let words: Vec<&str> = tids.iter().map(|&t| s.tokens[t as usize].text.as_str()).collect();
+                let words: Vec<&str> = tids
+                    .iter()
+                    .map(|&t| s.tokens[t as usize].text.as_str())
+                    .collect();
                 assert_eq!(words, vec!["ate", "was", "ate"]);
             }
             other => panic!("{other:?}"),
@@ -344,9 +353,7 @@ mod tests {
 
     #[test]
     fn path_with_text_condition() {
-        let cq = compiled(
-            "extract x:Str from t if (/ROOT:{ x = //verb[text=\"was\"] })",
-        );
+        let cq = compiled("extract x:Str from t if (/ROOT:{ x = //verb[text=\"was\"] })");
         let s = fig1();
         let ctx = SentCtx::new(&s);
         let domains = bind_domains(&cq, &ctx);
@@ -361,9 +368,7 @@ mod tests {
 
     #[test]
     fn path_with_regex_condition() {
-        let cq = compiled(
-            "extract x:Str from t if (/ROOT:{ x = //*[@regex=\"[a-z]+ous\"] })",
-        );
+        let cq = compiled("extract x:Str from t if (/ROOT:{ x = //*[@regex=\"[a-z]+ous\"] })");
         let s = fig1();
         let ctx = SentCtx::new(&s);
         let domains = bind_domains(&cq, &ctx);
@@ -408,9 +413,7 @@ mod tests {
 
     #[test]
     fn elastic_entity_condition() {
-        let cq = compiled(
-            "extract x:Str from t if (/ROOT:{ x = //verb + ^[etype=\"Entity\"] })",
-        );
+        let cq = compiled("extract x:Str from t if (/ROOT:{ x = //verb + ^[etype=\"Entity\"] })");
         let s = fig1();
         let ctx = SentCtx::new(&s);
         let conds = match &cq

@@ -7,10 +7,10 @@
 //! of the engine iterates over.
 
 use crate::binder::CompiledQuery;
-use koko_lang::{NVarKind, NodeCond, Step, StepLabel};
-use koko_nlp::{NodeLabel, PNode, Sid, TreePattern};
 use koko_index::koko::intersect_sorted;
 use koko_index::KokoIndex;
+use koko_lang::{NVarKind, NodeCond, Step, StepLabel};
+use koko_nlp::{NodeLabel, PNode, Sid, TreePattern};
 
 /// Outcome of the DPLI stage.
 #[derive(Debug, Clone)]
@@ -97,7 +97,9 @@ pub fn dominated_by(p: &[Step], q: &[Step]) -> bool {
     if p.len() > q.len() {
         return false;
     }
-    p.iter().zip(q.iter()).all(|(a, b)| step_sig(a) == step_sig(b))
+    p.iter()
+        .zip(q.iter())
+        .all(|(a, b)| step_sig(a) == step_sig(b))
 }
 
 /// Indices (into the query's node-path list) of the dominant paths.
@@ -213,9 +215,7 @@ mod tests {
 
     #[test]
     fn equal_paths_keep_one_dominant() {
-        let cq = compiled(
-            "extract x:Str from t if (/ROOT:{ a = //verb, b = //verb, x = a + b })",
-        );
+        let cq = compiled("extract x:Str from t if (/ROOT:{ a = //verb, b = //verb, x = a + b })");
         let paths: Vec<&[Step]> = cq.norm.node_vars().map(|(_, _, s)| s).collect();
         let dom = dominant_paths(&paths);
         assert_eq!(dom.len(), 1);

@@ -1,18 +1,28 @@
 //! The KOKO engine: Figure 2's full workflow — preprocessing (parse text &
-//! build indices), then per query: Normalize → DPLI → LoadArticle →
-//! GSP/extract → Aggregate.
+//! build per-shard indices), then per query: Normalize → per-shard
+//! {DPLI → LoadArticle → GSP/extract} → merge → Aggregate.
+//!
+//! The engine is split into an immutable [`Snapshot`] (shards + embeddings,
+//! `Send + Sync`, shared by reference) and a stateless executor
+//! ([`execute_query`]). [`Koko`] is the user-facing façade tying one
+//! snapshot to one [`EngineOpts`]. The per-shard stage fans out over worker
+//! threads when `opts.parallel` is set; partial results and [`Profile`]
+//! timers merge deterministically, so sharded output is byte-identical
+//! (rows, order, scores) to the single-shard sequential evaluator.
 
 use crate::aggregate::{AggOpts, Aggregator};
 use crate::binder::{bind_domains, CompiledQuery, SentCtx};
 use crate::error::Error;
 use crate::profile::Profile;
+use crate::snapshot::Snapshot;
 use crate::{dpli, gsp};
 use koko_embed::Embeddings;
-use koko_index::KokoIndex;
+use koko_index::{KokoIndex, Shard};
 use koko_lang::{normalize, parse_query, NVarKind, Query};
-use koko_nlp::{Corpus, Document, Pipeline, Sid};
-use koko_storage::{Db, DocStore};
+use koko_nlp::{Corpus, Document, Sid};
+use koko_storage::Db;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +41,14 @@ pub struct EngineOpts {
     /// Descriptor expansion cap and per-word similarity floor.
     pub expansion_k: usize,
     pub expansion_min_sim: f64,
+    /// Number of index/storage shards to partition the corpus into.
+    /// `0` (the default) means one shard per available core. Results are
+    /// independent of the shard count; only parallelism changes.
+    pub num_shards: usize,
+    /// Run ingest, shard builds, the per-shard query stage, and
+    /// `query_batch` on worker threads. `false` forces fully sequential
+    /// execution regardless of the shard count.
+    pub parallel: bool,
 }
 
 impl Default for EngineOpts {
@@ -42,6 +60,8 @@ impl Default for EngineOpts {
             default_threshold: 0.5,
             expansion_k: 120,
             expansion_min_sim: 0.55,
+            num_shards: 0,
+            parallel: true,
         }
     }
 }
@@ -110,62 +130,105 @@ impl QueryOutput {
     }
 }
 
-/// The KOKO system: a parsed corpus, its indices, and the backing store.
+/// The KOKO system: an immutable [`Snapshot`] plus the options queries run
+/// with. Cheap to clone; clones share the snapshot.
+#[derive(Clone)]
 pub struct Koko {
-    corpus: Corpus,
-    index: KokoIndex,
-    store: Db,
-    embed: Embeddings,
+    snapshot: Arc<Snapshot>,
     pub opts: EngineOpts,
 }
 
 impl Koko {
-    /// Parse raw documents and build every index (Figure 2's preprocessing
-    /// box).
-    pub fn from_texts<S: AsRef<str>>(texts: &[S]) -> Koko {
-        let pipeline = Pipeline::new();
-        Koko::from_corpus(pipeline.parse_corpus(texts))
+    /// Parse raw documents (concurrently, when the default options allow)
+    /// and build every shard index — Figure 2's preprocessing box.
+    pub fn from_texts<S: AsRef<str> + Sync>(texts: &[S]) -> Koko {
+        Koko::from_texts_with_opts(texts, EngineOpts::default())
     }
 
-    /// Build from an already parsed corpus.
+    /// [`Koko::from_texts`] with explicit options (parallelism and shard
+    /// count take effect during ingest, not just at query time).
+    pub fn from_texts_with_opts<S: AsRef<str> + Sync>(texts: &[S], opts: EngineOpts) -> Koko {
+        let pipeline = koko_nlp::Pipeline::new();
+        let corpus = if opts.parallel {
+            pipeline.parse_corpus_parallel(texts, 0)
+        } else {
+            pipeline.parse_corpus(texts)
+        };
+        Koko::from_corpus_with_opts(corpus, opts)
+    }
+
+    /// Build from an already parsed corpus with default options.
     pub fn from_corpus(corpus: Corpus) -> Koko {
-        let index = KokoIndex::build(&corpus);
-        let store = Db::new();
-        let mut docs = DocStore::new();
-        for d in corpus.documents() {
-            docs.put(d);
-        }
-        store.set_docs(docs);
+        Koko::from_corpus_with_opts(corpus, EngineOpts::default())
+    }
+
+    /// Build from an already parsed corpus with explicit options.
+    pub fn from_corpus_with_opts(corpus: Corpus, opts: EngineOpts) -> Koko {
         Koko {
-            corpus,
-            index,
-            store,
-            embed: Embeddings::shared().clone(),
-            opts: EngineOpts::default(),
+            snapshot: Arc::new(Snapshot::build(corpus, opts.num_shards, opts.parallel)),
+            opts,
         }
     }
 
     /// Replace the embedding model (e.g. with a domain ontology merged in).
+    /// When this `Koko` is the snapshot's only owner (the common builder
+    /// pattern) the swap is in place; otherwise the shards are cloned so
+    /// existing sharers keep their embeddings.
     pub fn with_embeddings(mut self, embed: Embeddings) -> Koko {
-        self.embed = embed;
+        self.snapshot = match Arc::try_unwrap(self.snapshot) {
+            Ok(mut snapshot) => {
+                snapshot.set_embeddings(embed);
+                Arc::new(snapshot)
+            }
+            Err(shared) => Arc::new(shared.with_embeddings(embed)),
+        };
         self
     }
 
+    /// Replace the options. If the requested shard count differs from the
+    /// snapshot's layout, the shards are rebuilt to match.
     pub fn with_opts(mut self, opts: EngineOpts) -> Koko {
+        let want =
+            koko_par::resolve_threads(opts.num_shards, self.snapshot.corpus().num_documents());
+        if want != self.snapshot.num_shards() {
+            self.snapshot = Arc::new(Snapshot::build(
+                self.snapshot.corpus().clone(),
+                opts.num_shards,
+                opts.parallel,
+            ));
+        }
         self.opts = opts;
         self
     }
 
+    /// The shared immutable snapshot (shards + embeddings).
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
     pub fn corpus(&self) -> &Corpus {
-        &self.corpus
+        self.snapshot.corpus()
     }
 
-    pub fn index(&self) -> &KokoIndex {
-        &self.index
+    /// The shard list (contiguous document partitions with their indices).
+    pub fn shards(&self) -> &[Shard] {
+        self.snapshot.shards()
     }
 
+    /// The multi-index over the whole corpus — `Some` only for a
+    /// single-shard engine (`EngineOpts::num_shards == 1`). A sharded
+    /// engine has one index per shard; use [`Koko::shards`].
+    pub fn index(&self) -> Option<&KokoIndex> {
+        match self.snapshot.shards() {
+            [only] => Some(only.index()),
+            _ => None,
+        }
+    }
+
+    /// The database view over the whole corpus (assembled from the shard
+    /// stores on first use; see [`Snapshot::db`]).
     pub fn store(&self) -> &Db {
-        &self.store
+        self.snapshot.db()
     }
 
     /// Parse, normalize and evaluate a KOKO query.
@@ -177,214 +240,302 @@ impl Koko {
 
     /// Evaluate an already parsed query (`t0` anchors the Normalize timer).
     pub fn query_ast(&self, parsed: &Query, t0: std::time::Instant) -> Result<QueryOutput, Error> {
-        let mut profile = Profile::default();
+        execute_query(&self.snapshot, &self.opts, parsed, t0, self.opts.parallel)
+    }
 
-        // ---- Normalize ---------------------------------------------------
-        let norm = normalize(parsed)?;
-        let cq = CompiledQuery::compile(norm)?;
-        profile.normalize = t0.elapsed();
-
-        // ---- DPLI ---------------------------------------------------------
-        let t = std::time::Instant::now();
-        let dpli_result = dpli::run(&cq, &self.index);
-        profile.dpli = t.elapsed();
-        profile.candidate_sentences = dpli_result.candidate_sids.len();
-
-        // ---- LoadArticle ---------------------------------------------------
-        let t = std::time::Instant::now();
-        let mut by_doc: BTreeMap<u32, Vec<Sid>> = BTreeMap::new();
-        for &sid in &dpli_result.candidate_sids {
-            by_doc.entry(self.corpus.doc_of(sid)).or_default().push(sid);
+    /// Evaluate many queries against the shared snapshot. With
+    /// `opts.parallel` the queries fan out over worker threads (each query
+    /// then runs its shard stage sequentially, so thread usage stays
+    /// bounded by the batch width); results keep input order and are
+    /// identical to calling [`Koko::query`] per query.
+    pub fn query_batch(&self, queries: &[&str]) -> Vec<Result<QueryOutput, Error>> {
+        let run = |text: &str| -> Result<QueryOutput, Error> {
+            let t0 = std::time::Instant::now();
+            let parsed = parse_query(text)?;
+            // Shard-stage parallelism off: the batch is the fan-out unit.
+            execute_query(&self.snapshot, &self.opts, &parsed, t0, false)
+        };
+        if self.opts.parallel && queries.len() > 1 {
+            koko_par::par_map(queries, 0, |_, text| run(text))
+        } else {
+            queries.iter().map(|text| run(text)).collect()
         }
-        let mut loaded: BTreeMap<u32, Document> = BTreeMap::new();
-        for &doc_id in by_doc.keys() {
-            let doc = if self.opts.store_backed {
-                self.store
-                    .load_document(doc_id)
-                    .map_err(|e| Error::Storage(e.to_string()))?
-            } else {
-                self.corpus.documents()[doc_id as usize].clone()
-            };
-            loaded.insert(doc_id, doc);
-        }
-        profile.load_article = t.elapsed();
+    }
+}
 
-        // ---- GSP + extract --------------------------------------------------
-        let needed = self.needed_vars(&cq);
-        let mut tuples: Vec<RawTuple> = Vec::new();
-        for (&doc_id, sids) in &by_doc {
-            let doc = &loaded[&doc_id];
-            let first_sid = self.corpus.doc_sids(doc_id).start;
-            for &sid in sids {
-                let local = (sid - first_sid) as usize;
-                let sentence = &doc.sentences[local];
-                let ctx = SentCtx::new(sentence);
+/// Partial result of evaluating one shard: raw tuples (global ids), the
+/// articles decoded along the way, and the shard's stage timers.
+struct ShardPartial {
+    tuples: Vec<RawTuple>,
+    loaded: BTreeMap<u32, Document>,
+    profile: Profile,
+}
 
-                let te = std::time::Instant::now();
-                let domains = bind_domains(&cq, &ctx);
-                profile.extract += te.elapsed();
+/// Evaluate a parsed query against a snapshot — the stateless executor.
+///
+/// `shard_parallel` gates the per-shard fan-out (callers that already run
+/// many queries concurrently keep it off). Merging is deterministic: shard
+/// partials are combined in shard order and raw tuples are re-sorted with
+/// the same comparator the sequential evaluator uses, so the final rows
+/// match the single-shard result exactly.
+pub fn execute_query(
+    snapshot: &Snapshot,
+    opts: &EngineOpts,
+    parsed: &Query,
+    t0: std::time::Instant,
+    shard_parallel: bool,
+) -> Result<QueryOutput, Error> {
+    let mut profile = Profile::default();
 
-                let tg = std::time::Instant::now();
-                let plans = gsp::plan(&cq, &domains, ctx.len());
-                profile.gsp += tg.elapsed();
+    // ---- Normalize (once, on the calling thread) -----------------------
+    let norm = normalize(parsed)?;
+    let cq = CompiledQuery::compile(norm)?;
+    profile.normalize = t0.elapsed();
 
-                let te = std::time::Instant::now();
-                let assignments = gsp::evaluate(&cq, &ctx, &domains, &plans, self.opts.use_gsp);
-                for a in assignments {
-                    let mut values = Vec::with_capacity(needed.len());
-                    let mut complete = true;
-                    for &(vi, ref name) in &needed {
-                        match a[vi] {
-                            Some(span) => values.push(TupleValue {
-                                var: name.clone(),
-                                sid,
-                                span,
-                                text: span_text(sentence, span),
-                            }),
-                            None => {
-                                complete = false;
-                                break;
-                            }
+    // ---- Per-shard: DPLI → LoadArticle → GSP/extract -------------------
+    let needed = needed_vars(&cq);
+    let shards = snapshot.shards();
+    let threads = if shard_parallel && shards.len() > 1 {
+        0
+    } else {
+        1
+    };
+    let partials = koko_par::par_map(shards, threads, |_, shard| {
+        eval_shard(snapshot, opts, &cq, &needed, shard)
+    });
+
+    // ---- Merge (shard order, then the sequential evaluator's sort) -----
+    let mut tuples: Vec<RawTuple> = Vec::new();
+    let mut loaded: BTreeMap<u32, Document> = BTreeMap::new();
+    for partial in partials {
+        let partial = partial?;
+        tuples.extend(partial.tuples);
+        loaded.extend(partial.loaded);
+        profile.merge(&partial.profile);
+    }
+    // Bag semantics with per-sentence duplicates removed. The comparator
+    // must stay identical to the historical single-threaded evaluator so
+    // sharded row order is byte-compatible.
+    tuples.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    tuples.dedup();
+    profile.raw_tuples = tuples.len();
+
+    // ---- Aggregate (satisfying + excluding) ----------------------------
+    let t = std::time::Instant::now();
+    let rows = aggregate(snapshot.embeddings(), opts, &cq, &loaded, tuples);
+    profile.satisfying = t.elapsed();
+
+    Ok(QueryOutput { rows, profile })
+}
+
+/// DPLI, article loading and GSP/extract for one shard. Index lookups run
+/// in the shard's local sid space; everything emitted uses global ids.
+fn eval_shard(
+    snapshot: &Snapshot,
+    opts: &EngineOpts,
+    cq: &CompiledQuery,
+    needed: &[(usize, String)],
+    shard: &Shard,
+) -> Result<ShardPartial, Error> {
+    let mut profile = Profile::default();
+    let corpus = snapshot.corpus();
+
+    // ---- DPLI over the shard index -------------------------------------
+    let t = std::time::Instant::now();
+    let dpli_result = dpli::run(cq, shard.index());
+    profile.dpli = t.elapsed();
+    profile.candidate_sentences = dpli_result.candidate_sids.len();
+
+    // ---- LoadArticle from the shard store ------------------------------
+    let t = std::time::Instant::now();
+    let mut by_doc: BTreeMap<u32, Vec<Sid>> = BTreeMap::new();
+    for &local_sid in &dpli_result.candidate_sids {
+        let sid = shard.to_global_sid(local_sid);
+        by_doc.entry(corpus.doc_of(sid)).or_default().push(sid);
+    }
+    let mut loaded: BTreeMap<u32, Document> = BTreeMap::new();
+    for &doc_id in by_doc.keys() {
+        let doc = if opts.store_backed {
+            shard
+                .load_document(doc_id)
+                .map_err(|e| Error::Storage(e.to_string()))?
+        } else {
+            corpus.documents()[doc_id as usize].clone()
+        };
+        loaded.insert(doc_id, doc);
+    }
+    profile.load_article = t.elapsed();
+
+    // ---- GSP + extract --------------------------------------------------
+    let mut tuples: Vec<RawTuple> = Vec::new();
+    for (&doc_id, sids) in &by_doc {
+        let doc = &loaded[&doc_id];
+        let first_sid = corpus.doc_sids(doc_id).start;
+        for &sid in sids {
+            let local = (sid - first_sid) as usize;
+            let sentence = &doc.sentences[local];
+            let ctx = SentCtx::new(sentence);
+
+            let te = std::time::Instant::now();
+            let domains = bind_domains(cq, &ctx);
+            profile.extract += te.elapsed();
+
+            let tg = std::time::Instant::now();
+            let plans = gsp::plan(cq, &domains, ctx.len());
+            profile.gsp += tg.elapsed();
+
+            let te = std::time::Instant::now();
+            let assignments = gsp::evaluate(cq, &ctx, &domains, &plans, opts.use_gsp);
+            for a in assignments {
+                let mut values = Vec::with_capacity(needed.len());
+                let mut complete = true;
+                for &(vi, ref name) in needed {
+                    match a[vi] {
+                        Some(span) => values.push(TupleValue {
+                            var: name.clone(),
+                            sid,
+                            span,
+                            text: span_text(sentence, span),
+                        }),
+                        None => {
+                            complete = false;
+                            break;
                         }
                     }
-                    if complete {
-                        tuples.push(RawTuple {
-                            doc: doc_id,
-                            values,
-                        });
-                    }
                 }
-                profile.extract += te.elapsed();
+                if complete {
+                    tuples.push(RawTuple {
+                        doc: doc_id,
+                        values,
+                    });
+                }
+            }
+            profile.extract += te.elapsed();
+        }
+    }
+
+    Ok(ShardPartial {
+        tuples,
+        loaded,
+        profile,
+    })
+}
+
+/// Variables whose values must survive into tuples: outputs plus every
+/// satisfying / excluding variable.
+fn needed_vars(cq: &CompiledQuery) -> Vec<(usize, String)> {
+    let mut names: Vec<String> = cq.norm.outputs.iter().map(|o| o.name.clone()).collect();
+    for s in &cq.norm.satisfying {
+        names.push(s.var.clone());
+    }
+    for e in &cq.norm.excluding {
+        names.push(e.var.clone());
+    }
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .filter_map(|n| cq.norm.var(&n).map(|i| (i, n)))
+        .collect()
+}
+
+fn aggregate(
+    embed: &Embeddings,
+    opts: &EngineOpts,
+    cq: &CompiledQuery,
+    loaded: &BTreeMap<u32, Document>,
+    tuples: Vec<RawTuple>,
+) -> Vec<Row> {
+    let agg = Aggregator::new(
+        cq,
+        embed,
+        AggOpts {
+            use_descriptors: opts.use_descriptors,
+            default_threshold: opts.default_threshold,
+            expansion_k: opts.expansion_k,
+            expansion_min_sim: opts.expansion_min_sim,
+        },
+    );
+    // Score cache: (doc, clause#, lowercased value) → score. Clauses
+    // whose conditions never consult the corpus (similarTo / contains /
+    // matches / in dict) are cached once for all documents.
+    let doc_independent: Vec<bool> = cq
+        .norm
+        .satisfying
+        .iter()
+        .map(|clause| {
+            clause.conds.iter().all(|wc| {
+                matches!(
+                    wc.cond.pred,
+                    koko_lang::Pred::Contains(_)
+                        | koko_lang::Pred::Mentions(_)
+                        | koko_lang::Pred::Matches(_)
+                        | koko_lang::Pred::SimilarTo(_)
+                        | koko_lang::Pred::InDict(_)
+                )
+            })
+        })
+        .collect();
+    let mut scores: std::collections::HashMap<(u32, usize, String), f64> =
+        std::collections::HashMap::new();
+    let mut excl_cache: std::collections::HashMap<(u32, String), bool> =
+        std::collections::HashMap::new();
+
+    let mut rows = Vec::new();
+    'tuple: for t in tuples {
+        let doc = &loaded[&t.doc];
+        let mut row_score = 1.0f64;
+        // Satisfying clauses filter by their variable's value.
+        for (ci, clause) in cq.norm.satisfying.iter().enumerate() {
+            let Some(v) = t.values.iter().find(|v| v.var == clause.var) else {
+                continue;
+            };
+            let cache_doc = if doc_independent[ci] { u32::MAX } else { t.doc };
+            let key = (cache_doc, ci, v.text.to_lowercase());
+            let score = *scores
+                .entry(key)
+                .or_insert_with(|| agg.score(doc, &v.text, &clause.conds));
+            if score < agg.threshold(clause.threshold) {
+                continue 'tuple;
+            }
+            row_score = score;
+        }
+        // Excluding conditions drop tuples by any referenced value.
+        for v in &t.values {
+            if cq.norm.excluding.iter().any(|c| c.var == v.var) {
+                let key = (t.doc, v.text.to_lowercase());
+                let out = *excl_cache
+                    .entry(key)
+                    .or_insert_with(|| agg.excluded(doc, &v.text));
+                if out {
+                    continue 'tuple;
+                }
             }
         }
-        // Bag semantics with per-sentence duplicates removed.
-        tuples.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
-        tuples.dedup();
-        profile.raw_tuples = tuples.len();
-
-        // ---- Aggregate (satisfying + excluding) ----------------------------
-        let t = std::time::Instant::now();
-        let rows = self.aggregate(&cq, &loaded, tuples);
-        profile.satisfying = t.elapsed();
-
-        Ok(QueryOutput { rows, profile })
-    }
-
-    /// Variables whose values must survive into tuples: outputs plus every
-    /// satisfying / excluding variable.
-    fn needed_vars(&self, cq: &CompiledQuery) -> Vec<(usize, String)> {
-        let mut names: Vec<String> = cq.norm.outputs.iter().map(|o| o.name.clone()).collect();
-        for s in &cq.norm.satisfying {
-            names.push(s.var.clone());
-        }
-        for e in &cq.norm.excluding {
-            names.push(e.var.clone());
-        }
-        names.sort();
-        names.dedup();
-        names
-            .into_iter()
-            .filter_map(|n| cq.norm.var(&n).map(|i| (i, n)))
-            .collect()
-    }
-
-    fn aggregate(
-        &self,
-        cq: &CompiledQuery,
-        loaded: &BTreeMap<u32, Document>,
-        tuples: Vec<RawTuple>,
-    ) -> Vec<Row> {
-        let agg = Aggregator::new(
-            cq,
-            &self.embed,
-            AggOpts {
-                use_descriptors: self.opts.use_descriptors,
-                default_threshold: self.opts.default_threshold,
-                expansion_k: self.opts.expansion_k,
-                expansion_min_sim: self.opts.expansion_min_sim,
-            },
-        );
-        // Score cache: (doc, clause#, lowercased value) → score. Clauses
-        // whose conditions never consult the corpus (similarTo / contains /
-        // matches / in dict) are cached once for all documents.
-        let doc_independent: Vec<bool> = cq
+        // Project outputs.
+        let values: Vec<OutValue> = cq
             .norm
-            .satisfying
+            .outputs
             .iter()
-            .map(|clause| {
-                clause.conds.iter().all(|wc| {
-                    matches!(
-                        wc.cond.pred,
-                        koko_lang::Pred::Contains(_)
-                            | koko_lang::Pred::Mentions(_)
-                            | koko_lang::Pred::Matches(_)
-                            | koko_lang::Pred::SimilarTo(_)
-                            | koko_lang::Pred::InDict(_)
-                    )
+            .filter_map(|o| {
+                t.values.iter().find(|v| v.var == o.name).map(|v| OutValue {
+                    name: o.name.clone(),
+                    text: v.text.clone(),
+                    sid: v.sid,
+                    start: v.span.0,
+                    end: v.span.1,
                 })
             })
             .collect();
-        let mut scores: std::collections::HashMap<(u32, usize, String), f64> =
-            std::collections::HashMap::new();
-        let mut excl_cache: std::collections::HashMap<(u32, String), bool> =
-            std::collections::HashMap::new();
-
-        let mut rows = Vec::new();
-        'tuple: for t in tuples {
-            let doc = &loaded[&t.doc];
-            let mut row_score = 1.0f64;
-            // Satisfying clauses filter by their variable's value.
-            for (ci, clause) in cq.norm.satisfying.iter().enumerate() {
-                let Some(v) = t.values.iter().find(|v| v.var == clause.var) else {
-                    continue;
-                };
-                let cache_doc = if doc_independent[ci] { u32::MAX } else { t.doc };
-                let key = (cache_doc, ci, v.text.to_lowercase());
-                let score = *scores
-                    .entry(key)
-                    .or_insert_with(|| agg.score(doc, &v.text, &clause.conds));
-                if score < agg.threshold(clause.threshold) {
-                    continue 'tuple;
-                }
-                row_score = score;
-            }
-            // Excluding conditions drop tuples by any referenced value.
-            for v in &t.values {
-                if cq.norm.excluding.iter().any(|c| c.var == v.var) {
-                    let key = (t.doc, v.text.to_lowercase());
-                    let out = *excl_cache
-                        .entry(key)
-                        .or_insert_with(|| agg.excluded(doc, &v.text));
-                    if out {
-                        continue 'tuple;
-                    }
-                }
-            }
-            // Project outputs.
-            let values: Vec<OutValue> = cq
-                .norm
-                .outputs
-                .iter()
-                .filter_map(|o| {
-                    t.values.iter().find(|v| v.var == o.name).map(|v| OutValue {
-                        name: o.name.clone(),
-                        text: v.text.clone(),
-                        sid: v.sid,
-                        start: v.span.0,
-                        end: v.span.1,
-                    })
-                })
-                .collect();
-            if values.len() == cq.norm.outputs.len() {
-                rows.push(Row {
-                    doc: t.doc,
-                    values,
-                    score: row_score,
-                });
-            }
+        if values.len() == cq.norm.outputs.len() {
+            rows.push(Row {
+                doc: t.doc,
+                values,
+                score: row_score,
+            });
         }
-        rows
     }
+    rows
 }
 
 #[derive(Debug, Clone, PartialEq, PartialOrd)]

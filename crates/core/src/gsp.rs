@@ -320,7 +320,17 @@ fn finish(
                     Some(_) => continue 'option,
                 }
             }
-            step(cq, ctx, domains, plans, use_gsp, con_ready, &next, pi + 1, out);
+            step(
+                cq,
+                ctx,
+                domains,
+                plans,
+                use_gsp,
+                con_ready,
+                &next,
+                pi + 1,
+                out,
+            );
         }
     }
     step(
@@ -495,7 +505,11 @@ fn fill_gap(
     hi: u32,
 ) -> Vec<Vec<(usize, Span)>> {
     if group.is_empty() {
-        return if lo == hi { vec![Vec::new()] } else { Vec::new() };
+        return if lo == hi {
+            vec![Vec::new()]
+        } else {
+            Vec::new()
+        };
     }
     let v = group[0];
     let mut out = Vec::new();
@@ -713,9 +727,7 @@ mod tests {
 
     #[test]
     fn elastic_with_entity_condition_aligns() {
-        let cq = compiled(
-            "extract x:Str from t if (/ROOT:{ x = //verb + ^[etype=\"Entity\"] })",
-        );
+        let cq = compiled("extract x:Str from t if (/ROOT:{ x = //verb + ^[etype=\"Entity\"] })");
         let tuples = eval_on(&cq, FIG1, true);
         // ate(1) followed by… tokens 2.. is "a chocolate…" not an entity at
         // position 2. But ate(13) followed by (14,15)="a pie"? The entity is

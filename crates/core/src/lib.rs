@@ -1,17 +1,42 @@
 //! `koko-core` — the KOKO query-evaluation engine (§4 of *Scalable Semantic
-//! Querying of Text*, Wang et al., VLDB 2018).
+//! Querying of Text*, Wang et al., VLDB 2018), sharded for parallel
+//! execution.
 //!
-//! The engine follows Figure 2's workflow exactly:
+//! # Architecture: Snapshot / Shard / executor
+//!
+//! The engine is split into an immutable data half and a stateless code
+//! half:
+//!
+//! * [`Snapshot`] ([`snapshot`]) — everything a query reads: the parsed
+//!   corpus, a list of [`koko_index::Shard`]s (contiguous document ranges,
+//!   each with its own `KokoIndex` and `DocStore`), the
+//!   [`koko_index::ShardRouter`] translating global ↔ shard-local ids, and
+//!   the embedding model. Snapshots are `Send + Sync`; one snapshot serves
+//!   any number of concurrent executions.
+//! * **executor** ([`engine::execute_query`]) — per-query logic borrowing a
+//!   snapshot. The per-shard stage (DPLI → LoadArticle → GSP/extract) fans
+//!   out over worker threads; partial tuples and [`Profile`] timers merge
+//!   deterministically, so sharded output is byte-identical (rows, order,
+//!   scores) to the single-shard sequential evaluator.
+//! * [`Koko`] — the user-facing façade: `Arc<Snapshot>` + [`EngineOpts`].
+//!   `EngineOpts::num_shards` (0 = one per core) and `EngineOpts::parallel`
+//!   control the layout; [`Koko::query_batch`] evaluates many queries
+//!   against the shared snapshot concurrently.
+//!
+//! Per query, the executor follows Figure 2's workflow:
 //!
 //! 1. **Normalize** ([`koko_lang::normalize`]) — absolute paths, derived
-//!    constraints, synthesized `∧` variables;
+//!    constraints, synthesized `∧` variables (once, on the calling thread);
 //! 2. **DPLI** ([`dpli`]) — dominant-path decomposition and multi-index
-//!    lookups producing candidate sentences;
-//! 3. **LoadArticle** — candidate articles decoded from the document store;
+//!    lookups producing candidate sentences (per shard, in parallel);
+//! 3. **LoadArticle** — candidate articles decoded from the shard's
+//!    document store (per shard, in parallel);
 //! 4. **GSP / extract** ([`gsp`], [`binder`]) — skip plans, nested-loop
-//!    binding, alignment of skipped variables, constraint validation;
-//! 5. **Aggregate** ([`aggregate`]) — satisfying/excluding clause scoring
-//!    with document-level evidence aggregation.
+//!    binding, alignment of skipped variables, constraint validation (per
+//!    shard, in parallel);
+//! 5. **merge** — shard partials combined in deterministic order;
+//! 6. **Aggregate** ([`aggregate`]) — satisfying/excluding clause scoring
+//!    with document-level evidence aggregation (sequential, cache-backed).
 //!
 //! # Quickstart
 //!
@@ -26,6 +51,23 @@
 //! let e = &out.rows[0].values[0];
 //! assert_eq!(e.text, "chocolate ice cream");
 //! ```
+//!
+//! Many queries over one snapshot:
+//!
+//! ```
+//! use koko_core::{EngineOpts, Koko};
+//!
+//! let opts = EngineOpts { num_shards: 2, ..EngineOpts::default() };
+//! let koko = Koko::from_texts_with_opts(
+//!     &["Anna ate some delicious cheesecake.", "The cafe was busy."],
+//!     opts,
+//! );
+//! let results = koko.query_batch(&[
+//!     koko_lang::queries::EXAMPLE_2_1,
+//!     koko_lang::queries::TITLE,
+//! ]);
+//! assert!(results.iter().all(Result::is_ok));
+//! ```
 
 pub mod aggregate;
 pub mod binder;
@@ -34,10 +76,12 @@ pub mod engine;
 pub mod error;
 pub mod gsp;
 pub mod profile;
+pub mod snapshot;
 
-pub use engine::{EngineOpts, Koko, OutValue, QueryOutput, Row};
+pub use engine::{execute_query, EngineOpts, Koko, OutValue, QueryOutput, Row};
 pub use error::Error;
 pub use profile::Profile;
+pub use snapshot::Snapshot;
 
 #[cfg(test)]
 mod tests {
@@ -127,10 +171,7 @@ mod tests {
 
     #[test]
     fn date_of_birth_query() {
-        let koko = Koko::from_texts(&[
-            "Vera Alys was born in 1911.",
-            "Anna visited London today.",
-        ]);
+        let koko = Koko::from_texts(&["Vera Alys was born in 1911.", "Anna visited London today."]);
         let out = koko.query(queries::DATE_OF_BIRTH).unwrap();
         let pairs: Vec<(String, String)> = out
             .rows

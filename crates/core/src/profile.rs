@@ -40,8 +40,14 @@ impl Profile {
         )
     }
 
-    /// Merge another profile into this one (for averaging over runs).
-    pub fn add(&mut self, other: &Profile) {
+    /// Merge another profile into this one: stage timers and counters
+    /// accumulate field-by-field. This is how the sharded executor folds
+    /// per-shard timings into the query profile (so `extract` measured on
+    /// shard 3 adds to — rather than overwrites — shard 0's), and how the
+    /// benches average over repeated runs. Under parallel execution the
+    /// merged durations are *CPU time summed across workers*, which can
+    /// exceed wall-clock time.
+    pub fn merge(&mut self, other: &Profile) {
         self.normalize += other.normalize;
         self.dpli += other.dpli;
         self.load_article += other.load_article;
@@ -51,6 +57,12 @@ impl Profile {
         self.candidate_sentences += other.candidate_sentences;
         self.raw_tuples += other.raw_tuples;
     }
+
+    /// Merge another profile into this one (alias of [`Profile::merge`],
+    /// kept for the benches' averaging loops).
+    pub fn add(&mut self, other: &Profile) {
+        self.merge(other);
+    }
 }
 
 #[cfg(test)]
@@ -59,10 +71,12 @@ mod tests {
 
     #[test]
     fn totals_and_rows() {
-        let mut p = Profile::default();
-        p.normalize = Duration::from_millis(1);
-        p.dpli = Duration::from_millis(2);
-        p.extract = Duration::from_millis(3);
+        let p = Profile {
+            normalize: Duration::from_millis(1),
+            dpli: Duration::from_millis(2),
+            extract: Duration::from_millis(3),
+            ..Profile::default()
+        };
         assert_eq!(p.total(), Duration::from_millis(6));
         let row = p.table_row();
         assert_eq!(row.split('\t').count(), 6);
@@ -70,5 +84,35 @@ mod tests {
         q.add(&p);
         q.add(&p);
         assert_eq!(q.total(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = Profile {
+            normalize: Duration::from_millis(1),
+            dpli: Duration::from_millis(2),
+            load_article: Duration::from_millis(3),
+            gsp: Duration::from_millis(4),
+            extract: Duration::from_millis(5),
+            satisfying: Duration::from_millis(6),
+            candidate_sentences: 10,
+            raw_tuples: 20,
+        };
+        let b = Profile {
+            normalize: Duration::from_millis(10),
+            dpli: Duration::from_millis(20),
+            load_article: Duration::from_millis(30),
+            gsp: Duration::from_millis(40),
+            extract: Duration::from_millis(50),
+            satisfying: Duration::from_millis(60),
+            candidate_sentences: 100,
+            raw_tuples: 200,
+        };
+        a.merge(&b);
+        assert_eq!(a.normalize, Duration::from_millis(11));
+        assert_eq!(a.satisfying, Duration::from_millis(66));
+        assert_eq!(a.candidate_sentences, 110);
+        assert_eq!(a.raw_tuples, 220);
+        assert_eq!(a.total(), Duration::from_millis(231));
     }
 }

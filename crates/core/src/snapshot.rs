@@ -1,0 +1,181 @@
+//! [`Snapshot`] — the immutable, shareable half of the engine.
+//!
+//! `Koko` used to be a monolith owning corpus, index and store. The
+//! sharded architecture splits it in two:
+//!
+//! * **`Snapshot`** (this module): everything a query needs to read — the
+//!   parsed corpus, the per-shard indices and document stores, the shard
+//!   router, and the embedding model. It is immutable after construction
+//!   and `Send + Sync`, so one snapshot serves any number of concurrent
+//!   query executions (shard fan-out within a query, and whole queries in
+//!   parallel via `Koko::query_batch`).
+//! * **the executor** ([`crate::engine`]): stateless per-query logic that
+//!   borrows a snapshot.
+//!
+//! Construction is the "Parse text & build indices" preprocessing box of
+//! Figure 2, parallelized: shard index/store builds run on worker threads
+//! via `koko-par`, one task per shard.
+
+use koko_embed::Embeddings;
+use koko_index::{build_shards, Shard, ShardRouter};
+use koko_nlp::{Corpus, Document, Sid};
+use koko_storage::{Db, DocStore};
+use std::sync::OnceLock;
+
+/// An immutable, queryable view of a fully ingested corpus.
+#[derive(Debug)]
+pub struct Snapshot {
+    corpus: Corpus,
+    shards: Vec<Shard>,
+    router: ShardRouter,
+    embed: Embeddings,
+    /// Global document store, assembled lazily from the per-shard stores
+    /// for persistence (`Db::save_dir`) and other whole-corpus consumers.
+    global_db: OnceLock<Db>,
+}
+
+// One snapshot is shared by every worker thread of a query fan-out; this
+// asserts the property at compile time instead of at first use.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Snapshot>();
+};
+
+impl Snapshot {
+    /// Build every shard (index + document store) for `corpus`.
+    /// `num_shards` 0 means one shard per available core; `parallel`
+    /// gates whether shard builds use worker threads.
+    pub fn build(corpus: Corpus, num_shards: usize, parallel: bool) -> Snapshot {
+        let threads = if parallel { 0 } else { 1 };
+        let shards = build_shards(&corpus, num_shards, threads);
+        let router = ShardRouter::from_shards(&shards);
+        Snapshot {
+            corpus,
+            shards,
+            router,
+            embed: Embeddings::shared().clone(),
+            global_db: OnceLock::new(),
+        }
+    }
+
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    pub fn embeddings(&self) -> &Embeddings {
+        &self.embed
+    }
+
+    /// The shard holding global document `doc`.
+    pub fn shard_for_doc(&self, doc: u32) -> &Shard {
+        &self.shards[self.router.shard_of_doc(doc)]
+    }
+
+    /// The shard holding global sentence `sid`.
+    pub fn shard_for_sid(&self, sid: Sid) -> &Shard {
+        &self.shards[self.router.shard_of_sid(sid)]
+    }
+
+    /// Decode one article by global document id from its shard's store.
+    pub fn load_document(&self, doc: u32) -> Result<Document, koko_storage::DecodeError> {
+        self.shard_for_doc(doc).load_document(doc)
+    }
+
+    /// A database over the whole corpus, with the global document store
+    /// assembled from the per-shard stores (blob copies, no re-encode).
+    /// Built on first use and cached for the snapshot's lifetime.
+    pub fn db(&self) -> &Db {
+        self.global_db.get_or_init(|| {
+            let mut docs = DocStore::new();
+            for shard in &self.shards {
+                docs.append_store(shard.store());
+            }
+            let db = Db::new();
+            db.set_docs(docs);
+            db
+        })
+    }
+
+    /// Swap the embedding model in place (shards, corpus and the lazy
+    /// global db are untouched — embeddings never affect them).
+    pub fn set_embeddings(&mut self, embed: Embeddings) {
+        self.embed = embed;
+    }
+
+    /// A copy of this snapshot with a different embedding model (shards
+    /// and corpus are cloned, not rebuilt; the lazy global db resets).
+    pub fn with_embeddings(&self, embed: Embeddings) -> Snapshot {
+        Snapshot {
+            corpus: self.corpus.clone(),
+            shards: self.shards.clone(),
+            router: self.router.clone(),
+            embed,
+            global_db: OnceLock::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::Pipeline;
+
+    fn corpus() -> Corpus {
+        let texts: Vec<String> = (0..12)
+            .map(|i| format!("Anna ate cake number {i}. The cafe was busy."))
+            .collect();
+        Pipeline::new().parse_corpus(&texts)
+    }
+
+    #[test]
+    fn snapshot_partitions_and_routes() {
+        let c = corpus();
+        let snap = Snapshot::build(c.clone(), 3, true);
+        assert_eq!(snap.num_shards(), 3);
+        let total: usize = snap.shards().iter().map(Shard::num_sentences).sum();
+        assert_eq!(total, c.num_sentences());
+        for doc in 0..c.num_documents() as u32 {
+            assert_eq!(
+                &snap.load_document(doc).unwrap(),
+                &c.documents()[doc as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn global_db_matches_corpus() {
+        let c = corpus();
+        let snap = Snapshot::build(c.clone(), 4, false);
+        let db = snap.db();
+        assert_eq!(db.with_docs(|d| d.len()), c.num_documents());
+        for doc in 0..c.num_documents() as u32 {
+            assert_eq!(
+                &db.load_document(doc).unwrap(),
+                &c.documents()[doc as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn single_and_multi_shard_snapshots_cover_same_data() {
+        let c = corpus();
+        let one = Snapshot::build(c.clone(), 1, false);
+        let many = Snapshot::build(c, 5, true);
+        assert_eq!(one.num_shards(), 1);
+        assert_eq!(many.num_shards(), 5);
+        let sents = |s: &Snapshot| s.shards().iter().map(Shard::num_sentences).sum::<usize>();
+        assert_eq!(sents(&one), sents(&many));
+    }
+}

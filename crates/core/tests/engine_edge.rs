@@ -8,9 +8,7 @@ use koko_core::Koko;
 fn multiple_satisfying_clauses_filter_independently() {
     // One clause per output variable (§2.2: "up to one satisfying clause
     // for each output variable").
-    let koko = Koko::from_texts(&[
-        "cities in asian countries such as Beijing and China.",
-    ]);
+    let koko = Koko::from_texts(&["cities in asian countries such as Beijing and China."]);
     let out = koko
         .query(
             r#"extract a:GPE, b:GPE from "t" if ()
@@ -24,7 +22,10 @@ fn multiple_satisfying_clauses_filter_independently() {
         .iter()
         .map(|r| (r.values[0].text.clone(), r.values[1].text.clone()))
         .collect();
-    assert!(pairs.contains(&("Beijing".into(), "China".into())), "{pairs:?}");
+    assert!(
+        pairs.contains(&("Beijing".into(), "China".into())),
+        "{pairs:?}"
+    );
     assert!(
         !pairs.iter().any(|(a, _)| a == "China"),
         "China is not city-like: {pairs:?}"
@@ -94,7 +95,7 @@ fn regex_node_condition_end_to_end() {
 #[test]
 fn near_condition_in_satisfying() {
     let koko = Koko::from_texts(&[
-        "Velvet Moon serves great coffee.",   // distance 2 → 1/3
+        "Velvet Moon serves great coffee.", // distance 2 → 1/3
         "Iron Anchor was far far far far away from any coffee.", // distance 7 → 1/8
     ]);
     let q = |t: f64| {
@@ -124,9 +125,15 @@ fn mentions_vs_contains_semantics() {
         .unwrap()
         .distinct("x")
     };
-    assert!(!run(r#"str(x) contains "choc""#).iter().any(|n| n.contains("chocolate")));
-    assert!(run(r#"str(x) mentions "choc""#).iter().any(|n| n.contains("chocolate")));
-    assert!(run(r#"str(x) contains "ice""#).iter().any(|n| n.contains("chocolate")));
+    assert!(!run(r#"str(x) contains "choc""#)
+        .iter()
+        .any(|n| n.contains("chocolate")));
+    assert!(run(r#"str(x) mentions "choc""#)
+        .iter()
+        .any(|n| n.contains("chocolate")));
+    assert!(run(r#"str(x) contains "ice""#)
+        .iter()
+        .any(|n| n.contains("chocolate")));
 }
 
 #[test]
@@ -157,9 +164,7 @@ fn whitespace_and_empty_queries() {
     assert!(koko.query("").is_err());
     assert!(koko.query("   \n ").is_err());
     // Query over an entity type absent from the corpus.
-    let out = koko
-        .query(r#"extract f:Facility from "t" if ()"#)
-        .unwrap();
+    let out = koko.query(r#"extract f:Facility from "t" if ()"#).unwrap();
     assert!(out.rows.is_empty());
 }
 

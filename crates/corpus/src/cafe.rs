@@ -212,7 +212,10 @@ mod tests {
         let barista = generate(Style::Barista, 40, 3);
         let sprudge = generate(Style::Sprudge, 40, 3);
         let avg = |c: &LabeledCorpus| {
-            c.texts.iter().map(|t| t.split_whitespace().count()).sum::<usize>() as f64
+            c.texts
+                .iter()
+                .map(|t| t.split_whitespace().count())
+                .sum::<usize>() as f64
                 / c.len() as f64
         };
         assert!(
@@ -242,7 +245,10 @@ mod tests {
             for g in gold {
                 total += 1;
                 let gl = g.to_lowercase();
-                if mentions.iter().any(|m| *m == gl || gl.starts_with(m.as_str())) {
+                if mentions
+                    .iter()
+                    .any(|m| *m == gl || gl.starts_with(m.as_str()))
+                {
                     found += 1;
                 }
             }

@@ -15,7 +15,12 @@ pub struct Prf {
 /// (crowd workers annotate both "Copper Kettle" and "Copper Kettle Cafe";
 /// we accept either direction on the last token).
 pub fn score(predicted: &[(u32, String)], truth: &[Vec<String>]) -> Prf {
-    let norm = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase();
+    let norm = |s: &str| {
+        s.split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ")
+            .to_lowercase()
+    };
     let gold: Vec<Vec<String>> = truth
         .iter()
         .map(|doc| doc.iter().map(|g| norm(g)).collect())
@@ -86,8 +91,14 @@ mod tests {
 
     #[test]
     fn perfect_score() {
-        let truth = vec![vec!["Copper Kettle".to_string()], vec!["Quiet Owl".to_string()]];
-        let pred = vec![(0, "copper kettle".to_string()), (1, "Quiet Owl".to_string())];
+        let truth = vec![
+            vec!["Copper Kettle".to_string()],
+            vec!["Quiet Owl".to_string()],
+        ];
+        let pred = vec![
+            (0, "copper kettle".to_string()),
+            (1, "Quiet Owl".to_string()),
+        ];
         let s = score(&pred, &truth);
         assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
     }

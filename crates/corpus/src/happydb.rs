@@ -17,14 +17,14 @@ fn moment(r: &mut StdRng) -> String {
     let city = pick(r, gaz::CITIES);
     let relation = pick(r, &["friend", "daughter", "son", "family", "dog", "cat"]);
     let first = match r.gen_range(0..10) {
-        0 => format!("I was happy when I found my old book in the morning ."),
+        0 => "I was happy when I found my old book in the morning .".to_string(),
         1 => format!("I ate a delicious {food} with my {relation} ."),
         2 => format!("My {relation} bought me a new book today ."),
-        3 => format!("We went to the park and played games together ."),
-        4 => format!("I finally finished my work and felt proud ."),
+        3 => "We went to the park and played games together .".to_string(),
+        4 => "I finally finished my work and felt proud .".to_string(),
         5 => format!("I visited {city} with my {relation} last weekend ."),
         6 => format!("The barista made a wonderful {food} for me ."),
-        7 => format!("I was glad because my team won the game ."),
+        7 => "I was glad because my team won the game .".to_string(),
         8 => format!("My {relation} cooked {food} and it was tasty ."),
         9 => format!("I got a new job in {city} and celebrated tonight ."),
         _ => unreachable!(),

@@ -71,9 +71,7 @@ fn sample_query(corpus: &Corpus, r: &mut StdRng, atoms: usize) -> String {
         positions.sort_unstable();
         let rendered: Vec<String> = positions.iter().map(|&t| atom_for(r, s, t)).collect();
         let expr = rendered.join(" + ^ + ");
-        return format!(
-            "extract x:Str from corpus if (/ROOT:{{ x = {expr} }})"
-        );
+        return format!("extract x:Str from corpus if (/ROOT:{{ x = {expr} }})");
     }
     // Tiny-corpus fallback.
     "extract x:Str from corpus if (/ROOT:{ x = //verb })".to_string()

@@ -49,7 +49,7 @@ impl Attrs {
         match (self, i % 3) {
             (Attrs::Pl, _) => NodeLabel::Pl(tok.label),
             (Attrs::PlPos, _) => {
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     NodeLabel::Pl(tok.label)
                 } else {
                     NodeLabel::Pos(tok.pos)

@@ -77,11 +77,7 @@ fn tweet(r: &mut StdRng) -> (String, Vec<String>, Vec<String>) {
         ),
         4 => (format!("at {fac} tonight !"), vec![], vec![fac]),
         5 => (format!("we went to {fac} yesterday ."), vec![], vec![fac]),
-        6 => (
-            format!("go to {fac} for the game ."),
-            vec![],
-            vec![fac],
-        ),
+        6 => (format!("go to {fac} for the game ."), vec![], vec![fac]),
         7 => {
             // Distractor: time expression after "at" — the Figure 10
             // exclude clauses drop these.
@@ -119,7 +115,11 @@ mod tests {
     #[test]
     fn tweets_are_short() {
         let c = generate(200, 5);
-        let avg = c.texts.iter().map(|t| t.split_whitespace().count()).sum::<usize>() as f64
+        let avg = c
+            .texts
+            .iter()
+            .map(|t| t.split_whitespace().count())
+            .sum::<usize>() as f64
             / c.len() as f64;
         assert!(avg < 10.0, "tweets should be short, got {avg}");
     }

@@ -47,11 +47,7 @@ pub fn generate_with(n_articles: usize, seed: u64, spec: WikiSpec) -> Vec<String
 }
 
 fn person(r: &mut StdRng) -> String {
-    format!(
-        "{} {}",
-        pick(r, gaz::FIRST_NAMES),
-        pick(r, gaz::LAST_NAMES)
-    )
+    format!("{} {}", pick(r, gaz::FIRST_NAMES), pick(r, gaz::LAST_NAMES))
 }
 
 fn year(r: &mut StdRng) -> u32 {
@@ -144,9 +140,8 @@ mod tests {
     fn selectivities_track_spec() {
         let n = 600;
         let arts = generate(n, 11);
-        let frac = |needle: &str| {
-            arts.iter().filter(|a| a.contains(needle)).count() as f64 / n as f64
-        };
+        let frac =
+            |needle: &str| arts.iter().filter(|a| a.contains(needle)).count() as f64 / n as f64;
         let born = frac("born in");
         let called = frac("had been called");
         let choc = frac("is a type of chocolate");

@@ -34,15 +34,23 @@ const SYNSETS: &[(&str, &[&str])] = &[
     (
         "serve",
         &[
-            "serve", "serves", "served", "serving", "sell", "sells", "sold", "selling",
-            "offer", "offers", "offered", "pour", "pours", "poured", "pouring",
+            "serve", "serves", "served", "serving", "sell", "sells", "sold", "selling", "offer",
+            "offers", "offered", "pour", "pours", "poured", "pouring",
         ],
     ),
     (
         "hire",
         &[
-            "hire", "hires", "hired", "hiring", "employ", "employs", "employed", "recruit",
-            "recruits", "recruited",
+            "hire",
+            "hires",
+            "hired",
+            "hiring",
+            "employ",
+            "employs",
+            "employed",
+            "recruit",
+            "recruits",
+            "recruited",
         ],
     ),
     (
@@ -55,8 +63,16 @@ const SYNSETS: &[(&str, &[&str])] = &[
     (
         "coffee",
         &[
-            "coffee", "espresso", "cappuccino", "cappuccinos", "macchiato", "macchiatos",
-            "latte", "lattes", "mocha", "cortado",
+            "coffee",
+            "espresso",
+            "cappuccino",
+            "cappuccinos",
+            "macchiato",
+            "macchiatos",
+            "latte",
+            "lattes",
+            "mocha",
+            "cortado",
         ],
     ),
     ("barista", &["barista", "baristas"]),
@@ -67,10 +83,7 @@ const SYNSETS: &[(&str, &[&str])] = &[
     ("city", &["city", "cities", "town", "towns"]),
     ("country", &["country", "countries", "nation", "nations"]),
     ("born", &["born", "birth"]),
-    (
-        "call",
-        &["called", "named", "nicknamed", "known", "dubbed"],
-    ),
+    ("call", &["called", "named", "nicknamed", "known", "dubbed"]),
     ("is", &["is", "was", "are", "were", "be", "being"]),
     ("team", &["team", "teams", "squad", "club"]),
     (
@@ -83,9 +96,14 @@ const SYNSETS: &[(&str, &[&str])] = &[
     ),
     (
         "visit",
-        &["go", "went", "visit", "visits", "visited", "stop", "stopped"],
+        &[
+            "go", "went", "visit", "visits", "visited", "stop", "stopped",
+        ],
     ),
-    ("host", &["host", "hosts", "hosted", "hosting", "welcome", "welcomes"]),
+    (
+        "host",
+        &["host", "hosts", "hosted", "hosting", "welcome", "welcomes"],
+    ),
     ("menu", &["menu", "list", "lineup", "selection"]),
     ("soccer", &["soccer", "football", "futbol"]),
     ("versus", &["vs", "versus", "against"]),
@@ -261,7 +279,12 @@ impl Embeddings {
     /// (§4.4.1(a)): every combination of per-word paraphrases, scored by the
     /// product of word similarities, capped at `max_expansions` (KOKO
     /// "defaults to a fixed number of expanded terms", §5).
-    pub fn expand(&self, descriptor: &str, max_expansions: usize, min_sim: f64) -> Vec<(String, f64)> {
+    pub fn expand(
+        &self,
+        descriptor: &str,
+        max_expansions: usize,
+        min_sim: f64,
+    ) -> Vec<(String, f64)> {
         let words: Vec<&str> = descriptor.split_whitespace().collect();
         if words.is_empty() {
             return Vec::new();
@@ -332,13 +355,22 @@ mod tests {
             let to_city = e().similarity(city, "city");
             let to_country = e().similarity(city, "country");
             assert!(to_city > 0.25 && to_city < 0.75, "{city}: {to_city}");
-            assert!(to_city > to_country + 0.1, "{city}: {to_city} vs {to_country}");
+            assert!(
+                to_city > to_country + 0.1,
+                "{city}: {to_city} vs {to_country}"
+            );
         }
         for country in ["China", "Japan"] {
             let to_country = e().similarity(country, "country");
             let to_city = e().similarity(country, "city");
-            assert!(to_country > 0.25 && to_country < 0.8, "{country}: {to_country}");
-            assert!(to_country > to_city + 0.1, "{country}: {to_country} vs {to_city}");
+            assert!(
+                to_country > 0.25 && to_country < 0.8,
+                "{country}: {to_country}"
+            );
+            assert!(
+                to_country > to_city + 0.1,
+                "{country}: {to_country} vs {to_city}"
+            );
         }
     }
 
@@ -359,7 +391,9 @@ mod tests {
         assert!((exps[0].1 - 1.0).abs() < 1e-9);
         let phrases: Vec<&str> = exps.iter().map(|(p, _)| p.as_str()).collect();
         assert!(
-            phrases.iter().any(|p| p.contains("sells") || p.contains("sell")),
+            phrases
+                .iter()
+                .any(|p| p.contains("sells") || p.contains("sell")),
             "{phrases:?}"
         );
         assert!(
@@ -422,7 +456,9 @@ mod tests {
             a.similarity("serves", "sells"),
             b.similarity("serves", "sells")
         );
-        assert_eq!(a.expand("serves coffee", 10, 0.5), b.expand("serves coffee", 10, 0.5));
+        assert_eq!(
+            a.expand("serves coffee", 10, 0.5),
+            b.expand("serves coffee", 10, 0.5)
+        );
     }
 }
-

@@ -87,8 +87,11 @@ impl AdvInvertedIndex {
         if n == 0 {
             return Vec::new();
         }
-        let mut cand: Vec<Vec<AdvPosting>> =
-            pattern.nodes.iter().map(|p| self.rows_for(&p.label)).collect();
+        let mut cand: Vec<Vec<AdvPosting>> = pattern
+            .nodes
+            .iter()
+            .map(|p| self.rows_for(&p.label))
+            .collect();
         if pattern.root_anchored {
             cand[0].retain(|r| r.pid.is_none());
         }
@@ -178,8 +181,7 @@ impl CandidateIndex for AdvInvertedIndex {
             return Some((0..self.num_sentences).collect());
         }
         // Fully-unconstrained patterns match everything.
-        if pattern.nodes.iter().all(|n| n.label == NodeLabel::Wildcard) && !pattern.root_anchored
-        {
+        if pattern.nodes.iter().all(|n| n.label == NodeLabel::Wildcard) && !pattern.root_anchored {
             return Some((0..self.num_sentences).collect());
         }
         Some(self.eval(pattern))

@@ -62,10 +62,7 @@ mod tests {
     #[test]
     fn ground_truth_matches_direct_evaluation() {
         let p = Pipeline::new();
-        let corpus = p.parse_corpus(&[
-            "Anna ate some delicious cheesecake.",
-            "The cafe was busy.",
-        ]);
+        let corpus = p.parse_corpus(&["Anna ate some delicious cheesecake.", "The cafe was busy."]);
         let pattern = TreePattern::path(
             true,
             vec![

@@ -5,7 +5,7 @@
 //! node is identified by a unique label path from the root, and carries the
 //! posting list of all tokens reachable via that path. Merging removes
 //! >99% of nodes (the paper reports >99.7% on Wikipedia) —
-//! [`HierarchyIndex::compression_ratio`] reports the measured figure.
+//! > [`HierarchyIndex::compression_ratio`] reports the measured figure.
 //!
 //! Postings are stored as `u32` references into the corpus-wide token heap
 //! (the `W` table), mirroring the paper's storage layout where hierarchy
@@ -96,11 +96,7 @@ impl<L: HierLabel> HierarchyIndex<L> {
         let mut index = HierarchyIndex::new();
         let mut token_nodes = vec![0u32; corpus.num_tokens()];
         for (sid, sentence) in corpus.sentences() {
-            index.insert_sentence(
-                sentence,
-                heap_base[sid as usize],
-                &mut token_nodes,
-            );
+            index.insert_sentence(sentence, heap_base[sid as usize], &mut token_nodes);
         }
         (index, token_nodes)
     }
@@ -176,7 +172,11 @@ impl<L: HierLabel> HierarchyIndex<L> {
         // Frontier of node ids matched for the current prefix.
         let mut frontier: Vec<u32> = Vec::new();
         let (first_axis, first_label) = &steps[0];
-        let effective_axis = if anchored { *first_axis } else { Axis::Descendant };
+        let effective_axis = if anchored {
+            *first_axis
+        } else {
+            Axis::Descendant
+        };
         self.step_from(0, effective_axis, first_label, &mut frontier);
         for (axis, label) in &steps[1..] {
             let mut next = Vec::new();
@@ -237,11 +237,7 @@ impl<L: HierLabel> HierarchyIndex<L> {
     /// Approximate footprint: node structures + packed posting references
     /// (4 bytes per token per hierarchy; see module docs).
     pub fn approx_bytes(&self) -> usize {
-        let node_bytes: usize = self
-            .nodes
-            .iter()
-            .map(|n| 16 + n.children.len() * 8)
-            .sum();
+        let node_bytes: usize = self.nodes.iter().map(|n| 16 + n.children.len() * 8).sum();
         node_bytes + self.total_tokens * 4
     }
 
@@ -382,7 +378,10 @@ mod tests {
         let c = corpus();
         let (idx, _) = HierarchyIndex::<ParseLabel>::build(&c, &heap_base(&c));
         // /root/*: all children of the root across the corpus.
-        let kids = idx.lookup(&[(Axis::Child, Some(ParseLabel::Root)), (Axis::Child, None)], true);
+        let kids = idx.lookup(
+            &[(Axis::Child, Some(ParseLabel::Root)), (Axis::Child, None)],
+            true,
+        );
         assert!(!kids.is_empty());
     }
 

@@ -120,9 +120,9 @@ fn join_rows(a: &[(Sid, Tid)], b: &[(Sid, Tid)]) -> Vec<(Sid, Tid)> {
             let ae = a[i..].partition_point(|r| r.0 == sid) + i;
             let be = b[j..].partition_point(|r| r.0 == sid) + j;
             for _ in i..ae {
-                for bj in j..be {
+                for row in &b[j..be] {
                     if out.len() < MAX_INTERMEDIATE {
-                        out.push(b[bj]);
+                        out.push(*row);
                     }
                 }
             }
@@ -184,7 +184,7 @@ mod tests {
         // No sentence has cheesecake under pie, but INVERTED can't know.
         assert!(ground_truth_sids(&c, &p2).is_empty());
         assert!(cands2.is_empty()); // pie and cheesecake never co-occur
-        // Structural blindness shows when both labels co-occur:
+                                    // Structural blindness shows when both labels co-occur:
         let p3 = TreePattern::path(
             false,
             vec![

@@ -49,8 +49,7 @@ impl KokoIndex {
         let mut token_base = Vec::with_capacity(corpus.num_sentences());
         let mut word: MultiMap<String, u32> = MultiMap::new();
         let mut entity: MultiMap<String, EntityPosting> = MultiMap::new();
-        let mut entity_by_type: Vec<Vec<EntityPosting>> =
-            vec![Vec::new(); EntityType::ALL.len()];
+        let mut entity_by_type: Vec<Vec<EntityPosting>> = vec![Vec::new(); EntityType::ALL.len()];
 
         for (sid, sentence) in corpus.sentences() {
             let base = heap.len() as u32;
@@ -309,8 +308,7 @@ impl KokoIndex {
                 di += 1;
             } else {
                 let a_end = anc[ai..].partition_point(|&r| self.heap[r as usize].sid == asid) + ai;
-                let d_end =
-                    desc[di..].partition_point(|&r| self.heap[r as usize].sid == dsid) + di;
+                let d_end = desc[di..].partition_point(|&r| self.heap[r as usize].sid == dsid) + di;
                 for &d in &desc[di..d_end] {
                     let dp = self.heap[d as usize];
                     let ok = anc[ai..a_end].iter().any(|&a| {
@@ -379,10 +377,7 @@ pub fn root_to_leaf_paths(pattern: &TreePattern) -> Vec<TreePattern> {
         }
     }
     let mut paths = Vec::new();
-    for leaf in 0..n {
-        if has_child[leaf] {
-            continue;
-        }
+    for (leaf, _) in has_child.iter().enumerate().filter(|(_, &h)| !h) {
         let mut chain = Vec::new();
         let mut cur = Some(leaf as u32);
         while let Some(c) = cur {
@@ -455,17 +450,45 @@ mod tests {
         // Example 3.2: "ate" appears at (0,1) and (1,1); "delicious" at
         // (0,9) and (1,3).
         let idx = KokoIndex::build(&corpus());
-        let ate: Vec<Posting> = idx.word_refs("ate").iter().map(|&r| idx.posting(r)).collect();
+        let ate: Vec<Posting> = idx
+            .word_refs("ate")
+            .iter()
+            .map(|&r| idx.posting(r))
+            .collect();
         assert_eq!(ate.len(), 3); // two in sentence 0 ("ate", "ate"), one in 1
-        assert!(ate.contains(&Posting { sid: 0, tid: 1, left: 0, right: 16, depth: 0 }));
-        assert!(ate.contains(&Posting { sid: 1, tid: 1, left: 0, right: 12, depth: 0 }));
+        assert!(ate.contains(&Posting {
+            sid: 0,
+            tid: 1,
+            left: 0,
+            right: 16,
+            depth: 0
+        }));
+        assert!(ate.contains(&Posting {
+            sid: 1,
+            tid: 1,
+            left: 0,
+            right: 12,
+            depth: 0
+        }));
         let delicious: Vec<Posting> = idx
             .word_refs("delicious")
             .iter()
             .map(|&r| idx.posting(r))
             .collect();
-        assert!(delicious.contains(&Posting { sid: 0, tid: 9, left: 9, right: 9, depth: 3 }));
-        assert!(delicious.contains(&Posting { sid: 1, tid: 3, left: 3, right: 3, depth: 2 }));
+        assert!(delicious.contains(&Posting {
+            sid: 0,
+            tid: 9,
+            left: 9,
+            right: 9,
+            depth: 3
+        }));
+        assert!(delicious.contains(&Posting {
+            sid: 1,
+            tid: 3,
+            left: 3,
+            right: 3,
+            depth: 2
+        }));
     }
 
     #[test]
@@ -473,7 +496,10 @@ mod tests {
         let idx = KokoIndex::build(&corpus());
         let cheesecake = idx.entity_postings("cheesecake");
         assert_eq!(cheesecake.len(), 1);
-        assert_eq!((cheesecake[0].sid, cheesecake[0].left, cheesecake[0].right), (1, 4, 4));
+        assert_eq!(
+            (cheesecake[0].sid, cheesecake[0].left, cheesecake[0].right),
+            (1, 4, 4)
+        );
         let gs = idx.entity_postings("grocery store");
         assert_eq!((gs[0].sid, gs[0].left, gs[0].right), (1, 10, 11));
         let cream = idx.entity_postings("chocolate ice cream");

@@ -19,6 +19,7 @@ pub mod api;
 pub mod hierarchy;
 pub mod inverted;
 pub mod koko;
+pub mod shard;
 pub mod subtree;
 
 pub use advinverted::AdvInvertedIndex;
@@ -26,4 +27,5 @@ pub use api::{effectiveness, ground_truth_sids, CandidateIndex};
 pub use hierarchy::{HierLabel, HierarchyIndex};
 pub use inverted::InvertedIndex;
 pub use koko::KokoIndex;
+pub use shard::{build_shards, plan_shards, Shard, ShardRouter};
 pub use subtree::SubtreeIndex;

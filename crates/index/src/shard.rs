@@ -1,0 +1,331 @@
+//! The sharded index layer: contiguous document partitions, each with its
+//! own [`KokoIndex`] and [`DocStore`], plus the [`ShardRouter`] that maps
+//! global document / sentence ids onto shards.
+//!
+//! Sharding is KOKO's unit of parallelism (the shape Table 2's scale-up
+//! experiment demands): index builds run per shard on worker threads, and
+//! the query executor fans out over shards and merges partial results.
+//! Because every document lives entirely inside one shard, all
+//! per-sentence and per-document computations (index lookups, GSP
+//! extraction, evidence aggregation) are shard-local; the only global
+//! coordination required is id translation, which the router does in
+//! O(log #shards).
+//!
+//! Ids come in two spaces:
+//!
+//! * **global** — document indices and [`Sid`]s over the whole corpus, as
+//!   produced by [`Corpus`]; everything outside the shard layer speaks
+//!   global ids.
+//! * **local** — 0-based ids within one shard; each shard's `KokoIndex`
+//!   and `DocStore` speak local ids. [`Shard::to_global_sid`] and friends
+//!   translate.
+
+use crate::koko::KokoIndex;
+use koko_nlp::{Corpus, Document, Sid};
+use koko_storage::{DecodeError, DocStore};
+use std::ops::Range;
+
+/// One contiguous document partition with its own index and store.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    id: usize,
+    /// Global document range `[start, end)` this shard covers.
+    docs: Range<u32>,
+    /// Global sentence-id range `[start, end)` this shard covers.
+    sids: Range<Sid>,
+    /// Multi-index over the shard's sentences, in *local* sid space.
+    index: KokoIndex,
+    /// Encoded articles, addressed by *local* document index.
+    store: DocStore,
+}
+
+impl Shard {
+    /// Build the index and document store for global docs `docs` of
+    /// `corpus`. Pure: shard builds can run concurrently on `&Corpus`.
+    pub fn build(id: usize, corpus: &Corpus, docs: Range<u32>) -> Shard {
+        let sids = if docs.is_empty() {
+            0..0
+        } else {
+            corpus.doc_sids(docs.start).start..corpus.doc_sids(docs.end - 1).end
+        };
+        let slice = &corpus.documents()[docs.start as usize..docs.end as usize];
+        // The local corpus re-bases sentence ids to 0; document payloads
+        // (including their global `Document::id`) are untouched.
+        let local = Corpus::new(slice.to_vec());
+        let index = KokoIndex::build(&local);
+        let mut store = DocStore::new();
+        for d in slice {
+            store.put(d);
+        }
+        Shard {
+            id,
+            docs,
+            sids,
+            index,
+            store,
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Global document range `[start, end)`.
+    pub fn doc_range(&self) -> Range<u32> {
+        self.docs.clone()
+    }
+
+    /// Global sentence-id range `[start, end)`.
+    pub fn sid_range(&self) -> Range<Sid> {
+        self.sids.clone()
+    }
+
+    pub fn num_documents(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn num_sentences(&self) -> usize {
+        self.sids.len()
+    }
+
+    /// The shard-local multi-index (local sid space).
+    pub fn index(&self) -> &KokoIndex {
+        &self.index
+    }
+
+    /// The shard-local document store (local doc indices).
+    pub fn store(&self) -> &DocStore {
+        &self.store
+    }
+
+    pub fn to_global_sid(&self, local: Sid) -> Sid {
+        self.sids.start + local
+    }
+
+    pub fn to_local_sid(&self, global: Sid) -> Sid {
+        debug_assert!(self.sids.contains(&global));
+        global - self.sids.start
+    }
+
+    pub fn to_global_doc(&self, local: u32) -> u32 {
+        self.docs.start + local
+    }
+
+    pub fn to_local_doc(&self, global: u32) -> u32 {
+        debug_assert!(self.docs.contains(&global));
+        global - self.docs.start
+    }
+
+    /// Decode one article by *global* document id (the per-shard
+    /// `LoadArticle` path).
+    pub fn load_document(&self, global_doc: u32) -> Result<Document, DecodeError> {
+        self.store.load(self.to_local_doc(global_doc))
+    }
+
+    /// Approximate footprint of the shard's index structures.
+    pub fn approx_index_bytes(&self) -> usize {
+        self.index.approx_bytes()
+    }
+}
+
+/// Plan contiguous, sentence-balanced document ranges for `num_shards`
+/// shards (`0` = one per available core). Never returns an empty range
+/// except for the single shard of an empty corpus; the shard count is
+/// clamped to the document count.
+pub fn plan_shards(corpus: &Corpus, num_shards: usize) -> Vec<Range<u32>> {
+    let n_docs = corpus.num_documents() as u32;
+    if n_docs == 0 {
+        let empty: Range<u32> = 0..0;
+        return vec![empty];
+    }
+    let k = koko_par::resolve_threads(num_shards, n_docs as usize) as u32;
+    let total_sents = corpus.num_sentences() as u64;
+
+    let mut ranges = Vec::with_capacity(k as usize);
+    let mut start = 0u32;
+    for i in 0..k {
+        // Cut shard i at the first doc whose prefix sentence count reaches
+        // the i+1-th quantile, but always leave ≥1 doc per remaining shard.
+        let remaining_shards = k - i;
+        let max_end = n_docs - (remaining_shards - 1);
+        let target = total_sents * (i as u64 + 1) / k as u64;
+        let mut end = start + 1;
+        while end < max_end && (corpus.doc_sids(end - 1).end as u64) < target {
+            end += 1;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, n_docs);
+    ranges
+}
+
+/// Build all shards for `corpus`, in parallel when `threads != 1`
+/// (`0` = auto). Deterministic: shard boundaries and contents depend only
+/// on the corpus and the shard count.
+pub fn build_shards(corpus: &Corpus, num_shards: usize, threads: usize) -> Vec<Shard> {
+    let plan = plan_shards(corpus, num_shards);
+    koko_par::par_map(&plan, threads, |i, range| {
+        Shard::build(i, corpus, range.clone())
+    })
+}
+
+/// Maps global document / sentence ids to shard indices by binary search
+/// over the (sorted, disjoint) shard boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRouter {
+    /// `doc_starts[i]` is shard i's first global doc; one extra sentinel
+    /// holds the total doc count. Same layout for sids.
+    doc_starts: Vec<u32>,
+    sid_starts: Vec<Sid>,
+}
+
+impl ShardRouter {
+    pub fn from_shards(shards: &[Shard]) -> ShardRouter {
+        let mut doc_starts: Vec<u32> = shards.iter().map(|s| s.docs.start).collect();
+        let mut sid_starts: Vec<Sid> = shards.iter().map(|s| s.sids.start).collect();
+        doc_starts.push(shards.last().map_or(0, |s| s.docs.end));
+        sid_starts.push(shards.last().map_or(0, |s| s.sids.end));
+        ShardRouter {
+            doc_starts,
+            sid_starts,
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.doc_starts.len() - 1
+    }
+
+    /// Shard containing global document `doc`.
+    pub fn shard_of_doc(&self, doc: u32) -> usize {
+        debug_assert!(doc < *self.doc_starts.last().unwrap_or(&0));
+        self.doc_starts.partition_point(|&s| s <= doc) - 1
+    }
+
+    /// Shard containing global sentence `sid`.
+    pub fn shard_of_sid(&self, sid: Sid) -> usize {
+        debug_assert!(sid < *self.sid_starts.last().unwrap_or(&0));
+        self.sid_starts.partition_point(|&s| s <= sid) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::Pipeline;
+
+    fn corpus(n: usize) -> Corpus {
+        let texts: Vec<String> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    format!("Anna ate cake number {i}. She was happy. The cafe was busy.")
+                } else {
+                    format!("The barista poured latte {i}.")
+                }
+            })
+            .collect();
+        Pipeline::new().parse_corpus(&texts)
+    }
+
+    #[test]
+    fn plan_covers_corpus_contiguously() {
+        let c = corpus(17);
+        for k in [1, 2, 3, 5, 16, 17, 40] {
+            let plan = plan_shards(&c, k);
+            assert_eq!(plan.first().unwrap().start, 0);
+            assert_eq!(plan.last().unwrap().end, 17);
+            assert!(plan.len() <= 17);
+            for w in plan.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+            }
+            assert!(plan.iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn empty_corpus_gets_one_empty_shard() {
+        let c = Corpus::new(Vec::new());
+        let shards = build_shards(&c, 4, 1);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].num_documents(), 0);
+        assert_eq!(shards[0].num_sentences(), 0);
+        assert_eq!(shards[0].index().num_sentences(), 0);
+    }
+
+    #[test]
+    fn shard_indices_partition_the_global_index() {
+        let c = corpus(9);
+        let global = KokoIndex::build(&c);
+        let shards = build_shards(&c, 3, 1);
+        assert_eq!(shards.len(), 3);
+        // Every shard's sentence count sums to the corpus total.
+        let total: usize = shards.iter().map(Shard::num_sentences).sum();
+        assert_eq!(total, c.num_sentences());
+        // Word postings, translated to global sids, union to the global
+        // index's postings.
+        for word in ["ate", "latte", "busy"] {
+            let mut global_sids: Vec<Sid> = global
+                .word_refs(word)
+                .iter()
+                .map(|&r| global.posting(r).sid)
+                .collect();
+            global_sids.dedup();
+            let mut sharded: Vec<Sid> = shards
+                .iter()
+                .flat_map(|s| {
+                    s.index()
+                        .word_refs(word)
+                        .iter()
+                        .map(|&r| s.to_global_sid(s.index().posting(r).sid))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            sharded.sort_unstable();
+            sharded.dedup();
+            assert_eq!(sharded, global_sids, "word {word}");
+        }
+    }
+
+    #[test]
+    fn router_roundtrips_every_id() {
+        let c = corpus(11);
+        let shards = build_shards(&c, 4, 2);
+        let router = ShardRouter::from_shards(&shards);
+        assert_eq!(router.num_shards(), shards.len());
+        for doc in 0..c.num_documents() as u32 {
+            let s = &shards[router.shard_of_doc(doc)];
+            assert!(s.doc_range().contains(&doc));
+            assert_eq!(s.to_global_doc(s.to_local_doc(doc)), doc);
+        }
+        for sid in 0..c.num_sentences() as Sid {
+            let s = &shards[router.shard_of_sid(sid)];
+            assert!(s.sid_range().contains(&sid));
+            assert_eq!(s.to_global_sid(s.to_local_sid(sid)), sid);
+        }
+    }
+
+    #[test]
+    fn shard_documents_load_back() {
+        let c = corpus(7);
+        let shards = build_shards(&c, 3, 0);
+        for (di, doc) in c.documents().iter().enumerate() {
+            let router = ShardRouter::from_shards(&shards);
+            let s = &shards[router.shard_of_doc(di as u32)];
+            assert_eq!(&s.load_document(di as u32).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_builds_agree() {
+        let c = corpus(13);
+        let seq = build_shards(&c, 4, 1);
+        let par = build_shards(&c, 4, 3);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.doc_range(), b.doc_range());
+            assert_eq!(a.sid_range(), b.sid_range());
+            assert_eq!(a.index().num_sentences(), b.index().num_sentences());
+            assert_eq!(a.approx_index_bytes(), b.approx_index_bytes());
+        }
+    }
+}

@@ -31,10 +31,13 @@ impl NormQuery {
 
     /// All node variables with their absolute paths.
     pub fn node_vars(&self) -> impl Iterator<Item = (usize, &NVar, &[Step])> {
-        self.vars.iter().enumerate().filter_map(|(i, v)| match &v.kind {
-            NVarKind::Node { abs } => Some((i, v, abs.as_slice())),
-            _ => None,
-        })
+        self.vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| match &v.kind {
+                NVarKind::Node { abs } => Some((i, v, abs.as_slice())),
+                _ => None,
+            })
     }
 
     /// Whether the extract clause declares anything (an empty `if ()` means
@@ -107,11 +110,7 @@ pub fn normalize(q: &Query) -> Result<NormQuery, ParseError> {
         }
         match out.ty.entity_filter() {
             Some(etype) => {
-                n.push(
-                    out.name.clone(),
-                    NVarKind::Entity { etype },
-                    true,
-                )?;
+                n.push(out.name.clone(), NVarKind::Entity { etype }, true)?;
             }
             None => {
                 return Err(ParseError {
@@ -471,10 +470,9 @@ mod tests {
         // Str output never declared.
         assert!(normalize(&parse_query("extract d:Str from x if ()").unwrap()).is_err());
         // Constraint over unknown var.
-        assert!(normalize(
-            &parse_query("extract a:Entity from x if ( (a) in (zz) )").unwrap()
-        )
-        .is_err());
+        assert!(
+            normalize(&parse_query("extract a:Entity from x if ( (a) in (zz) )").unwrap()).is_err()
+        );
         // Duplicate declaration.
         assert!(normalize(
             &parse_query("extract a:Entity from x if (/ROOT:{ v = //verb, v = //noun })").unwrap()

@@ -461,10 +461,7 @@ impl Parser {
                 } else if self.at_keyword("matches") {
                     self.bump();
                     Pred::Matches(self.string()?)
-                } else if self.peek() == Some(&Tok::Tilde) {
-                    self.bump();
-                    Pred::SimilarTo(self.string()?)
-                } else if self.at_keyword("similarto") {
+                } else if self.peek() == Some(&Tok::Tilde) || self.at_keyword("similarto") {
                     self.bump();
                     Pred::SimilarTo(self.string()?)
                 } else if self.at_keyword("in") {
@@ -578,12 +575,12 @@ mod tests {
         assert_eq!(sat.threshold, Some(0.8));
         assert_eq!(sat.conds[0].weight, 1.0);
         assert_eq!(sat.conds[3].weight, 0.5);
-        assert_eq!(sat.conds[3].cond.pred, Pred::DescRight("serves coffee".into()));
-        assert_eq!(q.excluding.len(), 1);
         assert_eq!(
-            q.excluding[0].pred,
-            Pred::Matches("[Ll]a Marzocco".into())
+            sat.conds[3].cond.pred,
+            Pred::DescRight("serves coffee".into())
         );
+        assert_eq!(q.excluding.len(), 1);
+        assert_eq!(q.excluding[0].pred, Pred::Matches("[Ll]a Marzocco".into()));
     }
 
     #[test]
@@ -611,7 +608,10 @@ mod tests {
     fn scaleup_queries_parse() {
         let q = parse_query(queries::CHOCOLATE).unwrap();
         assert_eq!(q.satisfying.len(), 1);
-        assert_eq!(q.satisfying[0].conds[0].cond.pred, Pred::SimilarTo("is".into()));
+        assert_eq!(
+            q.satisfying[0].conds[0].cond.pred,
+            Pred::SimilarTo("is".into())
+        );
         let q = parse_query(queries::TITLE).unwrap();
         assert_eq!(q.decls.len(), 4);
         let q = parse_query(queries::DATE_OF_BIRTH).unwrap();

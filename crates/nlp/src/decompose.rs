@@ -59,17 +59,17 @@ pub fn decompose(sentence: &Sentence) -> Vec<Clause> {
     }
     // Assign every token to its nearest clause-heading ancestor.
     let mut owner = vec![0 as Tid; n];
-    for i in 0..n {
+    for (i, slot) in owner.iter_mut().enumerate() {
         let mut cur = i as Tid;
         loop {
             if is_clause_head(sentence, cur) {
-                owner[i] = cur;
+                *slot = cur;
                 break;
             }
             match sentence.tokens[cur as usize].head {
                 Some(h) => cur = h,
                 None => {
-                    owner[i] = cur;
+                    *slot = cur;
                     break;
                 }
             }
@@ -130,7 +130,8 @@ mod tests {
 
     #[test]
     fn relative_clause_is_separated() {
-        let (s, cs) = clauses_of("Anna ate some delicious cheesecake that she bought at a grocery store .");
+        let (s, cs) =
+            clauses_of("Anna ate some delicious cheesecake that she bought at a grocery store .");
         assert_eq!(cs.len(), 2, "{:?}", clause_texts(&s, &cs));
         let texts = clause_texts(&s, &cs);
         assert!(texts[0].starts_with("Anna ate some delicious cheesecake"));
@@ -141,9 +142,8 @@ mod tests {
 
     #[test]
     fn figure1_three_clauses() {
-        let (s, cs) = clauses_of(
-            "I ate a chocolate ice cream , which was delicious , and also ate a pie .",
-        );
+        let (s, cs) =
+            clauses_of("I ate a chocolate ice cream , which was delicious , and also ate a pie .");
         let texts = clause_texts(&s, &cs);
         assert_eq!(cs.len(), 3, "{texts:?}");
         assert!(texts.iter().any(|t| t.contains("which was delicious")));

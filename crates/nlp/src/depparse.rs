@@ -117,7 +117,11 @@ fn np_internal_label(pos: PosTag, idx: usize, head: usize) -> ParseLabel {
 #[derive(Debug, Clone, Copy)]
 enum Chunk {
     /// Noun phrase `start..=end` with `head` (all token indices).
-    Np { start: usize, end: usize, head: usize },
+    Np {
+        start: usize,
+        end: usize,
+        head: usize,
+    },
     Verb(usize),
     Adp(usize),
     Adv(usize),
@@ -147,14 +151,15 @@ fn chunk(sentence: &Sentence) -> Vec<Chunk> {
             let start = i;
             let mut nominal: Option<usize> = None;
             while i < n && is_np_material(toks[i].pos) {
-                let is_whx = toks[i].pos == PosTag::Pron && WH_WORDS.contains(&toks[i].lower.as_str());
+                let is_whx =
+                    toks[i].pos == PosTag::Pron && WH_WORDS.contains(&toks[i].lower.as_str());
                 if is_whx {
                     break;
                 }
-                if matches!(toks[i].pos, PosTag::Noun | PosTag::Propn) {
-                    nominal = Some(i);
-                } else if nominal.is_none()
-                    && matches!(toks[i].pos, PosTag::Pron | PosTag::Num)
+                // The last NOUN/PROPN always wins; a PRON/NUM only seeds an
+                // empty candidate.
+                if matches!(toks[i].pos, PosTag::Noun | PosTag::Propn)
+                    || (nominal.is_none() && matches!(toks[i].pos, PosTag::Pron | PosTag::Num))
                 {
                     nominal = Some(i);
                 }
@@ -167,11 +172,15 @@ fn chunk(sentence: &Sentence) -> Vec<Chunk> {
                 .find(|&j| matches!(toks[j].pos, PosTag::Noun | PosTag::Propn))
                 .or(nominal);
             match head {
-                Some(h) => out.push(Chunk::Np { start, end, head: h }),
+                Some(h) => out.push(Chunk::Np {
+                    start,
+                    end,
+                    head: h,
+                }),
                 None => {
                     // Run of DET/ADJ with no nominal: emit individually.
-                    for j in start..=end {
-                        out.push(match toks[j].pos {
+                    for (j, tok) in toks.iter().enumerate().take(end + 1).skip(start) {
+                        out.push(match tok.pos {
                             PosTag::Adj => Chunk::Adj(j),
                             _ => Chunk::Other(j),
                         });
@@ -670,7 +679,8 @@ mod tests {
     fn figure1_parse() {
         // "I ate a chocolate ice cream , which was delicious , and also ate a pie ."
         //  0 1   2 3         4   5     6 7     8   9         10 11  12   13  14 15 16
-        let s = parse_str("I ate a chocolate ice cream , which was delicious , and also ate a pie .");
+        let s =
+            parse_str("I ate a chocolate ice cream , which was delicious , and also ate a pie .");
         assert_eq!(dep(&s, 0), (Some(1), ParseLabel::Nsubj));
         assert_eq!(dep(&s, 1), (None, ParseLabel::Root));
         assert_eq!(dep(&s, 2), (Some(5), ParseLabel::Det));
@@ -700,7 +710,8 @@ mod tests {
     fn example31_parse() {
         // "Anna ate some delicious cheesecake that she bought at a grocery store ."
         //  0    1   2    3         4          5    6   7      8  9 10      11    12
-        let s = parse_str("Anna ate some delicious cheesecake that she bought at a grocery store .");
+        let s =
+            parse_str("Anna ate some delicious cheesecake that she bought at a grocery store .");
         assert_eq!(dep(&s, 0), (Some(1), ParseLabel::Nsubj));
         assert_eq!(dep(&s, 1), (None, ParseLabel::Root));
         assert_eq!(dep(&s, 2), (Some(4), ParseLabel::Det));

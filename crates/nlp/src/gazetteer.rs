@@ -9,56 +9,144 @@
 pub const FIRST_NAMES: &[&str] = &[
     "Anna", "Alys", "Vera", "Cyd", "Sid", "Maria", "John", "Peter", "Laura", "Kenji", "Mina",
     "Oscar", "Elena", "Marco", "Sofia", "Hana", "Igor", "Nadia", "Paulo", "Greta", "Tomas",
-    "Irene", "Felix", "Clara", "Hugo", "Alice", "Brian", "Carla", "Diego", "Emma", "Frank",
-    "Gina", "Henry", "Ivan", "Julia", "Kevin", "Linda", "Nora", "Owen", "Priya", "Quinn",
-    "Rosa", "Samir", "Tara", "Umar", "Viola", "Wendy", "Yara", "Zane", "Leo",
+    "Irene", "Felix", "Clara", "Hugo", "Alice", "Brian", "Carla", "Diego", "Emma", "Frank", "Gina",
+    "Henry", "Ivan", "Julia", "Kevin", "Linda", "Nora", "Owen", "Priya", "Quinn", "Rosa", "Samir",
+    "Tara", "Umar", "Viola", "Wendy", "Yara", "Zane", "Leo",
 ];
 
 /// Common surnames.
 pub const LAST_NAMES: &[&str] = &[
     "Charisse", "Thomas", "Adler", "Baker", "Castro", "Dubois", "Evans", "Fischer", "Garcia",
-    "Haines", "Ito", "Jensen", "Kovacs", "Larsen", "Moreau", "Novak", "Okafor", "Petrov",
-    "Quist", "Rossi", "Sato", "Tanaka", "Ueda", "Vargas", "Weber", "Xu", "Yamada", "Zhang",
-    "Keller", "Lindgren", "Mbeki", "Nakamura", "Olsen", "Price", "Romero", "Silva", "Turner",
-    "Vidal", "Walsh", "Young",
+    "Haines", "Ito", "Jensen", "Kovacs", "Larsen", "Moreau", "Novak", "Okafor", "Petrov", "Quist",
+    "Rossi", "Sato", "Tanaka", "Ueda", "Vargas", "Weber", "Xu", "Yamada", "Zhang", "Keller",
+    "Lindgren", "Mbeki", "Nakamura", "Olsen", "Price", "Romero", "Silva", "Turner", "Vidal",
+    "Walsh", "Young",
 ];
 
 /// City names (entity type `GPE`).
 pub const CITIES: &[&str] = &[
-    "Beijing", "Tokyo", "Paris", "London", "Portland", "Seattle", "Oslo", "Lisbon", "Madrid",
-    "Rome", "Berlin", "Vienna", "Prague", "Dublin", "Athens", "Cairo", "Nairobi", "Lima",
-    "Bogota", "Santiago", "Toronto", "Chicago", "Denver", "Austin", "Boston", "Melbourne",
-    "Sydney", "Auckland", "Osaka", "Seoul", "Hanoi", "Bangkok", "Mumbai", "Delhi", "Jakarta",
-    "Manila", "Lagos", "Accra", "Quito", "Havana",
+    "Beijing",
+    "Tokyo",
+    "Paris",
+    "London",
+    "Portland",
+    "Seattle",
+    "Oslo",
+    "Lisbon",
+    "Madrid",
+    "Rome",
+    "Berlin",
+    "Vienna",
+    "Prague",
+    "Dublin",
+    "Athens",
+    "Cairo",
+    "Nairobi",
+    "Lima",
+    "Bogota",
+    "Santiago",
+    "Toronto",
+    "Chicago",
+    "Denver",
+    "Austin",
+    "Boston",
+    "Melbourne",
+    "Sydney",
+    "Auckland",
+    "Osaka",
+    "Seoul",
+    "Hanoi",
+    "Bangkok",
+    "Mumbai",
+    "Delhi",
+    "Jakarta",
+    "Manila",
+    "Lagos",
+    "Accra",
+    "Quito",
+    "Havana",
 ];
 
 /// Country names (entity type `GPE`).
 pub const COUNTRIES: &[&str] = &[
-    "China", "Japan", "France", "England", "Norway", "Portugal", "Spain", "Italy", "Germany",
-    "Austria", "Ireland", "Greece", "Egypt", "Kenya", "Peru", "Colombia", "Chile", "Canada",
-    "Australia", "Korea", "Vietnam", "Thailand", "India", "Indonesia", "Brazil", "Mexico",
-    "Morocco", "Ethiopia", "Ghana", "Ecuador", "Cuba", "Poland", "Sweden", "Finland",
-    "Denmark", "Hungary", "Turkey", "Nigeria",
+    "China",
+    "Japan",
+    "France",
+    "England",
+    "Norway",
+    "Portugal",
+    "Spain",
+    "Italy",
+    "Germany",
+    "Austria",
+    "Ireland",
+    "Greece",
+    "Egypt",
+    "Kenya",
+    "Peru",
+    "Colombia",
+    "Chile",
+    "Canada",
+    "Australia",
+    "Korea",
+    "Vietnam",
+    "Thailand",
+    "India",
+    "Indonesia",
+    "Brazil",
+    "Mexico",
+    "Morocco",
+    "Ethiopia",
+    "Ghana",
+    "Ecuador",
+    "Cuba",
+    "Poland",
+    "Sweden",
+    "Finland",
+    "Denmark",
+    "Hungary",
+    "Turkey",
+    "Nigeria",
 ];
 
 /// Organization names.
 pub const ORGS: &[&str] = &[
-    "Northline Press", "Harbor Works", "Stellar Labs", "Crescent Group", "Atlas Media",
-    "Pioneer Trust", "Vertex Studios", "Summit Partners", "Beacon Institute", "Orchid Society",
+    "Northline Press",
+    "Harbor Works",
+    "Stellar Labs",
+    "Crescent Group",
+    "Atlas Media",
+    "Pioneer Trust",
+    "Vertex Studios",
+    "Summit Partners",
+    "Beacon Institute",
+    "Orchid Society",
 ];
 
 /// Sports team names (WNUT experiment; entity type `Org`).
 pub const TEAMS: &[&str] = &[
-    "Falcons", "Rockets", "Mariners", "Wolves", "Hornets", "Pirates", "Comets", "Bulls",
-    "Eagles", "Sharks", "Tigers", "Rangers", "Blazers", "Chargers", "Royals", "Saints",
-    "Titans", "Vikings", "Warriors", "Yankees", "Panthers", "Raptors", "Sounders", "Union",
+    "Falcons", "Rockets", "Mariners", "Wolves", "Hornets", "Pirates", "Comets", "Bulls", "Eagles",
+    "Sharks", "Tigers", "Rangers", "Blazers", "Chargers", "Royals", "Saints", "Titans", "Vikings",
+    "Warriors", "Yankees", "Panthers", "Raptors", "Sounders", "Union",
 ];
 
 /// Facility proper names (WNUT experiment; entity type `Facility`).
 pub const FACILITY_NAMES: &[&str] = &[
-    "Riverside Arena", "Union Field", "Harbor Stadium", "Maple Garden", "Summit Hall",
-    "Crescent Park", "Liberty Dome", "Granite Center", "Meridian Court", "Lakeside Pavilion",
-    "Ironwood Gym", "Cascade Theater", "Beacon Library", "Pioneer Museum", "Orchard Mall",
+    "Riverside Arena",
+    "Union Field",
+    "Harbor Stadium",
+    "Maple Garden",
+    "Summit Hall",
+    "Crescent Park",
+    "Liberty Dome",
+    "Granite Center",
+    "Meridian Court",
+    "Lakeside Pavilion",
+    "Ironwood Gym",
+    "Cascade Theater",
+    "Beacon Library",
+    "Pioneer Museum",
+    "Orchard Mall",
     "Century Ballpark",
 ];
 
@@ -77,39 +165,92 @@ pub const LOCATION_NOUNS: &[&str] = &[
 /// Food nouns; compounds headed by these become `Other` entities
 /// (`chocolate ice cream`, `cheesecake` in Example 3.1).
 pub const FOOD_NOUNS: &[&str] = &[
-    "cheesecake", "cake", "cream", "pie", "pasta", "pizza", "bread", "cookie", "cookies",
-    "soup", "salad", "sandwich", "waffle", "waffles", "pancake", "pancakes", "croissant",
-    "scone", "scones", "donut", "donuts", "toast", "chocolate", "espresso", "cappuccino",
-    "cappuccinos", "macchiato", "macchiatos", "latte", "lattes", "mocha", "cortado", "coffee",
-    "tea", "juice",
+    "cheesecake",
+    "cake",
+    "cream",
+    "pie",
+    "pasta",
+    "pizza",
+    "bread",
+    "cookie",
+    "cookies",
+    "soup",
+    "salad",
+    "sandwich",
+    "waffle",
+    "waffles",
+    "pancake",
+    "pancakes",
+    "croissant",
+    "scone",
+    "scones",
+    "donut",
+    "donuts",
+    "toast",
+    "chocolate",
+    "espresso",
+    "cappuccino",
+    "cappuccinos",
+    "macchiato",
+    "macchiatos",
+    "latte",
+    "lattes",
+    "mocha",
+    "cortado",
+    "coffee",
+    "tea",
+    "juice",
 ];
 
 /// Modifier words for combinatorial cafe names (paired with
 /// [`CAFE_NOUNS`], giving ~900 distinct names — novel cafe names are the
 /// point of the §6.1 task, so the pool must dwarf any training split).
 pub const CAFE_ADJS: &[&str] = &[
-    "Copper", "Golden", "Blue", "Iron", "Velvet", "Silver", "Crimson", "Wild", "Quiet",
-    "Amber", "Stone", "Green", "Paper", "Lucky", "Honest", "Drift", "North", "Rusty",
-    "Sweet", "Clever", "Marble", "Cedar", "Sunny", "Misty", "Bright", "Old", "Little",
-    "Happy", "Swift", "Warm",
+    "Copper", "Golden", "Blue", "Iron", "Velvet", "Silver", "Crimson", "Wild", "Quiet", "Amber",
+    "Stone", "Green", "Paper", "Lucky", "Honest", "Drift", "North", "Rusty", "Sweet", "Clever",
+    "Marble", "Cedar", "Sunny", "Misty", "Bright", "Old", "Little", "Happy", "Swift", "Warm",
 ];
 
 /// Head words for combinatorial cafe names.
 pub const CAFE_NOUNS: &[&str] = &[
-    "Kettle", "Fox", "Heron", "Anchor", "Moon", "Pine", "Leaf", "Poppy", "Owl", "Wave",
-    "Bridge", "Lantern", "Crane", "Sparrow", "Bean", "Tide", "Star", "Spoon", "Alder",
-    "Crow", "Arch", "Grove", "Slope", "Husk", "Mill", "Magpie", "Otter", "Hearth",
-    "Ember", "Canopy",
+    "Kettle", "Fox", "Heron", "Anchor", "Moon", "Pine", "Leaf", "Poppy", "Owl", "Wave", "Bridge",
+    "Lantern", "Crane", "Sparrow", "Bean", "Tide", "Star", "Spoon", "Alder", "Crow", "Arch",
+    "Grove", "Slope", "Husk", "Mill", "Magpie", "Otter", "Hearth", "Ember", "Canopy",
 ];
 
 /// First words of synthetic cafe names (combined with [`CAFE_SUFFIXES`] or
 /// used alone as two-word proper names).
 pub const CAFE_CORES: &[&str] = &[
-    "Copper Kettle", "Golden Fox", "Blue Heron", "Iron Anchor", "Velvet Moon", "Silver Pine",
-    "Crimson Leaf", "Wild Poppy", "Quiet Owl", "Amber Wave", "Stone Bridge", "Green Lantern",
-    "Paper Crane", "Lucky Sparrow", "Honest Bean", "Drift Tide", "North Star", "Rusty Spoon",
-    "Sweet Alder", "Clever Crow", "Marble Arch", "Cedar Grove", "Sunny Slope", "Misty Pine",
-    "Bright Husk", "Old Mill", "Little Harbor", "Happy Magpie", "Swift Otter", "Warm Hearth",
+    "Copper Kettle",
+    "Golden Fox",
+    "Blue Heron",
+    "Iron Anchor",
+    "Velvet Moon",
+    "Silver Pine",
+    "Crimson Leaf",
+    "Wild Poppy",
+    "Quiet Owl",
+    "Amber Wave",
+    "Stone Bridge",
+    "Green Lantern",
+    "Paper Crane",
+    "Lucky Sparrow",
+    "Honest Bean",
+    "Drift Tide",
+    "North Star",
+    "Rusty Spoon",
+    "Sweet Alder",
+    "Clever Crow",
+    "Marble Arch",
+    "Cedar Grove",
+    "Sunny Slope",
+    "Misty Pine",
+    "Bright Husk",
+    "Old Mill",
+    "Little Harbor",
+    "Happy Magpie",
+    "Swift Otter",
+    "Warm Hearth",
 ];
 
 /// Suffix words that often appear inside cafe names; the Figure 9 query keys
@@ -121,8 +262,18 @@ pub const ESPRESSO_BRANDS: &[&str] = &["La Marzocco", "Synesso", "Aeropress", "V
 
 /// Month names (for `Date` mentions such as `1 December 1900`).
 pub const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Street suffixes for generated addresses (distractors in the cafe corpus).

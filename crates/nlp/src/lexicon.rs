@@ -17,47 +17,120 @@ pub const DETERMINERS: &[&str] = &[
 /// Personal / relative pronouns. (`which`, `who`, `that` double as relative
 /// pronouns; the parser decides.)
 pub const PRONOUNS: &[&str] = &[
-    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "which",
-    "who", "whom", "what", "that", "someone", "everyone", "itself", "himself", "herself",
+    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "which", "who",
+    "whom", "what", "that", "someone", "everyone", "itself", "himself", "herself",
 ];
 
 /// Adpositions.
 pub const ADPOSITIONS: &[&str] = &[
-    "in", "on", "at", "of", "to", "from", "with", "by", "for", "about", "over", "under",
-    "near", "during", "after", "before", "between", "into", "through", "as", "since",
-    "without", "inside", "behind", "along",
+    "in", "on", "at", "of", "to", "from", "with", "by", "for", "about", "over", "under", "near",
+    "during", "after", "before", "between", "into", "through", "as", "since", "without", "inside",
+    "behind", "along",
 ];
 
 /// Conjunctions. Subordinators (`when`, `because` …) are folded in: the
 /// parser treats a conjunction followed by a clause as clause coordination,
 /// which keeps trees projective without a full subordinate-clause grammar.
 pub const CONJUNCTIONS: &[&str] = &[
-    "and", "or", "but", "nor", "yet", "so", "when", "while", "because", "if", "though",
-    "until",
+    "and", "or", "but", "nor", "yet", "so", "when", "while", "because", "if", "though", "until",
 ];
 
 /// Adverbs.
 pub const ADVERBS: &[&str] = &[
-    "also", "very", "really", "quite", "always", "never", "often", "soon", "recently", "now",
-    "today", "yesterday", "tomorrow", "here", "there", "not", "just", "already", "still",
-    "finally", "again", "together", "nearby", "downtown", "tonight",
+    "also",
+    "very",
+    "really",
+    "quite",
+    "always",
+    "never",
+    "often",
+    "soon",
+    "recently",
+    "now",
+    "today",
+    "yesterday",
+    "tomorrow",
+    "here",
+    "there",
+    "not",
+    "just",
+    "already",
+    "still",
+    "finally",
+    "again",
+    "together",
+    "nearby",
+    "downtown",
+    "tonight",
 ];
 
 /// Auxiliary and copular verb forms.
 pub const AUX_VERBS: &[&str] = &[
-    "is", "was", "are", "were", "be", "been", "being", "am", "has", "have", "had", "do",
-    "does", "did", "will", "would", "can", "could", "may", "might", "should", "must",
+    "is", "was", "are", "were", "be", "been", "being", "am", "has", "have", "had", "do", "does",
+    "did", "will", "would", "can", "could", "may", "might", "should", "must",
 ];
 
 /// Base forms of common verbs. Inflections (`-s`, `-ed`, `-ing`) are derived
 /// by the tagger via stemming.
 pub const VERBS: &[&str] = &[
-    "eat", "serve", "sell", "buy", "make", "open", "hire", "employ", "visit", "go", "call",
-    "name", "prepare", "manufacture", "drink", "enjoy", "love", "roast", "brew", "pour",
-    "host", "play", "win", "feel", "get", "see", "watch", "cheer", "move", "offer", "pull",
-    "bake", "taste", "marry", "bear", "write", "found", "launch", "start", "finish", "meet",
-    "travel", "arrive", "describe", "review", "recommend", "order", "try", "craft", "source",
-    "feature", "announce", "celebrate", "graduate", "retire", "live", "work", "study",
+    "eat",
+    "serve",
+    "sell",
+    "buy",
+    "make",
+    "open",
+    "hire",
+    "employ",
+    "visit",
+    "go",
+    "call",
+    "name",
+    "prepare",
+    "manufacture",
+    "drink",
+    "enjoy",
+    "love",
+    "roast",
+    "brew",
+    "pour",
+    "host",
+    "play",
+    "win",
+    "feel",
+    "get",
+    "see",
+    "watch",
+    "cheer",
+    "move",
+    "offer",
+    "pull",
+    "bake",
+    "taste",
+    "marry",
+    "bear",
+    "write",
+    "found",
+    "launch",
+    "start",
+    "finish",
+    "meet",
+    "travel",
+    "arrive",
+    "describe",
+    "review",
+    "recommend",
+    "order",
+    "try",
+    "craft",
+    "source",
+    "feature",
+    "announce",
+    "celebrate",
+    "graduate",
+    "retire",
+    "live",
+    "work",
+    "study",
 ];
 
 /// Irregular verb forms → their base form.
@@ -86,24 +159,130 @@ pub const IRREGULAR_VERBS: &[(&str, &str)] = &[
 
 /// Adjectives (including nationality adjectives used by Example 2.2).
 pub const ADJECTIVES: &[&str] = &[
-    "delicious", "tasty", "salty", "sweet", "happy", "new", "great", "good", "best", "famous",
-    "local", "fresh", "small", "large", "star", "upcoming", "friendly", "cozy", "excellent",
-    "amazing", "wonderful", "proud", "glad", "bright", "quiet", "busy", "warm", "old", "young",
-    "crisp", "rich", "smooth", "bold", "asian", "french", "italian", "japanese", "chinese",
-    "ethiopian", "colombian", "such", "single", "seasonal", "daily", "annual", "grand",
+    "delicious",
+    "tasty",
+    "salty",
+    "sweet",
+    "happy",
+    "new",
+    "great",
+    "good",
+    "best",
+    "famous",
+    "local",
+    "fresh",
+    "small",
+    "large",
+    "star",
+    "upcoming",
+    "friendly",
+    "cozy",
+    "excellent",
+    "amazing",
+    "wonderful",
+    "proud",
+    "glad",
+    "bright",
+    "quiet",
+    "busy",
+    "warm",
+    "old",
+    "young",
+    "crisp",
+    "rich",
+    "smooth",
+    "bold",
+    "asian",
+    "french",
+    "italian",
+    "japanese",
+    "chinese",
+    "ethiopian",
+    "colombian",
+    "such",
+    "single",
+    "seasonal",
+    "daily",
+    "annual",
+    "grand",
 ];
 
 /// Nouns that would otherwise be mis-tagged by suffix rules (e.g. `-ing`
 /// nouns) plus high-frequency corpus nouns.
 pub const NOUNS: &[&str] = &[
-    "morning", "evening", "building", "wedding", "baking", "brewing", "ceiling", "cafe",
-    "cafes", "coffee", "barista", "baristas", "cup", "cups", "menu", "team", "teams", "game",
-    "games", "city", "cities", "country", "countries", "type", "types", "place", "places",
-    "blog", "roaster", "roasters", "espresso", "machine", "bar", "shop", "owner", "daughter",
-    "son", "couple", "years", "year", "month", "week", "day", "moment", "friend", "friends",
-    "family", "dog", "cat", "book", "books", "job", "time", "people", "fans", "crowd",
-    "season", "match", "championship", "festival", "fest", "neighborhood", "corner", "door",
-    "kettle", "beans", "bean", "blend", "pour-over", "press", "victory", "weekend", "title",
+    "morning",
+    "evening",
+    "building",
+    "wedding",
+    "baking",
+    "brewing",
+    "ceiling",
+    "cafe",
+    "cafes",
+    "coffee",
+    "barista",
+    "baristas",
+    "cup",
+    "cups",
+    "menu",
+    "team",
+    "teams",
+    "game",
+    "games",
+    "city",
+    "cities",
+    "country",
+    "countries",
+    "type",
+    "types",
+    "place",
+    "places",
+    "blog",
+    "roaster",
+    "roasters",
+    "espresso",
+    "machine",
+    "bar",
+    "shop",
+    "owner",
+    "daughter",
+    "son",
+    "couple",
+    "years",
+    "year",
+    "month",
+    "week",
+    "day",
+    "moment",
+    "friend",
+    "friends",
+    "family",
+    "dog",
+    "cat",
+    "book",
+    "books",
+    "job",
+    "time",
+    "people",
+    "fans",
+    "crowd",
+    "season",
+    "match",
+    "championship",
+    "festival",
+    "fest",
+    "neighborhood",
+    "corner",
+    "door",
+    "kettle",
+    "beans",
+    "bean",
+    "blend",
+    "pour-over",
+    "press",
+    "victory",
+    "weekend",
+    "title",
     "champion",
 ];
 
@@ -230,7 +409,7 @@ impl Lexicon {
 
     /// Whether `word` (with original casing) is a known abbreviation.
     pub fn is_abbreviation(&self, word: &str) -> bool {
-        ABBREVIATIONS.iter().any(|a| *a == word)
+        ABBREVIATIONS.contains(&word)
     }
 }
 
@@ -254,7 +433,9 @@ mod tests {
     #[test]
     fn verb_inflections() {
         let lex = Lexicon::new();
-        for form in ["serve", "serves", "served", "serving", "ate", "bought", "hiring"] {
+        for form in [
+            "serve", "serves", "served", "serving", "ate", "bought", "hiring",
+        ] {
             assert!(lex.is_verb_form(form), "{form}");
         }
         assert!(!lex.is_verb_form("table"));

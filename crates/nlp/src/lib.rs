@@ -45,6 +45,6 @@ pub use ner::Ner;
 pub use pattern::{match_sentence, Axis, NodeLabel, PNode, TreePattern};
 pub use pipeline::Pipeline;
 pub use types::{
-    tree_stats, Corpus, Document, EntityMention, EntityPosting, EntityType, NodeStat,
-    ParseLabel, PosTag, Posting, Sentence, Sid, Tid, Token,
+    tree_stats, Corpus, Document, EntityMention, EntityPosting, EntityType, NodeStat, ParseLabel,
+    PosTag, Posting, Sentence, Sid, Tid, Token,
 };

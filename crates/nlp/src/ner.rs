@@ -81,10 +81,10 @@ impl Ner {
         let mut taken = vec![false; n];
         let mut mentions: Vec<EntityMention> = Vec::new();
         let claim = |mentions: &mut Vec<EntityMention>,
-                         taken: &mut Vec<bool>,
-                         start: usize,
-                         end: usize,
-                         etype: EntityType| {
+                     taken: &mut Vec<bool>,
+                     start: usize,
+                     end: usize,
+                     etype: EntityType| {
             if taken[start..=end].iter().any(|&t| t) {
                 return false;
             }
@@ -119,10 +119,7 @@ impl Ner {
                 for (toks, etype) in cands {
                     let end = i + toks.len() - 1;
                     if end < n
-                        && toks
-                            .iter()
-                            .zip(&lowers[i..=end])
-                            .all(|(a, b)| a == b)
+                        && toks.iter().zip(&lowers[i..=end]).all(|(a, b)| a == b)
                         && claim(&mut mentions, &mut taken, i, end, *etype)
                     {
                         i = end + 1;
@@ -225,7 +222,10 @@ impl Ner {
         let is_day = |j: usize| {
             j < n
                 && toks[j].pos == PosTag::Num
-                && toks[j].text.parse::<u32>().is_ok_and(|d| (1..=31).contains(&d))
+                && toks[j]
+                    .text
+                    .parse::<u32>()
+                    .is_ok_and(|d| (1..=31).contains(&d))
         };
         let is_month = |j: usize| j < n && self.months.contains_key(toks[j].lower.as_str());
 
@@ -277,10 +277,14 @@ mod tests {
     fn example31_entities() {
         // Paper Example 3.1: cheesecake OTHER, grocery store LOCATION, Anna
         // PERSON.
-        let s = annotated("Anna ate some delicious cheesecake that she bought at a grocery store .");
+        let s =
+            annotated("Anna ate some delicious cheesecake that she bought at a grocery store .");
         let ms = mention_strs(&s);
         assert!(ms.contains(&("Anna".into(), EntityType::Person)), "{ms:?}");
-        assert!(ms.contains(&("cheesecake".into(), EntityType::Other)), "{ms:?}");
+        assert!(
+            ms.contains(&("cheesecake".into(), EntityType::Other)),
+            "{ms:?}"
+        );
         assert!(
             ms.contains(&("grocery store".into(), EntityType::Location)),
             "{ms:?}"
@@ -289,7 +293,8 @@ mod tests {
 
     #[test]
     fn figure1_food_compound() {
-        let s = annotated("I ate a chocolate ice cream , which was delicious , and also ate a pie .");
+        let s =
+            annotated("I ate a chocolate ice cream , which was delicious , and also ate a pie .");
         let ms = mention_strs(&s);
         assert!(
             ms.contains(&("chocolate ice cream".into(), EntityType::Other)),

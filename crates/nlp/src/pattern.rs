@@ -219,10 +219,10 @@ fn assign(
             continue;
         }
         let depth_ok = match node.axis {
-            Axis::Child => {
-                sentence.tokens[t as usize].head == Some(parent_tok)
+            Axis::Child => sentence.tokens[t as usize].head == Some(parent_tok),
+            Axis::Descendant => {
+                t_stat.depth > p_stat.depth && is_descendant(sentence, t, parent_tok)
             }
-            Axis::Descendant => t_stat.depth > p_stat.depth && is_descendant(sentence, t, parent_tok),
         };
         if depth_ok && node.label.matches(sentence, t) {
             assignment[idx] = t;
@@ -289,7 +289,10 @@ mod tests {
         );
         let m = match_sentence(&pat, &s);
         // Both "ate"(1) and "was"(8) dominate "delicious".
-        let verbs: Vec<&str> = m.iter().map(|a| s.tokens[a[0] as usize].text.as_str()).collect();
+        let verbs: Vec<&str> = m
+            .iter()
+            .map(|a| s.tokens[a[0] as usize].text.as_str())
+            .collect();
         assert!(verbs.contains(&"ate"));
         assert!(verbs.contains(&"was"));
         assert_eq!(m.len(), 2, "{verbs:?}");
@@ -322,7 +325,10 @@ mod tests {
             ],
         );
         let m = match_sentence(&pat, &s);
-        let words: Vec<&str> = m.iter().map(|a| s.tokens[a[2] as usize].text.as_str()).collect();
+        let words: Vec<&str> = m
+            .iter()
+            .map(|a| s.tokens[a[2] as usize].text.as_str())
+            .collect();
         assert!(words.contains(&"chocolate"), "{words:?}");
         assert!(words.contains(&"ice"), "{words:?}");
     }
@@ -351,7 +357,7 @@ mod tests {
             ],
             root_anchored: true,
         };
-        assert!(pat.is_path() == false);
+        assert!(!pat.is_path());
         let m = match_sentence(&pat, &s);
         assert_eq!(m.len(), 1);
     }

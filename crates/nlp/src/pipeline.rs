@@ -67,6 +67,22 @@ impl Pipeline {
         Corpus::new(docs)
     }
 
+    /// Parse documents concurrently on up to `threads` worker threads
+    /// (`0` = one per available core) and reassemble the corpus in input
+    /// order. `parse_document` is pure, so the result is byte-identical to
+    /// [`Pipeline::parse_corpus`] — this is the parallel ingest path of the
+    /// sharded engine.
+    pub fn parse_corpus_parallel<S: AsRef<str> + Sync>(
+        &self,
+        texts: &[S],
+        threads: usize,
+    ) -> Corpus {
+        let docs = koko_par::par_map(texts, threads, |i, t| {
+            self.parse_document(i as u32, t.as_ref())
+        });
+        Corpus::new(docs)
+    }
+
     /// Access the lexicon (the CRF baseline reuses its word lists).
     pub fn lexicon(&self) -> &Lexicon {
         &self.lexicon
@@ -116,6 +132,21 @@ mod tests {
         assert_eq!(corpus.num_documents(), 2);
         assert_eq!(corpus.num_sentences(), 3);
         assert_eq!(corpus.doc_of(2), 1);
+    }
+
+    #[test]
+    fn parallel_parse_matches_sequential() {
+        let p = Pipeline::new();
+        let texts: Vec<String> = (0..23)
+            .map(|i| format!("Anna ate cake number {i}. The cafe was busy. go Falcons!"))
+            .collect();
+        let seq = p.parse_corpus(&texts);
+        for threads in [0, 1, 2, 5] {
+            let par = p.parse_corpus_parallel(&texts, threads);
+            assert_eq!(par.num_documents(), seq.num_documents());
+            assert_eq!(par.num_sentences(), seq.num_sentences());
+            assert_eq!(par.documents(), seq.documents(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -126,26 +126,26 @@ mod tests {
         // Paper Figure 1: PRON VERB DET NOUN NOUN NOUN PUNCT DET* VERB ADJ
         // PUNCT CONJ ADV VERB DET NOUN PUNCT.  (* the paper tags "which" DET;
         // we tag it PRON — the parser treats both as relativizers.)
-        let tags = tag_str("I ate a chocolate ice cream , which was delicious , and also ate a pie .");
+        let tags =
+            tag_str("I ate a chocolate ice cream , which was delicious , and also ate a pie .");
         use PosTag::*;
         assert_eq!(
             tags,
             vec![
-                Pron, Verb, Det, Noun, Noun, Noun, Punct, Pron, Verb, Adj, Punct, Conj, Adv,
-                Verb, Det, Noun, Punct
+                Pron, Verb, Det, Noun, Noun, Noun, Punct, Pron, Verb, Adj, Punct, Conj, Adv, Verb,
+                Det, Noun, Punct
             ]
         );
     }
 
     #[test]
     fn example31_tags() {
-        let tags = tag_str("Anna ate some delicious cheesecake that she bought at a grocery store .");
+        let tags =
+            tag_str("Anna ate some delicious cheesecake that she bought at a grocery store .");
         use PosTag::*;
         assert_eq!(
             tags,
-            vec![
-                Propn, Verb, Det, Adj, Noun, Pron, Pron, Verb, Adp, Det, Noun, Noun, Punct
-            ]
+            vec![Propn, Verb, Det, Adj, Noun, Pron, Pron, Verb, Adp, Det, Noun, Noun, Punct]
         );
     }
 

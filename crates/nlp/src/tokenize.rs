@@ -159,8 +159,23 @@ mod tests {
         assert_eq!(
             s[0],
             vec![
-                "I", "ate", "a", "chocolate", "ice", "cream", ",", "which", "was", "delicious",
-                ",", "and", "also", "ate", "a", "pie", "."
+                "I",
+                "ate",
+                "a",
+                "chocolate",
+                "ice",
+                "cream",
+                ",",
+                "which",
+                "was",
+                "delicious",
+                ",",
+                "and",
+                "also",
+                "ate",
+                "a",
+                "pie",
+                "."
             ]
         );
     }

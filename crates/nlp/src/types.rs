@@ -432,12 +432,12 @@ impl Corpus {
 
     /// Iterate `(sid, &sentence)` over the whole corpus.
     pub fn sentences(&self) -> impl Iterator<Item = (Sid, &Sentence)> + '_ {
-        self.sent_map.iter().enumerate().map(move |(sid, &(di, si))| {
-            (
-                sid as Sid,
-                &self.docs[di as usize].sentences[si as usize],
-            )
-        })
+        self.sent_map
+            .iter()
+            .enumerate()
+            .map(move |(sid, &(di, si))| {
+                (sid as Sid, &self.docs[di as usize].sentences[si as usize])
+            })
     }
 }
 
@@ -575,9 +575,30 @@ mod tests {
     fn tree_stats_basic() {
         let s = toy_sentence();
         let st = tree_stats(&s);
-        assert_eq!(st[1], NodeStat { left: 0, right: 3, depth: 0 });
-        assert_eq!(st[0], NodeStat { left: 0, right: 0, depth: 1 });
-        assert_eq!(st[2], NodeStat { left: 2, right: 2, depth: 1 });
+        assert_eq!(
+            st[1],
+            NodeStat {
+                left: 0,
+                right: 3,
+                depth: 0
+            }
+        );
+        assert_eq!(
+            st[0],
+            NodeStat {
+                left: 0,
+                right: 0,
+                depth: 1
+            }
+        );
+        assert_eq!(
+            st[2],
+            NodeStat {
+                left: 2,
+                right: 2,
+                depth: 1
+            }
+        );
     }
 
     #[test]

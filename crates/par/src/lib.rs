@@ -1,0 +1,157 @@
+//! `koko-par` — deterministic fork-join parallelism for the KOKO engine.
+//!
+//! The sharded engine (parallel ingest, per-shard index builds, the
+//! fan-out query executor) needs exactly one primitive: *run a pure
+//! function over every element of a slice on several threads and collect
+//! the results in input order*. This crate provides that on top of
+//! [`std::thread::scope`], with no external dependencies, so the rest of
+//! the workspace never touches threads directly.
+//!
+//! Determinism contract: [`par_map`] returns results in the same order as
+//! its input and calls `f` exactly once per element, so for a pure `f` the
+//! output is byte-identical to the sequential `items.iter().map(f)` — only
+//! wall-clock time changes. Every parallel path in the engine leans on this
+//! to keep sharded results equal to the single-threaded evaluator.
+//!
+//! Work distribution is block-cyclic: thread `t` of `n` takes elements
+//! `t, t + n, t + 2n, …`. For corpora sorted by size (common in benchmarks)
+//! this balances load better than contiguous chunking, and it needs no
+//! per-element cost model.
+
+/// Number of worker threads to use when the caller asks for "auto" (`0`):
+/// the machine's available parallelism, or 1 if that cannot be determined.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolve a thread-count knob: `0` means auto; anything else is clamped to
+/// `[1, len]` so no thread is created without work.
+pub fn resolve_threads(requested: usize, len: usize) -> usize {
+    let t = if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    };
+    t.clamp(1, len.max(1))
+}
+
+/// Map `f` over `items` on up to `threads` scoped threads (`0` = auto),
+/// returning results in input order. Falls back to a plain sequential map
+/// when one thread suffices — callers never need a separate serial path.
+///
+/// `f` receives `(index, &item)` so callers can recover global positions.
+///
+/// # Panics
+/// Propagates the first worker panic (scoped threads re-raise on join).
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = resolve_threads(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        // Hand each worker a disjoint set of result slots. The block-cyclic
+        // assignment means slot i belongs to worker i % threads; splitting
+        // the slot vector into per-worker strides keeps this safe without
+        // locks or unsafe code.
+        let mut stripes: Vec<Vec<(usize, &mut Option<U>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            stripes[i % threads].push((i, slot));
+        }
+        for stripe in stripes {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, slot) in stripe {
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map worker filled every slot"))
+        .collect()
+}
+
+/// Map `f` over `0..n` (no backing slice) on up to `threads` threads,
+/// in-order. Useful when work is indexed rather than stored, e.g. "build
+/// shard `i`".
+pub fn par_map_range<U, F>(n: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    // A unit slice gives par_map its length; the closure ignores the item.
+    let units = vec![(); n];
+    par_map(&units, threads, |i, _| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order_and_calls_once() {
+        let items: Vec<usize> = (0..103).collect();
+        let calls = AtomicUsize::new(0);
+        for threads in [0, 1, 2, 3, 8, 200] {
+            calls.store(0, Ordering::SeqCst);
+            let out = par_map(&items, threads, |i, &x| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(calls.load(Ordering::SeqCst), items.len());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, x| *x + 1), vec![8]);
+        assert_eq!(par_map_range(5, 3, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn matches_sequential_for_pure_functions() {
+        let items: Vec<String> = (0..57).map(|i| format!("doc {i}")).collect();
+        let seq: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        let par = par_map(&items, 4, |_, s| s.len());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn resolve_threads_clamps() {
+        assert_eq!(resolve_threads(8, 3), 3);
+        assert_eq!(resolve_threads(2, 100), 2);
+        assert_eq!(resolve_threads(5, 0), 1);
+        assert!(resolve_threads(0, 100) >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let items = vec![1, 2, 3, 4];
+        let _ = par_map(&items, 2, |_, &x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

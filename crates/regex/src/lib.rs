@@ -250,7 +250,11 @@ mod tests {
             ("[Cc]offee|[Cc]afe|[Cc]af\u{e9}", "Cafemath", false),
             ("[0-9]+ [0-9A-Z a-z]+ [Ss]t.?", "123 Mission St", true),
             ("[0-9]+ [0-9A-Z a-z]+ [Ss]t.?", "9 Grand Ave", false),
-            ("[A-Za-z 0-9.]*[Ff]est(ival)?", "Portland Coffee Festival", true),
+            (
+                "[A-Za-z 0-9.]*[Ff]est(ival)?",
+                "Portland Coffee Festival",
+                true,
+            ),
             ("[A-Za-z 0-9.]*[Ff]est(ival)?", "Brew Fest", true),
             ("@[A-Za-z 0-9.]+", "@bluebottle", true),
         ];

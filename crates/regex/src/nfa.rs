@@ -104,7 +104,10 @@ impl Nfa {
             &mut on_list,
             generation,
         );
-        if current.iter().any(|&s| matches!(self.states[s as usize], State::Match)) {
+        if current
+            .iter()
+            .any(|&s| matches!(self.states[s as usize], State::Match))
+        {
             best = Some(start);
         }
 
@@ -118,12 +121,22 @@ impl Nfa {
             for &s in &current {
                 if let State::Char { pred, next: n } = &self.states[s as usize] {
                     if pred.matches(c) {
-                        self.add_state(*n, at + 1, chars.len(), &mut next, &mut on_list, generation);
+                        self.add_state(
+                            *n,
+                            at + 1,
+                            chars.len(),
+                            &mut next,
+                            &mut on_list,
+                            generation,
+                        );
                     }
                 }
             }
             std::mem::swap(&mut current, &mut next);
-            if current.iter().any(|&s| matches!(self.states[s as usize], State::Match)) {
+            if current
+                .iter()
+                .any(|&s| matches!(self.states[s as usize], State::Match))
+            {
                 best = Some(at + 1);
             }
         }
@@ -321,10 +334,7 @@ impl Builder {
                 let split = self.push(State::Split(inner.start, u32::MAX));
                 let mut outs = inner.outs;
                 outs.push((split, 1));
-                Frag {
-                    start: split,
-                    outs,
-                }
+                Frag { start: split, outs }
             }
             (m, opt_n) => {
                 // General {m,n}: m mandatory copies, then either (n-m)
@@ -410,7 +420,11 @@ mod tests {
     fn longest_prefix_semantics() {
         assert_eq!(longest("a*", "aaab"), Some(3));
         assert_eq!(longest("a*", "b"), Some(0));
-        assert_eq!(longest("ab|abc", "abcd"), Some(3), "longest wins over order");
+        assert_eq!(
+            longest("ab|abc", "abcd"),
+            Some(3),
+            "longest wins over order"
+        );
     }
 
     #[test]

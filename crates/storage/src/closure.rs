@@ -82,13 +82,8 @@ impl ClosureTable {
 
     /// All ancestors (and self) of node `id`, nearest first.
     pub fn ancestors_of(&self, id: u32) -> Vec<ClosureRow> {
-        let mut out: Vec<ClosureRow> = self
-            .by_id
-            .get(&id)
-            .iter()
-            .map(|&i| self.rows[i])
-            .collect();
-        out.sort_by(|a, b| b.adepth.cmp(&a.adepth));
+        let mut out: Vec<ClosureRow> = self.by_id.get(&id).iter().map(|&i| self.rows[i]).collect();
+        out.sort_by_key(|r| std::cmp::Reverse(r.adepth));
         out
     }
 
@@ -118,7 +113,9 @@ impl ClosureTable {
 
     /// Approximate byte footprint (rows + two secondary indexes).
     pub fn approx_bytes(&self) -> usize {
-        self.rows.len() * CLOSURE_ROW_BYTES + self.by_id.approx_bytes() + self.by_label.approx_bytes()
+        self.rows.len() * CLOSURE_ROW_BYTES
+            + self.by_id.approx_bytes()
+            + self.by_label.approx_bytes()
     }
 }
 

@@ -5,9 +5,7 @@
 //! the Table 2 `LoadArticle` stage measures exactly this path.
 
 use bytes::{BufMut, BytesMut};
-use koko_nlp::{
-    Document, EntityMention, EntityType, ParseLabel, PosTag, Posting, Sentence, Token,
-};
+use koko_nlp::{Document, EntityMention, EntityType, ParseLabel, PosTag, Posting, Sentence, Token};
 use std::fmt;
 
 /// Format version written into every file header.
@@ -277,8 +275,8 @@ pub fn save_to_file<T: Codec>(path: &std::path::Path, value: &T) -> std::io::Res
 pub fn load_from_file<T: Codec>(path: &std::path::Path) -> std::io::Result<T> {
     let data = std::fs::read(path)?;
     let mut input: &[u8] = &data;
-    let magic = take(&mut input, 4)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let magic =
+        take(&mut input, 4).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     if magic != MAGIC {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,

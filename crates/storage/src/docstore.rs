@@ -55,6 +55,13 @@ impl DocStore {
         Document::from_bytes(&blob.0)
     }
 
+    /// Append every blob of `other`, preserving order. Lets the sharded
+    /// engine assemble a global store from per-shard stores without paying
+    /// the encode cost twice.
+    pub fn append_store(&mut self, other: &DocStore) {
+        self.blobs.extend(other.blobs.iter().cloned());
+    }
+
     pub fn len(&self) -> usize {
         self.blobs.len()
     }

@@ -79,5 +79,8 @@ fn main() {
             p.sid, p.tid, s.tokens[p.tid as usize].text
         );
     }
-    println!("\n   total index footprint: {} KiB", index.approx_bytes() / 1024);
+    println!(
+        "\n   total index footprint: {} KiB",
+        index.approx_bytes() / 1024
+    );
 }

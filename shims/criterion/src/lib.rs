@@ -1,0 +1,177 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the `Criterion` / `benchmark_group` / `bench_function` /
+//! `Bencher::iter` surface the workspace benches use. Instead of criterion's
+//! statistical machinery it runs a short warm-up, then a fixed measurement
+//! window, and prints mean time per iteration — enough to compare hot paths
+//! by eye and to keep `cargo bench` working without a registry.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle, passed to every `criterion_group!` target.
+pub struct Criterion {
+    /// Measurement window per benchmark.
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement: Duration::from_millis(600),
+            warm_up: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n## {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.warm_up, self.measurement, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed measurement window
+    /// ignores the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.group, id);
+        run_one(
+            &label,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        budget: warm_up,
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b); // warm-up pass (also sizes the first measurement batch)
+    let mut b = Bencher {
+        budget: measurement,
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.iterations == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iterations
+    };
+    println!(
+        "{label:<40} {:>12} ({} iterations)",
+        fmt_duration(per_iter),
+        b.iterations
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Runs the closure under test repeatedly until the time budget is spent.
+pub struct Bencher {
+    budget: Duration,
+    iterations: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iterations += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a bench entry point running each target function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("shim");
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut StdRng) -> Self;
+}
+
+/// The canonical strategy for `A` (`any::<A>()`).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut StdRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut StdRng) -> f64 {
+        rng.gen::<f64>()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut StdRng) -> char {
+        // Weighted mix: mostly printable ASCII, some control/whitespace,
+        // some arbitrary unicode scalars — mirrors proptest's bias toward
+        // "interesting" characters without its full tables.
+        match rng.gen_range(0..10) {
+            0 => *['\0', '\t', '\n', '\r', ' ', '~', 'é', 'ß', '中', '🦀']
+                .get(rng.gen_range(0..10))
+                .unwrap(),
+            1 | 2 => loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                    return c;
+                }
+            },
+            _ => char::from(rng.gen_range(0x20u8..0x7F)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chars_cover_ascii_and_beyond() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = any::<char>();
+        let mut ascii = 0;
+        let mut non_ascii = 0;
+        for _ in 0..500 {
+            if s.generate(&mut rng).is_ascii() {
+                ascii += 1;
+            } else {
+                non_ascii += 1;
+            }
+        }
+        assert!(ascii > 300);
+        assert!(non_ascii > 10);
+    }
+}

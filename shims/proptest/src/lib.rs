@@ -1,0 +1,163 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this shim re-implements
+//! the slice of proptest the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, collection and sample strategies, regex-string strategies
+//! (generation is driven by the workspace's own `koko-regex` parser — the
+//! engine under test elsewhere, used here only as a pattern AST), the
+//! [`proptest!`] / [`prop_oneof!`] / `prop_assert*` macros, and a
+//! deterministic runner.
+//!
+//! Deliberate differences from real proptest: no shrinking (failing cases
+//! print their error and the case number; re-running is deterministic, so a
+//! failure always reproduces), and value streams are seeded from the test
+//! name rather than an external RNG state file.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespaced re-exports matching `proptest::prelude::prop::*` paths.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Stable 64-bit FNV-1a hash of the test name, for per-test seeding.
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h.wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// The RNG for one `(test, case)` pair; called by the [`proptest!`]
+/// expansion so call sites need no `rand` dependency of their own.
+pub fn rng_for(name: &str, case: u64) -> rand::rngs::StdRng {
+    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed_for(name, case))
+}
+
+/// The property-test entry macro: an optional `#![proptest_config(..)]`
+/// attribute followed by test functions whose arguments are drawn from
+/// strategies (`arg in strategy`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl [$config] $($rest)*);
+    };
+    (@impl [$config:expr]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                let __strats = ($($strategy,)+);
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case as u64,
+                    );
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}/{}: {}",
+                                stringify!($name), __case, __config.cases, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl [$crate::test_runner::Config::default()] $($rest)*);
+    };
+}
+
+/// Union of same-valued strategies, chosen uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Assert inside a property body; failures report the message without
+/// aborting the whole process state.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, "assertion failed: {:?} != {:?}", __l, __r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: {:?} != {:?}: {}",
+                    __l,
+                    __r,
+                    format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l != *__r, "assertion failed: {:?} == {:?}", __l, __r);
+            }
+        }
+    };
+}

@@ -1,0 +1,115 @@
+//! Regex-string strategies: generate random strings matching a pattern.
+//!
+//! Patterns are parsed with the workspace's own `koko-regex` parser and the
+//! AST is walked generatively. Anchors are no-ops (generation is whole-string
+//! by construction); unbounded repeats draw a small random count.
+
+use koko_regex::{Ast, ClassItem};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Cap applied to `*` / `+` / `{m,}` repeats.
+const UNBOUNDED_REPEAT_EXTRA: u32 = 8;
+
+/// Generate one string matching `pattern`. Panics on an invalid pattern —
+/// strategy construction errors are programmer errors in tests.
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let ast = koko_regex::parse(pattern)
+        .unwrap_or_else(|e| panic!("invalid regex strategy {pattern:?}: {e:?}"));
+    let mut out = String::new();
+    walk(&ast, rng, &mut out);
+    out
+}
+
+fn walk(ast: &Ast, rng: &mut StdRng, out: &mut String) {
+    match ast {
+        Ast::Empty | Ast::StartAnchor | Ast::EndAnchor => {}
+        Ast::Literal(c) => out.push(*c),
+        Ast::AnyChar => out.push(printable(rng)),
+        Ast::Class { negated, items } => out.push(class_char(rng, *negated, items)),
+        Ast::Concat(seq) => {
+            for node in seq {
+                walk(node, rng, out);
+            }
+        }
+        Ast::Alternate(branches) => {
+            let i = rng.gen_range(0..branches.len());
+            walk(&branches[i], rng, out);
+        }
+        Ast::Repeat { node, min, max } => {
+            let hi = max.unwrap_or(min + UNBOUNDED_REPEAT_EXTRA);
+            let n = rng.gen_range(*min..=hi);
+            for _ in 0..n {
+                walk(node, rng, out);
+            }
+        }
+    }
+}
+
+/// A random printable ASCII character (space through `~`).
+fn printable(rng: &mut StdRng) -> char {
+    char::from(rng.gen_range(0x20u8..0x7F))
+}
+
+fn class_char(rng: &mut StdRng, negated: bool, items: &[ClassItem]) -> char {
+    if negated {
+        // Rejection-sample printable ASCII; classes in test patterns never
+        // exclude all of it.
+        for _ in 0..512 {
+            let c = printable(rng);
+            if !items.iter().any(|i| i.contains(c)) {
+                return c;
+            }
+        }
+        panic!("negated class excludes all printable ASCII");
+    }
+    let item = items[rng.gen_range(0..items.len())];
+    match item {
+        ClassItem::Char(c) => c,
+        ClassItem::Range(lo, hi) => {
+            let (lo, hi) = (lo as u32, hi as u32);
+            // Ranges in test patterns are within a plane and avoid the
+            // surrogate gap; retry defensively anyway.
+            loop {
+                let v = rng.gen_range(lo..=hi);
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+        ClassItem::Digit => char::from(rng.gen_range(b'0'..=b'9')),
+        ClassItem::Word => {
+            let alphabet = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+            char::from(alphabet[rng.gen_range(0..alphabet.len())])
+        }
+        ClassItem::Space => *[' ', '\t', '\n'].get(rng.gen_range(0..3)).unwrap(),
+        ClassItem::NotDigit | ClassItem::NotWord | ClassItem::NotSpace => loop {
+            let c = printable(rng);
+            if item.contains(c) {
+                return c;
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_strings_match_their_pattern() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for pattern in [
+            ".{0,200}",
+            "[a-z ()=+/*{}\\[\\],:0-9\"^~@.]{0,80}",
+            "(ab|c)+x?",
+        ] {
+            let re = koko_regex::Regex::new(pattern).unwrap();
+            for _ in 0..200 {
+                let s = generate_matching(pattern, &mut rng);
+                assert!(re.is_full_match(&s), "{pattern:?} vs {s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Runner configuration and the per-case error type.
+
+/// Per-test configuration; `cases` is the number of generated inputs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The input was rejected (e.g. by `prop_assume`); not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}

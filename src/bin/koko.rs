@@ -4,8 +4,10 @@
 //! koko query  <corpus.txt> '<query>'     run a KOKO query over a text file
 //!                                        (one document per line, or --doc=para
 //!                                        for blank-line-separated paragraphs)
+//! koko batch  <corpus.txt> '<q1>' '<q2>' evaluate many queries over one
+//!                                        shared snapshot (parallel)
 //! koko parse  <corpus.txt>               show the annotation pipeline output
-//! koko stats  <corpus.txt>               corpus + index statistics
+//! koko stats  <corpus.txt>               corpus + per-shard index statistics
 //! koko demo                              the paper's Figure 1 walkthrough
 //! ```
 
@@ -16,6 +18,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("query") => cmd_query(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("parse") => cmd_parse(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("demo") => cmd_demo(),
@@ -30,8 +33,7 @@ fn main() {
 /// Load documents from a file: one document per line by default, or
 /// blank-line-separated paragraphs with `--doc=para`.
 fn load_docs(path: &str, args: &[String]) -> Result<Vec<String>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let para_mode = args.iter().any(|a| a == "--doc=para");
     let docs: Vec<String> = if para_mode {
         text.split("\n\n")
@@ -72,7 +74,12 @@ fn cmd_query(args: &[String]) -> i32 {
                     .iter()
                     .map(|v| format!("{}={:?}", v.name, v.text))
                     .collect();
-                println!("doc {}\tscore {:.3}\t{}", row.doc, row.score, vals.join("\t"));
+                println!(
+                    "doc {}\tscore {:.3}\t{}",
+                    row.doc,
+                    row.score,
+                    vals.join("\t")
+                );
             }
             eprintln!(
                 "{} rows | {} candidate sentences | total {:?} (normalize {:?}, dpli {:?}, load {:?}, gsp {:?}, extract {:?}, satisfying {:?})",
@@ -93,6 +100,57 @@ fn cmd_query(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+fn cmd_batch(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: koko batch <corpus.txt> '<query>' ['<query>' ...] [--doc=para]");
+        return 2;
+    };
+    let queries: Vec<&str> = args[1..]
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if queries.is_empty() {
+        eprintln!("usage: koko batch <corpus.txt> '<query>' ['<query>' ...] [--doc=para]");
+        return 2;
+    }
+    let docs = match load_docs(path, args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let koko = Koko::from_texts(&docs);
+    let mut code = 0;
+    for (q, result) in queries.iter().zip(koko.query_batch(&queries)) {
+        println!("## {q}");
+        match result {
+            Ok(out) => {
+                for row in &out.rows {
+                    let vals: Vec<String> = row
+                        .values
+                        .iter()
+                        .map(|v| format!("{}={:?}", v.name, v.text))
+                        .collect();
+                    println!(
+                        "doc {}\tscore {:.3}\t{}",
+                        row.doc,
+                        row.score,
+                        vals.join("\t")
+                    );
+                }
+                eprintln!("{} rows | total {:?}", out.rows.len(), out.profile.total());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                code = 1;
+            }
+        }
+    }
+    code
 }
 
 fn cmd_parse(args: &[String]) -> i32 {
@@ -137,7 +195,13 @@ fn print_sentence(s: &koko::Sentence) {
         );
     }
     for m in &s.entities {
-        println!("     entity [{}..{}] {:?} {}", m.start, m.end, s.mention_text(m), m.etype);
+        println!(
+            "     entity [{}..{}] {:?} {}",
+            m.start,
+            m.end,
+            s.mention_text(m),
+            m.etype
+        );
     }
 }
 
@@ -158,20 +222,26 @@ fn cmd_stats(args: &[String]) -> i32 {
     println!("documents:        {}", c.num_documents());
     println!("sentences:        {}", c.num_sentences());
     println!("tokens:           {}", c.num_tokens());
-    let idx = koko.index();
-    println!("index footprint:  {} KiB", idx.approx_bytes() / 1024);
-    println!(
-        "PL hierarchy:     {} nodes ({:.2}% merged)",
-        idx.pl_index().num_nodes(),
-        100.0 * idx.pl_index().compression_ratio()
-    );
-    println!(
-        "POS hierarchy:    {} nodes ({:.2}% merged)",
-        idx.pos_index().num_nodes(),
-        100.0 * idx.pos_index().compression_ratio()
-    );
-    let entities = idx.entities().count();
-    println!("distinct entities: {entities}");
+    let shards = koko.shards();
+    let total_bytes: usize = shards.iter().map(|s| s.approx_index_bytes()).sum();
+    println!("shards:           {}", shards.len());
+    println!("index footprint:  {} KiB (all shards)", total_bytes / 1024);
+    for shard in shards {
+        let idx = shard.index();
+        println!(
+            "  shard {:>2}: docs {}..{} | {} sentences | {} KiB | PL {} nodes ({:.2}% merged) | POS {} nodes ({:.2}% merged) | {} entities",
+            shard.id(),
+            shard.doc_range().start,
+            shard.doc_range().end,
+            shard.num_sentences(),
+            idx.approx_bytes() / 1024,
+            idx.pl_index().num_nodes(),
+            100.0 * idx.pl_index().compression_ratio(),
+            idx.pos_index().num_nodes(),
+            100.0 * idx.pos_index().compression_ratio(),
+            idx.entities().count(),
+        );
+    }
     0
 }
 

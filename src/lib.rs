@@ -20,10 +20,17 @@
 //!   document store);
 //! * [`index`] — the KOKO multi-index and the three §6.2 baselines;
 //! * [`lang`] — the query language (lexer/parser/AST/normalizer);
-//! * [`core`] — the evaluation engine (DPLI, GSP, aggregation);
+//! * [`core`] — the sharded evaluation engine (Snapshot, parallel
+//!   executor, DPLI, GSP, aggregation);
 //! * [`corpus`] — synthetic corpora + the SyntheticTree/SyntheticSpan
 //!   benchmarks;
 //! * [`baselines`] — CRF, IKE, NELL and Odin re-implementations.
+//!
+//! The engine is sharded: the corpus is partitioned into contiguous
+//! document ranges, each with its own index and document store
+//! ([`index::Shard`]), ingested and queried in parallel. Results are
+//! byte-identical to sequential evaluation regardless of the shard count
+//! (`EngineOpts::num_shards`; 0 = one per core).
 //!
 //! # Quickstart
 //!
@@ -53,6 +60,6 @@ pub use koko_nlp as nlp;
 pub use koko_regex as regex;
 pub use koko_storage as storage;
 
-pub use koko_core::{EngineOpts, Error, Koko, OutValue, Profile, QueryOutput, Row};
+pub use koko_core::{EngineOpts, Error, Koko, OutValue, Profile, QueryOutput, Row, Snapshot};
 pub use koko_lang::{normalize, parse_query, queries};
 pub use koko_nlp::{Corpus, Document, Pipeline, Sentence};

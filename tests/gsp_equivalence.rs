@@ -12,8 +12,10 @@ fn gsp_and_nogsp_agree_on_synthetic_span_queries() {
     let queries = koko::corpus::synthetic_span::generate(&corpus, 3);
 
     let gsp = Koko::from_corpus(corpus.clone());
-    let mut nogsp_opts = EngineOpts::default();
-    nogsp_opts.use_gsp = false;
+    let nogsp_opts = EngineOpts {
+        use_gsp: false,
+        ..EngineOpts::default()
+    };
     let nogsp = Koko::from_corpus(corpus).with_opts(nogsp_opts);
 
     // A slice across all three atom counts (5-atom NOGSP queries are slow

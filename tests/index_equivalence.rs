@@ -50,7 +50,7 @@ fn effectiveness_ordering_matches_figures_7_and_8() {
     let koko = KokoIndex::build(&c);
     let inv = InvertedIndex::build(&c);
     let adv = AdvInvertedIndex::build(&c);
-    let mut eff = |name: &str| -> f64 {
+    let eff = |name: &str| -> f64 {
         let mut sum = 0.0;
         let mut n = 0;
         for q in &queries {
@@ -87,7 +87,10 @@ fn size_ordering_matches_figure_6b() {
     let sub = SubtreeIndex::build(&c);
     let k = CandidateIndex::approx_bytes(&koko);
     assert!(k < inv.approx_bytes(), "KOKO smallest");
-    assert!(inv.approx_bytes() < adv.approx_bytes(), "INVERTED < ADVINVERTED");
+    assert!(
+        inv.approx_bytes() < adv.approx_bytes(),
+        "INVERTED < ADVINVERTED"
+    );
     assert!(adv.approx_bytes() < sub.approx_bytes(), "SUBTREE largest");
 }
 

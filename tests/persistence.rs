@@ -42,9 +42,8 @@ fn docstore_and_closure_tables_round_trip_through_a_directory() {
 #[test]
 fn closure_table_answers_hierarchy_queries_after_reload() {
     use koko::nlp::ParseLabel;
-    let corpus = Pipeline::new().parse_corpus(&[
-        "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
-    ]);
+    let corpus = Pipeline::new()
+        .parse_corpus(&["I ate a chocolate ice cream, which was delicious, and also ate a pie."]);
     let index = koko::index::KokoIndex::build(&corpus);
     let ct = index.pl_index().to_closure_table();
     let bytes = {
@@ -56,11 +55,7 @@ fn closure_table_answers_hierarchy_queries_after_reload() {
         koko::storage::ClosureTable::from_bytes(&bytes).unwrap()
     };
     // nn nodes under a dobj parent exist (Example 3.3's merged node).
-    let hits = back.nodes_with_ancestor(
-        ParseLabel::Nn as u16,
-        ParseLabel::Dobj as u16,
-        Some(1),
-    );
+    let hits = back.nodes_with_ancestor(ParseLabel::Nn as u16, ParseLabel::Dobj as u16, Some(1));
     assert!(!hits.is_empty());
 }
 

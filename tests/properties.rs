@@ -10,10 +10,42 @@ use proptest::prelude::*;
 /// bytes: the pipeline's contract covers natural-language-ish input).
 fn word_pool() -> Vec<&'static str> {
     vec![
-        "the", "a", "delicious", "happy", "Anna", "Tokyo", "cafe", "barista", "espresso",
-        "cheesecake", "ate", "serves", "bought", "was", "and", "which", "she", "in", "at",
-        "of", "very", "pie", "London", "Falcons", "coffee", "Copper", "Kettle", "store",
-        "grocery", "morning", "1911", "called", "born", "to", "went", "team",
+        "the",
+        "a",
+        "delicious",
+        "happy",
+        "Anna",
+        "Tokyo",
+        "cafe",
+        "barista",
+        "espresso",
+        "cheesecake",
+        "ate",
+        "serves",
+        "bought",
+        "was",
+        "and",
+        "which",
+        "she",
+        "in",
+        "at",
+        "of",
+        "very",
+        "pie",
+        "London",
+        "Falcons",
+        "coffee",
+        "Copper",
+        "Kettle",
+        "store",
+        "grocery",
+        "morning",
+        "1911",
+        "called",
+        "born",
+        "to",
+        "went",
+        "team",
     ]
 }
 
@@ -52,7 +84,7 @@ proptest! {
             }
             // Contiguity: subtree size equals span width.
             let stats = tree_stats(s);
-            for i in 0..s.len() {
+            for (i, stat) in stats.iter().enumerate() {
                 let mut size = 0;
                 for j in 0..s.len() {
                     let mut cur = Some(j as u32);
@@ -61,7 +93,7 @@ proptest! {
                         cur = s.tokens[c as usize].head;
                     }
                 }
-                let width = (stats[i].right - stats[i].left + 1) as usize;
+                let width = (stat.right - stat.left + 1) as usize;
                 prop_assert_eq!(size, width, "non-contiguous subtree at {} in {:?}", i, text);
             }
         }
