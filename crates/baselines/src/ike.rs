@@ -1,4 +1,4 @@
-//! IKE (Dalvi et al. [18], §5/§6.1): per-sentence pattern matching with
+//! IKE (Dalvi et al. \[18\], §5/§6.1): per-sentence pattern matching with
 //! distributional-similarity expansion (`"phrase" ~ k`) and noun-phrase
 //! captures — but *no* cross-sentence evidence aggregation, which is why it
 //! trails KOKO on the blog corpora and nearly matches it on tweets.

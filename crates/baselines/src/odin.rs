@@ -1,4 +1,4 @@
-//! An Odin-style cascaded rule matcher (Valenzuela-Escárcega et al. [44],
+//! An Odin-style cascaded rule matcher (Valenzuela-Escárcega et al. \[44\],
 //! §6.3): rules with priorities, evaluated **without any index** by
 //! scanning every sentence, iterating the cascade until no new matches
 //! appear — which is exactly why the paper measures it 1.3–40× slower than

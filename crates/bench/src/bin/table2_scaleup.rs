@@ -13,6 +13,11 @@
 //! record per corpus size so the perf trajectory can be tracked across
 //! commits.
 //!
+//! It also establishes the persistence numbers for the build-once /
+//! query-many workflow: per corpus scale, the cost of saving a snapshot,
+//! its `.koko` file size, and the cost of loading it back versus
+//! rebuilding from raw text (`build_vs_load` = ingest time / load time).
+//!
 //! ```text
 //! cargo run --release -p koko-bench --bin table2_scaleup \
 //!     [-- --scale=1 --shards=0 --json=table2.json]
@@ -33,12 +38,15 @@ struct ScalePoint {
     ingest_par: Duration,
     query_seq: Duration,
     query_par: Duration,
+    save: Duration,
+    load: Duration,
+    file_bytes: u64,
 }
 
 impl ScalePoint {
     fn json(&self) -> String {
         format!(
-            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3}}}",
+            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3}}}",
             self.articles,
             self.shards,
             self.ingest_seq.as_secs_f64(),
@@ -51,6 +59,10 @@ impl ScalePoint {
                 self.ingest_seq + self.query_seq,
                 self.ingest_par + self.query_par
             ),
+            self.save.as_secs_f64(),
+            self.load.as_secs_f64(),
+            self.file_bytes,
+            ratio(self.ingest_par, self.load),
         )
     }
 }
@@ -170,6 +182,18 @@ fn main() {
         }
         let query_par = t.elapsed();
 
+        // Persistence: save the sharded snapshot, load it back, and verify
+        // the loaded engine still answers (first query of the set).
+        let snap_path = std::env::temp_dir().join(format!("table2_scaleup_{n}.koko"));
+        let t = Instant::now();
+        let file_bytes = par.save(&snap_path).expect("snapshot save");
+        let save = t.elapsed();
+        let t = Instant::now();
+        let loaded = Koko::open_with_opts(&snap_path, par_opts).expect("snapshot load");
+        let load = t.elapsed();
+        loaded.query(bench_queries[0]).expect("query after load");
+        std::fs::remove_file(&snap_path).ok();
+
         let point = ScalePoint {
             articles: n,
             shards: par.shards().len(),
@@ -177,6 +201,9 @@ fn main() {
             ingest_par,
             query_seq,
             query_par,
+            save,
+            load,
+            file_bytes,
         };
         row(&[
             n.to_string(),
@@ -194,6 +221,28 @@ fn main() {
         points.push(point);
     }
     println!("(expected: ≥1.5x end-to-end on ≥4 cores; ~1.0x on a single core)");
+
+    // ---- Persistence: build-once / query-many ---------------------------
+    println!("\n## Snapshot persistence: build vs save vs load\n");
+    header(&[
+        "articles",
+        "ingest (build)",
+        "save",
+        "load",
+        "file size",
+        "build/load",
+    ]);
+    for p in &points {
+        row(&[
+            p.articles.to_string(),
+            secs(p.ingest_par),
+            secs(p.save),
+            secs(p.load),
+            format!("{:.1} KiB", p.file_bytes as f64 / 1024.0),
+            format!("{:.2}x", ratio(p.ingest_par, p.load)),
+        ]);
+    }
+    println!("(expected: loading a snapshot is several times faster than re-ingesting text)");
 
     // ---- JSON perf trajectory -------------------------------------------
     let json = format!(

@@ -141,6 +141,13 @@ pub struct Koko {
 impl Koko {
     /// Parse raw documents (concurrently, when the default options allow)
     /// and build every shard index — Figure 2's preprocessing box.
+    ///
+    /// ```
+    /// use koko_core::Koko;
+    ///
+    /// let koko = Koko::from_texts(&["Anna ate cake.", "The cafe was busy."]);
+    /// assert_eq!(koko.corpus().num_documents(), 2);
+    /// ```
     pub fn from_texts<S: AsRef<str> + Sync>(texts: &[S]) -> Koko {
         Koko::from_texts_with_opts(texts, EngineOpts::default())
     }
@@ -168,6 +175,54 @@ impl Koko {
             snapshot: Arc::new(Snapshot::build(corpus, opts.num_shards, opts.parallel)),
             opts,
         }
+    }
+
+    /// Wrap an existing snapshot (e.g. one returned by [`Snapshot::load`])
+    /// without rebuilding anything. The snapshot's shard layout wins:
+    /// `opts.num_shards` is ignored here, unlike [`Koko::with_opts`].
+    pub fn from_snapshot(snapshot: Snapshot, opts: EngineOpts) -> Koko {
+        Koko {
+            snapshot: Arc::new(snapshot),
+            opts,
+        }
+    }
+
+    /// Persist the engine's snapshot to a `.koko` file — the "build" half
+    /// of the build-once / query-many workflow. Returns the file size in
+    /// bytes.
+    pub fn save(&self, path: &std::path::Path) -> Result<u64, Error> {
+        self.snapshot.save(path, self.opts.parallel)
+    }
+
+    /// Open a `.koko` snapshot file with default options — the "query"
+    /// half of the build-once / query-many workflow. Queries against the
+    /// loaded engine return byte-identical rows to an engine freshly built
+    /// from the same text.
+    ///
+    /// ```
+    /// use koko_core::Koko;
+    ///
+    /// let built = Koko::from_texts(&["Anna ate some delicious cheesecake."]);
+    /// let path = std::env::temp_dir().join("doctest_open.koko");
+    /// built.save(&path).unwrap();
+    ///
+    /// let loaded = Koko::open(&path).unwrap();
+    /// let q = koko_lang::queries::EXAMPLE_2_1;
+    /// assert_eq!(loaded.query(q).unwrap().rows, built.query(q).unwrap().rows);
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
+    pub fn open(path: &std::path::Path) -> Result<Koko, Error> {
+        Koko::open_with_opts(path, EngineOpts::default())
+    }
+
+    /// [`Koko::open`] with explicit options. The shard layout is read from
+    /// the file (`opts.num_shards` does not trigger a rebuild); `parallel`
+    /// gates both the load fan-out and later query execution.
+    pub fn open_with_opts(path: &std::path::Path, opts: EngineOpts) -> Result<Koko, Error> {
+        Ok(Koko::from_snapshot(
+            Snapshot::load(path, opts.parallel)?,
+            opts,
+        ))
     }
 
     /// Replace the embedding model (e.g. with a domain ontology merged in).
@@ -231,7 +286,16 @@ impl Koko {
         self.snapshot.db()
     }
 
-    /// Parse, normalize and evaluate a KOKO query.
+    /// Parse, normalize and evaluate a KOKO query (see
+    /// `docs/QUERYLANG.md` for the language).
+    ///
+    /// ```
+    /// use koko_core::Koko;
+    ///
+    /// let koko = Koko::from_texts(&["Anna ate some delicious cheesecake."]);
+    /// let out = koko.query(koko_lang::queries::EXAMPLE_2_1).unwrap();
+    /// assert_eq!(out.rows[0].values[0].text, "cheesecake");
+    /// ```
     pub fn query(&self, text: &str) -> Result<QueryOutput, Error> {
         let t0 = std::time::Instant::now();
         let parsed = parse_query(text)?;

@@ -14,6 +14,10 @@ pub enum Error {
     Semantic(String),
     /// Storage-layer failure while loading articles.
     Storage(String),
+    /// A `.koko` snapshot file could not be written or read back
+    /// (missing, truncated, corrupt, or wrong format version). The inner
+    /// error names the file and the failure mode.
+    Snapshot(koko_storage::SnapshotFileError),
 }
 
 impl fmt::Display for Error {
@@ -23,7 +27,14 @@ impl fmt::Display for Error {
             Error::Regex(m) => write!(f, "regex error: {m}"),
             Error::Semantic(m) => write!(f, "semantic error: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
+    }
+}
+
+impl From<koko_storage::SnapshotFileError> for Error {
+    fn from(e: koko_storage::SnapshotFileError) -> Self {
+        Error::Snapshot(e)
     }
 }
 

@@ -25,7 +25,7 @@
 //!
 //! Per query, the executor follows Figure 2's workflow:
 //!
-//! 1. **Normalize** ([`koko_lang::normalize`]) — absolute paths, derived
+//! 1. **Normalize** ([`koko_lang::normalize()`]) — absolute paths, derived
 //!    constraints, synthesized `∧` variables (once, on the calling thread);
 //! 2. **DPLI** ([`dpli`]) — dominant-path decomposition and multi-index
 //!    lookups producing candidate sentences (per shard, in parallel);
@@ -75,6 +75,7 @@ pub mod dpli;
 pub mod engine;
 pub mod error;
 pub mod gsp;
+pub mod persist;
 pub mod profile;
 pub mod snapshot;
 

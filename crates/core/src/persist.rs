@@ -1,0 +1,343 @@
+//! Snapshot persistence: build once with `Snapshot::save`, serve many
+//! times with `Snapshot::load`.
+//!
+//! The expensive half of Figure 2 — NLP preprocessing and index
+//! construction — runs once, and the resulting [`Snapshot`] (per-shard
+//! [`koko_index::KokoIndex`] + document store, the
+//! [`koko_index::ShardRouter`], and the embedding model) is written to a
+//! single `.koko` file. Loading deserializes those structures directly, so
+//! cold-start cost drops from a full parse-and-index pass to a decode.
+//! Loaded snapshots answer queries byte-identically to freshly built ones
+//! (enforced by `tests/snapshot_roundtrip.rs`).
+//!
+//! # File layout
+//!
+//! The container framing (magic `KOKOSNAP`, version, payload length,
+//! FNV-1a checksum) is owned by [`koko_storage::snapshot_file`]; this
+//! module owns the payload:
+//!
+//! ```text
+//! payload := Embeddings | ShardRouter | Vec<Blob>   (one blob per shard)
+//! blob    := Shard (id, doc/sid ranges, KokoIndex, DocStore)
+//! ```
+//!
+//! Each shard is encoded and decoded independently, so both directions
+//! fan out over `koko-par` worker threads — save/load scale with cores the
+//! same way ingest does. The in-memory corpus is *not* stored twice: it is
+//! reconstructed by decoding each shard's document store (far cheaper than
+//! re-parsing text, and the decoded documents are bit-identical to the
+//! originals because the store holds their exact encoded bytes).
+
+use crate::error::Error;
+use crate::snapshot::Snapshot;
+use koko_embed::Embeddings;
+use koko_index::{Shard, ShardRouter};
+use koko_nlp::{Corpus, Document};
+use koko_storage::docstore::Blob;
+use koko_storage::{
+    read_snapshot_file, write_snapshot_file, Codec, DecodeError, SnapshotFileError,
+};
+use std::path::Path;
+
+fn corrupt(path: &Path, e: DecodeError) -> Error {
+    Error::Snapshot(SnapshotFileError::Corrupt {
+        path: path.display().to_string(),
+        detail: e.0,
+    })
+}
+
+impl Snapshot {
+    /// Serialize the whole snapshot to a `.koko` file at `path`, returning
+    /// the file size in bytes. Shards encode on worker threads when
+    /// `parallel` is set.
+    ///
+    /// ```
+    /// use koko_core::{Koko, Snapshot};
+    ///
+    /// let koko = Koko::from_texts(&["Anna ate some delicious cheesecake."]);
+    /// let path = std::env::temp_dir().join("doctest_save.koko");
+    /// let bytes = koko.snapshot().save(&path, true).unwrap();
+    /// assert!(bytes > 0);
+    ///
+    /// let loaded = Snapshot::load(&path, true).unwrap();
+    /// assert_eq!(loaded.num_shards(), koko.snapshot().num_shards());
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
+    pub fn save(&self, path: &Path, parallel: bool) -> Result<u64, Error> {
+        let threads = if parallel { 0 } else { 1 };
+        let mut buf = bytes::BytesMut::new();
+        self.embeddings().encode(&mut buf);
+        self.router().encode(&mut buf);
+        let sections: Vec<Blob> =
+            koko_par::par_map(self.shards(), threads, |_, shard| Blob(shard.to_bytes()));
+        // Blob frames carry a u32 length; a shard section past that limit
+        // would wrap silently on encode and produce an unloadable file, so
+        // refuse here (use more shards to split the corpus instead).
+        if let Some((i, blob)) = sections
+            .iter()
+            .enumerate()
+            .find(|(_, b)| b.0.len() > u32::MAX as usize)
+        {
+            return Err(Error::Snapshot(SnapshotFileError::Io {
+                path: path.display().to_string(),
+                error: format!(
+                    "shard {i} serializes to {} bytes, over the 4 GiB per-shard limit; \
+                     rebuild with a higher shard count",
+                    blob.0.len()
+                ),
+            }));
+        }
+        sections.encode(&mut buf);
+        write_snapshot_file(path, &buf).map_err(Error::Snapshot)?;
+        Ok((koko_storage::snapshot_file::SNAPSHOT_HEADER_LEN + buf.len()) as u64)
+    }
+
+    /// Load a snapshot written by [`Snapshot::save`]. Shards decode on
+    /// worker threads when `parallel` is set. Corrupt, truncated, or
+    /// wrong-version files produce a structured
+    /// [`Error::Snapshot`] naming the file — never a panic.
+    ///
+    /// ```
+    /// use koko_core::{Koko, Snapshot};
+    ///
+    /// let koko = Koko::from_texts(&["The cafe was busy.", "Anna was happy."]);
+    /// let path = std::env::temp_dir().join("doctest_load.koko");
+    /// koko.snapshot().save(&path, false).unwrap();
+    ///
+    /// let loaded = Snapshot::load(&path, false).unwrap();
+    /// assert_eq!(loaded.corpus().num_documents(), 2);
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
+    pub fn load(path: &Path, parallel: bool) -> Result<Snapshot, Error> {
+        let payload = read_snapshot_file(path).map_err(Error::Snapshot)?;
+        let mut input: &[u8] = &payload;
+        let embed = Embeddings::decode(&mut input).map_err(|e| corrupt(path, e))?;
+        let router = ShardRouter::decode(&mut input).map_err(|e| corrupt(path, e))?;
+        let sections = Vec::<Blob>::decode(&mut input).map_err(|e| corrupt(path, e))?;
+        if !input.is_empty() {
+            return Err(corrupt(path, DecodeError("trailing payload bytes".into())));
+        }
+        if router.num_shards() != sections.len() {
+            return Err(corrupt(
+                path,
+                DecodeError(format!(
+                    "router describes {} shards, payload holds {}",
+                    router.num_shards(),
+                    sections.len()
+                )),
+            ));
+        }
+
+        let threads = if parallel { 0 } else { 1 };
+        // Decode every shard, then rebuild the in-memory corpus from the
+        // shard document stores — both fan out per shard.
+        let shards: Vec<Result<Shard, DecodeError>> =
+            koko_par::par_map(&sections, threads, |_, blob| Shard::from_bytes(&blob.0));
+        let mut decoded = Vec::with_capacity(shards.len());
+        for shard in shards {
+            decoded.push(shard.map_err(|e| corrupt(path, e))?);
+        }
+        let mut expect_doc = 0u32;
+        let mut expect_sid = 0u32;
+        for (i, shard) in decoded.iter().enumerate() {
+            if shard.doc_range().start != expect_doc || shard.sid_range().start != expect_sid {
+                return Err(corrupt(
+                    path,
+                    DecodeError(format!("shard {i} is not contiguous with its predecessor")),
+                ));
+            }
+            expect_doc = shard.doc_range().end;
+            expect_sid = shard.sid_range().end;
+        }
+        // The stored router must agree with the shard ranges exactly —
+        // a mismatched router would misroute (or panic on) every id
+        // lookup at query time, long after load claimed success.
+        if router != ShardRouter::from_shards(&decoded) {
+            return Err(corrupt(
+                path,
+                DecodeError("shard router disagrees with the shard ranges".into()),
+            ));
+        }
+
+        let doc_lists: Vec<Result<Vec<Document>, DecodeError>> =
+            koko_par::par_map(&decoded, threads, |_, shard| {
+                shard
+                    .doc_range()
+                    .map(|doc| shard.load_document(doc))
+                    .collect()
+            });
+        let mut docs = Vec::with_capacity(expect_doc as usize);
+        for list in doc_lists {
+            docs.extend(list.map_err(|e| corrupt(path, e))?);
+        }
+        let corpus = Corpus::new(docs);
+        if corpus.num_sentences() != expect_sid as usize {
+            return Err(corrupt(
+                path,
+                DecodeError(format!(
+                    "stored documents hold {} sentences, shard ranges cover {}",
+                    corpus.num_sentences(),
+                    expect_sid
+                )),
+            ));
+        }
+        Ok(Snapshot::from_parts(corpus, decoded, router, embed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Koko;
+    use koko_storage::SNAPSHOT_VERSION;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("koko_core_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> Koko {
+        Koko::from_texts(&[
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            "The cafe was busy.",
+        ])
+    }
+
+    #[test]
+    fn save_reports_the_file_size() {
+        let path = tmp("size.koko");
+        let bytes = sample().snapshot().save(&path, true).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn sequential_and_parallel_save_produce_identical_files() {
+        let (pa, pb) = (tmp("par.koko"), tmp("seq.koko"));
+        let koko = sample();
+        koko.snapshot().save(&pa, true).unwrap();
+        koko.snapshot().save(&pb, false).unwrap();
+        assert_eq!(std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+    }
+
+    #[test]
+    fn load_rejects_missing_file_with_structured_error() {
+        let path = tmp("missing.koko");
+        std::fs::remove_file(&path).ok();
+        match Snapshot::load(&path, true) {
+            Err(Error::Snapshot(SnapshotFileError::Io { path: p, .. })) => {
+                assert!(p.contains("missing.koko"));
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_plain_text_as_not_a_snapshot() {
+        let path = tmp("plain.txt");
+        std::fs::write(&path, "The cafe was busy.\n").unwrap();
+        assert!(matches!(
+            Snapshot::load(&path, true),
+            Err(Error::Snapshot(SnapshotFileError::NotASnapshot { .. }))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_wrong_version_naming_expected() {
+        let path = tmp("version.koko");
+        sample().snapshot().save(&path, false).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[8..10].copy_from_slice(&(SNAPSHOT_VERSION + 7).to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let err = Snapshot::load(&path, true).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("version.koko") && msg.contains(&SNAPSHOT_VERSION.to_string()),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn load_rejects_truncated_and_corrupted_payloads() {
+        let path = tmp("damage.koko");
+        sample().snapshot().save(&path, false).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Truncations at several depths: header, early payload, mid-shard.
+        for cut in [9, 20, 30, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = Snapshot::load(&path, true).unwrap_err();
+            assert!(matches!(err, Error::Snapshot(_)), "cut {cut}: {err:?}");
+        }
+        // Bit flip in the middle of the payload: checksum catches it.
+        let mut flipped = full.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            Snapshot::load(&path, true),
+            Err(Error::Snapshot(SnapshotFileError::ChecksumMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_router_that_disagrees_with_shards() {
+        use crate::engine::EngineOpts;
+        let opts = EngineOpts {
+            num_shards: 2,
+            ..EngineOpts::default()
+        };
+        // Same shard count, different document boundaries.
+        let a = Koko::from_texts_with_opts(
+            &["Anna ate cake. She was happy. The cafe was busy.", "Go."],
+            opts,
+        );
+        let b = Koko::from_texts_with_opts(&["One.", "Two.", "Three.", "Four."], opts);
+        assert_ne!(a.snapshot().router(), b.snapshot().router());
+
+        // Hand-assemble a payload pairing b's shards with a's router.
+        let mut buf = bytes::BytesMut::new();
+        b.snapshot().embeddings().encode(&mut buf);
+        a.snapshot().router().encode(&mut buf);
+        let sections: Vec<Blob> = b
+            .snapshot()
+            .shards()
+            .iter()
+            .map(|s| Blob(s.to_bytes()))
+            .collect();
+        sections.encode(&mut buf);
+        let path = tmp("router_mismatch.koko");
+        write_snapshot_file(&path, &buf).unwrap();
+
+        match Snapshot::load(&path, true) {
+            Err(Error::Snapshot(SnapshotFileError::Corrupt { detail, .. })) => {
+                assert!(detail.contains("router"), "{detail}");
+            }
+            other => panic!("expected router-mismatch rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_corpus_round_trips() {
+        let path = tmp("empty.koko");
+        let koko = Koko::from_texts::<&str>(&[]);
+        koko.snapshot().save(&path, true).unwrap();
+        let loaded = Snapshot::load(&path, true).unwrap();
+        assert_eq!(loaded.corpus().num_documents(), 0);
+        assert_eq!(loaded.num_shards(), koko.snapshot().num_shards());
+    }
+
+    #[test]
+    fn custom_embeddings_survive_the_round_trip() {
+        let path = tmp("ontology.koko");
+        let koko =
+            sample().with_embeddings(Embeddings::new().with_ontology(&[("beans", &["arabica"])]));
+        koko.snapshot().save(&path, true).unwrap();
+        let loaded = Snapshot::load(&path, true).unwrap();
+        assert!(loaded.embeddings().knows("arabica"));
+        assert_eq!(
+            loaded.embeddings().similarity("arabica", "coffee"),
+            koko.snapshot().embeddings().similarity("arabica", "coffee"),
+        );
+    }
+}

@@ -6,11 +6,17 @@ use std::time::Duration;
 /// Accumulated stage timings for one query execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Profile {
+    /// Parse + normalize the query text (§4.1), on the calling thread.
     pub normalize: Duration,
+    /// Dominant-path index lookups producing candidate sentences (§4.2).
     pub dpli: Duration,
+    /// Decoding candidate articles from the document store.
     pub load_article: Duration,
+    /// Generating skip plans (§4.3).
     pub gsp: Duration,
+    /// Binding domains + extracting tuples from candidate sentences.
     pub extract: Duration,
+    /// Scoring satisfying/excluding clauses and aggregating evidence.
     pub satisfying: Duration,
     /// Number of candidate sentences DPLI produced.
     pub candidate_sentences: usize,

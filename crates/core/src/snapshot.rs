@@ -58,6 +58,24 @@ impl Snapshot {
         }
     }
 
+    /// Assemble a snapshot from already-built parts — the deserialization
+    /// path ([`crate::persist`]), which must not re-run any build step.
+    pub(crate) fn from_parts(
+        corpus: Corpus,
+        shards: Vec<Shard>,
+        router: ShardRouter,
+        embed: Embeddings,
+    ) -> Snapshot {
+        Snapshot {
+            corpus,
+            shards,
+            router,
+            embed,
+            global_db: OnceLock::new(),
+        }
+    }
+
+    /// The parsed corpus this snapshot was built from.
     pub fn corpus(&self) -> &Corpus {
         &self.corpus
     }

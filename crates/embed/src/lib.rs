@@ -324,12 +324,62 @@ impl Embeddings {
     }
 }
 
+/// Embeddings persist inside engine snapshots so a loaded snapshot scores
+/// `similarTo` / descriptor clauses with exactly the vectors it was built
+/// with — including any merged ontology, which `Embeddings::new()` could
+/// not reproduce. Entries serialize in key order (deterministic bytes);
+/// vectors are raw `f32` components.
+impl koko_storage::Codec for Embeddings {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        let mut words: Vec<&String> = self.vecs.keys().collect();
+        words.sort();
+        (words.len() as u32).encode(buf);
+        for w in words {
+            w.encode(buf);
+            for x in &self.vecs[w] {
+                x.encode(buf);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, koko_storage::DecodeError> {
+        let n = u32::decode(input)? as usize;
+        let mut vecs: HashMap<String, [f32; DIM]> = HashMap::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let word = String::decode(input)?;
+            let mut v = [0.0f32; DIM];
+            for x in &mut v {
+                *x = f32::decode(input)?;
+            }
+            vecs.insert(word, v);
+        }
+        Ok(Embeddings { vecs })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn e() -> &'static Embeddings {
         Embeddings::shared()
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_similarities() {
+        use koko_storage::Codec;
+        let orig = Embeddings::new().with_ontology(&[("beans", &["arabica", "robusta"])]);
+        let back = Embeddings::from_bytes(&orig.to_bytes()).unwrap();
+        for (a, b) in [
+            ("coffee", "espresso"),
+            ("serve", "sells"),
+            ("arabica", "robusta"),
+            ("unknownword", "coffee"),
+        ] {
+            assert_eq!(back.similarity(a, b), orig.similarity(a, b), "{a}/{b}");
+        }
+        assert!(back.knows("arabica"));
+        // Deterministic bytes: encoding twice gives identical output.
+        assert_eq!(orig.to_bytes(), orig.to_bytes());
     }
 
     #[test]

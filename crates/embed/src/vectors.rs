@@ -2,14 +2,10 @@
 //! unit vectors, and dense-vector math. No external RNG so embeddings are
 //! bit-identical across builds and platforms.
 
-/// FNV-1a 64-bit hash.
+/// FNV-1a 64-bit hash (delegates to the storage codec's canonical
+/// implementation so the workspace has exactly one copy of the constants).
 pub fn hash64(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    koko_storage::codec::fnv1a64(s.as_bytes())
 }
 
 /// SplitMix64: tiny, high-quality deterministic generator.

@@ -13,6 +13,7 @@
 //! `plid`/`posid` (§6.2.1).
 
 use koko_nlp::{Axis, Corpus, ParseLabel, PosTag, Sentence, Tid, Token};
+use koko_storage::{Codec, DecodeError};
 use std::collections::BTreeMap;
 
 /// A label kind that can key a hierarchy index.
@@ -241,6 +242,78 @@ impl<L: HierLabel> HierarchyIndex<L> {
         node_bytes + self.total_tokens * 4
     }
 
+    /// Serialized form: every non-root node as `(label, parent, depth,
+    /// postings)` in id order. The children maps and `total_tokens` are
+    /// derived on decode, so the codec surface stays minimal and a decoded
+    /// index is structurally identical to a freshly built one.
+    fn encode_nodes(&self, buf: &mut bytes::BytesMut)
+    where
+        L: Codec,
+    {
+        ((self.nodes.len() - 1) as u32).encode(buf);
+        for node in &self.nodes[1..] {
+            node.label.expect("non-root node has a label").encode(buf);
+            node.parent.expect("non-root node has a parent").encode(buf);
+            node.depth.encode(buf);
+            node.postings.encode(buf);
+        }
+    }
+
+    fn decode_nodes(input: &mut &[u8]) -> Result<Self, DecodeError>
+    where
+        L: Codec,
+    {
+        let n = u32::decode(input)? as usize;
+        let mut index = HierarchyIndex::<L>::new();
+        // Cap the pre-allocation against corrupt huge counts, mirroring
+        // the generic Vec decode.
+        index.nodes.reserve(n.min(4096));
+        for i in 0..n {
+            let label = L::decode(input)?;
+            let parent = u32::decode(input)?;
+            let depth = u16::decode(input)?;
+            let postings = Vec::<u32>::decode(input)?;
+            // Ids are assigned in insertion order, so every parent precedes
+            // its children; reject forward references outright.
+            if parent as usize > i {
+                return Err(DecodeError(format!(
+                    "hierarchy node {} references later parent {parent}",
+                    i + 1
+                )));
+            }
+            index.total_tokens += postings.len();
+            index.nodes.push(HNode {
+                label: Some(label),
+                parent: Some(parent),
+                depth,
+                children: BTreeMap::new(),
+                postings,
+            });
+            let id = (i + 1) as u32;
+            if index.nodes[parent as usize]
+                .children
+                .insert(label, id)
+                .is_some()
+            {
+                // Merging guarantees unique (parent, label) pairs; a
+                // duplicate would silently shadow a node's postings.
+                return Err(DecodeError(format!(
+                    "hierarchy node {parent} has duplicate child label {label:?}"
+                )));
+            }
+        }
+        Ok(index)
+    }
+
+    /// Largest token-heap reference held by any node, so containers that
+    /// know the heap size can bounds-check a decoded index.
+    pub(crate) fn max_posting_ref(&self) -> Option<u32> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.postings.iter().copied())
+            .max()
+    }
+
     /// Export as a closure table (§6.2.1's `PL`/`POS` schema): one row per
     /// (node, ancestor-or-self) pair.
     pub fn to_closure_table(&self) -> koko_storage::ClosureTable {
@@ -265,6 +338,15 @@ impl<L: HierLabel> HierarchyIndex<L> {
             }
         }
         ct
+    }
+}
+
+impl<L: HierLabel + Codec> Codec for HierarchyIndex<L> {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.encode_nodes(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Self::decode_nodes(input)
     }
 }
 
@@ -404,6 +486,44 @@ mod tests {
         // nn nodes with a dobj parent exist (Example 3.3).
         let hits = ct.nodes_with_ancestor(ParseLabel::Nn.code(), ParseLabel::Dobj.code(), Some(1));
         assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_structure_and_lookups() {
+        let c = corpus();
+        let base = heap_base(&c);
+        let (idx, _) = HierarchyIndex::<ParseLabel>::build(&c, &base);
+        let back = HierarchyIndex::<ParseLabel>::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(back.num_nodes(), idx.num_nodes());
+        assert_eq!(back.compression_ratio(), idx.compression_ratio());
+        assert_eq!(back.approx_bytes(), idx.approx_bytes());
+        let steps = [
+            (Axis::Child, Some(ParseLabel::Root)),
+            (Axis::Descendant, Some(ParseLabel::Amod)),
+        ];
+        assert_eq!(back.lookup(&steps, true), idx.lookup(&steps, true));
+        assert_eq!(
+            back.lookup(&[(Axis::Child, Some(ParseLabel::Nn))], false),
+            idx.lookup(&[(Axis::Child, Some(ParseLabel::Nn))], false)
+        );
+    }
+
+    #[test]
+    fn codec_rejects_forward_parent_references() {
+        let c = corpus();
+        let (idx, _) = HierarchyIndex::<ParseLabel>::build(&c, &heap_base(&c));
+        let bytes = idx.to_bytes();
+        // Node records start after the u32 count; parent sits after the
+        // 1-byte label of the first node. Point it past the node itself.
+        let mut bad = bytes.clone();
+        bad[5..9].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(HierarchyIndex::<ParseLabel>::from_bytes(&bad).is_err());
+        for cut in 0..bytes.len().min(48) {
+            assert!(
+                HierarchyIndex::<ParseLabel>::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
     }
 
     #[test]

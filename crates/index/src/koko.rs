@@ -14,7 +14,7 @@ use koko_nlp::{
     tree_stats, Axis, Corpus, EntityPosting, EntityType, NodeLabel, ParseLabel, PosTag, Posting,
     Sid, TreePattern,
 };
-use koko_storage::MultiMap;
+use koko_storage::{Codec, DecodeError, MultiMap};
 
 /// Relational row overhead charged uniformly across all schemes (B-tree
 /// entry per row); keeps the Figure 6(b) comparison fair.
@@ -364,6 +364,111 @@ impl KokoIndex {
     }
 }
 
+/// Field-by-field serialization of the whole multi-index, so loading a
+/// snapshot skips the index build entirely. `entity_by_type` is persisted
+/// too (not rebuilt from the entity table) because its per-type lists keep
+/// corpus insertion order, which the deterministic-results contract relies
+/// on.
+impl Codec for KokoIndex {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.heap.encode(buf);
+        self.token_base.encode(buf);
+        self.num_sentences.encode(buf);
+        self.plid.encode(buf);
+        self.posid.encode(buf);
+        self.word.encode(buf);
+        self.entity.encode(buf);
+        self.entity_by_type.encode(buf);
+        self.pl.encode(buf);
+        self.pos.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let idx = KokoIndex {
+            heap: Vec::decode(input)?,
+            token_base: Vec::decode(input)?,
+            num_sentences: u32::decode(input)?,
+            plid: Vec::decode(input)?,
+            posid: Vec::decode(input)?,
+            word: MultiMap::decode(input)?,
+            entity: MultiMap::decode(input)?,
+            entity_by_type: Vec::decode(input)?,
+            pl: HierarchyIndex::decode(input)?,
+            pos: HierarchyIndex::decode(input)?,
+        };
+        if idx.entity_by_type.len() != EntityType::ALL.len() {
+            return Err(DecodeError(format!(
+                "expected {} entity type lists, found {}",
+                EntityType::ALL.len(),
+                idx.entity_by_type.len()
+            )));
+        }
+        if idx.plid.len() != idx.heap.len() || idx.posid.len() != idx.heap.len() {
+            return Err(DecodeError("plid/posid length mismatch".into()));
+        }
+        idx.validate_references()?;
+        Ok(idx)
+    }
+}
+
+impl KokoIndex {
+    /// Bounds-check every reference a decoded index will later use for
+    /// direct slice indexing, so a checksum-valid but malformed file is
+    /// rejected at load time instead of panicking mid-query.
+    fn validate_references(&self) -> Result<(), DecodeError> {
+        let heap_len = self.heap.len() as u32;
+        if self.token_base.len() != self.num_sentences as usize {
+            return Err(DecodeError(format!(
+                "token_base holds {} sentences, header says {}",
+                self.token_base.len(),
+                self.num_sentences
+            )));
+        }
+        if self.token_base.iter().any(|&b| b > heap_len) {
+            return Err(DecodeError("token_base offset past heap end".into()));
+        }
+        if self.heap.iter().any(|p| p.sid >= self.num_sentences) {
+            return Err(DecodeError("heap posting sid out of range".into()));
+        }
+        if self
+            .word
+            .iter()
+            .flat_map(|(_, refs)| refs.iter())
+            .any(|&r| r >= heap_len)
+        {
+            return Err(DecodeError("word index reference past heap end".into()));
+        }
+        let entity_sids = self
+            .entity
+            .iter()
+            .flat_map(|(_, eps)| eps.iter())
+            .chain(self.entity_by_type.iter().flatten());
+        for ep in entity_sids {
+            if ep.sid >= self.num_sentences {
+                return Err(DecodeError("entity posting sid out of range".into()));
+            }
+        }
+        for (name, hier_nodes, ids) in [
+            ("plid", self.pl.num_nodes(), &self.plid),
+            ("posid", self.pos.num_nodes(), &self.posid),
+        ] {
+            if ids.iter().any(|&n| n as usize > hier_nodes) {
+                return Err(DecodeError(format!("{name} references missing node")));
+            }
+        }
+        for (name, max_ref) in [
+            ("PL", self.pl.max_posting_ref()),
+            ("POS", self.pos.max_posting_ref()),
+        ] {
+            if max_ref.is_some_and(|r| r >= heap_len) {
+                return Err(DecodeError(format!(
+                    "{name} hierarchy posting past heap end"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Split a tree pattern into its root-to-leaf paths, preserving axes.
 pub fn root_to_leaf_paths(pattern: &TreePattern) -> Vec<TreePattern> {
     if pattern.is_empty() {
@@ -656,6 +761,44 @@ mod tests {
             assert!(cands.contains(t));
         }
         assert!(!cands.contains(&2));
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_lookup_surface() {
+        let c = corpus();
+        let idx = KokoIndex::build(&c);
+        let back = KokoIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(back.num_sentences(), idx.num_sentences());
+        assert_eq!(back.approx_bytes(), idx.approx_bytes());
+        for word in ["ate", "delicious", "latte"] {
+            assert_eq!(back.word_refs(word), idx.word_refs(word));
+        }
+        assert_eq!(
+            back.entity_postings("cheesecake"),
+            idx.entity_postings("cheesecake")
+        );
+        assert_eq!(
+            back.entities_of_type(Some(EntityType::Person)),
+            idx.entities_of_type(Some(EntityType::Person))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_references() {
+        let c = corpus();
+        let idx = KokoIndex::build(&c);
+        let bytes = idx.to_bytes();
+        // num_sentences sits after the heap (18 bytes/posting) and
+        // token_base vectors; zeroing it must invalidate every sid and
+        // the token_base length.
+        let off = 4 + 18 * idx.heap.len() + 4 + 4 * idx.token_base.len();
+        let mut bad = bytes.clone();
+        bad[off..off + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(KokoIndex::from_bytes(&bad).is_err());
+        // Truncations error rather than panic.
+        for cut in (0..bytes.len()).step_by(97) {
+            assert!(KokoIndex::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! | KOKO multi-index (word + entity inverted indices, PL/POS hierarchy indices) | [`koko`], [`hierarchy`] | §3 |
 //! | `INVERTED` — label → (sid, tid) | [`inverted`] | baseline |
 //! | `ADVINVERTED` — label → (sid, tid, left, right, depth, pid) | [`advinverted`] | Bird et al. [7, 20] |
-//! | `SUBTREE` — every subtree up to size 3, root-split coding | [`subtree`] | Chubak & Rafiei [14] |
+//! | `SUBTREE` — every subtree up to size 3, root-split coding | [`subtree`] | Chubak & Rafiei \[14\] |
 //!
 //! All four implement [`CandidateIndex`]: given a [`koko_nlp::TreePattern`]
 //! they return a *complete* candidate set of sentence ids (a superset of the

@@ -22,7 +22,7 @@
 
 use crate::koko::KokoIndex;
 use koko_nlp::{Corpus, Document, Sid};
-use koko_storage::{DecodeError, DocStore};
+use koko_storage::{Codec, DecodeError, DocStore};
 use std::ops::Range;
 
 /// One contiguous document partition with its own index and store.
@@ -128,6 +128,76 @@ impl Shard {
     }
 }
 
+/// A shard serializes as its metadata plus its index and store, so a
+/// loaded shard answers queries without touching the original text. Shards
+/// encode/decode independently — the snapshot layer runs them in parallel.
+impl Codec for Shard {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        (self.id as u64).encode(buf);
+        self.docs.start.encode(buf);
+        self.docs.end.encode(buf);
+        self.sids.start.encode(buf);
+        self.sids.end.encode(buf);
+        self.index.encode(buf);
+        self.store.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let id = u64::decode(input)? as usize;
+        let docs = u32::decode(input)?..u32::decode(input)?;
+        let sids = Sid::decode(input)?..Sid::decode(input)?;
+        if docs.start > docs.end || sids.start > sids.end {
+            return Err(DecodeError(format!(
+                "shard {id} has inverted ranges (docs {docs:?}, sids {sids:?})"
+            )));
+        }
+        let index = KokoIndex::decode(input)?;
+        let store = DocStore::decode(input)?;
+        if store.len() != docs.len() {
+            return Err(DecodeError(format!(
+                "shard {id} stores {} documents for a range of {}",
+                store.len(),
+                docs.len()
+            )));
+        }
+        if index.num_sentences() as usize != sids.len() {
+            // Local sids map 1:1 onto the shard's global sid range; a
+            // larger index would emit sids past the corpus end mid-query.
+            return Err(DecodeError(format!(
+                "shard {id} index covers {} sentences for a sid range of {}",
+                index.num_sentences(),
+                sids.len()
+            )));
+        }
+        Ok(Shard {
+            id,
+            docs,
+            sids,
+            index,
+            store,
+        })
+    }
+}
+
+/// The router serializes its boundary arrays directly (it could be rebuilt
+/// from the shard list, but persisting it keeps load independent of shard
+/// decode order and costs a few bytes).
+impl Codec for ShardRouter {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.doc_starts.encode(buf);
+        self.sid_starts.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let router = ShardRouter {
+            doc_starts: Vec::decode(input)?,
+            sid_starts: Vec::decode(input)?,
+        };
+        if router.doc_starts.is_empty() || router.sid_starts.len() != router.doc_starts.len() {
+            return Err(DecodeError("malformed shard router".into()));
+        }
+        Ok(router)
+    }
+}
+
 /// Plan contiguous, sentence-balanced document ranges for `num_shards`
 /// shards (`0` = one per available core). Never returns an empty range
 /// except for the single shard of an empty corpus; the shard count is
@@ -172,7 +242,7 @@ pub fn build_shards(corpus: &Corpus, num_shards: usize, threads: usize) -> Vec<S
 
 /// Maps global document / sentence ids to shard indices by binary search
 /// over the (sorted, disjoint) shard boundaries.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardRouter {
     /// `doc_starts[i]` is shard i's first global doc; one extra sentinel
     /// holds the total doc count. Same layout for sids.
@@ -313,6 +383,58 @@ mod tests {
             let s = &shards[router.shard_of_doc(di as u32)];
             assert_eq!(&s.load_document(di as u32).unwrap(), doc);
         }
+    }
+
+    #[test]
+    fn shard_codec_round_trip_preserves_lookups() {
+        let c = corpus(9);
+        for shard in build_shards(&c, 3, 1) {
+            let back = Shard::from_bytes(&shard.to_bytes()).unwrap();
+            assert_eq!(back.id(), shard.id());
+            assert_eq!(back.doc_range(), shard.doc_range());
+            assert_eq!(back.sid_range(), shard.sid_range());
+            assert_eq!(back.store().len(), shard.store().len());
+            assert_eq!(back.approx_index_bytes(), shard.approx_index_bytes());
+            for word in ["ate", "latte", "busy", "cafe"] {
+                assert_eq!(back.index().word_refs(word), shard.index().word_refs(word));
+            }
+            for doc in shard.doc_range() {
+                assert_eq!(
+                    back.load_document(doc).unwrap(),
+                    shard.load_document(doc).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn router_codec_round_trip() {
+        let c = corpus(11);
+        let shards = build_shards(&c, 4, 1);
+        let router = ShardRouter::from_shards(&shards);
+        let back = ShardRouter::from_bytes(&router.to_bytes()).unwrap();
+        assert_eq!(back.num_shards(), router.num_shards());
+        for doc in 0..c.num_documents() as u32 {
+            assert_eq!(back.shard_of_doc(doc), router.shard_of_doc(doc));
+        }
+        for sid in 0..c.num_sentences() as Sid {
+            assert_eq!(back.shard_of_sid(sid), router.shard_of_sid(sid));
+        }
+    }
+
+    #[test]
+    fn corrupt_shard_bytes_error_not_panic() {
+        let c = corpus(4);
+        let shard = build_shards(&c, 1, 1).remove(0);
+        let bytes = shard.to_bytes();
+        for cut in 0..bytes.len().min(64) {
+            assert!(Shard::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Inverted document range is rejected structurally.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&9u32.to_le_bytes()); // docs.start
+        bad[12..16].copy_from_slice(&1u32.to_le_bytes()); // docs.end
+        assert!(Shard::from_bytes(&bad).is_err());
     }
 
     #[test]

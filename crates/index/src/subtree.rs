@@ -1,4 +1,4 @@
-//! The `SUBTREE` baseline (Chubak & Rafiei [14], §6.2.1): every unique
+//! The `SUBTREE` baseline (Chubak & Rafiei \[14\], §6.2.1): every unique
 //! subtree up to `mss = 3` nodes is an index key, with root-split coding
 //! (postings keyed by the subtree's root occurrence).
 //!

@@ -10,7 +10,7 @@
 //!   posting quintuple [`Posting`], and subtree statistics [`tree_stats`].
 //! * [`tokenize`] / [`tagger`] / [`ner`] / [`depparse`] — the pipeline
 //!   stages, composed by [`Pipeline`].
-//! * [`decompose`] — canonical-clause segmentation (§4.4.1(b)).
+//! * [`mod@decompose`] — canonical-clause segmentation (§4.4.1(b)).
 //! * [`pattern`] — tree patterns and the direct (index-free) matcher that
 //!   defines ground truth for the §6.2 index benchmarks.
 //! * [`gazetteer`] / [`lexicon`] — the closed word lists shared with the

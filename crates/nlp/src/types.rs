@@ -13,7 +13,7 @@ pub type Sid = u32;
 /// Token identifier, local to a sentence.
 pub type Tid = u32;
 
-/// Universal POS tags (Petrov et al. [33], the tagset used in Figure 1).
+/// Universal POS tags (Petrov et al. \[33\], the tagset used in Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum PosTag {
@@ -91,7 +91,7 @@ impl fmt::Display for PosTag {
 }
 
 /// Dependency parse labels (the Stanford-style label set of Figure 1 /
-/// McDonald et al. [28]).
+/// McDonald et al. \[28\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum ParseLabel {

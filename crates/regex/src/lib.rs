@@ -4,8 +4,8 @@
 //!
 //! The engine is a classic three-stage pipeline:
 //!
-//! 1. [`ast`] — recursive-descent parser producing an expression tree,
-//! 2. [`nfa`] — Thompson construction into an ε-NFA,
+//! 1. `ast` — recursive-descent parser producing an expression tree,
+//! 2. `nfa` — Thompson construction into an ε-NFA,
 //! 3. simulation — breadth-first state-set stepping (Pike-style, no
 //!    backtracking), so matching is `O(len(text) · len(pattern))` in the worst
 //!    case and immune to catastrophic backtracking.

@@ -5,7 +5,10 @@
 //! the Table 2 `LoadArticle` stage measures exactly this path.
 
 use bytes::{BufMut, BytesMut};
-use koko_nlp::{Document, EntityMention, EntityType, ParseLabel, PosTag, Posting, Sentence, Token};
+use koko_nlp::{
+    Document, EntityMention, EntityPosting, EntityType, ParseLabel, PosTag, Posting, Sentence,
+    Token,
+};
 use std::fmt;
 
 /// Format version written into every file header.
@@ -78,6 +81,7 @@ macro_rules! impl_codec_le {
 impl_codec_le!(u16, put_u16_le, 2);
 impl_codec_le!(u32, put_u32_le, 4);
 impl_codec_le!(u64, put_u64_le, 8);
+impl_codec_le!(f32, put_f32_le, 4);
 impl_codec_le!(f64, put_f64_le, 8);
 
 impl Codec for u8 {
@@ -257,6 +261,35 @@ impl Codec for Posting {
             depth: u16::decode(input)?,
         })
     }
+}
+
+impl Codec for EntityPosting {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.sid.encode(buf);
+        self.left.encode(buf);
+        self.right.encode(buf);
+        self.etype.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(EntityPosting {
+            sid: u32::decode(input)?,
+            left: u32::decode(input)?,
+            right: u32::decode(input)?,
+            etype: EntityType::decode(input)?,
+        })
+    }
+}
+
+/// FNV-1a 64-bit hash — the snapshot container's payload checksum. Chosen
+/// over CRC for simplicity (no table) while still catching truncation and
+/// bit flips; collision resistance is not a goal.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 /// Write a value to a file with the KOKO header (magic + version).

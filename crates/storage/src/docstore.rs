@@ -87,10 +87,34 @@ impl DocStore {
     }
 }
 
+/// A store serializes as its blob list — encoded documents are copied
+/// verbatim, so snapshot encode/decode never re-encodes articles.
+impl Codec for DocStore {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.blobs.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(DocStore {
+            blobs: Vec::decode(input)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use koko_nlp::Pipeline;
+
+    #[test]
+    fn codec_round_trip_preserves_blobs() {
+        let p = Pipeline::new();
+        let mut store = DocStore::new();
+        for i in 0..3 {
+            store.put(&p.parse_document(i, "Anna ate cake. The cafe was busy."));
+        }
+        let back = DocStore::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(back.blobs, store.blobs);
+    }
 
     #[test]
     fn put_load_round_trip() {

@@ -13,7 +13,7 @@
 //! * [`table`] — ordered tables with range scans and byte accounting (the
 //!   B-tree indexes every scheme in Figure 6 is charged for);
 //! * [`closure`] — the Closure Table representation of hierarchy indices
-//!   (Karwin [25]);
+//!   (Karwin \[25\]);
 //! * [`docstore`] — the parsed-article store with per-document lazy decode;
 //! * [`db`] — a named collection of the above with directory persistence.
 
@@ -21,10 +21,15 @@ pub mod closure;
 pub mod codec;
 pub mod db;
 pub mod docstore;
+pub mod snapshot_file;
 pub mod table;
 
 pub use closure::{ClosureRow, ClosureTable};
 pub use codec::{Codec, DecodeError};
 pub use db::Db;
 pub use docstore::DocStore;
+pub use snapshot_file::{
+    is_snapshot_file, read_snapshot_file, write_snapshot_file, SnapshotFileError, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use table::{MultiMap, OrderedTable};

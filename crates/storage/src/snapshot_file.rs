@@ -1,0 +1,342 @@
+//! The `.koko` snapshot container: framing for build-once / query-many
+//! index files.
+//!
+//! A snapshot file holds one opaque payload (the engine's serialized
+//! `Snapshot` body — encoded by `koko-core`, which owns the payload
+//! layout) wrapped in a self-describing, checksummed header:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     8  magic  b"KOKOSNAP"
+//!      8     2  format version (u16 LE) — currently 1
+//!     10     8  payload length in bytes (u64 LE)
+//!     18     8  FNV-1a 64 checksum of the payload (u64 LE)
+//!     26     …  payload
+//! ```
+//!
+//! The magic is distinct from the 4-byte `b"KOKO"` header of plain
+//! [`codec`](crate::codec) value files, so callers (notably the CLI) can
+//! tell a snapshot from a raw corpus or a single persisted value by
+//! sniffing the first 8 bytes — see [`is_snapshot_file`].
+//!
+//! Every way a file can be unusable maps to a distinct
+//! [`SnapshotFileError`] variant naming the offending path, so the CLI can
+//! print an actionable message instead of panicking on corrupt input.
+
+use crate::codec::fnv1a64;
+use std::fmt;
+use std::io::Read;
+use std::path::Path;
+
+/// Magic bytes opening every `.koko` snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"KOKOSNAP";
+/// Snapshot container format version. Bump on any layout change to the
+/// header *or* the payload encoding; readers reject other versions.
+pub const SNAPSHOT_VERSION: u16 = 1;
+/// Bytes before the payload: magic + version + length + checksum.
+pub const SNAPSHOT_HEADER_LEN: usize = 8 + 2 + 8 + 8;
+
+/// Everything that can make a snapshot file unusable. Each variant names
+/// the file so messages stay actionable without extra context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotFileError {
+    /// The file could not be read or written at all.
+    Io { path: String, error: String },
+    /// The file exists but does not start with [`SNAPSHOT_MAGIC`].
+    NotASnapshot { path: String },
+    /// The container version is not [`SNAPSHOT_VERSION`].
+    WrongVersion { path: String, found: u16 },
+    /// The file ends before the header or the declared payload length.
+    Truncated {
+        path: String,
+        expected: u64,
+        found: u64,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch { path: String },
+    /// The payload frame is intact but its contents failed to decode.
+    Corrupt { path: String, detail: String },
+}
+
+impl SnapshotFileError {
+    /// The offending file's path, for callers composing their own message.
+    pub fn path(&self) -> &str {
+        match self {
+            SnapshotFileError::Io { path, .. }
+            | SnapshotFileError::NotASnapshot { path }
+            | SnapshotFileError::WrongVersion { path, .. }
+            | SnapshotFileError::Truncated { path, .. }
+            | SnapshotFileError::ChecksumMismatch { path }
+            | SnapshotFileError::Corrupt { path, .. } => path,
+        }
+    }
+}
+
+impl fmt::Display for SnapshotFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotFileError::Io { path, error } => write!(f, "{path}: {error}"),
+            SnapshotFileError::NotASnapshot { path } => {
+                write!(f, "{path}: not a KOKO snapshot (expected magic \"KOKOSNAP\"; build one with `koko build`)")
+            }
+            SnapshotFileError::WrongVersion { path, found } => write!(
+                f,
+                "{path}: unsupported snapshot format version {found} (this build reads version {SNAPSHOT_VERSION}; rebuild the snapshot with `koko build`)"
+            ),
+            SnapshotFileError::Truncated {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{path}: truncated snapshot ({found} of {expected} payload bytes present)"
+            ),
+            SnapshotFileError::ChecksumMismatch { path } => {
+                write!(f, "{path}: snapshot payload checksum mismatch (file is corrupt)")
+            }
+            SnapshotFileError::Corrupt { path, detail } => {
+                write!(f, "{path}: corrupt snapshot payload: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotFileError {}
+
+fn io_err(path: &Path, e: std::io::Error) -> SnapshotFileError {
+    SnapshotFileError::Io {
+        path: path.display().to_string(),
+        error: e.to_string(),
+    }
+}
+
+/// Write `payload` to `path` wrapped in the snapshot header.
+///
+/// The write goes to a sibling temp file first and is renamed into place,
+/// so an interrupted save (crash, full disk) never destroys an existing
+/// good snapshot at `path` — rebuilds stay atomic on one filesystem.
+pub fn write_snapshot_file(path: &Path, payload: &[u8]) -> Result<(), SnapshotFileError> {
+    use std::io::Write;
+    let mut header = Vec::with_capacity(SNAPSHOT_HEADER_LEN);
+    header.extend_from_slice(SNAPSHOT_MAGIC);
+    header.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    header.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    // Temp name: full destination file name + pid + per-call counter, so
+    // destinations sharing a stem (model.koko vs model.bak) and concurrent
+    // writers — across or within a process — never collide on one temp
+    // file.
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    tmp_name.push(format!(".tmp{}.{seq}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let write_all = || -> std::io::Result<()> {
+        let f = std::fs::File::create(&tmp)?;
+        let mut w = std::io::BufWriter::new(f);
+        w.write_all(&header)?;
+        w.write_all(payload)?;
+        w.flush()?;
+        // Data must be durable before the rename becomes visible, or a
+        // power loss could install a zero-length file over a good one.
+        w.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    write_all().map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        io_err(path, e)
+    })
+}
+
+/// Read and verify a snapshot file, returning its payload. Checks (in
+/// order): readability, magic, version, declared length, checksum — each
+/// failure is its own [`SnapshotFileError`] variant.
+pub fn read_snapshot_file(path: &Path) -> Result<Vec<u8>, SnapshotFileError> {
+    let name = path.display().to_string();
+    let mut data = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    if data.len() < 8 || &data[..8] != SNAPSHOT_MAGIC {
+        // A too-short file can't even hold the magic: not a snapshot.
+        return Err(SnapshotFileError::NotASnapshot { path: name });
+    }
+    if data.len() < SNAPSHOT_HEADER_LEN {
+        return Err(SnapshotFileError::Truncated {
+            path: name,
+            expected: SNAPSHOT_HEADER_LEN as u64,
+            found: data.len() as u64,
+        });
+    }
+    let version = u16::from_le_bytes(data[8..10].try_into().expect("sized"));
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotFileError::WrongVersion {
+            path: name,
+            found: version,
+        });
+    }
+    let len = u64::from_le_bytes(data[10..18].try_into().expect("sized"));
+    let checksum = u64::from_le_bytes(data[18..26].try_into().expect("sized"));
+    let available = (data.len() - SNAPSHOT_HEADER_LEN) as u64;
+    if available < len {
+        return Err(SnapshotFileError::Truncated {
+            path: name,
+            expected: len,
+            found: available,
+        });
+    }
+    // Strip header and trailing bytes in place — the payload can be large
+    // and the file buffer is already in memory, so no second copy.
+    data.truncate(SNAPSHOT_HEADER_LEN + len as usize);
+    data.drain(..SNAPSHOT_HEADER_LEN);
+    if fnv1a64(&data) != checksum {
+        return Err(SnapshotFileError::ChecksumMismatch { path: name });
+    }
+    Ok(data)
+}
+
+/// Sniff the first 8 bytes of `path`: `true` iff they are
+/// [`SNAPSHOT_MAGIC`]. Unreadable / short files are simply `false` — the
+/// caller will then treat the path as raw text and surface read errors on
+/// that route instead.
+pub fn is_snapshot_file(path: &Path) -> bool {
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let mut head = [0u8; 8];
+    f.read_exact(&mut head).is_ok() && &head == SNAPSHOT_MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("koko_snapshot_file_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp("ok.koko");
+        let payload = b"hello snapshot payload".to_vec();
+        write_snapshot_file(&path, &payload).unwrap();
+        assert!(is_snapshot_file(&path));
+        assert_eq!(read_snapshot_file(&path).unwrap(), payload);
+    }
+
+    #[test]
+    fn overwrite_is_atomic_and_leaves_no_temp_file() {
+        // Own subdirectory: the leftover scan must not race other tests'
+        // transient temp files in the shared directory.
+        let dir = tmp("atomic_subdir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rewrite.koko");
+        write_snapshot_file(&path, b"first generation").unwrap();
+        write_snapshot_file(&path, b"second generation").unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), b"second generation");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away");
+        // A failed write (destination directory vanished) reports Io and
+        // cleans up after itself.
+        let gone = tmp("no_such_dir").join("x.koko");
+        assert!(matches!(
+            write_snapshot_file(&gone, b"payload"),
+            Err(SnapshotFileError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let path = tmp("empty.koko");
+        write_snapshot_file(&path, &[]).unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = tmp("does_not_exist.koko");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            read_snapshot_file(&path),
+            Err(SnapshotFileError::Io { .. })
+        ));
+        assert!(!is_snapshot_file(&path));
+    }
+
+    #[test]
+    fn wrong_magic_is_not_a_snapshot() {
+        let path = tmp("text.koko");
+        std::fs::write(&path, "just a text corpus line\n").unwrap();
+        assert!(!is_snapshot_file(&path));
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert!(matches!(err, SnapshotFileError::NotASnapshot { .. }));
+        assert!(err.to_string().contains("text.koko"), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_with_both_versions_named() {
+        let path = tmp("future.koko");
+        write_snapshot_file(&path, b"payload").unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[8..10].copy_from_slice(&99u16.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotFileError::WrongVersion {
+                path: path.display().to_string(),
+                found: 99
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("99") && msg.contains('1'), "{msg}");
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut() {
+        let path = tmp("cut.koko");
+        write_snapshot_file(&path, b"0123456789").unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in 8..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = read_snapshot_file(&path).unwrap_err();
+            assert!(
+                matches!(err, SnapshotFileError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_checksum() {
+        let path = tmp("flip.koko");
+        write_snapshot_file(&path, b"some payload bytes").unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            read_snapshot_file(&path),
+            Err(SnapshotFileError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_beyond_declared_length_is_ignored() {
+        // The frame is length-prefixed, so appended bytes (e.g. from a
+        // partially overwritten file) don't corrupt the payload.
+        let path = tmp("tail.koko");
+        write_snapshot_file(&path, b"payload").unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data.extend_from_slice(b"garbage");
+        std::fs::write(&path, &data).unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), b"payload".to_vec());
+    }
+}

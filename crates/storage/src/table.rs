@@ -2,6 +2,8 @@
 //! §6.2.1 stores its postings in, with byte accounting for the Figure 6(b)
 //! index-size comparison.
 
+use crate::codec::{Codec, DecodeError};
+use bytes::BytesMut;
 use std::collections::BTreeMap;
 use std::ops::RangeBounds;
 
@@ -123,6 +125,35 @@ impl<K: Ord + Clone, V> MultiMap<K, V> {
     }
 }
 
+/// Posting-list tables serialize in key order (deterministic bytes for
+/// identical contents); the byte accounting is persisted so a reloaded
+/// index reports the same footprint it did when built.
+impl<K: Ord + Clone + Codec, V: Codec> Codec for MultiMap<K, V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.map.len() as u32).encode(buf);
+        for (k, v) in &self.map {
+            k.encode(buf);
+            v.encode(buf);
+        }
+        (self.rows as u64).encode(buf);
+        (self.approx_bytes as u64).encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = u32::decode(input)? as usize;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(input)?;
+            let v = Vec::<V>::decode(input)?;
+            map.insert(k, v);
+        }
+        Ok(MultiMap {
+            map,
+            rows: u64::decode(input)? as usize,
+            approx_bytes: u64::decode(input)? as usize,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +193,19 @@ mod tests {
         assert_eq!(m.num_keys(), 2);
         assert_eq!(m.num_rows(), 3);
         assert!(m.approx_bytes() >= 24);
+    }
+
+    #[test]
+    fn multimap_codec_round_trip() {
+        let mut m: MultiMap<String, u32> = MultiMap::new();
+        m.push("ate".into(), 1, 8);
+        m.push("ate".into(), 2, 8);
+        m.push("pie".into(), 3, 8);
+        let back = MultiMap::<String, u32>::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back.get(&"ate".to_string()), m.get(&"ate".to_string()));
+        assert_eq!(back.num_keys(), m.num_keys());
+        assert_eq!(back.num_rows(), m.num_rows());
+        assert_eq!(back.approx_bytes(), m.approx_bytes());
     }
 
     #[test]

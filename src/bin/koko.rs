@@ -1,29 +1,41 @@
 //! `koko` — command-line interface to the KOKO engine.
 //!
 //! ```text
-//! koko query  <corpus.txt> '<query>'     run a KOKO query over a text file
-//!                                        (one document per line, or --doc=para
-//!                                        for blank-line-separated paragraphs)
-//! koko batch  <corpus.txt> '<q1>' '<q2>' evaluate many queries over one
+//! koko build  <corpus> -o <file.koko>    parse + index a corpus once and
+//!                                        write a persistent snapshot
+//! koko query  <corpus> '<query>'         run a KOKO query over a text file
+//!                                        or a .koko snapshot
+//! koko batch  <corpus> '<q1>' '<q2>'     evaluate many queries over one
 //!                                        shared snapshot (parallel)
 //! koko parse  <corpus.txt>               show the annotation pipeline output
-//! koko stats  <corpus.txt>               corpus + per-shard index statistics
+//! koko stats  <corpus>                   corpus + per-shard index statistics
 //! koko demo                              the paper's Figure 1 walkthrough
 //! ```
+//!
+//! `<corpus>` is either a text file (one document per line, or
+//! blank-line-separated paragraphs with `--doc=para`) or a `.koko` snapshot
+//! produced by `koko build` — detected by the `KOKOSNAP` magic bytes, not
+//! the extension. Querying a snapshot skips NLP ingest entirely, so
+//! repeated queries start in milliseconds. See docs/QUERYLANG.md for the
+//! query language.
 
 use koko::nlp::tree_stats;
-use koko::{Koko, Pipeline};
+use koko::storage::is_snapshot_file;
+use koko::{EngineOpts, Koko, Pipeline};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("parse") => cmd_parse(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
-            eprintln!("usage: koko <query|parse|stats|demo> [args]  (see `src/bin/koko.rs`)");
+            eprintln!(
+                "usage: koko <build|query|batch|parse|stats|demo> [args]  (see `src/bin/koko.rs`)"
+            );
             2
         }
     };
@@ -53,34 +65,123 @@ fn load_docs(path: &str, args: &[String]) -> Result<Vec<String>, String> {
     Ok(docs)
 }
 
-fn cmd_query(args: &[String]) -> i32 {
-    let (Some(path), Some(query)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: koko query <corpus.txt> '<query>' [--doc=para]");
+/// `--shards=N` knob shared by `build` and the engine-backed commands.
+/// `0` (the default) means one shard per core; an unparsable value is an
+/// error rather than a silent fallback.
+fn arg_shards(args: &[String]) -> Result<usize, String> {
+    match args.iter().find_map(|a| a.strip_prefix("--shards=")) {
+        None => Ok(0),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--shards expects a number, got {v:?}")),
+    }
+}
+
+/// Build an engine from `path` — a `.koko` snapshot (sniffed by magic
+/// bytes) or a raw text corpus. Snapshot load failures surface the
+/// structured message naming the file and the expected format version.
+fn load_engine(path: &str, args: &[String]) -> Result<Koko, String> {
+    if is_snapshot_file(std::path::Path::new(path)) {
+        return Koko::open(std::path::Path::new(path)).map_err(|e| e.to_string());
+    }
+    let opts = EngineOpts {
+        num_shards: arg_shards(args)?,
+        ..EngineOpts::default()
+    };
+    Ok(Koko::from_texts_with_opts(&load_docs(path, args)?, opts))
+}
+
+fn cmd_build(args: &[String]) -> i32 {
+    let input = args.first();
+    let out: Option<String> = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        });
+    let (Some(input), Some(out)) = (input, out) else {
+        eprintln!("usage: koko build <corpus.txt> -o <snapshot.koko> [--shards=N] [--doc=para]");
         return 2;
     };
-    let docs = match load_docs(path, args) {
+    if is_snapshot_file(std::path::Path::new(input)) {
+        eprintln!("error: {input} is already a KOKO snapshot; `koko build` takes a text corpus");
+        return 1;
+    }
+    let num_shards = match arg_shards(args) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let docs = match load_docs(input, args) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
         }
     };
-    let koko = Koko::from_texts(&docs);
+    let t = std::time::Instant::now();
+    let opts = EngineOpts {
+        num_shards,
+        ..EngineOpts::default()
+    };
+    let koko = Koko::from_texts_with_opts(&docs, opts);
+    let ingest = t.elapsed();
+    let t = std::time::Instant::now();
+    match koko.save(std::path::Path::new(&out)) {
+        Ok(bytes) => {
+            eprintln!(
+                "built {} documents into {} shards in {:.2?}; wrote {out} ({:.1} KiB) in {:.2?}",
+                koko.corpus().num_documents(),
+                koko.shards().len(),
+                ingest,
+                bytes as f64 / 1024.0,
+                t.elapsed(),
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn print_rows(out: &koko::QueryOutput) {
+    for row in &out.rows {
+        let vals: Vec<String> = row
+            .values
+            .iter()
+            .map(|v| format!("{}={:?}", v.name, v.text))
+            .collect();
+        println!(
+            "doc {}\tscore {:.3}\t{}",
+            row.doc,
+            row.score,
+            vals.join("\t")
+        );
+    }
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    let (Some(path), Some(query)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: koko query <corpus.txt|snapshot.koko> '<query>' [--doc=para]");
+        return 2;
+    };
+    let koko = match load_engine(path, args) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
     match koko.query(query) {
         Ok(out) => {
-            for row in &out.rows {
-                let vals: Vec<String> = row
-                    .values
-                    .iter()
-                    .map(|v| format!("{}={:?}", v.name, v.text))
-                    .collect();
-                println!(
-                    "doc {}\tscore {:.3}\t{}",
-                    row.doc,
-                    row.score,
-                    vals.join("\t")
-                );
-            }
+            print_rows(&out);
             eprintln!(
                 "{} rows | {} candidate sentences | total {:?} (normalize {:?}, dpli {:?}, load {:?}, gsp {:?}, extract {:?}, satisfying {:?})",
                 out.rows.len(),
@@ -104,7 +205,9 @@ fn cmd_query(args: &[String]) -> i32 {
 
 fn cmd_batch(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
-        eprintln!("usage: koko batch <corpus.txt> '<query>' ['<query>' ...] [--doc=para]");
+        eprintln!(
+            "usage: koko batch <corpus.txt|snapshot.koko> '<query>' ['<query>' ...] [--doc=para]"
+        );
         return 2;
     };
     let queries: Vec<&str> = args[1..]
@@ -113,35 +216,24 @@ fn cmd_batch(args: &[String]) -> i32 {
         .map(String::as_str)
         .collect();
     if queries.is_empty() {
-        eprintln!("usage: koko batch <corpus.txt> '<query>' ['<query>' ...] [--doc=para]");
+        eprintln!(
+            "usage: koko batch <corpus.txt|snapshot.koko> '<query>' ['<query>' ...] [--doc=para]"
+        );
         return 2;
     }
-    let docs = match load_docs(path, args) {
-        Ok(d) => d,
+    let koko = match load_engine(path, args) {
+        Ok(k) => k,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
         }
     };
-    let koko = Koko::from_texts(&docs);
     let mut code = 0;
     for (q, result) in queries.iter().zip(koko.query_batch(&queries)) {
         println!("## {q}");
         match result {
             Ok(out) => {
-                for row in &out.rows {
-                    let vals: Vec<String> = row
-                        .values
-                        .iter()
-                        .map(|v| format!("{}={:?}", v.name, v.text))
-                        .collect();
-                    println!(
-                        "doc {}\tscore {:.3}\t{}",
-                        row.doc,
-                        row.score,
-                        vals.join("\t")
-                    );
-                }
+                print_rows(&out);
                 eprintln!("{} rows | total {:?}", out.rows.len(), out.profile.total());
             }
             Err(e) => {
@@ -207,17 +299,16 @@ fn print_sentence(s: &koko::Sentence) {
 
 fn cmd_stats(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
-        eprintln!("usage: koko stats <corpus.txt> [--doc=para]");
+        eprintln!("usage: koko stats <corpus.txt|snapshot.koko> [--doc=para]");
         return 2;
     };
-    let docs = match load_docs(path, args) {
-        Ok(d) => d,
+    let koko = match load_engine(path, args) {
+        Ok(k) => k,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
         }
     };
-    let koko = Koko::from_texts(&docs);
     let c = koko.corpus();
     println!("documents:        {}", c.num_documents());
     println!("sentences:        {}", c.num_sentences());

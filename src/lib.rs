@@ -7,7 +7,7 @@
 //! over dependency parse trees, and a semantic-similarity operator with
 //! document-level evidence aggregation — scaled by a multi-index (inverted
 //! word/entity indices + compressed hierarchy indices) and a skip-plan
-//! heuristic.
+//! heuristic. The query language is documented in `docs/QUERYLANG.md`.
 //!
 //! This facade crate re-exports the public API; see the workspace crates
 //! for internals:
@@ -17,11 +17,11 @@
 //! * [`regex`] — the regular-expression engine used by query conditions;
 //! * [`embed`] — paraphrase embeddings + descriptor expansion;
 //! * [`storage`] — the embedded store (codec, tables, closure tables,
-//!   document store);
+//!   document store, the `.koko` snapshot container);
 //! * [`index`] — the KOKO multi-index and the three §6.2 baselines;
 //! * [`lang`] — the query language (lexer/parser/AST/normalizer);
 //! * [`core`] — the sharded evaluation engine (Snapshot, parallel
-//!   executor, DPLI, GSP, aggregation);
+//!   executor, persistence, DPLI, GSP, aggregation);
 //! * [`corpus`] — synthetic corpora + the SyntheticTree/SyntheticSpan
 //!   benchmarks;
 //! * [`baselines`] — CRF, IKE, NELL and Odin re-implementations.
@@ -49,6 +49,28 @@
 //!     .unwrap();
 //! assert_eq!(out.rows[0].values[0].text, "chocolate ice cream");
 //! ```
+//!
+//! # Build once, query many times
+//!
+//! Ingest (NLP parsing + index construction) dominates cold-start cost.
+//! [`Snapshot::save`](core::Snapshot::save) persists the fully built
+//! engine state to a single `.koko` file; [`Koko::open`] maps it back
+//! without re-running any build step, with byte-identical query results:
+//!
+//! ```
+//! use koko::Koko;
+//!
+//! let built = Koko::from_texts(&["Anna ate some delicious cheesecake."]);
+//! let path = std::env::temp_dir().join("facade_doctest.koko");
+//! built.save(&path).unwrap();
+//!
+//! let loaded = Koko::open(&path).unwrap();
+//! let q = koko::queries::EXAMPLE_2_1;
+//! assert_eq!(loaded.query(q).unwrap().rows, built.query(q).unwrap().rows);
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+#![deny(missing_docs)]
 
 pub use koko_baselines as baselines;
 pub use koko_core as core;

@@ -1,0 +1,227 @@
+//! A loaded snapshot must be *byte-identical* in query output (rows,
+//! order, scores) to the freshly built engine it was saved from — the
+//! correctness contract of the build-once / query-many workflow, mirroring
+//! `tests/shard_equivalence.rs` for the persistence layer.
+//!
+//! Covers empty, 1-document and shard-boundary corpora, several shard
+//! counts, the paper's query set, batch evaluation, custom embeddings, and
+//! a proptest sweep over generated corpora.
+
+use koko::core::{EngineOpts, Koko};
+use koko::nlp::Pipeline;
+use koko::{queries, Corpus, QueryOutput};
+use proptest::prelude::*;
+
+fn opts(num_shards: usize, parallel: bool) -> EngineOpts {
+    EngineOpts {
+        num_shards,
+        parallel,
+        ..EngineOpts::default()
+    }
+}
+
+/// Render rows with full content so comparisons cover text, spans, sids,
+/// docs, scores — and ORDER (no sorting here on purpose).
+fn render(out: &QueryOutput) -> Vec<String> {
+    out.rows
+        .iter()
+        .map(|r| format!("doc={} score={:.6} values={:?}", r.doc, r.score, r.values))
+        .collect()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("koko_it_snapshot_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Build → save → load → compare: every query must produce identical rows
+/// and candidate counts on both engines.
+fn assert_roundtrip(tag: &str, corpus: &Corpus, queries: &[&str], shard_counts: &[usize]) {
+    for &k in shard_counts {
+        let built = Koko::from_corpus_with_opts(corpus.clone(), opts(k, true));
+        let path = tmp(&format!("{tag}_{k}.koko"));
+        built.save(&path).unwrap();
+        let loaded = Koko::open(&path).unwrap();
+        assert_eq!(loaded.shards().len(), built.shards().len());
+        for q in queries {
+            let a = built.query(q).unwrap_or_else(|e| panic!("built {q}: {e}"));
+            let b = loaded
+                .query(q)
+                .unwrap_or_else(|e| panic!("loaded {q}: {e}"));
+            assert_eq!(
+                render(&a),
+                render(&b),
+                "rows differ after round-trip (shards={k}) for query: {q}"
+            );
+            assert_eq!(
+                a.profile.candidate_sentences, b.profile.candidate_sentences,
+                "candidate count differs (shards={k}) for query: {q}"
+            );
+            assert_eq!(
+                a.profile.raw_tuples, b.profile.raw_tuples,
+                "raw tuple count differs (shards={k}) for query: {q}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+const PAPER_QUERIES: &[&str] = &[
+    queries::EXAMPLE_2_1,
+    queries::EXAMPLE_2_3,
+    queries::TITLE,
+    queries::DATE_OF_BIRTH,
+    queries::CHOCOLATE,
+];
+
+#[test]
+fn empty_corpus() {
+    let corpus = Corpus::new(Vec::new());
+    assert_roundtrip("empty", &corpus, PAPER_QUERIES, &[1, 4]);
+}
+
+#[test]
+fn single_document_corpus() {
+    let corpus = Pipeline::new()
+        .parse_corpus(&["I ate a chocolate ice cream, which was delicious, and also ate a pie."]);
+    assert_roundtrip("single", &corpus, PAPER_QUERIES, &[1, 2, 8]);
+}
+
+#[test]
+fn shard_boundary_corpora() {
+    let texts = koko::corpus::wiki::generate(6, 99);
+    let corpus = Pipeline::new().parse_corpus(&texts);
+    // docs == shards, docs % shards != 0, docs < shards.
+    assert_roundtrip("boundary", &corpus, PAPER_QUERIES, &[6, 4, 16]);
+}
+
+#[test]
+fn wiki_corpus_all_scaleup_queries() {
+    let texts = koko::corpus::wiki::generate(30, 4242);
+    let corpus = Pipeline::new().parse_corpus(&texts);
+    assert_roundtrip("wiki", &corpus, PAPER_QUERIES, &[1, 3, 7]);
+}
+
+#[test]
+fn loaded_snapshot_serves_batches_identically() {
+    let texts = koko::corpus::wiki::generate(12, 7);
+    let built = Koko::from_corpus_with_opts(Pipeline::new().parse_corpus(&texts), opts(3, true));
+    let path = tmp("batch.koko");
+    built.save(&path).unwrap();
+    let loaded = Koko::open(&path).unwrap();
+    let a = built.query_batch(PAPER_QUERIES);
+    let b = loaded.query_batch(PAPER_QUERIES);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(render(x.as_ref().unwrap()), render(y.as_ref().unwrap()));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ontology_embeddings_survive_and_score_identically() {
+    use koko::embed::Embeddings;
+    let embed = Embeddings::new().with_ontology(&[("pastry", &["kouign", "cronut"])]);
+    let built = Koko::from_texts(&[
+        "Blue Heron serves delicious cronut stacks.",
+        "The bakery sells kouign every morning.",
+    ])
+    .with_embeddings(embed);
+    let path = tmp("ontology.koko");
+    built.save(&path).unwrap();
+    let loaded = Koko::open(&path).unwrap();
+    let q = r#"
+extract x:Entity from "input.txt" if ()
+satisfying x
+(x [["serves cronut"]] {1})
+with threshold 0.3
+"#;
+    assert_eq!(
+        render(&built.query(q).unwrap()),
+        render(&loaded.query(q).unwrap())
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn save_load_save_is_byte_stable() {
+    // Decode → re-encode must reproduce the exact same file: the codec has
+    // no hidden nondeterminism (hash-map ordering, timestamps, …).
+    let texts = koko::corpus::wiki::generate(8, 21);
+    let built = Koko::from_corpus_with_opts(Pipeline::new().parse_corpus(&texts), opts(3, true));
+    let p1 = tmp("gen1.koko");
+    let p2 = tmp("gen2.koko");
+    built.save(&p1).unwrap();
+    let loaded = Koko::open(&p1).unwrap();
+    loaded.save(&p2).unwrap();
+    assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+}
+
+#[test]
+fn stats_surface_matches_after_reload() {
+    let texts = koko::corpus::wiki::generate(10, 5);
+    let built = Koko::from_corpus_with_opts(Pipeline::new().parse_corpus(&texts), opts(4, true));
+    let path = tmp("stats.koko");
+    built.save(&path).unwrap();
+    let loaded = Koko::open(&path).unwrap();
+    assert_eq!(
+        loaded.corpus().num_documents(),
+        built.corpus().num_documents()
+    );
+    assert_eq!(
+        loaded.corpus().num_sentences(),
+        built.corpus().num_sentences()
+    );
+    assert_eq!(loaded.corpus().num_tokens(), built.corpus().num_tokens());
+    for (a, b) in loaded.shards().iter().zip(built.shards()) {
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.doc_range(), b.doc_range());
+        assert_eq!(a.sid_range(), b.sid_range());
+        assert_eq!(a.approx_index_bytes(), b.approx_index_bytes());
+        assert_eq!(a.store().approx_bytes(), b.store().approx_bytes());
+        assert_eq!(
+            a.index().pl_index().num_nodes(),
+            b.index().pl_index().num_nodes()
+        );
+        assert_eq!(
+            a.index().pos_index().num_nodes(),
+            b.index().pos_index().num_nodes()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Snapshot → bytes → Snapshot over generated corpora and shard
+    /// counts: the loaded engine answers every probe query with exactly
+    /// the rows the builder produced.
+    #[test]
+    fn roundtrip_equivalence_over_generated_corpora(
+        n_docs in 1usize..24,
+        seed in 0u64..1000,
+        shards in 1usize..9,
+    ) {
+        let texts = koko::corpus::wiki::generate(n_docs, seed);
+        let corpus = Pipeline::new().parse_corpus(&texts);
+        let built = Koko::from_corpus_with_opts(corpus, opts(shards, true));
+        let path = tmp(&format!("prop_{n_docs}_{seed}_{shards}.koko"));
+        built.save(&path).unwrap();
+        let loaded = Koko::open(&path).unwrap();
+        prop_assert_eq!(loaded.shards().len(), built.shards().len());
+        for q in PAPER_QUERIES {
+            let a = built.query(q).unwrap();
+            let b = loaded.query(q).unwrap();
+            prop_assert_eq!(
+                render(&a),
+                render(&b),
+                "query {} over {} docs (seed {}, {} shards)",
+                q, n_docs, seed, shards
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
