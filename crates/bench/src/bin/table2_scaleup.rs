@@ -18,6 +18,11 @@
 //! its `.koko` file size, and the cost of loading it back versus
 //! rebuilding from raw text (`build_vs_load` = ingest time / load time).
 //!
+//! Finally it measures the serve-many layer: an in-process `koko-serve`
+//! server over the same snapshot, driven closed-loop by the protocol
+//! client — cold (every request evaluates) vs warm (result-cache hits),
+//! 1 vs N client threads — reported as queries/second.
+//!
 //! ```text
 //! cargo run --release -p koko-bench --bin table2_scaleup \
 //!     [-- --scale=1 --shards=0 --json=table2.json]
@@ -41,12 +46,16 @@ struct ScalePoint {
     save: Duration,
     load: Duration,
     file_bytes: u64,
+    served_clients: usize,
+    served_cold_qps: f64,
+    served_warm_1_qps: f64,
+    served_warm_n_qps: f64,
 }
 
 impl ScalePoint {
     fn json(&self) -> String {
         format!(
-            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3}}}",
+            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1}}}",
             self.articles,
             self.shards,
             self.ingest_seq.as_secs_f64(),
@@ -63,12 +72,40 @@ impl ScalePoint {
             self.load.as_secs_f64(),
             self.file_bytes,
             ratio(self.ingest_par, self.load),
+            self.served_clients,
+            self.served_cold_qps,
+            self.served_warm_1_qps,
+            self.served_warm_n_qps,
         )
     }
 }
 
 fn ratio(a: Duration, b: Duration) -> f64 {
     a.as_secs_f64() / b.as_secs_f64().max(1e-9)
+}
+
+/// Measure served throughput over one engine: cold (first pass fills the
+/// caches), then warm with 1 client, then warm with `clients` concurrent
+/// client threads. Returns `(cold_qps, warm_1_qps, warm_n_qps)`.
+fn serve_section(koko: Koko, queries: &[&str], clients: usize) -> (f64, f64, f64) {
+    const WARM_REPEAT: usize = 50;
+    let queries: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+    let server = koko_serve::Server::bind(koko, "127.0.0.1:0", clients).expect("bind server");
+    let addr = server.local_addr().to_string();
+
+    // Cold: every query evaluates (and fills both caches).
+    let cold = koko_serve::run_load(&addr, &queries, 1, 1, true).expect("cold load");
+    assert_eq!(cold.errors, 0, "cold responses all ok");
+    // Warm, 1 client: repeat traffic served from the result cache.
+    let warm1 = koko_serve::run_load(&addr, &queries, 1, WARM_REPEAT, true).expect("warm load");
+    assert_eq!(warm1.errors, 0, "warm responses all ok");
+    // Warm, N clients: the worker pool fans out.
+    let warmn =
+        koko_serve::run_load(&addr, &queries, clients, WARM_REPEAT, true).expect("warm N load");
+    assert_eq!(warmn.errors, 0, "warm N responses all ok");
+
+    server.shutdown();
+    (cold.qps, warm1.qps, warmn.qps)
 }
 
 fn main() {
@@ -194,6 +231,15 @@ fn main() {
         loaded.query(bench_queries[0]).expect("query after load");
         std::fs::remove_file(&snap_path).ok();
 
+        // Served QPS: the loaded snapshot behind an in-process server.
+        let served_clients = cores.max(2);
+        let serve_opts = EngineOpts {
+            result_cache: 4096,
+            ..par_opts
+        };
+        let (served_cold_qps, served_warm_1_qps, served_warm_n_qps) =
+            serve_section(loaded.with_opts(serve_opts), &bench_queries, served_clients);
+
         let point = ScalePoint {
             articles: n,
             shards: par.shards().len(),
@@ -204,6 +250,10 @@ fn main() {
             save,
             load,
             file_bytes,
+            served_clients,
+            served_cold_qps,
+            served_warm_1_qps,
+            served_warm_n_qps,
         };
         row(&[
             n.to_string(),
@@ -243,6 +293,28 @@ fn main() {
         ]);
     }
     println!("(expected: loading a snapshot is several times faster than re-ingesting text)");
+
+    // ---- Served QPS: 1 vs N client threads, cold vs warm cache ----------
+    println!("\n## Served QPS (in-process koko-serve, closed-loop clients)\n");
+    header(&[
+        "articles",
+        "clients (warm N)",
+        "cold QPS (1 client)",
+        "warm QPS (1 client)",
+        "warm QPS (N clients)",
+        "warm/cold",
+    ]);
+    for p in &points {
+        row(&[
+            p.articles.to_string(),
+            p.served_clients.to_string(),
+            format!("{:.0}", p.served_cold_qps),
+            format!("{:.0}", p.served_warm_1_qps),
+            format!("{:.0}", p.served_warm_n_qps),
+            format!("{:.1}x", p.served_warm_1_qps / p.served_cold_qps.max(1e-9)),
+        ]);
+    }
+    println!("(expected: warm result-cache QPS orders of magnitude above cold; N clients scale warm QPS further until the worker pool saturates)");
 
     // ---- JSON perf trajectory -------------------------------------------
     let json = format!(

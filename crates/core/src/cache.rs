@@ -1,0 +1,295 @@
+//! Query caches for the serve-many workload: a compiled-query cache
+//! (parse → normalize → compile once per distinct query text) and a
+//! bounded LRU result cache (skip DPLI / LoadArticle / GSP / extract /
+//! aggregate entirely for repeated queries).
+//!
+//! Both caches are safe under concurrency (one short-held mutex each) and
+//! both are bypassable: [`EngineOpts::compiled_cache`] gates the first,
+//! [`EngineOpts::result_cache`] (a capacity, `0` = off) gates the second,
+//! and [`Koko::query_with_cache`] bypasses both per call regardless of the
+//! options. Hits and misses are surfaced per query in [`Profile`] and
+//! cumulatively in [`CacheStats`].
+//!
+//! Correctness contract: a cache hit returns rows byte-identical to an
+//! uncached evaluation. The compiled cache is keyed by the raw query text
+//! (compilation is deterministic and option-independent). The result cache
+//! is keyed by the *normalized* query — its canonical `Debug` rendering,
+//! so two spellings that normalize identically share an entry — plus a
+//! fingerprint of the evaluation-relevant [`EngineOpts`](crate::EngineOpts)
+//! fields, so mutating `koko.opts` can never serve stale rows.
+//!
+//! [`EngineOpts::compiled_cache`]: crate::EngineOpts
+//! [`EngineOpts::result_cache`]: crate::EngineOpts
+//! [`Koko::query_with_cache`]: crate::Koko
+//! [`Profile`]: crate::Profile
+
+use crate::binder::CompiledQuery;
+use crate::engine::Row;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cumulative hit/miss counters across both caches (monotonic; shared by
+/// every clone of one [`Koko`](crate::Koko)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub compiled_hits: u64,
+    pub compiled_misses: u64,
+    pub result_hits: u64,
+    pub result_misses: u64,
+}
+
+/// A bounded least-recently-used map. Eviction is O(log n) via a recency
+/// index; lookups touch the entry. Not thread-safe on its own — callers
+/// wrap it in a mutex ([`QueryCaches`] does).
+pub struct Lru<V> {
+    cap: usize,
+    tick: u64,
+    /// key → (value, last-touched tick)
+    map: HashMap<String, (V, u64)>,
+    /// last-touched tick → key (ticks are unique, so this is a total order)
+    recency: BTreeMap<u64, String>,
+}
+
+impl<V> Lru<V> {
+    /// An LRU holding at most `cap` entries (`0` = caching disabled:
+    /// every insert is dropped, every get misses).
+    pub fn new(cap: usize) -> Lru<V> {
+        Lru {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (_, last) = self.map.get_mut(key)?;
+        self.recency.remove(&std::mem::replace(last, tick));
+        self.recency.insert(tick, key.to_string());
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// when the cache is full.
+    pub fn insert(&mut self, key: String, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some((_, last)) = self.map.get(&key) {
+            self.recency.remove(last);
+        } else if self.map.len() >= self.cap {
+            if let Some((&oldest, _)) = self.recency.iter().next() {
+                if let Some(victim) = self.recency.remove(&oldest) {
+                    self.map.remove(&victim);
+                }
+            }
+        }
+        self.recency.insert(self.tick, key.clone());
+        self.map.insert(key, (value, self.tick));
+    }
+}
+
+/// A compiled query plus the canonical key its results are cached under.
+pub struct CachedCompile {
+    pub cq: CompiledQuery,
+    /// Canonical rendering of the normalized query (`Debug` of
+    /// `NormQuery`) — the result-cache key material.
+    pub norm_key: String,
+}
+
+/// A cached evaluation: the rows plus the candidate/tuple counts of the
+/// run that produced them (re-reported on hits so a served `stats` call
+/// stays meaningful; the stage *timers* of a hit are zero by design).
+#[derive(Clone)]
+pub struct CachedResult {
+    pub rows: Arc<Vec<Row>>,
+    pub candidate_sentences: usize,
+    pub raw_tuples: usize,
+}
+
+/// The two caches plus their counters. One instance is shared (via `Arc`)
+/// by every clone of a [`Koko`](crate::Koko) engine, so server worker
+/// threads pool their hits.
+pub struct QueryCaches {
+    compiled: Mutex<Lru<Arc<CachedCompile>>>,
+    results: Mutex<Lru<CachedResult>>,
+    /// Copy of the result LRU's capacity, readable without its mutex
+    /// (the hot path checks "is result caching on?" on every query).
+    result_cap: usize,
+    compiled_hits: AtomicU64,
+    compiled_misses: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+}
+
+/// Entries the compiled cache retains. Distinct query texts in a real
+/// workload number in the hundreds; this bound only guards against
+/// adversarial floods of one-off queries.
+pub const COMPILED_CACHE_CAP: usize = 4096;
+
+impl QueryCaches {
+    /// Caches for an engine: compiled cache on/off, result cache bounded
+    /// at `result_cap` entries (`0` disables it).
+    pub fn new(compiled_enabled: bool, result_cap: usize) -> QueryCaches {
+        QueryCaches {
+            compiled: Mutex::new(Lru::new(if compiled_enabled {
+                COMPILED_CACHE_CAP
+            } else {
+                0
+            })),
+            results: Mutex::new(Lru::new(result_cap)),
+            result_cap,
+            compiled_hits: AtomicU64::new(0),
+            compiled_misses: AtomicU64::new(0),
+            result_hits: AtomicU64::new(0),
+            result_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch a compiled query by raw text. `Some` is a hit (counted);
+    /// `None` is a miss (counted) — the caller compiles and
+    /// [`QueryCaches::store_compiled`]s.
+    pub fn get_compiled(&self, text: &str) -> Option<Arc<CachedCompile>> {
+        let hit = self.compiled.lock().get(text).cloned();
+        match &hit {
+            Some(_) => self.compiled_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.compiled_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    pub fn store_compiled(&self, text: &str, compiled: Arc<CachedCompile>) {
+        self.compiled.lock().insert(text.to_string(), compiled);
+    }
+
+    /// Fetch cached rows by result key (normalized query + opts
+    /// fingerprint). Counts a hit or a miss.
+    pub fn get_result(&self, key: &str) -> Option<CachedResult> {
+        let hit = self.results.lock().get(key).cloned();
+        match &hit {
+            Some(_) => self.result_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.result_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    pub fn store_result(&self, key: String, result: CachedResult) {
+        self.results.lock().insert(key, result);
+    }
+
+    /// Whether the result cache can hold anything at all (lock-free).
+    pub fn results_enabled(&self) -> bool {
+        self.result_cap > 0
+    }
+
+    /// Cumulative counters since the engine was built.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            compiled_hits: self.compiled_hits.load(Ordering::Relaxed),
+            compiled_misses: self.compiled_misses.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        assert_eq!(lru.get("a"), Some(&1)); // touch a → b is now LRU
+        lru.insert("c".into(), 3);
+        assert_eq!(lru.get("b"), None, "b evicted");
+        assert_eq!(lru.get("a"), Some(&1));
+        assert_eq!(lru.get("c"), Some(&3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_refresh_does_not_grow() {
+        let mut lru = Lru::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("a".into(), 10);
+        lru.insert("b".into(), 2);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get("a"), Some(&10));
+        assert_eq!(lru.get("b"), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut lru: Lru<u32> = Lru::new(0);
+        lru.insert("a".into(), 1);
+        assert!(lru.is_empty());
+        assert_eq!(lru.get("a"), None);
+    }
+
+    #[test]
+    fn caches_count_hits_and_misses() {
+        let caches = QueryCaches::new(true, 8);
+        assert!(caches.get_compiled("q").is_none());
+        assert!(caches.get_result("k").is_none());
+        caches.store_result(
+            "k".into(),
+            CachedResult {
+                rows: Arc::new(Vec::new()),
+                candidate_sentences: 0,
+                raw_tuples: 0,
+            },
+        );
+        assert!(caches.get_result("k").is_some());
+        let s = caches.stats();
+        assert_eq!(
+            (
+                s.compiled_hits,
+                s.compiled_misses,
+                s.result_hits,
+                s.result_misses
+            ),
+            (0, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn disabled_compiled_cache_always_misses() {
+        let caches = QueryCaches::new(false, 0);
+        assert!(!caches.results_enabled());
+        caches.store_compiled(
+            "q",
+            Arc::new(CachedCompile {
+                cq: CompiledQuery::compile(
+                    koko_lang::normalize(
+                        &koko_lang::parse_query(koko_lang::queries::EXAMPLE_2_1).unwrap(),
+                    )
+                    .unwrap(),
+                )
+                .unwrap(),
+                norm_key: "n".into(),
+            }),
+        );
+        assert!(caches.get_compiled("q").is_none());
+    }
+}

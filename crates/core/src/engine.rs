@@ -12,6 +12,7 @@
 
 use crate::aggregate::{AggOpts, Aggregator};
 use crate::binder::{bind_domains, CompiledQuery, SentCtx};
+use crate::cache::{CacheStats, CachedCompile, CachedResult, QueryCaches};
 use crate::error::Error;
 use crate::profile::Profile;
 use crate::snapshot::Snapshot;
@@ -49,6 +50,17 @@ pub struct EngineOpts {
     /// `query_batch` on worker threads. `false` forces fully sequential
     /// execution regardless of the shard count.
     pub parallel: bool,
+    /// Cache parse → normalize → compile per distinct query text, so
+    /// repeat traffic skips the whole front end. On by default;
+    /// compilation is deterministic so this never changes results.
+    pub compiled_cache: bool,
+    /// Capacity of the bounded LRU result cache, in entries. `0` (the
+    /// default) disables it. A hit serves the previously computed rows and
+    /// skips DPLI / LoadArticle / GSP / extract / aggregation entirely;
+    /// hits and misses are reported in [`Profile`]. The cache key includes
+    /// the normalized query and every result-relevant option, so cached
+    /// rows are always byte-identical to a fresh evaluation.
+    pub result_cache: usize,
 }
 
 impl Default for EngineOpts {
@@ -62,7 +74,26 @@ impl Default for EngineOpts {
             expansion_min_sim: 0.55,
             num_shards: 0,
             parallel: true,
+            compiled_cache: true,
+            result_cache: 0,
         }
+    }
+}
+
+impl EngineOpts {
+    /// The subset of options that can change query *results* (as opposed
+    /// to wall-clock), rendered canonically — part of the result-cache key
+    /// so mutating `koko.opts` between queries can never serve stale rows.
+    fn result_fingerprint(&self) -> String {
+        format!(
+            "gsp={},store={},desc={},thr={},k={},sim={}",
+            self.use_gsp,
+            self.store_backed,
+            self.use_descriptors,
+            self.default_threshold,
+            self.expansion_k,
+            self.expansion_min_sim,
+        )
     }
 }
 
@@ -135,6 +166,10 @@ impl QueryOutput {
 #[derive(Clone)]
 pub struct Koko {
     snapshot: Arc<Snapshot>,
+    /// Query caches (compiled + results). Shared by every clone, so server
+    /// worker threads pool their hits; replaced wholesale whenever the
+    /// snapshot or embeddings change.
+    caches: Arc<QueryCaches>,
     pub opts: EngineOpts,
 }
 
@@ -173,6 +208,7 @@ impl Koko {
     pub fn from_corpus_with_opts(corpus: Corpus, opts: EngineOpts) -> Koko {
         Koko {
             snapshot: Arc::new(Snapshot::build(corpus, opts.num_shards, opts.parallel)),
+            caches: Arc::new(QueryCaches::new(opts.compiled_cache, opts.result_cache)),
             opts,
         }
     }
@@ -183,6 +219,7 @@ impl Koko {
     pub fn from_snapshot(snapshot: Snapshot, opts: EngineOpts) -> Koko {
         Koko {
             snapshot: Arc::new(snapshot),
+            caches: Arc::new(QueryCaches::new(opts.compiled_cache, opts.result_cache)),
             opts,
         }
     }
@@ -237,6 +274,11 @@ impl Koko {
             }
             Err(shared) => Arc::new(shared.with_embeddings(embed)),
         };
+        // New embeddings can change descriptor scores: drop cached rows.
+        self.caches = Arc::new(QueryCaches::new(
+            self.opts.compiled_cache,
+            self.opts.result_cache,
+        ));
         self
     }
 
@@ -252,6 +294,7 @@ impl Koko {
                 opts.parallel,
             ));
         }
+        self.caches = Arc::new(QueryCaches::new(opts.compiled_cache, opts.result_cache));
         self.opts = opts;
         self
     }
@@ -297,28 +340,130 @@ impl Koko {
     /// assert_eq!(out.rows[0].values[0].text, "cheesecake");
     /// ```
     pub fn query(&self, text: &str) -> Result<QueryOutput, Error> {
-        let t0 = std::time::Instant::now();
-        let parsed = parse_query(text)?;
-        self.query_ast(&parsed, t0)
+        self.query_inner(text, true, self.opts.parallel)
     }
 
-    /// Evaluate an already parsed query (`t0` anchors the Normalize timer).
+    /// [`Koko::query`] with an explicit cache switch: `use_cache = false`
+    /// bypasses both the compiled-query cache and the result cache for
+    /// this call only (the caches are neither read nor written, and no
+    /// hit/miss is counted). Results are byte-identical either way.
+    pub fn query_with_cache(&self, text: &str, use_cache: bool) -> Result<QueryOutput, Error> {
+        self.query_inner(text, use_cache, self.opts.parallel)
+    }
+
+    /// Evaluate an already parsed query (`t0` anchors the Normalize
+    /// timer). Bypasses both caches — callers holding an AST have already
+    /// paid the front-end cost, and the raw-text key is gone.
     pub fn query_ast(&self, parsed: &Query, t0: std::time::Instant) -> Result<QueryOutput, Error> {
         execute_query(&self.snapshot, &self.opts, parsed, t0, self.opts.parallel)
+    }
+
+    /// Cumulative cache hit/miss counters across all clones of this
+    /// engine (server workers share them).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.caches.stats()
+    }
+
+    /// The full query path with both caches: compiled-query lookup (or
+    /// front-end run + fill), then result-cache lookup (or evaluation +
+    /// fill). `shard_parallel` gates the per-shard fan-out.
+    fn query_inner(
+        &self,
+        text: &str,
+        use_cache: bool,
+        shard_parallel: bool,
+    ) -> Result<QueryOutput, Error> {
+        let t0 = std::time::Instant::now();
+
+        // ---- Front end: compiled-query cache ---------------------------
+        let use_compiled = use_cache && self.opts.compiled_cache;
+        let mut compiled_hit = false;
+        let compiled: Arc<CachedCompile> = match use_compiled
+            .then(|| self.caches.get_compiled(text))
+            .flatten()
+        {
+            Some(hit) => {
+                compiled_hit = true;
+                hit
+            }
+            None => {
+                let parsed = parse_query(text)?;
+                let norm = normalize(&parsed)?;
+                let cq = CompiledQuery::compile(norm)?;
+                let norm_key = format!("{:?}", cq.norm);
+                let entry = Arc::new(CachedCompile { cq, norm_key });
+                if use_compiled {
+                    self.caches.store_compiled(text, Arc::clone(&entry));
+                }
+                entry
+            }
+        };
+        let normalize_time = t0.elapsed();
+        let count_compiled = |profile: &mut Profile| {
+            if use_compiled {
+                profile.compiled_cache_hits = usize::from(compiled_hit);
+                profile.compiled_cache_misses = usize::from(!compiled_hit);
+            }
+        };
+
+        // ---- Result cache ----------------------------------------------
+        let use_results = use_cache && self.caches.results_enabled();
+        let result_key = if use_results {
+            format!("{}|{}", self.opts.result_fingerprint(), compiled.norm_key)
+        } else {
+            String::new()
+        };
+        if use_results {
+            if let Some(hit) = self.caches.get_result(&result_key) {
+                // Every evaluation stage is skipped: only the front-end
+                // timer and the counters of the producing run survive.
+                let mut profile = Profile {
+                    normalize: normalize_time,
+                    candidate_sentences: hit.candidate_sentences,
+                    raw_tuples: hit.raw_tuples,
+                    result_cache_hits: 1,
+                    ..Profile::default()
+                };
+                count_compiled(&mut profile);
+                return Ok(QueryOutput {
+                    rows: hit.rows.as_ref().clone(),
+                    profile,
+                });
+            }
+        }
+
+        // ---- Evaluate --------------------------------------------------
+        let mut out = execute_compiled(
+            &self.snapshot,
+            &self.opts,
+            &compiled.cq,
+            normalize_time,
+            shard_parallel,
+        )?;
+        count_compiled(&mut out.profile);
+        if use_results {
+            out.profile.result_cache_misses = 1;
+            self.caches.store_result(
+                result_key,
+                CachedResult {
+                    rows: Arc::new(out.rows.clone()),
+                    candidate_sentences: out.profile.candidate_sentences,
+                    raw_tuples: out.profile.raw_tuples,
+                },
+            );
+        }
+        Ok(out)
     }
 
     /// Evaluate many queries against the shared snapshot. With
     /// `opts.parallel` the queries fan out over worker threads (each query
     /// then runs its shard stage sequentially, so thread usage stays
     /// bounded by the batch width); results keep input order and are
-    /// identical to calling [`Koko::query`] per query.
+    /// identical to calling [`Koko::query`] per query. The batch goes
+    /// through the same caches as single queries.
     pub fn query_batch(&self, queries: &[&str]) -> Vec<Result<QueryOutput, Error>> {
-        let run = |text: &str| -> Result<QueryOutput, Error> {
-            let t0 = std::time::Instant::now();
-            let parsed = parse_query(text)?;
-            // Shard-stage parallelism off: the batch is the fan-out unit.
-            execute_query(&self.snapshot, &self.opts, &parsed, t0, false)
-        };
+        // Shard-stage parallelism off: the batch is the fan-out unit.
+        let run = |text: &str| self.query_inner(text, true, false);
         if self.opts.parallel && queries.len() > 1 {
             koko_par::par_map(queries, 0, |_, text| run(text))
         } else {
@@ -349,15 +494,29 @@ pub fn execute_query(
     t0: std::time::Instant,
     shard_parallel: bool,
 ) -> Result<QueryOutput, Error> {
-    let mut profile = Profile::default();
-
     // ---- Normalize (once, on the calling thread) -----------------------
     let norm = normalize(parsed)?;
     let cq = CompiledQuery::compile(norm)?;
-    profile.normalize = t0.elapsed();
+    execute_compiled(snapshot, opts, &cq, t0.elapsed(), shard_parallel)
+}
+
+/// [`execute_query`] for an already compiled query: the per-shard stages,
+/// merge, and aggregation. `normalize_time` seeds the profile's front-end
+/// timer (measured by the caller, who may have hit the compiled cache).
+pub fn execute_compiled(
+    snapshot: &Snapshot,
+    opts: &EngineOpts,
+    cq: &CompiledQuery,
+    normalize_time: std::time::Duration,
+    shard_parallel: bool,
+) -> Result<QueryOutput, Error> {
+    let mut profile = Profile {
+        normalize: normalize_time,
+        ..Profile::default()
+    };
 
     // ---- Per-shard: DPLI → LoadArticle → GSP/extract -------------------
-    let needed = needed_vars(&cq);
+    let needed = needed_vars(cq);
     let shards = snapshot.shards();
     let threads = if shard_parallel && shards.len() > 1 {
         0
@@ -365,7 +524,7 @@ pub fn execute_query(
         1
     };
     let partials = koko_par::par_map(shards, threads, |_, shard| {
-        eval_shard(snapshot, opts, &cq, &needed, shard)
+        eval_shard(snapshot, opts, cq, &needed, shard)
     });
 
     // ---- Merge (shard order, then the sequential evaluator's sort) -----
@@ -386,7 +545,7 @@ pub fn execute_query(
 
     // ---- Aggregate (satisfying + excluding) ----------------------------
     let t = std::time::Instant::now();
-    let rows = aggregate(snapshot.embeddings(), opts, &cq, &loaded, tuples);
+    let rows = aggregate(snapshot.embeddings(), opts, cq, &loaded, tuples);
     profile.satisfying = t.elapsed();
 
     Ok(QueryOutput { rows, profile })

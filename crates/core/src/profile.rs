@@ -22,6 +22,19 @@ pub struct Profile {
     pub candidate_sentences: usize,
     /// Number of result rows before aggregation filtering.
     pub raw_tuples: usize,
+    /// Compiled-query cache hits for this execution (0 or 1 per query;
+    /// accumulates under [`Profile::merge`]).
+    pub compiled_cache_hits: usize,
+    /// Compiled-query cache misses (the query was parsed + normalized +
+    /// compiled from scratch).
+    pub compiled_cache_misses: usize,
+    /// Result-cache hits: the rows were served straight from the LRU and
+    /// every evaluation stage (DPLI, LoadArticle, GSP, extract,
+    /// satisfying) was skipped — their timers stay zero.
+    pub result_cache_hits: usize,
+    /// Result-cache misses while the result cache was enabled (0 when it
+    /// is off or bypassed).
+    pub result_cache_misses: usize,
 }
 
 impl Profile {
@@ -62,6 +75,10 @@ impl Profile {
         self.satisfying += other.satisfying;
         self.candidate_sentences += other.candidate_sentences;
         self.raw_tuples += other.raw_tuples;
+        self.compiled_cache_hits += other.compiled_cache_hits;
+        self.compiled_cache_misses += other.compiled_cache_misses;
+        self.result_cache_hits += other.result_cache_hits;
+        self.result_cache_misses += other.result_cache_misses;
     }
 
     /// Merge another profile into this one (alias of [`Profile::merge`],
@@ -103,6 +120,10 @@ mod tests {
             satisfying: Duration::from_millis(6),
             candidate_sentences: 10,
             raw_tuples: 20,
+            compiled_cache_hits: 1,
+            compiled_cache_misses: 0,
+            result_cache_hits: 0,
+            result_cache_misses: 1,
         };
         let b = Profile {
             normalize: Duration::from_millis(10),
@@ -113,12 +134,20 @@ mod tests {
             satisfying: Duration::from_millis(60),
             candidate_sentences: 100,
             raw_tuples: 200,
+            compiled_cache_hits: 2,
+            compiled_cache_misses: 3,
+            result_cache_hits: 4,
+            result_cache_misses: 5,
         };
         a.merge(&b);
         assert_eq!(a.normalize, Duration::from_millis(11));
         assert_eq!(a.satisfying, Duration::from_millis(66));
         assert_eq!(a.candidate_sentences, 110);
         assert_eq!(a.raw_tuples, 220);
+        assert_eq!(a.compiled_cache_hits, 3);
+        assert_eq!(a.compiled_cache_misses, 3);
+        assert_eq!(a.result_cache_hits, 4);
+        assert_eq!(a.result_cache_misses, 6);
         assert_eq!(a.total(), Duration::from_millis(231));
     }
 }

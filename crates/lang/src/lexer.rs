@@ -66,7 +66,8 @@ pub struct LexError {
     pub position: usize,
 }
 
-/// Tokenize KOKO query text. Accepts the unicode `∧` as [`Tok::Caret`].
+/// Tokenize KOKO query text. Accepts the unicode `∧` as [`Tok::Caret`];
+/// `#` starts a comment running to end of line.
 pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
     let chars: Vec<char> = input.chars().collect();
     let mut out = Vec::new();
@@ -75,6 +76,13 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
         let c = chars[i];
         match c {
             c if c.is_whitespace() => i += 1,
+            // Line comments: `#` to end of line (QUERYLANG.md examples
+            // carry inline annotations; they must lex verbatim).
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
             '(' => {
                 out.push(Tok::LParen);
                 i += 1;
@@ -273,6 +281,16 @@ mod tests {
     fn errors() {
         assert!(lex("\"unterminated").is_err());
         assert!(lex("§").is_err());
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        let toks = lex("a = //verb,   # any verb node\nb = a/dobj").unwrap();
+        assert_eq!(toks, lex("a = //verb,\nb = a/dobj").unwrap());
+        // A comment inside a string literal is content, not a comment.
+        assert_eq!(lex("\"#x\"").unwrap(), vec![Tok::Str("#x".into())]);
+        // Comment running to end of input (no trailing newline).
+        assert_eq!(lex("a # trailing").unwrap(), vec![Tok::Ident("a".into())]);
     }
 
     #[test]

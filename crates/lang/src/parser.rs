@@ -227,6 +227,11 @@ impl Parser {
                 decls.push(Decl { name, expr });
                 if self.peek() == Some(&Tok::Comma) {
                     self.bump();
+                    // Trailing comma before `}` (QUERYLANG.md writes
+                    // declaration blocks this way).
+                    if self.peek() == Some(&Tok::RBrace) {
+                        break;
+                    }
                 } else {
                     break;
                 }

@@ -2,8 +2,75 @@
 //! never panic the lexer/parser/normalizer — malformed queries fail with
 //! `Err`, never with a crash (a user-facing query engine's first duty).
 
-use koko_lang::{lex, normalize, parse_query};
+use koko_lang::{lex, normalize, parse_query, queries};
 use proptest::prelude::*;
+
+/// Every shipped paper query — the seeds for the mutation fuzzer.
+const PAPER_QUERIES: [&str; 8] = [
+    queries::EXAMPLE_2_1,
+    queries::EXAMPLE_2_2_Q1,
+    queries::EXAMPLE_2_2_Q2,
+    queries::EXAMPLE_2_3,
+    queries::EXAMPLE_4_1,
+    queries::CHOCOLATE,
+    queries::TITLE,
+    queries::DATE_OF_BIRTH,
+];
+
+/// One fuzzer edit: (op, position selector, payload). Positions are taken
+/// modulo the current length so every generated edit applies.
+type Mutation = (u8, usize, String);
+
+/// Apply a mutation script to a seed query. Operates on `char`
+/// boundaries, so the result is always a valid `&str` — the front end
+/// must survive *any* of these, valid query or not.
+fn mutate(seed: &str, script: &[Mutation]) -> String {
+    let mut text: Vec<char> = seed.chars().collect();
+    for (op, pos, payload) in script {
+        let len = text.len();
+        let at = if len == 0 { 0 } else { pos % len };
+        match op % 5 {
+            // Delete a run of characters.
+            0 => {
+                let end = (at + 1 + payload.len()).min(len);
+                text.drain(at..end.max(at));
+            }
+            // Insert arbitrary payload.
+            1 => {
+                for (i, c) in payload.chars().enumerate() {
+                    text.insert(at + i, c);
+                }
+            }
+            // Duplicate a slice (repeats confuse parsers nicely).
+            2 => {
+                let end = (at + 8).min(len);
+                let slice: Vec<char> = text[at..end].to_vec();
+                for (i, c) in slice.into_iter().enumerate() {
+                    text.insert(at + i, c);
+                }
+            }
+            // Truncate.
+            3 => text.truncate(at),
+            // Swap two halves around the cut point.
+            _ => {
+                let tail: Vec<char> = text.drain(at..).collect();
+                let head = std::mem::take(&mut text);
+                text = tail;
+                text.extend(head);
+            }
+        }
+    }
+    text.into_iter().collect()
+}
+
+/// The property every fuzz case asserts: the whole front end is total —
+/// `Ok` or a structured error, never a panic.
+fn front_end_is_total(input: &str) {
+    let _ = lex(input);
+    if let Ok(q) = parse_query(input) {
+        let _ = normalize(&q);
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -37,6 +104,40 @@ proptest! {
         if let Ok(q) = parse_query(&input) {
             let _ = normalize(&q);
         }
+    }
+
+    /// Mutated paper queries: start from a real QUERYLANG example and
+    /// apply a random edit script (deletes, inserts, duplications,
+    /// truncations, rotations). These inputs are "almost valid" — the
+    /// nastiest region for a recursive-descent parser — and must still
+    /// never panic.
+    #[test]
+    fn frontend_never_panics_on_mutated_paper_queries(
+        seed in prop::sample::select(PAPER_QUERIES.to_vec()),
+        script in prop::collection::vec(
+            (0u8..=255, 0usize..4096, ".{0,12}"),
+            1..8,
+        ),
+    ) {
+        front_end_is_total(&mutate(seed, &script));
+    }
+
+    /// Single-byte-level damage to every paper query: each case removes,
+    /// doubles, or replaces one character at a generated position.
+    #[test]
+    fn frontend_never_panics_on_single_edits(
+        seed in prop::sample::select(PAPER_QUERIES.to_vec()),
+        pos in 0usize..4096,
+        replacement in prop::sample::select(vec![
+            "", "\"", "(", ")", "[", "]", "{", "}", "/", "^", "∧", "∼", "\\", "\u{0}", "9",
+        ]),
+    ) {
+        let chars: Vec<char> = seed.chars().collect();
+        let at = pos % chars.len();
+        let mut edited: String = chars[..at].iter().collect();
+        edited.push_str(replacement);
+        edited.extend(&chars[at + 1..]);
+        front_end_is_total(&edited);
     }
 
     /// The lexer round-trips displayable tokens: rendering then re-lexing

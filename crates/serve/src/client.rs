@@ -1,0 +1,190 @@
+//! Client side of the serve protocol: a blocking one-connection client
+//! plus a multi-threaded load generator for benchmarks and the CLI's
+//! `koko client` mode.
+
+use crate::protocol::Request;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A blocking client holding one connection. Requests are answered in
+/// order (the protocol is one response line per request line).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a serve endpoint, e.g. `"127.0.0.1:4100"`.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Small request lines: disable Nagle so each request leaves now.
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Send one raw line and read one response line (protocol-agnostic —
+    /// used by tests to exercise the server's error handling).
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    fn send(&mut self, request: &Request) -> std::io::Result<String> {
+        self.send_raw(&request.encode())
+    }
+
+    /// Evaluate a query; `cache: false` bypasses the server's caches for
+    /// this request. Returns the raw response line.
+    pub fn query(&mut self, text: &str, cache: bool) -> std::io::Result<String> {
+        let id = self.fresh_id();
+        self.send(&Request::Query {
+            id,
+            text: text.to_string(),
+            cache,
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> std::io::Result<String> {
+        let id = self.fresh_id();
+        self.send(&Request::Ping { id })
+    }
+
+    /// Server + cache counters.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        let id = self.fresh_id();
+        self.send(&Request::Stats { id })
+    }
+
+    /// Ask the server to stop.
+    pub fn shutdown(&mut self) -> std::io::Result<String> {
+        let id = self.fresh_id();
+        self.send(&Request::Shutdown { id })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+}
+
+/// What one load-generation run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Client threads used.
+    pub threads: usize,
+    /// Requests sent (= responses received) across all threads.
+    pub requests: usize,
+    /// Responses with `"ok":true`.
+    pub ok: usize,
+    /// Responses with `"ok":false`.
+    pub errors: usize,
+    /// Wall-clock for the whole run.
+    pub wall: Duration,
+    /// `requests / wall` in queries per second.
+    pub qps: f64,
+    /// Every response line, grouped per thread in send order — byte-exact,
+    /// so callers can assert conformance against a local evaluation.
+    pub responses: Vec<Vec<String>>,
+}
+
+/// Fire `repeat` rounds of `queries` from each of `threads` concurrent
+/// connections and collect every response. Each thread opens one
+/// connection and sends its requests back-to-back (closed-loop load).
+/// `cache: false` marks every request cache-bypassing.
+pub fn run_load(
+    addr: &str,
+    queries: &[String],
+    threads: usize,
+    repeat: usize,
+    cache: bool,
+) -> std::io::Result<LoadReport> {
+    let threads = threads.max(1);
+    let t0 = Instant::now();
+    let per_thread: Vec<std::io::Result<Vec<String>>> =
+        koko_par::par_map_range(threads, threads, |_| {
+            let mut client = Client::connect(addr)?;
+            let mut responses = Vec::with_capacity(queries.len() * repeat);
+            for _ in 0..repeat {
+                for q in queries {
+                    responses.push(client.query(q, cache)?);
+                }
+            }
+            Ok(responses)
+        });
+    let wall = t0.elapsed();
+
+    let mut responses = Vec::with_capacity(threads);
+    for r in per_thread {
+        responses.push(r?);
+    }
+    let requests: usize = responses.iter().map(Vec::len).sum();
+    let ok = responses
+        .iter()
+        .flatten()
+        .filter(|r| r.contains("\"ok\":true"))
+        .count();
+    Ok(LoadReport {
+        threads,
+        requests,
+        ok,
+        errors: requests - ok,
+        wall,
+        qps: requests as f64 / wall.as_secs_f64().max(1e-9),
+        responses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use koko_core::{EngineOpts, Koko};
+
+    #[test]
+    fn load_generator_counts_and_collects() {
+        let koko = Koko::from_texts_with_opts(
+            &["Anna ate some delicious cheesecake."],
+            EngineOpts {
+                result_cache: 8,
+                parallel: false,
+                num_shards: 1,
+                ..EngineOpts::default()
+            },
+        );
+        let server = Server::bind(koko, "127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr().to_string();
+        let queries = vec![
+            koko_lang::queries::EXAMPLE_2_1.to_string(),
+            "definitely not a query".to_string(),
+        ];
+        let report = run_load(&addr, &queries, 2, 3, true).unwrap();
+        assert_eq!(report.requests, 12);
+        assert_eq!(report.ok, 6);
+        assert_eq!(report.errors, 6);
+        assert_eq!(report.responses.len(), 2);
+        assert!(report.qps > 0.0);
+        server.shutdown();
+    }
+}

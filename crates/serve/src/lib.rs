@@ -1,0 +1,45 @@
+//! `koko-serve` — the serve-many layer over the KOKO engine: load a
+//! `.koko` snapshot once, answer many concurrent queries fast.
+//!
+//! The paper (§1, §6.3) frames semantic querying as an interactive
+//! workload: preprocessing and indexing happen once, then analysts issue
+//! declarative queries against the built index. This crate is that posture
+//! as a long-running process:
+//!
+//! * [`server::Server`] — a multi-threaded TCP server. One engine
+//!   ([`koko_core::Koko`], i.e. one shared `Arc<Snapshot>` plus the
+//!   compiled-query and result caches) is cloned into a fixed pool of
+//!   worker threads; each worker serves whole connections off an accept
+//!   queue. Served rows are byte-identical to a sequential
+//!   [`koko_core::Koko::query`] call — the workspace's serving conformance
+//!   suite (`tests/serve_conformance.rs`) asserts exact bytes under
+//!   concurrency, with caches on and off.
+//! * [`protocol`] — newline-delimited JSON over TCP: one request line in,
+//!   one response line out. No network or serialization dependencies
+//!   (std-only, per the workspace's offline-shim policy); the tiny JSON
+//!   layer lives in [`json`].
+//! * [`client::Client`] / [`client::run_load`] — a blocking client and a
+//!   multi-threaded closed-loop load generator (the CLI's `koko client`
+//!   mode and the served-QPS section of `table2_scaleup`).
+//!
+//! # One-liner
+//!
+//! ```text
+//! koko build corpus.txt -o corpus.koko
+//! koko serve corpus.koko --threads 8 --cache 1024 &
+//! echo '{"query":"extract x:Entity from \"t\" if ()"}' | nc 127.0.0.1 4100
+//! ```
+//!
+//! See `docs/SERVING.md` for the wire protocol, cache semantics and
+//! tuning flags.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{run_load, Client, LoadReport};
+pub use protocol::{ok_response, rows_json, Request};
+pub use server::Server;

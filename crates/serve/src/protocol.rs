@@ -1,0 +1,281 @@
+//! The serve wire protocol: newline-delimited JSON over TCP, one request
+//! per line, one response line per request (see `docs/SERVING.md`).
+//!
+//! Requests:
+//!
+//! ```json
+//! {"id": 1, "query": "extract ...", "cache": true}
+//! {"id": 2, "cmd": "ping" | "stats" | "shutdown"}
+//! ```
+//!
+//! `id` is optional (echoed back, default 0); `cache: false` bypasses the
+//! compiled-query and result caches for that request only. Responses
+//! always carry `"id"` and `"ok"`; query responses add `"rows"` (the
+//! deterministic [`rows_json`] rendering) and `"profile"`. Any line that
+//! is not valid JSON, or valid JSON that is not a request, gets an
+//! `{"ok":false,"error":...}` response — the connection stays open.
+
+use crate::json::{self, write_escaped, write_f64, Json};
+use koko_core::{Profile, QueryOutput, Row};
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate a query; `cache: false` bypasses both engine caches.
+    Query {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+        /// The KOKO query text.
+        text: String,
+        /// Consult/fill the compiled + result caches (default true).
+        cache: bool,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
+    /// Server + cache counters.
+    Stats {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
+    /// Stop the server after responding.
+    Shutdown {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Query { id, .. }
+            | Request::Ping { id }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// Decode one request line. Returns a human-readable error for
+    /// anything that is not a well-formed request.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = json::parse(line.trim()).map_err(|e| format!("bad json: {e}"))?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err("request must be a json object".into());
+        }
+        let id = v.get("id").and_then(Json::as_f64).unwrap_or(0.0);
+        if !(0.0..=9.0e15).contains(&id) || id.fract() != 0.0 {
+            return Err("\"id\" must be a non-negative integer".into());
+        }
+        let id = id as u64;
+        if let Some(q) = v.get("query") {
+            let text = q
+                .as_str()
+                .ok_or_else(|| "\"query\" must be a string".to_string())?;
+            let cache = match v.get("cache") {
+                None => true,
+                Some(c) => c
+                    .as_bool()
+                    .ok_or_else(|| "\"cache\" must be a boolean".to_string())?,
+            };
+            return Ok(Request::Query {
+                id,
+                text: text.to_string(),
+                cache,
+            });
+        }
+        match v.get("cmd").and_then(Json::as_str) {
+            Some("ping") => Ok(Request::Ping { id }),
+            Some("stats") => Ok(Request::Stats { id }),
+            Some("shutdown") => Ok(Request::Shutdown { id }),
+            Some(other) => Err(format!("unknown cmd {other:?}")),
+            None => Err("request needs \"query\" or \"cmd\"".into()),
+        }
+    }
+
+    /// Encode a request as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Request::Query { id, text, cache } => {
+                out.push_str(&format!("{{\"id\":{id},\"query\":"));
+                write_escaped(&mut out, text);
+                if !cache {
+                    out.push_str(",\"cache\":false");
+                }
+                out.push('}');
+            }
+            Request::Ping { id } => out.push_str(&format!("{{\"id\":{id},\"cmd\":\"ping\"}}")),
+            Request::Stats { id } => out.push_str(&format!("{{\"id\":{id},\"cmd\":\"stats\"}}")),
+            Request::Shutdown { id } => {
+                out.push_str(&format!("{{\"id\":{id},\"cmd\":\"shutdown\"}}"))
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic JSON rendering of result rows: a pure function of the
+/// rows, shared by the server and by in-process evaluation, so "the served
+/// bytes equal the sequential engine's bytes" is a direct string equality
+/// (the conformance suite asserts exactly that).
+pub fn rows_json(rows: &[Row]) -> String {
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"doc\":{},\"score\":", row.doc));
+        write_f64(&mut out, row.score);
+        out.push_str(",\"values\":[");
+        for (j, v) in row.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, &v.name);
+            out.push_str(",\"text\":");
+            write_escaped(&mut out, &v.text);
+            out.push_str(&format!(
+                ",\"sid\":{},\"start\":{},\"end\":{}}}",
+                v.sid, v.start, v.end
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+/// JSON rendering of a [`Profile`]: stage timers in microseconds plus the
+/// candidate/tuple and cache counters.
+pub fn profile_json(p: &Profile) -> String {
+    format!(
+        "{{\"normalize_us\":{},\"dpli_us\":{},\"load_article_us\":{},\"gsp_us\":{},\"extract_us\":{},\"satisfying_us\":{},\"candidates\":{},\"raw_tuples\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{}}}",
+        p.normalize.as_micros(),
+        p.dpli.as_micros(),
+        p.load_article.as_micros(),
+        p.gsp.as_micros(),
+        p.extract.as_micros(),
+        p.satisfying.as_micros(),
+        p.candidate_sentences,
+        p.raw_tuples,
+        p.compiled_cache_hits,
+        p.compiled_cache_misses,
+        p.result_cache_hits,
+        p.result_cache_misses,
+    )
+}
+
+/// Encode a successful query response (no trailing newline).
+pub fn ok_response(id: u64, out: &QueryOutput) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"num_rows\":{},\"rows\":{},\"profile\":{}}}",
+        out.rows.len(),
+        rows_json(&out.rows),
+        profile_json(&out.profile),
+    )
+}
+
+/// Encode an error response (no trailing newline).
+pub fn err_response(id: u64, message: &str) -> String {
+    let mut out = format!("{{\"id\":{id},\"ok\":false,\"error\":");
+    write_escaped(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// Extract the `"rows":[...]` payload of a response line, for callers
+/// that want the byte-exact rows rendering without re-serializing.
+pub fn response_rows(line: &str) -> Option<&str> {
+    let start = line.find("\"rows\":")? + "\"rows\":".len();
+    let rest = &line[start..];
+    // The rows array is followed by `,"profile"` in every ok response.
+    let end = rest.find(",\"profile\"")?;
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_core::OutValue;
+
+    #[test]
+    fn request_round_trip() {
+        for req in [
+            Request::Query {
+                id: 7,
+                text: "extract x:Entity from \"a\nb\" if ()".into(),
+                cache: false,
+            },
+            Request::Query {
+                id: 0,
+                text: koko_lang::queries::EXAMPLE_2_1.into(),
+                cache: true,
+            },
+            Request::Ping { id: 1 },
+            Request::Stats { id: 2 },
+            Request::Shutdown { id: 3 },
+        ] {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "one request = one line: {line:?}");
+            assert_eq!(Request::decode(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2]",
+            "{\"cmd\":\"reboot\"}",
+            "{\"query\":5}",
+            "{\"query\":\"q\",\"cache\":\"yes\"}",
+            "{\"id\":-1,\"cmd\":\"ping\"}",
+            "{\"id\":1.5,\"cmd\":\"ping\"}",
+            "{}",
+        ] {
+            assert!(Request::decode(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rows_rendering_is_deterministic_and_extractable() {
+        let rows = vec![Row {
+            doc: 3,
+            score: 0.75,
+            values: vec![OutValue {
+                name: "e".into(),
+                text: "chocolate \"ice\" cream".into(),
+                sid: 9,
+                start: 2,
+                end: 5,
+            }],
+        }];
+        let a = rows_json(&rows);
+        let b = rows_json(&rows);
+        assert_eq!(a, b);
+        let out = QueryOutput {
+            rows,
+            profile: Profile::default(),
+        };
+        let line = ok_response(4, &out);
+        assert_eq!(response_rows(&line), Some(a.as_str()));
+        assert!(crate::json::parse(&line).is_ok(), "response is valid json");
+    }
+
+    #[test]
+    fn error_response_is_valid_json() {
+        let line = err_response(9, "parse error: \"oops\"\nline 2");
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("oops"));
+    }
+}

@@ -1,0 +1,455 @@
+//! The concurrent query server: one loaded engine ([`Koko`], an
+//! `Arc<Snapshot>` under the hood), a `TcpListener`, and a fixed pool of
+//! worker threads that each take whole connections off an accept queue.
+//!
+//! Every worker clones the engine façade, so all of them share one
+//! snapshot *and* one set of query caches — a query compiled or answered
+//! on worker 0 is a cache hit on worker 7. Determinism: workers evaluate
+//! with the per-shard fan-out disabled (the connection pool is the
+//! parallelism), which keeps thread usage bounded at `threads` and keeps
+//! served rows byte-identical to the sequential [`Koko::query`] path.
+
+use crate::protocol::{err_response, ok_response, Request};
+use koko_core::Koko;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    koko: Koko,
+    stop: AtomicBool,
+    /// Total requests answered (all kinds, including errors).
+    served: AtomicU64,
+    /// Query requests answered successfully.
+    queries_ok: AtomicU64,
+    /// Query requests answered with an error (parse failures etc.).
+    queries_err: AtomicU64,
+    addr: SocketAddr,
+    threads: usize,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown`] (or send the `shutdown` command over the
+/// wire) for a clean stop.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// `koko` on `threads` worker threads (`0` = one per core). Returns
+    /// once the listener is live; [`Server::local_addr`] has the port.
+    pub fn bind(koko: Koko, addr: &str, threads: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let threads = if threads == 0 {
+            koko_par::available_threads()
+        } else {
+            threads
+        };
+        // The worker pool is the parallelism: per-query shard fan-out on
+        // top of it would spawn threads × shards workers. Turn it off for
+        // the serving copy (results never depend on it — only wall-clock).
+        let mut koko = koko;
+        koko.opts.parallel = false;
+        let shared = Arc::new(Shared {
+            koko,
+            stop: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            queries_ok: AtomicU64::new(0),
+            queries_err: AtomicU64::new(0),
+            addr: local,
+            threads,
+        });
+
+        // Accepted connections flow through an mpsc queue; workers pull
+        // whole connections (a connection occupies its worker until the
+        // client disconnects, so `threads` bounds concurrent connections
+        // being served — further ones queue).
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let conn = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => return,
+                    };
+                    match conn {
+                        Ok(stream) => serve_connection(&shared, stream),
+                        Err(_) => return, // acceptor gone: drain done
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break; // the wake-up connection lands here
+                    }
+                    if let Ok(stream) = stream {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+                // tx drops here; idle workers unblock and exit.
+            })
+        };
+
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The worker-pool width.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Total requests answered so far.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, finish in-flight connections, and join every
+    /// thread. Idempotent with the wire-level `shutdown` command.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor if it is parked in accept().
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// True once a shutdown (handle- or wire-initiated) has begun.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Block until the server stops (e.g. a client sends `shutdown`).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Longest request line the server accepts. Queries are human-written
+/// text; a line beyond this is hostile or broken, and answering it with
+/// an unbounded buffer would let one client exhaust server memory.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// How often an idle connection's worker re-checks the stop flag. Bounds
+/// how long a shutdown can be delayed by clients holding idle keep-alive
+/// connections (nothing mid-request is ever interrupted).
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// One step of bounded line reading.
+enum LineRead {
+    /// A complete `\n`-terminated line (newline stripped).
+    Line(String),
+    /// Clean EOF from the client.
+    Eof,
+    /// The read timed out with no (or a partial) line; already-read bytes
+    /// stay in `acc`. The caller re-checks the stop flag and polls again.
+    Idle,
+    /// The line exceeded the size limit.
+    TooLong,
+}
+
+/// Poll for one line of at most `max` bytes, accumulating partial reads
+/// across timeouts in `acc`. `Err` is a real I/O failure.
+fn poll_line<R: BufRead>(
+    reader: &mut R,
+    acc: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(LineRead::Idle)
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(LineRead::Eof);
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            acc.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            if acc.len() > max {
+                return Ok(LineRead::TooLong);
+            }
+            let line = String::from_utf8_lossy(acc).into_owned();
+            acc.clear();
+            return Ok(LineRead::Line(line));
+        }
+        let n = available.len();
+        acc.extend_from_slice(available);
+        reader.consume(n);
+        if acc.len() > max {
+            return Ok(LineRead::TooLong);
+        }
+    }
+}
+
+/// Serve one connection to completion: request line in, response line out.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    // Request/response lines are small; Nagle + delayed ACK would add a
+    // per-request latency floor in the tens of milliseconds. The read
+    // timeout lets the worker notice a shutdown while a connection idles.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let Ok(peer_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(peer_half);
+    let mut writer = BufWriter::new(stream);
+    let mut acc: Vec<u8> = Vec::new();
+    loop {
+        let line = match poll_line(&mut reader, &mut acc, MAX_REQUEST_BYTES) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Eof) => break, // client closed cleanly
+            Ok(LineRead::Idle) => {
+                // Nothing (complete) arrived: drop idle connections once
+                // a shutdown has started, otherwise keep waiting.
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Ok(LineRead::TooLong) => {
+                // Oversized line: answer once, then drop the connection
+                // (the rest of the flood is unread).
+                let _ = writer
+                    .write_all(err_response(0, "request line too long").as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush());
+                break;
+            }
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop_after) = handle_line(shared, &line);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if stop_after {
+            shared.stop.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it observes the flag.
+            let _ = TcpStream::connect(shared.addr);
+            break;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Answer one request line. Returns the response and whether the server
+/// should stop after sending it.
+fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
+    match Request::decode(line) {
+        Err(message) => (err_response(0, &message), false),
+        Ok(Request::Ping { id }) => (format!("{{\"id\":{id},\"ok\":true,\"pong\":true}}"), false),
+        Ok(Request::Shutdown { id }) => (
+            format!("{{\"id\":{id},\"ok\":true,\"stopping\":true}}"),
+            true,
+        ),
+        Ok(Request::Stats { id }) => {
+            let cache = shared.koko.cache_stats();
+            let response = format!(
+                "{{\"id\":{id},\"ok\":true,\"stats\":{{\"threads\":{},\"documents\":{},\"shards\":{},\"served\":{},\"queries_ok\":{},\"queries_err\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{},\"result_cache_capacity\":{}}}}}",
+                shared.threads,
+                shared.koko.corpus().num_documents(),
+                shared.koko.shards().len(),
+                shared.served.load(Ordering::Relaxed),
+                shared.queries_ok.load(Ordering::Relaxed),
+                shared.queries_err.load(Ordering::Relaxed),
+                cache.compiled_hits,
+                cache.compiled_misses,
+                cache.result_hits,
+                cache.result_misses,
+                shared.koko.opts.result_cache,
+            );
+            (response, false)
+        }
+        Ok(Request::Query { id, text, cache }) => {
+            match shared.koko.query_with_cache(&text, cache) {
+                Ok(out) => {
+                    shared.queries_ok.fetch_add(1, Ordering::Relaxed);
+                    (ok_response(id, &out), false)
+                }
+                Err(e) => {
+                    shared.queries_err.fetch_add(1, Ordering::Relaxed);
+                    (err_response(id, &e.to_string()), false)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use koko_core::EngineOpts;
+
+    fn test_engine(result_cache: usize) -> Koko {
+        Koko::from_texts_with_opts(
+            &[
+                "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+                "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            ],
+            EngineOpts {
+                result_cache,
+                // Workers are the parallelism; shard fan-out off keeps the
+                // test deterministic on 1-core CI boxes too.
+                parallel: false,
+                num_shards: 1,
+                ..EngineOpts::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serves_queries_pings_and_stats() {
+        let server = Server::bind(test_engine(8), "127.0.0.1:0", 2).unwrap();
+        let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+
+        let pong = client.ping().unwrap();
+        assert!(pong.contains("\"pong\":true"), "{pong}");
+
+        let q = koko_lang::queries::EXAMPLE_2_1;
+        let first = client.query(q, true).unwrap();
+        assert!(first.contains("\"ok\":true"), "{first}");
+        assert!(first.contains("\"result_cache_misses\":1"), "{first}");
+        let second = client.query(q, true).unwrap();
+        assert!(second.contains("\"result_cache_hits\":1"), "{second}");
+        assert_eq!(
+            crate::protocol::response_rows(&first),
+            crate::protocol::response_rows(&second),
+            "cached rows byte-identical"
+        );
+
+        let stats = client.stats().unwrap();
+        assert!(stats.contains("\"queries_ok\":2"), "{stats}");
+        assert!(stats.contains("\"result_cache_hits\":1"), "{stats}");
+
+        let bad = client.query("not a query", true).unwrap();
+        assert!(bad.contains("\"ok\":false"), "{bad}");
+        assert!(bad.contains("parse error"), "{bad}");
+
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_errors_and_keep_the_connection() {
+        let server = Server::bind(test_engine(0), "127.0.0.1:0", 1).unwrap();
+        let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+        let r = client.send_raw("this is not json").unwrap();
+        assert!(r.contains("\"ok\":false"), "{r}");
+        let r = client.send_raw("{\"cmd\":\"reboot\"}").unwrap();
+        assert!(r.contains("unknown cmd"), "{r}");
+        // The connection survived both errors.
+        assert!(client.ping().unwrap().contains("pong"));
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_lines_are_rejected_not_buffered() {
+        use std::io::{BufRead, BufReader, Write};
+        let server = Server::bind(test_engine(0), "127.0.0.1:0", 1).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        // Stream well past the limit without a newline; the server must
+        // answer with an error and drop the connection instead of
+        // buffering indefinitely.
+        let chunk = vec![b'x'; 64 * 1024];
+        let mut sent = 0usize;
+        while sent <= MAX_REQUEST_BYTES + chunk.len() {
+            if stream.write_all(&chunk).is_err() {
+                break; // server already hung up mid-flood: acceptable
+            }
+            sent += chunk.len();
+        }
+        let _ = stream.write_all(b"\n");
+        let _ = stream.flush();
+        let mut response = String::new();
+        let _ = BufReader::new(&stream).read_line(&mut response);
+        // Either the error response arrived, or the server closed first.
+        assert!(
+            response.is_empty() || response.contains("request line too long"),
+            "{response}"
+        );
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn wire_shutdown_stops_the_server() {
+        let server = Server::bind(test_engine(0), "127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        let bye = client.send_raw("{\"cmd\":\"shutdown\"}").unwrap();
+        assert!(bye.contains("\"stopping\":true"), "{bye}");
+        drop(client);
+        server.join(); // returns only because the wire shutdown landed
+    }
+
+    #[test]
+    fn shutdown_completes_despite_idle_connections() {
+        let server = Server::bind(test_engine(0), "127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr().to_string();
+        // A keep-alive client that connects and never sends a request.
+        let idle = std::net::TcpStream::connect(&addr).unwrap();
+        let mut client = Client::connect(&addr).unwrap();
+        let bye = client.shutdown().unwrap();
+        assert!(bye.contains("\"stopping\":true"), "{bye}");
+        drop(client);
+        // join() must return even though `idle` is still open: its worker
+        // notices the stop flag at the next idle poll and drops it.
+        server.join();
+        drop(idle);
+    }
+}

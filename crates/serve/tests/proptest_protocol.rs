@@ -1,0 +1,53 @@
+//! Robustness properties for the serve wire protocol: the JSON parser and
+//! request decoder face raw network bytes, so they must be total — `Ok`
+//! or a structured error, never a panic — and encode/decode must round
+//! trip for every representable request.
+
+use koko_serve::json;
+use koko_serve::Request;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings: parsing never panics.
+    #[test]
+    fn json_parse_is_total(input in ".{0,300}") {
+        let _ = json::parse(&input);
+    }
+
+    /// JSON-shaped strings assembled from structural fragments: much
+    /// higher parse success rate, still total.
+    #[test]
+    fn json_parse_is_total_on_json_shaped_input(
+        pieces in prop::collection::vec(
+            prop::sample::select(vec![
+                "{", "}", "[", "]", ",", ":", "\"", "\"a\"", "null", "true",
+                "false", "0", "-1.5", "1e3", "\\", "\\u0041", "\\q", "{\"q\":",
+            ]),
+            0..24,
+        )
+    ) {
+        let _ = json::parse(&pieces.concat());
+    }
+
+    /// Request decoding never panics, on anything.
+    #[test]
+    fn request_decode_is_total(input in ".{0,300}") {
+        let _ = Request::decode(&input);
+    }
+
+    /// Whatever a client encodes, the server decodes back verbatim —
+    /// including queries containing newlines, quotes and unicode.
+    #[test]
+    fn request_round_trips(
+        id in 0u64..1_000_000,
+        text in ".{0,120}",
+        cache in any::<bool>(),
+    ) {
+        let req = Request::Query { id, text, cache };
+        let line = req.encode();
+        prop_assert!(!line.contains('\n'), "encoded request must be one line");
+        prop_assert_eq!(Request::decode(&line).unwrap(), req);
+    }
+}

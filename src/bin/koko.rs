@@ -9,6 +9,10 @@
 //!                                        shared snapshot (parallel)
 //! koko parse  <corpus.txt>               show the annotation pipeline output
 //! koko stats  <corpus>                   corpus + per-shard index statistics
+//! koko serve  <corpus> [--addr=H:P]      long-running query server over one
+//!             [--threads=N] [--cache=N]  loaded snapshot (see docs/SERVING.md)
+//! koko client <addr> '<query>' ...       scripted client / load generator
+//!             [--threads=N] [--repeat=M] against a running `koko serve`
 //! koko demo                              the paper's Figure 1 walkthrough
 //! ```
 //!
@@ -31,10 +35,12 @@ fn main() {
         Some("batch") => cmd_batch(&args[1..]),
         Some("parse") => cmd_parse(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: koko <build|query|batch|parse|stats|demo> [args]  (see `src/bin/koko.rs`)"
+                "usage: koko <build|query|batch|parse|stats|serve|client|demo> [args]  (see `src/bin/koko.rs`)"
             );
             2
         }
@@ -65,17 +71,53 @@ fn load_docs(path: &str, args: &[String]) -> Result<Vec<String>, String> {
     Ok(docs)
 }
 
-/// `--shards=N` knob shared by `build` and the engine-backed commands.
-/// `0` (the default) means one shard per core; an unparsable value is an
-/// error rather than a silent fallback.
-fn arg_shards(args: &[String]) -> Result<usize, String> {
-    match args.iter().find_map(|a| a.strip_prefix("--shards=")) {
-        None => Ok(0),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--shards expects a number, got {v:?}")),
+/// Integer flag with a default, accepted as `--name=N` or `--name N`;
+/// an unparsable value is an error rather than a silent fallback.
+fn arg_named_usize(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    for (i, a) in args.iter().enumerate() {
+        let value = if let Some(v) = a.strip_prefix(&prefix) {
+            Some(v)
+        } else if *a == flag {
+            Some(args.get(i + 1).map(String::as_str).unwrap_or(""))
+        } else {
+            None
+        };
+        if let Some(v) = value {
+            return v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}"));
+        }
     }
+    Ok(default)
 }
+
+/// `--shards=N` knob shared by `build` and the engine-backed commands
+/// (`0`, the default, means one shard per core).
+fn arg_shards(args: &[String]) -> Result<usize, String> {
+    arg_named_usize(args, "shards", 0)
+}
+
+/// String flag accepted as `--name=value` or `--name value`.
+fn arg_named_str(args: &[String], name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+        if *a == flag {
+            return Some(args.get(i + 1).cloned().unwrap_or_default());
+        }
+    }
+    None
+}
+
+/// Flags of `serve`/`client` that take a value, for skipping that value
+/// when collecting positional arguments in space-separated form. Keep in
+/// sync with the `arg_named_*` calls in `cmd_serve`/`cmd_client`.
+const VALUE_FLAGS: &[&str] = &["--threads", "--repeat", "--cache", "--shards", "--addr"];
 
 /// Build an engine from `path` — a `.koko` snapshot (sniffed by magic
 /// bytes) or a raw text corpus. Snapshot load failures surface the
@@ -334,6 +376,169 @@ fn cmd_stats(args: &[String]) -> i32 {
         );
     }
     0
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let usage = "usage: koko serve <corpus.txt|snapshot.koko> [--addr=HOST:PORT] [--threads=N] [--cache=N] [--shards=N] [--doc=para]";
+    let Some(path) = args.first() else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let parsed = (|| -> Result<(String, usize, usize), String> {
+        let addr = arg_named_str(args, "addr").unwrap_or_else(|| "127.0.0.1:4100".to_string());
+        let threads = arg_named_usize(args, "threads", 0)?;
+        let cache = arg_named_usize(args, "cache", 1024)?;
+        Ok((addr, threads, cache))
+    })();
+    let (addr, threads, cache) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let opts = EngineOpts {
+        num_shards: match arg_shards(args) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+        result_cache: cache,
+        ..EngineOpts::default()
+    };
+    // `parallel` stays on here so ingest / snapshot load fan out; the
+    // server itself disables per-query shard parallelism (the worker
+    // pool is the serving-time concurrency).
+    let koko = if is_snapshot_file(std::path::Path::new(path)) {
+        match Koko::open_with_opts(std::path::Path::new(path), opts) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    } else {
+        match load_docs(path, args) {
+            Ok(docs) => Koko::from_texts_with_opts(&docs, opts),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    };
+    let documents = koko.corpus().num_documents();
+    let shards = koko.shards().len();
+    match koko_serve::Server::bind(koko, &addr, threads) {
+        Ok(server) => {
+            eprintln!(
+                "serving {documents} documents ({shards} shards) on {} | {} worker threads | result cache {cache} entries",
+                server.local_addr(),
+                server.threads(),
+            );
+            eprintln!("protocol: one JSON request per line (docs/SERVING.md); stop with {{\"cmd\":\"shutdown\"}}");
+            server.join();
+            0
+        }
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_client(args: &[String]) -> i32 {
+    let usage = "usage: koko client <HOST:PORT> ['<query>' ...] [--threads=N] [--repeat=M] [--no-cache] [--stats] [--shutdown]";
+    let Some(addr) = args.first() else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let mut queries: Vec<String> = Vec::new();
+    let mut skip_value = false;
+    for a in &args[1..] {
+        if skip_value {
+            skip_value = false; // the value of a space-form `--flag N`
+        } else if VALUE_FLAGS.contains(&a.as_str()) {
+            skip_value = true;
+        } else if !a.starts_with("--") {
+            queries.push(a.clone());
+        }
+    }
+    let stats = args.iter().any(|a| a == "--stats");
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+    let cache = !args.iter().any(|a| a == "--no-cache");
+    let (threads, repeat) = match (
+        arg_named_usize(args, "threads", 1),
+        arg_named_usize(args, "repeat", 1),
+    ) {
+        (Ok(t), Ok(r)) => (t, r),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if queries.is_empty() && !stats && !shutdown {
+        eprintln!("{usage}");
+        return 2;
+    }
+
+    let mut code = 0;
+    if !queries.is_empty() {
+        match koko_serve::run_load(addr, &queries, threads, repeat, cache) {
+            Ok(report) => {
+                // One thread's responses in send order on stdout (scripted
+                // use); the load summary goes to stderr.
+                for line in &report.responses[0] {
+                    println!("{line}");
+                    if line.contains("\"ok\":false") {
+                        code = 1;
+                    }
+                }
+                eprintln!(
+                    "{} requests over {} threads in {:.3}s | {:.0} queries/s | {} ok, {} errors",
+                    report.requests,
+                    report.threads,
+                    report.wall.as_secs_f64(),
+                    report.qps,
+                    report.ok,
+                    report.errors,
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    }
+    if stats || shutdown {
+        let mut client = match koko_serve::Client::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                return 1;
+            }
+        };
+        if stats {
+            match client.stats() {
+                Ok(line) => println!("{line}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            }
+        }
+        if shutdown {
+            match client.shutdown() {
+                Ok(line) => println!("{line}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
+    code
 }
 
 fn cmd_demo() -> i32 {

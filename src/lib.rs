@@ -24,7 +24,10 @@
 //!   executor, persistence, DPLI, GSP, aggregation);
 //! * [`corpus`] — synthetic corpora + the SyntheticTree/SyntheticSpan
 //!   benchmarks;
-//! * [`baselines`] — CRF, IKE, NELL and Odin re-implementations.
+//! * [`baselines`] — CRF, IKE, NELL and Odin re-implementations;
+//! * [`serve`] — the concurrent query server (NDJSON-over-TCP protocol,
+//!   worker pool over one shared snapshot, load-generating client); see
+//!   `docs/SERVING.md`.
 //!
 //! The engine is sharded: the corpus is partitioned into contiguous
 //! document ranges, each with its own index and document store
@@ -80,8 +83,11 @@ pub use koko_index as index;
 pub use koko_lang as lang;
 pub use koko_nlp as nlp;
 pub use koko_regex as regex;
+pub use koko_serve as serve;
 pub use koko_storage as storage;
 
-pub use koko_core::{EngineOpts, Error, Koko, OutValue, Profile, QueryOutput, Row, Snapshot};
+pub use koko_core::{
+    CacheStats, EngineOpts, Error, Koko, OutValue, Profile, QueryOutput, Row, Snapshot,
+};
 pub use koko_lang::{normalize, parse_query, queries};
 pub use koko_nlp::{Corpus, Document, Pipeline, Sentence};

@@ -1,0 +1,228 @@
+//! Golden-file integration tests for the `koko` binary: each scenario
+//! runs the built executable as a subprocess and asserts its **stdout**
+//! byte-for-byte against a checked-in file under `tests/golden/`, plus
+//! its exit code (timings and diagnostics go to stderr by design, so
+//! stdout is deterministic).
+//!
+//! Regenerate the golden files after an intentional output change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test cli_golden
+//! ```
+//!
+//! The corrupt-input scenarios build real `.koko` files and damage them;
+//! those assert exit codes, empty stdout, and stable stderr substrings
+//! (stderr embeds temp paths, so it is not goldened).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn fixture() -> String {
+    repo_path("tests/fixtures/corpus.txt").display().to_string()
+}
+
+/// Run the built `koko` binary; returns (stdout, stderr, exit code).
+fn koko(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_koko"))
+        .args(args)
+        .output()
+        .expect("koko binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+/// Assert `stdout` matches `tests/golden/<name>` (or rewrite it when
+/// `UPDATE_GOLDEN=1`).
+fn assert_golden(name: &str, stdout: &str) {
+    let path = repo_path(&format!("tests/golden/{name}"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, stdout).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run UPDATE_GOLDEN=1"));
+    assert_eq!(
+        stdout, expected,
+        "stdout diverged from {path:?}; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+const EXAMPLE_2_1: &str = r#"extract e:Entity, d:Str from input.txt if
+(/ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) } (b) in (e))"#;
+
+const DATE_OF_BIRTH: &str = r#"extract a:Person, b:Date from wiki.article if (
+/ROOT:{ v = verb })
+satisfying v
+(str(v) ~ "born" {1})
+with threshold 0.5"#;
+
+#[test]
+fn query_over_text_corpus() {
+    let (stdout, _, code) = koko(&["query", &fixture(), EXAMPLE_2_1, "--shards=1"]);
+    assert_eq!(code, 0);
+    assert_golden("query_example_2_1.txt", &stdout);
+}
+
+#[test]
+fn batch_over_text_corpus() {
+    let (stdout, _, code) = koko(&[
+        "batch",
+        &fixture(),
+        EXAMPLE_2_1,
+        DATE_OF_BIRTH,
+        "--shards=1",
+    ]);
+    assert_eq!(code, 0);
+    assert_golden("batch_two_queries.txt", &stdout);
+}
+
+#[test]
+fn stats_over_text_corpus() {
+    let (stdout, _, code) = koko(&["stats", &fixture(), "--shards=1"]);
+    assert_eq!(code, 0);
+    assert_golden("stats_fixture.txt", &stdout);
+}
+
+#[test]
+fn parse_error_exit_code_and_stdout() {
+    let (stdout, stderr, code) = koko(&["query", &fixture(), "not a query", "--shards=1"]);
+    assert_eq!(code, 1);
+    assert_eq!(stdout, "", "errors print nothing to stdout");
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        &[][..],
+        &["query"][..],
+        &["build", &fixture()][..],
+        &["frobnicate"][..],
+        &["serve"][..],
+        &["client"][..],
+    ] {
+        let (stdout, stderr, code) = koko(args);
+        assert_eq!(code, 2, "args {args:?}");
+        assert_eq!(stdout, "", "usage goes to stderr, args {args:?}");
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn build_then_query_snapshot_matches_text_corpus() {
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("cli_golden_{}.koko", std::process::id()));
+    let snap_str = snap.display().to_string();
+
+    let (stdout, stderr, code) = koko(&["build", &fixture(), "-o", &snap_str, "--shards=1"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert_eq!(stdout, "", "build reports on stderr only");
+    assert!(stderr.contains("built 4 documents"), "{stderr}");
+
+    // Querying the snapshot must print the exact same rows as querying
+    // the text corpus (the golden file from `query_over_text_corpus`).
+    let (stdout, _, code) = koko(&["query", &snap_str, EXAMPLE_2_1]);
+    assert_eq!(code, 0);
+    assert_golden("query_example_2_1.txt", &stdout);
+
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn corrupt_snapshot_is_a_clean_error() {
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("cli_golden_corrupt_{}.koko", std::process::id()));
+    let snap_str = snap.display().to_string();
+    let (_, stderr, code) = koko(&["build", &fixture(), "-o", &snap_str, "--shards=1"]);
+    assert_eq!(code, 0, "{stderr}");
+
+    // Flip payload bytes (past the 8-byte magic + header): checksum fails.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    bytes[mid + 1] ^= 0xff;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    for cmd in ["query", "stats"] {
+        let args: Vec<&str> = match cmd {
+            "query" => vec![cmd, &snap_str, EXAMPLE_2_1],
+            _ => vec![cmd, &snap_str],
+        };
+        let (stdout, stderr, code) = koko(&args);
+        assert_eq!(code, 1, "{cmd}: {stderr}");
+        assert_eq!(stdout, "", "{cmd} prints nothing on corrupt input");
+        assert!(
+            stderr.contains("snapshot error"),
+            "{cmd} names the failure mode: {stderr}"
+        );
+    }
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn truncated_snapshot_is_a_clean_error() {
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("cli_golden_trunc_{}.koko", std::process::id()));
+    let snap_str = snap.display().to_string();
+    let (_, stderr, code) = koko(&["build", &fixture(), "-o", &snap_str, "--shards=1"]);
+    assert_eq!(code, 0, "{stderr}");
+
+    let bytes = std::fs::read(&snap).unwrap();
+    std::fs::write(&snap, &bytes[..bytes.len() / 3]).unwrap();
+
+    let (stdout, stderr, code) = koko(&["query", &snap_str, EXAMPLE_2_1]);
+    assert_eq!(code, 1);
+    assert_eq!(stdout, "");
+    assert!(stderr.contains("snapshot error"), "{stderr}");
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn magic_bytes_alone_are_not_a_snapshot() {
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("cli_golden_magic_{}.koko", std::process::id()));
+    std::fs::write(&snap, b"KOKOSNAP").unwrap();
+    let (stdout, stderr, code) = koko(&["query", &snap.display().to_string(), EXAMPLE_2_1]);
+    assert_eq!(code, 1);
+    assert_eq!(stdout, "");
+    assert!(stderr.contains("snapshot error"), "{stderr}");
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn build_refuses_to_rebuild_a_snapshot() {
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("cli_golden_rebuild_{}.koko", std::process::id()));
+    let snap_str = snap.display().to_string();
+    let (_, _, code) = koko(&["build", &fixture(), "-o", &snap_str, "--shards=1"]);
+    assert_eq!(code, 0);
+    let out_again = dir.join("cli_golden_rebuild_again.koko");
+    let (stdout, stderr, code) =
+        koko(&["build", &snap_str, "-o", &out_again.display().to_string()]);
+    assert_eq!(code, 1);
+    assert_eq!(stdout, "");
+    assert!(stderr.contains("already a KOKO snapshot"), "{stderr}");
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn demo_walkthrough_is_stable() {
+    let (stdout, _, code) = koko(&["demo"]);
+    assert_eq!(code, 0);
+    assert_golden("demo.txt", &stdout);
+}
+
+#[test]
+fn parse_output_is_stable() {
+    let (stdout, _, code) = koko(&["parse", &fixture()]);
+    assert_eq!(code, 0);
+    assert_golden("parse_fixture.txt", &stdout);
+}

@@ -1,0 +1,161 @@
+//! Doc-example conformance: every runnable query in `docs/QUERYLANG.md`
+//! is extracted from the markdown and executed against a fixture corpus,
+//! so the language reference cannot drift from the lexer/parser/normalizer
+//! (a doc edit that breaks an example breaks this test — and a parser
+//! change that orphans the docs does too).
+//!
+//! Three kinds of fenced ```text blocks are runnable:
+//!
+//! * full queries (first word `extract`) — run verbatim;
+//! * declaration fragments (starting `/ROOT:{`) — wrapped in
+//!   `extract <v>:Str from "docs.md" if ( … )` over their first variable;
+//! * `satisfying` / `excluding` fragments — appended to an empty-extract
+//!   entity query, as the reference describes.
+//!
+//! Blocks with meta-syntax (`<placeholders>`, `…` ellipses) are grammar
+//! illustrations, not examples, and are skipped.
+
+use koko::{EngineOpts, Koko};
+
+/// A fenced code block: (language tag, contents).
+fn fenced_blocks(markdown: &str) -> Vec<(String, String)> {
+    let mut blocks = Vec::new();
+    let mut current: Option<(String, String)> = None;
+    for line in markdown.lines() {
+        match &mut current {
+            None => {
+                if let Some(tag) = line.trim_start().strip_prefix("```") {
+                    current = Some((tag.trim().to_string(), String::new()));
+                }
+            }
+            Some((_, body)) => {
+                if line.trim_start().starts_with("```") {
+                    blocks.push(current.take().unwrap());
+                } else {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+        }
+    }
+    blocks
+}
+
+/// The first declared variable of a `/ROOT:{…}` fragment (`a = …` → `a`).
+fn first_declared_var(fragment: &str) -> Option<String> {
+    let inner = fragment.split_once('{')?.1;
+    let name: String = inner
+        .chars()
+        .skip_while(|c| !c.is_alphabetic())
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Classify a ```text block into a runnable query, if it is one.
+fn runnable_query(block: &str) -> Option<String> {
+    let text = block.trim();
+    if text.contains('…') || text.contains('<') {
+        return None; // grammar illustration, not an example
+    }
+    if text.starts_with("extract") {
+        return Some(text.to_string());
+    }
+    if text.starts_with("/ROOT:{") {
+        let var = first_declared_var(text)?;
+        return Some(format!("extract {var}:Str from \"docs.md\" if ( {text} )"));
+    }
+    if text.starts_with("satisfying") || text.starts_with("excluding") {
+        return Some(format!("extract x:Entity from \"docs.md\" if () {text}"));
+    }
+    None
+}
+
+fn fixture_engine() -> Koko {
+    Koko::from_texts_with_opts(
+        &[
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            "Velvet Moon Cafe opened downtown. Quiet Owl serves delicious cappuccinos.",
+            "They bought a La Marzocco for the bar, a cafe needs one.",
+            "cities in asian countries such as Beijing and Tokyo.",
+            "Vera Alys was born in 1911.",
+            "Cyd Charisse had been called Sid for years.",
+        ],
+        EngineOpts {
+            num_shards: 1,
+            ..EngineOpts::default()
+        },
+    )
+}
+
+fn load_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/QUERYLANG.md");
+    std::fs::read_to_string(path).expect("docs/QUERYLANG.md exists")
+}
+
+#[test]
+fn every_runnable_doc_example_executes() {
+    let doc = load_doc();
+    let koko = fixture_engine();
+    let mut ran = 0usize;
+    let mut full_queries = 0usize;
+    for (lang, block) in fenced_blocks(&doc) {
+        if lang != "text" {
+            continue;
+        }
+        let Some(query) = runnable_query(&block) else {
+            continue;
+        };
+        let out = koko
+            .query(&query)
+            .unwrap_or_else(|e| panic!("doc example no longer runs.\nquery:\n{query}\nerror: {e}"));
+        ran += 1;
+        if block.trim().starts_with("extract") {
+            full_queries += 1;
+            // The complete examples target the fixture corpus; they must
+            // actually extract something, not just parse.
+            assert!(
+                !out.rows.is_empty(),
+                "doc example parses but extracts nothing:\n{query}"
+            );
+        }
+    }
+    // Drift guard: QUERYLANG.md currently carries 4 complete queries and
+    // 4 runnable fragments. Falling below means examples were dropped or
+    // the extractor stopped recognizing them.
+    assert!(
+        full_queries >= 4,
+        "only {full_queries} complete doc queries ran"
+    );
+    assert!(ran >= 8, "only {ran} doc examples ran");
+}
+
+#[test]
+fn doc_examples_match_paper_query_constants() {
+    // The doc's "Complete examples" restate `koko::queries` constants;
+    // they must stay semantically in sync: identical rows on the fixture.
+    let doc = load_doc();
+    let koko = fixture_engine();
+    let doc_queries: Vec<String> = fenced_blocks(&doc)
+        .into_iter()
+        .filter(|(lang, block)| lang == "text" && block.trim().starts_with("extract"))
+        .filter_map(|(_, block)| runnable_query(&block))
+        .collect();
+    for (name, constant) in [
+        ("EXAMPLE_2_1", koko::queries::EXAMPLE_2_1),
+        ("EXAMPLE_2_2_Q1", koko::queries::EXAMPLE_2_2_Q1),
+        ("DATE_OF_BIRTH", koko::queries::DATE_OF_BIRTH),
+    ] {
+        let expected = koko.query(constant).unwrap().rows;
+        let matched = doc_queries.iter().any(|q| {
+            koko.query(q)
+                .map(|out| out.rows == expected)
+                .unwrap_or(false)
+        });
+        assert!(
+            matched,
+            "no doc example is row-equivalent to queries::{name} anymore"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Serving conformance: every response a concurrent `koko-serve` server
+//! produces must be **byte-identical** to what the single-threaded
+//! [`Koko::query`] evaluator answers for the same query — under N client
+//! threads, M in-flight queries each, with the result cache on and off,
+//! and regardless of which worker (or which cache) produced the bytes.
+//!
+//! This is the serving layer's analogue of `tests/shard_equivalence.rs`:
+//! concurrency and caching are allowed to change wall-clock only, never
+//! rows, order, scores or spans.
+
+use koko::serve::{protocol, run_load, Client, Server};
+use koko::{queries, EngineOpts, Koko};
+
+const CORPUS: &[&str] = &[
+    "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+    "Anna ate some delicious cheesecake that she bought at a grocery store.",
+    "Cyd Charisse had been called Sid for years.",
+    "Vera Alys was born in 1911.",
+    "Baking chocolate is a type of chocolate that is prepared for baking.",
+    "cities in asian countries such as Beijing and Tokyo.",
+    "Velvet Moon Cafe opened downtown. The owner was proud.",
+    "The cafe was busy today.",
+];
+
+/// The query mix: every paper query the fixture corpus can answer, plus a
+/// deliberately malformed one (served errors must be deterministic too).
+fn query_mix() -> Vec<String> {
+    vec![
+        queries::EXAMPLE_2_1.to_string(),
+        queries::EXAMPLE_2_2_Q1.to_string(),
+        queries::EXAMPLE_2_3.to_string(),
+        queries::TITLE.to_string(),
+        queries::DATE_OF_BIRTH.to_string(),
+        queries::CHOCOLATE.to_string(),
+        "extract x:Entity from \"t\" if ()".to_string(),
+        "this is not a koko query".to_string(),
+    ]
+}
+
+fn reference_engine() -> Koko {
+    // The sequential gold standard: one shard, no parallelism, no caches.
+    Koko::from_texts_with_opts(
+        CORPUS,
+        EngineOpts {
+            num_shards: 1,
+            parallel: false,
+            compiled_cache: false,
+            result_cache: 0,
+            ..EngineOpts::default()
+        },
+    )
+}
+
+/// The expected `"rows"` bytes per query, computed by the sequential
+/// engine through the same canonical serializer the server uses. `None`
+/// marks queries the engine rejects (the server must answer `ok:false`).
+fn expected_rows(reference: &Koko, mix: &[String]) -> Vec<Option<String>> {
+    mix.iter()
+        .map(|q| {
+            reference
+                .query(q)
+                .ok()
+                .map(|out| protocol::rows_json(&out.rows))
+        })
+        .collect()
+}
+
+fn check_load(server_engine: Koko, server_threads: usize, clients: usize, cache: bool) {
+    let reference = reference_engine();
+    let mix = query_mix();
+    let expected = expected_rows(&reference, &mix);
+
+    let server = Server::bind(server_engine, "127.0.0.1:0", server_threads).unwrap();
+    let addr = server.local_addr().to_string();
+    // Each client thread sends the whole mix several times, so later
+    // rounds hit whatever the earlier rounds cached.
+    let report = run_load(&addr, &mix, clients, 3, cache).unwrap();
+    server.shutdown();
+
+    assert_eq!(report.requests, mix.len() * 3 * clients);
+    for thread_responses in &report.responses {
+        for (i, line) in thread_responses.iter().enumerate() {
+            let qi = i % mix.len();
+            match &expected[qi] {
+                Some(rows) => {
+                    let got = protocol::response_rows(line)
+                        .unwrap_or_else(|| panic!("no rows in response: {line}"));
+                    assert_eq!(
+                        got, rows,
+                        "served rows differ from sequential Koko::query\n\
+                         query: {}\nresponse: {line}",
+                        mix[qi]
+                    );
+                }
+                None => {
+                    assert!(
+                        line.contains("\"ok\":false"),
+                        "bad query must be served as an error: {line}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn served_engine(result_cache: usize) -> Koko {
+    // The served engine is deliberately configured differently from the
+    // reference: multiple shards, caches, and `parallel` left on (the
+    // server turns per-query fan-out off itself). Results must not care.
+    Koko::from_texts_with_opts(
+        CORPUS,
+        EngineOpts {
+            num_shards: 3,
+            result_cache,
+            ..EngineOpts::default()
+        },
+    )
+}
+
+#[test]
+fn concurrent_serving_matches_sequential_with_caches() {
+    check_load(served_engine(64), 4, 4, true);
+}
+
+#[test]
+fn concurrent_serving_matches_sequential_without_caches() {
+    // `cache: false` on every request: both caches bypassed server-side.
+    check_load(served_engine(64), 4, 4, false);
+}
+
+#[test]
+fn concurrent_serving_matches_sequential_with_caches_disabled_entirely() {
+    let engine = Koko::from_texts_with_opts(
+        CORPUS,
+        EngineOpts {
+            num_shards: 2,
+            parallel: false,
+            compiled_cache: false,
+            result_cache: 0,
+            ..EngineOpts::default()
+        },
+    );
+    check_load(engine, 3, 2, true);
+}
+
+#[test]
+fn tiny_result_cache_evicts_but_stays_correct() {
+    // Capacity 2 with an 8-query mix: constant eviction churn under
+    // concurrent load; every answer must still be exact.
+    check_load(served_engine(2), 4, 3, true);
+}
+
+#[test]
+fn snapshot_served_engine_matches_too() {
+    // The production path: build → save → serve the loaded snapshot.
+    let path = std::env::temp_dir().join(format!("serve_conformance_{}.koko", std::process::id()));
+    served_engine(0).save(&path).unwrap();
+    let loaded = Koko::open_with_opts(
+        &path,
+        EngineOpts {
+            parallel: false,
+            result_cache: 16,
+            ..EngineOpts::default()
+        },
+    )
+    .unwrap();
+    std::fs::remove_file(&path).ok();
+    check_load(loaded, 2, 2, true);
+}
+
+#[test]
+fn served_stats_reflect_cache_traffic() {
+    let server = Server::bind(served_engine(64), "127.0.0.1:0", 2).unwrap();
+    let addr = server.local_addr().to_string();
+    let q = queries::EXAMPLE_2_1;
+    let mut c = Client::connect(&addr).unwrap();
+    c.query(q, true).unwrap();
+    c.query(q, true).unwrap();
+    c.query(q, false).unwrap(); // bypass: touches no cache
+    let stats = c.stats().unwrap();
+    drop(c);
+    server.shutdown();
+    assert!(stats.contains("\"queries_ok\":3"), "{stats}");
+    assert!(stats.contains("\"result_cache_hits\":1"), "{stats}");
+    assert!(stats.contains("\"result_cache_misses\":1"), "{stats}");
+    assert!(stats.contains("\"compiled_cache_hits\":1"), "{stats}");
+}
