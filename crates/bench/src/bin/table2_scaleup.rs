@@ -50,12 +50,23 @@ struct ScalePoint {
     served_cold_qps: f64,
     served_warm_1_qps: f64,
     served_warm_n_qps: f64,
+    /// Incremental ingest: documents added via `add_texts` in one wave.
+    add_docs: usize,
+    /// Wall-clock of that `add_texts` wave.
+    add: Duration,
+    /// Wall-clock of the full rebuild the add replaces (parse + index the
+    /// whole corpus including the new documents).
+    rebuild: Duration,
+    /// 3-query wall-clock with the delta shard still live.
+    query_delta: Duration,
+    /// 3-query wall-clock after `compact()`.
+    query_compacted: Duration,
 }
 
 impl ScalePoint {
     fn json(&self) -> String {
         format!(
-            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1}}}",
+            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6}}}",
             self.articles,
             self.shards,
             self.ingest_seq.as_secs_f64(),
@@ -76,6 +87,14 @@ impl ScalePoint {
             self.served_cold_qps,
             self.served_warm_1_qps,
             self.served_warm_n_qps,
+            self.add_docs,
+            self.add.as_secs_f64(),
+            self.rebuild.as_secs_f64(),
+            ratio(self.rebuild, self.add),
+            self.add_docs as f64 / self.add.as_secs_f64().max(1e-9),
+            (self.articles + self.add_docs) as f64 / self.rebuild.as_secs_f64().max(1e-9),
+            self.query_delta.as_secs_f64(),
+            self.query_compacted.as_secs_f64(),
         )
     }
 }
@@ -231,6 +250,40 @@ fn main() {
         loaded.query(bench_queries[0]).expect("query after load");
         std::fs::remove_file(&snap_path).ok();
 
+        // Incremental ingest: one 8-document wave through `add_texts` on
+        // the live index versus the full rebuild it replaces, plus query
+        // latency with the delta shard live and after compaction. The add
+        // is sub-millisecond, so take the best of three runs (each on a
+        // fresh base) to keep timer noise out of the committed ratio.
+        const ADD_DOCS: usize = 8;
+        let all_texts = koko_corpus::wiki::generate(n + ADD_DOCS, 4242);
+        let mut add = Duration::MAX;
+        let mut base = Koko::from_texts_with_opts(&all_texts[..n], par_opts);
+        for rep in 0..3 {
+            let t = Instant::now();
+            base.add_texts(&all_texts[n..]);
+            add = add.min(t.elapsed());
+            if rep < 2 {
+                base = Koko::from_texts_with_opts(&all_texts[..n], par_opts);
+            }
+        }
+        let t = Instant::now();
+        let rebuilt = Koko::from_texts_with_opts(&all_texts, par_opts);
+        let rebuild = t.elapsed();
+        drop(rebuilt);
+        let t = Instant::now();
+        for q in bench_queries {
+            base.query(q).expect("query with live delta");
+        }
+        let query_delta = t.elapsed();
+        base.compact();
+        let t = Instant::now();
+        for q in bench_queries {
+            base.query(q).expect("query after compaction");
+        }
+        let query_compacted = t.elapsed();
+        drop(base);
+
         // Served QPS: the loaded snapshot behind an in-process server.
         let served_clients = cores.max(2);
         let serve_opts = EngineOpts {
@@ -242,7 +295,7 @@ fn main() {
 
         let point = ScalePoint {
             articles: n,
-            shards: par.shards().len(),
+            shards: par.num_shards(),
             ingest_seq,
             ingest_par,
             query_seq,
@@ -254,6 +307,11 @@ fn main() {
             served_cold_qps,
             served_warm_1_qps,
             served_warm_n_qps,
+            add_docs: ADD_DOCS,
+            add,
+            rebuild,
+            query_delta,
+            query_compacted,
         };
         row(&[
             n.to_string(),
@@ -293,6 +351,32 @@ fn main() {
         ]);
     }
     println!("(expected: loading a snapshot is several times faster than re-ingesting text)");
+
+    // ---- Incremental ingest: add_texts vs full rebuild ------------------
+    println!("\n## Live index: incremental add vs full rebuild\n");
+    header(&[
+        "articles",
+        "wave",
+        "add (delta)",
+        "full rebuild",
+        "add speedup",
+        "add docs/s",
+        "3-query (delta)",
+        "3-query (compacted)",
+    ]);
+    for p in &points {
+        row(&[
+            p.articles.to_string(),
+            format!("+{}", p.add_docs),
+            secs(p.add),
+            secs(p.rebuild),
+            format!("{:.1}x", ratio(p.rebuild, p.add)),
+            format!("{:.0}", p.add_docs as f64 / p.add.as_secs_f64().max(1e-9)),
+            secs(p.query_delta),
+            secs(p.query_compacted),
+        ]);
+    }
+    println!("(expected: an incremental add is ≥10x faster than the rebuild it replaces, widening with corpus size; delta-shard query latency converges with the compacted layout as corpora grow — the smallest point is first-query warm-up noise)");
 
     // ---- Served QPS: 1 vs N client threads, cold vs warm cache ----------
     println!("\n## Served QPS (in-process koko-serve, closed-loop clients)\n");

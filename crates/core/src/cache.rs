@@ -122,6 +122,7 @@ pub struct CachedCompile {
 pub struct CachedResult {
     pub rows: Arc<Vec<Row>>,
     pub candidate_sentences: usize,
+    pub delta_candidates: usize,
     pub raw_tuples: usize,
 }
 
@@ -257,6 +258,7 @@ mod tests {
             CachedResult {
                 rows: Arc::new(Vec::new()),
                 candidate_sentences: 0,
+                delta_candidates: 0,
                 raw_tuples: 0,
             },
         );

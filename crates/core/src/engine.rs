@@ -2,26 +2,30 @@
 //! build per-shard indices), then per query: Normalize → per-shard
 //! {DPLI → LoadArticle → GSP/extract} → merge → Aggregate.
 //!
-//! The engine is split into an immutable [`Snapshot`] (shards + embeddings,
-//! `Send + Sync`, shared by reference) and a stateless executor
-//! ([`execute_query`]). [`Koko`] is the user-facing façade tying one
-//! snapshot to one [`EngineOpts`]. The per-shard stage fans out over worker
-//! threads when `opts.parallel` is set; partial results and [`Profile`]
-//! timers merge deterministically, so sharded output is byte-identical
-//! (rows, order, scores) to the single-shard sequential evaluator.
+//! The engine is split into immutable [`Snapshot`] generations published
+//! through a [`LiveIndex`] (shards + embeddings, `Send + Sync`, shared by
+//! `Arc`) and a stateless executor ([`execute_query`]). [`Koko`] is the
+//! user-facing façade tying one live index to one [`EngineOpts`]; clones
+//! share the live index, so an [`Koko::add_texts`] on any clone is
+//! visible to queries on every other. The per-shard stage fans out over
+//! worker threads when `opts.parallel` is set; partial results and
+//! [`Profile`] timers merge deterministically, so sharded output is
+//! byte-identical (rows, order, scores) to the single-shard sequential
+//! evaluator — and, because results are shard-layout independent, a
+//! corpus ingested incrementally (any split, compacted or not) answers
+//! byte-identically to a one-shot batch build.
 
 use crate::aggregate::{AggOpts, Aggregator};
 use crate::binder::{bind_domains, CompiledQuery, SentCtx};
 use crate::cache::{CacheStats, CachedCompile, CachedResult, QueryCaches};
 use crate::error::Error;
+use crate::live::LiveIndex;
 use crate::profile::Profile;
 use crate::snapshot::Snapshot;
 use crate::{dpli, gsp};
 use koko_embed::Embeddings;
-use koko_index::{KokoIndex, Shard};
 use koko_lang::{normalize, parse_query, NVarKind, Query};
-use koko_nlp::{Corpus, Document, Sid};
-use koko_storage::Db;
+use koko_nlp::{Document, Sid};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -161,14 +165,49 @@ impl QueryOutput {
     }
 }
 
-/// The KOKO system: an immutable [`Snapshot`] plus the options queries run
-/// with. Cheap to clone; clones share the snapshot.
+/// What one [`Koko::add_texts`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddReport {
+    /// Documents ingested by this call.
+    pub added: usize,
+    /// Total documents in the published snapshot.
+    pub documents: usize,
+    /// Epoch of the published snapshot (unchanged if `added == 0`).
+    pub epoch: u64,
+    /// Generation of the published snapshot (adds never change it).
+    pub generation: u64,
+    /// Delta shards currently awaiting compaction.
+    pub delta_shards: usize,
+    /// Documents living in those delta shards.
+    pub delta_documents: usize,
+}
+
+/// What one [`Koko::compact`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Delta shards merged into the base (0 = the call was a no-op).
+    pub merged_deltas: usize,
+    /// Base shards after compaction.
+    pub shards: usize,
+    /// Epoch of the published snapshot (unchanged on a no-op).
+    pub epoch: u64,
+    /// Generation of the published snapshot (+1 unless a no-op).
+    pub generation: u64,
+}
+
+/// The KOKO system: a [`LiveIndex`] of immutable [`Snapshot`] generations
+/// plus the options queries run with. Cheap to clone; clones share the
+/// live index and the caches, so updates and cache hits propagate across
+/// every clone (server worker threads rely on this).
 #[derive(Clone)]
 pub struct Koko {
-    snapshot: Arc<Snapshot>,
+    live: Arc<LiveIndex>,
     /// Query caches (compiled + results). Shared by every clone, so server
-    /// worker threads pool their hits; replaced wholesale whenever the
-    /// snapshot or embeddings change.
+    /// worker threads pool their hits; replaced wholesale when options or
+    /// embeddings change. Live updates do *not* replace it: the result
+    /// cache is epoch-keyed, so publishing a new snapshot strands the old
+    /// epoch's rows (they age out of the LRU) while compiled queries
+    /// survive.
     caches: Arc<QueryCaches>,
     pub opts: EngineOpts,
 }
@@ -181,7 +220,7 @@ impl Koko {
     /// use koko_core::Koko;
     ///
     /// let koko = Koko::from_texts(&["Anna ate cake.", "The cafe was busy."]);
-    /// assert_eq!(koko.corpus().num_documents(), 2);
+    /// assert_eq!(koko.num_documents(), 2);
     /// ```
     pub fn from_texts<S: AsRef<str> + Sync>(texts: &[S]) -> Koko {
         Koko::from_texts_with_opts(texts, EngineOpts::default())
@@ -200,17 +239,16 @@ impl Koko {
     }
 
     /// Build from an already parsed corpus with default options.
-    pub fn from_corpus(corpus: Corpus) -> Koko {
+    pub fn from_corpus(corpus: koko_nlp::Corpus) -> Koko {
         Koko::from_corpus_with_opts(corpus, EngineOpts::default())
     }
 
     /// Build from an already parsed corpus with explicit options.
-    pub fn from_corpus_with_opts(corpus: Corpus, opts: EngineOpts) -> Koko {
-        Koko {
-            snapshot: Arc::new(Snapshot::build(corpus, opts.num_shards, opts.parallel)),
-            caches: Arc::new(QueryCaches::new(opts.compiled_cache, opts.result_cache)),
+    pub fn from_corpus_with_opts(corpus: koko_nlp::Corpus, opts: EngineOpts) -> Koko {
+        Koko::from_snapshot(
+            Snapshot::build(corpus, opts.num_shards, opts.parallel),
             opts,
-        }
+        )
     }
 
     /// Wrap an existing snapshot (e.g. one returned by [`Snapshot::load`])
@@ -218,17 +256,19 @@ impl Koko {
     /// `opts.num_shards` is ignored here, unlike [`Koko::with_opts`].
     pub fn from_snapshot(snapshot: Snapshot, opts: EngineOpts) -> Koko {
         Koko {
-            snapshot: Arc::new(snapshot),
+            live: Arc::new(LiveIndex::new(snapshot)),
             caches: Arc::new(QueryCaches::new(opts.compiled_cache, opts.result_cache)),
             opts,
         }
     }
 
-    /// Persist the engine's snapshot to a `.koko` file — the "build" half
-    /// of the build-once / query-many workflow. Returns the file size in
-    /// bytes.
+    /// Persist the engine's current snapshot to a `.koko` file — the
+    /// "build" half of the build-once / query-many workflow. Returns the
+    /// file size in bytes. Snapshots saved after incremental adds keep
+    /// their generation and base/delta split, and reload to answer
+    /// identically.
     pub fn save(&self, path: &std::path::Path) -> Result<u64, Error> {
-        self.snapshot.save(path, self.opts.parallel)
+        self.snapshot().save(path, self.opts.parallel)
     }
 
     /// Open a `.koko` snapshot file with default options — the "query"
@@ -263,70 +303,150 @@ impl Koko {
     }
 
     /// Replace the embedding model (e.g. with a domain ontology merged in).
-    /// When this `Koko` is the snapshot's only owner (the common builder
-    /// pattern) the swap is in place; otherwise the shards are cloned so
-    /// existing sharers keep their embeddings.
-    pub fn with_embeddings(mut self, embed: Embeddings) -> Koko {
-        self.snapshot = match Arc::try_unwrap(self.snapshot) {
-            Ok(mut snapshot) => {
-                snapshot.set_embeddings(embed);
-                Arc::new(snapshot)
-            }
-            Err(shared) => Arc::new(shared.with_embeddings(embed)),
-        };
-        // New embeddings can change descriptor scores: drop cached rows.
-        self.caches = Arc::new(QueryCaches::new(
-            self.opts.compiled_cache,
-            self.opts.result_cache,
-        ));
-        self
+    /// The returned engine publishes through a fresh live index, so
+    /// existing clones keep their embeddings; caches reset because new
+    /// embeddings can change descriptor scores.
+    pub fn with_embeddings(self, embed: Embeddings) -> Koko {
+        Koko {
+            live: Arc::new(LiveIndex::new(self.snapshot().with_embeddings(embed))),
+            caches: Arc::new(QueryCaches::new(
+                self.opts.compiled_cache,
+                self.opts.result_cache,
+            )),
+            opts: self.opts,
+        }
     }
 
     /// Replace the options. If the requested shard count differs from the
-    /// snapshot's layout, the shards are rebuilt to match.
-    pub fn with_opts(mut self, opts: EngineOpts) -> Koko {
-        let want =
-            koko_par::resolve_threads(opts.num_shards, self.snapshot.corpus().num_documents());
-        if want != self.snapshot.num_shards() {
-            self.snapshot = Arc::new(Snapshot::build(
-                self.snapshot.corpus().clone(),
-                opts.num_shards,
-                opts.parallel,
-            ));
-        }
-        self.caches = Arc::new(QueryCaches::new(opts.compiled_cache, opts.result_cache));
-        self.opts = opts;
-        self
-    }
-
-    /// The shared immutable snapshot (shards + embeddings).
-    pub fn snapshot(&self) -> &Arc<Snapshot> {
-        &self.snapshot
-    }
-
-    pub fn corpus(&self) -> &Corpus {
-        self.snapshot.corpus()
-    }
-
-    /// The shard list (contiguous document partitions with their indices).
-    pub fn shards(&self) -> &[Shard] {
-        self.snapshot.shards()
-    }
-
-    /// The multi-index over the whole corpus — `Some` only for a
-    /// single-shard engine (`EngineOpts::num_shards == 1`). A sharded
-    /// engine has one index per shard; use [`Koko::shards`].
-    pub fn index(&self) -> Option<&KokoIndex> {
-        match self.snapshot.shards() {
-            [only] => Some(only.index()),
-            _ => None,
+    /// current base layout, the shards are rebuilt (compacting any deltas
+    /// along the way); embeddings carry over. Like
+    /// [`Koko::with_embeddings`], the returned engine has its own live
+    /// index and fresh caches.
+    pub fn with_opts(self, opts: EngineOpts) -> Koko {
+        let snap = self.snapshot();
+        let want = koko_par::resolve_threads(opts.num_shards, snap.corpus().num_documents());
+        let live = if want != snap.num_base_shards() || snap.num_delta_shards() > 0 {
+            LiveIndex::new(snap.compacted(opts.num_shards, opts.parallel))
+        } else {
+            // Layout already matches: the new live index republishes the
+            // pinned snapshot as-is (shared, same epoch — safe because
+            // the caches below are fresh).
+            LiveIndex::new(snap)
+        };
+        Koko {
+            live: Arc::new(live),
+            caches: Arc::new(QueryCaches::new(opts.compiled_cache, opts.result_cache)),
+            opts,
         }
     }
 
-    /// The database view over the whole corpus (assembled from the shard
-    /// stores on first use; see [`Snapshot::db`]).
-    pub fn store(&self) -> &Db {
-        self.snapshot.db()
+    /// Parse `texts` through the full NLP pipeline and publish them as new
+    /// documents — incremental ingest. The documents join the index as an
+    /// append-only delta shard (or extend the open one); concurrent
+    /// queries keep reading the snapshot they started on and observe the
+    /// new epoch on their next call. Writers serialize; readers are never
+    /// blocked beyond the publication pointer swap.
+    ///
+    /// Equivalence guarantee: however a corpus is split across
+    /// `add_texts` calls — compacted or not — every query answers
+    /// byte-identically (rows, order, scores) to a one-shot
+    /// [`Koko::from_texts`] build of the concatenated corpus.
+    ///
+    /// ```
+    /// use koko_core::Koko;
+    ///
+    /// let koko = Koko::from_texts(&["Anna ate cake."]);
+    /// let report = koko.add_texts(&["The cafe was busy."]);
+    /// assert_eq!(report.added, 1);
+    /// assert_eq!(koko.num_documents(), 2);
+    /// ```
+    pub fn add_texts<S: AsRef<str> + Sync>(&self, texts: &[S]) -> AddReport {
+        let guard = self.live.write_lock();
+        let snap = self.live.current();
+        let first = snap.corpus().num_documents() as u32;
+        let threads = if self.opts.parallel { 0 } else { 1 };
+        let docs = koko_nlp::Pipeline::new().parse_documents(texts, first, threads);
+        let added = docs.len();
+        let published = if added == 0 {
+            snap
+        } else {
+            guard.publish(snap.with_added_documents(docs))
+        };
+        drop(guard);
+        AddReport {
+            added,
+            documents: published.corpus().num_documents(),
+            epoch: published.epoch(),
+            generation: published.generation(),
+            delta_shards: published.num_delta_shards(),
+            delta_documents: published.num_delta_documents(),
+        }
+    }
+
+    /// Merge every delta shard into balanced base shards (a full shard
+    /// rebuild via `plan_shards`) and publish the result. A no-op when no
+    /// deltas exist. Readers mid-query are unaffected; the compacted
+    /// layout is exactly what a batch build of the current corpus with
+    /// the same shard count produces.
+    pub fn compact(&self) -> CompactReport {
+        let guard = self.live.write_lock();
+        let snap = self.live.current();
+        let merged_deltas = snap.num_delta_shards();
+        // With `num_shards` unset (0 = auto), preserve the snapshot's own
+        // base layout rather than re-sharding to the machine's core count
+        // — compacting a loaded 2-shard snapshot must not silently turn
+        // it into an N-shard one ("snapshots keep their layout").
+        let target_shards = if self.opts.num_shards == 0 {
+            snap.num_base_shards()
+        } else {
+            self.opts.num_shards
+        };
+        let published = if merged_deltas == 0 {
+            snap
+        } else {
+            guard.publish(snap.compacted(target_shards, self.opts.parallel))
+        };
+        drop(guard);
+        CompactReport {
+            merged_deltas,
+            shards: published.num_shards(),
+            epoch: published.epoch(),
+            generation: published.generation(),
+        }
+    }
+
+    /// The currently published snapshot (shards + embeddings). The
+    /// returned `Arc` pins that generation: it stays valid and immutable
+    /// across concurrent [`Koko::add_texts`] / [`Koko::compact`] calls,
+    /// which publish successors instead of mutating it.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.live.current()
+    }
+
+    /// Epoch of the currently published snapshot (changes on every
+    /// successful update; result-cache entries are keyed by it).
+    pub fn epoch(&self) -> u64 {
+        self.live.epoch()
+    }
+
+    /// Generation of the currently published snapshot (base rebuilds).
+    pub fn generation(&self) -> u64 {
+        self.snapshot().generation()
+    }
+
+    /// Documents in the currently published snapshot.
+    pub fn num_documents(&self) -> usize {
+        self.snapshot().corpus().num_documents()
+    }
+
+    /// Shards (base + delta) in the currently published snapshot.
+    pub fn num_shards(&self) -> usize {
+        self.snapshot().num_shards()
+    }
+
+    /// Delta shards awaiting compaction in the current snapshot.
+    pub fn num_delta_shards(&self) -> usize {
+        self.snapshot().num_delta_shards()
     }
 
     /// Parse, normalize and evaluate a KOKO query (see
@@ -355,7 +475,8 @@ impl Koko {
     /// timer). Bypasses both caches — callers holding an AST have already
     /// paid the front-end cost, and the raw-text key is gone.
     pub fn query_ast(&self, parsed: &Query, t0: std::time::Instant) -> Result<QueryOutput, Error> {
-        execute_query(&self.snapshot, &self.opts, parsed, t0, self.opts.parallel)
+        let snap = self.live.current();
+        execute_query(&snap, &self.opts, parsed, t0, self.opts.parallel)
     }
 
     /// Cumulative cache hit/miss counters across all clones of this
@@ -374,6 +495,11 @@ impl Koko {
         shard_parallel: bool,
     ) -> Result<QueryOutput, Error> {
         let t0 = std::time::Instant::now();
+        // Pin the current generation: the whole query — including the
+        // result-cache key — runs against this one snapshot, so a
+        // concurrent add/compact can neither tear the read nor leak rows
+        // across epochs.
+        let snap = self.live.current();
 
         // ---- Front end: compiled-query cache ---------------------------
         let use_compiled = use_cache && self.opts.compiled_cache;
@@ -406,10 +532,18 @@ impl Koko {
             }
         };
 
-        // ---- Result cache ----------------------------------------------
+        // ---- Result cache (epoch-keyed) --------------------------------
+        // The snapshot epoch leads the key: any published update (adds,
+        // compaction, new embeddings) strands every older entry, and two
+        // engines sharing one cache can never serve each other's rows.
         let use_results = use_cache && self.caches.results_enabled();
         let result_key = if use_results {
-            format!("{}|{}", self.opts.result_fingerprint(), compiled.norm_key)
+            format!(
+                "e{}|{}|{}",
+                snap.epoch(),
+                self.opts.result_fingerprint(),
+                compiled.norm_key
+            )
         } else {
             String::new()
         };
@@ -420,6 +554,7 @@ impl Koko {
                 let mut profile = Profile {
                     normalize: normalize_time,
                     candidate_sentences: hit.candidate_sentences,
+                    delta_candidates: hit.delta_candidates,
                     raw_tuples: hit.raw_tuples,
                     result_cache_hits: 1,
                     ..Profile::default()
@@ -434,7 +569,7 @@ impl Koko {
 
         // ---- Evaluate --------------------------------------------------
         let mut out = execute_compiled(
-            &self.snapshot,
+            &snap,
             &self.opts,
             &compiled.cq,
             normalize_time,
@@ -448,6 +583,7 @@ impl Koko {
                 CachedResult {
                     rows: Arc::new(out.rows.clone()),
                     candidate_sentences: out.profile.candidate_sentences,
+                    delta_candidates: out.profile.delta_candidates,
                     raw_tuples: out.profile.raw_tuples,
                 },
             );
@@ -516,15 +652,18 @@ pub fn execute_compiled(
     };
 
     // ---- Per-shard: DPLI → LoadArticle → GSP/extract -------------------
+    // Base and delta shards fan out uniformly; only the profile records
+    // which candidates came from deltas (freshly ingested documents).
     let needed = needed_vars(cq);
     let shards = snapshot.shards();
+    let num_base = snapshot.num_base_shards();
     let threads = if shard_parallel && shards.len() > 1 {
         0
     } else {
         1
     };
-    let partials = koko_par::par_map(shards, threads, |_, shard| {
-        eval_shard(snapshot, opts, cq, &needed, shard)
+    let partials = koko_par::par_map(shards, threads, |i, shard| {
+        eval_shard(snapshot, opts, cq, &needed, shard, i >= num_base)
     });
 
     // ---- Merge (shard order, then the sequential evaluator's sort) -----
@@ -558,7 +697,8 @@ fn eval_shard(
     opts: &EngineOpts,
     cq: &CompiledQuery,
     needed: &[(usize, String)],
-    shard: &Shard,
+    shard: &koko_index::Shard,
+    is_delta: bool,
 ) -> Result<ShardPartial, Error> {
     let mut profile = Profile::default();
     let corpus = snapshot.corpus();
@@ -568,6 +708,9 @@ fn eval_shard(
     let dpli_result = dpli::run(cq, shard.index());
     profile.dpli = t.elapsed();
     profile.candidate_sentences = dpli_result.candidate_sids.len();
+    if is_delta {
+        profile.delta_candidates = dpli_result.candidate_sids.len();
+    }
 
     // ---- LoadArticle from the shard store ------------------------------
     let t = std::time::Instant::now();
@@ -583,7 +726,7 @@ fn eval_shard(
                 .load_document(doc_id)
                 .map_err(|e| Error::Storage(e.to_string()))?
         } else {
-            corpus.documents()[doc_id as usize].clone()
+            corpus.document(doc_id).clone()
         };
         loaded.insert(doc_id, doc);
     }

@@ -2,23 +2,31 @@
 //! Querying of Text*, Wang et al., VLDB 2018), sharded for parallel
 //! execution.
 //!
-//! # Architecture: Snapshot / Shard / executor
+//! # Architecture: LiveIndex / Snapshot / Shard / executor
 //!
-//! The engine is split into an immutable data half and a stateless code
-//! half:
+//! The engine is split into an immutable data half — published in
+//! generations — and a stateless code half:
 //!
-//! * [`Snapshot`] ([`snapshot`]) — everything a query reads: the parsed
+//! * [`Snapshot`] ([`snapshot`]) — one immutable generation: the parsed
 //!   corpus, a list of [`koko_index::Shard`]s (contiguous document ranges,
-//!   each with its own `KokoIndex` and `DocStore`), the
+//!   each with its own `KokoIndex` and `DocStore` — balanced *base* shards
+//!   followed by append-only *delta* shards from incremental ingest), the
 //!   [`koko_index::ShardRouter`] translating global ↔ shard-local ids, and
 //!   the embedding model. Snapshots are `Send + Sync`; one snapshot serves
 //!   any number of concurrent executions.
+//! * [`LiveIndex`] ([`live`]) — the cell that publishes the current
+//!   snapshot to readers and lets writers ([`Koko::add_texts`],
+//!   [`Koko::compact`]) atomically swap in successors, each with a fresh
+//!   epoch. Readers pin a generation per query and are never blocked by
+//!   writers beyond the pointer swap.
 //! * **executor** ([`engine::execute_query`]) — per-query logic borrowing a
 //!   snapshot. The per-shard stage (DPLI → LoadArticle → GSP/extract) fans
 //!   out over worker threads; partial tuples and [`Profile`] timers merge
 //!   deterministically, so sharded output is byte-identical (rows, order,
-//!   scores) to the single-shard sequential evaluator.
-//! * [`Koko`] — the user-facing façade: `Arc<Snapshot>` + [`EngineOpts`].
+//!   scores) to the single-shard sequential evaluator — and incremental
+//!   ingest (any split, compacted or not) answers byte-identically to a
+//!   batch build.
+//! * [`Koko`] — the user-facing façade: `Arc<LiveIndex>` + [`EngineOpts`].
 //!   `EngineOpts::num_shards` (0 = one per core) and `EngineOpts::parallel`
 //!   control the layout; [`Koko::query_batch`] evaluates many queries
 //!   against the shared snapshot concurrently.
@@ -76,13 +84,18 @@ pub mod dpli;
 pub mod engine;
 pub mod error;
 pub mod gsp;
+pub mod live;
 pub mod persist;
 pub mod profile;
 pub mod snapshot;
 
 pub use cache::CacheStats;
-pub use engine::{execute_compiled, execute_query, EngineOpts, Koko, OutValue, QueryOutput, Row};
+pub use engine::{
+    execute_compiled, execute_query, AddReport, CompactReport, EngineOpts, Koko, OutValue,
+    QueryOutput, Row,
+};
 pub use error::Error;
+pub use live::LiveIndex;
 pub use profile::Profile;
 pub use snapshot::Snapshot;
 

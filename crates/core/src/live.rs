@@ -1,0 +1,156 @@
+//! [`LiveIndex`] — the mutable cell that turns immutable [`Snapshot`]
+//! generations into a *live*, incrementally updatable index.
+//!
+//! Reads and writes are decoupled by epoch publication:
+//!
+//! * **Readers** call [`LiveIndex::current`], which clones the published
+//!   `Arc<Snapshot>` under a briefly-held read lock. A query then runs
+//!   entirely against that pinned snapshot — concurrent writers can
+//!   publish successors without ever invalidating or blocking it.
+//! * **Writers** serialize on a dedicated write mutex
+//!   ([`LiveIndex::write_lock`]), derive a successor snapshot from the
+//!   current one (NLP parsing, delta-shard builds and compactions all
+//!   happen *outside* the read path's lock), and then
+//!   [`WriteGuard::publish`] it — a pointer swap under the write half of
+//!   the read lock, so readers stall only for that swap.
+//!
+//! The published snapshot's [`Snapshot::epoch`] is the version observable
+//! by caches and the wire protocol: it changes on every publish, never
+//! repeats, and is what makes epoch-keyed result caching sound.
+
+use crate::snapshot::Snapshot;
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::sync::Arc;
+
+/// A published, updatable sequence of snapshot generations.
+pub struct LiveIndex {
+    current: RwLock<Arc<Snapshot>>,
+    /// Writer serialization. Held across the whole derive-successor
+    /// critical section so two `add_texts` calls cannot base their
+    /// successors on the same parent; readers never touch it.
+    writer: Mutex<()>,
+}
+
+impl LiveIndex {
+    /// Publish `snapshot` as the initial generation. Accepts an `Arc` so
+    /// callers holding a shared snapshot (e.g. one pinned from another
+    /// live index) can reuse it without duplicating any data.
+    pub fn new(snapshot: impl Into<Arc<Snapshot>>) -> LiveIndex {
+        LiveIndex {
+            current: RwLock::new(snapshot.into()),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The currently published snapshot. Cheap (one `Arc` clone under a
+    /// read lock); the returned snapshot stays valid — and immutable —
+    /// regardless of later publishes.
+    pub fn current(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The published snapshot's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch()
+    }
+
+    /// Acquire the writer lock. The returned guard must be held while
+    /// deriving a successor from [`LiveIndex::current`] through to
+    /// [`WriteGuard::publish`], so concurrent writers chain rather than
+    /// race. Publishing is a method *on the guard* — and the guard
+    /// remembers which index it locked — so an unserialized publish, or
+    /// one serialized against the wrong index, cannot be expressed.
+    pub fn write_lock(&self) -> WriteGuard<'_> {
+        WriteGuard {
+            live: self,
+            _guard: self.writer.lock(),
+        }
+    }
+}
+
+/// A held writer lock on one [`LiveIndex`] (from
+/// [`LiveIndex::write_lock`]); the only way to publish a successor
+/// snapshot. Dropping it releases the lock.
+pub struct WriteGuard<'a> {
+    live: &'a LiveIndex,
+    _guard: MutexGuard<'a, ()>,
+}
+
+impl WriteGuard<'_> {
+    /// Atomically publish `snapshot` as the locked index's new current
+    /// generation and return it (a pointer swap under the read lock's
+    /// write half — readers stall only for the swap).
+    pub fn publish(&self, snapshot: Snapshot) -> Arc<Snapshot> {
+        let snapshot = Arc::new(snapshot);
+        *self.live.current.write() = Arc::clone(&snapshot);
+        snapshot
+    }
+}
+
+impl std::fmt::Debug for LiveIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.current();
+        f.debug_struct("LiveIndex")
+            .field("epoch", &snap.epoch())
+            .field("generation", &snap.generation())
+            .field("shards", &snap.num_shards())
+            .field("delta_shards", &snap.num_delta_shards())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koko_nlp::Pipeline;
+
+    fn snap(texts: &[&str]) -> Snapshot {
+        Snapshot::build(Pipeline::new().parse_corpus(texts), 2, false)
+    }
+
+    #[test]
+    fn readers_keep_their_pinned_snapshot_across_publishes() {
+        let live = LiveIndex::new(snap(&["Anna ate cake.", "The cafe was busy."]));
+        let pinned = live.current();
+        let epoch_before = pinned.epoch();
+
+        let guard = live.write_lock();
+        let more = Pipeline::new().parse_documents(&["The barista poured a latte."], 2, 1);
+        let next = live.current().with_added_documents(more);
+        guard.publish(next);
+        drop(guard);
+
+        // The pinned reader still sees the old generation …
+        assert_eq!(pinned.epoch(), epoch_before);
+        assert_eq!(pinned.corpus().num_documents(), 2);
+        // … while new readers see the published successor.
+        let fresh = live.current();
+        assert_ne!(fresh.epoch(), epoch_before);
+        assert_eq!(fresh.corpus().num_documents(), 3);
+        assert_eq!(live.epoch(), fresh.epoch());
+    }
+
+    #[test]
+    fn concurrent_writers_chain_through_the_write_lock() {
+        let live = Arc::new(LiveIndex::new(snap(&["Seed document one."])));
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let live = Arc::clone(&live);
+                scope.spawn(move || {
+                    let guard = live.write_lock();
+                    let cur = live.current();
+                    let first = cur.corpus().num_documents() as u32;
+                    let docs = Pipeline::new().parse_documents(
+                        &[format!("Writer {w} added a latte.")],
+                        first,
+                        1,
+                    );
+                    guard.publish(cur.with_added_documents(docs));
+                    drop(guard);
+                });
+            }
+        });
+        // Every writer's document landed exactly once.
+        assert_eq!(live.current().corpus().num_documents(), 5);
+    }
+}

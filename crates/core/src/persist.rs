@@ -14,12 +14,18 @@
 //!
 //! The container framing (magic `KOKOSNAP`, version, payload length,
 //! FNV-1a checksum) is owned by [`koko_storage::snapshot_file`]; this
-//! module owns the payload:
+//! module owns the payload. Version 2 (current) carries the generational
+//! manifest so a snapshot saved after incremental adds round-trips its
+//! base/delta split:
 //!
 //! ```text
-//! payload := Embeddings | ShardRouter | Vec<Blob>   (one blob per shard)
-//! blob    := Shard (id, doc/sid ranges, KokoIndex, DocStore)
+//! payload  := Embeddings | manifest | ShardRouter | Vec<Blob>
+//! manifest := generation (u64) | num_base (u64)
+//! blob     := Shard (id, doc/sid ranges, KokoIndex, DocStore)
 //! ```
+//!
+//! Version-1 files (no manifest) still load: they predate live updates,
+//! so every shard is base and the generation is 1.
 //!
 //! Each shard is encoded and decoded independently, so both directions
 //! fan out over `koko-par` worker threads — save/load scale with cores the
@@ -35,9 +41,10 @@ use koko_index::{Shard, ShardRouter};
 use koko_nlp::{Corpus, Document};
 use koko_storage::docstore::Blob;
 use koko_storage::{
-    read_snapshot_file, write_snapshot_file, Codec, DecodeError, SnapshotFileError,
+    read_snapshot_file_versioned, write_snapshot_file, Codec, DecodeError, SnapshotFileError,
 };
 use std::path::Path;
+use std::sync::Arc;
 
 fn corrupt(path: &Path, e: DecodeError) -> Error {
     Error::Snapshot(SnapshotFileError::Corrupt {
@@ -67,6 +74,11 @@ impl Snapshot {
         let threads = if parallel { 0 } else { 1 };
         let mut buf = bytes::BytesMut::new();
         self.embeddings().encode(&mut buf);
+        // Generational manifest (format v2): which generation this
+        // snapshot is, and how many leading shards are base (the rest are
+        // deltas from incremental adds).
+        self.generation().encode(&mut buf);
+        (self.num_base_shards() as u64).encode(&mut buf);
         self.router().encode(&mut buf);
         let sections: Vec<Blob> =
             koko_par::par_map(self.shards(), threads, |_, shard| Blob(shard.to_bytes()));
@@ -109,11 +121,29 @@ impl Snapshot {
     /// # std::fs::remove_file(&path).ok();
     /// ```
     pub fn load(path: &Path, parallel: bool) -> Result<Snapshot, Error> {
-        let payload = read_snapshot_file(path).map_err(Error::Snapshot)?;
+        let (version, payload) = read_snapshot_file_versioned(path).map_err(Error::Snapshot)?;
         let mut input: &[u8] = &payload;
         let embed = Embeddings::decode(&mut input).map_err(|e| corrupt(path, e))?;
+        // v1 files predate the manifest: all-base, generation 1.
+        let (generation, num_base) = if version >= 2 {
+            let generation = u64::decode(&mut input).map_err(|e| corrupt(path, e))?;
+            let num_base = u64::decode(&mut input).map_err(|e| corrupt(path, e))? as usize;
+            (generation, Some(num_base))
+        } else {
+            (1, None)
+        };
         let router = ShardRouter::decode(&mut input).map_err(|e| corrupt(path, e))?;
         let sections = Vec::<Blob>::decode(&mut input).map_err(|e| corrupt(path, e))?;
+        let num_base = num_base.unwrap_or(sections.len());
+        if num_base > sections.len() {
+            return Err(corrupt(
+                path,
+                DecodeError(format!(
+                    "manifest claims {num_base} base shards, payload holds {}",
+                    sections.len()
+                )),
+            ));
+        }
         if !input.is_empty() {
             return Err(corrupt(path, DecodeError("trailing payload bytes".into())));
         }
@@ -181,7 +211,14 @@ impl Snapshot {
                 )),
             ));
         }
-        Ok(Snapshot::from_parts(corpus, decoded, router, embed))
+        Ok(Snapshot::from_parts(
+            corpus,
+            decoded.into_iter().map(Arc::new).collect(),
+            num_base,
+            generation,
+            router,
+            embed,
+        ))
     }
 }
 
@@ -298,6 +335,8 @@ mod tests {
         // Hand-assemble a payload pairing b's shards with a's router.
         let mut buf = bytes::BytesMut::new();
         b.snapshot().embeddings().encode(&mut buf);
+        1u64.encode(&mut buf); // manifest: generation
+        (b.snapshot().num_shards() as u64).encode(&mut buf); // manifest: num_base
         a.snapshot().router().encode(&mut buf);
         let sections: Vec<Blob> = b
             .snapshot()
@@ -314,6 +353,68 @@ mod tests {
                 assert!(detail.contains("router"), "{detail}");
             }
             other => panic!("expected router-mismatch rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version1_files_load_as_generation1_all_base() {
+        let koko = sample();
+        let snap = koko.snapshot();
+        // Hand-assemble the pre-live v1 payload: no manifest between the
+        // embeddings and the router.
+        let mut buf = bytes::BytesMut::new();
+        snap.embeddings().encode(&mut buf);
+        snap.router().encode(&mut buf);
+        let sections: Vec<Blob> = snap.shards().iter().map(|s| Blob(s.to_bytes())).collect();
+        sections.encode(&mut buf);
+        let path = tmp("v1.koko");
+        write_snapshot_file(&path, &buf).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[8..10].copy_from_slice(&1u16.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+
+        let loaded = Snapshot::load(&path, true).unwrap();
+        assert_eq!(loaded.generation(), 1);
+        assert_eq!(loaded.num_base_shards(), loaded.num_shards());
+        assert_eq!(loaded.num_delta_shards(), 0);
+        assert_eq!(
+            loaded.corpus().num_documents(),
+            snap.corpus().num_documents()
+        );
+    }
+
+    #[test]
+    fn snapshot_with_deltas_round_trips_generation_and_split() {
+        let koko = sample();
+        koko.add_texts(&["The barista poured a latte.", "go Falcons!"]);
+        let snap = koko.snapshot();
+        assert_eq!(snap.num_delta_shards(), 1);
+        let path = tmp("delta.koko");
+        snap.save(&path, true).unwrap();
+
+        let loaded = Snapshot::load(&path, true).unwrap();
+        assert_eq!(loaded.generation(), snap.generation());
+        assert_eq!(loaded.num_base_shards(), snap.num_base_shards());
+        assert_eq!(loaded.num_delta_shards(), 1);
+        assert_eq!(
+            loaded.corpus().num_documents(),
+            snap.corpus().num_documents()
+        );
+        // A base-count past the shard list is rejected, not trusted.
+        let mut buf = bytes::BytesMut::new();
+        snap.embeddings().encode(&mut buf);
+        snap.generation().encode(&mut buf);
+        (snap.num_shards() as u64 + 5).encode(&mut buf);
+        snap.router().encode(&mut buf);
+        let sections: Vec<Blob> = snap.shards().iter().map(|s| Blob(s.to_bytes())).collect();
+        sections.encode(&mut buf);
+        let bad = tmp("bad_manifest.koko");
+        write_snapshot_file(&bad, &buf).unwrap();
+        match Snapshot::load(&bad, true) {
+            Err(Error::Snapshot(SnapshotFileError::Corrupt { detail, .. })) => {
+                assert!(detail.contains("base shards"), "{detail}");
+            }
+            other => panic!("expected manifest rejection, got {other:?}"),
         }
     }
 

@@ -20,6 +20,10 @@ pub struct Profile {
     pub satisfying: Duration,
     /// Number of candidate sentences DPLI produced.
     pub candidate_sentences: usize,
+    /// The subset of [`Profile::candidate_sentences`] that came from
+    /// *delta* shards — documents ingested live since the last
+    /// compaction. Zero on a fully compacted (or never-updated) index.
+    pub delta_candidates: usize,
     /// Number of result rows before aggregation filtering.
     pub raw_tuples: usize,
     /// Compiled-query cache hits for this execution (0 or 1 per query;
@@ -74,6 +78,7 @@ impl Profile {
         self.extract += other.extract;
         self.satisfying += other.satisfying;
         self.candidate_sentences += other.candidate_sentences;
+        self.delta_candidates += other.delta_candidates;
         self.raw_tuples += other.raw_tuples;
         self.compiled_cache_hits += other.compiled_cache_hits;
         self.compiled_cache_misses += other.compiled_cache_misses;
@@ -119,6 +124,7 @@ mod tests {
             extract: Duration::from_millis(5),
             satisfying: Duration::from_millis(6),
             candidate_sentences: 10,
+            delta_candidates: 4,
             raw_tuples: 20,
             compiled_cache_hits: 1,
             compiled_cache_misses: 0,
@@ -133,6 +139,7 @@ mod tests {
             extract: Duration::from_millis(50),
             satisfying: Duration::from_millis(60),
             candidate_sentences: 100,
+            delta_candidates: 7,
             raw_tuples: 200,
             compiled_cache_hits: 2,
             compiled_cache_misses: 3,
@@ -143,6 +150,7 @@ mod tests {
         assert_eq!(a.normalize, Duration::from_millis(11));
         assert_eq!(a.satisfying, Duration::from_millis(66));
         assert_eq!(a.candidate_sentences, 110);
+        assert_eq!(a.delta_candidates, 11);
         assert_eq!(a.raw_tuples, 220);
         assert_eq!(a.compiled_cache_hits, 3);
         assert_eq!(a.compiled_cache_misses, 3);

@@ -1,34 +1,74 @@
-//! [`Snapshot`] — the immutable, shareable half of the engine.
+//! [`Snapshot`] — one immutable *generation* of the engine's data.
 //!
 //! `Koko` used to be a monolith owning corpus, index and store. The
-//! sharded architecture splits it in two:
+//! sharded architecture split it in two, and the live architecture made
+//! the data half generational:
 //!
 //! * **`Snapshot`** (this module): everything a query needs to read — the
-//!   parsed corpus, the per-shard indices and document stores, the shard
-//!   router, and the embedding model. It is immutable after construction
-//!   and `Send + Sync`, so one snapshot serves any number of concurrent
-//!   query executions (shard fan-out within a query, and whole queries in
-//!   parallel via `Koko::query_batch`).
+//!   parsed corpus, the per-shard indices and document stores (base shards
+//!   first, then any append-only **delta shards** absorbed since the last
+//!   compaction), the shard router, and the embedding model. A snapshot is
+//!   immutable after construction and `Send + Sync`, so one snapshot
+//!   serves any number of concurrent query executions.
+//! * **[`LiveIndex`]** ([`crate::live`]): the mutable cell publishing the
+//!   *current* snapshot to readers. Writers ([`Koko::add_texts`],
+//!   [`Koko::compact`]) derive a successor snapshot — sharing every
+//!   untouched shard by `Arc` — and publish it atomically.
 //! * **the executor** ([`crate::engine`]): stateless per-query logic that
 //!   borrows a snapshot.
 //!
-//! Construction is the "Parse text & build indices" preprocessing box of
-//! Figure 2, parallelized: shard index/store builds run on worker threads
-//! via `koko-par`, one task per shard.
+//! Every snapshot carries an **epoch**: a process-wide unique id minted at
+//! construction. The result cache keys rows by epoch, so publishing any
+//! successor invalidates cached rows without touching the cache itself,
+//! and two engines sharing one cache can never serve each other's rows.
+//! The **generation** counts base rebuilds (initial build = 1, +1 per
+//! [`Snapshot::compacted`]) and is persisted in the `.koko` manifest.
+//!
+//! [`LiveIndex`]: crate::live::LiveIndex
+//! [`Koko::add_texts`]: crate::Koko::add_texts
+//! [`Koko::compact`]: crate::Koko::compact
 
 use koko_embed::Embeddings;
 use koko_index::{build_shards, Shard, ShardRouter};
 use koko_nlp::{Corpus, Document, Sid};
 use koko_storage::{Db, DocStore};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-/// An immutable, queryable view of a fully ingested corpus.
+/// Process-wide epoch mint: every snapshot constructed in this process
+/// gets a distinct epoch, so epoch-keyed cache entries are unambiguous
+/// even across unrelated engines sharing one cache.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Documents a trailing delta shard may hold before `add_texts` seals it
+/// and opens a new one. Appending to an open delta rebuilds its (small)
+/// index; sealing bounds that rebuild cost while keeping the shard count
+/// low between compactions. Results never depend on this policy — query
+/// output is shard-layout independent.
+pub const DELTA_SEAL_DOCS: usize = 256;
+
+/// An immutable, queryable view of a fully ingested corpus: base shards
+/// (balanced by the last build/compaction) followed by zero or more delta
+/// shards (one per uncompacted ingest wave).
 #[derive(Debug)]
 pub struct Snapshot {
     corpus: Corpus,
-    shards: Vec<Shard>,
+    /// Base shards in `[..num_base]`, delta shards after. `Arc` so
+    /// successor generations share untouched shards instead of cloning
+    /// index data.
+    shards: Vec<Arc<Shard>>,
+    num_base: usize,
     router: ShardRouter,
     embed: Embeddings,
+    /// Unique id of this snapshot (process-wide, monotonically minted).
+    epoch: u64,
+    /// Base-rebuild counter: 1 for a fresh build, +1 per compaction;
+    /// preserved by delta appends and persisted in the `.koko` manifest.
+    generation: u64,
     /// Global document store, assembled lazily from the per-shard stores
     /// for persistence (`Db::save_dir`) and other whole-corpus consumers.
     global_db: OnceLock<Db>,
@@ -42,18 +82,26 @@ const _: () = {
 };
 
 impl Snapshot {
-    /// Build every shard (index + document store) for `corpus`.
-    /// `num_shards` 0 means one shard per available core; `parallel`
-    /// gates whether shard builds use worker threads.
+    /// Build every shard (index + document store) for `corpus` — a fresh
+    /// generation-1 snapshot with no deltas. `num_shards` 0 means one
+    /// shard per available core; `parallel` gates whether shard builds
+    /// use worker threads.
     pub fn build(corpus: Corpus, num_shards: usize, parallel: bool) -> Snapshot {
         let threads = if parallel { 0 } else { 1 };
-        let shards = build_shards(&corpus, num_shards, threads);
+        let shards: Vec<Arc<Shard>> = build_shards(&corpus, num_shards, threads)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         let router = ShardRouter::from_shards(&shards);
+        let num_base = shards.len();
         Snapshot {
             corpus,
             shards,
+            num_base,
             router,
             embed: Embeddings::shared().clone(),
+            epoch: fresh_epoch(),
+            generation: 1,
             global_db: OnceLock::new(),
         }
     }
@@ -62,15 +110,98 @@ impl Snapshot {
     /// path ([`crate::persist`]), which must not re-run any build step.
     pub(crate) fn from_parts(
         corpus: Corpus,
-        shards: Vec<Shard>,
+        shards: Vec<Arc<Shard>>,
+        num_base: usize,
+        generation: u64,
         router: ShardRouter,
         embed: Embeddings,
     ) -> Snapshot {
+        let num_base = num_base.min(shards.len());
         Snapshot {
             corpus,
             shards,
+            num_base,
             router,
             embed,
+            epoch: fresh_epoch(),
+            generation: generation.max(1),
+            global_db: OnceLock::new(),
+        }
+    }
+
+    /// The successor snapshot after absorbing `new_docs` (already parsed,
+    /// with final global ids continuing this corpus). Base shards and
+    /// existing documents are shared by `Arc` — the cost of an add is
+    /// proportional to the *new* documents, not the corpus; the documents
+    /// land in a delta shard — appended to the trailing delta while it
+    /// stays under [`DELTA_SEAL_DOCS`] documents, otherwise in a fresh
+    /// one. Generation is preserved; a new epoch is minted.
+    pub fn with_added_documents(&self, new_docs: Vec<Document>) -> Snapshot {
+        let new_docs: Vec<std::sync::Arc<Document>> =
+            new_docs.into_iter().map(std::sync::Arc::new).collect();
+        let corpus = self.corpus.extended(new_docs.clone());
+
+        let mut shards = self.shards.clone();
+        let open_delta = shards
+            .last()
+            .filter(|s| {
+                shards.len() > self.num_base
+                    && s.num_documents() + new_docs.len() <= DELTA_SEAL_DOCS
+            })
+            .cloned();
+        match open_delta {
+            Some(delta) => {
+                // Grow the open delta from the corpus's already-parsed
+                // documents (Arc clones — no store decode) plus the new
+                // ones; only the small delta index is rebuilt.
+                let range = delta.doc_range();
+                let mut docs: Vec<std::sync::Arc<Document>> =
+                    self.corpus.documents()[range.start as usize..range.end as usize].to_vec();
+                docs.extend(new_docs.iter().cloned());
+                let grown =
+                    Shard::build_from_docs(delta.id(), &docs, range.start, delta.sid_range().start);
+                *shards.last_mut().expect("delta exists") = Arc::new(grown);
+            }
+            None => {
+                let doc_start = self.corpus.num_documents() as u32;
+                let sid_start = self.corpus.num_sentences() as Sid;
+                let delta = Shard::build_from_docs(shards.len(), &new_docs, doc_start, sid_start);
+                shards.push(Arc::new(delta));
+            }
+        }
+        let router = ShardRouter::from_shards(&shards);
+        Snapshot {
+            corpus,
+            shards,
+            num_base: self.num_base,
+            router,
+            embed: self.embed.clone(),
+            epoch: fresh_epoch(),
+            generation: self.generation,
+            global_db: OnceLock::new(),
+        }
+    }
+
+    /// The successor snapshot with every delta merged into balanced base
+    /// shards: a full shard rebuild over the corpus via `plan_shards`,
+    /// yielding exactly the layout a one-shot batch build would. Keeps the
+    /// embedding model, bumps the generation, mints a new epoch.
+    pub fn compacted(&self, num_shards: usize, parallel: bool) -> Snapshot {
+        let threads = if parallel { 0 } else { 1 };
+        let shards: Vec<Arc<Shard>> = build_shards(&self.corpus, num_shards, threads)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let router = ShardRouter::from_shards(&shards);
+        let num_base = shards.len();
+        Snapshot {
+            corpus: self.corpus.clone(),
+            shards,
+            num_base,
+            router,
+            embed: self.embed.clone(),
+            epoch: fresh_epoch(),
+            generation: self.generation + 1,
             global_db: OnceLock::new(),
         }
     }
@@ -80,12 +211,43 @@ impl Snapshot {
         &self.corpus
     }
 
-    pub fn shards(&self) -> &[Shard] {
+    /// All shards: base shards first, then delta shards in append order.
+    pub fn shards(&self) -> &[Arc<Shard>] {
         &self.shards
     }
 
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// How many leading entries of [`Snapshot::shards`] are base shards.
+    pub fn num_base_shards(&self) -> usize {
+        self.num_base
+    }
+
+    /// The delta shards appended since the last build/compaction.
+    pub fn delta_shards(&self) -> &[Arc<Shard>] {
+        &self.shards[self.num_base..]
+    }
+
+    pub fn num_delta_shards(&self) -> usize {
+        self.shards.len() - self.num_base
+    }
+
+    /// Documents living in delta shards (ingested since last compaction).
+    pub fn num_delta_documents(&self) -> usize {
+        self.delta_shards().iter().map(|s| s.num_documents()).sum()
+    }
+
+    /// This snapshot's unique epoch (result-cache key material; a new
+    /// epoch is minted for every published update).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Base-rebuild counter: 1 for a fresh build, +1 per compaction.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     pub fn router(&self) -> &ShardRouter {
@@ -133,13 +295,17 @@ impl Snapshot {
     }
 
     /// A copy of this snapshot with a different embedding model (shards
-    /// and corpus are cloned, not rebuilt; the lazy global db resets).
+    /// are shared, not rebuilt; the lazy global db resets; a new epoch is
+    /// minted because descriptor scores can change).
     pub fn with_embeddings(&self, embed: Embeddings) -> Snapshot {
         Snapshot {
             corpus: self.corpus.clone(),
             shards: self.shards.clone(),
+            num_base: self.num_base,
             router: self.router.clone(),
             embed,
+            epoch: fresh_epoch(),
+            generation: self.generation,
             global_db: OnceLock::new(),
         }
     }
@@ -149,6 +315,7 @@ impl Snapshot {
 mod tests {
     use super::*;
     use koko_nlp::Pipeline;
+    use koko_storage::Codec;
 
     fn corpus() -> Corpus {
         let texts: Vec<String> = (0..12)
@@ -162,13 +329,13 @@ mod tests {
         let c = corpus();
         let snap = Snapshot::build(c.clone(), 3, true);
         assert_eq!(snap.num_shards(), 3);
-        let total: usize = snap.shards().iter().map(Shard::num_sentences).sum();
+        assert_eq!(snap.num_base_shards(), 3);
+        assert_eq!(snap.num_delta_shards(), 0);
+        assert_eq!(snap.generation(), 1);
+        let total: usize = snap.shards().iter().map(|s| s.num_sentences()).sum();
         assert_eq!(total, c.num_sentences());
         for doc in 0..c.num_documents() as u32 {
-            assert_eq!(
-                &snap.load_document(doc).unwrap(),
-                &c.documents()[doc as usize]
-            );
+            assert_eq!(&snap.load_document(doc).unwrap(), c.document(doc));
         }
     }
 
@@ -179,10 +346,7 @@ mod tests {
         let db = snap.db();
         assert_eq!(db.with_docs(|d| d.len()), c.num_documents());
         for doc in 0..c.num_documents() as u32 {
-            assert_eq!(
-                &db.load_document(doc).unwrap(),
-                &c.documents()[doc as usize]
-            );
+            assert_eq!(&db.load_document(doc).unwrap(), c.document(doc));
         }
     }
 
@@ -193,7 +357,90 @@ mod tests {
         let many = Snapshot::build(c, 5, true);
         assert_eq!(one.num_shards(), 1);
         assert_eq!(many.num_shards(), 5);
-        let sents = |s: &Snapshot| s.shards().iter().map(Shard::num_sentences).sum::<usize>();
+        let sents = |s: &Snapshot| s.shards().iter().map(|s| s.num_sentences()).sum::<usize>();
         assert_eq!(sents(&one), sents(&many));
+    }
+
+    #[test]
+    fn epochs_are_unique_and_updates_mint_new_ones() {
+        let c = corpus();
+        let a = Snapshot::build(c.clone(), 2, false);
+        let b = Snapshot::build(c, 2, false);
+        assert_ne!(a.epoch(), b.epoch());
+        let more = Pipeline::new().parse_documents(
+            &["The barista poured a latte."],
+            a.corpus().num_documents() as u32,
+            1,
+        );
+        let grown = a.with_added_documents(more);
+        assert_ne!(grown.epoch(), a.epoch());
+        let compacted = grown.compacted(2, false);
+        assert_ne!(compacted.epoch(), grown.epoch());
+    }
+
+    #[test]
+    fn delta_append_shares_base_shards_and_routes_new_docs() {
+        let c = corpus();
+        let base = Snapshot::build(c.clone(), 3, false);
+        let first_new = c.num_documents() as u32;
+        let more = Pipeline::new().parse_documents(
+            &["The barista poured a latte. Anna was happy.", "go Falcons!"],
+            first_new,
+            1,
+        );
+        let grown = base.with_added_documents(more.clone());
+        assert_eq!(grown.num_base_shards(), 3);
+        assert_eq!(grown.num_delta_shards(), 1);
+        assert_eq!(grown.num_delta_documents(), 2);
+        assert_eq!(grown.generation(), base.generation());
+        // Base shards are shared, not copied.
+        for i in 0..3 {
+            assert!(Arc::ptr_eq(&base.shards()[i], &grown.shards()[i]));
+        }
+        // New documents route to the delta and load back bit-identically.
+        for (i, doc) in more.iter().enumerate() {
+            let gid = first_new + i as u32;
+            assert_eq!(&grown.load_document(gid).unwrap(), doc);
+            assert!(grown.shard_for_doc(gid).doc_range().start >= first_new);
+        }
+        assert_eq!(grown.corpus().num_documents(), c.num_documents() + 2);
+    }
+
+    #[test]
+    fn small_appends_grow_the_open_delta_until_sealed() {
+        let c = corpus();
+        let base = Snapshot::build(c.clone(), 2, false);
+        let p = Pipeline::new();
+        let mut snap = base;
+        for wave in 0..3 {
+            let first = snap.corpus().num_documents() as u32;
+            let docs = p.parse_documents(&[format!("Wave {wave} latte.")], first, 1);
+            snap = snap.with_added_documents(docs);
+        }
+        // Three small waves merged into one open delta shard.
+        assert_eq!(snap.num_delta_shards(), 1);
+        assert_eq!(snap.num_delta_documents(), 3);
+    }
+
+    #[test]
+    fn compaction_restores_the_batch_layout() {
+        let c = corpus();
+        let base = Snapshot::build(c.clone(), 3, false);
+        let more = Pipeline::new().parse_documents(
+            &["The barista poured a latte."],
+            c.num_documents() as u32,
+            1,
+        );
+        let grown = base.with_added_documents(more);
+        let compacted = grown.compacted(3, false);
+        assert_eq!(compacted.num_delta_shards(), 0);
+        assert_eq!(compacted.generation(), grown.generation() + 1);
+
+        // Byte-identical to a one-shot build of the concatenated corpus.
+        let batch = Snapshot::build(grown.corpus().clone(), 3, false);
+        assert_eq!(batch.num_shards(), compacted.num_shards());
+        for (a, b) in batch.shards().iter().zip(compacted.shards()) {
+            assert_eq!(a.to_bytes(), b.to_bytes());
+        }
     }
 }

@@ -43,23 +43,43 @@ impl Shard {
     /// Build the index and document store for global docs `docs` of
     /// `corpus`. Pure: shard builds can run concurrently on `&Corpus`.
     pub fn build(id: usize, corpus: &Corpus, docs: Range<u32>) -> Shard {
-        let sids = if docs.is_empty() {
-            0..0
+        let sid_start = if docs.is_empty() {
+            0
         } else {
-            corpus.doc_sids(docs.start).start..corpus.doc_sids(docs.end - 1).end
+            corpus.doc_sids(docs.start).start
         };
         let slice = &corpus.documents()[docs.start as usize..docs.end as usize];
+        Shard::build_from_docs(id, slice, docs.start, sid_start)
+    }
+
+    /// Build a shard directly from already-parsed documents occupying the
+    /// global ranges `[doc_start, doc_start + docs.len())` /
+    /// `[sid_start, sid_start + Σ sentences)` — the **delta shard** path:
+    /// incremental ingest appends documents past the end of an existing
+    /// corpus, where no enclosing `Corpus` exists yet. Produces exactly
+    /// the shard [`Shard::build`] would for the same documents at the same
+    /// position, so delta shards are indistinguishable from base shards to
+    /// the query executor. Documents are shared, never copied.
+    pub fn build_from_docs(
+        id: usize,
+        docs: &[std::sync::Arc<Document>],
+        doc_start: u32,
+        sid_start: Sid,
+    ) -> Shard {
+        let n_sents: usize = docs.iter().map(|d| d.sentences.len()).sum();
+        let doc_range = doc_start..doc_start + docs.len() as u32;
+        let sids = sid_start..sid_start + n_sents as Sid;
         // The local corpus re-bases sentence ids to 0; document payloads
         // (including their global `Document::id`) are untouched.
-        let local = Corpus::new(slice.to_vec());
+        let local = Corpus::from_shared(docs.to_vec());
         let index = KokoIndex::build(&local);
         let mut store = DocStore::new();
-        for d in slice {
+        for d in docs {
             store.put(d);
         }
         Shard {
             id,
-            docs,
+            docs: doc_range,
             sids,
             index,
             store,
@@ -251,11 +271,15 @@ pub struct ShardRouter {
 }
 
 impl ShardRouter {
-    pub fn from_shards(shards: &[Shard]) -> ShardRouter {
-        let mut doc_starts: Vec<u32> = shards.iter().map(|s| s.docs.start).collect();
-        let mut sid_starts: Vec<Sid> = shards.iter().map(|s| s.sids.start).collect();
-        doc_starts.push(shards.last().map_or(0, |s| s.docs.end));
-        sid_starts.push(shards.last().map_or(0, |s| s.sids.end));
+    /// Compute the routing tables from a shard list. Generic over the
+    /// element's ownership (`Shard`, `Arc<Shard>`, …) because the live
+    /// engine shares base shards across generations behind `Arc` — this is
+    /// the "router remapping" step run after every delta append/compaction.
+    pub fn from_shards<S: std::borrow::Borrow<Shard>>(shards: &[S]) -> ShardRouter {
+        let mut doc_starts: Vec<u32> = shards.iter().map(|s| s.borrow().docs.start).collect();
+        let mut sid_starts: Vec<Sid> = shards.iter().map(|s| s.borrow().sids.start).collect();
+        doc_starts.push(shards.last().map_or(0, |s| s.borrow().docs.end));
+        sid_starts.push(shards.last().map_or(0, |s| s.borrow().sids.end));
         ShardRouter {
             doc_starts,
             sid_starts,
@@ -381,7 +405,7 @@ mod tests {
         for (di, doc) in c.documents().iter().enumerate() {
             let router = ShardRouter::from_shards(&shards);
             let s = &shards[router.shard_of_doc(di as u32)];
-            assert_eq!(&s.load_document(di as u32).unwrap(), doc);
+            assert_eq!(&s.load_document(di as u32).unwrap(), doc.as_ref());
         }
     }
 
@@ -435,6 +459,63 @@ mod tests {
         bad[8..12].copy_from_slice(&9u32.to_le_bytes()); // docs.start
         bad[12..16].copy_from_slice(&1u32.to_le_bytes()); // docs.end
         assert!(Shard::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn delta_build_matches_batch_build_at_same_position() {
+        let c = corpus(10);
+        // A delta shard built straight from documents 6..10 must equal the
+        // shard a batch build would place there.
+        let batch = Shard::build(3, &c, 6..10);
+        let docs = &c.documents()[6..10];
+        let sid_start = c.doc_sids(6).start;
+        let delta = Shard::build_from_docs(3, docs, 6, sid_start);
+        assert_eq!(delta.doc_range(), batch.doc_range());
+        assert_eq!(delta.sid_range(), batch.sid_range());
+        assert_eq!(delta.to_bytes(), batch.to_bytes(), "byte-identical shard");
+    }
+
+    #[test]
+    fn regrown_delta_shard_equals_one_shot_build() {
+        // The live grow path: an open delta over docs 2..5 absorbing docs
+        // 5..8 is rebuilt from the shared documents at the same position —
+        // byte-identical to building the union in one shot.
+        let c = corpus(8);
+        let sid_start = c.doc_sids(2).start;
+        let first = Shard::build_from_docs(1, &c.documents()[2..5], 2, sid_start);
+        let grown = Shard::build_from_docs(first.id(), &c.documents()[2..8], 2, sid_start);
+        let oneshot = Shard::build_from_docs(1, &c.documents()[2..8], 2, sid_start);
+        assert_eq!(grown.to_bytes(), oneshot.to_bytes());
+        assert_eq!(grown.num_documents(), 6);
+        for doc in grown.doc_range() {
+            assert_eq!(
+                grown.load_document(doc).unwrap(),
+                *c.documents()[doc as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_delta_shard_builds_and_grows_from_nothing() {
+        let c = corpus(3);
+        let empty = Shard::build_from_docs(0, &[], 0, 0);
+        assert_eq!(empty.num_documents(), 0);
+        assert_eq!(empty.num_sentences(), 0);
+        let grown = Shard::build_from_docs(empty.id(), c.documents(), 0, 0);
+        let oneshot = Shard::build(0, &c, 0..3);
+        assert_eq!(grown.to_bytes(), oneshot.to_bytes());
+    }
+
+    #[test]
+    fn router_from_arc_shards_matches_owned() {
+        let c = corpus(9);
+        let owned = build_shards(&c, 3, 1);
+        let arcs: Vec<std::sync::Arc<Shard>> =
+            owned.iter().cloned().map(std::sync::Arc::new).collect();
+        assert_eq!(
+            ShardRouter::from_shards(&owned),
+            ShardRouter::from_shards(&arcs)
+        );
     }
 
     #[test]

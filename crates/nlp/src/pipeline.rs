@@ -83,6 +83,24 @@ impl Pipeline {
         Corpus::new(docs)
     }
 
+    /// Parse raw documents into [`Document`]s whose ids start at
+    /// `first_id` — the incremental-ingest path, where new documents join
+    /// an existing corpus and must carry their final global ids. Runs on
+    /// up to `threads` workers (`0` = auto, `1` = sequential); per-document
+    /// parsing is position-independent, so the documents are byte-identical
+    /// to the ones a batch [`Pipeline::parse_corpus`] of the concatenated
+    /// text would produce at the same indices.
+    pub fn parse_documents<S: AsRef<str> + Sync>(
+        &self,
+        texts: &[S],
+        first_id: u32,
+        threads: usize,
+    ) -> Vec<Document> {
+        koko_par::par_map(texts, threads, |i, t| {
+            self.parse_document(first_id + i as u32, t.as_ref())
+        })
+    }
+
     /// Access the lexicon (the CRF baseline reuses its word lists).
     pub fn lexicon(&self) -> &Lexicon {
         &self.lexicon
@@ -146,6 +164,22 @@ mod tests {
             assert_eq!(par.num_documents(), seq.num_documents());
             assert_eq!(par.num_sentences(), seq.num_sentences());
             assert_eq!(par.documents(), seq.documents(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn offset_parse_matches_batch_parse() {
+        let p = Pipeline::new();
+        let texts: Vec<String> = (0..9)
+            .map(|i| format!("Anna ate cake number {i}. The cafe was busy."))
+            .collect();
+        let batch = p.parse_corpus(&texts);
+        let (head, tail) = texts.split_at(4);
+        let mut docs = p.parse_documents(head, 0, 1);
+        docs.extend(p.parse_documents(tail, 4, 2));
+        assert_eq!(docs.len(), batch.documents().len());
+        for (a, b) in docs.iter().zip(batch.documents()) {
+            assert_eq!(a, b.as_ref());
         }
     }
 

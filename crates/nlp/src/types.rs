@@ -361,34 +361,82 @@ impl Document {
 ///
 /// Sentence ids run over documents in order, matching the `sid` component of
 /// every index posting.
-#[derive(Debug, Clone, Default)]
+///
+/// Documents are held behind [`std::sync::Arc`], so corpora derived from
+/// one another — the live engine's generations, shard-local views — share
+/// parsed documents instead of deep-copying them: [`Corpus::extended`]
+/// and `clone()` cost reference bumps plus one `u32` per *document* (the
+/// sid boundary table — there is deliberately no per-sentence table, so
+/// deriving a successor corpus never scales with the sentence count),
+/// never a re-parse or a token copy.
+#[derive(Debug, Clone)]
 pub struct Corpus {
-    docs: Vec<Document>,
-    /// sid → (doc index, sentence index within the doc).
-    sent_map: Vec<(u32, u32)>,
-    /// doc index → first sid of the doc.
+    docs: Vec<std::sync::Arc<Document>>,
+    /// `doc_first_sid[di]` is document `di`'s first sid; one trailing
+    /// sentinel holds the total sentence count (len = docs.len() + 1).
+    /// sid → doc resolves by binary search over this table.
     doc_first_sid: Vec<Sid>,
+}
+
+impl Default for Corpus {
+    fn default() -> Corpus {
+        Corpus::from_shared(Vec::new())
+    }
 }
 
 impl Corpus {
     pub fn new(docs: Vec<Document>) -> Corpus {
-        let mut sent_map = Vec::new();
-        let mut doc_first_sid = Vec::with_capacity(docs.len());
-        for (di, d) in docs.iter().enumerate() {
-            doc_first_sid.push(sent_map.len() as Sid);
-            for si in 0..d.sentences.len() {
-                sent_map.push((di as u32, si as u32));
-            }
+        Corpus::from_shared(docs.into_iter().map(std::sync::Arc::new).collect())
+    }
+
+    /// Build from already-shared documents (no copies; the boundary table
+    /// is recomputed for this document order).
+    pub fn from_shared(docs: Vec<std::sync::Arc<Document>>) -> Corpus {
+        let mut doc_first_sid = Vec::with_capacity(docs.len() + 1);
+        let mut next = 0 as Sid;
+        for d in &docs {
+            doc_first_sid.push(next);
+            next += d.sentences.len() as Sid;
         }
+        doc_first_sid.push(next);
         Corpus {
             docs,
-            sent_map,
             doc_first_sid,
         }
     }
 
-    pub fn documents(&self) -> &[Document] {
+    /// A successor corpus with `more` documents appended. Existing
+    /// documents are shared, not copied, and the boundary table is
+    /// copy-extended rather than recomputed — appending never re-walks
+    /// existing documents or sentences, so beyond the per-document flat
+    /// copies the cost is proportional to the *new* documents (the
+    /// incremental-ingest path runs this under the writer lock on every
+    /// add).
+    pub fn extended(&self, more: Vec<std::sync::Arc<Document>>) -> Corpus {
+        let mut docs = Vec::with_capacity(self.docs.len() + more.len());
+        docs.extend(self.docs.iter().cloned());
+        let mut doc_first_sid = Vec::with_capacity(self.doc_first_sid.len() + more.len());
+        doc_first_sid.extend_from_slice(&self.doc_first_sid);
+        let mut next = doc_first_sid.pop().expect("sentinel always present");
+        for d in more {
+            doc_first_sid.push(next);
+            next += d.sentences.len() as Sid;
+            docs.push(d);
+        }
+        doc_first_sid.push(next);
+        Corpus {
+            docs,
+            doc_first_sid,
+        }
+    }
+
+    pub fn documents(&self) -> &[std::sync::Arc<Document>] {
         &self.docs
+    }
+
+    /// The document at index `di`. Panics on out-of-range indices.
+    pub fn document(&self, di: u32) -> &Document {
+        &self.docs[di as usize]
     }
 
     pub fn num_documents(&self) -> usize {
@@ -396,22 +444,26 @@ impl Corpus {
     }
 
     pub fn num_sentences(&self) -> usize {
-        self.sent_map.len()
+        *self.doc_first_sid.last().expect("sentinel always present") as usize
     }
 
     pub fn num_tokens(&self) -> usize {
-        self.docs.iter().map(Document::num_tokens).sum()
+        self.docs.iter().map(|d| d.num_tokens()).sum()
     }
 
     /// The sentence with global id `sid`. Panics on out-of-range ids.
     pub fn sentence(&self, sid: Sid) -> &Sentence {
-        let (di, si) = self.sent_map[sid as usize];
+        let di = self.doc_of(sid);
+        let si = sid - self.doc_first_sid[di as usize];
         &self.docs[di as usize].sentences[si as usize]
     }
 
-    /// Document index containing sentence `sid`.
+    /// Document index containing sentence `sid` (binary search over the
+    /// boundary table, so sid lookups cost O(log #docs); sentence-less
+    /// documents are skipped, matching sid assignment order).
     pub fn doc_of(&self, sid: Sid) -> u32 {
-        self.sent_map[sid as usize].0
+        debug_assert!((sid as usize) < self.num_sentences(), "sid out of range");
+        self.doc_first_sid.partition_point(|&s| s <= sid) as u32 - 1
     }
 
     /// Global sid of sentence `si` of document `di`.
@@ -421,22 +473,19 @@ impl Corpus {
 
     /// Global sid range `[start, end)` of document `di`.
     pub fn doc_sids(&self, di: u32) -> std::ops::Range<Sid> {
-        let start = self.doc_first_sid[di as usize];
-        let end = if (di as usize) + 1 < self.doc_first_sid.len() {
-            self.doc_first_sid[di as usize + 1]
-        } else {
-            self.sent_map.len() as Sid
-        };
-        start..end
+        self.doc_first_sid[di as usize]..self.doc_first_sid[di as usize + 1]
     }
 
     /// Iterate `(sid, &sentence)` over the whole corpus.
     pub fn sentences(&self) -> impl Iterator<Item = (Sid, &Sentence)> + '_ {
-        self.sent_map
+        self.docs
             .iter()
-            .enumerate()
-            .map(move |(sid, &(di, si))| {
-                (sid as Sid, &self.docs[di as usize].sentences[si as usize])
+            .zip(&self.doc_first_sid)
+            .flat_map(|(doc, &first)| {
+                doc.sentences
+                    .iter()
+                    .enumerate()
+                    .map(move |(si, s)| (first + si as Sid, s))
             })
     }
 }
@@ -569,6 +618,36 @@ mod tests {
             etype: EntityType::Person,
         });
         s
+    }
+
+    #[test]
+    fn extended_corpus_matches_from_shared_rebuild() {
+        let doc = |id: u32, sents: usize| {
+            std::sync::Arc::new(Document {
+                id,
+                sentences: (0..sents).map(|_| toy_sentence()).collect(),
+            })
+        };
+        let base = Corpus::from_shared(vec![doc(0, 2), doc(1, 1)]);
+        let more = vec![doc(2, 3), doc(3, 1)];
+        let grown = base.extended(more.clone());
+        let mut all: Vec<_> = base.documents().to_vec();
+        all.extend(more);
+        let rebuilt = Corpus::from_shared(all);
+        assert_eq!(grown.documents(), rebuilt.documents());
+        assert_eq!(grown.num_sentences(), rebuilt.num_sentences());
+        for sid in 0..grown.num_sentences() as Sid {
+            assert_eq!(grown.doc_of(sid), rebuilt.doc_of(sid));
+        }
+        for di in 0..grown.num_documents() as u32 {
+            assert_eq!(grown.doc_sids(di), rebuilt.doc_sids(di));
+        }
+        // The base is untouched and its documents are shared, not copied.
+        assert_eq!(base.num_documents(), 2);
+        assert!(std::sync::Arc::ptr_eq(
+            &base.documents()[0],
+            &grown.documents()[0]
+        ));
     }
 
     #[test]

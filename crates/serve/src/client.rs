@@ -82,6 +82,23 @@ impl Client {
         self.send(&Request::Shutdown { id })
     }
 
+    /// Ingest new documents into a writable server's live index. Returns
+    /// the raw response line (`added`, `documents`, `epoch`, …), or an
+    /// `"ok":false` error line from a read-only server.
+    pub fn add(&mut self, texts: &[String]) -> std::io::Result<String> {
+        let id = self.fresh_id();
+        self.send(&Request::Add {
+            id,
+            texts: texts.to_vec(),
+        })
+    }
+
+    /// Ask a writable server to merge its delta shards into the base.
+    pub fn compact(&mut self) -> std::io::Result<String> {
+        let id = self.fresh_id();
+        self.send(&Request::Compact { id })
+    }
+
     fn fresh_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
@@ -120,12 +137,16 @@ pub fn run_load(
     repeat: usize,
     cache: bool,
 ) -> std::io::Result<LoadReport> {
-    let threads = threads.max(1);
+    // Clamp to something a machine can actually run; absurd requests are
+    // caller bugs and must not overflow allocation sizes (the CLI also
+    // validates, this is the library's own floor/ceiling).
+    let threads = threads.clamp(1, 4096);
     let t0 = Instant::now();
     let per_thread: Vec<std::io::Result<Vec<String>>> =
         koko_par::par_map_range(threads, threads, |_| {
             let mut client = Client::connect(addr)?;
-            let mut responses = Vec::with_capacity(queries.len() * repeat);
+            let mut responses =
+                Vec::with_capacity(queries.len().saturating_mul(repeat).min(1 << 16));
             for _ in 0..repeat {
                 for q in queries {
                     responses.push(client.query(q, cache)?);

@@ -5,15 +5,20 @@
 //!
 //! ```json
 //! {"id": 1, "query": "extract ...", "cache": true}
-//! {"id": 2, "cmd": "ping" | "stats" | "shutdown"}
+//! {"id": 2, "cmd": "ping" | "stats" | "shutdown" | "compact"}
+//! {"id": 3, "cmd": "add", "texts": ["one new document", "another"]}
 //! ```
 //!
 //! `id` is optional (echoed back, default 0); `cache: false` bypasses the
-//! compiled-query and result caches for that request only. Responses
-//! always carry `"id"` and `"ok"`; query responses add `"rows"` (the
-//! deterministic [`rows_json`] rendering) and `"profile"`. Any line that
-//! is not valid JSON, or valid JSON that is not a request, gets an
-//! `{"ok":false,"error":...}` response — the connection stays open.
+//! compiled-query and result caches for that request only. `add` and
+//! `compact` are the online-update commands: they mutate the served index
+//! and are accepted only by a server started writable (see
+//! `docs/SERVING.md`); a read-only server answers them with a structured
+//! error. Responses always carry `"id"` and `"ok"`; query responses add
+//! `"rows"` (the deterministic [`rows_json`] rendering) and `"profile"`.
+//! Any line that is not valid JSON, or valid JSON that is not a request,
+//! gets an `{"ok":false,"error":...}` response — the connection stays
+//! open.
 
 use crate::json::{self, write_escaped, write_f64, Json};
 use koko_core::{Profile, QueryOutput, Row};
@@ -45,6 +50,18 @@ pub enum Request {
         /// Client-chosen id, echoed in the response.
         id: u64,
     },
+    /// Ingest new documents into the live index (writable servers only).
+    Add {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+        /// Raw document texts, one document per entry.
+        texts: Vec<String>,
+    },
+    /// Merge delta shards into balanced base shards (writable only).
+    Compact {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
 }
 
 impl Request {
@@ -54,7 +71,9 @@ impl Request {
             Request::Query { id, .. }
             | Request::Ping { id }
             | Request::Stats { id }
-            | Request::Shutdown { id } => *id,
+            | Request::Shutdown { id }
+            | Request::Add { id, .. }
+            | Request::Compact { id } => *id,
         }
     }
 
@@ -90,6 +109,20 @@ impl Request {
             Some("ping") => Ok(Request::Ping { id }),
             Some("stats") => Ok(Request::Stats { id }),
             Some("shutdown") => Ok(Request::Shutdown { id }),
+            Some("compact") => Ok(Request::Compact { id }),
+            Some("add") => {
+                let Some(Json::Arr(items)) = v.get("texts") else {
+                    return Err("\"add\" needs a \"texts\" array".into());
+                };
+                let mut texts = Vec::with_capacity(items.len());
+                for item in items {
+                    match item.as_str() {
+                        Some(s) => texts.push(s.to_string()),
+                        None => return Err("\"texts\" entries must be strings".into()),
+                    }
+                }
+                Ok(Request::Add { id, texts })
+            }
             Some(other) => Err(format!("unknown cmd {other:?}")),
             None => Err("request needs \"query\" or \"cmd\"".into()),
         }
@@ -111,6 +144,19 @@ impl Request {
             Request::Stats { id } => out.push_str(&format!("{{\"id\":{id},\"cmd\":\"stats\"}}")),
             Request::Shutdown { id } => {
                 out.push_str(&format!("{{\"id\":{id},\"cmd\":\"shutdown\"}}"))
+            }
+            Request::Add { id, texts } => {
+                out.push_str(&format!("{{\"id\":{id},\"cmd\":\"add\",\"texts\":["));
+                for (i, t) in texts.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(&mut out, t);
+                }
+                out.push_str("]}");
+            }
+            Request::Compact { id } => {
+                out.push_str(&format!("{{\"id\":{id},\"cmd\":\"compact\"}}"))
             }
         }
         out
@@ -153,7 +199,7 @@ pub fn rows_json(rows: &[Row]) -> String {
 /// candidate/tuple and cache counters.
 pub fn profile_json(p: &Profile) -> String {
     format!(
-        "{{\"normalize_us\":{},\"dpli_us\":{},\"load_article_us\":{},\"gsp_us\":{},\"extract_us\":{},\"satisfying_us\":{},\"candidates\":{},\"raw_tuples\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{}}}",
+        "{{\"normalize_us\":{},\"dpli_us\":{},\"load_article_us\":{},\"gsp_us\":{},\"extract_us\":{},\"satisfying_us\":{},\"candidates\":{},\"delta_candidates\":{},\"raw_tuples\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{}}}",
         p.normalize.as_micros(),
         p.dpli.as_micros(),
         p.load_article.as_micros(),
@@ -161,6 +207,7 @@ pub fn profile_json(p: &Profile) -> String {
         p.extract.as_micros(),
         p.satisfying.as_micros(),
         p.candidate_sentences,
+        p.delta_candidates,
         p.raw_tuples,
         p.compiled_cache_hits,
         p.compiled_cache_misses,
@@ -218,6 +265,18 @@ mod tests {
             Request::Ping { id: 1 },
             Request::Stats { id: 2 },
             Request::Shutdown { id: 3 },
+            Request::Add {
+                id: 4,
+                texts: vec![
+                    "Anna ate cake.\nSecond line.".into(),
+                    "go \"Falcons\"!".into(),
+                ],
+            },
+            Request::Add {
+                id: 5,
+                texts: Vec::new(),
+            },
+            Request::Compact { id: 6 },
         ] {
             let line = req.encode();
             assert!(!line.contains('\n'), "one request = one line: {line:?}");
@@ -237,6 +296,9 @@ mod tests {
             "{\"id\":-1,\"cmd\":\"ping\"}",
             "{\"id\":1.5,\"cmd\":\"ping\"}",
             "{}",
+            "{\"cmd\":\"add\"}",
+            "{\"cmd\":\"add\",\"texts\":\"not an array\"}",
+            "{\"cmd\":\"add\",\"texts\":[1,2]}",
         ] {
             assert!(Request::decode(bad).is_err(), "{bad:?} should fail");
         }

@@ -21,12 +21,18 @@ use std::thread::JoinHandle;
 struct Shared {
     koko: Koko,
     stop: AtomicBool,
+    /// Accept wire `add` / `compact` commands. The engine's own live-index
+    /// write lock serializes the mutations; read-only servers refuse them
+    /// outright.
+    writable: bool,
     /// Total requests answered (all kinds, including errors).
     served: AtomicU64,
     /// Query requests answered successfully.
     queries_ok: AtomicU64,
     /// Query requests answered with an error (parse failures etc.).
     queries_err: AtomicU64,
+    /// Documents ingested over the wire since the server started.
+    docs_added: AtomicU64,
     addr: SocketAddr,
     threads: usize,
 }
@@ -42,15 +48,32 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
-    /// `koko` on `threads` worker threads (`0` = one per core). Returns
-    /// once the listener is live; [`Server::local_addr`] has the port.
+    /// `koko` read-only on `threads` worker threads (`0` = one per core).
+    /// Returns once the listener is live; [`Server::local_addr`] has the
+    /// port.
     pub fn bind(koko: Koko, addr: &str, threads: usize) -> std::io::Result<Server> {
+        Server::bind_with(koko, addr, threads, false)
+    }
+
+    /// [`Server::bind`] with an explicit writability switch. A writable
+    /// server additionally accepts the wire `add` and `compact` commands:
+    /// writers serialize on the engine's live-index write lock while
+    /// queries on other workers keep reading the previously published
+    /// epoch — readers are never blocked on a write in progress.
+    pub fn bind_with(
+        koko: Koko,
+        addr: &str,
+        threads: usize,
+        writable: bool,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // 0 = auto; explicit counts are capped so a mistyped flag cannot
+        // ask the OS for millions of threads (the spawn would abort).
         let threads = if threads == 0 {
             koko_par::available_threads()
         } else {
-            threads
+            threads.min(4096)
         };
         // The worker pool is the parallelism: per-query shard fan-out on
         // top of it would spawn threads × shards workers. Turn it off for
@@ -60,9 +83,11 @@ impl Server {
         let shared = Arc::new(Shared {
             koko,
             stop: AtomicBool::new(false),
+            writable,
             served: AtomicU64::new(0),
             queries_ok: AtomicU64::new(0),
             queries_err: AtomicU64::new(0),
+            docs_added: AtomicU64::new(0),
             addr: local,
             threads,
         });
@@ -122,6 +147,11 @@ impl Server {
     /// The worker-pool width.
     pub fn threads(&self) -> usize {
         self.shared.threads
+    }
+
+    /// Whether this server accepts wire `add` / `compact` commands.
+    pub fn writable(&self) -> bool {
+        self.shared.writable
     }
 
     /// Total requests answered so far.
@@ -285,6 +315,18 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
+/// The engine handle wire writers mutate through. The serving copy keeps
+/// `parallel` off because per-query shard fan-out on top of the worker
+/// pool would multiply threads — but that rationale does not apply to
+/// writes: they serialize on the live-index write mutex, so the single
+/// active writer may parallelize its NLP parse and shard rebuilds
+/// (results are identical either way; only the lock-hold time shrinks).
+fn writer_handle(shared: &Shared) -> Koko {
+    let mut writer = shared.koko.clone();
+    writer.opts.parallel = true;
+    writer
+}
+
 /// Answer one request line. Returns the response and whether the server
 /// should stop after sending it.
 fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
@@ -297,11 +339,18 @@ fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
         ),
         Ok(Request::Stats { id }) => {
             let cache = shared.koko.cache_stats();
+            let snap = shared.koko.snapshot();
             let response = format!(
-                "{{\"id\":{id},\"ok\":true,\"stats\":{{\"threads\":{},\"documents\":{},\"shards\":{},\"served\":{},\"queries_ok\":{},\"queries_err\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{},\"result_cache_capacity\":{}}}}}",
+                "{{\"id\":{id},\"ok\":true,\"stats\":{{\"threads\":{},\"documents\":{},\"shards\":{},\"delta_shards\":{},\"delta_documents\":{},\"epoch\":{},\"generation\":{},\"writable\":{},\"docs_added\":{},\"served\":{},\"queries_ok\":{},\"queries_err\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{},\"result_cache_capacity\":{}}}}}",
                 shared.threads,
-                shared.koko.corpus().num_documents(),
-                shared.koko.shards().len(),
+                snap.corpus().num_documents(),
+                snap.num_shards(),
+                snap.num_delta_shards(),
+                snap.num_delta_documents(),
+                snap.epoch(),
+                snap.generation(),
+                shared.writable,
+                shared.docs_added.load(Ordering::Relaxed),
                 shared.served.load(Ordering::Relaxed),
                 shared.queries_ok.load(Ordering::Relaxed),
                 shared.queries_err.load(Ordering::Relaxed),
@@ -324,6 +373,52 @@ fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
                     (err_response(id, &e.to_string()), false)
                 }
             }
+        }
+        Ok(Request::Add { id, texts }) => {
+            if !shared.writable {
+                return (
+                    err_response(
+                        id,
+                        "server is read-only (start with --writable to accept add)",
+                    ),
+                    false,
+                );
+            }
+            let report = writer_handle(shared).add_texts(&texts);
+            shared
+                .docs_added
+                .fetch_add(report.added as u64, Ordering::Relaxed);
+            (
+                format!(
+                    "{{\"id\":{id},\"ok\":true,\"added\":{},\"documents\":{},\"epoch\":{},\"generation\":{},\"delta_shards\":{},\"delta_documents\":{}}}",
+                    report.added,
+                    report.documents,
+                    report.epoch,
+                    report.generation,
+                    report.delta_shards,
+                    report.delta_documents,
+                ),
+                false,
+            )
+        }
+        Ok(Request::Compact { id }) => {
+            if !shared.writable {
+                return (
+                    err_response(
+                        id,
+                        "server is read-only (start with --writable to accept compact)",
+                    ),
+                    false,
+                );
+            }
+            let report = writer_handle(shared).compact();
+            (
+                format!(
+                    "{{\"id\":{id},\"ok\":true,\"merged_deltas\":{},\"shards\":{},\"epoch\":{},\"generation\":{}}}",
+                    report.merged_deltas, report.shards, report.epoch, report.generation,
+                ),
+                false,
+            )
         }
     }
 }
@@ -423,6 +518,76 @@ mod tests {
             "{response}"
         );
         drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn read_only_servers_refuse_online_updates() {
+        let server = Server::bind(test_engine(0), "127.0.0.1:0", 1).unwrap();
+        assert!(!server.writable());
+        let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+        let r = client.add(&["New doc.".to_string()]).unwrap();
+        assert!(r.contains("\"ok\":false") && r.contains("read-only"), "{r}");
+        let r = client.compact().unwrap();
+        assert!(r.contains("\"ok\":false") && r.contains("read-only"), "{r}");
+        // The connection and the corpus are untouched.
+        let stats = client.stats().unwrap();
+        assert!(stats.contains("\"documents\":2"), "{stats}");
+        assert!(stats.contains("\"writable\":false"), "{stats}");
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn writable_server_adds_compacts_and_serves_the_new_docs() {
+        let server = Server::bind_with(test_engine(8), "127.0.0.1:0", 2, true).unwrap();
+        assert!(server.writable());
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+
+        // Cache a result, then add a matching document: the epoch-keyed
+        // result cache must not serve the stale rows.
+        let q = koko_lang::queries::EXAMPLE_2_1;
+        let before = client.query(q, true).unwrap();
+        let added = client
+            .add(&["Bob ate some delicious croissant at the cafe.".to_string()])
+            .unwrap();
+        assert!(added.contains("\"ok\":true"), "{added}");
+        assert!(added.contains("\"added\":1"), "{added}");
+        assert!(added.contains("\"documents\":3"), "{added}");
+        assert!(added.contains("\"delta_shards\":1"), "{added}");
+
+        let after = client.query(q, true).unwrap();
+        assert_ne!(
+            crate::protocol::response_rows(&before),
+            crate::protocol::response_rows(&after),
+            "new document must appear in results"
+        );
+        assert!(after.contains("\"delta_candidates\":1"), "{after}");
+
+        // A second client (other worker) sees the same state.
+        let mut other = Client::connect(&addr).unwrap();
+        let stats = other.stats().unwrap();
+        assert!(stats.contains("\"documents\":3"), "{stats}");
+        assert!(stats.contains("\"docs_added\":1"), "{stats}");
+        assert!(stats.contains("\"writable\":true"), "{stats}");
+
+        // Compaction merges the delta; rows stay byte-identical.
+        let compacted = client.compact().unwrap();
+        assert!(compacted.contains("\"merged_deltas\":1"), "{compacted}");
+        let final_rows = client.query(q, true).unwrap();
+        assert_eq!(
+            crate::protocol::response_rows(&after),
+            crate::protocol::response_rows(&final_rows),
+            "compaction must not change rows"
+        );
+        assert!(
+            final_rows.contains("\"delta_candidates\":0"),
+            "{final_rows}"
+        );
+
+        drop(client);
+        drop(other);
         server.shutdown();
     }
 

@@ -29,7 +29,7 @@ pub use codec::{Codec, DecodeError};
 pub use db::Db;
 pub use docstore::DocStore;
 pub use snapshot_file::{
-    is_snapshot_file, read_snapshot_file, write_snapshot_file, SnapshotFileError, SNAPSHOT_MAGIC,
-    SNAPSHOT_VERSION,
+    is_snapshot_file, read_snapshot_file, read_snapshot_file_versioned, write_snapshot_file,
+    SnapshotFileError, MIN_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use table::{MultiMap, OrderedTable};

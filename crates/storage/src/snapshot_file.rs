@@ -31,9 +31,15 @@ use std::path::Path;
 
 /// Magic bytes opening every `.koko` snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"KOKOSNAP";
-/// Snapshot container format version. Bump on any layout change to the
-/// header *or* the payload encoding; readers reject other versions.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Snapshot container format version written by this build. Bump on any
+/// layout change to the header *or* the payload encoding. Version 2 added
+/// the generational manifest (generation counter + base/delta shard
+/// split) for live incremental indices.
+pub const SNAPSHOT_VERSION: u16 = 2;
+/// Oldest container version this build still reads. Version-1 files (the
+/// pre-live, purely static format) load as generation 1 with every shard
+/// treated as base.
+pub const MIN_SNAPSHOT_VERSION: u16 = 1;
 /// Bytes before the payload: magic + version + length + checksum.
 pub const SNAPSHOT_HEADER_LEN: usize = 8 + 2 + 8 + 8;
 
@@ -82,7 +88,7 @@ impl fmt::Display for SnapshotFileError {
             }
             SnapshotFileError::WrongVersion { path, found } => write!(
                 f,
-                "{path}: unsupported snapshot format version {found} (this build reads version {SNAPSHOT_VERSION}; rebuild the snapshot with `koko build`)"
+                "{path}: unsupported snapshot format version {found} (this build reads versions {MIN_SNAPSHOT_VERSION} through {SNAPSHOT_VERSION}; rebuild the snapshot with `koko build`)"
             ),
             SnapshotFileError::Truncated {
                 path,
@@ -152,10 +158,18 @@ pub fn write_snapshot_file(path: &Path, payload: &[u8]) -> Result<(), SnapshotFi
     })
 }
 
-/// Read and verify a snapshot file, returning its payload. Checks (in
-/// order): readability, magic, version, declared length, checksum — each
-/// failure is its own [`SnapshotFileError`] variant.
+/// [`read_snapshot_file`] discarding the version tag, for callers whose
+/// payload layout never changed across the supported container versions.
 pub fn read_snapshot_file(path: &Path) -> Result<Vec<u8>, SnapshotFileError> {
+    read_snapshot_file_versioned(path).map(|(_, payload)| payload)
+}
+
+/// Read and verify a snapshot file, returning the container version it was
+/// written with (any of `MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION`) plus
+/// its payload. Checks (in order): readability, magic, version, declared
+/// length, checksum — each failure is its own [`SnapshotFileError`]
+/// variant. The payload *decoder* dispatches on the returned version.
+pub fn read_snapshot_file_versioned(path: &Path) -> Result<(u16, Vec<u8>), SnapshotFileError> {
     let name = path.display().to_string();
     let mut data = std::fs::read(path).map_err(|e| io_err(path, e))?;
     if data.len() < 8 || &data[..8] != SNAPSHOT_MAGIC {
@@ -170,7 +184,7 @@ pub fn read_snapshot_file(path: &Path) -> Result<Vec<u8>, SnapshotFileError> {
         });
     }
     let version = u16::from_le_bytes(data[8..10].try_into().expect("sized"));
-    if version != SNAPSHOT_VERSION {
+    if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(SnapshotFileError::WrongVersion {
             path: name,
             found: version,
@@ -193,7 +207,7 @@ pub fn read_snapshot_file(path: &Path) -> Result<Vec<u8>, SnapshotFileError> {
     if fnv1a64(&data) != checksum {
         return Err(SnapshotFileError::ChecksumMismatch { path: name });
     }
-    Ok(data)
+    Ok((version, data))
 }
 
 /// Sniff the first 8 bytes of `path`: `true` iff they are
@@ -297,6 +311,31 @@ mod tests {
         );
         let msg = err.to_string();
         assert!(msg.contains("99") && msg.contains('1'), "{msg}");
+    }
+
+    #[test]
+    fn every_supported_version_is_readable_and_reported() {
+        let path = tmp("window.koko");
+        write_snapshot_file(&path, b"payload").unwrap();
+        let written = std::fs::read(&path).unwrap();
+        for v in MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION {
+            let mut data = written.clone();
+            data[8..10].copy_from_slice(&v.to_le_bytes());
+            std::fs::write(&path, &data).unwrap();
+            let (version, payload) = read_snapshot_file_versioned(&path).unwrap();
+            assert_eq!(version, v);
+            assert_eq!(payload, b"payload");
+        }
+        // One past each end of the window is rejected.
+        for v in [MIN_SNAPSHOT_VERSION - 1, SNAPSHOT_VERSION + 1] {
+            let mut data = written.clone();
+            data[8..10].copy_from_slice(&v.to_le_bytes());
+            std::fs::write(&path, &data).unwrap();
+            assert!(matches!(
+                read_snapshot_file_versioned(&path),
+                Err(SnapshotFileError::WrongVersion { found, .. }) if found == v
+            ));
+        }
     }
 
     #[test]

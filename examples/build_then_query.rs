@@ -31,7 +31,7 @@ fn main() {
 
     println!(
         "built {} docs in {build_time:.2?}; saved {:.1} KiB in {save_time:.2?}; loaded in {load_time:.2?} ({:.1}x faster than building)",
-        built.corpus().num_documents(),
+        built.num_documents(),
         file_bytes as f64 / 1024.0,
         build_time.as_secs_f64() / load_time.as_secs_f64().max(1e-9),
     );

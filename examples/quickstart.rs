@@ -28,10 +28,7 @@ fn main() {
     "#;
 
     let out = koko.query(query).expect("query evaluates");
-    println!(
-        "Example 2.1 over {} documents:",
-        koko.corpus().num_documents()
-    );
+    println!("Example 2.1 over {} documents:", koko.num_documents());
     for row in &out.rows {
         let e = &row.values[0];
         let d = &row.values[1];

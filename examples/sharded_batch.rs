@@ -30,11 +30,12 @@ fn main() {
     );
     println!(
         "sequential: {} shard | sharded: {} shards over {} docs",
-        sequential.shards().len(),
-        sharded.shards().len(),
-        sharded.corpus().num_documents(),
+        sequential.num_shards(),
+        sharded.num_shards(),
+        sharded.num_documents(),
     );
-    for shard in sharded.shards() {
+    let snapshot = sharded.snapshot();
+    for shard in snapshot.shards() {
         println!(
             "  shard {}: docs {:?} sids {:?}",
             shard.id(),

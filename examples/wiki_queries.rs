@@ -11,11 +11,12 @@ use koko::Koko;
 fn main() {
     let texts = koko::corpus::wiki::generate(200, 4242);
     let koko = Koko::from_texts(&texts);
+    let snapshot = koko.snapshot();
     println!(
         "corpus: {} articles, {} sentences, {} tokens\n",
-        koko.corpus().num_documents(),
-        koko.corpus().num_sentences(),
-        koko.corpus().num_tokens()
+        snapshot.corpus().num_documents(),
+        snapshot.corpus().num_sentences(),
+        snapshot.corpus().num_tokens()
     );
 
     for (name, q) in [
@@ -32,7 +33,7 @@ fn main() {
             "   {} rows over {} documents ({:.1}% of articles), {} candidate sentences",
             out.rows.len(),
             docs.len(),
-            100.0 * docs.len() as f64 / koko.corpus().num_documents() as f64,
+            100.0 * docs.len() as f64 / koko.num_documents() as f64,
             out.profile.candidate_sentences,
         );
         for row in out.rows.iter().take(4) {

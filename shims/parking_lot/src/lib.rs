@@ -6,9 +6,13 @@
 //! parking_lot, we propagate the inner data anyway rather than surfacing a
 //! `PoisonError`.
 
-use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
-};
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
+
+// The guard types are part of `parking_lot`'s public API (callers name
+// them in signatures, e.g. a function returning a held write lock); we
+// hand out the std guards directly, so re-export them under the
+// `parking_lot` names.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader-writer lock with `parking_lot`'s panic-free API.
 #[derive(Debug, Default)]

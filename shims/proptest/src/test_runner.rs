@@ -8,13 +8,39 @@ pub struct Config {
 
 impl Config {
     pub fn with_cases(cases: u32) -> Config {
-        Config { cases }
+        Config {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
 impl Default for Config {
     fn default() -> Config {
-        Config { cases: 256 }
+        Config {
+            cases: env_cases().unwrap_or(256),
+        }
+    }
+}
+
+/// `PROPTEST_CASES`, when set, overrides every suite's case count — the
+/// scheduled long-fuzz CI job uses it to run the same properties with a
+/// far larger budget than a per-commit run affords. (Real proptest only
+/// lets the variable override the *default*; here explicit
+/// `with_cases(..)` values are deliberately small per-commit budgets, so
+/// the override applies to them too.)
+///
+/// A malformed or zero value panics instead of being silently ignored:
+/// an override of `0` (or a typo like `6_400`) would make every property
+/// suite vacuously green, which is exactly the failure the long-fuzz job
+/// exists to prevent.
+fn env_cases() -> Option<u32> {
+    let raw = std::env::var("PROPTEST_CASES").ok()?;
+    match raw.parse() {
+        Ok(0) | Err(_) => panic!(
+            "PROPTEST_CASES must be a positive integer, got {raw:?} \
+             (unset it to use the per-suite defaults)"
+        ),
+        Ok(n) => Some(n),
     }
 }
 

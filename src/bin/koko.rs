@@ -3,6 +3,8 @@
 //! ```text
 //! koko build  <corpus> -o <file.koko>    parse + index a corpus once and
 //!                                        write a persistent snapshot
+//! koko add    <file.koko> <more.txt>     ingest new documents into an
+//!             [--compact] [-o out.koko]  existing snapshot (delta shards)
 //! koko query  <corpus> '<query>'         run a KOKO query over a text file
 //!                                        or a .koko snapshot
 //! koko batch  <corpus> '<q1>' '<q2>'     evaluate many queries over one
@@ -10,9 +12,12 @@
 //! koko parse  <corpus.txt>               show the annotation pipeline output
 //! koko stats  <corpus>                   corpus + per-shard index statistics
 //! koko serve  <corpus> [--addr=H:P]      long-running query server over one
-//!             [--threads=N] [--cache=N]  loaded snapshot (see docs/SERVING.md)
+//!             [--threads=N] [--cache=N]  loaded snapshot (see docs/SERVING.md);
+//!             [--writable]               --writable accepts wire add/compact
 //! koko client <addr> '<query>' ...       scripted client / load generator
-//!             [--threads=N] [--repeat=M] against a running `koko serve`
+//!             [--threads=N] [--repeat=M] against a running `koko serve`;
+//!             [--add=<more.txt>]         --add / --compact drive a
+//!             [--compact]                writable server's live index
 //! koko demo                              the paper's Figure 1 walkthrough
 //! ```
 //!
@@ -31,6 +36,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
+        Some("add") => cmd_add(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("parse") => cmd_parse(&args[1..]),
@@ -40,7 +46,7 @@ fn main() {
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: koko <build|query|batch|parse|stats|serve|client|demo> [args]  (see `src/bin/koko.rs`)"
+                "usage: koko <build|add|query|batch|parse|stats|serve|client|demo> [args]  (see `src/bin/koko.rs`)"
             );
             2
         }
@@ -93,11 +99,35 @@ fn arg_named_usize(args: &[String], name: &str, default: usize) -> Result<usize,
     Ok(default)
 }
 
+/// [`arg_named_usize`] with an inclusive validity range. Out-of-range
+/// values (e.g. `--threads=0` where at least one thread is required, or an
+/// absurd `--repeat` that would overflow allocation sizes) are structured
+/// errors with a nonzero exit, never a panic downstream.
+fn arg_named_usize_in(
+    args: &[String],
+    name: &str,
+    default: usize,
+    min: usize,
+    max: usize,
+) -> Result<usize, String> {
+    let v = arg_named_usize(args, name, default)?;
+    if !(min..=max).contains(&v) {
+        return Err(format!("--{name} must be between {min} and {max}, got {v}"));
+    }
+    Ok(v)
+}
+
 /// `--shards=N` knob shared by `build` and the engine-backed commands
 /// (`0`, the default, means one shard per core).
 fn arg_shards(args: &[String]) -> Result<usize, String> {
-    arg_named_usize(args, "shards", 0)
+    arg_named_usize_in(args, "shards", 0, 0, 65536)
 }
+
+/// Widest worker/client pool any CLI command will spin up; larger values
+/// are user error (and would previously overflow a `Vec` capacity).
+const MAX_THREADS: usize = 1024;
+/// Most repeats `koko client` accepts per run.
+const MAX_REPEAT: usize = 10_000_000;
 
 /// String flag accepted as `--name=value` or `--name value`.
 fn arg_named_str(args: &[String], name: &str) -> Option<String> {
@@ -117,7 +147,14 @@ fn arg_named_str(args: &[String], name: &str) -> Option<String> {
 /// Flags of `serve`/`client` that take a value, for skipping that value
 /// when collecting positional arguments in space-separated form. Keep in
 /// sync with the `arg_named_*` calls in `cmd_serve`/`cmd_client`.
-const VALUE_FLAGS: &[&str] = &["--threads", "--repeat", "--cache", "--shards", "--addr"];
+const VALUE_FLAGS: &[&str] = &[
+    "--threads",
+    "--repeat",
+    "--cache",
+    "--shards",
+    "--addr",
+    "--add",
+];
 
 /// Build an engine from `path` — a `.koko` snapshot (sniffed by magic
 /// bytes) or a raw text corpus. Snapshot load failures surface the
@@ -133,19 +170,34 @@ fn load_engine(path: &str, args: &[String]) -> Result<Koko, String> {
     Ok(Koko::from_texts_with_opts(&load_docs(path, args)?, opts))
 }
 
+/// The `-o <path>` / `--out=<path>` output flag shared by `build` and
+/// `add`. `-o` must be followed by a real path — a missing or
+/// flag-shaped value would silently misroute a destructive write (e.g.
+/// `-o --compact` saving a snapshot to a file named "--compact").
+fn arg_out_path(args: &[String]) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == "-o") {
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with('-') => Ok(Some(v.clone())),
+            _ => Err("-o expects an output path".into()),
+        },
+        None => Ok(args
+            .iter()
+            .find_map(|a| a.strip_prefix("--out=").map(str::to_string))),
+    }
+}
+
 fn cmd_build(args: &[String]) -> i32 {
+    let usage = "usage: koko build <corpus.txt> -o <snapshot.koko> [--shards=N] [--doc=para]";
     let input = args.first();
-    let out: Option<String> = args
-        .iter()
-        .position(|a| a == "-o")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
-        });
+    let out = match arg_out_path(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{usage}");
+            return 2;
+        }
+    };
     let (Some(input), Some(out)) = (input, out) else {
-        eprintln!("usage: koko build <corpus.txt> -o <snapshot.koko> [--shards=N] [--doc=para]");
+        eprintln!("{usage}");
         return 2;
     };
     if is_snapshot_file(std::path::Path::new(input)) {
@@ -178,11 +230,94 @@ fn cmd_build(args: &[String]) -> i32 {
         Ok(bytes) => {
             eprintln!(
                 "built {} documents into {} shards in {:.2?}; wrote {out} ({:.1} KiB) in {:.2?}",
-                koko.corpus().num_documents(),
-                koko.shards().len(),
+                koko.num_documents(),
+                koko.num_shards(),
                 ingest,
                 bytes as f64 / 1024.0,
                 t.elapsed(),
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// `koko add <snapshot.koko> <more.txt>` — incremental ingest: open an
+/// existing snapshot, push the new documents through the full NLP
+/// pipeline into a delta shard, optionally compact, and save the next
+/// generation (in place, or to `-o`).
+fn cmd_add(args: &[String]) -> i32 {
+    let usage =
+        "usage: koko add <snapshot.koko> <more.txt> [--compact] [-o <out.koko>] [--doc=para]";
+    let out_flag = match arg_out_path(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{usage}");
+            return 2;
+        }
+    };
+    let mut positional: Vec<&String> = Vec::new();
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+        } else if a == "-o" {
+            skip_value = true;
+        } else if !a.starts_with('-') {
+            positional.push(a);
+        }
+    }
+    let (Some(snap_path), Some(more_path)) = (positional.first(), positional.get(1)) else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    if !is_snapshot_file(std::path::Path::new(snap_path.as_str())) {
+        eprintln!(
+            "error: {snap_path} is not a KOKO snapshot; build one first with `koko build` \
+             (incremental add needs the indexed form, not raw text)"
+        );
+        return 1;
+    }
+    let koko = match Koko::open(std::path::Path::new(snap_path.as_str())) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let docs = match load_docs(more_path, args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let t = std::time::Instant::now();
+    let report = koko.add_texts(&docs);
+    let ingest = t.elapsed();
+    if args.iter().any(|a| a == "--compact") {
+        let c = koko.compact();
+        eprintln!(
+            "compacted {} delta shards into {} base shards (generation {})",
+            c.merged_deltas, c.shards, c.generation
+        );
+    }
+    let out_path = out_flag.unwrap_or_else(|| snap_path.to_string());
+    match koko.save(std::path::Path::new(&out_path)) {
+        Ok(bytes) => {
+            eprintln!(
+                "added {} documents in {:.2?} (total {} | epoch {} | generation {} | {} delta shards holding {} docs); wrote {out_path} ({:.1} KiB)",
+                report.added,
+                ingest,
+                koko.num_documents(),
+                koko.epoch(),
+                koko.generation(),
+                koko.num_delta_shards(),
+                koko.snapshot().num_delta_documents(),
+                bytes as f64 / 1024.0,
             );
             0
         }
@@ -351,18 +486,30 @@ fn cmd_stats(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let c = koko.corpus();
+    let snap = koko.snapshot();
+    let c = snap.corpus();
     println!("documents:        {}", c.num_documents());
     println!("sentences:        {}", c.num_sentences());
     println!("tokens:           {}", c.num_tokens());
-    let shards = koko.shards();
+    println!("generation:       {}", snap.generation());
+    let shards = snap.shards();
     let total_bytes: usize = shards.iter().map(|s| s.approx_index_bytes()).sum();
-    println!("shards:           {}", shards.len());
+    println!(
+        "shards:           {} ({} base + {} delta)",
+        shards.len(),
+        snap.num_base_shards(),
+        snap.num_delta_shards()
+    );
     println!("index footprint:  {} KiB (all shards)", total_bytes / 1024);
-    for shard in shards {
+    for (i, shard) in shards.iter().enumerate() {
         let idx = shard.index();
         println!(
-            "  shard {:>2}: docs {}..{} | {} sentences | {} KiB | PL {} nodes ({:.2}% merged) | POS {} nodes ({:.2}% merged) | {} entities",
+            "  {} {:>2}: docs {}..{} | {} sentences | {} KiB | PL {} nodes ({:.2}% merged) | POS {} nodes ({:.2}% merged) | {} entities",
+            if i < snap.num_base_shards() {
+                "shard"
+            } else {
+                "delta"
+            },
             shard.id(),
             shard.doc_range().start,
             shard.doc_range().end,
@@ -379,15 +526,17 @@ fn cmd_stats(args: &[String]) -> i32 {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let usage = "usage: koko serve <corpus.txt|snapshot.koko> [--addr=HOST:PORT] [--threads=N] [--cache=N] [--shards=N] [--doc=para]";
+    let usage = "usage: koko serve <corpus.txt|snapshot.koko> [--addr=HOST:PORT] [--threads=N] [--cache=N] [--shards=N] [--writable] [--doc=para]";
     let Some(path) = args.first() else {
         eprintln!("{usage}");
         return 2;
     };
     let parsed = (|| -> Result<(String, usize, usize), String> {
         let addr = arg_named_str(args, "addr").unwrap_or_else(|| "127.0.0.1:4100".to_string());
-        let threads = arg_named_usize(args, "threads", 0)?;
-        let cache = arg_named_usize(args, "cache", 1024)?;
+        // 0 = one worker per core; an absurd explicit count is an error,
+        // not a 4-billion-thread attempt.
+        let threads = arg_named_usize_in(args, "threads", 0, 0, MAX_THREADS)?;
+        let cache = arg_named_usize_in(args, "cache", 1024, 0, 100_000_000)?;
         Ok((addr, threads, cache))
     })();
     let (addr, threads, cache) = match parsed {
@@ -397,6 +546,7 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let writable = args.iter().any(|a| a == "--writable");
     let opts = EngineOpts {
         num_shards: match arg_shards(args) {
             Ok(n) => n,
@@ -428,12 +578,13 @@ fn cmd_serve(args: &[String]) -> i32 {
             }
         }
     };
-    let documents = koko.corpus().num_documents();
-    let shards = koko.shards().len();
-    match koko_serve::Server::bind(koko, &addr, threads) {
+    let documents = koko.num_documents();
+    let shards = koko.num_shards();
+    match koko_serve::Server::bind_with(koko, &addr, threads, writable) {
         Ok(server) => {
             eprintln!(
-                "serving {documents} documents ({shards} shards) on {} | {} worker threads | result cache {cache} entries",
+                "serving {documents} documents ({shards} shards, {}) on {} | {} worker threads | result cache {cache} entries",
+                if writable { "writable" } else { "read-only" },
                 server.local_addr(),
                 server.threads(),
             );
@@ -449,7 +600,7 @@ fn cmd_serve(args: &[String]) -> i32 {
 }
 
 fn cmd_client(args: &[String]) -> i32 {
-    let usage = "usage: koko client <HOST:PORT> ['<query>' ...] [--threads=N] [--repeat=M] [--no-cache] [--stats] [--shutdown]";
+    let usage = "usage: koko client <HOST:PORT> ['<query>' ...] [--threads=N] [--repeat=M] [--no-cache] [--add=<more.txt>] [--compact] [--stats] [--shutdown]";
     let Some(addr) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -467,10 +618,15 @@ fn cmd_client(args: &[String]) -> i32 {
     }
     let stats = args.iter().any(|a| a == "--stats");
     let shutdown = args.iter().any(|a| a == "--shutdown");
+    let compact = args.iter().any(|a| a == "--compact");
+    let add_file = arg_named_str(args, "add");
     let cache = !args.iter().any(|a| a == "--no-cache");
+    // A zero-thread client can send nothing and a huge pool would only
+    // DOS the local machine: both are structured errors (satellite fix —
+    // these used to fall through to panics / silent no-ops).
     let (threads, repeat) = match (
-        arg_named_usize(args, "threads", 1),
-        arg_named_usize(args, "repeat", 1),
+        arg_named_usize_in(args, "threads", 1, 1, MAX_THREADS),
+        arg_named_usize_in(args, "repeat", 1, 1, MAX_REPEAT),
     ) {
         (Ok(t), Ok(r)) => (t, r),
         (Err(e), _) | (_, Err(e)) => {
@@ -478,9 +634,56 @@ fn cmd_client(args: &[String]) -> i32 {
             return 2;
         }
     };
-    if queries.is_empty() && !stats && !shutdown {
+    if queries.is_empty() && !stats && !shutdown && !compact && add_file.is_none() {
         eprintln!("{usage}");
         return 2;
+    }
+
+    // Online updates first: push new documents / compaction before any
+    // queries of the same invocation, so they observe the new epoch.
+    if add_file.is_some() || compact {
+        let mut client = match koko_serve::Client::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                return 1;
+            }
+        };
+        if let Some(file) = add_file {
+            let docs = match load_docs(&file, args) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            match client.add(&docs) {
+                Ok(line) => {
+                    println!("{line}");
+                    if line.contains("\"ok\":false") {
+                        return 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            }
+        }
+        if compact {
+            match client.compact() {
+                Ok(line) => {
+                    println!("{line}");
+                    if line.contains("\"ok\":false") {
+                        return 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            }
+        }
     }
 
     let mut code = 0;

@@ -87,7 +87,8 @@ pub use koko_serve as serve;
 pub use koko_storage as storage;
 
 pub use koko_core::{
-    CacheStats, EngineOpts, Error, Koko, OutValue, Profile, QueryOutput, Row, Snapshot,
+    AddReport, CacheStats, CompactReport, EngineOpts, Error, Koko, LiveIndex, OutValue, Profile,
+    QueryOutput, Row, Snapshot,
 };
 pub use koko_lang::{normalize, parse_query, queries};
 pub use koko_nlp::{Corpus, Document, Pipeline, Sentence};

@@ -108,12 +108,117 @@ fn usage_errors_exit_2() {
         &["frobnicate"][..],
         &["serve"][..],
         &["client"][..],
+        &["add"][..],
+        &["add", "only_one.koko"][..],
     ] {
         let (stdout, stderr, code) = koko(args);
         assert_eq!(code, 2, "args {args:?}");
         assert_eq!(stdout, "", "usage goes to stderr, args {args:?}");
         assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
     }
+}
+
+#[test]
+fn invalid_flag_values_are_structured_errors_not_panics() {
+    // Satellite bugfix: these used to reach capacity-overflow panics (or
+    // silently clamp). Every case must exit 2 with a flag-naming message
+    // and no panic text.
+    for args in [
+        &["client", "127.0.0.1:1", "q", "--threads=0"][..],
+        &[
+            "client",
+            "127.0.0.1:1",
+            "q",
+            "--threads=18446744073709551615",
+        ][..],
+        &["client", "127.0.0.1:1", "q", "--repeat=0"][..],
+        &[
+            "client",
+            "127.0.0.1:1",
+            "q",
+            "--repeat=18446744073709551615",
+        ][..],
+        &["client", "127.0.0.1:1", "q", "--repeat=never"][..],
+        &["client", "127.0.0.1:1", "q", "--repeat"][..],
+        &["serve", &fixture(), "--threads=18446744073709551615"][..],
+        &["serve", &fixture(), "--threads=abc"][..],
+        &["serve", &fixture(), "--cache=lots"][..],
+        &["serve", &fixture(), "--shards=-3"][..],
+    ] {
+        let (stdout, stderr, code) = koko(args);
+        assert_eq!(code, 2, "args {args:?}: {stderr}");
+        assert_eq!(stdout, "", "errors print nothing to stdout, args {args:?}");
+        assert!(stderr.starts_with("error: --"), "args {args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn add_ingests_into_a_snapshot_and_queries_match_concatenated_text() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let snap = dir.join(format!("cli_add_{pid}.koko"));
+    let snap_str = snap.display().to_string();
+    let more = dir.join(format!("cli_add_more_{pid}.txt"));
+    let more_str = more.display().to_string();
+    let combined = dir.join(format!("cli_add_combined_{pid}.txt"));
+    let combined_str = combined.display().to_string();
+
+    let base_text = std::fs::read_to_string(fixture()).unwrap();
+    let more_text = "Vera Alys was born in 1911.\n";
+    std::fs::write(&more, more_text).unwrap();
+    std::fs::write(&combined, format!("{base_text}{more_text}")).unwrap();
+
+    let (_, stderr, code) = koko(&["build", &fixture(), "-o", &snap_str, "--shards=2"]);
+    assert_eq!(code, 0, "{stderr}");
+
+    // `add` on raw text is refused with guidance.
+    let (_, stderr, code) = koko(&["add", &fixture(), &more_str]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("not a KOKO snapshot"), "{stderr}");
+
+    // A missing or flag-shaped `-o` value is a usage error, not a write
+    // to a file literally named "--compact" / "--shards=2" (or a silent
+    // in-place save) — for `add` and `build` alike.
+    for bad in [
+        &["add", &snap_str, &more_str, "-o"][..],
+        &["add", &snap_str, &more_str, "-o", "--compact"][..],
+        &["build", &fixture(), "-o"][..],
+        &["build", &fixture(), "-o", "--shards=2"][..],
+    ] {
+        let (_, stderr, code) = koko(bad);
+        assert_eq!(code, 2, "args {bad:?}: {stderr}");
+        assert!(stderr.contains("-o expects"), "{stderr}");
+    }
+    assert!(!Path::new("--compact").exists());
+    assert!(!Path::new("--shards=2").exists());
+
+    let (stdout, stderr, code) = koko(&["add", &snap_str, &more_str]);
+    assert_eq!(code, 0, "{stderr}");
+    assert_eq!(stdout, "", "add reports on stderr only");
+    assert!(stderr.contains("added 1 documents"), "{stderr}");
+    assert!(stderr.contains("1 delta shards"), "{stderr}");
+
+    // The updated snapshot answers exactly like the concatenated corpus.
+    let (snap_rows, _, code) = koko(&["query", &snap_str, DATE_OF_BIRTH]);
+    assert_eq!(code, 0);
+    let (text_rows, _, code) = koko(&["query", &combined_str, DATE_OF_BIRTH, "--shards=1"]);
+    assert_eq!(code, 0);
+    assert_eq!(snap_rows, text_rows, "incremental snapshot diverged");
+    assert!(snap_rows.contains("Vera Alys"), "{snap_rows}");
+
+    // --compact merges the delta in place; rows unchanged.
+    let (_, stderr, code) = koko(&["add", &snap_str, &more_str, "--compact"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("compacted"), "{stderr}");
+    let (compacted_rows, _, code) = koko(&["query", &snap_str, DATE_OF_BIRTH]);
+    assert_eq!(code, 0);
+    // The second add appended the same document again: one more row.
+    assert!(compacted_rows.matches("Vera Alys").count() > snap_rows.matches("Vera Alys").count());
+
+    std::fs::remove_file(&snap).ok();
+    std::fs::remove_file(&more).ok();
+    std::fs::remove_file(&combined).ok();
 }
 
 #[test]

@@ -1,0 +1,346 @@
+//! Incremental ingest must be *byte-identical* (rows, order, scores) to a
+//! one-shot batch build of the concatenated corpus — the correctness
+//! contract of the live index, mirroring `tests/shard_equivalence.rs` for
+//! the update path.
+//!
+//! Covers: every split of a corpus into K `add_texts` batches (K = 1..5),
+//! with and without compaction, caches on and off, starting from a
+//! non-empty base and from an empty engine; save → load round-trips after
+//! incremental adds; epoch-keyed result-cache invalidation; and a
+//! serve-level test of concurrent queries racing a wire `add`.
+
+use koko::core::{EngineOpts, Koko};
+use koko::serve::{protocol, Client, Server};
+use koko::{queries, QueryOutput};
+use proptest::prelude::*;
+
+const PAPER_QUERIES: &[&str] = &[
+    queries::EXAMPLE_2_1,
+    queries::EXAMPLE_2_3,
+    queries::TITLE,
+    queries::DATE_OF_BIRTH,
+    queries::CHOCOLATE,
+];
+
+/// Render rows with full content so comparisons cover text, spans, sids,
+/// docs, scores — and ORDER (no sorting here on purpose).
+fn render(out: &QueryOutput) -> Vec<String> {
+    out.rows
+        .iter()
+        .map(|r| format!("doc={} score={:.6} values={:?}", r.doc, r.score, r.values))
+        .collect()
+}
+
+fn opts(num_shards: usize, result_cache: usize) -> EngineOpts {
+    EngineOpts {
+        num_shards,
+        result_cache,
+        ..EngineOpts::default()
+    }
+}
+
+/// Split `texts` into `k` contiguous batches with boundaries derived from
+/// `seed` (deterministic, covers uneven and empty batches).
+fn split_texts(texts: &[String], k: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut cuts: Vec<usize> = (0..k.saturating_sub(1))
+        .map(|i| {
+            let h = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 * 1442695040888963407);
+            (h % (texts.len() as u64 + 1)) as usize
+        })
+        .collect();
+    cuts.push(texts.len());
+    cuts.sort_unstable();
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for cut in cuts {
+        out.push(texts[start..cut].to_vec());
+        start = cut;
+    }
+    out
+}
+
+/// Ingest `texts` as `k` seeded batches (first batch builds the engine,
+/// the rest arrive via `add_texts`), optionally compacting at the end,
+/// and assert every probe query matches the batch build byte-for-byte.
+fn assert_incremental_matches_batch(
+    texts: &[String],
+    k: usize,
+    seed: u64,
+    compact: bool,
+    engine_opts: EngineOpts,
+    probes: &[&str],
+) {
+    let batch = Koko::from_texts_with_opts(texts, engine_opts);
+    let splits = split_texts(texts, k, seed);
+    let live = Koko::from_texts_with_opts(&splits[0], engine_opts);
+    for batch_texts in &splits[1..] {
+        live.add_texts(batch_texts);
+    }
+    if compact {
+        live.compact();
+    }
+    assert_eq!(live.num_documents(), texts.len(), "k={k} seed={seed}");
+    for q in probes {
+        let a = batch.query(q).unwrap_or_else(|e| panic!("batch {q}: {e}"));
+        let b = live.query(q).unwrap_or_else(|e| panic!("live {q}: {e}"));
+        assert_eq!(
+            render(&a),
+            render(&b),
+            "rows differ (k={k} seed={seed} compact={compact}) for query: {q}"
+        );
+        assert_eq!(
+            a.profile.candidate_sentences, b.profile.candidate_sentences,
+            "candidate count differs (k={k} seed={seed}) for query: {q}"
+        );
+    }
+}
+
+#[test]
+fn fixed_splits_match_batch_build() {
+    let texts = koko::corpus::wiki::generate(14, 4242);
+    for k in 1..=5 {
+        for compact in [false, true] {
+            assert_incremental_matches_batch(&texts, k, 7, compact, opts(3, 0), PAPER_QUERIES);
+        }
+    }
+}
+
+#[test]
+fn growth_from_an_empty_engine_matches_batch_build() {
+    let texts = koko::corpus::wiki::generate(6, 99);
+    let batch = Koko::from_texts(&texts);
+    let live = Koko::from_texts::<&str>(&[]);
+    for t in &texts {
+        live.add_texts(std::slice::from_ref(t));
+    }
+    for q in PAPER_QUERIES {
+        assert_eq!(
+            render(&batch.query(q).unwrap()),
+            render(&live.query(q).unwrap())
+        );
+    }
+    live.compact();
+    for q in PAPER_QUERIES {
+        assert_eq!(
+            render(&batch.query(q).unwrap()),
+            render(&live.query(q).unwrap())
+        );
+    }
+}
+
+#[test]
+fn result_cache_never_serves_rows_from_an_older_epoch() {
+    let live = Koko::from_texts_with_opts(
+        &["Anna ate some delicious cheesecake that she bought at a store."],
+        opts(1, 32),
+    );
+    let before = live.query(queries::EXAMPLE_2_1).unwrap();
+    assert_eq!(before.profile.result_cache_misses, 1);
+    // Cache warm: a repeat is a hit.
+    assert_eq!(
+        live.query(queries::EXAMPLE_2_1)
+            .unwrap()
+            .profile
+            .result_cache_hits,
+        1
+    );
+
+    let report = live.add_texts(&["Bob ate a delicious croissant at the cafe."]);
+    assert_eq!(report.added, 1);
+    let after = live.query(queries::EXAMPLE_2_1).unwrap();
+    // New epoch → the warm entry is unreachable; the query re-evaluates
+    // and sees the new document.
+    assert_eq!(after.profile.result_cache_hits, 0, "stale hit served");
+    assert_eq!(after.profile.result_cache_misses, 1);
+    assert!(
+        render(&after).len() > render(&before).len(),
+        "new document must contribute rows"
+    );
+    assert!(after.profile.delta_candidates > 0, "delta shard was probed");
+
+    // The compiled-query cache survives updates (epoch-independent).
+    assert_eq!(after.profile.compiled_cache_hits, 1);
+
+    // Compaction is another epoch: rows identical, cache re-missed.
+    live.compact();
+    let compacted = live.query(queries::EXAMPLE_2_1).unwrap();
+    assert_eq!(render(&compacted), render(&after));
+    assert_eq!(compacted.profile.result_cache_hits, 0);
+    assert_eq!(compacted.profile.delta_candidates, 0);
+}
+
+#[test]
+fn snapshot_saved_after_adds_reloads_identically() {
+    let dir = std::env::temp_dir().join("koko_it_live_equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+    let texts = koko::corpus::wiki::generate(10, 17);
+    let (head, tail) = texts.split_at(6);
+
+    let live = Koko::from_texts_with_opts(head, opts(2, 0));
+    live.add_texts(tail);
+    assert!(live.num_delta_shards() > 0);
+
+    let path = dir.join("after_adds.koko");
+    live.save(&path).unwrap();
+    let loaded = Koko::open(&path).unwrap();
+    assert_eq!(loaded.generation(), live.generation());
+    assert_eq!(loaded.num_shards(), live.num_shards());
+    assert_eq!(loaded.num_delta_shards(), live.num_delta_shards());
+    for q in PAPER_QUERIES {
+        assert_eq!(
+            render(&live.query(q).unwrap()),
+            render(&loaded.query(q).unwrap()),
+            "loaded rows differ for: {q}"
+        );
+    }
+
+    // The reloaded engine keeps ingesting: a further add + compact + save
+    // round-trips again (generations survive the format).
+    loaded.add_texts(&["Vera Alys was born in 1911."]);
+    loaded.compact();
+    let path2 = dir.join("next_generation.koko");
+    loaded.save(&path2).unwrap();
+    let again = Koko::open(&path2).unwrap();
+    assert_eq!(again.generation(), loaded.generation());
+    assert_eq!(again.num_delta_shards(), 0);
+    for q in PAPER_QUERIES {
+        assert_eq!(
+            render(&loaded.query(q).unwrap()),
+            render(&again.query(q).unwrap())
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&path2).ok();
+}
+
+/// Serve-level: N client threads hammer queries while the main thread
+/// streams `add` batches into a writable server. Every response must be
+/// well-formed, and every served rows-payload must equal what a local
+/// engine answers for one of the epochs the server could have been in
+/// (pre-add, mid-add, …, post-add) — epochs publish atomically, so no
+/// response may show a torn in-between state.
+#[test]
+fn concurrent_queries_during_wire_adds_see_only_whole_epochs() {
+    let texts = koko::corpus::wiki::generate(12, 31);
+    let (base, rest) = texts.split_at(4);
+    let waves: Vec<&[String]> = rest.chunks(4).collect();
+
+    // Expected rows per epoch: base, base+wave0, base+wave0+wave1, …
+    let probe = queries::TITLE;
+    let mut epoch_rows: Vec<String> = Vec::new();
+    let mut so_far: Vec<String> = base.to_vec();
+    let reference = |docs: &[String]| {
+        let k = Koko::from_texts_with_opts(
+            docs,
+            EngineOpts {
+                num_shards: 1,
+                parallel: false,
+                ..EngineOpts::default()
+            },
+        );
+        protocol::rows_json(&k.query(probe).unwrap().rows)
+    };
+    epoch_rows.push(reference(&so_far));
+    for wave in &waves {
+        so_far.extend(wave.iter().cloned());
+        epoch_rows.push(reference(&so_far));
+    }
+
+    let server = Server::bind_with(
+        Koko::from_texts_with_opts(base, opts(2, 64)),
+        "127.0.0.1:0",
+        3,
+        true,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let collected: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut mine = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let line = client.query(probe, true).unwrap();
+                    assert!(line.contains("\"ok\":true"), "{line}");
+                    mine.push(
+                        protocol::response_rows(&line)
+                            .expect("rows payload present")
+                            .to_string(),
+                    );
+                }
+                collected.lock().unwrap().extend(mine);
+            });
+        }
+        // Writer: stream the waves in, then signal the readers to stop.
+        let mut writer = Client::connect(&addr).unwrap();
+        for wave in &waves {
+            let line = writer.add(wave).unwrap();
+            assert!(line.contains("\"ok\":true"), "{line}");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    let responses = collected.into_inner().unwrap();
+    assert!(!responses.is_empty());
+    for rows in &responses {
+        assert!(
+            epoch_rows.iter().any(|e| e == rows),
+            "served rows match no published epoch: {rows}"
+        );
+    }
+    // After the last add, a fresh query must see the final epoch.
+    let mut client = Client::connect(&addr).unwrap();
+    let final_line = client.query(probe, true).unwrap();
+    assert_eq!(
+        protocol::response_rows(&final_line).unwrap(),
+        epoch_rows.last().unwrap().as_str()
+    );
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any corpus, any split into K incremental batches, any shard count,
+    /// caches on or off, compacted or not: rows are byte-identical to the
+    /// batch build.
+    #[test]
+    fn incremental_ingest_equivalence(
+        n_docs in 1usize..16,
+        corpus_seed in 0u64..500,
+        k in 1usize..6,
+        shards in 1usize..5,
+        mode in 0usize..4, // bit 0: result cache on, bit 1: compact
+    ) {
+        let split_seed = corpus_seed.wrapping_mul(0x9e3779b97f4a7c15) ^ k as u64;
+        let (cache, compact) = (mode & 1, mode >> 1);
+        let texts = koko::corpus::wiki::generate(n_docs, corpus_seed);
+        let engine_opts = opts(shards, cache * 16);
+        let batch = Koko::from_texts_with_opts(&texts, engine_opts);
+        let splits = split_texts(&texts, k, split_seed);
+        let live = Koko::from_texts_with_opts(&splits[0], engine_opts);
+        for batch_texts in &splits[1..] {
+            live.add_texts(batch_texts);
+        }
+        if compact == 1 {
+            live.compact();
+        }
+        prop_assert_eq!(live.num_documents(), texts.len());
+        for q in PAPER_QUERIES {
+            let a = batch.query(q).unwrap();
+            let b = live.query(q).unwrap();
+            prop_assert_eq!(
+                render(&a),
+                render(&b),
+                "query {} over {} docs (corpus seed {}, k {}, split seed {}, shards {}, cache {}, compact {})",
+                q, n_docs, corpus_seed, k, split_seed, shards, cache, compact
+            );
+        }
+    }
+}

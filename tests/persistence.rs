@@ -27,10 +27,7 @@ fn docstore_and_closure_tables_round_trip_through_a_directory() {
     let back = Db::open_dir(&dir).unwrap();
     assert_eq!(back.with_docs(|d| d.len()), corpus.num_documents());
     for di in 0..corpus.num_documents() as u32 {
-        assert_eq!(
-            back.load_document(di).unwrap(),
-            corpus.documents()[di as usize]
-        );
+        assert_eq!(&back.load_document(di).unwrap(), corpus.document(di));
     }
     back.with_closure("pl", |c| {
         let c = c.expect("pl closure persisted");
@@ -71,7 +68,7 @@ fn query_results_identical_before_and_after_persistence() {
     // documents.
     let dir = std::env::temp_dir().join("koko_it_requery");
     std::fs::remove_dir_all(&dir).ok();
-    koko_a.store().save_dir(&dir).unwrap();
+    koko_a.snapshot().db().save_dir(&dir).unwrap();
     let db = Db::open_dir(&dir).unwrap();
     let docs: Vec<koko::Document> = (0..db.with_docs(|d| d.len()) as u32)
         .map(|i| db.load_document(i).unwrap())

@@ -66,11 +66,21 @@ fn expected_rows(reference: &Koko, mix: &[String]) -> Vec<Option<String>> {
 }
 
 fn check_load(server_engine: Koko, server_threads: usize, clients: usize, cache: bool) {
+    check_load_with(server_engine, server_threads, clients, cache, false)
+}
+
+fn check_load_with(
+    server_engine: Koko,
+    server_threads: usize,
+    clients: usize,
+    cache: bool,
+    writable: bool,
+) {
     let reference = reference_engine();
     let mix = query_mix();
     let expected = expected_rows(&reference, &mix);
 
-    let server = Server::bind(server_engine, "127.0.0.1:0", server_threads).unwrap();
+    let server = Server::bind_with(server_engine, "127.0.0.1:0", server_threads, writable).unwrap();
     let addr = server.local_addr().to_string();
     // Each client thread sends the whole mix several times, so later
     // rounds hit whatever the earlier rounds cached.
@@ -166,6 +176,64 @@ fn snapshot_served_engine_matches_too() {
     .unwrap();
     std::fs::remove_file(&path).ok();
     check_load(loaded, 2, 2, true);
+}
+
+#[test]
+fn writable_server_built_incrementally_matches_sequential() {
+    // The live-update path under the same conformance harness: a writable
+    // server whose corpus arrived through wire `add`s (in three waves)
+    // must serve byte-identical rows to the sequential batch reference.
+    let (head, tail) = CORPUS.split_at(3);
+    let engine = Koko::from_texts_with_opts(
+        head,
+        EngineOpts {
+            num_shards: 2,
+            result_cache: 32,
+            ..EngineOpts::default()
+        },
+    );
+    let server = Server::bind_with(engine, "127.0.0.1:0", 3, true).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut writer = Client::connect(&addr).unwrap();
+    for wave in tail.chunks(2) {
+        let texts: Vec<String> = wave.iter().map(|s| s.to_string()).collect();
+        let line = writer.add(&texts).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+    }
+    drop(writer);
+
+    let reference = reference_engine();
+    let mix = query_mix();
+    let expected = expected_rows(&reference, &mix);
+    let report = run_load(&addr, &mix, 3, 3, true).unwrap();
+    for thread_responses in &report.responses {
+        for (i, line) in thread_responses.iter().enumerate() {
+            let qi = i % mix.len();
+            match &expected[qi] {
+                Some(rows) => assert_eq!(
+                    protocol::response_rows(line).unwrap(),
+                    rows,
+                    "incrementally-built server diverged for: {}",
+                    mix[qi]
+                ),
+                None => assert!(line.contains("\"ok\":false"), "{line}"),
+            }
+        }
+    }
+
+    // Wire compaction must not change a single byte either.
+    let mut client = Client::connect(&addr).unwrap();
+    let line = client.compact().unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+    for (qi, q) in mix.iter().enumerate() {
+        let line = client.query(q, true).unwrap();
+        match &expected[qi] {
+            Some(rows) => assert_eq!(protocol::response_rows(&line).unwrap(), rows),
+            None => assert!(line.contains("\"ok\":false"), "{line}"),
+        }
+    }
+    drop(client);
+    server.shutdown();
 }
 
 #[test]

@@ -159,6 +159,6 @@ fn resharding_via_with_opts_preserves_results() {
     let base = Koko::from_corpus_with_opts(corpus, opts(1, false));
     let expected = render(&base.query(queries::TITLE).unwrap());
     let resharded = base.with_opts(opts(5, true));
-    assert_eq!(resharded.shards().len(), 5);
+    assert_eq!(resharded.num_shards(), 5);
     assert_eq!(render(&resharded.query(queries::TITLE).unwrap()), expected);
 }

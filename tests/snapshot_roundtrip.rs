@@ -43,7 +43,7 @@ fn assert_roundtrip(tag: &str, corpus: &Corpus, queries: &[&str], shard_counts: 
         let path = tmp(&format!("{tag}_{k}.koko"));
         built.save(&path).unwrap();
         let loaded = Koko::open(&path).unwrap();
-        assert_eq!(loaded.shards().len(), built.shards().len());
+        assert_eq!(loaded.num_shards(), built.num_shards());
         for q in queries {
             let a = built.query(q).unwrap_or_else(|e| panic!("built {q}: {e}"));
             let b = loaded
@@ -166,16 +166,17 @@ fn stats_surface_matches_after_reload() {
     let path = tmp("stats.koko");
     built.save(&path).unwrap();
     let loaded = Koko::open(&path).unwrap();
+    let (lsnap, bsnap) = (loaded.snapshot(), built.snapshot());
     assert_eq!(
-        loaded.corpus().num_documents(),
-        built.corpus().num_documents()
+        lsnap.corpus().num_documents(),
+        bsnap.corpus().num_documents()
     );
     assert_eq!(
-        loaded.corpus().num_sentences(),
-        built.corpus().num_sentences()
+        lsnap.corpus().num_sentences(),
+        bsnap.corpus().num_sentences()
     );
-    assert_eq!(loaded.corpus().num_tokens(), built.corpus().num_tokens());
-    for (a, b) in loaded.shards().iter().zip(built.shards()) {
+    assert_eq!(lsnap.corpus().num_tokens(), bsnap.corpus().num_tokens());
+    for (a, b) in lsnap.shards().iter().zip(bsnap.shards()) {
         assert_eq!(a.id(), b.id());
         assert_eq!(a.doc_range(), b.doc_range());
         assert_eq!(a.sid_range(), b.sid_range());
@@ -211,7 +212,7 @@ proptest! {
         let path = tmp(&format!("prop_{n_docs}_{seed}_{shards}.koko"));
         built.save(&path).unwrap();
         let loaded = Koko::open(&path).unwrap();
-        prop_assert_eq!(loaded.shards().len(), built.shards().len());
+        prop_assert_eq!(loaded.num_shards(), built.num_shards());
         for q in PAPER_QUERIES {
             let a = built.query(q).unwrap();
             let b = loaded.query(q).unwrap();
