@@ -31,7 +31,7 @@
 //! `--shards=0` (default) uses one shard per available core.
 
 use koko_bench::{arg_usize, header, row, secs};
-use koko_core::{EngineOpts, Koko};
+use koko_core::{EngineOpts, Koko, QueryRequest};
 use koko_lang::queries;
 use koko_nlp::Pipeline;
 use std::time::{Duration, Instant};
@@ -61,12 +61,22 @@ struct ScalePoint {
     query_delta: Duration,
     /// 3-query wall-clock after `compact()`.
     query_compacted: Duration,
+    /// 3-query wall-clock, unlimited, warm compiled cache (the fair
+    /// baseline for the top-k comparison below).
+    query_full_warm: Duration,
+    /// 3-query wall-clock with `QueryRequest::limit(10)` — top-k early
+    /// termination engaged.
+    query_limit10: Duration,
+    /// Candidate documents the limit(10) runs never loaded/extracted
+    /// (summed over the three queries; proof the speedup is skipped work,
+    /// not post-filtering).
+    limit10_docs_skipped: usize,
 }
 
 impl ScalePoint {
     fn json(&self) -> String {
         format!(
-            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6}}}",
+            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6},\"query_full_warm_s\":{:.6},\"query_limit10_s\":{:.6},\"topk_speedup\":{:.3},\"limit10_docs_skipped\":{}}}",
             self.articles,
             self.shards,
             self.ingest_seq.as_secs_f64(),
@@ -95,6 +105,10 @@ impl ScalePoint {
             (self.articles + self.add_docs) as f64 / self.rebuild.as_secs_f64().max(1e-9),
             self.query_delta.as_secs_f64(),
             self.query_compacted.as_secs_f64(),
+            self.query_full_warm.as_secs_f64(),
+            self.query_limit10.as_secs_f64(),
+            ratio(self.query_full_warm, self.query_limit10),
+            self.limit10_docs_skipped,
         )
     }
 }
@@ -238,6 +252,27 @@ fn main() {
         }
         let query_par = t.elapsed();
 
+        // Top-k early termination: the three queries with limit(10)
+        // versus unlimited, both with a warm compiled cache (the cold
+        // front-end cost was paid by the runs above), so the delta is
+        // evaluation work only. docs_skipped proves the limit skipped
+        // extraction rather than post-filtering.
+        let t = Instant::now();
+        for q in bench_queries {
+            par.query(q).expect("warm unlimited query");
+        }
+        let query_full_warm = t.elapsed();
+        let mut limit10_docs_skipped = 0usize;
+        let t = Instant::now();
+        for q in bench_queries {
+            let out = QueryRequest::new(q)
+                .limit(10)
+                .run(&par)
+                .expect("limit(10) query");
+            limit10_docs_skipped += out.profile.docs_skipped;
+        }
+        let query_limit10 = t.elapsed();
+
         // Persistence: save the sharded snapshot, load it back, and verify
         // the loaded engine still answers (first query of the set).
         let snap_path = std::env::temp_dir().join(format!("table2_scaleup_{n}.koko"));
@@ -312,6 +347,9 @@ fn main() {
             rebuild,
             query_delta,
             query_compacted,
+            query_full_warm,
+            query_limit10,
+            limit10_docs_skipped,
         };
         row(&[
             n.to_string(),
@@ -377,6 +415,26 @@ fn main() {
         ]);
     }
     println!("(expected: an incremental add is ≥10x faster than the rebuild it replaces, widening with corpus size; delta-shard query latency converges with the compacted layout as corpora grow — the smallest point is first-query warm-up noise)");
+
+    // ---- Top-k: limit(10) vs unlimited ----------------------------------
+    println!("\n## Top-k early termination: limit(10) vs unlimited (warm compiled cache)\n");
+    header(&[
+        "articles",
+        "3-query full",
+        "3-query limit=10",
+        "speedup",
+        "docs skipped",
+    ]);
+    for p in &points {
+        row(&[
+            p.articles.to_string(),
+            secs(p.query_full_warm),
+            secs(p.query_limit10),
+            format!("{:.2}x", ratio(p.query_full_warm, p.query_limit10)),
+            p.limit10_docs_skipped.to_string(),
+        ]);
+    }
+    println!("(expected: limit=10 skips most candidate documents — docs skipped grows with corpus size — and gets faster relative to the full run as corpora grow)");
 
     // ---- Served QPS: 1 vs N client threads, cold vs warm cache ----------
     println!("\n## Served QPS (in-process koko-serve, closed-loop clients)\n");

@@ -16,7 +16,12 @@
 //! is keyed by the *normalized* query — its canonical `Debug` rendering,
 //! so two spellings that normalize identically share an entry — plus a
 //! fingerprint of the evaluation-relevant [`EngineOpts`](crate::EngineOpts)
-//! fields, so mutating `koko.opts` can never serve stale rows.
+//! fields, so mutating `koko.opts` can never serve stale rows, plus the
+//! request's `min_score` and `order` (which change the row set/sequence).
+//! A request's `limit`/`offset` are deliberately *not* part of the key:
+//! only complete results are stored, and a hit serves any narrower
+//! limit/offset slice of the cached rows (truncated runs are never
+//! stored, so a windowed request can never poison a wider one).
 //!
 //! [`EngineOpts::compiled_cache`]: crate::EngineOpts
 //! [`EngineOpts::result_cache`]: crate::EngineOpts

@@ -21,6 +21,7 @@ use crate::cache::{CacheStats, CachedCompile, CachedResult, QueryCaches};
 use crate::error::Error;
 use crate::live::LiveIndex;
 use crate::profile::Profile;
+use crate::request::{Explain, Order, QueryRequest, ShardExplain};
 use crate::snapshot::Snapshot;
 use crate::{dpli, gsp};
 use koko_embed::Embeddings;
@@ -123,10 +124,31 @@ pub struct Row {
     pub score: f64,
 }
 
-/// Query result: rows plus the per-stage profile.
+/// Query result: the (possibly windowed) rows, totals describing what the
+/// window was cut from, the optional [`Explain`] report, and the
+/// per-stage profile.
 #[derive(Debug, Clone, Default)]
 pub struct QueryOutput {
+    /// Result rows, in the requested [`Order`]. For a plain
+    /// [`Koko::query`] this is every match; a [`QueryRequest`] with
+    /// `limit`/`offset` returns the corresponding window.
     pub rows: Vec<Row>,
+    /// Matching rows known to exist (after `min_score`, before the
+    /// `limit`/`offset` window). Exact when no top-k early termination
+    /// stopped the scan (always, for unlimited requests); a lower bound
+    /// otherwise.
+    pub total_matches: usize,
+    /// `true` when matches may exist *beyond the end* of the returned
+    /// window — the limit cut them off, or early termination stopped
+    /// before the corpus was exhausted. Rows skipped by `offset` do not
+    /// count (they were requested away), so paging forward until
+    /// `truncated` is `false` visits every match exactly once. Always
+    /// `false` for an unlimited, un-offset request.
+    pub truncated: bool,
+    /// The explain report, present iff the request asked for one
+    /// ([`QueryRequest::explain`](crate::QueryRequest::explain)).
+    pub explain: Option<Explain>,
+    /// Per-stage timers and counters.
     pub profile: Profile,
 }
 
@@ -459,16 +481,33 @@ impl Koko {
     /// let out = koko.query(koko_lang::queries::EXAMPLE_2_1).unwrap();
     /// assert_eq!(out.rows[0].values[0].text, "cheesecake");
     /// ```
+    /// Equivalent to `QueryRequest::new(text).run(self)` — a thin wrapper
+    /// over the [`QueryRequest`] path kept for the common case. Reach for
+    /// the builder when you need `limit`/`offset`, a score floor, a
+    /// deadline, an explain report, or per-call cache control.
     pub fn query(&self, text: &str) -> Result<QueryOutput, Error> {
-        self.query_inner(text, true, self.opts.parallel)
+        self.run_request(&QueryRequest::new(text), self.opts.parallel)
     }
 
     /// [`Koko::query`] with an explicit cache switch: `use_cache = false`
     /// bypasses both the compiled-query cache and the result cache for
     /// this call only (the caches are neither read nor written, and no
     /// hit/miss is counted). Results are byte-identical either way.
+    ///
+    /// Equivalent to `QueryRequest::new(text).cache(use_cache).run(self)`
+    /// — prefer the [`QueryRequest`] builder, which composes the switch
+    /// with every other per-request option.
     pub fn query_with_cache(&self, text: &str, use_cache: bool) -> Result<QueryOutput, Error> {
-        self.query_inner(text, use_cache, self.opts.parallel)
+        self.run_request(
+            &QueryRequest::new(text).cache(use_cache),
+            self.opts.parallel,
+        )
+    }
+
+    /// Evaluate one [`QueryRequest`] — the single execution entry path
+    /// (every other query API delegates here).
+    pub fn run(&self, request: &QueryRequest) -> Result<QueryOutput, Error> {
+        self.run_request(request, self.opts.parallel)
     }
 
     /// Evaluate an already parsed query (`t0` anchors the Normalize
@@ -485,16 +524,23 @@ impl Koko {
         self.caches.stats()
     }
 
-    /// The full query path with both caches: compiled-query lookup (or
+    /// The full request path with both caches: compiled-query lookup (or
     /// front-end run + fill), then result-cache lookup (or evaluation +
     /// fill). `shard_parallel` gates the per-shard fan-out.
-    fn query_inner(
+    ///
+    /// Result-cache contract: only *complete* results (nothing windowed
+    /// off, nothing early-terminated) are stored, keyed by normalized
+    /// query + result-relevant engine options + the request's `min_score`
+    /// and `order`. A hit can therefore serve **any** narrower
+    /// `limit`/`offset` slice of the cached rows without re-evaluating.
+    fn run_request(
         &self,
-        text: &str,
-        use_cache: bool,
+        request: &QueryRequest,
         shard_parallel: bool,
     ) -> Result<QueryOutput, Error> {
         let t0 = std::time::Instant::now();
+        let text = request.text.as_str();
+        let use_cache = request.cache;
         // Pin the current generation: the whole query — including the
         // result-cache key — runs against this one snapshot, so a
         // concurrent add/compact can neither tear the read nor leak rows
@@ -536,12 +582,19 @@ impl Koko {
         // The snapshot epoch leads the key: any published update (adds,
         // compaction, new embeddings) strands every older entry, and two
         // engines sharing one cache can never serve each other's rows.
-        let use_results = use_cache && self.caches.results_enabled();
+        // `min_score` and `order` change the row set / sequence, so they
+        // join the key; `limit`/`offset` do not — cached entries hold the
+        // complete result and any window is sliced from them on a hit.
+        // Explain reports require a real evaluation, so explain requests
+        // leave the result cache alone entirely.
+        let use_results = use_cache && !request.explain && self.caches.results_enabled();
         let result_key = if use_results {
             format!(
-                "e{}|{}|{}",
+                "e{}|{}|ms={:?}|ord={:?}|{}",
                 snap.epoch(),
                 self.opts.result_fingerprint(),
+                request.min_score,
+                request.order,
                 compiled.norm_key
             )
         } else {
@@ -560,60 +613,146 @@ impl Koko {
                     ..Profile::default()
                 };
                 count_compiled(&mut profile);
+                let full = hit.rows.as_ref();
+                let start = request.offset.min(full.len());
+                let end = match request.limit {
+                    Some(k) => start.saturating_add(k).min(full.len()),
+                    None => full.len(),
+                };
                 return Ok(QueryOutput {
-                    rows: hit.rows.as_ref().clone(),
+                    rows: full[start..end].to_vec(),
+                    total_matches: full.len(),
+                    truncated: end < full.len(),
+                    explain: None,
                     profile,
                 });
             }
         }
 
         // ---- Evaluate --------------------------------------------------
-        let mut out = execute_compiled(
+        let exec = ExecParams {
+            limit: request.limit,
+            offset: request.offset,
+            min_score: request.min_score,
+            order: request.order,
+            deadline: request.deadline.map(|budget| (t0, budget)),
+            explain: request.explain,
+        };
+        let mut out = execute_request(
             &snap,
             &self.opts,
             &compiled.cq,
             normalize_time,
             shard_parallel,
+            &exec,
         )?;
         count_compiled(&mut out.profile);
         if use_results {
             out.profile.result_cache_misses = 1;
-            self.caches.store_result(
-                result_key,
-                CachedResult {
-                    rows: Arc::new(out.rows.clone()),
-                    candidate_sentences: out.profile.candidate_sentences,
-                    delta_candidates: out.profile.delta_candidates,
-                    raw_tuples: out.profile.raw_tuples,
-                },
-            );
+            // Only complete results are cacheable: a windowed or
+            // early-terminated run does not hold the rows it skipped, so
+            // serving a wider request from it would drop matches.
+            if !out.truncated && out.rows.len() == out.total_matches {
+                self.caches.store_result(
+                    result_key,
+                    CachedResult {
+                        rows: Arc::new(out.rows.clone()),
+                        candidate_sentences: out.profile.candidate_sentences,
+                        delta_candidates: out.profile.delta_candidates,
+                        raw_tuples: out.profile.raw_tuples,
+                    },
+                );
+            }
         }
         Ok(out)
     }
 
-    /// Evaluate many queries against the shared snapshot. With
-    /// `opts.parallel` the queries fan out over worker threads (each query
+    /// Evaluate many queries against the shared snapshot — equivalent to
+    /// [`Koko::run_batch`] over default [`QueryRequest`]s. Build the
+    /// requests yourself when the batch needs per-query options.
+    pub fn query_batch(&self, queries: &[&str]) -> Vec<Result<QueryOutput, Error>> {
+        let requests: Vec<QueryRequest> = queries.iter().map(|q| QueryRequest::new(*q)).collect();
+        self.run_batch(&requests)
+    }
+
+    /// Evaluate many [`QueryRequest`]s against the shared snapshot. With
+    /// `opts.parallel` the requests fan out over worker threads (each one
     /// then runs its shard stage sequentially, so thread usage stays
     /// bounded by the batch width); results keep input order and are
-    /// identical to calling [`Koko::query`] per query. The batch goes
+    /// identical to calling [`Koko::run`] per request. The batch goes
     /// through the same caches as single queries.
-    pub fn query_batch(&self, queries: &[&str]) -> Vec<Result<QueryOutput, Error>> {
+    pub fn run_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryOutput, Error>> {
         // Shard-stage parallelism off: the batch is the fan-out unit.
-        let run = |text: &str| self.query_inner(text, true, false);
-        if self.opts.parallel && queries.len() > 1 {
-            koko_par::par_map(queries, 0, |_, text| run(text))
+        if self.opts.parallel && requests.len() > 1 {
+            koko_par::par_map(requests, 0, |_, request| self.run_request(request, false))
         } else {
-            queries.iter().map(|text| run(text)).collect()
+            requests
+                .iter()
+                .map(|request| self.run_request(request, false))
+                .collect()
         }
     }
 }
 
-/// Partial result of evaluating one shard: raw tuples (global ids), the
-/// articles decoded along the way, and the shard's stage timers.
+/// Internal per-request execution parameters, derived from a
+/// [`QueryRequest`] (or defaulted for the legacy entry points).
+#[derive(Debug, Clone, Copy)]
+struct ExecParams {
+    limit: Option<usize>,
+    offset: usize,
+    min_score: Option<f64>,
+    order: Order,
+    /// Query start + wall-clock budget; checked between pipeline stages
+    /// and at document boundaries.
+    deadline: Option<(std::time::Instant, std::time::Duration)>,
+    explain: bool,
+}
+
+impl ExecParams {
+    /// Today's `Koko::query` semantics: everything, in `DocOrder`, no
+    /// deadline, no explain.
+    fn unrestricted() -> ExecParams {
+        ExecParams {
+            limit: None,
+            offset: 0,
+            min_score: None,
+            order: Order::DocOrder,
+            deadline: None,
+            explain: false,
+        }
+    }
+
+    /// Rows each shard must find before it may stop scanning documents.
+    /// Early termination is sound only under `DocOrder` (shard-local row
+    /// prefixes are prefixes of the global order); `ScoreDesc` needs
+    /// every score, so it never stops early.
+    fn need_rows(&self) -> Option<usize> {
+        match (self.order, self.limit) {
+            (Order::DocOrder, Some(k)) => Some(self.offset.saturating_add(k)),
+            _ => None,
+        }
+    }
+
+    fn check_deadline(&self) -> Result<(), Error> {
+        if let Some((start, budget)) = self.deadline {
+            let elapsed = start.elapsed();
+            if elapsed >= budget {
+                return Err(Error::DeadlineExceeded { budget, elapsed });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Partial result of evaluating one shard: aggregated rows (each carrying
+/// the canonical tuple key the deterministic merge sorts by), the shard's
+/// stage timers, and its explain counters.
 struct ShardPartial {
-    tuples: Vec<RawTuple>,
-    loaded: BTreeMap<u32, Document>,
+    rows: Vec<(String, Row)>,
     profile: Profile,
+    early_stopped: bool,
+    explain: ShardExplain,
+    plans: Vec<String>,
 }
 
 /// Evaluate a parsed query against a snapshot — the stateless executor.
@@ -637,8 +776,9 @@ pub fn execute_query(
 }
 
 /// [`execute_query`] for an already compiled query: the per-shard stages,
-/// merge, and aggregation. `normalize_time` seeds the profile's front-end
-/// timer (measured by the caller, who may have hit the compiled cache).
+/// merge, and aggregation with default request semantics (everything, in
+/// `DocOrder`). `normalize_time` seeds the profile's front-end timer
+/// (measured by the caller, who may have hit the compiled cache).
 pub fn execute_compiled(
     snapshot: &Snapshot,
     opts: &EngineOpts,
@@ -646,12 +786,77 @@ pub fn execute_compiled(
     normalize_time: std::time::Duration,
     shard_parallel: bool,
 ) -> Result<QueryOutput, Error> {
+    execute_request(
+        snapshot,
+        opts,
+        cq,
+        normalize_time,
+        shard_parallel,
+        &ExecParams::unrestricted(),
+    )
+}
+
+/// The request-aware executor every query path funnels into: per-shard
+/// DPLI → LoadArticle → GSP/extract → per-document aggregation (with the
+/// `min_score` floor and top-k early termination applied inside the
+/// shard), then a deterministic merge, the requested ordering, and the
+/// `limit`/`offset` window.
+///
+/// Determinism: each row carries the canonical key of the raw tuple it
+/// came from (the same `Debug` rendering the historical evaluator sorted
+/// by), and the merge sorts on those keys — so for an unrestricted
+/// request the rows are byte-identical (content *and* order) to the
+/// pre-request engine, regardless of shard count or parallelism.
+fn execute_request(
+    snapshot: &Snapshot,
+    opts: &EngineOpts,
+    cq: &CompiledQuery,
+    normalize_time: std::time::Duration,
+    shard_parallel: bool,
+    exec: &ExecParams,
+) -> Result<QueryOutput, Error> {
     let mut profile = Profile {
         normalize: normalize_time,
         ..Profile::default()
     };
+    exec.check_deadline()?;
 
-    // ---- Per-shard: DPLI → LoadArticle → GSP/extract -------------------
+    // ---- Aggregation context (shared read-only by every shard) ---------
+    // Descriptor expansion happens once per query, not once per shard.
+    let t = std::time::Instant::now();
+    let agg = Aggregator::new(
+        cq,
+        snapshot.embeddings(),
+        AggOpts {
+            use_descriptors: opts.use_descriptors,
+            default_threshold: opts.default_threshold,
+            expansion_k: opts.expansion_k,
+            expansion_min_sim: opts.expansion_min_sim,
+        },
+    );
+    // Score cache scope: clauses whose conditions never consult the
+    // corpus (similarTo / contains / matches / in dict) are cached once
+    // for all documents.
+    let doc_independent: Vec<bool> = cq
+        .norm
+        .satisfying
+        .iter()
+        .map(|clause| {
+            clause.conds.iter().all(|wc| {
+                matches!(
+                    wc.cond.pred,
+                    koko_lang::Pred::Contains(_)
+                        | koko_lang::Pred::Mentions(_)
+                        | koko_lang::Pred::Matches(_)
+                        | koko_lang::Pred::SimilarTo(_)
+                        | koko_lang::Pred::InDict(_)
+                )
+            })
+        })
+        .collect();
+    profile.satisfying += t.elapsed();
+
+    // ---- Per-shard: DPLI → LoadArticle → GSP/extract → aggregate -------
     // Base and delta shards fan out uniformly; only the profile records
     // which candidates came from deltas (freshly ingested documents).
     let needed = needed_vars(cq);
@@ -663,45 +868,104 @@ pub fn execute_compiled(
         1
     };
     let partials = koko_par::par_map(shards, threads, |i, shard| {
-        eval_shard(snapshot, opts, cq, &needed, shard, i >= num_base)
+        eval_shard(
+            snapshot,
+            opts,
+            cq,
+            &needed,
+            &agg,
+            &doc_independent,
+            shard,
+            i,
+            i >= num_base,
+            exec,
+        )
     });
 
-    // ---- Merge (shard order, then the sequential evaluator's sort) -----
-    let mut tuples: Vec<RawTuple> = Vec::new();
-    let mut loaded: BTreeMap<u32, Document> = BTreeMap::new();
+    // ---- Merge (canonical tuple-key sort; byte-compatible with the
+    // historical single-threaded evaluator) ------------------------------
+    let mut keyed: Vec<(String, Row)> = Vec::new();
+    let mut early_stopped = false;
+    let mut shard_explains: Vec<ShardExplain> = Vec::new();
+    let mut plans: Vec<String> = Vec::new();
     for partial in partials {
         let partial = partial?;
-        tuples.extend(partial.tuples);
-        loaded.extend(partial.loaded);
+        early_stopped |= partial.early_stopped;
+        keyed.extend(partial.rows);
         profile.merge(&partial.profile);
+        if exec.explain {
+            if plans.is_empty() {
+                plans = partial.plans;
+            }
+            shard_explains.push(partial.explain);
+        }
     }
-    // Bag semantics with per-sentence duplicates removed. The comparator
-    // must stay identical to the historical single-threaded evaluator so
-    // sharded row order is byte-compatible.
-    tuples.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
-    tuples.dedup();
-    profile.raw_tuples = tuples.len();
+    exec.check_deadline()?;
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut rows: Vec<Row> = keyed.into_iter().map(|(_, row)| row).collect();
+    if exec.order == Order::ScoreDesc {
+        // Stable sort: ties keep their DocOrder position, so the
+        // effective key is (score desc, doc, row).
+        rows.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
 
-    // ---- Aggregate (satisfying + excluding) ----------------------------
-    let t = std::time::Instant::now();
-    let rows = aggregate(snapshot.embeddings(), opts, cq, &loaded, tuples);
-    profile.satisfying = t.elapsed();
+    // ---- Window ---------------------------------------------------------
+    let total_matches = rows.len();
+    let start = exec.offset.min(rows.len());
+    let end = match exec.limit {
+        Some(k) => start.saturating_add(k).min(rows.len()),
+        None => rows.len(),
+    };
+    rows.truncate(end);
+    rows.drain(..start);
+    // Truncation = matches may exist past the window's end. Rows the
+    // offset skipped were requested away, so they don't count — a pager
+    // advancing `offset` terminates when this goes false.
+    let truncated = early_stopped || end < total_matches;
+    let explain = exec.explain.then_some(Explain {
+        plans,
+        shards: shard_explains,
+    });
 
-    Ok(QueryOutput { rows, profile })
+    Ok(QueryOutput {
+        rows,
+        total_matches,
+        truncated,
+        explain,
+        profile,
+    })
 }
 
-/// DPLI, article loading and GSP/extract for one shard. Index lookups run
-/// in the shard's local sid space; everything emitted uses global ids.
+/// DPLI, article loading, GSP/extract and per-document aggregation for
+/// one shard. Index lookups run in the shard's local sid space;
+/// everything emitted uses global ids.
+///
+/// Top-k early termination: when the request carries a `DocOrder` limit,
+/// candidate documents are visited in *result order* (the lexicographic
+/// order of their decimal ids — the grouping the canonical tuple sort
+/// induces, since the doc id is the key's first field), and the scan
+/// stops at the first document boundary after `offset + limit` surviving
+/// rows. The skipped documents are never loaded, extracted, or scored.
+#[allow(clippy::too_many_arguments)]
 fn eval_shard(
     snapshot: &Snapshot,
     opts: &EngineOpts,
     cq: &CompiledQuery,
     needed: &[(usize, String)],
+    agg: &Aggregator<'_>,
+    doc_independent: &[bool],
     shard: &koko_index::Shard,
+    shard_index: usize,
     is_delta: bool,
+    exec: &ExecParams,
 ) -> Result<ShardPartial, Error> {
     let mut profile = Profile::default();
     let corpus = snapshot.corpus();
+    let need_rows = exec.need_rows();
 
     // ---- DPLI over the shard index -------------------------------------
     let t = std::time::Instant::now();
@@ -711,16 +975,49 @@ fn eval_shard(
     if is_delta {
         profile.delta_candidates = dpli_result.candidate_sids.len();
     }
+    exec.check_deadline()?;
 
-    // ---- LoadArticle from the shard store ------------------------------
-    let t = std::time::Instant::now();
+    // ---- Group candidates by document ----------------------------------
     let mut by_doc: BTreeMap<u32, Vec<Sid>> = BTreeMap::new();
     for &local_sid in &dpli_result.candidate_sids {
         let sid = shard.to_global_sid(local_sid);
         by_doc.entry(corpus.doc_of(sid)).or_default().push(sid);
     }
-    let mut loaded: BTreeMap<u32, Document> = BTreeMap::new();
-    for &doc_id in by_doc.keys() {
+    let mut doc_order: Vec<u32> = by_doc.keys().copied().collect();
+    if need_rows.is_some() {
+        // Visit documents in result order so the shard's first
+        // `offset + limit` rows form a prefix of its full sequence.
+        doc_order.sort_by_cached_key(|d| d.to_string());
+    }
+
+    // Per-shard aggregation caches: (doc, clause#, lowercased value) →
+    // score (`u32::MAX` doc slot for doc-independent clauses), and
+    // (doc, value) → excluded.
+    let mut scores: std::collections::HashMap<(u32, usize, String), f64> =
+        std::collections::HashMap::new();
+    let mut excl_cache: std::collections::HashMap<(u32, String), bool> =
+        std::collections::HashMap::new();
+
+    let mut rows: Vec<(String, Row)> = Vec::new();
+    let mut plans_rendered: Vec<String> = Vec::new();
+    let mut docs_processed = 0usize;
+    let mut tuples_total = 0usize;
+    let mut early_stopped = false;
+
+    for (di, &doc_id) in doc_order.iter().enumerate() {
+        if let Some(need) = need_rows {
+            if rows.len() >= need {
+                early_stopped = true;
+                profile.docs_skipped = doc_order.len() - di;
+                profile.candidates_skipped = doc_order[di..].iter().map(|d| by_doc[d].len()).sum();
+                break;
+            }
+        }
+        exec.check_deadline()?;
+        let sids = &by_doc[&doc_id];
+
+        // ---- LoadArticle from the shard store --------------------------
+        let t = std::time::Instant::now();
         let doc = if opts.store_backed {
             shard
                 .load_document(doc_id)
@@ -728,14 +1025,10 @@ fn eval_shard(
         } else {
             corpus.document(doc_id).clone()
         };
-        loaded.insert(doc_id, doc);
-    }
-    profile.load_article = t.elapsed();
+        profile.load_article += t.elapsed();
 
-    // ---- GSP + extract --------------------------------------------------
-    let mut tuples: Vec<RawTuple> = Vec::new();
-    for (&doc_id, sids) in &by_doc {
-        let doc = &loaded[&doc_id];
+        // ---- GSP + extract ---------------------------------------------
+        let mut tuples: Vec<RawTuple> = Vec::new();
         let first_sid = corpus.doc_sids(doc_id).start;
         for &sid in sids {
             let local = (sid - first_sid) as usize;
@@ -749,6 +1042,9 @@ fn eval_shard(
             let tg = std::time::Instant::now();
             let plans = gsp::plan(cq, &domains, ctx.len());
             profile.gsp += tg.elapsed();
+            if exec.explain && plans_rendered.is_empty() && !plans.is_empty() {
+                plans_rendered = render_plans(cq, &plans);
+            }
 
             let te = std::time::Instant::now();
             let assignments = gsp::evaluate(cq, &ctx, &domains, &plans, opts.use_gsp);
@@ -778,13 +1074,161 @@ fn eval_shard(
             }
             profile.extract += te.elapsed();
         }
+
+        // ---- Canonical per-document sort + dedup -----------------------
+        // Bag semantics with per-sentence duplicates removed. Keys are
+        // the historical evaluator's comparator (the tuple's `Debug`
+        // rendering), computed once per tuple; duplicates are always
+        // intra-document, so per-doc dedup equals the old global dedup.
+        let mut keyed: Vec<(String, RawTuple)> =
+            tuples.into_iter().map(|t| (format!("{t:?}"), t)).collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        keyed.dedup_by(|a, b| a.0 == b.0);
+        profile.raw_tuples += keyed.len();
+        tuples_total += keyed.len();
+
+        // ---- Aggregate (satisfying + excluding + min_score) ------------
+        let t = std::time::Instant::now();
+        for (key, tuple) in keyed {
+            if let Some(row) = aggregate_tuple(
+                agg,
+                cq,
+                doc_independent,
+                exec.min_score,
+                &doc,
+                tuple,
+                &mut scores,
+                &mut excl_cache,
+                &mut profile.min_score_pruned,
+            ) {
+                rows.push((key, row));
+            }
+        }
+        profile.satisfying += t.elapsed();
+        docs_processed += 1;
     }
 
+    let explain = ShardExplain {
+        shard: shard_index,
+        is_delta,
+        lookups: dpli_result.lookups,
+        candidates: dpli_result.candidate_sids.len(),
+        docs: doc_order.len(),
+        docs_processed,
+        tuples: tuples_total,
+        rows: rows.len(),
+        min_score_pruned: profile.min_score_pruned,
+        early_stopped,
+    };
     Ok(ShardPartial {
-        tuples,
-        loaded,
+        rows,
         profile,
+        early_stopped,
+        explain,
+        plans: plans_rendered,
     })
+}
+
+/// Score one deduplicated tuple against the satisfying / excluding
+/// clauses and the per-request `min_score` floor; `None` means the tuple
+/// produces no row. Extracted from the historical post-merge `aggregate`
+/// loop — scoring is tuple-local, so running it per document inside each
+/// shard yields byte-identical rows.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_tuple(
+    agg: &Aggregator<'_>,
+    cq: &CompiledQuery,
+    doc_independent: &[bool],
+    min_score: Option<f64>,
+    doc: &Document,
+    t: RawTuple,
+    scores: &mut std::collections::HashMap<(u32, usize, String), f64>,
+    excl_cache: &mut std::collections::HashMap<(u32, String), bool>,
+    min_score_pruned: &mut usize,
+) -> Option<Row> {
+    let mut row_score = 1.0f64;
+    // Satisfying clauses filter by their variable's value.
+    for (ci, clause) in cq.norm.satisfying.iter().enumerate() {
+        let Some(v) = t.values.iter().find(|v| v.var == clause.var) else {
+            continue;
+        };
+        let cache_doc = if doc_independent[ci] { u32::MAX } else { t.doc };
+        let key = (cache_doc, ci, v.text.to_lowercase());
+        let score = *scores
+            .entry(key)
+            .or_insert_with(|| agg.score(doc, &v.text, &clause.conds));
+        if score < agg.threshold(clause.threshold) {
+            return None;
+        }
+        row_score = score;
+    }
+    // Excluding conditions drop tuples by any referenced value.
+    for v in &t.values {
+        if cq.norm.excluding.iter().any(|c| c.var == v.var) {
+            let key = (t.doc, v.text.to_lowercase());
+            let out = *excl_cache
+                .entry(key)
+                .or_insert_with(|| agg.excluded(doc, &v.text));
+            if out {
+                return None;
+            }
+        }
+    }
+    // Project outputs.
+    let values: Vec<OutValue> = cq
+        .norm
+        .outputs
+        .iter()
+        .filter_map(|o| {
+            t.values.iter().find(|v| v.var == o.name).map(|v| OutValue {
+                name: o.name.clone(),
+                text: v.text.clone(),
+                sid: v.sid,
+                start: v.span.0,
+                end: v.span.1,
+            })
+        })
+        .collect();
+    if values.len() != cq.norm.outputs.len() {
+        return None;
+    }
+    // The per-request score floor, applied below aggregation: pruned rows
+    // never merge, never count toward `limit`, and never reach caches.
+    if let Some(floor) = min_score {
+        if row_score < floor {
+            *min_score_pruned += 1;
+            return None;
+        }
+    }
+    Some(Row {
+        doc: t.doc,
+        values,
+        score: row_score,
+    })
+}
+
+/// Human-readable rendering of GSP's chosen skip plans (for [`Explain`]):
+/// one line per horizontal condition, skipped atoms bracketed.
+fn render_plans(cq: &CompiledQuery, plans: &[gsp::SkipPlan]) -> Vec<String> {
+    plans
+        .iter()
+        .map(|p| {
+            let atoms: Vec<String> = p
+                .atoms
+                .iter()
+                .zip(&p.skip)
+                .map(|(&vi, &skipped)| {
+                    let name = cq.norm.vars[vi].name.as_str();
+                    if skipped {
+                        format!("[skip {name}: derived from neighbours]")
+                    } else {
+                        name.to_string()
+                    }
+                })
+                .collect();
+            format!("{} = {}", cq.norm.vars[p.target].name, atoms.join(" + "))
+        })
+        .collect()
 }
 
 /// Variables whose values must survive into tuples: outputs plus every
@@ -803,105 +1247,6 @@ fn needed_vars(cq: &CompiledQuery) -> Vec<(usize, String)> {
         .into_iter()
         .filter_map(|n| cq.norm.var(&n).map(|i| (i, n)))
         .collect()
-}
-
-fn aggregate(
-    embed: &Embeddings,
-    opts: &EngineOpts,
-    cq: &CompiledQuery,
-    loaded: &BTreeMap<u32, Document>,
-    tuples: Vec<RawTuple>,
-) -> Vec<Row> {
-    let agg = Aggregator::new(
-        cq,
-        embed,
-        AggOpts {
-            use_descriptors: opts.use_descriptors,
-            default_threshold: opts.default_threshold,
-            expansion_k: opts.expansion_k,
-            expansion_min_sim: opts.expansion_min_sim,
-        },
-    );
-    // Score cache: (doc, clause#, lowercased value) → score. Clauses
-    // whose conditions never consult the corpus (similarTo / contains /
-    // matches / in dict) are cached once for all documents.
-    let doc_independent: Vec<bool> = cq
-        .norm
-        .satisfying
-        .iter()
-        .map(|clause| {
-            clause.conds.iter().all(|wc| {
-                matches!(
-                    wc.cond.pred,
-                    koko_lang::Pred::Contains(_)
-                        | koko_lang::Pred::Mentions(_)
-                        | koko_lang::Pred::Matches(_)
-                        | koko_lang::Pred::SimilarTo(_)
-                        | koko_lang::Pred::InDict(_)
-                )
-            })
-        })
-        .collect();
-    let mut scores: std::collections::HashMap<(u32, usize, String), f64> =
-        std::collections::HashMap::new();
-    let mut excl_cache: std::collections::HashMap<(u32, String), bool> =
-        std::collections::HashMap::new();
-
-    let mut rows = Vec::new();
-    'tuple: for t in tuples {
-        let doc = &loaded[&t.doc];
-        let mut row_score = 1.0f64;
-        // Satisfying clauses filter by their variable's value.
-        for (ci, clause) in cq.norm.satisfying.iter().enumerate() {
-            let Some(v) = t.values.iter().find(|v| v.var == clause.var) else {
-                continue;
-            };
-            let cache_doc = if doc_independent[ci] { u32::MAX } else { t.doc };
-            let key = (cache_doc, ci, v.text.to_lowercase());
-            let score = *scores
-                .entry(key)
-                .or_insert_with(|| agg.score(doc, &v.text, &clause.conds));
-            if score < agg.threshold(clause.threshold) {
-                continue 'tuple;
-            }
-            row_score = score;
-        }
-        // Excluding conditions drop tuples by any referenced value.
-        for v in &t.values {
-            if cq.norm.excluding.iter().any(|c| c.var == v.var) {
-                let key = (t.doc, v.text.to_lowercase());
-                let out = *excl_cache
-                    .entry(key)
-                    .or_insert_with(|| agg.excluded(doc, &v.text));
-                if out {
-                    continue 'tuple;
-                }
-            }
-        }
-        // Project outputs.
-        let values: Vec<OutValue> = cq
-            .norm
-            .outputs
-            .iter()
-            .filter_map(|o| {
-                t.values.iter().find(|v| v.var == o.name).map(|v| OutValue {
-                    name: o.name.clone(),
-                    text: v.text.clone(),
-                    sid: v.sid,
-                    start: v.span.0,
-                    end: v.span.1,
-                })
-            })
-            .collect();
-        if values.len() == cq.norm.outputs.len() {
-            rows.push(Row {
-                doc: t.doc,
-                values,
-                score: row_score,
-            });
-        }
-    }
-    rows
 }
 
 #[derive(Debug, Clone, PartialEq, PartialOrd)]

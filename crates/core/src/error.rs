@@ -18,6 +18,19 @@ pub enum Error {
     /// (missing, truncated, corrupt, or wrong format version). The inner
     /// error names the file and the failure mode.
     Snapshot(koko_storage::SnapshotFileError),
+    /// The per-request deadline ([`QueryRequest::deadline`]) elapsed
+    /// before evaluation finished. The deadline is checked between
+    /// pipeline stages and at document boundaries inside the extraction
+    /// loop, so partial work is abandoned promptly and no partial rows
+    /// are ever returned.
+    ///
+    /// [`QueryRequest::deadline`]: crate::QueryRequest::deadline
+    DeadlineExceeded {
+        /// The budget the request allowed.
+        budget: std::time::Duration,
+        /// How long the query had been running at the failed check.
+        elapsed: std::time::Duration,
+    },
 }
 
 impl fmt::Display for Error {
@@ -28,6 +41,10 @@ impl fmt::Display for Error {
             Error::Semantic(m) => write!(f, "semantic error: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            Error::DeadlineExceeded { budget, elapsed } => write!(
+                f,
+                "deadline exceeded: budget {budget:?}, elapsed {elapsed:?}"
+            ),
         }
     }
 }

@@ -30,6 +30,10 @@
 //!   `EngineOpts::num_shards` (0 = one per core) and `EngineOpts::parallel`
 //!   control the layout; [`Koko::query_batch`] evaluates many queries
 //!   against the shared snapshot concurrently.
+//! * [`QueryRequest`] ([`request`]) — per-request options (top-k with
+//!   early termination, offset pagination, score floors, ordering,
+//!   deadlines, explain reports). Every query API is a wrapper over
+//!   [`Koko::run`], so there is exactly one execution entry path.
 //!
 //! Per query, the executor follows Figure 2's workflow:
 //!
@@ -87,6 +91,7 @@ pub mod gsp;
 pub mod live;
 pub mod persist;
 pub mod profile;
+pub mod request;
 pub mod snapshot;
 
 pub use cache::CacheStats;
@@ -97,6 +102,7 @@ pub use engine::{
 pub use error::Error;
 pub use live::LiveIndex;
 pub use profile::Profile;
+pub use request::{Explain, Order, QueryRequest, ShardExplain};
 pub use snapshot::Snapshot;
 
 #[cfg(test)]

@@ -26,6 +26,17 @@ pub struct Profile {
     pub delta_candidates: usize,
     /// Number of result rows before aggregation filtering.
     pub raw_tuples: usize,
+    /// Candidate documents never loaded or extracted because a
+    /// [`QueryRequest::limit`](crate::QueryRequest::limit) was satisfied
+    /// first (top-k early termination). Zero on unlimited runs.
+    pub docs_skipped: usize,
+    /// Candidate sentences inside those skipped documents — extraction
+    /// work the limit avoided entirely.
+    pub candidates_skipped: usize,
+    /// Rows whose aggregated score fell below
+    /// [`QueryRequest::min_score`](crate::QueryRequest::min_score) and were
+    /// dropped inside the aggregation stage (never merged or returned).
+    pub min_score_pruned: usize,
     /// Compiled-query cache hits for this execution (0 or 1 per query;
     /// accumulates under [`Profile::merge`]).
     pub compiled_cache_hits: usize,
@@ -80,6 +91,9 @@ impl Profile {
         self.candidate_sentences += other.candidate_sentences;
         self.delta_candidates += other.delta_candidates;
         self.raw_tuples += other.raw_tuples;
+        self.docs_skipped += other.docs_skipped;
+        self.candidates_skipped += other.candidates_skipped;
+        self.min_score_pruned += other.min_score_pruned;
         self.compiled_cache_hits += other.compiled_cache_hits;
         self.compiled_cache_misses += other.compiled_cache_misses;
         self.result_cache_hits += other.result_cache_hits;
@@ -126,6 +140,9 @@ mod tests {
             candidate_sentences: 10,
             delta_candidates: 4,
             raw_tuples: 20,
+            docs_skipped: 1,
+            candidates_skipped: 2,
+            min_score_pruned: 3,
             compiled_cache_hits: 1,
             compiled_cache_misses: 0,
             result_cache_hits: 0,
@@ -141,6 +158,9 @@ mod tests {
             candidate_sentences: 100,
             delta_candidates: 7,
             raw_tuples: 200,
+            docs_skipped: 10,
+            candidates_skipped: 20,
+            min_score_pruned: 30,
             compiled_cache_hits: 2,
             compiled_cache_misses: 3,
             result_cache_hits: 4,
@@ -152,6 +172,9 @@ mod tests {
         assert_eq!(a.candidate_sentences, 110);
         assert_eq!(a.delta_candidates, 11);
         assert_eq!(a.raw_tuples, 220);
+        assert_eq!(a.docs_skipped, 11);
+        assert_eq!(a.candidates_skipped, 22);
+        assert_eq!(a.min_score_pruned, 33);
         assert_eq!(a.compiled_cache_hits, 3);
         assert_eq!(a.compiled_cache_misses, 3);
         assert_eq!(a.result_cache_hits, 4);

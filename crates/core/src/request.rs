@@ -1,0 +1,245 @@
+//! Per-request query options: the [`QueryRequest`] builder and the
+//! [`Explain`] report.
+//!
+//! [`Koko::query`](crate::Koko::query) evaluates with engine-wide defaults;
+//! `QueryRequest` is the same execution path with per-call control:
+//!
+//! ```
+//! use koko_core::{Koko, Order, QueryRequest};
+//!
+//! let koko = Koko::from_texts(&[
+//!     "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+//!     "Anna ate some delicious cheesecake that she bought at a grocery store.",
+//! ]);
+//! let out = QueryRequest::new(koko_lang::queries::EXAMPLE_2_1)
+//!     .limit(1)
+//!     .order(Order::DocOrder)
+//!     .run(&koko)
+//!     .unwrap();
+//! assert_eq!(out.rows.len(), 1);
+//! assert!(out.truncated, "a second match exists");
+//! ```
+//!
+//! # Row-ordering contract
+//!
+//! Result *rows* (content, order, scores) are a deterministic function
+//! of the corpus, the query, and the request — independent of shard
+//! count, parallelism, caches, and incremental-ingest history. (The
+//! bookkeeping fields are looser on early-terminated runs:
+//! `total_matches` is a lower bound and `truncated` errs conservative,
+//! and how far a scan got may depend on shard layout and cache state;
+//! both are exact whenever no `limit` is in play.)
+//!
+//! * [`Order::DocOrder`] (the default) returns rows grouped by document —
+//!   documents ordered by the lexicographic order of their decimal ids
+//!   (the engine's historical tuple order, kept byte-for-byte stable) —
+//!   and, within a document, in extraction order (the engine's canonical
+//!   tuple sort). This is exactly the order [`Koko::query`] has always
+//!   produced.
+//! * [`Order::ScoreDesc`] stably re-sorts that sequence by descending
+//!   score: ties keep their `DocOrder` position, so the effective key is
+//!   (score desc, doc, row).
+//!
+//! Under either order, `limit(k)` returns a *prefix* of the unlimited
+//! run: rows `offset .. offset + k` of the full sequence.
+//!
+//! [`Koko::query`]: crate::Koko::query
+
+use crate::engine::{Koko, QueryOutput};
+use crate::error::Error;
+use std::time::Duration;
+
+/// Row ordering of a [`QueryRequest`]'s results (see the
+/// [module docs](self) for the exact contract).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Order {
+    /// Document order, then within-document extraction order — byte-wise
+    /// identical to the historical [`Koko::query`](crate::Koko::query)
+    /// ordering. Supports top-k early termination.
+    #[default]
+    DocOrder,
+    /// Highest score first; ties broken stably by `DocOrder` position,
+    /// i.e. (score desc, doc, row). Requires scoring every row, so
+    /// `limit` prunes output size but not evaluation work.
+    ScoreDesc,
+}
+
+/// One query with per-request evaluation options — the single entry path
+/// every other query API ([`Koko::query`], [`Koko::query_with_cache`],
+/// [`Koko::query_batch`], the wire protocol, the CLI) is built on.
+///
+/// The builder is consuming: start from [`QueryRequest::new`], chain
+/// options, finish with [`QueryRequest::run`]. A default request (no
+/// options touched) answers byte-identically to [`Koko::query`].
+///
+/// [`Koko::query`]: crate::Koko::query
+/// [`Koko::query_with_cache`]: crate::Koko::query_with_cache
+/// [`Koko::query_batch`]: crate::Koko::query_batch
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    pub(crate) text: String,
+    pub(crate) limit: Option<usize>,
+    pub(crate) offset: usize,
+    pub(crate) min_score: Option<f64>,
+    pub(crate) order: Order,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) cache: bool,
+    pub(crate) explain: bool,
+}
+
+impl QueryRequest {
+    /// A request for `text` with default semantics (everything returned,
+    /// `DocOrder`, caches consulted, no deadline, no explain report).
+    pub fn new(text: impl Into<String>) -> QueryRequest {
+        QueryRequest {
+            text: text.into(),
+            limit: None,
+            offset: 0,
+            min_score: None,
+            order: Order::DocOrder,
+            deadline: None,
+            cache: true,
+            explain: false,
+        }
+    }
+
+    /// The query text this request evaluates.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Return at most `k` rows (after [`QueryRequest::offset`]). Under
+    /// [`Order::DocOrder`] this is *early termination*, not
+    /// post-filtering: each shard stops loading, extracting and scoring
+    /// documents as soon as it has `offset + k` surviving rows, and the
+    /// skipped work is visible in [`Profile::docs_skipped`] /
+    /// [`Profile::candidates_skipped`].
+    ///
+    /// [`Profile::docs_skipped`]: crate::Profile::docs_skipped
+    /// [`Profile::candidates_skipped`]: crate::Profile::candidates_skipped
+    pub fn limit(mut self, k: usize) -> QueryRequest {
+        self.limit = Some(k);
+        self
+    }
+
+    /// Skip the first `n` rows of the ordered result — pagination's page
+    /// start. Skipped rows still count toward
+    /// [`QueryOutput::total_matches`] but do not set
+    /// [`QueryOutput::truncated`] (only matches past the *end* of the
+    /// window do), so advancing the offset until `truncated` is `false`
+    /// walks every match exactly once.
+    ///
+    /// [`QueryOutput::total_matches`]: crate::QueryOutput::total_matches
+    /// [`QueryOutput::truncated`]: crate::QueryOutput::truncated
+    pub fn offset(mut self, n: usize) -> QueryRequest {
+        self.offset = n;
+        self
+    }
+
+    /// Drop rows whose aggregated score is below `s`. The floor is
+    /// applied inside the aggregation stage — below the merge, the
+    /// limit/offset window and the result cache — so pruned rows are
+    /// never materialized, never count toward `limit`, and are tallied in
+    /// [`Profile::min_score_pruned`].
+    ///
+    /// [`Profile::min_score_pruned`]: crate::Profile::min_score_pruned
+    pub fn min_score(mut self, s: f64) -> QueryRequest {
+        self.min_score = Some(s);
+        self
+    }
+
+    /// Row ordering (default [`Order::DocOrder`]).
+    pub fn order(mut self, order: Order) -> QueryRequest {
+        self.order = order;
+        self
+    }
+
+    /// Abandon the query with [`Error::DeadlineExceeded`] once `budget`
+    /// wall-clock has elapsed (measured from [`QueryRequest::run`]). The
+    /// check runs between pipeline stages and at document boundaries in
+    /// the extraction loop; a `Duration::ZERO` budget always fails at the
+    /// first check.
+    ///
+    /// [`Error::DeadlineExceeded`]: crate::Error::DeadlineExceeded
+    pub fn deadline(mut self, budget: Duration) -> QueryRequest {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Consult and fill the compiled-query and result caches (default
+    /// `true`). `false` bypasses both for this call only — nothing is
+    /// read, written, or counted.
+    pub fn cache(mut self, use_cache: bool) -> QueryRequest {
+        self.cache = use_cache;
+        self
+    }
+
+    /// Attach an [`Explain`] report to the output: the chosen skip plan,
+    /// per-shard candidate/row counts, and early-termination decisions
+    /// (per-stage timings live in [`Profile`](crate::Profile) as always).
+    /// Explain forces a real evaluation, so the result cache is not
+    /// consulted for this call (the compiled-query cache still is).
+    pub fn explain(mut self, explain: bool) -> QueryRequest {
+        self.explain = explain;
+        self
+    }
+
+    /// Evaluate this request against an engine. Equivalent to
+    /// [`Koko::run`](crate::Koko::run).
+    pub fn run(&self, koko: &Koko) -> Result<QueryOutput, Error> {
+        koko.run(self)
+    }
+}
+
+/// Where a query's time and pruning went — attached to
+/// [`QueryOutput::explain`](crate::QueryOutput::explain) by
+/// [`QueryRequest::explain`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Explain {
+    /// Human-readable rendering of the skip plan GSP chose for the first
+    /// planned candidate sentence (one line per horizontal condition;
+    /// empty when the query has none or no candidate reached planning).
+    pub plans: Vec<String>,
+    /// Per-shard evaluation counters, in shard order (base shards first,
+    /// then deltas).
+    pub shards: Vec<ShardExplain>,
+}
+
+impl Explain {
+    /// Candidate sentences across all shards (DPLI output).
+    pub fn total_candidates(&self) -> usize {
+        self.shards.iter().map(|s| s.candidates).sum()
+    }
+
+    /// Whether any shard stopped early because the limit was reached.
+    pub fn early_terminated(&self) -> bool {
+        self.shards.iter().any(|s| s.early_stopped)
+    }
+}
+
+/// One shard's slice of an [`Explain`] report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardExplain {
+    /// Shard id (position in the snapshot's shard list).
+    pub shard: usize,
+    /// Whether this is an append-only delta shard (live ingest).
+    pub is_delta: bool,
+    /// Index lookups DPLI performed (dominant paths only).
+    pub lookups: usize,
+    /// Candidate sentences DPLI produced for this shard.
+    pub candidates: usize,
+    /// Distinct candidate documents those sentences live in.
+    pub docs: usize,
+    /// Documents actually loaded + extracted (< `docs` iff the shard
+    /// terminated early).
+    pub docs_processed: usize,
+    /// Deduplicated raw tuples extracted from the processed documents.
+    pub tuples: usize,
+    /// Rows that survived aggregation (threshold + `min_score`).
+    pub rows: usize,
+    /// Rows dropped by the request's `min_score` floor.
+    pub min_score_pruned: usize,
+    /// True when the shard stopped before `docs` ran out because the
+    /// requested `offset + limit` rows were already found.
+    pub early_stopped: bool,
+}

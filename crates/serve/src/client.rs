@@ -2,7 +2,7 @@
 //! plus a multi-threaded load generator for benchmarks and the CLI's
 //! `koko client` mode.
 
-use crate::protocol::Request;
+use crate::protocol::{QueryOpts, Request};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -61,6 +61,25 @@ impl Client {
             id,
             text: text.to_string(),
             cache,
+            opts: None,
+        })
+    }
+
+    /// [`Client::query`] with per-request [`QueryOpts`] (limit / offset /
+    /// min_score / order / deadline / explain). The response is the
+    /// extended shape carrying `total_matches` and `truncated`.
+    pub fn query_with_opts(
+        &mut self,
+        text: &str,
+        cache: bool,
+        opts: QueryOpts,
+    ) -> std::io::Result<String> {
+        let id = self.fresh_id();
+        self.send(&Request::Query {
+            id,
+            text: text.to_string(),
+            cache,
+            opts: Some(opts),
         })
     }
 
@@ -137,6 +156,19 @@ pub fn run_load(
     repeat: usize,
     cache: bool,
 ) -> std::io::Result<LoadReport> {
+    run_load_with(addr, queries, threads, repeat, cache, None)
+}
+
+/// [`run_load`] with optional per-request [`QueryOpts`] attached to every
+/// query (the CLI's `koko client --limit/--min-score/...` path).
+pub fn run_load_with(
+    addr: &str,
+    queries: &[String],
+    threads: usize,
+    repeat: usize,
+    cache: bool,
+    opts: Option<QueryOpts>,
+) -> std::io::Result<LoadReport> {
     // Clamp to something a machine can actually run; absurd requests are
     // caller bugs and must not overflow allocation sizes (the CLI also
     // validates, this is the library's own floor/ceiling).
@@ -149,7 +181,10 @@ pub fn run_load(
                 Vec::with_capacity(queries.len().saturating_mul(repeat).min(1 << 16));
             for _ in 0..repeat {
                 for q in queries {
-                    responses.push(client.query(q, cache)?);
+                    responses.push(match opts {
+                        None => client.query(q, cache)?,
+                        Some(opts) => client.query_with_opts(q, cache, opts)?,
+                    });
                 }
             }
             Ok(responses)

@@ -40,6 +40,6 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use client::{run_load, Client, LoadReport};
-pub use protocol::{ok_response, rows_json, Request};
+pub use client::{run_load, run_load_with, Client, LoadReport};
+pub use protocol::{ok_response, opts_response, rows_json, QueryOpts, Request, WireOrder};
 pub use server::Server;

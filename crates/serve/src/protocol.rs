@@ -5,23 +5,98 @@
 //!
 //! ```json
 //! {"id": 1, "query": "extract ...", "cache": true}
+//! {"id": 4, "query": "extract ...", "opts": {"limit": 10, "min_score": 0.5}}
 //! {"id": 2, "cmd": "ping" | "stats" | "shutdown" | "compact"}
 //! {"id": 3, "cmd": "add", "texts": ["one new document", "another"]}
 //! ```
 //!
 //! `id` is optional (echoed back, default 0); `cache: false` bypasses the
-//! compiled-query and result caches for that request only. `add` and
+//! compiled-query and result caches for that request only. The optional
+//! `opts` object carries per-request [`QueryRequest`] options — `limit`,
+//! `offset`, `min_score`, `order` (`"doc"` | `"score_desc"`),
+//! `deadline_ms`, `explain` (see [`QueryOpts`]). `add` and
 //! `compact` are the online-update commands: they mutate the served index
 //! and are accepted only by a server started writable (see
 //! `docs/SERVING.md`); a read-only server answers them with a structured
 //! error. Responses always carry `"id"` and `"ok"`; query responses add
 //! `"rows"` (the deterministic [`rows_json`] rendering) and `"profile"`.
+//!
+//! Backward compatibility: a query **without** `opts` is answered with
+//! exactly the historical response shape (same keys, same order — see
+//! [`ok_response`]). Only opts-bearing requests get the extended response
+//! with `"total_matches"`, `"truncated"` and (when requested)
+//! `"explain"` ([`opts_response`]).
+//!
 //! Any line that is not valid JSON, or valid JSON that is not a request,
 //! gets an `{"ok":false,"error":...}` response — the connection stays
 //! open.
+//!
+//! [`QueryRequest`]: koko_core::QueryRequest
 
 use crate::json::{self, write_escaped, write_f64, Json};
-use koko_core::{Profile, QueryOutput, Row};
+use koko_core::{Explain, Profile, QueryOutput, Row};
+
+/// Per-request query options carried by the wire `opts` object — the
+/// protocol-level mirror of [`koko_core::QueryRequest`]. Every field is
+/// optional; an absent field keeps the default semantics. A request with
+/// `opts` present (even empty) is answered with the extended response
+/// shape ([`opts_response`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryOpts {
+    /// Return at most this many rows (top-k early termination engine-side).
+    pub limit: Option<u64>,
+    /// Skip this many rows of the ordered result first.
+    pub offset: Option<u64>,
+    /// Drop rows scoring below this floor (applied inside aggregation).
+    pub min_score: Option<f64>,
+    /// Row ordering; `None` means `DocOrder`.
+    pub order: Option<WireOrder>,
+    /// Per-request wall-clock budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Attach an explain report to the response.
+    pub explain: bool,
+}
+
+/// Wire spelling of [`koko_core::Order`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireOrder {
+    /// `"doc"` — document order (the default).
+    Doc,
+    /// `"score_desc"` — highest score first, stable.
+    ScoreDesc,
+}
+
+impl QueryOpts {
+    /// True when every field is at its default (still answered with the
+    /// extended response: presence of `opts` selects the shape).
+    pub fn is_default(&self) -> bool {
+        *self == QueryOpts::default()
+    }
+
+    /// Lower onto an engine [`QueryRequest`](koko_core::QueryRequest).
+    pub fn to_request(&self, text: &str, cache: bool) -> koko_core::QueryRequest {
+        let mut req = koko_core::QueryRequest::new(text).cache(cache);
+        if let Some(limit) = self.limit {
+            req = req.limit(usize::try_from(limit).unwrap_or(usize::MAX));
+        }
+        if let Some(offset) = self.offset {
+            req = req.offset(usize::try_from(offset).unwrap_or(usize::MAX));
+        }
+        if let Some(min_score) = self.min_score {
+            req = req.min_score(min_score);
+        }
+        if let Some(order) = self.order {
+            req = req.order(match order {
+                WireOrder::Doc => koko_core::Order::DocOrder,
+                WireOrder::ScoreDesc => koko_core::Order::ScoreDesc,
+            });
+        }
+        if let Some(ms) = self.deadline_ms {
+            req = req.deadline(std::time::Duration::from_millis(ms));
+        }
+        req.explain(self.explain)
+    }
+}
 
 /// One decoded client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +109,9 @@ pub enum Request {
         text: String,
         /// Consult/fill the compiled + result caches (default true).
         cache: bool,
+        /// Per-request options; `None` selects the historical
+        /// byte-compatible response shape.
+        opts: Option<QueryOpts>,
     },
     /// Liveness probe.
     Ping {
@@ -99,10 +177,15 @@ impl Request {
                     .as_bool()
                     .ok_or_else(|| "\"cache\" must be a boolean".to_string())?,
             };
+            let opts = match v.get("opts") {
+                None => None,
+                Some(o) => Some(decode_opts(o)?),
+            };
             return Ok(Request::Query {
                 id,
                 text: text.to_string(),
                 cache,
+                opts,
             });
         }
         match v.get("cmd").and_then(Json::as_str) {
@@ -132,11 +215,20 @@ impl Request {
     pub fn encode(&self) -> String {
         let mut out = String::new();
         match self {
-            Request::Query { id, text, cache } => {
+            Request::Query {
+                id,
+                text,
+                cache,
+                opts,
+            } => {
                 out.push_str(&format!("{{\"id\":{id},\"query\":"));
                 write_escaped(&mut out, text);
                 if !cache {
                     out.push_str(",\"cache\":false");
+                }
+                if let Some(opts) = opts {
+                    out.push_str(",\"opts\":");
+                    encode_opts(&mut out, opts);
                 }
                 out.push('}');
             }
@@ -161,6 +253,95 @@ impl Request {
         }
         out
     }
+}
+
+/// Decode a wire `opts` object. Strict: unknown keys, wrong types, and
+/// out-of-range values are errors (so typos fail loudly instead of
+/// silently running with default semantics).
+fn decode_opts(v: &Json) -> Result<QueryOpts, String> {
+    let Json::Obj(fields) = v else {
+        return Err("\"opts\" must be a json object".into());
+    };
+    let uint = |value: &Json, key: &str| -> Result<u64, String> {
+        let n = value
+            .as_f64()
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer"))?;
+        if !(0.0..=9.0e15).contains(&n) || n.fract() != 0.0 {
+            return Err(format!("\"{key}\" must be a non-negative integer"));
+        }
+        Ok(n as u64)
+    };
+    let mut opts = QueryOpts::default();
+    for (key, value) in fields {
+        match key.as_str() {
+            "limit" => opts.limit = Some(uint(value, "limit")?),
+            "offset" => opts.offset = Some(uint(value, "offset")?),
+            "min_score" => {
+                let s = value
+                    .as_f64()
+                    .ok_or_else(|| "\"min_score\" must be a number".to_string())?;
+                if !s.is_finite() {
+                    return Err("\"min_score\" must be a finite number".into());
+                }
+                opts.min_score = Some(s);
+            }
+            "order" => {
+                opts.order = Some(match value.as_str() {
+                    Some("doc") => WireOrder::Doc,
+                    Some("score_desc") => WireOrder::ScoreDesc,
+                    _ => return Err("\"order\" must be \"doc\" or \"score_desc\"".into()),
+                })
+            }
+            "deadline_ms" => opts.deadline_ms = Some(uint(value, "deadline_ms")?),
+            "explain" => {
+                opts.explain = value
+                    .as_bool()
+                    .ok_or_else(|| "\"explain\" must be a boolean".to_string())?
+            }
+            other => return Err(format!("unknown opts key {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Canonical encoding of a wire `opts` object (field order fixed).
+fn encode_opts(out: &mut String, opts: &QueryOpts) {
+    out.push('{');
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+    };
+    if let Some(limit) = opts.limit {
+        sep(out);
+        out.push_str(&format!("\"limit\":{limit}"));
+    }
+    if let Some(offset) = opts.offset {
+        sep(out);
+        out.push_str(&format!("\"offset\":{offset}"));
+    }
+    if let Some(min_score) = opts.min_score {
+        sep(out);
+        out.push_str("\"min_score\":");
+        write_f64(out, min_score);
+    }
+    if let Some(order) = opts.order {
+        sep(out);
+        out.push_str(match order {
+            WireOrder::Doc => "\"order\":\"doc\"",
+            WireOrder::ScoreDesc => "\"order\":\"score_desc\"",
+        });
+    }
+    if let Some(ms) = opts.deadline_ms {
+        sep(out);
+        out.push_str(&format!("\"deadline_ms\":{ms}"));
+    }
+    if opts.explain {
+        sep(out);
+        out.push_str("\"explain\":true");
+    }
+    out.push('}');
 }
 
 /// Deterministic JSON rendering of result rows: a pure function of the
@@ -226,6 +407,61 @@ pub fn ok_response(id: u64, out: &QueryOutput) -> String {
     )
 }
 
+/// Encode the extended response for an opts-bearing query request (no
+/// trailing newline): the legacy shape plus `"total_matches"` and
+/// `"truncated"` before the rows, and — when the request asked for one —
+/// the `"explain"` report after the profile. Requests without `opts`
+/// must keep using [`ok_response`] (bit-compatible with older clients).
+pub fn opts_response(id: u64, out: &QueryOutput) -> String {
+    let mut line = format!(
+        "{{\"id\":{id},\"ok\":true,\"num_rows\":{},\"total_matches\":{},\"truncated\":{},\"rows\":{},\"profile\":{}",
+        out.rows.len(),
+        out.total_matches,
+        out.truncated,
+        rows_json(&out.rows),
+        profile_json(&out.profile),
+    );
+    if let Some(explain) = &out.explain {
+        line.push_str(",\"explain\":");
+        line.push_str(&explain_json(explain));
+    }
+    line.push('}');
+    line
+}
+
+/// JSON rendering of an [`Explain`] report: the chosen skip plans and the
+/// per-shard evaluation counters.
+pub fn explain_json(e: &Explain) -> String {
+    let mut out = String::from("{\"plans\":[");
+    for (i, plan) in e.plans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, plan);
+    }
+    out.push_str("],\"shards\":[");
+    for (i, s) in e.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"shard\":{},\"delta\":{},\"lookups\":{},\"candidates\":{},\"docs\":{},\"docs_processed\":{},\"tuples\":{},\"rows\":{},\"min_score_pruned\":{},\"early_stopped\":{}}}",
+            s.shard,
+            s.is_delta,
+            s.lookups,
+            s.candidates,
+            s.docs,
+            s.docs_processed,
+            s.tuples,
+            s.rows,
+            s.min_score_pruned,
+            s.early_stopped,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Encode an error response (no trailing newline).
 pub fn err_response(id: u64, message: &str) -> String {
     let mut out = format!("{{\"id\":{id},\"ok\":false,\"error\":");
@@ -256,11 +492,41 @@ mod tests {
                 id: 7,
                 text: "extract x:Entity from \"a\nb\" if ()".into(),
                 cache: false,
+                opts: None,
             },
             Request::Query {
                 id: 0,
                 text: koko_lang::queries::EXAMPLE_2_1.into(),
                 cache: true,
+                opts: None,
+            },
+            Request::Query {
+                id: 8,
+                text: "extract x:Entity from t if ()".into(),
+                cache: true,
+                opts: Some(QueryOpts::default()),
+            },
+            Request::Query {
+                id: 9,
+                text: "extract x:Entity from t if ()".into(),
+                cache: false,
+                opts: Some(QueryOpts {
+                    limit: Some(10),
+                    offset: Some(2),
+                    min_score: Some(0.5),
+                    order: Some(WireOrder::ScoreDesc),
+                    deadline_ms: Some(250),
+                    explain: true,
+                }),
+            },
+            Request::Query {
+                id: 10,
+                text: "q".into(),
+                cache: true,
+                opts: Some(QueryOpts {
+                    order: Some(WireOrder::Doc),
+                    ..QueryOpts::default()
+                }),
             },
             Request::Ping { id: 1 },
             Request::Stats { id: 2 },
@@ -299,6 +565,14 @@ mod tests {
             "{\"cmd\":\"add\"}",
             "{\"cmd\":\"add\",\"texts\":\"not an array\"}",
             "{\"cmd\":\"add\",\"texts\":[1,2]}",
+            "{\"query\":\"q\",\"opts\":5}",
+            "{\"query\":\"q\",\"opts\":{\"limit\":-1}}",
+            "{\"query\":\"q\",\"opts\":{\"limit\":1.5}}",
+            "{\"query\":\"q\",\"opts\":{\"min_score\":\"high\"}}",
+            "{\"query\":\"q\",\"opts\":{\"order\":\"sideways\"}}",
+            "{\"query\":\"q\",\"opts\":{\"explain\":1}}",
+            "{\"query\":\"q\",\"opts\":{\"limitt\":3}}",
+            "{\"query\":\"q\",\"opts\":{\"deadline_ms\":-5}}",
         ] {
             assert!(Request::decode(bad).is_err(), "{bad:?} should fail");
         }
@@ -322,11 +596,78 @@ mod tests {
         assert_eq!(a, b);
         let out = QueryOutput {
             rows,
-            profile: Profile::default(),
+            ..QueryOutput::default()
         };
         let line = ok_response(4, &out);
         assert_eq!(response_rows(&line), Some(a.as_str()));
         assert!(crate::json::parse(&line).is_ok(), "response is valid json");
+    }
+
+    #[test]
+    fn legacy_response_shape_is_unchanged_and_extended_shape_adds_fields() {
+        let out = QueryOutput {
+            rows: vec![],
+            total_matches: 7,
+            truncated: true,
+            explain: Some(koko_core::Explain {
+                plans: vec!["e = a + [skip b: derived from neighbours]".into()],
+                shards: vec![koko_core::ShardExplain {
+                    shard: 0,
+                    candidates: 3,
+                    docs: 2,
+                    docs_processed: 1,
+                    early_stopped: true,
+                    ..koko_core::ShardExplain::default()
+                }],
+            }),
+            profile: Profile::default(),
+        };
+        // Legacy shape: no new keys, even though the output carries them.
+        let legacy = ok_response(1, &out);
+        assert!(!legacy.contains("total_matches"), "{legacy}");
+        assert!(!legacy.contains("truncated"), "{legacy}");
+        assert!(!legacy.contains("explain"), "{legacy}");
+        // Extended shape: totals before rows, explain after profile, and
+        // `response_rows` still extracts the rows payload.
+        let extended = opts_response(1, &out);
+        assert!(
+            extended.contains("\"total_matches\":7,\"truncated\":true,\"rows\":"),
+            "{extended}"
+        );
+        assert!(extended.contains("\"explain\":{\"plans\":["), "{extended}");
+        assert!(extended.contains("\"early_stopped\":true"), "{extended}");
+        assert_eq!(response_rows(&extended), Some("[]"));
+        assert!(crate::json::parse(&extended).is_ok(), "valid json");
+    }
+
+    #[test]
+    fn wire_opts_lower_onto_query_requests() {
+        let opts = QueryOpts {
+            limit: Some(3),
+            offset: Some(1),
+            min_score: Some(0.25),
+            order: Some(WireOrder::ScoreDesc),
+            deadline_ms: Some(100),
+            explain: true,
+        };
+        let req = opts.to_request("q", false);
+        assert_eq!(
+            req,
+            koko_core::QueryRequest::new("q")
+                .cache(false)
+                .limit(3)
+                .offset(1)
+                .min_score(0.25)
+                .order(koko_core::Order::ScoreDesc)
+                .deadline(std::time::Duration::from_millis(100))
+                .explain(true)
+        );
+        assert!(QueryOpts::default().is_default());
+        assert!(!opts.is_default());
+        assert_eq!(
+            QueryOpts::default().to_request("q", true),
+            koko_core::QueryRequest::new("q")
+        );
     }
 
     #[test]

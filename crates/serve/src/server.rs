@@ -362,11 +362,28 @@ fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
             );
             (response, false)
         }
-        Ok(Request::Query { id, text, cache }) => {
-            match shared.koko.query_with_cache(&text, cache) {
+        Ok(Request::Query {
+            id,
+            text,
+            cache,
+            opts,
+        }) => {
+            // Without `opts` the request follows the historical path and
+            // response shape bit-for-bit; with `opts` (even an empty
+            // object) it runs as a QueryRequest and gets the extended
+            // response carrying `total_matches` / `truncated` / explain.
+            let result = match &opts {
+                None => shared.koko.query_with_cache(&text, cache),
+                Some(o) => shared.koko.run(&o.to_request(&text, cache)),
+            };
+            match result {
                 Ok(out) => {
                     shared.queries_ok.fetch_add(1, Ordering::Relaxed);
-                    (ok_response(id, &out), false)
+                    let line = match opts {
+                        None => ok_response(id, &out),
+                        Some(_) => crate::protocol::opts_response(id, &out),
+                    };
+                    (line, false)
                 }
                 Err(e) => {
                     shared.queries_err.fetch_add(1, Ordering::Relaxed);

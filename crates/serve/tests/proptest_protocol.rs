@@ -4,8 +4,34 @@
 //! trip for every representable request.
 
 use koko_serve::json;
-use koko_serve::Request;
+use koko_serve::{QueryOpts, Request, WireOrder};
 use proptest::prelude::*;
+
+/// An arbitrary wire `opts` object, driven by a mask of which fields are
+/// present (min_score kept to exactly representable halves so encode →
+/// decode is a float round trip).
+fn arb_opts() -> impl Strategy<Value = QueryOpts> {
+    (
+        0u32..64,
+        (0u64..1000, 0u64..1000),
+        (0u32..8, any::<bool>()),
+        0u64..100_000,
+    )
+        .prop_map(
+            |(mask, (limit, offset), (half, score_desc), deadline_ms)| QueryOpts {
+                limit: (mask & 1 != 0).then_some(limit),
+                offset: (mask & 2 != 0).then_some(offset),
+                min_score: (mask & 4 != 0).then(|| f64::from(half) * 0.5),
+                order: (mask & 8 != 0).then_some(if score_desc {
+                    WireOrder::ScoreDesc
+                } else {
+                    WireOrder::Doc
+                }),
+                deadline_ms: (mask & 16 != 0).then_some(deadline_ms),
+                explain: mask & 32 != 0,
+            },
+        )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -44,8 +70,11 @@ proptest! {
         id in 0u64..1_000_000,
         text in ".{0,120}",
         cache in any::<bool>(),
+        with_opts in any::<bool>(),
+        raw_opts in arb_opts(),
     ) {
-        let req = Request::Query { id, text, cache };
+        let opts = with_opts.then_some(raw_opts);
+        let req = Request::Query { id, text, cache, opts };
         let line = req.encode();
         prop_assert!(!line.contains('\n'), "encoded request must be one line");
         prop_assert_eq!(Request::decode(&line).unwrap(), req);

@@ -1,0 +1,95 @@
+//! Top-k queries and pagination with [`QueryRequest`]: build a corpus,
+//! page through results with `limit`/`offset`, inspect
+//! `total_matches`/`truncated`, and print an explain report showing the
+//! work early termination skipped.
+//!
+//! ```text
+//! cargo run --example topk_paginate
+//! ```
+
+use koko::{Koko, Order, QueryRequest};
+
+fn main() {
+    // A corpus where many documents match, so limits have bite.
+    let texts = koko::corpus::wiki::generate(60, 4242);
+    let koko = Koko::from_texts(&texts);
+    let query = koko::queries::TITLE;
+
+    // ---- Page through the results, three rows at a time -----------------
+    println!("## paging through {:?}", "TITLE");
+    let page_size = 3;
+    let mut offset = 0;
+    loop {
+        let page = QueryRequest::new(query)
+            .offset(offset)
+            .limit(page_size)
+            .run(&koko)
+            .expect("query runs");
+        println!(
+            "page at offset {offset}: {} rows (total_matches {}{}, truncated: {})",
+            page.rows.len(),
+            page.total_matches,
+            if page.truncated { "+" } else { "" },
+            page.truncated,
+        );
+        for row in &page.rows {
+            let text: Vec<&str> = row.values.iter().map(|v| v.text.as_str()).collect();
+            println!(
+                "  doc {:>2} score {:.2}  {}",
+                row.doc,
+                row.score,
+                text.join(" | ")
+            );
+        }
+        if !page.truncated {
+            break;
+        }
+        offset += page_size;
+    }
+
+    // ---- Top-k by score, with a floor -----------------------------------
+    let top = QueryRequest::new(query)
+        .order(Order::ScoreDesc)
+        .min_score(0.5)
+        .limit(5)
+        .run(&koko)
+        .expect("query runs");
+    println!(
+        "\n## top {} rows by score (floor 0.5; {} matched, {} pruned by the floor)",
+        top.rows.len(),
+        top.total_matches,
+        top.profile.min_score_pruned,
+    );
+    for row in &top.rows {
+        println!("  doc {:>2} score {:.2}", row.doc, row.score);
+    }
+
+    // ---- Explain: what did limit(1) skip? --------------------------------
+    let explained = QueryRequest::new(query)
+        .limit(1)
+        .explain(true)
+        .run(&koko)
+        .expect("query runs");
+    let explain = explained.explain.as_ref().expect("explain requested");
+    println!(
+        "\n## explain for limit(1): {} candidate sentences, {} docs skipped, early stop: {}",
+        explain.total_candidates(),
+        explained.profile.docs_skipped,
+        explain.early_terminated(),
+    );
+    for plan in &explain.plans {
+        println!("  plan  {plan}");
+    }
+    for s in &explain.shards {
+        println!(
+            "  shard {:>2} ({}): candidates {} | docs {}/{} | rows {} | early stop {}",
+            s.shard,
+            if s.is_delta { "delta" } else { "base" },
+            s.candidates,
+            s.docs_processed,
+            s.docs,
+            s.rows,
+            s.early_stopped,
+        );
+    }
+}

@@ -6,9 +6,13 @@
 //! koko add    <file.koko> <more.txt>     ingest new documents into an
 //!             [--compact] [-o out.koko]  existing snapshot (delta shards)
 //! koko query  <corpus> '<query>'         run a KOKO query over a text file
-//!                                        or a .koko snapshot
+//!             [--limit=N] [--offset=N]   or a .koko snapshot; the flags
+//!             [--min-score=S] [--explain] build a per-request QueryRequest
+//!             [--order=doc|score_desc]   (top-k early termination, score
+//!             [--deadline-ms=N]          floors, deadlines, explain plans)
 //! koko batch  <corpus> '<q1>' '<q2>'     evaluate many queries over one
-//!                                        shared snapshot (parallel)
+//!                                        shared snapshot (parallel); takes
+//!                                        the same per-request flags
 //! koko parse  <corpus.txt>               show the annotation pipeline output
 //! koko stats  <corpus>                   corpus + per-shard index statistics
 //! koko serve  <corpus> [--addr=H:P]      long-running query server over one
@@ -17,7 +21,9 @@
 //! koko client <addr> '<query>' ...       scripted client / load generator
 //!             [--threads=N] [--repeat=M] against a running `koko serve`;
 //!             [--add=<more.txt>]         --add / --compact drive a
-//!             [--compact]                writable server's live index
+//!             [--compact]                writable server's live index;
+//!             [--limit=N ...]            per-request flags ride the wire
+//!                                        as the protocol `opts` object
 //! koko demo                              the paper's Figure 1 walkthrough
 //! ```
 //!
@@ -30,7 +36,7 @@
 
 use koko::nlp::tree_stats;
 use koko::storage::is_snapshot_file;
-use koko::{EngineOpts, Koko, Pipeline};
+use koko::{EngineOpts, Koko, Order, Pipeline, QueryRequest};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -144,9 +150,10 @@ fn arg_named_str(args: &[String], name: &str) -> Option<String> {
     None
 }
 
-/// Flags of `serve`/`client` that take a value, for skipping that value
-/// when collecting positional arguments in space-separated form. Keep in
-/// sync with the `arg_named_*` calls in `cmd_serve`/`cmd_client`.
+/// Flags that take a value, for skipping that value when collecting
+/// positional arguments in space-separated form
+/// ([`collect_positionals`]). Keep in sync with the `arg_named_*` calls
+/// in `cmd_query`/`cmd_batch`/`cmd_serve`/`cmd_client`.
 const VALUE_FLAGS: &[&str] = &[
     "--threads",
     "--repeat",
@@ -154,7 +161,150 @@ const VALUE_FLAGS: &[&str] = &[
     "--shards",
     "--addr",
     "--add",
+    "--limit",
+    "--offset",
+    "--min-score",
+    "--order",
+    "--deadline-ms",
 ];
+
+/// Positional (non-flag) arguments, skipping the values of space-form
+/// `--flag N` options per [`VALUE_FLAGS`] — shared by `batch` and
+/// `client` so a new value-taking flag cannot be mis-parsed as a query
+/// in one command but not the other.
+fn collect_positionals(args: &[String]) -> Vec<String> {
+    let mut positionals: Vec<String> = Vec::new();
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false; // the value of a space-form `--flag N`
+        } else if VALUE_FLAGS.contains(&a.as_str()) {
+            skip_value = true;
+        } else if !a.starts_with("--") {
+            positionals.push(a.clone());
+        }
+    }
+    positionals
+}
+
+/// Per-request query options shared by `query`, `batch` and `client`:
+/// `--limit=N --offset=N --min-score=S --order=doc|score_desc
+/// --deadline-ms=N --explain` (all optional; absent flags keep the
+/// historical semantics).
+#[derive(Default, Clone, Copy)]
+struct RequestFlags {
+    limit: Option<usize>,
+    offset: Option<usize>,
+    min_score: Option<f64>,
+    order: Option<Order>,
+    deadline_ms: Option<u64>,
+    explain: bool,
+}
+
+impl RequestFlags {
+    fn parse(args: &[String]) -> Result<RequestFlags, String> {
+        let opt_usize = |name: &str| -> Result<Option<usize>, String> {
+            match arg_named_str(args, name) {
+                None => Ok(None),
+                Some(v) => v
+                    .parse()
+                    .map(Some)
+                    .map_err(|_| format!("--{name} expects a non-negative number, got {v:?}")),
+            }
+        };
+        let min_score = match arg_named_str(args, "min-score") {
+            None => None,
+            Some(v) => match v.parse::<f64>() {
+                Ok(s) if s.is_finite() => Some(s),
+                _ => return Err(format!("--min-score expects a finite number, got {v:?}")),
+            },
+        };
+        let order = match arg_named_str(args, "order").as_deref() {
+            None => None,
+            Some("doc") => Some(Order::DocOrder),
+            Some("score_desc") => Some(Order::ScoreDesc),
+            Some(v) => return Err(format!("--order must be doc or score_desc, got {v:?}")),
+        };
+        Ok(RequestFlags {
+            limit: opt_usize("limit")?,
+            offset: opt_usize("offset")?,
+            min_score,
+            order,
+            deadline_ms: opt_usize("deadline-ms")?.map(|ms| ms as u64),
+            explain: args.iter().any(|a| a == "--explain"),
+        })
+    }
+
+    /// Whether any per-request option was given (if not, `query`/`batch`
+    /// keep their historical output byte-for-byte).
+    fn is_default(&self) -> bool {
+        self.limit.is_none()
+            && self.offset.is_none()
+            && self.min_score.is_none()
+            && self.order.is_none()
+            && self.deadline_ms.is_none()
+            && !self.explain
+    }
+
+    /// Lower onto an engine request through the same wire-opts path the
+    /// server uses — one lowering to maintain, so CLI and wire semantics
+    /// can never drift.
+    fn to_request(self, text: &str) -> QueryRequest {
+        self.to_wire().to_request(text, true)
+    }
+
+    /// The wire-protocol form, for `koko client`.
+    fn to_wire(self) -> koko::serve::QueryOpts {
+        koko::serve::QueryOpts {
+            limit: self.limit.map(|k| k as u64),
+            offset: self.offset.map(|n| n as u64),
+            min_score: self.min_score,
+            order: self.order.map(|o| match o {
+                Order::DocOrder => koko::serve::WireOrder::Doc,
+                Order::ScoreDesc => koko::serve::WireOrder::ScoreDesc,
+            }),
+            deadline_ms: self.deadline_ms,
+            explain: self.explain,
+        }
+    }
+}
+
+/// Deterministic rendering of an output's totals + explain report, for
+/// opts-bearing `query`/`batch` runs (stdout, so it can be goldened —
+/// timings stay on stderr).
+fn print_request_summary(out: &koko::QueryOutput) {
+    println!(
+        "## matches: {} returned, {} total ({})",
+        out.rows.len(),
+        out.total_matches,
+        if out.truncated {
+            "truncated"
+        } else {
+            "complete"
+        }
+    );
+    if let Some(explain) = &out.explain {
+        println!("## explain");
+        for plan in &explain.plans {
+            println!("plan  {plan}");
+        }
+        for s in &explain.shards {
+            println!(
+                "shard {:>2} ({}): lookups {} | candidates {} | docs {}/{} | tuples {} | rows {} | min_score pruned {} | early stop {}",
+                s.shard,
+                if s.is_delta { "delta" } else { "base" },
+                s.lookups,
+                s.candidates,
+                s.docs_processed,
+                s.docs,
+                s.tuples,
+                s.rows,
+                s.min_score_pruned,
+                s.early_stopped,
+            );
+        }
+    }
+}
 
 /// Build an engine from `path` — a `.koko` snapshot (sniffed by magic
 /// bytes) or a raw text corpus. Snapshot load failures surface the
@@ -346,8 +496,18 @@ fn print_rows(out: &koko::QueryOutput) {
 
 fn cmd_query(args: &[String]) -> i32 {
     let (Some(path), Some(query)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: koko query <corpus.txt|snapshot.koko> '<query>' [--doc=para]");
+        eprintln!(
+            "usage: koko query <corpus.txt|snapshot.koko> '<query>' [--limit=N] [--offset=N] \
+             [--min-score=S] [--order=doc|score_desc] [--deadline-ms=N] [--explain] [--doc=para]"
+        );
         return 2;
+    };
+    let flags = match RequestFlags::parse(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
     };
     let koko = match load_engine(path, args) {
         Ok(k) => k,
@@ -356,9 +516,12 @@ fn cmd_query(args: &[String]) -> i32 {
             return 1;
         }
     };
-    match koko.query(query) {
+    match koko.run(&flags.to_request(query)) {
         Ok(out) => {
             print_rows(&out);
+            if !flags.is_default() {
+                print_request_summary(&out);
+            }
             eprintln!(
                 "{} rows | {} candidate sentences | total {:?} (normalize {:?}, dpli {:?}, load {:?}, gsp {:?}, extract {:?}, satisfying {:?})",
                 out.rows.len(),
@@ -381,23 +544,25 @@ fn cmd_query(args: &[String]) -> i32 {
 }
 
 fn cmd_batch(args: &[String]) -> i32 {
+    let usage = "usage: koko batch <corpus.txt|snapshot.koko> '<query>' ['<query>' ...] \
+                 [--limit=N] [--offset=N] [--min-score=S] [--order=doc|score_desc] \
+                 [--deadline-ms=N] [--explain] [--doc=para]";
     let Some(path) = args.first() else {
-        eprintln!(
-            "usage: koko batch <corpus.txt|snapshot.koko> '<query>' ['<query>' ...] [--doc=para]"
-        );
+        eprintln!("{usage}");
         return 2;
     };
-    let queries: Vec<&str> = args[1..]
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let queries: Vec<String> = collect_positionals(&args[1..]);
     if queries.is_empty() {
-        eprintln!(
-            "usage: koko batch <corpus.txt|snapshot.koko> '<query>' ['<query>' ...] [--doc=para]"
-        );
+        eprintln!("{usage}");
         return 2;
     }
+    let flags = match RequestFlags::parse(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let koko = match load_engine(path, args) {
         Ok(k) => k,
         Err(e) => {
@@ -405,12 +570,16 @@ fn cmd_batch(args: &[String]) -> i32 {
             return 1;
         }
     };
+    let requests: Vec<QueryRequest> = queries.iter().map(|q| flags.to_request(q)).collect();
     let mut code = 0;
-    for (q, result) in queries.iter().zip(koko.query_batch(&queries)) {
+    for (q, result) in queries.iter().zip(koko.run_batch(&requests)) {
         println!("## {q}");
         match result {
             Ok(out) => {
                 print_rows(&out);
+                if !flags.is_default() {
+                    print_request_summary(&out);
+                }
                 eprintln!("{} rows | total {:?}", out.rows.len(), out.profile.total());
             }
             Err(e) => {
@@ -600,22 +769,19 @@ fn cmd_serve(args: &[String]) -> i32 {
 }
 
 fn cmd_client(args: &[String]) -> i32 {
-    let usage = "usage: koko client <HOST:PORT> ['<query>' ...] [--threads=N] [--repeat=M] [--no-cache] [--add=<more.txt>] [--compact] [--stats] [--shutdown]";
+    let usage = "usage: koko client <HOST:PORT> ['<query>' ...] [--threads=N] [--repeat=M] [--no-cache] [--limit=N] [--offset=N] [--min-score=S] [--order=doc|score_desc] [--deadline-ms=N] [--explain] [--add=<more.txt>] [--compact] [--stats] [--shutdown]";
     let Some(addr) = args.first() else {
         eprintln!("{usage}");
         return 2;
     };
-    let mut queries: Vec<String> = Vec::new();
-    let mut skip_value = false;
-    for a in &args[1..] {
-        if skip_value {
-            skip_value = false; // the value of a space-form `--flag N`
-        } else if VALUE_FLAGS.contains(&a.as_str()) {
-            skip_value = true;
-        } else if !a.starts_with("--") {
-            queries.push(a.clone());
+    let flags = match RequestFlags::parse(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
         }
-    }
+    };
+    let queries: Vec<String> = collect_positionals(&args[1..]);
     let stats = args.iter().any(|a| a == "--stats");
     let shutdown = args.iter().any(|a| a == "--shutdown");
     let compact = args.iter().any(|a| a == "--compact");
@@ -688,7 +854,10 @@ fn cmd_client(args: &[String]) -> i32 {
 
     let mut code = 0;
     if !queries.is_empty() {
-        match koko_serve::run_load(addr, &queries, threads, repeat, cache) {
+        // Per-request options ride along as the wire `opts` object; the
+        // server answers with the extended response shape.
+        let wire_opts = (!flags.is_default()).then(|| flags.to_wire());
+        match koko_serve::run_load_with(addr, &queries, threads, repeat, cache, wire_opts) {
             Ok(report) => {
                 // One thread's responses in send order on stdout (scripted
                 // use); the load summary goes to stderr.

@@ -53,6 +53,25 @@
 //! assert_eq!(out.rows[0].values[0].text, "chocolate ice cream");
 //! ```
 //!
+//! Per-request control — top-k, score floors, deadlines, explain plans —
+//! goes through the [`QueryRequest`] builder (see `docs/API.md`):
+//!
+//! ```
+//! use koko::{Koko, QueryRequest};
+//!
+//! let koko = Koko::from_texts(&[
+//!     "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+//!     "Anna ate some delicious cheesecake that she bought at a grocery store.",
+//! ]);
+//! let out = QueryRequest::new(koko::queries::EXAMPLE_2_1)
+//!     .limit(1)
+//!     .min_score(0.0)
+//!     .run(&koko)
+//!     .unwrap();
+//! assert_eq!(out.rows.len(), 1);
+//! assert!(out.truncated, "a second match exists");
+//! ```
+//!
 //! # Build once, query many times
 //!
 //! Ingest (NLP parsing + index construction) dominates cold-start cost.
@@ -87,8 +106,8 @@ pub use koko_serve as serve;
 pub use koko_storage as storage;
 
 pub use koko_core::{
-    AddReport, CacheStats, CompactReport, EngineOpts, Error, Koko, LiveIndex, OutValue, Profile,
-    QueryOutput, Row, Snapshot,
+    AddReport, CacheStats, CompactReport, EngineOpts, Error, Explain, Koko, LiveIndex, Order,
+    OutValue, Profile, QueryOutput, QueryRequest, Row, ShardExplain, Snapshot,
 };
 pub use koko_lang::{normalize, parse_query, queries};
 pub use koko_nlp::{Corpus, Document, Pipeline, Sentence};

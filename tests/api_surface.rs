@@ -1,0 +1,141 @@
+//! Public-API surface guard: every name the facade re-exports, and the
+//! signatures downstream code builds against, asserted at compile time.
+//! An accidental rename, removal, or signature change fails this test
+//! loudly at `cargo test` time instead of silently breaking users.
+//!
+//! Extend this file whenever the public surface intentionally grows; do
+//! not weaken it to make a refactor compile.
+#![allow(clippy::type_complexity)]
+
+// ---- Facade re-exports: every name must resolve --------------------------
+#[allow(unused_imports)]
+use koko::{
+    baselines,
+    core,
+    corpus,
+    embed,
+    index,
+    lang,
+    nlp,
+    normalize,
+    parse_query,
+    queries, // lang helpers
+    regex,
+    serve,
+    storage, // crate aliases
+    AddReport,
+    CacheStats,
+    CompactReport,
+    Corpus,
+    Document,
+    EngineOpts,
+    Error,
+    Explain,
+    Koko,
+    LiveIndex,
+    Order,
+    OutValue,
+    Pipeline,
+    Profile,
+    QueryOutput,
+    QueryRequest,
+    Row,
+    Sentence,
+    ShardExplain,
+    Snapshot,
+};
+
+use std::time::Duration;
+
+// ---- Signature pins (compile-time) ---------------------------------------
+// Engine entry points.
+const _QUERY: fn(&Koko, &str) -> Result<QueryOutput, Error> = Koko::query;
+const _QUERY_WITH_CACHE: fn(&Koko, &str, bool) -> Result<QueryOutput, Error> =
+    Koko::query_with_cache;
+const _RUN: fn(&Koko, &QueryRequest) -> Result<QueryOutput, Error> = Koko::run;
+const _QUERY_BATCH: fn(&Koko, &[&str]) -> Vec<Result<QueryOutput, Error>> = Koko::query_batch;
+const _RUN_BATCH: fn(&Koko, &[QueryRequest]) -> Vec<Result<QueryOutput, Error>> = Koko::run_batch;
+const _SAVE: fn(&Koko, &std::path::Path) -> Result<u64, Error> = Koko::save;
+const _OPEN: fn(&std::path::Path) -> Result<Koko, Error> = Koko::open;
+const _CACHE_STATS: fn(&Koko) -> CacheStats = Koko::cache_stats;
+const _COMPACT: fn(&Koko) -> CompactReport = Koko::compact;
+
+// QueryRequest builder: every method, chained the way user code writes it.
+const _REQ_RUN: fn(&QueryRequest, &Koko) -> Result<QueryOutput, Error> = QueryRequest::run;
+const _REQ_TEXT: fn(&QueryRequest) -> &str = QueryRequest::text;
+
+// Serve layer.
+const _WIRE_QUERY: fn(&mut serve::Client, &str, bool, serve::QueryOpts) -> std::io::Result<String> =
+    serve::Client::query_with_opts;
+
+#[test]
+fn query_request_builder_chains_every_option() {
+    let req = QueryRequest::new("extract x:Entity from t if ()")
+        .limit(10)
+        .offset(5)
+        .min_score(0.5)
+        .order(Order::ScoreDesc)
+        .deadline(Duration::from_millis(50))
+        .cache(false)
+        .explain(true);
+    assert_eq!(req.text(), "extract x:Entity from t if ()");
+    // Both orders exist and default is DocOrder.
+    assert_eq!(Order::default(), Order::DocOrder);
+    let _ = Order::ScoreDesc;
+}
+
+#[test]
+fn query_output_carries_the_documented_fields() {
+    let out = QueryOutput::default();
+    let _rows: &Vec<Row> = &out.rows;
+    let _total: usize = out.total_matches;
+    let _truncated: bool = out.truncated;
+    let _explain: &Option<Explain> = &out.explain;
+    let _profile: &Profile = &out.profile;
+    // Explain shape.
+    let e = Explain::default();
+    let _plans: &Vec<String> = &e.plans;
+    let _shards: &Vec<ShardExplain> = &e.shards;
+    let _ = e.total_candidates();
+    let _ = e.early_terminated();
+}
+
+#[test]
+fn error_has_the_structured_deadline_variant() {
+    let e = Error::DeadlineExceeded {
+        budget: Duration::from_millis(1),
+        elapsed: Duration::from_millis(2),
+    };
+    let rendered = e.to_string();
+    assert!(rendered.contains("deadline exceeded"), "{rendered}");
+}
+
+#[test]
+fn profile_exposes_the_pruning_counters() {
+    let p = Profile::default();
+    let _ = (p.docs_skipped, p.candidates_skipped, p.min_score_pruned);
+    let _ = (
+        p.candidate_sentences,
+        p.delta_candidates,
+        p.raw_tuples,
+        p.compiled_cache_hits,
+        p.compiled_cache_misses,
+        p.result_cache_hits,
+        p.result_cache_misses,
+    );
+}
+
+#[test]
+fn wire_opts_surface_is_stable() {
+    let opts = serve::QueryOpts {
+        limit: Some(1),
+        offset: Some(2),
+        min_score: Some(0.5),
+        order: Some(serve::WireOrder::ScoreDesc),
+        deadline_ms: Some(100),
+        explain: true,
+    };
+    assert!(!opts.is_default());
+    let req = opts.to_request("q", true);
+    assert_eq!(req.text(), "q");
+}

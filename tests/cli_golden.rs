@@ -72,6 +72,84 @@ fn query_over_text_corpus() {
 }
 
 #[test]
+fn query_with_limit_and_explain() {
+    // Opts-bearing query: rows + the deterministic matches/explain block
+    // on stdout (timings stay on stderr). --shards=1 keeps the per-shard
+    // counters stable.
+    let (stdout, _, code) = koko(&[
+        "query",
+        &fixture(),
+        EXAMPLE_2_1,
+        "--shards=1",
+        "--limit=1",
+        "--explain",
+    ]);
+    assert_eq!(code, 0);
+    assert_golden("query_limit_explain.txt", &stdout);
+}
+
+#[test]
+fn query_with_min_score_and_order() {
+    let (stdout, _, code) = koko(&[
+        "query",
+        &fixture(),
+        EXAMPLE_2_1,
+        "--shards=1",
+        "--min-score=0.5",
+        "--order=score_desc",
+        "--offset=1",
+    ]);
+    assert_eq!(code, 0);
+    assert_golden("query_min_score_order.txt", &stdout);
+}
+
+#[test]
+fn batch_with_limit_applies_to_every_query() {
+    let (stdout, _, code) = koko(&[
+        "batch",
+        &fixture(),
+        EXAMPLE_2_1,
+        DATE_OF_BIRTH,
+        "--shards=1",
+        "--limit=1",
+    ]);
+    assert_eq!(code, 0);
+    assert_golden("batch_limit_one.txt", &stdout);
+}
+
+#[test]
+fn request_flag_validation_is_structured() {
+    for args in [
+        &["query", &fixture(), EXAMPLE_2_1, "--limit=abc"][..],
+        &["query", &fixture(), EXAMPLE_2_1, "--order=banana"][..],
+        &["query", &fixture(), EXAMPLE_2_1, "--min-score=warm"][..],
+        &["query", &fixture(), EXAMPLE_2_1, "--deadline-ms=-3"][..],
+        &["batch", &fixture(), EXAMPLE_2_1, "--offset=x"][..],
+        &["client", "127.0.0.1:1", "q", "--limit=no"][..],
+    ] {
+        let (stdout, stderr, code) = koko(args);
+        assert_eq!(code, 2, "args {args:?}: {stderr}");
+        assert_eq!(stdout, "", "errors print nothing to stdout, args {args:?}");
+        assert!(stderr.starts_with("error: --"), "args {args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn zero_deadline_is_a_structured_runtime_error() {
+    let (stdout, stderr, code) = koko(&[
+        "query",
+        &fixture(),
+        EXAMPLE_2_1,
+        "--shards=1",
+        "--deadline-ms=0",
+    ]);
+    assert_eq!(code, 1);
+    assert_eq!(stdout, "");
+    assert!(stderr.contains("deadline exceeded"), "{stderr}");
+}
+
+#[test]
 fn batch_over_text_corpus() {
     let (stdout, _, code) = koko(&[
         "batch",

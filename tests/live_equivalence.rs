@@ -108,6 +108,49 @@ fn fixed_splits_match_batch_build() {
 }
 
 #[test]
+fn incremental_ingest_matches_batch_build_under_query_requests() {
+    // The live-equivalence invariant re-run through the QueryRequest
+    // path: windows, score floors, and score ordering must all be
+    // byte-identical between an incrementally built index (delta shards
+    // live, then compacted) and the one-shot batch build.
+    use koko::{Order, QueryRequest};
+    let texts = koko::corpus::wiki::generate(12, 4242);
+    let requests: Vec<QueryRequest> = PAPER_QUERIES
+        .iter()
+        .flat_map(|q| {
+            [
+                QueryRequest::new(*q).limit(2),
+                QueryRequest::new(*q).limit(3).offset(1).min_score(0.2),
+                QueryRequest::new(*q).order(Order::ScoreDesc).limit(4),
+                QueryRequest::new(*q).min_score(0.5),
+            ]
+        })
+        .collect();
+    for compact in [false, true] {
+        let batch = Koko::from_texts_with_opts(&texts, opts(3, 16));
+        let splits = split_texts(&texts, 3, 11);
+        let live = Koko::from_texts_with_opts(&splits[0], opts(3, 16));
+        for batch_texts in &splits[1..] {
+            live.add_texts(batch_texts);
+        }
+        if compact {
+            live.compact();
+        }
+        for req in &requests {
+            let a = req.run(&batch).unwrap();
+            let b = req.run(&live).unwrap();
+            assert_eq!(
+                render(&a),
+                render(&b),
+                "compact={compact} request over {:?}",
+                req.text()
+            );
+            assert_eq!(a.truncated, b.truncated, "compact={compact}");
+        }
+    }
+}
+
+#[test]
 fn growth_from_an_empty_engine_matches_batch_build() {
     let texts = koko::corpus::wiki::generate(6, 99);
     let batch = Koko::from_texts(&texts);

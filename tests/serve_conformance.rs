@@ -9,6 +9,7 @@
 //! rows, order, scores or spans.
 
 use koko::serve::{protocol, run_load, Client, Server};
+use koko::serve::{QueryOpts, WireOrder};
 use koko::{queries, EngineOpts, Koko};
 
 const CORPUS: &[&str] = &[
@@ -232,6 +233,217 @@ fn writable_server_built_incrementally_matches_sequential() {
             None => assert!(line.contains("\"ok\":false"), "{line}"),
         }
     }
+    drop(client);
+    server.shutdown();
+}
+
+/// The wire-opts mix exercised by the opts conformance tests: limit,
+/// offset, min_score, score ordering, explain, and the empty opts object.
+fn opts_mix() -> Vec<QueryOpts> {
+    vec![
+        QueryOpts::default(),
+        QueryOpts {
+            limit: Some(1),
+            ..QueryOpts::default()
+        },
+        QueryOpts {
+            limit: Some(2),
+            offset: Some(1),
+            ..QueryOpts::default()
+        },
+        QueryOpts {
+            min_score: Some(0.5),
+            ..QueryOpts::default()
+        },
+        QueryOpts {
+            limit: Some(3),
+            order: Some(WireOrder::ScoreDesc),
+            ..QueryOpts::default()
+        },
+        QueryOpts {
+            limit: Some(1),
+            min_score: Some(0.3),
+            explain: true,
+            ..QueryOpts::default()
+        },
+    ]
+}
+
+/// Every opts-bearing served response must byte-match the rows the
+/// sequential reference engine computes for the same `QueryRequest`, and
+/// carry the matching `total_matches` / `truncated` fields.
+fn check_opts_conformance(server_engine: Koko, writable: bool) {
+    let reference = reference_engine();
+    let mix = query_mix();
+    let server = Server::bind_with(server_engine, "127.0.0.1:0", 3, writable).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Two passes so the second pass exercises result-cache hits (where
+    // enabled) — served bytes must not care.
+    for pass in 0..2 {
+        for q in &mix {
+            for (oi, opts) in opts_mix().iter().enumerate() {
+                let line = client.query_with_opts(q, true, *opts).unwrap();
+                let expected = reference.run(&opts.to_request(q, true));
+                match expected {
+                    Ok(out) => {
+                        assert!(
+                            line.contains("\"ok\":true"),
+                            "pass {pass} opts {oi}: {line}"
+                        );
+                        assert_eq!(
+                            protocol::response_rows(&line).unwrap(),
+                            protocol::rows_json(&out.rows),
+                            "pass {pass} opts {oi} query {q}"
+                        );
+                        // `truncated` is exact (and layout-independent)
+                        // only when no limit can trigger early
+                        // termination: with a limit, whether a shard
+                        // stopped "early" depends on its layout and on
+                        // whether a cached full result served the slice
+                        // (both legitimate), so there only presence is
+                        // asserted.
+                        if opts.limit.is_none() {
+                            assert!(
+                                line.contains(&format!("\"truncated\":{}", out.truncated)),
+                                "pass {pass} opts {oi}: {line}"
+                            );
+                        } else {
+                            assert!(line.contains("\"truncated\":"), "{line}");
+                        }
+                        // total_matches is exact (and layout-independent)
+                        // whenever the run is not truncated; a truncated
+                        // run reports a lower bound that may legitimately
+                        // differ between the 3-shard served engine and
+                        // the 1-shard reference.
+                        if out.truncated {
+                            assert!(line.contains("\"total_matches\":"), "{line}");
+                        } else {
+                            assert!(
+                                line.contains(&format!("\"total_matches\":{}", out.total_matches)),
+                                "pass {pass} opts {oi} (expected {}): {line}",
+                                out.total_matches
+                            );
+                        }
+                        assert_eq!(
+                            line.contains("\"explain\":"),
+                            opts.explain,
+                            "pass {pass} opts {oi}: {line}"
+                        );
+                    }
+                    Err(_) => {
+                        assert!(line.contains("\"ok\":false"), "pass {pass}: {line}");
+                    }
+                }
+            }
+        }
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn opts_bearing_requests_match_sequential_query_requests() {
+    check_opts_conformance(served_engine(64), false);
+}
+
+#[test]
+fn opts_bearing_requests_match_on_writable_servers_too() {
+    // Writable server built incrementally over the wire, then hammered
+    // with the opts mix: live delta shards must not change a byte.
+    let (head, tail) = CORPUS.split_at(3);
+    let engine = Koko::from_texts_with_opts(
+        head,
+        EngineOpts {
+            num_shards: 2,
+            result_cache: 32,
+            ..EngineOpts::default()
+        },
+    );
+    let server = Server::bind_with(engine, "127.0.0.1:0", 2, true).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut writer = Client::connect(&addr).unwrap();
+    let texts: Vec<String> = tail.iter().map(|s| s.to_string()).collect();
+    let line = writer.add(&texts).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+    drop(writer);
+
+    let reference = reference_engine();
+    let mut client = Client::connect(&addr).unwrap();
+    for q in &query_mix() {
+        let opts = QueryOpts {
+            limit: Some(2),
+            min_score: Some(0.2),
+            ..QueryOpts::default()
+        };
+        let line = client.query_with_opts(q, true, opts).unwrap();
+        match reference.run(&opts.to_request(q, true)) {
+            Ok(out) => assert_eq!(
+                protocol::response_rows(&line).unwrap(),
+                protocol::rows_json(&out.rows),
+                "query {q}"
+            ),
+            Err(_) => assert!(line.contains("\"ok\":false"), "{line}"),
+        }
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn served_cache_hits_slice_cached_full_results() {
+    let server = Server::bind(served_engine(64), "127.0.0.1:0", 1).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let q = queries::EXAMPLE_2_1;
+    // Warm the cache with the full result (legacy request)...
+    let full = client.query(q, true).unwrap();
+    assert!(full.contains("\"result_cache_misses\":1"), "{full}");
+    // ... then an opts-bearing slice of it must be a hit, not a re-run.
+    let sliced = client
+        .query_with_opts(
+            q,
+            true,
+            QueryOpts {
+                limit: Some(1),
+                ..QueryOpts::default()
+            },
+        )
+        .unwrap();
+    assert!(sliced.contains("\"result_cache_hits\":1"), "{sliced}");
+    let full_rows = protocol::response_rows(&full).unwrap();
+    let sliced_rows = protocol::response_rows(&sliced).unwrap();
+    assert!(
+        full_rows.starts_with(&sliced_rows[..sliced_rows.len() - 1]),
+        "slice must be a prefix of the cached rows\nfull:   {full_rows}\nsliced: {sliced_rows}"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn requests_without_opts_keep_the_legacy_response_shape() {
+    // PR-4 bit-compatibility: a client that never sends `opts` must see
+    // exactly the historical keys — no totals, no truncation, no explain.
+    let server = Server::bind(served_engine(8), "127.0.0.1:0", 1).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    for line in [
+        client.query(queries::EXAMPLE_2_1, true).unwrap(),
+        client.query(queries::EXAMPLE_2_1, false).unwrap(),
+        client.send_raw("{\"query\":\"not a query\"}").unwrap(),
+    ] {
+        assert!(!line.contains("total_matches"), "{line}");
+        assert!(!line.contains("truncated"), "{line}");
+        assert!(!line.contains("explain"), "{line}");
+    }
+    // An empty opts object opts in to the extended shape.
+    let extended = client
+        .query_with_opts(queries::EXAMPLE_2_1, true, QueryOpts::default())
+        .unwrap();
+    assert!(extended.contains("\"total_matches\":"), "{extended}");
+    assert!(extended.contains("\"truncated\":false"), "{extended}");
     drop(client);
     server.shutdown();
 }
