@@ -25,13 +25,15 @@
 //!
 //! ```text
 //! cargo run --release -p koko-bench --bin table2_scaleup \
-//!     [-- --scale=1 --shards=0 --json=table2.json]
+//!     [-- --scale=1 --shards=0 --articles=0 --json=table2.json]
 //! ```
 //!
 //! `--shards=0` (default) uses one shard per available core.
+//! `--articles=N` replaces the scale ladder with the single corpus size
+//! `N` — the CI smoke configuration.
 
 use koko_bench::{arg_usize, header, row, secs};
-use koko_core::{EngineOpts, Koko, QueryRequest};
+use koko_core::{EngineOpts, Koko, Order, QueryRequest};
 use koko_lang::queries;
 use koko_nlp::Pipeline;
 use std::time::{Duration, Instant};
@@ -71,12 +73,19 @@ struct ScalePoint {
     /// (summed over the three queries; proof the speedup is skipped work,
     /// not post-filtering).
     limit10_docs_skipped: usize,
+    /// 3-query wall-clock with `ScoreDesc` + `limit(10)` — bounded-heap
+    /// ranked top-k driven by WAND-style per-shard score bounds.
+    query_scoredesc10: Duration,
+    /// Candidate documents the ranked runs skipped because their shard's
+    /// score bound could not beat the top-k heap floor (summed over the
+    /// three queries; proof the pruning engaged).
+    scoredesc_bound_skipped: usize,
 }
 
 impl ScalePoint {
     fn json(&self) -> String {
         format!(
-            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6},\"query_full_warm_s\":{:.6},\"query_limit10_s\":{:.6},\"topk_speedup\":{:.3},\"limit10_docs_skipped\":{}}}",
+            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6},\"query_full_warm_s\":{:.6},\"query_limit10_s\":{:.6},\"topk_speedup\":{:.3},\"limit10_docs_skipped\":{},\"query_scoredesc_limit10_s\":{:.6},\"scoredesc_topk_speedup\":{:.3},\"bound_skipped_docs\":{}}}",
             self.articles,
             self.shards,
             self.ingest_seq.as_secs_f64(),
@@ -109,6 +118,9 @@ impl ScalePoint {
             self.query_limit10.as_secs_f64(),
             ratio(self.query_full_warm, self.query_limit10),
             self.limit10_docs_skipped,
+            self.query_scoredesc10.as_secs_f64(),
+            ratio(self.query_full_warm, self.query_scoredesc10),
+            self.scoredesc_bound_skipped,
         )
     }
 }
@@ -144,8 +156,13 @@ fn serve_section(koko: Koko, queries: &[&str], clients: usize) -> (f64, f64, f64
 fn main() {
     let scale = arg_usize("scale", 1);
     let shards = arg_usize("shards", 0);
+    let articles = arg_usize("articles", 0);
     let json_path = std::env::args().find_map(|a| a.strip_prefix("--json=").map(str::to_string));
-    let sizes: Vec<usize> = [100, 200, 400, 800].iter().map(|s| s * scale).collect();
+    let sizes: Vec<usize> = if articles > 0 {
+        vec![articles]
+    } else {
+        [100, 200, 400, 800].iter().map(|s| s * scale).collect()
+    };
     let pipeline = Pipeline::new();
 
     let seq_opts = EngineOpts {
@@ -273,6 +290,23 @@ fn main() {
         }
         let query_limit10 = t.elapsed();
 
+        // Ranked top-k: the same three queries ordered by score with
+        // limit(10). The bounded heap plus per-shard score bounds keep
+        // this near the DocOrder limit run instead of paying the full
+        // scan a ranked order would naively require; bound_skipped_docs
+        // proves the pruning engaged rather than post-sorting.
+        let mut scoredesc_bound_skipped = 0usize;
+        let t = Instant::now();
+        for q in bench_queries {
+            let out = QueryRequest::new(q)
+                .order(Order::ScoreDesc)
+                .limit(10)
+                .run(&par)
+                .expect("ScoreDesc limit(10) query");
+            scoredesc_bound_skipped += out.profile.bound_skipped_docs;
+        }
+        let query_scoredesc10 = t.elapsed();
+
         // Persistence: save the sharded snapshot, load it back, and verify
         // the loaded engine still answers (first query of the set).
         let snap_path = std::env::temp_dir().join(format!("table2_scaleup_{n}.koko"));
@@ -350,6 +384,8 @@ fn main() {
             query_full_warm,
             query_limit10,
             limit10_docs_skipped,
+            query_scoredesc10,
+            scoredesc_bound_skipped,
         };
         row(&[
             n.to_string(),
@@ -435,6 +471,28 @@ fn main() {
         ]);
     }
     println!("(expected: limit=10 skips most candidate documents — docs skipped grows with corpus size — and gets faster relative to the full run as corpora grow)");
+
+    // ---- Ranked top-k: ScoreDesc limit(10) ------------------------------
+    println!("\n## Ranked top-k: ScoreDesc limit=10 (bounded heap + score bounds)\n");
+    header(&[
+        "articles",
+        "3-query full",
+        "limit=10 doc order",
+        "limit=10 score desc",
+        "speedup vs full",
+        "bound skipped docs",
+    ]);
+    for p in &points {
+        row(&[
+            p.articles.to_string(),
+            secs(p.query_full_warm),
+            secs(p.query_limit10),
+            secs(p.query_scoredesc10),
+            format!("{:.2}x", ratio(p.query_full_warm, p.query_scoredesc10)),
+            p.scoredesc_bound_skipped.to_string(),
+        ]);
+    }
+    println!("(expected: ranked top-k stays within ~1.5x of the DocOrder limit run — far below the full-scan cost a sort would naively need — with bound-skipped documents growing with corpus size)");
 
     // ---- Served QPS: 1 vs N client threads, cold vs warm cache ----------
     println!("\n## Served QPS (in-process koko-serve, closed-loop clients)\n");

@@ -9,6 +9,7 @@
 
 use crate::binder::{token_occurrences, CompiledQuery};
 use koko_embed::Embeddings;
+use koko_index::ShardBoundStats;
 use koko_lang::{Cond, Pred};
 use koko_nlp::{decompose, gazetteer, Document, Sentence};
 use std::collections::HashMap;
@@ -35,6 +36,25 @@ impl Default for AggOpts {
             expansion_min_sim: 0.55,
         }
     }
+}
+
+/// Upper bound on the score any row of one shard can reach, derived from
+/// the compiled query plus [`ShardBoundStats`] alone — no document is
+/// loaded or extracted. This is the max-score/WAND-style bound that lets
+/// `ScoreDesc` top-k skip documents which provably cannot beat the current
+/// k-th score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardScoreBound {
+    /// Whether any tuple in the shard could clear *every* satisfying
+    /// clause's threshold. `false` proves the shard contributes no rows at
+    /// all (necessary-condition reasoning), so it can be skipped outright
+    /// without affecting totals.
+    pub feasible: bool,
+    /// Upper bound on the reported row score — the last satisfying
+    /// clause's maximum possible score, or `1.0` for clause-free queries
+    /// (which score every row exactly 1.0). Meaningless when `feasible`
+    /// is false (reported as 0.0).
+    pub bound: f64,
 }
 
 /// Cached evaluation state for one query: descriptor expansions and clause
@@ -131,6 +151,107 @@ impl<'a> Aggregator<'a> {
             Pred::DescLeft(d) => self.descriptor(doc, value, d, false),
         };
         m.min(1.0)
+    }
+
+    /// `max_possible_score` for one shard (§4.4.1 read as a weighted sum
+    /// of capped terms, the shape the max-score/WAND family exploits):
+    /// every satisfying clause's score is `Σ wᵢ·mᵢ` with `mᵢ ∈ [0, 1]`,
+    /// so `Σ max(wᵢ·bᵢ, 0)` — `bᵢ` an upper bound on `mᵢ` from the shard
+    /// vocabulary — bounds it from above. A clause whose bound cannot
+    /// reach its threshold proves the shard row-free; otherwise the
+    /// reported bound is the *last* clause's (row scores report the last
+    /// satisfying clause, `1.0` when there are no clauses).
+    ///
+    /// With `stats == None` (pre-v3 snapshot) every `bᵢ` falls back to
+    /// the cap `1.0`, giving the conservative weights-only bound — still
+    /// sound, it just prunes less.
+    pub fn shard_score_bound(&self, stats: Option<&ShardBoundStats>) -> ShardScoreBound {
+        let mut bound = 1.0; // clause-free queries score every row 1.0
+        for clause in &self.cq.norm.satisfying {
+            let clause_bound: f64 = clause
+                .conds
+                .iter()
+                .map(|wc| (wc.weight * self.cond_upper_bound(&wc.cond, stats)).max(0.0))
+                .sum();
+            if clause_bound < self.threshold(clause.threshold) {
+                return ShardScoreBound {
+                    feasible: false,
+                    bound: 0.0,
+                };
+            }
+            bound = clause_bound;
+        }
+        ShardScoreBound {
+            feasible: true,
+            bound,
+        }
+    }
+
+    /// Upper bound `bᵢ ∈ [0, 1]` on one condition's confidence anywhere in
+    /// a shard described by `stats`. Soundness rests on a necessary
+    /// condition: candidate values are token spans of the shard's own
+    /// text, so a literal token absent from the shard vocabulary can never
+    /// appear in a value or next to one. Where no token-level gate is
+    /// sound (substring/regex/similarity matching), the bound stays at the
+    /// cap.
+    fn cond_upper_bound(&self, cond: &Cond, stats: Option<&ShardBoundStats>) -> f64 {
+        /// Entries past this size are not scanned; the bound stays 1.0.
+        const DICT_SCAN_CAP: usize = 4096;
+        match &cond.pred {
+            Pred::Contains(s) => {
+                let words = lower_words(s);
+                if words.is_empty() {
+                    return 0.0; // `token_seq_contains` never matches empty
+                }
+                match stats {
+                    Some(st) => bool_score(st.has_all_tokens(words.iter().map(String::as_str))),
+                    None => 1.0,
+                }
+            }
+            // Substring, regex and embedding matches are not token-aligned
+            // ("choc" mentions-matches "chocolate") — no sound vocabulary
+            // gate exists, so these keep the cap.
+            Pred::Mentions(_) | Pred::Matches(_) | Pred::SimilarTo(_) => 1.0,
+            Pred::InDict(name) => {
+                let Some(entries) = gazetteer::dictionary(name) else {
+                    return 0.0; // unknown dictionary never matches
+                };
+                let (Some(st), true) = (stats, entries.len() <= DICT_SCAN_CAP) else {
+                    return 1.0;
+                };
+                // A value can only equal an entry (ASCII-case-insensitively)
+                // if every one of the entry's tokens exists in the shard.
+                bool_score(entries.iter().any(|e| {
+                    let words = lower_words(e);
+                    st.has_all_tokens(words.iter().map(String::as_str))
+                }))
+            }
+            Pred::FollowedBy(s) | Pred::PrecededBy(s) | Pred::Near(s) => {
+                let words = lower_words(s);
+                if words.is_empty() {
+                    return 0.0;
+                }
+                match stats {
+                    Some(st) => bool_score(st.has_all_tokens(words.iter().map(String::as_str))),
+                    None => 1.0,
+                }
+            }
+            Pred::DescRight(d) | Pred::DescLeft(d) => {
+                let Some(exps) = self.expansions.get(d) else {
+                    return 0.0;
+                };
+                if exps.is_empty() {
+                    return 0.0; // nothing expanded ⇒ descriptor never fires
+                }
+                match stats {
+                    Some(st) => bool_score(
+                        exps.iter()
+                            .any(|(words, _)| st.has_all_tokens(words.iter().map(String::as_str))),
+                    ),
+                    None => 1.0,
+                }
+            }
+        }
     }
 
     /// Any occurrence of `value` immediately followed (or preceded) by the
@@ -464,6 +585,148 @@ mod tests {
         let china = agg.score(&d, "China", conds);
         assert!(tokyo > 0.25, "{tokyo}");
         assert!(tokyo > china, "{tokyo} vs {china}");
+    }
+
+    fn stats(text: &str) -> ShardBoundStats {
+        let c = Pipeline::new().parse_corpus(&[text.to_string()]);
+        ShardBoundStats::from_docs(c.documents())
+    }
+
+    #[test]
+    fn shard_bound_conservative_without_stats() {
+        // Two weighted conditions: the weights-only bound is their sum.
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (x near "coffee" {0.6}) or (str(x) contains "cafe" {0.7}) with threshold 0.5"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        let b = agg.shard_score_bound(None);
+        assert!(b.feasible);
+        assert!((b.bound - 1.3).abs() < 1e-9, "{}", b.bound);
+    }
+
+    #[test]
+    fn shard_bound_gates_on_token_vocabulary() {
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (str(x) contains "cafe" {1}) with threshold 0.5"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        // Vocabulary with the token: full bound.
+        let with = stats("The cafe on Main serves espresso.");
+        let b = agg.shard_score_bound(Some(&with));
+        assert!(b.feasible && (b.bound - 1.0).abs() < 1e-9, "{b:?}");
+        // Vocabulary without it: no value can contain "cafe" ⇒ the clause
+        // can never reach its threshold ⇒ the shard is provably row-free.
+        let without = stats("The bakery on Main serves croissants.");
+        let b = agg.shard_score_bound(Some(&without));
+        assert!(!b.feasible && b.bound == 0.0, "{b:?}");
+    }
+
+    #[test]
+    fn shard_bound_gates_proximity_and_descriptors() {
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (x near "coffee" {1}) with threshold 0.1"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        assert!(
+            agg.shard_score_bound(Some(&stats("Great coffee here.")))
+                .feasible
+        );
+        assert!(
+            !agg.shard_score_bound(Some(&stats("Great tea here.")))
+                .feasible
+        );
+
+        // Descriptors: feasible only when some expansion's words all occur.
+        let (cq2, _) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (x [["serves coffee"]] {1}) with threshold 0.1"#,
+        );
+        let agg2 = Aggregator::new(&cq2, embed, AggOpts::default());
+        assert!(
+            agg2.shard_score_bound(Some(&stats("Copper Kettle serves delicious coffee.")))
+                .feasible
+        );
+        assert!(
+            !agg2
+                .shard_score_bound(Some(&stats("An unrelated sentence about trains.")))
+                .feasible
+        );
+    }
+
+    #[test]
+    fn shard_bound_is_one_for_clause_free_queries() {
+        let (cq, embed) = setup("extract x:Entity from \"t\" if ()");
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        for st in [None, Some(stats("anything at all"))] {
+            let b = agg.shard_score_bound(st.as_ref());
+            assert!(b.feasible);
+            assert_eq!(b.bound, 1.0);
+        }
+    }
+
+    #[test]
+    fn shard_bound_never_underestimates_real_scores() {
+        // The invariant pruning rests on: for every document in the shard
+        // and every candidate value, score ≤ bound.
+        let texts = [
+            "Copper Kettle Cafe serves great coffee downtown.",
+            "The bakery sells bread. No beverages at all.",
+        ];
+        for q in [
+            koko_lang::queries::EXAMPLE_2_3,
+            r#"extract x:Entity from "t" if () satisfying x (x near "coffee" {0.5}) or (str(x) contains "Cafe" {0.5}) with threshold 0.1"#,
+        ] {
+            let (cq, embed) = setup(q);
+            let agg = Aggregator::new(&cq, embed, AggOpts::default());
+            for text in texts {
+                let st = stats(text);
+                let b = agg.shard_score_bound(Some(&st));
+                let d = doc(text);
+                let last = cq.norm.satisfying.last().unwrap();
+                // Candidate values are always spans of the shard's own
+                // text — the precondition the bound's soundness rests on —
+                // so only probe values the document actually contains.
+                let values = ["Copper Kettle Cafe", "Copper Kettle", "bakery", "coffee"]
+                    .into_iter()
+                    .filter(|v| text.to_lowercase().contains(&v.to_lowercase()));
+                for value in values {
+                    let all_pass = cq.norm.satisfying.iter().all(|clause| {
+                        agg.score(&d, value, &clause.conds) >= agg.threshold(clause.threshold)
+                    });
+                    if !b.feasible {
+                        // An infeasible shard can produce no row at all.
+                        assert!(!all_pass, "infeasible shard passed {value:?} in {text:?}");
+                    } else {
+                        // Row scores (last clause) can never exceed the bound.
+                        let s = agg.score(&d, value, &last.conds);
+                        assert!(
+                            s <= b.bound + 1e-9,
+                            "{s} > {} for {value:?} in {text:?}",
+                            b.bound
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_bound_unknown_dictionary_is_infeasible() {
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (str(x) in dict("NoSuchDict") {1}) with threshold 0.5"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        assert!(!agg.shard_score_bound(None).feasible);
+        let (cq2, _) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (str(x) in dict("Location") {1}) with threshold 0.5"#,
+        );
+        let agg2 = Aggregator::new(&cq2, embed, AggOpts::default());
+        // Known dictionary: feasible when an entry's tokens are present…
+        assert!(
+            agg2.shard_score_bound(Some(&stats("Portland is nice.")))
+                .feasible
+        );
+        // …and conservative without stats.
+        assert!(agg2.shard_score_bound(None).feasible);
     }
 
     #[test]

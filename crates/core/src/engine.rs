@@ -27,7 +27,7 @@ use crate::{dpli, gsp};
 use koko_embed::Embeddings;
 use koko_lang::{normalize, parse_query, NVarKind, Query};
 use koko_nlp::{Document, Sid};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 /// Engine configuration.
@@ -723,12 +723,25 @@ impl ExecParams {
     }
 
     /// Rows each shard must find before it may stop scanning documents.
-    /// Early termination is sound only under `DocOrder` (shard-local row
-    /// prefixes are prefixes of the global order); `ScoreDesc` needs
-    /// every score, so it never stops early.
+    /// Prefix-based early termination is sound only under `DocOrder`
+    /// (shard-local row prefixes are prefixes of the global order);
+    /// ranked requests prune through [`ExecParams::heap_cap`] instead.
     fn need_rows(&self) -> Option<usize> {
         match (self.order, self.limit) {
             (Order::DocOrder, Some(k)) => Some(self.offset.saturating_add(k)),
+            _ => None,
+        }
+    }
+
+    /// Heap capacity for the `ScoreDesc` bounded top-k: each shard only
+    /// ever needs its best `offset + limit` rows (every row of the global
+    /// window is within its own shard's best `offset + limit` under the
+    /// same comparator), so a shard-local min-heap of that size plus the
+    /// shard score bound drives WAND-style document skipping. `None` for
+    /// unlimited or `DocOrder` requests.
+    fn heap_cap(&self) -> Option<usize> {
+        match (self.order, self.limit) {
+            (Order::ScoreDesc, Some(k)) => Some(self.offset.saturating_add(k)),
             _ => None,
         }
     }
@@ -749,10 +762,69 @@ impl ExecParams {
 /// stage timers, and its explain counters.
 struct ShardPartial {
     rows: Vec<(String, Row)>,
+    /// Rows that survived aggregation in the documents this shard
+    /// actually processed — under a ranked top-k this can exceed
+    /// `rows.len()` (heap-evicted rows still count toward the
+    /// `total_matches` lower bound).
+    rows_found: usize,
     profile: Profile,
     early_stopped: bool,
     explain: ShardExplain,
     plans: Vec<String>,
+}
+
+/// One entry of the `ScoreDesc` bounded top-k heap. The `BinaryHeap`
+/// max-element is the *worst* held row — lowest score, ties resolved to
+/// the larger canonical key — so `peek()` is the floor a new row must
+/// beat. `total_cmp` keeps the order total (and deterministic) even for
+/// pathological NaN scores.
+struct HeapRow {
+    key: String,
+    row: Row,
+}
+
+impl Ord for HeapRow {
+    fn cmp(&self, other: &HeapRow) -> std::cmp::Ordering {
+        other
+            .row
+            .score
+            .total_cmp(&self.row.score)
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+impl PartialOrd for HeapRow {
+    fn partial_cmp(&self, other: &HeapRow) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for HeapRow {
+    fn eq(&self, other: &HeapRow) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapRow {}
+
+/// Keep the best `cap` rows under the (score desc, key asc) comparator.
+/// Returns without inserting when the candidate cannot beat the floor —
+/// rows from later documents carry strictly larger keys, so score ties
+/// always resolve against the newcomer.
+fn push_bounded(heap: &mut BinaryHeap<HeapRow>, cap: usize, key: String, row: Row) {
+    let entry = HeapRow { key, row };
+    if heap.len() < cap {
+        heap.push(entry);
+    } else if let Some(mut worst) = heap.peek_mut() {
+        if entry.cmp(&worst) == std::cmp::Ordering::Less {
+            *worst = entry;
+        }
+    }
+}
+
+/// The final `ScoreDesc` ordering: descending score, ties keeping their
+/// prior (DocOrder) position. `total_cmp` makes the comparator total, so
+/// NaN or infinite scores can never panic or destabilize the sort (NaN
+/// sorts as larger than +inf, deterministically).
+fn sort_rows_score_desc(rows: &mut [Row]) {
+    rows.sort_by(|a, b| b.score.total_cmp(&a.score));
 }
 
 /// Evaluate a parsed query against a snapshot — the stateless executor.
@@ -886,11 +958,13 @@ fn execute_request(
     // historical single-threaded evaluator) ------------------------------
     let mut keyed: Vec<(String, Row)> = Vec::new();
     let mut early_stopped = false;
+    let mut total_matches = 0usize;
     let mut shard_explains: Vec<ShardExplain> = Vec::new();
     let mut plans: Vec<String> = Vec::new();
     for partial in partials {
         let partial = partial?;
         early_stopped |= partial.early_stopped;
+        total_matches += partial.rows_found;
         keyed.extend(partial.rows);
         profile.merge(&partial.profile);
         if exec.explain {
@@ -906,15 +980,14 @@ fn execute_request(
     if exec.order == Order::ScoreDesc {
         // Stable sort: ties keep their DocOrder position, so the
         // effective key is (score desc, doc, row).
-        rows.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        sort_rows_score_desc(&mut rows);
     }
 
     // ---- Window ---------------------------------------------------------
-    let total_matches = rows.len();
+    // `total_matches` counts every row that survived aggregation in the
+    // processed documents (including rows a ranked shard's bounded heap
+    // later evicted) — exact on complete runs, a lower bound whenever a
+    // shard stopped early.
     let start = exec.offset.min(rows.len());
     let end = match exec.limit {
         Some(k) => start.saturating_add(k).min(rows.len()),
@@ -950,6 +1023,14 @@ fn execute_request(
 /// induces, since the doc id is the key's first field), and the scan
 /// stops at the first document boundary after `offset + limit` surviving
 /// rows. The skipped documents are never loaded, extracted, or scored.
+///
+/// Ranked top-k (`ScoreDesc` + limit): the shard keeps a bounded min-heap
+/// of its best `offset + limit` rows and consults the shard score bound
+/// (computed from build-time statistics, before any document is touched)
+/// at every document boundary — once the bound cannot beat the heap
+/// floor, the remaining documents are skipped (`bound_skipped_docs`). An
+/// infeasible bound skips the whole shard exactly. Returned rows are
+/// byte-identical to the full-scan reference in both modes.
 #[allow(clippy::too_many_arguments)]
 fn eval_shard(
     snapshot: &Snapshot,
@@ -983,12 +1064,28 @@ fn eval_shard(
         let sid = shard.to_global_sid(local_sid);
         by_doc.entry(corpus.doc_of(sid)).or_default().push(sid);
     }
+    let ranked_cap = exec.heap_cap();
     let mut doc_order: Vec<u32> = by_doc.keys().copied().collect();
-    if need_rows.is_some() {
+    if need_rows.is_some() || ranked_cap.is_some() {
         // Visit documents in result order so the shard's first
-        // `offset + limit` rows form a prefix of its full sequence.
+        // `offset + limit` rows form a prefix of its full sequence
+        // (`DocOrder`), and so heap score-ties always resolve against
+        // later documents' strictly larger tuple keys (`ScoreDesc`).
         doc_order.sort_by_cached_key(|d| d.to_string());
     }
+
+    // ---- Shard score bound (WAND-style, pre-extraction) ----------------
+    // Derived from the compiled query + build-time shard statistics alone;
+    // computed for ranked top-k pruning and for explain reports.
+    let score_bound =
+        (ranked_cap.is_some() || exec.explain).then(|| agg.shard_score_bound(shard.bound_stats()));
+    // A bound below every possible row (infeasible clause, or under the
+    // `min_score` floor) proves the shard contributes nothing: skip all
+    // its documents outright. Exact — not early termination.
+    let shard_infeasible = ranked_cap.is_some()
+        && score_bound
+            .as_ref()
+            .is_some_and(|b| !b.feasible || exec.min_score.is_some_and(|floor| b.bound < floor));
 
     // Per-shard aggregation caches: (doc, clause#, lowercased value) →
     // score (`u32::MAX` doc slot for doc-independent clauses), and
@@ -999,10 +1096,23 @@ fn eval_shard(
         std::collections::HashMap::new();
 
     let mut rows: Vec<(String, Row)> = Vec::new();
+    let mut heap: BinaryHeap<HeapRow> = BinaryHeap::new();
+    let mut rows_found = 0usize;
     let mut plans_rendered: Vec<String> = Vec::new();
     let mut docs_processed = 0usize;
     let mut tuples_total = 0usize;
     let mut early_stopped = false;
+
+    let num_candidate_docs = doc_order.len();
+    if shard_infeasible {
+        // Nothing in this shard can clear the clause thresholds (or the
+        // score floor): every candidate document is bound-skipped and the
+        // zero-row result is exact, so `early_stopped` stays false.
+        profile.docs_skipped = doc_order.len();
+        profile.bound_skipped_docs = doc_order.len();
+        profile.candidates_skipped = doc_order.iter().map(|d| by_doc[d].len()).sum();
+        doc_order.clear();
+    }
 
     for (di, &doc_id) in doc_order.iter().enumerate() {
         if let Some(need) = need_rows {
@@ -1010,6 +1120,29 @@ fn eval_shard(
                 early_stopped = true;
                 profile.docs_skipped = doc_order.len() - di;
                 profile.candidates_skipped = doc_order[di..].iter().map(|d| by_doc[d].len()).sum();
+                break;
+            }
+        }
+        if let Some(cap) = ranked_cap {
+            // WAND-style skip: once the heap holds `offset + limit` rows,
+            // no remaining document matters unless the shard bound beats
+            // the heap floor — and on a score tie the newcomer's larger
+            // key loses anyway. (A NaN bound compares conservatively:
+            // `<=` is false, so nothing is ever skipped on it.)
+            let bound = score_bound.as_ref().map_or(1.0, |b| b.bound);
+            let floor_beaten =
+                heap.len() >= cap && heap.peek().is_some_and(|worst| bound <= worst.row.score);
+            if cap == 0 || floor_beaten {
+                early_stopped = true;
+                let skipped = doc_order.len() - di;
+                profile.docs_skipped += skipped;
+                if floor_beaten {
+                    profile.bound_skipped_docs += skipped;
+                }
+                profile.candidates_skipped += doc_order[di..]
+                    .iter()
+                    .map(|d| by_doc[d].len())
+                    .sum::<usize>();
                 break;
             }
         }
@@ -1101,27 +1234,44 @@ fn eval_shard(
                 &mut excl_cache,
                 &mut profile.min_score_pruned,
             ) {
-                rows.push((key, row));
+                rows_found += 1;
+                match ranked_cap {
+                    Some(cap) => push_bounded(&mut heap, cap, key, row),
+                    None => rows.push((key, row)),
+                }
             }
         }
         profile.satisfying += t.elapsed();
         docs_processed += 1;
     }
 
+    // A ranked shard hands back its heap contents (order irrelevant: the
+    // merge re-sorts by canonical key, then by score). The floor is only
+    // meaningful when the heap actually filled.
+    let heap_floor = ranked_cap.and_then(|cap| {
+        (cap > 0 && heap.len() >= cap).then(|| heap.peek().map_or(0.0, |w| w.row.score))
+    });
+    rows.extend(heap.into_iter().map(|h| (h.key, h.row)));
+    debug_assert!(rows.len() <= rows_found);
+
     let explain = ShardExplain {
         shard: shard_index,
         is_delta,
         lookups: dpli_result.lookups,
         candidates: dpli_result.candidate_sids.len(),
-        docs: doc_order.len(),
+        docs: num_candidate_docs,
         docs_processed,
         tuples: tuples_total,
         rows: rows.len(),
         min_score_pruned: profile.min_score_pruned,
         early_stopped,
+        score_bound: score_bound.as_ref().map_or(1.0, |b| b.bound),
+        heap_floor,
+        bound_skipped_docs: profile.bound_skipped_docs,
     };
     Ok(ShardPartial {
         rows,
+        rows_found,
         profile,
         early_stopped,
         explain,
@@ -1282,5 +1432,76 @@ fn var_kind_name(kind: &NVarKind) -> &'static str {
         NVarKind::Subtree { .. } => "subtree",
         NVarKind::Tokens { .. } => "tokens",
         NVarKind::Elastic { .. } => "elastic",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(doc: u32, score: f64) -> Row {
+        Row {
+            doc,
+            values: Vec::new(),
+            score,
+        }
+    }
+
+    #[test]
+    fn score_sort_is_total_over_nan_and_infinities() {
+        // Pathological scores must neither panic nor destabilize the
+        // order: `total_cmp` ranks NaN > +inf > finite > -inf > -NaN.
+        let mut rows = vec![
+            row(0, 0.5),
+            row(1, f64::NEG_INFINITY),
+            row(2, f64::NAN),
+            row(3, 1.0),
+            row(4, f64::INFINITY),
+            row(5, -f64::NAN),
+            row(6, 0.5),
+        ];
+        sort_rows_score_desc(&mut rows);
+        let docs: Vec<u32> = rows.iter().map(|r| r.doc).collect();
+        // NaN first (it is `total_cmp`-greatest), then +inf, the finite
+        // scores descending — the 0.5 tie keeping input order (stable
+        // sort) — then -inf and -NaN last.
+        assert_eq!(docs, vec![2, 4, 3, 0, 6, 1, 5]);
+        // Determinism: resorting a rotation produces the same order.
+        let mut rotated = rows.clone();
+        rotated.rotate_left(3);
+        sort_rows_score_desc(&mut rotated);
+        let docs2: Vec<u32> = rotated.iter().map(|r| r.doc).collect();
+        assert_eq!(docs2[..2], [2, 4]);
+        assert_eq!(docs2[5..], [1, 5]);
+    }
+
+    #[test]
+    fn bounded_heap_keeps_best_rows_and_breaks_ties_by_key() {
+        let mut heap: BinaryHeap<HeapRow> = BinaryHeap::new();
+        push_bounded(&mut heap, 2, "a".into(), row(0, 0.3));
+        push_bounded(&mut heap, 2, "b".into(), row(0, 0.9));
+        // Floor is the worst held row.
+        assert_eq!(heap.peek().unwrap().row.score, 0.3);
+        // Better row evicts the floor.
+        push_bounded(&mut heap, 2, "c".into(), row(1, 0.5));
+        assert_eq!(heap.peek().unwrap().row.score, 0.5);
+        // A score tie loses to the incumbent (larger key = worse), so
+        // later documents can never displace equal-scored earlier rows.
+        push_bounded(&mut heap, 2, "d".into(), row(2, 0.5));
+        let mut kept: Vec<String> = heap.into_iter().map(|h| h.key).collect();
+        kept.sort();
+        assert_eq!(kept, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn bounded_heap_is_nan_safe() {
+        let mut heap: BinaryHeap<HeapRow> = BinaryHeap::new();
+        for (i, s) in [f64::NAN, 1.0, f64::INFINITY, 0.0].into_iter().enumerate() {
+            push_bounded(&mut heap, 2, format!("k{i}"), row(i as u32, s));
+        }
+        // NaN is `total_cmp`-greatest, so it survives alongside +inf.
+        let mut kept: Vec<String> = heap.into_iter().map(|h| h.key).collect();
+        kept.sort();
+        assert_eq!(kept, vec!["k0", "k2"]);
     }
 }

@@ -14,18 +14,24 @@
 //!
 //! The container framing (magic `KOKOSNAP`, version, payload length,
 //! FNV-1a checksum) is owned by [`koko_storage::snapshot_file`]; this
-//! module owns the payload. Version 2 (current) carries the generational
-//! manifest so a snapshot saved after incremental adds round-trips its
-//! base/delta split:
+//! module owns the payload. Version 3 (current) appends per-shard
+//! score-bound statistics after the shard sections; version 2 introduced
+//! the generational manifest so a snapshot saved after incremental adds
+//! round-trips its base/delta split:
 //!
 //! ```text
-//! payload  := Embeddings | manifest | ShardRouter | Vec<Blob>
+//! payload  := Embeddings | manifest | ShardRouter | Vec<Blob> | stats
 //! manifest := generation (u64) | num_base (u64)
 //! blob     := Shard (id, doc/sid ranges, KokoIndex, DocStore)
+//! stats    := Vec<Option<ShardBoundStats>>   (v3; absent in v1/v2)
 //! ```
 //!
-//! Version-1 files (no manifest) still load: they predate live updates,
-//! so every shard is base and the generation is 1.
+//! Older files still load: version-1 files (no manifest) predate live
+//! updates, so every shard is base and the generation is 1; files without
+//! the stats section leave every shard's statistics `None`, and ranked
+//! top-k queries fall back to the conservative weights-only bound — same
+//! answers, less pruning. The stats travel *outside* the shard blobs so
+//! shard bytes are identical across versions.
 //!
 //! Each shard is encoded and decoded independently, so both directions
 //! fan out over `koko-par` worker threads — save/load scale with cores the
@@ -37,7 +43,7 @@
 use crate::error::Error;
 use crate::snapshot::Snapshot;
 use koko_embed::Embeddings;
-use koko_index::{Shard, ShardRouter};
+use koko_index::{Shard, ShardBoundStats, ShardRouter};
 use koko_nlp::{Corpus, Document};
 use koko_storage::docstore::Blob;
 use koko_storage::{
@@ -100,6 +106,16 @@ impl Snapshot {
             }));
         }
         sections.encode(&mut buf);
+        // Per-shard score-bound statistics (format v3), appended as their
+        // own section so the shard blobs above stay byte-identical across
+        // versions. A shard loaded from a pre-v3 file has none; its `None`
+        // round-trips.
+        let stats: Vec<Option<ShardBoundStats>> = self
+            .shards()
+            .iter()
+            .map(|s| s.bound_stats().cloned())
+            .collect();
+        stats.encode(&mut buf);
         write_snapshot_file(path, &buf).map_err(Error::Snapshot)?;
         Ok((koko_storage::snapshot_file::SNAPSHOT_HEADER_LEN + buf.len()) as u64)
     }
@@ -144,6 +160,27 @@ impl Snapshot {
                 )),
             ));
         }
+        // v3 appends per-shard score-bound statistics. An absent section —
+        // even in a v3-stamped file — is tolerated as "no stats" (missing
+        // statistics only cost pruning, never answers); a *present but
+        // malformed* one is corrupt like any other section.
+        let stats: Vec<Option<ShardBoundStats>> = if version >= 3 && !input.is_empty() {
+            let stats =
+                Vec::<Option<ShardBoundStats>>::decode(&mut input).map_err(|e| corrupt(path, e))?;
+            if stats.len() != sections.len() {
+                return Err(corrupt(
+                    path,
+                    DecodeError(format!(
+                        "stats section describes {} shards, payload holds {}",
+                        stats.len(),
+                        sections.len()
+                    )),
+                ));
+            }
+            stats
+        } else {
+            vec![None; sections.len()]
+        };
         if !input.is_empty() {
             return Err(corrupt(path, DecodeError("trailing payload bytes".into())));
         }
@@ -164,8 +201,10 @@ impl Snapshot {
         let shards: Vec<Result<Shard, DecodeError>> =
             koko_par::par_map(&sections, threads, |_, blob| Shard::from_bytes(&blob.0));
         let mut decoded = Vec::with_capacity(shards.len());
-        for shard in shards {
-            decoded.push(shard.map_err(|e| corrupt(path, e))?);
+        for (shard, stats) in shards.into_iter().zip(stats) {
+            let mut shard = shard.map_err(|e| corrupt(path, e))?;
+            shard.set_bound_stats(stats);
+            decoded.push(shard);
         }
         let mut expect_doc = 0u32;
         let mut expect_sid = 0u32;
@@ -415,6 +454,86 @@ mod tests {
                 assert!(detail.contains("base shards"), "{detail}");
             }
             other => panic!("expected manifest rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bound_stats_round_trip_through_v3() {
+        let path = tmp("stats.koko");
+        let koko = sample();
+        koko.snapshot().save(&path, true).unwrap();
+        let loaded = Snapshot::load(&path, true).unwrap();
+        assert_eq!(loaded.num_shards(), koko.snapshot().num_shards());
+        for (a, b) in loaded.shards().iter().zip(koko.snapshot().shards()) {
+            let got = a.bound_stats().expect("v3 load carries stats");
+            assert_eq!(got, b.bound_stats().unwrap());
+        }
+        // Re-saving a loaded snapshot reproduces the file byte-for-byte
+        // (stats included).
+        let path2 = tmp("stats_resave.koko");
+        loaded.save(&path2, false).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        let second = std::fs::read(&path2).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn v2_files_without_stats_load_and_resave() {
+        let koko = sample();
+        let snap = koko.snapshot();
+        // Hand-assemble a v2 payload: manifest + router + shards, no
+        // stats section, stamped version 2.
+        let mut buf = bytes::BytesMut::new();
+        snap.embeddings().encode(&mut buf);
+        snap.generation().encode(&mut buf);
+        (snap.num_base_shards() as u64).encode(&mut buf);
+        snap.router().encode(&mut buf);
+        let sections: Vec<Blob> = snap.shards().iter().map(|s| Blob(s.to_bytes())).collect();
+        sections.encode(&mut buf);
+        let path = tmp("v2.koko");
+        write_snapshot_file(&path, &buf).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[8..10].copy_from_slice(&2u16.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+
+        let loaded = Snapshot::load(&path, true).unwrap();
+        assert!(
+            loaded.shards().iter().all(|s| s.bound_stats().is_none()),
+            "pre-v3 files carry no stats"
+        );
+        assert_eq!(
+            loaded.corpus().num_documents(),
+            snap.corpus().num_documents()
+        );
+        // Re-saving the stats-less snapshot writes a valid v3 file whose
+        // stats section holds `None` per shard.
+        let resaved = tmp("v2_resave.koko");
+        loaded.save(&resaved, false).unwrap();
+        let again = Snapshot::load(&resaved, true).unwrap();
+        assert!(again.shards().iter().all(|s| s.bound_stats().is_none()));
+    }
+
+    #[test]
+    fn malformed_stats_section_is_rejected() {
+        let koko = sample();
+        let snap = koko.snapshot();
+        let mut buf = bytes::BytesMut::new();
+        snap.embeddings().encode(&mut buf);
+        snap.generation().encode(&mut buf);
+        (snap.num_base_shards() as u64).encode(&mut buf);
+        snap.router().encode(&mut buf);
+        let sections: Vec<Blob> = snap.shards().iter().map(|s| Blob(s.to_bytes())).collect();
+        sections.encode(&mut buf);
+        // A stats section for the wrong number of shards.
+        let stats: Vec<Option<ShardBoundStats>> = vec![None; snap.num_shards() + 3];
+        stats.encode(&mut buf);
+        let path = tmp("bad_stats.koko");
+        write_snapshot_file(&path, &buf).unwrap();
+        match Snapshot::load(&path, true) {
+            Err(Error::Snapshot(SnapshotFileError::Corrupt { detail, .. })) => {
+                assert!(detail.contains("stats section"), "{detail}");
+            }
+            other => panic!("expected stats rejection, got {other:?}"),
         }
     }
 

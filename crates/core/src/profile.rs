@@ -33,6 +33,13 @@ pub struct Profile {
     /// Candidate sentences inside those skipped documents — extraction
     /// work the limit avoided entirely.
     pub candidates_skipped: usize,
+    /// Candidate documents skipped under `ScoreDesc` top-k because their
+    /// shard's score upper bound could not beat the worst score already
+    /// in the bounded heap (WAND-style pruning). Disjoint from
+    /// [`Profile::docs_skipped`]-via-`DocOrder`: both counters accumulate
+    /// into `docs_skipped` totals per shard, but `bound_skipped_docs`
+    /// records only the bound-driven subset.
+    pub bound_skipped_docs: usize,
     /// Rows whose aggregated score fell below
     /// [`QueryRequest::min_score`](crate::QueryRequest::min_score) and were
     /// dropped inside the aggregation stage (never merged or returned).
@@ -93,6 +100,7 @@ impl Profile {
         self.raw_tuples += other.raw_tuples;
         self.docs_skipped += other.docs_skipped;
         self.candidates_skipped += other.candidates_skipped;
+        self.bound_skipped_docs += other.bound_skipped_docs;
         self.min_score_pruned += other.min_score_pruned;
         self.compiled_cache_hits += other.compiled_cache_hits;
         self.compiled_cache_misses += other.compiled_cache_misses;
@@ -142,6 +150,7 @@ mod tests {
             raw_tuples: 20,
             docs_skipped: 1,
             candidates_skipped: 2,
+            bound_skipped_docs: 5,
             min_score_pruned: 3,
             compiled_cache_hits: 1,
             compiled_cache_misses: 0,
@@ -160,6 +169,7 @@ mod tests {
             raw_tuples: 200,
             docs_skipped: 10,
             candidates_skipped: 20,
+            bound_skipped_docs: 50,
             min_score_pruned: 30,
             compiled_cache_hits: 2,
             compiled_cache_misses: 3,
@@ -174,6 +184,7 @@ mod tests {
         assert_eq!(a.raw_tuples, 220);
         assert_eq!(a.docs_skipped, 11);
         assert_eq!(a.candidates_skipped, 22);
+        assert_eq!(a.bound_skipped_docs, 55);
         assert_eq!(a.min_score_pruned, 33);
         assert_eq!(a.compiled_cache_hits, 3);
         assert_eq!(a.compiled_cache_misses, 3);

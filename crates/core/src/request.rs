@@ -59,8 +59,13 @@ pub enum Order {
     #[default]
     DocOrder,
     /// Highest score first; ties broken stably by `DocOrder` position,
-    /// i.e. (score desc, doc, row). Requires scoring every row, so
-    /// `limit` prunes output size but not evaluation work.
+    /// i.e. (score desc, doc, row). With a `limit`, each shard runs a
+    /// bounded-heap top-k driven by WAND-style score upper bounds: once
+    /// `offset + limit` rows are held, documents whose shard bound cannot
+    /// beat the worst held score are skipped without being loaded or
+    /// extracted (visible in
+    /// [`Profile::bound_skipped_docs`](crate::Profile::bound_skipped_docs)).
+    /// Returned rows are byte-identical to the full-scan reference.
     ScoreDesc,
 }
 
@@ -108,15 +113,18 @@ impl QueryRequest {
         &self.text
     }
 
-    /// Return at most `k` rows (after [`QueryRequest::offset`]). Under
-    /// [`Order::DocOrder`] this is *early termination*, not
-    /// post-filtering: each shard stops loading, extracting and scoring
-    /// documents as soon as it has `offset + k` surviving rows, and the
-    /// skipped work is visible in [`Profile::docs_skipped`] /
-    /// [`Profile::candidates_skipped`].
+    /// Return at most `k` rows (after [`QueryRequest::offset`]). This is
+    /// *early termination*, not post-filtering. Under [`Order::DocOrder`]
+    /// each shard stops loading, extracting and scoring documents as soon
+    /// as it has `offset + k` surviving rows. Under [`Order::ScoreDesc`]
+    /// each shard keeps a bounded min-heap of its best `offset + k` rows
+    /// and skips documents whose score upper bound cannot beat the heap
+    /// floor. Skipped work is visible in [`Profile::docs_skipped`] /
+    /// [`Profile::candidates_skipped`] / [`Profile::bound_skipped_docs`].
     ///
     /// [`Profile::docs_skipped`]: crate::Profile::docs_skipped
     /// [`Profile::candidates_skipped`]: crate::Profile::candidates_skipped
+    /// [`Profile::bound_skipped_docs`]: crate::Profile::bound_skipped_docs
     pub fn limit(mut self, k: usize) -> QueryRequest {
         self.limit = Some(k);
         self
@@ -235,11 +243,30 @@ pub struct ShardExplain {
     pub docs_processed: usize,
     /// Deduplicated raw tuples extracted from the processed documents.
     pub tuples: usize,
-    /// Rows that survived aggregation (threshold + `min_score`).
+    /// Rows this shard handed to the merge. Equal to the rows that
+    /// survived aggregation (threshold + `min_score`), except under a
+    /// ranked top-k, where only the shard's best `offset + limit` rows
+    /// are kept.
     pub rows: usize,
     /// Rows dropped by the request's `min_score` floor.
     pub min_score_pruned: usize,
     /// True when the shard stopped before `docs` ran out because the
-    /// requested `offset + limit` rows were already found.
+    /// requested `offset + limit` rows were already found (`DocOrder`),
+    /// or because no remaining document could beat the top-k heap floor
+    /// (`ScoreDesc`).
     pub early_stopped: bool,
+    /// Upper bound on any row score this shard could produce, derived
+    /// from the compiled query plus the shard's bound statistics (`1.0`
+    /// or the weights-only sum when statistics are absent, e.g. pre-v3
+    /// snapshots). `0.0` when the bound proves the shard row-free.
+    pub score_bound: f64,
+    /// The `ScoreDesc` top-k heap floor when the shard finished with a
+    /// full heap — the score a document had to beat to matter. `None`
+    /// when the heap never filled or the request was not a ranked top-k.
+    pub heap_floor: Option<f64>,
+    /// Candidate documents skipped because [`ShardExplain::score_bound`]
+    /// (or the shard's infeasibility) proved they could not beat
+    /// [`ShardExplain::heap_floor`]. Subset of the skipped-document
+    /// totals in [`Profile`](crate::Profile).
+    pub bound_skipped_docs: usize,
 }

@@ -27,5 +27,5 @@ pub use api::{effectiveness, ground_truth_sids, CandidateIndex};
 pub use hierarchy::{HierLabel, HierarchyIndex};
 pub use inverted::InvertedIndex;
 pub use koko::KokoIndex;
-pub use shard::{build_shards, plan_shards, Shard, ShardRouter};
+pub use shard::{build_shards, plan_shards, Shard, ShardBoundStats, ShardRouter};
 pub use subtree::SubtreeIndex;

@@ -22,8 +22,92 @@
 
 use crate::koko::KokoIndex;
 use koko_nlp::{Corpus, Document, Sid};
-use koko_storage::{Codec, DecodeError, DocStore};
+use koko_storage::{codec::fnv1a64, Codec, DecodeError, DocStore};
 use std::ops::Range;
+
+/// Cheap per-shard statistics for bounding aggregation scores *before*
+/// any document is loaded or extracted — the max-score/WAND-style side
+/// table behind `ScoreDesc` top-k pruning.
+///
+/// Today it is the shard's lower-cased token vocabulary as a sorted,
+/// deduplicated FNV-1a64 hash set: `has_token` answers "could this word
+/// possibly occur anywhere in the shard?" in `O(log |vocab|)`. A score
+/// bound derived from it is *necessary-condition* sound: a `false`
+/// answer proves the condition can never fire in this shard, while a
+/// `true` answer stays conservative (hash collisions and phrase order
+/// are ignored — they can only make the bound looser, never unsound).
+///
+/// Stats are computed at shard build time and persisted as their own
+/// snapshot section (format v3). They are deliberately *not* part of
+/// [`Shard`]'s own [`Codec`] frame, so shard bytes stay identical across
+/// versions; a shard decoded from a pre-v3 file simply has no stats and
+/// queries fall back to the conservative bound.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardBoundStats {
+    /// Sorted, deduplicated FNV-1a64 hashes of every distinct lower-cased
+    /// token in the shard.
+    token_hashes: Vec<u64>,
+}
+
+impl ShardBoundStats {
+    /// Collect the token vocabulary of `docs` (the documents of one
+    /// shard). Deterministic: depends only on the documents' tokens.
+    pub fn from_docs(docs: &[std::sync::Arc<Document>]) -> ShardBoundStats {
+        let mut token_hashes: Vec<u64> = docs
+            .iter()
+            .flat_map(|d| d.sentences.iter())
+            .flat_map(|s| s.tokens.iter())
+            .map(|t| fnv1a64(t.lower.as_bytes()))
+            .collect();
+        token_hashes.sort_unstable();
+        token_hashes.dedup();
+        ShardBoundStats { token_hashes }
+    }
+
+    /// Whether the (lower-cased) word could occur in the shard. `false`
+    /// is a proof of absence; `true` is merely "not impossible".
+    pub fn has_token(&self, lower: &str) -> bool {
+        self.token_hashes
+            .binary_search(&fnv1a64(lower.as_bytes()))
+            .is_ok()
+    }
+
+    /// Whether every word of a (lower-cased) sequence could occur in the
+    /// shard — the feasibility gate for phrase/proximity conditions. An
+    /// empty sequence is infeasible (no condition matches on nothing).
+    pub fn has_all_tokens<'a, I: IntoIterator<Item = &'a str>>(&self, words: I) -> bool {
+        let mut any = false;
+        for w in words {
+            any = true;
+            if !self.has_token(w) {
+                return false;
+            }
+        }
+        any
+    }
+
+    /// Distinct tokens tracked (diagnostics only).
+    pub fn num_tokens(&self) -> usize {
+        self.token_hashes.len()
+    }
+}
+
+/// Stats serialize as the sorted hash list — their own frame, appended to
+/// the snapshot payload as a v3 section (never inside [`Shard`]'s frame).
+impl Codec for ShardBoundStats {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.token_hashes.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let token_hashes = Vec::<u64>::decode(input)?;
+        if token_hashes.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DecodeError(
+                "bound stats token hashes are not sorted and distinct".into(),
+            ));
+        }
+        Ok(ShardBoundStats { token_hashes })
+    }
+}
 
 /// One contiguous document partition with its own index and store.
 #[derive(Debug, Clone)]
@@ -37,6 +121,11 @@ pub struct Shard {
     index: KokoIndex,
     /// Encoded articles, addressed by *local* document index.
     store: DocStore,
+    /// Score-bound statistics (see [`ShardBoundStats`]). Always present
+    /// on built shards; `None` after decoding a pre-v3 snapshot (queries
+    /// then use the conservative bound). Excluded from the shard's own
+    /// codec frame so shard bytes are version-independent.
+    bounds: Option<ShardBoundStats>,
 }
 
 impl Shard {
@@ -77,12 +166,14 @@ impl Shard {
         for d in docs {
             store.put(d);
         }
+        let bounds = Some(ShardBoundStats::from_docs(docs));
         Shard {
             id,
             docs: doc_range,
             sids,
             index,
             store,
+            bounds,
         }
     }
 
@@ -146,6 +237,19 @@ impl Shard {
     pub fn approx_index_bytes(&self) -> usize {
         self.index.approx_bytes()
     }
+
+    /// Score-bound statistics, if available. Built shards always carry
+    /// them; shards decoded from pre-v3 snapshots return `None` and the
+    /// executor falls back to the conservative (weights-only) bound.
+    pub fn bound_stats(&self) -> Option<&ShardBoundStats> {
+        self.bounds.as_ref()
+    }
+
+    /// Attach bound statistics decoded from a snapshot's stats section
+    /// (the load path — stats travel outside the shard's codec frame).
+    pub fn set_bound_stats(&mut self, stats: Option<ShardBoundStats>) {
+        self.bounds = stats;
+    }
 }
 
 /// A shard serializes as its metadata plus its index and store, so a
@@ -194,6 +298,9 @@ impl Codec for Shard {
             sids,
             index,
             store,
+            // Stats live in the snapshot's own v3 section; the loader
+            // attaches them after decode. Absent ⇒ conservative bounds.
+            bounds: None,
         })
     }
 }
@@ -516,6 +623,52 @@ mod tests {
             ShardRouter::from_shards(&owned),
             ShardRouter::from_shards(&arcs)
         );
+    }
+
+    #[test]
+    fn bound_stats_answer_vocabulary_membership() {
+        let c = corpus(6);
+        let shard = build_shards(&c, 1, 1).remove(0);
+        let stats = shard.bound_stats().expect("built shards carry stats");
+        // Tokens from both document flavors, queried lower-cased.
+        assert!(stats.has_token("anna"));
+        assert!(stats.has_token("latte"));
+        assert!(stats.has_token("busy"));
+        assert!(!stats.has_token("zeppelin"));
+        assert!(stats.has_all_tokens(["anna", "ate", "cake"]));
+        assert!(!stats.has_all_tokens(["anna", "zeppelin"]));
+        // Empty sequences are infeasible, not vacuously present.
+        assert!(!stats.has_all_tokens(std::iter::empty::<&str>()));
+        assert!(stats.num_tokens() > 0);
+    }
+
+    #[test]
+    fn bound_stats_codec_round_trip_and_rejects_unsorted() {
+        let c = corpus(5);
+        let stats = ShardBoundStats::from_docs(c.documents());
+        let back = ShardBoundStats::from_bytes(&stats.to_bytes()).unwrap();
+        assert_eq!(back, stats);
+        // Hand-built frames with unsorted or duplicated hashes are corrupt.
+        let mut buf = bytes::BytesMut::new();
+        vec![3u64, 1, 2].encode(&mut buf);
+        assert!(ShardBoundStats::from_bytes(&buf).is_err());
+        let mut buf = bytes::BytesMut::new();
+        vec![1u64, 1].encode(&mut buf);
+        assert!(ShardBoundStats::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn bound_stats_stay_out_of_the_shard_frame() {
+        // Shard bytes are version-independent: stripping stats (the decode
+        // state) must not change the encoding, and decode yields None.
+        let c = corpus(4);
+        let shard = build_shards(&c, 1, 1).remove(0);
+        assert!(shard.bound_stats().is_some());
+        let mut stripped = shard.clone();
+        stripped.set_bound_stats(None);
+        assert_eq!(shard.to_bytes(), stripped.to_bytes());
+        let back = Shard::from_bytes(&shard.to_bytes()).unwrap();
+        assert!(back.bound_stats().is_none());
     }
 
     #[test]

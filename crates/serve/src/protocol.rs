@@ -445,7 +445,7 @@ pub fn explain_json(e: &Explain) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"shard\":{},\"delta\":{},\"lookups\":{},\"candidates\":{},\"docs\":{},\"docs_processed\":{},\"tuples\":{},\"rows\":{},\"min_score_pruned\":{},\"early_stopped\":{}}}",
+            "{{\"shard\":{},\"delta\":{},\"lookups\":{},\"candidates\":{},\"docs\":{},\"docs_processed\":{},\"tuples\":{},\"rows\":{},\"min_score_pruned\":{},\"early_stopped\":{}",
             s.shard,
             s.is_delta,
             s.lookups,
@@ -456,6 +456,17 @@ pub fn explain_json(e: &Explain) -> String {
             s.rows,
             s.min_score_pruned,
             s.early_stopped,
+        ));
+        out.push_str(",\"score_bound\":");
+        write_f64(&mut out, s.score_bound);
+        out.push_str(",\"heap_floor\":");
+        match s.heap_floor {
+            Some(floor) => write_f64(&mut out, floor),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(
+            ",\"bound_skipped_docs\":{}}}",
+            s.bound_skipped_docs
         ));
     }
     out.push_str("]}");
@@ -617,6 +628,9 @@ mod tests {
                     docs: 2,
                     docs_processed: 1,
                     early_stopped: true,
+                    score_bound: 1.3,
+                    heap_floor: Some(0.5),
+                    bound_skipped_docs: 1,
                     ..koko_core::ShardExplain::default()
                 }],
             }),
@@ -635,7 +649,12 @@ mod tests {
             "{extended}"
         );
         assert!(extended.contains("\"explain\":{\"plans\":["), "{extended}");
-        assert!(extended.contains("\"early_stopped\":true"), "{extended}");
+        assert!(
+            extended.contains(
+                "\"early_stopped\":true,\"score_bound\":1.3,\"heap_floor\":0.5,\"bound_skipped_docs\":1"
+            ),
+            "{extended}"
+        );
         assert_eq!(response_rows(&extended), Some("[]"));
         assert!(crate::json::parse(&extended).is_ok(), "valid json");
     }

@@ -34,8 +34,10 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"KOKOSNAP";
 /// Snapshot container format version written by this build. Bump on any
 /// layout change to the header *or* the payload encoding. Version 2 added
 /// the generational manifest (generation counter + base/delta shard
-/// split) for live incremental indices.
-pub const SNAPSHOT_VERSION: u16 = 2;
+/// split) for live incremental indices; version 3 added the per-shard
+/// score-bound statistics section behind ranked top-k pruning (absent in
+/// older files, which load with conservative bounds).
+pub const SNAPSHOT_VERSION: u16 = 3;
 /// Oldest container version this build still reads. Version-1 files (the
 /// pre-live, purely static format) load as generation 1 with every shard
 /// treated as base.

@@ -290,7 +290,7 @@ fn print_request_summary(out: &koko::QueryOutput) {
         }
         for s in &explain.shards {
             println!(
-                "shard {:>2} ({}): lookups {} | candidates {} | docs {}/{} | tuples {} | rows {} | min_score pruned {} | early stop {}",
+                "shard {:>2} ({}): lookups {} | candidates {} | docs {}/{} | tuples {} | rows {} | min_score pruned {} | early stop {} | bound {} | floor {} | bound skipped {}",
                 s.shard,
                 if s.is_delta { "delta" } else { "base" },
                 s.lookups,
@@ -301,6 +301,10 @@ fn print_request_summary(out: &koko::QueryOutput) {
                 s.rows,
                 s.min_score_pruned,
                 s.early_stopped,
+                s.score_bound,
+                s.heap_floor
+                    .map_or_else(|| "-".to_string(), |f| f.to_string()),
+                s.bound_skipped_docs,
             );
         }
     }

@@ -98,6 +98,11 @@ fn query_output_carries_the_documented_fields() {
     let _shards: &Vec<ShardExplain> = &e.shards;
     let _ = e.total_candidates();
     let _ = e.early_terminated();
+    // Per-shard ranked top-k counters.
+    let s = ShardExplain::default();
+    let _bound: f64 = s.score_bound;
+    let _floor: Option<f64> = s.heap_floor;
+    let _skipped: usize = s.bound_skipped_docs;
 }
 
 #[test]
@@ -113,7 +118,12 @@ fn error_has_the_structured_deadline_variant() {
 #[test]
 fn profile_exposes_the_pruning_counters() {
     let p = Profile::default();
-    let _ = (p.docs_skipped, p.candidates_skipped, p.min_score_pruned);
+    let _ = (
+        p.docs_skipped,
+        p.candidates_skipped,
+        p.min_score_pruned,
+        p.bound_skipped_docs,
+    );
     let _ = (
         p.candidate_sentences,
         p.delta_candidates,

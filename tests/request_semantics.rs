@@ -222,14 +222,32 @@ fn top_k_early_termination_skips_documents() {
         limited.profile.raw_tuples < full.profile.raw_tuples,
         "skipped documents were never extracted"
     );
-    // ScoreDesc cannot stop early: every row must be scored.
+    // ScoreDesc prunes too: EXAMPLE_2_1 has no satisfying clause, so
+    // every row scores exactly the shard bound (1.0) — after the first
+    // document fills the heap, no later document can beat the floor
+    // (score ties lose to the incumbent's smaller key).
     let scored = QueryRequest::new(queries::EXAMPLE_2_1)
         .limit(1)
         .order(Order::ScoreDesc)
         .run(&koko)
         .unwrap();
-    assert_eq!(scored.profile.docs_skipped, 0);
-    assert_eq!(scored.total_matches, 30);
+    assert_eq!(scored.rows.len(), 1);
+    assert!(scored.truncated);
+    assert_eq!(render_rows(&scored.rows), render_rows(&full.rows[..1]));
+    assert!(
+        scored.profile.bound_skipped_docs >= 25,
+        "the score bound must skip most documents (skipped {})",
+        scored.profile.bound_skipped_docs
+    );
+    assert_eq!(
+        scored.profile.docs_skipped,
+        scored.profile.bound_skipped_docs
+    );
+    assert!(scored.profile.candidates_skipped >= 25);
+    assert!(
+        scored.total_matches >= 1,
+        "total_matches stays a lower bound under ranked early termination"
+    );
 }
 
 #[test]
@@ -356,6 +374,111 @@ fn explain_reports_are_consistent_with_the_profile() {
         if *q == queries::TITLE && out.profile.candidate_sentences > 0 {
             assert!(!explain.plans.is_empty(), "{q}");
         }
+    }
+}
+
+/// Rewrite an engine's saved snapshot as a format-v2 file (no score-bound
+/// statistics): drop the trailing stats section, restamp the version, and
+/// fix the payload length + checksum. Loading it exercises the
+/// conservative-bound path exactly as a real pre-v3 file would.
+fn strip_to_v2(koko: &Koko, path: &std::path::Path) {
+    use koko::storage::Codec;
+    koko.snapshot().save(path, false).unwrap();
+    let mut data = std::fs::read(path).unwrap();
+    let stats: Vec<Option<koko::index::ShardBoundStats>> = koko
+        .snapshot()
+        .shards()
+        .iter()
+        .map(|s| s.bound_stats().cloned())
+        .collect();
+    let stats_bytes = stats.to_bytes();
+    assert!(
+        data.ends_with(&stats_bytes),
+        "the stats section is the final payload section"
+    );
+    data.truncate(data.len() - stats_bytes.len());
+    let header = 26; // magic(8) + version(2) + len(8) + checksum(8)
+    let payload_len = (data.len() - header) as u64;
+    data[10..18].copy_from_slice(&payload_len.to_le_bytes());
+    let checksum = koko::storage::codec::fnv1a64(&data[header..]);
+    data[18..26].copy_from_slice(&checksum.to_le_bytes());
+    data[8..10].copy_from_slice(&2u16.to_le_bytes());
+    std::fs::write(path, &data).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The ranked-top-k contract: bounded-heap `ScoreDesc` with WAND-style
+    /// bound pruning returns rows byte-identical (content, order, scores)
+    /// to windowing the full-scan reference — across random corpora,
+    /// shard counts, limits, offsets and `min_score` floors — and a
+    /// pre-v3 snapshot without bound statistics answers identically via
+    /// the conservative bound, just with less pruning.
+    #[test]
+    fn ranked_topk_is_byte_identical_to_full_scan(
+        (n_docs, corpus_seed) in (1usize..14, 0u64..400),
+        (shards, qi) in (1usize..5, 0usize..5),
+        (offset, k) in (0usize..6, 1usize..8),
+        floor_half in 0u32..4, // min_score = half * 0.25
+    ) {
+        let texts = koko::corpus::wiki::generate(n_docs, corpus_seed);
+        let koko = engine(&texts, shards, 0);
+        let q = PAPER_QUERIES[qi];
+        let floor = f64::from(floor_half) * 0.25;
+        let ctx = format!(
+            "{q} docs={n_docs} seed={corpus_seed} shards={shards} floor={floor} offset={offset} k={k}"
+        );
+
+        // Full-scan reference: no limit ⇒ the heap never engages.
+        let full = QueryRequest::new(q)
+            .order(Order::ScoreDesc)
+            .min_score(floor)
+            .run(&koko)
+            .unwrap();
+        prop_assert!(!full.truncated, "{}", &ctx);
+        let start = offset.min(full.rows.len());
+        let end = (start + k).min(full.rows.len());
+        let expected = render_rows(&full.rows[start..end]);
+
+        let ranked = QueryRequest::new(q)
+            .order(Order::ScoreDesc)
+            .min_score(floor)
+            .offset(offset)
+            .limit(k)
+            .run(&koko)
+            .unwrap();
+        prop_assert_eq!(render_rows(&ranked.rows), expected.clone(), "{}", &ctx);
+        if ranked.truncated {
+            prop_assert!(
+                ranked.total_matches >= end && ranked.total_matches <= full.rows.len(),
+                "{}: truncated totals stay a covering lower bound", &ctx
+            );
+        } else {
+            prop_assert_eq!(ranked.total_matches, full.rows.len(), "{}", &ctx);
+        }
+
+        // Conservative-bound path: the same request against a v2 snapshot
+        // (statistics stripped) must answer byte-identically.
+        let path = std::env::temp_dir().join(format!(
+            "koko_ranked_v2_{}_{n_docs}_{corpus_seed}_{shards}.koko",
+            std::process::id()
+        ));
+        strip_to_v2(&koko, &path);
+        let legacy = Koko::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert!(
+            legacy.snapshot().shards().iter().all(|s| s.bound_stats().is_none()),
+            "{}: stripped file must load without stats", &ctx
+        );
+        let out = QueryRequest::new(q)
+            .order(Order::ScoreDesc)
+            .min_score(floor)
+            .offset(offset)
+            .limit(k)
+            .run(&legacy)
+            .unwrap();
+        prop_assert_eq!(render_rows(&out.rows), expected, "{} (v2 conservative path)", &ctx);
     }
 }
 
