@@ -52,6 +52,15 @@ struct ScalePoint {
     served_cold_qps: f64,
     served_warm_1_qps: f64,
     served_warm_n_qps: f64,
+    /// Open-loop (fixed-arrival-rate) section: the offered rate…
+    served_open_rate_rps: f64,
+    /// …the rate actually achieved…
+    served_open_achieved_rps: f64,
+    /// …and the latency distribution measured from the arrival schedule
+    /// (coordinated-omission-free), in milliseconds.
+    served_open_p50_ms: f64,
+    served_open_p95_ms: f64,
+    served_open_p99_ms: f64,
     /// Incremental ingest: documents added via `add_texts` in one wave.
     add_docs: usize,
     /// Wall-clock of that `add_texts` wave.
@@ -85,7 +94,7 @@ struct ScalePoint {
 impl ScalePoint {
     fn json(&self) -> String {
         format!(
-            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6},\"query_full_warm_s\":{:.6},\"query_limit10_s\":{:.6},\"topk_speedup\":{:.3},\"limit10_docs_skipped\":{},\"query_scoredesc_limit10_s\":{:.6},\"scoredesc_topk_speedup\":{:.3},\"bound_skipped_docs\":{}}}",
+            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"served_open_rate_rps\":{:.1},\"served_open_achieved_rps\":{:.1},\"served_open_p50_ms\":{:.3},\"served_open_p95_ms\":{:.3},\"served_open_p99_ms\":{:.3},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6},\"query_full_warm_s\":{:.6},\"query_limit10_s\":{:.6},\"topk_speedup\":{:.3},\"limit10_docs_skipped\":{},\"query_scoredesc_limit10_s\":{:.6},\"scoredesc_topk_speedup\":{:.3},\"bound_skipped_docs\":{}}}",
             self.articles,
             self.shards,
             self.ingest_seq.as_secs_f64(),
@@ -106,6 +115,11 @@ impl ScalePoint {
             self.served_cold_qps,
             self.served_warm_1_qps,
             self.served_warm_n_qps,
+            self.served_open_rate_rps,
+            self.served_open_achieved_rps,
+            self.served_open_p50_ms,
+            self.served_open_p95_ms,
+            self.served_open_p99_ms,
             self.add_docs,
             self.add.as_secs_f64(),
             self.rebuild.as_secs_f64(),
@@ -132,10 +146,17 @@ fn ratio(a: Duration, b: Duration) -> f64 {
 /// Measure served throughput over one engine: cold (first pass fills the
 /// caches), then warm with 1 client, then warm with `clients` concurrent
 /// client threads. Returns `(cold_qps, warm_1_qps, warm_n_qps)`.
-fn serve_section(koko: Koko, queries: &[&str], clients: usize) -> (f64, f64, f64) {
+fn serve_section(
+    koko: Koko,
+    queries: &[&str],
+    clients: usize,
+) -> (f64, f64, f64, koko_serve::OpenLoadReport) {
     const WARM_REPEAT: usize = 50;
     let queries: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
-    let server = koko_serve::Server::bind(koko, "127.0.0.1:0", clients).expect("bind server");
+    // Workers auto-size to the cores (0 = auto): the event-loop server
+    // multiplexes any number of connections over one reactor, so the pool
+    // tracks the hardware, not the client count.
+    let server = koko_serve::Server::bind(koko, "127.0.0.1:0", 0).expect("bind server");
     let addr = server.local_addr().to_string();
 
     // Cold: every query evaluates (and fills both caches).
@@ -149,8 +170,27 @@ fn serve_section(koko: Koko, queries: &[&str], clients: usize) -> (f64, f64, f64
         koko_serve::run_load(&addr, &queries, clients, WARM_REPEAT, true).expect("warm N load");
     assert_eq!(warmn.errors, 0, "warm N responses all ok");
 
+    // Open loop: fixed arrivals at ~60% of the warm closed-loop rate, so
+    // the server runs loaded-but-unsaturated and the p50/p95/p99 measure
+    // latency under offered load rather than queueing collapse. Latency
+    // is taken from the arrival schedule (coordinated-omission-free).
+    let open_rate = (warm1.qps * 0.6).max(50.0);
+    let open_requests = ((open_rate * 0.5) as usize).clamp(100, 4000);
+    let open = koko_serve::run_load_open(
+        &addr,
+        &queries,
+        clients,
+        open_requests,
+        open_rate,
+        true,
+        None,
+        None,
+    )
+    .expect("open loop load");
+    assert_eq!(open.errors, 0, "open-loop responses all ok");
+
     server.shutdown();
-    (cold.qps, warm1.qps, warmn.qps)
+    (cold.qps, warm1.qps, warmn.qps, open)
 }
 
 fn main() {
@@ -359,7 +399,7 @@ fn main() {
             result_cache: 4096,
             ..par_opts
         };
-        let (served_cold_qps, served_warm_1_qps, served_warm_n_qps) =
+        let (served_cold_qps, served_warm_1_qps, served_warm_n_qps, open) =
             serve_section(loaded.with_opts(serve_opts), &bench_queries, served_clients);
 
         let point = ScalePoint {
@@ -376,6 +416,11 @@ fn main() {
             served_cold_qps,
             served_warm_1_qps,
             served_warm_n_qps,
+            served_open_rate_rps: open.offered_rps,
+            served_open_achieved_rps: open.achieved_rps,
+            served_open_p50_ms: open.p50.as_secs_f64() * 1e3,
+            served_open_p95_ms: open.p95.as_secs_f64() * 1e3,
+            served_open_p99_ms: open.p99.as_secs_f64() * 1e3,
             add_docs: ADD_DOCS,
             add,
             rebuild,
@@ -515,6 +560,28 @@ fn main() {
         ]);
     }
     println!("(expected: warm result-cache QPS orders of magnitude above cold; N clients scale warm QPS further until the worker pool saturates)");
+
+    // ---- Open-loop latency: fixed arrival rate, schedule-based latency --
+    println!("\n## Open-loop serving latency (fixed arrival rate, warm cache)\n");
+    header(&[
+        "articles",
+        "offered rps",
+        "achieved rps",
+        "p50",
+        "p95",
+        "p99",
+    ]);
+    for p in &points {
+        row(&[
+            p.articles.to_string(),
+            format!("{:.0}", p.served_open_rate_rps),
+            format!("{:.0}", p.served_open_achieved_rps),
+            format!("{:.2}ms", p.served_open_p50_ms),
+            format!("{:.2}ms", p.served_open_p95_ms),
+            format!("{:.2}ms", p.served_open_p99_ms),
+        ]);
+    }
+    println!("(expected: achieved ≈ offered — the event loop keeps up below saturation — with single-digit-ms p50 and a bounded p99; latency is measured from the arrival schedule, so a server falling behind would show it in the tail)");
 
     // ---- JSON perf trajectory -------------------------------------------
     let json = format!(

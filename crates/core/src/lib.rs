@@ -93,6 +93,7 @@ pub mod persist;
 pub mod profile;
 pub mod request;
 pub mod snapshot;
+pub mod tenant;
 
 pub use cache::CacheStats;
 pub use engine::{
@@ -104,6 +105,7 @@ pub use live::LiveIndex;
 pub use profile::Profile;
 pub use request::{Explain, Order, QueryRequest, ShardExplain};
 pub use snapshot::Snapshot;
+pub use tenant::{Admission, AdmissionState, Overload, TenantPolicy, TenantTable, TokenBucket};
 
 #[cfg(test)]
 mod tests {

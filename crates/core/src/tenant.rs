@@ -1,0 +1,637 @@
+//! Multi-tenant admission control: per-tenant token buckets, bounded
+//! admission queues, concurrency limits, and `QueryRequest` defaults.
+//!
+//! The serving layer authenticates each wire request to a *tenant* (the
+//! protocol's `auth` field) and asks this module whether to run it now,
+//! park it in a bounded queue, or reject it with a structured overload
+//! error. The policy/state split keeps the logic testable in isolation:
+//!
+//! * [`TenantPolicy`] — static limits for one tenant: token-bucket rate
+//!   and burst, queue bound, concurrency bound, and `QueryRequest`
+//!   defaults (deadline default and hard cap).
+//! * [`TenantTable`] — the named policies plus an optional default
+//!   policy for unnamed (anonymous) callers. An **empty** table turns
+//!   admission off entirely — the seed server's open-door behavior.
+//! * [`AdmissionState`] — the runtime counters. Deliberately clockless:
+//!   every method takes `now_s` (monotonic seconds, any epoch) so tests
+//!   and proptests drive time deterministically.
+//!
+//! The decision tree in [`AdmissionState::admit`] is, per tenant and in
+//! order: unknown tenant → [`Overload::UnknownTenant`]; token bucket
+//! empty → [`Overload::RateLimited`] with a retry hint; a free
+//! concurrency slot → [`Admission::Dispatch`]; queue space →
+//! [`Admission::Enqueue`]; otherwise [`Overload::QueueFull`]. Tokens are
+//! charged at *arrival* (enqueued work has already paid), so the queue
+//! bounds concurrency overflow only. All state is per-tenant: one
+//! tenant exhausting its budget can never consume another's.
+
+use crate::request::QueryRequest;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Static admission limits and request defaults for one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPolicy {
+    /// Sustained request rate (token-bucket refill), requests/second.
+    /// `<= 0` disables rate limiting for this tenant.
+    pub rate_per_s: f64,
+    /// Token-bucket capacity: how many requests may arrive back-to-back
+    /// before the rate limit bites. Clamped to at least 1 token.
+    pub burst: f64,
+    /// Requests parked while all concurrency slots are busy. `0` means
+    /// no queueing: a request either dispatches or is rejected.
+    pub max_queue: usize,
+    /// Requests from this tenant running simultaneously (min 1).
+    pub max_concurrent: usize,
+    /// Deadline applied to requests that don't carry one.
+    pub default_deadline: Option<Duration>,
+    /// Hard ceiling on any requested deadline; longer asks are clamped
+    /// down (and requests without a deadline get exactly the cap if no
+    /// `default_deadline` is set).
+    pub deadline_cap: Option<Duration>,
+}
+
+impl Default for TenantPolicy {
+    /// Permissive: no rate limit, modest queue, effectively unbounded
+    /// concurrency, no deadline shaping.
+    fn default() -> TenantPolicy {
+        TenantPolicy {
+            rate_per_s: 0.0,
+            burst: 1.0,
+            max_queue: 64,
+            max_concurrent: usize::MAX,
+            default_deadline: None,
+            deadline_cap: None,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// Parse the CLI/server spec `rate:burst:queue:concurrency[:cap_ms]`
+    /// (the part after the tenant name). `rate` may be fractional; `0`
+    /// disables rate limiting. The optional trailing field is a deadline
+    /// cap in milliseconds.
+    pub fn parse(spec: &str) -> Result<TenantPolicy, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() < 4 || parts.len() > 5 {
+            return Err(format!(
+                "tenant policy `{spec}`: expected rate:burst:queue:concurrency[:cap_ms]"
+            ));
+        }
+        let rate_per_s: f64 = parts[0]
+            .parse()
+            .map_err(|_| format!("tenant policy `{spec}`: bad rate `{}`", parts[0]))?;
+        let burst: f64 = parts[1]
+            .parse()
+            .map_err(|_| format!("tenant policy `{spec}`: bad burst `{}`", parts[1]))?;
+        let max_queue: usize = parts[2]
+            .parse()
+            .map_err(|_| format!("tenant policy `{spec}`: bad queue `{}`", parts[2]))?;
+        let max_concurrent: usize = parts[3]
+            .parse()
+            .map_err(|_| format!("tenant policy `{spec}`: bad concurrency `{}`", parts[3]))?;
+        if !rate_per_s.is_finite() || rate_per_s < 0.0 {
+            return Err(format!(
+                "tenant policy `{spec}`: rate must be finite and >= 0"
+            ));
+        }
+        if !burst.is_finite() || burst < 0.0 {
+            return Err(format!(
+                "tenant policy `{spec}`: burst must be finite and >= 0"
+            ));
+        }
+        if max_concurrent == 0 {
+            return Err(format!("tenant policy `{spec}`: concurrency must be >= 1"));
+        }
+        let deadline_cap = match parts.get(4) {
+            None => None,
+            Some(ms) => {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("tenant policy `{spec}`: bad cap_ms `{ms}`"))?;
+                Some(Duration::from_millis(ms))
+            }
+        };
+        Ok(TenantPolicy {
+            rate_per_s,
+            burst,
+            max_queue,
+            max_concurrent,
+            default_deadline: None,
+            deadline_cap,
+        })
+    }
+
+    /// Lower this tenant's request defaults onto `req`: fill in a missing
+    /// deadline from `default_deadline` (else `deadline_cap`), then clamp
+    /// any deadline to `deadline_cap`.
+    pub fn shape_request(&self, req: &mut QueryRequest) {
+        if req.deadline.is_none() {
+            req.deadline = self.default_deadline.or(self.deadline_cap);
+        }
+        if let (Some(cap), Some(d)) = (self.deadline_cap, req.deadline) {
+            if d > cap {
+                req.deadline = Some(cap);
+            }
+        }
+    }
+}
+
+/// The set of configured tenants plus an optional default policy for
+/// requests that carry no `auth`. Empty table = admission disabled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantTable {
+    named: BTreeMap<String, TenantPolicy>,
+    default_policy: Option<TenantPolicy>,
+}
+
+impl TenantTable {
+    /// An empty table: admission control off, every request dispatches.
+    pub fn new() -> TenantTable {
+        TenantTable::default()
+    }
+
+    /// Register (or replace) the policy for a named tenant.
+    pub fn insert(&mut self, name: impl Into<String>, policy: TenantPolicy) {
+        self.named.insert(name.into(), policy);
+    }
+
+    /// Set the policy applied to requests without an `auth` field. If
+    /// unset (and the table is nonempty), anonymous requests are
+    /// rejected as [`Overload::UnknownTenant`].
+    pub fn set_default(&mut self, policy: TenantPolicy) {
+        self.default_policy = Some(policy);
+    }
+
+    /// Parse a `name:rate:burst:queue:concurrency[:cap_ms]` spec and
+    /// insert it (the CLI's `--tenant=` flag format).
+    pub fn insert_spec(&mut self, spec: &str) -> Result<(), String> {
+        let (name, rest) = spec.split_once(':').ok_or_else(|| {
+            format!("tenant spec `{spec}`: expected name:rate:burst:queue:concurrency[:cap_ms]")
+        })?;
+        if name.is_empty() {
+            return Err(format!("tenant spec `{spec}`: empty tenant name"));
+        }
+        self.insert(name, TenantPolicy::parse(rest)?);
+        Ok(())
+    }
+
+    /// True when no policies are configured (admission control off).
+    pub fn is_empty(&self) -> bool {
+        self.named.is_empty() && self.default_policy.is_none()
+    }
+
+    /// Number of named tenants.
+    pub fn len(&self) -> usize {
+        self.named.len()
+    }
+
+    /// Resolve a request's `auth` to a policy: named tenants first,
+    /// anonymous callers get the default policy if one is set.
+    pub fn policy_for(&self, tenant: Option<&str>) -> Option<&TenantPolicy> {
+        match tenant {
+            Some(name) => self.named.get(name),
+            None => self.default_policy.as_ref(),
+        }
+    }
+
+    /// Iterate the named tenants in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TenantPolicy)> {
+        self.named.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// Why a request was refused — each maps to one structured wire error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Overload {
+    /// The `auth` value names no configured tenant (and no default
+    /// policy covers anonymous callers). 401-equivalent.
+    UnknownTenant,
+    /// The tenant's token bucket is empty. 429-equivalent; retry after
+    /// the embedded hint.
+    RateLimited {
+        /// Time until the bucket refills one token at the sustained rate.
+        retry_after: Duration,
+    },
+    /// Concurrency slots and the admission queue are both full.
+    /// 429-equivalent.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        max_queue: usize,
+    },
+}
+
+/// The admission verdict for one arriving request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// Run now: a concurrency slot was taken. Pair with
+    /// [`AdmissionState::on_complete`] when the request finishes.
+    Dispatch,
+    /// Park the request: a queue slot was taken. Dispatch later via
+    /// [`AdmissionState::try_dispatch_queued`].
+    Enqueue,
+    /// Refuse with the embedded structured error. No state was taken.
+    Reject(Overload),
+}
+
+/// A deterministic token bucket. Time is caller-supplied monotonic
+/// seconds so behavior is a pure function of the call sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBucket {
+    rate_per_s: f64,
+    burst: f64,
+    tokens: f64,
+    last_s: f64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full. `rate_per_s <= 0` builds an unlimited
+    /// bucket whose [`TokenBucket::try_take`] always succeeds.
+    pub fn new(rate_per_s: f64, burst: f64) -> TokenBucket {
+        let burst = burst.max(1.0);
+        TokenBucket {
+            rate_per_s,
+            burst,
+            tokens: burst,
+            last_s: 0.0,
+        }
+    }
+
+    /// Take one token at time `now_s`, refilling first. On failure
+    /// returns how long until one token is available at the sustained
+    /// rate. Time moving backwards is treated as no time passing.
+    pub fn try_take(&mut self, now_s: f64) -> Result<(), Duration> {
+        if self.rate_per_s <= 0.0 {
+            return Ok(());
+        }
+        let elapsed = (now_s - self.last_s).max(0.0);
+        self.last_s = self.last_s.max(now_s);
+        self.tokens = (self.tokens + elapsed * self.rate_per_s).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - self.tokens;
+            Err(Duration::from_secs_f64(deficit / self.rate_per_s))
+        }
+    }
+
+    /// Tokens currently held (after the last refill; diagnostic).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[derive(Debug)]
+struct TenantState {
+    bucket: TokenBucket,
+    in_flight: usize,
+    queued: usize,
+}
+
+/// Runtime admission state for every tenant in a [`TenantTable`].
+///
+/// Owns counters only — the serving layer keeps the parked request
+/// payloads (keyed by the same tenant name) and consults this state for
+/// every transition. Single-threaded by design: the reactor owns it, so
+/// no locking is needed and proptests can replay interleavings exactly.
+#[derive(Debug)]
+pub struct AdmissionState {
+    table: TenantTable,
+    states: BTreeMap<String, TenantState>,
+}
+
+/// Key used internally for anonymous (no-`auth`) callers. The wire
+/// protocol forbids empty `auth` strings, so this cannot collide with a
+/// real tenant name.
+const ANON: &str = "";
+
+impl AdmissionState {
+    /// Build runtime state for `table`. Buckets start full.
+    pub fn new(table: TenantTable) -> AdmissionState {
+        AdmissionState {
+            table,
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// True when a tenant table is configured (admission control on).
+    pub fn enabled(&self) -> bool {
+        !self.table.is_empty()
+    }
+
+    /// The configured table.
+    pub fn table(&self) -> &TenantTable {
+        &self.table
+    }
+
+    fn key(tenant: Option<&str>) -> &str {
+        tenant.unwrap_or(ANON)
+    }
+
+    fn state_for(&mut self, tenant: Option<&str>) -> Option<&mut TenantState> {
+        let policy = self.table.policy_for(tenant)?.clone();
+        let key = Self::key(tenant).to_string();
+        Some(self.states.entry(key).or_insert_with(|| TenantState {
+            bucket: TokenBucket::new(policy.rate_per_s, policy.burst),
+            in_flight: 0,
+            queued: 0,
+        }))
+    }
+
+    /// Decide the fate of a request arriving from `tenant` at `now_s`.
+    /// See the [module docs](self) for the decision order. With admission
+    /// disabled (empty table) every request dispatches untracked.
+    pub fn admit(&mut self, tenant: Option<&str>, now_s: f64) -> Admission {
+        if !self.enabled() {
+            return Admission::Dispatch;
+        }
+        let Some(policy) = self.table.policy_for(tenant).cloned() else {
+            return Admission::Reject(Overload::UnknownTenant);
+        };
+        let state = self
+            .state_for(tenant)
+            .expect("policy_for succeeded, state_for must too");
+        if let Err(retry_after) = state.bucket.try_take(now_s) {
+            return Admission::Reject(Overload::RateLimited { retry_after });
+        }
+        if state.in_flight < policy.max_concurrent.max(1) {
+            state.in_flight += 1;
+            Admission::Dispatch
+        } else if state.queued < policy.max_queue {
+            state.queued += 1;
+            Admission::Enqueue
+        } else {
+            Admission::Reject(Overload::QueueFull {
+                max_queue: policy.max_queue,
+            })
+        }
+    }
+
+    /// Record a dispatched request finishing. Call once per
+    /// [`Admission::Dispatch`] (and per successful
+    /// [`AdmissionState::try_dispatch_queued`]).
+    pub fn on_complete(&mut self, tenant: Option<&str>) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(state) = self.states.get_mut(Self::key(tenant)) {
+            state.in_flight = state.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Promote one queued request of `tenant` into a concurrency slot.
+    /// Returns `true` when the caller should now dispatch the oldest
+    /// parked payload for this tenant. Call after
+    /// [`AdmissionState::on_complete`] frees a slot.
+    pub fn try_dispatch_queued(&mut self, tenant: Option<&str>) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let Some(policy) = self.table.policy_for(tenant).cloned() else {
+            return false;
+        };
+        let Some(state) = self.states.get_mut(Self::key(tenant)) else {
+            return false;
+        };
+        if state.queued > 0 && state.in_flight < policy.max_concurrent.max(1) {
+            state.queued -= 1;
+            state.in_flight += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forget a queued request that will never dispatch (its connection
+    /// closed). Frees the queue slot without touching concurrency.
+    pub fn forget_queued(&mut self, tenant: Option<&str>) {
+        if let Some(state) = self.states.get_mut(Self::key(tenant)) {
+            state.queued = state.queued.saturating_sub(1);
+        }
+    }
+
+    /// Requests of `tenant` currently running (diagnostic).
+    pub fn in_flight(&self, tenant: Option<&str>) -> usize {
+        self.states
+            .get(Self::key(tenant))
+            .map_or(0, |s| s.in_flight)
+    }
+
+    /// Requests of `tenant` currently parked (diagnostic).
+    pub fn queued(&self, tenant: Option<&str>) -> usize {
+        self.states.get(Self::key(tenant)).map_or(0, |s| s.queued)
+    }
+
+    /// Shape `req` with the tenant's request defaults (deadline default
+    /// and cap); a no-op for unknown tenants or a disabled table.
+    pub fn shape_request(&self, tenant: Option<&str>, req: &mut QueryRequest) {
+        if let Some(policy) = self.table.policy_for(tenant) {
+            policy.shape_request(req);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(rate: f64, burst: f64, queue: usize, conc: usize) -> TenantPolicy {
+        TenantPolicy {
+            rate_per_s: rate,
+            burst,
+            max_queue: queue,
+            max_concurrent: conc,
+            default_deadline: None,
+            deadline_cap: None,
+        }
+    }
+
+    #[test]
+    fn empty_table_admits_everything() {
+        let mut adm = AdmissionState::new(TenantTable::new());
+        assert!(!adm.enabled());
+        for i in 0..1000 {
+            assert_eq!(
+                adm.admit(Some("anyone"), i as f64 * 1e-6),
+                Admission::Dispatch
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected_when_enabled() {
+        let mut table = TenantTable::new();
+        table.insert("alice", policy(0.0, 1.0, 4, 2));
+        let mut adm = AdmissionState::new(table);
+        assert_eq!(
+            adm.admit(Some("mallory"), 0.0),
+            Admission::Reject(Overload::UnknownTenant)
+        );
+        assert_eq!(
+            adm.admit(None, 0.0),
+            Admission::Reject(Overload::UnknownTenant),
+            "no default policy: anonymous callers are refused"
+        );
+        assert_eq!(adm.admit(Some("alice"), 0.0), Admission::Dispatch);
+    }
+
+    #[test]
+    fn default_policy_covers_anonymous_callers() {
+        let mut table = TenantTable::new();
+        table.insert("alice", policy(0.0, 1.0, 4, 2));
+        table.set_default(policy(0.0, 1.0, 0, 1));
+        let mut adm = AdmissionState::new(table);
+        assert_eq!(adm.admit(None, 0.0), Admission::Dispatch);
+        assert_eq!(
+            adm.admit(None, 0.0),
+            Admission::Reject(Overload::QueueFull { max_queue: 0 }),
+            "anonymous concurrency 1, queue 0"
+        );
+        adm.on_complete(None);
+        assert_eq!(adm.admit(None, 0.0), Admission::Dispatch);
+    }
+
+    #[test]
+    fn token_bucket_rate_limits_and_refills() {
+        let mut bucket = TokenBucket::new(10.0, 2.0);
+        assert!(bucket.try_take(0.0).is_ok());
+        assert!(bucket.try_take(0.0).is_ok());
+        let retry = bucket.try_take(0.0).unwrap_err();
+        assert!(retry > Duration::ZERO && retry <= Duration::from_millis(100));
+        // 100ms refills exactly one token at 10/s.
+        assert!(bucket.try_take(0.1).is_ok());
+        assert!(bucket.try_take(0.1).is_err());
+        // A long idle period caps at burst, not unbounded.
+        assert!(bucket.try_take(100.0).is_ok());
+        assert!(bucket.try_take(100.0).is_ok());
+        assert!(bucket.try_take(100.0).is_err());
+    }
+
+    #[test]
+    fn unlimited_bucket_never_blocks() {
+        let mut bucket = TokenBucket::new(0.0, 1.0);
+        for _ in 0..10_000 {
+            assert!(bucket.try_take(0.0).is_ok());
+        }
+    }
+
+    #[test]
+    fn concurrency_then_queue_then_reject() {
+        let mut table = TenantTable::new();
+        table.insert("t", policy(0.0, 1.0, 2, 2));
+        let mut adm = AdmissionState::new(table);
+        assert_eq!(adm.admit(Some("t"), 0.0), Admission::Dispatch);
+        assert_eq!(adm.admit(Some("t"), 0.0), Admission::Dispatch);
+        assert_eq!(adm.admit(Some("t"), 0.0), Admission::Enqueue);
+        assert_eq!(adm.admit(Some("t"), 0.0), Admission::Enqueue);
+        assert_eq!(
+            adm.admit(Some("t"), 0.0),
+            Admission::Reject(Overload::QueueFull { max_queue: 2 })
+        );
+        assert_eq!(adm.in_flight(Some("t")), 2);
+        assert_eq!(adm.queued(Some("t")), 2);
+
+        // Completion promotes exactly one queued request.
+        adm.on_complete(Some("t"));
+        assert!(adm.try_dispatch_queued(Some("t")));
+        assert!(!adm.try_dispatch_queued(Some("t")), "slots full again");
+        assert_eq!(adm.in_flight(Some("t")), 2);
+        assert_eq!(adm.queued(Some("t")), 1);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut table = TenantTable::new();
+        table.insert("small", policy(0.0, 1.0, 0, 1));
+        table.insert("big", policy(0.0, 1.0, 8, 8));
+        let mut adm = AdmissionState::new(table);
+        assert_eq!(adm.admit(Some("small"), 0.0), Admission::Dispatch);
+        assert!(matches!(
+            adm.admit(Some("small"), 0.0),
+            Admission::Reject(Overload::QueueFull { .. })
+        ));
+        // `small` being saturated must not dent `big`'s budget.
+        for _ in 0..8 {
+            assert_eq!(adm.admit(Some("big"), 0.0), Admission::Dispatch);
+        }
+    }
+
+    #[test]
+    fn rate_limited_rejection_carries_retry_hint() {
+        let mut table = TenantTable::new();
+        table.insert("t", policy(2.0, 1.0, 8, 8));
+        let mut adm = AdmissionState::new(table);
+        assert_eq!(adm.admit(Some("t"), 0.0), Admission::Dispatch);
+        match adm.admit(Some("t"), 0.0) {
+            Admission::Reject(Overload::RateLimited { retry_after }) => {
+                assert!(retry_after > Duration::ZERO);
+                assert!(retry_after <= Duration::from_millis(500), "{retry_after:?}");
+            }
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let mut table = TenantTable::new();
+        table.insert_spec("alice:10:20:64:4:2500").unwrap();
+        table.insert_spec("bob:0:1:0:1").unwrap();
+        assert_eq!(table.len(), 2);
+        let alice = table.policy_for(Some("alice")).unwrap();
+        assert_eq!(alice.rate_per_s, 10.0);
+        assert_eq!(alice.burst, 20.0);
+        assert_eq!(alice.max_queue, 64);
+        assert_eq!(alice.max_concurrent, 4);
+        assert_eq!(alice.deadline_cap, Some(Duration::from_millis(2500)));
+        assert!(table.policy_for(Some("carol")).is_none());
+
+        assert!(TenantTable::new().insert_spec("noname").is_err());
+        assert!(TenantTable::new().insert_spec(":1:1:1:1").is_err());
+        assert!(TenantTable::new().insert_spec("x:abc:1:1:1").is_err());
+        assert!(TenantTable::new().insert_spec("x:1:1:1:0").is_err());
+        assert!(TenantTable::new().insert_spec("x:1:1:1:1:1:1").is_err());
+    }
+
+    #[test]
+    fn shape_request_applies_deadline_defaults_and_caps() {
+        let mut p = policy(0.0, 1.0, 0, 1);
+        p.default_deadline = Some(Duration::from_millis(200));
+        p.deadline_cap = Some(Duration::from_millis(500));
+
+        let mut req = QueryRequest::new("q");
+        p.shape_request(&mut req);
+        assert_eq!(req.deadline, Some(Duration::from_millis(200)));
+
+        let mut req = QueryRequest::new("q").deadline(Duration::from_secs(30));
+        p.shape_request(&mut req);
+        assert_eq!(req.deadline, Some(Duration::from_millis(500)), "capped");
+
+        let mut req = QueryRequest::new("q").deadline(Duration::from_millis(100));
+        p.shape_request(&mut req);
+        assert_eq!(
+            req.deadline,
+            Some(Duration::from_millis(100)),
+            "under the cap: untouched"
+        );
+
+        // Cap only (no default): requests without a deadline get the cap.
+        let mut p2 = policy(0.0, 1.0, 0, 1);
+        p2.deadline_cap = Some(Duration::from_millis(750));
+        let mut req = QueryRequest::new("q");
+        p2.shape_request(&mut req);
+        assert_eq!(req.deadline, Some(Duration::from_millis(750)));
+    }
+
+    #[test]
+    fn forget_queued_frees_the_slot() {
+        let mut table = TenantTable::new();
+        table.insert("t", policy(0.0, 1.0, 1, 1));
+        let mut adm = AdmissionState::new(table);
+        assert_eq!(adm.admit(Some("t"), 0.0), Admission::Dispatch);
+        assert_eq!(adm.admit(Some("t"), 0.0), Admission::Enqueue);
+        assert!(matches!(adm.admit(Some("t"), 0.0), Admission::Reject(_)));
+        adm.forget_queued(Some("t"));
+        assert_eq!(adm.admit(Some("t"), 0.0), Admission::Enqueue, "slot freed");
+    }
+}

@@ -1,0 +1,655 @@
+//! `koko-net` — deterministic, zero-dependency readiness polling for the
+//! KOKO serving layer, in the spirit of `koko-par`: one small primitive,
+//! `std`-only, no crates.io dependencies.
+//!
+//! The serving event loop needs exactly one capability the standard
+//! library does not expose: *sleep until any of these sockets is readable
+//! or writable, and tell me which*. This crate provides that as
+//! [`Poller`] — backed by `epoll(7)` on Linux and portable `poll(2)` on
+//! other unix platforms — plus a [`Waker`] (a self-pipe) so other threads
+//! can interrupt a sleeping poll.
+//!
+//! The syscall bindings are declared locally with `extern "C"`; every
+//! unix Rust program already links libc, so this adds no dependency. The
+//! API is deliberately tiny and level-triggered:
+//!
+//! * [`Poller::register`] / [`Poller::modify`] / [`Poller::deregister`]
+//!   associate a file descriptor with a caller-chosen `token` and an
+//!   [`Interest`] (readable and/or writable).
+//! * [`Poller::poll`] blocks up to a timeout and appends [`Event`]s —
+//!   `(token, readable, writable, hangup)` tuples — to a caller buffer.
+//! * [`Waker::wake`] makes the current (or next) `poll` return
+//!   immediately, surfacing an event on the waker's own token.
+//!
+//! Level-triggered means a socket that still has unread input (or free
+//! write space while write interest is registered) keeps reporting ready
+//! — the loop can process a bounded amount per wakeup without losing
+//! edges, which keeps one greedy connection from starving the rest.
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Which readiness states a registration listens for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has data to read (or a peer hangup to observe).
+    pub readable: bool,
+    /// Wake when the fd can accept writes without blocking.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification from [`Poller::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: usize,
+    /// The fd is readable (includes EOF — a read will not block).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; the fd should be drained and
+    /// closed. Reported even when only read interest was registered.
+    pub hangup: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Raw syscall bindings (libc is always linked on unix targets).
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sys {
+    use std::os::fd::RawFd;
+
+    extern "C" {
+        pub fn close(fd: RawFd) -> i32;
+        pub fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+        pub fn pipe(fds: *mut RawFd) -> i32;
+        pub fn fcntl(fd: RawFd, cmd: i32, arg: i32) -> i32;
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+    }
+
+    /// `struct pollfd` — identical layout on every unix.
+    #[cfg(not(target_os = "linux"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub const POLLIN: i16 = 0x001;
+    #[cfg(not(target_os = "linux"))]
+    pub const POLLOUT: i16 = 0x004;
+    #[cfg(not(target_os = "linux"))]
+    pub const POLLERR: i16 = 0x008;
+    #[cfg(not(target_os = "linux"))]
+    pub const POLLHUP: i16 = 0x010;
+
+    pub const F_GETFL: i32 = 3;
+    pub const F_SETFL: i32 = 4;
+    pub const O_NONBLOCK: i32 = 0o4000;
+
+    /// Make `fd` nonblocking (used for the waker pipe; sockets go through
+    /// `TcpStream::set_nonblocking`).
+    pub fn set_nonblocking(fd: RawFd) -> std::io::Result<()> {
+        // SAFETY: plain fcntl on an owned fd.
+        unsafe {
+            let flags = fcntl(fd, F_GETFL, 0);
+            if flags < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            if fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll_sys {
+    use std::os::fd::RawFd;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> RawFd;
+        pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(
+            epfd: RawFd,
+            events: *mut EpollEvent,
+            maxevents: i32,
+            timeout: i32,
+        ) -> i32;
+    }
+
+    /// `struct epoll_event`. The kernel declares it packed on x86, so the
+    /// layout attribute must match the architecture.
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+}
+
+// ---------------------------------------------------------------------------
+// Poller
+// ---------------------------------------------------------------------------
+
+/// A readiness poller: register fds with tokens, then [`Poller::poll`]
+/// for events. Level-triggered; not `Sync` — exactly one thread (the
+/// reactor) drives it, which is the serving architecture's contract.
+pub struct Poller {
+    backend: Backend,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll { epfd: RawFd },
+    /// Portable fallback: the registration table is kept in user space
+    /// and rebuilt into a `pollfd` array per call. O(n) per poll, which
+    /// is fine for the scales the fallback serves (non-Linux dev boxes).
+    #[cfg(not(target_os = "linux"))]
+    Poll {
+        slots: Vec<(RawFd, usize, Interest)>,
+    },
+}
+
+impl Poller {
+    /// Create a poller (epoll instance on Linux).
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            // SAFETY: epoll_create1 allocates a new fd; checked below.
+            let epfd = unsafe { epoll_sys::epoll_create1(epoll_sys::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                backend: Backend::Epoll { epfd },
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Ok(Poller {
+                backend: Backend::Poll { slots: Vec::new() },
+            })
+        }
+    }
+
+    /// Start watching `fd` under `token`. One registration per fd; the
+    /// token comes back verbatim in every [`Event`].
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_ADD, fd, token, interest)
+            }
+            #[cfg(not(target_os = "linux"))]
+            Backend::Poll { slots } => {
+                if slots.iter().any(|(f, _, _)| *f == fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                slots.push((fd, token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Change the interest (and/or token) of an already-registered fd.
+    pub fn modify(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_MOD, fd, token, interest)
+            }
+            #[cfg(not(target_os = "linux"))]
+            Backend::Poll { slots } => {
+                for slot in slots.iter_mut() {
+                    if slot.0 == fd {
+                        *slot = (fd, token, interest);
+                        return Ok(());
+                    }
+                }
+                Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+            }
+        }
+    }
+
+    /// Stop watching `fd`. Closing an fd also removes it from an epoll
+    /// set, but deregistering explicitly keeps the fallback table exact.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_DEL, fd, 0, Interest::READ)
+            }
+            #[cfg(not(target_os = "linux"))]
+            Backend::Poll { slots } => {
+                slots.retain(|(f, _, _)| *f != fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Wait up to `timeout` (`None` = forever) for readiness, appending
+    /// events to `events` (cleared first). Returns the number of events.
+    /// A timeout with nothing ready returns `Ok(0)`; EINTR retries.
+    pub fn poll(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 0 < t < 1ms timeout does not spin.
+            Some(t) => i32::try_from(t.as_millis().max(if t.is_zero() { 0 } else { 1 }))
+                .unwrap_or(i32::MAX),
+        };
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut buf = [epoll_sys::EpollEvent { events: 0, data: 0 }; 128];
+                let n = loop {
+                    // SAFETY: buf outlives the call; maxevents matches.
+                    let n = unsafe {
+                        epoll_sys::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                    };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                for ev in &buf[..n] {
+                    let bits = ev.events;
+                    events.push(Event {
+                        token: ev.data as usize,
+                        readable: bits & (epoll_sys::EPOLLIN | epoll_sys::EPOLLRDHUP) != 0,
+                        writable: bits & epoll_sys::EPOLLOUT != 0,
+                        hangup: bits & (epoll_sys::EPOLLHUP | epoll_sys::EPOLLERR) != 0,
+                    });
+                }
+                Ok(events.len())
+            }
+            #[cfg(not(target_os = "linux"))]
+            Backend::Poll { slots } => {
+                let mut fds: Vec<sys::PollFd> = slots
+                    .iter()
+                    .map(|(fd, _, interest)| sys::PollFd {
+                        fd: *fd,
+                        events: (if interest.readable { sys::POLLIN } else { 0 })
+                            | (if interest.writable { sys::POLLOUT } else { 0 }),
+                        revents: 0,
+                    })
+                    .collect();
+                let n = loop {
+                    // SAFETY: fds is a live, correctly-sized pollfd array.
+                    let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                if n > 0 {
+                    for (pfd, (_, token, _)) in fds.iter().zip(slots.iter()) {
+                        if pfd.revents != 0 {
+                            events.push(Event {
+                                token: *token,
+                                readable: pfd.revents & sys::POLLIN != 0,
+                                writable: pfd.revents & sys::POLLOUT != 0,
+                                hangup: pfd.revents & (sys::POLLHUP | sys::POLLERR) != 0,
+                            });
+                        }
+                    }
+                }
+                Ok(events.len())
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        {
+            let Backend::Epoll { epfd } = self.backend;
+            // SAFETY: epfd is owned by this poller.
+            unsafe { sys::close(epfd) };
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+    let mut ev = epoll_sys::EpollEvent {
+        events: (if interest.readable {
+            epoll_sys::EPOLLIN | epoll_sys::EPOLLRDHUP
+        } else {
+            0
+        }) | (if interest.writable {
+            epoll_sys::EPOLLOUT
+        } else {
+            0
+        }),
+        data: token as u64,
+    };
+    // SAFETY: ev is live for the call; DEL ignores it on modern kernels
+    // but a valid pointer is passed anyway (required before Linux 2.6.9).
+    let rc = unsafe { epoll_sys::epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waker
+// ---------------------------------------------------------------------------
+
+/// Wakes a sleeping [`Poller`] from another thread: a nonblocking
+/// self-pipe whose read end is registered with the poller. `wake()`
+/// writes one byte; the reactor sees a readable event on the waker's
+/// token and calls [`Waker::drain`].
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+// The fds are plain ints used with atomic syscalls; writing one byte from
+// several threads concurrently is safe (pipe writes ≤ PIPE_BUF are atomic).
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Create the pipe pair (both ends nonblocking and process-private).
+    pub fn new() -> io::Result<Waker> {
+        let mut fds: [RawFd; 2] = [0; 2];
+        // SAFETY: pipe fills the 2-element array; checked below.
+        if unsafe { sys::pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let (read_fd, write_fd) = (fds[0], fds[1]);
+        sys::set_nonblocking(read_fd)?;
+        sys::set_nonblocking(write_fd)?;
+        Ok(Waker { read_fd, write_fd })
+    }
+
+    /// The fd to register with the poller under a reserved token
+    /// ([`Interest::READ`]).
+    pub fn poll_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Interrupt the poller. Nonblocking: if the pipe is already full the
+    /// reactor has wakeups pending anyway, so a short write is success.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        // SAFETY: one-byte write to an owned fd; failure (EAGAIN on a
+        // full pipe) means a wakeup is already pending.
+        unsafe { sys::write(self.write_fd, byte.as_ptr(), 1) };
+    }
+
+    /// Drain pending wakeup bytes (call when the waker token fires, or
+    /// the level-triggered poller will keep reporting it readable).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        // SAFETY: reads into a stack buffer until the nonblocking pipe
+        // is empty.
+        while unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: both fds are owned by this waker.
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poll_times_out_empty() {
+        let mut poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let t = std::time::Instant::now();
+        let n = poller
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(
+            t.elapsed() >= Duration::from_millis(10),
+            "{:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn tcp_readability_and_tokens() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(server_side.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+
+        // Nothing to read yet.
+        let mut events = Vec::new();
+        assert_eq!(
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+
+        client.write_all(b"hello").unwrap();
+        let n = poller
+            .poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: still readable until drained.
+        let n = poller
+            .poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 1, "level-triggered readiness persists");
+
+        let mut buf = [0u8; 16];
+        let mut stream_ref = &server_side;
+        assert_eq!(stream_ref.read(&mut buf).unwrap(), 5);
+        assert_eq!(
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0,
+            "drained socket is quiet"
+        );
+    }
+
+    #[test]
+    fn write_interest_and_modify() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let _server_side = listener.accept().unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        // An idle connected socket is writable immediately.
+        poller
+            .register(client.as_raw_fd(), 3, Interest::WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable && !events[0].readable);
+
+        // Drop write interest: silence.
+        poller
+            .modify(client.as_raw_fd(), 3, Interest::READ)
+            .unwrap();
+        assert_eq!(
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+        poller.deregister(client.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(server_side.as_raw_fd(), 1, Interest::READ)
+            .unwrap();
+        drop(client); // full close → readable EOF (and usually hangup)
+        let mut events = Vec::new();
+        let n = poller
+            .poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable || events[0].hangup);
+    }
+
+    #[test]
+    fn waker_wakes_across_threads() {
+        let mut poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        const WAKER_TOKEN: usize = usize::MAX;
+        poller
+            .register(waker.poll_fd(), WAKER_TOKEN, Interest::READ)
+            .unwrap();
+
+        let other = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            other.wake();
+        });
+        let mut events = Vec::new();
+        let t = std::time::Instant::now();
+        let n = poller
+            .poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, WAKER_TOKEN);
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "woke early, not at timeout"
+        );
+        waker.drain();
+        // Drained: quiet again.
+        assert_eq!(
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+        handle.join().unwrap();
+
+        // Many wakes collapse into (at least) one event, never an error.
+        for _ in 0..100_000 {
+            waker.wake();
+        }
+        let n = poller
+            .poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1);
+        waker.drain();
+    }
+
+    #[test]
+    fn listener_accept_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(listener.as_raw_fd(), 0, Interest::READ)
+            .unwrap();
+        let mut events = Vec::new();
+        assert_eq!(
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+        let _client = TcpStream::connect(addr).unwrap();
+        let n = poller
+            .poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(n, 1, "pending accept reported as readable");
+        assert!(events[0].readable);
+    }
+}

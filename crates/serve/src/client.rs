@@ -62,6 +62,7 @@ impl Client {
             text: text.to_string(),
             cache,
             opts: None,
+            auth: None,
         })
     }
 
@@ -80,7 +81,87 @@ impl Client {
             text: text.to_string(),
             cache,
             opts: Some(opts),
+            auth: None,
         })
+    }
+
+    /// The fully general query: optional [`QueryOpts`] and an optional
+    /// `auth` tenant identity for servers running admission control.
+    /// Returns the raw response line (which may be a structured 401/429
+    /// overload refusal — the connection stays usable either way).
+    pub fn query_as(
+        &mut self,
+        text: &str,
+        cache: bool,
+        opts: Option<QueryOpts>,
+        auth: Option<&str>,
+    ) -> std::io::Result<String> {
+        let id = self.fresh_id();
+        self.send(&Request::Query {
+            id,
+            text: text.to_string(),
+            cache,
+            opts,
+            auth: auth.map(str::to_string),
+        })
+    }
+
+    /// Run a query with `opts.stream` forced on and reassemble the
+    /// chunked response client-side. If the server refuses the request
+    /// before streaming starts (parse error, overload), the refusal line
+    /// comes back in `header` with zero chunks and empty `rows_json`.
+    pub fn query_stream(
+        &mut self,
+        text: &str,
+        cache: bool,
+        mut opts: QueryOpts,
+        auth: Option<&str>,
+    ) -> std::io::Result<StreamedResponse> {
+        opts.stream = true;
+        let header = self.query_as(text, cache, Some(opts), auth)?;
+        if !header.contains("\"stream\":true") {
+            return Ok(StreamedResponse {
+                header,
+                rows_json: String::new(),
+                chunks: 0,
+                trailer: String::new(),
+            });
+        }
+        let mut rows_json = String::from("[");
+        let mut chunks = 0usize;
+        loop {
+            let mut frame = String::new();
+            let n = self.reader.read_line(&mut frame)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-stream",
+                ));
+            }
+            while frame.ends_with('\n') || frame.ends_with('\r') {
+                frame.pop();
+            }
+            if frame.contains("\"done\":true") {
+                rows_json.push(']');
+                return Ok(StreamedResponse {
+                    header,
+                    rows_json,
+                    chunks,
+                    trailer: frame,
+                });
+            }
+            let rows = crate::protocol::stream_rows(&frame).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed stream chunk: {frame}"),
+                )
+            })?;
+            if rows_json.len() > 1 && rows.len() > 2 {
+                rows_json.push(',');
+            }
+            rows_json.push_str(&rows[1..rows.len() - 1]);
+            chunks += 1;
+        }
     }
 
     /// Liveness probe.
@@ -123,6 +204,22 @@ impl Client {
         self.next_id += 1;
         id
     }
+}
+
+/// A streamed query response reassembled client-side by
+/// [`Client::query_stream`].
+#[derive(Debug, Clone)]
+pub struct StreamedResponse {
+    /// The header frame (or the whole refusal line when the server never
+    /// started streaming — then `chunks == 0` and `rows_json` is empty).
+    pub header: String,
+    /// Every chunk's rows concatenated back into one JSON array —
+    /// byte-identical to the `rows` of the equivalent unstreamed response.
+    pub rows_json: String,
+    /// Chunk frames received.
+    pub chunks: usize,
+    /// The trailer frame (`done`, `chunks`, `profile`).
+    pub trailer: String,
 }
 
 /// What one load-generation run measured.
@@ -169,6 +266,21 @@ pub fn run_load_with(
     cache: bool,
     opts: Option<QueryOpts>,
 ) -> std::io::Result<LoadReport> {
+    run_load_as(addr, queries, threads, repeat, cache, opts, None)
+}
+
+/// [`run_load_with`] plus an `auth` tenant identity attached to every
+/// request — closed-loop load against a server running admission control
+/// (refusals count into `errors`).
+pub fn run_load_as(
+    addr: &str,
+    queries: &[String],
+    threads: usize,
+    repeat: usize,
+    cache: bool,
+    opts: Option<QueryOpts>,
+    auth: Option<&str>,
+) -> std::io::Result<LoadReport> {
     // Clamp to something a machine can actually run; absurd requests are
     // caller bugs and must not overflow allocation sizes (the CLI also
     // validates, this is the library's own floor/ceiling).
@@ -181,9 +293,9 @@ pub fn run_load_with(
                 Vec::with_capacity(queries.len().saturating_mul(repeat).min(1 << 16));
             for _ in 0..repeat {
                 for q in queries {
-                    responses.push(match opts {
-                        None => client.query(q, cache)?,
-                        Some(opts) => client.query_with_opts(q, cache, opts)?,
+                    responses.push(match (opts, auth) {
+                        (None, None) => client.query(q, cache)?,
+                        (opts, auth) => client.query_as(q, cache, opts, auth)?,
                     });
                 }
             }
@@ -209,6 +321,120 @@ pub fn run_load_with(
         wall,
         qps: requests as f64 / wall.as_secs_f64().max(1e-9),
         responses,
+    })
+}
+
+/// What one open-loop run measured. Latencies are measured from each
+/// request's *scheduled* arrival time, not its actual send time, so a
+/// server that falls behind the offered rate shows the queueing delay in
+/// its tail percentiles instead of hiding it (no coordinated omission).
+#[derive(Debug, Clone)]
+pub struct OpenLoadReport {
+    /// Connections used to carry the schedule.
+    pub threads: usize,
+    /// Requests sent (= responses received).
+    pub requests: usize,
+    /// Responses with `"ok":true`.
+    pub ok: usize,
+    /// Responses with `"ok":false`.
+    pub errors: usize,
+    /// Wall-clock for the whole run.
+    pub wall: Duration,
+    /// The fixed arrival rate the schedule was built for.
+    pub offered_rps: f64,
+    /// `requests / wall` actually achieved.
+    pub achieved_rps: f64,
+    /// Median latency (scheduled arrival → response received).
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Open-loop (fixed-arrival-rate) load: `requests` arrivals are scheduled
+/// at exactly `rate_rps` starting now, striped round-robin across
+/// `threads` connections; each connection sleeps until an arrival's
+/// scheduled time, sends it, and measures latency from that scheduled
+/// time. Queries cycle through `queries`; `auth` attaches a tenant
+/// identity to every request. Overload refusals count as `errors` — an
+/// open-loop run against a rate-limited tenant is how you *measure* the
+/// admission boundary.
+#[allow(clippy::too_many_arguments)]
+pub fn run_load_open(
+    addr: &str,
+    queries: &[String],
+    threads: usize,
+    requests: usize,
+    rate_rps: f64,
+    cache: bool,
+    opts: Option<QueryOpts>,
+    auth: Option<&str>,
+) -> std::io::Result<OpenLoadReport> {
+    let threads = threads.clamp(1, 4096);
+    let requests = requests.max(1);
+    let rate_rps = if rate_rps.is_finite() && rate_rps > 0.0 {
+        rate_rps
+    } else {
+        1.0
+    };
+    let t0 = Instant::now();
+    let per_thread: Vec<std::io::Result<Vec<(Duration, bool)>>> =
+        koko_par::par_map_range(threads, threads, |i| {
+            let mut client = Client::connect(addr)?;
+            let mut samples = Vec::with_capacity(requests / threads + 1);
+            let mut k = i;
+            while k < requests {
+                let sched = Duration::from_secs_f64(k as f64 / rate_rps);
+                let now = t0.elapsed();
+                if sched > now {
+                    std::thread::sleep(sched - now);
+                }
+                let q = &queries[k % queries.len()];
+                let response = match opts {
+                    None => client.query_as(q, cache, None, auth)?,
+                    Some(o) => client.query_as(q, cache, Some(o), auth)?,
+                };
+                samples.push((
+                    t0.elapsed().saturating_sub(sched),
+                    response.contains("\"ok\":true"),
+                ));
+                k += threads;
+            }
+            Ok(samples)
+        });
+    let wall = t0.elapsed();
+
+    let mut latencies = Vec::with_capacity(requests);
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for r in per_thread {
+        for (latency, was_ok) in r? {
+            latencies.push(latency);
+            ok += usize::from(was_ok);
+            total += 1;
+        }
+    }
+    latencies.sort_unstable();
+    Ok(OpenLoadReport {
+        threads,
+        requests: total,
+        ok,
+        errors: total - ok,
+        wall,
+        offered_rps: rate_rps,
+        achieved_rps: total as f64 / wall.as_secs_f64().max(1e-9),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
     })
 }
 
@@ -241,6 +467,66 @@ mod tests {
         assert_eq!(report.errors, 6);
         assert_eq!(report.responses.len(), 2);
         assert!(report.qps > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_reports_percentiles_at_a_fixed_rate() {
+        let koko = Koko::from_texts_with_opts(
+            &["Anna ate some delicious cheesecake."],
+            EngineOpts {
+                result_cache: 8,
+                parallel: false,
+                num_shards: 1,
+                ..EngineOpts::default()
+            },
+        );
+        let server = Server::bind(koko, "127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr().to_string();
+        let queries = vec![koko_lang::queries::EXAMPLE_2_1.to_string()];
+        // 20 arrivals at 200 rps: the schedule spans ~100ms and every
+        // request should land well inside it on a warm cache.
+        let report = run_load_open(&addr, &queries, 2, 20, 200.0, true, None, None).unwrap();
+        assert_eq!(report.requests, 20);
+        assert_eq!(report.ok, 20);
+        assert_eq!(report.errors, 0);
+        assert!(report.p50 <= report.p95 && report.p95 <= report.p99);
+        assert!(report.achieved_rps > 0.0);
+        assert!((report.offered_rps - 200.0).abs() < 1e-9);
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_side_stream_reassembly_matches_the_unstreamed_rows() {
+        let koko = Koko::from_texts_with_opts(
+            &[
+                "Anna ate some delicious cheesecake.",
+                "Bob ate a delicious croissant.",
+            ],
+            EngineOpts {
+                result_cache: 0,
+                parallel: false,
+                num_shards: 1,
+                ..EngineOpts::default()
+            },
+        );
+        let server = Server::bind(koko, "127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().to_string();
+        let q = koko_lang::queries::EXAMPLE_2_1;
+        let mut client = Client::connect(&addr).unwrap();
+        let plain = client
+            .query_with_opts(q, true, QueryOpts::default())
+            .unwrap();
+        let streamed = client
+            .query_stream(q, true, QueryOpts::default(), None)
+            .unwrap();
+        assert!(streamed.chunks >= 1, "{}", streamed.header);
+        assert_eq!(
+            crate::protocol::response_rows(&plain).unwrap(),
+            streamed.rows_json,
+            "client reassembly must be byte-identical"
+        );
+        assert!(streamed.trailer.contains("\"done\":true"));
         server.shutdown();
     }
 }

@@ -6,21 +6,33 @@
 //! declarative queries against the built index. This crate is that posture
 //! as a long-running process:
 //!
-//! * [`server::Server`] — a multi-threaded TCP server. One engine
-//!   ([`koko_core::Koko`], i.e. one shared `Arc<Snapshot>` plus the
-//!   compiled-query and result caches) is cloned into a fixed pool of
-//!   worker threads; each worker serves whole connections off an accept
-//!   queue. Served rows are byte-identical to a sequential
+//! * [`server::Server`] — a nonblocking event-loop TCP server. A single
+//!   reactor thread (readiness via `koko-net`: epoll on Linux, `poll(2)`
+//!   elsewhere) owns every connection's read/write buffers and multiplexes
+//!   thousands of connections; a worker pool sized to the cores evaluates
+//!   queries against one engine ([`koko_core::Koko`], i.e. one shared
+//!   `Arc<Snapshot>` plus the compiled-query and result caches). Requests
+//!   may be pipelined (responses return in request order per connection),
+//!   responses may be streamed in bounded chunks, and per-tenant admission
+//!   control (token-bucket rate limits, bounded queues, concurrency caps)
+//!   answers overload with structured 401/429 lines instead of silent
+//!   drops. Served rows are byte-identical to a sequential
 //!   [`koko_core::Koko::query`] call — the workspace's serving conformance
 //!   suite (`tests/serve_conformance.rs`) asserts exact bytes under
-//!   concurrency, with caches on and off.
+//!   concurrency, with caches on and off, streamed and pipelined; the
+//!   fault-injection suite (`crates/serve/tests/fault_injection.rs`)
+//!   asserts hostile clients (slowloris, stalled readers, half-closes,
+//!   floods) degrade into structured errors or clean drops, never panics.
 //! * [`protocol`] — newline-delimited JSON over TCP: one request line in,
-//!   one response line out. No network or serialization dependencies
-//!   (std-only, per the workspace's offline-shim policy); the tiny JSON
-//!   layer lives in [`json`].
-//! * [`client::Client`] / [`client::run_load`] — a blocking client and a
-//!   multi-threaded closed-loop load generator (the CLI's `koko client`
-//!   mode and the served-QPS section of `table2_scaleup`).
+//!   one response line out (or header/chunk/trailer frames when
+//!   streaming). No network or serialization dependencies (std-only, per
+//!   the workspace's offline-shim policy); the tiny JSON layer lives in
+//!   [`json`].
+//! * [`client::Client`] / [`client::run_load`] / [`client::run_load_open`]
+//!   — a blocking client (with auth and client-side stream reassembly)
+//!   plus closed-loop and open-loop (fixed arrival rate, p50/p95/p99) load
+//!   generators (the CLI's `koko client` mode and the served-QPS sections
+//!   of `table2_scaleup`).
 //!
 //! # One-liner
 //!
@@ -40,6 +52,11 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use client::{run_load, run_load_with, Client, LoadReport};
-pub use protocol::{ok_response, opts_response, rows_json, QueryOpts, Request, WireOrder};
-pub use server::Server;
+pub use client::{
+    run_load, run_load_as, run_load_open, run_load_with, Client, LoadReport, OpenLoadReport,
+    StreamedResponse,
+};
+pub use protocol::{
+    ok_response, opts_response, overload_response, rows_json, QueryOpts, Request, WireOrder,
+};
+pub use server::{Server, ServerConfig};

@@ -6,6 +6,7 @@
 //! ```json
 //! {"id": 1, "query": "extract ...", "cache": true}
 //! {"id": 4, "query": "extract ...", "opts": {"limit": 10, "min_score": 0.5}}
+//! {"id": 5, "query": "extract ...", "auth": "tenant-name", "opts": {"stream": true}}
 //! {"id": 2, "cmd": "ping" | "stats" | "shutdown" | "compact"}
 //! {"id": 3, "cmd": "add", "texts": ["one new document", "another"]}
 //! ```
@@ -14,12 +15,27 @@
 //! compiled-query and result caches for that request only. The optional
 //! `opts` object carries per-request [`QueryRequest`] options — `limit`,
 //! `offset`, `min_score`, `order` (`"doc"` | `"score_desc"`),
-//! `deadline_ms`, `explain` (see [`QueryOpts`]). `add` and
+//! `deadline_ms`, `explain`, `stream` (see [`QueryOpts`]). The optional
+//! `auth` field names the calling tenant; servers started with a tenant
+//! table use it for admission control (token-bucket rate limits, bounded
+//! queues, per-tenant request defaults) and answer over-budget requests
+//! with a structured overload error ([`overload_response`]: `ok:false`
+//! plus `code` 429/401, the offending `tenant`, and a `retry_after_ms`
+//! hint — never a silent drop). `add` and
 //! `compact` are the online-update commands: they mutate the served index
 //! and are accepted only by a server started writable (see
 //! `docs/SERVING.md`); a read-only server answers them with a structured
 //! error. Responses always carry `"id"` and `"ok"`; query responses add
 //! `"rows"` (the deterministic [`rows_json`] rendering) and `"profile"`.
+//!
+//! Streaming: a query with `opts.stream: true` is answered with a header
+//! line ([`stream_header`]), zero or more chunk lines ([`stream_chunk`]),
+//! and a trailer line ([`stream_trailer`]) instead of one response line.
+//! Concatenating the chunk `rows` arrays reproduces the single-response
+//! `rows` array byte-for-byte ([`stream_rows`] extracts a chunk's
+//! payload). Frames of one stream are contiguous per connection but
+//! interleave with *other* requests' responses under pipelining; match on
+//! `id`.
 //!
 //! Backward compatibility: a query **without** `opts` is answered with
 //! exactly the historical response shape (same keys, same order — see
@@ -55,6 +71,9 @@ pub struct QueryOpts {
     pub deadline_ms: Option<u64>,
     /// Attach an explain report to the response.
     pub explain: bool,
+    /// Stream the response as header/chunk/trailer frames instead of one
+    /// line, so large row sets never buffer whole in server memory.
+    pub stream: bool,
 }
 
 /// Wire spelling of [`koko_core::Order`].
@@ -112,6 +131,9 @@ pub enum Request {
         /// Per-request options; `None` selects the historical
         /// byte-compatible response shape.
         opts: Option<QueryOpts>,
+        /// Tenant name for admission control; `None` = anonymous. Only
+        /// meaningful on servers configured with a tenant table.
+        auth: Option<String>,
     },
     /// Liveness probe.
     Ping {
@@ -181,11 +203,24 @@ impl Request {
                 None => None,
                 Some(o) => Some(decode_opts(o)?),
             };
+            let auth = match v.get("auth") {
+                None => None,
+                Some(a) => {
+                    let a = a
+                        .as_str()
+                        .ok_or_else(|| "\"auth\" must be a string".to_string())?;
+                    if a.is_empty() {
+                        return Err("\"auth\" must be a non-empty string".into());
+                    }
+                    Some(a.to_string())
+                }
+            };
             return Ok(Request::Query {
                 id,
                 text: text.to_string(),
                 cache,
                 opts,
+                auth,
             });
         }
         match v.get("cmd").and_then(Json::as_str) {
@@ -220,11 +255,16 @@ impl Request {
                 text,
                 cache,
                 opts,
+                auth,
             } => {
                 out.push_str(&format!("{{\"id\":{id},\"query\":"));
                 write_escaped(&mut out, text);
                 if !cache {
                     out.push_str(",\"cache\":false");
+                }
+                if let Some(auth) = auth {
+                    out.push_str(",\"auth\":");
+                    write_escaped(&mut out, auth);
                 }
                 if let Some(opts) = opts {
                     out.push_str(",\"opts\":");
@@ -298,6 +338,11 @@ fn decode_opts(v: &Json) -> Result<QueryOpts, String> {
                     .as_bool()
                     .ok_or_else(|| "\"explain\" must be a boolean".to_string())?
             }
+            "stream" => {
+                opts.stream = value
+                    .as_bool()
+                    .ok_or_else(|| "\"stream\" must be a boolean".to_string())?
+            }
             other => return Err(format!("unknown opts key {other:?}")),
         }
     }
@@ -340,6 +385,10 @@ fn encode_opts(out: &mut String, opts: &QueryOpts) {
     if opts.explain {
         sep(out);
         out.push_str("\"explain\":true");
+    }
+    if opts.stream {
+        sep(out);
+        out.push_str("\"stream\":true");
     }
     out.push('}');
 }
@@ -481,6 +530,95 @@ pub fn err_response(id: u64, message: &str) -> String {
     out
 }
 
+/// Encode a structured admission-control error (no trailing newline):
+/// the HTTP-equivalent `code` (401 for an unknown tenant, 429 for
+/// rate/queue overload), the offending `tenant` (or `null` for
+/// anonymous callers), and a `retry_after_ms` hint when the refusal is
+/// transient. Overloaded requests are always *answered* — never
+/// silently dropped.
+pub fn overload_response(
+    id: u64,
+    tenant: Option<&str>,
+    overload: &koko_core::tenant::Overload,
+) -> String {
+    use koko_core::tenant::Overload;
+    let mut out = format!("{{\"id\":{id},\"ok\":false,\"error\":");
+    let (message, code) = match overload {
+        Overload::UnknownTenant => ("unknown tenant", 401u32),
+        Overload::RateLimited { .. } => ("rate limited", 429),
+        Overload::QueueFull { .. } => ("admission queue full", 429),
+    };
+    write_escaped(&mut out, message);
+    out.push_str(&format!(",\"code\":{code},\"tenant\":"));
+    match tenant {
+        Some(name) => write_escaped(&mut out, name),
+        None => out.push_str("null"),
+    }
+    match overload {
+        Overload::RateLimited { retry_after } => {
+            // Round up so the client never retries a hair too early.
+            let ms = retry_after.as_millis().max(1);
+            out.push_str(&format!(",\"retry_after_ms\":{ms}"));
+        }
+        Overload::QueueFull { max_queue } => {
+            out.push_str(&format!(",\"max_queue\":{max_queue}"));
+        }
+        Overload::UnknownTenant => {}
+    }
+    out.push('}');
+    out
+}
+
+/// Encode the header frame of a streamed query response: the row totals
+/// up front so clients can size buffers, `"stream":true` marking the
+/// frame kind. Chunks ([`stream_chunk`]) and a trailer
+/// ([`stream_trailer`]) follow on the same connection.
+pub fn stream_header(id: u64, out: &QueryOutput) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"stream\":true,\"num_rows\":{},\"total_matches\":{},\"truncated\":{}}}",
+        out.rows.len(),
+        out.total_matches,
+        out.truncated,
+    )
+}
+
+/// Encode one chunk frame of a streamed response: `chunk` is the
+/// 0-based sequence number, `rows` the slice rendered with the same
+/// canonical [`rows_json`] as single-line responses — concatenating all
+/// chunks' row arrays is byte-identical to the unstreamed `rows`.
+pub fn stream_chunk(id: u64, chunk: usize, rows: &[Row]) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"chunk\":{chunk},\"rows\":{}}}",
+        rows_json(rows)
+    )
+}
+
+/// Encode the trailer frame of a streamed response: `"done":true`, the
+/// chunk count for integrity checking, then the profile and (when
+/// requested) the explain report — the fields a single-line extended
+/// response carries after its rows.
+pub fn stream_trailer(id: u64, chunks: usize, out: &QueryOutput) -> String {
+    let mut line = format!(
+        "{{\"id\":{id},\"ok\":true,\"done\":true,\"chunks\":{chunks},\"profile\":{}",
+        profile_json(&out.profile),
+    );
+    if let Some(explain) = &out.explain {
+        line.push_str(",\"explain\":");
+        line.push_str(&explain_json(explain));
+    }
+    line.push('}');
+    line
+}
+
+/// Extract the `"rows":[...]` payload of a [`stream_chunk`] frame (the
+/// array runs to the frame's closing brace).
+pub fn stream_rows(line: &str) -> Option<&str> {
+    let start = line.find("\"rows\":")? + "\"rows\":".len();
+    let rest = &line[start..];
+    let end = rest.rfind(']')?;
+    Some(&rest[..=end])
+}
+
 /// Extract the `"rows":[...]` payload of a response line, for callers
 /// that want the byte-exact rows rendering without re-serializing.
 pub fn response_rows(line: &str) -> Option<&str> {
@@ -504,18 +642,21 @@ mod tests {
                 text: "extract x:Entity from \"a\nb\" if ()".into(),
                 cache: false,
                 opts: None,
+                auth: None,
             },
             Request::Query {
                 id: 0,
                 text: koko_lang::queries::EXAMPLE_2_1.into(),
                 cache: true,
                 opts: None,
+                auth: None,
             },
             Request::Query {
                 id: 8,
                 text: "extract x:Entity from t if ()".into(),
                 cache: true,
                 opts: Some(QueryOpts::default()),
+                auth: None,
             },
             Request::Query {
                 id: 9,
@@ -528,7 +669,9 @@ mod tests {
                     order: Some(WireOrder::ScoreDesc),
                     deadline_ms: Some(250),
                     explain: true,
+                    stream: false,
                 }),
+                auth: Some("tenant \"a\"/7".into()),
             },
             Request::Query {
                 id: 10,
@@ -536,8 +679,10 @@ mod tests {
                 cache: true,
                 opts: Some(QueryOpts {
                     order: Some(WireOrder::Doc),
+                    stream: true,
                     ..QueryOpts::default()
                 }),
+                auth: Some("alice".into()),
             },
             Request::Ping { id: 1 },
             Request::Stats { id: 2 },
@@ -584,6 +729,9 @@ mod tests {
             "{\"query\":\"q\",\"opts\":{\"explain\":1}}",
             "{\"query\":\"q\",\"opts\":{\"limitt\":3}}",
             "{\"query\":\"q\",\"opts\":{\"deadline_ms\":-5}}",
+            "{\"query\":\"q\",\"opts\":{\"stream\":1}}",
+            "{\"query\":\"q\",\"auth\":5}",
+            "{\"query\":\"q\",\"auth\":\"\"}",
         ] {
             assert!(Request::decode(bad).is_err(), "{bad:?} should fail");
         }
@@ -660,6 +808,99 @@ mod tests {
     }
 
     #[test]
+    fn streamed_frames_reassemble_to_the_single_response_rows() {
+        let row = |doc: u32, score: f64| Row {
+            doc,
+            score,
+            values: vec![OutValue {
+                name: "e".into(),
+                text: format!("value {doc}"),
+                sid: doc,
+                start: 0,
+                end: 2,
+            }],
+        };
+        let out = QueryOutput {
+            rows: (0..10).map(|i| row(i, 0.5)).collect(),
+            total_matches: 12,
+            truncated: true,
+            ..QueryOutput::default()
+        };
+
+        let header = stream_header(42, &out);
+        assert_eq!(
+            header,
+            "{\"id\":42,\"ok\":true,\"stream\":true,\"num_rows\":10,\
+             \"total_matches\":12,\"truncated\":true}"
+        );
+        assert!(crate::json::parse(&header).is_ok());
+
+        // Chunk at an arbitrary boundary; concatenated inner arrays must
+        // equal the canonical single-response rendering byte-for-byte.
+        let mut rebuilt = String::from("[");
+        let mut chunks = 0;
+        for (i, slice) in out.rows.chunks(3).enumerate() {
+            let frame = stream_chunk(42, i, slice);
+            assert!(crate::json::parse(&frame).is_ok(), "{frame}");
+            let rows = stream_rows(&frame).unwrap();
+            assert!(rows.starts_with('[') && rows.ends_with(']'));
+            if rebuilt.len() > 1 && rows.len() > 2 {
+                rebuilt.push(',');
+            }
+            rebuilt.push_str(&rows[1..rows.len() - 1]);
+            chunks += 1;
+        }
+        rebuilt.push(']');
+        assert_eq!(rebuilt, rows_json(&out.rows));
+
+        let trailer = stream_trailer(42, chunks, &out);
+        assert!(trailer.contains("\"done\":true,\"chunks\":4,\"profile\":{"));
+        assert!(!trailer.contains("explain"), "no explain requested");
+        assert!(crate::json::parse(&trailer).is_ok());
+
+        // An empty result still has a well-formed (chunkless) stream.
+        let empty = QueryOutput::default();
+        assert!(stream_header(1, &empty).contains("\"num_rows\":0"));
+        assert!(stream_trailer(1, 0, &empty).contains("\"chunks\":0"));
+    }
+
+    #[test]
+    fn overload_responses_are_structured_json() {
+        use koko_core::tenant::Overload;
+        let line = overload_response(
+            3,
+            Some("alice"),
+            &Overload::RateLimited {
+                retry_after: std::time::Duration::from_millis(120),
+            },
+        );
+        assert_eq!(
+            line,
+            "{\"id\":3,\"ok\":false,\"error\":\"rate limited\",\"code\":429,\
+             \"tenant\":\"alice\",\"retry_after_ms\":120}"
+        );
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+
+        let line = overload_response(4, Some("bob"), &Overload::QueueFull { max_queue: 8 });
+        assert!(line.contains("\"code\":429") && line.contains("\"max_queue\":8"));
+
+        let line = overload_response(5, None, &Overload::UnknownTenant);
+        assert!(line.contains("\"code\":401") && line.contains("\"tenant\":null"));
+        assert!(crate::json::parse(&line).is_ok());
+
+        // Sub-millisecond retry hints round up, never to zero.
+        let line = overload_response(
+            6,
+            Some("c"),
+            &Overload::RateLimited {
+                retry_after: std::time::Duration::from_micros(10),
+            },
+        );
+        assert!(line.contains("\"retry_after_ms\":1"), "{line}");
+    }
+
+    #[test]
     fn wire_opts_lower_onto_query_requests() {
         let opts = QueryOpts {
             limit: Some(3),
@@ -668,6 +909,7 @@ mod tests {
             order: Some(WireOrder::ScoreDesc),
             deadline_ms: Some(100),
             explain: true,
+            stream: false,
         };
         let req = opts.to_request("q", false);
         assert_eq!(

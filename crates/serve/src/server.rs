@@ -1,23 +1,119 @@
-//! The concurrent query server: one loaded engine ([`Koko`], an
-//! `Arc<Snapshot>` under the hood), a `TcpListener`, and a fixed pool of
-//! worker threads that each take whole connections off an accept queue.
+//! The event-loop query server: one reactor thread multiplexing every
+//! connection over nonblocking readiness I/O ([`koko_net::Poller`]), a
+//! fixed pool of worker threads executing queries, and per-tenant
+//! admission control in front of the workers.
 //!
-//! Every worker clones the engine façade, so all of them share one
-//! snapshot *and* one set of query caches — a query compiled or answered
-//! on worker 0 is a cache hit on worker 7. Determinism: workers evaluate
-//! with the per-shard fan-out disabled (the connection pool is the
-//! parallelism), which keeps thread usage bounded at `threads` and keeps
-//! served rows byte-identical to the sequential [`Koko::query`] path.
+//! Architecture (see `docs/SERVING.md` for the full picture):
+//!
+//! * The **reactor** owns the listener, every connection's read/write
+//!   buffers, and all admission state. It parses request lines, answers
+//!   control requests (`ping`/`stats`/`shutdown`, decode errors,
+//!   admission refusals) inline, and hands query/write work to the
+//!   worker pool. Responses are written back through per-connection
+//!   nonblocking write buffers — a stalled reader can never pin a
+//!   worker or the reactor (the old thread-per-connection server wrote
+//!   with blocking `write_all`; that hazard is gone by construction).
+//! * **Workers** each clone the engine façade, so all of them share one
+//!   snapshot *and* one set of query caches — a query compiled or
+//!   answered on worker 0 is a cache hit on worker 7. Workers evaluate
+//!   with per-shard fan-out disabled (the pool is the parallelism),
+//!   which keeps served rows byte-identical to the sequential
+//!   [`Koko::query`] path.
+//! * **Pipelining**: a client may send many requests without waiting;
+//!   responses come back in request order per connection (out-of-order
+//!   completions park in a per-connection reorder map). Reading from a
+//!   connection pauses once [`ServerConfig::pipeline_depth`] responses
+//!   are outstanding or its write backlog passes the read-pause
+//!   watermark — backpressure, not an error.
+//! * **Streaming**: `opts.stream: true` answers with header, chunk and
+//!   trailer frames; chunks are serialized lazily as the socket drains,
+//!   so a 100k-row answer never materializes as one giant JSON line.
+//! * **Admission**: with a configured [`TenantTable`], each query's
+//!   `auth` field is charged against that tenant's token bucket,
+//!   concurrency bound and admission queue
+//!   ([`koko_core::tenant::AdmissionState`]); refusals are structured
+//!   429/401 responses, never silent drops.
+//! * **Graceful drain**: shutdown (wire command or
+//!   [`Server::shutdown`]) stops accepting and reading, finishes every
+//!   dispatched and admitted request, flushes write buffers, then
+//!   closes — bounded by [`ServerConfig::drain_timeout`].
 
-use crate::protocol::{err_response, ok_response, Request};
-use koko_core::Koko;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use crate::protocol::{
+    err_response, ok_response, opts_response, overload_response, stream_chunk, stream_header,
+    stream_trailer, Request,
+};
+use koko_core::tenant::{Admission, AdmissionState, TenantTable};
+use koko_core::{Koko, QueryOutput, QueryRequest};
+use koko_net::{Interest, Poller, Waker};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// State shared by the acceptor and every worker.
+/// Longest request line the server accepts. Queries are human-written
+/// text; a line beyond this is hostile or broken, and answering it with
+/// an unbounded buffer would let one client exhaust server memory.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Rows per streamed chunk frame.
+const STREAM_CHUNK_ROWS: usize = 256;
+/// Serialize responses into a connection's write buffer until it holds
+/// this much; more is pulled in as the socket drains (streaming frames
+/// are born lazily at this watermark).
+const WRITE_LOW_WATER: usize = 64 * 1024;
+/// Stop reading new requests from a connection whose un-flushed write
+/// backlog passes this (resumes when the client drains it).
+const READ_PAUSE_WATER: usize = 256 * 1024;
+/// Most bytes ingested from one connection per readiness event (level
+/// triggering re-reports whatever is left, so no data is lost — this
+/// just stops one firehose client from starving the rest of the loop).
+const READ_BUDGET: usize = 256 * 1024;
+
+const LISTENER_TOKEN: usize = usize::MAX;
+const WAKER_TOKEN: usize = usize::MAX - 1;
+
+/// Tuning and policy for [`Server::bind_config`]. `Default` reproduces
+/// the open (tenant-less) server: admission off, generous buffers.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries (`0` = one per core, capped 4096).
+    pub threads: usize,
+    /// Accept wire `add` / `compact` commands.
+    pub writable: bool,
+    /// Per-tenant admission policies; an empty table disables admission.
+    pub tenants: TenantTable,
+    /// Most simultaneously open connections; further accepts are answered
+    /// with a structured 429 line and closed.
+    pub max_connections: usize,
+    /// Drop a connection once its buffered-but-unread responses exceed
+    /// this many bytes (a stalled or malicious reader).
+    pub write_buffer_cap: usize,
+    /// Most in-flight (unanswered) requests per connection before the
+    /// reactor stops reading more from it.
+    pub pipeline_depth: usize,
+    /// Longest a graceful drain waits for in-flight work before closing.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 0,
+            writable: false,
+            tenants: TenantTable::new(),
+            max_connections: 4096,
+            write_buffer_cap: 64 << 20,
+            pipeline_depth: 128,
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// State shared by the reactor and every worker.
 struct Shared {
     koko: Koko,
     stop: AtomicBool,
@@ -29,7 +125,7 @@ struct Shared {
     served: AtomicU64,
     /// Query requests answered successfully.
     queries_ok: AtomicU64,
-    /// Query requests answered with an error (parse failures etc.).
+    /// Query requests answered with an engine error.
     queries_err: AtomicU64,
     /// Documents ingested over the wire since the server started.
     docs_added: AtomicU64,
@@ -37,12 +133,117 @@ struct Shared {
     threads: usize,
 }
 
+/// Work shipped to the pool.
+enum JobKind {
+    /// The historical no-opts path: byte-exact legacy response shape.
+    LegacyQuery {
+        text: String,
+        cache: bool,
+    },
+    /// A [`QueryRequest`] run; `legacy_shape` keeps the old response keys
+    /// (a no-opts request that only needed tenant deadline shaping).
+    Run {
+        req: QueryRequest,
+        legacy_shape: bool,
+        stream: bool,
+    },
+    Add {
+        texts: Vec<String>,
+    },
+    Compact,
+}
+
+struct Job {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    id: u64,
+    tenant: Option<String>,
+    /// Whether admission charged a concurrency slot for this job.
+    admitted: bool,
+    kind: JobKind,
+}
+
+/// A finished response waiting its turn in the per-connection order.
+enum Reply {
+    Line(String),
+    Stream { id: u64, out: Box<QueryOutput> },
+}
+
+impl Reply {
+    /// Approximate buffered size, for the stalled-reader cap. Streams
+    /// count only their header: their rows are serialized lazily and the
+    /// write low-watermark bounds how much of them ever sits in memory.
+    fn cost(&self) -> usize {
+        match self {
+            Reply::Line(s) => s.len() + 1,
+            Reply::Stream { .. } => 64,
+        }
+    }
+}
+
+struct Done {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    tenant: Option<String>,
+    admitted: bool,
+    reply: Reply,
+}
+
+/// A request admitted to a tenant's queue, waiting for a slot.
+struct Parked {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    id: u64,
+    kind: JobKind,
+}
+
+/// An in-progress streamed response: rows are cut into chunk frames as
+/// the socket drains.
+struct StreamState {
+    id: u64,
+    out: Box<QueryOutput>,
+    next_row: usize,
+    chunk: usize,
+}
+
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Next sequence number to assign to an arriving request.
+    next_seq: u64,
+    /// Next sequence number to emit (responses go out in arrival order).
+    next_write_seq: u64,
+    finished: BTreeMap<u64, Reply>,
+    /// Bytes parked in `finished` (the write-cap accounting).
+    finished_bytes: usize,
+    /// Requests assigned a seq but not yet fully written out.
+    outstanding: usize,
+    cur_stream: Option<StreamState>,
+    read_closed: bool,
+    /// Close as soon as the write buffer flushes (protocol violation).
+    closing: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
 /// A running server. Dropping the handle does **not** stop the server;
 /// call [`Server::shutdown`] (or send the `shutdown` command over the
 /// wire) for a clean stop.
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    waker: Arc<Waker>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -66,14 +267,29 @@ impl Server {
         threads: usize,
         writable: bool,
     ) -> std::io::Result<Server> {
+        Server::bind_config(
+            koko,
+            addr,
+            ServerConfig {
+                threads,
+                writable,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Bind with full [`ServerConfig`] control: tenant admission,
+    /// connection caps, buffer bounds, drain budget.
+    pub fn bind_config(koko: Koko, addr: &str, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
         // 0 = auto; explicit counts are capped so a mistyped flag cannot
         // ask the OS for millions of threads (the spawn would abort).
-        let threads = if threads == 0 {
+        let threads = if config.threads == 0 {
             koko_par::available_threads()
         } else {
-            threads.min(4096)
+            config.threads.min(4096)
         };
         // The worker pool is the parallelism: per-query shard fan-out on
         // top of it would spawn threads × shards workers. Turn it off for
@@ -83,7 +299,7 @@ impl Server {
         let shared = Arc::new(Shared {
             koko,
             stop: AtomicBool::new(false),
-            writable,
+            writable: config.writable,
             served: AtomicU64::new(0),
             queries_ok: AtomicU64::new(0),
             queries_err: AtomicU64::new(0),
@@ -92,49 +308,56 @@ impl Server {
             threads,
         });
 
-        // Accepted connections flow through an mpsc queue; workers pull
-        // whole connections (a connection occupies its worker until the
-        // client disconnects, so `threads` bounds concurrent connections
-        // being served — further ones queue).
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+        let mut poller = Poller::new()?;
+        let waker = Arc::new(Waker::new()?);
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        poller.register(waker.poll_fd(), WAKER_TOKEN, Interest::READ)?;
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
         let workers: Vec<JoinHandle<()>> = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || loop {
-                    let conn = match rx.lock() {
-                        Ok(guard) => guard.recv(),
-                        Err(_) => return,
-                    };
-                    match conn {
-                        Ok(stream) => serve_connection(&shared, stream),
-                        Err(_) => return, // acceptor gone: drain done
-                    }
-                })
+                let job_rx = Arc::clone(&job_rx);
+                let done_tx = done_tx.clone();
+                let waker = Arc::clone(&waker);
+                std::thread::spawn(move || worker_loop(&shared, &job_rx, &done_tx, &waker))
             })
             .collect();
 
-        let acceptor = {
+        let reactor = {
             let shared = Arc::clone(&shared);
+            let waker = Arc::clone(&waker);
+            let adm = AdmissionState::new(config.tenants.clone());
             std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.stop.load(Ordering::SeqCst) {
-                        break; // the wake-up connection lands here
-                    }
-                    if let Ok(stream) = stream {
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
+                Reactor {
+                    shared,
+                    poller,
+                    waker,
+                    listener,
+                    conns: Vec::new(),
+                    free: Vec::new(),
+                    num_conns: 0,
+                    gen_counter: 0,
+                    adm,
+                    parked: HashMap::new(),
+                    job_tx,
+                    done_rx,
+                    jobs_in_flight: 0,
+                    draining: false,
+                    drain_started: None,
+                    start: Instant::now(),
+                    config,
                 }
-                // tx drops here; idle workers unblock and exit.
+                .run();
             })
         };
 
         Ok(Server {
             shared,
-            acceptor: Some(acceptor),
+            waker,
+            reactor: Some(reactor),
             workers,
         })
     }
@@ -159,14 +382,13 @@ impl Server {
         self.shared.served.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, finish in-flight connections, and join every
-    /// thread. Idempotent with the wire-level `shutdown` command.
+    /// Stop accepting, drain in-flight work, flush every connection, and
+    /// join every thread. Idempotent with the wire `shutdown` command.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock the acceptor if it is parked in accept().
-        let _ = TcpStream::connect(self.shared.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -180,137 +402,11 @@ impl Server {
 
     /// Block until the server stops (e.g. a client sends `shutdown`).
     pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
-        }
-    }
-}
-
-/// Longest request line the server accepts. Queries are human-written
-/// text; a line beyond this is hostile or broken, and answering it with
-/// an unbounded buffer would let one client exhaust server memory.
-pub const MAX_REQUEST_BYTES: usize = 1 << 20;
-
-/// How often an idle connection's worker re-checks the stop flag. Bounds
-/// how long a shutdown can be delayed by clients holding idle keep-alive
-/// connections (nothing mid-request is ever interrupted).
-const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(100);
-
-/// One step of bounded line reading.
-enum LineRead {
-    /// A complete `\n`-terminated line (newline stripped).
-    Line(String),
-    /// Clean EOF from the client.
-    Eof,
-    /// The read timed out with no (or a partial) line; already-read bytes
-    /// stay in `acc`. The caller re-checks the stop flag and polls again.
-    Idle,
-    /// The line exceeded the size limit.
-    TooLong,
-}
-
-/// Poll for one line of at most `max` bytes, accumulating partial reads
-/// across timeouts in `acc`. `Err` is a real I/O failure.
-fn poll_line<R: BufRead>(
-    reader: &mut R,
-    acc: &mut Vec<u8>,
-    max: usize,
-) -> std::io::Result<LineRead> {
-    loop {
-        let available = match reader.fill_buf() {
-            Ok(available) => available,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                return Ok(LineRead::Idle)
-            }
-            Err(e) => return Err(e),
-        };
-        if available.is_empty() {
-            return Ok(LineRead::Eof);
-        }
-        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
-            acc.extend_from_slice(&available[..pos]);
-            reader.consume(pos + 1);
-            if acc.len() > max {
-                return Ok(LineRead::TooLong);
-            }
-            let line = String::from_utf8_lossy(acc).into_owned();
-            acc.clear();
-            return Ok(LineRead::Line(line));
-        }
-        let n = available.len();
-        acc.extend_from_slice(available);
-        reader.consume(n);
-        if acc.len() > max {
-            return Ok(LineRead::TooLong);
-        }
-    }
-}
-
-/// Serve one connection to completion: request line in, response line out.
-fn serve_connection(shared: &Shared, stream: TcpStream) {
-    // Request/response lines are small; Nagle + delayed ACK would add a
-    // per-request latency floor in the tens of milliseconds. The read
-    // timeout lets the worker notice a shutdown while a connection idles.
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let Ok(peer_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(peer_half);
-    let mut writer = BufWriter::new(stream);
-    let mut acc: Vec<u8> = Vec::new();
-    loop {
-        let line = match poll_line(&mut reader, &mut acc, MAX_REQUEST_BYTES) {
-            Ok(LineRead::Line(line)) => line,
-            Ok(LineRead::Eof) => break, // client closed cleanly
-            Ok(LineRead::Idle) => {
-                // Nothing (complete) arrived: drop idle connections once
-                // a shutdown has started, otherwise keep waiting.
-                if shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                continue;
-            }
-            Ok(LineRead::TooLong) => {
-                // Oversized line: answer once, then drop the connection
-                // (the rest of the flood is unread).
-                let _ = writer
-                    .write_all(err_response(0, "request line too long").as_bytes())
-                    .and_then(|()| writer.write_all(b"\n"))
-                    .and_then(|()| writer.flush());
-                break;
-            }
-            Err(_) => break,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, stop_after) = handle_line(shared, &line);
-        shared.served.fetch_add(1, Ordering::Relaxed);
-        if writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            break;
-        }
-        if stop_after {
-            shared.stop.store(true, Ordering::SeqCst);
-            // Wake the acceptor so it observes the flag.
-            let _ = TcpStream::connect(shared.addr);
-            break;
-        }
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
         }
     }
 }
@@ -327,115 +423,818 @@ fn writer_handle(shared: &Shared) -> Koko {
     writer
 }
 
-/// Answer one request line. Returns the response and whether the server
-/// should stop after sending it.
-fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
-    match Request::decode(line) {
-        Err(message) => (err_response(0, &message), false),
-        Ok(Request::Ping { id }) => (format!("{{\"id\":{id},\"ok\":true,\"pong\":true}}"), false),
-        Ok(Request::Shutdown { id }) => (
-            format!("{{\"id\":{id},\"ok\":true,\"stopping\":true}}"),
-            true,
-        ),
-        Ok(Request::Stats { id }) => {
-            let cache = shared.koko.cache_stats();
-            let snap = shared.koko.snapshot();
-            let response = format!(
-                "{{\"id\":{id},\"ok\":true,\"stats\":{{\"threads\":{},\"documents\":{},\"shards\":{},\"delta_shards\":{},\"delta_documents\":{},\"epoch\":{},\"generation\":{},\"writable\":{},\"docs_added\":{},\"served\":{},\"queries_ok\":{},\"queries_err\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{},\"result_cache_capacity\":{}}}}}",
-                shared.threads,
-                snap.corpus().num_documents(),
-                snap.num_shards(),
-                snap.num_delta_shards(),
-                snap.num_delta_documents(),
-                snap.epoch(),
-                snap.generation(),
-                shared.writable,
-                shared.docs_added.load(Ordering::Relaxed),
-                shared.served.load(Ordering::Relaxed),
-                shared.queries_ok.load(Ordering::Relaxed),
-                shared.queries_err.load(Ordering::Relaxed),
-                cache.compiled_hits,
-                cache.compiled_misses,
-                cache.result_hits,
-                cache.result_misses,
-                shared.koko.opts.result_cache,
-            );
-            (response, false)
-        }
-        Ok(Request::Query {
-            id,
-            text,
-            cache,
-            opts,
-        }) => {
-            // Without `opts` the request follows the historical path and
-            // response shape bit-for-bit; with `opts` (even an empty
-            // object) it runs as a QueryRequest and gets the extended
-            // response carrying `total_matches` / `truncated` / explain.
-            let result = match &opts {
-                None => shared.koko.query_with_cache(&text, cache),
-                Some(o) => shared.koko.run(&o.to_request(&text, cache)),
-            };
-            match result {
-                Ok(out) => {
-                    shared.queries_ok.fetch_add(1, Ordering::Relaxed);
-                    let line = match opts {
-                        None => ok_response(id, &out),
-                        Some(_) => crate::protocol::opts_response(id, &out),
-                    };
-                    (line, false)
-                }
-                Err(e) => {
-                    shared.queries_err.fetch_add(1, Ordering::Relaxed);
-                    (err_response(id, &e.to_string()), false)
-                }
+fn worker_loop(
+    shared: &Shared,
+    jobs: &Mutex<mpsc::Receiver<Job>>,
+    done_tx: &mpsc::Sender<Done>,
+    waker: &Waker,
+) {
+    loop {
+        let job = {
+            let Ok(guard) = jobs.lock() else { return };
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => return, // reactor gone: drain done
             }
+        };
+        let reply = execute(shared, job.id, job.kind);
+        let delivered = done_tx
+            .send(Done {
+                conn: job.conn,
+                gen: job.gen,
+                seq: job.seq,
+                tenant: job.tenant,
+                admitted: job.admitted,
+                reply,
+            })
+            .is_ok();
+        if delivered {
+            waker.wake();
         }
-        Ok(Request::Add { id, texts }) => {
-            if !shared.writable {
-                return (
-                    err_response(
+    }
+}
+
+/// Run one job to completion on a worker thread.
+fn execute(shared: &Shared, id: u64, kind: JobKind) -> Reply {
+    match kind {
+        JobKind::LegacyQuery { text, cache } => match shared.koko.query_with_cache(&text, cache) {
+            Ok(out) => {
+                shared.queries_ok.fetch_add(1, Ordering::Relaxed);
+                Reply::Line(ok_response(id, &out))
+            }
+            Err(e) => {
+                shared.queries_err.fetch_add(1, Ordering::Relaxed);
+                Reply::Line(err_response(id, &e.to_string()))
+            }
+        },
+        JobKind::Run {
+            req,
+            legacy_shape,
+            stream,
+        } => match shared.koko.run(&req) {
+            Ok(out) => {
+                shared.queries_ok.fetch_add(1, Ordering::Relaxed);
+                if stream {
+                    Reply::Stream {
                         id,
-                        "server is read-only (start with --writable to accept add)",
-                    ),
-                    false,
-                );
+                        out: Box::new(out),
+                    }
+                } else if legacy_shape {
+                    Reply::Line(ok_response(id, &out))
+                } else {
+                    Reply::Line(opts_response(id, &out))
+                }
             }
+            Err(e) => {
+                shared.queries_err.fetch_add(1, Ordering::Relaxed);
+                Reply::Line(err_response(id, &e.to_string()))
+            }
+        },
+        JobKind::Add { texts } => {
             let report = writer_handle(shared).add_texts(&texts);
             shared
                 .docs_added
                 .fetch_add(report.added as u64, Ordering::Relaxed);
-            (
-                format!(
-                    "{{\"id\":{id},\"ok\":true,\"added\":{},\"documents\":{},\"epoch\":{},\"generation\":{},\"delta_shards\":{},\"delta_documents\":{}}}",
-                    report.added,
-                    report.documents,
-                    report.epoch,
-                    report.generation,
-                    report.delta_shards,
-                    report.delta_documents,
-                ),
-                false,
-            )
+            Reply::Line(format!(
+                "{{\"id\":{id},\"ok\":true,\"added\":{},\"documents\":{},\"epoch\":{},\"generation\":{},\"delta_shards\":{},\"delta_documents\":{}}}",
+                report.added,
+                report.documents,
+                report.epoch,
+                report.generation,
+                report.delta_shards,
+                report.delta_documents,
+            ))
         }
-        Ok(Request::Compact { id }) => {
-            if !shared.writable {
-                return (
-                    err_response(
-                        id,
-                        "server is read-only (start with --writable to accept compact)",
-                    ),
-                    false,
-                );
-            }
+        JobKind::Compact => {
             let report = writer_handle(shared).compact();
-            (
-                format!(
-                    "{{\"id\":{id},\"ok\":true,\"merged_deltas\":{},\"shards\":{},\"epoch\":{},\"generation\":{}}}",
-                    report.merged_deltas, report.shards, report.epoch, report.generation,
-                ),
-                false,
-            )
+            Reply::Line(format!(
+                "{{\"id\":{id},\"ok\":true,\"merged_deltas\":{},\"shards\":{},\"epoch\":{},\"generation\":{}}}",
+                report.merged_deltas, report.shards, report.epoch, report.generation,
+            ))
+        }
+    }
+}
+
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    waker: Arc<Waker>,
+    listener: TcpListener,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    num_conns: usize,
+    gen_counter: u64,
+    adm: AdmissionState,
+    /// Admitted-but-queued requests, per tenant (keyed like the
+    /// admission state: `None` = anonymous under the default policy).
+    parked: HashMap<Option<String>, VecDeque<Parked>>,
+    job_tx: mpsc::Sender<Job>,
+    done_rx: mpsc::Receiver<Done>,
+    jobs_in_flight: usize,
+    draining: bool,
+    drain_started: Option<Instant>,
+    start: Instant,
+    config: ServerConfig,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Vec::new();
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                self.enter_drain();
+            }
+            while let Ok(done) = self.done_rx.try_recv() {
+                self.on_done(done);
+            }
+            if self.draining && self.drain_finished() {
+                break;
+            }
+            // The waker makes wakeups immediate; the timeout is only a
+            // backstop (and the drain-deadline check cadence).
+            let timeout = if self.draining {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(500)
+            };
+            if self.poller.poll(&mut events, Some(timeout)).is_err() {
+                break;
+            }
+            for ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_all(),
+                    WAKER_TOKEN => self.waker.drain(),
+                    token => self.on_conn_event(token, ev.readable, ev.hangup),
+                }
+            }
+        }
+        // Close everything still open; dropping `job_tx` (with self)
+        // lets idle workers exit.
+        for slot in self.conns.iter_mut() {
+            *slot = None;
+        }
+    }
+
+    /// Begin (or continue) a graceful drain: stop accepting and reading;
+    /// in-flight and admitted-queued work still completes and flushes.
+    fn enter_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.drain_started = Some(Instant::now());
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        for token in 0..self.conns.len() {
+            if self.conns[token].is_some() {
+                self.service(token);
+            }
+        }
+    }
+
+    /// True once the drain may complete: nothing running, nothing
+    /// queued, every surviving connection fully flushed — or the drain
+    /// budget is spent.
+    fn drain_finished(&mut self) -> bool {
+        if let Some(started) = self.drain_started {
+            if started.elapsed() > self.config.drain_timeout {
+                return true;
+            }
+        }
+        if self.jobs_in_flight > 0 {
+            return false;
+        }
+        if self.parked.values().any(|q| !q.is_empty()) {
+            return false;
+        }
+        for token in 0..self.conns.len() {
+            if let Some(conn) = &self.conns[token] {
+                if conn.pending_write() > 0
+                    || conn.cur_stream.is_some()
+                    || !conn.finished.is_empty()
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining {
+                        continue; // accepted by the OS backlog; just drop
+                    }
+                    if self.num_conns >= self.config.max_connections {
+                        // Structured refusal, best-effort: the socket is
+                        // fresh so one small write virtually never blocks.
+                        let mut stream = stream;
+                        let line = format!(
+                            "{{\"id\":0,\"ok\":false,\"error\":\"server at connection capacity\",\"code\":429,\"max_connections\":{}}}\n",
+                            self.config.max_connections
+                        );
+                        let _ = stream.write(line.as_bytes());
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Request/response lines are small; Nagle + delayed
+                    // ACK would add a latency floor in the tens of ms.
+                    let _ = stream.set_nodelay(true);
+                    let token = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    self.gen_counter += 1;
+                    let fd = stream.as_raw_fd();
+                    let conn = Conn {
+                        stream,
+                        gen: self.gen_counter,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        next_seq: 0,
+                        next_write_seq: 0,
+                        finished: BTreeMap::new(),
+                        finished_bytes: 0,
+                        outstanding: 0,
+                        cur_stream: None,
+                        read_closed: false,
+                        closing: false,
+                        interest: Interest::READ,
+                    };
+                    if self.poller.register(fd, token, Interest::READ).is_err() {
+                        self.free.push(token);
+                        continue;
+                    }
+                    self.conns[token] = Some(conn);
+                    self.num_conns += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn close(&mut self, token: usize) {
+        let Some(conn) = self.conns[token].take() else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.num_conns -= 1;
+        self.free.push(token);
+        // Un-park anything this connection had admitted but not started.
+        let gen = conn.gen;
+        for (tenant, queue) in self.parked.iter_mut() {
+            let before = queue.len();
+            queue.retain(|p| !(p.conn == token && p.gen == gen));
+            for _ in queue.len()..before {
+                self.adm.forget_queued(tenant.as_deref());
+            }
+        }
+    }
+
+    fn on_conn_event(&mut self, token: usize, readable: bool, hangup: bool) {
+        if token >= self.conns.len() || self.conns[token].is_none() {
+            return;
+        }
+        if hangup {
+            // EPOLLHUP/EPOLLERR: the peer is fully gone — responses are
+            // undeliverable, so drop straight away.
+            self.close(token);
+            return;
+        }
+        if readable && !self.read_some(token) {
+            return; // closed on read error
+        }
+        self.service(token);
+    }
+
+    /// Pull bytes into the connection's line buffer (bounded per pass;
+    /// level-triggered polling re-reports any remainder). Returns false
+    /// if the connection was closed.
+    fn read_some(&mut self, token: usize) -> bool {
+        let Some(conn) = self.conns[token].as_mut() else {
+            return false;
+        };
+        let mut fatal = false;
+        if conn.read_closed || conn.closing {
+            // Drain-and-discard so the kernel buffer can't wedge the
+            // event loop reporting a connection we no longer read.
+            let mut sink = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut sink) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+        } else {
+            let mut taken = 0usize;
+            let mut tmp = [0u8; 16 * 1024];
+            loop {
+                if taken >= READ_BUDGET || conn.rbuf.len() > MAX_REQUEST_BYTES {
+                    break;
+                }
+                match conn.stream.read(&mut tmp) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&tmp[..n]);
+                        taken += n;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if fatal {
+            self.close(token);
+            return false;
+        }
+        true
+    }
+
+    /// Process buffered lines, pump writes, and refresh poll interest —
+    /// the one entry point after any state change on a connection.
+    fn service(&mut self, token: usize) {
+        loop {
+            let before = self.conn_fingerprint(token);
+            self.process_lines(token);
+            self.pump(token);
+            if self.conns[token].is_none() || self.conn_fingerprint(token) == before {
+                break;
+            }
+        }
+        self.update_interest(token);
+        self.maybe_close_quiet(token);
+    }
+
+    fn conn_fingerprint(&self, token: usize) -> (usize, usize, u64, usize) {
+        match self.conns.get(token).and_then(|c| c.as_ref()) {
+            Some(c) => (
+                c.rbuf.len(),
+                c.pending_write(),
+                c.next_write_seq,
+                c.outstanding,
+            ),
+            None => (0, 0, 0, 0),
+        }
+    }
+
+    /// Close a connection that has nothing left to say or hear.
+    fn maybe_close_quiet(&mut self, token: usize) {
+        let Some(conn) = self.conns.get(token).and_then(|c| c.as_ref()) else {
+            return;
+        };
+        let flushed = conn.pending_write() == 0 && conn.cur_stream.is_none();
+        let done = conn.outstanding == 0 && flushed;
+        if (conn.closing && flushed && conn.outstanding == 0)
+            || (conn.read_closed && done)
+            || (self.draining && done)
+        {
+            self.close(token);
+        }
+    }
+
+    fn process_lines(&mut self, token: usize) {
+        loop {
+            let Some(conn) = self.conns[token].as_mut() else {
+                return;
+            };
+            if conn.closing || self.draining {
+                return;
+            }
+            if conn.outstanding >= self.config.pipeline_depth {
+                return; // backpressure: bytes stay buffered
+            }
+            let pos = conn.rbuf.iter().position(|&b| b == b'\n');
+            let partial_too_long = pos.is_none() && conn.rbuf.len() > MAX_REQUEST_BYTES;
+            let Some(pos) = pos else {
+                if partial_too_long {
+                    self.refuse_line_too_long(token);
+                }
+                return;
+            };
+            let line = String::from_utf8_lossy(&conn.rbuf[..pos]).into_owned();
+            conn.rbuf.drain(..=pos);
+            if line.len() > MAX_REQUEST_BYTES {
+                self.refuse_line_too_long(token);
+                return;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.handle_line(token, &line);
+        }
+    }
+
+    /// Oversized line: answer once, then drop the connection (the rest
+    /// of the flood is never read).
+    fn refuse_line_too_long(&mut self, token: usize) {
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.outstanding += 1;
+        conn.closing = true;
+        conn.read_closed = true;
+        conn.rbuf.clear();
+        self.finish(
+            token,
+            seq,
+            Reply::Line(err_response(0, "request line too long")),
+        );
+    }
+
+    /// Park a completed response at its sequence slot (the write pump
+    /// emits strictly in order) and account for it.
+    fn finish(&mut self, token: usize, seq: u64, reply: Reply) {
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        conn.finished_bytes += reply.cost();
+        conn.finished.insert(seq, reply);
+        self.shared.served.fetch_add(1, Ordering::Relaxed);
+        let over_cap = conn.finished_bytes + conn.pending_write() > self.config.write_buffer_cap;
+        if over_cap {
+            // A reader this far behind is stalled or hostile; a clean
+            // drop beats unbounded buffering (it cannot read an error
+            // line either — that's what it's not doing).
+            self.close(token);
+        }
+    }
+
+    fn dispatch(&mut self, job: Job) {
+        self.jobs_in_flight += 1;
+        let _ = self.job_tx.send(job);
+    }
+
+    fn handle_line(&mut self, token: usize, line: &str) {
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.outstanding += 1;
+        let gen = conn.gen;
+        match Request::decode(line) {
+            Err(message) => self.finish(token, seq, Reply::Line(err_response(0, &message))),
+            Ok(Request::Ping { id }) => self.finish(
+                token,
+                seq,
+                Reply::Line(format!("{{\"id\":{id},\"ok\":true,\"pong\":true}}")),
+            ),
+            Ok(Request::Shutdown { id }) => {
+                self.finish(
+                    token,
+                    seq,
+                    Reply::Line(format!("{{\"id\":{id},\"ok\":true,\"stopping\":true}}")),
+                );
+                self.shared.stop.store(true, Ordering::SeqCst);
+            }
+            Ok(Request::Stats { id }) => {
+                let line = self.stats_line(id);
+                self.finish(token, seq, Reply::Line(line));
+            }
+            Ok(Request::Add { id, texts }) => {
+                if !self.shared.writable {
+                    self.finish(
+                        token,
+                        seq,
+                        Reply::Line(err_response(
+                            id,
+                            "server is read-only (start with --writable to accept add)",
+                        )),
+                    );
+                    return;
+                }
+                self.dispatch(Job {
+                    conn: token,
+                    gen,
+                    seq,
+                    id,
+                    tenant: None,
+                    admitted: false,
+                    kind: JobKind::Add { texts },
+                });
+            }
+            Ok(Request::Compact { id }) => {
+                if !self.shared.writable {
+                    self.finish(
+                        token,
+                        seq,
+                        Reply::Line(err_response(
+                            id,
+                            "server is read-only (start with --writable to accept compact)",
+                        )),
+                    );
+                    return;
+                }
+                self.dispatch(Job {
+                    conn: token,
+                    gen,
+                    seq,
+                    id,
+                    tenant: None,
+                    admitted: false,
+                    kind: JobKind::Compact,
+                });
+            }
+            Ok(Request::Query {
+                id,
+                text,
+                cache,
+                opts,
+                auth,
+            }) => {
+                let kind = self.build_query_kind(&text, cache, &opts, auth.as_deref());
+                if !self.adm.enabled() {
+                    self.dispatch(Job {
+                        conn: token,
+                        gen,
+                        seq,
+                        id,
+                        tenant: None,
+                        admitted: false,
+                        kind,
+                    });
+                    return;
+                }
+                let now_s = self.start.elapsed().as_secs_f64();
+                match self.adm.admit(auth.as_deref(), now_s) {
+                    Admission::Dispatch => self.dispatch(Job {
+                        conn: token,
+                        gen,
+                        seq,
+                        id,
+                        tenant: auth,
+                        admitted: true,
+                        kind,
+                    }),
+                    Admission::Enqueue => {
+                        self.parked.entry(auth).or_default().push_back(Parked {
+                            conn: token,
+                            gen,
+                            seq,
+                            id,
+                            kind,
+                        });
+                    }
+                    Admission::Reject(overload) => {
+                        self.finish(
+                            token,
+                            seq,
+                            Reply::Line(overload_response(id, auth.as_deref(), &overload)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lower a wire query onto a job, applying tenant request shaping
+    /// (deadline defaults/caps). No-opts requests keep the exact
+    /// historical execution path unless their tenant shapes deadlines.
+    fn build_query_kind(
+        &self,
+        text: &str,
+        cache: bool,
+        opts: &Option<crate::protocol::QueryOpts>,
+        auth: Option<&str>,
+    ) -> JobKind {
+        let shaping = self
+            .adm
+            .table()
+            .policy_for(auth)
+            .map(|p| p.default_deadline.is_some() || p.deadline_cap.is_some())
+            .unwrap_or(false);
+        match opts {
+            None if !shaping => JobKind::LegacyQuery {
+                text: text.to_string(),
+                cache,
+            },
+            None => {
+                let mut req = QueryRequest::new(text).cache(cache);
+                self.adm.shape_request(auth, &mut req);
+                JobKind::Run {
+                    req,
+                    legacy_shape: true,
+                    stream: false,
+                }
+            }
+            Some(o) => {
+                let mut req = o.to_request(text, cache);
+                self.adm.shape_request(auth, &mut req);
+                JobKind::Run {
+                    req,
+                    legacy_shape: false,
+                    stream: o.stream,
+                }
+            }
+        }
+    }
+
+    fn stats_line(&self, id: u64) -> String {
+        let shared = &self.shared;
+        let cache = shared.koko.cache_stats();
+        let snap = shared.koko.snapshot();
+        format!(
+            "{{\"id\":{id},\"ok\":true,\"stats\":{{\"threads\":{},\"documents\":{},\"shards\":{},\"delta_shards\":{},\"delta_documents\":{},\"epoch\":{},\"generation\":{},\"writable\":{},\"docs_added\":{},\"served\":{},\"queries_ok\":{},\"queries_err\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{},\"result_cache_capacity\":{},\"connections\":{},\"tenants\":{},\"draining\":{}}}}}",
+            shared.threads,
+            snap.corpus().num_documents(),
+            snap.num_shards(),
+            snap.num_delta_shards(),
+            snap.num_delta_documents(),
+            snap.epoch(),
+            snap.generation(),
+            shared.writable,
+            shared.docs_added.load(Ordering::Relaxed),
+            shared.served.load(Ordering::Relaxed),
+            shared.queries_ok.load(Ordering::Relaxed),
+            shared.queries_err.load(Ordering::Relaxed),
+            cache.compiled_hits,
+            cache.compiled_misses,
+            cache.result_hits,
+            cache.result_misses,
+            shared.koko.opts.result_cache,
+            self.num_conns,
+            self.adm.table().len(),
+            self.draining,
+        )
+    }
+
+    fn on_done(&mut self, done: Done) {
+        self.jobs_in_flight -= 1;
+        if done.admitted {
+            self.adm.on_complete(done.tenant.as_deref());
+            self.promote_parked(&done.tenant);
+        }
+        let live = self.conns.get(done.conn).and_then(|c| c.as_ref());
+        if live.map(|c| c.gen) == Some(done.gen) {
+            self.finish(done.conn, done.seq, done.reply);
+            self.service(done.conn);
+        }
+    }
+
+    /// Move freed concurrency slots to this tenant's queued requests.
+    fn promote_parked(&mut self, tenant: &Option<String>) {
+        loop {
+            let has_queued = self.parked.get(tenant).is_some_and(|q| !q.is_empty());
+            if !has_queued || !self.adm.try_dispatch_queued(tenant.as_deref()) {
+                return;
+            }
+            let parked = self
+                .parked
+                .get_mut(tenant)
+                .and_then(|q| q.pop_front())
+                .expect("checked non-empty");
+            self.dispatch(Job {
+                conn: parked.conn,
+                gen: parked.gen,
+                seq: parked.seq,
+                id: parked.id,
+                tenant: tenant.clone(),
+                admitted: true,
+                kind: parked.kind,
+            });
+        }
+    }
+
+    /// Serialize due responses into the write buffer (in seq order, up
+    /// to the low watermark) and flush as much as the socket takes.
+    fn pump(&mut self, token: usize) {
+        let low_water = WRITE_LOW_WATER.min(self.config.write_buffer_cap);
+        loop {
+            let mut must_close = false;
+            let Some(conn) = self.conns[token].as_mut() else {
+                return;
+            };
+            // Fill phase.
+            let mut filled = false;
+            while conn.pending_write() < low_water {
+                if let Some(st) = conn.cur_stream.as_mut() {
+                    if st.next_row < st.out.rows.len() {
+                        let end = (st.next_row + STREAM_CHUNK_ROWS).min(st.out.rows.len());
+                        let frame = stream_chunk(st.id, st.chunk, &st.out.rows[st.next_row..end]);
+                        st.chunk += 1;
+                        st.next_row = end;
+                        conn.wbuf.extend_from_slice(frame.as_bytes());
+                        conn.wbuf.push(b'\n');
+                    } else {
+                        let frame = stream_trailer(st.id, st.chunk, &st.out);
+                        conn.wbuf.extend_from_slice(frame.as_bytes());
+                        conn.wbuf.push(b'\n');
+                        conn.cur_stream = None;
+                        conn.outstanding -= 1;
+                    }
+                    filled = true;
+                    continue;
+                }
+                match conn.finished.remove(&conn.next_write_seq) {
+                    Some(reply) => {
+                        conn.finished_bytes -= reply.cost();
+                        conn.next_write_seq += 1;
+                        match reply {
+                            Reply::Line(s) => {
+                                conn.wbuf.extend_from_slice(s.as_bytes());
+                                conn.wbuf.push(b'\n');
+                                conn.outstanding -= 1;
+                            }
+                            Reply::Stream { id, out } => {
+                                let header = stream_header(id, &out);
+                                conn.wbuf.extend_from_slice(header.as_bytes());
+                                conn.wbuf.push(b'\n');
+                                conn.cur_stream = Some(StreamState {
+                                    id,
+                                    out,
+                                    next_row: 0,
+                                    chunk: 0,
+                                });
+                            }
+                        }
+                        filled = true;
+                    }
+                    None => break,
+                }
+            }
+            // Flush phase.
+            let mut wrote = false;
+            while conn.wpos < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        must_close = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.wpos += n;
+                        wrote = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        must_close = true;
+                        break;
+                    }
+                }
+            }
+            if conn.wpos == conn.wbuf.len() {
+                conn.wbuf.clear();
+                conn.wpos = 0;
+            } else if conn.wpos > WRITE_LOW_WATER {
+                conn.wbuf.drain(..conn.wpos);
+                conn.wpos = 0;
+            }
+            // Another lap only while both phases made progress (a lap
+            // that filled but could not flush would spin).
+            let more_due =
+                conn.cur_stream.is_some() || conn.finished.contains_key(&conn.next_write_seq);
+            let keep_going = filled && wrote && more_due && conn.pending_write() < low_water;
+            if must_close {
+                self.close(token);
+                return;
+            }
+            if !keep_going {
+                return;
+            }
+        }
+    }
+
+    fn update_interest(&mut self, token: usize) {
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        let desired = Interest {
+            readable: !conn.read_closed
+                && !conn.closing
+                && !self.draining
+                && conn.outstanding < self.config.pipeline_depth
+                && conn.pending_write() < READ_PAUSE_WATER,
+            writable: conn.pending_write() > 0 || conn.cur_stream.is_some(),
+        };
+        if desired != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            conn.interest = desired;
+            let _ = self.poller.modify(fd, token, desired);
         }
     }
 }
@@ -444,7 +1243,9 @@ fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use koko_core::tenant::TenantPolicy;
     use koko_core::EngineOpts;
+    use std::io::{BufRead, BufReader};
 
     fn test_engine(result_cache: usize) -> Koko {
         Koko::from_texts_with_opts(
@@ -511,7 +1312,6 @@ mod tests {
 
     #[test]
     fn oversized_request_lines_are_rejected_not_buffered() {
-        use std::io::{BufRead, BufReader, Write};
         let server = Server::bind(test_engine(0), "127.0.0.1:0", 1).unwrap();
         let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
         // Stream well past the limit without a newline; the server must
@@ -582,7 +1382,7 @@ mod tests {
         );
         assert!(after.contains("\"delta_candidates\":1"), "{after}");
 
-        // A second client (other worker) sees the same state.
+        // A second client sees the same state.
         let mut other = Client::connect(&addr).unwrap();
         let stats = other.stats().unwrap();
         assert!(stats.contains("\"documents\":3"), "{stats}");
@@ -629,9 +1429,207 @@ mod tests {
         let bye = client.shutdown().unwrap();
         assert!(bye.contains("\"stopping\":true"), "{bye}");
         drop(client);
-        // join() must return even though `idle` is still open: its worker
-        // notices the stop flag at the next idle poll and drops it.
+        // join() must return even though `idle` is still open: the drain
+        // closes idle connections once nothing is in flight.
         server.join();
         drop(idle);
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_request_order() {
+        let server = Server::bind(test_engine(8), "127.0.0.1:0", 2).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        // Fire a burst of requests without reading a single response:
+        // queries (worker round-trips) interleaved with pings (answered
+        // inline by the reactor) — responses must still come back in
+        // request order.
+        let q = koko_lang::queries::EXAMPLE_2_1
+            .replace('"', "\\\"")
+            .replace('\n', " ");
+        let mut batch = String::new();
+        for id in 1..=9u64 {
+            if id % 3 == 0 {
+                batch.push_str(&format!("{{\"id\":{id},\"cmd\":\"ping\"}}\n"));
+            } else {
+                batch.push_str(&format!("{{\"id\":{id},\"query\":\"{q}\"}}\n"));
+            }
+        }
+        stream.write_all(batch.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        for id in 1..=9u64 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(
+                line.starts_with(&format!("{{\"id\":{id},")),
+                "response out of order: expected id {id}, got {line}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn streamed_response_is_byte_identical_after_reassembly() {
+        let server = Server::bind(test_engine(0), "127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().to_string();
+        let q = koko_lang::queries::EXAMPLE_2_1;
+
+        // Reference: the one-line extended response.
+        let mut client = Client::connect(&addr).unwrap();
+        let single = client
+            .query_with_opts(q, true, crate::protocol::QueryOpts::default())
+            .unwrap();
+        let expected_rows = crate::protocol::response_rows(&single).unwrap().to_string();
+
+        // Streamed: header, chunks, trailer over a raw socket.
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        let line = Request::Query {
+            id: 5,
+            text: q.into(),
+            cache: true,
+            opts: Some(crate::protocol::QueryOpts {
+                stream: true,
+                ..Default::default()
+            }),
+            auth: None,
+        }
+        .encode();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        assert!(
+            header.contains("\"stream\":true") && header.contains("\"id\":5"),
+            "{header}"
+        );
+        let mut rebuilt = String::from("[");
+        let mut chunks = 0usize;
+        loop {
+            let mut frame = String::new();
+            reader.read_line(&mut frame).unwrap();
+            if frame.contains("\"done\":true") {
+                assert!(frame.contains(&format!("\"chunks\":{chunks}")), "{frame}");
+                assert!(frame.contains("\"profile\":{"), "{frame}");
+                break;
+            }
+            assert!(frame.contains(&format!("\"chunk\":{chunks}")), "{frame}");
+            let rows = crate::protocol::stream_rows(frame.trim_end()).unwrap();
+            if rebuilt.len() > 1 && rows.len() > 2 {
+                rebuilt.push(',');
+            }
+            rebuilt.push_str(&rows[1..rows.len() - 1]);
+            chunks += 1;
+        }
+        rebuilt.push(']');
+        assert_eq!(
+            rebuilt, expected_rows,
+            "stream reassembly must be byte-identical"
+        );
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tenant_admission_rejects_with_structured_errors() {
+        let mut tenants = TenantTable::new();
+        tenants.insert(
+            "alice",
+            TenantPolicy {
+                rate_per_s: 1.0, // 1 rps, burst 2: the third burst query trips it
+                burst: 2.0,
+                max_queue: 4,
+                max_concurrent: 2,
+                default_deadline: None,
+                deadline_cap: None,
+            },
+        );
+        let server = Server::bind_config(
+            test_engine(0),
+            "127.0.0.1:0",
+            ServerConfig {
+                threads: 1,
+                tenants,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+        let q = koko_lang::queries::EXAMPLE_2_1;
+
+        // Unknown tenant: 401-equivalent, connection stays open.
+        let r = client.query_as(q, true, None, Some("mallory")).unwrap();
+        assert!(
+            r.contains("\"ok\":false") && r.contains("\"code\":401"),
+            "{r}"
+        );
+        assert!(r.contains("\"tenant\":\"mallory\""), "{r}");
+
+        // Anonymous with no default policy: also refused.
+        let r = client.query(q, true).unwrap();
+        assert!(
+            r.contains("\"code\":401") && r.contains("\"tenant\":null"),
+            "{r}"
+        );
+
+        // The configured tenant burns its burst, then gets a 429 with a
+        // retry hint.
+        let r = client.query_as(q, true, None, Some("alice")).unwrap();
+        assert!(r.contains("\"ok\":true"), "{r}");
+        let r = client.query_as(q, true, None, Some("alice")).unwrap();
+        assert!(r.contains("\"ok\":true"), "{r}");
+        let r = client.query_as(q, true, None, Some("alice")).unwrap();
+        assert!(
+            r.contains("\"code\":429") && r.contains("\"retry_after_ms\""),
+            "{r}"
+        );
+        assert!(r.contains("\"tenant\":\"alice\""), "{r}");
+
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tenant_deadline_caps_shape_requests_not_shapes() {
+        // A tenant whose deadline cap is generous enough to never fire:
+        // responses (legacy and extended) stay byte-identical to an
+        // unconstrained run, proving shaping rides the same path.
+        let mut tenants = TenantTable::new();
+        let policy = TenantPolicy {
+            deadline_cap: Some(Duration::from_secs(3600)),
+            ..TenantPolicy::default()
+        };
+        tenants.insert("alice", policy);
+        let server = Server::bind_config(
+            test_engine(0),
+            "127.0.0.1:0",
+            ServerConfig {
+                threads: 1,
+                tenants,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let open = Server::bind(test_engine(0), "127.0.0.1:0", 1).unwrap();
+
+        let q = koko_lang::queries::EXAMPLE_2_1;
+        let mut tenant_client = Client::connect(&server.local_addr().to_string()).unwrap();
+        let mut open_client = Client::connect(&open.local_addr().to_string()).unwrap();
+        let shaped = tenant_client
+            .query_as(q, true, None, Some("alice"))
+            .unwrap();
+        let free = open_client.query(q, true).unwrap();
+        assert_eq!(
+            crate::protocol::response_rows(&shaped),
+            crate::protocol::response_rows(&free),
+            "deadline shaping must not change rows"
+        );
+        assert!(shaped.contains("\"num_rows\":"), "{shaped}");
+        assert!(!shaped.contains("total_matches"), "legacy shape preserved");
+
+        drop(tenant_client);
+        drop(open_client);
+        server.shutdown();
+        open.shutdown();
     }
 }

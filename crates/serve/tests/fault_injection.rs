@@ -1,0 +1,400 @@
+//! Fault injection against the event-loop server: hostile and broken
+//! clients — slowloris writers, stalled readers, half-closes mid-request,
+//! oversized frames, connection floods — must each produce a structured
+//! error or a clean connection drop, never a panic, a hang, or degraded
+//! service for well-behaved clients sharing the server.
+//!
+//! Every test ends with a graceful `shutdown()`: a server that survived
+//! the abuse but can no longer drain would fail there.
+
+use koko_core::tenant::{TenantPolicy, TenantTable};
+use koko_core::{EngineOpts, Koko};
+use koko_serve::{Client, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn engine() -> Koko {
+    Koko::from_texts_with_opts(
+        &[
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+        ],
+        EngineOpts {
+            result_cache: 8,
+            parallel: false,
+            num_shards: 1,
+            ..EngineOpts::default()
+        },
+    )
+}
+
+/// A well-behaved client must keep getting answers while abuse is in
+/// progress; this is the "no collateral damage" probe used by each test.
+fn assert_healthy(addr: &str) {
+    let mut client = Client::connect(addr).expect("healthy client connects");
+    let pong = client.ping().expect("healthy client gets a pong");
+    assert!(pong.contains("\"pong\":true"), "{pong}");
+    let r = client
+        .query(koko_lang::queries::EXAMPLE_2_1, true)
+        .expect("healthy client gets query answered");
+    assert!(r.contains("\"ok\":true"), "{r}");
+}
+
+#[test]
+fn slowloris_writer_cannot_stall_other_clients() {
+    let server = Server::bind(engine(), "127.0.0.1:0", 2).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Drip a valid request one byte at a time. Under the old
+    // thread-per-connection design this pinned a worker on a blocking
+    // read; the reactor just keeps the partial line buffered.
+    let request = b"{\"id\":1,\"cmd\":\"ping\"}\n";
+    let mut slow = TcpStream::connect(&addr).unwrap();
+    slow.set_nodelay(true).unwrap();
+    for &b in &request[..request.len() - 1] {
+        slow.write_all(&[b]).unwrap();
+        slow.flush().unwrap();
+        // Interleave healthy traffic between the drips a few times.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_healthy(&addr);
+
+    // Once the newline finally lands, the slow client is answered too.
+    slow.write_all(b"\n").unwrap();
+    slow.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(&slow).read_line(&mut line).unwrap();
+    assert!(line.contains("\"pong\":true"), "{line}");
+
+    drop(slow);
+    server.shutdown();
+}
+
+#[test]
+fn stalled_reader_is_dropped_at_the_write_buffer_cap() {
+    // Tiny write cap: a client that sends queries but never reads its
+    // responses trips the cap and is disconnected — the regression test
+    // for the old server's blocking `write_all` hazard, where a stalled
+    // reader pinned a worker thread forever.
+    let server = Server::bind_config(
+        engine(),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            write_buffer_cap: 8 * 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut stalled = TcpStream::connect(&addr).unwrap();
+    stalled.set_nodelay(true).unwrap();
+    let q = koko_lang::queries::EXAMPLE_2_1
+        .replace('"', "\\\"")
+        .replace('\n', " ");
+    // Keep sending queries without ever reading; responses (hundreds of
+    // bytes each) pile up server-side until the cap closes the socket.
+    let mut dropped = false;
+    for id in 0..10_000u64 {
+        let line = format!("{{\"id\":{id},\"query\":\"{q}\",\"cache\":false}}\n");
+        if stalled.write_all(line.as_bytes()).is_err() {
+            dropped = true;
+            break;
+        }
+        if id % 64 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    if !dropped {
+        // The writes may all have fit in kernel buffers; the drop then
+        // shows up as EOF/reset on read.
+        stalled
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut sink = [0u8; 4096];
+        loop {
+            match stalled.read(&mut sink) {
+                Ok(0) | Err(_) => {
+                    dropped = true;
+                    break;
+                }
+                Ok(_) => {}
+            }
+        }
+    }
+    assert!(
+        dropped,
+        "stalled reader must be disconnected, not buffered forever"
+    );
+
+    // The server itself is unharmed.
+    assert_healthy(&addr);
+    server.shutdown();
+}
+
+#[test]
+fn half_close_mid_request_is_a_clean_drop() {
+    let server = Server::bind(engine(), "127.0.0.1:0", 1).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Half-close with a partial request buffered: the server sees EOF,
+    // has no complete line to answer, and must just drop the connection.
+    let mut partial = TcpStream::connect(&addr).unwrap();
+    partial.write_all(b"{\"id\":1,\"cmd\":\"pi").unwrap();
+    partial.shutdown(std::net::Shutdown::Write).unwrap();
+    partial
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let n = partial.read_to_end(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "no response owed for a partial request: {buf:?}");
+
+    // Half-close with a *complete* request in flight: the response must
+    // still be delivered before the server closes its side.
+    let mut eager = TcpStream::connect(&addr).unwrap();
+    eager.write_all(b"{\"id\":7,\"cmd\":\"ping\"}\n").unwrap();
+    eager.shutdown(std::net::Shutdown::Write).unwrap();
+    eager
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut response = String::new();
+    eager.read_to_string(&mut response).unwrap();
+    assert!(response.contains("\"pong\":true"), "{response}");
+
+    assert_healthy(&addr);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_get_a_structured_refusal_or_clean_close() {
+    let server = Server::bind(engine(), "127.0.0.1:0", 1).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut flood = TcpStream::connect(&addr).unwrap();
+    let chunk = vec![b'x'; 128 * 1024];
+    let mut closed_early = false;
+    for _ in 0..24 {
+        // 3 MiB total, far past MAX_REQUEST_BYTES
+        if flood.write_all(&chunk).is_err() {
+            closed_early = true;
+            break;
+        }
+    }
+    let _ = flood.write_all(b"\n");
+    flood
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut response = String::new();
+    let _ = BufReader::new(&flood).read_line(&mut response);
+    assert!(
+        closed_early || response.is_empty() || response.contains("request line too long"),
+        "{response}"
+    );
+    // Whatever happened, the connection must now be closed, not parked.
+    let mut rest = String::new();
+    let _ = BufReader::new(&flood).read_line(&mut rest);
+    assert!(
+        rest.is_empty(),
+        "connection must be closed after refusal: {rest}"
+    );
+
+    assert_healthy(&addr);
+    server.shutdown();
+}
+
+#[test]
+fn connection_flood_past_the_cap_gets_structured_429s() {
+    let server = Server::bind_config(
+        engine(),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 1,
+            max_connections: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Fill the connection table with live clients…
+    let mut keepers: Vec<Client> = (0..4).map(|_| Client::connect(&addr).unwrap()).collect();
+    for c in &mut keepers {
+        assert!(c.ping().unwrap().contains("pong"));
+    }
+
+    // …then flood past it. Every refused connection gets one structured
+    // line and a close — never a silent drop.
+    let mut refusals = 0;
+    for _ in 0..8 {
+        let flooder = TcpStream::connect(&addr).unwrap();
+        flooder
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(&flooder).read_line(&mut line).unwrap();
+        assert!(
+            line.contains("\"code\":429") && line.contains("connection capacity"),
+            "{line}"
+        );
+        refusals += 1;
+    }
+    assert_eq!(refusals, 8);
+
+    // The live clients were untouched by the flood.
+    for c in &mut keepers {
+        assert!(c.ping().unwrap().contains("pong"));
+    }
+
+    // Freeing a slot re-opens the door.
+    keepers.pop();
+    std::thread::sleep(Duration::from_millis(50));
+    let mut late = Client::connect(&addr).unwrap();
+    assert!(late.ping().unwrap().contains("pong"));
+
+    drop(keepers);
+    drop(late);
+    server.shutdown();
+}
+
+#[test]
+fn admission_flood_answers_every_request_with_no_silent_drops() {
+    // A strict tenant under a pipelined flood: every request line must
+    // get exactly one response line — dispatched, queued-then-served, or
+    // a structured 429 — and the connection survives all of it.
+    let mut tenants = TenantTable::new();
+    tenants.insert(
+        "alice",
+        TenantPolicy {
+            rate_per_s: 1000.0,
+            burst: 1000.0,
+            max_queue: 2,
+            max_concurrent: 1,
+            default_deadline: None,
+            deadline_cap: None,
+        },
+    );
+    let server = Server::bind_config(
+        engine(),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            tenants,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let q = koko_lang::queries::EXAMPLE_2_1
+        .replace('"', "\\\"")
+        .replace('\n', " ");
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let total = 64u64;
+    let mut batch = String::new();
+    for id in 1..=total {
+        batch.push_str(&format!(
+            "{{\"id\":{id},\"query\":\"{q}\",\"cache\":false,\"auth\":\"alice\"}}\n"
+        ));
+    }
+    stream.write_all(batch.as_bytes()).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(&stream);
+    let mut served = 0u64;
+    let mut rejected = 0u64;
+    for id in 1..=total {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.starts_with(&format!("{{\"id\":{id},")),
+            "responses must stay in request order: expected {id}, got {line}"
+        );
+        if line.contains("\"ok\":true") {
+            served += 1;
+        } else {
+            assert!(
+                line.contains("\"code\":429") && line.contains("\"tenant\":\"alice\""),
+                "rejections must be structured: {line}"
+            );
+            rejected += 1;
+        }
+    }
+    assert_eq!(served + rejected, total, "exactly one response per request");
+    assert!(served >= 1, "the first request is always admitted");
+
+    // The server is unharmed (anonymous queries are refused by policy on
+    // this server, so probe with ping + an authed query).
+    let mut probe = Client::connect(&addr).unwrap();
+    assert!(probe.ping().unwrap().contains("pong"));
+    let r = probe
+        .query_as(koko_lang::queries::EXAMPLE_2_1, true, None, Some("alice"))
+        .unwrap();
+    assert!(
+        r.contains("\"ok\":true") || r.contains("\"code\":429"),
+        "{r}"
+    );
+    drop(probe);
+    server.shutdown();
+}
+
+#[test]
+fn abrupt_disconnects_with_queued_work_do_not_leak_admission_slots() {
+    // Clients that pipeline work and vanish: their queued jobs must be
+    // forgotten so the tenant's budget is not leaked — a later client of
+    // the same tenant still gets served.
+    let mut tenants = TenantTable::new();
+    tenants.insert(
+        "alice",
+        TenantPolicy {
+            rate_per_s: 0.0, // unlimited rate
+            burst: 1.0,
+            max_queue: 8,
+            max_concurrent: 2,
+            default_deadline: None,
+            deadline_cap: None,
+        },
+    );
+    let server = Server::bind_config(
+        engine(),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            tenants,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let q = koko_lang::queries::EXAMPLE_2_1
+        .replace('"', "\\\"")
+        .replace('\n', " ");
+
+    for round in 0..8 {
+        let mut hitman = TcpStream::connect(&addr).unwrap();
+        let mut batch = String::new();
+        for id in 0..6 {
+            batch.push_str(&format!(
+                "{{\"id\":{id},\"query\":\"{q}\",\"cache\":false,\"auth\":\"alice\"}}\n"
+            ));
+        }
+        hitman.write_all(batch.as_bytes()).unwrap();
+        hitman.flush().unwrap();
+        // Vanish without reading a single response.
+        drop(hitman);
+        let _ = round;
+    }
+
+    // Give the reactor a beat to notice the hangups, then prove alice
+    // still has budget: a fresh, patient client is served.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut survivor = Client::connect(&addr).unwrap();
+    let r = survivor
+        .query_as(koko_lang::queries::EXAMPLE_2_1, true, None, Some("alice"))
+        .unwrap();
+    assert!(r.contains("\"ok\":true"), "admission budget leaked: {r}");
+
+    drop(survivor);
+    server.shutdown();
+}

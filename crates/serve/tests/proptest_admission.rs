@@ -1,0 +1,224 @@
+//! Model-based properties for per-tenant admission control
+//! ([`koko_core::tenant::AdmissionState`]), driven with random operation
+//! sequences: concurrency bounds are never exceeded, queue bounds are
+//! never exceeded, a tenant with budget is never starved, unknown
+//! tenants are always refused, and every refusal renders a structured
+//! overload line carrying the right tenant id.
+
+use koko_core::tenant::{Admission, AdmissionState, Overload, TenantPolicy, TenantTable};
+use koko_serve::overload_response;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The fixed cast of tenants the random sequences run against.
+///  * `a` — rate-limited, small queue, two concurrency slots
+///  * `b` — unlimited rate, no queue, one slot
+///  * anonymous — served under a default policy, one slot
+///  * `ghost` — not configured: must always be refused
+fn table() -> TenantTable {
+    let mut t = TenantTable::new();
+    t.insert(
+        "a",
+        TenantPolicy {
+            rate_per_s: 5.0,
+            burst: 2.0,
+            max_queue: 2,
+            max_concurrent: 2,
+            default_deadline: None,
+            deadline_cap: None,
+        },
+    );
+    t.insert(
+        "b",
+        TenantPolicy {
+            rate_per_s: 0.0, // unlimited
+            burst: 1.0,
+            max_queue: 0,
+            max_concurrent: 1,
+            default_deadline: None,
+            deadline_cap: None,
+        },
+    );
+    t.set_default(TenantPolicy {
+        rate_per_s: 0.0,
+        burst: 1.0,
+        max_queue: 1,
+        max_concurrent: 1,
+        default_deadline: None,
+        deadline_cap: None,
+    });
+    t
+}
+
+fn tenant_of(idx: u8) -> Option<&'static str> {
+    match idx % 4 {
+        0 => Some("a"),
+        1 => Some("b"),
+        2 => None, // anonymous, default policy
+        _ => Some("ghost"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random interleavings of admissions, completions and clock
+    /// advances: the admission state's counters always agree with an
+    /// independently tracked model, and never exceed the configured
+    /// concurrency / queue bounds.
+    #[test]
+    fn bounds_hold_under_random_operation_sequences(
+        ops in prop::collection::vec((0u8..3, 0u8..4, 0u32..3000), 0..200),
+    ) {
+        let t = table();
+        let mut adm = AdmissionState::new(t.clone());
+        let mut now_s = 0.0f64;
+        // Mirror of (in_flight, queued) per tenant key.
+        let mut model: BTreeMap<Option<&str>, (usize, usize)> = BTreeMap::new();
+
+        for (kind, who, dt_ms) in ops {
+            let tenant = tenant_of(who);
+            let policy = t.policy_for(tenant).cloned();
+            match kind {
+                // Admit one request.
+                0 => {
+                    let entry = model.entry(tenant).or_insert((0, 0));
+                    match adm.admit(tenant, now_s) {
+                        Admission::Dispatch => {
+                            let p = policy.as_ref().expect("dispatch implies a policy");
+                            entry.0 += 1;
+                            prop_assert!(
+                                entry.0 <= p.max_concurrent.max(1),
+                                "concurrency bound exceeded for {tenant:?}: {}",
+                                entry.0
+                            );
+                        }
+                        Admission::Enqueue => {
+                            let p = policy.as_ref().expect("enqueue implies a policy");
+                            prop_assert_eq!(
+                                entry.0, p.max_concurrent.max(1),
+                                "must only queue once concurrency is saturated"
+                            );
+                            entry.1 += 1;
+                            prop_assert!(
+                                entry.1 <= p.max_queue,
+                                "queue bound exceeded for {tenant:?}: {}",
+                                entry.1
+                            );
+                        }
+                        Admission::Reject(overload) => {
+                            match &overload {
+                                Overload::UnknownTenant => {
+                                    prop_assert!(policy.is_none(), "known tenant got 401");
+                                }
+                                Overload::RateLimited { retry_after } => {
+                                    let p = policy.as_ref().unwrap();
+                                    prop_assert!(
+                                        p.rate_per_s > 0.0,
+                                        "unlimited-rate tenant {tenant:?} was rate limited"
+                                    );
+                                    prop_assert!(*retry_after > std::time::Duration::ZERO);
+                                }
+                                Overload::QueueFull { max_queue } => {
+                                    let p = policy.as_ref().unwrap();
+                                    prop_assert_eq!(*max_queue, p.max_queue);
+                                    prop_assert_eq!(
+                                        entry.0, p.max_concurrent.max(1),
+                                        "queue-full with free concurrency slots"
+                                    );
+                                    prop_assert_eq!(entry.1, p.max_queue);
+                                }
+                            }
+                            // Every refusal renders as structured JSON with
+                            // the right tenant id and code.
+                            let line = overload_response(7, tenant, &overload);
+                            match tenant {
+                                Some(name) if policy.is_some() || matches!(overload, Overload::UnknownTenant) => {
+                                    prop_assert!(
+                                        line.contains(&format!("\"tenant\":\"{name}\"")),
+                                        "{line}"
+                                    );
+                                }
+                                None => prop_assert!(line.contains("\"tenant\":null"), "{line}"),
+                                _ => {}
+                            }
+                            let code = if matches!(overload, Overload::UnknownTenant) { 401 } else { 429 };
+                            prop_assert!(line.contains(&format!("\"code\":{code}")), "{line}");
+                        }
+                    }
+                }
+                // Complete one running request, then promote queued work.
+                1 => {
+                    let entry = model.entry(tenant).or_insert((0, 0));
+                    if entry.0 > 0 {
+                        adm.on_complete(tenant);
+                        entry.0 -= 1;
+                        if adm.try_dispatch_queued(tenant) {
+                            prop_assert!(entry.1 > 0, "promoted from an empty queue");
+                            entry.1 -= 1;
+                            entry.0 += 1;
+                            let p = policy.as_ref().unwrap();
+                            prop_assert!(entry.0 <= p.max_concurrent.max(1));
+                        }
+                    }
+                }
+                // Let time pass (never backwards).
+                _ => {
+                    now_s += f64::from(dt_ms) * 1e-3;
+                }
+            }
+
+            // The state's diagnostics agree with the model at every step.
+            for key in [Some("a"), Some("b"), None] {
+                let (inf, q) = model.get(&key).copied().unwrap_or((0, 0));
+                prop_assert_eq!(adm.in_flight(key), inf, "in_flight drifted for {:?}", key);
+                prop_assert_eq!(adm.queued(key), q, "queued drifted for {:?}", key);
+            }
+            prop_assert_eq!(adm.in_flight(Some("ghost")), 0);
+        }
+    }
+
+    /// A tenant with budget is never starved: after an idle gap long
+    /// enough to refill its bucket to the brim (`burst / rate` seconds),
+    /// a request with free concurrency slots must dispatch — no matter
+    /// what traffic came before.
+    #[test]
+    fn a_tenant_with_budget_is_never_starved(
+        rate in 0.5f64..50.0,
+        burst in 1.0f64..8.0,
+        bursts_before in 0usize..6,
+        gap_extra_ms in 0u32..1000,
+    ) {
+        let mut t = TenantTable::new();
+        t.insert(
+            "a",
+            TenantPolicy {
+                rate_per_s: rate,
+                burst,
+                max_queue: 0,
+                max_concurrent: usize::MAX, // isolate the rate limiter
+                default_deadline: None,
+                deadline_cap: None,
+            },
+        );
+        let mut adm = AdmissionState::new(t);
+        let mut now_s = 0.0f64;
+
+        // Arbitrary earlier traffic, including refusals.
+        for _ in 0..bursts_before {
+            let a = adm.admit(Some("a"), now_s);
+            if matches!(a, Admission::Dispatch) {
+                adm.on_complete(Some("a"));
+            }
+            now_s += 0.01;
+        }
+
+        // Idle long enough to refill the whole burst, then admit.
+        now_s += burst / rate + f64::from(gap_extra_ms) * 1e-3;
+        let decision = adm.admit(Some("a"), now_s);
+        prop_assert!(
+            matches!(decision, Admission::Dispatch),
+            "tenant with a full bucket and free slots was refused: {decision:?}"
+        );
+    }
+}

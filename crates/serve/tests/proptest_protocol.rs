@@ -12,7 +12,7 @@ use proptest::prelude::*;
 /// decode is a float round trip).
 fn arb_opts() -> impl Strategy<Value = QueryOpts> {
     (
-        0u32..64,
+        0u32..128,
         (0u64..1000, 0u64..1000),
         (0u32..8, any::<bool>()),
         0u64..100_000,
@@ -29,6 +29,7 @@ fn arb_opts() -> impl Strategy<Value = QueryOpts> {
                 }),
                 deadline_ms: (mask & 16 != 0).then_some(deadline_ms),
                 explain: mask & 32 != 0,
+                stream: mask & 64 != 0,
             },
         )
 }
@@ -64,19 +65,48 @@ proptest! {
     }
 
     /// Whatever a client encodes, the server decodes back verbatim —
-    /// including queries containing newlines, quotes and unicode.
+    /// including queries containing newlines, quotes and unicode, and
+    /// `auth` tenant identities with arbitrary (non-empty) content.
     #[test]
     fn request_round_trips(
-        id in 0u64..1_000_000,
+        (id, cache) in (0u64..1_000_000, any::<bool>()),
         text in ".{0,120}",
-        cache in any::<bool>(),
         with_opts in any::<bool>(),
         raw_opts in arb_opts(),
+        auth in (any::<bool>(), ".{1,40}").prop_map(|(some, s)| some.then_some(s)),
     ) {
         let opts = with_opts.then_some(raw_opts);
-        let req = Request::Query { id, text, cache, opts };
+        let req = Request::Query { id, text, cache, opts, auth };
         let line = req.encode();
         prop_assert!(!line.contains('\n'), "encoded request must be one line");
         prop_assert_eq!(Request::decode(&line).unwrap(), req);
+    }
+
+    /// An encoded request split at an arbitrary byte boundary and fed to
+    /// the decoder as two fragments: each fragment alone must decode to a
+    /// structured error or a *different* valid request — never panic —
+    /// and the reassembled line still round-trips. This is exactly what
+    /// the event-loop server sees when a TCP segment boundary lands
+    /// mid-frame.
+    #[test]
+    fn chunk_boundary_split_frames_never_panic(
+        (id, cache) in (0u64..1_000_000, any::<bool>()),
+        text in ".{0,80}",
+        raw_opts in arb_opts(),
+        auth in (any::<bool>(), "[a-z]{1,12}").prop_map(|(some, s)| some.then_some(s)),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let req = Request::Query { id, text, cache, opts: Some(raw_opts), auth };
+        let line = req.encode();
+        // Snap the split point to a char boundary inside the line.
+        let mut split = (line.len() as f64 * split_frac) as usize;
+        while split < line.len() && !line.is_char_boundary(split) {
+            split += 1;
+        }
+        let (head, tail) = line.split_at(split);
+        let _ = Request::decode(head);
+        let _ = Request::decode(tail);
+        let reassembled = format!("{head}{tail}");
+        prop_assert_eq!(Request::decode(&reassembled).unwrap(), req);
     }
 }

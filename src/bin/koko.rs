@@ -150,6 +150,25 @@ fn arg_named_str(args: &[String], name: &str) -> Option<String> {
     None
 }
 
+/// Every occurrence of a repeatable `--flag=V` / `--flag V` option, in
+/// order (`koko serve --tenant=... --tenant=...`).
+fn arg_named_all(args: &[String], name: &str) -> Vec<String> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    let mut values = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix(&prefix) {
+            values.push(v.to_string());
+        } else if args[i] == flag {
+            values.push(args.get(i + 1).cloned().unwrap_or_default());
+            i += 1; // the value
+        }
+        i += 1;
+    }
+    values
+}
+
 /// Flags that take a value, for skipping that value when collecting
 /// positional arguments in space-separated form
 /// ([`collect_positionals`]). Keep in sync with the `arg_named_*` calls
@@ -166,6 +185,12 @@ const VALUE_FLAGS: &[&str] = &[
     "--min-score",
     "--order",
     "--deadline-ms",
+    "--auth",
+    "--rate",
+    "--requests",
+    "--tenant",
+    "--default-tenant",
+    "--max-conns",
 ];
 
 /// Positional (non-flag) arguments, skipping the values of space-form
@@ -265,6 +290,7 @@ impl RequestFlags {
             }),
             deadline_ms: self.deadline_ms,
             explain: self.explain,
+            stream: false,
         }
     }
 }
@@ -699,26 +725,45 @@ fn cmd_stats(args: &[String]) -> i32 {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let usage = "usage: koko serve <corpus.txt|snapshot.koko> [--addr=HOST:PORT] [--threads=N] [--cache=N] [--shards=N] [--writable] [--doc=para]";
+    let usage = "usage: koko serve <corpus.txt|snapshot.koko> [--addr=HOST:PORT] [--threads=N] [--cache=N] [--shards=N] [--writable] [--doc=para] [--max-conns=N] [--tenant=name:rate:burst:queue:conc[:cap_ms]]... [--default-tenant=rate:burst:queue:conc[:cap_ms]]";
     let Some(path) = args.first() else {
         eprintln!("{usage}");
         return 2;
     };
-    let parsed = (|| -> Result<(String, usize, usize), String> {
+    let parsed = (|| -> Result<(String, usize, usize, usize), String> {
         let addr = arg_named_str(args, "addr").unwrap_or_else(|| "127.0.0.1:4100".to_string());
         // 0 = one worker per core; an absurd explicit count is an error,
         // not a 4-billion-thread attempt.
         let threads = arg_named_usize_in(args, "threads", 0, 0, MAX_THREADS)?;
         let cache = arg_named_usize_in(args, "cache", 1024, 0, 100_000_000)?;
-        Ok((addr, threads, cache))
+        let max_conns = arg_named_usize_in(args, "max-conns", 4096, 1, 1_000_000)?;
+        Ok((addr, threads, cache, max_conns))
     })();
-    let (addr, threads, cache) = match parsed {
+    let (addr, threads, cache, max_conns) = match parsed {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
             return 2;
         }
     };
+    // Multi-tenant admission control: each --tenant names a principal and
+    // its budget; --default-tenant admits anonymous (no `auth`) clients.
+    let mut tenants = koko::core::TenantTable::new();
+    for spec in arg_named_all(args, "tenant") {
+        if let Err(e) = tenants.insert_spec(&spec) {
+            eprintln!("error: --tenant: {e}");
+            return 2;
+        }
+    }
+    if let Some(spec) = arg_named_str(args, "default-tenant") {
+        match koko::core::TenantPolicy::parse(&spec) {
+            Ok(policy) => tenants.set_default(policy),
+            Err(e) => {
+                eprintln!("error: --default-tenant: {e}");
+                return 2;
+            }
+        }
+    }
     let writable = args.iter().any(|a| a == "--writable");
     let opts = EngineOpts {
         num_shards: match arg_shards(args) {
@@ -753,10 +798,26 @@ fn cmd_serve(args: &[String]) -> i32 {
     };
     let documents = koko.num_documents();
     let shards = koko.num_shards();
-    match koko_serve::Server::bind_with(koko, &addr, threads, writable) {
+    let admission = if tenants.is_empty() {
+        "admission off".to_string()
+    } else {
+        format!(
+            "{} tenant polic{}",
+            tenants.len(),
+            if tenants.len() == 1 { "y" } else { "ies" }
+        )
+    };
+    let config = koko_serve::ServerConfig {
+        threads,
+        writable,
+        tenants,
+        max_connections: max_conns,
+        ..koko_serve::ServerConfig::default()
+    };
+    match koko_serve::Server::bind_config(koko, &addr, config) {
         Ok(server) => {
             eprintln!(
-                "serving {documents} documents ({shards} shards, {}) on {} | {} worker threads | result cache {cache} entries",
+                "serving {documents} documents ({shards} shards, {}) on {} | {} worker threads | result cache {cache} entries | {admission} | max {max_conns} connections",
                 if writable { "writable" } else { "read-only" },
                 server.local_addr(),
                 server.threads(),
@@ -773,7 +834,7 @@ fn cmd_serve(args: &[String]) -> i32 {
 }
 
 fn cmd_client(args: &[String]) -> i32 {
-    let usage = "usage: koko client <HOST:PORT> ['<query>' ...] [--threads=N] [--repeat=M] [--no-cache] [--limit=N] [--offset=N] [--min-score=S] [--order=doc|score_desc] [--deadline-ms=N] [--explain] [--add=<more.txt>] [--compact] [--stats] [--shutdown]";
+    let usage = "usage: koko client <HOST:PORT> ['<query>' ...] [--threads=N] [--repeat=M] [--no-cache] [--limit=N] [--offset=N] [--min-score=S] [--order=doc|score_desc] [--deadline-ms=N] [--explain] [--auth=TENANT] [--stream] [--open-loop --rate=RPS --requests=N] [--add=<more.txt>] [--compact] [--stats] [--shutdown]";
     let Some(addr) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -791,6 +852,9 @@ fn cmd_client(args: &[String]) -> i32 {
     let compact = args.iter().any(|a| a == "--compact");
     let add_file = arg_named_str(args, "add");
     let cache = !args.iter().any(|a| a == "--no-cache");
+    let auth = arg_named_str(args, "auth");
+    let stream_mode = args.iter().any(|a| a == "--stream");
+    let open_loop = args.iter().any(|a| a == "--open-loop");
     // A zero-thread client can send nothing and a huge pool would only
     // DOS the local machine: both are structured errors (satellite fix —
     // these used to fall through to panics / silent no-ops).
@@ -857,11 +921,118 @@ fn cmd_client(args: &[String]) -> i32 {
     }
 
     let mut code = 0;
-    if !queries.is_empty() {
+    if !queries.is_empty() && open_loop {
+        // Open-loop (fixed-arrival-rate) measurement mode: arrivals are
+        // scheduled, latency is measured from the schedule (so a server
+        // falling behind shows it in the tail), and the summary reports
+        // p50/p95/p99.
+        let parsed = (|| -> Result<(f64, usize), String> {
+            let rate = match arg_named_str(args, "rate") {
+                None => 100.0,
+                Some(v) => match v.parse::<f64>() {
+                    Ok(r) if r.is_finite() && r > 0.0 => r,
+                    _ => return Err(format!("--rate expects a positive number, got {v:?}")),
+                },
+            };
+            let requests = arg_named_usize_in(args, "requests", 100, 1, 100_000_000)?;
+            Ok((rate, requests))
+        })();
+        let (rate, requests) = match parsed {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let wire_opts = (!flags.is_default()).then(|| flags.to_wire());
+        match koko_serve::run_load_open(
+            addr,
+            &queries,
+            threads,
+            requests,
+            rate,
+            cache,
+            wire_opts,
+            auth.as_deref(),
+        ) {
+            Ok(r) => {
+                // Machine-readable summary on stdout, prose on stderr.
+                println!(
+                    "{{\"requests\":{},\"ok\":{},\"errors\":{},\"offered_rps\":{:.1},\"achieved_rps\":{:.1},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3}}}",
+                    r.requests,
+                    r.ok,
+                    r.errors,
+                    r.offered_rps,
+                    r.achieved_rps,
+                    r.p50.as_secs_f64() * 1e3,
+                    r.p95.as_secs_f64() * 1e3,
+                    r.p99.as_secs_f64() * 1e3,
+                );
+                eprintln!(
+                    "open loop: {} arrivals at {:.0} rps over {} connections in {:.3}s | achieved {:.0} rps | p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | {} ok, {} errors",
+                    r.requests,
+                    r.offered_rps,
+                    r.threads,
+                    r.wall.as_secs_f64(),
+                    r.achieved_rps,
+                    r.p50.as_secs_f64() * 1e3,
+                    r.p95.as_secs_f64() * 1e3,
+                    r.p99.as_secs_f64() * 1e3,
+                    r.ok,
+                    r.errors,
+                );
+                if r.errors > 0 {
+                    code = 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    } else if !queries.is_empty() && stream_mode {
+        // Streamed responses: header / reassembled rows / trailer per
+        // query on stdout (one connection, sequential — streaming is a
+        // framing mode, not a load mode).
+        let mut client = match koko_serve::Client::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                return 1;
+            }
+        };
+        for _ in 0..repeat {
+            for q in &queries {
+                match client.query_stream(q, cache, flags.to_wire(), auth.as_deref()) {
+                    Ok(s) => {
+                        println!("{}", s.header);
+                        if s.header.contains("\"ok\":false") {
+                            code = 1;
+                            continue;
+                        }
+                        println!("{}", s.rows_json);
+                        println!("{}", s.trailer);
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
+                }
+            }
+        }
+    } else if !queries.is_empty() {
         // Per-request options ride along as the wire `opts` object; the
         // server answers with the extended response shape.
         let wire_opts = (!flags.is_default()).then(|| flags.to_wire());
-        match koko_serve::run_load_with(addr, &queries, threads, repeat, cache, wire_opts) {
+        match koko_serve::run_load_as(
+            addr,
+            &queries,
+            threads,
+            repeat,
+            cache,
+            wire_opts,
+            auth.as_deref(),
+        ) {
             Ok(report) => {
                 // One thread's responses in send order on stdout (scripted
                 // use); the load summary goes to stderr.

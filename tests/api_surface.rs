@@ -67,6 +67,30 @@ const _REQ_TEXT: fn(&QueryRequest) -> &str = QueryRequest::text;
 // Serve layer.
 const _WIRE_QUERY: fn(&mut serve::Client, &str, bool, serve::QueryOpts) -> std::io::Result<String> =
     serve::Client::query_with_opts;
+const _WIRE_QUERY_AS: fn(
+    &mut serve::Client,
+    &str,
+    bool,
+    Option<serve::QueryOpts>,
+    Option<&str>,
+) -> std::io::Result<String> = serve::Client::query_as;
+const _WIRE_QUERY_STREAM: fn(
+    &mut serve::Client,
+    &str,
+    bool,
+    serve::QueryOpts,
+    Option<&str>,
+) -> std::io::Result<serve::StreamedResponse> = serve::Client::query_stream;
+const _OPEN_LOOP: fn(
+    &str,
+    &[String],
+    usize,
+    usize,
+    f64,
+    bool,
+    Option<serve::QueryOpts>,
+    Option<&str>,
+) -> std::io::Result<serve::OpenLoadReport> = serve::run_load_open;
 
 #[test]
 fn query_request_builder_chains_every_option() {
@@ -144,8 +168,35 @@ fn wire_opts_surface_is_stable() {
         order: Some(serve::WireOrder::ScoreDesc),
         deadline_ms: Some(100),
         explain: true,
+        stream: false,
     };
     assert!(!opts.is_default());
     let req = opts.to_request("q", true);
     assert_eq!(req.text(), "q");
+}
+
+#[test]
+fn tenant_admission_surface_is_stable() {
+    use koko::core::{Admission, AdmissionState, TenantPolicy, TenantTable};
+    let mut table = TenantTable::new();
+    table
+        .insert_spec("alice:10:5:8:2")
+        .expect("spec must parse");
+    table.set_default(TenantPolicy::default());
+    let policy = TenantPolicy::parse("1:1:1:1:250").expect("cap form must parse");
+    assert_eq!(policy.deadline_cap, Some(Duration::from_millis(250)));
+    let mut adm = AdmissionState::new(table);
+    assert!(adm.enabled());
+    assert!(matches!(adm.admit(Some("alice"), 0.0), Admission::Dispatch));
+    adm.on_complete(Some("alice"));
+    // Server-side config for the event-loop server.
+    let config = serve::ServerConfig::default();
+    let _ = (
+        config.threads,
+        config.writable,
+        config.max_connections,
+        config.write_buffer_cap,
+        config.pipeline_depth,
+        config.drain_timeout,
+    );
 }

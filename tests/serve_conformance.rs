@@ -9,7 +9,7 @@
 //! rows, order, scores or spans.
 
 use koko::serve::{protocol, run_load, Client, Server};
-use koko::serve::{QueryOpts, WireOrder};
+use koko::serve::{QueryOpts, Request, WireOrder};
 use koko::{queries, EngineOpts, Koko};
 
 const CORPUS: &[&str] = &[
@@ -445,6 +445,156 @@ fn requests_without_opts_keep_the_legacy_response_shape() {
     assert!(extended.contains("\"total_matches\":"), "{extended}");
     assert!(extended.contains("\"truncated\":false"), "{extended}");
     drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn streamed_responses_reassemble_to_sequential_rows() {
+    // The full opts mix with `stream: true`: the rows reassembled from
+    // chunk frames must be byte-identical to the sequential reference —
+    // streaming changes framing, never bytes.
+    let reference = reference_engine();
+    let server = Server::bind(served_engine(16), "127.0.0.1:0", 2).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    for q in &query_mix() {
+        for (oi, opts) in opts_mix().iter().enumerate() {
+            let streamed = client.query_stream(q, true, *opts, None).unwrap();
+            match reference.run(&opts.to_request(q, true)) {
+                Ok(out) => {
+                    assert!(
+                        streamed.header.contains("\"stream\":true"),
+                        "opts {oi}: {}",
+                        streamed.header
+                    );
+                    assert_eq!(
+                        streamed.rows_json,
+                        protocol::rows_json(&out.rows),
+                        "opts {oi} query {q}: stream reassembly diverged"
+                    );
+                    assert!(
+                        streamed.trailer.contains("\"done\":true"),
+                        "{}",
+                        streamed.trailer
+                    );
+                    assert_eq!(
+                        streamed.trailer.contains("\"explain\":"),
+                        opts.explain,
+                        "opts {oi}: {}",
+                        streamed.trailer
+                    );
+                }
+                Err(_) => {
+                    assert!(
+                        streamed.header.contains("\"ok\":false") && streamed.chunks == 0,
+                        "bad query must refuse before streaming: {}",
+                        streamed.header
+                    );
+                }
+            }
+        }
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn streamed_responses_match_on_writable_servers_too() {
+    // Same property on a writable server whose corpus arrived over the
+    // wire — live delta shards must not change a streamed byte either.
+    let (head, tail) = CORPUS.split_at(3);
+    let engine = Koko::from_texts_with_opts(
+        head,
+        EngineOpts {
+            num_shards: 2,
+            result_cache: 16,
+            ..EngineOpts::default()
+        },
+    );
+    let server = Server::bind_with(engine, "127.0.0.1:0", 2, true).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut writer = Client::connect(&addr).unwrap();
+    let texts: Vec<String> = tail.iter().map(|s| s.to_string()).collect();
+    assert!(writer.add(&texts).unwrap().contains("\"ok\":true"));
+    drop(writer);
+
+    let reference = reference_engine();
+    let mut client = Client::connect(&addr).unwrap();
+    for q in &query_mix() {
+        let opts = QueryOpts {
+            min_score: Some(0.2),
+            ..QueryOpts::default()
+        };
+        let streamed = client.query_stream(q, true, opts, None).unwrap();
+        match reference.run(&opts.to_request(q, true)) {
+            Ok(out) => assert_eq!(
+                streamed.rows_json,
+                protocol::rows_json(&out.rows),
+                "query {q}"
+            ),
+            Err(_) => assert!(streamed.header.contains("\"ok\":false")),
+        }
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_responses_are_byte_identical_and_ordered() {
+    // The whole query mix × opts mix fired down one socket without
+    // reading a single response: answers must come back in request order
+    // and byte-match what the sequential reference computes — pipelining
+    // changes scheduling, never bytes.
+    use std::io::{BufRead, BufReader, Write};
+
+    let reference = reference_engine();
+    let mix = query_mix();
+    let opts = opts_mix();
+    let server = Server::bind(served_engine(16), "127.0.0.1:0", 3).unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut batch = String::new();
+    let mut expected = Vec::new();
+    let mut id = 0u64;
+    for q in &mix {
+        for o in &opts {
+            id += 1;
+            batch.push_str(
+                &Request::Query {
+                    id,
+                    text: q.clone(),
+                    cache: true,
+                    opts: Some(*o),
+                    auth: None,
+                }
+                .encode(),
+            );
+            batch.push('\n');
+            expected.push((id, reference.run(&o.to_request(q, true))));
+        }
+    }
+    stream.write_all(batch.as_bytes()).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(&stream);
+    for (id, exp) in &expected {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.starts_with(&format!("{{\"id\":{id},")),
+            "pipelined responses out of order: wanted id {id}, got {line}"
+        );
+        match exp {
+            Ok(out) => assert_eq!(
+                protocol::response_rows(&line).unwrap(),
+                protocol::rows_json(&out.rows),
+                "pipelined response diverged at id {id}"
+            ),
+            Err(_) => assert!(line.contains("\"ok\":false"), "{line}"),
+        }
+    }
+    drop(reader);
+    drop(stream);
     server.shutdown();
 }
 
