@@ -47,6 +47,15 @@ struct ScalePoint {
     query_par: Duration,
     save: Duration,
     load: Duration,
+    /// O(sections) mmap open of the same file (`Snapshot::open_mmap`,
+    /// the default): header + section-table validation only, no shard
+    /// decode. `load` above is the eager open it replaces.
+    cold_open_mmap: Duration,
+    /// First query after the eager open — every shard already decoded.
+    first_query_cold_eager: Duration,
+    /// First query after the mmap open — pays the lazy materialization
+    /// of the shards the query touches.
+    first_query_cold_mmap: Duration,
     file_bytes: u64,
     served_clients: usize,
     served_cold_qps: f64,
@@ -94,7 +103,7 @@ struct ScalePoint {
 impl ScalePoint {
     fn json(&self) -> String {
         format!(
-            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"served_open_rate_rps\":{:.1},\"served_open_achieved_rps\":{:.1},\"served_open_p50_ms\":{:.3},\"served_open_p95_ms\":{:.3},\"served_open_p99_ms\":{:.3},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6},\"query_full_warm_s\":{:.6},\"query_limit10_s\":{:.6},\"topk_speedup\":{:.3},\"limit10_docs_skipped\":{},\"query_scoredesc_limit10_s\":{:.6},\"scoredesc_topk_speedup\":{:.3},\"bound_skipped_docs\":{}}}",
+            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"cold_open_eager_s\":{:.6},\"cold_open_mmap_s\":{:.6},\"mmap_open_speedup\":{:.3},\"first_query_cold_eager_s\":{:.6},\"first_query_cold_mmap_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"served_open_rate_rps\":{:.1},\"served_open_achieved_rps\":{:.1},\"served_open_p50_ms\":{:.3},\"served_open_p95_ms\":{:.3},\"served_open_p99_ms\":{:.3},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6},\"query_full_warm_s\":{:.6},\"query_limit10_s\":{:.6},\"topk_speedup\":{:.3},\"limit10_docs_skipped\":{},\"query_scoredesc_limit10_s\":{:.6},\"scoredesc_topk_speedup\":{:.3},\"bound_skipped_docs\":{}}}",
             self.articles,
             self.shards,
             self.ingest_seq.as_secs_f64(),
@@ -109,6 +118,11 @@ impl ScalePoint {
             ),
             self.save.as_secs_f64(),
             self.load.as_secs_f64(),
+            self.load.as_secs_f64(),
+            self.cold_open_mmap.as_secs_f64(),
+            ratio(self.load, self.cold_open_mmap),
+            self.first_query_cold_eager.as_secs_f64(),
+            self.first_query_cold_mmap.as_secs_f64(),
             self.file_bytes,
             ratio(self.ingest_par, self.load),
             self.served_clients,
@@ -353,10 +367,30 @@ fn main() {
         let t = Instant::now();
         let file_bytes = par.save(&snap_path).expect("snapshot save");
         let save = t.elapsed();
+        // Cold start, eager vs mmap: the eager open decodes every shard
+        // up front (the pre-v4 behavior); the mmap open validates the
+        // header + section table in O(sections) and defers shard decode
+        // to the first query. Both run against a process-warm page
+        // cache, so the delta is decode work, not disk.
         let t = Instant::now();
-        let loaded = Koko::open_with_opts(&snap_path, par_opts).expect("snapshot load");
+        let eager_opts = EngineOpts {
+            eager_load: true,
+            ..par_opts
+        };
+        let loaded = Koko::open_with_opts(&snap_path, eager_opts).expect("snapshot load");
         let load = t.elapsed();
+        let t = Instant::now();
         loaded.query(bench_queries[0]).expect("query after load");
+        let first_query_cold_eager = t.elapsed();
+        let t = Instant::now();
+        let mapped = Koko::open_with_opts(&snap_path, par_opts).expect("mmap open");
+        let cold_open_mmap = t.elapsed();
+        let t = Instant::now();
+        mapped
+            .query(bench_queries[0])
+            .expect("first query after mmap open");
+        let first_query_cold_mmap = t.elapsed();
+        drop(mapped);
         std::fs::remove_file(&snap_path).ok();
 
         // Incremental ingest: one 8-document wave through `add_texts` on
@@ -411,6 +445,9 @@ fn main() {
             query_par,
             save,
             load,
+            cold_open_mmap,
+            first_query_cold_eager,
+            first_query_cold_mmap,
             file_bytes,
             served_clients,
             served_cold_qps,
@@ -470,6 +507,28 @@ fn main() {
         ]);
     }
     println!("(expected: loading a snapshot is several times faster than re-ingesting text)");
+
+    // ---- Cold start: eager load vs mmap open ----------------------------
+    println!("\n## Cold start: eager load vs mmap open (same file, warm page cache)\n");
+    header(&[
+        "articles",
+        "eager open",
+        "mmap open",
+        "open speedup",
+        "first query (eager)",
+        "first query (mmap)",
+    ]);
+    for p in &points {
+        row(&[
+            p.articles.to_string(),
+            secs(p.load),
+            secs(p.cold_open_mmap),
+            format!("{:.0}x", ratio(p.load, p.cold_open_mmap)),
+            secs(p.first_query_cold_eager),
+            secs(p.first_query_cold_mmap),
+        ]);
+    }
+    println!("(expected: the mmap open is O(sections) — orders of magnitude under the eager decode, widening with corpus size; the first mmap query repays part of the deferred decode for the shards it touches, and rows are byte-identical either way)");
 
     // ---- Incremental ingest: add_texts vs full rebuild ------------------
     println!("\n## Live index: incremental add vs full rebuild\n");

@@ -66,6 +66,15 @@ pub struct EngineOpts {
     /// the normalized query and every result-relevant option, so cached
     /// rows are always byte-identical to a fresh evaluation.
     pub result_cache: usize,
+    /// Force [`Koko::open`] to fully materialize the snapshot up front
+    /// (decode every shard + rebuild the corpus) instead of memory-mapping
+    /// it and decoding shards on first touch. Off by default: the lazy
+    /// open is O(sections) regardless of corpus size, and answers are
+    /// byte-identical either way. Write paths (`koko add`, writable
+    /// serving) force this on so corruption surfaces at open, not behind
+    /// the infallible write APIs. Never part of the result fingerprint —
+    /// it cannot change results, only when decode costs are paid.
+    pub eager_load: bool,
 }
 
 impl Default for EngineOpts {
@@ -81,6 +90,7 @@ impl Default for EngineOpts {
             parallel: true,
             compiled_cache: true,
             result_cache: 0,
+            eager_load: false,
         }
     }
 }
@@ -317,11 +327,19 @@ impl Koko {
     /// [`Koko::open`] with explicit options. The shard layout is read from
     /// the file (`opts.num_shards` does not trigger a rebuild); `parallel`
     /// gates both the load fan-out and later query execution.
+    ///
+    /// By default v4 snapshots are memory-mapped ([`Snapshot::open_mmap`]):
+    /// the open validates the header + section table and returns in
+    /// O(sections), shards decode out of the mapping on first query
+    /// touch, and payload-framed (v1–3) files fall back to the eager
+    /// load. `opts.eager_load` forces full up-front materialization.
     pub fn open_with_opts(path: &std::path::Path, opts: EngineOpts) -> Result<Koko, Error> {
-        Ok(Koko::from_snapshot(
-            Snapshot::load(path, opts.parallel)?,
-            opts,
-        ))
+        let snap = if opts.eager_load {
+            Snapshot::load(path, opts.parallel)?
+        } else {
+            Snapshot::open_mmap(path)?
+        };
+        Ok(Koko::from_snapshot(snap, opts))
     }
 
     /// Replace the embedding model (e.g. with a domain ontology merged in).
@@ -346,7 +364,7 @@ impl Koko {
     /// index and fresh caches.
     pub fn with_opts(self, opts: EngineOpts) -> Koko {
         let snap = self.snapshot();
-        let want = koko_par::resolve_threads(opts.num_shards, snap.corpus().num_documents());
+        let want = koko_par::resolve_threads(opts.num_shards, snap.num_documents());
         let live = if want != snap.num_base_shards() || snap.num_delta_shards() > 0 {
             LiveIndex::new(snap.compacted(opts.num_shards, opts.parallel))
         } else {
@@ -385,7 +403,7 @@ impl Koko {
     pub fn add_texts<S: AsRef<str> + Sync>(&self, texts: &[S]) -> AddReport {
         let guard = self.live.write_lock();
         let snap = self.live.current();
-        let first = snap.corpus().num_documents() as u32;
+        let first = snap.num_documents() as u32;
         let threads = if self.opts.parallel { 0 } else { 1 };
         let docs = koko_nlp::Pipeline::new().parse_documents(texts, first, threads);
         let added = docs.len();
@@ -397,7 +415,7 @@ impl Koko {
         drop(guard);
         AddReport {
             added,
-            documents: published.corpus().num_documents(),
+            documents: published.num_documents(),
             epoch: published.epoch(),
             generation: published.generation(),
             delta_shards: published.num_delta_shards(),
@@ -456,9 +474,10 @@ impl Koko {
         self.snapshot().generation()
     }
 
-    /// Documents in the currently published snapshot.
+    /// Documents in the currently published snapshot (router-derived — no
+    /// shard or corpus materialization).
     pub fn num_documents(&self) -> usize {
-        self.snapshot().corpus().num_documents()
+        self.snapshot().num_documents()
     }
 
     /// Shards (base + delta) in the currently published snapshot.
@@ -932,7 +951,10 @@ fn execute_request(
     // Base and delta shards fan out uniformly; only the profile records
     // which candidates came from deltas (freshly ingested documents).
     let needed = needed_vars(cq);
-    let shards = snapshot.shards();
+    // Fallible materialization: on a mapped snapshot this decodes any
+    // not-yet-touched shard, surfacing file corruption as a structured
+    // query error instead of a panic.
+    let shards = snapshot.try_shards().map_err(Error::Snapshot)?;
     let num_base = snapshot.num_base_shards();
     let threads = if shard_parallel && shards.len() > 1 {
         0
@@ -1045,7 +1067,6 @@ fn eval_shard(
     exec: &ExecParams,
 ) -> Result<ShardPartial, Error> {
     let mut profile = Profile::default();
-    let corpus = snapshot.corpus();
     let need_rows = exec.need_rows();
 
     // ---- DPLI over the shard index -------------------------------------
@@ -1062,7 +1083,10 @@ fn eval_shard(
     let mut by_doc: BTreeMap<u32, Vec<Sid>> = BTreeMap::new();
     for &local_sid in &dpli_result.candidate_sids {
         let sid = shard.to_global_sid(local_sid);
-        by_doc.entry(corpus.doc_of(sid)).or_default().push(sid);
+        // Shard-local doc translation: the whole per-shard pipeline stays
+        // corpus-free, so a mapped snapshot only materializes the shards
+        // a query actually routes to.
+        by_doc.entry(shard.doc_of_sid(sid)).or_default().push(sid);
     }
     let ranked_cap = exec.heap_cap();
     let mut doc_order: Vec<u32> = by_doc.keys().copied().collect();
@@ -1156,13 +1180,19 @@ fn eval_shard(
                 .load_document(doc_id)
                 .map_err(|e| Error::Storage(e.to_string()))?
         } else {
-            corpus.document(doc_id).clone()
+            // Corpus-borrowing mode materializes the whole corpus on a
+            // mapped snapshot — store-backed (the default) does not.
+            snapshot
+                .try_corpus()
+                .map_err(Error::Snapshot)?
+                .document(doc_id)
+                .clone()
         };
         profile.load_article += t.elapsed();
 
         // ---- GSP + extract ---------------------------------------------
         let mut tuples: Vec<RawTuple> = Vec::new();
-        let first_sid = corpus.doc_sids(doc_id).start;
+        let first_sid = shard.doc_first_sid(doc_id);
         for &sid in sids {
             let local = (sid - first_sid) as usize;
             let sentence = &doc.sentences[local];

@@ -1,68 +1,225 @@
 //! Snapshot persistence: build once with `Snapshot::save`, serve many
-//! times with `Snapshot::load`.
+//! times with `Snapshot::load` — or map with [`Snapshot::open_mmap`] and
+//! pay for shards only as queries touch them.
 //!
 //! The expensive half of Figure 2 — NLP preprocessing and index
 //! construction — runs once, and the resulting [`Snapshot`] (per-shard
 //! [`koko_index::KokoIndex`] + document store, the
 //! [`koko_index::ShardRouter`], and the embedding model) is written to a
-//! single `.koko` file. Loading deserializes those structures directly, so
-//! cold-start cost drops from a full parse-and-index pass to a decode.
-//! Loaded snapshots answer queries byte-identically to freshly built ones
-//! (enforced by `tests/snapshot_roundtrip.rs`).
+//! single `.koko` file. Loaded snapshots answer queries byte-identically
+//! to freshly built ones (enforced by `tests/snapshot_roundtrip.rs`).
 //!
 //! # File layout
 //!
-//! The container framing (magic `KOKOSNAP`, version, payload length,
-//! FNV-1a checksum) is owned by [`koko_storage::snapshot_file`]; this
-//! module owns the payload. Version 3 (current) appends per-shard
-//! score-bound statistics after the shard sections; version 2 introduced
-//! the generational manifest so a snapshot saved after incremental adds
-//! round-trips its base/delta split:
+//! The container framing is owned by [`koko_storage::snapshot_file`]
+//! (v1–3 payload frame) and [`koko_storage::section`] (v4 section table);
+//! this module owns the contents. Saves write **version 4**: a section
+//! table locating independently-checksummed, 8-aligned sections —
 //!
 //! ```text
-//! payload  := Embeddings | manifest | ShardRouter | Vec<Blob> | stats
-//! manifest := generation (u64) | num_base (u64)
-//! blob     := Shard (id, doc/sid ranges, KokoIndex, DocStore)
-//! stats    := Vec<Option<ShardBoundStats>>   (v3; absent in v1/v2)
+//! EMBED    Embeddings codec frame
+//! MANIFEST generation (u64 LE) | num_base (u64 LE)
+//! ROUTER   ShardRouter codec frame
+//! SHARD i  id + doc/sid ranges + KokoIndex frame   (per shard)
+//! STORE i  DocStore codec frame                    (per shard)
+//! BOUNDS i score-bound hash array                  (per shard, optional)
 //! ```
 //!
-//! Older files still load: version-1 files (no manifest) predate live
-//! updates, so every shard is base and the generation is 1; files without
-//! the stats section leave every shard's statistics `None`, and ranked
-//! top-k queries fall back to the conservative weights-only bound — same
-//! answers, less pruning. The stats travel *outside* the shard blobs so
-//! shard bytes are identical across versions.
+//! Because every section is located by offset and checksummed on first
+//! touch, [`Snapshot::open_mmap`] validates the header + table in
+//! O(sections) and maps the rest: each shard decodes out of the mapping
+//! the first time a query routes to it, and article bytes inside a
+//! shard's store stay untouched pages until `LoadArticle` faults them in.
+//! Cold-start cost stops scaling with corpus size, and a corpus larger
+//! than RAM serves queries under the page cache's eviction policy.
 //!
-//! Each shard is encoded and decoded independently, so both directions
-//! fan out over `koko-par` worker threads — save/load scale with cores the
-//! same way ingest does. The in-memory corpus is *not* stored twice: it is
-//! reconstructed by decoding each shard's document store (far cheaper than
-//! re-parsing text, and the decoded documents are bit-identical to the
-//! originals because the store holds their exact encoded bytes).
+//! Older payload-framed files still load through the same entry points:
+//! version-1 files (no manifest) predate live updates, so every shard is
+//! base and the generation is 1; files without the stats section leave
+//! every shard's statistics `None`, and ranked top-k queries fall back to
+//! the conservative weights-only bound — same answers, less pruning. The
+//! per-shard frames inside v4 sections are byte-identical to the frames
+//! embedded in v1–3 payloads, so no migration re-encodes anything.
+//!
+//! Saving back to the file a v4 snapshot was opened from **appends**:
+//! unchanged shards' sections are carried forward by table reference,
+//! new/regrown deltas plus a fresh manifest, router, and table are
+//! written past the committed extent, and an in-place header rewrite
+//! publishes the result atomically (see
+//! [`koko_storage::append_sections`]). An `add` therefore costs I/O
+//! proportional to the *new* documents; the next full save (or
+//! [`Snapshot::compacted`]) reclaims the superseded bytes.
 
 use crate::error::Error;
-use crate::snapshot::Snapshot;
+use crate::snapshot::{PersistedShardRef, ShardSlot, Snapshot, SnapshotBacking};
 use koko_embed::Embeddings;
 use koko_index::{Shard, ShardBoundStats, ShardRouter};
 use koko_nlp::{Corpus, Document};
 use koko_storage::docstore::Blob;
 use koko_storage::{
-    read_snapshot_file_versioned, write_snapshot_file, Codec, DecodeError, SnapshotFileError,
+    append_sections, read_snapshot_file_versioned, read_snapshot_version, write_sectioned_file,
+    Codec, DecodeError, SectionEntry, SectionWriter, SectionedFile, SnapshotFileError,
+    SECTIONED_VERSION, SEC_BOUNDS, SEC_EMBED, SEC_MANIFEST, SEC_ROUTER, SEC_SHARD, SEC_STORE,
 };
 use std::path::Path;
 use std::sync::Arc;
 
 fn corrupt(path: &Path, e: DecodeError) -> Error {
-    Error::Snapshot(SnapshotFileError::Corrupt {
-        path: path.display().to_string(),
+    Error::Snapshot(corrupt_label(&path.display().to_string(), e))
+}
+
+fn corrupt_label(path: &str, e: DecodeError) -> SnapshotFileError {
+    SnapshotFileError::Corrupt {
+        path: path.to_string(),
         detail: e.0,
+    }
+}
+
+/// The three per-shard section entries of one persisted shard, resolved
+/// from a validated section table.
+#[derive(Clone, Copy)]
+struct ShardSections {
+    shard: SectionEntry,
+    store: SectionEntry,
+    bounds: Option<SectionEntry>,
+}
+
+/// Decode one shard out of its mapped sections, verifying it against the
+/// router's expectations — the sectioned replacement for the old
+/// whole-payload contiguity check, run per shard on first touch.
+fn decode_shard_sections(
+    sf: &SectionedFile,
+    slot: usize,
+    secs: ShardSections,
+    router: &ShardRouter,
+) -> Result<Shard, SnapshotFileError> {
+    let meta = sf.section_bytes(&secs.shard)?;
+    let store_bytes = sf.section_bytes(&secs.store)?;
+    let bounds = match secs.bounds {
+        Some(e) => Some(
+            ShardBoundStats::decode_section(sf.section_bytes(&e)?)
+                .map_err(|e| corrupt_label(sf.path(), e))?,
+        ),
+        None => None,
+    };
+    let shard = Shard::decode_sections(meta.as_slice(), store_bytes, bounds)
+        .map_err(|e| corrupt_label(sf.path(), e))?;
+    // A shard that decodes cleanly but disagrees with the router would
+    // misroute (or panic on) id lookups long after open claimed success.
+    if shard.id() != slot
+        || shard.doc_range() != router.doc_range_of(slot)
+        || shard.sid_range() != router.sid_range_of(slot)
+    {
+        return Err(SnapshotFileError::Corrupt {
+            path: sf.path().to_string(),
+            detail: format!("shard {slot} covers different ranges than the router claims"),
+        });
+    }
+    Ok(shard)
+}
+
+/// Everything `open_mmap`/eager-v4 share: map the file, validate the
+/// table, decode the small always-needed sections (embeddings, manifest,
+/// router), and resolve every shard's section entries — without reading
+/// any shard payload.
+struct OpenedV4 {
+    sf: SectionedFile,
+    embed: Embeddings,
+    generation: u64,
+    num_base: usize,
+    router: ShardRouter,
+    shard_secs: Vec<ShardSections>,
+}
+
+fn open_v4(path: &Path) -> Result<OpenedV4, Error> {
+    let sf = SectionedFile::open_mmap(path).map_err(Error::Snapshot)?;
+    let embed_bytes = sf
+        .section_bytes(&sf.require(SEC_EMBED, 0).map_err(Error::Snapshot)?)
+        .map_err(Error::Snapshot)?;
+    let embed = Embeddings::from_bytes(embed_bytes.as_slice())
+        .map_err(|e| Error::Snapshot(corrupt_label(sf.path(), e)))?;
+    let manifest = sf
+        .section_bytes(&sf.require(SEC_MANIFEST, 0).map_err(Error::Snapshot)?)
+        .map_err(Error::Snapshot)?;
+    if manifest.len() != 16 {
+        return Err(Error::Snapshot(SnapshotFileError::Corrupt {
+            path: sf.path().to_string(),
+            detail: format!("manifest section is {} bytes, expected 16", manifest.len()),
+        }));
+    }
+    let m = manifest.as_slice();
+    let generation = u64::from_le_bytes(m[0..8].try_into().expect("sized"));
+    let num_base = u64::from_le_bytes(m[8..16].try_into().expect("sized")) as usize;
+    let router_bytes = sf
+        .section_bytes(&sf.require(SEC_ROUTER, 0).map_err(Error::Snapshot)?)
+        .map_err(Error::Snapshot)?;
+    let router = ShardRouter::from_bytes(router_bytes.as_slice())
+        .map_err(|e| Error::Snapshot(corrupt_label(sf.path(), e)))?;
+    router
+        .validate_contiguous()
+        .map_err(|e| Error::Snapshot(corrupt_label(sf.path(), e)))?;
+    if num_base > router.num_shards() {
+        return Err(Error::Snapshot(SnapshotFileError::Corrupt {
+            path: sf.path().to_string(),
+            detail: format!(
+                "manifest claims {num_base} base shards, router describes {}",
+                router.num_shards()
+            ),
+        }));
+    }
+    // Every routed shard must have its sections in the table — checked
+    // here (O(sections)) so a missing shard fails at open, not at the
+    // first unlucky query.
+    let mut shard_secs = Vec::with_capacity(router.num_shards());
+    for i in 0..router.num_shards() {
+        shard_secs.push(ShardSections {
+            shard: sf.require(SEC_SHARD, i as u32).map_err(Error::Snapshot)?,
+            store: sf.require(SEC_STORE, i as u32).map_err(Error::Snapshot)?,
+            bounds: sf.find(SEC_BOUNDS, i as u32),
+        });
+    }
+    Ok(OpenedV4 {
+        sf,
+        embed,
+        generation,
+        num_base,
+        router,
+        shard_secs,
     })
+}
+
+fn backing_of(path: &Path, o: &OpenedV4) -> SnapshotBacking {
+    SnapshotBacking {
+        path: path.to_path_buf(),
+        header: o.sf.header(),
+        extent: o.sf.extent(),
+        embed_entry: o.sf.find(SEC_EMBED, 0),
+        shard_refs: o
+            .shard_secs
+            .iter()
+            .map(|s| {
+                Some(PersistedShardRef {
+                    shard: s.shard,
+                    store: s.store,
+                    bounds: s.bounds,
+                })
+            })
+            .collect(),
+    }
 }
 
 impl Snapshot {
     /// Serialize the whole snapshot to a `.koko` file at `path`, returning
     /// the file size in bytes. Shards encode on worker threads when
     /// `parallel` is set.
+    ///
+    /// If this snapshot was opened from (or last saved to) a v4 file at
+    /// this same `path`, the save *appends*: sections of unchanged shards
+    /// are carried forward by reference and only new deltas, the
+    /// manifest, the router and a fresh table are written — I/O
+    /// proportional to what changed. Any mismatch (different path, file
+    /// replaced behind us, embeddings swapped) falls back to a full
+    /// atomic rewrite.
     ///
     /// ```
     /// use koko_core::{Koko, Snapshot};
@@ -77,53 +234,166 @@ impl Snapshot {
     /// # std::fs::remove_file(&path).ok();
     /// ```
     pub fn save(&self, path: &Path, parallel: bool) -> Result<u64, Error> {
-        let threads = if parallel { 0 } else { 1 };
-        let mut buf = bytes::BytesMut::new();
-        self.embeddings().encode(&mut buf);
-        // Generational manifest (format v2): which generation this
-        // snapshot is, and how many leading shards are base (the rest are
-        // deltas from incremental adds).
-        self.generation().encode(&mut buf);
-        (self.num_base_shards() as u64).encode(&mut buf);
-        self.router().encode(&mut buf);
-        let sections: Vec<Blob> =
-            koko_par::par_map(self.shards(), threads, |_, shard| Blob(shard.to_bytes()));
-        // Blob frames carry a u32 length; a shard section past that limit
-        // would wrap silently on encode and produce an unloadable file, so
-        // refuse here (use more shards to split the corpus instead).
-        if let Some((i, blob)) = sections
-            .iter()
-            .enumerate()
-            .find(|(_, b)| b.0.len() > u32::MAX as usize)
-        {
-            return Err(Error::Snapshot(SnapshotFileError::Io {
-                path: path.display().to_string(),
-                error: format!(
-                    "shard {i} serializes to {} bytes, over the 4 GiB per-shard limit; \
-                     rebuild with a higher shard count",
-                    blob.0.len()
-                ),
-            }));
+        if let Some(size) = self.try_append_save(path)? {
+            return Ok(size);
         }
-        sections.encode(&mut buf);
-        // Per-shard score-bound statistics (format v3), appended as their
-        // own section so the shard blobs above stay byte-identical across
-        // versions. A shard loaded from a pre-v3 file has none; its `None`
-        // round-trips.
-        let stats: Vec<Option<ShardBoundStats>> = self
-            .shards()
-            .iter()
-            .map(|s| s.bound_stats().cloned())
-            .collect();
-        stats.encode(&mut buf);
-        write_snapshot_file(path, &buf).map_err(Error::Snapshot)?;
-        Ok((koko_storage::snapshot_file::SNAPSHOT_HEADER_LEN + buf.len()) as u64)
+        self.full_save(path, parallel)
     }
 
-    /// Load a snapshot written by [`Snapshot::save`]. Shards decode on
-    /// worker threads when `parallel` is set. Corrupt, truncated, or
-    /// wrong-version files produce a structured
-    /// [`Error::Snapshot`] naming the file — never a panic.
+    fn manifest_section(&self) -> Vec<u8> {
+        let mut m = Vec::with_capacity(16);
+        m.extend_from_slice(&self.generation().to_le_bytes());
+        m.extend_from_slice(&(self.num_base_shards() as u64).to_le_bytes());
+        m
+    }
+
+    /// Full v4 rewrite: every section re-encoded, image published
+    /// atomically (temp file + rename + dir fsync).
+    fn full_save(&self, path: &Path, parallel: bool) -> Result<u64, Error> {
+        let threads = if parallel { 0 } else { 1 };
+        let shards = self.try_shards().map_err(Error::Snapshot)?;
+        // Per-shard sections encode independently, so they fan out over
+        // worker threads like ingest does; assembly order is fixed, so
+        // sequential and parallel saves are byte-identical.
+        struct EncodedShard {
+            meta: Vec<u8>,
+            store: Vec<u8>,
+            bounds: Option<Vec<u8>>,
+        }
+        let encoded: Vec<EncodedShard> =
+            koko_par::par_map(shards, threads, |_, shard| EncodedShard {
+                meta: shard.encode_meta_section(),
+                store: shard.store().to_bytes(),
+                bounds: shard.bound_stats().map(|b| b.encode_section()),
+            });
+        let mut w = SectionWriter::new();
+        w.add_section(SEC_EMBED, 0, &self.embeddings().to_bytes());
+        w.add_section(SEC_MANIFEST, 0, &self.manifest_section());
+        w.add_section(SEC_ROUTER, 0, &self.router().to_bytes());
+        for (i, enc) in encoded.iter().enumerate() {
+            w.add_section(SEC_SHARD, i as u32, &enc.meta);
+            w.add_section(SEC_STORE, i as u32, &enc.store);
+            if let Some(b) = &enc.bounds {
+                w.add_section(SEC_BOUNDS, i as u32, b);
+            }
+        }
+        let image = koko_storage::SharedBytes::from_vec(w.finish());
+        write_sectioned_file(path, image.as_slice()).map_err(Error::Snapshot)?;
+        // Remember where everything landed so the next save to this path
+        // can append instead of rewriting (re-reading our own image, not
+        // the file — the bytes are identical by construction).
+        let sf = SectionedFile::open_bytes(&path.display().to_string(), image.clone())
+            .map_err(Error::Snapshot)?;
+        let refs = (0..shards.len())
+            .map(|i| {
+                Some(PersistedShardRef {
+                    shard: sf.require(SEC_SHARD, i as u32).expect("just written"),
+                    store: sf.require(SEC_STORE, i as u32).expect("just written"),
+                    bounds: sf.find(SEC_BOUNDS, i as u32),
+                })
+            })
+            .collect();
+        *self.backing.lock().expect("backing lock") = Some(SnapshotBacking {
+            path: path.to_path_buf(),
+            header: sf.header(),
+            extent: sf.extent(),
+            embed_entry: sf.find(SEC_EMBED, 0),
+            shard_refs: refs,
+        });
+        Ok(image.len() as u64)
+    }
+
+    /// Append-save: reuse the backing file's unchanged sections. Returns
+    /// `Ok(None)` when this save can't append (no backing, different
+    /// path, swapped embeddings, or the file changed behind us) — the
+    /// caller falls back to [`Snapshot::full_save`].
+    fn try_append_save(&self, path: &Path) -> Result<Option<u64>, Error> {
+        let Some(b) = self.backing.lock().expect("backing lock").clone() else {
+            return Ok(None);
+        };
+        if b.path != path || b.embed_entry.is_none() {
+            return Ok(None);
+        }
+        let embed_entry = b.embed_entry.expect("checked above");
+        let mut keep: Vec<SectionEntry> = vec![embed_entry];
+        let mut new: Vec<(u16, u32, Vec<u8>)> = vec![
+            (SEC_MANIFEST, 0, self.manifest_section()),
+            (SEC_ROUTER, 0, self.router().to_bytes()),
+        ];
+        for (i, r) in b.shard_refs.iter().enumerate() {
+            match r {
+                Some(r) => {
+                    keep.push(r.shard);
+                    keep.push(r.store);
+                    if let Some(bounds) = r.bounds {
+                        keep.push(bounds);
+                    }
+                }
+                None => {
+                    // Changed since the file was written (regrown or new
+                    // delta) — materialized by construction, but surface
+                    // a structured error rather than panic if not.
+                    let shard = self.try_shard(i).map_err(Error::Snapshot)?;
+                    new.push((SEC_SHARD, i as u32, shard.encode_meta_section()));
+                    new.push((SEC_STORE, i as u32, shard.store().to_bytes()));
+                    if let Some(bounds) = shard.bound_stats() {
+                        new.push((SEC_BOUNDS, i as u32, bounds.encode_section()));
+                    }
+                }
+            }
+        }
+        let Some((header, table)) =
+            append_sections(path, &b.header, b.extent, &keep, &new).map_err(Error::Snapshot)?
+        else {
+            return Ok(None); // file replaced behind us → full rewrite
+        };
+        let table_offset = u64::from_le_bytes(header[10..18].try_into().expect("sized"));
+        let extent = table_offset
+            + 4
+            + table.entries.len() as u64 * koko_storage::section::SECTION_ENTRY_LEN as u64;
+        let refs = (0..b.shard_refs.len())
+            .map(|i| {
+                let i = i as u32;
+                Some(PersistedShardRef {
+                    shard: *table.find(SEC_SHARD, i)?,
+                    store: *table.find(SEC_STORE, i)?,
+                    bounds: table.find(SEC_BOUNDS, i).copied(),
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .map(|refs| refs.into_iter().map(Some).collect::<Vec<_>>())
+            .ok_or_else(|| {
+                Error::Snapshot(SnapshotFileError::Corrupt {
+                    path: path.display().to_string(),
+                    detail: "appended table lost a shard section".into(),
+                })
+            })?;
+        *self.backing.lock().expect("backing lock") = Some(SnapshotBacking {
+            path: path.to_path_buf(),
+            header,
+            extent,
+            embed_entry: Some(embed_entry),
+            shard_refs: refs,
+        });
+        let size = std::fs::metadata(path)
+            .map_err(|e| {
+                Error::Snapshot(SnapshotFileError::Io {
+                    path: path.display().to_string(),
+                    error: e.to_string(),
+                })
+            })?
+            .len();
+        Ok(Some(size))
+    }
+
+    /// Load a snapshot written by [`Snapshot::save`], fully materialized:
+    /// every shard decoded (on worker threads when `parallel` is set) and
+    /// the corpus re-assembled before returning. Corrupt, truncated, or
+    /// wrong-version files produce a structured [`Error::Snapshot`]
+    /// naming the file — never a panic.
+    ///
+    /// For O(1)-cost opens that defer shard decoding to first touch, use
+    /// [`Snapshot::open_mmap`] — answers are byte-identical either way.
     ///
     /// ```
     /// use koko_core::{Koko, Snapshot};
@@ -137,6 +407,93 @@ impl Snapshot {
     /// # std::fs::remove_file(&path).ok();
     /// ```
     pub fn load(path: &Path, parallel: bool) -> Result<Snapshot, Error> {
+        match read_snapshot_version(path).map_err(Error::Snapshot)? {
+            SECTIONED_VERSION => Snapshot::load_v4_eager(path, parallel),
+            _ => Snapshot::load_payload(path, parallel),
+        }
+    }
+
+    /// Open the v4 snapshot at `path` by memory-mapping it: validates the
+    /// header, section table, manifest and router in O(sections) without
+    /// reading any shard payload, then returns a snapshot whose shards
+    /// decode out of the mapping the first time a query touches them.
+    /// Each section is checksum-verified on that first touch, so
+    /// corruption surfaces as a structured error from the query that
+    /// found it — never silently and never as a crash.
+    ///
+    /// Cold-open cost is independent of corpus size, and a corpus larger
+    /// than RAM is served under the page cache's eviction policy. The
+    /// mapping holds the file's pages; KOKO's own writers never truncate
+    /// a published snapshot (full saves replace the file by rename,
+    /// appends only extend it), but an *external* truncation of the
+    /// mapped file can fault a reader fatally — the classic mmap
+    /// contract.
+    ///
+    /// Payload-framed files (v1–3) have no section table to map and fall
+    /// back to the eager [`Snapshot::load`] transparently.
+    pub fn open_mmap(path: &Path) -> Result<Snapshot, Error> {
+        match read_snapshot_version(path).map_err(Error::Snapshot)? {
+            SECTIONED_VERSION => {
+                let o = open_v4(path)?;
+                let backing = backing_of(path, &o);
+                let slots = o
+                    .shard_secs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, secs)| {
+                        let sf = o.sf.clone();
+                        let router = o.router.clone();
+                        let secs = *secs;
+                        ShardSlot::lazy(move || decode_shard_sections(&sf, i, secs, &router))
+                    })
+                    .collect();
+                Ok(Snapshot::from_lazy_parts(
+                    slots,
+                    o.num_base,
+                    o.generation,
+                    o.router,
+                    o.embed,
+                    Some(backing),
+                ))
+            }
+            _ => Snapshot::load(path, true),
+        }
+    }
+
+    /// Eager v4 load: same validation as [`Snapshot::open_mmap`], then
+    /// every shard decoded up front (fanned out over worker threads) and
+    /// the corpus re-assembled — the write-path open, where later
+    /// operations must not discover corruption behind infallible
+    /// signatures.
+    fn load_v4_eager(path: &Path, parallel: bool) -> Result<Snapshot, Error> {
+        let o = open_v4(path)?;
+        let threads = if parallel { 0 } else { 1 };
+        let decoded: Vec<Result<Shard, SnapshotFileError>> =
+            koko_par::par_map(&o.shard_secs, threads, |i, secs| {
+                decode_shard_sections(&o.sf, i, *secs, &o.router)
+            });
+        let mut slots = Vec::with_capacity(decoded.len());
+        for shard in decoded {
+            slots.push(ShardSlot::ready(Arc::new(shard.map_err(Error::Snapshot)?)));
+        }
+        let backing = backing_of(path, &o);
+        let snap = Snapshot::from_lazy_parts(
+            slots,
+            o.num_base,
+            o.generation,
+            o.router,
+            o.embed,
+            Some(backing),
+        );
+        // Re-assemble the corpus from the stores now (parallel, validated
+        // against the router) — the write-path contract is "no lazy state
+        // left behind".
+        snap.try_corpus().map_err(Error::Snapshot)?;
+        Ok(snap)
+    }
+
+    /// Load a payload-framed (v1–3) snapshot.
+    fn load_payload(path: &Path, parallel: bool) -> Result<Snapshot, Error> {
         let (version, payload) = read_snapshot_file_versioned(path).map_err(Error::Snapshot)?;
         let mut input: &[u8] = &payload;
         let embed = Embeddings::decode(&mut input).map_err(|e| corrupt(path, e))?;
@@ -265,7 +622,7 @@ impl Snapshot {
 mod tests {
     use super::*;
     use crate::engine::Koko;
-    use koko_storage::SNAPSHOT_VERSION;
+    use koko_storage::{write_snapshot_file, SNAPSHOT_VERSION};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("koko_core_persist_test");
@@ -286,6 +643,14 @@ mod tests {
         let path = tmp("size.koko");
         let bytes = sample().snapshot().save(&path, true).unwrap();
         assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn saves_are_version_4() {
+        let path = tmp("v4_stamp.koko");
+        sample().snapshot().save(&path, true).unwrap();
+        assert_eq!(read_snapshot_version(&path).unwrap(), SECTIONED_VERSION);
+        assert_eq!(SNAPSHOT_VERSION, SECTIONED_VERSION);
     }
 
     #[test]
@@ -335,20 +700,22 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_truncated_and_corrupted_payloads() {
+    fn load_rejects_truncated_and_corrupted_files() {
         let path = tmp("damage.koko");
         sample().snapshot().save(&path, false).unwrap();
         let full = std::fs::read(&path).unwrap();
-        // Truncations at several depths: header, early payload, mid-shard.
+        // Truncations at several depths: header, table pointer past EOF,
+        // mid-table.
         for cut in [9, 20, 30, full.len() / 2, full.len() - 1] {
             std::fs::write(&path, &full[..cut]).unwrap();
             let err = Snapshot::load(&path, true).unwrap_err();
             assert!(matches!(err, Error::Snapshot(_)), "cut {cut}: {err:?}");
         }
-        // Bit flip in the middle of the payload: checksum catches it.
+        // Bit flip inside the first section (sections start at offset
+        // 32): the per-section checksum catches it when the eager load
+        // touches that section.
         let mut flipped = full.clone();
-        let mid = flipped.len() / 2;
-        flipped[mid] ^= 0x40;
+        flipped[40] ^= 0x40;
         std::fs::write(&path, &flipped).unwrap();
         assert!(matches!(
             Snapshot::load(&path, true),
@@ -371,7 +738,8 @@ mod tests {
         let b = Koko::from_texts_with_opts(&["One.", "Two.", "Three.", "Four."], opts);
         assert_ne!(a.snapshot().router(), b.snapshot().router());
 
-        // Hand-assemble a payload pairing b's shards with a's router.
+        // Hand-assemble a payload-framed (v3) file pairing b's shards
+        // with a's router — the legacy path must still validate.
         let mut buf = bytes::BytesMut::new();
         b.snapshot().embeddings().encode(&mut buf);
         1u64.encode(&mut buf); // manifest: generation
@@ -392,6 +760,28 @@ mod tests {
                 assert!(detail.contains("router"), "{detail}");
             }
             other => panic!("expected router-mismatch rejection, got {other:?}"),
+        }
+
+        // The same mismatch through a hand-built *v4* file: shard ranges
+        // are validated against the router on materialization.
+        let mut w = SectionWriter::new();
+        w.add_section(SEC_EMBED, 0, &b.snapshot().embeddings().to_bytes());
+        let mut manifest = Vec::new();
+        manifest.extend_from_slice(&1u64.to_le_bytes());
+        manifest.extend_from_slice(&(b.snapshot().num_shards() as u64).to_le_bytes());
+        w.add_section(SEC_MANIFEST, 0, &manifest);
+        w.add_section(SEC_ROUTER, 0, &a.snapshot().router().to_bytes());
+        for (i, shard) in b.snapshot().shards().iter().enumerate() {
+            w.add_section(SEC_SHARD, i as u32, &shard.encode_meta_section());
+            w.add_section(SEC_STORE, i as u32, &shard.store().to_bytes());
+        }
+        let path4 = tmp("router_mismatch_v4.koko");
+        write_sectioned_file(&path4, &w.finish()).unwrap();
+        match Snapshot::load(&path4, true) {
+            Err(Error::Snapshot(SnapshotFileError::Corrupt { detail, .. })) => {
+                assert!(detail.contains("router"), "{detail}");
+            }
+            other => panic!("expected v4 router-mismatch rejection, got {other:?}"),
         }
     }
 
@@ -420,6 +810,9 @@ mod tests {
             loaded.corpus().num_documents(),
             snap.corpus().num_documents()
         );
+        // open_mmap on a payload-framed file falls back to eager load.
+        let mapped = Snapshot::open_mmap(&path).unwrap();
+        assert_eq!(mapped.num_documents(), snap.corpus().num_documents());
     }
 
     #[test]
@@ -458,18 +851,18 @@ mod tests {
     }
 
     #[test]
-    fn bound_stats_round_trip_through_v3() {
+    fn bound_stats_round_trip_through_save() {
         let path = tmp("stats.koko");
         let koko = sample();
         koko.snapshot().save(&path, true).unwrap();
         let loaded = Snapshot::load(&path, true).unwrap();
         assert_eq!(loaded.num_shards(), koko.snapshot().num_shards());
         for (a, b) in loaded.shards().iter().zip(koko.snapshot().shards()) {
-            let got = a.bound_stats().expect("v3 load carries stats");
+            let got = a.bound_stats().expect("saved snapshots carry stats");
             assert_eq!(got, b.bound_stats().unwrap());
         }
-        // Re-saving a loaded snapshot reproduces the file byte-for-byte
-        // (stats included).
+        // Re-saving a loaded snapshot to a fresh path reproduces the file
+        // byte-for-byte (stats included).
         let path2 = tmp("stats_resave.koko");
         loaded.save(&path2, false).unwrap();
         let first = std::fs::read(&path).unwrap();
@@ -505,8 +898,8 @@ mod tests {
             loaded.corpus().num_documents(),
             snap.corpus().num_documents()
         );
-        // Re-saving the stats-less snapshot writes a valid v3 file whose
-        // stats section holds `None` per shard.
+        // Re-saving the stats-less snapshot writes a valid v4 file with
+        // no BOUNDS sections.
         let resaved = tmp("v2_resave.koko");
         loaded.save(&resaved, false).unwrap();
         let again = Snapshot::load(&resaved, true).unwrap();
@@ -545,6 +938,8 @@ mod tests {
         let loaded = Snapshot::load(&path, true).unwrap();
         assert_eq!(loaded.corpus().num_documents(), 0);
         assert_eq!(loaded.num_shards(), koko.snapshot().num_shards());
+        let mapped = Snapshot::open_mmap(&path).unwrap();
+        assert_eq!(mapped.num_documents(), 0);
     }
 
     #[test]
@@ -559,5 +954,133 @@ mod tests {
             loaded.embeddings().similarity("arabica", "coffee"),
             koko.snapshot().embeddings().similarity("arabica", "coffee"),
         );
+    }
+
+    #[test]
+    fn open_mmap_is_lazy_and_serves_identical_documents() {
+        let path = tmp("mmap.koko");
+        let koko = sample();
+        koko.snapshot().save(&path, true).unwrap();
+
+        let mapped = Snapshot::open_mmap(&path).unwrap();
+        // Counts come from the router — no shard has materialized yet.
+        assert_eq!(
+            mapped.num_documents(),
+            koko.snapshot().corpus().num_documents()
+        );
+        assert_eq!(
+            mapped.num_sentences(),
+            koko.snapshot().corpus().num_sentences()
+        );
+        assert_eq!(mapped.num_shards(), koko.snapshot().num_shards());
+        assert_eq!(mapped.generation(), koko.snapshot().generation());
+        // Touching one document materializes one shard and decodes
+        // bit-identically.
+        for doc in 0..mapped.num_documents() as u32 {
+            assert_eq!(
+                &mapped.load_document(doc).unwrap(),
+                koko.snapshot().corpus().document(doc)
+            );
+        }
+        // Full materialization matches the eager load exactly.
+        let eager = Snapshot::load(&path, true).unwrap();
+        for (a, b) in mapped.try_shards().unwrap().iter().zip(eager.shards()) {
+            assert_eq!(a.to_bytes(), b.to_bytes());
+            assert_eq!(a.bound_stats(), b.bound_stats());
+        }
+        assert_eq!(
+            mapped.try_corpus().unwrap().num_sentences(),
+            eager.corpus().num_sentences()
+        );
+    }
+
+    #[test]
+    fn mmap_open_surfaces_section_corruption_on_touch_not_open() {
+        let path = tmp("mmap_corrupt.koko");
+        sample().snapshot().save(&path, true).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        // Corrupt the *last* store section: open must still succeed
+        // (payloads unread), the touch must fail structurally.
+        let sf = SectionedFile::open_mmap(&path).unwrap();
+        let num_stores = sf.table().of_kind(SEC_STORE).count() as u32;
+        let store = sf.find(SEC_STORE, num_stores - 1).unwrap();
+        drop(sf);
+        data[store.offset as usize] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let mapped = Snapshot::open_mmap(&path).unwrap();
+        match mapped.try_shards() {
+            Err(SnapshotFileError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch on materialization, got {other:?}"),
+        }
+        // The eager load refuses up front.
+        assert!(matches!(
+            Snapshot::load(&path, true),
+            Err(Error::Snapshot(SnapshotFileError::ChecksumMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn resave_to_same_path_appends_instead_of_rewriting() {
+        let path = tmp("append_save.koko");
+        let koko = sample();
+        koko.save(&path).unwrap();
+        let before = SectionedFile::open_mmap(&path).unwrap();
+        let embed_before = before.find(SEC_EMBED, 0).unwrap();
+        let shard0_before = before.find(SEC_SHARD, 0).unwrap();
+        let extent_before = before.extent();
+        drop(before);
+
+        // Reopen (eagerly — the write path), add documents, save again.
+        let reopened = Koko::open(&path).unwrap();
+        reopened.add_texts(&["The barista poured a latte for Anna."]);
+        reopened.save(&path).unwrap();
+
+        let after = SectionedFile::open_mmap(&path).unwrap();
+        // Base sections were carried forward by reference: same offsets,
+        // no rewrite. The new table lives past the old extent.
+        assert_eq!(after.find(SEC_EMBED, 0).unwrap(), embed_before);
+        assert_eq!(after.find(SEC_SHARD, 0).unwrap(), shard0_before);
+        assert!(after.extent() > extent_before);
+        let delta_idx = (after.table().of_kind(SEC_SHARD).count() - 1) as u32;
+        assert!(
+            after.find(SEC_SHARD, delta_idx).unwrap().offset >= extent_before,
+            "delta shard is appended past the old extent"
+        );
+        drop(after);
+
+        let loaded = Snapshot::load(&path, true).unwrap();
+        assert_eq!(
+            loaded.num_documents(),
+            koko.snapshot().corpus().num_documents() + 1
+        );
+        assert_eq!(loaded.num_delta_shards(), 1);
+
+        // A second append round-trips too (the refreshed backing stays
+        // consistent with the file).
+        reopened.add_texts(&["go Falcons!"]);
+        reopened.save(&path).unwrap();
+        let again = Snapshot::load(&path, true).unwrap();
+        assert_eq!(
+            again.num_documents(),
+            koko.snapshot().corpus().num_documents() + 2
+        );
+    }
+
+    #[test]
+    fn append_falls_back_to_rewrite_when_file_changed_behind_us() {
+        let path = tmp("append_fallback.koko");
+        let koko = Koko::from_texts(&["Anna ate cake.", "The cafe was busy."]);
+        koko.save(&path).unwrap();
+        let reopened = Koko::open(&path).unwrap();
+        // Replace the file behind the opened engine's back.
+        let other = Koko::from_texts(&["Completely different corpus."]);
+        other.save(&path).unwrap();
+        // Saving the original still succeeds — full rewrite, not a
+        // corrupting append onto the stranger's sections.
+        reopened.add_texts(&["go Falcons!"]);
+        reopened.save(&path).unwrap();
+        let loaded = Snapshot::load(&path, true).unwrap();
+        assert_eq!(loaded.num_documents(), 3);
     }
 }

@@ -22,7 +22,7 @@
 
 use crate::koko::KokoIndex;
 use koko_nlp::{Corpus, Document, Sid};
-use koko_storage::{codec::fnv1a64, Codec, DecodeError, DocStore};
+use koko_storage::{codec::fnv1a64, Codec, DecodeError, DocStore, SharedBytes, U64View};
 use std::ops::Range;
 
 /// Cheap per-shard statistics for bounding aggregation scores *before*
@@ -42,14 +42,41 @@ use std::ops::Range;
 /// [`Shard`]'s own [`Codec`] frame, so shard bytes stay identical across
 /// versions; a shard decoded from a pre-v3 file simply has no stats and
 /// queries fall back to the conservative bound.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ShardBoundStats {
     /// Sorted, deduplicated FNV-1a64 hashes of every distinct lower-cased
     /// token in the shard.
-    token_hashes: Vec<u64>,
+    token_hashes: HashStore,
 }
 
+/// Backing for the hash array: owned (built / decoded from a v1–3
+/// payload) or a zero-copy `u64` view into a mapped v4 bounds section.
+#[derive(Debug, Clone)]
+enum HashStore {
+    Owned(Vec<u64>),
+    View(U64View),
+}
+
+impl Default for HashStore {
+    fn default() -> Self {
+        HashStore::Owned(Vec::new())
+    }
+}
+
+impl PartialEq for ShardBoundStats {
+    fn eq(&self, other: &ShardBoundStats) -> bool {
+        self.hashes() == other.hashes()
+    }
+}
+impl Eq for ShardBoundStats {}
+
 impl ShardBoundStats {
+    fn hashes(&self) -> &[u64] {
+        match &self.token_hashes {
+            HashStore::Owned(v) => v,
+            HashStore::View(v) => v.as_slice(),
+        }
+    }
     /// Collect the token vocabulary of `docs` (the documents of one
     /// shard). Deterministic: depends only on the documents' tokens.
     pub fn from_docs(docs: &[std::sync::Arc<Document>]) -> ShardBoundStats {
@@ -61,13 +88,15 @@ impl ShardBoundStats {
             .collect();
         token_hashes.sort_unstable();
         token_hashes.dedup();
-        ShardBoundStats { token_hashes }
+        ShardBoundStats {
+            token_hashes: HashStore::Owned(token_hashes),
+        }
     }
 
     /// Whether the (lower-cased) word could occur in the shard. `false`
     /// is a proof of absence; `true` is merely "not impossible".
     pub fn has_token(&self, lower: &str) -> bool {
-        self.token_hashes
+        self.hashes()
             .binary_search(&fnv1a64(lower.as_bytes()))
             .is_ok()
     }
@@ -88,7 +117,62 @@ impl ShardBoundStats {
 
     /// Distinct tokens tracked (diagnostics only).
     pub fn num_tokens(&self) -> usize {
-        self.token_hashes.len()
+        self.hashes().len()
+    }
+
+    /// Encode as a v4 `SEC_BOUNDS` section: `count (u64 LE)` then the
+    /// sorted hashes as raw `u64 LE`s starting at byte 8. Because the
+    /// section writer 8-aligns section starts, the hash array sits
+    /// 8-aligned in the file and a mapped open can serve it as a
+    /// [`U64View`] without copying. (The [`Codec`] frame — a `u32`-count
+    /// `Vec<u64>` — is kept unchanged for v3 payloads; its 4-byte prefix
+    /// is exactly what ruins alignment, hence the separate layout here.)
+    pub fn encode_section(&self) -> Vec<u8> {
+        let hashes = self.hashes();
+        let mut out = Vec::with_capacity(8 + hashes.len() * 8);
+        out.extend_from_slice(&(hashes.len() as u64).to_le_bytes());
+        for h in hashes {
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a v4 `SEC_BOUNDS` section, serving the hash array as a
+    /// zero-copy view when the backing is 8-aligned (mapped sections
+    /// are) and falling back to an owned copy otherwise. Sortedness is
+    /// validated in O(n) either way — hostile bytes must yield errors,
+    /// not unsound bounds.
+    pub fn decode_section(bytes: SharedBytes) -> Result<ShardBoundStats, DecodeError> {
+        if bytes.len() < 8 {
+            return Err(DecodeError(format!(
+                "bounds section too short ({} bytes)",
+                bytes.len()
+            )));
+        }
+        let count = u64::from_le_bytes(bytes.as_slice()[..8].try_into().expect("sized"));
+        let body = bytes.slice(8..bytes.len());
+        if count.checked_mul(8) != Some(body.len() as u64) {
+            return Err(DecodeError(format!(
+                "bounds section declares {count} hashes but holds {} bytes",
+                body.len()
+            )));
+        }
+        let token_hashes = match U64View::new(body.clone()) {
+            Some(view) => HashStore::View(view),
+            None => HashStore::Owned(
+                body.as_slice()
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("sized")))
+                    .collect(),
+            ),
+        };
+        let stats = ShardBoundStats { token_hashes };
+        if stats.hashes().windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DecodeError(
+                "bound stats token hashes are not sorted and distinct".into(),
+            ));
+        }
+        Ok(stats)
     }
 }
 
@@ -96,7 +180,11 @@ impl ShardBoundStats {
 /// the snapshot payload as a v3 section (never inside [`Shard`]'s frame).
 impl Codec for ShardBoundStats {
     fn encode(&self, buf: &mut bytes::BytesMut) {
-        self.token_hashes.encode(buf);
+        let hashes = self.hashes();
+        (hashes.len() as u32).encode(buf);
+        for h in hashes {
+            h.encode(buf);
+        }
     }
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         let token_hashes = Vec::<u64>::decode(input)?;
@@ -105,7 +193,9 @@ impl Codec for ShardBoundStats {
                 "bound stats token hashes are not sorted and distinct".into(),
             ));
         }
-        Ok(ShardBoundStats { token_hashes })
+        Ok(ShardBoundStats {
+            token_hashes: HashStore::Owned(token_hashes),
+        })
     }
 }
 
@@ -126,6 +216,13 @@ pub struct Shard {
     /// then use the conservative bound). Excluded from the shard's own
     /// codec frame so shard bytes are version-independent.
     bounds: Option<ShardBoundStats>,
+    /// *Local* first-sentence-id per local document, plus one sentinel
+    /// holding the shard's sentence count — the shard-local analogue of
+    /// `Corpus::doc_first_sid`, so the executor can translate sid↔doc
+    /// without materializing a global `Corpus`. Derived state (from
+    /// documents at build, from store blob headers at decode), never
+    /// part of the codec frame: shard bytes stay version-independent.
+    doc_sid_starts: Vec<Sid>,
 }
 
 impl Shard {
@@ -167,6 +264,13 @@ impl Shard {
             store.put(d);
         }
         let bounds = Some(ShardBoundStats::from_docs(docs));
+        let mut doc_sid_starts = Vec::with_capacity(docs.len() + 1);
+        let mut at: Sid = 0;
+        for d in docs {
+            doc_sid_starts.push(at);
+            at += d.sentences.len() as Sid;
+        }
+        doc_sid_starts.push(at);
         Shard {
             id,
             docs: doc_range,
@@ -174,7 +278,69 @@ impl Shard {
             index,
             store,
             bounds,
+            doc_sid_starts,
         }
+    }
+
+    /// Assemble a shard from decoded parts, running every structural
+    /// validation of the decode path. This is the single entry point for
+    /// both the payload-framed [`Codec::decode`] and the v4 sectioned
+    /// open, so the two loaders cannot drift: inverted ranges, a store
+    /// whose document count disagrees with the doc range, and an index
+    /// whose sentence count disagrees with the sid range are all
+    /// structured errors. Per-document sentence offsets are rebuilt in
+    /// O(docs) from the store's blob headers without decoding articles.
+    pub fn assemble(
+        id: usize,
+        docs: Range<u32>,
+        sids: Range<Sid>,
+        index: KokoIndex,
+        store: DocStore,
+        bounds: Option<ShardBoundStats>,
+    ) -> Result<Shard, DecodeError> {
+        if docs.start > docs.end || sids.start > sids.end {
+            return Err(DecodeError(format!(
+                "shard {id} has inverted ranges (docs {docs:?}, sids {sids:?})"
+            )));
+        }
+        if store.len() != docs.len() {
+            return Err(DecodeError(format!(
+                "shard {id} stores {} documents for a range of {}",
+                store.len(),
+                docs.len()
+            )));
+        }
+        if index.num_sentences() as usize != sids.len() {
+            // Local sids map 1:1 onto the shard's global sid range; a
+            // larger index would emit sids past the corpus end mid-query.
+            return Err(DecodeError(format!(
+                "shard {id} index covers {} sentences for a sid range of {}",
+                index.num_sentences(),
+                sids.len()
+            )));
+        }
+        let mut doc_sid_starts = Vec::with_capacity(store.len() + 1);
+        let mut at: Sid = 0;
+        for local in 0..store.len() as u32 {
+            doc_sid_starts.push(at);
+            at += store.sentence_count(local)? as Sid;
+        }
+        doc_sid_starts.push(at);
+        if at as usize != sids.len() {
+            return Err(DecodeError(format!(
+                "shard {id} documents hold {at} sentences for a sid range of {}",
+                sids.len()
+            )));
+        }
+        Ok(Shard {
+            id,
+            docs,
+            sids,
+            index,
+            store,
+            bounds,
+            doc_sid_starts,
+        })
     }
 
     pub fn id(&self) -> usize {
@@ -233,6 +399,23 @@ impl Shard {
         self.store.load(self.to_local_doc(global_doc))
     }
 
+    /// The *global* document owning *global* sentence `sid` — the
+    /// shard-local replacement for `Corpus::doc_of`, so the default
+    /// (store-backed) query path never materializes a global corpus.
+    /// `O(log docs)`; sids of empty documents resolve to the following
+    /// non-empty owner, exactly as in `Corpus::doc_of`.
+    pub fn doc_of_sid(&self, sid: Sid) -> u32 {
+        let local = self.to_local_sid(sid);
+        let idx = self.doc_sid_starts.partition_point(|&s| s <= local) - 1;
+        self.docs.start + idx as u32
+    }
+
+    /// The *global* first sentence id of *global* document `global_doc`
+    /// (the shard-local replacement for `Corpus::doc_sids(d).start`).
+    pub fn doc_first_sid(&self, global_doc: u32) -> Sid {
+        self.sids.start + self.doc_sid_starts[self.to_local_doc(global_doc) as usize]
+    }
+
     /// Approximate footprint of the shard's index structures.
     pub fn approx_index_bytes(&self) -> usize {
         self.index.approx_bytes()
@@ -249,6 +432,45 @@ impl Shard {
     /// (the load path — stats travel outside the shard's codec frame).
     pub fn set_bound_stats(&mut self, stats: Option<ShardBoundStats>) {
         self.bounds = stats;
+    }
+
+    /// Encode the v4 `SEC_SHARD` section: the shard's identity + ranges +
+    /// index frame, *without* the document store (which gets its own
+    /// `SEC_STORE` section so article bytes can stay unmaterialized in
+    /// the mapping until first load).
+    pub fn encode_meta_section(&self) -> Vec<u8> {
+        let mut buf = bytes::BytesMut::new();
+        (self.id as u64).encode(&mut buf);
+        self.docs.start.encode(&mut buf);
+        self.docs.end.encode(&mut buf);
+        self.sids.start.encode(&mut buf);
+        self.sids.end.encode(&mut buf);
+        self.index.encode(&mut buf);
+        buf.to_vec()
+    }
+
+    /// Rebuild a shard from its v4 sections: the `SEC_SHARD` meta bytes,
+    /// the `SEC_STORE` bytes (decoded as zero-copy views into the
+    /// backing), and optional pre-decoded bounds. Validation is shared
+    /// with the payload path via [`Shard::assemble`].
+    pub fn decode_sections(
+        meta: &[u8],
+        store_bytes: SharedBytes,
+        bounds: Option<ShardBoundStats>,
+    ) -> Result<Shard, DecodeError> {
+        let input = &mut &meta[..];
+        let id = u64::decode(input)? as usize;
+        let docs = u32::decode(input)?..u32::decode(input)?;
+        let sids = Sid::decode(input)?..Sid::decode(input)?;
+        let index = KokoIndex::decode(input)?;
+        if !input.is_empty() {
+            return Err(DecodeError(format!(
+                "shard {id} meta section has {} trailing bytes",
+                input.len()
+            )));
+        }
+        let store = DocStore::decode_view(store_bytes)?;
+        Shard::assemble(id, docs, sids, index, store, bounds)
     }
 }
 
@@ -269,39 +491,11 @@ impl Codec for Shard {
         let id = u64::decode(input)? as usize;
         let docs = u32::decode(input)?..u32::decode(input)?;
         let sids = Sid::decode(input)?..Sid::decode(input)?;
-        if docs.start > docs.end || sids.start > sids.end {
-            return Err(DecodeError(format!(
-                "shard {id} has inverted ranges (docs {docs:?}, sids {sids:?})"
-            )));
-        }
         let index = KokoIndex::decode(input)?;
         let store = DocStore::decode(input)?;
-        if store.len() != docs.len() {
-            return Err(DecodeError(format!(
-                "shard {id} stores {} documents for a range of {}",
-                store.len(),
-                docs.len()
-            )));
-        }
-        if index.num_sentences() as usize != sids.len() {
-            // Local sids map 1:1 onto the shard's global sid range; a
-            // larger index would emit sids past the corpus end mid-query.
-            return Err(DecodeError(format!(
-                "shard {id} index covers {} sentences for a sid range of {}",
-                index.num_sentences(),
-                sids.len()
-            )));
-        }
-        Ok(Shard {
-            id,
-            docs,
-            sids,
-            index,
-            store,
-            // Stats live in the snapshot's own v3 section; the loader
-            // attaches them after decode. Absent ⇒ conservative bounds.
-            bounds: None,
-        })
+        // Stats live in the snapshot's own v3 section; the loader
+        // attaches them after decode. Absent ⇒ conservative bounds.
+        Shard::assemble(id, docs, sids, index, store, None)
     }
 }
 
@@ -395,6 +589,45 @@ impl ShardRouter {
 
     pub fn num_shards(&self) -> usize {
         self.doc_starts.len() - 1
+    }
+
+    /// Total documents routed (the sentinel entry) — lets callers report
+    /// corpus size without materializing any shard or corpus.
+    pub fn num_documents(&self) -> usize {
+        *self.doc_starts.last().unwrap_or(&0) as usize
+    }
+
+    /// Total sentences routed (the sentinel entry).
+    pub fn num_sentences(&self) -> usize {
+        *self.sid_starts.last().unwrap_or(&0) as usize
+    }
+
+    /// The global document range shard `shard` is expected to cover.
+    /// Lazily-materialized shards are validated against this on first
+    /// touch (the sectioned-snapshot replacement for the old whole-file
+    /// contiguity check).
+    pub fn doc_range_of(&self, shard: usize) -> Range<u32> {
+        self.doc_starts[shard]..self.doc_starts[shard + 1]
+    }
+
+    /// The global sentence-id range shard `shard` is expected to cover.
+    pub fn sid_range_of(&self, shard: usize) -> Range<Sid> {
+        self.sid_starts[shard]..self.sid_starts[shard + 1]
+    }
+
+    /// Structural validation for routers decoded from untrusted bytes:
+    /// boundaries must start at zero and be non-decreasing, or id
+    /// translation would hand out overlapping/negative ranges.
+    pub fn validate_contiguous(&self) -> Result<(), DecodeError> {
+        if self.doc_starts.first() != Some(&0) || self.sid_starts.first() != Some(&0) {
+            return Err(DecodeError("shard router does not start at zero".into()));
+        }
+        if self.doc_starts.windows(2).any(|w| w[0] > w[1])
+            || self.sid_starts.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(DecodeError("shard router boundaries decrease".into()));
+        }
+        Ok(())
     }
 
     /// Shard containing global document `doc`.
@@ -669,6 +902,83 @@ mod tests {
         assert_eq!(shard.to_bytes(), stripped.to_bytes());
         let back = Shard::from_bytes(&shard.to_bytes()).unwrap();
         assert!(back.bound_stats().is_none());
+    }
+
+    #[test]
+    fn doc_sid_translation_matches_the_corpus() {
+        let c = corpus(11);
+        let shards = build_shards(&c, 4, 1);
+        let router = ShardRouter::from_shards(&shards);
+        for sid in 0..c.num_sentences() as Sid {
+            let s = &shards[router.shard_of_sid(sid)];
+            assert_eq!(s.doc_of_sid(sid), c.doc_of(sid), "sid {sid}");
+        }
+        for doc in 0..c.num_documents() as u32 {
+            let s = &shards[router.shard_of_doc(doc)];
+            assert_eq!(s.doc_first_sid(doc), c.doc_sids(doc).start, "doc {doc}");
+        }
+        // Decoded shards rebuild the same translation from blob headers.
+        for shard in &shards {
+            let back = Shard::from_bytes(&shard.to_bytes()).unwrap();
+            for sid in back.sid_range() {
+                assert_eq!(back.doc_of_sid(sid), shard.doc_of_sid(sid));
+            }
+            for doc in back.doc_range() {
+                assert_eq!(back.doc_first_sid(doc), shard.doc_first_sid(doc));
+            }
+        }
+    }
+
+    #[test]
+    fn section_decode_matches_payload_decode() {
+        let c = corpus(9);
+        for shard in build_shards(&c, 3, 1) {
+            let meta = shard.encode_meta_section();
+            let store_bytes = SharedBytes::from_vec(shard.store().to_bytes());
+            let bounds = shard.bound_stats().cloned();
+            let back = Shard::decode_sections(&meta, store_bytes, bounds).unwrap();
+            assert_eq!(back.to_bytes(), shard.to_bytes(), "byte-identical");
+            assert_eq!(back.bound_stats(), shard.bound_stats());
+            for doc in back.doc_range() {
+                assert_eq!(
+                    back.load_document(doc).unwrap(),
+                    shard.load_document(doc).unwrap()
+                );
+            }
+            // Trailing meta bytes are rejected.
+            let mut long = shard.encode_meta_section();
+            long.push(0);
+            assert!(Shard::decode_sections(
+                &long,
+                SharedBytes::from_vec(shard.store().to_bytes()),
+                None
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn bounds_section_round_trip_and_hostile_input() {
+        let c = corpus(6);
+        let stats = ShardBoundStats::from_docs(c.documents());
+        let sec = stats.encode_section();
+        let back = ShardBoundStats::decode_section(SharedBytes::from_vec(sec.clone())).unwrap();
+        assert_eq!(back, stats);
+        // Re-encoding a view-backed stats is identical both ways.
+        assert_eq!(back.encode_section(), sec);
+        assert_eq!(back.to_bytes(), stats.to_bytes());
+        // Count disagreeing with the body length is structural.
+        let mut bad = sec.clone();
+        bad[0] ^= 0x01;
+        assert!(ShardBoundStats::decode_section(SharedBytes::from_vec(bad)).is_err());
+        // Unsorted hashes are rejected even through the view path.
+        let mut unsorted = Vec::new();
+        unsorted.extend_from_slice(&2u64.to_le_bytes());
+        unsorted.extend_from_slice(&9u64.to_le_bytes());
+        unsorted.extend_from_slice(&3u64.to_le_bytes());
+        assert!(ShardBoundStats::decode_section(SharedBytes::from_vec(unsorted)).is_err());
+        // Too-short section.
+        assert!(ShardBoundStats::decode_section(SharedBytes::from_vec(vec![1, 2, 3])).is_err());
     }
 
     #[test]

@@ -1061,7 +1061,7 @@ impl Reactor {
         format!(
             "{{\"id\":{id},\"ok\":true,\"stats\":{{\"threads\":{},\"documents\":{},\"shards\":{},\"delta_shards\":{},\"delta_documents\":{},\"epoch\":{},\"generation\":{},\"writable\":{},\"docs_added\":{},\"served\":{},\"queries_ok\":{},\"queries_err\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{},\"result_cache_capacity\":{},\"connections\":{},\"tenants\":{},\"draining\":{}}}}}",
             shared.threads,
-            snap.corpus().num_documents(),
+            snap.num_documents(),
             snap.num_shards(),
             snap.num_delta_shards(),
             snap.num_delta_documents(),

@@ -3,8 +3,15 @@
 //! Articles live *encoded*; [`DocStore::load`] pays a real decode cost, which
 //! is what the paper's `LoadArticle` stage (Table 2 — more than 50% of query
 //! time) measures when KOKO pulls candidate articles out of PostgreSQL.
+//!
+//! Each blob is either owned (built in memory, or decoded from a v1–3
+//! payload) or a [`SharedBytes`] view into a memory-mapped v4 snapshot
+//! section — in the mapped case an article's bytes stay in the page cache
+//! until [`DocStore::load`] touches that one document. Both backings
+//! encode byte-identically, so snapshots never re-encode articles.
 
 use crate::codec::{self, Codec, DecodeError};
+use crate::view::{SharedBytes, ViewCursor};
 use bytes::BytesMut;
 use koko_nlp::Document;
 
@@ -29,10 +36,36 @@ impl Codec for Blob {
     }
 }
 
+/// One encoded document's bytes: owned, or a zero-copy view into a
+/// shared (usually memory-mapped) backing. Equality is by content, so a
+/// store decoded from a mapping compares equal to the store that wrote
+/// it.
+#[derive(Debug, Clone)]
+enum BlobBytes {
+    Owned(Vec<u8>),
+    Mapped(SharedBytes),
+}
+
+impl BlobBytes {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            BlobBytes::Owned(v) => v,
+            BlobBytes::Mapped(b) => b.as_slice(),
+        }
+    }
+}
+
+impl PartialEq for BlobBytes {
+    fn eq(&self, other: &BlobBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for BlobBytes {}
+
 /// Append-only store of encoded documents, addressed by document index.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DocStore {
-    blobs: Vec<Blob>,
+    blobs: Vec<BlobBytes>,
 }
 
 impl DocStore {
@@ -42,22 +75,49 @@ impl DocStore {
 
     /// Encode and append a document; returns its store index.
     pub fn put(&mut self, doc: &Document) -> u32 {
-        self.blobs.push(Blob(doc.to_bytes()));
+        self.blobs.push(BlobBytes::Owned(doc.to_bytes()));
         (self.blobs.len() - 1) as u32
     }
 
-    /// Decode document `idx`. This is the `LoadArticle` cost.
+    /// Decode document `idx`. This is the `LoadArticle` cost — and, for a
+    /// mapped store, the point where the document's pages fault in.
     pub fn load(&self, idx: u32) -> Result<Document, DecodeError> {
         let blob = self
             .blobs
             .get(idx as usize)
             .ok_or_else(|| DecodeError(format!("no document {idx}")))?;
-        Document::from_bytes(&blob.0)
+        Document::from_bytes(blob.as_slice())
+    }
+
+    /// The raw encoded bytes of document `idx`, without decoding.
+    pub fn blob_bytes(&self, idx: u32) -> Option<&[u8]> {
+        self.blobs.get(idx as usize).map(|b| b.as_slice())
+    }
+
+    /// Peek document `idx`'s sentence count without decoding the article.
+    ///
+    /// The `Document` frame is `id (u32 LE)` then its sentence list,
+    /// which the codec prefixes with a `u32 LE` count — bytes 4..8. The
+    /// sharded engine uses this to rebuild per-document sentence offsets
+    /// from a mapped store in O(docs) instead of decoding every article.
+    pub fn sentence_count(&self, idx: u32) -> Result<u32, DecodeError> {
+        let blob = self
+            .blobs
+            .get(idx as usize)
+            .ok_or_else(|| DecodeError(format!("no document {idx}")))?;
+        let b = blob.as_slice();
+        if b.len() < 8 {
+            return Err(DecodeError(format!(
+                "document blob {idx} too short ({} bytes) for a header",
+                b.len()
+            )));
+        }
+        Ok(u32::from_le_bytes(b[4..8].try_into().expect("sized")))
     }
 
     /// Append every blob of `other`, preserving order. Lets the sharded
     /// engine assemble a global store from per-shard stores without paying
-    /// the encode cost twice.
+    /// the encode cost twice (mapped blobs are carried by reference).
     pub fn append_store(&mut self, other: &DocStore) {
         self.blobs.extend(other.blobs.iter().cloned());
     }
@@ -72,30 +132,53 @@ impl DocStore {
 
     /// Total encoded bytes.
     pub fn approx_bytes(&self) -> usize {
-        self.blobs.iter().map(|b| b.0.len()).sum()
+        self.blobs.iter().map(|b| b.as_slice().len()).sum()
     }
 
     /// Persist to a file.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        codec::save_to_file(path, &self.blobs)
+        codec::save_to_file(path, self)
     }
 
     /// Load a store persisted by [`DocStore::save`].
     pub fn open(path: &std::path::Path) -> std::io::Result<DocStore> {
-        let blobs: Vec<Blob> = codec::load_from_file(path)?;
+        codec::load_from_file(path)
+    }
+
+    /// Borrowed-view decode: same wire format as [`Codec::decode`], but
+    /// every blob becomes a sub-view of `bytes` instead of a copy. Used
+    /// by the v4 mmap open path so article payloads stay un-faulted
+    /// until first load.
+    pub fn decode_view(bytes: SharedBytes) -> Result<DocStore, DecodeError> {
+        let mut c = ViewCursor::new(bytes);
+        let count = c.u32()? as usize;
+        let mut blobs = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let len = c.u32()? as usize;
+            blobs.push(BlobBytes::Mapped(c.take(len)?));
+        }
+        c.finish()?;
         Ok(DocStore { blobs })
     }
 }
 
 /// A store serializes as its blob list — encoded documents are copied
-/// verbatim, so snapshot encode/decode never re-encodes articles.
+/// verbatim, so snapshot encode/decode never re-encodes articles. The
+/// wire format is identical to `Vec<Blob>` regardless of whether blobs
+/// are owned or mapped.
 impl Codec for DocStore {
     fn encode(&self, buf: &mut BytesMut) {
-        self.blobs.encode(buf);
+        (self.blobs.len() as u32).encode(buf);
+        for b in &self.blobs {
+            let s = b.as_slice();
+            (s.len() as u32).encode(buf);
+            buf.extend_from_slice(s);
+        }
     }
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let blobs: Vec<Blob> = Vec::decode(input)?;
         Ok(DocStore {
-            blobs: Vec::decode(input)?,
+            blobs: blobs.into_iter().map(|b| BlobBytes::Owned(b.0)).collect(),
         })
     }
 }
@@ -113,7 +196,47 @@ mod tests {
             store.put(&p.parse_document(i, "Anna ate cake. The cafe was busy."));
         }
         let back = DocStore::from_bytes(&store.to_bytes()).unwrap();
-        assert_eq!(back.blobs, store.blobs);
+        assert_eq!(back, store);
+    }
+
+    #[test]
+    fn view_decode_matches_owned_decode() {
+        let p = Pipeline::new();
+        let mut store = DocStore::new();
+        for i in 0..4 {
+            store.put(&p.parse_document(i, "Anna ate cake. The cafe was busy. Bob left."));
+        }
+        let bytes = store.to_bytes();
+        let viewed = DocStore::decode_view(SharedBytes::from_vec(bytes.clone())).unwrap();
+        assert_eq!(viewed, store);
+        // Re-encode from the viewed store is byte-identical.
+        assert_eq!(viewed.to_bytes(), bytes);
+        assert_eq!(viewed.load(2).unwrap(), store.load(2).unwrap());
+        assert_eq!(viewed.approx_bytes(), store.approx_bytes());
+        // Truncated views fail structurally.
+        assert!(
+            DocStore::decode_view(SharedBytes::from_vec(bytes[..bytes.len() - 1].to_vec()))
+                .is_err()
+        );
+        // Trailing bytes are rejected like Codec::from_bytes.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(DocStore::decode_view(SharedBytes::from_vec(long)).is_err());
+    }
+
+    #[test]
+    fn sentence_count_peek_matches_decode() {
+        let p = Pipeline::new();
+        let mut store = DocStore::new();
+        store.put(&p.parse_document(0, "Anna ate cake. The cafe was busy. Bob left."));
+        store.put(&p.parse_document(1, "One sentence only."));
+        for i in 0..2 {
+            assert_eq!(
+                store.sentence_count(i).unwrap() as usize,
+                store.load(i).unwrap().sentences.len()
+            );
+        }
+        assert!(store.sentence_count(2).is_err());
     }
 
     #[test]

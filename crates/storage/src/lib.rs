@@ -15,21 +15,37 @@
 //! * [`closure`] — the Closure Table representation of hierarchy indices
 //!   (Karwin \[25\]);
 //! * [`docstore`] — the parsed-article store with per-document lazy decode;
-//! * [`db`] — a named collection of the above with directory persistence.
+//! * [`db`] — a named collection of the above with directory persistence;
+//! * [`snapshot_file`] / [`section`] — the `.koko` container: payload
+//!   framing (v1–3) and the offset-indexed sectioned layout (v4);
+//! * [`mmap`] / [`view`] — zero-dep memory mapping plus alignment-aware
+//!   borrowed-view decoding, so sectioned snapshots open in O(sections)
+//!   and serve fixed-width arrays straight from the page cache.
 
 pub mod closure;
 pub mod codec;
 pub mod db;
 pub mod docstore;
+pub mod mmap;
+pub mod section;
 pub mod snapshot_file;
 pub mod table;
+pub mod view;
 
 pub use closure::{ClosureRow, ClosureTable};
 pub use codec::{Codec, DecodeError};
 pub use db::Db;
 pub use docstore::DocStore;
+pub use mmap::Mmap;
+pub use section::{
+    append_sections, write_sectioned_file, SectionEntry, SectionTable, SectionWriter,
+    SectionedFile, SECTIONED_VERSION, SEC_BOUNDS, SEC_EMBED, SEC_MANIFEST, SEC_ROUTER, SEC_SHARD,
+    SEC_STORE,
+};
 pub use snapshot_file::{
-    is_snapshot_file, read_snapshot_file, read_snapshot_file_versioned, write_snapshot_file,
-    SnapshotFileError, MIN_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    is_snapshot_file, read_snapshot_file, read_snapshot_file_versioned, read_snapshot_version,
+    write_snapshot_file, SnapshotFileError, MAX_PAYLOAD_SNAPSHOT_VERSION, MIN_SNAPSHOT_VERSION,
+    SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use table::{MultiMap, OrderedTable};
+pub use view::{SharedBytes, U64View, ViewCursor};

@@ -1,0 +1,221 @@
+//! Read-only memory mapping with zero dependencies.
+//!
+//! The v4 snapshot reader serves index sections straight out of the page
+//! cache instead of copying the file into anonymous memory: `N` server
+//! processes opening the same `.koko` file share one physical copy, and
+//! eviction under memory pressure is the kernel's problem. Like
+//! `koko-net`'s epoll wrapper, the syscalls are declared locally via
+//! `extern "C"` instead of pulling in the `libc` crate.
+//!
+//! On non-Unix targets [`Mmap::map`] falls back to reading the file into
+//! an owned buffer — same API, same semantics, no page sharing.
+//!
+//! # Safety contract
+//!
+//! A mapping reflects the file *as it is on disk*: truncating the file
+//! while a mapping is live turns reads past the new end into `SIGBUS`.
+//! KOKO's writers never truncate a published snapshot below its declared
+//! extent (saves go through rename, appends only extend and rewrite the
+//! fixed-size header), so within this system the mapping is stable; an
+//! external process shrinking the file is outside the contract, exactly
+//! as it is for every mmap-based reader.
+
+use std::fs::File;
+use std::io;
+
+#[cfg(unix)]
+mod sys {
+    pub type CInt = i32;
+    pub type CVoid = core::ffi::c_void;
+
+    pub const PROT_READ: CInt = 1;
+    pub const MAP_PRIVATE: CInt = 0x02;
+    pub const MAP_FAILED: isize = -1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut CVoid,
+            len: usize,
+            prot: CInt,
+            flags: CInt,
+            fd: CInt,
+            offset: i64,
+        ) -> *mut CVoid;
+        pub fn munmap(addr: *mut CVoid, len: usize) -> CInt;
+    }
+}
+
+/// An immutable view of a whole file. `Send + Sync`: the mapping is
+/// read-only and unmapped exactly once, on drop.
+pub struct Mmap {
+    #[cfg(unix)]
+    ptr: *const u8,
+    #[cfg(unix)]
+    len: usize,
+    /// Non-Unix fallback: the file copied into an owned buffer.
+    #[cfg(not(unix))]
+    buf: Vec<u8>,
+}
+
+// SAFETY: the mapping is PROT_READ and never mutated or remapped after
+// construction; &[u8] access from any thread is sound.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety. Empty files map to an empty
+    /// slice without a syscall (a zero-length `mmap` is `EINVAL`).
+    #[cfg(unix)]
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::fd::AsRawFd;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        // SAFETY: requesting a fresh PROT_READ, MAP_PRIVATE mapping of a
+        // file we hold open; the kernel picks the address. The result is
+        // checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    /// Non-Unix fallback: read the file into an owned buffer.
+    #[cfg(not(unix))]
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::new();
+        let mut f = file;
+        f.read_to_end(&mut buf)?;
+        Ok(Mmap { buf })
+    }
+
+    /// The mapped bytes.
+    #[cfg(unix)]
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len come from a successful mmap that lives until
+        // drop; the memory is never written through this mapping.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// The mapped bytes.
+    #[cfg(not(unix))]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: exactly the region returned by mmap in `map`.
+            unsafe { sys::munmap(self.ptr as *mut sys::CVoid, self.len) };
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("koko_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp("data.bin");
+        std::fs::write(&path, b"hello mapped world").unwrap();
+        let f = File::open(&path).unwrap();
+        let m = Mmap::map(&f).unwrap();
+        assert_eq!(m.as_slice(), b"hello mapped world");
+        assert_eq!(m.len(), 18);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let f = File::open(&path).unwrap();
+        let m = Mmap::map(&f).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.as_slice(), b"");
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = tmp("shared.bin");
+        std::fs::write(&path, vec![7u8; 4096 * 3 + 17]).unwrap();
+        let f = File::open(&path).unwrap();
+        let m = std::sync::Arc::new(Mmap::map(&f).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || m.as_slice().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * (4096 * 3 + 17));
+        }
+    }
+
+    #[test]
+    fn page_aligned_base() {
+        // The v4 format relies on "file offset ≡ memory offset (mod 8)":
+        // that holds because mmap returns page-aligned bases. Assert the
+        // much weaker 8-byte property we actually depend on.
+        let path = tmp("aligned.bin");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        let f = File::open(&path).unwrap();
+        let m = Mmap::map(&f).unwrap();
+        assert_eq!(m.as_slice().as_ptr() as usize % 8, 0);
+    }
+}

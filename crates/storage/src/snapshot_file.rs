@@ -1,19 +1,29 @@
 //! The `.koko` snapshot container: framing for build-once / query-many
 //! index files.
 //!
-//! A snapshot file holds one opaque payload (the engine's serialized
-//! `Snapshot` body — encoded by `koko-core`, which owns the payload
-//! layout) wrapped in a self-describing, checksummed header:
+//! Every container starts with the same self-describing, checksummed
+//! 26-byte header:
 //!
 //! ```text
 //! offset  size  field
 //! ------  ----  -----------------------------------------------
 //!      0     8  magic  b"KOKOSNAP"
-//!      8     2  format version (u16 LE) — currently 1
-//!     10     8  payload length in bytes (u64 LE)
-//!     18     8  FNV-1a 64 checksum of the payload (u64 LE)
-//!     26     …  payload
+//!      8     2  format version (u16 LE)
+//!     10     8  versions 1–3: payload length in bytes (u64 LE)
+//!               version 4:    section-table offset (u64 LE)
+//!     18     8  versions 1–3: FNV-1a 64 checksum of the payload
+//!               version 4:    FNV-1a 64 checksum of the table bytes
+//!     26     …  versions 1–3: the payload
+//!               version 4:    8-aligned sections + section table
 //! ```
+//!
+//! Versions 1–3 ("payload-framed") wrap one opaque payload — the
+//! engine's serialized `Snapshot` body, encoded by `koko-core` — and are
+//! read whole by [`read_snapshot_file_versioned`]. Version 4 replaces
+//! the payload with offset-indexed, independently-checksummed sections
+//! (see [`crate::section`]) so opening is O(sections) and payload bytes
+//! are verified per-touch; a reader dispatches on the version field
+//! *before* interpreting header offsets 10..26.
 //!
 //! The magic is distinct from the 4-byte `b"KOKO"` header of plain
 //! [`codec`](crate::codec) value files, so callers (notably the CLI) can
@@ -36,8 +46,15 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"KOKOSNAP";
 /// the generational manifest (generation counter + base/delta shard
 /// split) for live incremental indices; version 3 added the per-shard
 /// score-bound statistics section behind ranked top-k pruning (absent in
-/// older files, which load with conservative bounds).
-pub const SNAPSHOT_VERSION: u16 = 3;
+/// older files, which load with conservative bounds); version 4 replaced
+/// the single payload with offset-indexed sections for O(1) mmap opens
+/// and append-on-add (see [`crate::section`]).
+pub const SNAPSHOT_VERSION: u16 = 4;
+/// Newest *payload-framed* container version. Versions up to this one
+/// carry a single length-prefixed, whole-file-checksummed payload and go
+/// through [`read_snapshot_file_versioned`] / [`write_snapshot_file`];
+/// later versions are sectioned and go through [`crate::section`].
+pub const MAX_PAYLOAD_SNAPSHOT_VERSION: u16 = 3;
 /// Oldest container version this build still reads. Version-1 files (the
 /// pre-live, purely static format) load as generation 1 with every shard
 /// treated as base.
@@ -53,7 +70,7 @@ pub enum SnapshotFileError {
     Io { path: String, error: String },
     /// The file exists but does not start with [`SNAPSHOT_MAGIC`].
     NotASnapshot { path: String },
-    /// The container version is not [`SNAPSHOT_VERSION`].
+    /// The container version is outside the supported window.
     WrongVersion { path: String, found: u16 },
     /// The file ends before the header or the declared payload length.
     Truncated {
@@ -61,6 +78,19 @@ pub enum SnapshotFileError {
         expected: u64,
         found: u64,
     },
+    /// The file continues past the declared payload length. A
+    /// payload-framed container's extent is exactly `header + length`;
+    /// extra bytes mean a torn rewrite or foreign data appended to the
+    /// file, neither of which this frame can represent — reject rather
+    /// than silently drop them.
+    TrailingBytes {
+        path: String,
+        declared: u64,
+        actual: u64,
+    },
+    /// A declared length does not fit this target's address space
+    /// (`usize`), e.g. a >4 GiB payload on a 32-bit build.
+    TooLarge { path: String, declared: u64 },
     /// The payload checksum does not match the header.
     ChecksumMismatch { path: String },
     /// The payload frame is intact but its contents failed to decode.
@@ -75,6 +105,8 @@ impl SnapshotFileError {
             | SnapshotFileError::NotASnapshot { path }
             | SnapshotFileError::WrongVersion { path, .. }
             | SnapshotFileError::Truncated { path, .. }
+            | SnapshotFileError::TrailingBytes { path, .. }
+            | SnapshotFileError::TooLarge { path, .. }
             | SnapshotFileError::ChecksumMismatch { path }
             | SnapshotFileError::Corrupt { path, .. } => path,
         }
@@ -100,6 +132,19 @@ impl fmt::Display for SnapshotFileError {
                 f,
                 "{path}: truncated snapshot ({found} of {expected} payload bytes present)"
             ),
+            SnapshotFileError::TrailingBytes {
+                path,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "{path}: {} bytes of trailing data past the declared {declared}-byte payload (file is damaged or was appended to)",
+                actual - declared
+            ),
+            SnapshotFileError::TooLarge { path, declared } => write!(
+                f,
+                "{path}: declared size {declared} exceeds this platform's address space"
+            ),
             SnapshotFileError::ChecksumMismatch { path } => {
                 write!(f, "{path}: snapshot payload checksum mismatch (file is corrupt)")
             }
@@ -112,25 +157,39 @@ impl fmt::Display for SnapshotFileError {
 
 impl std::error::Error for SnapshotFileError {}
 
-fn io_err(path: &Path, e: std::io::Error) -> SnapshotFileError {
+pub(crate) fn io_err(path: &Path, e: std::io::Error) -> SnapshotFileError {
     SnapshotFileError::Io {
         path: path.display().to_string(),
         error: e.to_string(),
     }
 }
 
-/// Write `payload` to `path` wrapped in the snapshot header.
+/// Flush a directory's entries to stable storage. On POSIX, `rename`
+/// and file creation update the *directory*, and that update is only
+/// durable once the directory itself is fsynced — syncing the file alone
+/// leaves the publish able to vanish on power loss.
+#[cfg(unix)]
+pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+/// Non-Unix: directory handles can't be opened/fsynced portably (and
+/// Windows metadata semantics differ); the rename itself is the best
+/// available publish.
+#[cfg(not(unix))]
+pub(crate) fn fsync_dir(_dir: &Path) -> std::io::Result<()> {
+    Ok(())
+}
+
+/// Atomically publish `parts` (concatenated) as the contents of `path`.
 ///
-/// The write goes to a sibling temp file first and is renamed into place,
-/// so an interrupted save (crash, full disk) never destroys an existing
-/// good snapshot at `path` — rebuilds stay atomic on one filesystem.
-pub fn write_snapshot_file(path: &Path, payload: &[u8]) -> Result<(), SnapshotFileError> {
+/// Durability invariant: on `Ok(())`, both the bytes *and* the directory
+/// entry are on stable storage — the data is fsynced before the rename
+/// (so a crash can't install a hole where a good file was) and the
+/// parent directory is fsynced after it (so the rename itself survives
+/// power loss). Shared by the payload-framed writer and the v4 section
+/// writer.
+pub(crate) fn atomic_publish(path: &Path, parts: &[&[u8]]) -> Result<(), SnapshotFileError> {
     use std::io::Write;
-    let mut header = Vec::with_capacity(SNAPSHOT_HEADER_LEN);
-    header.extend_from_slice(SNAPSHOT_MAGIC);
-    header.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-    header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    header.extend_from_slice(&fnv1a64(payload).to_le_bytes());
     // Temp name: full destination file name + pid + per-call counter, so
     // destinations sharing a stem (model.koko vs model.bak) and concurrent
     // writers — across or within a process — never collide on one temp
@@ -146,18 +205,41 @@ pub fn write_snapshot_file(path: &Path, payload: &[u8]) -> Result<(), SnapshotFi
     let write_all = || -> std::io::Result<()> {
         let f = std::fs::File::create(&tmp)?;
         let mut w = std::io::BufWriter::new(f);
-        w.write_all(&header)?;
-        w.write_all(payload)?;
+        for part in parts {
+            w.write_all(part)?;
+        }
         w.flush()?;
         // Data must be durable before the rename becomes visible, or a
         // power loss could install a zero-length file over a good one.
         w.get_ref().sync_all()?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        // …and the rename is only durable once the directory entry is.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fsync_dir(parent)?;
+        }
+        Ok(())
     };
     write_all().map_err(|e| {
         std::fs::remove_file(&tmp).ok();
         io_err(path, e)
     })
+}
+
+/// Write `payload` to `path` wrapped in the payload-framed snapshot
+/// header (version [`MAX_PAYLOAD_SNAPSHOT_VERSION`] — the sectioned v4
+/// format is written by [`crate::section::SectionWriter`] instead).
+///
+/// The write goes to a sibling temp file first and is renamed into place,
+/// so an interrupted save (crash, full disk) never destroys an existing
+/// good snapshot at `path` — rebuilds stay atomic on one filesystem. See
+/// [`atomic_publish`] for the durability invariant.
+pub fn write_snapshot_file(path: &Path, payload: &[u8]) -> Result<(), SnapshotFileError> {
+    let mut header = Vec::with_capacity(SNAPSHOT_HEADER_LEN);
+    header.extend_from_slice(SNAPSHOT_MAGIC);
+    header.extend_from_slice(&MAX_PAYLOAD_SNAPSHOT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    header.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    atomic_publish(path, &[&header, payload])
 }
 
 /// [`read_snapshot_file`] discarding the version tag, for callers whose
@@ -166,11 +248,52 @@ pub fn read_snapshot_file(path: &Path) -> Result<Vec<u8>, SnapshotFileError> {
     read_snapshot_file_versioned(path).map(|(_, payload)| payload)
 }
 
-/// Read and verify a snapshot file, returning the container version it was
-/// written with (any of `MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION`) plus
-/// its payload. Checks (in order): readability, magic, version, declared
-/// length, checksum — each failure is its own [`SnapshotFileError`]
-/// variant. The payload *decoder* dispatches on the returned version.
+/// Sniff a snapshot's container version without reading its body: checks
+/// the magic and that the version is in the supported window, returning
+/// it so the caller can route payload-framed files to
+/// [`read_snapshot_file_versioned`] and v4 files to [`crate::section`].
+pub fn read_snapshot_version(path: &Path) -> Result<u16, SnapshotFileError> {
+    let name = path.display().to_string();
+    let mut f = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+    let mut head = [0u8; 10];
+    let mut got = 0;
+    while got < head.len() {
+        match f.read(&mut head[got..]).map_err(|e| io_err(path, e))? {
+            0 => break,
+            n => got += n,
+        }
+    }
+    if got < 8 || &head[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotFileError::NotASnapshot { path: name });
+    }
+    if got < 10 {
+        return Err(SnapshotFileError::Truncated {
+            path: name,
+            expected: SNAPSHOT_HEADER_LEN as u64,
+            found: got as u64,
+        });
+    }
+    let version = u16::from_le_bytes(head[8..10].try_into().expect("sized"));
+    if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
+        return Err(SnapshotFileError::WrongVersion {
+            path: name,
+            found: version,
+        });
+    }
+    Ok(version)
+}
+
+/// Read and verify a payload-framed snapshot file, returning the
+/// container version it was written with (any of
+/// `MIN_SNAPSHOT_VERSION..=MAX_PAYLOAD_SNAPSHOT_VERSION`) plus its
+/// payload. Checks (in order): readability, magic, version, declared
+/// length (truncation *and* trailing bytes are both rejected — the frame
+/// must cover the file exactly), checksum — each failure is its own
+/// [`SnapshotFileError`] variant. The payload *decoder* dispatches on
+/// the returned version. Sectioned (v4) files have no single payload
+/// frame and are reported as [`SnapshotFileError::Corrupt`] here; route
+/// them through [`crate::section::SectionedFile`] instead (see
+/// [`read_snapshot_version`]).
 pub fn read_snapshot_file_versioned(path: &Path) -> Result<(u16, Vec<u8>), SnapshotFileError> {
     let name = path.display().to_string();
     let mut data = std::fs::read(path).map_err(|e| io_err(path, e))?;
@@ -192,6 +315,16 @@ pub fn read_snapshot_file_versioned(path: &Path) -> Result<(u16, Vec<u8>), Snaps
             found: version,
         });
     }
+    if version > MAX_PAYLOAD_SNAPSHOT_VERSION {
+        // Supported container, wrong framing: v4 headers carry a table
+        // offset where v1–3 carry a payload length.
+        return Err(SnapshotFileError::Corrupt {
+            path: name,
+            detail: format!(
+                "version {version} snapshots are section-indexed and have no payload frame; open through the section reader"
+            ),
+        });
+    }
     let len = u64::from_le_bytes(data[10..18].try_into().expect("sized"));
     let checksum = u64::from_le_bytes(data[18..26].try_into().expect("sized"));
     let available = (data.len() - SNAPSHOT_HEADER_LEN) as u64;
@@ -202,9 +335,27 @@ pub fn read_snapshot_file_versioned(path: &Path) -> Result<(u16, Vec<u8>), Snaps
             found: available,
         });
     }
-    // Strip header and trailing bytes in place — the payload can be large
-    // and the file buffer is already in memory, so no second copy.
-    data.truncate(SNAPSHOT_HEADER_LEN + len as usize);
+    if available > len {
+        // Bytes past the declared payload used to be silently dropped,
+        // which masked torn rewrites; the frame must cover the file
+        // exactly. (The sectioned v4 format tolerates a tail by design —
+        // there it's an aborted append below the commit point.)
+        return Err(SnapshotFileError::TrailingBytes {
+            path: name,
+            declared: len,
+            actual: available,
+        });
+    }
+    // `len` fits in memory on this target or the file couldn't have been
+    // read — but check explicitly rather than `as`-cast: on a 32-bit
+    // target a >4 GiB declared length would wrap and frame garbage.
+    let len_usize = usize::try_from(len).map_err(|_| SnapshotFileError::TooLarge {
+        path: name.clone(),
+        declared: len,
+    })?;
+    // Strip the header in place — the payload can be large and the file
+    // buffer is already in memory, so no second copy.
+    debug_assert_eq!(data.len(), SNAPSHOT_HEADER_LEN + len_usize);
     data.drain(..SNAPSHOT_HEADER_LEN);
     if fnv1a64(&data) != checksum {
         return Err(SnapshotFileError::ChecksumMismatch { path: name });
@@ -241,6 +392,10 @@ mod tests {
         write_snapshot_file(&path, &payload).unwrap();
         assert!(is_snapshot_file(&path));
         assert_eq!(read_snapshot_file(&path).unwrap(), payload);
+        assert_eq!(
+            read_snapshot_version(&path).unwrap(),
+            MAX_PAYLOAD_SNAPSHOT_VERSION
+        );
     }
 
     #[test]
@@ -283,6 +438,10 @@ mod tests {
             read_snapshot_file(&path),
             Err(SnapshotFileError::Io { .. })
         ));
+        assert!(matches!(
+            read_snapshot_version(&path),
+            Err(SnapshotFileError::Io { .. })
+        ));
         assert!(!is_snapshot_file(&path));
     }
 
@@ -294,6 +453,10 @@ mod tests {
         let err = read_snapshot_file(&path).unwrap_err();
         assert!(matches!(err, SnapshotFileError::NotASnapshot { .. }));
         assert!(err.to_string().contains("text.koko"), "{err}");
+        assert!(matches!(
+            read_snapshot_version(&path),
+            Err(SnapshotFileError::NotASnapshot { .. })
+        ));
     }
 
     #[test]
@@ -313,22 +476,39 @@ mod tests {
         );
         let msg = err.to_string();
         assert!(msg.contains("99") && msg.contains('1'), "{msg}");
+        assert!(matches!(
+            read_snapshot_version(&path),
+            Err(SnapshotFileError::WrongVersion { found: 99, .. })
+        ));
     }
 
     #[test]
-    fn every_supported_version_is_readable_and_reported() {
+    fn every_payload_framed_version_is_readable_and_reported() {
         let path = tmp("window.koko");
         write_snapshot_file(&path, b"payload").unwrap();
         let written = std::fs::read(&path).unwrap();
-        for v in MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION {
+        for v in MIN_SNAPSHOT_VERSION..=MAX_PAYLOAD_SNAPSHOT_VERSION {
             let mut data = written.clone();
             data[8..10].copy_from_slice(&v.to_le_bytes());
             std::fs::write(&path, &data).unwrap();
             let (version, payload) = read_snapshot_file_versioned(&path).unwrap();
             assert_eq!(version, v);
             assert_eq!(payload, b"payload");
+            assert_eq!(read_snapshot_version(&path).unwrap(), v);
         }
-        // One past each end of the window is rejected.
+        // A sectioned (v4) stamp over a payload frame is a supported
+        // *version* (read_snapshot_version accepts it) but not a payload
+        // frame — the payload reader rejects it with a pointer to the
+        // section reader instead of misreading the header.
+        let mut data = written.clone();
+        data[8..10].copy_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        assert_eq!(read_snapshot_version(&path).unwrap(), SNAPSHOT_VERSION);
+        assert!(matches!(
+            read_snapshot_file_versioned(&path),
+            Err(SnapshotFileError::Corrupt { .. })
+        ));
+        // One past each end of the window is rejected outright.
         for v in [MIN_SNAPSHOT_VERSION - 1, SNAPSHOT_VERSION + 1] {
             let mut data = written.clone();
             data[8..10].copy_from_slice(&v.to_le_bytes());
@@ -370,14 +550,49 @@ mod tests {
     }
 
     #[test]
-    fn trailing_garbage_beyond_declared_length_is_ignored() {
-        // The frame is length-prefixed, so appended bytes (e.g. from a
-        // partially overwritten file) don't corrupt the payload.
+    fn trailing_bytes_beyond_declared_length_are_rejected() {
+        // Regression: these used to be silently truncated away, which
+        // masked torn rewrites (and would mask aborted v4-style appends
+        // routed to the wrong reader). The frame must cover the file
+        // exactly.
         let path = tmp("tail.koko");
         write_snapshot_file(&path, b"payload").unwrap();
         let mut data = std::fs::read(&path).unwrap();
         data.extend_from_slice(b"garbage");
         std::fs::write(&path, &data).unwrap();
-        assert_eq!(read_snapshot_file(&path).unwrap(), b"payload".to_vec());
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotFileError::TrailingBytes {
+                path: path.display().to_string(),
+                declared: 7,
+                actual: 14,
+            }
+        );
+        assert!(
+            err.to_string().contains("7 bytes of trailing data"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn declared_length_past_address_space_is_structured_not_wrapping() {
+        // A 64-bit declared length that can't fit in usize must report
+        // TooLarge, never wrap in an `as` cast. On 64-bit targets the
+        // huge length is caught earlier as Truncated (the bytes aren't
+        // there); both ways the error is structured.
+        let path = tmp("huge.koko");
+        write_snapshot_file(&path, b"small").unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[10..18].copy_from_slice(&(u64::MAX - 7).to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotFileError::Truncated { .. } | SnapshotFileError::TooLarge { .. }
+            ),
+            "{err:?}"
+        );
     }
 }

@@ -9,7 +9,7 @@
 //!             [--limit=N] [--offset=N]   or a .koko snapshot; the flags
 //!             [--min-score=S] [--explain] build a per-request QueryRequest
 //!             [--order=doc|score_desc]   (top-k early termination, score
-//!             [--deadline-ms=N]          floors, deadlines, explain plans)
+//!             [--deadline-ms=N] [--eager] floors, deadlines, explain plans)
 //! koko batch  <corpus> '<q1>' '<q2>'     evaluate many queries over one
 //!                                        shared snapshot (parallel); takes
 //!                                        the same per-request flags
@@ -17,7 +17,7 @@
 //! koko stats  <corpus>                   corpus + per-shard index statistics
 //! koko serve  <corpus> [--addr=H:P]      long-running query server over one
 //!             [--threads=N] [--cache=N]  loaded snapshot (see docs/SERVING.md);
-//!             [--writable]               --writable accepts wire add/compact
+//!             [--writable] [--eager]     --writable accepts wire add/compact
 //! koko client <addr> '<query>' ...       scripted client / load generator
 //!             [--threads=N] [--repeat=M] against a running `koko serve`;
 //!             [--add=<more.txt>]         --add / --compact drive a
@@ -31,8 +31,10 @@
 //! blank-line-separated paragraphs with `--doc=para`) or a `.koko` snapshot
 //! produced by `koko build` — detected by the `KOKOSNAP` magic bytes, not
 //! the extension. Querying a snapshot skips NLP ingest entirely, so
-//! repeated queries start in milliseconds. See docs/QUERYLANG.md for the
-//! query language.
+//! repeated queries start in milliseconds. Sectioned (v4) snapshots are
+//! memory-mapped by default — the open is O(sections) and shards decode
+//! lazily on first touch; `--eager` forces the classic full up-front load
+//! (see docs/SNAPSHOTS.md). See docs/QUERYLANG.md for the query language.
 
 use koko::nlp::tree_stats;
 use koko::storage::is_snapshot_file;
@@ -339,9 +341,15 @@ fn print_request_summary(out: &koko::QueryOutput) {
 /// Build an engine from `path` — a `.koko` snapshot (sniffed by magic
 /// bytes) or a raw text corpus. Snapshot load failures surface the
 /// structured message naming the file and the expected format version.
+/// Snapshots are memory-mapped by default; `--eager` forces the full
+/// up-front materialization (decode every shard at open).
 fn load_engine(path: &str, args: &[String]) -> Result<Koko, String> {
     if is_snapshot_file(std::path::Path::new(path)) {
-        return Koko::open(std::path::Path::new(path)).map_err(|e| e.to_string());
+        let opts = EngineOpts {
+            eager_load: args.iter().any(|a| a == "--eager"),
+            ..EngineOpts::default()
+        };
+        return Koko::open_with_opts(std::path::Path::new(path), opts).map_err(|e| e.to_string());
     }
     let opts = EngineOpts {
         num_shards: arg_shards(args)?,
@@ -461,7 +469,14 @@ fn cmd_add(args: &[String]) -> i32 {
         );
         return 1;
     }
-    let koko = match Koko::open(std::path::Path::new(snap_path.as_str())) {
+    // Write path: materialize everything up front so a corrupt section
+    // fails here with a structured error, not inside the infallible
+    // `add_texts`/`compact` calls below.
+    let open_opts = EngineOpts {
+        eager_load: true,
+        ..EngineOpts::default()
+    };
+    let koko = match Koko::open_with_opts(std::path::Path::new(snap_path.as_str()), open_opts) {
         Ok(k) => k,
         Err(e) => {
             eprintln!("error: {e}");
@@ -528,7 +543,8 @@ fn cmd_query(args: &[String]) -> i32 {
     let (Some(path), Some(query)) = (args.first(), args.get(1)) else {
         eprintln!(
             "usage: koko query <corpus.txt|snapshot.koko> '<query>' [--limit=N] [--offset=N] \
-             [--min-score=S] [--order=doc|score_desc] [--deadline-ms=N] [--explain] [--doc=para]"
+             [--min-score=S] [--order=doc|score_desc] [--deadline-ms=N] [--explain] [--eager] \
+             [--doc=para]"
         );
         return 2;
     };
@@ -576,7 +592,7 @@ fn cmd_query(args: &[String]) -> i32 {
 fn cmd_batch(args: &[String]) -> i32 {
     let usage = "usage: koko batch <corpus.txt|snapshot.koko> '<query>' ['<query>' ...] \
                  [--limit=N] [--offset=N] [--min-score=S] [--order=doc|score_desc] \
-                 [--deadline-ms=N] [--explain] [--doc=para]";
+                 [--deadline-ms=N] [--explain] [--eager] [--doc=para]";
     let Some(path) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -686,12 +702,27 @@ fn cmd_stats(args: &[String]) -> i32 {
         }
     };
     let snap = koko.snapshot();
-    let c = snap.corpus();
+    // Stats walks every shard anyway, so materialize through the
+    // fallible paths — a corrupt section prints a structured error
+    // naming the file instead of panicking mid-report.
+    let c = match snap.try_corpus() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
     println!("documents:        {}", c.num_documents());
     println!("sentences:        {}", c.num_sentences());
     println!("tokens:           {}", c.num_tokens());
     println!("generation:       {}", snap.generation());
-    let shards = snap.shards();
+    let shards = match snap.try_shards() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
     let total_bytes: usize = shards.iter().map(|s| s.approx_index_bytes()).sum();
     println!(
         "shards:           {} ({} base + {} delta)",
@@ -725,7 +756,7 @@ fn cmd_stats(args: &[String]) -> i32 {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let usage = "usage: koko serve <corpus.txt|snapshot.koko> [--addr=HOST:PORT] [--threads=N] [--cache=N] [--shards=N] [--writable] [--doc=para] [--max-conns=N] [--tenant=name:rate:burst:queue:conc[:cap_ms]]... [--default-tenant=rate:burst:queue:conc[:cap_ms]]";
+    let usage = "usage: koko serve <corpus.txt|snapshot.koko> [--addr=HOST:PORT] [--threads=N] [--cache=N] [--shards=N] [--writable] [--eager] [--doc=para] [--max-conns=N] [--tenant=name:rate:burst:queue:conc[:cap_ms]]... [--default-tenant=rate:burst:queue:conc[:cap_ms]]";
     let Some(path) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -774,6 +805,10 @@ fn cmd_serve(args: &[String]) -> i32 {
             }
         },
         result_cache: cache,
+        // A writable server mutates the index behind infallible APIs, so
+        // it always pays the eager open; read-only servers take the mmap
+        // fast path unless --eager asks for up-front materialization.
+        eager_load: writable || args.iter().any(|a| a == "--eager"),
         ..EngineOpts::default()
     };
     // `parallel` stays on here so ingest / snapshot load fan out; the

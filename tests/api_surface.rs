@@ -57,8 +57,20 @@ const _QUERY_BATCH: fn(&Koko, &[&str]) -> Vec<Result<QueryOutput, Error>> = Koko
 const _RUN_BATCH: fn(&Koko, &[QueryRequest]) -> Vec<Result<QueryOutput, Error>> = Koko::run_batch;
 const _SAVE: fn(&Koko, &std::path::Path) -> Result<u64, Error> = Koko::save;
 const _OPEN: fn(&std::path::Path) -> Result<Koko, Error> = Koko::open;
+const _OPEN_WITH_OPTS: fn(&std::path::Path, EngineOpts) -> Result<Koko, Error> =
+    Koko::open_with_opts;
 const _CACHE_STATS: fn(&Koko) -> CacheStats = Koko::cache_stats;
 const _COMPACT: fn(&Koko) -> CompactReport = Koko::compact;
+
+// Snapshot persistence: the mmap fast path and the fallible accessors it
+// introduces (panicking `corpus()`/`shards()` remain for eager callers).
+const _SNAP_OPEN_MMAP: fn(&std::path::Path) -> Result<Snapshot, Error> = Snapshot::open_mmap;
+const _SNAP_LOAD: fn(&std::path::Path, bool) -> Result<Snapshot, Error> = Snapshot::load;
+const _SNAP_TRY_CORPUS: fn(&Snapshot) -> Result<&Corpus, storage::SnapshotFileError> =
+    Snapshot::try_corpus;
+const _SNAP_TRY_SHARDS: fn(
+    &Snapshot,
+) -> Result<&[std::sync::Arc<index::Shard>], storage::SnapshotFileError> = Snapshot::try_shards;
 
 // QueryRequest builder: every method, chained the way user code writes it.
 const _REQ_RUN: fn(&QueryRequest, &Koko) -> Result<QueryOutput, Error> = QueryRequest::run;
@@ -127,6 +139,57 @@ fn query_output_carries_the_documented_fields() {
     let _bound: f64 = s.score_bound;
     let _floor: Option<f64> = s.heap_floor;
     let _skipped: usize = s.bound_skipped_docs;
+}
+
+#[test]
+fn engine_opts_carry_the_eager_load_switch() {
+    // `eager_load` selects up-front materialization over the mmap open;
+    // it can never change results, only when decode costs are paid.
+    let opts = EngineOpts {
+        eager_load: true,
+        ..EngineOpts::default()
+    };
+    assert!(opts.eager_load);
+    assert!(!EngineOpts::default().eager_load, "mmap is the default");
+}
+
+#[test]
+fn snapshot_file_errors_cover_the_hostile_input_taxonomy() {
+    use koko::storage::SnapshotFileError;
+    // Every structured rejection a `.koko` open can produce; matching on
+    // these is part of the public contract (docs/SNAPSHOTS.md).
+    for e in [
+        SnapshotFileError::Io {
+            path: "x".into(),
+            error: "e".into(),
+        },
+        SnapshotFileError::NotASnapshot { path: "x".into() },
+        SnapshotFileError::WrongVersion {
+            path: "x".into(),
+            found: 9,
+        },
+        SnapshotFileError::Truncated {
+            path: "x".into(),
+            expected: 2,
+            found: 1,
+        },
+        SnapshotFileError::TrailingBytes {
+            path: "x".into(),
+            declared: 1,
+            actual: 2,
+        },
+        SnapshotFileError::TooLarge {
+            path: "x".into(),
+            declared: u64::MAX,
+        },
+        SnapshotFileError::ChecksumMismatch { path: "x".into() },
+        SnapshotFileError::Corrupt {
+            path: "x".into(),
+            detail: "d".into(),
+        },
+    ] {
+        assert!(e.to_string().contains('x'), "{e}: names the file");
+    }
 }
 
 #[test]

@@ -377,31 +377,24 @@ fn explain_reports_are_consistent_with_the_profile() {
     }
 }
 
-/// Rewrite an engine's saved snapshot as a format-v2 file (no score-bound
-/// statistics): drop the trailing stats section, restamp the version, and
-/// fix the payload length + checksum. Loading it exercises the
-/// conservative-bound path exactly as a real pre-v3 file would.
+/// Write an engine's snapshot as a payload-framed format-v2 file (no
+/// score-bound statistics): hand-assemble the v2 payload — embeddings,
+/// manifest, router, shard blobs, no stats section — and restamp the
+/// version. Loading it exercises the conservative-bound path exactly as
+/// a real pre-v3 file would. (Current saves use the sectioned v4 layout,
+/// so the legacy frame is synthesized rather than stripped.)
 fn strip_to_v2(koko: &Koko, path: &std::path::Path) {
-    use koko::storage::Codec;
-    koko.snapshot().save(path, false).unwrap();
+    use koko::storage::{docstore::Blob, Codec};
+    let snap = koko.snapshot();
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(&snap.embeddings().to_bytes());
+    buf.extend_from_slice(&snap.generation().to_bytes()); // manifest: generation
+    buf.extend_from_slice(&(snap.num_base_shards() as u64).to_bytes()); // manifest: num_base
+    buf.extend_from_slice(&snap.router().to_bytes());
+    let sections: Vec<Blob> = snap.shards().iter().map(|s| Blob(s.to_bytes())).collect();
+    buf.extend_from_slice(&sections.to_bytes());
+    koko::storage::write_snapshot_file(path, &buf).unwrap();
     let mut data = std::fs::read(path).unwrap();
-    let stats: Vec<Option<koko::index::ShardBoundStats>> = koko
-        .snapshot()
-        .shards()
-        .iter()
-        .map(|s| s.bound_stats().cloned())
-        .collect();
-    let stats_bytes = stats.to_bytes();
-    assert!(
-        data.ends_with(&stats_bytes),
-        "the stats section is the final payload section"
-    );
-    data.truncate(data.len() - stats_bytes.len());
-    let header = 26; // magic(8) + version(2) + len(8) + checksum(8)
-    let payload_len = (data.len() - header) as u64;
-    data[10..18].copy_from_slice(&payload_len.to_le_bytes());
-    let checksum = koko::storage::codec::fnv1a64(&data[header..]);
-    data[18..26].copy_from_slice(&checksum.to_le_bytes());
     data[8..10].copy_from_slice(&2u16.to_le_bytes());
     std::fs::write(path, &data).unwrap();
 }
