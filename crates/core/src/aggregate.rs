@@ -9,7 +9,7 @@
 
 use crate::binder::{token_occurrences, CompiledQuery};
 use koko_embed::Embeddings;
-use koko_index::ShardBoundStats;
+use koko_index::{BlockVocab, ShardBoundStats, TokenVocab};
 use koko_lang::{Cond, Pred};
 use koko_nlp::{decompose, gazetteer, Document, Sentence};
 use std::collections::HashMap;
@@ -166,12 +166,28 @@ impl<'a> Aggregator<'a> {
     /// the cap `1.0`, giving the conservative weights-only bound — still
     /// sound, it just prunes less.
     pub fn shard_score_bound(&self, stats: Option<&ShardBoundStats>) -> ShardScoreBound {
+        self.score_bound(stats)
+    }
+
+    /// [`Aggregator::shard_score_bound`] over one document block's
+    /// vocabulary ([`BlockVocab`]) — the block-max refinement. Block
+    /// vocabularies are subsets of their shard's, so a block bound is
+    /// always at least as tight as the shard bound for the same
+    /// statistics, and an infeasible block provably contributes no rows.
+    pub fn block_score_bound(&self, vocab: &BlockVocab<'_>) -> ShardScoreBound {
+        self.score_bound(Some(vocab))
+    }
+
+    /// The bound derivation itself, generic over any [`TokenVocab`]
+    /// (whole-shard statistics or one block's): vocabulary granularity
+    /// changes how tight the bound is, never its soundness.
+    fn score_bound<V: TokenVocab>(&self, vocab: Option<&V>) -> ShardScoreBound {
         let mut bound = 1.0; // clause-free queries score every row 1.0
         for clause in &self.cq.norm.satisfying {
             let clause_bound: f64 = clause
                 .conds
                 .iter()
-                .map(|wc| (wc.weight * self.cond_upper_bound(&wc.cond, stats)).max(0.0))
+                .map(|wc| (wc.weight * self.cond_upper_bound(&wc.cond, vocab)).max(0.0))
                 .sum();
             if clause_bound < self.threshold(clause.threshold) {
                 return ShardScoreBound {
@@ -187,14 +203,14 @@ impl<'a> Aggregator<'a> {
         }
     }
 
-    /// Upper bound `bᵢ ∈ [0, 1]` on one condition's confidence anywhere in
-    /// a shard described by `stats`. Soundness rests on a necessary
-    /// condition: candidate values are token spans of the shard's own
-    /// text, so a literal token absent from the shard vocabulary can never
-    /// appear in a value or next to one. Where no token-level gate is
-    /// sound (substring/regex/similarity matching), the bound stays at the
-    /// cap.
-    fn cond_upper_bound(&self, cond: &Cond, stats: Option<&ShardBoundStats>) -> f64 {
+    /// Upper bound `bᵢ ∈ [0, 1]` on one condition's confidence anywhere
+    /// in the text `vocab` describes (a whole shard or one document
+    /// block). Soundness rests on a necessary condition: candidate values
+    /// are token spans of that text, so a literal token absent from the
+    /// vocabulary can never appear in a value or next to one. Where no
+    /// token-level gate is sound (substring/regex/similarity matching),
+    /// the bound stays at the cap.
+    fn cond_upper_bound<V: TokenVocab>(&self, cond: &Cond, vocab: Option<&V>) -> f64 {
         /// Entries past this size are not scanned; the bound stays 1.0.
         const DICT_SCAN_CAP: usize = 4096;
         match &cond.pred {
@@ -203,7 +219,7 @@ impl<'a> Aggregator<'a> {
                 if words.is_empty() {
                     return 0.0; // `token_seq_contains` never matches empty
                 }
-                match stats {
+                match vocab {
                     Some(st) => bool_score(st.has_all_tokens(words.iter().map(String::as_str))),
                     None => 1.0,
                 }
@@ -216,7 +232,7 @@ impl<'a> Aggregator<'a> {
                 let Some(entries) = gazetteer::dictionary(name) else {
                     return 0.0; // unknown dictionary never matches
                 };
-                let (Some(st), true) = (stats, entries.len() <= DICT_SCAN_CAP) else {
+                let (Some(st), true) = (vocab, entries.len() <= DICT_SCAN_CAP) else {
                     return 1.0;
                 };
                 // A value can only equal an entry (ASCII-case-insensitively)
@@ -231,7 +247,7 @@ impl<'a> Aggregator<'a> {
                 if words.is_empty() {
                     return 0.0;
                 }
-                match stats {
+                match vocab {
                     Some(st) => bool_score(st.has_all_tokens(words.iter().map(String::as_str))),
                     None => 1.0,
                 }
@@ -243,7 +259,7 @@ impl<'a> Aggregator<'a> {
                 if exps.is_empty() {
                     return 0.0; // nothing expanded ⇒ descriptor never fires
                 }
-                match stats {
+                match vocab {
                     Some(st) => bool_score(
                         exps.iter()
                             .any(|(words, _)| st.has_all_tokens(words.iter().map(String::as_str))),
@@ -727,6 +743,30 @@ mod tests {
         );
         // …and conservative without stats.
         assert!(agg2.shard_score_bound(None).feasible);
+    }
+
+    #[test]
+    fn block_bound_gates_per_block() {
+        // One shard, two docs, one doc per block: the block with the query
+        // vocabulary stays feasible, the other is provably row-free even
+        // though the shard-wide bound (union of both) remains feasible.
+        let (cq, embed) = setup(
+            r#"extract x:Entity from "t" if () satisfying x (str(x) contains "coffee" {1}) with threshold 0.5"#,
+        );
+        let agg = Aggregator::new(&cq, embed, AggOpts::default());
+        let c = Pipeline::new().parse_corpus(&[
+            "Copper Kettle serves coffee downtown.".to_string(),
+            "The bakery sells bread only.".to_string(),
+        ]);
+        let shard = ShardBoundStats::from_docs(c.documents());
+        assert!(agg.shard_score_bound(Some(&shard)).feasible);
+        let blocks = koko_index::BlockBoundStats::from_docs(c.documents(), 1);
+        assert_eq!(blocks.num_blocks(), 2);
+        let b0 = agg.block_score_bound(&blocks.block(0));
+        let b1 = agg.block_score_bound(&blocks.block(1));
+        assert!(b0.feasible, "{b0:?}");
+        assert!((b0.bound - 1.0).abs() < 1e-9, "{b0:?}");
+        assert!(!b1.feasible, "{b1:?}");
     }
 
     #[test]

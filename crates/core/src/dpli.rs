@@ -3,14 +3,22 @@
 //! Finds the *dominant* paths among the query's node variables (§4.2.1),
 //! turns each into a lookup pattern for the multi-index, fetches candidate
 //! postings, and intersects everything (including entity-variable and
-//! token-sequence sentence sets) into the candidate sentence list the rest
-//! of the engine iterates over.
+//! token-sequence sentence sets) into the candidate sentences the rest of
+//! the engine iterates over.
+//!
+//! The intersection is *lazy*: [`stream`] returns a [`CandidateStream`] of
+//! cursors over the index's sid-sorted posting lists, ordered by ascending
+//! list length and advanced with galloping (exponential-probe) seeks.
+//! Candidates come out one sentence id at a time — no posting set is ever
+//! materialized on the query path — so top-k early termination and
+//! deadlines stop paying for candidates they never look at. [`run`] drains
+//! the stream into the historical `Vec<Sid>` form for callers that want
+//! the whole set.
 
 use crate::binder::CompiledQuery;
-use koko_index::koko::intersect_sorted;
 use koko_index::KokoIndex;
 use koko_lang::{NVarKind, NodeCond, Step, StepLabel};
-use koko_nlp::{NodeLabel, PNode, Sid, TreePattern};
+use koko_nlp::{EntityPosting, NodeLabel, PNode, Sid, TreePattern};
 
 /// Outcome of the DPLI stage.
 #[derive(Debug, Clone)]
@@ -116,9 +124,186 @@ pub fn dominant_paths(paths: &[&[Step]]) -> Vec<usize> {
         .collect()
 }
 
-/// Run the DPLI stage.
-pub fn run(cq: &CompiledQuery, index: &KokoIndex) -> DpliResult {
-    let mut sets: Vec<Vec<Sid>> = Vec::new();
+/// One sid-sorted posting source feeding the k-way intersection.
+struct Cursor<'a> {
+    kind: CursorKind<'a>,
+    /// Position: index of the next element (for [`CursorKind::All`], the
+    /// next sentence id itself).
+    at: usize,
+}
+
+enum CursorKind<'a> {
+    /// Heap references from a dominant-path lookup (owned — the join
+    /// pipeline produced them for this query).
+    HeapRefs {
+        index: &'a KokoIndex,
+        refs: Vec<u32>,
+    },
+    /// Borrowed word-index posting references (one word of a literal
+    /// token sequence).
+    WordRefs {
+        index: &'a KokoIndex,
+        refs: &'a [u32],
+    },
+    /// Borrowed per-type entity postings (corpus insertion order, which
+    /// is nondecreasing in sid).
+    Entities { postings: &'a [EntityPosting] },
+    /// Owned sorted sentence ids (the merged any-type entity list).
+    Sids { sids: Vec<Sid> },
+    /// The unconstrained universe `0..end` — no posting list backs it, so
+    /// it stays a counter instead of a materialized range.
+    All { end: u32 },
+}
+
+impl<'a> Cursor<'a> {
+    fn new(kind: CursorKind<'a>) -> Cursor<'a> {
+        let c = Cursor { kind, at: 0 };
+        // The index boundary contract galloping relies on: every posting
+        // source yields nondecreasing sentence ids. `KokoIndex::build`
+        // guarantees it; a violation here means the index is broken.
+        debug_assert!(
+            matches!(c.kind, CursorKind::All { .. })
+                || (1..c.len()).all(|i| c.sid_at(i - 1) <= c.sid_at(i)),
+            "DPLI posting source must be sid-sorted"
+        );
+        c
+    }
+
+    /// Total elements (not remaining) — the selectivity key cursors are
+    /// ordered by.
+    fn len(&self) -> usize {
+        match &self.kind {
+            CursorKind::HeapRefs { refs, .. } => refs.len(),
+            CursorKind::WordRefs { refs, .. } => refs.len(),
+            CursorKind::Entities { postings } => postings.len(),
+            CursorKind::Sids { sids } => sids.len(),
+            CursorKind::All { end } => *end as usize,
+        }
+    }
+
+    fn sid_at(&self, i: usize) -> Sid {
+        match &self.kind {
+            CursorKind::HeapRefs { index, refs } => index.posting(refs[i]).sid,
+            CursorKind::WordRefs { index, refs } => index.posting(refs[i]).sid,
+            CursorKind::Entities { postings } => postings[i].sid,
+            CursorKind::Sids { sids } => sids[i],
+            CursorKind::All { .. } => i as Sid,
+        }
+    }
+
+    /// Advance to the first element with sid ≥ `target` and return that
+    /// sid. Galloping seek: exponential probes from the current position
+    /// bracket the target in O(log gap), then a binary search pins it.
+    /// `probes` counts every posting comparison either phase makes.
+    fn seek(&mut self, target: Sid, probes: &mut usize) -> Option<Sid> {
+        if let CursorKind::All { end } = self.kind {
+            // The universe needs no probing: jump straight to `target`.
+            self.at = self.at.max(target as usize);
+            return (self.at < end as usize).then_some(self.at as Sid);
+        }
+        let len = self.len();
+        if self.at >= len {
+            return None;
+        }
+        *probes += 1;
+        if self.sid_at(self.at) >= target {
+            return Some(self.sid_at(self.at));
+        }
+        // Gallop: double the step until it lands on or past the target
+        // (or runs off the end). Invariant: sid_at(lo) < target.
+        let mut lo = self.at;
+        let mut step = 1usize;
+        while lo + step < len && {
+            *probes += 1;
+            self.sid_at(lo + step) < target
+        } {
+            lo += step;
+            step <<= 1;
+        }
+        // Binary search (lo, min(lo+step, len)] for the first sid ≥ target.
+        let mut l = lo + 1;
+        let mut r = (lo + step).min(len);
+        while l < r {
+            let mid = l + (r - l) / 2;
+            *probes += 1;
+            if self.sid_at(mid) < target {
+                l = mid + 1;
+            } else {
+                r = mid;
+            }
+        }
+        self.at = l;
+        (l < len).then(|| self.sid_at(l))
+    }
+}
+
+/// Lazy k-way intersection of every posting source a compiled query
+/// constrains candidates with. Yields candidate sentence ids in ascending
+/// order, one at a time; dropping the stream early (top-k termination,
+/// deadlines) simply stops seeking the cursors — nothing was materialized.
+pub struct CandidateStream<'a> {
+    /// Intersection operands, ordered by ascending length so the most
+    /// selective list drives the galloping seeks through the longer ones.
+    cursors: Vec<Cursor<'a>>,
+    /// Lower bound for the next candidate; `None` once exhausted.
+    next_target: Option<Sid>,
+    /// Number of index lookups performed (dominant paths only).
+    pub lookups: usize,
+    probes: usize,
+    streamed: usize,
+}
+
+impl CandidateStream<'_> {
+    /// The next candidate sentence id (ascending), or `None` when the
+    /// intersection is exhausted.
+    pub fn next_sid(&mut self) -> Option<Sid> {
+        let mut target = self.next_target?;
+        loop {
+            let Some(candidate) = self.cursors[0].seek(target, &mut self.probes) else {
+                self.next_target = None;
+                return None;
+            };
+            let mut agreed = true;
+            for k in 1..self.cursors.len() {
+                match self.cursors[k].seek(candidate, &mut self.probes) {
+                    None => {
+                        self.next_target = None;
+                        return None;
+                    }
+                    Some(s) if s == candidate => {}
+                    Some(s) => {
+                        // Disagreement: restart the round from the new,
+                        // larger lower bound.
+                        target = s;
+                        agreed = false;
+                        break;
+                    }
+                }
+            }
+            if agreed {
+                self.next_target = candidate.checked_add(1);
+                self.streamed += 1;
+                return Some(candidate);
+            }
+        }
+    }
+
+    /// Posting comparisons made by galloping seeks so far.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// Candidates yielded so far.
+    pub fn streamed(&self) -> usize {
+        self.streamed
+    }
+}
+
+/// Build the lazy candidate stream for a compiled query — the DPLI stage
+/// without its historical materialization. The engine consumes this
+/// directly; [`run`] wraps it for callers that want the full set.
+pub fn stream<'a>(cq: &CompiledQuery, index: &'a KokoIndex) -> CandidateStream<'a> {
+    let mut cursors: Vec<Cursor<'a>> = Vec::new();
     let mut lookups = 0usize;
 
     // Node variables: lookup dominant paths only.
@@ -127,55 +312,73 @@ pub fn run(cq: &CompiledQuery, index: &KokoIndex) -> DpliResult {
         let pattern = lookup_pattern(paths[di]);
         lookups += 1;
         if let Some(refs) = index.lookup_path(&pattern) {
-            let mut sids: Vec<Sid> = refs.iter().map(|&r| index.posting(r).sid).collect();
-            sids.dedup();
-            sets.push(sids);
+            cursors.push(Cursor::new(CursorKind::HeapRefs { index, refs }));
         }
     }
 
-    // Entity variables: sentences containing a mention of the right type.
+    // Entity and token-sequence variables.
     for v in &cq.norm.vars {
         match &v.kind {
-            NVarKind::Entity { etype } => {
-                let mut sids: Vec<Sid> = index
-                    .entities_of_type(*etype)
-                    .iter()
-                    .map(|e| e.sid)
-                    .collect();
+            NVarKind::Entity { etype: Some(t) } => {
+                cursors.push(Cursor::new(CursorKind::Entities {
+                    postings: index.entity_postings_of_type(*t),
+                }));
+            }
+            NVarKind::Entity { etype: None } => {
+                // Any-type mentions: the per-type lists interleave in sid
+                // order, so this one source is merged up front.
+                let mut sids: Vec<Sid> =
+                    index.entities_of_type(None).iter().map(|e| e.sid).collect();
                 sids.sort_unstable();
                 sids.dedup();
-                sets.push(sids);
+                cursors.push(Cursor::new(CursorKind::Sids { sids }));
             }
             NVarKind::Tokens { words } => {
-                // Sentences containing every word of the literal sequence.
-                let mut acc: Option<Vec<Sid>> = None;
+                // One cursor per word of the literal sequence — the k-way
+                // intersection absorbs what used to be a pairwise fold
+                // over materialized per-word sentence sets.
                 for w in words {
-                    let mut sids: Vec<Sid> = index
-                        .word_refs(w)
-                        .iter()
-                        .map(|&r| index.posting(r).sid)
-                        .collect();
-                    sids.dedup();
-                    acc = Some(match acc {
-                        None => sids,
-                        Some(prev) => intersect_sorted(&prev, &sids),
-                    });
-                }
-                if let Some(sids) = acc {
-                    sets.push(sids);
+                    cursors.push(Cursor::new(CursorKind::WordRefs {
+                        index,
+                        refs: index.word_refs(w),
+                    }));
                 }
             }
             _ => {}
         }
     }
 
-    let candidate_sids = match sets.into_iter().reduce(|a, b| intersect_sorted(&a, &b)) {
-        Some(s) => s,
-        None => (0..index.num_sentences()).collect(),
-    };
+    if cursors.is_empty() {
+        // No source constrains the query: every sentence is a candidate,
+        // streamed lazily instead of collected into a 0..n vector.
+        cursors.push(Cursor::new(CursorKind::All {
+            end: index.num_sentences(),
+        }));
+    }
+    // Most selective source first: cursor 0 proposes candidates, the
+    // longer lists gallop to confirm or veto them. Stable sort keeps
+    // equal-length sources in construction order (deterministic probes).
+    cursors.sort_by_key(Cursor::len);
+    CandidateStream {
+        cursors,
+        next_target: Some(0),
+        lookups,
+        probes: 0,
+        streamed: 0,
+    }
+}
+
+/// Run the DPLI stage eagerly: drain [`stream`] into the historical
+/// materialized candidate list.
+pub fn run(cq: &CompiledQuery, index: &KokoIndex) -> DpliResult {
+    let mut s = stream(cq, index);
+    let mut candidate_sids = Vec::new();
+    while let Some(sid) = s.next_sid() {
+        candidate_sids.push(sid);
+    }
     DpliResult {
         candidate_sids,
-        lookups,
+        lookups: s.lookups,
     }
 }
 
@@ -267,5 +470,91 @@ mod tests {
         // //verb[text=ate] → word "ate" wins over pos verb.
         assert_eq!(pat.nodes[0].label, NodeLabel::Word("ate".into()));
         assert!(!pat.root_anchored);
+    }
+
+    #[test]
+    fn stream_matches_materialized_run() {
+        let (_, idx) = index();
+        for q in [
+            queries::EXAMPLE_2_1,
+            queries::EXAMPLE_2_3,
+            queries::EXAMPLE_4_1,
+            queries::TITLE,
+        ] {
+            let cq = compiled(q);
+            let r = run(&cq, &idx);
+            let mut s = stream(&cq, &idx);
+            let mut got = Vec::new();
+            while let Some(sid) = s.next_sid() {
+                got.push(sid);
+            }
+            assert_eq!(got, r.candidate_sids, "query {q:?}");
+            assert_eq!(s.streamed(), got.len());
+            assert_eq!(s.lookups, r.lookups);
+            // Constrained queries pay posting probes; drained streams
+            // yield nothing more.
+            assert!(s.next_sid().is_none());
+        }
+    }
+
+    #[test]
+    fn galloping_cursor_seeks_forward_and_counts_probes() {
+        let mut probes = 0usize;
+        let mut c = Cursor::new(CursorKind::Sids {
+            sids: vec![0, 2, 4, 8, 16, 16, 32, 64],
+        });
+        assert_eq!(c.seek(0, &mut probes), Some(0));
+        assert_eq!(c.seek(5, &mut probes), Some(8));
+        // Duplicates resolve to their first occurrence.
+        assert_eq!(c.seek(16, &mut probes), Some(16));
+        assert_eq!(c.seek(17, &mut probes), Some(32));
+        assert_eq!(c.seek(65, &mut probes), None);
+        assert!(probes > 0, "indexed seeks must be accounted");
+        // Exhausted cursors stay exhausted without probing.
+        let before = probes;
+        assert_eq!(c.seek(0, &mut probes), None);
+        assert_eq!(probes, before);
+    }
+
+    #[test]
+    fn universe_cursor_is_lazy_and_probe_free() {
+        let mut probes = 0usize;
+        let mut c = Cursor::new(CursorKind::All { end: 1_000_000 });
+        assert_eq!(c.seek(0, &mut probes), Some(0));
+        assert_eq!(c.seek(999_999, &mut probes), Some(999_999));
+        assert_eq!(c.seek(1_000_000, &mut probes), None);
+        assert_eq!(probes, 0, "the universe cursor never probes postings");
+    }
+
+    #[test]
+    fn empty_source_short_circuits_the_intersection() {
+        let (_, idx) = index();
+        // "zeppelin" appears nowhere: its word cursor is empty, sorts
+        // first, and vetoes every candidate without probing the universe.
+        let mut probes = 0usize;
+        let mut empty = Cursor::new(CursorKind::WordRefs {
+            index: &idx,
+            refs: idx.word_refs("zeppelin"),
+        });
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.seek(0, &mut probes), None);
+        let mut s = CandidateStream {
+            cursors: vec![
+                Cursor::new(CursorKind::WordRefs {
+                    index: &idx,
+                    refs: idx.word_refs("zeppelin"),
+                }),
+                Cursor::new(CursorKind::All {
+                    end: idx.num_sentences(),
+                }),
+            ],
+            next_target: Some(0),
+            lookups: 0,
+            probes: 0,
+            streamed: 0,
+        };
+        assert_eq!(s.next_sid(), None);
+        assert_eq!(s.streamed(), 0);
+        assert_eq!(s.probes(), 0);
     }
 }

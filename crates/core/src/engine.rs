@@ -15,7 +15,7 @@
 //! corpus ingested incrementally (any split, compacted or not) answers
 //! byte-identically to a one-shot batch build.
 
-use crate::aggregate::{AggOpts, Aggregator};
+use crate::aggregate::{AggOpts, Aggregator, ShardScoreBound};
 use crate::binder::{bind_domains, CompiledQuery, SentCtx};
 use crate::cache::{CacheStats, CachedCompile, CachedResult, QueryCaches};
 use crate::error::Error;
@@ -1035,9 +1035,214 @@ fn execute_request(
     })
 }
 
+/// Pulls the lazy DPLI candidate stream ([`dpli::CandidateStream`]) one
+/// *document* at a time. Candidates arrive in ascending sid order and the
+/// sids of one document are contiguous, so each [`DocBatcher::next_doc`]
+/// call collects exactly one document's global sids into `buf` — no
+/// shard-wide candidate vector ever materializes. Time spent pulling the
+/// stream (the galloping intersection) is charged to the DPLI timer.
+struct DocBatcher<'a> {
+    cands: dpli::CandidateStream<'a>,
+    /// First sid of the next document, already pulled from the stream.
+    pending: Option<Sid>,
+    /// Global sids of the most recently returned document.
+    buf: Vec<Sid>,
+    /// Distinct candidate documents seen so far; once the stream drains
+    /// this is the shard's candidate-document count.
+    docs_seen: usize,
+}
+
+impl DocBatcher<'_> {
+    /// The next candidate document (global id), with its sids in `buf`.
+    fn next_doc(&mut self, shard: &koko_index::Shard, profile: &mut Profile) -> Option<u32> {
+        let t = std::time::Instant::now();
+        let first = self
+            .pending
+            .take()
+            .or_else(|| self.cands.next_sid().map(|s| shard.to_global_sid(s)));
+        let Some(first) = first else {
+            profile.dpli += t.elapsed();
+            return None;
+        };
+        let doc = shard.doc_of_sid(first);
+        self.buf.clear();
+        self.buf.push(first);
+        while let Some(local) = self.cands.next_sid() {
+            let sid = shard.to_global_sid(local);
+            if shard.doc_of_sid(sid) == doc {
+                self.buf.push(sid);
+            } else {
+                self.pending = Some(sid);
+                break;
+            }
+        }
+        profile.dpli += t.elapsed();
+        self.docs_seen += 1;
+        Some(doc)
+    }
+}
+
+/// Mutable per-shard evaluation state threaded through [`process_doc`]:
+/// stage timers and counters, the aggregation caches, and the
+/// accumulating results (flat rows, or the bounded top-k heap under a
+/// ranked limit).
+struct ShardEvalState {
+    profile: Profile,
+    /// (doc, clause#, lowercased value) → score; `u32::MAX` doc slot for
+    /// doc-independent clauses.
+    scores: std::collections::HashMap<(u32, usize, String), f64>,
+    /// (doc, value) → excluded.
+    excl_cache: std::collections::HashMap<(u32, String), bool>,
+    rows: Vec<(String, Row)>,
+    heap: BinaryHeap<HeapRow>,
+    rows_found: usize,
+    plans_rendered: Vec<String>,
+    docs_processed: usize,
+    tuples_total: usize,
+}
+
+/// With the heap at capacity, can the given document still change the
+/// final top-k? Returns `true` (skip it) exactly when its score upper
+/// bound falls below the heap floor, or ties the floor while every
+/// canonical key the document could mint loses the tie-break. Sound in
+/// *any* visit order: every key of document `d` extends `prefix`
+/// (`"RawTuple { doc: d,"`), and `worst.key < prefix` implies `worst.key`
+/// is lexicographically smaller than every extension of `prefix`, so a
+/// tied newcomer always loses to the held row. A NaN bound compares
+/// `false` on both arms and is never skipped on.
+fn doc_cannot_improve(heap: &BinaryHeap<HeapRow>, bound: f64, prefix: &str) -> bool {
+    heap.peek().is_some_and(|worst| {
+        bound < worst.row.score || (bound == worst.row.score && worst.key.as_str() < prefix)
+    })
+}
+
+/// Load, extract, dedup and aggregate one candidate document (the
+/// historical per-document loop body, identical across all request
+/// modes). Appends surviving rows to `st.rows`, or to the bounded heap
+/// when `ranked_cap` is set.
+#[allow(clippy::too_many_arguments)]
+fn process_doc(
+    snapshot: &Snapshot,
+    opts: &EngineOpts,
+    cq: &CompiledQuery,
+    needed: &[(usize, String)],
+    agg: &Aggregator<'_>,
+    doc_independent: &[bool],
+    shard: &koko_index::Shard,
+    exec: &ExecParams,
+    ranked_cap: Option<usize>,
+    doc_id: u32,
+    sids: &[Sid],
+    st: &mut ShardEvalState,
+) -> Result<(), Error> {
+    // ---- LoadArticle from the shard store ------------------------------
+    let t = std::time::Instant::now();
+    let doc = if opts.store_backed {
+        shard
+            .load_document(doc_id)
+            .map_err(|e| Error::Storage(e.to_string()))?
+    } else {
+        // Corpus-borrowing mode materializes the whole corpus on a
+        // mapped snapshot — store-backed (the default) does not.
+        snapshot
+            .try_corpus()
+            .map_err(Error::Snapshot)?
+            .document(doc_id)
+            .clone()
+    };
+    st.profile.load_article += t.elapsed();
+
+    // ---- GSP + extract -------------------------------------------------
+    let mut tuples: Vec<RawTuple> = Vec::new();
+    let first_sid = shard.doc_first_sid(doc_id);
+    for &sid in sids {
+        let local = (sid - first_sid) as usize;
+        let sentence = &doc.sentences[local];
+        let ctx = SentCtx::new(sentence);
+
+        let te = std::time::Instant::now();
+        let domains = bind_domains(cq, &ctx);
+        st.profile.extract += te.elapsed();
+
+        let tg = std::time::Instant::now();
+        let plans = gsp::plan(cq, &domains, ctx.len());
+        st.profile.gsp += tg.elapsed();
+        if exec.explain && st.plans_rendered.is_empty() && !plans.is_empty() {
+            st.plans_rendered = render_plans(cq, &plans);
+        }
+
+        let te = std::time::Instant::now();
+        let assignments = gsp::evaluate(cq, &ctx, &domains, &plans, opts.use_gsp);
+        for a in assignments {
+            let mut values = Vec::with_capacity(needed.len());
+            let mut complete = true;
+            for &(vi, ref name) in needed {
+                match a[vi] {
+                    Some(span) => values.push(TupleValue {
+                        var: name.clone(),
+                        sid,
+                        span,
+                        text: span_text(sentence, span),
+                    }),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                tuples.push(RawTuple {
+                    doc: doc_id,
+                    values,
+                });
+            }
+        }
+        st.profile.extract += te.elapsed();
+    }
+
+    // ---- Canonical per-document sort + dedup ---------------------------
+    // Bag semantics with per-sentence duplicates removed. Keys are
+    // the historical evaluator's comparator (the tuple's `Debug`
+    // rendering), computed once per tuple; duplicates are always
+    // intra-document, so per-doc dedup equals the old global dedup.
+    let mut keyed: Vec<(String, RawTuple)> =
+        tuples.into_iter().map(|t| (format!("{t:?}"), t)).collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed.dedup_by(|a, b| a.0 == b.0);
+    st.profile.raw_tuples += keyed.len();
+    st.tuples_total += keyed.len();
+
+    // ---- Aggregate (satisfying + excluding + min_score) ----------------
+    let t = std::time::Instant::now();
+    for (key, tuple) in keyed {
+        if let Some(row) = aggregate_tuple(
+            agg,
+            cq,
+            doc_independent,
+            exec.min_score,
+            &doc,
+            tuple,
+            &mut st.scores,
+            &mut st.excl_cache,
+            &mut st.profile.min_score_pruned,
+        ) {
+            st.rows_found += 1;
+            match ranked_cap {
+                Some(cap) => push_bounded(&mut st.heap, cap, key, row),
+                None => st.rows.push((key, row)),
+            }
+        }
+    }
+    st.profile.satisfying += t.elapsed();
+    st.docs_processed += 1;
+    Ok(())
+}
+
 /// DPLI, article loading, GSP/extract and per-document aggregation for
 /// one shard. Index lookups run in the shard's local sid space;
-/// everything emitted uses global ids.
+/// everything emitted uses global ids. Candidates are *streamed* from the
+/// galloping DPLI intersection one document at a time ([`DocBatcher`]) —
+/// the hot path never materializes a shard-wide candidate vector.
 ///
 /// Top-k early termination: when the request carries a `DocOrder` limit,
 /// candidate documents are visited in *result order* (the lexicographic
@@ -1047,12 +1252,17 @@ fn execute_request(
 /// rows. The skipped documents are never loaded, extracted, or scored.
 ///
 /// Ranked top-k (`ScoreDesc` + limit): the shard keeps a bounded min-heap
-/// of its best `offset + limit` rows and consults the shard score bound
-/// (computed from build-time statistics, before any document is touched)
-/// at every document boundary — once the bound cannot beat the heap
-/// floor, the remaining documents are skipped (`bound_skipped_docs`). An
-/// infeasible bound skips the whole shard exactly. Returned rows are
-/// byte-identical to the full-scan reference in both modes.
+/// of its best `offset + limit` rows and consults two score bounds at
+/// every document boundary, both computed from build-time statistics
+/// before the document is touched: the shard-wide bound
+/// (`bound_skipped_docs`) and — when the snapshot carries block
+/// statistics — the document's block-max bound
+/// (`block_bound_skipped_docs`), a per-128-doc-block refinement that
+/// keeps pruning inside shards whose union vocabulary looks promising. A
+/// document is skipped only when pruning is provably exact
+/// ([`doc_cannot_improve`]); an infeasible shard or block bound skips its
+/// documents outright without marking `early_stopped`. Returned rows are
+/// byte-identical to the full-scan reference in every mode.
 #[allow(clippy::too_many_arguments)]
 fn eval_shard(
     snapshot: &Snapshot,
@@ -1066,37 +1276,33 @@ fn eval_shard(
     is_delta: bool,
     exec: &ExecParams,
 ) -> Result<ShardPartial, Error> {
-    let mut profile = Profile::default();
+    use std::fmt::Write as _;
+
+    let mut st = ShardEvalState {
+        profile: Profile::default(),
+        scores: std::collections::HashMap::new(),
+        excl_cache: std::collections::HashMap::new(),
+        rows: Vec::new(),
+        heap: BinaryHeap::new(),
+        rows_found: 0,
+        plans_rendered: Vec::new(),
+        docs_processed: 0,
+        tuples_total: 0,
+    };
     let need_rows = exec.need_rows();
-
-    // ---- DPLI over the shard index -------------------------------------
-    let t = std::time::Instant::now();
-    let dpli_result = dpli::run(cq, shard.index());
-    profile.dpli = t.elapsed();
-    profile.candidate_sentences = dpli_result.candidate_sids.len();
-    if is_delta {
-        profile.delta_candidates = dpli_result.candidate_sids.len();
-    }
-    exec.check_deadline()?;
-
-    // ---- Group candidates by document ----------------------------------
-    let mut by_doc: BTreeMap<u32, Vec<Sid>> = BTreeMap::new();
-    for &local_sid in &dpli_result.candidate_sids {
-        let sid = shard.to_global_sid(local_sid);
-        // Shard-local doc translation: the whole per-shard pipeline stays
-        // corpus-free, so a mapped snapshot only materializes the shards
-        // a query actually routes to.
-        by_doc.entry(shard.doc_of_sid(sid)).or_default().push(sid);
-    }
     let ranked_cap = exec.heap_cap();
-    let mut doc_order: Vec<u32> = by_doc.keys().copied().collect();
-    if need_rows.is_some() || ranked_cap.is_some() {
-        // Visit documents in result order so the shard's first
-        // `offset + limit` rows form a prefix of its full sequence
-        // (`DocOrder`), and so heap score-ties always resolve against
-        // later documents' strictly larger tuple keys (`ScoreDesc`).
-        doc_order.sort_by_cached_key(|d| d.to_string());
-    }
+
+    // ---- DPLI candidate stream over the shard index --------------------
+    let t = std::time::Instant::now();
+    let cands = dpli::stream(cq, shard.index());
+    st.profile.dpli += t.elapsed();
+    exec.check_deadline()?;
+    let mut batcher = DocBatcher {
+        cands,
+        pending: None,
+        buf: Vec::new(),
+        docs_seen: 0,
+    };
 
     // ---- Shard score bound (WAND-style, pre-extraction) ----------------
     // Derived from the compiled query + build-time shard statistics alone;
@@ -1111,201 +1317,185 @@ fn eval_shard(
             .as_ref()
             .is_some_and(|b| !b.feasible || exec.min_score.is_some_and(|floor| b.bound < floor));
 
-    // Per-shard aggregation caches: (doc, clause#, lowercased value) →
-    // score (`u32::MAX` doc slot for doc-independent clauses), and
-    // (doc, value) → excluded.
-    let mut scores: std::collections::HashMap<(u32, usize, String), f64> =
-        std::collections::HashMap::new();
-    let mut excl_cache: std::collections::HashMap<(u32, String), bool> =
-        std::collections::HashMap::new();
-
-    let mut rows: Vec<(String, Row)> = Vec::new();
-    let mut heap: BinaryHeap<HeapRow> = BinaryHeap::new();
-    let mut rows_found = 0usize;
-    let mut plans_rendered: Vec<String> = Vec::new();
-    let mut docs_processed = 0usize;
-    let mut tuples_total = 0usize;
     let mut early_stopped = false;
-
-    let num_candidate_docs = doc_order.len();
-    if shard_infeasible {
-        // Nothing in this shard can clear the clause thresholds (or the
-        // score floor): every candidate document is bound-skipped and the
-        // zero-row result is exact, so `early_stopped` stays false.
-        profile.docs_skipped = doc_order.len();
-        profile.bound_skipped_docs = doc_order.len();
-        profile.candidates_skipped = doc_order.iter().map(|d| by_doc[d].len()).sum();
-        doc_order.clear();
-    }
-
-    for (di, &doc_id) in doc_order.iter().enumerate() {
-        if let Some(need) = need_rows {
-            if rows.len() >= need {
+    if let Some(need) = need_rows {
+        // ---- `DocOrder` + limit: result-order scan, early stop ---------
+        // Result order is the *string* order of doc ids, not the stream's
+        // numeric order, so this mode drains the stream up front (sids
+        // only — no loads, extraction, or scoring) and sorts the document
+        // list; the early stop still skips all loading past the limit.
+        let mut by_doc: BTreeMap<u32, Vec<Sid>> = BTreeMap::new();
+        while let Some(doc_id) = batcher.next_doc(shard, &mut st.profile) {
+            by_doc.insert(doc_id, batcher.buf.clone());
+        }
+        let mut doc_order: Vec<u32> = by_doc.keys().copied().collect();
+        doc_order.sort_by_cached_key(|d| d.to_string());
+        for (di, &doc_id) in doc_order.iter().enumerate() {
+            if st.rows.len() >= need {
                 early_stopped = true;
-                profile.docs_skipped = doc_order.len() - di;
-                profile.candidates_skipped = doc_order[di..].iter().map(|d| by_doc[d].len()).sum();
+                st.profile.docs_skipped = doc_order.len() - di;
+                st.profile.candidates_skipped =
+                    doc_order[di..].iter().map(|d| by_doc[d].len()).sum();
                 break;
             }
+            exec.check_deadline()?;
+            process_doc(
+                snapshot,
+                opts,
+                cq,
+                needed,
+                agg,
+                doc_independent,
+                shard,
+                exec,
+                None,
+                doc_id,
+                &by_doc[&doc_id],
+                &mut st,
+            )?;
         }
-        if let Some(cap) = ranked_cap {
-            // WAND-style skip: once the heap holds `offset + limit` rows,
-            // no remaining document matters unless the shard bound beats
-            // the heap floor — and on a score tie the newcomer's larger
-            // key loses anyway. (A NaN bound compares conservatively:
-            // `<=` is false, so nothing is ever skipped on it.)
-            let bound = score_bound.as_ref().map_or(1.0, |b| b.bound);
-            let floor_beaten =
-                heap.len() >= cap && heap.peek().is_some_and(|worst| bound <= worst.row.score);
-            if cap == 0 || floor_beaten {
-                early_stopped = true;
-                let skipped = doc_order.len() - di;
-                profile.docs_skipped += skipped;
-                if floor_beaten {
-                    profile.bound_skipped_docs += skipped;
+    } else if let Some(cap) = ranked_cap {
+        if shard_infeasible || cap == 0 {
+            // Nothing in this shard can clear the clause thresholds (or
+            // the score floor), or the request window is empty: drain the
+            // stream count-only. The infeasible-shard zero-row result is
+            // exact, so it leaves `early_stopped` false.
+            while batcher.next_doc(shard, &mut st.profile).is_some() {
+                st.profile.docs_skipped += 1;
+                st.profile.candidates_skipped += batcher.buf.len();
+                if shard_infeasible {
+                    st.profile.bound_skipped_docs += 1;
+                } else {
+                    early_stopped = true;
                 }
-                profile.candidates_skipped += doc_order[di..]
-                    .iter()
-                    .map(|d| by_doc[d].len())
-                    .sum::<usize>();
-                break;
             }
-        }
-        exec.check_deadline()?;
-        let sids = &by_doc[&doc_id];
-
-        // ---- LoadArticle from the shard store --------------------------
-        let t = std::time::Instant::now();
-        let doc = if opts.store_backed {
-            shard
-                .load_document(doc_id)
-                .map_err(|e| Error::Storage(e.to_string()))?
         } else {
-            // Corpus-borrowing mode materializes the whole corpus on a
-            // mapped snapshot — store-backed (the default) does not.
-            snapshot
-                .try_corpus()
-                .map_err(Error::Snapshot)?
-                .document(doc_id)
-                .clone()
-        };
-        profile.load_article += t.elapsed();
-
-        // ---- GSP + extract ---------------------------------------------
-        let mut tuples: Vec<RawTuple> = Vec::new();
-        let first_sid = shard.doc_first_sid(doc_id);
-        for &sid in sids {
-            let local = (sid - first_sid) as usize;
-            let sentence = &doc.sentences[local];
-            let ctx = SentCtx::new(sentence);
-
-            let te = std::time::Instant::now();
-            let domains = bind_domains(cq, &ctx);
-            profile.extract += te.elapsed();
-
-            let tg = std::time::Instant::now();
-            let plans = gsp::plan(cq, &domains, ctx.len());
-            profile.gsp += tg.elapsed();
-            if exec.explain && plans_rendered.is_empty() && !plans.is_empty() {
-                plans_rendered = render_plans(cq, &plans);
-            }
-
-            let te = std::time::Instant::now();
-            let assignments = gsp::evaluate(cq, &ctx, &domains, &plans, opts.use_gsp);
-            for a in assignments {
-                let mut values = Vec::with_capacity(needed.len());
-                let mut complete = true;
-                for &(vi, ref name) in needed {
-                    match a[vi] {
-                        Some(span) => values.push(TupleValue {
-                            var: name.clone(),
-                            sid,
-                            span,
-                            text: span_text(sentence, span),
-                        }),
-                        None => {
-                            complete = false;
-                            break;
-                        }
+            let shard_bound = score_bound.as_ref().map_or(1.0, |b| b.bound);
+            let blocks = shard.block_stats();
+            // Block bounds are computed lazily — once per block that a
+            // candidate document lands in — and capped by the shard
+            // bound (a block vocabulary is a subset of its shard's).
+            let mut block_bounds: Vec<Option<ShardScoreBound>> =
+                vec![None; blocks.map_or(0, |b| b.num_blocks())];
+            let mut prefix = String::new();
+            while let Some(doc_id) = batcher.next_doc(shard, &mut st.profile) {
+                prefix.clear();
+                let _ = write!(prefix, "RawTuple {{ doc: {doc_id},");
+                // Shard-wide floor check (WAND-style).
+                if st.heap.len() >= cap && doc_cannot_improve(&st.heap, shard_bound, &prefix) {
+                    early_stopped = true;
+                    st.profile.docs_skipped += 1;
+                    st.profile.bound_skipped_docs += 1;
+                    st.profile.candidates_skipped += batcher.buf.len();
+                    continue;
+                }
+                // Block-max refinement.
+                if let Some(bstats) = blocks {
+                    let bi = bstats.block_of_doc(shard.to_local_doc(doc_id));
+                    let b = block_bounds[bi].get_or_insert_with(|| {
+                        let mut b = agg.block_score_bound(&bstats.block(bi));
+                        b.bound = b.bound.min(shard_bound);
+                        b
+                    });
+                    if !b.feasible || exec.min_score.is_some_and(|floor| b.bound < floor) {
+                        // The block provably contributes no rows at all —
+                        // exact, like an infeasible shard.
+                        st.profile.docs_skipped += 1;
+                        st.profile.block_bound_skipped_docs += 1;
+                        st.profile.candidates_skipped += batcher.buf.len();
+                        continue;
+                    }
+                    if st.heap.len() >= cap && doc_cannot_improve(&st.heap, b.bound, &prefix) {
+                        early_stopped = true;
+                        st.profile.docs_skipped += 1;
+                        st.profile.block_bound_skipped_docs += 1;
+                        st.profile.candidates_skipped += batcher.buf.len();
+                        continue;
                     }
                 }
-                if complete {
-                    tuples.push(RawTuple {
-                        doc: doc_id,
-                        values,
-                    });
-                }
+                exec.check_deadline()?;
+                process_doc(
+                    snapshot,
+                    opts,
+                    cq,
+                    needed,
+                    agg,
+                    doc_independent,
+                    shard,
+                    exec,
+                    Some(cap),
+                    doc_id,
+                    &batcher.buf,
+                    &mut st,
+                )?;
             }
-            profile.extract += te.elapsed();
         }
-
-        // ---- Canonical per-document sort + dedup -----------------------
-        // Bag semantics with per-sentence duplicates removed. Keys are
-        // the historical evaluator's comparator (the tuple's `Debug`
-        // rendering), computed once per tuple; duplicates are always
-        // intra-document, so per-doc dedup equals the old global dedup.
-        let mut keyed: Vec<(String, RawTuple)> =
-            tuples.into_iter().map(|t| (format!("{t:?}"), t)).collect();
-        keyed.sort_by(|a, b| a.0.cmp(&b.0));
-        keyed.dedup_by(|a, b| a.0 == b.0);
-        profile.raw_tuples += keyed.len();
-        tuples_total += keyed.len();
-
-        // ---- Aggregate (satisfying + excluding + min_score) ------------
-        let t = std::time::Instant::now();
-        for (key, tuple) in keyed {
-            if let Some(row) = aggregate_tuple(
-                agg,
+    } else {
+        // ---- Unrestricted: stream straight through ---------------------
+        // Ascending numeric doc order — exactly the order the historical
+        // materialized `BTreeMap` grouping produced.
+        while let Some(doc_id) = batcher.next_doc(shard, &mut st.profile) {
+            exec.check_deadline()?;
+            process_doc(
+                snapshot,
+                opts,
                 cq,
+                needed,
+                agg,
                 doc_independent,
-                exec.min_score,
-                &doc,
-                tuple,
-                &mut scores,
-                &mut excl_cache,
-                &mut profile.min_score_pruned,
-            ) {
-                rows_found += 1;
-                match ranked_cap {
-                    Some(cap) => push_bounded(&mut heap, cap, key, row),
-                    None => rows.push((key, row)),
-                }
-            }
+                shard,
+                exec,
+                None,
+                doc_id,
+                &batcher.buf,
+                &mut st,
+            )?;
         }
-        profile.satisfying += t.elapsed();
-        docs_processed += 1;
     }
+
+    // The stream is fully drained on every path above (skips enumerate
+    // documents count-only), so the candidate counters match the
+    // historical materialized values exactly.
+    st.profile.candidate_sentences = batcher.cands.streamed();
+    if is_delta {
+        st.profile.delta_candidates = batcher.cands.streamed();
+    }
+    st.profile.gallop_probes = batcher.cands.probes();
 
     // A ranked shard hands back its heap contents (order irrelevant: the
     // merge re-sorts by canonical key, then by score). The floor is only
     // meaningful when the heap actually filled.
     let heap_floor = ranked_cap.and_then(|cap| {
-        (cap > 0 && heap.len() >= cap).then(|| heap.peek().map_or(0.0, |w| w.row.score))
+        (cap > 0 && st.heap.len() >= cap).then(|| st.heap.peek().map_or(0.0, |w| w.row.score))
     });
-    rows.extend(heap.into_iter().map(|h| (h.key, h.row)));
-    debug_assert!(rows.len() <= rows_found);
+    let heap = std::mem::take(&mut st.heap);
+    st.rows.extend(heap.into_iter().map(|h| (h.key, h.row)));
+    debug_assert!(st.rows.len() <= st.rows_found);
 
     let explain = ShardExplain {
         shard: shard_index,
         is_delta,
-        lookups: dpli_result.lookups,
-        candidates: dpli_result.candidate_sids.len(),
-        docs: num_candidate_docs,
-        docs_processed,
-        tuples: tuples_total,
-        rows: rows.len(),
-        min_score_pruned: profile.min_score_pruned,
+        lookups: batcher.cands.lookups,
+        candidates: batcher.cands.streamed(),
+        docs: batcher.docs_seen,
+        docs_processed: st.docs_processed,
+        tuples: st.tuples_total,
+        rows: st.rows.len(),
+        min_score_pruned: st.profile.min_score_pruned,
         early_stopped,
         score_bound: score_bound.as_ref().map_or(1.0, |b| b.bound),
         heap_floor,
-        bound_skipped_docs: profile.bound_skipped_docs,
+        bound_skipped_docs: st.profile.bound_skipped_docs,
+        block_bound_skipped_docs: st.profile.block_bound_skipped_docs,
+        probes: st.profile.gallop_probes,
     };
     Ok(ShardPartial {
-        rows,
-        rows_found,
-        profile,
+        rows: st.rows,
+        rows_found: st.rows_found,
+        profile: st.profile,
         early_stopped,
         explain,
-        plans: plans_rendered,
+        plans: st.plans_rendered,
     })
 }
 

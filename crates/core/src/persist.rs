@@ -23,6 +23,7 @@
 //! SHARD i  id + doc/sid ranges + KokoIndex frame   (per shard)
 //! STORE i  DocStore codec frame                    (per shard)
 //! BOUNDS i score-bound hash array                  (per shard, optional)
+//! BLOCKS i block-max statistics                    (per shard, optional)
 //! ```
 //!
 //! Because every section is located by offset and checksummed on first
@@ -53,13 +54,14 @@
 use crate::error::Error;
 use crate::snapshot::{PersistedShardRef, ShardSlot, Snapshot, SnapshotBacking};
 use koko_embed::Embeddings;
-use koko_index::{Shard, ShardBoundStats, ShardRouter};
+use koko_index::{BlockBoundStats, Shard, ShardBoundStats, ShardRouter};
 use koko_nlp::{Corpus, Document};
 use koko_storage::docstore::Blob;
 use koko_storage::{
     append_sections, read_snapshot_file_versioned, read_snapshot_version, write_sectioned_file,
     Codec, DecodeError, SectionEntry, SectionWriter, SectionedFile, SnapshotFileError,
-    SECTIONED_VERSION, SEC_BOUNDS, SEC_EMBED, SEC_MANIFEST, SEC_ROUTER, SEC_SHARD, SEC_STORE,
+    SECTIONED_VERSION, SEC_BLOCKS, SEC_BOUNDS, SEC_EMBED, SEC_MANIFEST, SEC_ROUTER, SEC_SHARD,
+    SEC_STORE,
 };
 use std::path::Path;
 use std::sync::Arc;
@@ -75,13 +77,14 @@ fn corrupt_label(path: &str, e: DecodeError) -> SnapshotFileError {
     }
 }
 
-/// The three per-shard section entries of one persisted shard, resolved
-/// from a validated section table.
+/// The per-shard section entries of one persisted shard, resolved from a
+/// validated section table.
 #[derive(Clone, Copy)]
 struct ShardSections {
     shard: SectionEntry,
     store: SectionEntry,
     bounds: Option<SectionEntry>,
+    blocks: Option<SectionEntry>,
 }
 
 /// Decode one shard out of its mapped sections, verifying it against the
@@ -102,7 +105,14 @@ fn decode_shard_sections(
         ),
         None => None,
     };
-    let shard = Shard::decode_sections(meta.as_slice(), store_bytes, bounds)
+    let blocks = match secs.blocks {
+        Some(e) => Some(
+            BlockBoundStats::decode_section(sf.section_bytes(&e)?)
+                .map_err(|e| corrupt_label(sf.path(), e))?,
+        ),
+        None => None,
+    };
+    let shard = Shard::decode_sections(meta.as_slice(), store_bytes, bounds, blocks)
         .map_err(|e| corrupt_label(sf.path(), e))?;
     // A shard that decodes cleanly but disagrees with the router would
     // misroute (or panic on) id lookups long after open claimed success.
@@ -176,6 +186,7 @@ fn open_v4(path: &Path) -> Result<OpenedV4, Error> {
             shard: sf.require(SEC_SHARD, i as u32).map_err(Error::Snapshot)?,
             store: sf.require(SEC_STORE, i as u32).map_err(Error::Snapshot)?,
             bounds: sf.find(SEC_BOUNDS, i as u32),
+            blocks: sf.find(SEC_BLOCKS, i as u32),
         });
     }
     Ok(OpenedV4 {
@@ -202,6 +213,7 @@ fn backing_of(path: &Path, o: &OpenedV4) -> SnapshotBacking {
                     shard: s.shard,
                     store: s.store,
                     bounds: s.bounds,
+                    blocks: s.blocks,
                 })
             })
             .collect(),
@@ -259,12 +271,14 @@ impl Snapshot {
             meta: Vec<u8>,
             store: Vec<u8>,
             bounds: Option<Vec<u8>>,
+            blocks: Option<Vec<u8>>,
         }
         let encoded: Vec<EncodedShard> =
             koko_par::par_map(shards, threads, |_, shard| EncodedShard {
                 meta: shard.encode_meta_section(),
                 store: shard.store().to_bytes(),
                 bounds: shard.bound_stats().map(|b| b.encode_section()),
+                blocks: shard.block_stats().map(|b| b.encode_section()),
             });
         let mut w = SectionWriter::new();
         w.add_section(SEC_EMBED, 0, &self.embeddings().to_bytes());
@@ -275,6 +289,9 @@ impl Snapshot {
             w.add_section(SEC_STORE, i as u32, &enc.store);
             if let Some(b) = &enc.bounds {
                 w.add_section(SEC_BOUNDS, i as u32, b);
+            }
+            if let Some(b) = &enc.blocks {
+                w.add_section(SEC_BLOCKS, i as u32, b);
             }
         }
         let image = koko_storage::SharedBytes::from_vec(w.finish());
@@ -290,6 +307,7 @@ impl Snapshot {
                     shard: sf.require(SEC_SHARD, i as u32).expect("just written"),
                     store: sf.require(SEC_STORE, i as u32).expect("just written"),
                     bounds: sf.find(SEC_BOUNDS, i as u32),
+                    blocks: sf.find(SEC_BLOCKS, i as u32),
                 })
             })
             .collect();
@@ -328,6 +346,9 @@ impl Snapshot {
                     if let Some(bounds) = r.bounds {
                         keep.push(bounds);
                     }
+                    if let Some(blocks) = r.blocks {
+                        keep.push(blocks);
+                    }
                 }
                 None => {
                     // Changed since the file was written (regrown or new
@@ -338,6 +359,9 @@ impl Snapshot {
                     new.push((SEC_STORE, i as u32, shard.store().to_bytes()));
                     if let Some(bounds) = shard.bound_stats() {
                         new.push((SEC_BOUNDS, i as u32, bounds.encode_section()));
+                    }
+                    if let Some(blocks) = shard.block_stats() {
+                        new.push((SEC_BLOCKS, i as u32, blocks.encode_section()));
                     }
                 }
             }
@@ -358,6 +382,7 @@ impl Snapshot {
                     shard: *table.find(SEC_SHARD, i)?,
                     store: *table.find(SEC_STORE, i)?,
                     bounds: table.find(SEC_BOUNDS, i).copied(),
+                    blocks: table.find(SEC_BLOCKS, i).copied(),
                 })
             })
             .collect::<Option<Vec<_>>>()
@@ -860,6 +885,8 @@ mod tests {
         for (a, b) in loaded.shards().iter().zip(koko.snapshot().shards()) {
             let got = a.bound_stats().expect("saved snapshots carry stats");
             assert_eq!(got, b.bound_stats().unwrap());
+            let blocks = a.block_stats().expect("saved snapshots carry block stats");
+            assert_eq!(blocks, b.block_stats().unwrap());
         }
         // Re-saving a loaded snapshot to a fresh path reproduces the file
         // byte-for-byte (stats included).
@@ -893,6 +920,10 @@ mod tests {
         assert!(
             loaded.shards().iter().all(|s| s.bound_stats().is_none()),
             "pre-v3 files carry no stats"
+        );
+        assert!(
+            loaded.shards().iter().all(|s| s.block_stats().is_none()),
+            "payload-framed files carry no block stats"
         );
         assert_eq!(
             loaded.corpus().num_documents(),
@@ -987,6 +1018,7 @@ mod tests {
         for (a, b) in mapped.try_shards().unwrap().iter().zip(eager.shards()) {
             assert_eq!(a.to_bytes(), b.to_bytes());
             assert_eq!(a.bound_stats(), b.bound_stats());
+            assert_eq!(a.block_stats(), b.block_stats());
         }
         assert_eq!(
             mapped.try_corpus().unwrap().num_sentences(),

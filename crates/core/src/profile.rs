@@ -40,6 +40,19 @@ pub struct Profile {
     /// into `docs_skipped` totals per shard, but `bound_skipped_docs`
     /// records only the bound-driven subset.
     pub bound_skipped_docs: usize,
+    /// Candidate documents skipped under `ScoreDesc` top-k by the
+    /// *block-max* refinement: the document's 128-doc block bound (a
+    /// tighter, per-block analogue of the shard bound) proved it either
+    /// row-free or unable to beat the heap floor, while the shard-wide
+    /// bound alone could not. Disjoint from
+    /// [`Profile::bound_skipped_docs`]; both are subsets of
+    /// [`Profile::docs_skipped`].
+    pub block_bound_skipped_docs: usize,
+    /// Galloping probes the DPLI candidate stream performed: sorted-list
+    /// positions inspected while intersecting posting cursors
+    /// (exponential probe + binary search). The streamed analogue of a
+    /// comparison count — lower means the skips paid off.
+    pub gallop_probes: usize,
     /// Rows whose aggregated score fell below
     /// [`QueryRequest::min_score`](crate::QueryRequest::min_score) and were
     /// dropped inside the aggregation stage (never merged or returned).
@@ -101,6 +114,8 @@ impl Profile {
         self.docs_skipped += other.docs_skipped;
         self.candidates_skipped += other.candidates_skipped;
         self.bound_skipped_docs += other.bound_skipped_docs;
+        self.block_bound_skipped_docs += other.block_bound_skipped_docs;
+        self.gallop_probes += other.gallop_probes;
         self.min_score_pruned += other.min_score_pruned;
         self.compiled_cache_hits += other.compiled_cache_hits;
         self.compiled_cache_misses += other.compiled_cache_misses;
@@ -151,6 +166,8 @@ mod tests {
             docs_skipped: 1,
             candidates_skipped: 2,
             bound_skipped_docs: 5,
+            block_bound_skipped_docs: 6,
+            gallop_probes: 7,
             min_score_pruned: 3,
             compiled_cache_hits: 1,
             compiled_cache_misses: 0,
@@ -170,6 +187,8 @@ mod tests {
             docs_skipped: 10,
             candidates_skipped: 20,
             bound_skipped_docs: 50,
+            block_bound_skipped_docs: 60,
+            gallop_probes: 70,
             min_score_pruned: 30,
             compiled_cache_hits: 2,
             compiled_cache_misses: 3,
@@ -185,6 +204,8 @@ mod tests {
         assert_eq!(a.docs_skipped, 11);
         assert_eq!(a.candidates_skipped, 22);
         assert_eq!(a.bound_skipped_docs, 55);
+        assert_eq!(a.block_bound_skipped_docs, 66);
+        assert_eq!(a.gallop_probes, 77);
         assert_eq!(a.min_score_pruned, 33);
         assert_eq!(a.compiled_cache_hits, 3);
         assert_eq!(a.compiled_cache_misses, 3);

@@ -269,4 +269,15 @@ pub struct ShardExplain {
     /// [`ShardExplain::heap_floor`]. Subset of the skipped-document
     /// totals in [`Profile`](crate::Profile).
     pub bound_skipped_docs: usize,
+    /// Candidate documents skipped by the *block-max* refinement: the
+    /// document's 128-doc block bound proved it row-free or unable to
+    /// beat the heap floor while the shard-wide bound alone could not.
+    /// Disjoint from [`ShardExplain::bound_skipped_docs`]; zero when the
+    /// snapshot carries no block statistics (pre-v4 formats or stripped
+    /// sections).
+    pub block_bound_skipped_docs: usize,
+    /// Galloping probes the DPLI candidate stream performed while
+    /// intersecting this shard's posting cursors (exponential probe +
+    /// binary search positions inspected).
+    pub probes: usize,
 }

@@ -131,6 +131,7 @@ pub(crate) struct PersistedShardRef {
     pub shard: SectionEntry,
     pub store: SectionEntry,
     pub bounds: Option<SectionEntry>,
+    pub blocks: Option<SectionEntry>,
 }
 
 /// Identity + section map of the v4 file this snapshot came from (or was

@@ -83,7 +83,7 @@ impl KokoIndex {
         let (pl, plid) = HierarchyIndex::<ParseLabel>::build(corpus, &token_base);
         let (pos, posid) = HierarchyIndex::<PosTag>::build(corpus, &token_base);
 
-        KokoIndex {
+        let idx = KokoIndex {
             heap,
             token_base,
             num_sentences: corpus.num_sentences() as u32,
@@ -94,7 +94,29 @@ impl KokoIndex {
             entity_by_type,
             pl,
             pos,
-        }
+        };
+        // The sortedness contract DPLI's galloping cursors seek over:
+        // every posting list this index hands out must yield
+        // nondecreasing sentence ids. The sid-ordered corpus loop above
+        // guarantees it; assert at the boundary so a future build change
+        // that breaks the ordering fails loudly in debug builds instead
+        // of silently dropping candidates.
+        debug_assert!(idx.posting_lists_are_sid_sorted());
+        idx
+    }
+
+    /// Whether every word-index and per-type entity posting list yields
+    /// nondecreasing sentence ids — the ordering DPLI's cursor-based
+    /// intersection requires. `O(index)`; meant for debug assertions and
+    /// tests, not the query path.
+    fn posting_lists_are_sid_sorted(&self) -> bool {
+        self.word.iter().all(|(_, refs)| {
+            refs.windows(2)
+                .all(|w| self.heap[w[0] as usize].sid <= self.heap[w[1] as usize].sid)
+        }) && self
+            .entity_by_type
+            .iter()
+            .all(|list| list.windows(2).all(|w| w[0].sid <= w[1].sid))
     }
 
     /// Resolve a heap reference to its posting quintuple.
@@ -131,6 +153,13 @@ impl KokoIndex {
                 all
             }
         }
+    }
+
+    /// Borrowed per-type entity posting list (corpus insertion order,
+    /// nondecreasing in sid) — the allocation-free counterpart of
+    /// [`KokoIndex::entities_of_type`] that DPLI's cursors stream from.
+    pub fn entity_postings_of_type(&self, etype: EntityType) -> &[EntityPosting] {
+        &self.entity_by_type[etype as usize]
     }
 
     /// Iterate distinct entity strings with their postings.
@@ -798,6 +827,42 @@ mod tests {
         // Truncations error rather than panic.
         for cut in (0..bytes.len()).step_by(97) {
             assert!(KokoIndex::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn build_emits_sid_sorted_posting_lists() {
+        // The DPLI galloping cursors seek over raw posting lists assuming
+        // nondecreasing sids; this pins the contract against future
+        // `build` changes (decoded indices re-check via the same helper
+        // behind `validate_references`' bounds checks).
+        let idx = KokoIndex::build(&corpus());
+        assert!(idx.posting_lists_are_sid_sorted());
+        for (word, refs) in idx.word.iter() {
+            let sids: Vec<Sid> = refs.iter().map(|&r| idx.posting(r).sid).collect();
+            assert!(
+                sids.windows(2).all(|w| w[0] <= w[1]),
+                "word {word:?} posting refs out of sid order: {sids:?}"
+            );
+        }
+        for (ti, list) in idx.entity_by_type.iter().enumerate() {
+            assert!(
+                list.windows(2).all(|w| w[0].sid <= w[1].sid),
+                "entity type {ti} posting list out of sid order"
+            );
+        }
+        // A deliberately shuffled list must trip the checker: the test
+        // fails meaningfully if the helper ever degrades to `true`.
+        let mut broken = idx.clone();
+        for list in broken.entity_by_type.iter_mut() {
+            list.reverse();
+        }
+        if broken
+            .entity_by_type
+            .iter()
+            .any(|l| l.windows(2).any(|w| w[0].sid > w[1].sid))
+        {
+            assert!(!broken.posting_lists_are_sid_sorted());
         }
     }
 

@@ -27,5 +27,8 @@ pub use api::{effectiveness, ground_truth_sids, CandidateIndex};
 pub use hierarchy::{HierLabel, HierarchyIndex};
 pub use inverted::InvertedIndex;
 pub use koko::KokoIndex;
-pub use shard::{build_shards, plan_shards, Shard, ShardBoundStats, ShardRouter};
+pub use shard::{
+    build_shards, plan_shards, BlockBoundStats, BlockVocab, Shard, ShardBoundStats, ShardRouter,
+    TokenVocab, BLOCK_DOCS,
+};
 pub use subtree::SubtreeIndex;

@@ -199,6 +199,248 @@ impl Codec for ShardBoundStats {
     }
 }
 
+/// A token-vocabulary view that can answer "could this word occur in the
+/// covered document range?" — the interface score-bound derivation is
+/// generic over, so one bound formula serves both shard-level
+/// ([`ShardBoundStats`]) and block-level ([`BlockVocab`]) statistics.
+///
+/// `false` must be a proof of absence; `true` merely "not impossible"
+/// (hash collisions stay conservative).
+pub trait TokenVocab {
+    /// Whether the (lower-cased) word could occur in the covered range.
+    fn has_token(&self, lower: &str) -> bool;
+
+    /// Whether every word of a (lower-cased) sequence could occur in the
+    /// covered range. An empty sequence is infeasible (no condition
+    /// matches on nothing).
+    fn has_all_tokens<'a, I: IntoIterator<Item = &'a str>>(&self, words: I) -> bool {
+        let mut any = false;
+        for w in words {
+            any = true;
+            if !self.has_token(w) {
+                return false;
+            }
+        }
+        any
+    }
+}
+
+impl TokenVocab for ShardBoundStats {
+    fn has_token(&self, lower: &str) -> bool {
+        ShardBoundStats::has_token(self, lower)
+    }
+}
+
+/// Documents per block-max block: each block of this many consecutive
+/// local documents gets its own token vocabulary in [`BlockBoundStats`].
+/// Small enough that one high-scoring document only "protects" its own
+/// 32-doc neighbourhood from pruning — shards here typically hold a few
+/// hundred documents, so this keeps several blocks per shard even at
+/// small corpus scales; large enough that the per-block vocabularies
+/// stay a small fraction of the shard's index size.
+pub const BLOCK_DOCS: u32 = 32;
+
+/// Per-block token statistics — the block-max refinement of
+/// [`ShardBoundStats`]. The shard's documents are partitioned into fixed
+/// blocks of [`BLOCK_DOCS`] consecutive local docs; each block records
+/// its own sorted, deduplicated FNV-1a64 token-hash vocabulary, so the
+/// ranked executor can bound the best score any document *in that block*
+/// could reach and skip whole doc ranges that survive the coarser shard
+/// bound.
+///
+/// Layout is one flat `u64` array (zero-copy out of a mapped v4
+/// `SEC_BLOCKS` section):
+///
+/// ```text
+/// [ block_size, num_blocks,
+///   offsets[0..=num_blocks],   // hash-array offsets, offsets[0] == 0
+///   hashes[..] ]               // per-block sorted distinct hashes
+/// ```
+///
+/// Like the shard stats, blocks are *necessary-condition* sound and live
+/// outside [`Shard`]'s codec frame; a snapshot without a blocks section
+/// loads with `None` and queries fall back to shard-level bounds only —
+/// byte-identical answers, just less pruning.
+#[derive(Debug, Clone, Default)]
+pub struct BlockBoundStats {
+    /// The flat `u64` words described above.
+    words: HashStore,
+}
+
+impl PartialEq for BlockBoundStats {
+    fn eq(&self, other: &BlockBoundStats) -> bool {
+        self.words() == other.words()
+    }
+}
+impl Eq for BlockBoundStats {}
+
+impl BlockBoundStats {
+    fn words(&self) -> &[u64] {
+        match &self.words {
+            HashStore::Owned(v) => v,
+            HashStore::View(v) => v.as_slice(),
+        }
+    }
+
+    /// Collect per-block vocabularies for `docs` (the documents of one
+    /// shard), `block_size` consecutive docs per block. Deterministic:
+    /// depends only on the documents' tokens and the block size.
+    pub fn from_docs(docs: &[std::sync::Arc<Document>], block_size: u32) -> BlockBoundStats {
+        assert!(block_size >= 1, "block size must be positive");
+        let num_blocks = docs.len().div_ceil(block_size as usize);
+        let mut words: Vec<u64> = Vec::with_capacity(2 + num_blocks + 1);
+        words.push(block_size as u64);
+        words.push(num_blocks as u64);
+        words.push(0); // offsets[0]
+        let offsets_at = words.len() - 1;
+        let mut hashes: Vec<u64> = Vec::new();
+        for chunk in docs.chunks(block_size as usize) {
+            let mut block: Vec<u64> = chunk
+                .iter()
+                .flat_map(|d| d.sentences.iter())
+                .flat_map(|s| s.tokens.iter())
+                .map(|t| fnv1a64(t.lower.as_bytes()))
+                .collect();
+            block.sort_unstable();
+            block.dedup();
+            hashes.extend_from_slice(&block);
+            words.push(hashes.len() as u64);
+        }
+        debug_assert_eq!(words.len() - offsets_at, num_blocks + 1);
+        words.extend_from_slice(&hashes);
+        BlockBoundStats {
+            words: HashStore::Owned(words),
+        }
+    }
+
+    /// Documents per block.
+    pub fn block_size(&self) -> u32 {
+        self.words()[0] as u32
+    }
+
+    /// Number of blocks (`ceil(num_docs / block_size)`).
+    pub fn num_blocks(&self) -> usize {
+        self.words()[1] as usize
+    }
+
+    /// The block containing *local* document `local_doc`.
+    pub fn block_of_doc(&self, local_doc: u32) -> usize {
+        (local_doc / self.block_size()) as usize
+    }
+
+    fn offsets(&self) -> &[u64] {
+        &self.words()[2..2 + self.num_blocks() + 1]
+    }
+
+    fn hashes(&self) -> &[u64] {
+        &self.words()[2 + self.num_blocks() + 1..]
+    }
+
+    /// The token vocabulary of one block, as a [`TokenVocab`] the bound
+    /// derivation can use in place of the shard-level stats.
+    pub fn block(&self, block: usize) -> BlockVocab<'_> {
+        let offsets = self.offsets();
+        BlockVocab {
+            hashes: &self.hashes()[offsets[block] as usize..offsets[block + 1] as usize],
+        }
+    }
+
+    /// Total distinct (block, token) pairs tracked (diagnostics only).
+    pub fn num_tokens(&self) -> usize {
+        self.hashes().len()
+    }
+
+    /// Encode as a v4 `SEC_BLOCKS` section: the flat `u64` array as raw
+    /// LE words. Section starts are 8-aligned, so a mapped open serves
+    /// the whole array as a [`U64View`] without copying.
+    pub fn encode_section(&self) -> Vec<u8> {
+        let words = self.words();
+        let mut out = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a v4 `SEC_BLOCKS` section, zero-copy when the backing is
+    /// 8-aligned (mapped sections are) with an owned-copy fallback.
+    /// Every structural invariant — offset monotonicity, hash-array
+    /// extent, per-block sortedness — is validated in O(n): hostile
+    /// bytes must yield errors, not unsound bounds.
+    pub fn decode_section(bytes: SharedBytes) -> Result<BlockBoundStats, DecodeError> {
+        if !bytes.len().is_multiple_of(8) {
+            return Err(DecodeError(format!(
+                "blocks section length {} is not a multiple of 8",
+                bytes.len()
+            )));
+        }
+        let words = match U64View::new(bytes.clone()) {
+            Some(view) => HashStore::View(view),
+            None => HashStore::Owned(
+                bytes
+                    .as_slice()
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("sized")))
+                    .collect(),
+            ),
+        };
+        let stats = BlockBoundStats { words };
+        let words = stats.words();
+        if words.len() < 3 {
+            return Err(DecodeError(format!(
+                "blocks section holds {} words, need at least 3",
+                words.len()
+            )));
+        }
+        if words[0] == 0 || words[0] > u32::MAX as u64 {
+            return Err(DecodeError(format!("bad block size {}", words[0])));
+        }
+        let num_blocks = words[1];
+        let header_words = (num_blocks as usize)
+            .checked_add(3)
+            .filter(|&n| n <= words.len());
+        if header_words.is_none() {
+            return Err(DecodeError(format!(
+                "blocks section declares {num_blocks} blocks but holds {} words",
+                words.len()
+            )));
+        }
+        let offsets = stats.offsets();
+        let hashes = stats.hashes();
+        if offsets[0] != 0
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || *offsets.last().expect("nonempty") != hashes.len() as u64
+        {
+            return Err(DecodeError(
+                "blocks section offsets are not a monotone cover of the hash array".into(),
+            ));
+        }
+        for b in 0..stats.num_blocks() {
+            if stats.block(b).hashes.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(DecodeError(format!(
+                    "block {b} token hashes are not sorted and distinct"
+                )));
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// One block's token vocabulary — a borrowed [`TokenVocab`] over the
+/// block's sorted hash slice. See [`BlockBoundStats::block`].
+#[derive(Debug, Clone, Copy)]
+pub struct BlockVocab<'a> {
+    hashes: &'a [u64],
+}
+
+impl TokenVocab for BlockVocab<'_> {
+    fn has_token(&self, lower: &str) -> bool {
+        self.hashes
+            .binary_search(&fnv1a64(lower.as_bytes()))
+            .is_ok()
+    }
+}
+
 /// One contiguous document partition with its own index and store.
 #[derive(Debug, Clone)]
 pub struct Shard {
@@ -216,6 +458,11 @@ pub struct Shard {
     /// then use the conservative bound). Excluded from the shard's own
     /// codec frame so shard bytes are version-independent.
     bounds: Option<ShardBoundStats>,
+    /// Block-max statistics (see [`BlockBoundStats`]). Always present on
+    /// built shards; `None` after decoding a snapshot without a blocks
+    /// section (queries then prune at shard granularity only). Excluded
+    /// from the codec frame, like `bounds`.
+    blocks: Option<BlockBoundStats>,
     /// *Local* first-sentence-id per local document, plus one sentinel
     /// holding the shard's sentence count — the shard-local analogue of
     /// `Corpus::doc_first_sid`, so the executor can translate sid↔doc
@@ -264,6 +511,7 @@ impl Shard {
             store.put(d);
         }
         let bounds = Some(ShardBoundStats::from_docs(docs));
+        let blocks = Some(BlockBoundStats::from_docs(docs, BLOCK_DOCS));
         let mut doc_sid_starts = Vec::with_capacity(docs.len() + 1);
         let mut at: Sid = 0;
         for d in docs {
@@ -278,6 +526,7 @@ impl Shard {
             index,
             store,
             bounds,
+            blocks,
             doc_sid_starts,
         }
     }
@@ -339,6 +588,7 @@ impl Shard {
             index,
             store,
             bounds,
+            blocks: None,
             doc_sid_starts,
         })
     }
@@ -434,6 +684,21 @@ impl Shard {
         self.bounds = stats;
     }
 
+    /// Block-max statistics, if available. Built shards always carry
+    /// them; shards decoded from snapshots without a blocks section
+    /// return `None` and the ranked executor prunes at shard granularity
+    /// only.
+    pub fn block_stats(&self) -> Option<&BlockBoundStats> {
+        self.blocks.as_ref()
+    }
+
+    /// Attach block-max statistics decoded from a snapshot's blocks
+    /// section (the load path — like [`Shard::set_bound_stats`], blocks
+    /// travel outside the shard's codec frame).
+    pub fn set_block_stats(&mut self, blocks: Option<BlockBoundStats>) {
+        self.blocks = blocks;
+    }
+
     /// Encode the v4 `SEC_SHARD` section: the shard's identity + ranges +
     /// index frame, *without* the document store (which gets its own
     /// `SEC_STORE` section so article bytes can stay unmaterialized in
@@ -451,12 +716,15 @@ impl Shard {
 
     /// Rebuild a shard from its v4 sections: the `SEC_SHARD` meta bytes,
     /// the `SEC_STORE` bytes (decoded as zero-copy views into the
-    /// backing), and optional pre-decoded bounds. Validation is shared
-    /// with the payload path via [`Shard::assemble`].
+    /// backing), and optional pre-decoded bounds / block-max stats.
+    /// Validation is shared with the payload path via
+    /// [`Shard::assemble`]; blocks are additionally checked to cover the
+    /// shard's document range exactly.
     pub fn decode_sections(
         meta: &[u8],
         store_bytes: SharedBytes,
         bounds: Option<ShardBoundStats>,
+        blocks: Option<BlockBoundStats>,
     ) -> Result<Shard, DecodeError> {
         let input = &mut &meta[..];
         let id = u64::decode(input)? as usize;
@@ -470,7 +738,21 @@ impl Shard {
             )));
         }
         let store = DocStore::decode_view(store_bytes)?;
-        Shard::assemble(id, docs, sids, index, store, bounds)
+        let mut shard = Shard::assemble(id, docs, sids, index, store, bounds)?;
+        if let Some(b) = &blocks {
+            let expected = shard.num_documents().div_ceil(b.block_size() as usize);
+            if b.num_blocks() != expected {
+                return Err(DecodeError(format!(
+                    "shard {id} blocks section covers {} blocks for {} documents \
+                     at block size {} (expected {expected})",
+                    b.num_blocks(),
+                    shard.num_documents(),
+                    b.block_size()
+                )));
+            }
+        }
+        shard.set_block_stats(blocks);
+        Ok(shard)
     }
 }
 
@@ -897,11 +1179,14 @@ mod tests {
         let c = corpus(4);
         let shard = build_shards(&c, 1, 1).remove(0);
         assert!(shard.bound_stats().is_some());
+        assert!(shard.block_stats().is_some());
         let mut stripped = shard.clone();
         stripped.set_bound_stats(None);
+        stripped.set_block_stats(None);
         assert_eq!(shard.to_bytes(), stripped.to_bytes());
         let back = Shard::from_bytes(&shard.to_bytes()).unwrap();
         assert!(back.bound_stats().is_none());
+        assert!(back.block_stats().is_none());
     }
 
     #[test]
@@ -936,9 +1221,11 @@ mod tests {
             let meta = shard.encode_meta_section();
             let store_bytes = SharedBytes::from_vec(shard.store().to_bytes());
             let bounds = shard.bound_stats().cloned();
-            let back = Shard::decode_sections(&meta, store_bytes, bounds).unwrap();
+            let blocks = shard.block_stats().cloned();
+            let back = Shard::decode_sections(&meta, store_bytes, bounds, blocks).unwrap();
             assert_eq!(back.to_bytes(), shard.to_bytes(), "byte-identical");
             assert_eq!(back.bound_stats(), shard.bound_stats());
+            assert_eq!(back.block_stats(), shard.block_stats());
             for doc in back.doc_range() {
                 assert_eq!(
                     back.load_document(doc).unwrap(),
@@ -951,9 +1238,23 @@ mod tests {
             assert!(Shard::decode_sections(
                 &long,
                 SharedBytes::from_vec(shard.store().to_bytes()),
+                None,
                 None
             )
             .is_err());
+            // A blocks section that does not cover the doc range exactly
+            // is rejected (here: block stats for one doc too few).
+            if shard.num_documents() > 1 {
+                let c = corpus(shard.num_documents() - 1);
+                let wrong = BlockBoundStats::from_docs(c.documents(), 1);
+                assert!(Shard::decode_sections(
+                    &shard.encode_meta_section(),
+                    SharedBytes::from_vec(shard.store().to_bytes()),
+                    None,
+                    Some(wrong)
+                )
+                .is_err());
+            }
         }
     }
 
@@ -979,6 +1280,81 @@ mod tests {
         assert!(ShardBoundStats::decode_section(SharedBytes::from_vec(unsorted)).is_err());
         // Too-short section.
         assert!(ShardBoundStats::decode_section(SharedBytes::from_vec(vec![1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn block_stats_partition_the_vocabulary_by_doc_range() {
+        let c = corpus(7);
+        // Block size 3 over 7 docs: blocks cover docs [0..3), [3..6), [6..7).
+        let stats = BlockBoundStats::from_docs(c.documents(), 3);
+        assert_eq!(stats.block_size(), 3);
+        assert_eq!(stats.num_blocks(), 3);
+        assert_eq!(stats.block_of_doc(0), 0);
+        assert_eq!(stats.block_of_doc(2), 0);
+        assert_eq!(stats.block_of_doc(3), 1);
+        assert_eq!(stats.block_of_doc(6), 2);
+        // Doc 6 is an "Anna" doc (6 % 3 == 0) alone in the last block:
+        // its block sees "anna" but not "latte"; block 1 (docs 3..6,
+        // flavors latte/latte... doc 3 is Anna) sees both.
+        assert!(stats.block(2).has_token("anna"));
+        assert!(!stats.block(2).has_token("latte"));
+        assert!(stats.block(1).has_token("anna"));
+        assert!(stats.block(1).has_token("latte"));
+        // The empty phrase stays infeasible at block granularity too.
+        assert!(!stats.block(0).has_all_tokens(std::iter::empty::<&str>()));
+        assert!(stats.block(0).has_all_tokens(["anna", "ate", "cake"]));
+        // The union of block vocabularies is the shard vocabulary.
+        let shard_stats = ShardBoundStats::from_docs(c.documents());
+        for word in ["anna", "ate", "cake", "latte", "barista", "busy"] {
+            let in_any = (0..stats.num_blocks()).any(|b| stats.block(b).has_token(word));
+            assert_eq!(in_any, shard_stats.has_token(word), "word {word}");
+        }
+    }
+
+    #[test]
+    fn block_stats_section_round_trip_and_hostile_input() {
+        let c = corpus(9);
+        for block_size in [1u32, 2, 4, 128] {
+            let stats = BlockBoundStats::from_docs(c.documents(), block_size);
+            let sec = stats.encode_section();
+            let back = BlockBoundStats::decode_section(SharedBytes::from_vec(sec.clone())).unwrap();
+            assert_eq!(back, stats);
+            assert_eq!(back.encode_section(), sec);
+        }
+        // Empty shard: zero blocks, still round-trips.
+        let empty = BlockBoundStats::from_docs(&[], 128);
+        assert_eq!(empty.num_blocks(), 0);
+        let back =
+            BlockBoundStats::decode_section(SharedBytes::from_vec(empty.encode_section())).unwrap();
+        assert_eq!(back, empty);
+
+        let words_to_bytes = |words: &[u64]| {
+            let mut v = Vec::new();
+            for w in words {
+                v.extend_from_slice(&w.to_le_bytes());
+            }
+            SharedBytes::from_vec(v)
+        };
+        // Zero block size.
+        assert!(BlockBoundStats::decode_section(words_to_bytes(&[0, 0, 0])).is_err());
+        // Block count past the section's extent (offset array overruns).
+        assert!(BlockBoundStats::decode_section(words_to_bytes(&[128, u64::MAX, 0])).is_err());
+        assert!(BlockBoundStats::decode_section(words_to_bytes(&[128, 5, 0])).is_err());
+        // Offsets must start at 0, be monotone, and end at the hash count.
+        assert!(BlockBoundStats::decode_section(words_to_bytes(&[128, 1, 1, 1, 7])).is_err());
+        assert!(BlockBoundStats::decode_section(words_to_bytes(&[128, 2, 0, 2, 1, 7, 8])).is_err());
+        assert!(BlockBoundStats::decode_section(words_to_bytes(&[128, 1, 0, 2, 7])).is_err());
+        // Per-block hashes must be sorted and distinct.
+        assert!(BlockBoundStats::decode_section(words_to_bytes(&[128, 1, 0, 2, 9, 3])).is_err());
+        assert!(BlockBoundStats::decode_section(words_to_bytes(&[128, 1, 0, 2, 4, 4])).is_err());
+        // Non-multiple-of-8 and truncated sections.
+        assert!(BlockBoundStats::decode_section(SharedBytes::from_vec(vec![1, 2, 3])).is_err());
+        assert!(BlockBoundStats::decode_section(SharedBytes::from_vec(vec![0u8; 16])).is_err());
+        // Adjacent blocks may legitimately share a boundary hash value —
+        // dedup is per block, never across blocks.
+        let shared =
+            BlockBoundStats::decode_section(words_to_bytes(&[128, 2, 0, 1, 2, 5, 5])).unwrap();
+        assert_eq!(shared.num_blocks(), 2);
     }
 
     #[test]

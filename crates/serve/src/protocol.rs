@@ -514,8 +514,8 @@ pub fn explain_json(e: &Explain) -> String {
             None => out.push_str("null"),
         }
         out.push_str(&format!(
-            ",\"bound_skipped_docs\":{}}}",
-            s.bound_skipped_docs
+            ",\"bound_skipped_docs\":{},\"block_bound_skipped_docs\":{},\"probes\":{}}}",
+            s.bound_skipped_docs, s.block_bound_skipped_docs, s.probes
         ));
     }
     out.push_str("]}");
@@ -779,6 +779,8 @@ mod tests {
                     score_bound: 1.3,
                     heap_floor: Some(0.5),
                     bound_skipped_docs: 1,
+                    block_bound_skipped_docs: 2,
+                    probes: 9,
                     ..koko_core::ShardExplain::default()
                 }],
             }),
@@ -799,7 +801,7 @@ mod tests {
         assert!(extended.contains("\"explain\":{\"plans\":["), "{extended}");
         assert!(
             extended.contains(
-                "\"early_stopped\":true,\"score_bound\":1.3,\"heap_floor\":0.5,\"bound_skipped_docs\":1"
+                "\"early_stopped\":true,\"score_bound\":1.3,\"heap_floor\":0.5,\"bound_skipped_docs\":1,\"block_bound_skipped_docs\":2,\"probes\":9"
             ),
             "{extended}"
         );

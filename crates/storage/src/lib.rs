@@ -39,8 +39,8 @@ pub use docstore::DocStore;
 pub use mmap::Mmap;
 pub use section::{
     append_sections, write_sectioned_file, SectionEntry, SectionTable, SectionWriter,
-    SectionedFile, SECTIONED_VERSION, SEC_BOUNDS, SEC_EMBED, SEC_MANIFEST, SEC_ROUTER, SEC_SHARD,
-    SEC_STORE,
+    SectionedFile, SECTIONED_VERSION, SEC_BLOCKS, SEC_BOUNDS, SEC_EMBED, SEC_MANIFEST, SEC_ROUTER,
+    SEC_SHARD, SEC_STORE,
 };
 pub use snapshot_file::{
     is_snapshot_file, read_snapshot_file, read_snapshot_file_versioned, read_snapshot_version,

@@ -65,6 +65,11 @@ pub const SEC_STORE: u16 = 5;
 /// Section kind: per-shard score-bound hashes (`index` = shard slot);
 /// absent when the shard has no bound stats.
 pub const SEC_BOUNDS: u16 = 6;
+/// Section kind: per-shard block-max statistics — per-block token-hash
+/// vocabularies refining `SEC_BOUNDS` to fixed doc ranges (`index` =
+/// shard slot); absent when the shard has no block stats. Readers
+/// predating this kind skip it (unknown kinds are tolerated).
+pub const SEC_BLOCKS: u16 = 7;
 
 /// One row of the section table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

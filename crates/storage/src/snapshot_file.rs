@@ -232,7 +232,7 @@ pub(crate) fn atomic_publish(path: &Path, parts: &[&[u8]]) -> Result<(), Snapsho
 /// The write goes to a sibling temp file first and is renamed into place,
 /// so an interrupted save (crash, full disk) never destroys an existing
 /// good snapshot at `path` — rebuilds stay atomic on one filesystem. See
-/// [`atomic_publish`] for the durability invariant.
+/// `atomic_publish` for the durability invariant.
 pub fn write_snapshot_file(path: &Path, payload: &[u8]) -> Result<(), SnapshotFileError> {
     let mut header = Vec::with_capacity(SNAPSHOT_HEADER_LEN);
     header.extend_from_slice(SNAPSHOT_MAGIC);

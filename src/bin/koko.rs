@@ -318,11 +318,12 @@ fn print_request_summary(out: &koko::QueryOutput) {
         }
         for s in &explain.shards {
             println!(
-                "shard {:>2} ({}): lookups {} | candidates {} | docs {}/{} | tuples {} | rows {} | min_score pruned {} | early stop {} | bound {} | floor {} | bound skipped {}",
+                "shard {:>2} ({}): lookups {} | candidates {} | probes {} | docs {}/{} | tuples {} | rows {} | min_score pruned {} | early stop {} | bound {} | floor {} | bound skipped {} | block skipped {}",
                 s.shard,
                 if s.is_delta { "delta" } else { "base" },
                 s.lookups,
                 s.candidates,
+                s.probes,
                 s.docs_processed,
                 s.docs,
                 s.tuples,
@@ -333,6 +334,7 @@ fn print_request_summary(out: &koko::QueryOutput) {
                 s.heap_floor
                     .map_or_else(|| "-".to_string(), |f| f.to_string()),
                 s.bound_skipped_docs,
+                s.block_bound_skipped_docs,
             );
         }
     }

@@ -139,6 +139,9 @@ fn query_output_carries_the_documented_fields() {
     let _bound: f64 = s.score_bound;
     let _floor: Option<f64> = s.heap_floor;
     let _skipped: usize = s.bound_skipped_docs;
+    // Block-max refinement + streamed-intersection counters.
+    let _block_skipped: usize = s.block_bound_skipped_docs;
+    let _probes: usize = s.probes;
 }
 
 #[test]
@@ -210,6 +213,8 @@ fn profile_exposes_the_pruning_counters() {
         p.candidates_skipped,
         p.min_score_pruned,
         p.bound_skipped_docs,
+        p.block_bound_skipped_docs,
+        p.gallop_probes,
     );
     let _ = (
         p.candidate_sentences,

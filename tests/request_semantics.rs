@@ -522,3 +522,115 @@ proptest! {
         }
     }
 }
+
+/// Write a copy of the v4 snapshot at `src` with every block-statistics
+/// section (`SEC_BLOCKS`) dropped: the file still carries per-shard bound
+/// statistics, but the block-max refinement has nothing to work with —
+/// exactly the shape a pre-block-stats v4 writer would have produced.
+fn strip_block_sections(src: &std::path::Path, dst: &std::path::Path) {
+    use koko::storage::{write_sectioned_file, SectionWriter, SectionedFile, SEC_BLOCKS};
+    let sf = SectionedFile::open_mmap(src).unwrap();
+    let entries = sf.table().entries.clone();
+    let mut w = SectionWriter::new();
+    for e in &entries {
+        if e.kind == SEC_BLOCKS {
+            continue;
+        }
+        let bytes = sf.section_bytes(e).unwrap();
+        w.add_section(e.kind, e.index, bytes.as_slice());
+    }
+    write_sectioned_file(dst, &w.finish()).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The streamed executor (galloping DPLI intersection + block-max
+    /// pruning) returns rows byte-identical — content, order, scores —
+    /// to the force-materialized reference (the unlimited run, windowed
+    /// by hand), across random corpora, shard counts, both orders,
+    /// limits, offsets and `min_score` floors. The contract holds on
+    /// the in-memory engine (block statistics present), on a reloaded
+    /// v4 snapshot, and on the same snapshot with its `SEC_BLOCKS`
+    /// sections stripped (shard bounds only — no block-max pruning);
+    /// `total_matches` must agree whenever the run is not truncated.
+    #[test]
+    fn blockmax_streaming_matches_materialized_reference(
+        (n_docs, corpus_seed) in (1usize..14, 0u64..400),
+        (shards, qi) in (1usize..5, 0usize..5),
+        (offset, k) in (0usize..6, 1usize..8),
+        (floor_half, score_desc) in (0u32..4, any::<bool>()), // min_score = half * 0.25
+    ) {
+        let texts = koko::corpus::wiki::generate(n_docs, corpus_seed);
+        let koko = engine(&texts, shards, 0);
+        let q = PAPER_QUERIES[qi];
+        let order = if score_desc { Order::ScoreDesc } else { Order::DocOrder };
+        let floor = f64::from(floor_half) * 0.25;
+        let ctx = format!(
+            "{q} docs={n_docs} seed={corpus_seed} shards={shards} order={order:?} floor={floor} offset={offset} k={k}"
+        );
+
+        // Force-materialized reference: no limit ⇒ neither the bounded
+        // heap nor any bound pruning engages; window it by hand.
+        let full = QueryRequest::new(q)
+            .order(order)
+            .min_score(floor)
+            .run(&koko)
+            .unwrap();
+        prop_assert!(!full.truncated, "{}", &ctx);
+        let start = offset.min(full.rows.len());
+        let end = (start + k).min(full.rows.len());
+        let expected = render_rows(&full.rows[start..end]);
+
+        let check = |engine: &Koko, label: &str| -> Result<(), TestCaseError> {
+            let out = QueryRequest::new(q)
+                .order(order)
+                .min_score(floor)
+                .offset(offset)
+                .limit(k)
+                .run(engine)
+                .unwrap();
+            prop_assert_eq!(
+                render_rows(&out.rows),
+                expected.clone(),
+                "{} [{}]",
+                &ctx,
+                label
+            );
+            if !out.truncated {
+                prop_assert_eq!(out.total_matches, full.rows.len(), "{} [{}]", &ctx, label);
+            }
+            Ok(())
+        };
+        check(&koko, "in-memory")?;
+
+        let pid = std::process::id();
+        let v4 = std::env::temp_dir().join(format!(
+            "koko_blockmax_{pid}_{n_docs}_{corpus_seed}_{shards}.koko"
+        ));
+        koko.save(&v4).unwrap();
+        let reloaded = Koko::open(&v4).unwrap();
+        prop_assert!(
+            reloaded.snapshot().shards().iter().all(|s| s.block_stats().is_some()),
+            "{}: v4 saves must carry block statistics", &ctx
+        );
+        check(&reloaded, "v4 mmap")?;
+
+        let no_blocks = std::env::temp_dir().join(format!(
+            "koko_blockmax_nb_{pid}_{n_docs}_{corpus_seed}_{shards}.koko"
+        ));
+        strip_block_sections(&v4, &no_blocks);
+        let stripped = Koko::open(&no_blocks).unwrap();
+        std::fs::remove_file(&v4).ok();
+        std::fs::remove_file(&no_blocks).ok();
+        prop_assert!(
+            stripped
+                .snapshot()
+                .shards()
+                .iter()
+                .all(|s| s.block_stats().is_none() && s.bound_stats().is_some()),
+            "{}: stripped file must keep shard bounds but lose blocks", &ctx
+        );
+        check(&stripped, "v4 blocks-stripped")?;
+    }
+}
