@@ -70,6 +70,16 @@ struct ScalePoint {
     served_open_p50_ms: f64,
     served_open_p95_ms: f64,
     served_open_p99_ms: f64,
+    /// Cluster serving: the same corpus split across this many workers
+    /// behind a coordinator (`docs/CLUSTER.md`), driven by the same
+    /// query mix over real sockets.
+    cluster_workers: usize,
+    /// Warm closed-loop QPS through the coordinator — fan-out, merge and
+    /// the extra network hop included.
+    cluster_qps: f64,
+    /// Open-loop p99 through the coordinator at ~60% of the warm rate,
+    /// measured from the arrival schedule like `served_open_p99_ms`.
+    cluster_p99_ms: f64,
     /// Incremental ingest: documents added via `add_texts` in one wave.
     add_docs: usize,
     /// Wall-clock of that `add_texts` wave.
@@ -122,7 +132,7 @@ struct ScalePoint {
 impl ScalePoint {
     fn json(&self) -> String {
         format!(
-            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"cold_open_eager_s\":{:.6},\"cold_open_mmap_s\":{:.6},\"mmap_open_speedup\":{:.3},\"first_query_cold_eager_s\":{:.6},\"first_query_cold_mmap_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"served_open_rate_rps\":{:.1},\"served_open_achieved_rps\":{:.1},\"served_open_p50_ms\":{:.3},\"served_open_p95_ms\":{:.3},\"served_open_p99_ms\":{:.3},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6},\"query_full_warm_s\":{:.6},\"query_limit10_s\":{:.6},\"topk_speedup\":{:.3},\"limit10_docs_skipped\":{},\"query_scoredesc_limit10_s\":{:.6},\"scoredesc_topk_speedup\":{:.3},\"bound_skipped_docs\":{},\"query_blockmax_full_s\":{:.6},\"query_blockmax_limit10_s\":{:.6},\"query_blockmax_shardonly_s\":{:.6},\"blockmax_topk_speedup\":{:.3},\"blockmax_shardonly_topk_speedup\":{:.3},\"block_bound_skipped_docs\":{},\"candidates_streamed\":{},\"dpli_intersect_s\":{:.6}}}",
+            "{{\"articles\":{},\"shards\":{},\"ingest_seq_s\":{:.6},\"ingest_par_s\":{:.6},\"query_seq_s\":{:.6},\"query_par_s\":{:.6},\"ingest_speedup\":{:.3},\"query_speedup\":{:.3},\"e2e_speedup\":{:.3},\"save_s\":{:.6},\"load_s\":{:.6},\"cold_open_eager_s\":{:.6},\"cold_open_mmap_s\":{:.6},\"mmap_open_speedup\":{:.3},\"first_query_cold_eager_s\":{:.6},\"first_query_cold_mmap_s\":{:.6},\"file_bytes\":{},\"build_vs_load\":{:.3},\"served_clients\":{},\"served_cold_qps\":{:.1},\"served_warm_1_qps\":{:.1},\"served_warm_n_qps\":{:.1},\"served_open_rate_rps\":{:.1},\"served_open_achieved_rps\":{:.1},\"served_open_p50_ms\":{:.3},\"served_open_p95_ms\":{:.3},\"served_open_p99_ms\":{:.3},\"cluster_workers\":{},\"cluster_qps\":{:.1},\"cluster_p99_ms\":{:.3},\"add_docs\":{},\"add_s\":{:.6},\"rebuild_s\":{:.6},\"add_vs_rebuild\":{:.3},\"add_docs_per_s\":{:.1},\"rebuild_docs_per_s\":{:.1},\"query_delta_s\":{:.6},\"query_compacted_s\":{:.6},\"query_full_warm_s\":{:.6},\"query_limit10_s\":{:.6},\"topk_speedup\":{:.3},\"limit10_docs_skipped\":{},\"query_scoredesc_limit10_s\":{:.6},\"scoredesc_topk_speedup\":{:.3},\"bound_skipped_docs\":{},\"query_blockmax_full_s\":{:.6},\"query_blockmax_limit10_s\":{:.6},\"query_blockmax_shardonly_s\":{:.6},\"blockmax_topk_speedup\":{:.3},\"blockmax_shardonly_topk_speedup\":{:.3},\"block_bound_skipped_docs\":{},\"candidates_streamed\":{},\"dpli_intersect_s\":{:.6}}}",
             self.articles,
             self.shards,
             self.ingest_seq.as_secs_f64(),
@@ -153,6 +163,9 @@ impl ScalePoint {
             self.served_open_p50_ms,
             self.served_open_p95_ms,
             self.served_open_p99_ms,
+            self.cluster_workers,
+            self.cluster_qps,
+            self.cluster_p99_ms,
             self.add_docs,
             self.add.as_secs_f64(),
             self.rebuild.as_secs_f64(),
@@ -250,6 +263,87 @@ fn serve_section(
 
     server.shutdown();
     (cold.qps, warm1.qps, warmn.qps, open)
+}
+
+/// Serve the same corpus as a 2-worker cluster behind a coordinator
+/// (`docs/CLUSTER.md`): contiguous document halves, sentence-id bases
+/// from the worker snapshots, fan-out + merge on every request. Returns
+/// `(workers, warm closed-loop QPS, open-loop p99 ms)` so the cost of
+/// the extra hop and the merge shows up next to the single-node numbers.
+fn cluster_section(
+    texts: &[String],
+    opts: EngineOpts,
+    queries: &[&str],
+    clients: usize,
+) -> (usize, f64, f64) {
+    use koko_cluster::{Coordinator, CoordinatorConfig, Mode, ShardMap, WorkerEntry};
+    const WARM_REPEAT: usize = 50;
+    let queries: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+    let mid = texts.len() / 2;
+    let e0 = Koko::from_texts_with_opts(&texts[..mid], opts);
+    let e1 = Koko::from_texts_with_opts(&texts[mid..], opts);
+    // Sentence ids are corpus-global: the tail worker's rows are remapped
+    // by the head worker's sentence count (see ShardMap::sid_base).
+    let sid_split = e0.snapshot().num_sentences() as u32;
+    let w0 = koko_serve::Server::bind(e0, "127.0.0.1:0", 0).expect("bind worker 0");
+    let w1 = koko_serve::Server::bind(e1, "127.0.0.1:0", 0).expect("bind worker 1");
+    let map = ShardMap {
+        version: 1,
+        epoch: 0,
+        mode: Mode::Partial,
+        workers: vec![
+            WorkerEntry {
+                name: "w0".into(),
+                addr: w0.local_addr().to_string(),
+                replicas: vec![],
+                doc_base: 0,
+                docs: mid as u32,
+                sid_base: 0,
+                snapshot: None,
+            },
+            WorkerEntry {
+                name: "w1".into(),
+                addr: w1.local_addr().to_string(),
+                replicas: vec![],
+                doc_base: mid as u32,
+                docs: (texts.len() - mid) as u32,
+                sid_base: sid_split,
+                snapshot: None,
+            },
+        ],
+    };
+    let workers = map.workers.len();
+    let coordinator =
+        Coordinator::bind(map, "127.0.0.1:0", CoordinatorConfig::default()).expect("bind frontend");
+    let addr = coordinator.local_addr().to_string();
+
+    // Cold pass fills the workers' caches, then the measured warm run.
+    let cold = koko_serve::run_load(&addr, &queries, 1, 1, true).expect("cold cluster load");
+    assert_eq!(cold.errors, 0, "cold cluster responses all ok");
+    let warm =
+        koko_serve::run_load(&addr, &queries, clients, WARM_REPEAT, true).expect("warm cluster");
+    assert_eq!(warm.errors, 0, "warm cluster responses all ok");
+
+    // Open loop at ~60% of the warm rate, as in `serve_section`.
+    let open_rate = (warm.qps * 0.6).max(50.0);
+    let open_requests = ((open_rate * 0.5) as usize).clamp(100, 4000);
+    let open = koko_serve::run_load_open(
+        &addr,
+        &queries,
+        clients,
+        open_requests,
+        open_rate,
+        true,
+        None,
+        None,
+    )
+    .expect("cluster open loop");
+    assert_eq!(open.errors, 0, "cluster open-loop responses all ok");
+
+    coordinator.shutdown();
+    w0.shutdown();
+    w1.shutdown();
+    (workers, warm.qps, open.p99.as_secs_f64() * 1e3)
 }
 
 fn main() {
@@ -557,6 +651,11 @@ fn main() {
         let (served_cold_qps, served_warm_1_qps, served_warm_n_qps, open) =
             serve_section(loaded.with_opts(serve_opts), &bench_queries, served_clients);
 
+        // Cluster serving: the same corpus split across two workers
+        // behind a coordinator, same query mix, real sockets.
+        let (cluster_workers, cluster_qps, cluster_p99_ms) =
+            cluster_section(&texts, serve_opts, &bench_queries, served_clients);
+
         let point = ScalePoint {
             articles: n,
             shards: par.num_shards(),
@@ -579,6 +678,9 @@ fn main() {
             served_open_p50_ms: open.p50.as_secs_f64() * 1e3,
             served_open_p95_ms: open.p95.as_secs_f64() * 1e3,
             served_open_p99_ms: open.p99.as_secs_f64() * 1e3,
+            cluster_workers,
+            cluster_qps,
+            cluster_p99_ms,
             add_docs: ADD_DOCS,
             add,
             rebuild,
@@ -801,6 +903,28 @@ fn main() {
         ]);
     }
     println!("(expected: achieved ≈ offered — the event loop keeps up below saturation — with single-digit-ms p50 and a bounded p99; latency is measured from the arrival schedule, so a server falling behind would show it in the tail)");
+
+    // ---- Cluster serving: coordinator fan-out over the same corpus ------
+    println!("\n## Cluster serving: 2-worker fan-out vs single node (warm cache)\n");
+    header(&[
+        "articles",
+        "workers",
+        "cluster qps",
+        "single-node qps",
+        "cluster p99",
+        "single p99",
+    ]);
+    for p in &points {
+        row(&[
+            p.articles.to_string(),
+            p.cluster_workers.to_string(),
+            format!("{:.0}", p.cluster_qps),
+            format!("{:.0}", p.served_warm_n_qps),
+            format!("{:.2}ms", p.cluster_p99_ms),
+            format!("{:.2}ms", p.served_open_p99_ms),
+        ]);
+    }
+    println!("(expected: the fan-out + merge hop costs throughput at this scale — the corpus fits one node — but answers stay byte-identical and p99 stays bounded; the cluster wins once a corpus outgrows one machine's memory)");
 
     // ---- JSON perf trajectory -------------------------------------------
     let json = format!(

@@ -1,0 +1,949 @@
+//! The coordinator: a wire-compatible front door that owns the
+//! [`ShardMap`] and answers the whole serve protocol by fanning out to
+//! the workers.
+//!
+//! Clients speak the exact single-node protocol to the coordinator —
+//! `Client` works unchanged — and get responses whose `rows` payload is
+//! byte-identical to a single server holding the whole corpus:
+//!
+//! * **Queries** fan out over the pooled, pipelined [`FanOut`]
+//!   connections. Each worker is asked for the first `offset + limit`
+//!   rows of its own range (offset 0 — the global window is cut after
+//!   the merge; see [`merge`]), replies are parsed, remapped by
+//!   `doc_base`, merged under the canonical order, and re-serialized
+//!   with the single-node writers. The reply shape mirrors the
+//!   single-node contract: no `opts` → legacy shape, `opts` →
+//!   extended shape, `opts.stream` → header/chunk/trailer frames.
+//! * **Deadlines** propagate: `opts.deadline_ms` bounds both the
+//!   worker-side evaluation and the coordinator's fan-out wait; without
+//!   one the coordinator's `default_deadline` bounds the wait.
+//! * **Failures** surface structurally. In [`Mode::Strict`] any worker
+//!   failure fails the query with an error naming the worker. In
+//!   [`Mode::Partial`] the surviving rows are returned with
+//!   `"partial":true` and an `explain.remote_shards` array carrying a
+//!   per-worker entry (healthy or failed, with RTT and retry counts).
+//!   Partial responses are never streamed — the caller must see the
+//!   `partial` flag on the first line.
+//! * **Writes** are sequenced under a writer lock and published in two
+//!   phases: `add` is forwarded to the tail worker (append-only ranges
+//!   keep the map contiguous) and, once the worker acknowledges, the
+//!   coordinator swaps in [`ShardMap::grown`] — queries pin the map
+//!   `Arc` at entry, so no query ever sees a torn epoch. `compact`
+//!   broadcasts to every worker and bumps the epoch the same way.
+//!   Writes are submitted non-retryable: resending an `add` after an
+//!   ambiguous disconnect could ingest documents twice.
+
+use crate::fanout::{FanOut, FanOutConfig, WorkerReply};
+use crate::map::{Mode, ShardMap};
+use crate::merge::{self, WorkerOutput};
+use koko_core::{Explain, Profile, QueryOutput, RemoteShardExplain};
+use koko_serve::json::{self, write_escaped, Json};
+use koko_serve::protocol::{
+    err_response, ok_response, opts_response, stream_chunk, stream_header, stream_trailer,
+    QueryOpts, Request, WireOrder,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Rows per streamed chunk frame (matches the single-node server).
+const STREAM_CHUNK_ROWS: usize = 256;
+
+/// Coordinator tuning.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Override the shard map's partial-failure mode (`None` = use the
+    /// map's).
+    pub mode: Option<Mode>,
+    /// Fan-out wait for queries that carry no `deadline_ms` of their
+    /// own.
+    pub default_deadline: Duration,
+    /// Fan-out wait for `add`/`compact` (writes rebuild shards and can
+    /// legitimately take much longer than queries).
+    pub write_deadline: Duration,
+    /// Connection-pool tuning (retries, backoff, connect timeout).
+    pub fanout: FanOutConfig,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> CoordinatorConfig {
+        CoordinatorConfig {
+            mode: None,
+            default_deadline: Duration::from_secs(10),
+            write_deadline: Duration::from_secs(60),
+            fanout: FanOutConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    /// The coordinator's own bound address (to self-connect and unblock
+    /// `accept` when a wire `shutdown` arrives).
+    addr: std::sync::OnceLock<SocketAddr>,
+    /// The published topology. Readers clone the `Arc` (pinning one
+    /// epoch for the whole query); writers swap the pointer under the
+    /// lock — the two-phase publish.
+    map: Mutex<Arc<ShardMap>>,
+    fanout: FanOut,
+    mode: Mode,
+    default_deadline: Duration,
+    write_deadline: Duration,
+    /// Sequences `add`/`compact` so epochs publish in order.
+    writer: Mutex<()>,
+    stop: AtomicBool,
+}
+
+/// A running coordinator listener. Dropping it (or calling
+/// [`Coordinator::shutdown`]) stops the accept loop; worker connections
+/// close with the pool.
+pub struct Coordinator {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Validate `map`, connect the fan-out pool, and start accepting
+    /// clients on `addr` (use port 0 to let the OS pick).
+    pub fn bind(
+        map: ShardMap,
+        addr: &str,
+        config: CoordinatorConfig,
+    ) -> std::io::Result<Coordinator> {
+        map.validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let endpoints: Vec<Vec<String>> = map.workers.iter().map(|w| w.endpoints()).collect();
+        let fanout = FanOut::new(endpoints, config.fanout)?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            addr: std::sync::OnceLock::new(),
+            mode: config.mode.unwrap_or(map.mode),
+            map: Mutex::new(Arc::new(map)),
+            fanout,
+            default_deadline: config.default_deadline,
+            write_deadline: config.write_deadline,
+            writer: Mutex::new(()),
+            stop: AtomicBool::new(false),
+        });
+        let _ = shared.addr.set(local_addr);
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("koko-coordinator".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if accept_shared.stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        // One-line replies must not sit in Nagle's buffer
+                        // waiting for the client's delayed ACK.
+                        let _ = stream.set_nodelay(true);
+                        let client_shared = Arc::clone(&accept_shared);
+                        let _ = thread::Builder::new()
+                            .name("koko-coordinator-client".into())
+                            .spawn(move || {
+                                let _ = serve_client(&client_shared, stream);
+                            });
+                    }
+                    Err(_) => {
+                        if accept_shared.stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            })?;
+        Ok(Coordinator {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.map.lock().unwrap().epoch
+    }
+
+    /// A snapshot of the currently published shard map.
+    pub fn shard_map(&self) -> ShardMap {
+        (**self.shared.map.lock().unwrap()).clone()
+    }
+
+    /// Block until the coordinator stops (a wire `shutdown` request, or
+    /// [`Coordinator::shutdown`] from another thread via a clone — the
+    /// accept loop exiting for any reason).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stop accepting clients and join the accept loop. In-flight
+    /// client threads finish their current line and exit on the next
+    /// read.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_accepting(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_client(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frames = match Request::decode(&line) {
+            Err(e) => vec![err_response(0, &e)],
+            Ok(Request::Ping { id }) => {
+                vec![format!("{{\"id\":{id},\"ok\":true,\"pong\":true}}")]
+            }
+            Ok(Request::Stats { id }) => vec![stats_line(shared, id)],
+            Ok(Request::Shutdown { id }) => {
+                let reply = format!("{{\"id\":{id},\"ok\":true,\"stopping\":true}}");
+                writer.write_all(reply.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                shared.stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so the process can exit.
+                if let Some(addr) = shared.addr.get() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return Ok(());
+            }
+            Ok(Request::Add { id, texts }) => vec![handle_add(shared, id, texts)],
+            Ok(Request::Compact { id }) => vec![handle_compact(shared, id)],
+            Ok(Request::Query {
+                id,
+                text,
+                cache,
+                opts,
+                auth,
+            }) => handle_query(shared, id, &text, cache, opts, auth.as_deref()),
+        };
+        for frame in frames {
+            writer.write_all(frame.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+    }
+}
+
+fn stats_line(shared: &Shared, id: u64) -> String {
+    let map = shared.map.lock().unwrap().clone();
+    let mut out = format!(
+        "{{\"id\":{id},\"ok\":true,\"cluster\":true,\"epoch\":{},\"mode\":\"{}\",\"workers\":{},\"documents\":{},\"stats\":{{\"workers\":[",
+        map.epoch,
+        shared.mode.as_str(),
+        map.workers.len(),
+        map.total_docs(),
+    );
+    for (i, w) in map.workers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_escaped(&mut out, &w.name);
+        out.push_str(",\"addr\":");
+        write_escaped(&mut out, &w.addr);
+        out.push_str(&format!(
+            ",\"replicas\":{},\"doc_base\":{},\"docs\":{}}}",
+            w.replicas.len(),
+            w.doc_base,
+            w.docs
+        ));
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// One worker's fate for a fanned-out query: its parsed output when the
+/// round trip succeeded, or the structured error text.
+struct WorkerResult {
+    out: Option<WorkerOutput>,
+    error: Option<String>,
+    addr: String,
+    rtt: Duration,
+    retries: usize,
+}
+
+fn classify(
+    reply: Option<WorkerReply>,
+    doc_base: u32,
+    sid_base: u32,
+    fallback_addr: &str,
+) -> WorkerResult {
+    let reply = match reply {
+        Some(r) => r,
+        None => {
+            return WorkerResult {
+                out: None,
+                error: Some("no reply".into()),
+                addr: fallback_addr.to_string(),
+                rtt: Duration::ZERO,
+                retries: 0,
+            }
+        }
+    };
+    let addr = if reply.addr.is_empty() {
+        fallback_addr.to_string()
+    } else {
+        reply.addr
+    };
+    match reply.line {
+        Ok(line) => match merge::parse_worker_response(&line, doc_base, sid_base) {
+            Ok(out) => WorkerResult {
+                out: Some(out),
+                error: None,
+                addr,
+                rtt: reply.rtt,
+                retries: reply.retries,
+            },
+            Err(e) => WorkerResult {
+                out: None,
+                error: Some(format!("disconnect: {e}")),
+                addr,
+                rtt: reply.rtt,
+                retries: reply.retries,
+            },
+        },
+        Err(we) => WorkerResult {
+            out: None,
+            error: Some(we.wire()),
+            addr,
+            rtt: reply.rtt,
+            retries: reply.retries,
+        },
+    }
+}
+
+fn handle_query(
+    shared: &Shared,
+    id: u64,
+    text: &str,
+    cache: bool,
+    opts: Option<QueryOpts>,
+    auth: Option<&str>,
+) -> Vec<String> {
+    let map = shared.map.lock().unwrap().clone();
+    let budget = opts
+        .and_then(|o| o.deadline_ms)
+        .map(Duration::from_millis)
+        .unwrap_or(shared.default_deadline);
+    // Workers compute the first `offset + limit` rows of their own
+    // range; the global window is cut after the merge (a row in the
+    // global window is always inside its worker's `offset + limit`
+    // prefix — see the merge module docs). Streaming is a
+    // coordinator-side concern: workers always answer in one line.
+    let worker_opts = opts.map(|o| QueryOpts {
+        limit: o.limit.map(|k| k.saturating_add(o.offset.unwrap_or(0))),
+        offset: None,
+        stream: false,
+        ..o
+    });
+    let lines: Vec<Option<String>> = map
+        .workers
+        .iter()
+        .map(|_| {
+            Some(
+                Request::Query {
+                    id,
+                    text: text.to_string(),
+                    cache,
+                    opts: worker_opts,
+                    auth: auth.map(str::to_string),
+                }
+                .encode(),
+            )
+        })
+        .collect();
+    let started = Instant::now();
+    let replies = shared.fanout.call_all(lines, budget, true);
+    let remote_wait = started.elapsed();
+
+    let mut results: Vec<WorkerResult> = Vec::with_capacity(map.workers.len());
+    for (w, reply) in map.workers.iter().zip(replies) {
+        results.push(classify(reply, w.doc_base, w.sid_base, &w.addr));
+    }
+
+    // A worker-side refusal (ok:false — e.g. a query parse error) is
+    // deterministic and identical on every worker: forward it verbatim
+    // so clients see exactly the single-node error line.
+    if let Some(refusal) = results
+        .iter()
+        .filter_map(|r| r.out.as_ref())
+        .find_map(|o| o.error.clone())
+    {
+        return vec![err_response(id, &refusal)];
+    }
+
+    let failed: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.out.is_none())
+        .map(|(i, _)| i)
+        .collect();
+
+    if !failed.is_empty() && shared.mode == Mode::Strict {
+        let mut msg = String::from("strict mode: ");
+        for (n, i) in failed.iter().enumerate() {
+            if n > 0 {
+                msg.push_str("; ");
+            }
+            msg.push_str(&format!(
+                "worker {} ({}) failed: {}",
+                map.workers[*i].name,
+                results[*i].addr,
+                results[*i].error.as_deref().unwrap_or("unknown"),
+            ));
+        }
+        return vec![err_response(id, &msg)];
+    }
+
+    // Merge the healthy workers under the canonical order and cut the
+    // global window.
+    let score_desc = opts
+        .and_then(|o| o.order)
+        .map(|o| o == WireOrder::ScoreDesc)
+        .unwrap_or(false);
+    let mut per_worker: Vec<Vec<koko_core::Row>> = Vec::new();
+    let mut total_matches = 0usize;
+    let mut any_truncated = false;
+    let mut profile = Profile::default();
+    let mut plans: Vec<String> = Vec::new();
+    let mut shards: Vec<koko_core::ShardExplain> = Vec::new();
+    for r in &mut results {
+        if let Some(out) = r.out.as_mut() {
+            total_matches += out.total_matches;
+            any_truncated |= out.truncated;
+            profile.merge(&out.profile);
+            if plans.is_empty() && !out.plans.is_empty() {
+                plans = std::mem::take(&mut out.plans);
+            }
+            for mut s in out.shards.drain(..) {
+                s.shard = shards.len();
+                shards.push(s);
+            }
+            per_worker.push(std::mem::take(&mut out.rows));
+        }
+    }
+    let merged = merge::merge_rows(per_worker, score_desc);
+    let offset = opts.and_then(|o| o.offset).unwrap_or(0) as usize;
+    let limit = opts.and_then(|o| o.limit).map(|k| k as usize);
+    let (rows, truncated) = merge::window(merged, offset, limit, any_truncated);
+    profile.remote_shards = map.workers.len();
+    profile.remote_wait = remote_wait;
+
+    let partial = !failed.is_empty();
+    let want_explain = opts.map(|o| o.explain).unwrap_or(false);
+    let explain = if want_explain || partial {
+        let remote_shards: Vec<RemoteShardExplain> = map
+            .workers
+            .iter()
+            .zip(&results)
+            .map(|(w, r)| RemoteShardExplain {
+                worker: w.name.clone(),
+                addr: r.addr.clone(),
+                doc_base: w.doc_base,
+                docs: w.docs,
+                rows: r.out.as_ref().map(|o| o.total_matches).unwrap_or(0),
+                rtt_ms: r.rtt.as_secs_f64() * 1e3,
+                error: r.error.clone(),
+                retries: r.retries,
+            })
+            .collect();
+        Some(Explain {
+            plans,
+            shards,
+            remote_shards,
+        })
+    } else {
+        None
+    };
+
+    let out = QueryOutput {
+        rows,
+        total_matches,
+        truncated,
+        explain,
+        profile,
+    };
+
+    if partial {
+        // Degraded answers always use the extended shape with the
+        // partial flag up front and a fully populated explain, and are
+        // never streamed: the first line must carry the flag.
+        return vec![partial_response(id, &out)];
+    }
+    match opts {
+        None => vec![ok_response(id, &out)],
+        Some(o) if o.stream => {
+            let mut frames = vec![stream_header(id, &out)];
+            let mut chunk = 0usize;
+            let mut next = 0usize;
+            while next < out.rows.len() {
+                let end = (next + STREAM_CHUNK_ROWS).min(out.rows.len());
+                frames.push(stream_chunk(id, chunk, &out.rows[next..end]));
+                chunk += 1;
+                next = end;
+            }
+            frames.push(stream_trailer(id, chunk, &out));
+            frames
+        }
+        Some(_) => vec![opts_response(id, &out)],
+    }
+}
+
+/// The extended response shape plus `"partial":true` — the degraded-mode
+/// answer. `explain` is always present (the caller populated
+/// `remote_shards` with the per-worker errors).
+fn partial_response(id: u64, out: &QueryOutput) -> String {
+    let full = opts_response(id, out);
+    // Inject the flag right after `"ok":true` so even shape-unaware
+    // clients that scan the line's head can spot a degraded answer.
+    let marker = "\"ok\":true,";
+    match full.find(marker) {
+        Some(at) => {
+            let mut line = String::with_capacity(full.len() + 16);
+            line.push_str(&full[..at + marker.len()]);
+            line.push_str("\"partial\":true,");
+            line.push_str(&full[at + marker.len()..]);
+            line
+        }
+        None => full,
+    }
+}
+
+fn handle_add(shared: &Shared, id: u64, texts: Vec<String>) -> String {
+    let _writes = shared.writer.lock().unwrap();
+    let map = shared.map.lock().unwrap().clone();
+    let tail = map.workers.len() - 1;
+    // Phase 1: mutate the tail worker (its v4 snapshot seals the new
+    // delta shards before acknowledging). Non-retryable — a resend
+    // after an ambiguous disconnect could ingest the documents twice.
+    let mut lines: Vec<Option<String>> = vec![None; map.workers.len()];
+    lines[tail] = Some(Request::Add { id, texts }.encode());
+    let replies = shared.fanout.call_all(lines, shared.write_deadline, false);
+    let reply = replies.into_iter().nth(tail).flatten();
+    let tail_name = &map.workers[tail].name;
+    let line = match reply {
+        Some(WorkerReply { line: Ok(line), .. }) => line,
+        Some(WorkerReply {
+            line: Err(we),
+            addr,
+            ..
+        }) => {
+            return err_response(
+                id,
+                &format!("add failed on worker {tail_name} ({addr}): {}", we.wire()),
+            )
+        }
+        None => return err_response(id, &format!("add failed on worker {tail_name}: no reply")),
+    };
+    let (added, _, _) = match parse_write_ack(&line) {
+        Ok(counters) => counters,
+        Err(refusal) => {
+            return err_response(id, &format!("worker {tail_name} refused add: {refusal}"))
+        }
+    };
+    // Phase 2: publish the grown map — the pointer swap. Queries that
+    // pinned the old Arc keep a consistent (pre-add) view.
+    let next = map.grown(added as u32);
+    let epoch = next.epoch;
+    let documents = next.total_docs();
+    *shared.map.lock().unwrap() = Arc::new(next);
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"added\":{added},\"documents\":{documents},\"epoch\":{epoch},\"worker\":\"{}\"}}",
+        map.workers[tail].name
+    )
+}
+
+fn handle_compact(shared: &Shared, id: u64) -> String {
+    let _writes = shared.writer.lock().unwrap();
+    let map = shared.map.lock().unwrap().clone();
+    let lines: Vec<Option<String>> = map
+        .workers
+        .iter()
+        .map(|_| Some(Request::Compact { id }.encode()))
+        .collect();
+    let replies = shared.fanout.call_all(lines, shared.write_deadline, false);
+    let mut merged_deltas = 0usize;
+    let mut shard_count = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for (w, reply) in map.workers.iter().zip(replies) {
+        match reply {
+            Some(WorkerReply { line: Ok(line), .. }) => match parse_write_ack(&line) {
+                Ok((_, deltas, shards)) => {
+                    merged_deltas += deltas;
+                    shard_count += shards;
+                }
+                Err(refusal) => {
+                    failures.push(format!("worker {} refused compact: {refusal}", w.name))
+                }
+            },
+            Some(WorkerReply {
+                line: Err(we),
+                addr,
+                ..
+            }) => failures.push(format!("worker {} ({addr}) failed: {}", w.name, we.wire())),
+            None => failures.push(format!("worker {} sent no reply", w.name)),
+        }
+    }
+    if !failures.is_empty() {
+        // No epoch bump: compaction does not change results, so workers
+        // that already compacted stay correct under the old epoch.
+        return err_response(id, &format!("compact incomplete: {}", failures.join("; ")));
+    }
+    let mut next = (*map).clone();
+    next.epoch += 1;
+    let epoch = next.epoch;
+    *shared.map.lock().unwrap() = Arc::new(next);
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"merged_deltas\":{merged_deltas},\"shards\":{shard_count},\"epoch\":{epoch}}}"
+    )
+}
+
+/// Parse a worker's `add`/`compact` acknowledgement counters out of a
+/// raw reply line (queries go through [`merge::parse_worker_response`]).
+pub(crate) fn parse_write_ack(line: &str) -> Result<(usize, usize, usize), String> {
+    let root = json::parse(line).map_err(|e| format!("unparseable worker response: {e:?}"))?;
+    if !root.get("ok").and_then(Json::as_bool).unwrap_or(false) {
+        return Err(root
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown worker error")
+            .to_string());
+    }
+    let num = |key: &str| root.get(key).and_then(Json::as_f64).unwrap_or(0.0) as usize;
+    Ok((num("added"), num("merged_deltas"), num("shards")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::WorkerEntry;
+    use koko_core::{EngineOpts, Koko};
+    use koko_serve::protocol::response_rows;
+    use koko_serve::{Client, Server, ServerConfig};
+
+    const CORPUS: [&str; 8] = [
+        "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+        "Anna ate some delicious cheesecake that she bought at a grocery store.",
+        "Cyd Charisse had been called Sid for years.",
+        "Vera Alys was born in 1911.",
+        "Baking chocolate is a type of chocolate that is prepared for baking.",
+        "cities in asian countries such as Beijing and Tokyo.",
+        "Velvet Moon Cafe opened downtown. The owner was proud.",
+        "The cafe was busy today.",
+    ];
+    const SPLIT: usize = 4;
+
+    fn engine(texts: &[&str]) -> Koko {
+        Koko::from_texts_with_opts(
+            texts,
+            EngineOpts {
+                result_cache: 8,
+                parallel: false,
+                num_shards: 1,
+                ..EngineOpts::default()
+            },
+        )
+    }
+
+    fn fast_fanout() -> FanOutConfig {
+        FanOutConfig {
+            connect_timeout: Duration::from_millis(250),
+            max_retries: 1,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(10),
+            seed: 11,
+        }
+    }
+
+    fn bind_worker(koko: Koko, writable: bool) -> Server {
+        Server::bind_config(
+            koko,
+            "127.0.0.1:0",
+            ServerConfig {
+                writable,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("worker binds")
+    }
+
+    fn spawn_cluster(mode: Mode, writable: bool) -> (Vec<Server>, Coordinator) {
+        let e0 = engine(&CORPUS[..SPLIT]);
+        // Sentence ids are corpus-global: w1's local sids start where
+        // w0's corpus ends.
+        let sid_split = e0.snapshot().num_sentences() as u32;
+        let w0 = bind_worker(e0, writable);
+        let w1 = bind_worker(engine(&CORPUS[SPLIT..]), writable);
+        let map = ShardMap {
+            version: 1,
+            epoch: 0,
+            mode,
+            workers: vec![
+                WorkerEntry {
+                    name: "w0".into(),
+                    addr: w0.local_addr().to_string(),
+                    replicas: vec![],
+                    doc_base: 0,
+                    docs: SPLIT as u32,
+                    sid_base: 0,
+                    snapshot: None,
+                },
+                WorkerEntry {
+                    name: "w1".into(),
+                    addr: w1.local_addr().to_string(),
+                    replicas: vec![],
+                    doc_base: SPLIT as u32,
+                    docs: (CORPUS.len() - SPLIT) as u32,
+                    sid_base: sid_split,
+                    snapshot: None,
+                },
+            ],
+        };
+        let coordinator = Coordinator::bind(
+            map,
+            "127.0.0.1:0",
+            CoordinatorConfig {
+                default_deadline: Duration::from_secs(5),
+                write_deadline: Duration::from_secs(10),
+                fanout: fast_fanout(),
+                ..CoordinatorConfig::default()
+            },
+        )
+        .expect("coordinator binds");
+        (vec![w0, w1], coordinator)
+    }
+
+    /// Everything before `"profile":` — id, ok, num_rows,
+    /// total_matches, truncated and the full rows payload.
+    fn semantic_prefix(line: &str) -> &str {
+        line.split(",\"profile\":").next().unwrap()
+    }
+
+    #[test]
+    fn coordinator_answers_byte_identically_to_single_node() {
+        let single = Server::bind(engine(&CORPUS), "127.0.0.1:0", 1).expect("single binds");
+        let (workers, coordinator) = spawn_cluster(Mode::Partial, false);
+        let mut ref_client = Client::connect(&single.local_addr().to_string()).unwrap();
+        let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+        let mix: Vec<(Option<QueryOpts>, &str)> = vec![
+            (None, "legacy shape"),
+            (Some(QueryOpts::default()), "default opts"),
+            (
+                Some(QueryOpts {
+                    limit: Some(2),
+                    offset: Some(1),
+                    ..QueryOpts::default()
+                }),
+                "limit 2 offset 1",
+            ),
+            (
+                Some(QueryOpts {
+                    limit: Some(3),
+                    order: Some(WireOrder::ScoreDesc),
+                    ..QueryOpts::default()
+                }),
+                "score_desc limit 3",
+            ),
+            (
+                Some(QueryOpts {
+                    min_score: Some(0.3),
+                    ..QueryOpts::default()
+                }),
+                "min_score 0.3",
+            ),
+        ];
+        for query in [
+            koko_lang::queries::EXAMPLE_2_1,
+            koko_lang::queries::CHOCOLATE,
+        ] {
+            for (opts, label) in &mix {
+                let expect = ref_client.query_as(query, true, *opts, None).unwrap();
+                let got = client.query_as(query, true, *opts, None).unwrap();
+                assert!(got.contains("\"ok\":true"), "{label}: {got}");
+                assert_eq!(
+                    semantic_prefix(&got),
+                    semantic_prefix(&expect),
+                    "{label}: cluster rows must be byte-identical"
+                );
+            }
+        }
+        // Streaming through the coordinator reassembles to the same rows.
+        let streamed = client
+            .query_stream(
+                koko_lang::queries::CHOCOLATE,
+                true,
+                QueryOpts::default(),
+                None,
+            )
+            .unwrap();
+        let unstreamed = ref_client
+            .query_with_opts(koko_lang::queries::CHOCOLATE, true, QueryOpts::default())
+            .unwrap();
+        assert_eq!(
+            streamed.rows_json,
+            response_rows(&unstreamed).unwrap(),
+            "streamed rows must reassemble byte-identically"
+        );
+        drop(client);
+        coordinator.shutdown();
+        for w in workers {
+            w.shutdown();
+        }
+        single.shutdown();
+    }
+
+    #[test]
+    fn killing_a_worker_yields_a_flagged_partial_answer() {
+        let (mut workers, coordinator) = spawn_cluster(Mode::Partial, false);
+        workers.remove(1).shutdown(); // w1 (docs 2..4) is gone
+        let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+        let line = client
+            .query(koko_lang::queries::EXAMPLE_2_1, true)
+            .expect("partial mode still answers");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"partial\":true"), "{line}");
+        assert!(
+            line.contains("\"remote_shards\":["),
+            "explain must carry per-worker entries: {line}"
+        );
+        assert!(
+            line.contains("\"worker\":\"w1\"") && line.contains("\"error\":\"unavailable"),
+            "w1's failure must be structured: {line}"
+        );
+        assert!(
+            line.contains("\"worker\":\"w0\"") && line.contains("\"error\":null"),
+            "w0 must be listed healthy: {line}"
+        );
+        // Only w0's range can contribute rows.
+        assert!(line.contains("\"doc\":0"), "doc 0 survives: {line}");
+        assert!(
+            !line.contains("\"num_rows\":0"),
+            "surviving rows are served: {line}"
+        );
+        drop(client);
+        coordinator.shutdown();
+        for w in workers {
+            w.shutdown();
+        }
+    }
+
+    #[test]
+    fn strict_mode_fails_the_query_naming_the_worker() {
+        let (mut workers, coordinator) = spawn_cluster(Mode::Strict, false);
+        workers.remove(1).shutdown();
+        let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+        let line = client.query(koko_lang::queries::CHOCOLATE, true).unwrap();
+        assert!(line.contains("\"ok\":false"), "{line}");
+        assert!(line.contains("strict mode"), "{line}");
+        assert!(line.contains("w1"), "the failed worker is named: {line}");
+        drop(client);
+        coordinator.shutdown();
+        for w in workers {
+            w.shutdown();
+        }
+    }
+
+    #[test]
+    fn query_parse_errors_forward_verbatim_not_as_worker_failures() {
+        let (workers, coordinator) = spawn_cluster(Mode::Partial, false);
+        let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+        let line = client.query("extract nonsense (((", true).unwrap();
+        assert!(line.contains("\"ok\":false"), "{line}");
+        assert!(
+            !line.contains("partial"),
+            "a deterministic refusal is not a partial failure: {line}"
+        );
+        drop(client);
+        coordinator.shutdown();
+        for w in workers {
+            w.shutdown();
+        }
+    }
+
+    #[test]
+    fn add_routes_to_the_tail_worker_and_publishes_a_new_epoch() {
+        let (workers, coordinator) = spawn_cluster(Mode::Partial, true);
+        let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+        assert_eq!(coordinator.epoch(), 0);
+        let ack = client.add(&[CORPUS[4].to_string()]).unwrap();
+        assert!(ack.contains("\"ok\":true"), "{ack}");
+        assert!(ack.contains("\"added\":1"), "{ack}");
+        assert!(ack.contains("\"documents\":9"), "{ack}");
+        assert!(ack.contains("\"epoch\":1"), "{ack}");
+        assert!(ack.contains("\"worker\":\"w1\""), "{ack}");
+        assert_eq!(coordinator.epoch(), 1);
+        assert_eq!(coordinator.shard_map().workers[1].docs, 5);
+        // The new document (a copy of doc 4, which answers CHOCOLATE) is
+        // queryable at its global id: tail base 4 + local id 4 = 8.
+        // Bypass the cache: the result set changed.
+        let line = client.query(koko_lang::queries::CHOCOLATE, false).unwrap();
+        assert!(line.contains("\"doc\":8"), "{line}");
+        // Compact broadcasts and bumps the epoch again.
+        let ack = client.compact().unwrap();
+        assert!(ack.contains("\"ok\":true"), "{ack}");
+        assert!(ack.contains("\"epoch\":2"), "{ack}");
+        assert_eq!(coordinator.epoch(), 2);
+        drop(client);
+        coordinator.shutdown();
+        for w in workers {
+            w.shutdown();
+        }
+    }
+
+    #[test]
+    fn stats_reports_the_cluster_topology() {
+        let (workers, coordinator) = spawn_cluster(Mode::Partial, false);
+        let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+        let line = client.stats().unwrap();
+        assert!(line.contains("\"cluster\":true"), "{line}");
+        assert!(line.contains("\"workers\":2"), "{line}");
+        assert!(line.contains("\"documents\":8"), "{line}");
+        assert!(line.contains("\"name\":\"w0\""), "{line}");
+        drop(client);
+        coordinator.shutdown();
+        for w in workers {
+            w.shutdown();
+        }
+    }
+}

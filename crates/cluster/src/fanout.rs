@@ -1,0 +1,850 @@
+//! The coordinator's worker pool: every worker connection driven by one
+//! `koko-net` reactor thread — pooled, pipelined, deadline-aware, with
+//! bounded retry + jittered backoff across each worker's replica list.
+//!
+//! # Why FIFO matching is sound
+//!
+//! The NDJSON protocol answers one response line per request line, *in
+//! request order per connection*, and the coordinator never streams from
+//! workers — so replies match outstanding requests by queue position
+//! alone, no request-id bookkeeping on the hot path. The moment that
+//! invariant becomes doubtful (a per-worker deadline expires with
+//! requests in flight) the connection is *poisoned*: every outstanding
+//! request on it is failed or retried on a fresh connection, and the
+//! socket is closed rather than reused.
+//!
+//! # Failure taxonomy
+//!
+//! * [`WorkerError::Timeout`] — the per-worker budget elapsed before the
+//!   reply arrived.
+//! * [`WorkerError::Disconnect`] — the connection died mid-flight and the
+//!   retry budget (or the job's idempotency) did not allow a resend.
+//! * [`WorkerError::Unavailable`] — no endpoint (primary or replica)
+//!   accepted a connection within the retry budget.
+//!
+//! Queries are idempotent and resend freely; writes (`add`/`compact`)
+//! are submitted non-retryable — a resent `add` would double-ingest —
+//! so they fail fast and the coordinator surfaces the ambiguity.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use koko_net::{Event, Interest, Poller, Waker};
+
+/// How one worker call failed (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerError {
+    /// The per-worker deadline elapsed.
+    Timeout,
+    /// The connection died mid-flight (reason attached).
+    Disconnect(String),
+    /// No endpoint accepted a connection within the retry budget.
+    Unavailable(String),
+}
+
+impl WorkerError {
+    /// Short wire spelling for explain output (`"timeout"`,
+    /// `"disconnect: …"`, `"unavailable: …"`).
+    pub fn wire(&self) -> String {
+        match self {
+            WorkerError::Timeout => "timeout".to_string(),
+            WorkerError::Disconnect(r) => format!("disconnect: {r}"),
+            WorkerError::Unavailable(r) => format!("unavailable: {r}"),
+        }
+    }
+}
+
+/// One worker's answer (or structured failure) to a fanned-out request.
+#[derive(Debug)]
+pub struct WorkerReply {
+    /// Index of the worker in the pool (= shard-map order).
+    pub worker: usize,
+    /// The endpoint the final attempt targeted.
+    pub addr: String,
+    /// The raw response line, or the structured failure.
+    pub line: Result<String, WorkerError>,
+    /// Submit-to-reply wall clock as seen by the coordinator.
+    pub rtt: Duration,
+    /// Retries spent (0 = the first attempt answered).
+    pub retries: usize,
+}
+
+/// Tuning for the pool; the defaults suit localhost topologies and the
+/// test suite. All sleeps are jittered by a deterministic LCG.
+#[derive(Debug, Clone, Copy)]
+pub struct FanOutConfig {
+    /// Cap on one blocking connect attempt.
+    pub connect_timeout: Duration,
+    /// Per-request retry budget (resends after disconnects, reconnect
+    /// attempts while unreachable). `0` = fail on the first fault.
+    pub max_retries: usize,
+    /// First backoff before a reconnect; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Ceiling on any single backoff.
+    pub backoff_cap: Duration,
+    /// Jitter seed (varied per worker internally).
+    pub seed: u64,
+}
+
+impl Default for FanOutConfig {
+    fn default() -> FanOutConfig {
+        FanOutConfig {
+            connect_timeout: Duration::from_millis(1000),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+            seed: 0xC0FF_EE00_D15C_0B41,
+        }
+    }
+}
+
+/// A request in flight (or queued for resend) on one worker connection.
+struct Pending {
+    line: String,
+    reply: Sender<WorkerReply>,
+    deadline: Instant,
+    enqueued: Instant,
+    retries: usize,
+    retryable: bool,
+}
+
+struct Job {
+    worker: usize,
+    line: String,
+    deadline: Instant,
+    reply: Sender<WorkerReply>,
+    retryable: bool,
+}
+
+/// One worker's connection state inside the reactor.
+struct Conn {
+    endpoints: Vec<String>,
+    endpoint_idx: usize,
+    stream: Option<TcpStream>,
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    inbuf: Vec<u8>,
+    pending: VecDeque<Pending>,
+    consecutive_failures: u32,
+    next_attempt_at: Instant,
+    seed: u64,
+}
+
+impl Conn {
+    fn current_addr(&self) -> &str {
+        &self.endpoints[self.endpoint_idx % self.endpoints.len()]
+    }
+
+    fn backoff(&mut self, config: &FanOutConfig) -> Duration {
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let unit = ((self.seed >> 33) & 0x7FFF_FFFF) as f64 / (1u64 << 31) as f64;
+        let exp = config
+            .backoff_base
+            .saturating_mul(1u32 << self.consecutive_failures.min(16))
+            .min(config.backoff_cap);
+        exp.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+/// The pooled, pipelined worker fan-out (see the [module docs](self)).
+pub struct FanOut {
+    submit: Sender<Job>,
+    waker: Arc<Waker>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl FanOut {
+    /// Spin up the reactor over one connection slot per worker;
+    /// `endpoints[i]` is worker *i*'s address list (primary first, then
+    /// replicas). Connections are opened lazily on first use.
+    pub fn new(endpoints: Vec<Vec<String>>, config: FanOutConfig) -> std::io::Result<FanOut> {
+        let waker = Arc::new(Waker::new()?);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (submit, jobs) = mpsc::channel::<Job>();
+        let workers = endpoints.len();
+        let reactor = Reactor::new(endpoints, config, Arc::clone(&waker))?;
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("koko-fanout".into())
+            .spawn(move || reactor.run(jobs, flag))?;
+        Ok(FanOut {
+            submit,
+            waker,
+            shutdown,
+            handle: Some(handle),
+            workers,
+        })
+    }
+
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queue one request line (no trailing newline) for `worker`; the
+    /// reply (or structured failure) arrives on `reply`. `retryable`
+    /// gates resends after disconnects — `false` for writes.
+    pub fn submit(
+        &self,
+        worker: usize,
+        line: String,
+        deadline: Instant,
+        reply: Sender<WorkerReply>,
+        retryable: bool,
+    ) -> std::io::Result<()> {
+        if worker >= self.workers {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("worker index {worker} out of range ({})", self.workers),
+            ));
+        }
+        self.submit
+            .send(Job {
+                worker,
+                line,
+                deadline,
+                reply,
+                retryable,
+            })
+            .map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::BrokenPipe, "fan-out reactor gone")
+            })?;
+        self.waker.wake();
+        Ok(())
+    }
+
+    /// Fan one request per worker (`None` skips that worker) with a
+    /// shared wall-clock `budget`, and gather every reply. The result is
+    /// indexed by worker; skipped workers yield `None`. Never blocks past
+    /// `budget` plus a small harvesting slack.
+    pub fn call_all(
+        &self,
+        lines: Vec<Option<String>>,
+        budget: Duration,
+        retryable: bool,
+    ) -> Vec<Option<WorkerReply>> {
+        let deadline = Instant::now() + budget;
+        let (tx, rx) = mpsc::channel();
+        let mut out: Vec<Option<WorkerReply>> = Vec::new();
+        out.resize_with(lines.len(), || None);
+        let mut submitted = vec![false; out.len()];
+        let mut expected = 0usize;
+        for (i, line) in lines.into_iter().enumerate() {
+            if let Some(line) = line {
+                match self.submit(i, line, deadline, tx.clone(), retryable) {
+                    Ok(()) => {
+                        submitted[i] = true;
+                        expected += 1;
+                    }
+                    Err(e) => {
+                        out[i] = Some(WorkerReply {
+                            worker: i,
+                            addr: String::new(),
+                            line: Err(WorkerError::Unavailable(e.to_string())),
+                            rtt: Duration::ZERO,
+                            retries: 0,
+                        });
+                    }
+                }
+            }
+        }
+        drop(tx);
+        // The reactor itself enforces `deadline`; the extra slack only
+        // covers reply-channel scheduling, so a wedged worker can never
+        // hold the caller past the budget.
+        let hard_stop = deadline + Duration::from_millis(500);
+        while expected > 0 {
+            let now = Instant::now();
+            let wait = hard_stop.saturating_duration_since(now);
+            match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+                Ok(reply) => {
+                    let slot = reply.worker;
+                    out[slot] = Some(reply);
+                    expected -= 1;
+                }
+                Err(_) if now >= hard_stop => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Anything still missing is a reactor-level failure: surface it
+        // structurally rather than returning a hole.
+        for (i, slot) in out.iter_mut().enumerate() {
+            if slot.is_none() && submitted[i] {
+                *slot = Some(WorkerReply {
+                    worker: i,
+                    addr: String::new(),
+                    line: Err(WorkerError::Timeout),
+                    rtt: budget,
+                    retries: 0,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Drop for FanOut {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+const WAKER_TOKEN: usize = 0;
+
+struct Reactor {
+    poller: Poller,
+    waker: Arc<Waker>,
+    conns: Vec<Conn>,
+    config: FanOutConfig,
+}
+
+impl Reactor {
+    fn new(
+        endpoints: Vec<Vec<String>>,
+        config: FanOutConfig,
+        waker: Arc<Waker>,
+    ) -> std::io::Result<Reactor> {
+        let mut poller = Poller::new()?;
+        poller.register(waker.poll_fd(), WAKER_TOKEN, Interest::READ)?;
+        let now = Instant::now();
+        let conns = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(i, eps)| Conn {
+                endpoints: if eps.is_empty() {
+                    vec![String::new()]
+                } else {
+                    eps
+                },
+                endpoint_idx: 0,
+                stream: None,
+                outbuf: Vec::new(),
+                out_pos: 0,
+                inbuf: Vec::new(),
+                pending: VecDeque::new(),
+                consecutive_failures: 0,
+                next_attempt_at: now,
+                seed: config.seed.wrapping_add(0x9E37_79B9 * (i as u64 + 1)),
+            })
+            .collect();
+        Ok(Reactor {
+            poller,
+            waker,
+            conns,
+            config,
+        })
+    }
+
+    fn run(mut self, jobs: Receiver<Job>, shutdown: Arc<AtomicBool>) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                self.fail_everything("fan-out shutting down");
+                return;
+            }
+            self.waker.drain();
+            while let Ok(job) = jobs.try_recv() {
+                self.enqueue(job);
+            }
+            let now = Instant::now();
+            for i in 0..self.conns.len() {
+                self.expire(i, now);
+            }
+            for i in 0..self.conns.len() {
+                self.ensure_connected(i, now);
+            }
+            let timeout = self.poll_timeout(Instant::now());
+            if self.poller.poll(&mut events, timeout).is_err() {
+                // Poller failure is unrecoverable; fail structurally.
+                self.fail_everything("fan-out poller failed");
+                return;
+            }
+            let drained: Vec<Event> = std::mem::take(&mut events);
+            for ev in drained {
+                if ev.token == WAKER_TOKEN {
+                    self.waker.drain();
+                    continue;
+                }
+                let idx = ev.token - 1;
+                if idx >= self.conns.len() {
+                    continue;
+                }
+                if ev.hangup {
+                    self.disconnect(idx, "peer hung up");
+                    continue;
+                }
+                if ev.readable {
+                    self.do_read(idx);
+                }
+                if ev.writable {
+                    self.do_write(idx);
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, job: Job) {
+        let now = Instant::now();
+        let conn = &mut self.conns[job.worker];
+        let pending = Pending {
+            line: job.line,
+            reply: job.reply,
+            deadline: job.deadline,
+            enqueued: now,
+            retries: 0,
+            retryable: job.retryable,
+        };
+        if let Some(stream) = &conn.stream {
+            conn.outbuf.extend_from_slice(pending.line.as_bytes());
+            conn.outbuf.push(b'\n');
+            let fd = stream.as_raw_fd();
+            let token = job.worker + 1;
+            let _ = self.poller.modify(fd, token, Interest::BOTH);
+        }
+        conn.pending.push_back(pending);
+    }
+
+    /// Per-worker deadline sweep. An expired request *poisons* the
+    /// connection (its FIFO is ambiguous): expired requests fail with
+    /// [`WorkerError::Timeout`], unexpired retryable ones are queued for
+    /// resend on a fresh connection, and the socket is closed with the
+    /// endpoint rotated onto the next replica.
+    fn expire(&mut self, idx: usize, now: Instant) {
+        if !self.conns[idx].pending.iter().any(|p| p.deadline <= now) {
+            return;
+        }
+        let addr = self.conns[idx].current_addr().to_string();
+        self.close(idx);
+        let conn = &mut self.conns[idx];
+        let mut kept = VecDeque::new();
+        for mut p in std::mem::take(&mut conn.pending) {
+            if p.deadline <= now {
+                send_reply(&p, idx, &addr, Err(WorkerError::Timeout), now);
+            } else if p.retryable && p.retries < self.config.max_retries {
+                p.retries += 1;
+                kept.push_back(p);
+            } else {
+                send_reply(
+                    &p,
+                    idx,
+                    &addr,
+                    Err(WorkerError::Disconnect(
+                        "connection poisoned by a timed-out peer".into(),
+                    )),
+                    now,
+                );
+            }
+        }
+        conn.pending = kept;
+        conn.endpoint_idx += 1;
+        conn.consecutive_failures += 1;
+        let backoff = conn.backoff(&self.config);
+        conn.next_attempt_at = now + backoff;
+    }
+
+    fn ensure_connected(&mut self, idx: usize, now: Instant) {
+        let connect_timeout = self.config.connect_timeout;
+        let conn = &mut self.conns[idx];
+        if conn.stream.is_some() || conn.pending.is_empty() || now < conn.next_attempt_at {
+            return;
+        }
+        let addr = conn.current_addr().to_string();
+        let attempt = (|| -> std::io::Result<TcpStream> {
+            let sockaddr = addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addr"))?;
+            let stream = TcpStream::connect_timeout(&sockaddr, connect_timeout)?;
+            stream.set_nodelay(true)?;
+            stream.set_nonblocking(true)?;
+            Ok(stream)
+        })();
+        match attempt {
+            Ok(stream) => {
+                let fd = stream.as_raw_fd();
+                conn.consecutive_failures = 0;
+                conn.inbuf.clear();
+                conn.outbuf.clear();
+                conn.out_pos = 0;
+                // Resend every queued request, in order, on the fresh
+                // connection — the FIFO starts clean.
+                for p in &conn.pending {
+                    conn.outbuf.extend_from_slice(p.line.as_bytes());
+                    conn.outbuf.push(b'\n');
+                }
+                conn.stream = Some(stream);
+                let _ = self.poller.register(fd, idx + 1, Interest::BOTH);
+            }
+            Err(e) => {
+                conn.consecutive_failures += 1;
+                conn.endpoint_idx += 1;
+                let reason = format!("{addr}: {e}");
+                let mut kept = VecDeque::new();
+                for mut p in std::mem::take(&mut conn.pending) {
+                    if p.retries < self.config.max_retries {
+                        p.retries += 1;
+                        kept.push_back(p);
+                    } else {
+                        send_reply(
+                            &p,
+                            idx,
+                            &addr,
+                            Err(WorkerError::Unavailable(reason.clone())),
+                            now,
+                        );
+                    }
+                }
+                conn.pending = kept;
+                let backoff = conn.backoff(&self.config);
+                conn.next_attempt_at = now + backoff;
+            }
+        }
+    }
+
+    fn poll_timeout(&self, now: Instant) -> Option<Duration> {
+        let mut nearest: Option<Instant> = None;
+        let mut consider = |t: Instant| match nearest {
+            Some(n) if n <= t => {}
+            _ => nearest = Some(t),
+        };
+        for conn in &self.conns {
+            for p in &conn.pending {
+                consider(p.deadline);
+            }
+            if conn.stream.is_none() && !conn.pending.is_empty() {
+                consider(conn.next_attempt_at);
+            }
+        }
+        nearest.map(|t| t.saturating_duration_since(now))
+    }
+
+    fn do_read(&mut self, idx: usize) {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let Some(stream) = self.conns[idx].stream.as_mut() else {
+                return;
+            };
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    self.disconnect(idx, "peer closed the connection");
+                    return;
+                }
+                Ok(n) => {
+                    self.conns[idx].inbuf.extend_from_slice(&buf[..n]);
+                    if !self.deliver_lines(idx) {
+                        return; // protocol violation → disconnected
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.disconnect(idx, &format!("read failed: {e}"));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Split complete lines out of the input buffer and match each to the
+    /// oldest outstanding request (FIFO — see the module docs for why
+    /// that is sound). Returns `false` after a protocol violation.
+    fn deliver_lines(&mut self, idx: usize) -> bool {
+        let now = Instant::now();
+        loop {
+            let conn = &mut self.conns[idx];
+            let Some(nl) = conn.inbuf.iter().position(|&b| b == b'\n') else {
+                return true;
+            };
+            let mut line_bytes: Vec<u8> = conn.inbuf.drain(..=nl).collect();
+            line_bytes.pop(); // the newline
+            if line_bytes.last() == Some(&b'\r') {
+                line_bytes.pop();
+            }
+            let line = String::from_utf8_lossy(&line_bytes).into_owned();
+            match conn.pending.pop_front() {
+                Some(p) => {
+                    let addr = conn.current_addr().to_string();
+                    send_reply(&p, idx, &addr, Ok(line), now);
+                }
+                None => {
+                    self.disconnect(idx, "unsolicited response line");
+                    return false;
+                }
+            }
+        }
+    }
+
+    fn do_write(&mut self, idx: usize) {
+        loop {
+            let conn = &mut self.conns[idx];
+            if conn.out_pos >= conn.outbuf.len() {
+                conn.outbuf.clear();
+                conn.out_pos = 0;
+                if let Some(stream) = conn.stream.as_ref() {
+                    let fd = stream.as_raw_fd();
+                    let _ = self.poller.modify(fd, idx + 1, Interest::READ);
+                }
+                return;
+            }
+            let Some(stream) = conn.stream.as_mut() else {
+                return;
+            };
+            let pos = conn.out_pos;
+            match stream.write(&conn.outbuf[pos..]) {
+                Ok(0) => {
+                    self.disconnect(idx, "write returned 0");
+                    return;
+                }
+                Ok(n) => self.conns[idx].out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.disconnect(idx, &format!("write failed: {e}"));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        if let Some(stream) = conn.stream.take() {
+            let _ = self.poller.deregister(stream.as_raw_fd());
+        }
+        conn.inbuf.clear();
+        conn.outbuf.clear();
+        conn.out_pos = 0;
+    }
+
+    /// Tear down a connection that died mid-flight: retryable requests
+    /// within budget queue for resend, everything else fails with a
+    /// structured [`WorkerError::Disconnect`].
+    fn disconnect(&mut self, idx: usize, reason: &str) {
+        let now = Instant::now();
+        let addr = self.conns[idx].current_addr().to_string();
+        self.close(idx);
+        let max_retries = self.config.max_retries;
+        let conn = &mut self.conns[idx];
+        let mut kept = VecDeque::new();
+        for mut p in std::mem::take(&mut conn.pending) {
+            if p.retryable && p.retries < max_retries && p.deadline > now {
+                p.retries += 1;
+                kept.push_back(p);
+            } else {
+                send_reply(
+                    &p,
+                    idx,
+                    &addr,
+                    Err(WorkerError::Disconnect(reason.to_string())),
+                    now,
+                );
+            }
+        }
+        conn.pending = kept;
+        conn.endpoint_idx += 1;
+        conn.consecutive_failures += 1;
+        let backoff = conn.backoff(&self.config);
+        conn.next_attempt_at = now + backoff;
+    }
+
+    fn fail_everything(&mut self, reason: &str) {
+        let now = Instant::now();
+        for idx in 0..self.conns.len() {
+            self.close(idx);
+            let addr = self.conns[idx].current_addr().to_string();
+            for p in std::mem::take(&mut self.conns[idx].pending) {
+                send_reply(
+                    &p,
+                    idx,
+                    &addr,
+                    Err(WorkerError::Unavailable(reason.to_string())),
+                    now,
+                );
+            }
+        }
+    }
+}
+
+fn send_reply(
+    p: &Pending,
+    worker: usize,
+    addr: &str,
+    line: Result<String, WorkerError>,
+    now: Instant,
+) {
+    // A dropped receiver means the caller gave up (its own deadline
+    // fired); nothing to do.
+    let _ = p.reply.send(WorkerReply {
+        worker,
+        addr: addr.to_string(),
+        line,
+        rtt: now.saturating_duration_since(p.enqueued),
+        retries: p.retries,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+
+    /// An echo "worker": answers each line with `{"echo":<line>}`.
+    fn echo_server() -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut w = stream;
+                    let mut line = String::new();
+                    while let Ok(n) = reader.read_line(&mut line) {
+                        if n == 0 {
+                            return;
+                        }
+                        let trimmed = line.trim_end().to_string();
+                        if trimmed == "STOP" {
+                            return;
+                        }
+                        if w.write_all(format!("ok {trimmed}\n").as_bytes()).is_err() {
+                            return;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    fn fast_config() -> FanOutConfig {
+        FanOutConfig {
+            connect_timeout: Duration::from_millis(250),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(10),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn pipelined_replies_match_requests_in_order() {
+        let (addr, _h) = echo_server();
+        let pool = FanOut::new(vec![vec![addr]], fast_config()).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for i in 0..32 {
+            pool.submit(0, format!("req-{i}"), deadline, tx.clone(), true)
+                .unwrap();
+        }
+        for i in 0..32 {
+            let r = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(r.line.as_deref().unwrap(), format!("ok req-{i}"));
+            assert_eq!(r.retries, 0);
+        }
+    }
+
+    #[test]
+    fn dead_worker_times_out_within_budget_not_forever() {
+        // Reserved-then-freed port: connects are refused.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let pool = FanOut::new(vec![vec![addr]], fast_config()).unwrap();
+        let t0 = Instant::now();
+        let replies = pool.call_all(vec![Some("hello".into())], Duration::from_millis(300), true);
+        let elapsed = t0.elapsed();
+        let r = replies[0].as_ref().unwrap();
+        match r.line.as_ref().unwrap_err() {
+            WorkerError::Unavailable(_) | WorkerError::Timeout => {}
+            other => panic!("expected unavailable/timeout, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "failure must be bounded, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn replica_answers_when_the_primary_is_down() {
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let (replica, _h) = echo_server();
+        let pool = FanOut::new(vec![vec![dead, replica.clone()]], fast_config()).unwrap();
+        let replies = pool.call_all(vec![Some("ping".into())], Duration::from_secs(2), true);
+        let r = replies[0].as_ref().unwrap();
+        assert_eq!(
+            r.line.as_deref().unwrap(),
+            "ok ping",
+            "replica must answer after the primary refuses"
+        );
+        assert!(r.retries >= 1, "the primary failure must count as a retry");
+        assert_eq!(r.addr, replica);
+    }
+
+    #[test]
+    fn slow_worker_surfaces_a_structured_timeout() {
+        // Accepts but never answers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let _keeper = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming().take(4) {
+                held.push(stream);
+                if held.len() >= 4 {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_secs(3));
+        });
+        let pool = FanOut::new(vec![vec![addr]], fast_config()).unwrap();
+        let t0 = Instant::now();
+        let replies = pool.call_all(vec![Some("q".into())], Duration::from_millis(200), true);
+        let r = replies[0].as_ref().unwrap();
+        assert_eq!(r.line.as_ref().unwrap_err(), &WorkerError::Timeout);
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn non_retryable_jobs_fail_fast_on_disconnect() {
+        // First connection is dropped immediately; a retryable job would
+        // resend, a write must not.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let _h = std::thread::spawn(move || {
+            let (first, _) = listener.accept().unwrap();
+            drop(first);
+            // Keep the listener alive so a (wrong) resend would succeed.
+            std::thread::sleep(Duration::from_secs(2));
+        });
+        let pool = FanOut::new(vec![vec![addr]], fast_config()).unwrap();
+        let replies = pool.call_all(vec![Some("add".into())], Duration::from_secs(1), false);
+        let r = replies[0].as_ref().unwrap();
+        assert!(
+            matches!(r.line.as_ref().unwrap_err(), WorkerError::Disconnect(_)),
+            "{:?}",
+            r.line
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! `koko-cluster` — the multi-node layer over the serving stack: one
+//! coordinator process owns the shard map and fans each query out to
+//! worker `koko serve` processes, merging their replies into a response
+//! that is **byte-identical** to what a single-node server holding the
+//! whole corpus would have produced.
+//!
+//! The paper's scale story (Table 2) is a one-process curve; this crate
+//! is the shard-per-node step beyond it. The design leans on invariants
+//! the earlier layers already guarantee:
+//!
+//! * **Partitioning.** The corpus is split into contiguous document
+//!   ranges, one per worker ([`ShardMap`]). Scoring is per-document
+//!   evidence aggregation — no corpus-wide statistics — so a worker
+//!   evaluating its sub-corpus produces exactly the subset of the
+//!   full-corpus rows that live in its range.
+//! * **Canonical order.** `DocOrder` is the lexicographic order of the
+//!   *decimal document ids* (the engine's historical tuple order), so the
+//!   coordinator cannot simply concatenate worker replies in range order:
+//!   with ranges `[0..2)` and `[2..12)`, the global order interleaves
+//!   (`0,1,10,11,…,2,…`). [`merge`] re-sorts row *groups* by the
+//!   canonical key after remapping each worker's local document ids by
+//!   its `doc_base` — a stable sort, so within-document extraction order
+//!   survives. `ScoreDesc` re-sorts by (score desc, doc key, row), the
+//!   same effective key `koko_core` documents.
+//! * **Byte identity.** Worker rows are parsed with `koko_serve::json`
+//!   (canonical escapes, shortest-round-trip floats) and re-serialized
+//!   with `koko_serve::protocol::rows_json` — the exact writer the
+//!   single-node server uses — so the merged `rows` payload is
+//!   byte-for-byte what one server over the whole corpus emits. The
+//!   workspace conformance suite asserts this across the opts mix.
+//! * **Fan-out.** [`fanout::FanOut`] drives every worker connection from
+//!   one `koko-net` reactor thread: connections are pooled and
+//!   pipelined (the protocol answers in request order per connection, so
+//!   replies match by FIFO position), deadlines propagate as per-worker
+//!   budgets, and transient faults retry with jittered backoff against
+//!   the worker's replica list. A timed-out connection is *poisoned* —
+//!   its FIFO is ambiguous — so it is closed and rebuilt rather than
+//!   reused.
+//! * **Partial failure.** Worker timeouts/disconnects surface as
+//!   structured entries in `Explain::remote_shards`. In
+//!   [`Mode::Strict`] any failure fails the query; in [`Mode::Partial`]
+//!   the surviving shards are returned with `"partial":true` so the
+//!   caller knows the row set is a lower bound. Never a panic, a hang
+//!   past the deadline, or silently wrong rows.
+//! * **Writes.** `add`/`compact` go through the coordinator, which
+//!   sequences them under a writer lock, forwards `add` to the tail
+//!   worker (whose v4 append-on-add persistence seals the delta shards),
+//!   broadcasts `compact`, and publishes the new epoch with a two-phase
+//!   pointer swap: phase 1 mutates the worker, phase 2 atomically swaps
+//!   the coordinator's `Arc<ShardMap>`. Queries pin the `Arc` at entry,
+//!   so no reader ever observes a torn generation.
+//!
+//! See `docs/CLUSTER.md` for the topology, the shard-map format, the
+//! epoch publish protocol, and the partial-failure contract.
+
+#![deny(missing_docs)]
+
+pub mod coordinator;
+pub mod fanout;
+pub mod map;
+pub mod merge;
+
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use fanout::{FanOut, FanOutConfig, WorkerError, WorkerReply};
+pub use map::{Mode, ShardMap, WorkerEntry};

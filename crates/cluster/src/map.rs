@@ -1,0 +1,407 @@
+//! The shard map: which worker serves which contiguous document range,
+//! at which address, with which replicas — plus the epoch counter the
+//! coordinator bumps on every published write.
+//!
+//! The on-disk format is a single JSON object (`cluster.json` by
+//! convention, written by `koko cluster split`):
+//!
+//! ```json
+//! {"version":1,"epoch":0,"mode":"partial","workers":[
+//!   {"name":"w0","addr":"127.0.0.1:4101","replicas":[],
+//!    "doc_base":0,"docs":4,"sid_base":0,"snapshot":"worker-0.koko"},
+//!   {"name":"w1","addr":"127.0.0.1:4102","replicas":[],
+//!    "doc_base":4,"docs":4,"sid_base":9,"snapshot":"worker-1.koko"}]}
+//! ```
+//!
+//! Ranges must start at document 0, be contiguous, and not overlap —
+//! [`ShardMap::validate`] rejects a split map (gap/overlap/empty) with a
+//! structured error before the coordinator ever binds, because a wrong
+//! map silently drops or duplicates rows, which is the one failure mode
+//! the cluster is not allowed to have.
+
+use koko_serve::json::{self, write_escaped, Json};
+
+/// What the coordinator does when a worker fails mid-query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Any worker failure fails the whole query with a structured error
+    /// naming the worker (no partial rows ever escape).
+    Strict,
+    /// Surviving workers' rows are returned, the response is flagged
+    /// `"partial":true`, and the failed workers appear with structured
+    /// errors in `explain.remote_shards`.
+    #[default]
+    Partial,
+}
+
+impl Mode {
+    /// The wire/file spelling (`"strict"` / `"partial"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Mode::Strict => "strict",
+            Mode::Partial => "partial",
+        }
+    }
+}
+
+/// One worker's slot in the [`ShardMap`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerEntry {
+    /// Stable worker name (`"w0"`, …) used in explain output and errors.
+    pub name: String,
+    /// Primary `host:port` the worker serves on.
+    pub addr: String,
+    /// Replica addresses serving the same document range; the fan-out
+    /// rotates onto these when the primary fails.
+    pub replicas: Vec<String>,
+    /// First global document id this worker owns.
+    pub doc_base: u32,
+    /// Number of documents this worker serves.
+    pub docs: u32,
+    /// First global *sentence* id of the range. Sentence ids are
+    /// corpus-global (they run over documents in order), so the
+    /// coordinator must remap each worker's locally numbered `sid`
+    /// values by this base to keep rows byte-identical to single-node.
+    /// `koko cluster split` computes it from the per-worker snapshots.
+    pub sid_base: u32,
+    /// Optional path of the worker's `.koko` snapshot (written by
+    /// `koko cluster split`; informational for the coordinator).
+    pub snapshot: Option<String>,
+}
+
+impl WorkerEntry {
+    /// Every address that can answer for this range: primary first,
+    /// then replicas.
+    pub fn endpoints(&self) -> Vec<String> {
+        let mut all = Vec::with_capacity(1 + self.replicas.len());
+        all.push(self.addr.clone());
+        all.extend(self.replicas.iter().cloned());
+        all
+    }
+}
+
+/// The cluster topology: an epoch-stamped list of workers covering the
+/// corpus as contiguous document ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMap {
+    /// Format version (currently 1).
+    pub version: u32,
+    /// Publish epoch; the coordinator bumps this on every successful
+    /// `add`/`compact` (two-phase: worker first, then the pointer swap).
+    pub epoch: u64,
+    /// Partial-failure mode queries run under by default.
+    pub mode: Mode,
+    /// Workers in `doc_base` order.
+    pub workers: Vec<WorkerEntry>,
+}
+
+impl ShardMap {
+    /// Total documents across every worker range.
+    pub fn total_docs(&self) -> u64 {
+        self.workers.iter().map(|w| w.docs as u64).sum()
+    }
+
+    /// Structured validation: at least one worker, ranges start at 0,
+    /// are contiguous (no gap, no overlap), and are non-empty. Returns
+    /// a message naming the offending worker.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers.is_empty() {
+            return Err("shard map has no workers".into());
+        }
+        let mut expect = 0u32;
+        for w in &self.workers {
+            if w.docs == 0 {
+                return Err(format!("worker {:?} serves an empty range", w.name));
+            }
+            if w.doc_base != expect {
+                return Err(format!(
+                    "worker {:?} starts at doc {} but the previous range ends at {} \
+                     (ranges must be contiguous from 0 — a split map drops or duplicates rows)",
+                    w.name, w.doc_base, expect
+                ));
+            }
+            expect = expect
+                .checked_add(w.docs)
+                .ok_or_else(|| format!("worker {:?} overflows the document space", w.name))?;
+            if w.addr.is_empty() {
+                return Err(format!("worker {:?} has no address", w.name));
+            }
+        }
+        if self.workers[0].sid_base != 0 {
+            return Err(format!(
+                "worker {:?} must start at sentence 0 (sid_base {})",
+                self.workers[0].name, self.workers[0].sid_base
+            ));
+        }
+        for pair in self.workers.windows(2) {
+            if pair[1].sid_base < pair[0].sid_base {
+                return Err(format!(
+                    "worker {:?} has sid_base {} below its predecessor's {}                      (sentence bases must be non-decreasing in doc order)",
+                    pair[1].name, pair[1].sid_base, pair[0].sid_base
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse the JSON form (see the [module docs](self) for the format).
+    pub fn parse(text: &str) -> Result<ShardMap, String> {
+        let root = json::parse(text).map_err(|e| format!("shard map is not valid JSON: {e:?}"))?;
+        let version = root
+            .get("version")
+            .and_then(Json::as_f64)
+            .ok_or("shard map missing \"version\"")? as u32;
+        if version != 1 {
+            return Err(format!(
+                "unsupported shard map version {version} (expected 1)"
+            ));
+        }
+        let epoch = root.get("epoch").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let mode = match root.get("mode").and_then(Json::as_str) {
+            None | Some("partial") => Mode::Partial,
+            Some("strict") => Mode::Strict,
+            Some(other) => {
+                return Err(format!(
+                    "unknown mode {other:?} (expected \"strict\" or \"partial\")"
+                ))
+            }
+        };
+        let Some(Json::Arr(entries)) = root.get("workers") else {
+            return Err("shard map missing \"workers\" array".into());
+        };
+        let mut workers = Vec::with_capacity(entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("w{i}"));
+            let addr = e
+                .get("addr")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("worker {name:?} missing \"addr\""))?
+                .to_string();
+            let mut replicas = Vec::new();
+            if let Some(Json::Arr(reps)) = e.get("replicas") {
+                for r in reps {
+                    replicas.push(
+                        r.as_str()
+                            .ok_or_else(|| format!("worker {name:?} has a non-string replica"))?
+                            .to_string(),
+                    );
+                }
+            }
+            let doc_base = e
+                .get("doc_base")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("worker {name:?} missing \"doc_base\""))?
+                as u32;
+            let docs = e
+                .get("docs")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("worker {name:?} missing \"docs\""))?
+                as u32;
+            let sid_base = e.get("sid_base").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+            let snapshot = e.get("snapshot").and_then(Json::as_str).map(str::to_string);
+            workers.push(WorkerEntry {
+                name,
+                addr,
+                replicas,
+                doc_base,
+                docs,
+                sid_base,
+                snapshot,
+            });
+        }
+        let map = ShardMap {
+            version,
+            epoch,
+            mode,
+            workers,
+        };
+        map.validate()?;
+        Ok(map)
+    }
+
+    /// Canonical JSON rendering (round-trips through [`ShardMap::parse`]).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"version\":{},\"epoch\":{},\"mode\":\"{}\",\"workers\":[",
+            self.version,
+            self.epoch,
+            self.mode.as_str()
+        );
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, &w.name);
+            out.push_str(",\"addr\":");
+            write_escaped(&mut out, &w.addr);
+            out.push_str(",\"replicas\":[");
+            for (j, r) in w.replicas.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_escaped(&mut out, r);
+            }
+            out.push_str(&format!(
+                "],\"doc_base\":{},\"docs\":{},\"sid_base\":{}",
+                w.doc_base, w.docs, w.sid_base
+            ));
+            if let Some(snap) = &w.snapshot {
+                out.push_str(",\"snapshot\":");
+                write_escaped(&mut out, snap);
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Read + parse + validate a shard-map file.
+    pub fn load(path: &std::path::Path) -> Result<ShardMap, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read shard map {path:?}: {e}"))?;
+        ShardMap::parse(&text)
+    }
+
+    /// Write the canonical JSON form.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json() + "\n")
+            .map_err(|e| format!("cannot write shard map {path:?}: {e}"))
+    }
+
+    /// An even split of `total_docs` documents over `addrs.len()` workers
+    /// (remainder spread over the leading workers), for `koko cluster
+    /// split` and tests. `sid_base` is left at 0 for every worker — the
+    /// caller must fill in the real sentence bases once the per-worker
+    /// corpora exist (sentence counts are data-dependent).
+    pub fn split_even(total_docs: u32, addrs: &[String], mode: Mode) -> ShardMap {
+        let n = addrs.len().max(1) as u32;
+        let per = total_docs / n;
+        let extra = total_docs % n;
+        let mut workers = Vec::with_capacity(addrs.len());
+        let mut base = 0u32;
+        for (i, addr) in addrs.iter().enumerate() {
+            let docs = per + u32::from((i as u32) < extra);
+            workers.push(WorkerEntry {
+                name: format!("w{i}"),
+                addr: addr.clone(),
+                replicas: Vec::new(),
+                doc_base: base,
+                docs,
+                sid_base: 0,
+                snapshot: None,
+            });
+            base += docs;
+        }
+        ShardMap {
+            version: 1,
+            epoch: 0,
+            mode,
+            workers,
+        }
+    }
+
+    /// The new map an `add` of `added` documents publishes: the tail
+    /// worker's range grows, the epoch bumps. (Adds always land on the
+    /// tail worker — documents are append-only and ranges contiguous.)
+    pub fn grown(&self, added: u32) -> ShardMap {
+        let mut next = self.clone();
+        next.epoch += 1;
+        if let Some(tail) = next.workers.last_mut() {
+            tail.docs += added;
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map2() -> ShardMap {
+        ShardMap {
+            version: 1,
+            epoch: 3,
+            mode: Mode::Strict,
+            workers: vec![
+                WorkerEntry {
+                    name: "w0".into(),
+                    addr: "127.0.0.1:4101".into(),
+                    replicas: vec!["127.0.0.1:4201".into()],
+                    doc_base: 0,
+                    docs: 4,
+                    sid_base: 0,
+                    snapshot: Some("worker-0.koko".into()),
+                },
+                WorkerEntry {
+                    name: "w1".into(),
+                    addr: "127.0.0.1:4102".into(),
+                    replicas: vec![],
+                    doc_base: 4,
+                    docs: 4,
+                    sid_base: 9,
+                    snapshot: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let m = map2();
+        let parsed = ShardMap::parse(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn split_even_spreads_the_remainder_and_validates() {
+        let addrs: Vec<String> = (0..3).map(|i| format!("h:{i}")).collect();
+        let m = ShardMap::split_even(8, &addrs, Mode::Partial);
+        assert_eq!(
+            m.workers.iter().map(|w| w.docs).collect::<Vec<_>>(),
+            vec![3, 3, 2]
+        );
+        m.validate().unwrap();
+        assert_eq!(m.total_docs(), 8);
+    }
+
+    #[test]
+    fn split_maps_are_rejected_with_structured_errors() {
+        // Gap.
+        let mut m = map2();
+        m.workers[1].doc_base = 5;
+        let err = m.validate().unwrap_err();
+        assert!(err.contains("w1") && err.contains("contiguous"), "{err}");
+        // Overlap.
+        let mut m = map2();
+        m.workers[1].doc_base = 3;
+        assert!(m.validate().is_err());
+        // Empty range.
+        let mut m = map2();
+        m.workers[0].docs = 0;
+        assert!(m.validate().unwrap_err().contains("empty"));
+        // No workers.
+        let m = ShardMap {
+            workers: vec![],
+            ..map2()
+        };
+        assert!(m.validate().is_err());
+        // Parse-time validation fires too.
+        let mut m = map2();
+        m.workers[1].doc_base = 9;
+        assert!(ShardMap::parse(&m.to_json()).is_err());
+    }
+
+    #[test]
+    fn grown_bumps_the_epoch_and_extends_the_tail() {
+        let g = map2().grown(5);
+        assert_eq!(g.epoch, 4);
+        assert_eq!(g.workers[1].docs, 9);
+        assert_eq!(g.workers[0].docs, 4);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,242 @@
+//! Cluster-side fault injection, extending the serve-layer suite in
+//! `crates/serve/tests/fault_injection.rs`: killed workers, wedged
+//! workers, protocol-breaking workers, and malformed shard maps must
+//! each produce a structured, deadline-bounded answer — never a panic,
+//! a hang past the budget, or silently wrong rows.
+
+use koko_cluster::{Coordinator, CoordinatorConfig, FanOutConfig, Mode, ShardMap, WorkerEntry};
+use koko_core::{EngineOpts, Koko};
+use koko_serve::protocol::QueryOpts;
+use koko_serve::{Client, Server};
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+const CORPUS: [&str; 4] = [
+    "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+    "Anna ate some delicious cheesecake that she bought at a grocery store.",
+    "Cyd Charisse had been called Sid for years.",
+    "Vera Alys was born in 1911.",
+];
+
+fn engine(texts: &[&str]) -> Koko {
+    Koko::from_texts_with_opts(
+        texts,
+        EngineOpts {
+            num_shards: 1,
+            parallel: false,
+            result_cache: 8,
+            ..EngineOpts::default()
+        },
+    )
+}
+
+fn fast_config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        default_deadline: Duration::from_millis(1500),
+        fanout: FanOutConfig {
+            connect_timeout: Duration::from_millis(250),
+            max_retries: 1,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(10),
+            seed: 3,
+        },
+        ..CoordinatorConfig::default()
+    }
+}
+
+fn entry(name: &str, addr: String, doc_base: u32, docs: u32, sid_base: u32) -> WorkerEntry {
+    WorkerEntry {
+        name: name.into(),
+        addr,
+        replicas: vec![],
+        doc_base,
+        docs,
+        sid_base,
+        snapshot: None,
+    }
+}
+
+fn two_worker_map(addr0: String, addr1: String) -> ShardMap {
+    ShardMap {
+        version: 1,
+        epoch: 0,
+        mode: Mode::Partial,
+        workers: vec![entry("w0", addr0, 0, 2, 0), entry("w1", addr1, 2, 2, 2)],
+    }
+}
+
+/// Killing a worker mid-load: every in-flight and subsequent query keeps
+/// getting a structured answer; once the kill is visible, answers are
+/// flagged `partial` with the dead worker named — and the surviving
+/// worker's rows keep flowing.
+#[test]
+fn worker_kill_mid_load_degrades_to_flagged_partials() {
+    let w0 = Server::bind(engine(&CORPUS[..2]), "127.0.0.1:0", 1).unwrap();
+    let w1 = Server::bind(engine(&CORPUS[2..]), "127.0.0.1:0", 1).unwrap();
+    let map = two_worker_map(w0.local_addr().to_string(), w1.local_addr().to_string());
+    let coordinator = Coordinator::bind(map, "127.0.0.1:0", fast_config()).unwrap();
+    let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+
+    // Healthy warm-up: full answers, no partial flag.
+    for _ in 0..3 {
+        let line = client
+            .query(koko_lang::queries::EXAMPLE_2_1, false)
+            .unwrap();
+        assert!(
+            line.contains("\"ok\":true") && !line.contains("partial"),
+            "{line}"
+        );
+        assert!(
+            line.contains("\"num_rows\":2"),
+            "both halves answer: {line}"
+        );
+    }
+    w1.shutdown();
+    // Post-kill: every query still answers, flagged and within deadline.
+    for _ in 0..5 {
+        let started = Instant::now();
+        let line = client
+            .query(koko_lang::queries::EXAMPLE_2_1, false)
+            .unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "answers stay deadline-bounded"
+        );
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"partial\":true"), "{line}");
+        assert!(line.contains("\"worker\":\"w1\""), "{line}");
+        assert!(
+            line.contains("\"doc\":0"),
+            "the surviving worker's rows keep flowing: {line}"
+        );
+    }
+    drop(client);
+    coordinator.shutdown();
+    w0.shutdown();
+}
+
+/// A wedged worker (accepts, reads, never answers) must surface as a
+/// structured per-worker timeout at the request deadline — not hold the
+/// client forever.
+#[test]
+fn slow_worker_times_out_at_the_deadline_with_a_structured_error() {
+    let w0 = Server::bind(engine(&CORPUS[..2]), "127.0.0.1:0", 1).unwrap();
+    let wedged = TcpListener::bind("127.0.0.1:0").unwrap();
+    let wedged_addr = wedged.local_addr().unwrap().to_string();
+    let hold = std::thread::spawn(move || {
+        // Accept and read forever; never write a byte.
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = wedged.accept() {
+            let s = stream.try_clone().unwrap();
+            held.push(stream);
+            std::thread::spawn(move || {
+                let mut buf = [0u8; 4096];
+                let mut s = s;
+                while matches!(s.read(&mut buf), Ok(n) if n > 0) {}
+            });
+        }
+    });
+    let map = two_worker_map(w0.local_addr().to_string(), wedged_addr);
+    let coordinator = Coordinator::bind(map, "127.0.0.1:0", fast_config()).unwrap();
+    let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+    let started = Instant::now();
+    let line = client
+        .query_with_opts(
+            koko_lang::queries::EXAMPLE_2_1,
+            false,
+            QueryOpts {
+                deadline_ms: Some(400),
+                ..QueryOpts::default()
+            },
+        )
+        .unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "deadline 400ms must not stretch to {elapsed:?}"
+    );
+    assert!(line.contains("\"partial\":true"), "{line}");
+    assert!(
+        line.contains("\"error\":\"timeout\""),
+        "the wedged worker surfaces as a timeout: {line}"
+    );
+    assert!(line.contains("\"doc\":0"), "w0's rows survive: {line}");
+    drop(client);
+    coordinator.shutdown();
+    w0.shutdown();
+    drop(hold); // listener thread dies with the process
+}
+
+/// A worker that answers with protocol garbage is indistinguishable from
+/// a broken connection: its shard degrades structurally, the other rows
+/// survive.
+#[test]
+fn garbage_speaking_worker_degrades_like_a_disconnect() {
+    let w0 = Server::bind(engine(&CORPUS[..2]), "127.0.0.1:0", 1).unwrap();
+    let garbage = TcpListener::bind("127.0.0.1:0").unwrap();
+    let garbage_addr = garbage.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        while let Ok((stream, _)) = garbage.accept() {
+            std::thread::spawn(move || {
+                use std::io::Write;
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut stream = stream;
+                let mut line = String::new();
+                while matches!(reader.read_line(&mut line), Ok(n) if n > 0) {
+                    let _ = stream.write_all(b"!! not json !!\n");
+                    line.clear();
+                }
+            });
+        }
+    });
+    let map = two_worker_map(w0.local_addr().to_string(), garbage_addr);
+    let coordinator = Coordinator::bind(map, "127.0.0.1:0", fast_config()).unwrap();
+    let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+    let line = client
+        .query(koko_lang::queries::EXAMPLE_2_1, false)
+        .unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+    assert!(line.contains("\"partial\":true"), "{line}");
+    assert!(
+        line.contains("\"worker\":\"w1\"") && line.contains("disconnect"),
+        "garbage reads as a structured disconnect: {line}"
+    );
+    assert!(line.contains("\"doc\":0"), "{line}");
+    drop(client);
+    coordinator.shutdown();
+    w0.shutdown();
+}
+
+/// Malformed shard maps — gaps, overlaps, empty ranges — are refused at
+/// bind time with an error naming the worker. A split map silently
+/// dropping or duplicating rows is the one failure the cluster must
+/// never serve.
+#[test]
+fn split_shard_maps_are_refused_at_bind_time() {
+    let mut gap = two_worker_map("127.0.0.1:1".into(), "127.0.0.1:2".into());
+    gap.workers[1].doc_base = 3;
+    let err = match Coordinator::bind(gap, "127.0.0.1:0", fast_config()) {
+        Err(e) => e,
+        Ok(_) => panic!("a gapped shard map must not bind"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("w1"), "{err}");
+
+    let mut overlap = two_worker_map("127.0.0.1:1".into(), "127.0.0.1:2".into());
+    overlap.workers[1].doc_base = 1;
+    assert!(Coordinator::bind(overlap, "127.0.0.1:0", fast_config()).is_err());
+
+    let mut empty = two_worker_map("127.0.0.1:1".into(), "127.0.0.1:2".into());
+    empty.workers[0].docs = 0;
+    empty.workers[1].doc_base = 0;
+    empty.workers[1].docs = 4;
+    assert!(Coordinator::bind(empty, "127.0.0.1:0", fast_config()).is_err());
+
+    // The same validation fires on the file-format path.
+    assert!(ShardMap::parse(r#"{"version":1,"workers":[]}"#).is_err());
+    assert!(ShardMap::parse(
+        r#"{"version":1,"workers":[{"name":"w0","addr":"h:1","doc_base":1,"docs":2}]}"#
+    )
+    .is_err());
+}

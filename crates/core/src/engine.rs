@@ -1024,6 +1024,7 @@ fn execute_request(
     let explain = exec.explain.then_some(Explain {
         plans,
         shards: shard_explains,
+        remote_shards: vec![],
     });
 
     Ok(QueryOutput {

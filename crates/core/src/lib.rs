@@ -103,7 +103,7 @@ pub use engine::{
 pub use error::Error;
 pub use live::LiveIndex;
 pub use profile::Profile;
-pub use request::{Explain, Order, QueryRequest, ShardExplain};
+pub use request::{Explain, Order, QueryRequest, RemoteShardExplain, ShardExplain};
 pub use snapshot::Snapshot;
 pub use tenant::{Admission, AdmissionState, Overload, TenantPolicy, TenantTable, TokenBucket};
 

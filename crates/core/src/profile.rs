@@ -70,6 +70,15 @@ pub struct Profile {
     /// Result-cache misses while the result cache was enabled (0 when it
     /// is off or bypassed).
     pub result_cache_misses: usize,
+    /// Workers a cluster coordinator fanned this query out to (0 for
+    /// single-node execution — every pre-cluster profile shape is
+    /// preserved exactly).
+    pub remote_shards: usize,
+    /// Wall-clock spent waiting on worker round-trips at the coordinator
+    /// (max over concurrently outstanding workers per fan-out, summed by
+    /// [`Profile::merge`] like every other stage timer). Zero for
+    /// single-node execution.
+    pub remote_wait: Duration,
 }
 
 impl Profile {
@@ -121,6 +130,8 @@ impl Profile {
         self.compiled_cache_misses += other.compiled_cache_misses;
         self.result_cache_hits += other.result_cache_hits;
         self.result_cache_misses += other.result_cache_misses;
+        self.remote_shards += other.remote_shards;
+        self.remote_wait += other.remote_wait;
     }
 
     /// Merge another profile into this one (alias of [`Profile::merge`],
@@ -173,6 +184,8 @@ mod tests {
             compiled_cache_misses: 0,
             result_cache_hits: 0,
             result_cache_misses: 1,
+            remote_shards: 2,
+            remote_wait: Duration::from_millis(7),
         };
         let b = Profile {
             normalize: Duration::from_millis(10),
@@ -194,6 +207,8 @@ mod tests {
             compiled_cache_misses: 3,
             result_cache_hits: 4,
             result_cache_misses: 5,
+            remote_shards: 3,
+            remote_wait: Duration::from_millis(70),
         };
         a.merge(&b);
         assert_eq!(a.normalize, Duration::from_millis(11));
@@ -211,6 +226,8 @@ mod tests {
         assert_eq!(a.compiled_cache_misses, 3);
         assert_eq!(a.result_cache_hits, 4);
         assert_eq!(a.result_cache_misses, 6);
+        assert_eq!(a.remote_shards, 5);
+        assert_eq!(a.remote_wait, Duration::from_millis(77));
         assert_eq!(a.total(), Duration::from_millis(231));
     }
 }

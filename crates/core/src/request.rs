@@ -211,6 +211,12 @@ pub struct Explain {
     /// Per-shard evaluation counters, in shard order (base shards first,
     /// then deltas).
     pub shards: Vec<ShardExplain>,
+    /// Per-worker fan-out accounting when the query was answered by a
+    /// cluster coordinator (one entry per worker contacted, in shard-map
+    /// order). Always empty for single-node execution, so single-node
+    /// explain output is byte-identical to what it was before clustering
+    /// existed.
+    pub remote_shards: Vec<RemoteShardExplain>,
 }
 
 impl Explain {
@@ -223,6 +229,49 @@ impl Explain {
     pub fn early_terminated(&self) -> bool {
         self.shards.iter().any(|s| s.early_stopped)
     }
+
+    /// Workers that answered (no error), when this report came from a
+    /// cluster coordinator. Zero for single-node execution.
+    pub fn healthy_workers(&self) -> usize {
+        self.remote_shards
+            .iter()
+            .filter(|w| w.error.is_none())
+            .count()
+    }
+
+    /// Workers that failed (timeout, disconnect, refused) — in partial
+    /// mode their shards are missing from the returned rows.
+    pub fn failed_workers(&self) -> usize {
+        self.remote_shards.len() - self.healthy_workers()
+    }
+}
+
+/// One worker's slice of a coordinator fan-out, attached to
+/// [`Explain::remote_shards`] by the cluster coordinator. Mirrors
+/// [`ShardExplain`] one level up: a worker serves a contiguous range of
+/// documents (a subset of base/delta shards) and this records what its
+/// round-trip contributed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RemoteShardExplain {
+    /// Worker name from the shard map (e.g. `"w0"`).
+    pub worker: String,
+    /// Address the reply actually came from (primary or replica).
+    pub addr: String,
+    /// First global document id this worker owns.
+    pub doc_base: u32,
+    /// Number of documents this worker serves.
+    pub docs: u32,
+    /// Rows the worker contributed to the merged result.
+    pub rows: usize,
+    /// Wall-clock round-trip of the worker call as seen by the
+    /// coordinator (enqueue to reply), in milliseconds.
+    pub rtt_ms: f64,
+    /// Structured error when the worker failed: `"timeout"`,
+    /// `"disconnect"`, `"unavailable"`, or the worker's own error text.
+    /// `None` on a healthy reply.
+    pub error: Option<String>,
+    /// Retries spent before the reply (0 = first attempt answered).
+    pub retries: usize,
 }
 
 /// One shard's slice of an [`Explain`] report.

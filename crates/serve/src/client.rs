@@ -206,6 +206,195 @@ impl Client {
     }
 }
 
+/// Structured failure of the retrying connect/query paths. A plain
+/// [`Client::connect`] still surfaces the raw [`std::io::Error`]; the
+/// retrying entry points classify it: transient faults (refused, reset,
+/// aborted, timed out — the signatures of a server mid-restart) are
+/// retried with jittered backoff and only after the budget is exhausted
+/// collapse into [`ServeError::Unavailable`], while everything else
+/// (permission, unreachable network, protocol violations) fails fast as
+/// [`ServeError::Io`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// The endpoint stayed transiently unreachable through every retry
+    /// attempt — the server is down or restarting. Carries the address,
+    /// how many attempts were spent, and the last underlying error.
+    Unavailable {
+        /// The `host:port` that never answered.
+        addr: String,
+        /// Connect attempts made (≥ 1).
+        attempts: usize,
+        /// The error the final attempt died with.
+        last: std::io::Error,
+    },
+    /// A non-transient I/O error; retrying would not help.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Unavailable {
+                addr,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "server {addr} unavailable after {attempts} attempt{}: {last}",
+                if *attempts == 1 { "" } else { "s" }
+            ),
+            ServeError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ServeError> for std::io::Error {
+    fn from(e: ServeError) -> std::io::Error {
+        match e {
+            ServeError::Io(io) => io,
+            ServeError::Unavailable { .. } => {
+                std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e.to_string())
+            }
+        }
+    }
+}
+
+/// Whether an I/O error looks like a server mid-restart (worth retrying)
+/// rather than a permanent failure. `UnexpectedEof` is included: a
+/// restarting server closes accepted connections before its listener is
+/// torn down, which the read side observes as a clean EOF.
+pub fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Bounded retry with jittered exponential backoff. The jitter is a
+/// deterministic LCG seeded per policy, so tests are reproducible and the
+/// library needs no RNG dependency; distinct callers should vary `seed`
+/// (the cluster coordinator seeds per worker) so a restarted server is
+/// not hit by every client on the same schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1); `1` means "no retry".
+    pub attempts: usize,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub cap: Duration,
+    /// Jitter seed; each sleep is scaled into `[50%, 100%]` of the
+    /// exponential step by the next LCG draw.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(500),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `retry` (0-based).
+    pub fn backoff(&self, retry: u32, seed: &mut u64) -> Duration {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let unit = ((*seed >> 33) & 0x7FFF_FFFF) as f64 / (1u64 << 31) as f64; // [0, 1)
+        let exp = self
+            .base
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.cap);
+        exp.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+impl Client {
+    /// [`Client::connect`] with bounded retry + jittered backoff for
+    /// transient faults (the regression fix for clients racing a server
+    /// restart: a refused/reset connect used to surface as a raw
+    /// [`std::io::Error`] on the first try). Non-transient errors fail
+    /// fast; exhaustion returns [`ServeError::Unavailable`].
+    pub fn connect_with_retry(addr: &str, policy: RetryPolicy) -> Result<Client, ServeError> {
+        let attempts = policy.attempts.max(1);
+        let mut seed = policy.seed;
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt as u32 - 1, &mut seed));
+            }
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if is_transient(&e) => last = Some(e),
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+        Err(ServeError::Unavailable {
+            addr: addr.to_string(),
+            attempts,
+            last: last.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no attempt made")
+            }),
+        })
+    }
+
+    /// One query with reconnect-on-transient-failure: connects (with
+    /// retry), sends, and — if the connection dies mid-round-trip with a
+    /// transient error, as against a restarting server — reconnects and
+    /// resends under the same bounded budget. Queries are read-only and
+    /// idempotent, so the resend is safe.
+    pub fn query_with_reconnect(
+        addr: &str,
+        text: &str,
+        cache: bool,
+        opts: Option<QueryOpts>,
+        auth: Option<&str>,
+        policy: RetryPolicy,
+    ) -> Result<String, ServeError> {
+        let attempts = policy.attempts.max(1);
+        let mut seed = policy.seed;
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt as u32 - 1, &mut seed));
+            }
+            let mut client = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(e) if is_transient(&e) => {
+                    last = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(ServeError::Io(e)),
+            };
+            match client.query_as(text, cache, opts, auth) {
+                Ok(line) => return Ok(line),
+                Err(e) if is_transient(&e) => last = Some(e),
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+        Err(ServeError::Unavailable {
+            addr: addr.to_string(),
+            attempts,
+            last: last.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no attempt made")
+            }),
+        })
+    }
+}
+
 /// A streamed query response reassembled client-side by
 /// [`Client::query_stream`].
 #[derive(Debug, Clone)]
@@ -494,6 +683,102 @@ mod tests {
         assert!(report.achieved_rps > 0.0);
         assert!((report.offered_rps - 200.0).abs() < 1e-9);
         server.shutdown();
+    }
+
+    /// A fast-failing policy for tests (total worst-case sleep ~6ms).
+    fn fast_policy(attempts: usize) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(4),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn connect_with_retry_exhaustion_is_a_structured_unavailable() {
+        // Bind-then-drop reserves a port with nothing listening on it:
+        // every connect is a transient ConnectionRefused.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        match Client::connect_with_retry(&addr, fast_policy(3)) {
+            Err(ServeError::Unavailable {
+                addr: a, attempts, ..
+            }) => {
+                assert_eq!(a, addr);
+                assert_eq!(attempts, 3);
+            }
+            Err(ServeError::Io(e)) => panic!("refused connect misclassified as permanent: {e}"),
+            Ok(_) => panic!("connect to a dead port succeeded"),
+        }
+    }
+
+    #[test]
+    fn connect_with_retry_rides_out_a_server_restart() {
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        // "Restart": the server comes up on the reserved port only after
+        // the first connect attempts have been refused.
+        let addr2 = addr.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let koko = Koko::from_texts_with_opts(
+                &["Anna ate some delicious cheesecake."],
+                EngineOpts {
+                    parallel: false,
+                    num_shards: 1,
+                    ..EngineOpts::default()
+                },
+            );
+            Server::bind(koko, &addr2, 1).unwrap()
+        });
+        let policy = RetryPolicy {
+            attempts: 40,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(10),
+            seed: 11,
+        };
+        let mut client = Client::connect_with_retry(&addr, policy)
+            .expect("bounded retry must outlast the restart window");
+        assert!(client.ping().unwrap().contains("\"ok\":true"));
+        handle.join().unwrap().shutdown();
+    }
+
+    #[test]
+    fn query_with_reconnect_resends_after_a_mid_restart_disconnect() {
+        // A hand-rolled flaky endpoint: the first accepted connection is
+        // dropped on the floor (the client sees EOF/reset mid-round-trip,
+        // exactly what a restarting server produces), the second is
+        // answered properly.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (first, _) = listener.accept().unwrap();
+            drop(first);
+            let (second, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(second.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut w = second;
+            w.write_all(b"{\"id\":1,\"ok\":true,\"rows\":[]}\n")
+                .unwrap();
+            w.flush().unwrap();
+        });
+        let line = Client::query_with_reconnect(
+            &addr,
+            "extract x:Entity from t if ()",
+            true,
+            None,
+            None,
+            fast_policy(5),
+        )
+        .expect("one dropped connection must not surface to the caller");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        server.join().unwrap();
     }
 
     #[test]

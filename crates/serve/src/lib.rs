@@ -53,8 +53,8 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{
-    run_load, run_load_as, run_load_open, run_load_with, Client, LoadReport, OpenLoadReport,
-    StreamedResponse,
+    is_transient, run_load, run_load_as, run_load_open, run_load_with, Client, LoadReport,
+    OpenLoadReport, RetryPolicy, ServeError, StreamedResponse,
 };
 pub use protocol::{
     ok_response, opts_response, overload_response, rows_json, QueryOpts, Request, WireOrder,

@@ -428,8 +428,8 @@ pub fn rows_json(rows: &[Row]) -> String {
 /// JSON rendering of a [`Profile`]: stage timers in microseconds plus the
 /// candidate/tuple and cache counters.
 pub fn profile_json(p: &Profile) -> String {
-    format!(
-        "{{\"normalize_us\":{},\"dpli_us\":{},\"load_article_us\":{},\"gsp_us\":{},\"extract_us\":{},\"satisfying_us\":{},\"candidates\":{},\"delta_candidates\":{},\"raw_tuples\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{}}}",
+    let mut out = format!(
+        "{{\"normalize_us\":{},\"dpli_us\":{},\"load_article_us\":{},\"gsp_us\":{},\"extract_us\":{},\"satisfying_us\":{},\"candidates\":{},\"delta_candidates\":{},\"raw_tuples\":{},\"compiled_cache_hits\":{},\"compiled_cache_misses\":{},\"result_cache_hits\":{},\"result_cache_misses\":{}",
         p.normalize.as_micros(),
         p.dpli.as_micros(),
         p.load_article.as_micros(),
@@ -443,7 +443,18 @@ pub fn profile_json(p: &Profile) -> String {
         p.compiled_cache_misses,
         p.result_cache_hits,
         p.result_cache_misses,
-    )
+    );
+    // Present only on coordinator-answered queries: single-node profile
+    // lines keep the exact legacy byte shape.
+    if p.remote_shards > 0 {
+        out.push_str(&format!(
+            ",\"remote_shards\":{},\"remote_wait_us\":{}",
+            p.remote_shards,
+            p.remote_wait.as_micros()
+        ));
+    }
+    out.push('}');
+    out
 }
 
 /// Encode a successful query response (no trailing newline).
@@ -518,7 +529,37 @@ pub fn explain_json(e: &Explain) -> String {
             s.bound_skipped_docs, s.block_bound_skipped_docs, s.probes
         ));
     }
-    out.push_str("]}");
+    out.push(']');
+    // Coordinator fan-out accounting. Rendered only when present so every
+    // single-node explain line stays byte-identical to the pre-cluster
+    // wire shape (guarded by `legacy_response_shape_is_unchanged_…`).
+    if !e.remote_shards.is_empty() {
+        out.push_str(",\"remote_shards\":[");
+        for (i, w) in e.remote_shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"worker\":");
+            write_escaped(&mut out, &w.worker);
+            out.push_str(",\"addr\":");
+            write_escaped(&mut out, &w.addr);
+            out.push_str(&format!(
+                ",\"doc_base\":{},\"docs\":{},\"rows\":{},\"rtt_ms\":",
+                w.doc_base, w.docs, w.rows
+            ));
+            write_f64(&mut out, w.rtt_ms);
+            out.push_str(",\"retries\":");
+            out.push_str(&w.retries.to_string());
+            out.push_str(",\"error\":");
+            match &w.error {
+                Some(msg) => write_escaped(&mut out, msg),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push(']');
+    }
+    out.push('}');
     out
 }
 
@@ -783,6 +824,7 @@ mod tests {
                     probes: 9,
                     ..koko_core::ShardExplain::default()
                 }],
+                remote_shards: vec![],
             }),
             profile: Profile::default(),
         };
@@ -807,6 +849,62 @@ mod tests {
         );
         assert_eq!(response_rows(&extended), Some("[]"));
         assert!(crate::json::parse(&extended).is_ok(), "valid json");
+    }
+
+    #[test]
+    fn cluster_fields_render_only_on_coordinator_answers() {
+        // Single-node: neither profile nor explain may grow new keys.
+        let p = Profile::default();
+        assert!(!profile_json(&p).contains("remote"), "{}", profile_json(&p));
+        // Coordinator: the remote accounting appears, appended after the
+        // legacy keys so existing parsers keep working.
+        let p = Profile {
+            remote_shards: 2,
+            remote_wait: std::time::Duration::from_millis(3),
+            ..Profile::default()
+        };
+        assert!(
+            profile_json(&p).ends_with(",\"remote_shards\":2,\"remote_wait_us\":3000}"),
+            "{}",
+            profile_json(&p)
+        );
+        let e = koko_core::Explain {
+            plans: vec![],
+            shards: vec![],
+            remote_shards: vec![koko_core::RemoteShardExplain {
+                worker: "w0".into(),
+                addr: "127.0.0.1:4101".into(),
+                doc_base: 0,
+                docs: 4,
+                rows: 2,
+                rtt_ms: 1.5,
+                error: None,
+                retries: 0,
+            }],
+        };
+        let json = explain_json(&e);
+        assert!(
+            json.contains(
+                "\"remote_shards\":[{\"worker\":\"w0\",\"addr\":\"127.0.0.1:4101\",\"doc_base\":0,\"docs\":4,\"rows\":2,\"rtt_ms\":1.5,\"retries\":0,\"error\":null}]"
+            ),
+            "{json}"
+        );
+        assert!(crate::json::parse(&json).is_ok(), "valid json");
+        // A failed worker renders its structured error.
+        let e = koko_core::Explain {
+            remote_shards: vec![koko_core::RemoteShardExplain {
+                worker: "w1".into(),
+                error: Some("timeout".into()),
+                retries: 2,
+                ..koko_core::RemoteShardExplain::default()
+            }],
+            ..koko_core::Explain::default()
+        };
+        assert!(
+            explain_json(&e).contains("\"retries\":2,\"error\":\"timeout\""),
+            "{}",
+            explain_json(&e)
+        );
     }
 
     #[test]

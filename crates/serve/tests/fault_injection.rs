@@ -6,6 +6,10 @@
 //!
 //! Every test ends with a graceful `shutdown()`: a server that survived
 //! the abuse but can no longer drain would fail there.
+//!
+//! Cluster-side faults (killed workers, wedged workers, malformed shard
+//! maps) live in `crates/cluster/tests/fault_injection.rs` — the serve
+//! crate sits below the cluster layer and cannot depend on it.
 
 use koko_core::tenant::{TenantPolicy, TenantTable};
 use koko_core::{EngineOpts, Koko};

@@ -51,10 +51,11 @@ fn main() {
         Some("stats") => cmd_stats(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: koko <build|add|query|batch|parse|stats|serve|client|demo> [args]  (see `src/bin/koko.rs`)"
+                "usage: koko <build|add|query|batch|parse|stats|serve|client|cluster|demo> [args]  (see `src/bin/koko.rs`)"
             );
             2
         }
@@ -193,6 +194,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--tenant",
     "--default-tenant",
     "--max-conns",
+    "--workers",
+    "--out-dir",
+    "--port-base",
 ];
 
 /// Positional (non-flag) arguments, skipping the values of space-form
@@ -758,11 +762,14 @@ fn cmd_stats(args: &[String]) -> i32 {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let usage = "usage: koko serve <corpus.txt|snapshot.koko> [--addr=HOST:PORT] [--threads=N] [--cache=N] [--shards=N] [--writable] [--eager] [--doc=para] [--max-conns=N] [--tenant=name:rate:burst:queue:conc[:cap_ms]]... [--default-tenant=rate:burst:queue:conc[:cap_ms]]";
+    let usage = "usage: koko serve <corpus.txt|snapshot.koko> [--addr=HOST:PORT] [--threads=N] [--cache=N] [--shards=N] [--writable] [--worker] [--eager] [--doc=para] [--max-conns=N] [--tenant=name:rate:burst:queue:conc[:cap_ms]]... [--default-tenant=rate:burst:queue:conc[:cap_ms]]\n       koko serve <cluster.json> --coordinator [--addr=HOST:PORT] [--strict|--partial] [--deadline-ms=N]";
     let Some(path) = args.first() else {
         eprintln!("{usage}");
         return 2;
     };
+    if args.iter().any(|a| a == "--coordinator") {
+        return cmd_serve_coordinator(path, args);
+    }
     let parsed = (|| -> Result<(String, usize, usize, usize), String> {
         let addr = arg_named_str(args, "addr").unwrap_or_else(|| "127.0.0.1:4100".to_string());
         // 0 = one worker per core; an absurd explicit count is an error,
@@ -797,7 +804,10 @@ fn cmd_serve(args: &[String]) -> i32 {
             }
         }
     }
-    let writable = args.iter().any(|a| a == "--writable");
+    // A cluster worker is a plain server that must accept the
+    // coordinator's forwarded writes: --worker is --writable plus the
+    // eager open that writability already implies.
+    let writable = args.iter().any(|a| a == "--writable" || a == "--worker");
     let opts = EngineOpts {
         num_shards: match arg_shards(args) {
             Ok(n) => n,
@@ -867,6 +877,258 @@ fn cmd_serve(args: &[String]) -> i32 {
             eprintln!("error: cannot bind {addr}: {e}");
             1
         }
+    }
+}
+
+/// `koko serve <cluster.json> --coordinator` — bind the cluster front
+/// door: fan queries out to the workers in the shard map, merge replies
+/// byte-identically to single-node, route writes through the two-phase
+/// epoch publish (see `docs/CLUSTER.md`).
+fn cmd_serve_coordinator(path: &str, args: &[String]) -> i32 {
+    let addr = arg_named_str(args, "addr").unwrap_or_else(|| "127.0.0.1:4100".to_string());
+    let strict = args.iter().any(|a| a == "--strict");
+    let partial = args.iter().any(|a| a == "--partial");
+    if strict && partial {
+        eprintln!("error: --strict and --partial are mutually exclusive");
+        return 2;
+    }
+    let deadline_ms = match arg_named_usize_in(args, "deadline-ms", 10_000, 1, 3_600_000) {
+        Ok(ms) => ms,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let map = match koko::cluster::ShardMap::load(std::path::Path::new(path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let mode = if strict {
+        Some(koko::cluster::Mode::Strict)
+    } else if partial {
+        Some(koko::cluster::Mode::Partial)
+    } else {
+        None
+    };
+    let config = koko::cluster::CoordinatorConfig {
+        mode,
+        default_deadline: std::time::Duration::from_millis(deadline_ms as u64),
+        ..koko::cluster::CoordinatorConfig::default()
+    };
+    let workers = map.workers.len();
+    let documents = map.total_docs();
+    let epoch = map.epoch;
+    let mode_str = mode.unwrap_or(map.mode).as_str();
+    match koko::cluster::Coordinator::bind(map, &addr, config) {
+        Ok(coordinator) => {
+            eprintln!(
+                "coordinating {workers} workers ({documents} documents, epoch {epoch}, {mode_str} mode) on {} | per-query deadline {deadline_ms} ms",
+                coordinator.local_addr(),
+            );
+            eprintln!("protocol: one JSON request per line (docs/CLUSTER.md); stop with {{\"cmd\":\"shutdown\"}}");
+            coordinator.join();
+            0
+        }
+        Err(e) => {
+            eprintln!("error: cannot start coordinator on {addr}: {e}");
+            1
+        }
+    }
+}
+
+/// `koko cluster <split|status>` — topology tooling: cut a corpus into
+/// per-worker snapshots plus a shard map, and probe a running cluster.
+fn cmd_cluster(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("split") => cmd_cluster_split(&args[1..]),
+        Some("status") => cmd_cluster_status(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: koko cluster split <corpus.txt> --workers=N --out-dir=DIR [--port-base=4101] [--strict] [--shards=N] [--doc=para]\n       koko cluster status <cluster.json>"
+            );
+            2
+        }
+    }
+}
+
+fn cmd_cluster_split(args: &[String]) -> i32 {
+    let usage = "usage: koko cluster split <corpus.txt> --workers=N --out-dir=DIR [--port-base=4101] [--strict] [--shards=N] [--doc=para]";
+    let Some(input) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    if is_snapshot_file(std::path::Path::new(input.as_str())) {
+        eprintln!("error: {input} is a KOKO snapshot; `koko cluster split` cuts a *text* corpus into per-worker snapshots");
+        return 1;
+    }
+    let parsed = (|| -> Result<(usize, String, usize, usize), String> {
+        let workers = arg_named_usize_in(args, "workers", 2, 1, 1024)?;
+        let out_dir = arg_named_str(args, "out-dir").ok_or("missing --out-dir")?;
+        let port_base = arg_named_usize_in(args, "port-base", 4101, 1, 65_535)?;
+        let shards = arg_shards(args)?;
+        Ok((workers, out_dir, port_base, shards))
+    })();
+    let (workers, out_dir, port_base, num_shards) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n{usage}");
+            return 2;
+        }
+    };
+    let docs = match load_docs(input, args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    if docs.len() < workers {
+        eprintln!(
+            "error: {} documents cannot cover {workers} workers (every worker needs a non-empty range)",
+            docs.len()
+        );
+        return 1;
+    }
+    let dir = std::path::Path::new(&out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {out_dir}: {e}");
+        return 1;
+    }
+    // The same contiguous split ShardMap::split_even produces: remainder
+    // spread over the leading workers.
+    let per = docs.len() / workers;
+    let extra = docs.len() % workers;
+    let mut entries = Vec::with_capacity(workers);
+    let mut doc_base = 0usize;
+    let mut sid_base = 0usize;
+    for i in 0..workers {
+        let count = per + usize::from(i < extra);
+        let slice = &docs[doc_base..doc_base + count];
+        let koko = Koko::from_texts_with_opts(
+            slice,
+            EngineOpts {
+                num_shards,
+                ..EngineOpts::default()
+            },
+        );
+        let sentences = koko.snapshot().num_sentences();
+        let snap_name = format!("worker-{i}.koko");
+        let snap_path = dir.join(&snap_name);
+        match koko.save(&snap_path) {
+            Ok(bytes) => eprintln!(
+                "worker w{i}: docs [{doc_base}..{}) ({count} documents, {sentences} sentences) -> {} ({:.1} KiB)",
+                doc_base + count,
+                snap_path.display(),
+                bytes as f64 / 1024.0,
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", snap_path.display());
+                return 1;
+            }
+        }
+        entries.push(koko::cluster::WorkerEntry {
+            name: format!("w{i}"),
+            addr: format!("127.0.0.1:{}", port_base + i),
+            replicas: Vec::new(),
+            doc_base: doc_base as u32,
+            docs: count as u32,
+            sid_base: sid_base as u32,
+            snapshot: Some(snap_name),
+        });
+        doc_base += count;
+        sid_base += sentences;
+    }
+    let map = koko::cluster::ShardMap {
+        version: 1,
+        epoch: 0,
+        mode: if args.iter().any(|a| a == "--strict") {
+            koko::cluster::Mode::Strict
+        } else {
+            koko::cluster::Mode::Partial
+        },
+        workers: entries,
+    };
+    let map_path = dir.join("cluster.json");
+    if let Err(e) = map.validate().and_then(|()| map.save(&map_path)) {
+        eprintln!("error: {e}");
+        return 1;
+    }
+    eprintln!("wrote {}", map_path.display());
+    eprintln!(
+        "start each worker:  koko serve {out_dir}/worker-<i>.koko --worker --addr=127.0.0.1:<port>"
+    );
+    eprintln!(
+        "then the frontend:  koko serve {} --coordinator",
+        map_path.display()
+    );
+    0
+}
+
+fn cmd_cluster_status(args: &[String]) -> i32 {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: koko cluster status <cluster.json>");
+        return 2;
+    };
+    let map = match koko::cluster::ShardMap::load(std::path::Path::new(path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "epoch {} | {} mode | {} workers | {} documents",
+        map.epoch,
+        map.mode.as_str(),
+        map.workers.len(),
+        map.total_docs()
+    );
+    let mut down = 0usize;
+    for w in &map.workers {
+        let state = probe_worker(&w.addr);
+        if state != "up" {
+            down += 1;
+        }
+        println!(
+            "{:>4}  {:<21}  docs [{}..{})  sid_base {}  replicas {}  {}",
+            w.name,
+            w.addr,
+            w.doc_base,
+            w.doc_base + w.docs,
+            w.sid_base,
+            w.replicas.len(),
+            state
+        );
+    }
+    i32::from(down > 0)
+}
+
+/// Ping one worker with bounded connect/read timeouts so `status` never
+/// hangs on a wedged node.
+fn probe_worker(addr: &str) -> &'static str {
+    use std::io::{BufRead, BufReader, Write};
+    let timeout = std::time::Duration::from_millis(1000);
+    let Some(sock_addr) = addr.parse().ok().or_else(|| {
+        std::net::ToSocketAddrs::to_socket_addrs(&addr)
+            .ok()
+            .and_then(|mut a| a.next())
+    }) else {
+        return "bad address";
+    };
+    let Ok(mut stream) = std::net::TcpStream::connect_timeout(&sock_addr, timeout) else {
+        return "DOWN (connect failed)";
+    };
+    let _ = stream.set_read_timeout(Some(timeout));
+    if stream.write_all(b"{\"id\":0,\"cmd\":\"ping\"}\n").is_err() {
+        return "DOWN (write failed)";
+    }
+    let mut line = String::new();
+    match BufReader::new(stream).read_line(&mut line) {
+        Ok(n) if n > 0 && line.contains("\"pong\":true") => "up",
+        _ => "DOWN (no pong)",
     }
 }
 

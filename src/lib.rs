@@ -27,7 +27,11 @@
 //! * [`baselines`] — CRF, IKE, NELL and Odin re-implementations;
 //! * [`serve`] — the concurrent query server (NDJSON-over-TCP protocol,
 //!   worker pool over one shared snapshot, load-generating client); see
-//!   `docs/SERVING.md`.
+//!   `docs/SERVING.md`;
+//! * [`cluster`] — the multi-node layer: a coordinator that owns the
+//!   shard map, fans queries out to worker servers over the wire
+//!   protocol, and merges replies byte-identically to single-node
+//!   execution; see `docs/CLUSTER.md`.
 //!
 //! The engine is sharded: the corpus is partitioned into contiguous
 //! document ranges, each with its own index and document store
@@ -95,6 +99,7 @@
 #![deny(missing_docs)]
 
 pub use koko_baselines as baselines;
+pub use koko_cluster as cluster;
 pub use koko_core as core;
 pub use koko_corpus as corpus;
 pub use koko_embed as embed;
@@ -107,7 +112,7 @@ pub use koko_storage as storage;
 
 pub use koko_core::{
     AddReport, CacheStats, CompactReport, EngineOpts, Error, Explain, Koko, LiveIndex, Order,
-    OutValue, Profile, QueryOutput, QueryRequest, Row, ShardExplain, Snapshot,
+    OutValue, Profile, QueryOutput, QueryRequest, RemoteShardExplain, Row, ShardExplain, Snapshot,
 };
 pub use koko_lang::{normalize, parse_query, queries};
 pub use koko_nlp::{Corpus, Document, Pipeline, Sentence};

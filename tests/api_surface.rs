@@ -11,6 +11,7 @@
 #[allow(unused_imports)]
 use koko::{
     baselines,
+    cluster,
     core,
     corpus,
     embed,
@@ -39,6 +40,7 @@ use koko::{
     Profile,
     QueryOutput,
     QueryRequest,
+    RemoteShardExplain,
     Row,
     Sentence,
     ShardExplain,
@@ -132,6 +134,15 @@ fn query_output_carries_the_documented_fields() {
     let e = Explain::default();
     let _plans: &Vec<String> = &e.plans;
     let _shards: &Vec<ShardExplain> = &e.shards;
+    // Cluster execution: one entry per remote worker (always empty for
+    // single-node runs), plus the health summaries built on them.
+    let _remote: &Vec<RemoteShardExplain> = &e.remote_shards;
+    let _ = (e.healthy_workers(), e.failed_workers());
+    let r = RemoteShardExplain::default();
+    let _: (&String, &String) = (&r.worker, &r.addr);
+    let _: (u32, u32) = (r.doc_base, r.docs);
+    let _: (usize, f64, usize) = (r.rows, r.rtt_ms, r.retries);
+    let _: &Option<String> = &r.error;
     let _ = e.total_candidates();
     let _ = e.early_terminated();
     // Per-shard ranked top-k counters.
@@ -225,6 +236,65 @@ fn profile_exposes_the_pruning_counters() {
         p.result_cache_hits,
         p.result_cache_misses,
     );
+    // Coordinator fan-out accounting (zero on single-node executions;
+    // deliberately excluded from `Profile::total()` — the six Table 2
+    // stage columns stay comparable across topologies).
+    let _: usize = p.remote_shards;
+    let _: Duration = p.remote_wait;
+}
+
+#[test]
+fn cluster_surface_is_stable() {
+    use koko::cluster::{Coordinator, CoordinatorConfig, Mode, ShardMap, WorkerEntry};
+    // Shard-map format + topology helpers.
+    let map = ShardMap::split_even(8, &["a:1".into(), "b:2".into()], Mode::Partial);
+    assert_eq!(map.workers.len(), 2);
+    assert_eq!(map.total_docs(), 8);
+    map.validate().unwrap();
+    let round = ShardMap::parse(&map.to_json()).unwrap();
+    assert_eq!(round, map);
+    let w = WorkerEntry {
+        name: "w0".into(),
+        addr: "h:1".into(),
+        replicas: vec!["h:2".into()],
+        doc_base: 0,
+        docs: 4,
+        sid_base: 0,
+        snapshot: None,
+    };
+    assert_eq!(w.endpoints(), vec!["h:1".to_string(), "h:2".to_string()]);
+    let _ = (Mode::Strict.as_str(), Mode::Partial.as_str());
+    // Coordinator entry points.
+    let _bind: fn(ShardMap, &str, CoordinatorConfig) -> std::io::Result<Coordinator> =
+        Coordinator::bind;
+    let config = CoordinatorConfig::default();
+    let _: Duration = config.default_deadline;
+    let _: Duration = config.write_deadline;
+    // Fan-out failure taxonomy is public: coordinator explain strings
+    // are built from it.
+    let _ = cluster::WorkerError::Timeout.wire();
+}
+
+#[test]
+fn serve_client_retry_surface_is_stable() {
+    use koko::serve::{is_transient, Client, RetryPolicy, ServeError};
+    let policy = RetryPolicy::default();
+    assert!(policy.attempts >= 1);
+    let _connect: fn(&str, RetryPolicy) -> Result<Client, ServeError> = Client::connect_with_retry;
+    assert!(is_transient(&std::io::Error::from(
+        std::io::ErrorKind::ConnectionRefused
+    )));
+    let unavailable = ServeError::Unavailable {
+        addr: "h:1".into(),
+        attempts: 3,
+        last: std::io::Error::from(std::io::ErrorKind::ConnectionReset),
+    };
+    let rendered = unavailable.to_string();
+    assert!(
+        rendered.contains("h:1") && rendered.contains('3'),
+        "{rendered}"
+    );
+    let _: std::io::Error = unavailable.into();
 }
 
 #[test]

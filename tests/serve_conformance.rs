@@ -615,3 +615,156 @@ fn served_stats_reflect_cache_traffic() {
     assert!(stats.contains("\"result_cache_misses\":1"), "{stats}");
     assert!(stats.contains("\"compiled_cache_hits\":1"), "{stats}");
 }
+
+// ---- Cluster conformance -------------------------------------------------
+//
+// A coordinator over two workers (the corpus split into contiguous
+// halves) must answer every query in the mix with rows byte-identical to
+// the single-node server — the cluster's core contract (docs/CLUSTER.md).
+
+/// Two workers splitting `CORPUS` at `at`, plus a coordinator over them.
+fn spawn_cluster(at: usize) -> (Vec<Server>, koko::cluster::Coordinator) {
+    use koko::cluster::{Coordinator, CoordinatorConfig, Mode, ShardMap, WorkerEntry};
+    let (head, tail) = CORPUS.split_at(at);
+    let build = |texts: &[&str]| {
+        Koko::from_texts_with_opts(
+            texts,
+            EngineOpts {
+                num_shards: 2,
+                result_cache: 32,
+                ..EngineOpts::default()
+            },
+        )
+    };
+    let e0 = build(head);
+    // Sentence ids are corpus-global; w1's local sids start where w0's
+    // corpus ends.
+    let sid_split = e0.snapshot().num_sentences() as u32;
+    let w0 = Server::bind(e0, "127.0.0.1:0", 2).unwrap();
+    let w1 = Server::bind(build(tail), "127.0.0.1:0", 2).unwrap();
+    let map = ShardMap {
+        version: 1,
+        epoch: 0,
+        mode: Mode::Partial,
+        workers: vec![
+            WorkerEntry {
+                name: "w0".into(),
+                addr: w0.local_addr().to_string(),
+                replicas: vec![],
+                doc_base: 0,
+                docs: at as u32,
+                sid_base: 0,
+                snapshot: None,
+            },
+            WorkerEntry {
+                name: "w1".into(),
+                addr: w1.local_addr().to_string(),
+                replicas: vec![],
+                doc_base: at as u32,
+                docs: (CORPUS.len() - at) as u32,
+                sid_base: sid_split,
+                snapshot: None,
+            },
+        ],
+    };
+    let coordinator = Coordinator::bind(map, "127.0.0.1:0", CoordinatorConfig::default()).unwrap();
+    (vec![w0, w1], coordinator)
+}
+
+#[test]
+fn coordinator_matches_single_node_across_the_query_mix() {
+    let reference = reference_engine();
+    let mix = query_mix();
+    let expected = expected_rows(&reference, &mix);
+    let (workers, coordinator) = spawn_cluster(4);
+    let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+    for pass in 0..2 {
+        for (qi, q) in mix.iter().enumerate() {
+            let line = client.query(q, true).unwrap();
+            match &expected[qi] {
+                Some(rows) => {
+                    assert!(!line.contains("\"partial\""), "healthy answer: {line}");
+                    assert_eq!(
+                        protocol::response_rows(&line).unwrap(),
+                        rows,
+                        "pass {pass}: coordinator rows diverged from the \
+                         sequential engine\nquery: {q}"
+                    );
+                }
+                None => assert!(line.contains("\"ok\":false"), "{line}"),
+            }
+        }
+    }
+    drop(client);
+    coordinator.shutdown();
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+#[test]
+fn coordinator_matches_single_node_across_the_opts_mix() {
+    let reference = reference_engine();
+    let mix = query_mix();
+    let (workers, coordinator) = spawn_cluster(4);
+    let mut client = Client::connect(&coordinator.local_addr().to_string()).unwrap();
+    for q in &mix {
+        for (oi, opts) in opts_mix().iter().enumerate() {
+            let line = client.query_with_opts(q, true, *opts).unwrap();
+            match reference.run(&opts.to_request(q, true)) {
+                Ok(out) => {
+                    assert!(line.contains("\"ok\":true"), "opts {oi}: {line}");
+                    assert_eq!(
+                        protocol::response_rows(&line).unwrap(),
+                        protocol::rows_json(&out.rows),
+                        "opts {oi} query {q}"
+                    );
+                    // Same exactness rules as the single-node suite:
+                    // `truncated` and `total_matches` are layout-
+                    // dependent lower bounds once a limit can stop a
+                    // scan early, so only presence is asserted there.
+                    if opts.limit.is_none() {
+                        assert!(
+                            line.contains(&format!("\"truncated\":{}", out.truncated)),
+                            "opts {oi}: {line}"
+                        );
+                        assert!(
+                            line.contains(&format!("\"total_matches\":{}", out.total_matches)),
+                            "opts {oi} (expected {}): {line}",
+                            out.total_matches
+                        );
+                    } else {
+                        assert!(line.contains("\"truncated\":"), "{line}");
+                        assert!(line.contains("\"total_matches\":"), "{line}");
+                    }
+                    assert_eq!(
+                        line.contains("\"explain\":"),
+                        opts.explain,
+                        "opts {oi}: {line}"
+                    );
+                    if opts.explain {
+                        assert!(
+                            line.contains("\"remote_shards\":["),
+                            "coordinator explain shows the fan-out: {line}"
+                        );
+                    }
+                }
+                Err(_) => assert!(line.contains("\"ok\":false"), "{line}"),
+            }
+        }
+    }
+    // Streaming through the coordinator reassembles to the same rows.
+    let q = queries::EXAMPLE_2_1;
+    let streamed = client
+        .query_stream(q, true, QueryOpts::default(), None)
+        .unwrap();
+    let expected = reference
+        .run(&QueryOpts::default().to_request(q, true))
+        .unwrap();
+    assert_eq!(streamed.rows_json, protocol::rows_json(&expected.rows));
+    drop(client);
+    coordinator.shutdown();
+    for w in workers {
+        w.shutdown();
+    }
+}
